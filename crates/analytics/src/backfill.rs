@@ -1,0 +1,175 @@
+//! Figures 6 and 9: requested versus actual walltimes, with backfilled jobs
+//! drawn as `+` and regular jobs as dots.
+//!
+//! "Many jobs, particularly backfilled ones, complete in less time than
+//! requested, revealing underutilization and missed opportunities for
+//! finer-grained resource scheduling."
+
+use crate::select::filter_started;
+use schedflow_charts::{Axis, Chart, MarkerShape, ScatterChart, Series};
+use schedflow_frame::{Frame, FrameError};
+
+/// Shape-check summary for the backfill figures.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BackfillSummary {
+    pub jobs: usize,
+    pub backfilled: usize,
+    /// Fraction of jobs whose actual < requested.
+    pub overestimated_fraction: f64,
+    /// Mean requested/actual ratio (≥ 1 means overestimation).
+    pub mean_over_factor: f64,
+    /// Same, backfilled jobs only.
+    pub mean_over_factor_backfilled: f64,
+    /// Total unused requested hours (the reclaimable gap).
+    pub unused_hours: f64,
+}
+
+/// Extract `(requested_min, actual_min)` split into (regular, backfilled).
+#[allow(clippy::type_complexity)]
+pub fn requested_vs_actual(
+    frame: &Frame,
+) -> Result<((Vec<f64>, Vec<f64>), (Vec<f64>, Vec<f64>)), FrameError> {
+    let started = filter_started(frame)?;
+    let req = started.column("timelimit_s")?;
+    let elapsed = started.column("elapsed_s")?;
+    let bf = started.bool("backfilled")?;
+    let mut regular = (Vec::new(), Vec::new());
+    let mut backfilled = (Vec::new(), Vec::new());
+    for i in 0..started.height() {
+        let (Some(r), Some(e)) = (req.get_f64(i), elapsed.get_f64(i)) else {
+            continue; // UNLIMITED requests are not comparable
+        };
+        if r <= 0.0 {
+            continue;
+        }
+        let slot = if bf.bool_values()[i] {
+            &mut backfilled
+        } else {
+            &mut regular
+        };
+        slot.0.push(r / 60.0);
+        slot.1.push((e / 60.0).max(1.0 / 60.0));
+    }
+    Ok((regular, backfilled))
+}
+
+/// Build the Figure 6/9 chart.
+pub fn backfill_chart(frame: &Frame, system: &str) -> Result<Chart, FrameError> {
+    let ((rx, ry), (bx, by)) = requested_vs_actual(frame)?;
+    Ok(Chart::Scatter(
+        ScatterChart::new(
+            &format!("Requested vs actual walltime — {system}"),
+            Axis::log("requested walltime (minutes)"),
+            Axis::log("actual duration (minutes)"),
+        )
+        .with_series(Series::scatter("regular", rx, ry).with_marker(MarkerShape::Dot))
+        .with_series(Series::scatter("backfilled", bx, by).with_marker(MarkerShape::Plus))
+        .with_diagonal(),
+    ))
+}
+
+/// Compute the shape-check summary.
+pub fn summarize(frame: &Frame) -> Result<BackfillSummary, FrameError> {
+    let ((rx, ry), (bx, by)) = requested_vs_actual(frame)?;
+    let all_req = rx.iter().chain(&bx);
+    let all_act = ry.iter().chain(&by);
+    let mut jobs = 0usize;
+    let mut over = 0usize;
+    let mut factor_sum = 0.0;
+    let mut unused_min = 0.0;
+    for (&r, &a) in all_req.zip(all_act) {
+        jobs += 1;
+        if a < r {
+            over += 1;
+        }
+        factor_sum += r / a.max(1.0 / 60.0);
+        unused_min += (r - a).max(0.0);
+    }
+    let bf_factor = if bx.is_empty() {
+        0.0
+    } else {
+        bx.iter()
+            .zip(&by)
+            .map(|(&r, &a)| r / a.max(1.0 / 60.0))
+            .sum::<f64>()
+            / bx.len() as f64
+    };
+    Ok(BackfillSummary {
+        jobs,
+        backfilled: bx.len(),
+        overestimated_fraction: if jobs == 0 { 0.0 } else { over as f64 / jobs as f64 },
+        mean_over_factor: if jobs == 0 { 0.0 } else { factor_sum / jobs as f64 },
+        mean_over_factor_backfilled: bf_factor,
+        unused_hours: unused_min / 60.0,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use schedflow_frame::Column;
+
+    fn frame() -> Frame {
+        Frame::new()
+            .with(
+                "start",
+                Column::from_opt_i64(vec![Some(1), Some(2), Some(3), None]),
+            )
+            .with(
+                "timelimit_s",
+                Column::from_opt_i64(vec![Some(7200), Some(3600), None, Some(600)]),
+            )
+            .with(
+                "elapsed_s",
+                Column::from_i64(vec![3600, 600, 100, 0]),
+            )
+            .with(
+                "backfilled",
+                Column::from_bool(vec![false, true, false, false]),
+            )
+    }
+
+    #[test]
+    fn splits_regular_and_backfilled() {
+        let ((rx, _), (bx, by)) = requested_vs_actual(&frame()).unwrap();
+        assert_eq!(rx.len(), 1, "unlimited + never-started dropped");
+        assert_eq!(bx, vec![60.0]);
+        assert_eq!(by, vec![10.0]);
+    }
+
+    #[test]
+    fn chart_markers_distinguish_backfill() {
+        let c = backfill_chart(&frame(), "frontier").unwrap();
+        match c {
+            Chart::Scatter(s) => {
+                assert!(s.diagonal);
+                assert_eq!(s.series[0].marker, MarkerShape::Dot);
+                assert_eq!(s.series[1].marker, MarkerShape::Plus);
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn summary_detects_overestimation() {
+        let s = summarize(&frame()).unwrap();
+        assert_eq!(s.jobs, 2);
+        assert_eq!(s.backfilled, 1);
+        assert_eq!(s.overestimated_fraction, 1.0);
+        // (7200/3600 + 3600/600)/2 = (2 + 6)/2 = 4 in minutes space.
+        assert!((s.mean_over_factor - 4.0).abs() < 1e-9);
+        assert!((s.unused_hours - (60.0 + 50.0) / 60.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_frame_summary() {
+        let f = Frame::new()
+            .with("start", Column::from_opt_i64(vec![]))
+            .with("timelimit_s", Column::from_opt_i64(vec![]))
+            .with("elapsed_s", Column::from_i64(vec![]))
+            .with("backfilled", Column::from_bool(vec![]));
+        let s = summarize(&f).unwrap();
+        assert_eq!(s.jobs, 0);
+        assert_eq!(s.mean_over_factor, 0.0);
+    }
+}

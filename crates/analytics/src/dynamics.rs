@@ -1,0 +1,139 @@
+//! Queue dynamics: mean wait by day-of-week × hour-of-day (heatmap).
+//!
+//! §2's curated dataset exists to allow "deep exploration of queue dynamics
+//! and system load patterns"; this stage exposes the temporal texture —
+//! when during the week submissions queue longest — that the Figure 4
+//! scatter can only hint at.
+
+use schedflow_charts::{Chart, HeatmapChart};
+use schedflow_frame::{Frame, FrameError};
+use schedflow_model::time::{Timestamp, HOUR};
+
+/// Weekday labels, Monday-first (matching `Timestamp::weekday`).
+pub const WEEKDAYS: [&str; 7] = ["Mon", "Tue", "Wed", "Thu", "Fri", "Sat", "Sun"];
+
+/// The 7×24 aggregation behind the heatmap.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueueDynamics {
+    /// Mean wait seconds per (weekday, hour); NaN where no submissions.
+    pub mean_wait: Vec<f64>,
+    /// Submission counts per (weekday, hour).
+    pub submissions: Vec<u64>,
+}
+
+impl QueueDynamics {
+    pub fn cell(&self, weekday: usize, hour: usize) -> f64 {
+        self.mean_wait[weekday * 24 + hour]
+    }
+
+    pub fn submissions_at(&self, weekday: usize, hour: usize) -> u64 {
+        self.submissions[weekday * 24 + hour]
+    }
+
+    /// `(weekday, hour)` with the longest mean wait, if any cell has data.
+    pub fn worst_slot(&self) -> Option<(usize, usize)> {
+        let mut best: Option<(usize, usize, f64)> = None;
+        for w in 0..7 {
+            for h in 0..24 {
+                let v = self.cell(w, h);
+                if v.is_finite() && best.map_or(true, |(_, _, b)| v > b) {
+                    best = Some((w, h, v));
+                }
+            }
+        }
+        best.map(|(w, h, _)| (w, h))
+    }
+}
+
+/// Aggregate wait times into the weekly 7×24 grid.
+pub fn queue_dynamics(frame: &Frame) -> Result<QueueDynamics, FrameError> {
+    let submit = frame.i64("submit")?;
+    let wait = frame.column("wait_s")?;
+    let mut sums = vec![0.0f64; 7 * 24];
+    let mut counts = vec![0u64; 7 * 24];
+    for i in 0..frame.height() {
+        let (Some(t), Some(w)) = (submit.get_i64(i), wait.get_f64(i)) else {
+            continue;
+        };
+        let ts = Timestamp(t);
+        let idx = ts.weekday() as usize * 24 + (ts.seconds_of_day() / HOUR) as usize;
+        sums[idx] += w;
+        counts[idx] += 1;
+    }
+    let mean_wait = sums
+        .iter()
+        .zip(&counts)
+        .map(|(&s, &c)| if c == 0 { f64::NAN } else { s / c as f64 })
+        .collect();
+    Ok(QueueDynamics {
+        mean_wait,
+        submissions: counts,
+    })
+}
+
+/// Build the queue-dynamics heatmap chart.
+pub fn dynamics_chart(frame: &Frame, system: &str) -> Result<Chart, FrameError> {
+    let d = queue_dynamics(frame)?;
+    let mut chart = HeatmapChart::new(
+        &format!("Queue dynamics: mean wait by weekday and hour — {system}"),
+        (0..24).map(|h| format!("{h:02}")).collect(),
+        WEEKDAYS.iter().map(|s| s.to_string()).collect(),
+        d.mean_wait,
+    );
+    chart.x_axis_label = "hour of submission".to_owned();
+    chart.y_axis_label = "day of week".to_owned();
+    chart.value_label = "mean wait (s)".to_owned();
+    Ok(Chart::Heatmap(chart))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use schedflow_frame::Column;
+
+    fn frame() -> Frame {
+        // Monday 2024-01-01: two submissions at 09:xx with waits 100/300,
+        // one Saturday 03:xx with wait 10.
+        let mon9a = Timestamp::from_civil(2024, 1, 1, 9, 5, 0).0;
+        let mon9b = Timestamp::from_civil(2024, 1, 1, 9, 40, 0).0;
+        let sat3 = Timestamp::from_civil(2024, 1, 6, 3, 0, 0).0;
+        Frame::new()
+            .with("submit", Column::from_i64(vec![mon9a, mon9b, sat3]))
+            .with(
+                "wait_s",
+                Column::from_opt_i64(vec![Some(100), Some(300), Some(10)]),
+            )
+    }
+
+    #[test]
+    fn aggregates_by_weekday_and_hour() {
+        let d = queue_dynamics(&frame()).unwrap();
+        assert_eq!(d.cell(0, 9), 200.0, "Monday 09h mean of 100/300");
+        assert_eq!(d.submissions_at(0, 9), 2);
+        assert_eq!(d.cell(5, 3), 10.0, "Saturday 03h");
+        assert!(d.cell(2, 12).is_nan(), "empty cells are NaN");
+        assert_eq!(d.worst_slot(), Some((0, 9)));
+    }
+
+    #[test]
+    fn chart_shape_is_7x24() {
+        match dynamics_chart(&frame(), "toy").unwrap() {
+            Chart::Heatmap(h) => {
+                assert_eq!(h.y_labels.len(), 7);
+                assert_eq!(h.x_labels.len(), 24);
+                assert_eq!(h.values.len(), 168);
+                assert_eq!(h.peak().map(|(r, c, _)| (r, c)), Some((0, 9)));
+            }
+            _ => panic!("expected heatmap"),
+        }
+    }
+
+    #[test]
+    fn null_waits_skipped() {
+        let f = Frame::new()
+            .with("submit", Column::from_i64(vec![0]))
+            .with("wait_s", Column::from_opt_i64(vec![None]));
+        let d = queue_dynamics(&f).unwrap();
+        assert!(d.worst_slot().is_none());
+    }
+}

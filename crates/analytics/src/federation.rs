@@ -1,0 +1,216 @@
+//! Federated multi-cluster analytics — §6's second future-work item:
+//! "multi-cluster and federated analytics, providing cross-facility
+//! visibility into scheduling behaviors".
+//!
+//! Takes the curated frames of several systems and aligns their headline
+//! metrics into one comparison frame (via the frame engine's joins), plus a
+//! grouped chart for the dashboard.
+
+use crate::{backfill, nodes_elapsed, states, waits};
+use schedflow_charts::{BarChart, BarMode, Chart, Scale};
+use schedflow_frame::{join, Column, Frame, FrameError, JoinKind};
+
+/// Headline metrics of one system, as a single-row frame column set.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SystemSummary {
+    pub system: String,
+    pub jobs: usize,
+    pub median_wait_s: f64,
+    pub p95_wait_s: f64,
+    pub max_nodes: i64,
+    pub small_short_fraction: f64,
+    pub overestimated_fraction: f64,
+    pub mean_over_factor: f64,
+    pub failure_rate_mean: f64,
+    pub failure_rate_stddev: f64,
+}
+
+/// Compute the summary for one curated frame.
+pub fn summarize_system(frame: &Frame, system: &str) -> Result<SystemSummary, FrameError> {
+    let ne = nodes_elapsed::summarize(frame)?;
+    let bf = backfill::summarize(frame)?;
+    let (fmean, fsd) = states::failure_dispersion(frame, 40)?;
+    let wait = waits::wait_summary(frame)?;
+    let completed = wait.iter().find(|w| w.state == "COMPLETED");
+    Ok(SystemSummary {
+        system: system.to_owned(),
+        jobs: ne.jobs,
+        median_wait_s: completed.map_or(0.0, |w| w.median_wait_s),
+        p95_wait_s: completed.map_or(0.0, |w| w.p95_wait_s),
+        max_nodes: ne.max_nodes,
+        small_short_fraction: ne.small_short_fraction,
+        overestimated_fraction: bf.overestimated_fraction,
+        mean_over_factor: bf.mean_over_factor,
+        failure_rate_mean: fmean,
+        failure_rate_stddev: fsd,
+    })
+}
+
+/// One metric row per system, aligned into a frame (`system` is the key).
+pub fn federation_frame(summaries: &[SystemSummary]) -> Frame {
+    Frame::new()
+        .with(
+            "system",
+            Column::from_str(summaries.iter().map(|s| s.system.clone()).collect()),
+        )
+        .with(
+            "jobs",
+            Column::from_i64(summaries.iter().map(|s| s.jobs as i64).collect()),
+        )
+        .with(
+            "median_wait_s",
+            Column::from_f64(summaries.iter().map(|s| s.median_wait_s).collect()),
+        )
+        .with(
+            "p95_wait_s",
+            Column::from_f64(summaries.iter().map(|s| s.p95_wait_s).collect()),
+        )
+        .with(
+            "max_nodes",
+            Column::from_i64(summaries.iter().map(|s| s.max_nodes).collect()),
+        )
+        .with(
+            "small_short_fraction",
+            Column::from_f64(summaries.iter().map(|s| s.small_short_fraction).collect()),
+        )
+        .with(
+            "overestimated_fraction",
+            Column::from_f64(summaries.iter().map(|s| s.overestimated_fraction).collect()),
+        )
+        .with(
+            "mean_over_factor",
+            Column::from_f64(summaries.iter().map(|s| s.mean_over_factor).collect()),
+        )
+        .with(
+            "failure_rate_mean",
+            Column::from_f64(summaries.iter().map(|s| s.failure_rate_mean).collect()),
+        )
+        .with(
+            "failure_rate_stddev",
+            Column::from_f64(summaries.iter().map(|s| s.failure_rate_stddev).collect()),
+        )
+}
+
+/// Join two systems' per-user activity on the (anonymized) user handle —
+/// cross-facility visibility into shared users' behavior. Returns rows for
+/// users active on *both* systems.
+pub fn shared_users(a: &Frame, b: &Frame) -> Result<Frame, FrameError> {
+    let per_user = |frame: &Frame| -> Result<Frame, FrameError> {
+        schedflow_frame::group_by(
+            frame,
+            &["user"],
+            &[
+                ("jobs", schedflow_frame::Agg::Count),
+                ("mean_wait_s", schedflow_frame::Agg::Mean("wait_s".into())),
+            ],
+        )
+    };
+    join(&per_user(a)?, &per_user(b)?, "user", JoinKind::Inner)
+}
+
+/// Grouped bar chart contrasting normalized headline metrics per system.
+pub fn federation_chart(summaries: &[SystemSummary]) -> Chart {
+    let categories: Vec<String> = summaries.iter().map(|s| s.system.clone()).collect();
+    let mut chart = BarChart::new(
+        "Cross-facility scheduling profile",
+        categories,
+        "value",
+        BarMode::Grouped,
+    )
+    .with_stack(
+        "overestimation factor",
+        summaries.iter().map(|s| s.mean_over_factor).collect(),
+    )
+    .with_stack(
+        "small/short job share (%)",
+        summaries
+            .iter()
+            .map(|s| s.small_short_fraction * 100.0)
+            .collect(),
+    )
+    .with_stack(
+        "failure-rate stddev (×100)",
+        summaries
+            .iter()
+            .map(|s| s.failure_rate_stddev * 100.0)
+            .collect(),
+    );
+    chart.y_scale = Scale::Linear;
+    Chart::Bar(chart)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mini_frame(system_bias: f64) -> Frame {
+        let n = 200usize;
+        let users: Vec<String> = (0..n).map(|i| format!("u{:02}", i % 10)).collect();
+        let states: Vec<String> = (0..n)
+            .map(|i| if i % 7 == 0 { "FAILED" } else { "COMPLETED" }.to_owned())
+            .collect();
+        Frame::new()
+            .with("user", Column::from_str(users))
+            .with("state", Column::from_str(states))
+            .with("submit", Column::from_i64((0..n as i64).collect()))
+            .with(
+                "start",
+                Column::from_opt_i64((0..n as i64).map(Some).collect()),
+            )
+            .with(
+                "wait_s",
+                Column::from_opt_i64((0..n as i64).map(|i| Some(i * 10)).collect()),
+            )
+            .with(
+                "elapsed_s",
+                Column::from_i64(vec![1000; n]),
+            )
+            .with(
+                "elapsed_min",
+                Column::from_f64(vec![1000.0 / 60.0; n]),
+            )
+            .with(
+                "timelimit_s",
+                Column::from_opt_i64(vec![Some((4000.0 * system_bias) as i64); n]),
+            )
+            .with(
+                "nnodes",
+                Column::from_i64((0..n as i64).map(|i| i % 50 + 1).collect()),
+            )
+            .with("backfilled", Column::from_bool(vec![false; n]))
+    }
+
+    #[test]
+    fn summaries_align_into_a_frame() {
+        let a = summarize_system(&mini_frame(1.0), "frontier").unwrap();
+        let b = summarize_system(&mini_frame(0.5), "andes").unwrap();
+        assert!(a.mean_over_factor > b.mean_over_factor);
+        let f = federation_frame(&[a, b]);
+        assert_eq!(f.height(), 2);
+        assert_eq!(f.str("system").unwrap().str_values(), &["frontier", "andes"]);
+        assert!(f.column("mean_over_factor").unwrap().get_f64(0).unwrap() > 3.0);
+    }
+
+    #[test]
+    fn shared_users_joins_across_systems() {
+        let j = shared_users(&mini_frame(1.0), &mini_frame(0.5)).unwrap();
+        assert_eq!(j.height(), 10, "all ten synthetic users overlap");
+        assert!(j.has_column("jobs"));
+        assert!(j.has_column("jobs_right"));
+        assert!(j.has_column("mean_wait_s_right"));
+    }
+
+    #[test]
+    fn chart_carries_one_group_per_metric() {
+        let a = summarize_system(&mini_frame(1.0), "frontier").unwrap();
+        let b = summarize_system(&mini_frame(0.5), "andes").unwrap();
+        match federation_chart(&[a, b]) {
+            Chart::Bar(c) => {
+                assert_eq!(c.mode, BarMode::Grouped);
+                assert_eq!(c.stacks.len(), 3);
+                assert_eq!(c.categories.len(), 2);
+            }
+            _ => panic!(),
+        }
+    }
+}

@@ -1,0 +1,38 @@
+//! # schedflow-analytics
+//!
+//! The field-specific analysis stages of the paper's static subworkflow:
+//! each module turns the curated job frame into one of the evaluation
+//! figures plus the summary statistics the shape checks and the analyst
+//! consume.
+//!
+//! * [`volume`] — Figure 1: jobs & job-steps per year;
+//! * [`nodes_elapsed`] — Figures 3/7: allocated nodes vs duration;
+//! * [`waits`] — Figure 4: queue waits colored by final state;
+//! * [`states`] — Figures 5/8: end states per user;
+//! * [`backfill`] — Figures 6/9: requested vs actual walltime with backfill
+//!   markers;
+//! * [`select`] — shared frame filters (year/month/state/started);
+//! * [`utilization`] — node-occupancy trends (the sysadmin use case of §3.2);
+//! * [`predictor`] — per-user walltime prediction (§6 future work);
+//! * [`federation`] — cross-facility comparison frames and charts (§6).
+
+pub mod backfill;
+pub mod dynamics;
+pub mod federation;
+pub mod nodes_elapsed;
+pub mod predictor;
+pub mod select;
+pub mod states;
+pub mod utilization;
+pub mod volume;
+pub mod waits;
+
+pub use backfill::{backfill_chart, BackfillSummary};
+pub use nodes_elapsed::{nodes_elapsed_chart, NodesElapsedSummary};
+pub use states::{failure_dispersion, states_chart, states_per_user, UserStates};
+pub use volume::{volume_chart, yearly_volumes, YearVolume};
+pub use waits::{wait_chart, wait_summary, WaitOptions, WaitSummary};
+pub use federation::{federation_chart, federation_frame, shared_users, summarize_system, SystemSummary};
+pub use predictor::{evaluate as evaluate_predictor, PredictorConfig, PredictorEvaluation, WalltimePredictor};
+pub use utilization::{occupancy, utilization_chart, OccupancySample, UtilizationSummary};
+pub use dynamics::{dynamics_chart, queue_dynamics, QueueDynamics};

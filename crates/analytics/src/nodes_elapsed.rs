@@ -1,0 +1,129 @@
+//! Figures 3 and 7: allocated nodes versus job elapsed time.
+//!
+//! Log-log scatter over all started jobs — Frontier shows mass up to
+//! thousands of nodes and day-long runtimes; Andes concentrates in the
+//! small/short corner.
+
+use crate::select::filter_started;
+use schedflow_charts::{Axis, Chart, ScatterChart, Series};
+use schedflow_frame::{Frame, FrameError};
+
+/// Summary numbers used by the shape checks in EXPERIMENTS.md.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodesElapsedSummary {
+    pub jobs: usize,
+    pub max_nodes: i64,
+    pub median_nodes: f64,
+    pub median_elapsed_min: f64,
+    /// Fraction of jobs with ≤ 4 nodes and ≤ 60 minutes (the "small/short"
+    /// corner that dominates Andes).
+    pub small_short_fraction: f64,
+}
+
+/// Extract `(elapsed_minutes, nodes)` pairs for all started jobs.
+pub fn nodes_vs_elapsed(frame: &Frame) -> Result<(Vec<f64>, Vec<f64>), FrameError> {
+    let started = filter_started(frame)?;
+    let nodes = started.i64("nnodes")?;
+    let elapsed = started.f64("elapsed_min")?;
+    let mut xs = Vec::with_capacity(started.height());
+    let mut ys = Vec::with_capacity(started.height());
+    for i in 0..started.height() {
+        let (Some(e), Some(n)) = (elapsed.get_f64(i), nodes.get_f64(i)) else {
+            continue;
+        };
+        if e > 0.0 && n > 0.0 {
+            xs.push(e);
+            ys.push(n);
+        }
+    }
+    Ok((xs, ys))
+}
+
+/// Build the Figure 3/7 chart.
+pub fn nodes_elapsed_chart(frame: &Frame, system: &str) -> Result<Chart, FrameError> {
+    let (xs, ys) = nodes_vs_elapsed(frame)?;
+    Ok(Chart::Scatter(
+        ScatterChart::new(
+            &format!("Allocated nodes vs job duration — {system}"),
+            Axis::log("elapsed time (minutes)"),
+            Axis::log("allocated nodes"),
+        )
+        .with_series(Series::scatter("jobs", xs, ys)),
+    ))
+}
+
+/// Compute the shape-check summary.
+pub fn summarize(frame: &Frame) -> Result<NodesElapsedSummary, FrameError> {
+    let (xs, ys) = nodes_vs_elapsed(frame)?;
+    let jobs = xs.len();
+    let median = |v: &[f64]| {
+        let mut s = v.to_vec();
+        s.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        if s.is_empty() {
+            0.0
+        } else {
+            s[s.len() / 2]
+        }
+    };
+    let small_short = xs
+        .iter()
+        .zip(&ys)
+        .filter(|(&e, &n)| n <= 4.0 && e <= 60.0)
+        .count();
+    Ok(NodesElapsedSummary {
+        jobs,
+        max_nodes: ys.iter().copied().fold(0.0, f64::max) as i64,
+        median_nodes: median(&ys),
+        median_elapsed_min: median(&xs),
+        small_short_fraction: if jobs == 0 {
+            0.0
+        } else {
+            small_short as f64 / jobs as f64
+        },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use schedflow_frame::Column;
+
+    fn frame() -> Frame {
+        Frame::new()
+            .with("start", Column::from_opt_i64(vec![Some(1), Some(2), None, Some(4)]))
+            .with("nnodes", Column::from_i64(vec![1, 1000, 5, 2]))
+            .with(
+                "elapsed_min",
+                Column::from_f64(vec![30.0, 1200.0, 10.0, 45.0]),
+            )
+    }
+
+    #[test]
+    fn extracts_started_jobs_only() {
+        let (xs, ys) = nodes_vs_elapsed(&frame()).unwrap();
+        assert_eq!(xs.len(), 3);
+        assert!(ys.contains(&1000.0));
+        assert!(!ys.contains(&5.0), "never-started job excluded");
+    }
+
+    #[test]
+    fn chart_axes_are_log_log() {
+        let c = nodes_elapsed_chart(&frame(), "frontier").unwrap();
+        match c {
+            Chart::Scatter(s) => {
+                assert_eq!(s.x_axis.scale, schedflow_charts::Scale::Log10);
+                assert_eq!(s.y_axis.scale, schedflow_charts::Scale::Log10);
+                assert_eq!(s.series[0].len(), 3);
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn summary_shape_quantities() {
+        let s = summarize(&frame()).unwrap();
+        assert_eq!(s.jobs, 3);
+        assert_eq!(s.max_nodes, 1000);
+        assert!((s.small_short_fraction - 2.0 / 3.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,249 @@
+//! Walltime prediction — §6's first future-work item: "embedding
+//! AI-predicted walltime estimation into job submission workflows".
+//!
+//! A per-user online predictor: for each submission it predicts the job's
+//! runtime from the user's recent history (exponentially weighted mean of
+//! actual runtimes, scaled by a safety quantile of the user's past
+//! prediction errors), falling back to a global model for cold users. The
+//! evaluation walks the trace in submit order, predicting each job *before*
+//! observing it — no lookahead.
+
+use schedflow_frame::{Frame, FrameError};
+use std::collections::HashMap;
+
+/// Configuration of the per-user EWMA predictor.
+#[derive(Debug, Clone)]
+pub struct PredictorConfig {
+    /// EWMA smoothing factor for the per-user runtime estimate.
+    pub alpha: f64,
+    /// Multiplicative safety margin applied to predictions (requests must
+    /// cover the runtime or the job times out).
+    pub safety_factor: f64,
+    /// Observations before a user's own model takes over from the global one.
+    pub warmup: usize,
+}
+
+impl Default for PredictorConfig {
+    fn default() -> Self {
+        Self {
+            alpha: 0.3,
+            safety_factor: 1.5,
+            warmup: 3,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Default)]
+struct UserModel {
+    ewma: f64,
+    n: usize,
+}
+
+/// The online predictor.
+#[derive(Debug, Clone)]
+pub struct WalltimePredictor {
+    config: PredictorConfig,
+    users: HashMap<String, UserModel>,
+    global: UserModel,
+}
+
+impl WalltimePredictor {
+    pub fn new(config: PredictorConfig) -> Self {
+        Self {
+            config,
+            users: HashMap::new(),
+            global: UserModel::default(),
+        }
+    }
+
+    /// Predict the requested walltime (seconds) for a job by `user`, before
+    /// its runtime is known. Falls back to the global model, then to
+    /// `fallback_secs`, when history is insufficient.
+    pub fn predict(&self, user: &str, fallback_secs: i64) -> i64 {
+        let model = self
+            .users
+            .get(user)
+            .filter(|m| m.n >= self.config.warmup)
+            .or(if self.global.n >= self.config.warmup {
+                Some(&self.global)
+            } else {
+                None
+            });
+        match model {
+            Some(m) => ((m.ewma * self.config.safety_factor) as i64).max(60),
+            None => fallback_secs,
+        }
+    }
+
+    /// Observe a finished job's actual runtime.
+    pub fn observe(&mut self, user: &str, actual_secs: i64) {
+        let a = self.config.alpha;
+        for m in [self.users.entry(user.to_owned()).or_default(), &mut self.global] {
+            m.ewma = if m.n == 0 {
+                actual_secs as f64
+            } else {
+                a * actual_secs as f64 + (1.0 - a) * m.ewma
+            };
+            m.n += 1;
+        }
+    }
+}
+
+/// Evaluation of the predictor against the users' own requests.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PredictorEvaluation {
+    pub jobs: usize,
+    /// Mean of predicted/actual (≥1 is covered; closer to 1 is tighter).
+    pub mean_predicted_over_actual: f64,
+    /// Mean of user-requested/actual on the same jobs.
+    pub mean_requested_over_actual: f64,
+    /// Fraction of jobs whose prediction covered the actual runtime
+    /// (an uncovered prediction would have produced a timeout).
+    pub coverage: f64,
+    /// Total requested-but-unused hours under user requests.
+    pub user_unused_hours: f64,
+    /// Total requested-but-unused hours under predictions.
+    pub predicted_unused_hours: f64,
+}
+
+/// Walk the curated frame in submit order, predicting each started job's
+/// walltime before observing it, and compare against the users' requests.
+pub fn evaluate(frame: &Frame, config: PredictorConfig) -> Result<PredictorEvaluation, FrameError> {
+    let ordered = frame.sort_by("submit", false)?;
+    let user = ordered.str("user")?;
+    let elapsed = ordered.column("elapsed_s")?;
+    let requested = ordered.column("timelimit_s")?;
+    let start = ordered.column("start")?;
+
+    let mut predictor = WalltimePredictor::new(config);
+    let mut jobs = 0usize;
+    let mut pred_ratio_sum = 0.0;
+    let mut req_ratio_sum = 0.0;
+    let mut covered = 0usize;
+    let mut user_unused = 0.0;
+    let mut pred_unused = 0.0;
+
+    for i in 0..ordered.height() {
+        if !start.is_valid(i) {
+            continue;
+        }
+        let (Some(u), Some(actual), Some(req)) =
+            (user.get_str(i), elapsed.get_i64(i), requested.get_i64(i))
+        else {
+            continue;
+        };
+        if actual <= 0 || req <= 0 {
+            continue;
+        }
+        let predicted = predictor.predict(u, req);
+        jobs += 1;
+        pred_ratio_sum += predicted as f64 / actual as f64;
+        req_ratio_sum += req as f64 / actual as f64;
+        if predicted >= actual {
+            covered += 1;
+        }
+        user_unused += (req - actual).max(0) as f64 / 3600.0;
+        pred_unused += (predicted - actual).max(0) as f64 / 3600.0;
+        predictor.observe(u, actual);
+    }
+
+    Ok(PredictorEvaluation {
+        jobs,
+        mean_predicted_over_actual: if jobs == 0 { 0.0 } else { pred_ratio_sum / jobs as f64 },
+        mean_requested_over_actual: if jobs == 0 { 0.0 } else { req_ratio_sum / jobs as f64 },
+        coverage: if jobs == 0 { 0.0 } else { covered as f64 / jobs as f64 },
+        user_unused_hours: user_unused,
+        predicted_unused_hours: pred_unused,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use schedflow_frame::Column;
+
+    #[test]
+    fn cold_start_uses_fallback_then_learns() {
+        let mut p = WalltimePredictor::new(PredictorConfig::default());
+        assert_eq!(p.predict("u1", 7200), 7200, "no history: fallback");
+        for _ in 0..3 {
+            p.observe("u1", 1000);
+        }
+        let pred = p.predict("u1", 7200);
+        assert!((1400..=1600).contains(&pred), "≈1000 × 1.5 safety, got {pred}");
+    }
+
+    #[test]
+    fn global_model_serves_cold_users() {
+        let mut p = WalltimePredictor::new(PredictorConfig::default());
+        for _ in 0..5 {
+            p.observe("veteran", 600);
+        }
+        // A new user benefits from the machine-wide pattern.
+        let pred = p.predict("newcomer", 86_400);
+        assert!(pred < 2000, "global model applied: {pred}");
+    }
+
+    #[test]
+    fn ewma_tracks_shifts() {
+        let mut p = WalltimePredictor::new(PredictorConfig {
+            alpha: 0.5,
+            safety_factor: 1.0,
+            warmup: 1,
+        });
+        p.observe("u", 100);
+        p.observe("u", 1000);
+        let after_shift = p.predict("u", 0);
+        assert!(after_shift > 100 && after_shift < 1000);
+        for _ in 0..8 {
+            p.observe("u", 1000);
+        }
+        assert!(p.predict("u", 0) > 900, "converges to the new regime");
+    }
+
+    fn eval_frame() -> Frame {
+        // One user, consistent 1000s runtimes, 4x overestimated requests.
+        let n = 40;
+        Frame::new()
+            .with("submit", Column::from_i64((0..n).collect()))
+            .with(
+                "user",
+                Column::from_str((0..n).map(|_| "u1".to_owned()).collect()),
+            )
+            .with("elapsed_s", Column::from_i64(vec![1000; n as usize]))
+            .with(
+                "timelimit_s",
+                Column::from_opt_i64(vec![Some(4000); n as usize]),
+            )
+            .with(
+                "start",
+                Column::from_opt_i64((0..n).map(Some).collect()),
+            )
+    }
+
+    #[test]
+    fn evaluation_beats_user_requests_on_consistent_workloads() {
+        let e = evaluate(&eval_frame(), PredictorConfig::default()).unwrap();
+        assert_eq!(e.jobs, 40);
+        assert!((e.mean_requested_over_actual - 4.0).abs() < 1e-9);
+        assert!(
+            e.mean_predicted_over_actual < 2.5,
+            "tighter than users: {}",
+            e.mean_predicted_over_actual
+        );
+        assert!(e.coverage > 0.9, "but still covers runtimes: {}", e.coverage);
+        assert!(e.predicted_unused_hours < e.user_unused_hours);
+    }
+
+    #[test]
+    fn empty_frame_evaluates_cleanly() {
+        let f = Frame::new()
+            .with("submit", Column::from_i64(vec![]))
+            .with("user", Column::from_str(vec![]))
+            .with("elapsed_s", Column::from_i64(vec![]))
+            .with("timelimit_s", Column::from_opt_i64(vec![]))
+            .with("start", Column::from_opt_i64(vec![]));
+        let e = evaluate(&f, PredictorConfig::default()).unwrap();
+        assert_eq!(e.jobs, 0);
+    }
+}

@@ -1,0 +1,96 @@
+//! Frame selection helpers shared by the analysis stages.
+
+use schedflow_frame::{Frame, FrameError};
+
+/// Rows submitted in the given year.
+pub fn filter_year(frame: &Frame, year: i32) -> Result<Frame, FrameError> {
+    let mask = frame
+        .i64("year")?
+        .mask_f64(|y| y as i32 == year);
+    frame.filter(&mask)
+}
+
+/// Rows submitted in the given month of the given year.
+pub fn filter_month(frame: &Frame, year: i32, month: u8) -> Result<Frame, FrameError> {
+    let y = frame.i64("year")?;
+    let m = frame.i64("month")?;
+    let mask: Vec<bool> = (0..frame.height())
+        .map(|i| {
+            y.get_i64(i) == Some(i64::from(year)) && m.get_i64(i) == Some(i64::from(month))
+        })
+        .collect();
+    frame.filter(&mask)
+}
+
+/// Rows whose `state` is one of `states`.
+pub fn filter_states(frame: &Frame, states: &[&str]) -> Result<Frame, FrameError> {
+    let mask = frame
+        .str("state")?
+        .mask_str(|s| states.contains(&s));
+    frame.filter(&mask)
+}
+
+/// Rows that actually started (non-null `start`).
+pub fn filter_started(frame: &Frame) -> Result<Frame, FrameError> {
+    let col = frame.column("start")?;
+    let mask: Vec<bool> = (0..frame.height()).map(|i| col.is_valid(i)).collect();
+    frame.filter(&mask)
+}
+
+/// Column as f64 vec, nulls dropped, paired with their row indices.
+pub fn numeric_with_rows(frame: &Frame, name: &str) -> Result<(Vec<usize>, Vec<f64>), FrameError> {
+    let col = frame.column(name)?;
+    let mut rows = Vec::new();
+    let mut vals = Vec::new();
+    for i in 0..frame.height() {
+        if let Some(v) = col.get_f64(i) {
+            rows.push(i);
+            vals.push(v);
+        }
+    }
+    Ok((rows, vals))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use schedflow_frame::Column;
+
+    fn frame() -> Frame {
+        Frame::new()
+            .with("year", Column::from_i64(vec![2023, 2024, 2024]))
+            .with("month", Column::from_i64(vec![5, 1, 2]))
+            .with(
+                "state",
+                Column::from_str(vec!["COMPLETED".into(), "FAILED".into(), "COMPLETED".into()]),
+            )
+            .with("start", Column::from_opt_i64(vec![Some(10), None, Some(30)]))
+            .with("wait_s", Column::from_opt_i64(vec![Some(5), None, Some(7)]))
+    }
+
+    #[test]
+    fn year_and_month_filters() {
+        let f = frame();
+        assert_eq!(filter_year(&f, 2024).unwrap().height(), 2);
+        assert_eq!(filter_month(&f, 2024, 2).unwrap().height(), 1);
+        assert_eq!(filter_month(&f, 2022, 1).unwrap().height(), 0);
+    }
+
+    #[test]
+    fn state_filter() {
+        let f = filter_states(&frame(), &["COMPLETED"]).unwrap();
+        assert_eq!(f.height(), 2);
+    }
+
+    #[test]
+    fn started_filter() {
+        assert_eq!(filter_started(&frame()).unwrap().height(), 2);
+    }
+
+    #[test]
+    fn numeric_extraction_skips_nulls() {
+        let (rows, vals) = numeric_with_rows(&frame(), "wait_s").unwrap();
+        assert_eq!(rows, vec![0, 2]);
+        assert_eq!(vals, vec![5.0, 7.0]);
+    }
+}

@@ -1,0 +1,185 @@
+//! Figures 5 and 8: job end states per user (stacked bars).
+//!
+//! The Frontier view shows a few users dominating failure counts (high
+//! cross-user variance); Andes shows lower, more uniform failure rates —
+//! the contrast §4.3 reads as a difference in workload style.
+
+use schedflow_charts::{BarChart, BarMode, Chart, Scale};
+use schedflow_frame::{group_by, Agg, Frame, FrameError};
+use schedflow_model::TERMINAL_STATES;
+use std::collections::HashMap;
+
+/// Per-user state breakdown.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UserStates {
+    pub user: String,
+    /// Counts aligned with [`TERMINAL_STATES`].
+    pub counts: Vec<u64>,
+}
+
+impl UserStates {
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Fraction of this user's jobs that ended unsuccessfully.
+    pub fn failure_rate(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        let ok: u64 = TERMINAL_STATES
+            .iter()
+            .zip(&self.counts)
+            .filter(|(s, _)| !s.is_unsuccessful())
+            .map(|(_, &c)| c)
+            .sum();
+        1.0 - ok as f64 / total as f64
+    }
+}
+
+/// State counts for the `top_n` most active users, ordered by job count.
+pub fn states_per_user(frame: &Frame, top_n: usize) -> Result<Vec<UserStates>, FrameError> {
+    let g = group_by(frame, &["user", "state"], &[("n", Agg::Count)])?;
+    let users = g.str("user")?;
+    let states = g.str("state")?;
+    let counts = g.i64("n")?;
+
+    let state_index: HashMap<&str, usize> = TERMINAL_STATES
+        .iter()
+        .enumerate()
+        .map(|(i, s)| (s.to_sacct(), i))
+        .collect();
+
+    let mut per_user: HashMap<String, Vec<u64>> = HashMap::new();
+    for i in 0..g.height() {
+        let (Some(u), Some(s), Some(n)) =
+            (users.get_str(i), states.get_str(i), counts.get_i64(i))
+        else {
+            continue;
+        };
+        let Some(&si) = state_index.get(s) else {
+            continue; // non-terminal states are not plotted
+        };
+        per_user
+            .entry(u.to_owned())
+            .or_insert_with(|| vec![0; TERMINAL_STATES.len()])[si] += n as u64;
+    }
+
+    let mut rows: Vec<UserStates> = per_user
+        .into_iter()
+        .map(|(user, counts)| UserStates { user, counts })
+        .collect();
+    rows.sort_by(|a, b| b.total().cmp(&a.total()).then(a.user.cmp(&b.user)));
+    rows.truncate(top_n);
+    Ok(rows)
+}
+
+/// Build the Figure 5/8 stacked-bar chart for the top `top_n` users.
+pub fn states_chart(frame: &Frame, system: &str, top_n: usize) -> Result<Chart, FrameError> {
+    let rows = states_per_user(frame, top_n)?;
+    let categories = rows.iter().map(|r| r.user.clone()).collect();
+    let mut chart = BarChart::new(
+        &format!("Job end states per user — {system}"),
+        categories,
+        "jobs",
+        BarMode::Stacked,
+    );
+    for (si, state) in TERMINAL_STATES.iter().enumerate() {
+        let values: Vec<f64> = rows.iter().map(|r| r.counts[si] as f64).collect();
+        if values.iter().any(|&v| v > 0.0) {
+            chart = chart.with_stack(state.to_sacct(), values);
+        }
+    }
+    chart.y_scale = Scale::Linear;
+    Ok(Chart::Bar(chart))
+}
+
+/// Cross-user failure-rate dispersion: `(mean, stddev)` of per-user failure
+/// rates among the top `top_n` users — the Figure 5 vs 8 contrast statistic.
+pub fn failure_dispersion(frame: &Frame, top_n: usize) -> Result<(f64, f64), FrameError> {
+    let rows = states_per_user(frame, top_n)?;
+    if rows.is_empty() {
+        return Ok((0.0, 0.0));
+    }
+    let rates: Vec<f64> = rows.iter().map(UserStates::failure_rate).collect();
+    let mean = rates.iter().sum::<f64>() / rates.len() as f64;
+    let var = rates.iter().map(|r| (r - mean) * (r - mean)).sum::<f64>() / rates.len() as f64;
+    Ok((mean, var.sqrt()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use schedflow_frame::Column;
+
+    fn frame() -> Frame {
+        let users = vec!["u1", "u1", "u1", "u2", "u2", "u3"];
+        let states = vec![
+            "COMPLETED",
+            "FAILED",
+            "FAILED",
+            "COMPLETED",
+            "COMPLETED",
+            "CANCELLED",
+        ];
+        Frame::new()
+            .with(
+                "user",
+                Column::from_str(users.iter().map(|s| s.to_string()).collect()),
+            )
+            .with(
+                "state",
+                Column::from_str(states.iter().map(|s| s.to_string()).collect()),
+            )
+    }
+
+    #[test]
+    fn per_user_counts_ordered_by_activity() {
+        let rows = states_per_user(&frame(), 10).unwrap();
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[0].user, "u1");
+        assert_eq!(rows[0].total(), 3);
+        // u1: 1 completed, 2 failed.
+        let completed_idx = 0;
+        let failed_idx = 1;
+        assert_eq!(rows[0].counts[completed_idx], 1);
+        assert_eq!(rows[0].counts[failed_idx], 2);
+    }
+
+    #[test]
+    fn top_n_truncates() {
+        let rows = states_per_user(&frame(), 2).unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[1].user, "u2");
+    }
+
+    #[test]
+    fn failure_rates() {
+        let rows = states_per_user(&frame(), 10).unwrap();
+        assert!((rows[0].failure_rate() - 2.0 / 3.0).abs() < 1e-9);
+        assert_eq!(rows[1].failure_rate(), 0.0);
+        // Cancelled counts as unsuccessful.
+        assert_eq!(rows[2].failure_rate(), 1.0);
+    }
+
+    #[test]
+    fn chart_stacks_only_present_states() {
+        let c = states_chart(&frame(), "andes", 10).unwrap();
+        match c {
+            Chart::Bar(b) => {
+                assert_eq!(b.mode, BarMode::Stacked);
+                let names: Vec<&str> = b.stacks.iter().map(|(n, _)| n.as_str()).collect();
+                assert_eq!(names, vec!["COMPLETED", "FAILED", "CANCELLED"]);
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn dispersion_reflects_skew() {
+        let (mean, sd) = failure_dispersion(&frame(), 10).unwrap();
+        assert!(mean > 0.0);
+        assert!(sd > 0.0);
+    }
+}

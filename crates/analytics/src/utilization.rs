@@ -1,0 +1,184 @@
+//! System utilization over time: the "monitor system utilization trends"
+//! use case §3.2 assigns to system administrators.
+//!
+//! Builds a node-occupancy time series from the curated frame's start/end
+//! intervals (an event sweep, sampled daily) and a utilization summary.
+
+use crate::select::filter_started;
+use schedflow_charts::{Axis, Chart, ScatterChart, Series};
+use schedflow_frame::{Frame, FrameError};
+
+/// One sample of the occupancy series.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OccupancySample {
+    /// Epoch seconds.
+    pub t: i64,
+    /// Nodes in use at `t`.
+    pub nodes: f64,
+}
+
+/// Sweep the job intervals into an occupancy series sampled every
+/// `step_secs`.
+pub fn occupancy(frame: &Frame, step_secs: i64) -> Result<Vec<OccupancySample>, FrameError> {
+    let started = filter_started(frame)?;
+    let start = started.column("start")?;
+    let end = started.column("end")?;
+    let nodes = started.i64("nnodes")?;
+
+    let mut deltas: Vec<(i64, i64)> = Vec::new();
+    for i in 0..started.height() {
+        let (Some(s), Some(e), Some(n)) =
+            (start.get_i64(i), end.get_i64(i), nodes.get_i64(i))
+        else {
+            continue;
+        };
+        if e > s {
+            deltas.push((s, n));
+            deltas.push((e, -n));
+        }
+    }
+    if deltas.is_empty() {
+        return Ok(Vec::new());
+    }
+    deltas.sort_unstable();
+    let (t0, t1) = (deltas[0].0, deltas[deltas.len() - 1].0);
+    let step = step_secs.max(1);
+    let mut out = Vec::with_capacity(((t1 - t0) / step + 2) as usize);
+    let mut cur = 0i64;
+    let mut di = 0usize;
+    let mut t = t0;
+    while t <= t1 {
+        while di < deltas.len() && deltas[di].0 <= t {
+            cur += deltas[di].1;
+            di += 1;
+        }
+        out.push(OccupancySample {
+            t,
+            nodes: cur.max(0) as f64,
+        });
+        t += step;
+    }
+    Ok(out)
+}
+
+/// Utilization summary over the series, against a machine of `total_nodes`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UtilizationSummary {
+    pub samples: usize,
+    pub mean_nodes: f64,
+    pub peak_nodes: f64,
+    /// mean_nodes / total_nodes.
+    pub mean_utilization: f64,
+    /// Fraction of samples above 90% of the machine.
+    pub saturated_fraction: f64,
+}
+
+/// Compute the summary for a sampled series.
+pub fn summarize(series: &[OccupancySample], total_nodes: u32) -> UtilizationSummary {
+    if series.is_empty() {
+        return UtilizationSummary {
+            samples: 0,
+            mean_nodes: 0.0,
+            peak_nodes: 0.0,
+            mean_utilization: 0.0,
+            saturated_fraction: 0.0,
+        };
+    }
+    let mean = series.iter().map(|s| s.nodes).sum::<f64>() / series.len() as f64;
+    let peak = series.iter().map(|s| s.nodes).fold(0.0, f64::max);
+    let cap = f64::from(total_nodes.max(1));
+    let saturated = series.iter().filter(|s| s.nodes > 0.9 * cap).count();
+    UtilizationSummary {
+        samples: series.len(),
+        mean_nodes: mean,
+        peak_nodes: peak,
+        mean_utilization: mean / cap,
+        saturated_fraction: saturated as f64 / series.len() as f64,
+    }
+}
+
+/// Build the utilization line chart (daily samples).
+pub fn utilization_chart(frame: &Frame, system: &str) -> Result<Chart, FrameError> {
+    let series = occupancy(frame, 86_400 / 4)?; // 6-hour samples
+    let xs: Vec<f64> = series.iter().map(|s| s.t as f64).collect();
+    let ys: Vec<f64> = series.iter().map(|s| s.nodes).collect();
+    Ok(Chart::Scatter(
+        ScatterChart::new(
+            &format!("Allocated nodes over time — {system}"),
+            Axis::linear("time (epoch seconds)"),
+            Axis::linear("nodes in use"),
+        )
+        .with_series(Series::line("allocated nodes", xs, ys)),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use schedflow_frame::Column;
+
+    fn frame() -> Frame {
+        // Two jobs: [0, 100)×4 nodes and [50, 150)×2 nodes.
+        Frame::new()
+            .with("start", Column::from_opt_i64(vec![Some(0), Some(50), None]))
+            .with("end", Column::from_opt_i64(vec![Some(100), Some(150), None]))
+            .with("nnodes", Column::from_i64(vec![4, 2, 8]))
+    }
+
+    #[test]
+    fn occupancy_sweeps_intervals() {
+        let s = occupancy(&frame(), 25).unwrap();
+        // Samples at 0,25,50,75,100,125,150.
+        assert_eq!(s.len(), 7);
+        assert_eq!(s[0].nodes, 4.0);
+        assert_eq!(s[2].nodes, 6.0, "overlap region");
+        assert_eq!(s[4].nodes, 2.0, "first job ended");
+        assert_eq!(s[6].nodes, 0.0);
+    }
+
+    #[test]
+    fn never_started_jobs_ignored() {
+        let s = occupancy(&frame(), 50).unwrap();
+        assert!(s.iter().all(|x| x.nodes <= 6.0));
+    }
+
+    #[test]
+    fn summary_statistics() {
+        let s = occupancy(&frame(), 25).unwrap();
+        let u = summarize(&s, 8);
+        assert_eq!(u.peak_nodes, 6.0);
+        assert!(u.mean_utilization > 0.0 && u.mean_utilization < 1.0);
+        assert_eq!(u.saturated_fraction, 0.0);
+        let empty = summarize(&[], 8);
+        assert_eq!(empty.samples, 0);
+    }
+
+    #[test]
+    fn saturation_detection() {
+        let series = vec![
+            OccupancySample { t: 0, nodes: 8.0 },
+            OccupancySample { t: 1, nodes: 7.5 },
+            OccupancySample { t: 2, nodes: 1.0 },
+        ];
+        let u = summarize(&series, 8);
+        assert!((u.saturated_fraction - 2.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn chart_is_a_line() {
+        let c = utilization_chart(&frame(), "toy").unwrap();
+        match c {
+            Chart::Scatter(sc) => assert!(sc.series[0].line),
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn empty_frame_is_fine() {
+        let f = Frame::new()
+            .with("start", Column::from_opt_i64(vec![]))
+            .with("end", Column::from_opt_i64(vec![]))
+            .with("nnodes", Column::from_i64(vec![]));
+        assert!(occupancy(&f, 10).unwrap().is_empty());
+    }
+}

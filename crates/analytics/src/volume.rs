@@ -1,0 +1,110 @@
+//! Figure 1: total jobs and job-steps per year.
+//!
+//! "The plot shows that, while job submissions remained relatively stable
+//! each year, the number of job-steps was significantly higher than the job
+//! count," reflecting srun task parallelism.
+
+use schedflow_charts::{BarChart, BarMode, Chart, Scale};
+use schedflow_frame::{group_by, Agg, Frame, FrameError};
+
+/// One year's volumes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct YearVolume {
+    pub year: i32,
+    pub jobs: u64,
+    pub steps: u64,
+}
+
+impl YearVolume {
+    pub fn steps_per_job(&self) -> f64 {
+        if self.jobs == 0 {
+            0.0
+        } else {
+            self.steps as f64 / self.jobs as f64
+        }
+    }
+}
+
+/// Aggregate per-year job and step counts from the curated frame.
+pub fn yearly_volumes(frame: &Frame) -> Result<Vec<YearVolume>, FrameError> {
+    let g = group_by(
+        frame,
+        &["year"],
+        &[("jobs", Agg::Count), ("steps", Agg::Sum("nsteps".into()))],
+    )?;
+    let g = g.sort_by("year", false)?;
+    let years = g.i64("year")?;
+    let jobs = g.i64("jobs")?;
+    let steps = g.f64("steps")?;
+    Ok((0..g.height())
+        .map(|i| YearVolume {
+            year: years.get_i64(i).unwrap_or(0) as i32,
+            jobs: jobs.get_i64(i).unwrap_or(0) as u64,
+            steps: steps.get_f64(i).unwrap_or(0.0) as u64,
+        })
+        .collect())
+}
+
+/// Build the Figure 1 grouped bar chart (log y, jobs vs steps per year).
+pub fn volume_chart(frame: &Frame, system: &str) -> Result<Chart, FrameError> {
+    let volumes = yearly_volumes(frame)?;
+    let categories = volumes.iter().map(|v| v.year.to_string()).collect();
+    let mut chart = BarChart::new(
+        &format!("Jobs and job-steps per year — {system}"),
+        categories,
+        "count",
+        BarMode::Grouped,
+    )
+    .with_stack("jobs", volumes.iter().map(|v| v.jobs as f64).collect())
+    .with_stack("job-steps", volumes.iter().map(|v| v.steps as f64).collect());
+    chart.y_scale = Scale::Log10;
+    Ok(Chart::Bar(chart))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use schedflow_frame::Column;
+
+    fn frame() -> Frame {
+        Frame::new()
+            .with(
+                "year",
+                Column::from_i64(vec![2023, 2023, 2024, 2024, 2024]),
+            )
+            .with("nsteps", Column::from_i64(vec![10, 20, 5, 5, 50]))
+    }
+
+    #[test]
+    fn volumes_per_year() {
+        let v = yearly_volumes(&frame()).unwrap();
+        assert_eq!(v.len(), 2);
+        assert_eq!(v[0], YearVolume { year: 2023, jobs: 2, steps: 30 });
+        assert_eq!(v[1], YearVolume { year: 2024, jobs: 3, steps: 60 });
+        assert_eq!(v[0].steps_per_job(), 15.0);
+    }
+
+    #[test]
+    fn chart_is_grouped_log_bars() {
+        let c = volume_chart(&frame(), "frontier").unwrap();
+        match c {
+            Chart::Bar(b) => {
+                assert_eq!(b.mode, BarMode::Grouped);
+                assert_eq!(b.y_scale, Scale::Log10);
+                assert_eq!(b.categories, vec!["2023", "2024"]);
+                assert_eq!(b.stacks.len(), 2);
+                assert_eq!(b.stacks[1].1, vec![30.0, 60.0]);
+            }
+            _ => panic!("expected bars"),
+        }
+    }
+
+    #[test]
+    fn empty_frame_gives_empty_chart() {
+        let f = Frame::new()
+            .with("year", Column::from_i64(vec![]))
+            .with("nsteps", Column::from_i64(vec![]));
+        let v = yearly_volumes(&f).unwrap();
+        assert!(v.is_empty());
+    }
+}

@@ -1,0 +1,185 @@
+//! Figure 4: queue wait times over the trace window, color-coded by final
+//! job state.
+//!
+//! Each started job contributes one point: x = submit time, y = wait
+//! seconds; state-colored series expose whether long waits correlate with
+//! particular outcomes. The paper omits extreme outliers for clarity — we
+//! expose that as a quantile clip option.
+
+use schedflow_charts::{Axis, Chart, ScatterChart, Series};
+use schedflow_frame::{Frame, FrameError};
+use schedflow_model::TERMINAL_STATES;
+
+/// Options for the wait-time stage.
+#[derive(Debug, Clone)]
+pub struct WaitOptions {
+    /// Clip waits above this quantile (the paper: "outliers are omitted for
+    /// clarity"). `1.0` disables clipping.
+    pub clip_quantile: f64,
+}
+
+impl Default for WaitOptions {
+    fn default() -> Self {
+        Self { clip_quantile: 0.999 }
+    }
+}
+
+/// Per-state wait statistics (feeds EXPERIMENTS.md and the compare stage).
+#[derive(Debug, Clone, PartialEq)]
+pub struct WaitSummary {
+    pub state: String,
+    pub jobs: usize,
+    pub mean_wait_s: f64,
+    pub median_wait_s: f64,
+    pub p95_wait_s: f64,
+    pub max_wait_s: f64,
+}
+
+/// Extract `(submit_epoch, wait_s)` per state.
+pub fn waits_by_state(
+    frame: &Frame,
+    options: &WaitOptions,
+) -> Result<Vec<(String, Vec<f64>, Vec<f64>)>, FrameError> {
+    let state = frame.str("state")?;
+    let submit = frame.i64("submit")?;
+    let wait = frame.column("wait_s")?;
+
+    // Clip threshold over all waits.
+    let mut all: Vec<f64> = (0..frame.height())
+        .filter_map(|i| wait.get_f64(i))
+        .collect();
+    all.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let clip = if all.is_empty() || options.clip_quantile >= 1.0 {
+        f64::INFINITY
+    } else {
+        let pos = (options.clip_quantile * (all.len() - 1) as f64).ceil() as usize;
+        all[pos.min(all.len() - 1)]
+    };
+
+    let mut out: Vec<(String, Vec<f64>, Vec<f64>)> = TERMINAL_STATES
+        .iter()
+        .map(|s| (s.to_sacct().to_owned(), Vec::new(), Vec::new()))
+        .collect();
+    for i in 0..frame.height() {
+        let (Some(w), Some(s), Some(t)) = (wait.get_f64(i), state.get_str(i), submit.get_f64(i))
+        else {
+            continue;
+        };
+        if w > clip {
+            continue;
+        }
+        if let Some(slot) = out.iter_mut().find(|(name, _, _)| name == s) {
+            slot.1.push(t);
+            slot.2.push(w);
+        }
+    }
+    out.retain(|(_, xs, _)| !xs.is_empty());
+    Ok(out)
+}
+
+/// Build the Figure 4 chart.
+pub fn wait_chart(frame: &Frame, system: &str, options: &WaitOptions) -> Result<Chart, FrameError> {
+    let mut chart = ScatterChart::new(
+        &format!("Job queue wait times by final state — {system}"),
+        Axis::linear("submit time (epoch seconds)"),
+        Axis::log("wait time (seconds)"),
+    );
+    for (state, xs, ys) in waits_by_state(frame, options)? {
+        // Log axis: floor zero waits at one second.
+        let ys = ys.into_iter().map(|w| w.max(1.0)).collect();
+        chart = chart.with_series(Series::scatter(&state, xs, ys));
+    }
+    Ok(Chart::Scatter(chart))
+}
+
+/// Wait statistics per state.
+pub fn wait_summary(frame: &Frame) -> Result<Vec<WaitSummary>, FrameError> {
+    let groups = waits_by_state(frame, &WaitOptions { clip_quantile: 1.0 })?;
+    Ok(groups
+        .into_iter()
+        .map(|(state, _, mut ws)| {
+            ws.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            let q = |p: f64| -> f64 {
+                if ws.is_empty() {
+                    0.0
+                } else {
+                    ws[((p * (ws.len() - 1) as f64) as usize).min(ws.len() - 1)]
+                }
+            };
+            WaitSummary {
+                jobs: ws.len(),
+                mean_wait_s: if ws.is_empty() {
+                    0.0
+                } else {
+                    ws.iter().sum::<f64>() / ws.len() as f64
+                },
+                median_wait_s: q(0.5),
+                p95_wait_s: q(0.95),
+                max_wait_s: ws.last().copied().unwrap_or(0.0),
+                state,
+            }
+        })
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use schedflow_frame::Column;
+
+    fn frame() -> Frame {
+        Frame::new()
+            .with(
+                "state",
+                Column::from_str(vec![
+                    "COMPLETED".into(),
+                    "FAILED".into(),
+                    "COMPLETED".into(),
+                    "CANCELLED".into(),
+                ]),
+            )
+            .with("submit", Column::from_i64(vec![100, 200, 300, 400]))
+            .with(
+                "wait_s",
+                Column::from_opt_i64(vec![Some(10), Some(1000), Some(50), None]),
+            )
+    }
+
+    #[test]
+    fn groups_by_state_skipping_null_waits() {
+        let groups = waits_by_state(&frame(), &WaitOptions { clip_quantile: 1.0 }).unwrap();
+        let completed = groups.iter().find(|g| g.0 == "COMPLETED").unwrap();
+        assert_eq!(completed.2, vec![10.0, 50.0]);
+        assert!(groups.iter().all(|g| g.0 != "CANCELLED"), "null wait dropped");
+    }
+
+    #[test]
+    fn clipping_removes_extreme_tail() {
+        let groups = waits_by_state(&frame(), &WaitOptions { clip_quantile: 0.5 }).unwrap();
+        let failed = groups.iter().find(|g| g.0 == "FAILED");
+        assert!(failed.is_none(), "the 1000s wait is clipped");
+    }
+
+    #[test]
+    fn chart_has_state_series_on_log_axis() {
+        let c = wait_chart(&frame(), "frontier", &WaitOptions::default()).unwrap();
+        match c {
+            Chart::Scatter(s) => {
+                assert_eq!(s.y_axis.scale, schedflow_charts::Scale::Log10);
+                let names: Vec<&str> = s.series.iter().map(|x| x.name.as_str()).collect();
+                assert!(names.contains(&"COMPLETED"));
+                assert!(names.contains(&"FAILED"));
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn summary_statistics() {
+        let s = wait_summary(&frame()).unwrap();
+        let completed = s.iter().find(|x| x.state == "COMPLETED").unwrap();
+        assert_eq!(completed.jobs, 2);
+        assert_eq!(completed.mean_wait_s, 30.0);
+        assert_eq!(completed.max_wait_s, 50.0);
+    }
+}

@@ -1,0 +1,32 @@
+//! Chart substrate: SVG rendering (with downsampling) and digest extraction
+//! on figure-sized scatters.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use schedflow_charts::{digest, render, Axis, Chart, Geometry, ScatterChart, Series};
+
+fn big_scatter(n: usize) -> Chart {
+    let xs: Vec<f64> = (0..n).map(|i| ((i * 2654435761) % 100_000) as f64 / 100.0 + 1.0).collect();
+    let ys: Vec<f64> = (0..n).map(|i| ((i * 40503) % 9408 + 1) as f64).collect();
+    Chart::Scatter(
+        ScatterChart::new("bench", Axis::log("elapsed"), Axis::log("nodes"))
+            .with_series(Series::scatter("jobs", xs, ys)),
+    )
+}
+
+fn bench_charts(c: &mut Criterion) {
+    let mut group = c.benchmark_group("chart_pipeline");
+    for n in [10_000usize, 100_000] {
+        let chart = big_scatter(n);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("render_svg", n), &chart, |b, ch| {
+            b.iter(|| render(ch, &Geometry::default()));
+        });
+        group.bench_with_input(BenchmarkId::new("digest", n), &chart, |b, ch| {
+            b.iter(|| digest(ch));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_charts);
+criterion_main!(benches);

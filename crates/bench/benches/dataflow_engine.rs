@@ -1,0 +1,87 @@
+//! Dataflow-engine overhead: scheduling cost per task for graphs of trivial
+//! tasks, and work-stealing pool job throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use schedflow_dataflow::{Artifact, RunOptions, Runner, StageKind, ThreadPool, Workflow};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+fn chain_workflow(n: usize) -> Workflow {
+    let mut wf = Workflow::new();
+    let mut prev: Option<Artifact<u64>> = None;
+    for i in 0..n {
+        let out = wf.value::<u64>(&format!("v{i}"));
+        match prev {
+            None => {
+                wf.task(&format!("t{i}"), StageKind::Static, [], [out.id()], move |ctx| {
+                    ctx.put(out, 0)
+                });
+            }
+            Some(p) => {
+                wf.task(&format!("t{i}"), StageKind::Static, [p.id()], [out.id()], move |ctx| {
+                    let v = *ctx.get(p)?;
+                    ctx.put(out, v + 1)
+                });
+            }
+        }
+        prev = Some(out);
+    }
+    wf
+}
+
+fn fanout_workflow(n: usize) -> Workflow {
+    let mut wf = Workflow::new();
+    let root = wf.value::<u64>("root");
+    wf.task("root", StageKind::Static, [], [root.id()], move |ctx| ctx.put(root, 1));
+    for i in 0..n {
+        let out = wf.value::<u64>(&format!("leaf{i}"));
+        wf.task(&format!("leaf{i}"), StageKind::Static, [root.id()], [out.id()], move |ctx| {
+            let v = *ctx.get(root)?;
+            ctx.put(out, v + 1)
+        });
+    }
+    wf
+}
+
+fn bench_engine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_overhead");
+    let shapes: [(&str, fn(usize) -> Workflow); 2] =
+        [("chain", chain_workflow), ("fanout", fanout_workflow)];
+    for (name, build) in shapes {
+        for n in [64usize, 512] {
+            group.throughput(Throughput::Elements(n as u64));
+            group.bench_with_input(BenchmarkId::new(name, n), &n, |b, &n| {
+                b.iter(|| {
+                    let runner = Runner::new(build(n)).unwrap();
+                    let report = runner.run(&RunOptions::with_threads(4));
+                    assert!(report.is_success());
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_pool(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pool_throughput");
+    group.throughput(Throughput::Elements(100_000));
+    group.sample_size(10);
+    group.bench_function("100k_trivial_jobs_8_workers", |b| {
+        b.iter(|| {
+            let pool = ThreadPool::new(8);
+            let counter = Arc::new(AtomicU64::new(0));
+            for _ in 0..100_000u64 {
+                let c = Arc::clone(&counter);
+                pool.execute(move || {
+                    c.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+            pool.wait_idle();
+            assert_eq!(counter.load(Ordering::Relaxed), 100_000);
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine, bench_pool);
+criterion_main!(benches);

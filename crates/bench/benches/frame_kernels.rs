@@ -1,0 +1,52 @@
+//! Frame-engine kernels: group-by aggregation (sequential vs parallel),
+//! filtering, and sorting on trace-sized columns.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use schedflow_dataflow::par;
+use schedflow_frame::{group_by, Agg, Column, Frame};
+
+fn synthetic_frame(rows: usize) -> Frame {
+    let users: Vec<String> = (0..rows).map(|i| format!("u{:04}", i % 997)).collect();
+    let waits: Vec<i64> = (0..rows).map(|i| ((i * 2654435761) % 100_000) as i64).collect();
+    let nodes: Vec<i64> = (0..rows).map(|i| ((i * 40503) % 1024 + 1) as i64).collect();
+    Frame::new()
+        .with("user", Column::from_str(users))
+        .with("wait_s", Column::from_i64(waits))
+        .with("nnodes", Column::from_i64(nodes))
+}
+
+fn bench_group_by(c: &mut Criterion) {
+    let frame = synthetic_frame(400_000);
+    let mut group = c.benchmark_group("group_by_user_mean_wait");
+    for threads in [1usize, 4] {
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &t| {
+            par::set_threads(t);
+            b.iter(|| {
+                group_by(
+                    &frame,
+                    &["user"],
+                    &[("n", Agg::Count), ("mean", Agg::Mean("wait_s".into()))],
+                )
+                .unwrap()
+            });
+        });
+    }
+    par::set_threads(0);
+    group.finish();
+}
+
+fn bench_filter_sort(c: &mut Criterion) {
+    let frame = synthetic_frame(400_000);
+    c.bench_function("filter_wait_gt_1h", |b| {
+        b.iter(|| {
+            let mask = frame.column("wait_s").unwrap().mask_f64(|w| w > 3600.0);
+            frame.filter(&mask).unwrap()
+        });
+    });
+    c.bench_function("sort_by_wait", |b| {
+        b.iter(|| frame.sort_by("wait_s", true).unwrap());
+    });
+}
+
+criterion_group!(benches, bench_group_by, bench_filter_sort);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Scheduler-simulator throughput: submissions scheduled per second under
+//! each backfill policy.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::SeedableRng;
+use schedflow_sim::{BackfillPolicy, Simulator};
+use schedflow_tracegen::{synthesize_plans, UserPopulation, WorkloadProfile};
+
+fn stream(days: i64) -> (WorkloadProfile, Vec<schedflow_sim::JobRequest>) {
+    let profile = WorkloadProfile::frontier().truncated_days(days).scaled(0.3);
+    let mut rng = rand::rngs::SmallRng::seed_from_u64(3);
+    let pop = UserPopulation::generate(&profile, &mut rng);
+    let jobs = synthesize_plans(&profile, &pop, &mut rng)
+        .into_iter()
+        .map(|p| p.request)
+        .collect();
+    (profile, jobs)
+}
+
+fn bench_policies(c: &mut Criterion) {
+    let (profile, jobs) = stream(30);
+    let mut group = c.benchmark_group("simulate_30d_frontier");
+    group.throughput(Throughput::Elements(jobs.len() as u64));
+    group.sample_size(10);
+    for (name, policy) in [
+        ("fifo", BackfillPolicy::None),
+        ("easy", BackfillPolicy::Easy),
+        ("conservative", BackfillPolicy::Conservative),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &policy, |b, &p| {
+            let mut system = profile.system.clone();
+            system.backfill = p;
+            let sim = Simulator::new(system);
+            b.iter(|| sim.run(&jobs).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_policies);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! End-to-end workflow makespan vs `-n N` (the §3.3 concurrency knob) on a
+//! fixed small configuration.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use schedflow_core::{run, System, WorkflowConfig};
+
+fn bench_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("workflow_n_threads");
+    group.sample_size(10);
+    for n in [1usize, 2, 4, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let base = std::env::temp_dir().join(format!("schedflow-bench-wf-{n}"));
+            b.iter(|| {
+                let _ = std::fs::remove_dir_all(&base);
+                let mut cfg = WorkflowConfig::new(System::Andes);
+                cfg.from = (2024, 1);
+                cfg.to = (2024, 3);
+                cfg.scale = 0.02;
+                cfg.threads = n;
+                cfg.use_cache = false;
+                cfg.cache_dir = base.join("cache");
+                cfg.data_dir = base.join("data");
+                run(&cfg).expect("workflow runs")
+            });
+            let _ = std::fs::remove_dir_all(&base);
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scaling);
+criterion_main!(benches);

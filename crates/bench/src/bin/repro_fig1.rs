@@ -1,0 +1,54 @@
+//! Figure 1: total jobs and job-steps per year on Frontier, 2021–2024
+//! (acceptance/hero era + production era).
+
+use schedflow_analytics::{volume_chart, yearly_volumes};
+use schedflow_bench::{banner, check, save_chart, scale, seed};
+use schedflow_sacct::records_to_frame;
+use schedflow_tracegen::{generate_segments, WorkloadProfile};
+
+fn main() {
+    banner("fig1", "Figure 1 — jobs & job-steps per year, Frontier 2021–2024");
+    let segments = [
+        WorkloadProfile::frontier_early().scaled(scale()),
+        WorkloadProfile::frontier().scaled(scale()),
+    ];
+    let records = generate_segments(&segments, seed());
+    let frame = records_to_frame(&records);
+    let volumes = yearly_volumes(&frame).unwrap();
+
+    println!("\n{:<6} {:>10} {:>12} {:>8}", "year", "jobs", "job-steps", "ratio");
+    for v in &volumes {
+        println!(
+            "{:<6} {:>10} {:>12} {:>7.1}x",
+            v.year,
+            v.jobs,
+            v.steps,
+            v.steps_per_job()
+        );
+    }
+
+    save_chart(&volume_chart(&frame, "frontier").unwrap(), "fig1_volume");
+
+    // Shape checks (DESIGN.md).
+    check(
+        "steps outnumber jobs by ~an order of magnitude every year",
+        volumes.iter().all(|v| v.steps_per_job() > 5.0),
+    );
+    check(
+        "figure covers 2021 through 2024",
+        volumes.first().map(|v| v.year) == Some(2021)
+            && volumes.last().map(|v| v.year) == Some(2024),
+    );
+    let production: Vec<_> = volumes.iter().filter(|v| v.year >= 2023).collect();
+    check(
+        "production-era submissions are roughly stable year over year",
+        production.len() == 2 && {
+            let a = production[0].jobs as f64;
+            let b = production[1].jobs as f64;
+            // 2023 covers only 9 production months; compare monthly rates.
+            let rate_a = a / 12.0; // early + production months
+            let rate_b = b / 12.0;
+            (rate_a / rate_b).max(rate_b / rate_a) < 2.5
+        },
+    );
+}

@@ -1,0 +1,33 @@
+//! Figure 4: queue wait times by final job state, Frontier Apr 2023–Dec 2024.
+
+use schedflow_analytics::{wait_chart, wait_summary, WaitOptions};
+use schedflow_bench::{banner, check, frontier_frame, save_chart};
+
+fn main() {
+    banner("fig4", "Figure 4 — job wait times color-coded by final state, Frontier");
+    let frame = frontier_frame();
+    save_chart(
+        &wait_chart(&frame, "frontier", &WaitOptions::default()).unwrap(),
+        "fig4_waits_frontier",
+    );
+    let summary = wait_summary(&frame).unwrap();
+    println!(
+        "\n{:<14} {:>8} {:>12} {:>12} {:>12}",
+        "state", "jobs", "median wait", "p95 wait", "max wait"
+    );
+    for w in &summary {
+        println!(
+            "{:<14} {:>8} {:>11.0}s {:>11.0}s {:>11.0}s",
+            w.state, w.jobs, w.median_wait_s, w.p95_wait_s, w.max_wait_s
+        );
+    }
+    let completed = summary.iter().find(|w| w.state == "COMPLETED").unwrap();
+    // Scale-robust stratification: the far tail dwarfs the typical wait
+    // (at reduced SCHEDFLOW_SCALE the median collapses toward zero because
+    // the machine is underloaded, but bursts still produce the strata).
+    check("wait distribution is stratified (max >> typical wait)",
+        completed.max_wait_s > (completed.median_wait_s + 60.0) * 5.0);
+    check("extended-wait tail present (paper shows waits beyond 1e5 s at full scale)",
+        summary.iter().any(|w| w.max_wait_s > 10_000.0));
+    check("all major end states carry wait samples", summary.len() >= 4);
+}

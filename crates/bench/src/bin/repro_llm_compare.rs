@@ -1,0 +1,32 @@
+//! §4.2, quote 1: the LLM Compare stage on two monthly wait-time charts
+//! ("shorter wait times in June compared to March…").
+
+use schedflow_analytics::{select, wait_chart, WaitOptions};
+use schedflow_bench::{banner, check, frontier_frame};
+use schedflow_charts::digest;
+use schedflow_insight::{Analyst, RuleAnalyst};
+
+fn main() {
+    banner("llm1", "§4.2 LLM Compare — monthly wait-time comparison");
+    let frame = frontier_frame();
+    let options = WaitOptions::default();
+    let march = select::filter_month(&frame, 2024, 3).unwrap();
+    let june = select::filter_month(&frame, 2024, 6).unwrap();
+    let chart_march = wait_chart(&march, "March", &options).unwrap();
+    let chart_june = wait_chart(&june, "June", &options).unwrap();
+
+    let insight = RuleAnalyst::new()
+        .compare(&digest(&chart_march), &digest(&chart_june))
+        .unwrap();
+    println!("\n{}", insight.to_markdown());
+
+    check(
+        "comparison names both months and quantifies the contrast",
+        insight.narrative.contains("March") && insight.narrative.contains("June"),
+    );
+    check(
+        "medians for COMPLETED jobs computed for both charts",
+        insight.stats.iter().any(|(n, _)| n == "median_a_COMPLETED")
+            && insight.stats.iter().any(|(n, _)| n == "median_b_COMPLETED"),
+    );
+}

@@ -1,0 +1,27 @@
+//! §4.2, quote 2: the LLM Insight stage on the requested-vs-actual chart
+//! ("consistent trend of users significantly overestimating…").
+
+use schedflow_analytics::backfill_chart;
+use schedflow_bench::{banner, check, frontier_frame};
+use schedflow_charts::digest;
+use schedflow_insight::{Analyst, RuleAnalyst, Severity};
+
+fn main() {
+    banner("llm2", "§4.2 LLM Insight — walltime overestimation narrative");
+    let frame = frontier_frame();
+    let chart = backfill_chart(&frame, "frontier").unwrap();
+    let insight = RuleAnalyst::new().insight(&digest(&chart)).unwrap();
+    println!("\n{}", insight.to_markdown());
+
+    check(
+        "insight states the overestimation trend",
+        insight.narrative.contains("overestimating their walltime requests"),
+    );
+    check(
+        "insight recommends automated prediction / adaptive rescheduling",
+        insight
+            .findings
+            .iter()
+            .any(|f| f.severity == Severity::Actionable && f.text.contains("automated walltime prediction")),
+    );
+}

@@ -1,0 +1,82 @@
+//! What-if from §4.2/§6: AI-predicted walltime estimates — clamp requests
+//! toward actual runtimes and measure the queueing benefit.
+
+use rand::SeedableRng;
+use schedflow_analytics::{PredictorConfig, WalltimePredictor};
+use schedflow_bench::{banner, check, scale, seed};
+use schedflow_sim::{metrics, JobRequest, Simulator};
+use schedflow_tracegen::{synthesize_plans, UserPopulation, WorkloadProfile};
+
+fn main() {
+    banner("reclaim", "walltime reclamation what-if (AI-predicted estimates)");
+    let profile = WorkloadProfile::frontier().truncated_days(90).scaled(scale() * 3.0);
+    let mut rng = rand::rngs::SmallRng::seed_from_u64(seed());
+    let pop = UserPopulation::generate(&profile, &mut rng);
+    let jobs: Vec<_> = synthesize_plans(&profile, &pop, &mut rng)
+        .into_iter()
+        .map(|p| p.request)
+        .collect();
+    println!("\n{} submissions; tightening requests toward actual runtimes\n", jobs.len());
+    println!("{:<22} {:>11} {:>12} {:>8}", "request accuracy", "mean wait", "p95 wait", "util");
+    let mut waits = Vec::new();
+    for (name, tighten) in [("as submitted", 1.0f64), ("50% tighter", 0.5), ("perfect prediction", 0.0)] {
+        let adjusted: Vec<JobRequest> = jobs
+            .iter()
+            .map(|j| {
+                let mut j = j.clone();
+                // Tighten toward the actual runtime but never exceed the
+                // original request (which partition limits already admit):
+                // timeout-bound jobs simply stay timeout-bound.
+                let slack = (j.walltime_secs - j.actual_secs).max(0) as f64;
+                let w = j.actual_secs + (slack * tighten) as i64;
+                j.walltime_secs = ((w + 299) / 300 * 300).clamp(300, j.walltime_secs.max(300));
+                j
+            })
+            .collect();
+        let outcomes = Simulator::new(profile.system.clone()).run(&adjusted).expect("valid");
+        let m = metrics(&adjusted, &outcomes, profile.system.total_nodes);
+        println!("{:<22} {:>10.0}s {:>11.0}s {:>7.1}%", name, m.mean_wait_secs, m.p95_wait_secs, m.utilization * 100.0);
+        waits.push(m.mean_wait_secs);
+    }
+    check("tighter requests reduce mean queue wait", waits[2] <= waits[0]);
+
+    // §6's concrete proposal: an actual online predictor (per-user EWMA with
+    // a safety margin) replacing user estimates at submission time.
+    let mut predictor = WalltimePredictor::new(PredictorConfig::default());
+    let mut timeouts_risked = 0usize;
+    let predicted: Vec<JobRequest> = jobs
+        .iter()
+        .map(|j| {
+            let mut j = j.clone();
+            let user = format!("u{}", j.user);
+            let pred = predictor.predict(&user, j.walltime_secs);
+            // Observe what the scheduler would have seen: runtime capped at
+            // the (original) limit.
+            predictor.observe(&user, j.actual_secs.min(j.walltime_secs));
+            let w = ((pred + 299) / 300 * 300).clamp(300, j.walltime_secs.max(300));
+            if w < j.actual_secs {
+                timeouts_risked += 1;
+            }
+            j.walltime_secs = w;
+            j
+        })
+        .collect();
+    let outcomes = Simulator::new(profile.system.clone()).run(&predicted).expect("valid");
+    let m = metrics(&predicted, &outcomes, profile.system.total_nodes);
+    println!(
+        "{:<22} {:>10.0}s {:>11.0}s {:>7.1}%   ({} jobs at timeout risk)",
+        "EWMA predictor", m.mean_wait_secs, m.p95_wait_secs, m.utilization * 100.0, timeouts_risked
+    );
+    println!(
+        "note: under-predictions convert to timeouts (work lost); a deployed\n\
+         predictor would requeue with a doubled estimate, trading a restart\n\
+         for the queueing gain shown here."
+    );
+    check(
+        "the online predictor improves queueing over user estimates",
+        m.mean_wait_secs <= waits[0] * 1.02,
+    );
+
+    println!("\naccurate estimates let backfill prove more holes safe — the gap the");
+    println!("paper proposes reclaiming with AI-predicted walltimes (§4.2, §6).");
+}

@@ -1,0 +1,53 @@
+//! §3.3: the `-n N` physical-concurrency knob — workflow makespan vs worker
+//! count on a fixed configuration.
+
+use schedflow_bench::{banner, check};
+use schedflow_core::{run, System, WorkflowConfig};
+
+fn main() {
+    banner("scale", "§3.3 — workflow scaling with -n N workers");
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    println!("host offers {cores} core(s); wall-clock gains require >1 — the");
+    println!("structural checks below hold regardless of host parallelism.\n");
+    let base = std::env::temp_dir().join(format!("schedflow-scaling-{}", std::process::id()));
+    let mut makespans = Vec::new();
+    let mut concurrency = Vec::new();
+    println!("{:>4} {:>12} {:>18} {:>12}", "N", "makespan", "max concurrency", "overlap≥");
+    for n in [1usize, 2, 4, 8] {
+        let mut cfg = WorkflowConfig::new(System::Andes);
+        cfg.from = (2024, 1);
+        cfg.to = (2024, 6);
+        cfg.scale = 0.05;
+        cfg.threads = n;
+        cfg.use_cache = false; // measure full work each time
+        cfg.cache_dir = base.join(format!("cache-{n}"));
+        cfg.data_dir = base.join(format!("data-{n}"));
+        let outcome = run(&cfg).expect("workflow runs");
+        println!(
+            "{:>4} {:>10.2}s {:>18} {:>11.1}x",
+            n,
+            outcome.report.makespan_ms / 1000.0,
+            outcome.report.max_concurrency(),
+            outcome.report.speedup()
+        );
+        makespans.push(outcome.report.makespan_ms);
+        concurrency.push(outcome.report.max_concurrency());
+    }
+    check(
+        "engine exposes more concurrency as N grows",
+        concurrency[0] <= 1 && concurrency[2] >= 3,
+    );
+    check(
+        "scheduling overhead stays bounded (N=4 within 2x of N=1 even on one core)",
+        makespans[2] < makespans[0] * 2.0,
+    );
+    if cores > 1 {
+        check(
+            "multi-core host: parallelism reduces makespan vs a single worker",
+            makespans[2] < makespans[0],
+        );
+    } else {
+        println!("[SKIP] wall-clock speedup check (single-core host)");
+    }
+    let _ = std::fs::remove_dir_all(&base);
+}

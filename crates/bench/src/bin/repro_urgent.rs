@@ -1,0 +1,58 @@
+//! Extension experiment (paper §1/§5 urgent-computing motivation): route a
+//! slice of the workload through a preempting `urgent` QOS backed by
+//! preemptible `standby` capacity, and measure the turnaround contrast —
+//! the NERSC "realtime" pattern the paper cites as the exception that
+//! should become the norm.
+
+use rand::SeedableRng;
+use schedflow_bench::{banner, check, scale, seed};
+use schedflow_sim::Simulator;
+use schedflow_tracegen::{synthesize_plans, UserPopulation, WorkloadProfile};
+
+fn main() {
+    banner("urgent", "urgent-computing QOS: preemption-backed turnaround");
+    let profile = WorkloadProfile::frontier()
+        .truncated_days(60)
+        .scaled((scale() * 20.0).min(1.0)) // urgent value shows under contention
+        .with_urgent_computing(0.03, 0.25);
+    let mut rng = rand::rngs::SmallRng::seed_from_u64(seed());
+    let pop = UserPopulation::generate(&profile, &mut rng);
+    let plans = synthesize_plans(&profile, &pop, &mut rng);
+    let jobs: Vec<_> = plans.into_iter().map(|p| p.request).collect();
+    let outcomes = Simulator::new(profile.system.clone()).run(&jobs).unwrap();
+
+    let wait_stats = |qos: &str| {
+        let mut waits: Vec<f64> = jobs
+            .iter()
+            .zip(&outcomes)
+            .filter(|(j, _)| j.qos == qos)
+            .filter_map(|(_, o)| o.wait_secs().map(|w| w as f64))
+            .collect();
+        waits.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let n = waits.len();
+        let mean = if n == 0 { 0.0 } else { waits.iter().sum::<f64>() / n as f64 };
+        let p95 = if n == 0 { 0.0 } else { waits[(n - 1) * 95 / 100] };
+        (n, mean, p95)
+    };
+
+    println!("\nreplayed {} submissions over 60 days\n", jobs.len());
+    println!("{:<10} {:>8} {:>12} {:>12}", "qos", "jobs", "mean wait", "p95 wait");
+    for qos in ["urgent", "normal", "standby"] {
+        let (n, mean, p95) = wait_stats(qos);
+        println!("{:<10} {:>8} {:>11.0}s {:>11.0}s", qos, n, mean, p95);
+    }
+    let preempted = outcomes
+        .iter()
+        .filter(|o| o.state == schedflow_model::state::JobState::Preempted)
+        .count();
+    println!("\nstandby jobs preempted to serve urgent work: {preempted}");
+
+    let (un, umean, _) = wait_stats("urgent");
+    let (_, nmean, _) = wait_stats("normal");
+    check("urgent jobs were generated and scheduled", un > 0);
+    check("urgent turnaround beats normal QOS", umean <= nmean);
+    check(
+        "preemption is exercised (or the machine never saturated)",
+        preempted > 0 || nmean < 1.0,
+    );
+}

@@ -1,0 +1,103 @@
+//! Shared harness for the experiment-regeneration binaries (`repro_*`) and
+//! the criterion benches.
+//!
+//! Every figure and table of the paper has a binary here that regenerates it
+//! from a freshly simulated trace; see DESIGN.md's experiment index and
+//! EXPERIMENTS.md for the paper-vs-measured record. Scale is controlled by
+//! `SCHEDFLOW_SCALE` (1.0 = the paper's ~0.5M-job volume; default 0.05 keeps
+//! every binary under a few seconds).
+
+use schedflow_frame::Frame;
+use schedflow_model::record::JobRecord;
+use schedflow_sacct::records_to_frame;
+use schedflow_sim::SimMetrics;
+use schedflow_tracegen::{TraceGenerator, WorkloadProfile};
+use std::path::PathBuf;
+
+/// Volume scale for regenerated traces (`SCHEDFLOW_SCALE`, default 0.05).
+pub fn scale() -> f64 {
+    std::env::var("SCHEDFLOW_SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.05)
+}
+
+/// Deterministic seed shared by all experiments (`SCHEDFLOW_SEED`).
+pub fn seed() -> u64 {
+    std::env::var("SCHEDFLOW_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(42)
+}
+
+/// Output directory for regenerated artifacts.
+pub fn out_dir() -> PathBuf {
+    let dir = std::env::var("SCHEDFLOW_OUT")
+        .map(PathBuf::from)
+        .unwrap_or_else(|_| PathBuf::from("repro_out"));
+    std::fs::create_dir_all(&dir).expect("create output dir");
+    dir
+}
+
+/// Generate a trace for a profile at the configured scale/seed.
+pub fn generate(profile: WorkloadProfile) -> (Vec<JobRecord>, SimMetrics) {
+    let generator = TraceGenerator::new(profile.scaled(scale()), seed());
+    let mut records = Vec::new();
+    let metrics = generator.generate_each(|r| records.push(r));
+    (records, metrics)
+}
+
+/// The Frontier production trace (Apr 2023–Dec 2024) as an analysis frame.
+pub fn frontier_frame() -> Frame {
+    let (records, _) = generate(WorkloadProfile::frontier());
+    records_to_frame(&records)
+}
+
+/// The Andes 2024 trace as an analysis frame.
+pub fn andes_frame() -> Frame {
+    let (records, _) = generate(WorkloadProfile::andes());
+    records_to_frame(&records)
+}
+
+/// Print the experiment banner.
+pub fn banner(id: &str, paper_artifact: &str) {
+    println!("==============================================================");
+    println!("{id}: regenerating {paper_artifact}");
+    println!("scale {} (SCHEDFLOW_SCALE), seed {}", scale(), seed());
+    println!("==============================================================");
+}
+
+/// Write a chart to `repro_out/<name>.html` and report the path.
+pub fn save_chart(chart: &schedflow_charts::Chart, name: &str) {
+    let path = out_dir().join(format!("{name}.html"));
+    schedflow_charts::write_html(chart, &schedflow_charts::Geometry::default(), &path)
+        .expect("write chart");
+    println!("chart: {}", path.display());
+}
+
+/// A PASS/FAIL shape-check line.
+pub fn check(label: &str, ok: bool) {
+    println!("[{}] {label}", if ok { "PASS" } else { "FAIL" });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        assert!(scale() > 0.0);
+        assert!(out_dir().exists());
+    }
+
+    #[test]
+    fn frames_have_analysis_columns() {
+        // Tiny inline generation to keep the test quick.
+        let profile = WorkloadProfile::andes().truncated_days(5).scaled(0.2);
+        let records = TraceGenerator::new(profile, 1).generate();
+        let frame = records_to_frame(&records);
+        for col in ["nnodes", "wait_s", "state", "backfilled", "nsteps", "year"] {
+            assert!(frame.has_column(col), "{col}");
+        }
+    }
+}

@@ -1,0 +1,69 @@
+//! Palette: colorblind-safe categorical colors and a fixed job-state map so
+//! every figure colors COMPLETED/FAILED/CANCELLED identically.
+
+/// Okabe–Ito colorblind-safe categorical palette.
+pub const PALETTE: [&str; 8] = [
+    "#0072B2", // blue
+    "#E69F00", // orange
+    "#009E73", // green
+    "#D55E00", // vermilion
+    "#CC79A7", // purple-pink
+    "#56B4E9", // sky
+    "#F0E442", // yellow
+    "#000000", // black
+];
+
+/// Categorical color for series index `i` (wraps around).
+pub fn categorical(i: usize) -> &'static str {
+    PALETTE[i % PALETTE.len()]
+}
+
+/// Fixed color for a job state name, consistent across all figures.
+pub fn state_color(state: &str) -> &'static str {
+    match state {
+        "COMPLETED" => "#009E73",
+        "FAILED" => "#D55E00",
+        "CANCELLED" => "#E69F00",
+        "TIMEOUT" => "#CC79A7",
+        "NODE_FAIL" => "#000000",
+        "OUT_OF_MEMORY" => "#56B4E9",
+        "PREEMPTED" => "#F0E442",
+        _ => "#999999",
+    }
+}
+
+/// Muted grid/axis gray.
+pub const GRID: &str = "#dddddd";
+/// Axis/label ink.
+pub const INK: &str = "#333333";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn categorical_wraps() {
+        assert_eq!(categorical(0), PALETTE[0]);
+        assert_eq!(categorical(8), PALETTE[0]);
+        assert_eq!(categorical(9), PALETTE[1]);
+    }
+
+    #[test]
+    fn states_have_distinct_colors() {
+        let states = [
+            "COMPLETED",
+            "FAILED",
+            "CANCELLED",
+            "TIMEOUT",
+            "NODE_FAIL",
+            "OUT_OF_MEMORY",
+        ];
+        let colors: std::collections::HashSet<_> = states.iter().map(|s| state_color(s)).collect();
+        assert_eq!(colors.len(), states.len());
+    }
+
+    #[test]
+    fn unknown_state_gets_gray() {
+        assert_eq!(state_color("WEIRD"), "#999999");
+    }
+}

@@ -1,0 +1,565 @@
+//! Chart digests: the compact structured summary handed to the analyst.
+//!
+//! The paper converts HTML plots to PNG because "LLM tools … are not
+//! well-suited to process large raw datasets directly. Instead, the plots
+//! serve as compact visual summaries of the data." A [`ChartDigest`] is that
+//! compact visual summary in structured form: axis ranges, per-series
+//! statistics, a coarse density grid (what a vision model would "see"), and
+//! outlier counts — everything the Insight/Compare prompts need, nothing of
+//! the raw data's bulk.
+
+use crate::spec::{BarChart, BarMode, Chart, HeatmapChart, Scale, ScatterChart};
+use serde::{Deserialize, Serialize};
+
+/// Descriptive statistics of one dimension of one series.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DimStats {
+    pub n: usize,
+    pub min: f64,
+    pub q1: f64,
+    pub median: f64,
+    pub q3: f64,
+    pub max: f64,
+    pub mean: f64,
+    pub stddev: f64,
+}
+
+impl DimStats {
+    /// Compute from raw values (non-finite values skipped). `None` if empty.
+    pub fn from(values: &[f64]) -> Option<DimStats> {
+        let mut v: Vec<f64> = values.iter().copied().filter(|x| x.is_finite()).collect();
+        if v.is_empty() {
+            return None;
+        }
+        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let q = |p: f64| quantile_sorted(&v, p);
+        let mean = v.iter().sum::<f64>() / v.len() as f64;
+        let var = v.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / v.len() as f64;
+        Some(DimStats {
+            n: v.len(),
+            min: v[0],
+            q1: q(0.25),
+            median: q(0.5),
+            q3: q(0.75),
+            max: v[v.len() - 1],
+            mean,
+            stddev: var.sqrt(),
+        })
+    }
+}
+
+fn quantile_sorted(sorted: &[f64], q: f64) -> f64 {
+    if sorted.len() == 1 {
+        return sorted[0];
+    }
+    let pos = q.clamp(0.0, 1.0) * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    sorted[lo] + (sorted[hi] - sorted[lo]) * (pos - lo as f64)
+}
+
+/// Summary of one scatter series.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SeriesDigest {
+    pub name: String,
+    pub n: usize,
+    pub x: Option<DimStats>,
+    pub y: Option<DimStats>,
+    /// Pearson correlation between x and y.
+    pub correlation: Option<f64>,
+    /// Fraction of points with y ≥ x (meaningful on requested-vs-actual
+    /// charts where the diagonal is the break-even; ties count as on/above
+    /// so that `1 - frac` is *strict* overestimation).
+    pub frac_above_diagonal: Option<f64>,
+    /// Count of Tukey-fence outliers in y.
+    pub y_outliers: usize,
+}
+
+/// Coarse 2D density of all points (row-major, `rows × cols`), the spatial
+/// pattern a vision model would extract from the rendered image.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DensityGrid {
+    pub rows: usize,
+    pub cols: usize,
+    pub counts: Vec<u64>,
+    pub x_min: f64,
+    pub x_max: f64,
+    pub y_min: f64,
+    pub y_max: f64,
+}
+
+impl DensityGrid {
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// `(row, col)` of the densest cell.
+    pub fn peak(&self) -> (usize, usize) {
+        let i = self
+            .counts
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, &c)| c)
+            .map(|(i, _)| i)
+            .unwrap_or(0);
+        (i / self.cols, i % self.cols)
+    }
+}
+
+/// Summary of one bar-chart stack.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StackDigest {
+    pub name: String,
+    pub total: f64,
+    /// Category label with the largest value in this stack.
+    pub peak_category: String,
+    pub peak_value: f64,
+}
+
+/// The digest of a whole chart.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ChartDigest {
+    Scatter {
+        title: String,
+        x_label: String,
+        y_label: String,
+        x_log: bool,
+        y_log: bool,
+        /// The chart drew the y = x guide line, i.e. both axes share units
+        /// and the diagonal relation is meaningful (requested-vs-actual).
+        diagonal: bool,
+        series: Vec<SeriesDigest>,
+        density: Option<DensityGrid>,
+    },
+    Bar {
+        title: String,
+        y_label: String,
+        stacked: bool,
+        categories: usize,
+        stacks: Vec<StackDigest>,
+        /// Per-category totals' coefficient of variation (whole-chart
+        /// imbalance: Figure 5 vs 8's "variance across users").
+        category_cv: Option<f64>,
+        /// Top categories by total, `(label, total)`.
+        top_categories: Vec<(String, f64)>,
+    },
+    Heatmap {
+        title: String,
+        value_label: String,
+        rows: usize,
+        cols: usize,
+        /// Finite-cell statistics.
+        cells: Option<DimStats>,
+        /// `(row_label, col_label, value)` of the hottest cell.
+        peak: Option<(String, String, f64)>,
+        /// `(row_label, col_label, value)` of the coolest finite cell.
+        trough: Option<(String, String, f64)>,
+        /// Per-row means (marginal over columns), paired with row labels.
+        row_means: Vec<(String, f64)>,
+    },
+}
+
+impl ChartDigest {
+    pub fn title(&self) -> &str {
+        match self {
+            ChartDigest::Scatter { title, .. }
+            | ChartDigest::Bar { title, .. }
+            | ChartDigest::Heatmap { title, .. } => title,
+        }
+    }
+
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("digest serializes")
+    }
+}
+
+/// Grid resolution of the density summary.
+pub const GRID: usize = 8;
+
+/// Digest any chart.
+pub fn digest(chart: &Chart) -> ChartDigest {
+    match chart {
+        Chart::Scatter(c) => digest_scatter(c),
+        Chart::Bar(c) => digest_bar(c),
+        Chart::Heatmap(c) => digest_heatmap(c),
+    }
+}
+
+fn digest_heatmap(c: &HeatmapChart) -> ChartDigest {
+    let finite: Vec<f64> = c.values.iter().copied().filter(|v| v.is_finite()).collect();
+    let locate = |target: f64| -> Option<(String, String, f64)> {
+        for r in 0..c.y_labels.len() {
+            for col in 0..c.x_labels.len() {
+                if c.value(r, col) == target {
+                    return Some((c.y_labels[r].clone(), c.x_labels[col].clone(), target));
+                }
+            }
+        }
+        None
+    };
+    let peak = finite
+        .iter()
+        .copied()
+        .fold(None::<f64>, |m, v| Some(m.map_or(v, |m| m.max(v))))
+        .and_then(locate);
+    let trough = finite
+        .iter()
+        .copied()
+        .fold(None::<f64>, |m, v| Some(m.map_or(v, |m| m.min(v))))
+        .and_then(locate);
+    let row_means = c
+        .y_labels
+        .iter()
+        .enumerate()
+        .map(|(r, label)| {
+            let vals: Vec<f64> = (0..c.x_labels.len())
+                .map(|col| c.value(r, col))
+                .filter(|v| v.is_finite())
+                .collect();
+            let mean = if vals.is_empty() {
+                f64::NAN
+            } else {
+                vals.iter().sum::<f64>() / vals.len() as f64
+            };
+            (label.clone(), mean)
+        })
+        .collect();
+    ChartDigest::Heatmap {
+        title: c.title.clone(),
+        value_label: c.value_label.clone(),
+        rows: c.y_labels.len(),
+        cols: c.x_labels.len(),
+        cells: DimStats::from(&finite),
+        peak,
+        trough,
+        row_means,
+    }
+}
+
+fn digest_scatter(c: &ScatterChart) -> ChartDigest {
+    let series: Vec<SeriesDigest> = c
+        .series
+        .iter()
+        .map(|s| {
+            let pairs: Vec<(f64, f64)> = s
+                .x
+                .iter()
+                .zip(&s.y)
+                .filter(|(x, y)| x.is_finite() && y.is_finite())
+                .map(|(&x, &y)| (x, y))
+                .collect();
+            let xs: Vec<f64> = pairs.iter().map(|p| p.0).collect();
+            let ys: Vec<f64> = pairs.iter().map(|p| p.1).collect();
+            let above = if pairs.is_empty() {
+                None
+            } else {
+                Some(pairs.iter().filter(|(x, y)| y >= x).count() as f64 / pairs.len() as f64)
+            };
+            SeriesDigest {
+                name: s.name.clone(),
+                n: pairs.len(),
+                x: DimStats::from(&xs),
+                y: DimStats::from(&ys),
+                correlation: pearson(&xs, &ys),
+                frac_above_diagonal: above,
+                y_outliers: tukey_outlier_count(&ys),
+            }
+        })
+        .collect();
+
+    // Density over all series combined, in (log-)scaled space to match what
+    // the rendered figure shows.
+    let log_x = c.x_axis.scale == Scale::Log10;
+    let log_y = c.y_axis.scale == Scale::Log10;
+    let mut xs = Vec::new();
+    let mut ys = Vec::new();
+    for s in &c.series {
+        for (&x, &y) in s.x.iter().zip(&s.y) {
+            if !x.is_finite() || !y.is_finite() || (log_x && x <= 0.0) || (log_y && y <= 0.0) {
+                continue;
+            }
+            xs.push(if log_x { x.log10() } else { x });
+            ys.push(if log_y { y.log10() } else { y });
+        }
+    }
+    let density = density_grid(&xs, &ys);
+
+    ChartDigest::Scatter {
+        title: c.title.clone(),
+        x_label: c.x_axis.label.clone(),
+        y_label: c.y_axis.label.clone(),
+        x_log: log_x,
+        y_log: log_y,
+        diagonal: c.diagonal,
+        series,
+        density,
+    }
+}
+
+fn density_grid(xs: &[f64], ys: &[f64]) -> Option<DensityGrid> {
+    if xs.is_empty() {
+        return None;
+    }
+    let x_min = xs.iter().copied().fold(f64::INFINITY, f64::min);
+    let x_max = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let y_min = ys.iter().copied().fold(f64::INFINITY, f64::min);
+    let y_max = ys.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let mut counts = vec![0u64; GRID * GRID];
+    for (&x, &y) in xs.iter().zip(ys) {
+        let cx = (((x - x_min) / (x_max - x_min).max(1e-12)) * GRID as f64) as usize;
+        let cy = (((y - y_min) / (y_max - y_min).max(1e-12)) * GRID as f64) as usize;
+        counts[cy.min(GRID - 1) * GRID + cx.min(GRID - 1)] += 1;
+    }
+    Some(DensityGrid {
+        rows: GRID,
+        cols: GRID,
+        counts,
+        x_min,
+        x_max,
+        y_min,
+        y_max,
+    })
+}
+
+fn pearson(x: &[f64], y: &[f64]) -> Option<f64> {
+    if x.len() != y.len() || x.len() < 2 {
+        return None;
+    }
+    let mx = x.iter().sum::<f64>() / x.len() as f64;
+    let my = y.iter().sum::<f64>() / y.len() as f64;
+    let (mut sxy, mut sxx, mut syy) = (0.0, 0.0, 0.0);
+    for (&a, &b) in x.iter().zip(y) {
+        sxy += (a - mx) * (b - my);
+        sxx += (a - mx) * (a - mx);
+        syy += (b - my) * (b - my);
+    }
+    if sxx <= 0.0 || syy <= 0.0 {
+        None
+    } else {
+        Some(sxy / (sxx.sqrt() * syy.sqrt()))
+    }
+}
+
+fn tukey_outlier_count(values: &[f64]) -> usize {
+    if values.len() < 4 {
+        return 0;
+    }
+    let mut v = values.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let q1 = quantile_sorted(&v, 0.25);
+    let q3 = quantile_sorted(&v, 0.75);
+    let iqr = q3 - q1;
+    v.iter()
+        .filter(|&&x| x < q1 - 1.5 * iqr || x > q3 + 1.5 * iqr)
+        .count()
+}
+
+fn digest_bar(c: &BarChart) -> ChartDigest {
+    let stacks: Vec<StackDigest> = c
+        .stacks
+        .iter()
+        .map(|(name, values)| {
+            let total: f64 = values.iter().sum();
+            let (pi, pv) = values
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+                .map(|(i, &v)| (i, v))
+                .unwrap_or((0, 0.0));
+            StackDigest {
+                name: name.clone(),
+                total,
+                peak_category: c.categories.get(pi).cloned().unwrap_or_default(),
+                peak_value: pv,
+            }
+        })
+        .collect();
+    let totals = c.category_totals();
+    let category_cv = if totals.len() > 1 {
+        let mean = totals.iter().sum::<f64>() / totals.len() as f64;
+        if mean > 0.0 {
+            let var =
+                totals.iter().map(|t| (t - mean) * (t - mean)).sum::<f64>() / totals.len() as f64;
+            Some(var.sqrt() / mean)
+        } else {
+            None
+        }
+    } else {
+        None
+    };
+    let mut ranked: Vec<(String, f64)> = c
+        .categories
+        .iter()
+        .cloned()
+        .zip(totals.iter().copied())
+        .collect();
+    ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+    ranked.truncate(5);
+
+    ChartDigest::Bar {
+        title: c.title.clone(),
+        y_label: c.y_label.clone(),
+        stacked: c.mode == BarMode::Stacked,
+        categories: c.categories.len(),
+        stacks,
+        category_cv,
+        top_categories: ranked,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{Axis, BarMode, Series};
+
+    #[test]
+    fn dim_stats_basics() {
+        let s = DimStats::from(&[1.0, 2.0, 3.0, 4.0, 5.0]).unwrap();
+        assert_eq!(s.n, 5);
+        assert_eq!(s.median, 3.0);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 5.0);
+        assert!(DimStats::from(&[]).is_none());
+        assert!(DimStats::from(&[f64::NAN]).is_none());
+    }
+
+    fn scatter() -> Chart {
+        Chart::Scatter(
+            ScatterChart::new("req vs actual", Axis::linear("requested"), Axis::linear("actual"))
+                .with_series(Series::scatter(
+                    "regular",
+                    vec![100.0, 200.0, 300.0, 400.0],
+                    vec![50.0, 90.0, 150.0, 180.0],
+                ))
+                .with_series(Series::scatter("backfilled", vec![60.0], vec![10.0])),
+        )
+    }
+
+    #[test]
+    fn scatter_digest_captures_diagonal_relation() {
+        let d = digest(&scatter());
+        match d {
+            ChartDigest::Scatter { series, density, .. } => {
+                assert_eq!(series.len(), 2);
+                // All points lie below the diagonal (overestimation).
+                assert_eq!(series[0].frac_above_diagonal, Some(0.0));
+                assert!(series[0].correlation.unwrap() > 0.9);
+                let g = density.unwrap();
+                assert_eq!(g.total(), 5);
+            }
+            _ => panic!("expected scatter digest"),
+        }
+    }
+
+    #[test]
+    fn log_scatter_density_uses_log_space() {
+        let c = Chart::Scatter(
+            ScatterChart::new("log", Axis::log("x"), Axis::log("y")).with_series(
+                Series::scatter("s", vec![1.0, 10.0, 100.0, -5.0], vec![1.0, 1.0, 1.0, 1.0]),
+            ),
+        );
+        match digest(&c) {
+            ChartDigest::Scatter { density, .. } => {
+                let g = density.unwrap();
+                // The -5 point is dropped in log space.
+                assert_eq!(g.total(), 3);
+                assert_eq!(g.x_min, 0.0);
+                assert_eq!(g.x_max, 2.0);
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn outliers_counted() {
+        let mut ys: Vec<f64> = (0..100).map(|i| i as f64 / 10.0).collect();
+        ys.push(1e6);
+        let xs: Vec<f64> = (0..101).map(|i| i as f64).collect();
+        let c = Chart::Scatter(
+            ScatterChart::new("o", Axis::linear("x"), Axis::linear("y"))
+                .with_series(Series::scatter("s", xs, ys)),
+        );
+        match digest(&c) {
+            ChartDigest::Scatter { series, .. } => assert_eq!(series[0].y_outliers, 1),
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn bar_digest_summarizes_imbalance() {
+        let c = Chart::Bar(
+            BarChart::new(
+                "states per user",
+                vec!["u1".into(), "u2".into(), "u3".into()],
+                "jobs",
+                BarMode::Stacked,
+            )
+            .with_stack("COMPLETED", vec![100.0, 90.0, 80.0])
+            .with_stack("FAILED", vec![200.0, 5.0, 2.0]),
+        );
+        match digest(&c) {
+            ChartDigest::Bar {
+                stacks,
+                category_cv,
+                top_categories,
+                ..
+            } => {
+                assert_eq!(stacks[1].name, "FAILED");
+                assert_eq!(stacks[1].peak_category, "u1");
+                assert_eq!(stacks[1].peak_value, 200.0);
+                assert!(category_cv.unwrap() > 0.4, "imbalance visible");
+                assert_eq!(top_categories[0].0, "u1");
+            }
+            _ => panic!("expected bar digest"),
+        }
+    }
+
+    #[test]
+    fn heatmap_digest_finds_extremes_and_marginals() {
+        let mut h = HeatmapChart::new(
+            "dynamics",
+            vec!["h0".into(), "h1".into()],
+            vec!["Mon".into(), "Sat".into()],
+            vec![10.0, 30.0, f64::NAN, 2.0],
+        );
+        h.value_label = "mean wait".into();
+        match digest(&Chart::Heatmap(h)) {
+            ChartDigest::Heatmap {
+                peak,
+                trough,
+                row_means,
+                cells,
+                ..
+            } => {
+                assert_eq!(peak, Some(("Mon".into(), "h1".into(), 30.0)));
+                assert_eq!(trough, Some(("Sat".into(), "h1".into(), 2.0)));
+                assert_eq!(row_means[0].1, 20.0);
+                assert_eq!(row_means[1].1, 2.0, "NaN cells excluded");
+                assert_eq!(cells.unwrap().n, 3);
+            }
+            _ => panic!("expected heatmap digest"),
+        }
+    }
+
+    #[test]
+    fn digest_json_round_trips() {
+        let d = digest(&scatter());
+        let json = d.to_json();
+        let back: ChartDigest = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, d);
+    }
+
+    #[test]
+    fn density_peak() {
+        let g = DensityGrid {
+            rows: 2,
+            cols: 2,
+            counts: vec![1, 5, 2, 0],
+            x_min: 0.0,
+            x_max: 1.0,
+            y_min: 0.0,
+            y_max: 1.0,
+        };
+        assert_eq!(g.peak(), (0, 1));
+    }
+}

@@ -1,0 +1,116 @@
+//! Self-contained interactive HTML wrapping of rendered charts.
+//!
+//! The paper's field-specific stages emit "interactive HTML charts that
+//! support zooming and filtering". This wrapper embeds the SVG with a small
+//! inline script providing series toggling (click legend entries), hover
+//! tooltips (native SVG `<title>`), and wheel zoom — no external assets, so
+//! the files work over `file://` like Plotly's offline mode.
+
+use crate::spec::Chart;
+use crate::svg::{render, Geometry};
+
+/// Inline script: legend toggling + wheel zoom over the SVG viewBox.
+const SCRIPT: &str = r#"
+(function () {
+  const svg = document.querySelector('svg');
+  if (!svg) return;
+  // Legend click toggles the matching series group.
+  document.querySelectorAll('.legend').forEach(function (sw) {
+    sw.style.cursor = 'pointer';
+    sw.addEventListener('click', function () {
+      const g = svg.querySelector('.series[data-series="' + sw.dataset.series + '"]');
+      if (!g) return;
+      const off = g.style.display === 'none';
+      g.style.display = off ? '' : 'none';
+      sw.style.opacity = off ? 1.0 : 0.25;
+    });
+  });
+  // Wheel zoom about the cursor; double-click resets.
+  const original = svg.getAttribute('viewBox');
+  svg.addEventListener('wheel', function (ev) {
+    ev.preventDefault();
+    const vb = svg.viewBox.baseVal;
+    const k = ev.deltaY < 0 ? 0.85 : 1.18;
+    const pt = svg.createSVGPoint();
+    pt.x = ev.clientX; pt.y = ev.clientY;
+    const p = pt.matrixTransform(svg.getScreenCTM().inverse());
+    vb.x = p.x - (p.x - vb.x) * k;
+    vb.y = p.y - (p.y - vb.y) * k;
+    vb.width *= k; vb.height *= k;
+  }, { passive: false });
+  svg.addEventListener('dblclick', function () {
+    svg.setAttribute('viewBox', original);
+  });
+})();
+"#;
+
+/// Render a chart into a standalone HTML page.
+pub fn to_html(chart: &Chart, geometry: &Geometry) -> String {
+    let svg = render(chart, geometry);
+    format!(
+        "<!DOCTYPE html>\n<html><head><meta charset=\"utf-8\">\
+         <title>{title}</title>\
+         <style>body{{margin:20px;font-family:Helvetica,Arial,sans-serif;background:#fafafa}}\
+         .wrap{{background:white;border:1px solid #e0e0e0;display:inline-block;padding:8px}}</style>\
+         </head><body><div class=\"wrap\">{svg}</div>\
+         <script>{script}</script></body></html>\n",
+        title = crate::svg::escape(chart.title()),
+        svg = svg,
+        script = SCRIPT
+    )
+}
+
+/// Write a chart to an HTML file, creating parent directories.
+pub fn write_html(chart: &Chart, geometry: &Geometry, path: &std::path::Path) -> std::io::Result<()> {
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    std::fs::write(path, to_html(chart, geometry))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{Axis, ScatterChart, Series};
+
+    fn chart() -> Chart {
+        Chart::Scatter(
+            ScatterChart::new("Wait times", Axis::linear("t"), Axis::log("wait"))
+                .with_series(Series::scatter("COMPLETED", vec![1.0, 2.0], vec![10.0, 100.0])),
+        )
+    }
+
+    #[test]
+    fn html_is_standalone() {
+        let html = to_html(&chart(), &Geometry::default());
+        assert!(html.starts_with("<!DOCTYPE html>"));
+        assert!(html.contains("<svg"));
+        assert!(html.contains("<script>"));
+        // No external asset references (the xmlns URI is a namespace, not a
+        // fetch): nothing is sourced or linked.
+        assert!(!html.contains("src="), "no external scripts/images");
+        assert!(!html.contains("href="), "no external stylesheets/links");
+    }
+
+    #[test]
+    fn title_is_escaped() {
+        let c = Chart::Scatter(ScatterChart::new(
+            "a<b> & \"q\"",
+            Axis::linear("x"),
+            Axis::linear("y"),
+        ));
+        let html = to_html(&c, &Geometry::default());
+        assert!(html.contains("<title>a&lt;b&gt; &amp; &quot;q&quot;</title>"));
+    }
+
+    #[test]
+    fn write_html_creates_directories() {
+        let dir = std::env::temp_dir().join(format!("schedflow-html-{}", std::process::id()));
+        let path = dir.join("sub/chart.html");
+        write_html(&chart(), &Geometry::default(), &path).unwrap();
+        assert!(path.exists());
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert!(content.contains("Wait times"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

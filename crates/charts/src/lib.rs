@@ -1,0 +1,19 @@
+//! # schedflow-charts
+//!
+//! The visualization substrate (the Plotly stand-in): declarative chart
+//! specs ([`spec`]), a colorblind-safe palette with fixed job-state colors
+//! ([`color`]), static SVG rendering with density-preserving downsampling
+//! ([`svg`]), self-contained interactive HTML output ([`html`]), and
+//! [`digest::ChartDigest`] — the compact structured summary that replaces
+//! the paper's HTML→PNG→vision-LLM hop with a lossless equivalent.
+
+pub mod color;
+pub mod digest;
+pub mod html;
+pub mod spec;
+pub mod svg;
+
+pub use digest::{digest, ChartDigest, DensityGrid, DimStats, SeriesDigest, StackDigest};
+pub use html::{to_html, write_html};
+pub use spec::{Axis, BarChart, BarMode, Chart, HeatmapChart, MarkerShape, Scale, ScatterChart, Series};
+pub use svg::{render, Geometry};

@@ -1,0 +1,347 @@
+//! Chart specifications: the declarative model the analytics stages emit and
+//! the renderers/digesters consume.
+
+use serde::{Deserialize, Serialize};
+
+/// Point marker shape. The paper's Figure 6/9 distinguish backfilled jobs
+/// with `+` markers from regular jobs drawn as dots.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MarkerShape {
+    Dot,
+    Plus,
+    Square,
+}
+
+/// Axis scale.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Scale {
+    Linear,
+    /// Base-10 logarithmic; values must be positive.
+    Log10,
+}
+
+/// One axis.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Axis {
+    pub label: String,
+    pub scale: Scale,
+}
+
+impl Axis {
+    pub fn linear(label: &str) -> Self {
+        Axis {
+            label: label.to_owned(),
+            scale: Scale::Linear,
+        }
+    }
+
+    pub fn log(label: &str) -> Self {
+        Axis {
+            label: label.to_owned(),
+            scale: Scale::Log10,
+        }
+    }
+}
+
+/// A named point series.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Series {
+    pub name: String,
+    pub x: Vec<f64>,
+    pub y: Vec<f64>,
+    /// CSS color; assigned from the palette when `None`.
+    pub color: Option<String>,
+    pub marker: MarkerShape,
+    /// Connect points with a line (time series) instead of scatter.
+    pub line: bool,
+}
+
+impl Series {
+    pub fn scatter(name: &str, x: Vec<f64>, y: Vec<f64>) -> Self {
+        assert_eq!(x.len(), y.len(), "series {name}: x/y length mismatch");
+        Series {
+            name: name.to_owned(),
+            x,
+            y,
+            color: None,
+            marker: MarkerShape::Dot,
+            line: false,
+        }
+    }
+
+    pub fn line(name: &str, x: Vec<f64>, y: Vec<f64>) -> Self {
+        let mut s = Self::scatter(name, x, y);
+        s.line = true;
+        s
+    }
+
+    pub fn with_marker(mut self, marker: MarkerShape) -> Self {
+        self.marker = marker;
+        self
+    }
+
+    pub fn with_color(mut self, color: &str) -> Self {
+        self.color = Some(color.to_owned());
+        self
+    }
+
+    pub fn len(&self) -> usize {
+        self.x.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.x.is_empty()
+    }
+}
+
+/// A scatter/line chart (Figures 3, 4, 6, 7, 9).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScatterChart {
+    pub title: String,
+    pub x_axis: Axis,
+    pub y_axis: Axis,
+    pub series: Vec<Series>,
+    /// Draw the y = x guide line (requested vs actual walltime charts).
+    pub diagonal: bool,
+}
+
+impl ScatterChart {
+    pub fn new(title: &str, x_axis: Axis, y_axis: Axis) -> Self {
+        ScatterChart {
+            title: title.to_owned(),
+            x_axis,
+            y_axis,
+            series: Vec::new(),
+            diagonal: false,
+        }
+    }
+
+    pub fn with_series(mut self, series: Series) -> Self {
+        self.series.push(series);
+        self
+    }
+
+    pub fn with_diagonal(mut self) -> Self {
+        self.diagonal = true;
+        self
+    }
+
+    pub fn total_points(&self) -> usize {
+        self.series.iter().map(Series::len).sum()
+    }
+}
+
+/// How multiple stacks relate in a bar chart.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BarMode {
+    /// Sub-bars side by side per category (Figure 1: jobs vs steps per year).
+    Grouped,
+    /// Sub-bars stacked per category (Figures 5/8: states per user).
+    Stacked,
+}
+
+/// A bar chart over labeled categories.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BarChart {
+    pub title: String,
+    /// Category labels along x (years, user names).
+    pub categories: Vec<String>,
+    /// `(stack name, per-category values)`; each value vec matches
+    /// `categories` in length.
+    pub stacks: Vec<(String, Vec<f64>)>,
+    pub y_label: String,
+    pub mode: BarMode,
+    pub y_scale: Scale,
+}
+
+impl BarChart {
+    pub fn new(title: &str, categories: Vec<String>, y_label: &str, mode: BarMode) -> Self {
+        BarChart {
+            title: title.to_owned(),
+            categories,
+            stacks: Vec::new(),
+            y_label: y_label.to_owned(),
+            mode,
+            y_scale: Scale::Linear,
+        }
+    }
+
+    pub fn with_stack(mut self, name: &str, values: Vec<f64>) -> Self {
+        assert_eq!(
+            values.len(),
+            self.categories.len(),
+            "stack {name}: length mismatch"
+        );
+        self.stacks.push((name.to_owned(), values));
+        self
+    }
+
+    /// Total per category across stacks.
+    pub fn category_totals(&self) -> Vec<f64> {
+        let mut totals = vec![0.0; self.categories.len()];
+        for (_, values) in &self.stacks {
+            for (t, v) in totals.iter_mut().zip(values) {
+                *t += v;
+            }
+        }
+        totals
+    }
+}
+
+/// A heatmap over two categorical axes (queue-dynamics views: submissions
+/// or waits by hour-of-day × day-of-week).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HeatmapChart {
+    pub title: String,
+    /// Column labels (x), e.g. hours.
+    pub x_labels: Vec<String>,
+    /// Row labels (y), e.g. weekdays.
+    pub y_labels: Vec<String>,
+    /// Row-major `y_labels.len() × x_labels.len()` cell values; NaN = no data.
+    pub values: Vec<f64>,
+    pub x_axis_label: String,
+    pub y_axis_label: String,
+    /// Legend label for the cell value ("mean wait (s)").
+    pub value_label: String,
+}
+
+impl HeatmapChart {
+    pub fn new(
+        title: &str,
+        x_labels: Vec<String>,
+        y_labels: Vec<String>,
+        values: Vec<f64>,
+    ) -> Self {
+        assert_eq!(
+            values.len(),
+            x_labels.len() * y_labels.len(),
+            "heatmap {title}: values must be rows × cols"
+        );
+        HeatmapChart {
+            title: title.to_owned(),
+            x_labels,
+            y_labels,
+            values,
+            x_axis_label: String::new(),
+            y_axis_label: String::new(),
+            value_label: String::new(),
+        }
+    }
+
+    pub fn value(&self, row: usize, col: usize) -> f64 {
+        self.values[row * self.x_labels.len() + col]
+    }
+
+    /// `(row, col, value)` of the largest finite cell, if any.
+    pub fn peak(&self) -> Option<(usize, usize, f64)> {
+        let mut best: Option<(usize, usize, f64)> = None;
+        for r in 0..self.y_labels.len() {
+            for c in 0..self.x_labels.len() {
+                let v = self.value(r, c);
+                if v.is_finite() && best.map_or(true, |(_, _, b)| v > b) {
+                    best = Some((r, c, v));
+                }
+            }
+        }
+        best
+    }
+}
+
+/// Any chart the workflow produces.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Chart {
+    Scatter(ScatterChart),
+    Bar(BarChart),
+    Heatmap(HeatmapChart),
+}
+
+impl Chart {
+    pub fn title(&self) -> &str {
+        match self {
+            Chart::Scatter(c) => &c.title,
+            Chart::Bar(c) => &c.title,
+            Chart::Heatmap(c) => &c.title,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scatter_builder() {
+        let c = ScatterChart::new("t", Axis::linear("x"), Axis::log("y"))
+            .with_series(Series::scatter("a", vec![1.0, 2.0], vec![3.0, 4.0]))
+            .with_series(
+                Series::scatter("b", vec![1.0], vec![1.0]).with_marker(MarkerShape::Plus),
+            )
+            .with_diagonal();
+        assert_eq!(c.total_points(), 3);
+        assert!(c.diagonal);
+        assert_eq!(c.y_axis.scale, Scale::Log10);
+        assert_eq!(c.series[1].marker, MarkerShape::Plus);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_series_panics() {
+        Series::scatter("bad", vec![1.0], vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn bar_totals() {
+        let c = BarChart::new(
+            "states",
+            vec!["u1".into(), "u2".into()],
+            "jobs",
+            BarMode::Stacked,
+        )
+        .with_stack("COMPLETED", vec![10.0, 5.0])
+        .with_stack("FAILED", vec![2.0, 1.0]);
+        assert_eq!(c.category_totals(), vec![12.0, 6.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_stack_panics() {
+        BarChart::new("t", vec!["a".into()], "y", BarMode::Grouped)
+            .with_stack("s", vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn chart_title_dispatch() {
+        let c = Chart::Bar(BarChart::new("bars", vec![], "y", BarMode::Grouped));
+        assert_eq!(c.title(), "bars");
+    }
+
+    #[test]
+    fn heatmap_shape_and_peak() {
+        let h = HeatmapChart::new(
+            "waits",
+            vec!["0".into(), "1".into(), "2".into()],
+            vec!["Mon".into(), "Tue".into()],
+            vec![1.0, 5.0, 2.0, f64::NAN, 0.5, 3.0],
+        );
+        assert_eq!(h.value(0, 1), 5.0);
+        assert_eq!(h.value(1, 2), 3.0);
+        assert_eq!(h.peak(), Some((0, 1, 5.0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "rows × cols")]
+    fn heatmap_rejects_bad_shape() {
+        HeatmapChart::new("h", vec!["a".into()], vec!["b".into()], vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let c = Chart::Scatter(
+            ScatterChart::new("t", Axis::linear("x"), Axis::linear("y"))
+                .with_series(Series::line("l", vec![0.0], vec![1.0])),
+        );
+        let json = serde_json::to_string(&c).unwrap();
+        let back: Chart = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, c);
+    }
+}

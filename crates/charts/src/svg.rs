@@ -1,0 +1,839 @@
+//! SVG rendering of chart specs.
+//!
+//! Self-contained static rendering (no JS dependency): axes with nice ticks,
+//! linear/log scales, point markers with native SVG hover titles, legends,
+//! and density-preserving downsampling for large scatters (a 1.5M-point
+//! figure would otherwise emit hundreds of MB of SVG).
+
+use crate::color::{categorical, state_color, GRID, INK};
+use crate::spec::{BarChart, BarMode, Chart, HeatmapChart, MarkerShape, Scale, ScatterChart, Series};
+use std::fmt::Write as _;
+
+/// Canvas geometry.
+#[derive(Debug, Clone, Copy)]
+pub struct Geometry {
+    pub width: f64,
+    pub height: f64,
+    pub margin_left: f64,
+    pub margin_right: f64,
+    pub margin_top: f64,
+    pub margin_bottom: f64,
+}
+
+impl Default for Geometry {
+    fn default() -> Self {
+        Geometry {
+            width: 880.0,
+            height: 540.0,
+            margin_left: 80.0,
+            margin_right: 160.0,
+            margin_top: 50.0,
+            margin_bottom: 60.0,
+        }
+    }
+}
+
+impl Geometry {
+    fn plot_width(&self) -> f64 {
+        self.width - self.margin_left - self.margin_right
+    }
+
+    fn plot_height(&self) -> f64 {
+        self.height - self.margin_top - self.margin_bottom
+    }
+}
+
+/// Maximum points drawn per series before grid downsampling kicks in.
+pub const MAX_POINTS_PER_SERIES: usize = 20_000;
+
+/// Generate "nice" tick positions covering `[min, max]`.
+pub fn nice_ticks(min: f64, max: f64, target: usize) -> Vec<f64> {
+    if !min.is_finite() || !max.is_finite() || target == 0 {
+        return vec![];
+    }
+    if (max - min).abs() < f64::EPSILON {
+        return vec![min];
+    }
+    let span = max - min;
+    let raw_step = span / target as f64;
+    let mag = 10f64.powf(raw_step.log10().floor());
+    let norm = raw_step / mag;
+    let step = if norm < 1.5 {
+        1.0
+    } else if norm < 3.0 {
+        2.0
+    } else if norm < 7.0 {
+        5.0
+    } else {
+        10.0
+    } * mag;
+    let first = (min / step).ceil() * step;
+    let mut ticks = Vec::new();
+    let mut t = first;
+    while t <= max + step * 1e-9 {
+        ticks.push(if t.abs() < step * 1e-9 { 0.0 } else { t });
+        t += step;
+    }
+    ticks
+}
+
+/// Log-scale ticks: powers of ten within `[min, max]` (both > 0).
+pub fn log_ticks(min: f64, max: f64) -> Vec<f64> {
+    if min <= 0.0 || max <= min {
+        return vec![];
+    }
+    let lo = min.log10().floor() as i32;
+    let hi = max.log10().ceil() as i32;
+    (lo..=hi)
+        .map(|e| 10f64.powi(e))
+        .filter(|&v| v >= min / 1.001 && v <= max * 1.001)
+        .collect()
+}
+
+/// Compact tick label: `1.5M`, `100K`, `3`, `0.25`.
+pub fn format_tick(v: f64) -> String {
+    let a = v.abs();
+    if a >= 1e9 {
+        trim(format!("{:.2}", v / 1e9)) + "B"
+    } else if a >= 1e6 {
+        trim(format!("{:.2}", v / 1e6)) + "M"
+    } else if a >= 1e4 {
+        trim(format!("{:.1}", v / 1e3)) + "K"
+    } else if a >= 1.0 || a == 0.0 {
+        trim(format!("{v:.1}"))
+    } else {
+        format!("{v:.3}")
+            .trim_end_matches('0')
+            .trim_end_matches('.')
+            .to_owned()
+    }
+}
+
+fn trim(s: String) -> String {
+    if s.contains('.') {
+        s.trim_end_matches('0').trim_end_matches('.').to_owned()
+    } else {
+        s
+    }
+}
+
+/// XML-escape text content.
+pub fn escape(s: &str) -> String {
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+        .replace('"', "&quot;")
+}
+
+struct ScaleMap {
+    scale: Scale,
+    min: f64,
+    max: f64,
+    pix_lo: f64,
+    pix_hi: f64,
+}
+
+impl ScaleMap {
+    fn new(scale: Scale, min: f64, max: f64, pix_lo: f64, pix_hi: f64) -> Self {
+        let (min, max) = match scale {
+            Scale::Linear => {
+                if (max - min).abs() < f64::EPSILON {
+                    (min - 1.0, max + 1.0)
+                } else {
+                    (min, max)
+                }
+            }
+            Scale::Log10 => {
+                let min = min.max(1e-9);
+                let max = if max <= min { min * 10.0 } else { max };
+                (min, max)
+            }
+        };
+        ScaleMap {
+            scale,
+            min,
+            max,
+            pix_lo,
+            pix_hi,
+        }
+    }
+
+    fn map(&self, v: f64) -> f64 {
+        let t = match self.scale {
+            Scale::Linear => (v - self.min) / (self.max - self.min),
+            Scale::Log10 => {
+                let v = v.max(self.min);
+                (v.log10() - self.min.log10()) / (self.max.log10() - self.min.log10())
+            }
+        };
+        self.pix_lo + t.clamp(0.0, 1.0) * (self.pix_hi - self.pix_lo)
+    }
+
+    fn ticks(&self) -> Vec<f64> {
+        match self.scale {
+            Scale::Linear => nice_ticks(self.min, self.max, 6),
+            Scale::Log10 => log_ticks(self.min, self.max),
+        }
+    }
+}
+
+fn data_extent(series: &[Series], get: impl Fn(&Series) -> &[f64], log: bool) -> (f64, f64) {
+    let mut min = f64::INFINITY;
+    let mut max = f64::NEG_INFINITY;
+    for s in series {
+        for &v in get(s) {
+            if !v.is_finite() || (log && v <= 0.0) {
+                continue;
+            }
+            min = min.min(v);
+            max = max.max(v);
+        }
+    }
+    if min > max {
+        (0.0, 1.0)
+    } else {
+        (min, max)
+    }
+}
+
+/// Grid-based downsampling: keep one representative per cell plus the cell's
+/// multiplicity (encoded as marker opacity), preserving visual density.
+fn downsample(xs: &[f64], ys: &[f64], keep: usize) -> Vec<usize> {
+    if xs.len() <= keep {
+        // Still drop non-finite points: they have no pixel position.
+        return (0..xs.len())
+            .filter(|&i| xs[i].is_finite() && ys[i].is_finite())
+            .collect();
+    }
+    let (mut xmin, mut xmax) = (f64::INFINITY, f64::NEG_INFINITY);
+    let (mut ymin, mut ymax) = (f64::INFINITY, f64::NEG_INFINITY);
+    for (&x, &y) in xs.iter().zip(ys) {
+        if x.is_finite() && y.is_finite() {
+            xmin = xmin.min(x);
+            xmax = xmax.max(x);
+            ymin = ymin.min(y);
+            ymax = ymax.max(y);
+        }
+    }
+    let cells = (keep as f64).sqrt().ceil() as usize * 2;
+    let mut seen = std::collections::HashSet::with_capacity(keep * 2);
+    let mut out = Vec::with_capacity(keep * 2);
+    for i in 0..xs.len() {
+        let (x, y) = (xs[i], ys[i]);
+        if !x.is_finite() || !y.is_finite() {
+            continue;
+        }
+        let cx = (((x - xmin) / (xmax - xmin).max(1e-12)) * cells as f64) as usize;
+        let cy = (((y - ymin) / (ymax - ymin).max(1e-12)) * cells as f64) as usize;
+        if seen.insert((cx.min(cells), cy.min(cells))) {
+            out.push(i);
+        }
+    }
+    out
+}
+
+/// Render any chart to an SVG string.
+pub fn render(chart: &Chart, geometry: &Geometry) -> String {
+    match chart {
+        Chart::Scatter(c) => render_scatter(c, geometry),
+        Chart::Bar(c) => render_bars(c, geometry),
+        Chart::Heatmap(c) => render_heatmap(c, geometry),
+    }
+}
+
+/// Sequential color ramp for heatmap cells: white → deep blue.
+fn heat_color(t: f64) -> String {
+    let t = t.clamp(0.0, 1.0);
+    // Interpolate white (255,255,255) → Okabe-Ito blue (0,114,178).
+    let r = (255.0 + (0.0 - 255.0) * t) as u8;
+    let g = (255.0 + (114.0 - 255.0) * t) as u8;
+    let b = (255.0 + (178.0 - 255.0) * t) as u8;
+    format!("#{r:02x}{g:02x}{b:02x}")
+}
+
+fn render_heatmap(c: &HeatmapChart, g: &Geometry) -> String {
+    let mut out = String::with_capacity(1 << 14);
+    svg_header(&mut out, g, &c.title);
+    let rows = c.y_labels.len().max(1);
+    let cols = c.x_labels.len().max(1);
+    let x0 = g.margin_left;
+    let y0 = g.margin_top;
+    let cw = g.plot_width() / cols as f64;
+    let ch = g.plot_height() / rows as f64;
+
+    let finite: Vec<f64> = c.values.iter().copied().filter(|v| v.is_finite()).collect();
+    let vmin = finite.iter().copied().fold(f64::INFINITY, f64::min);
+    let vmax = finite.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let norm = |v: f64| -> f64 {
+        if !v.is_finite() || vmax <= vmin {
+            0.0
+        } else {
+            (v - vmin) / (vmax - vmin)
+        }
+    };
+
+    for r in 0..rows {
+        for col in 0..cols {
+            let v = c.value(r, col);
+            let fill = if v.is_finite() {
+                heat_color(norm(v))
+            } else {
+                "#f2f2f2".to_owned()
+            };
+            let label = if v.is_finite() {
+                format!(
+                    "{}[{}, {}] = {}",
+                    c.value_label,
+                    c.y_labels[r],
+                    c.x_labels[col],
+                    format_tick(v)
+                )
+            } else {
+                "no data".to_owned()
+            };
+            let _ = write!(
+                out,
+                r#"<rect x="{x:.1}" y="{y:.1}" width="{w:.1}" height="{h:.1}" fill="{fill}" stroke="white" stroke-width="0.5"><title>{t}</title></rect>"#,
+                x = x0 + cw * col as f64,
+                y = y0 + ch * r as f64,
+                w = cw,
+                h = ch,
+                t = escape(&label)
+            );
+        }
+        let _ = write!(
+            out,
+            r#"<text x="{tx:.1}" y="{ty:.1}" text-anchor="end" font-size="10" fill="{INK}">{t}</text>"#,
+            tx = x0 - 6.0,
+            ty = y0 + ch * (r as f64 + 0.5) + 3.0,
+            t = escape(&c.y_labels[r])
+        );
+    }
+    // Column labels: thin to at most 24 to stay readable.
+    let stride = (cols / 24).max(1);
+    for (col, label) in c.x_labels.iter().enumerate().step_by(stride) {
+        let _ = write!(
+            out,
+            r#"<text x="{tx:.1}" y="{ty:.1}" text-anchor="middle" font-size="10" fill="{INK}">{t}</text>"#,
+            tx = x0 + cw * (col as f64 + 0.5),
+            ty = g.height - g.margin_bottom + 14.0,
+            t = escape(label)
+        );
+    }
+    // Color ramp legend.
+    let lx = g.width - g.margin_right + 20.0;
+    for i in 0..20 {
+        let _ = write!(
+            out,
+            r#"<rect x="{lx}" y="{y:.1}" width="14" height="8" fill="{c}"/>"#,
+            y = g.margin_top + (19 - i) as f64 * 8.0,
+            c = heat_color(i as f64 / 19.0)
+        );
+    }
+    if vmax > vmin {
+        let _ = write!(
+            out,
+            r#"<text x="{tx}" y="{ty}" font-size="10" fill="{INK}">{hi}</text><text x="{tx}" y="{by}" font-size="10" fill="{INK}">{lo}</text>"#,
+            tx = lx + 18.0,
+            ty = g.margin_top + 8.0,
+            by = g.margin_top + 164.0,
+            hi = format_tick(vmax),
+            lo = format_tick(vmin)
+        );
+    }
+    let _ = write!(
+        out,
+        r#"<text x="{cx}" y="{by}" text-anchor="middle" font-size="13" fill="{INK}">{xl}</text>"#,
+        cx = (x0 + g.width - g.margin_right) / 2.0,
+        by = g.height - 12.0,
+        xl = escape(&c.x_axis_label)
+    );
+    let _ = write!(
+        out,
+        r#"<text x="18" y="{cy}" text-anchor="middle" font-size="13" fill="{INK}" transform="rotate(-90 18 {cy})">{yl}</text>"#,
+        cy = (y0 + g.height - g.margin_bottom) / 2.0,
+        yl = escape(&c.y_axis_label)
+    );
+    out.push_str("</svg>");
+    out
+}
+
+fn svg_header(out: &mut String, g: &Geometry, title: &str) {
+    let _ = write!(
+        out,
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{w}" height="{h}" viewBox="0 0 {w} {h}" font-family="Helvetica,Arial,sans-serif">"#,
+        w = g.width,
+        h = g.height
+    );
+    let _ = write!(
+        out,
+        r#"<rect width="{w}" height="{h}" fill="white"/><text x="{cx}" y="26" text-anchor="middle" font-size="16" fill="{INK}">{t}</text>"#,
+        w = g.width,
+        h = g.height,
+        cx = g.width / 2.0,
+        t = escape(title)
+    );
+}
+
+fn axes_frame(out: &mut String, g: &Geometry, xm: &ScaleMap, ym: &ScaleMap, xl: &str, yl: &str) {
+    let (x0, x1) = (g.margin_left, g.width - g.margin_right);
+    let (y0, y1) = (g.margin_top, g.height - g.margin_bottom);
+    let _ = write!(
+        out,
+        r#"<rect x="{x0}" y="{y0}" width="{pw}" height="{ph}" fill="none" stroke="{INK}"/>"#,
+        pw = g.plot_width(),
+        ph = g.plot_height()
+    );
+    for t in xm.ticks() {
+        let px = xm.map(t);
+        let _ = write!(
+            out,
+            r#"<line x1="{px}" y1="{y0}" x2="{px}" y2="{y1}" stroke="{GRID}"/><text x="{px}" y="{ty}" text-anchor="middle" font-size="11" fill="{INK}">{label}</text>"#,
+            ty = y1 + 18.0,
+            label = format_tick(t)
+        );
+    }
+    for t in ym.ticks() {
+        let py = ym.map(t);
+        let _ = write!(
+            out,
+            r#"<line x1="{x0}" y1="{py}" x2="{x1}" y2="{py}" stroke="{GRID}"/><text x="{tx}" y="{typ}" text-anchor="end" font-size="11" fill="{INK}">{label}</text>"#,
+            tx = x0 - 6.0,
+            typ = py + 4.0,
+            label = format_tick(t)
+        );
+    }
+    let _ = write!(
+        out,
+        r#"<text x="{cx}" y="{by}" text-anchor="middle" font-size="13" fill="{INK}">{xl}</text>"#,
+        cx = (x0 + x1) / 2.0,
+        by = g.height - 12.0,
+        xl = escape(xl)
+    );
+    let _ = write!(
+        out,
+        r#"<text x="18" y="{cy}" text-anchor="middle" font-size="13" fill="{INK}" transform="rotate(-90 18 {cy})">{yl}</text>"#,
+        cy = (y0 + y1) / 2.0,
+        yl = escape(yl)
+    );
+}
+
+fn marker_svg(out: &mut String, shape: MarkerShape, x: f64, y: f64, color: &str, title: &str) {
+    match shape {
+        MarkerShape::Dot => {
+            let _ = write!(
+                out,
+                r#"<circle cx="{x:.1}" cy="{y:.1}" r="2.2" fill="{color}" fill-opacity="0.55">"#
+            );
+        }
+        MarkerShape::Plus => {
+            let _ = write!(
+                out,
+                r#"<path d="M{x0:.1} {y:.1}H{x1:.1}M{x:.1} {y0:.1}V{y1:.1}" stroke="{color}" stroke-width="1.3" stroke-opacity="0.8">"#,
+                x0 = x - 3.0,
+                x1 = x + 3.0,
+                y0 = y - 3.0,
+                y1 = y + 3.0
+            );
+        }
+        MarkerShape::Square => {
+            let _ = write!(
+                out,
+                r#"<rect x="{:.1}" y="{:.1}" width="4" height="4" fill="{color}" fill-opacity="0.6">"#,
+                x - 2.0,
+                y - 2.0
+            );
+        }
+    }
+    if !title.is_empty() {
+        let _ = write!(out, "<title>{}</title>", escape(title));
+    }
+    let _ = out.push_str(match shape {
+        MarkerShape::Dot => "</circle>",
+        MarkerShape::Plus => "</path>",
+        MarkerShape::Square => "</rect>",
+    });
+}
+
+fn legend(out: &mut String, g: &Geometry, entries: &[(String, String)]) {
+    let lx = g.width - g.margin_right + 14.0;
+    for (i, (name, color)) in entries.iter().enumerate() {
+        let ly = g.margin_top + 14.0 + i as f64 * 18.0;
+        let _ = write!(
+            out,
+            r#"<rect x="{lx}" y="{ry}" width="10" height="10" fill="{color}" class="legend" data-series="{i}"/><text x="{tx}" y="{ty}" font-size="12" fill="{INK}">{name}</text>"#,
+            ry = ly - 9.0,
+            tx = lx + 15.0,
+            ty = ly,
+            name = escape(name)
+        );
+    }
+}
+
+fn render_scatter(c: &ScatterChart, g: &Geometry) -> String {
+    let mut out = String::with_capacity(1 << 16);
+    svg_header(&mut out, g, &c.title);
+    let log_x = c.x_axis.scale == Scale::Log10;
+    let log_y = c.y_axis.scale == Scale::Log10;
+    let (xmin, xmax) = data_extent(&c.series, |s| &s.x, log_x);
+    let (ymin, ymax) = data_extent(&c.series, |s| &s.y, log_y);
+    let xm = ScaleMap::new(
+        c.x_axis.scale,
+        xmin,
+        xmax,
+        g.margin_left,
+        g.width - g.margin_right,
+    );
+    let ym = ScaleMap::new(
+        c.y_axis.scale,
+        ymin,
+        ymax,
+        g.height - g.margin_bottom,
+        g.margin_top,
+    );
+    axes_frame(&mut out, g, &xm, &ym, &c.x_axis.label, &c.y_axis.label);
+
+    if c.diagonal {
+        let lo = xm.min.max(ym.min);
+        let hi = xm.max.min(ym.max);
+        if hi > lo {
+            let _ = write!(
+                out,
+                r##"<line x1="{:.1}" y1="{:.1}" x2="{:.1}" y2="{:.1}" stroke="#888" stroke-dasharray="5 4"/>"##,
+                xm.map(lo),
+                ym.map(lo),
+                xm.map(hi),
+                ym.map(hi)
+            );
+        }
+    }
+
+    let mut entries = Vec::new();
+    for (si, s) in c.series.iter().enumerate() {
+        let color = s
+            .color
+            .clone()
+            .unwrap_or_else(|| state_or_categorical(&s.name, si));
+        entries.push((s.name.clone(), color.clone()));
+        let _ = write!(out, r#"<g class="series" data-series="{si}">"#);
+        if s.line {
+            let mut d = String::new();
+            for (i, (&x, &y)) in s.x.iter().zip(&s.y).enumerate() {
+                if !x.is_finite() || !y.is_finite() {
+                    continue;
+                }
+                let _ = write!(
+                    d,
+                    "{}{:.1} {:.1}",
+                    if i == 0 { "M" } else { "L" },
+                    xm.map(x),
+                    ym.map(y)
+                );
+            }
+            let _ = write!(
+                out,
+                r#"<path d="{d}" fill="none" stroke="{color}" stroke-width="1.6"/>"#
+            );
+        } else {
+            let idx = downsample(&s.x, &s.y, MAX_POINTS_PER_SERIES);
+            for i in idx {
+                marker_svg(
+                    &mut out,
+                    s.marker,
+                    xm.map(s.x[i]),
+                    ym.map(s.y[i]),
+                    &color,
+                    "",
+                );
+            }
+        }
+        out.push_str("</g>");
+    }
+    legend(&mut out, g, &entries);
+    out.push_str("</svg>");
+    out
+}
+
+fn state_or_categorical(name: &str, i: usize) -> String {
+    let c = state_color(name);
+    if c != "#999999" {
+        c.to_owned()
+    } else {
+        categorical(i).to_owned()
+    }
+}
+
+fn render_bars(c: &BarChart, g: &Geometry) -> String {
+    let mut out = String::with_capacity(1 << 14);
+    svg_header(&mut out, g, &c.title);
+    let n = c.categories.len().max(1);
+    let totals = c.category_totals();
+    let ymax = match c.mode {
+        BarMode::Stacked => totals.iter().copied().fold(0.0f64, f64::max),
+        BarMode::Grouped => c
+            .stacks
+            .iter()
+            .flat_map(|(_, v)| v.iter().copied())
+            .fold(0.0f64, f64::max),
+    }
+    .max(1.0);
+    let ym = ScaleMap::new(
+        c.y_scale,
+        if c.y_scale == Scale::Log10 { 1.0 } else { 0.0 },
+        ymax,
+        g.height - g.margin_bottom,
+        g.margin_top,
+    );
+    // Frame + y ticks only (categorical x).
+    let x0 = g.margin_left;
+    let x1 = g.width - g.margin_right;
+    let y1 = g.height - g.margin_bottom;
+    let _ = write!(
+        out,
+        r#"<rect x="{x0}" y="{y0}" width="{pw}" height="{ph}" fill="none" stroke="{INK}"/>"#,
+        y0 = g.margin_top,
+        pw = g.plot_width(),
+        ph = g.plot_height()
+    );
+    for t in ym.ticks() {
+        let py = ym.map(t);
+        let _ = write!(
+            out,
+            r#"<line x1="{x0}" y1="{py}" x2="{x1}" y2="{py}" stroke="{GRID}"/><text x="{tx}" y="{ty}" text-anchor="end" font-size="11" fill="{INK}">{label}</text>"#,
+            tx = x0 - 6.0,
+            ty = py + 4.0,
+            label = format_tick(t)
+        );
+    }
+    let _ = write!(
+        out,
+        r#"<text x="18" y="{cy}" text-anchor="middle" font-size="13" fill="{INK}" transform="rotate(-90 18 {cy})">{yl}</text>"#,
+        cy = (g.margin_top + y1) / 2.0,
+        yl = escape(&c.y_label)
+    );
+
+    let band = g.plot_width() / n as f64;
+    let show_labels = n <= 40;
+    let mut entries = Vec::new();
+    for (si, (name, values)) in c.stacks.iter().enumerate() {
+        let color = state_or_categorical(name, si);
+        entries.push((name.clone(), color.clone()));
+        let _ = write!(out, r#"<g class="series" data-series="{si}">"#);
+        for (ci, &v) in values.iter().enumerate() {
+            if v <= 0.0 {
+                continue;
+            }
+            let (bx, bw, base) = match c.mode {
+                BarMode::Grouped => {
+                    let sub = band * 0.8 / c.stacks.len() as f64;
+                    (
+                        x0 + band * ci as f64 + band * 0.1 + sub * si as f64,
+                        sub,
+                        0.0,
+                    )
+                }
+                BarMode::Stacked => {
+                    let below: f64 = c.stacks[..si].iter().map(|(_, vs)| vs[ci]).sum();
+                    (x0 + band * ci as f64 + band * 0.1, band * 0.8, below)
+                }
+            };
+            let y_top = ym.map(base + v);
+            let y_base = ym.map(if c.y_scale == Scale::Log10 && base == 0.0 {
+                1.0
+            } else {
+                base
+            });
+            let _ = write!(
+                out,
+                r#"<rect x="{bx:.1}" y="{y_top:.1}" width="{bw:.1}" height="{bh:.1}" fill="{color}"><title>{t}</title></rect>"#,
+                bh = (y_base - y_top).max(0.0),
+                t = escape(&format!("{}[{}] = {}", name, c.categories[ci], v))
+            );
+        }
+        out.push_str("</g>");
+    }
+    if show_labels {
+        for (ci, cat) in c.categories.iter().enumerate() {
+            let cx = x0 + band * (ci as f64 + 0.5);
+            let _ = write!(
+                out,
+                r#"<text x="{cx:.1}" y="{ty}" text-anchor="middle" font-size="10" fill="{INK}">{t}</text>"#,
+                ty = y1 + 16.0,
+                t = escape(cat)
+            );
+        }
+    }
+    legend(&mut out, g, &entries);
+    out.push_str("</svg>");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::Axis;
+
+    #[test]
+    fn nice_ticks_cover_range() {
+        let ticks = nice_ticks(0.0, 100.0, 5);
+        assert!(ticks.contains(&0.0));
+        assert!(ticks.contains(&100.0));
+        assert!(ticks.len() >= 4 && ticks.len() <= 8);
+        assert!(nice_ticks(3.0, 3.0, 5).len() == 1);
+    }
+
+    #[test]
+    fn log_ticks_are_powers_of_ten() {
+        let ticks = log_ticks(5.0, 50_000.0);
+        assert_eq!(ticks, vec![10.0, 100.0, 1000.0, 10_000.0]);
+        assert!(log_ticks(-1.0, 10.0).is_empty());
+    }
+
+    #[test]
+    fn tick_formatting() {
+        assert_eq!(format_tick(1_500_000.0), "1.5M");
+        assert_eq!(format_tick(100_000.0), "100K");
+        assert_eq!(format_tick(42.0), "42");
+        assert_eq!(format_tick(0.25), "0.25");
+        assert_eq!(format_tick(0.0), "0");
+    }
+
+    #[test]
+    fn scatter_svg_is_well_formed() {
+        let c = Chart::Scatter(
+            ScatterChart::new("Nodes vs elapsed", Axis::log("elapsed"), Axis::log("nodes"))
+                .with_series(Series::scatter("jobs", vec![10.0, 100.0, 1000.0], vec![1.0, 8.0, 512.0])),
+        );
+        let svg = render(&c, &Geometry::default());
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>"));
+        assert!(svg.contains("Nodes vs elapsed"));
+        assert!(svg.contains("circle"));
+        assert_eq!(svg.matches("<svg").count(), 1);
+    }
+
+    #[test]
+    fn plus_markers_render_paths() {
+        let c = Chart::Scatter(
+            ScatterChart::new("bf", Axis::linear("x"), Axis::linear("y")).with_series(
+                Series::scatter("backfilled", vec![1.0], vec![2.0])
+                    .with_marker(MarkerShape::Plus),
+            ),
+        );
+        let svg = render(&c, &Geometry::default());
+        assert!(svg.contains("<path"));
+    }
+
+    #[test]
+    fn diagonal_guide_renders() {
+        let c = Chart::Scatter(
+            ScatterChart::new("req vs act", Axis::linear("x"), Axis::linear("y"))
+                .with_series(Series::scatter("j", vec![1.0, 10.0], vec![2.0, 8.0]))
+                .with_diagonal(),
+        );
+        assert!(render(&c, &Geometry::default()).contains("stroke-dasharray"));
+    }
+
+    #[test]
+    fn stacked_bars_render_rects_with_titles() {
+        let c = Chart::Bar(
+            BarChart::new(
+                "states per user",
+                vec!["u1".into(), "u2".into()],
+                "jobs",
+                BarMode::Stacked,
+            )
+            .with_stack("COMPLETED", vec![10.0, 4.0])
+            .with_stack("FAILED", vec![2.0, 6.0]),
+        );
+        let svg = render(&c, &Geometry::default());
+        assert!(svg.matches("<rect").count() >= 5); // bg + frame + 4 bars
+        assert!(svg.contains("COMPLETED[u1] = 10"));
+        // State colors applied.
+        assert!(svg.contains("#009E73"));
+        assert!(svg.contains("#D55E00"));
+    }
+
+    #[test]
+    fn grouped_bars_do_not_overlap() {
+        let c = Chart::Bar(
+            BarChart::new("fig1", vec!["2021".into()], "count", BarMode::Grouped)
+                .with_stack("jobs", vec![10.0])
+                .with_stack("steps", vec![100.0]),
+        );
+        let svg = render(&c, &Geometry::default());
+        assert!(svg.contains("jobs[2021] = 10"));
+        assert!(svg.contains("steps[2021] = 100"));
+    }
+
+    #[test]
+    fn downsampling_caps_marker_count() {
+        let n = 100_000;
+        let xs: Vec<f64> = (0..n).map(|i| (i % 1000) as f64).collect();
+        let ys: Vec<f64> = (0..n).map(|i| (i / 1000) as f64).collect();
+        let c = Chart::Scatter(
+            ScatterChart::new("big", Axis::linear("x"), Axis::linear("y"))
+                .with_series(Series::scatter("pts", xs, ys)),
+        );
+        let svg = render(&c, &Geometry::default());
+        let markers = svg.matches("<circle").count();
+        assert!(markers <= MAX_POINTS_PER_SERIES * 2, "markers={markers}");
+        assert!(markers > 1000);
+    }
+
+    #[test]
+    fn heatmap_renders_cells_and_legend() {
+        let mut h = HeatmapChart::new(
+            "queue dynamics",
+            (0..24).map(|i| i.to_string()).collect(),
+            ["Mon", "Tue", "Wed"].iter().map(|s| s.to_string()).collect(),
+            (0..72).map(|i| i as f64).collect(),
+        );
+        h.value_label = "mean wait (s)".into();
+        let svg = render(&Chart::Heatmap(h), &Geometry::default());
+        assert!(svg.matches("<rect").count() > 72, "cells + legend + bg");
+        assert!(svg.contains("mean wait (s)[Tue, 5]"));
+        assert!(svg.contains("queue dynamics"));
+        assert!(svg.ends_with("</svg>"));
+    }
+
+    #[test]
+    fn heatmap_handles_nan_cells() {
+        let h = HeatmapChart::new(
+            "sparse",
+            vec!["a".into(), "b".into()],
+            vec!["r".into()],
+            vec![f64::NAN, 2.0],
+        );
+        let svg = render(&Chart::Heatmap(h), &Geometry::default());
+        assert!(svg.contains("no data"));
+    }
+
+    #[test]
+    fn heat_ramp_endpoints() {
+        assert_eq!(heat_color(0.0), "#ffffff");
+        assert_eq!(heat_color(1.0), "#0072b2");
+    }
+
+    #[test]
+    fn escaping() {
+        assert_eq!(escape("a<b>&\"c\""), "a&lt;b&gt;&amp;&quot;c&quot;");
+    }
+
+    #[test]
+    fn empty_series_render_without_panic() {
+        let c = Chart::Scatter(ScatterChart::new("empty", Axis::linear("x"), Axis::log("y")));
+        let svg = render(&c, &Geometry::default());
+        assert!(svg.contains("</svg>"));
+    }
+
+    #[test]
+    fn line_series_renders_polyline_path() {
+        let c = Chart::Scatter(
+            ScatterChart::new("ts", Axis::linear("t"), Axis::linear("v"))
+                .with_series(Series::line("load", vec![0.0, 1.0, 2.0], vec![5.0, 3.0, 8.0])),
+        );
+        let svg = render(&c, &Geometry::default());
+        assert!(svg.contains(r#"fill="none" stroke="#));
+    }
+}

@@ -1,0 +1,46 @@
+//! The AI subworkflow in isolation: build charts, digest them, and run the
+//! Insight and Compare stages — reproducing the two LLM interpretations
+//! quoted in §4.2.
+//!
+//! ```text
+//! cargo run --release -p schedflow-core --example llm_analyst
+//! ```
+
+use schedflow_analytics as analytics;
+use schedflow_charts::digest;
+use schedflow_core::{run, System, WorkflowConfig};
+use schedflow_insight::{Analyst, PromptRequest, RuleAnalyst};
+
+fn main() {
+    let mut cfg = WorkflowConfig::new(System::Frontier);
+    cfg.from = (2024, 1);
+    cfg.to = (2024, 6);
+    cfg.scale = 0.04;
+    cfg.cache_dir = std::env::temp_dir().join("schedflow-analyst/cache");
+    cfg.data_dir = std::env::temp_dir().join("schedflow-analyst/out");
+    let outcome = run(&cfg).expect("workflow runs");
+    let frame = &outcome.frame;
+    let analyst = RuleAnalyst::new();
+
+    // --- §4.2 quote 2: single-chart insight on requested-vs-actual. ---
+    let backfill_chart = analytics::backfill_chart(frame, "frontier").unwrap();
+    let backfill_digest = digest(&backfill_chart);
+    println!("== what a hosted model would receive (LLM Insight) ==");
+    let request = PromptRequest::insight(&backfill_digest);
+    println!("prompt: {}…", &request.prompt[..60]);
+    println!("attachment: {} bytes of chart digest\n", request.attachments[0].len());
+
+    let insight = analyst.insight(&backfill_digest).unwrap();
+    println!("== LLM Insight (walltime overestimation) ==\n{}", insight.to_markdown());
+
+    // --- §4.2 quote 1: compare wait times across two months. ---
+    let march = analytics::select::filter_month(frame, 2024, 3).unwrap();
+    let june = analytics::select::filter_month(frame, 2024, 6).unwrap();
+    let options = analytics::WaitOptions::default();
+    let chart_march = analytics::wait_chart(&march, "March", &options).unwrap();
+    let chart_june = analytics::wait_chart(&june, "June", &options).unwrap();
+    let comparison = analyst
+        .compare(&digest(&chart_march), &digest(&chart_june))
+        .unwrap();
+    println!("== LLM Compare (March vs June wait times) ==\n{}", comparison.to_markdown());
+}

@@ -1,0 +1,103 @@
+//! Policy laboratory: the "evolving scheduling practices" half of the paper's
+//! title — replay one submission stream under different scheduling policies
+//! and quantify what changes.
+//!
+//! Two experiments:
+//! 1. Backfill ablation: FIFO vs EASY vs conservative.
+//! 2. Walltime reclamation (§4.2/§6): what if requests were accurate?
+//!
+//! ```text
+//! cargo run --release -p schedflow-core --example policy_lab
+//! ```
+
+use schedflow_sim::{metrics, BackfillPolicy, JobRequest, Simulator};
+use schedflow_tracegen::{synthesize_plans, UserPopulation, WorkloadProfile};
+
+fn submission_stream(profile: &WorkloadProfile, seed: u64) -> Vec<JobRequest> {
+    use rand::SeedableRng;
+    let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+    let pop = UserPopulation::generate(profile, &mut rng);
+    synthesize_plans(profile, &pop, &mut rng)
+        .into_iter()
+        .map(|p| p.request)
+        .collect()
+}
+
+fn main() {
+    let scale: f64 = std::env::var("SCHEDFLOW_SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.15);
+    let profile = WorkloadProfile::frontier().truncated_days(60).scaled(scale);
+    let jobs = submission_stream(&profile, 11);
+    println!(
+        "replaying {} submissions over {} days on {} nodes\n",
+        jobs.len(),
+        (profile.end.0 - profile.start.0) / 86_400,
+        profile.system.total_nodes
+    );
+
+    println!("== backfill policy ablation ==");
+    println!(
+        "{:<14} {:>10} {:>12} {:>12} {:>10} {:>10}",
+        "policy", "mean wait", "median wait", "p95 wait", "util", "backfilled"
+    );
+    for (name, policy) in [
+        ("fifo", BackfillPolicy::None),
+        ("easy", BackfillPolicy::Easy),
+        ("conservative", BackfillPolicy::Conservative),
+    ] {
+        let mut system = profile.system.clone();
+        system.backfill = policy;
+        let outcomes = Simulator::new(system).run(&jobs).expect("valid stream");
+        let m = metrics(&jobs, &outcomes, profile.system.total_nodes);
+        println!(
+            "{:<14} {:>9.0}s {:>11.0}s {:>11.0}s {:>9.1}% {:>9.1}%",
+            name,
+            m.mean_wait_secs,
+            m.median_wait_secs,
+            m.p95_wait_secs,
+            m.utilization * 100.0,
+            m.backfill_fraction * 100.0
+        );
+    }
+
+    println!("\n== walltime reclamation what-if ==");
+    println!("(requests clamped toward actual runtime, as an AI predictor would)");
+    println!(
+        "{:<22} {:>10} {:>12} {:>10}",
+        "request accuracy", "mean wait", "p95 wait", "util"
+    );
+    for (name, tighten) in [
+        ("as submitted", 1.00_f64),
+        ("50% tighter", 0.50),
+        ("perfect prediction", 0.0),
+    ] {
+        let adjusted: Vec<JobRequest> = jobs
+            .iter()
+            .map(|j| {
+                let mut j = j.clone();
+                // New request = actual + tighten × (request − actual),
+                // rounded up to 5 minutes, never above the original request
+                // (timeout-bound jobs stay timeout-bound).
+                let slack = (j.walltime_secs - j.actual_secs).max(0) as f64;
+                let w = j.actual_secs + (slack * tighten) as i64;
+                j.walltime_secs = ((w + 299) / 300 * 300).clamp(300, j.walltime_secs.max(300));
+                j
+            })
+            .collect();
+        let outcomes = Simulator::new(profile.system.clone())
+            .run(&adjusted)
+            .expect("valid stream");
+        let m = metrics(&adjusted, &outcomes, profile.system.total_nodes);
+        println!(
+            "{:<22} {:>9.0}s {:>11.0}s {:>9.1}%",
+            name,
+            m.mean_wait_secs,
+            m.p95_wait_secs,
+            m.utilization * 100.0
+        );
+    }
+    println!("\ntighter requests let the backfill scheduler pack holes it previously");
+    println!("could not prove safe — the mechanism behind §4.2's reclamation insight.");
+}

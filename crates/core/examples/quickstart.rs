@@ -1,0 +1,51 @@
+//! Quickstart: run the full hybrid workflow on a small Andes window and
+//! print what it produced.
+//!
+//! ```text
+//! cargo run --release -p schedflow-core --example quickstart
+//! ```
+
+use schedflow_core::{run, System, WorkflowConfig};
+
+fn main() {
+    // Two months of Andes at 3% volume: finishes in seconds.
+    let mut cfg = WorkflowConfig::new(System::Andes);
+    cfg.from = (2024, 1);
+    cfg.to = (2024, 2);
+    cfg.scale = 0.03;
+    cfg.threads = 4;
+    cfg.cache_dir = std::env::temp_dir().join("schedflow-quickstart/cache");
+    cfg.data_dir = std::env::temp_dir().join("schedflow-quickstart/out");
+
+    println!("running the hybrid workflow on {} …", cfg.system.name());
+    let outcome = run(&cfg).expect("workflow runs");
+
+    println!(
+        "\n{} tasks finished in {:.1}s — max concurrency {}, speedup ≥ {:.1}×",
+        outcome.report.tasks.len(),
+        outcome.report.makespan_ms / 1000.0,
+        outcome.report.max_concurrency(),
+        outcome.report.speedup()
+    );
+    println!(
+        "analyzed {} jobs; curation discarded {} of {} raw lines",
+        outcome.frame.height(),
+        outcome.curation.1,
+        outcome.curation.0
+    );
+
+    println!("\n--- automated insights ---");
+    for (stage, insight) in &outcome.insights {
+        println!("\n[{stage}] {}", insight.narrative);
+        for finding in &insight.findings {
+            println!("    - [{:?}] {}", finding.severity, finding.text);
+        }
+    }
+    if let Some(compare) = &outcome.compare {
+        println!("\n[compare] {}", compare.narrative);
+    }
+
+    println!("\ndashboard: {}", outcome.dashboard_index.display());
+    println!("open it directly, or serve it with:");
+    println!("  schedflow run --system andes --serve 8080 …");
+}

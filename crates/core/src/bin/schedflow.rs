@@ -1,0 +1,208 @@
+//! The `schedflow` command-line interface.
+//!
+//! Mirrors the paper's workflow invocation (§3.3): physical concurrency
+//! `-n N`, a date range, a cache location, and a permanent data location.
+//!
+//! ```text
+//! schedflow run --system frontier --from 2023-04 --to 2024-12 -n 8 \
+//!     --cache .cache --data out --scale 0.05 [--serve PORT]
+//! schedflow dot --system andes            # Figure 2 (Graphviz DOT)
+//! schedflow table2                        # the LLM offering survey
+//! ```
+
+use schedflow_core::{build, run, System, WorkflowConfig};
+
+fn usage() -> ! {
+    eprintln!(
+        "schedflow — LLM-enabled Slurm trace analytics workflow\n\n\
+         USAGE:\n  schedflow run   [OPTIONS]   execute the full hybrid workflow\n  \
+         schedflow dot   [OPTIONS]   print the workflow dataflow graph (DOT)\n  \
+         schedflow table2            print the LLM offering survey (Table 2)\n\n\
+         OPTIONS (run/dot):\n  \
+         --system NAME    frontier | andes            [frontier]\n  \
+         --from YYYY-MM   first month analyzed        [profile start]\n  \
+         --to YYYY-MM     last month analyzed         [profile end]\n  \
+         -n N             worker threads              [cores]\n  \
+         --cache DIR      raw query cache             [.schedflow-cache]\n  \
+         --data DIR       output location             [schedflow-out]\n  \
+         --scale F        trace volume scale          [0.05]\n  \
+         --seed N         generator seed              [42]\n  \
+         --no-cache       refetch raw data\n  \
+         --serve PORT     serve the dashboard after the run"
+    );
+    std::process::exit(2);
+}
+
+struct Args {
+    cfg: WorkflowConfig,
+    serve: Option<u16>,
+}
+
+fn parse_args(args: std::env::Args) -> (String, Args) {
+    let mut rest: Vec<String> = args.collect();
+    rest.reverse();
+    let command = rest.pop().unwrap_or_else(|| usage());
+
+    let mut threads: Option<usize> = None;
+    let mut system = System::Frontier;
+    let mut from = None;
+    let mut to = None;
+    let mut serve = None;
+    let mut cache_dir = None;
+    let mut data_dir = None;
+    let mut use_cache = true;
+    let mut seed = None;
+    let mut scale = None;
+
+    fn next(name: &str, rest: &mut Vec<String>) -> String {
+        rest.pop().unwrap_or_else(|| {
+            eprintln!("missing value for {name}");
+            usage()
+        })
+    }
+    while let Some(flag) = rest.pop() {
+        match flag.as_str() {
+            "--system" => {
+                let v = next("--system", &mut rest);
+                system = System::parse(&v).unwrap_or_else(|| {
+                    eprintln!("unknown system {v:?}");
+                    usage()
+                });
+            }
+            "--from" => {
+                from = Some(
+                    WorkflowConfig::parse_month(&next("--from", &mut rest))
+                        .unwrap_or_else(|| usage()),
+                );
+            }
+            "--to" => {
+                to = Some(
+                    WorkflowConfig::parse_month(&next("--to", &mut rest))
+                        .unwrap_or_else(|| usage()),
+                );
+            }
+            "-n" => threads = Some(next("-n", &mut rest).parse().unwrap_or_else(|_| usage())),
+            "--cache" => cache_dir = Some(next("--cache", &mut rest)),
+            "--data" => data_dir = Some(next("--data", &mut rest)),
+            "--scale" => scale = Some(next("--scale", &mut rest).parse().unwrap_or_else(|_| usage())),
+            "--seed" => seed = Some(next("--seed", &mut rest).parse().unwrap_or_else(|_| usage())),
+            "--no-cache" => use_cache = false,
+            "--serve" => {
+                serve = Some(next("--serve", &mut rest).parse().unwrap_or_else(|_| usage()))
+            }
+            other => {
+                eprintln!("unknown flag {other:?}");
+                usage();
+            }
+        }
+    }
+
+    let mut cfg = WorkflowConfig::new(system);
+    if let Some(n) = threads {
+        cfg.threads = n;
+    }
+    if let Some(d) = cache_dir {
+        cfg.cache_dir = d.into();
+    }
+    if let Some(d) = data_dir {
+        cfg.data_dir = d.into();
+    }
+    cfg.use_cache = use_cache;
+    if let Some(s) = seed {
+        cfg.seed = s;
+    }
+    if let Some(s) = scale {
+        cfg.scale = s;
+    }
+    if let Some(f) = from {
+        cfg.from = f;
+    }
+    if let Some(t) = to {
+        cfg.to = t;
+    }
+    (command, Args { cfg, serve })
+}
+
+fn main() {
+    let mut args = std::env::args();
+    let _binary = args.next();
+    let (command, parsed) = parse_args(args);
+
+    match command.as_str() {
+        "table2" => {
+            println!("{}", schedflow_insight::table2_text());
+            let chosen = schedflow_insight::select_backend();
+            println!("selected backend: {} {}", chosen.provider, chosen.version);
+        }
+        "dot" => {
+            let built = build(&parsed.cfg);
+            let dot = schedflow_dataflow::to_dot(
+                &built.workflow,
+                &schedflow_dataflow::DotOptions {
+                    show_artifacts: false,
+                    title: format!("schedflow hybrid workflow — {}", parsed.cfg.system.name()),
+                },
+            )
+            .unwrap_or_else(|e| {
+                eprintln!("graph error: {e}");
+                std::process::exit(1);
+            });
+            println!("{dot}");
+        }
+        "run" => {
+            let cfg = parsed.cfg;
+            eprintln!(
+                "schedflow: system={} window={:04}-{:02}..{:04}-{:02} threads={} scale={}",
+                cfg.system.name(),
+                cfg.from.0,
+                cfg.from.1,
+                cfg.to.0,
+                cfg.to.1,
+                cfg.threads,
+                cfg.scale
+            );
+            match run(&cfg) {
+                Ok(outcome) => {
+                    eprintln!(
+                        "workflow complete: {} tasks in {:.1}s (max concurrency {}, speedup ≥ {:.1}×)",
+                        outcome.report.tasks.len(),
+                        outcome.report.makespan_ms / 1000.0,
+                        outcome.report.max_concurrency(),
+                        outcome.report.speedup()
+                    );
+                    eprintln!(
+                        "analyzed {} jobs; curation discarded {}/{} raw lines",
+                        outcome.frame.height(),
+                        outcome.curation.1,
+                        outcome.curation.0
+                    );
+                    eprintln!("dashboard: {}", outcome.dashboard_index.display());
+                    eprintln!("insights:  {}", outcome.insights_md.display());
+                    if let Some(port) = parsed.serve {
+                        let dir = outcome.dashboard_index.parent().unwrap().to_path_buf();
+                        match schedflow_dashboard::serve(dir, port) {
+                            Ok(handle) => {
+                                eprintln!(
+                                    "serving dashboard at http://{}/ (ctrl-c to stop)",
+                                    handle.addr()
+                                );
+                                loop {
+                                    std::thread::sleep(std::time::Duration::from_secs(3600));
+                                }
+                            }
+                            Err(e) => {
+                                eprintln!("serve failed: {e}");
+                                std::process::exit(1);
+                            }
+                        }
+                    }
+                }
+                Err(e) => {
+                    eprintln!("workflow failed: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        _ => usage(),
+    }
+}

@@ -1,0 +1,200 @@
+//! Workflow configuration: the §3.3 invocation surface.
+//!
+//! The paper invokes the Swift/T workflow with a process count `-n N`, a
+//! `date_spec`/`dates` query, a `cache` location, and a permanent `data`
+//! location. [`WorkflowConfig`] carries the same parameters plus the
+//! generator knobs our trace substitution introduces.
+
+use schedflow_model::time::Timestamp;
+use schedflow_tracegen::WorkloadProfile;
+use std::path::PathBuf;
+
+/// Which system profile to analyze.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum System {
+    Frontier,
+    Andes,
+}
+
+impl System {
+    pub fn name(&self) -> &'static str {
+        match self {
+            System::Frontier => "frontier",
+            System::Andes => "andes",
+        }
+    }
+
+    pub fn profile(&self) -> WorkloadProfile {
+        match self {
+            System::Frontier => WorkloadProfile::frontier(),
+            System::Andes => WorkloadProfile::andes(),
+        }
+    }
+
+    pub fn parse(s: &str) -> Option<System> {
+        match s.to_ascii_lowercase().as_str() {
+            "frontier" => Some(System::Frontier),
+            "andes" => Some(System::Andes),
+            _ => None,
+        }
+    }
+}
+
+/// Full configuration of one workflow run.
+#[derive(Debug, Clone)]
+pub struct WorkflowConfig {
+    pub system: System,
+    /// Inclusive month range analyzed, `(year, month)`.
+    pub from: (i32, u8),
+    pub to: (i32, u8),
+    /// Physical concurrency (`-n N`).
+    pub threads: usize,
+    /// Fast-filesystem cache for raw query output.
+    pub cache_dir: PathBuf,
+    /// Permanent output location (curated CSVs, charts, dashboard, insights).
+    pub data_dir: PathBuf,
+    /// Reuse cached raw files when fresh.
+    pub use_cache: bool,
+    /// Workload generator seed.
+    pub seed: u64,
+    /// Volume scale factor for the generated trace (1.0 = paper scale).
+    pub scale: f64,
+    /// Users shown in the states-per-user figure.
+    pub top_users: usize,
+    /// Fraction of raw job lines deterministically corrupted (exercises the
+    /// curation filter; the paper observed <0.002%).
+    pub corrupt_fraction: f64,
+}
+
+impl WorkflowConfig {
+    /// Defaults mirroring the paper's Frontier study at reduced volume.
+    pub fn new(system: System) -> Self {
+        let profile = system.profile();
+        let (fy, fm) = profile.start.year_month();
+        // `to` is the last month *inside* the window.
+        let end_inclusive = Timestamp(profile.end.0 - 1);
+        let (ty, tm) = end_inclusive.year_month();
+        WorkflowConfig {
+            system,
+            from: (fy, fm),
+            to: (ty, tm),
+            threads: std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(2),
+            cache_dir: PathBuf::from(".schedflow-cache"),
+            data_dir: PathBuf::from("schedflow-out"),
+            use_cache: true,
+            seed: 42,
+            scale: 0.05,
+            top_users: 40,
+            corrupt_fraction: 0.00002,
+        }
+    }
+
+    /// The workload profile trimmed to the configured window and scale.
+    pub fn profile(&self) -> WorkloadProfile {
+        let mut p = self.system.profile().scaled(self.scale);
+        p.start = Timestamp::from_ymd(self.from.0, self.from.1, 1);
+        p.end = schedflow_model::time::month_end_exclusive(self.to.0, self.to.1);
+        p
+    }
+
+    /// Months covered, in order.
+    pub fn months(&self) -> Vec<(i32, u8)> {
+        schedflow_model::time::month_range(self.from, self.to).collect()
+    }
+
+    /// The two months the compare stage contrasts: the second full month and
+    /// the one a quarter later (à la the paper's March-vs-June example), or
+    /// the first and last months on short windows.
+    pub fn compare_months(&self) -> Option<((i32, u8), (i32, u8))> {
+        let months = self.months();
+        if months.len() < 2 {
+            return None;
+        }
+        let a = months.get(1).copied().unwrap_or(months[0]);
+        let b_idx = (months.len() - 1).min(months.iter().position(|&m| m == a).unwrap() + 3);
+        let b = months[b_idx];
+        if a == b {
+            Some((months[0], *months.last().unwrap()))
+        } else {
+            Some((a, b))
+        }
+    }
+
+    /// Parse a `YYYY-MM` month spec.
+    pub fn parse_month(s: &str) -> Option<(i32, u8)> {
+        let (y, m) = s.split_once('-')?;
+        let year: i32 = y.parse().ok()?;
+        let month: u8 = m.parse().ok()?;
+        (1..=12).contains(&month).then_some((year, month))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_cover_paper_window() {
+        let c = WorkflowConfig::new(System::Frontier);
+        assert_eq!(c.from, (2023, 4));
+        assert_eq!(c.to, (2024, 12));
+        assert_eq!(c.months().len(), 21);
+    }
+
+    #[test]
+    fn andes_window_is_2024() {
+        let c = WorkflowConfig::new(System::Andes);
+        assert_eq!(c.from, (2024, 1));
+        assert_eq!(c.to, (2024, 12));
+    }
+
+    #[test]
+    fn profile_respects_overrides() {
+        let mut c = WorkflowConfig::new(System::Frontier);
+        c.from = (2024, 1);
+        c.to = (2024, 3);
+        c.scale = 0.01;
+        let p = c.profile();
+        assert_eq!(p.start, Timestamp::from_ymd(2024, 1, 1));
+        assert_eq!(p.end, Timestamp::from_ymd(2024, 4, 1));
+        assert!(p.jobs_per_day < WorkloadProfile::frontier().jobs_per_day * 0.02);
+    }
+
+    #[test]
+    fn compare_months_quarter_apart() {
+        let c = WorkflowConfig::new(System::Frontier);
+        let ((ay, am), (by, bm)) = c.compare_months().unwrap();
+        assert_eq!((ay, am), (2023, 5));
+        assert_eq!((by, bm), (2023, 8));
+    }
+
+    #[test]
+    fn compare_months_short_window() {
+        let mut c = WorkflowConfig::new(System::Andes);
+        c.from = (2024, 1);
+        c.to = (2024, 2);
+        // With only two months the quarter-later pick degenerates, and the
+        // fallback contrasts the window's first and last months instead.
+        let (a, b) = c.compare_months().unwrap();
+        assert_eq!(a, (2024, 1));
+        assert_eq!(b, (2024, 2));
+        c.to = (2024, 1);
+        assert!(c.compare_months().is_none());
+    }
+
+    #[test]
+    fn month_spec_parsing() {
+        assert_eq!(WorkflowConfig::parse_month("2024-03"), Some((2024, 3)));
+        assert_eq!(WorkflowConfig::parse_month("2024-13"), None);
+        assert_eq!(WorkflowConfig::parse_month("junk"), None);
+    }
+
+    #[test]
+    fn system_parsing() {
+        assert_eq!(System::parse("Frontier"), Some(System::Frontier));
+        assert_eq!(System::parse("ANDES"), Some(System::Andes));
+        assert_eq!(System::parse("summit"), None);
+    }
+}

@@ -1,0 +1,23 @@
+//! # schedflow-core
+//!
+//! The paper's contribution: an LLM-enabled, portable workflow for analyzing
+//! Slurm job traces — assembled here as an executable dataflow graph.
+//!
+//! * [`config::WorkflowConfig`] — the §3.3 invocation surface (`-n N`
+//!   threads, date range, cache/data locations) plus generator knobs;
+//! * [`pipeline::build`] — the hybrid workflow: static data-analysis
+//!   subworkflow (simulate → obtain → curate → merge → seven field-specific
+//!   plots → dashboard) and the user-defined AI subworkflows (chart digest →
+//!   LLM Insight per chart, the two-month LLM Compare, and the insight
+//!   collector);
+//! * [`run::run`] — execute on the work-stealing engine and collect results.
+//!
+//! The `schedflow` binary wraps this as a CLI.
+
+pub mod config;
+pub mod pipeline;
+pub mod run;
+
+pub use config::{System, WorkflowConfig};
+pub use pipeline::{build, BuiltWorkflow, Handles, PLOT_STAGES};
+pub use run::{run, CoreError, RunOutcome};

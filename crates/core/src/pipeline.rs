@@ -1,0 +1,470 @@
+//! The hybrid workflow: the paper's Figure 2 as an executable dataflow graph.
+//!
+//! Static stages (blue): simulate/obtain → curate (per month, concurrent) →
+//! merge → five field-specific plotting stages → dashboard. User-defined
+//! stages (orange): per-chart digest (the HTML2PNG substitute) → LLM Insight,
+//! plus the two-month LLM Compare, and an insight collector. The stages are
+//! declared as an apparently linear list; the engine infers the DAG from the
+//! artifact references and runs independent stages concurrently — the §3.3
+//! "parallel pipelines" model.
+
+use crate::config::WorkflowConfig;
+use schedflow_analytics as analytics;
+use schedflow_charts::{digest as chart_digest, to_html, Chart, ChartDigest, Geometry};
+use schedflow_dataflow::{Artifact, StageKind, Workflow};
+use schedflow_frame::Frame;
+use schedflow_insight::{Analyst, Insight, RuleAnalyst};
+use schedflow_sacct::{AccountingStore, ParseReport, RenderOptions};
+use schedflow_tracegen::TraceGenerator;
+use std::path::PathBuf;
+
+/// The field-specific plotting stages of the static subworkflow: the five
+/// behind the paper's figures plus the utilization trend (§3.2's sysadmin
+/// use case).
+pub const PLOT_STAGES: [&str; 7] = [
+    "volume",
+    "nodes-elapsed",
+    "waits",
+    "states",
+    "backfill",
+    "utilization",
+    "dynamics",
+];
+
+/// Artifact handles needed to collect results after the run.
+pub struct Handles {
+    pub store: Artifact<AccountingStore>,
+    pub merged: Artifact<Frame>,
+    pub reports: Vec<Artifact<ParseReport>>,
+    /// `(stage, chart, digest, insight)` per plotting stage.
+    pub stages: Vec<(String, Artifact<Chart>, Artifact<ChartDigest>, Artifact<Insight>)>,
+    pub compare: Option<Artifact<Insight>>,
+    pub dashboard_index: PathBuf,
+    pub insights_md: PathBuf,
+}
+
+/// A built (not yet executed) workflow.
+pub struct BuiltWorkflow {
+    pub workflow: Workflow,
+    pub handles: Handles,
+}
+
+/// Construct the full hybrid workflow for a configuration.
+pub fn build(cfg: &WorkflowConfig) -> BuiltWorkflow {
+    let mut wf = Workflow::new();
+    let system = cfg.system.name().to_owned();
+    let charts_dir = cfg.data_dir.join("charts");
+    let insights_dir = cfg.data_dir.join("insights");
+    let dashboard_dir = cfg.data_dir.join("dashboard");
+
+    // ---- Static: simulate the system (the accounting database). ----
+    let store_art = wf.value::<AccountingStore>("accounting-store");
+    {
+        let profile = cfg.profile();
+        let seed = cfg.seed;
+        let store_art = store_art;
+        let system = system.clone();
+        wf.task(
+            "simulate-trace",
+            StageKind::Static,
+            [],
+            [store_art.id()],
+            move |ctx| {
+                let records = TraceGenerator::new(profile.clone(), seed).generate();
+                ctx.put(store_art, AccountingStore::new(&system, records))
+            },
+        );
+    }
+
+    // ---- Static: obtain + curate, one parallel pipeline per month. ----
+    let mut frame_arts: Vec<Artifact<Frame>> = Vec::new();
+    let mut report_arts: Vec<Artifact<ParseReport>> = Vec::new();
+    for (year, month) in cfg.months() {
+        let stem = format!("{year:04}-{month:02}");
+        let raw = wf.file(cfg.cache_dir.join(&system).join(format!("{stem}.txt")));
+        let csv = wf.file(cfg.data_dir.join("curated").join(format!("{stem}.csv")));
+        let frame_art = wf.value::<Frame>(&format!("frame-{stem}"));
+        let report_art = wf.value::<ParseReport>(&format!("curation-report-{stem}"));
+        frame_arts.push(frame_art);
+        report_arts.push(report_art);
+
+        // Obtain: query the accounting store for one month, write raw text.
+        // Honors the cache knob itself (its input is a value artifact, so
+        // the engine's file-freshness shortcut does not apply).
+        {
+            let raw = raw.clone();
+            let use_cache = cfg.use_cache;
+            let corrupt = cfg.corrupt_fraction;
+            wf.task(
+                &format!("obtain-{stem}"),
+                StageKind::Static,
+                [store_art.id()],
+                [raw.id()],
+                move |ctx| {
+                    let path = ctx.path(&raw)?;
+                    if use_cache && path.exists() {
+                        return Ok(()); // cached raw data reused
+                    }
+                    let store = ctx.get(store_art)?;
+                    let records = store.query_month(year, month);
+                    if let Some(parent) = path.parent() {
+                        std::fs::create_dir_all(parent).map_err(|e| e.to_string())?;
+                    }
+                    let tmp = path.with_extension("txt.partial");
+                    {
+                        let mut w = std::io::BufWriter::new(
+                            std::fs::File::create(&tmp).map_err(|e| e.to_string())?,
+                        );
+                        schedflow_sacct::write_records(
+                            records,
+                            &mut w,
+                            &RenderOptions::default().with_corruption(corrupt),
+                        )
+                        .map_err(|e| e.to_string())?;
+                    }
+                    std::fs::rename(&tmp, path).map_err(|e| e.to_string())
+                },
+            );
+        }
+
+        // Curate: raw text → cleaned frame + CSV, malformed lines reported.
+        {
+            let raw = raw.clone();
+            let csv = csv.clone();
+            wf.task(
+                &format!("curate-{stem}"),
+                StageKind::Static,
+                [raw.id()],
+                [csv.id(), frame_art.id(), report_art.id()],
+                move |ctx| {
+                    let raw_path = ctx.path(&raw)?;
+                    let csv_path = ctx.path(&csv)?;
+                    let result = schedflow_sacct::curate_file(raw_path, Some(csv_path))
+                        .map_err(|e| e.to_string())?;
+                    ctx.put(frame_art, result.frame)?;
+                    ctx.put(report_art, result.report)
+                },
+            );
+        }
+    }
+
+    // ---- Static: merge curated months into the analysis frame. ----
+    let merged = wf.value::<Frame>("merged-frame");
+    {
+        let inputs: Vec<_> = frame_arts.iter().map(|a| a.id()).collect();
+        let frame_arts = frame_arts.clone();
+        wf.task(
+            "merge-curated",
+            StageKind::Static,
+            inputs,
+            [merged.id()],
+            move |ctx| {
+                let frames: Vec<Frame> = frame_arts
+                    .iter()
+                    .map(|a| ctx.get(*a).map(|f| (*f).clone()))
+                    .collect::<Result<_, _>>()?;
+                let stacked = Frame::vstack(&frames).map_err(|e| e.to_string())?;
+                ctx.put(merged, stacked)
+            },
+        );
+    }
+
+    // ---- Static: field-specific plotting stages (concurrent). ----
+    let mut stages = Vec::new();
+    for stage in PLOT_STAGES {
+        let chart_art = wf.value::<Chart>(&format!("chart-{stage}"));
+        let html = wf.file(charts_dir.join(format!("{stage}.html")));
+        {
+            let html = html.clone();
+            let sys = system.clone();
+            let top_users = cfg.top_users;
+            let stage_name = stage.to_owned();
+            wf.task(
+                &format!("plot-{stage}"),
+                StageKind::Static,
+                [merged.id()],
+                [chart_art.id(), html.id()],
+                move |ctx| {
+                    let frame = ctx.get(merged)?;
+                    let chart = build_stage_chart(&stage_name, &frame, &sys, top_users)
+                        .map_err(|e| e.to_string())?;
+                    schedflow_charts::write_html(&chart, &Geometry::default(), ctx.path(&html)?)
+                        .map_err(|e| e.to_string())?;
+                    ctx.put(chart_art, chart)
+                },
+            );
+        }
+
+        // ---- User-defined: digest (HTML2PNG substitute) + LLM Insight. ----
+        let digest_art = wf.value::<ChartDigest>(&format!("digest-{stage}"));
+        wf.task(
+            &format!("digest-{stage}"),
+            StageKind::UserDefined,
+            [chart_art.id()],
+            [digest_art.id()],
+            move |ctx| {
+                let chart = ctx.get(chart_art)?;
+                ctx.put(digest_art, chart_digest(&chart))
+            },
+        );
+
+        let insight_art = wf.value::<Insight>(&format!("insight-{stage}"));
+        let insight_md = wf.file(insights_dir.join(format!("{stage}.md")));
+        {
+            let insight_md = insight_md.clone();
+            wf.task(
+                &format!("llm-insight-{stage}"),
+                StageKind::UserDefined,
+                [digest_art.id()],
+                [insight_art.id(), insight_md.id()],
+                move |ctx| {
+                    let digest = ctx.get(digest_art)?;
+                    let insight = RuleAnalyst::new()
+                        .insight(&digest)
+                        .map_err(|e| e.to_string())?;
+                    let path = ctx.path(&insight_md)?;
+                    if let Some(parent) = path.parent() {
+                        std::fs::create_dir_all(parent).map_err(|e| e.to_string())?;
+                    }
+                    std::fs::write(path, insight.to_markdown()).map_err(|e| e.to_string())?;
+                    ctx.put(insight_art, insight)
+                },
+            );
+        }
+
+        stages.push((stage.to_owned(), chart_art, digest_art, insight_art));
+    }
+
+    // ---- User-defined: two-month wait-time comparison (LLM Compare). ----
+    let compare = cfg.compare_months().map(|(ma, mb)| {
+        let mut month_digests = Vec::new();
+        for (year, month) in [ma, mb] {
+            let label = format!("{year:04}-{month:02}");
+            let chart_art = wf.value::<Chart>(&format!("wait-chart-{label}"));
+            {
+                let sys = system.clone();
+                let label2 = label.clone();
+                wf.task(
+                    &format!("wait-chart-{label}"),
+                    StageKind::UserDefined,
+                    [merged.id()],
+                    [chart_art.id()],
+                    move |ctx| {
+                        let frame = ctx.get(merged)?;
+                        let monthly = analytics::select::filter_month(&frame, year, month)
+                            .map_err(|e| e.to_string())?;
+                        let chart = analytics::wait_chart(
+                            &monthly,
+                            &format!("{sys} {label2}"),
+                            &analytics::WaitOptions::default(),
+                        )
+                        .map_err(|e| e.to_string())?;
+                        ctx.put(chart_art, chart)
+                    },
+                );
+            }
+            let digest_art = wf.value::<ChartDigest>(&format!("wait-digest-{label}"));
+            wf.task(
+                &format!("digest-wait-{label}"),
+                StageKind::UserDefined,
+                [chart_art.id()],
+                [digest_art.id()],
+                move |ctx| {
+                    let chart = ctx.get(chart_art)?;
+                    ctx.put(digest_art, chart_digest(&chart))
+                },
+            );
+            month_digests.push(digest_art);
+        }
+
+        let compare_art = wf.value::<Insight>("compare-insight");
+        let compare_md = wf.file(insights_dir.join("wait-compare.md"));
+        {
+            let (da, db) = (month_digests[0], month_digests[1]);
+            let compare_md = compare_md.clone();
+            wf.task(
+                "llm-compare-waits",
+                StageKind::UserDefined,
+                [da.id(), db.id()],
+                [compare_art.id(), compare_md.id()],
+                move |ctx| {
+                    let a = ctx.get(da)?;
+                    let b = ctx.get(db)?;
+                    let insight = RuleAnalyst::new()
+                        .compare(&a, &b)
+                        .map_err(|e| e.to_string())?;
+                    let path = ctx.path(&compare_md)?;
+                    if let Some(parent) = path.parent() {
+                        std::fs::create_dir_all(parent).map_err(|e| e.to_string())?;
+                    }
+                    std::fs::write(path, insight.to_markdown()).map_err(|e| e.to_string())?;
+                    ctx.put(compare_art, insight)
+                },
+            );
+        }
+        compare_art
+    });
+
+    // ---- User-defined: collect all insights into one report. ----
+    let insights_md_file = wf.file(cfg.data_dir.join("insights.md"));
+    {
+        let mut inputs: Vec<_> = stages.iter().map(|(_, _, _, i)| i.id()).collect();
+        if let Some(c) = compare {
+            inputs.push(c.id());
+        }
+        let insight_arts: Vec<(String, Artifact<Insight>)> = stages
+            .iter()
+            .map(|(name, _, _, i)| (name.clone(), *i))
+            .collect();
+        let insights_md_file2 = insights_md_file.clone();
+        let sys = system.clone();
+        wf.task(
+            "collect-insights",
+            StageKind::UserDefined,
+            inputs,
+            [insights_md_file.id()],
+            move |ctx| {
+                let mut out = format!("# Automated insights — {sys}\n\n");
+                for (name, art) in &insight_arts {
+                    let insight = ctx.get(*art)?;
+                    out.push_str(&format!("<!-- stage: {name} -->\n"));
+                    out.push_str(&insight.to_markdown());
+                    out.push('\n');
+                }
+                if let Some(c) = compare {
+                    let insight = ctx.get(c)?;
+                    out.push_str("<!-- stage: compare -->\n");
+                    out.push_str(&insight.to_markdown());
+                }
+                let path = ctx.path(&insights_md_file2)?;
+                if let Some(parent) = path.parent() {
+                    std::fs::create_dir_all(parent).map_err(|e| e.to_string())?;
+                }
+                std::fs::write(path, out).map_err(|e| e.to_string())
+            },
+        );
+    }
+
+    // ---- Static: dashboard consolidating all plots (+ commentary). ----
+    let dashboard_index = wf.file(dashboard_dir.join("index.html"));
+    {
+        let mut inputs: Vec<_> = Vec::new();
+        for (_, chart, _, insight) in &stages {
+            inputs.push(chart.id());
+            inputs.push(insight.id());
+        }
+        let stage_arts: Vec<(String, Artifact<Chart>, Artifact<Insight>)> = stages
+            .iter()
+            .map(|(n, c, _, i)| (n.clone(), *c, *i))
+            .collect();
+        let out_dir = dashboard_dir.clone();
+        let sys = system.clone();
+        wf.task(
+            "dashboard",
+            StageKind::Static,
+            inputs,
+            [dashboard_index.id()],
+            move |ctx| {
+                let mut dash = schedflow_dashboard::Dashboard::new(&format!(
+                    "HPC scheduling analytics — {sys}"
+                ));
+                for (name, chart_art, insight_art) in &stage_arts {
+                    let chart = ctx.get(*chart_art)?;
+                    let insight = ctx.get(*insight_art)?;
+                    dash.add_panel(schedflow_dashboard::Panel {
+                        id: name.clone(),
+                        title: chart.title().to_owned(),
+                        chart_html: to_html(&chart, &Geometry::default()),
+                        insight_md: insight.to_markdown(),
+                        group: sys.clone(),
+                    })?;
+                }
+                dash.write(&out_dir).map_err(|e| e.to_string())?;
+                Ok(())
+            },
+        );
+    }
+
+    BuiltWorkflow {
+        workflow: wf,
+        handles: Handles {
+            store: store_art,
+            merged,
+            reports: report_arts,
+            stages,
+            compare,
+            dashboard_index: dashboard_dir.join("index.html"),
+            insights_md: cfg.data_dir.join("insights.md"),
+        },
+    }
+}
+
+/// Dispatch one plotting stage by name.
+fn build_stage_chart(
+    stage: &str,
+    frame: &Frame,
+    system: &str,
+    top_users: usize,
+) -> Result<Chart, schedflow_frame::FrameError> {
+    match stage {
+        "volume" => analytics::volume_chart(frame, system),
+        "nodes-elapsed" => analytics::nodes_elapsed_chart(frame, system),
+        "waits" => analytics::wait_chart(frame, system, &analytics::WaitOptions::default()),
+        "states" => analytics::states_chart(frame, system, top_users),
+        "backfill" => analytics::backfill_chart(frame, system),
+        "utilization" => analytics::utilization_chart(frame, system),
+        "dynamics" => analytics::dynamics_chart(frame, system),
+        other => unreachable!("unknown stage {other}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::System;
+
+    fn tiny_config(tag: &str) -> WorkflowConfig {
+        let base = std::env::temp_dir().join(format!(
+            "schedflow-core-{tag}-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&base);
+        let mut cfg = WorkflowConfig::new(System::Andes);
+        cfg.from = (2024, 1);
+        cfg.to = (2024, 2);
+        cfg.scale = 0.02;
+        cfg.threads = 4;
+        cfg.cache_dir = base.join("cache");
+        cfg.data_dir = base.join("data");
+        cfg
+    }
+
+    #[test]
+    fn graph_validates_and_has_expected_shape() {
+        let cfg = tiny_config("shape");
+        let built = build(&cfg);
+        let depths = built.workflow.validate().unwrap();
+        // 1 simulate + 2 months × 2 (obtain+curate) + merge + 7 plots +
+        // 7 digests + 7 insights + compare chain (2 charts + 2 digests + 1
+        // compare) + collect + dashboard = 34
+        assert_eq!(built.workflow.task_count(), 34);
+        // Rows exist at several depths (Figure 2's structure).
+        let max_depth = depths.iter().max().unwrap();
+        assert!(*max_depth >= 5, "deep pipeline, got {max_depth}");
+    }
+
+    #[test]
+    fn dot_export_shows_both_stage_kinds() {
+        let cfg = tiny_config("dot");
+        let built = build(&cfg);
+        let dot = schedflow_dataflow::to_dot(
+            &built.workflow,
+            &schedflow_dataflow::DotOptions::default(),
+        )
+        .unwrap();
+        assert!(dot.contains("cfe2f3"), "static stages colored blue");
+        assert!(dot.contains("fce5cd"), "user-defined stages colored orange");
+        assert!(dot.contains("llm-insight-backfill"));
+        assert!(dot.contains("obtain-2024-01"));
+    }
+}

@@ -1,0 +1,226 @@
+//! Dashboard assembly: consolidating all plots and insights into one
+//! navigable site.
+//!
+//! Reproduces the paper's Dash stage: "consolidates all generated plots into
+//! an interactive dashboard …, enabling users to explore and filter results
+//! from a single unified interface." Output is a static site — an index page
+//! with a sidebar of panels, each panel an interactive chart HTML plus the
+//! analyst's commentary — served by [`crate::server`] or opened directly.
+
+use crate::markdown;
+use std::path::{Path, PathBuf};
+
+/// One dashboard panel.
+#[derive(Debug, Clone)]
+pub struct Panel {
+    /// File-name-safe identifier.
+    pub id: String,
+    /// Human title shown in the sidebar.
+    pub title: String,
+    /// Self-contained chart HTML (from `schedflow-charts::to_html`).
+    pub chart_html: String,
+    /// Analyst commentary in Markdown (empty = none).
+    pub insight_md: String,
+    /// Logical group for the sidebar ("Frontier", "Andes", "Policy…").
+    pub group: String,
+}
+
+/// The dashboard under construction.
+#[derive(Debug, Clone, Default)]
+pub struct Dashboard {
+    pub title: String,
+    pub panels: Vec<Panel>,
+}
+
+impl Dashboard {
+    pub fn new(title: &str) -> Self {
+        Dashboard {
+            title: title.to_owned(),
+            panels: Vec::new(),
+        }
+    }
+
+    /// Add a panel; ids must be unique and path-safe.
+    pub fn add_panel(&mut self, panel: Panel) -> Result<(), String> {
+        if panel.id.is_empty()
+            || !panel
+                .id
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '-' || c == '_')
+        {
+            return Err(format!("panel id {:?} is not path-safe", panel.id));
+        }
+        if self.panels.iter().any(|p| p.id == panel.id) {
+            return Err(format!("duplicate panel id {:?}", panel.id));
+        }
+        self.panels.push(panel);
+        Ok(())
+    }
+
+    /// Distinct groups in insertion order.
+    pub fn groups(&self) -> Vec<&str> {
+        let mut seen = Vec::new();
+        for p in &self.panels {
+            if !seen.contains(&p.group.as_str()) {
+                seen.push(p.group.as_str());
+            }
+        }
+        seen
+    }
+
+    /// Write the static site into `dir`: `index.html` + `panels/<id>.html`.
+    pub fn write(&self, dir: &Path) -> std::io::Result<Vec<PathBuf>> {
+        let panels_dir = dir.join("panels");
+        std::fs::create_dir_all(&panels_dir)?;
+        let mut written = Vec::new();
+
+        for p in &self.panels {
+            let path = panels_dir.join(format!("{}.html", p.id));
+            let insight_html = if p.insight_md.is_empty() {
+                String::new()
+            } else {
+                format!(
+                    "<section class=\"insight\"><h3>Automated insight</h3>{}</section>",
+                    markdown::to_html(&p.insight_md)
+                )
+            };
+            // The chart HTML is already a full document; embed its body via
+            // an iframe-free composition: store the chart file separately and
+            // wrap with the insight below it.
+            let page = format!(
+                "<!DOCTYPE html><html><head><meta charset=\"utf-8\"><title>{t}</title>\
+                 <style>body{{font-family:Helvetica,Arial,sans-serif;margin:16px}}\
+                 .insight{{max-width:860px;background:#f6f8fa;border-left:4px solid #0072B2;\
+                 padding:4px 16px;margin-top:12px}}</style></head><body>\
+                 <h2>{t}</h2>{chart}{insight}</body></html>",
+                t = html_escape(&p.title),
+                chart = extract_body(&p.chart_html),
+                insight = insight_html
+            );
+            std::fs::write(&path, page)?;
+            written.push(path);
+        }
+
+        let index = self.index_html();
+        let index_path = dir.join("index.html");
+        std::fs::write(&index_path, index)?;
+        written.push(index_path);
+        Ok(written)
+    }
+
+    fn index_html(&self) -> String {
+        let mut sidebar = String::new();
+        for group in self.groups() {
+            sidebar.push_str(&format!("<h3>{}</h3><ul>", html_escape(group)));
+            for p in self.panels.iter().filter(|p| p.group == group) {
+                sidebar.push_str(&format!(
+                    "<li><a href=\"panels/{id}.html\" target=\"view\" data-title=\"{t}\">{t}</a></li>",
+                    id = p.id,
+                    t = html_escape(&p.title)
+                ));
+            }
+            sidebar.push_str("</ul>");
+        }
+        let first = self
+            .panels
+            .first()
+            .map(|p| format!("panels/{}.html", p.id))
+            .unwrap_or_default();
+        format!(
+            "<!DOCTYPE html><html><head><meta charset=\"utf-8\"><title>{t}</title>\
+             <style>body{{margin:0;font-family:Helvetica,Arial,sans-serif;display:flex;height:100vh}}\
+             nav{{width:260px;overflow-y:auto;background:#1d2733;color:#eee;padding:12px}}\
+             nav h3{{margin:14px 0 4px;font-size:13px;text-transform:uppercase;color:#8fa3b8}}\
+             nav ul{{list-style:none;margin:0;padding:0}}\
+             nav a{{display:block;color:#cfe2f3;text-decoration:none;padding:4px 8px;border-radius:4px;font-size:14px}}\
+             nav a:hover{{background:#31415a}}\
+             nav input{{width:100%;box-sizing:border-box;margin-bottom:8px;padding:6px}}\
+             iframe{{flex:1;border:none}}</style></head><body>\
+             <nav><h2>{t}</h2><input id=\"filter\" placeholder=\"filter panels…\"/>{sidebar}</nav>\
+             <iframe name=\"view\" src=\"{first}\"></iframe>\
+             <script>document.getElementById('filter').addEventListener('input',function(){{\
+             var q=this.value.toLowerCase();\
+             document.querySelectorAll('nav li').forEach(function(li){{\
+             li.style.display=li.textContent.toLowerCase().includes(q)?'':'none';}});}});\
+             </script></body></html>",
+            t = html_escape(&self.title),
+            sidebar = sidebar,
+            first = first
+        )
+    }
+}
+
+fn html_escape(s: &str) -> String {
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+        .replace('"', "&quot;")
+}
+
+/// Extract the `<body>…</body>` content of a standalone chart page so it can
+/// be embedded in a panel (falls back to the whole string).
+fn extract_body(html: &str) -> &str {
+    let start = html.find("<body>").map(|i| i + "<body>".len()).unwrap_or(0);
+    let end = html.rfind("</body>").unwrap_or(html.len());
+    &html[start..end]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn panel(id: &str, group: &str) -> Panel {
+        Panel {
+            id: id.to_owned(),
+            title: format!("Panel {id}"),
+            chart_html: "<html><head></head><body><svg>chart</svg><script>x()</script></body></html>"
+                .to_owned(),
+            insight_md: "## Finding\n\n- **notable** thing\n".to_owned(),
+            group: group.to_owned(),
+        }
+    }
+
+    #[test]
+    fn ids_validated_and_unique() {
+        let mut d = Dashboard::new("t");
+        d.add_panel(panel("ok-1", "A")).unwrap();
+        assert!(d.add_panel(panel("ok-1", "A")).is_err());
+        assert!(d.add_panel(panel("bad/../id", "A")).is_err());
+        assert!(d.add_panel(panel("", "A")).is_err());
+    }
+
+    #[test]
+    fn groups_preserve_order() {
+        let mut d = Dashboard::new("t");
+        d.add_panel(panel("a", "Frontier")).unwrap();
+        d.add_panel(panel("b", "Andes")).unwrap();
+        d.add_panel(panel("c", "Frontier")).unwrap();
+        assert_eq!(d.groups(), vec!["Frontier", "Andes"]);
+    }
+
+    #[test]
+    fn write_emits_index_and_panels() {
+        let dir = std::env::temp_dir().join(format!("schedflow-dash-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut d = Dashboard::new("Scheduling analytics");
+        d.add_panel(panel("waits", "Frontier")).unwrap();
+        d.add_panel(panel("backfill", "Frontier")).unwrap();
+        let written = d.write(&dir).unwrap();
+        assert_eq!(written.len(), 3);
+        let index = std::fs::read_to_string(dir.join("index.html")).unwrap();
+        assert!(index.contains("panels/waits.html"));
+        assert!(index.contains("Scheduling analytics"));
+        assert!(index.contains("filter panels"));
+        let p = std::fs::read_to_string(dir.join("panels/waits.html")).unwrap();
+        assert!(p.contains("<svg>chart</svg>"), "chart body embedded");
+        assert!(p.contains("Automated insight"));
+        assert!(p.contains("<strong>notable</strong>"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn body_extraction_falls_back() {
+        assert_eq!(extract_body("no body tags"), "no body tags");
+        assert_eq!(extract_body("<body>x</body>"), "x");
+    }
+}

@@ -1,0 +1,13 @@
+//! # schedflow-dashboard
+//!
+//! Dashboard assembly and serving — the Plotly Dash substitute: a static
+//! multi-panel site with a filterable sidebar ([`assemble`]), a Markdown
+//! renderer for analyst commentary ([`markdown`]), and a minimal local HTTP
+//! server for browsing it ([`server`]).
+
+pub mod assemble;
+pub mod markdown;
+pub mod server;
+
+pub use assemble::{Dashboard, Panel};
+pub use server::{serve, ServerHandle};

@@ -1,0 +1,128 @@
+//! A minimal Markdown-to-HTML converter for analyst reports.
+//!
+//! Supports the subset the insight layer emits: `##` headings, `-` bullet
+//! lists, `**bold**`, and paragraphs. Everything is HTML-escaped first.
+
+fn escape(s: &str) -> String {
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+}
+
+/// Inline formatting: `**bold**`.
+fn inline(s: &str) -> String {
+    let escaped = escape(s);
+    let mut out = String::with_capacity(escaped.len());
+    let mut rest = escaped.as_str();
+    let mut open = false;
+    while let Some(pos) = rest.find("**") {
+        out.push_str(&rest[..pos]);
+        out.push_str(if open { "</strong>" } else { "<strong>" });
+        open = !open;
+        rest = &rest[pos + 2..];
+    }
+    out.push_str(rest);
+    if open {
+        // Unbalanced marker: close to keep HTML valid.
+        out.push_str("</strong>");
+    }
+    out
+}
+
+/// Convert a Markdown fragment to HTML.
+pub fn to_html(md: &str) -> String {
+    let mut out = String::new();
+    let mut in_list = false;
+    let mut paragraph: Vec<String> = Vec::new();
+
+    let flush_paragraph = |out: &mut String, paragraph: &mut Vec<String>| {
+        if !paragraph.is_empty() {
+            out.push_str("<p>");
+            out.push_str(&paragraph.join(" "));
+            out.push_str("</p>\n");
+            paragraph.clear();
+        }
+    };
+
+    for line in md.lines() {
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            flush_paragraph(&mut out, &mut paragraph);
+            if in_list {
+                out.push_str("</ul>\n");
+                in_list = false;
+            }
+        } else if let Some(h) = trimmed.strip_prefix("## ") {
+            flush_paragraph(&mut out, &mut paragraph);
+            if in_list {
+                out.push_str("</ul>\n");
+                in_list = false;
+            }
+            out.push_str(&format!("<h2>{}</h2>\n", inline(h)));
+        } else if let Some(h) = trimmed.strip_prefix("# ") {
+            flush_paragraph(&mut out, &mut paragraph);
+            if in_list {
+                out.push_str("</ul>\n");
+                in_list = false;
+            }
+            out.push_str(&format!("<h1>{}</h1>\n", inline(h)));
+        } else if let Some(item) = trimmed.strip_prefix("- ") {
+            flush_paragraph(&mut out, &mut paragraph);
+            if !in_list {
+                out.push_str("<ul>\n");
+                in_list = true;
+            }
+            out.push_str(&format!("<li>{}</li>\n", inline(item)));
+        } else {
+            if in_list {
+                out.push_str("</ul>\n");
+                in_list = false;
+            }
+            paragraph.push(inline(trimmed));
+        }
+    }
+    flush_paragraph(&mut out, &mut paragraph);
+    if in_list {
+        out.push_str("</ul>\n");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn headings_lists_and_bold() {
+        let md = "## Wait times\n\nSome **important** text.\n\n- first\n- second\n";
+        let html = to_html(md);
+        assert!(html.contains("<h2>Wait times</h2>"));
+        assert!(html.contains("<p>Some <strong>important</strong> text.</p>"));
+        assert!(html.contains("<ul>\n<li>first</li>\n<li>second</li>\n</ul>"));
+    }
+
+    #[test]
+    fn multiline_paragraphs_join() {
+        let html = to_html("line one\nline two\n\nnext para");
+        assert!(html.contains("<p>line one line two</p>"));
+        assert!(html.contains("<p>next para</p>"));
+    }
+
+    #[test]
+    fn html_is_escaped() {
+        let html = to_html("a < b & c > d");
+        assert!(html.contains("a &lt; b &amp; c &gt; d"));
+    }
+
+    #[test]
+    fn unbalanced_bold_is_closed() {
+        let html = to_html("**oops");
+        assert_eq!(html.matches("<strong>").count(), html.matches("</strong>").count());
+    }
+
+    #[test]
+    fn list_then_paragraph() {
+        let html = to_html("- a\nplain text");
+        assert!(html.contains("</ul>\n<p>plain text</p>"));
+    }
+}

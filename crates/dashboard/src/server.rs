@@ -1,0 +1,247 @@
+//! A minimal static-file HTTP server for viewing the dashboard.
+//!
+//! Single-purpose by design: GET only, rooted at the dashboard directory,
+//! path-traversal safe, one thread per connection. This is the "explore the
+//! dashboard from a browser" affordance, not a production web server.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::path::{Component, Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// A running server; dropping it (or calling [`ServerHandle::stop`]) shuts it
+/// down.
+pub struct ServerHandle {
+    addr: std::net::SocketAddr,
+    stop: Arc<AtomicBool>,
+    join: Option<std::thread::JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// Bound address (useful with port 0).
+    pub fn addr(&self) -> std::net::SocketAddr {
+        self.addr
+    }
+
+    /// Signal shutdown and join the accept loop.
+    pub fn stop(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Unblock accept() with a dummy connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(j) = self.join.take() {
+            let _ = j.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        if self.join.is_some() {
+            self.shutdown();
+        }
+    }
+}
+
+/// Serve `root` on `127.0.0.1:port` (0 = ephemeral) in a background thread.
+pub fn serve(root: impl Into<PathBuf>, port: u16) -> std::io::Result<ServerHandle> {
+    let root = root.into();
+    let listener = TcpListener::bind(("127.0.0.1", port))?;
+    let addr = listener.local_addr()?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let stop2 = Arc::clone(&stop);
+    let join = std::thread::Builder::new()
+        .name("schedflow-dashboard".to_owned())
+        .spawn(move || {
+            for conn in listener.incoming() {
+                if stop2.load(Ordering::SeqCst) {
+                    break;
+                }
+                if let Ok(stream) = conn {
+                    let root = root.clone();
+                    std::thread::spawn(move || {
+                        let _ = handle(stream, &root);
+                    });
+                }
+            }
+        })?;
+    Ok(ServerHandle {
+        addr,
+        stop,
+        join: Some(join),
+    })
+}
+
+fn content_type(path: &Path) -> &'static str {
+    match path.extension().and_then(|e| e.to_str()) {
+        Some("html") => "text/html; charset=utf-8",
+        Some("svg") => "image/svg+xml",
+        Some("css") => "text/css",
+        Some("js") => "application/javascript",
+        Some("json") => "application/json",
+        Some("csv") | Some("txt") => "text/plain; charset=utf-8",
+        Some("png") => "image/png",
+        _ => "application/octet-stream",
+    }
+}
+
+/// Resolve a request path under `root`, rejecting traversal.
+fn resolve(root: &Path, raw: &str) -> Option<PathBuf> {
+    let path = raw.split(['?', '#']).next().unwrap_or("/");
+    let rel = path.trim_start_matches('/');
+    let rel = if rel.is_empty() { "index.html" } else { rel };
+    let candidate = PathBuf::from(rel);
+    if candidate
+        .components()
+        .any(|c| !matches!(c, Component::Normal(_)))
+    {
+        return None;
+    }
+    let full = root.join(candidate);
+    let full = if full.is_dir() {
+        full.join("index.html")
+    } else {
+        full
+    };
+    full.exists().then_some(full)
+}
+
+fn handle(mut stream: TcpStream, root: &Path) -> std::io::Result<()> {
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut request_line = String::new();
+    reader.read_line(&mut request_line)?;
+    // Drain headers.
+    loop {
+        let mut line = String::new();
+        if reader.read_line(&mut line)? == 0 || line == "\r\n" || line == "\n" {
+            break;
+        }
+    }
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let path = parts.next().unwrap_or("/");
+
+    if method != "GET" {
+        return respond(&mut stream, 405, "text/plain", b"method not allowed");
+    }
+    match resolve(root, path) {
+        Some(file) => {
+            let body = std::fs::read(&file)?;
+            respond(&mut stream, 200, content_type(&file), &body)
+        }
+        None => respond(&mut stream, 404, "text/plain", b"not found"),
+    }
+}
+
+fn respond(
+    stream: &mut TcpStream,
+    status: u16,
+    ctype: &str,
+    body: &[u8],
+) -> std::io::Result<()> {
+    let reason = match status {
+        200 => "OK",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        _ => "Error",
+    };
+    write!(
+        stream,
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {ctype}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    )?;
+    stream.write_all(body)?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Read;
+
+    fn get(addr: std::net::SocketAddr, path: &str) -> (u16, String) {
+        let mut s = TcpStream::connect(addr).unwrap();
+        write!(s, "GET {path} HTTP/1.1\r\nHost: localhost\r\n\r\n").unwrap();
+        let mut buf = String::new();
+        s.read_to_string(&mut buf).unwrap();
+        let status: u16 = buf
+            .split_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(0);
+        let body = buf.split("\r\n\r\n").nth(1).unwrap_or("").to_owned();
+        (status, body)
+    }
+
+    fn site() -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "schedflow-server-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(dir.join("panels")).unwrap();
+        std::fs::write(dir.join("index.html"), "<html>dash</html>").unwrap();
+        std::fs::write(dir.join("panels/waits.html"), "<html>waits</html>").unwrap();
+        dir
+    }
+
+    #[test]
+    fn serves_index_and_panels() {
+        let dir = site();
+        let server = serve(&dir, 0).unwrap();
+        let (status, body) = get(server.addr(), "/");
+        assert_eq!(status, 200);
+        assert!(body.contains("dash"));
+        let (status, body) = get(server.addr(), "/panels/waits.html");
+        assert_eq!(status, 200);
+        assert!(body.contains("waits"));
+        server.stop();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_files_404() {
+        let dir = site();
+        let server = serve(&dir, 0).unwrap();
+        let (status, _) = get(server.addr(), "/nope.html");
+        assert_eq!(status, 404);
+        server.stop();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn path_traversal_rejected() {
+        let dir = site();
+        let server = serve(&dir, 0).unwrap();
+        let (status, _) = get(server.addr(), "/../../../etc/passwd");
+        assert_eq!(status, 404);
+        let (status, _) = get(server.addr(), "/panels/../../secret");
+        assert_eq!(status, 404);
+        server.stop();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn non_get_rejected() {
+        let dir = site();
+        let server = serve(&dir, 0).unwrap();
+        let mut s = TcpStream::connect(server.addr()).unwrap();
+        write!(s, "POST / HTTP/1.1\r\n\r\n").unwrap();
+        let mut buf = String::new();
+        s.read_to_string(&mut buf).unwrap();
+        assert!(buf.starts_with("HTTP/1.1 405"));
+        server.stop();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn content_types() {
+        assert_eq!(content_type(Path::new("a.html")), "text/html; charset=utf-8");
+        assert_eq!(content_type(Path::new("a.svg")), "image/svg+xml");
+        assert_eq!(content_type(Path::new("a.bin")), "application/octet-stream");
+    }
+}

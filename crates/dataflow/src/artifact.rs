@@ -1,0 +1,222 @@
+//! Artifacts: the data slots flowing between workflow tasks.
+//!
+//! Swift/T infers concurrency from *data* dependencies — a task that reads a
+//! file another task writes runs after it; tasks with disjoint data run
+//! concurrently. Artifacts model those data slots. Two kinds exist:
+//!
+//! * **value artifacts** — typed in-memory values (a frame, a chart spec),
+//!   stored in the run's [`DataStore`] as `Arc<dyn Any>`;
+//! * **file artifacts** — paths on disk, which additionally support
+//!   make-style freshness caching.
+
+use parking_lot::Mutex;
+use std::any::Any;
+use std::collections::HashMap;
+use std::marker::PhantomData;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// Untyped artifact identity within one [`crate::graph::Workflow`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ArtifactId(pub(crate) usize);
+
+impl ArtifactId {
+    pub fn index(&self) -> usize {
+        self.0
+    }
+}
+
+/// A typed handle to a value artifact.
+pub struct Artifact<T> {
+    pub(crate) id: ArtifactId,
+    _marker: PhantomData<fn() -> T>,
+}
+
+impl<T> Artifact<T> {
+    pub(crate) fn new(id: ArtifactId) -> Self {
+        Self {
+            id,
+            _marker: PhantomData,
+        }
+    }
+
+    pub fn id(&self) -> ArtifactId {
+        self.id
+    }
+}
+
+impl<T> Clone for Artifact<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for Artifact<T> {}
+
+/// A handle to a file artifact.
+#[derive(Debug, Clone)]
+pub struct FileArtifact {
+    pub(crate) id: ArtifactId,
+    pub(crate) path: PathBuf,
+}
+
+impl FileArtifact {
+    pub fn id(&self) -> ArtifactId {
+        self.id
+    }
+
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+/// Metadata the graph keeps per artifact.
+#[derive(Debug, Clone)]
+pub(crate) struct ArtifactMeta {
+    pub name: String,
+    pub kind: ArtifactKindMeta,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum ArtifactKindMeta {
+    Value,
+    File(PathBuf),
+}
+
+/// Shared store of produced artifact values for one run.
+#[derive(Default)]
+pub struct DataStore {
+    values: Mutex<HashMap<usize, Arc<dyn Any + Send + Sync>>>,
+}
+
+impl DataStore {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn put_any(&self, id: ArtifactId, value: Arc<dyn Any + Send + Sync>) {
+        self.values.lock().insert(id.0, value);
+    }
+
+    pub fn get_any(&self, id: ArtifactId) -> Option<Arc<dyn Any + Send + Sync>> {
+        self.values.lock().get(&id.0).cloned()
+    }
+
+    pub fn contains(&self, id: ArtifactId) -> bool {
+        self.values.lock().contains_key(&id.0)
+    }
+}
+
+/// The context handed to a running task body: typed access to its inputs and
+/// outputs.
+pub struct TaskCtx<'a> {
+    pub(crate) store: &'a DataStore,
+    pub(crate) task_name: &'a str,
+    pub(crate) inputs: &'a [ArtifactId],
+    pub(crate) outputs: &'a [ArtifactId],
+}
+
+impl<'a> TaskCtx<'a> {
+    /// Read a declared input value artifact.
+    pub fn get<T: Send + Sync + 'static>(&self, a: Artifact<T>) -> Result<Arc<T>, String> {
+        if !self.inputs.contains(&a.id) {
+            return Err(format!(
+                "task {:?} read artifact #{} it does not declare as input",
+                self.task_name, a.id.0
+            ));
+        }
+        let any = self
+            .store
+            .get_any(a.id)
+            .ok_or_else(|| format!("artifact #{} not yet produced", a.id.0))?;
+        any.downcast::<T>()
+            .map_err(|_| format!("artifact #{} has unexpected type", a.id.0))
+    }
+
+    /// Write a declared output value artifact.
+    pub fn put<T: Send + Sync + 'static>(&self, a: Artifact<T>, value: T) -> Result<(), String> {
+        if !self.outputs.contains(&a.id) {
+            return Err(format!(
+                "task {:?} wrote artifact #{} it does not declare as output",
+                self.task_name, a.id.0
+            ));
+        }
+        self.store.put_any(a.id, Arc::new(value));
+        Ok(())
+    }
+
+    /// Path of a declared input or output file artifact.
+    pub fn path<'f>(&self, f: &'f FileArtifact) -> Result<&'f Path, String> {
+        if self.inputs.contains(&f.id) || self.outputs.contains(&f.id) {
+            Ok(&f.path)
+        } else {
+            Err(format!(
+                "task {:?} accessed file artifact #{} it does not declare",
+                self.task_name, f.id.0
+            ))
+        }
+    }
+
+    /// Name of the running task (for log messages).
+    pub fn task_name(&self) -> &str {
+        self.task_name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn store_round_trips_typed_values() {
+        let store = DataStore::new();
+        let id = ArtifactId(0);
+        store.put_any(id, Arc::new(vec![1u32, 2, 3]));
+        let v = store.get_any(id).unwrap().downcast::<Vec<u32>>().unwrap();
+        assert_eq!(*v, vec![1, 2, 3]);
+        assert!(store.contains(id));
+        assert!(!store.contains(ArtifactId(1)));
+    }
+
+    #[test]
+    fn ctx_enforces_declared_inputs() {
+        let store = DataStore::new();
+        let declared = ArtifactId(0);
+        let undeclared = Artifact::<String>::new(ArtifactId(9));
+        store.put_any(ArtifactId(9), Arc::new("hi".to_owned()));
+        let ctx = TaskCtx {
+            store: &store,
+            task_name: "t",
+            inputs: &[declared],
+            outputs: &[],
+        };
+        assert!(ctx.get(undeclared).is_err());
+    }
+
+    #[test]
+    fn ctx_enforces_declared_outputs() {
+        let store = DataStore::new();
+        let ctx = TaskCtx {
+            store: &store,
+            task_name: "t",
+            inputs: &[],
+            outputs: &[ArtifactId(1)],
+        };
+        assert!(ctx.put(Artifact::<u32>::new(ArtifactId(1)), 5).is_ok());
+        assert!(ctx.put(Artifact::<u32>::new(ArtifactId(2)), 5).is_err());
+    }
+
+    #[test]
+    fn ctx_detects_type_mismatch() {
+        let store = DataStore::new();
+        let id = ArtifactId(3);
+        store.put_any(id, Arc::new(42u64));
+        let ctx = TaskCtx {
+            store: &store,
+            task_name: "t",
+            inputs: &[id],
+            outputs: &[],
+        };
+        assert!(ctx.get(Artifact::<String>::new(id)).is_err());
+        assert_eq!(*ctx.get(Artifact::<u64>::new(id)).unwrap(), 42);
+    }
+}

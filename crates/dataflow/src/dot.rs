@@ -1,0 +1,200 @@
+//! Graphviz DOT export of a workflow — regenerates the paper's Figure 2.
+//!
+//! Static stages render blue, user-defined (AI) stages orange, matching the
+//! paper's color convention; tasks at the same DAG depth are ranked on one
+//! row, visualizing "tasks in the same horizontal row may be executed
+//! concurrently by the workflow".
+
+use crate::artifact::ArtifactKindMeta;
+use crate::graph::{StageKind, Workflow};
+
+/// Options controlling the rendering.
+#[derive(Debug, Clone)]
+pub struct DotOptions {
+    /// Include artifact nodes (ellipses) between tasks; otherwise edges are
+    /// drawn task→task.
+    pub show_artifacts: bool,
+    /// Graph title.
+    pub title: String,
+}
+
+impl Default for DotOptions {
+    fn default() -> Self {
+        Self {
+            show_artifacts: false,
+            title: "schedflow workflow".to_owned(),
+        }
+    }
+}
+
+const STATIC_FILL: &str = "#cfe2f3"; // blue — fixed analysis stages
+const USER_FILL: &str = "#fce5cd"; // orange — user-defined AI stages
+
+/// Render the workflow graph as Graphviz DOT.
+///
+/// Fails only if the graph is invalid (cycle, duplicate writer, …).
+pub fn to_dot(wf: &Workflow, options: &DotOptions) -> Result<String, crate::graph::GraphError> {
+    let depth = wf.validate()?;
+    let mut out = String::with_capacity(4096);
+    out.push_str("digraph workflow {\n");
+    out.push_str("  rankdir=TB;\n");
+    out.push_str(&format!("  label={};\n", quote(&options.title)));
+    out.push_str("  node [fontname=\"Helvetica\"];\n");
+
+    // Task nodes.
+    for (i, t) in wf.tasks.iter().enumerate() {
+        let fill = match t.kind {
+            StageKind::Static => STATIC_FILL,
+            StageKind::UserDefined => USER_FILL,
+        };
+        out.push_str(&format!(
+            "  t{i} [label={}, shape=box, style=filled, fillcolor=\"{fill}\"];\n",
+            quote(&t.name)
+        ));
+    }
+
+    if options.show_artifacts {
+        // Artifact nodes and task→artifact→task edges.
+        let mut used = vec![false; wf.artifacts.len()];
+        for t in &wf.tasks {
+            for a in t.inputs.iter().chain(t.outputs.iter()) {
+                used[a.0] = true;
+            }
+        }
+        for (ai, meta) in wf.artifacts.iter().enumerate() {
+            if !used[ai] {
+                continue;
+            }
+            let shape = match meta.kind {
+                ArtifactKindMeta::File(_) => "note",
+                ArtifactKindMeta::Value => "ellipse",
+            };
+            out.push_str(&format!(
+                "  a{ai} [label={}, shape={shape}, fontsize=10];\n",
+                quote(&meta.name)
+            ));
+        }
+        for (i, t) in wf.tasks.iter().enumerate() {
+            for a in &t.inputs {
+                out.push_str(&format!("  a{} -> t{i};\n", a.0));
+            }
+            for a in &t.outputs {
+                out.push_str(&format!("  t{i} -> a{};\n", a.0));
+            }
+        }
+    } else {
+        // Direct task→task dependency edges.
+        for (i, deps) in wf.dependencies().iter().enumerate() {
+            for d in deps {
+                out.push_str(&format!("  t{} -> t{i};\n", d.0));
+            }
+        }
+    }
+
+    // Same-rank rows per depth (the Figure 2 horizontal rows).
+    let max_depth = depth.iter().copied().max().unwrap_or(0);
+    for row in 0..=max_depth {
+        let members: Vec<String> = depth
+            .iter()
+            .enumerate()
+            .filter(|(_, d)| **d == row)
+            .map(|(i, _)| format!("t{i}"))
+            .collect();
+        if members.len() > 1 {
+            out.push_str(&format!("  {{ rank=same; {}; }}\n", members.join("; ")));
+        }
+    }
+
+    out.push_str("}\n");
+    Ok(out)
+}
+
+fn quote(s: &str) -> String {
+    format!("\"{}\"", s.replace('\\', "\\\\").replace('"', "\\\""))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::StageKind;
+
+    fn sample() -> Workflow {
+        let mut wf = Workflow::new();
+        let raw = wf.value::<String>("raw");
+        let csv = wf.value::<String>("csv");
+        let plot = wf.value::<String>("plot");
+        let insight = wf.value::<String>("insight");
+        wf.task("obtain", StageKind::Static, [], [raw.id()], |_| Ok(()));
+        wf.task("curate", StageKind::Static, [raw.id()], [csv.id()], |_| Ok(()));
+        wf.task("plot", StageKind::Static, [csv.id()], [plot.id()], |_| Ok(()));
+        wf.task(
+            "llm-insight",
+            StageKind::UserDefined,
+            [plot.id()],
+            [insight.id()],
+            |_| Ok(()),
+        );
+        wf
+    }
+
+    #[test]
+    fn renders_tasks_with_stage_colors() {
+        let dot = to_dot(&sample(), &DotOptions::default()).unwrap();
+        assert!(dot.contains("digraph workflow"));
+        assert!(dot.contains("\"obtain\""));
+        assert!(dot.contains(STATIC_FILL));
+        assert!(dot.contains(USER_FILL));
+    }
+
+    #[test]
+    fn task_edges_follow_dependencies() {
+        let dot = to_dot(&sample(), &DotOptions::default()).unwrap();
+        assert!(dot.contains("t0 -> t1"));
+        assert!(dot.contains("t1 -> t2"));
+        assert!(dot.contains("t2 -> t3"));
+    }
+
+    #[test]
+    fn artifact_mode_inserts_data_nodes() {
+        let dot = to_dot(
+            &sample(),
+            &DotOptions {
+                show_artifacts: true,
+                title: "fig2".into(),
+            },
+        )
+        .unwrap();
+        assert!(dot.contains("\"raw\""));
+        assert!(dot.contains("a0 -> t1"));
+        assert!(dot.contains("t0 -> a0"));
+        assert!(dot.contains("label=\"fig2\""));
+    }
+
+    #[test]
+    fn parallel_tasks_share_rank() {
+        let mut wf = sample();
+        // Add a second consumer of csv → same depth as "plot".
+        let other = wf.value::<String>("other");
+        {
+            let csv_id = crate::artifact::ArtifactId(1);
+            wf.task("plot2", StageKind::Static, [csv_id], [other.id()], |_| Ok(()));
+        }
+        let dot = to_dot(&wf, &DotOptions::default()).unwrap();
+        assert!(dot.contains("rank=same"));
+    }
+
+    #[test]
+    fn invalid_graph_errors() {
+        let mut wf = Workflow::new();
+        let a = wf.value::<u32>("a");
+        let b = wf.value::<u32>("b");
+        wf.task("x", StageKind::Static, [b.id()], [a.id()], |_| Ok(()));
+        wf.task("y", StageKind::Static, [a.id()], [b.id()], |_| Ok(()));
+        assert!(to_dot(&wf, &DotOptions::default()).is_err());
+    }
+
+    #[test]
+    fn quoting_escapes() {
+        assert_eq!(quote("a\"b"), "\"a\\\"b\"");
+    }
+}

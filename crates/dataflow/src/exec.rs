@@ -1,0 +1,606 @@
+//! The workflow executor: runs a validated graph on the work-stealing pool.
+//!
+//! Scheduling decisions stay on the caller's thread (a single-consumer event
+//! loop over a completion channel); task bodies run on pool workers. This
+//! mirrors Swift/T's engine/worker split and keeps the dependency bookkeeping
+//! free of locks.
+
+use crate::artifact::{ArtifactKindMeta, DataStore, TaskCtx};
+use crate::graph::{GraphError, StageKind, Workflow};
+use crate::pool::ThreadPool;
+use crate::report::{RunReport, TaskReport, TaskStatus};
+use crossbeam::channel;
+use std::panic::AssertUnwindSafe;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Execution options.
+#[derive(Debug, Clone)]
+pub struct RunOptions {
+    /// Worker threads — the `-n N` of the paper's invocation.
+    pub threads: usize,
+    /// Skip tasks whose file outputs are all newer than their file inputs.
+    pub use_cache: bool,
+}
+
+impl Default for RunOptions {
+    fn default() -> Self {
+        Self {
+            threads: std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(2),
+            use_cache: false,
+        }
+    }
+}
+
+impl RunOptions {
+    pub fn with_threads(threads: usize) -> Self {
+        Self {
+            threads,
+            ..Self::default()
+        }
+    }
+
+    pub fn cached(mut self) -> Self {
+        self.use_cache = true;
+        self
+    }
+}
+
+/// Owns a validated workflow and executes it; the [`DataStore`] outlives the
+/// run so callers can collect produced values.
+pub struct Runner {
+    workflow: Arc<Workflow>,
+    store: Arc<DataStore>,
+    depth: Vec<usize>,
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum NodeState {
+    Waiting,
+    Running,
+    Done,
+}
+
+struct Completion {
+    task: usize,
+    result: Result<(), String>,
+    start_ms: f64,
+    end_ms: f64,
+    worker: Option<usize>,
+}
+
+impl Runner {
+    /// Validate and wrap a workflow.
+    pub fn new(workflow: Workflow) -> Result<Self, GraphError> {
+        let depth = workflow.validate()?;
+        let store = Arc::new(DataStore::new());
+        for (id, value) in &workflow.provided {
+            store.put_any(*id, Arc::clone(value));
+        }
+        Ok(Self {
+            workflow: Arc::new(workflow),
+            store,
+            depth,
+        })
+    }
+
+    /// The value store (inspect after `run` to collect results).
+    pub fn store(&self) -> &DataStore {
+        &self.store
+    }
+
+    /// Task depths from validation (Figure 2 rows).
+    pub fn depths(&self) -> &[usize] {
+        &self.depth
+    }
+
+    /// Execute the workflow to completion and report per-task outcomes.
+    pub fn run(&self, options: &RunOptions) -> RunReport {
+        let n = self.workflow.tasks.len();
+        let deps = self.workflow.dependencies();
+        let mut remaining: Vec<usize> = deps.iter().map(|d| d.len()).collect();
+        let mut dependents: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (ti, ds) in deps.iter().enumerate() {
+            for d in ds {
+                dependents[d.0].push(ti);
+            }
+        }
+
+        let pool = ThreadPool::new(options.threads);
+        let (tx, rx) = channel::unbounded::<Completion>();
+        let run_start = Instant::now();
+
+        let mut state = vec![NodeState::Waiting; n];
+        let mut reports: Vec<TaskReport> = (0..n)
+            .map(|i| TaskReport {
+                name: self.workflow.tasks[i].name.clone(),
+                kind: match self.workflow.tasks[i].kind {
+                    StageKind::Static => "static",
+                    StageKind::UserDefined => "user-defined",
+                },
+                status: TaskStatus::Skipped,
+                start_ms: 0.0,
+                end_ms: 0.0,
+                worker: None,
+                depth: self.depth[i],
+            })
+            .collect();
+        let mut done = 0usize;
+
+        // Submit every root (deterministic order). A root resolved
+        // synchronously (cache hit) releases its dependents immediately.
+        let mut initially_ready: Vec<usize> =
+            (0..n).filter(|&i| remaining[i] == 0).collect();
+        initially_ready.sort_unstable();
+        for i in initially_ready {
+            if self.dispatch(i, options, &pool, &tx, run_start, &mut state, &mut reports) {
+                done += 1;
+                done += self.release_dependents(
+                    i,
+                    &dependents,
+                    &mut remaining,
+                    options,
+                    &pool,
+                    &tx,
+                    run_start,
+                    &mut state,
+                    &mut reports,
+                );
+            }
+        }
+
+        while done < n {
+            let completion = match rx.recv_timeout(std::time::Duration::from_secs(3600)) {
+                Ok(c) => c,
+                Err(_) => break, // deadlock guard; report remaining as skipped
+            };
+            let i = completion.task;
+            state[i] = NodeState::Done;
+            done += 1;
+            reports[i].start_ms = completion.start_ms;
+            reports[i].end_ms = completion.end_ms;
+            reports[i].worker = completion.worker;
+            match completion.result {
+                Ok(()) => {
+                    reports[i].status = TaskStatus::Succeeded;
+                    done += self.release_dependents(
+                        i,
+                        &dependents,
+                        &mut remaining,
+                        options,
+                        &pool,
+                        &tx,
+                        run_start,
+                        &mut state,
+                        &mut reports,
+                    );
+                }
+                Err(msg) => {
+                    reports[i].status = TaskStatus::Failed(msg);
+                    done += skip_transitively(i, &dependents, &mut state, &mut reports);
+                }
+            }
+        }
+
+        RunReport {
+            threads: pool.size(),
+            makespan_ms: run_start.elapsed().as_secs_f64() * 1000.0,
+            tasks: reports,
+        }
+    }
+
+    /// Release the dependents of a finished task, dispatching newly ready
+    /// ones. Returns how many tasks were resolved synchronously (cache hits),
+    /// including ones resolved recursively.
+    #[allow(clippy::too_many_arguments)]
+    fn release_dependents(
+        &self,
+        finished: usize,
+        dependents: &[Vec<usize>],
+        remaining: &mut [usize],
+        options: &RunOptions,
+        pool: &ThreadPool,
+        tx: &channel::Sender<Completion>,
+        run_start: Instant,
+        state: &mut [NodeState],
+        reports: &mut [TaskReport],
+    ) -> usize {
+        let mut resolved = 0usize;
+        let mut stack = vec![finished];
+        while let Some(cur) = stack.pop() {
+            for &j in &dependents[cur] {
+                if state[j] != NodeState::Waiting {
+                    continue;
+                }
+                remaining[j] -= 1;
+                if remaining[j] == 0 {
+                    let sync =
+                        self.dispatch(j, options, pool, tx, run_start, state, reports);
+                    if sync {
+                        resolved += 1;
+                        stack.push(j);
+                    }
+                }
+            }
+        }
+        resolved
+    }
+
+    /// Submit a ready task, or resolve it synchronously as a cache hit.
+    /// Returns true when resolved synchronously.
+    fn dispatch(
+        &self,
+        i: usize,
+        options: &RunOptions,
+        pool: &ThreadPool,
+        tx: &channel::Sender<Completion>,
+        run_start: Instant,
+        state: &mut [NodeState],
+        reports: &mut [TaskReport],
+    ) -> bool {
+        if options.use_cache && self.outputs_fresh(i) {
+            state[i] = NodeState::Done;
+            reports[i].status = TaskStatus::Cached;
+            return true;
+        }
+        state[i] = NodeState::Running;
+        let wf = Arc::clone(&self.workflow);
+        let store = Arc::clone(&self.store);
+        let tx = tx.clone();
+        pool.execute(move || {
+            let start_ms = run_start.elapsed().as_secs_f64() * 1000.0;
+            let spec = &wf.tasks[i];
+            let ctx = TaskCtx {
+                store: &store,
+                task_name: &spec.name,
+                inputs: &spec.inputs,
+                outputs: &spec.outputs,
+            };
+            let result = std::panic::catch_unwind(AssertUnwindSafe(|| (spec.body)(&ctx)))
+                .unwrap_or_else(|p| Err(panic_message(p)))
+                .and_then(|()| verify_outputs(&wf, &store, i));
+            let end_ms = run_start.elapsed().as_secs_f64() * 1000.0;
+            let _ = tx.send(Completion {
+                task: i,
+                result,
+                start_ms,
+                end_ms,
+                worker: current_worker_index(),
+            });
+        });
+        false
+    }
+
+    /// Make-style freshness: all file outputs exist and are at least as new
+    /// as every file input; only applicable to tasks whose outputs are all
+    /// files (value outputs cannot be reconstructed from disk).
+    fn outputs_fresh(&self, i: usize) -> bool {
+        let spec = &self.workflow.tasks[i];
+        if spec.outputs.is_empty() {
+            return false;
+        }
+        let mtime = |id: &crate::artifact::ArtifactId| -> Option<std::time::SystemTime> {
+            match &self.workflow.artifacts[id.0].kind {
+                ArtifactKindMeta::File(p) => std::fs::metadata(p).and_then(|m| m.modified()).ok(),
+                ArtifactKindMeta::Value => None,
+            }
+        };
+        let mut newest_input: Option<std::time::SystemTime> = None;
+        for input in &spec.inputs {
+            match &self.workflow.artifacts[input.0].kind {
+                ArtifactKindMeta::Value => return false,
+                ArtifactKindMeta::File(_) => match mtime(input) {
+                    Some(t) => {
+                        newest_input = Some(newest_input.map_or(t, |n| n.max(t)));
+                    }
+                    None => return false, // missing input: let the task fail loudly
+                },
+            }
+        }
+        for output in &spec.outputs {
+            match &self.workflow.artifacts[output.0].kind {
+                ArtifactKindMeta::Value => return false,
+                ArtifactKindMeta::File(_) => match mtime(output) {
+                    Some(out_t) => {
+                        if let Some(in_t) = newest_input {
+                            if out_t < in_t {
+                                return false;
+                            }
+                        }
+                    }
+                    None => return false,
+                },
+            }
+        }
+        true
+    }
+}
+
+/// After a body returns Ok, every declared value output must exist in the
+/// store and every declared file output must exist on disk.
+fn verify_outputs(wf: &Workflow, store: &DataStore, i: usize) -> Result<(), String> {
+    let spec = &wf.tasks[i];
+    for out in &spec.outputs {
+        match &wf.artifacts[out.0].kind {
+            ArtifactKindMeta::Value => {
+                if !store.contains(*out) {
+                    return Err(format!(
+                        "task {:?} completed without producing value artifact {:?}",
+                        spec.name, wf.artifacts[out.0].name
+                    ));
+                }
+            }
+            ArtifactKindMeta::File(p) => {
+                if !p.exists() {
+                    return Err(format!(
+                        "task {:?} completed without writing file {:?}",
+                        spec.name,
+                        p.display()
+                    ));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Mark every transitive dependent of `failed` as skipped. Returns the count.
+fn skip_transitively(
+    failed: usize,
+    dependents: &[Vec<usize>],
+    state: &mut [NodeState],
+    reports: &mut [TaskReport],
+) -> usize {
+    let mut skipped = 0usize;
+    let mut stack: Vec<usize> = dependents[failed].clone();
+    while let Some(j) = stack.pop() {
+        if state[j] != NodeState::Waiting {
+            continue;
+        }
+        state[j] = NodeState::Done;
+        reports[j].status = TaskStatus::Skipped;
+        skipped += 1;
+        stack.extend(dependents[j].iter().copied());
+    }
+    skipped
+}
+
+/// Worker index of the current pool thread (from its name), if any.
+fn current_worker_index() -> Option<usize> {
+    std::thread::current()
+        .name()
+        .and_then(|n| n.strip_prefix("schedflow-worker-"))
+        .and_then(|s| s.parse().ok())
+}
+
+fn panic_message(p: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        format!("task panicked: {s}")
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        format!("task panicked: {s}")
+    } else {
+        "task panicked".to_owned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::StageKind;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn runs_linear_chain_in_order() {
+        let mut wf = Workflow::new();
+        let a = wf.value::<u32>("a");
+        let b = wf.value::<u32>("b");
+        wf.task("produce", StageKind::Static, [], [a.id()], move |ctx| {
+            ctx.put(a, 21)
+        });
+        wf.task("double", StageKind::Static, [a.id()], [b.id()], move |ctx| {
+            let v = *ctx.get(a)?;
+            ctx.put(b, v * 2)
+        });
+        let runner = Runner::new(wf).unwrap();
+        let report = runner.run(&RunOptions::with_threads(4));
+        assert!(report.is_success(), "{report:?}");
+        let out = runner
+            .store()
+            .get_any(b.id())
+            .unwrap()
+            .downcast::<u32>()
+            .unwrap();
+        assert_eq!(*out, 42);
+    }
+
+    #[test]
+    fn independent_tasks_run_concurrently() {
+        let mut wf = Workflow::new();
+        let peak = Arc::new(AtomicUsize::new(0));
+        let cur = Arc::new(AtomicUsize::new(0));
+        for i in 0..4 {
+            let out = wf.value::<()>(&format!("o{i}"));
+            let peak = Arc::clone(&peak);
+            let cur = Arc::clone(&cur);
+            wf.task(&format!("t{i}"), StageKind::Static, [], [out.id()], move |ctx| {
+                let now = cur.fetch_add(1, Ordering::SeqCst) + 1;
+                peak.fetch_max(now, Ordering::SeqCst);
+                std::thread::sleep(std::time::Duration::from_millis(30));
+                cur.fetch_sub(1, Ordering::SeqCst);
+                ctx.put(Artifact::<()>::new(ctx.outputs[0]), ())
+            });
+        }
+        let runner = Runner::new(wf).unwrap();
+        let report = runner.run(&RunOptions::with_threads(4));
+        assert!(report.is_success());
+        assert!(
+            peak.load(Ordering::SeqCst) >= 2,
+            "expected overlap, peak={}",
+            peak.load(Ordering::SeqCst)
+        );
+        assert!(report.max_concurrency() >= 2);
+    }
+
+    use crate::artifact::Artifact;
+
+    #[test]
+    fn failure_skips_dependents_but_not_independents() {
+        let mut wf = Workflow::new();
+        let a = wf.value::<u32>("a");
+        let b = wf.value::<u32>("b");
+        let c = wf.value::<u32>("c");
+        wf.task("fail", StageKind::Static, [], [a.id()], |_| {
+            Err("deliberate".to_owned())
+        });
+        wf.task("dep", StageKind::Static, [a.id()], [b.id()], move |ctx| {
+            ctx.put(b, 1)
+        });
+        wf.task("indep", StageKind::Static, [], [c.id()], move |ctx| {
+            ctx.put(c, 2)
+        });
+        let runner = Runner::new(wf).unwrap();
+        let report = runner.run(&RunOptions::with_threads(2));
+        assert!(!report.is_success());
+        assert_eq!(report.failed().len(), 1);
+        assert_eq!(report.skipped(), 1);
+        assert_eq!(report.succeeded(), 1);
+        assert!(runner.store().contains(c.id()));
+        assert!(!runner.store().contains(b.id()));
+    }
+
+    #[test]
+    fn panicking_task_reports_failure() {
+        let mut wf = Workflow::new();
+        let a = wf.value::<u32>("a");
+        wf.task("boom", StageKind::Static, [], [a.id()], |_| {
+            panic!("kaboom");
+        });
+        let runner = Runner::new(wf).unwrap();
+        let report = runner.run(&RunOptions::with_threads(1));
+        match &report.tasks[0].status {
+            TaskStatus::Failed(msg) => assert!(msg.contains("kaboom")),
+            other => panic!("expected failure, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn missing_declared_output_is_failure() {
+        let mut wf = Workflow::new();
+        let a = wf.value::<u32>("never-produced");
+        wf.task("lazy", StageKind::Static, [], [a.id()], |_| Ok(()));
+        let runner = Runner::new(wf).unwrap();
+        let report = runner.run(&RunOptions::with_threads(1));
+        assert!(!report.is_success());
+    }
+
+    #[test]
+    fn provided_parameters_reach_tasks() {
+        let mut wf = Workflow::new();
+        let param = wf.value::<String>("param");
+        let out = wf.value::<String>("out");
+        wf.provide(param, "hello".to_owned());
+        wf.task("use", StageKind::Static, [param.id()], [out.id()], move |ctx| {
+            let p = ctx.get(param)?;
+            ctx.put(out, format!("{p} world"))
+        });
+        let runner = Runner::new(wf).unwrap();
+        assert!(runner.run(&RunOptions::with_threads(1)).is_success());
+        let v = runner
+            .store()
+            .get_any(out.id())
+            .unwrap()
+            .downcast::<String>()
+            .unwrap();
+        assert_eq!(*v, "hello world");
+    }
+
+    #[test]
+    fn file_cache_skips_fresh_outputs() {
+        let dir = std::env::temp_dir().join(format!("schedflow-cache-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let in_path = dir.join("input.txt");
+        let out_path = dir.join("output.txt");
+        std::fs::write(&in_path, "data").unwrap();
+        let _ = std::fs::remove_file(&out_path);
+
+        let runs = Arc::new(AtomicUsize::new(0));
+        let build = |runs: Arc<AtomicUsize>| {
+            let mut wf = Workflow::new();
+            let input = wf.file(&in_path);
+            let output = wf.file(&out_path);
+            let out_clone = output.clone();
+            wf.task(
+                "copy",
+                StageKind::Static,
+                [input.id()],
+                [output.id()],
+                move |ctx| {
+                    runs.fetch_add(1, Ordering::SeqCst);
+                    let p = ctx.path(&out_clone)?;
+                    std::fs::write(p, "copied").map_err(|e| e.to_string())
+                },
+            );
+            wf
+        };
+
+        // First run executes.
+        let r1 = Runner::new(build(Arc::clone(&runs))).unwrap();
+        assert!(r1.run(&RunOptions::with_threads(1).cached()).is_success());
+        assert_eq!(runs.load(Ordering::SeqCst), 1);
+
+        // Second run is served from cache.
+        let r2 = Runner::new(build(Arc::clone(&runs))).unwrap();
+        let report = r2.run(&RunOptions::with_threads(1).cached());
+        assert!(report.is_success());
+        assert_eq!(report.cached(), 1);
+        assert_eq!(runs.load(Ordering::SeqCst), 1);
+
+        // Touch the input newer than the output: re-executes.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        std::fs::write(&in_path, "data2").unwrap();
+        let r3 = Runner::new(build(Arc::clone(&runs))).unwrap();
+        let report = r3.run(&RunOptions::with_threads(1).cached());
+        assert!(report.is_success());
+        assert_eq!(runs.load(Ordering::SeqCst), 2);
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn wide_fanout_completes_under_low_thread_count() {
+        let mut wf = Workflow::new();
+        let root = wf.value::<u64>("root");
+        wf.task("root", StageKind::Static, [], [root.id()], move |ctx| {
+            ctx.put(root, 5)
+        });
+        let mut leaves = Vec::new();
+        for i in 0..50 {
+            let leaf = wf.value::<u64>(&format!("leaf{i}"));
+            leaves.push(leaf);
+            wf.task(
+                &format!("leaf{i}"),
+                StageKind::Static,
+                [root.id()],
+                [leaf.id()],
+                move |ctx| {
+                    let v = *ctx.get(root)?;
+                    ctx.put(leaf, v + i)
+                },
+            );
+        }
+        let runner = Runner::new(wf).unwrap();
+        let report = runner.run(&RunOptions::with_threads(2));
+        assert!(report.is_success());
+        for (i, leaf) in leaves.iter().enumerate() {
+            let v = runner
+                .store()
+                .get_any(leaf.id())
+                .unwrap()
+                .downcast::<u64>()
+                .unwrap();
+            assert_eq!(*v, 5 + i as u64);
+        }
+    }
+}

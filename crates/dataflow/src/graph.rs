@@ -1,0 +1,396 @@
+//! The workflow graph: tasks, dependency inference, and validation.
+//!
+//! Tasks are declared as "an apparently linear list" (§3.3 of the paper) of
+//! named stages with input and output artifact references; the engine infers
+//! the DAG — task B depends on task A exactly when B reads an artifact A
+//! writes — and surfaces the residual concurrency automatically.
+
+use crate::artifact::{
+    Artifact, ArtifactId, ArtifactKindMeta, ArtifactMeta, FileArtifact, TaskCtx,
+};
+use std::collections::HashMap;
+use std::path::PathBuf;
+
+/// Whether a stage belongs to the fixed data-analysis subworkflow (blue in
+/// the paper's Figure 2) or a user-defined AI subworkflow (orange).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StageKind {
+    /// Fixed, dataset-driven analysis stage.
+    Static,
+    /// Customizable user-defined extension (the AI/LLM stages).
+    UserDefined,
+}
+
+/// Task identity within one workflow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TaskId(pub(crate) usize);
+
+impl TaskId {
+    pub fn index(&self) -> usize {
+        self.0
+    }
+}
+
+pub(crate) type TaskBody = Box<dyn Fn(&TaskCtx) -> Result<(), String> + Send + Sync>;
+
+pub(crate) struct TaskSpec {
+    pub name: String,
+    pub kind: StageKind,
+    pub inputs: Vec<ArtifactId>,
+    pub outputs: Vec<ArtifactId>,
+    pub body: TaskBody,
+}
+
+/// Errors detected when validating a workflow graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// Two tasks both declare the same artifact as output.
+    MultipleWriters {
+        artifact: String,
+        first: String,
+        second: String,
+    },
+    /// A value artifact is consumed but never produced nor provided.
+    MissingProducer { artifact: String, consumer: String },
+    /// The dependency relation contains a cycle.
+    Cycle { involving: Vec<String> },
+    /// A task name was used twice (names key reports and DOT nodes).
+    DuplicateTaskName(String),
+}
+
+impl std::fmt::Display for GraphError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GraphError::MultipleWriters {
+                artifact,
+                first,
+                second,
+            } => write!(
+                f,
+                "artifact {artifact:?} written by both {first:?} and {second:?}"
+            ),
+            GraphError::MissingProducer { artifact, consumer } => write!(
+                f,
+                "value artifact {artifact:?} consumed by {consumer:?} has no producer"
+            ),
+            GraphError::Cycle { involving } => {
+                write!(f, "dependency cycle involving {involving:?}")
+            }
+            GraphError::DuplicateTaskName(n) => write!(f, "duplicate task name {n:?}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+/// A declared workflow: artifacts + tasks, ready for validation and execution.
+pub struct Workflow {
+    pub(crate) artifacts: Vec<ArtifactMeta>,
+    pub(crate) tasks: Vec<TaskSpec>,
+    /// Values supplied from outside the graph (workflow parameters).
+    pub(crate) provided: Vec<(ArtifactId, std::sync::Arc<dyn std::any::Any + Send + Sync>)>,
+}
+
+impl Default for Workflow {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Workflow {
+    pub fn new() -> Self {
+        Self {
+            artifacts: Vec::new(),
+            tasks: Vec::new(),
+            provided: Vec::new(),
+        }
+    }
+
+    /// Declare a typed value artifact.
+    pub fn value<T>(&mut self, name: &str) -> Artifact<T> {
+        let id = ArtifactId(self.artifacts.len());
+        self.artifacts.push(ArtifactMeta {
+            name: name.to_owned(),
+            kind: ArtifactKindMeta::Value,
+        });
+        Artifact::new(id)
+    }
+
+    /// Declare a file artifact at the given path.
+    pub fn file(&mut self, path: impl Into<PathBuf>) -> FileArtifact {
+        let path = path.into();
+        let id = ArtifactId(self.artifacts.len());
+        self.artifacts.push(ArtifactMeta {
+            name: path.display().to_string(),
+            kind: ArtifactKindMeta::File(path.clone()),
+        });
+        FileArtifact { id, path }
+    }
+
+    /// Provide an externally computed value for an artifact (a workflow
+    /// parameter), satisfying consumers without a producing task.
+    pub fn provide<T: Send + Sync + 'static>(&mut self, a: Artifact<T>, value: T) {
+        self.provided.push((a.id, std::sync::Arc::new(value)));
+    }
+
+    /// Add a task. `inputs`/`outputs` are the data-dependency declaration the
+    /// engine builds the DAG from.
+    pub fn task(
+        &mut self,
+        name: &str,
+        kind: StageKind,
+        inputs: impl IntoIterator<Item = ArtifactId>,
+        outputs: impl IntoIterator<Item = ArtifactId>,
+        body: impl Fn(&TaskCtx) -> Result<(), String> + Send + Sync + 'static,
+    ) -> TaskId {
+        let id = TaskId(self.tasks.len());
+        self.tasks.push(TaskSpec {
+            name: name.to_owned(),
+            kind,
+            inputs: inputs.into_iter().collect(),
+            outputs: outputs.into_iter().collect(),
+            body: Box::new(body),
+        });
+        id
+    }
+
+    pub fn task_count(&self) -> usize {
+        self.tasks.len()
+    }
+
+    pub fn artifact_count(&self) -> usize {
+        self.artifacts.len()
+    }
+
+    pub fn task_name(&self, id: TaskId) -> &str {
+        &self.tasks[id.0].name
+    }
+
+    /// All task names, in declaration order.
+    pub fn task_names(&self) -> Vec<&str> {
+        self.tasks.iter().map(|t| t.name.as_str()).collect()
+    }
+
+    /// Producer task of each artifact, if any.
+    pub(crate) fn producers(&self) -> HashMap<ArtifactId, TaskId> {
+        let mut map = HashMap::new();
+        for (ti, t) in self.tasks.iter().enumerate() {
+            for &out in &t.outputs {
+                map.insert(out, TaskId(ti));
+            }
+        }
+        map
+    }
+
+    /// Direct dependencies of each task (deduplicated, by producer lookup).
+    pub(crate) fn dependencies(&self) -> Vec<Vec<TaskId>> {
+        let producers = self.producers();
+        self.tasks
+            .iter()
+            .map(|t| {
+                let mut deps: Vec<TaskId> = t
+                    .inputs
+                    .iter()
+                    .filter_map(|a| producers.get(a).copied())
+                    .collect();
+                deps.sort_unstable();
+                deps.dedup();
+                deps
+            })
+            .collect()
+    }
+
+    /// Validate the graph: unique writers, producers for all consumed value
+    /// artifacts, unique task names, and acyclicity. Returns each task's
+    /// depth (longest path from a root) on success — the "horizontal rows"
+    /// of the paper's Figure 2.
+    pub fn validate(&self) -> Result<Vec<usize>, GraphError> {
+        // Unique task names.
+        let mut seen = HashMap::new();
+        for t in &self.tasks {
+            if seen.insert(t.name.as_str(), ()).is_some() {
+                return Err(GraphError::DuplicateTaskName(t.name.clone()));
+            }
+        }
+
+        // Single writer per artifact.
+        let mut writer: HashMap<ArtifactId, usize> = HashMap::new();
+        for (ti, t) in self.tasks.iter().enumerate() {
+            for &out in &t.outputs {
+                if let Some(&first) = writer.get(&out) {
+                    return Err(GraphError::MultipleWriters {
+                        artifact: self.artifacts[out.0].name.clone(),
+                        first: self.tasks[first].name.clone(),
+                        second: t.name.clone(),
+                    });
+                }
+                writer.insert(out, ti);
+            }
+        }
+
+        // Every consumed value artifact has a producer or a provided value.
+        let provided: std::collections::HashSet<ArtifactId> =
+            self.provided.iter().map(|(id, _)| *id).collect();
+        for t in &self.tasks {
+            for &input in &t.inputs {
+                let meta = &self.artifacts[input.0];
+                let has_source = writer.contains_key(&input) || provided.contains(&input);
+                if meta.kind == ArtifactKindMeta::Value && !has_source {
+                    return Err(GraphError::MissingProducer {
+                        artifact: meta.name.clone(),
+                        consumer: t.name.clone(),
+                    });
+                }
+                // File artifacts without producers are external inputs; their
+                // existence is checked when the consuming task runs.
+            }
+        }
+
+        // Kahn's algorithm for cycle detection + longest-path depth.
+        let deps = self.dependencies();
+        let n = self.tasks.len();
+        let mut indegree = vec![0usize; n];
+        let mut dependents: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (ti, ds) in deps.iter().enumerate() {
+            indegree[ti] = ds.len();
+            for d in ds {
+                dependents[d.0].push(ti);
+            }
+        }
+        let mut depth = vec![0usize; n];
+        let mut queue: Vec<usize> = (0..n).filter(|&i| indegree[i] == 0).collect();
+        let mut visited = 0usize;
+        while let Some(i) = queue.pop() {
+            visited += 1;
+            for &j in &dependents[i] {
+                depth[j] = depth[j].max(depth[i] + 1);
+                indegree[j] -= 1;
+                if indegree[j] == 0 {
+                    queue.push(j);
+                }
+            }
+        }
+        if visited != n {
+            let involving = (0..n)
+                .filter(|&i| indegree[i] > 0)
+                .map(|i| self.tasks[i].name.clone())
+                .collect();
+            return Err(GraphError::Cycle { involving });
+        }
+        Ok(depth)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_list_infers_chain() {
+        let mut wf = Workflow::new();
+        let a = wf.value::<u32>("a");
+        let b = wf.value::<u32>("b");
+        let c = wf.value::<u32>("c");
+        wf.task("t1", StageKind::Static, [], [a.id()], |_| Ok(()));
+        wf.task("t2", StageKind::Static, [a.id()], [b.id()], |_| Ok(()));
+        wf.task("t3", StageKind::Static, [b.id()], [c.id()], |_| Ok(()));
+        let depth = wf.validate().unwrap();
+        assert_eq!(depth, vec![0, 1, 2]);
+        let deps = wf.dependencies();
+        assert_eq!(deps[2], vec![TaskId(1)]);
+    }
+
+    #[test]
+    fn independent_tasks_share_depth() {
+        let mut wf = Workflow::new();
+        let a = wf.value::<u32>("a");
+        let x = wf.value::<u32>("x");
+        let y = wf.value::<u32>("y");
+        wf.task("root", StageKind::Static, [], [a.id()], |_| Ok(()));
+        wf.task("left", StageKind::Static, [a.id()], [x.id()], |_| Ok(()));
+        wf.task("right", StageKind::UserDefined, [a.id()], [y.id()], |_| Ok(()));
+        let depth = wf.validate().unwrap();
+        assert_eq!(depth, vec![0, 1, 1]);
+    }
+
+    #[test]
+    fn multiple_writers_rejected() {
+        let mut wf = Workflow::new();
+        let a = wf.value::<u32>("a");
+        wf.task("t1", StageKind::Static, [], [a.id()], |_| Ok(()));
+        wf.task("t2", StageKind::Static, [], [a.id()], |_| Ok(()));
+        assert!(matches!(
+            wf.validate(),
+            Err(GraphError::MultipleWriters { .. })
+        ));
+    }
+
+    #[test]
+    fn missing_producer_rejected_for_values() {
+        let mut wf = Workflow::new();
+        let a = wf.value::<u32>("orphan");
+        wf.task("t", StageKind::Static, [a.id()], [], |_| Ok(()));
+        assert!(matches!(
+            wf.validate(),
+            Err(GraphError::MissingProducer { .. })
+        ));
+    }
+
+    #[test]
+    fn provided_value_satisfies_consumer() {
+        let mut wf = Workflow::new();
+        let a = wf.value::<u32>("param");
+        wf.provide(a, 7);
+        wf.task("t", StageKind::Static, [a.id()], [], |_| Ok(()));
+        wf.validate().unwrap();
+    }
+
+    #[test]
+    fn external_file_inputs_allowed() {
+        let mut wf = Workflow::new();
+        let f = wf.file("/tmp/external.txt");
+        wf.task("t", StageKind::Static, [f.id()], [], |_| Ok(()));
+        wf.validate().unwrap();
+    }
+
+    #[test]
+    fn cycle_detected() {
+        let mut wf = Workflow::new();
+        let a = wf.value::<u32>("a");
+        let b = wf.value::<u32>("b");
+        wf.task("t1", StageKind::Static, [b.id()], [a.id()], |_| Ok(()));
+        wf.task("t2", StageKind::Static, [a.id()], [b.id()], |_| Ok(()));
+        assert!(matches!(wf.validate(), Err(GraphError::Cycle { .. })));
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let mut wf = Workflow::new();
+        wf.task("same", StageKind::Static, [], [], |_| Ok(()));
+        wf.task("same", StageKind::Static, [], [], |_| Ok(()));
+        assert!(matches!(
+            wf.validate(),
+            Err(GraphError::DuplicateTaskName(_))
+        ));
+    }
+
+    #[test]
+    fn diamond_depths() {
+        let mut wf = Workflow::new();
+        let a = wf.value::<u32>("a");
+        let l = wf.value::<u32>("l");
+        let r = wf.value::<u32>("r");
+        let j = wf.value::<u32>("j");
+        wf.task("src", StageKind::Static, [], [a.id()], |_| Ok(()));
+        wf.task("left", StageKind::Static, [a.id()], [l.id()], |_| Ok(()));
+        wf.task("right", StageKind::Static, [a.id()], [r.id()], |_| Ok(()));
+        wf.task(
+            "join",
+            StageKind::Static,
+            [l.id(), r.id()],
+            [j.id()],
+            |_| Ok(()),
+        );
+        assert_eq!(wf.validate().unwrap(), vec![0, 1, 1, 2]);
+    }
+}

@@ -1,0 +1,36 @@
+//! # schedflow-dataflow
+//!
+//! A dataflow workflow engine — the Rust stand-in for the Swift/T runtime the
+//! paper composes its pipeline with (§3.3).
+//!
+//! Stages are declared as an apparently linear list of tasks with input and
+//! output artifact references ([`Workflow::task`]); the engine infers the DAG
+//! from those data dependencies, validates it (single writer, no cycles,
+//! producers for every consumed value), and executes it on a work-stealing
+//! thread pool ([`pool::ThreadPool`]) whose size is the paper's `-n N`
+//! physical concurrency. Make-style freshness caching skips stages whose file
+//! outputs are newer than their file inputs, reproducing the obtain-data
+//! stage's "use cached data if available" behaviour.
+//!
+//! The engine also exports the inferred graph as Graphviz DOT ([`dot`]) —
+//! regenerating the paper's Figure 2 with its blue (static) / orange
+//! (user-defined AI) stage coloring — and reports per-task timings and
+//! concurrency ([`report::RunReport`]).
+//!
+//! [`par`] offers the chunked data-parallel kernels (map/fold/fill) used by
+//! the frame engine and the trace generator.
+
+pub mod artifact;
+pub mod dot;
+pub mod exec;
+pub mod graph;
+pub mod par;
+pub mod pool;
+pub mod report;
+
+pub use artifact::{Artifact, ArtifactId, DataStore, FileArtifact, TaskCtx};
+pub use dot::{to_dot, DotOptions};
+pub use exec::{RunOptions, Runner};
+pub use graph::{GraphError, StageKind, TaskId, Workflow};
+pub use pool::ThreadPool;
+pub use report::{RunReport, TaskReport, TaskStatus};

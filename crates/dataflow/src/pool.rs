@@ -1,0 +1,281 @@
+//! A work-stealing thread pool.
+//!
+//! This is the execution substrate for the workflow engine, standing in for
+//! Swift/T's `-n N` physical concurrency: one OS thread per requested slot,
+//! each with its own LIFO deque, stealing FIFO from peers and from a global
+//! injector when idle (the classic Chase–Lev arrangement provided by
+//! `crossbeam-deque`). Idle workers park on a condition variable instead of
+//! spinning so an idle workflow costs nothing.
+
+use crossbeam::deque::{Injector, Stealer, Worker};
+use parking_lot::{Condvar, Mutex};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+struct Shared {
+    injector: Injector<Job>,
+    stealers: Vec<Stealer<Job>>,
+    /// Count of jobs submitted but not yet completed.
+    pending: AtomicUsize,
+    shutdown: AtomicBool,
+    /// Sleep/wake machinery for idle workers.
+    sleep_lock: Mutex<()>,
+    wake: Condvar,
+}
+
+impl Shared {
+    fn notify_one(&self) {
+        let _guard = self.sleep_lock.lock();
+        self.wake.notify_one();
+    }
+
+    fn notify_all(&self) {
+        let _guard = self.sleep_lock.lock();
+        self.wake.notify_all();
+    }
+}
+
+/// A fixed-size work-stealing thread pool.
+///
+/// Jobs are `'static` closures; completion is observed either through
+/// [`ThreadPool::wait_idle`] or through channels owned by the caller (the
+/// workflow executor does the latter).
+pub struct ThreadPool {
+    shared: Arc<Shared>,
+    handles: Vec<JoinHandle<()>>,
+    size: usize,
+}
+
+impl ThreadPool {
+    /// Create a pool with `size` worker threads (clamped to at least 1).
+    pub fn new(size: usize) -> Self {
+        let size = size.max(1);
+        let workers: Vec<Worker<Job>> = (0..size).map(|_| Worker::new_lifo()).collect();
+        let stealers = workers.iter().map(|w| w.stealer()).collect();
+        let shared = Arc::new(Shared {
+            injector: Injector::new(),
+            stealers,
+            pending: AtomicUsize::new(0),
+            shutdown: AtomicBool::new(false),
+            sleep_lock: Mutex::new(()),
+            wake: Condvar::new(),
+        });
+
+        let handles = workers
+            .into_iter()
+            .enumerate()
+            .map(|(index, worker)| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("schedflow-worker-{index}"))
+                    .spawn(move || worker_loop(index, worker, shared))
+                    .expect("spawn pool worker")
+            })
+            .collect();
+
+        ThreadPool {
+            shared,
+            handles,
+            size,
+        }
+    }
+
+    /// Pool size as configured (the `-n N` of the workflow invocation).
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Submit a job for execution.
+    pub fn execute(&self, job: impl FnOnce() + Send + 'static) {
+        self.shared.pending.fetch_add(1, Ordering::SeqCst);
+        self.shared.injector.push(Box::new(job));
+        self.shared.notify_one();
+    }
+
+    /// Block until every submitted job has completed.
+    ///
+    /// Only sound when no job submits further jobs after this is called from
+    /// another thread; the workflow executor drives completion via channels
+    /// instead and uses this only in tests and teardown.
+    pub fn wait_idle(&self) {
+        while self.shared.pending.load(Ordering::SeqCst) != 0 {
+            std::thread::yield_now();
+        }
+    }
+
+    /// Number of jobs submitted but not yet finished.
+    pub fn pending(&self) -> usize {
+        self.shared.pending.load(Ordering::SeqCst)
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.shared.notify_all();
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn worker_loop(index: usize, local: Worker<Job>, shared: Arc<Shared>) {
+    loop {
+        match find_job(index, &local, &shared) {
+            Some(job) => {
+                job();
+                shared.pending.fetch_sub(1, Ordering::SeqCst);
+            }
+            None => {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                // Park until new work arrives. Re-check under the lock to
+                // avoid missing a wake between the failed steal and the wait.
+                let mut guard = shared.sleep_lock.lock();
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                if shared.injector.is_empty() && local.is_empty() {
+                    shared
+                        .wake
+                        .wait_for(&mut guard, std::time::Duration::from_millis(50));
+                }
+            }
+        }
+    }
+}
+
+/// Local pop, then injector steal, then round-robin peer steal.
+fn find_job(index: usize, local: &Worker<Job>, shared: &Shared) -> Option<Job> {
+    if let Some(job) = local.pop() {
+        return Some(job);
+    }
+    loop {
+        let steal = shared.injector.steal_batch_and_pop(local);
+        if steal.is_retry() {
+            continue;
+        }
+        if let Some(job) = steal.success() {
+            return Some(job);
+        }
+        break;
+    }
+    let n = shared.stealers.len();
+    for offset in 1..n {
+        let peer = (index + offset) % n;
+        loop {
+            let steal = shared.stealers[peer].steal();
+            if steal.is_retry() {
+                continue;
+            }
+            if let Some(job) = steal.success() {
+                return Some(job);
+            }
+            break;
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn executes_all_jobs() {
+        let pool = ThreadPool::new(4);
+        let counter = Arc::new(AtomicU64::new(0));
+        for _ in 0..1000 {
+            let c = Arc::clone(&counter);
+            pool.execute(move || {
+                c.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        pool.wait_idle();
+        assert_eq!(counter.load(Ordering::Relaxed), 1000);
+    }
+
+    #[test]
+    fn single_thread_pool_works() {
+        let pool = ThreadPool::new(1);
+        let counter = Arc::new(AtomicU64::new(0));
+        for _ in 0..100 {
+            let c = Arc::clone(&counter);
+            pool.execute(move || {
+                c.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        pool.wait_idle();
+        assert_eq!(counter.load(Ordering::Relaxed), 100);
+    }
+
+    #[test]
+    fn zero_requested_size_clamps_to_one() {
+        let pool = ThreadPool::new(0);
+        assert_eq!(pool.size(), 1);
+    }
+
+    #[test]
+    fn jobs_can_spawn_jobs() {
+        let pool = Arc::new(ThreadPool::new(4));
+        let counter = Arc::new(AtomicU64::new(0));
+        let (tx, rx) = crossbeam::channel::unbounded();
+        for _ in 0..10 {
+            let c = Arc::clone(&counter);
+            let p = Arc::clone(&pool);
+            let tx = tx.clone();
+            pool.execute(move || {
+                for _ in 0..10 {
+                    let c2 = Arc::clone(&c);
+                    let tx2 = tx.clone();
+                    p.execute(move || {
+                        c2.fetch_add(1, Ordering::Relaxed);
+                        let _ = tx2.send(());
+                    });
+                }
+            });
+        }
+        for _ in 0..100 {
+            rx.recv_timeout(std::time::Duration::from_secs(10)).unwrap();
+        }
+        assert_eq!(counter.load(Ordering::Relaxed), 100);
+    }
+
+    #[test]
+    fn drop_joins_workers_cleanly() {
+        let pool = ThreadPool::new(8);
+        let counter = Arc::new(AtomicU64::new(0));
+        for _ in 0..50 {
+            let c = Arc::clone(&counter);
+            pool.execute(move || {
+                c.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        pool.wait_idle();
+        drop(pool);
+        assert_eq!(counter.load(Ordering::Relaxed), 50);
+    }
+
+    #[test]
+    fn heavy_contention_completes() {
+        let pool = ThreadPool::new(8);
+        let counter = Arc::new(AtomicU64::new(0));
+        for i in 0..10_000u64 {
+            let c = Arc::clone(&counter);
+            pool.execute(move || {
+                // Mix of trivial and slightly heavier jobs.
+                if i % 97 == 0 {
+                    std::thread::yield_now();
+                }
+                c.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        pool.wait_idle();
+        assert_eq!(counter.load(Ordering::Relaxed), 10_000);
+    }
+}

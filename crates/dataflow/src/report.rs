@@ -1,0 +1,229 @@
+//! Run reports: per-task timing, status, and concurrency accounting.
+
+use serde::Serialize;
+
+/// Terminal status of one task in a run.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+#[serde(tag = "status", content = "detail")]
+pub enum TaskStatus {
+    /// Ran to completion.
+    Succeeded,
+    /// Body returned an error or panicked.
+    Failed(String),
+    /// Not run because an upstream dependency failed.
+    Skipped,
+    /// Not run because its file outputs were newer than all file inputs.
+    Cached,
+}
+
+impl TaskStatus {
+    pub fn is_ok(&self) -> bool {
+        matches!(self, TaskStatus::Succeeded | TaskStatus::Cached)
+    }
+}
+
+/// Outcome of one task.
+#[derive(Debug, Clone, Serialize)]
+pub struct TaskReport {
+    pub name: String,
+    /// `"static"` or `"user-defined"` — the Figure 2 coloring.
+    pub kind: &'static str,
+    pub status: TaskStatus,
+    /// Start offset from run begin, milliseconds. Zero for unexecuted tasks.
+    pub start_ms: f64,
+    /// End offset from run begin, milliseconds. Zero for unexecuted tasks.
+    pub end_ms: f64,
+    /// Worker thread that executed the task.
+    pub worker: Option<usize>,
+    /// Longest-path depth in the DAG (the Figure 2 "row").
+    pub depth: usize,
+}
+
+impl TaskReport {
+    pub fn duration_ms(&self) -> f64 {
+        (self.end_ms - self.start_ms).max(0.0)
+    }
+}
+
+/// Summary of one workflow execution.
+#[derive(Debug, Clone, Serialize)]
+pub struct RunReport {
+    /// Physical concurrency (`-n N`).
+    pub threads: usize,
+    /// Wall time of the whole run, milliseconds.
+    pub makespan_ms: f64,
+    pub tasks: Vec<TaskReport>,
+}
+
+impl RunReport {
+    /// True when every task succeeded or was served from cache.
+    pub fn is_success(&self) -> bool {
+        self.tasks.iter().all(|t| t.status.is_ok())
+    }
+
+    pub fn succeeded(&self) -> usize {
+        self.tasks
+            .iter()
+            .filter(|t| t.status == TaskStatus::Succeeded)
+            .count()
+    }
+
+    pub fn cached(&self) -> usize {
+        self.tasks
+            .iter()
+            .filter(|t| t.status == TaskStatus::Cached)
+            .count()
+    }
+
+    pub fn failed(&self) -> Vec<&TaskReport> {
+        self.tasks
+            .iter()
+            .filter(|t| matches!(t.status, TaskStatus::Failed(_)))
+            .collect()
+    }
+
+    pub fn skipped(&self) -> usize {
+        self.tasks
+            .iter()
+            .filter(|t| t.status == TaskStatus::Skipped)
+            .count()
+    }
+
+    /// Sum of executed task durations — the work a 1-thread run would
+    /// serialize.
+    pub fn total_busy_ms(&self) -> f64 {
+        self.tasks.iter().map(|t| t.duration_ms()).sum()
+    }
+
+    /// Observed parallel speedup lower bound: busy time / makespan.
+    pub fn speedup(&self) -> f64 {
+        if self.makespan_ms <= 0.0 {
+            return 1.0;
+        }
+        (self.total_busy_ms() / self.makespan_ms).max(1.0)
+    }
+
+    /// Maximum number of tasks that were in flight simultaneously, measured
+    /// from the recorded start/end intervals.
+    pub fn max_concurrency(&self) -> usize {
+        let mut events: Vec<(f64, i32)> = Vec::new();
+        for t in &self.tasks {
+            if t.status == TaskStatus::Succeeded || matches!(t.status, TaskStatus::Failed(_)) {
+                events.push((t.start_ms, 1));
+                events.push((t.end_ms, -1));
+            }
+        }
+        events.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap().then(a.1.cmp(&b.1)));
+        let mut cur = 0i32;
+        let mut max = 0i32;
+        for (_, delta) in events {
+            cur += delta;
+            max = max.max(cur);
+        }
+        max.max(0) as usize
+    }
+
+    /// Tasks grouped by DAG depth — the paper's "tasks in the same horizontal
+    /// row may be executed concurrently".
+    pub fn rows(&self) -> Vec<Vec<&TaskReport>> {
+        let max_depth = self.tasks.iter().map(|t| t.depth).max().unwrap_or(0);
+        let mut rows: Vec<Vec<&TaskReport>> = vec![Vec::new(); max_depth + 1];
+        for t in &self.tasks {
+            rows[t.depth].push(t);
+        }
+        rows
+    }
+
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("report serializes")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> RunReport {
+        RunReport {
+            threads: 2,
+            makespan_ms: 100.0,
+            tasks: vec![
+                TaskReport {
+                    name: "a".into(),
+                    kind: "static",
+                    status: TaskStatus::Succeeded,
+                    start_ms: 0.0,
+                    end_ms: 60.0,
+                    worker: Some(0),
+                    depth: 0,
+                },
+                TaskReport {
+                    name: "b".into(),
+                    kind: "static",
+                    status: TaskStatus::Succeeded,
+                    start_ms: 10.0,
+                    end_ms: 90.0,
+                    worker: Some(1),
+                    depth: 0,
+                },
+                TaskReport {
+                    name: "c".into(),
+                    kind: "user-defined",
+                    status: TaskStatus::Cached,
+                    start_ms: 0.0,
+                    end_ms: 0.0,
+                    worker: None,
+                    depth: 1,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn success_and_counts() {
+        let r = report();
+        assert!(r.is_success());
+        assert_eq!(r.succeeded(), 2);
+        assert_eq!(r.cached(), 1);
+        assert_eq!(r.skipped(), 0);
+        assert!(r.failed().is_empty());
+    }
+
+    #[test]
+    fn busy_time_and_speedup() {
+        let r = report();
+        assert!((r.total_busy_ms() - 140.0).abs() < 1e-9);
+        assert!((r.speedup() - 1.4).abs() < 1e-9);
+    }
+
+    #[test]
+    fn concurrency_from_overlap() {
+        let r = report();
+        assert_eq!(r.max_concurrency(), 2);
+    }
+
+    #[test]
+    fn rows_group_by_depth() {
+        let r = report();
+        let rows = r.rows();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].len(), 2);
+        assert_eq!(rows[1][0].name, "c");
+    }
+
+    #[test]
+    fn failure_flips_success() {
+        let mut r = report();
+        r.tasks[0].status = TaskStatus::Failed("boom".into());
+        assert!(!r.is_success());
+        assert_eq!(r.failed().len(), 1);
+    }
+
+    #[test]
+    fn json_is_valid() {
+        let r = report();
+        let parsed: serde_json::Value = serde_json::from_str(&r.to_json()).unwrap();
+        assert_eq!(parsed["threads"], 2);
+        assert_eq!(parsed["tasks"].as_array().unwrap().len(), 3);
+    }
+}

@@ -1,0 +1,418 @@
+//! Typed columns with validity masks.
+//!
+//! A [`Column`] is a contiguous, homogeneously typed vector plus an optional
+//! validity mask (absent mask = all valid). The layout is deliberately flat —
+//! `Vec<i64>` / `Vec<f64>` / `Vec<String>` — so kernels stream through cache
+//! lines and parallel chunking (via `schedflow_dataflow::par`) is trivial.
+
+use serde::{Deserialize, Serialize};
+
+/// Data type of a column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DType {
+    Int,
+    Float,
+    Str,
+    Bool,
+}
+
+impl std::fmt::Display for DType {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            DType::Int => "int",
+            DType::Float => "float",
+            DType::Str => "str",
+            DType::Bool => "bool",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A scalar cell value (used at API edges: CSV, display, group keys).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Cell {
+    Null,
+    Int(i64),
+    Float(f64),
+    Str(String),
+    Bool(bool),
+}
+
+impl Cell {
+    pub fn render(&self) -> String {
+        match self {
+            Cell::Null => String::new(),
+            Cell::Int(v) => v.to_string(),
+            Cell::Float(v) => format_float(*v),
+            Cell::Str(s) => s.clone(),
+            Cell::Bool(b) => b.to_string(),
+        }
+    }
+}
+
+/// Render a float the way we write CSV: no trailing `.0` noise for integral
+/// values, full precision otherwise.
+pub fn format_float(v: f64) -> String {
+    if v.is_finite() && v == v.trunc() && v.abs() < 1e15 {
+        format!("{v:.1}")
+    } else {
+        format!("{v}")
+    }
+}
+
+/// A typed column of values with an optional validity mask.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Column {
+    Int {
+        values: Vec<i64>,
+        validity: Option<Vec<bool>>,
+    },
+    Float {
+        values: Vec<f64>,
+        validity: Option<Vec<bool>>,
+    },
+    Str {
+        values: Vec<String>,
+        validity: Option<Vec<bool>>,
+    },
+    Bool {
+        values: Vec<bool>,
+        validity: Option<Vec<bool>>,
+    },
+}
+
+impl Column {
+    pub fn from_i64(values: Vec<i64>) -> Self {
+        Column::Int {
+            values,
+            validity: None,
+        }
+    }
+
+    pub fn from_f64(values: Vec<f64>) -> Self {
+        Column::Float {
+            values,
+            validity: None,
+        }
+    }
+
+    pub fn from_str(values: Vec<String>) -> Self {
+        Column::Str {
+            values,
+            validity: None,
+        }
+    }
+
+    pub fn from_bool(values: Vec<bool>) -> Self {
+        Column::Bool {
+            values,
+            validity: None,
+        }
+    }
+
+    /// Build an Int column from options (None = null).
+    pub fn from_opt_i64(values: Vec<Option<i64>>) -> Self {
+        let validity: Vec<bool> = values.iter().map(Option::is_some).collect();
+        let vals: Vec<i64> = values.into_iter().map(|v| v.unwrap_or(0)).collect();
+        let all_valid = validity.iter().all(|&b| b);
+        Column::Int {
+            values: vals,
+            validity: if all_valid { None } else { Some(validity) },
+        }
+    }
+
+    /// Build a Float column from options (None = null).
+    pub fn from_opt_f64(values: Vec<Option<f64>>) -> Self {
+        let validity: Vec<bool> = values.iter().map(Option::is_some).collect();
+        let vals: Vec<f64> = values.into_iter().map(|v| v.unwrap_or(0.0)).collect();
+        let all_valid = validity.iter().all(|&b| b);
+        Column::Float {
+            values: vals,
+            validity: if all_valid { None } else { Some(validity) },
+        }
+    }
+
+    pub fn dtype(&self) -> DType {
+        match self {
+            Column::Int { .. } => DType::Int,
+            Column::Float { .. } => DType::Float,
+            Column::Str { .. } => DType::Str,
+            Column::Bool { .. } => DType::Bool,
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        match self {
+            Column::Int { values, .. } => values.len(),
+            Column::Float { values, .. } => values.len(),
+            Column::Str { values, .. } => values.len(),
+            Column::Bool { values, .. } => values.len(),
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn validity(&self) -> Option<&Vec<bool>> {
+        match self {
+            Column::Int { validity, .. }
+            | Column::Float { validity, .. }
+            | Column::Str { validity, .. }
+            | Column::Bool { validity, .. } => validity.as_ref(),
+        }
+    }
+
+    /// Is row `i` valid (non-null)?
+    pub fn is_valid(&self, i: usize) -> bool {
+        self.validity().map_or(true, |v| v[i])
+    }
+
+    /// Count of null entries.
+    pub fn null_count(&self) -> usize {
+        self.validity()
+            .map_or(0, |v| v.iter().filter(|&&b| !b).count())
+    }
+
+    /// Cell value at row `i`.
+    pub fn cell(&self, i: usize) -> Cell {
+        if !self.is_valid(i) {
+            return Cell::Null;
+        }
+        match self {
+            Column::Int { values, .. } => Cell::Int(values[i]),
+            Column::Float { values, .. } => Cell::Float(values[i]),
+            Column::Str { values, .. } => Cell::Str(values[i].clone()),
+            Column::Bool { values, .. } => Cell::Bool(values[i]),
+        }
+    }
+
+    /// Raw i64 slice (panics for other dtypes — caller checked dtype).
+    pub fn i64_values(&self) -> &[i64] {
+        match self {
+            Column::Int { values, .. } => values,
+            other => panic!("expected int column, found {}", other.dtype()),
+        }
+    }
+
+    pub fn f64_values(&self) -> &[f64] {
+        match self {
+            Column::Float { values, .. } => values,
+            other => panic!("expected float column, found {}", other.dtype()),
+        }
+    }
+
+    pub fn str_values(&self) -> &[String] {
+        match self {
+            Column::Str { values, .. } => values,
+            other => panic!("expected str column, found {}", other.dtype()),
+        }
+    }
+
+    pub fn bool_values(&self) -> &[bool] {
+        match self {
+            Column::Bool { values, .. } => values,
+            other => panic!("expected bool column, found {}", other.dtype()),
+        }
+    }
+
+    /// Value at row `i` as `Option<i64>`, honoring nulls.
+    pub fn get_i64(&self, i: usize) -> Option<i64> {
+        if !self.is_valid(i) {
+            return None;
+        }
+        match self {
+            Column::Int { values, .. } => Some(values[i]),
+            Column::Bool { values, .. } => Some(i64::from(values[i])),
+            _ => None,
+        }
+    }
+
+    /// Value at row `i` as `Option<f64>` (ints widen), honoring nulls.
+    pub fn get_f64(&self, i: usize) -> Option<f64> {
+        if !self.is_valid(i) {
+            return None;
+        }
+        match self {
+            Column::Int { values, .. } => Some(values[i] as f64),
+            Column::Float { values, .. } => Some(values[i]),
+            _ => None,
+        }
+    }
+
+    /// Value at row `i` as `Option<&str>`, honoring nulls.
+    pub fn get_str(&self, i: usize) -> Option<&str> {
+        if !self.is_valid(i) {
+            return None;
+        }
+        match self {
+            Column::Str { values, .. } => Some(&values[i]),
+            _ => None,
+        }
+    }
+
+    /// Build a boolean mask by applying `pred` to each valid numeric value;
+    /// null rows map to false.
+    pub fn mask_f64(&self, pred: impl Fn(f64) -> bool) -> Vec<bool> {
+        (0..self.len())
+            .map(|i| self.get_f64(i).map(&pred).unwrap_or(false))
+            .collect()
+    }
+
+    /// Build a boolean mask over string values; null rows map to false.
+    pub fn mask_str(&self, pred: impl Fn(&str) -> bool) -> Vec<bool> {
+        (0..self.len())
+            .map(|i| self.get_str(i).map(&pred).unwrap_or(false))
+            .collect()
+    }
+
+    /// New column keeping only rows where `mask` is true.
+    pub fn filter(&self, mask: &[bool]) -> Column {
+        assert_eq!(mask.len(), self.len(), "mask length mismatch");
+        fn keep<T: Clone>(values: &[T], mask: &[bool]) -> Vec<T> {
+            values
+                .iter()
+                .zip(mask)
+                .filter(|(_, &m)| m)
+                .map(|(v, _)| v.clone())
+                .collect()
+        }
+        let validity = self.validity().map(|v| keep(v, mask));
+        match self {
+            Column::Int { values, .. } => Column::Int {
+                values: keep(values, mask),
+                validity,
+            },
+            Column::Float { values, .. } => Column::Float {
+                values: keep(values, mask),
+                validity,
+            },
+            Column::Str { values, .. } => Column::Str {
+                values: keep(values, mask),
+                validity,
+            },
+            Column::Bool { values, .. } => Column::Bool {
+                values: keep(values, mask),
+                validity,
+            },
+        }
+    }
+
+    /// New column with rows reordered by `indices` (a permutation or subset).
+    pub fn take(&self, indices: &[usize]) -> Column {
+        fn gather<T: Clone>(values: &[T], idx: &[usize]) -> Vec<T> {
+            idx.iter().map(|&i| values[i].clone()).collect()
+        }
+        let validity = self.validity().map(|v| gather(v, indices));
+        match self {
+            Column::Int { values, .. } => Column::Int {
+                values: gather(values, indices),
+                validity,
+            },
+            Column::Float { values, .. } => Column::Float {
+                values: gather(values, indices),
+                validity,
+            },
+            Column::Str { values, .. } => Column::Str {
+                values: gather(values, indices),
+                validity,
+            },
+            Column::Bool { values, .. } => Column::Bool {
+                values: gather(values, indices),
+                validity,
+            },
+        }
+    }
+
+    /// Cast to float (ints widen; nulls preserved). Str/Bool return None.
+    pub fn to_f64_vec(&self) -> Option<Vec<Option<f64>>> {
+        match self.dtype() {
+            DType::Int | DType::Float => {
+                Some((0..self.len()).map(|i| self.get_f64(i)).collect())
+            }
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_construction_and_access() {
+        let c = Column::from_i64(vec![1, 2, 3]);
+        assert_eq!(c.dtype(), DType::Int);
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.get_i64(1), Some(2));
+        assert_eq!(c.get_f64(2), Some(3.0));
+        assert_eq!(c.null_count(), 0);
+    }
+
+    #[test]
+    fn nullable_columns() {
+        let c = Column::from_opt_i64(vec![Some(1), None, Some(3)]);
+        assert_eq!(c.null_count(), 1);
+        assert!(!c.is_valid(1));
+        assert_eq!(c.get_i64(1), None);
+        assert_eq!(c.cell(1), Cell::Null);
+        assert_eq!(c.cell(0), Cell::Int(1));
+    }
+
+    #[test]
+    fn all_some_collapses_mask() {
+        let c = Column::from_opt_i64(vec![Some(1), Some(2)]);
+        assert_eq!(c.null_count(), 0);
+        assert!(matches!(c, Column::Int { validity: None, .. }));
+    }
+
+    #[test]
+    fn masks_treat_null_as_false() {
+        let c = Column::from_opt_f64(vec![Some(1.0), None, Some(10.0)]);
+        assert_eq!(c.mask_f64(|v| v > 0.5), vec![true, false, true]);
+    }
+
+    #[test]
+    fn filter_preserves_validity() {
+        let c = Column::from_opt_i64(vec![Some(1), None, Some(3), None]);
+        let filtered = c.filter(&[true, true, false, true]);
+        assert_eq!(filtered.len(), 3);
+        assert_eq!(filtered.get_i64(0), Some(1));
+        assert_eq!(filtered.get_i64(1), None);
+        assert_eq!(filtered.get_i64(2), None);
+    }
+
+    #[test]
+    fn take_reorders() {
+        let c = Column::from_str(vec!["a".into(), "b".into(), "c".into()]);
+        let t = c.take(&[2, 0, 0]);
+        assert_eq!(t.str_values(), &["c", "a", "a"]);
+    }
+
+    #[test]
+    fn string_masks() {
+        let c = Column::from_str(vec!["COMPLETED".into(), "FAILED".into()]);
+        assert_eq!(c.mask_str(|s| s == "FAILED"), vec![false, true]);
+        assert_eq!(c.get_str(0), Some("COMPLETED"));
+    }
+
+    #[test]
+    #[should_panic(expected = "expected int column")]
+    fn wrong_dtype_access_panics() {
+        Column::from_f64(vec![1.0]).i64_values();
+    }
+
+    #[test]
+    fn float_formatting() {
+        assert_eq!(format_float(2.0), "2.0");
+        assert_eq!(format_float(2.5), "2.5");
+        assert_eq!(format_float(0.1 + 0.2), "0.30000000000000004");
+    }
+
+    #[test]
+    fn bool_widens_to_int() {
+        let c = Column::from_bool(vec![true, false]);
+        assert_eq!(c.get_i64(0), Some(1));
+        assert_eq!(c.get_i64(1), Some(0));
+    }
+}

@@ -1,0 +1,357 @@
+//! CSV (and pipe-separated) serialization of frames.
+//!
+//! The paper's curate stage "reformats the dataset from pipe-separated text
+//! to CSV for compatibility with Python-based analysis libraries"; this
+//! module is the format boundary: a quoting writer, a quote-aware reader,
+//! and best-effort type inference (string columns become int/float when every
+//! non-empty value parses; empty cells become nulls).
+
+use crate::column::Column;
+use crate::frame::{Frame, FrameError};
+use std::io::{BufRead, Write};
+
+/// Errors from CSV I/O.
+#[derive(Debug)]
+pub enum CsvError {
+    Io(std::io::Error),
+    Frame(FrameError),
+    /// A data row's field count differs from the header's.
+    RaggedRow { line: usize, expected: usize, got: usize },
+    /// Unterminated quoted field.
+    UnterminatedQuote { line: usize },
+    Empty,
+}
+
+impl std::fmt::Display for CsvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CsvError::Io(e) => write!(f, "csv io error: {e}"),
+            CsvError::Frame(e) => write!(f, "csv frame error: {e}"),
+            CsvError::RaggedRow {
+                line,
+                expected,
+                got,
+            } => write!(f, "line {line}: expected {expected} fields, got {got}"),
+            CsvError::UnterminatedQuote { line } => {
+                write!(f, "line {line}: unterminated quoted field")
+            }
+            CsvError::Empty => write!(f, "empty csv input"),
+        }
+    }
+}
+
+impl std::error::Error for CsvError {}
+
+impl From<std::io::Error> for CsvError {
+    fn from(e: std::io::Error) -> Self {
+        CsvError::Io(e)
+    }
+}
+
+impl From<FrameError> for CsvError {
+    fn from(e: FrameError) -> Self {
+        CsvError::Frame(e)
+    }
+}
+
+fn needs_quoting(field: &str, sep: char) -> bool {
+    field.contains(sep) || field.contains('"') || field.contains('\n') || field.contains('\r')
+}
+
+fn quote_field(field: &str, sep: char) -> String {
+    if needs_quoting(field, sep) {
+        format!("\"{}\"", field.replace('"', "\"\""))
+    } else {
+        field.to_owned()
+    }
+}
+
+/// Write a frame as delimiter-separated text with a header row.
+pub fn write_delimited(
+    frame: &Frame,
+    writer: &mut impl Write,
+    sep: char,
+) -> Result<(), CsvError> {
+    let names = frame.column_names();
+    let header: Vec<String> = names.iter().map(|n| quote_field(n, sep)).collect();
+    writeln!(writer, "{}", header.join(&sep.to_string()))?;
+    let mut line = String::with_capacity(256);
+    for row in 0..frame.height() {
+        line.clear();
+        for (i, (_, col)) in frame.iter().enumerate() {
+            if i > 0 {
+                line.push(sep);
+            }
+            line.push_str(&quote_field(&col.cell(row).render(), sep));
+        }
+        writeln!(writer, "{line}")?;
+    }
+    Ok(())
+}
+
+/// Write a frame as CSV.
+pub fn write_csv(frame: &Frame, writer: &mut impl Write) -> Result<(), CsvError> {
+    write_delimited(frame, writer, ',')
+}
+
+/// Write a frame to a CSV file.
+pub fn write_csv_path(frame: &Frame, path: &std::path::Path) -> Result<(), CsvError> {
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    let mut w = std::io::BufWriter::new(std::fs::File::create(path)?);
+    write_csv(frame, &mut w)
+}
+
+/// Split one physical CSV record, honoring quotes. Returns fields.
+fn split_record(line: &str, sep: char, line_no: usize) -> Result<Vec<String>, CsvError> {
+    let mut fields = Vec::new();
+    let mut cur = String::new();
+    let mut chars = line.chars().peekable();
+    let mut in_quotes = false;
+    while let Some(c) = chars.next() {
+        if in_quotes {
+            if c == '"' {
+                if chars.peek() == Some(&'"') {
+                    cur.push('"');
+                    chars.next();
+                } else {
+                    in_quotes = false;
+                }
+            } else {
+                cur.push(c);
+            }
+        } else if c == '"' && cur.is_empty() {
+            in_quotes = true;
+        } else if c == sep {
+            fields.push(std::mem::take(&mut cur));
+        } else {
+            cur.push(c);
+        }
+    }
+    if in_quotes {
+        return Err(CsvError::UnterminatedQuote { line: line_no });
+    }
+    fields.push(cur);
+    Ok(fields)
+}
+
+/// Read delimiter-separated text into a frame of string columns
+/// (use [`infer_types`] afterwards for numeric columns).
+pub fn read_delimited(reader: impl BufRead, sep: char) -> Result<Frame, CsvError> {
+    let mut lines = reader.lines().enumerate();
+    let header = loop {
+        match lines.next() {
+            Some((no, line)) => {
+                let line = line?;
+                if line.trim().is_empty() {
+                    continue;
+                }
+                break split_record(&line, sep, no + 1)?;
+            }
+            None => return Err(CsvError::Empty),
+        }
+    };
+    let width = header.len();
+    let mut columns: Vec<Vec<String>> = vec![Vec::new(); width];
+    for (no, line) in lines {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let fields = split_record(&line, sep, no + 1)?;
+        if fields.len() != width {
+            return Err(CsvError::RaggedRow {
+                line: no + 1,
+                expected: width,
+                got: fields.len(),
+            });
+        }
+        for (ci, f) in fields.into_iter().enumerate() {
+            columns[ci].push(f);
+        }
+    }
+    let mut frame = Frame::new();
+    for (name, values) in header.into_iter().zip(columns) {
+        frame.add_column(&name, Column::from_str(values))?;
+    }
+    Ok(frame)
+}
+
+/// Read a CSV file into a string-typed frame.
+pub fn read_csv_path(path: &std::path::Path) -> Result<Frame, CsvError> {
+    let f = std::fs::File::open(path)?;
+    read_delimited(std::io::BufReader::new(f), ',')
+}
+
+/// Convert string columns to Int/Float where every non-empty value parses;
+/// empty cells become nulls. Non-convertible columns stay strings.
+pub fn infer_types(frame: &Frame) -> Frame {
+    let mut out = Frame::new();
+    for (name, col) in frame.iter() {
+        let converted = match col {
+            Column::Str { values, .. } => try_numeric(values),
+            other => Some(other.clone()),
+        };
+        out.add_column(name, converted.unwrap_or_else(|| col.clone()))
+            .expect("same shape");
+    }
+    out
+}
+
+fn try_numeric(values: &[String]) -> Option<Column> {
+    if values.is_empty() {
+        return None;
+    }
+    let mut any_value = false;
+    // Integer attempt.
+    let mut ints: Vec<Option<i64>> = Vec::with_capacity(values.len());
+    let mut all_int = true;
+    for v in values {
+        let t = v.trim();
+        if t.is_empty() {
+            ints.push(None);
+        } else if let Ok(i) = t.parse::<i64>() {
+            any_value = true;
+            ints.push(Some(i));
+        } else {
+            all_int = false;
+            break;
+        }
+    }
+    if all_int && any_value {
+        return Some(Column::from_opt_i64(ints));
+    }
+    // Float attempt.
+    let mut floats: Vec<Option<f64>> = Vec::with_capacity(values.len());
+    for v in values {
+        let t = v.trim();
+        if t.is_empty() {
+            floats.push(None);
+        } else if let Ok(f) = t.parse::<f64>() {
+            any_value = true;
+            floats.push(Some(f));
+        } else {
+            return None;
+        }
+    }
+    if any_value {
+        Some(Column::from_opt_f64(floats))
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::column::DType;
+
+    fn sample() -> Frame {
+        Frame::new()
+            .with(
+                "user",
+                Column::from_str(vec!["alice".into(), "bob,jr".into(), "carol \"c\"".into()]),
+            )
+            .with("wait", Column::from_i64(vec![10, 20, 30]))
+            .with("ratio", Column::from_f64(vec![0.5, 1.0, 2.25]))
+    }
+
+    #[test]
+    fn round_trip_with_quoting() {
+        let f = sample();
+        let mut buf = Vec::new();
+        write_csv(&f, &mut buf).unwrap();
+        let text = String::from_utf8(buf.clone()).unwrap();
+        assert!(text.contains("\"bob,jr\""));
+        assert!(text.contains("\"carol \"\"c\"\"\""));
+
+        let back = read_delimited(std::io::Cursor::new(buf), ',').unwrap();
+        assert_eq!(back.height(), 3);
+        assert_eq!(back.str("user").unwrap().str_values()[1], "bob,jr");
+        assert_eq!(back.str("user").unwrap().str_values()[2], "carol \"c\"");
+
+        let typed = infer_types(&back);
+        assert_eq!(typed.column("wait").unwrap().dtype(), DType::Int);
+        assert_eq!(typed.column("ratio").unwrap().dtype(), DType::Float);
+        assert_eq!(typed.column("user").unwrap().dtype(), DType::Str);
+        assert_eq!(typed.column("wait").unwrap().get_i64(2), Some(30));
+        assert_eq!(typed.column("ratio").unwrap().get_f64(2), Some(2.25));
+    }
+
+    #[test]
+    fn pipe_separated_round_trip() {
+        let f = sample();
+        let mut buf = Vec::new();
+        write_delimited(&f, &mut buf, '|').unwrap();
+        let back = read_delimited(std::io::Cursor::new(buf), '|').unwrap();
+        assert_eq!(back.height(), 3);
+        // Comma needs no quoting under pipe separation.
+        assert_eq!(back.str("user").unwrap().str_values()[1], "bob,jr");
+    }
+
+    #[test]
+    fn empty_cells_become_nulls_on_inference() {
+        let csv = "a,b\n1,\n2,5\n";
+        let f = read_delimited(std::io::Cursor::new(csv), ',').unwrap();
+        let typed = infer_types(&f);
+        assert_eq!(typed.column("b").unwrap().get_i64(0), None);
+        assert_eq!(typed.column("b").unwrap().get_i64(1), Some(5));
+    }
+
+    #[test]
+    fn ragged_rows_rejected() {
+        let csv = "a,b\n1,2\n3\n";
+        let err = read_delimited(std::io::Cursor::new(csv), ',');
+        assert!(matches!(err, Err(CsvError::RaggedRow { line: 3, .. })));
+    }
+
+    #[test]
+    fn unterminated_quote_rejected() {
+        let csv = "a\n\"oops\n";
+        // The embedded newline splits the record; the first physical line of
+        // the field is unterminated.
+        assert!(read_delimited(std::io::Cursor::new(csv), ',').is_err());
+    }
+
+    #[test]
+    fn blank_lines_skipped() {
+        let csv = "a,b\n\n1,2\n\n";
+        let f = read_delimited(std::io::Cursor::new(csv), ',').unwrap();
+        assert_eq!(f.height(), 1);
+    }
+
+    #[test]
+    fn empty_input_is_error() {
+        assert!(matches!(
+            read_delimited(std::io::Cursor::new(""), ','),
+            Err(CsvError::Empty)
+        ));
+    }
+
+    #[test]
+    fn all_empty_column_stays_string() {
+        let csv = "a,b\n1,\n2,\n";
+        let typed = infer_types(&read_delimited(std::io::Cursor::new(csv), ',').unwrap());
+        assert_eq!(typed.column("b").unwrap().dtype(), DType::Str);
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let dir = std::env::temp_dir().join(format!("schedflow-csv-{}", std::process::id()));
+        let path = dir.join("frame.csv");
+        write_csv_path(&sample(), &path).unwrap();
+        let back = infer_types(&read_csv_path(&path).unwrap());
+        assert_eq!(back.height(), 3);
+        assert_eq!(back.column("wait").unwrap().dtype(), DType::Int);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn mixed_int_then_float_becomes_float() {
+        let csv = "x\n1\n2.5\n";
+        let typed = infer_types(&read_delimited(std::io::Cursor::new(csv), ',').unwrap());
+        assert_eq!(typed.column("x").unwrap().dtype(), DType::Float);
+        assert_eq!(typed.column("x").unwrap().get_f64(0), Some(1.0));
+    }
+}

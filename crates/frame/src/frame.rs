@@ -1,0 +1,474 @@
+//! The frame: an ordered set of equal-length named columns.
+
+use crate::column::{Cell, Column, DType};
+use serde::{Deserialize, Serialize};
+
+/// Errors raised by frame operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameError {
+    LengthMismatch {
+        column: String,
+        expected: usize,
+        got: usize,
+    },
+    DuplicateColumn(String),
+    NoSuchColumn(String),
+    TypeMismatch {
+        column: String,
+        expected: DType,
+        got: DType,
+    },
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::LengthMismatch {
+                column,
+                expected,
+                got,
+            } => write!(
+                f,
+                "column {column:?} has {got} rows, frame has {expected}"
+            ),
+            FrameError::DuplicateColumn(c) => write!(f, "duplicate column {c:?}"),
+            FrameError::NoSuchColumn(c) => write!(f, "no such column {c:?}"),
+            FrameError::TypeMismatch {
+                column,
+                expected,
+                got,
+            } => write!(f, "column {column:?} is {got}, expected {expected}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// A columnar table.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Frame {
+    columns: Vec<(String, Column)>,
+}
+
+impl Frame {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of rows (0 for an empty frame).
+    pub fn height(&self) -> usize {
+        self.columns.first().map_or(0, |(_, c)| c.len())
+    }
+
+    /// Number of columns.
+    pub fn width(&self) -> usize {
+        self.columns.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.height() == 0
+    }
+
+    pub fn column_names(&self) -> Vec<&str> {
+        self.columns.iter().map(|(n, _)| n.as_str()).collect()
+    }
+
+    /// Append a column; must match the frame's height (unless empty).
+    pub fn add_column(&mut self, name: &str, column: Column) -> Result<(), FrameError> {
+        if self.columns.iter().any(|(n, _)| n == name) {
+            return Err(FrameError::DuplicateColumn(name.to_owned()));
+        }
+        if !self.columns.is_empty() && column.len() != self.height() {
+            return Err(FrameError::LengthMismatch {
+                column: name.to_owned(),
+                expected: self.height(),
+                got: column.len(),
+            });
+        }
+        self.columns.push((name.to_owned(), column));
+        Ok(())
+    }
+
+    /// Builder-style [`Frame::add_column`], panicking on error — for literals
+    /// in tests and generators where shapes are static.
+    pub fn with(mut self, name: &str, column: Column) -> Self {
+        self.add_column(name, column).expect("consistent column");
+        self
+    }
+
+    pub fn column(&self, name: &str) -> Result<&Column, FrameError> {
+        self.columns
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, c)| c)
+            .ok_or_else(|| FrameError::NoSuchColumn(name.to_owned()))
+    }
+
+    pub fn has_column(&self, name: &str) -> bool {
+        self.columns.iter().any(|(n, _)| n == name)
+    }
+
+    /// Typed accessors with dtype checking.
+    pub fn i64(&self, name: &str) -> Result<&Column, FrameError> {
+        self.typed(name, DType::Int)
+    }
+
+    pub fn f64(&self, name: &str) -> Result<&Column, FrameError> {
+        self.typed(name, DType::Float)
+    }
+
+    pub fn str(&self, name: &str) -> Result<&Column, FrameError> {
+        self.typed(name, DType::Str)
+    }
+
+    pub fn bool(&self, name: &str) -> Result<&Column, FrameError> {
+        self.typed(name, DType::Bool)
+    }
+
+    fn typed(&self, name: &str, dtype: DType) -> Result<&Column, FrameError> {
+        let c = self.column(name)?;
+        if c.dtype() != dtype {
+            return Err(FrameError::TypeMismatch {
+                column: name.to_owned(),
+                expected: dtype,
+                got: c.dtype(),
+            });
+        }
+        Ok(c)
+    }
+
+    /// Project onto the named columns, in the given order.
+    pub fn select(&self, names: &[&str]) -> Result<Frame, FrameError> {
+        let mut out = Frame::new();
+        for &n in names {
+            out.add_column(n, self.column(n)?.clone())?;
+        }
+        Ok(out)
+    }
+
+    /// Drop the named column (no-op error if absent).
+    pub fn drop_column(&mut self, name: &str) -> Result<Column, FrameError> {
+        let pos = self
+            .columns
+            .iter()
+            .position(|(n, _)| n == name)
+            .ok_or_else(|| FrameError::NoSuchColumn(name.to_owned()))?;
+        Ok(self.columns.remove(pos).1)
+    }
+
+    /// Keep rows where `mask` is true (applied to every column).
+    pub fn filter(&self, mask: &[bool]) -> Result<Frame, FrameError> {
+        if mask.len() != self.height() {
+            return Err(FrameError::LengthMismatch {
+                column: "<mask>".to_owned(),
+                expected: self.height(),
+                got: mask.len(),
+            });
+        }
+        let columns = self
+            .columns
+            .iter()
+            .map(|(n, c)| (n.clone(), c.filter(mask)))
+            .collect();
+        Ok(Frame { columns })
+    }
+
+    /// Reorder/select rows by index.
+    pub fn take(&self, indices: &[usize]) -> Frame {
+        let columns = self
+            .columns
+            .iter()
+            .map(|(n, c)| (n.clone(), c.take(indices)))
+            .collect();
+        Frame { columns }
+    }
+
+    /// First `n` rows.
+    pub fn head(&self, n: usize) -> Frame {
+        let n = n.min(self.height());
+        let idx: Vec<usize> = (0..n).collect();
+        self.take(&idx)
+    }
+
+    /// Cell at `(row, column)`.
+    pub fn cell(&self, row: usize, name: &str) -> Result<Cell, FrameError> {
+        Ok(self.column(name)?.cell(row))
+    }
+
+    /// Vertically concatenate frames with identical schemas.
+    pub fn vstack(frames: &[Frame]) -> Result<Frame, FrameError> {
+        let mut nonempty: Vec<&Frame> = frames.iter().filter(|f| f.width() > 0).collect();
+        if nonempty.is_empty() {
+            return Ok(Frame::new());
+        }
+        let first = nonempty.remove(0);
+        let mut out = first.clone();
+        for f in nonempty {
+            if f.column_names() != out.column_names() {
+                return Err(FrameError::NoSuchColumn(format!(
+                    "schema mismatch: {:?} vs {:?}",
+                    out.column_names(),
+                    f.column_names()
+                )));
+            }
+            for (i, (name, col)) in out.columns.iter_mut().enumerate() {
+                let other = &f.columns[i].1;
+                if other.dtype() != col.dtype() {
+                    return Err(FrameError::TypeMismatch {
+                        column: name.clone(),
+                        expected: col.dtype(),
+                        got: other.dtype(),
+                    });
+                }
+                append_column(col, other);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Argsort by one column ascending/descending (nulls last), stable.
+    pub fn sort_indices(&self, by: &str, descending: bool) -> Result<Vec<usize>, FrameError> {
+        let col = self.column(by)?;
+        let mut idx: Vec<usize> = (0..self.height()).collect();
+        match col.dtype() {
+            DType::Int | DType::Bool => {
+                idx.sort_by_key(|&i| match col.get_i64(i) {
+                    Some(v) => (false, if descending { -v } else { v }),
+                    None => (true, 0),
+                });
+            }
+            DType::Float => {
+                idx.sort_by(|&a, &b| {
+                    let ka = col.get_f64(a);
+                    let kb = col.get_f64(b);
+                    match (ka, kb) {
+                        (Some(x), Some(y)) => {
+                            let ord = x.partial_cmp(&y).unwrap_or(std::cmp::Ordering::Equal);
+                            if descending {
+                                ord.reverse()
+                            } else {
+                                ord
+                            }
+                        }
+                        (Some(_), None) => std::cmp::Ordering::Less,
+                        (None, Some(_)) => std::cmp::Ordering::Greater,
+                        (None, None) => std::cmp::Ordering::Equal,
+                    }
+                });
+            }
+            DType::Str => {
+                idx.sort_by(|&a, &b| {
+                    let ord = match (col.get_str(a), col.get_str(b)) {
+                        (Some(x), Some(y)) => x.cmp(y),
+                        (Some(_), None) => std::cmp::Ordering::Less,
+                        (None, Some(_)) => std::cmp::Ordering::Greater,
+                        (None, None) => std::cmp::Ordering::Equal,
+                    };
+                    if descending {
+                        ord.reverse()
+                    } else {
+                        ord
+                    }
+                });
+            }
+        }
+        Ok(idx)
+    }
+
+    /// Sorted copy.
+    pub fn sort_by(&self, by: &str, descending: bool) -> Result<Frame, FrameError> {
+        Ok(self.take(&self.sort_indices(by, descending)?))
+    }
+
+    /// Iterate `(name, column)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Column)> {
+        self.columns.iter().map(|(n, c)| (n.as_str(), c))
+    }
+}
+
+fn append_column(dst: &mut Column, src: &Column) {
+    // Materialize validity on both sides if either has one.
+    fn merge_validity(
+        dst_len: usize,
+        dst_v: &mut Option<Vec<bool>>,
+        src_len: usize,
+        src_v: Option<&Vec<bool>>,
+    ) {
+        if dst_v.is_none() && src_v.is_none() {
+            return;
+        }
+        let mut v = dst_v.take().unwrap_or_else(|| vec![true; dst_len]);
+        match src_v {
+            Some(sv) => v.extend(sv.iter().copied()),
+            None => v.extend(std::iter::repeat(true).take(src_len)),
+        }
+        *dst_v = Some(v);
+    }
+    match (dst, src) {
+        (
+            Column::Int { values, validity },
+            Column::Int {
+                values: sv,
+                validity: svd,
+            },
+        ) => {
+            merge_validity(values.len(), validity, sv.len(), svd.as_ref());
+            values.extend_from_slice(sv);
+        }
+        (
+            Column::Float { values, validity },
+            Column::Float {
+                values: sv,
+                validity: svd,
+            },
+        ) => {
+            merge_validity(values.len(), validity, sv.len(), svd.as_ref());
+            values.extend_from_slice(sv);
+        }
+        (
+            Column::Str { values, validity },
+            Column::Str {
+                values: sv,
+                validity: svd,
+            },
+        ) => {
+            merge_validity(values.len(), validity, sv.len(), svd.as_ref());
+            values.extend_from_slice(sv);
+        }
+        (
+            Column::Bool { values, validity },
+            Column::Bool {
+                values: sv,
+                validity: svd,
+            },
+        ) => {
+            merge_validity(values.len(), validity, sv.len(), svd.as_ref());
+            values.extend_from_slice(sv);
+        }
+        _ => unreachable!("dtype checked by caller"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Frame {
+        Frame::new()
+            .with("user", Column::from_str(vec!["a".into(), "b".into(), "a".into()]))
+            .with("wait", Column::from_i64(vec![10, 300, 25]))
+            .with("ok", Column::from_bool(vec![true, false, true]))
+    }
+
+    #[test]
+    fn shape_and_names() {
+        let f = sample();
+        assert_eq!(f.height(), 3);
+        assert_eq!(f.width(), 3);
+        assert_eq!(f.column_names(), vec!["user", "wait", "ok"]);
+    }
+
+    #[test]
+    fn rejects_mismatched_lengths_and_duplicates() {
+        let mut f = sample();
+        assert!(matches!(
+            f.add_column("bad", Column::from_i64(vec![1])),
+            Err(FrameError::LengthMismatch { .. })
+        ));
+        assert!(matches!(
+            f.add_column("wait", Column::from_i64(vec![1, 2, 3])),
+            Err(FrameError::DuplicateColumn(_))
+        ));
+    }
+
+    #[test]
+    fn typed_accessors_check_dtype() {
+        let f = sample();
+        assert!(f.i64("wait").is_ok());
+        assert!(matches!(
+            f.i64("user"),
+            Err(FrameError::TypeMismatch { .. })
+        ));
+        assert!(matches!(f.i64("nope"), Err(FrameError::NoSuchColumn(_))));
+    }
+
+    #[test]
+    fn filter_by_mask() {
+        let f = sample();
+        let mask = f.i64("wait").unwrap().mask_f64(|w| w > 20.0);
+        let g = f.filter(&mask).unwrap();
+        assert_eq!(g.height(), 2);
+        assert_eq!(g.str("user").unwrap().str_values(), &["b", "a"]);
+    }
+
+    #[test]
+    fn select_projects_in_order() {
+        let f = sample().select(&["ok", "user"]).unwrap();
+        assert_eq!(f.column_names(), vec!["ok", "user"]);
+    }
+
+    #[test]
+    fn sort_ascending_descending() {
+        let f = sample();
+        let asc = f.sort_by("wait", false).unwrap();
+        assert_eq!(asc.i64("wait").unwrap().i64_values(), &[10, 25, 300]);
+        let desc = f.sort_by("wait", true).unwrap();
+        assert_eq!(desc.i64("wait").unwrap().i64_values(), &[300, 25, 10]);
+    }
+
+    #[test]
+    fn sort_nulls_last() {
+        let f = Frame::new().with(
+            "x",
+            Column::from_opt_i64(vec![Some(5), None, Some(1)]),
+        );
+        let s = f.sort_by("x", false).unwrap();
+        assert_eq!(s.column("x").unwrap().get_i64(0), Some(1));
+        assert_eq!(s.column("x").unwrap().get_i64(2), None);
+    }
+
+    #[test]
+    fn sort_strings() {
+        let f = sample().sort_by("user", false).unwrap();
+        assert_eq!(f.str("user").unwrap().str_values(), &["a", "a", "b"]);
+    }
+
+    #[test]
+    fn vstack_concatenates() {
+        let f = sample();
+        let g = Frame::vstack(&[f.clone(), f.clone()]).unwrap();
+        assert_eq!(g.height(), 6);
+        assert_eq!(g.width(), 3);
+    }
+
+    #[test]
+    fn vstack_merges_validity() {
+        let a = Frame::new().with("x", Column::from_opt_i64(vec![Some(1), None]));
+        let b = Frame::new().with("x", Column::from_i64(vec![7]));
+        let g = Frame::vstack(&[a, b]).unwrap();
+        assert_eq!(g.height(), 3);
+        assert_eq!(g.column("x").unwrap().get_i64(1), None);
+        assert_eq!(g.column("x").unwrap().get_i64(2), Some(7));
+    }
+
+    #[test]
+    fn vstack_rejects_schema_mismatch() {
+        let a = sample();
+        let b = sample().select(&["user", "wait"]).unwrap();
+        assert!(Frame::vstack(&[a, b]).is_err());
+    }
+
+    #[test]
+    fn head_truncates() {
+        assert_eq!(sample().head(2).height(), 2);
+        assert_eq!(sample().head(99).height(), 3);
+    }
+
+    #[test]
+    fn drop_column_removes() {
+        let mut f = sample();
+        f.drop_column("ok").unwrap();
+        assert_eq!(f.width(), 2);
+        assert!(f.drop_column("ok").is_err());
+    }
+}

@@ -1,0 +1,390 @@
+//! Hash group-by with parallel partial aggregation.
+//!
+//! Each worker folds a contiguous row range into its own hash map of partial
+//! accumulators (no shared state, no locks), and the per-worker maps are
+//! merged at the end — the textbook two-phase parallel aggregation.
+
+use crate::column::{Cell, Column, DType};
+use crate::frame::{Frame, FrameError};
+use schedflow_dataflow::par;
+use std::collections::HashMap;
+
+/// An aggregation over one column (or over the group itself for `Count`).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Agg {
+    /// Number of rows in the group.
+    Count,
+    /// Sum of a numeric column (nulls ignored).
+    Sum(String),
+    /// Mean of a numeric column (nulls ignored).
+    Mean(String),
+    Min(String),
+    Max(String),
+    /// Median of a numeric column (nulls ignored).
+    Median(String),
+    /// Interpolated quantile `q` in `[0,1]` of a numeric column.
+    Quantile(String, f64),
+}
+
+impl Agg {
+    fn source(&self) -> Option<&str> {
+        match self {
+            Agg::Count => None,
+            Agg::Sum(c) | Agg::Mean(c) | Agg::Min(c) | Agg::Max(c) | Agg::Median(c) => Some(c),
+            Agg::Quantile(c, _) => Some(c),
+        }
+    }
+
+    fn needs_values(&self) -> bool {
+        matches!(self, Agg::Median(_) | Agg::Quantile(_, _))
+    }
+}
+
+#[derive(Clone, Default)]
+struct Accum {
+    count: u64,
+    /// Per-agg scalar state: (n, sum, min, max).
+    n: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+    /// Collected values for order statistics.
+    values: Vec<f64>,
+}
+
+impl Accum {
+    fn new() -> Self {
+        Accum {
+            count: 0,
+            n: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            values: Vec::new(),
+        }
+    }
+
+    fn push(&mut self, v: Option<f64>, collect: bool) {
+        self.count += 1;
+        if let Some(v) = v {
+            self.n += 1;
+            self.sum += v;
+            self.min = self.min.min(v);
+            self.max = self.max.max(v);
+            if collect {
+                self.values.push(v);
+            }
+        }
+    }
+
+    fn merge(&mut self, other: Accum) {
+        self.count += other.count;
+        self.n += other.n;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        self.values.extend(other.values);
+    }
+}
+
+type GroupMap = HashMap<Vec<u8>, (usize, Vec<Accum>)>;
+
+/// Group `frame` by `keys` and compute `aggs`; output columns are named by
+/// the paired strings. Groups appear in order of first occurrence.
+pub fn group_by(
+    frame: &Frame,
+    keys: &[&str],
+    aggs: &[(&str, Agg)],
+) -> Result<Frame, FrameError> {
+    // Validate early so errors carry column names rather than panics.
+    let key_cols: Vec<&Column> = keys
+        .iter()
+        .map(|k| frame.column(k))
+        .collect::<Result<_, _>>()?;
+    for c in &key_cols {
+        if c.dtype() == DType::Float {
+            return Err(FrameError::TypeMismatch {
+                column: "<group key>".to_owned(),
+                expected: DType::Str,
+                got: DType::Float,
+            });
+        }
+    }
+    let agg_cols: Vec<Option<&Column>> = aggs
+        .iter()
+        .map(|(_, a)| a.source().map(|c| frame.column(c)).transpose())
+        .collect::<Result<_, _>>()?;
+    let collect_flags: Vec<bool> = aggs.iter().map(|(_, a)| a.needs_values()).collect();
+
+    let height = frame.height();
+    let encode_key = |row: usize| -> Vec<u8> {
+        let mut key = Vec::with_capacity(keys.len() * 8);
+        for c in &key_cols {
+            match c.cell(row) {
+                Cell::Null => key.push(0u8),
+                Cell::Int(v) => {
+                    key.push(1);
+                    key.extend_from_slice(&v.to_le_bytes());
+                }
+                Cell::Bool(b) => {
+                    key.push(2);
+                    key.push(u8::from(b));
+                }
+                Cell::Str(s) => {
+                    key.push(3);
+                    key.extend_from_slice(&(s.len() as u32).to_le_bytes());
+                    key.extend_from_slice(s.as_bytes());
+                }
+                Cell::Float(_) => unreachable!("float keys rejected above"),
+            }
+        }
+        key
+    };
+
+    // Phase 1: per-chunk partial maps.
+    let ranges = par::split_ranges(height, par::threads());
+    let fold_range = |range: std::ops::Range<usize>| -> GroupMap {
+        let mut map: GroupMap = HashMap::new();
+        for row in range {
+            let key = encode_key(row);
+            let entry = map
+                .entry(key)
+                .or_insert_with(|| (row, vec![Accum::new(); aggs.len()]));
+            for (ai, acc) in entry.1.iter_mut().enumerate() {
+                let v = agg_cols[ai].and_then(|c| c.get_f64(row));
+                acc.push(v, collect_flags[ai]);
+            }
+        }
+        map
+    };
+
+    let partials: Vec<GroupMap> = if height < par::PAR_THRESHOLD || ranges.len() <= 1 {
+        vec![fold_range(0..height)]
+    } else {
+        std::thread::scope(|scope| {
+            let joins: Vec<_> = ranges
+                .iter()
+                .map(|r| {
+                    let r = r.clone();
+                    let fold_range = &fold_range;
+                    scope.spawn(move || fold_range(r))
+                })
+                .collect();
+            joins
+                .into_iter()
+                .map(|j| j.join().expect("group-by worker panicked"))
+                .collect()
+        })
+    };
+
+    // Phase 2: merge.
+    let mut merged: GroupMap = HashMap::new();
+    for partial in partials {
+        for (key, (first_row, accs)) in partial {
+            match merged.entry(key) {
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert((first_row, accs));
+                }
+                std::collections::hash_map::Entry::Occupied(mut e) => {
+                    let slot = e.get_mut();
+                    slot.0 = slot.0.min(first_row);
+                    for (dst, src) in slot.1.iter_mut().zip(accs) {
+                        dst.merge(src);
+                    }
+                }
+            }
+        }
+    }
+
+    // Stable output order: first occurrence in the frame.
+    let mut groups: Vec<(usize, Vec<Accum>)> = merged.into_values().collect();
+    groups.sort_by_key(|(first, _)| *first);
+
+    // Key columns from representative rows.
+    let rep_rows: Vec<usize> = groups.iter().map(|(first, _)| *first).collect();
+    let mut out = Frame::new();
+    for (ki, k) in keys.iter().enumerate() {
+        out.add_column(k, key_cols[ki].take(&rep_rows))?;
+    }
+
+    // Aggregate columns.
+    for (ai, (name, agg)) in aggs.iter().enumerate() {
+        let col = match agg {
+            Agg::Count => Column::from_i64(
+                groups.iter().map(|(_, a)| a[ai].count as i64).collect(),
+            ),
+            Agg::Sum(_) => Column::from_f64(groups.iter().map(|(_, a)| a[ai].sum).collect()),
+            Agg::Mean(_) => Column::from_opt_f64(
+                groups
+                    .iter()
+                    .map(|(_, a)| {
+                        let acc = &a[ai];
+                        (acc.n > 0).then(|| acc.sum / acc.n as f64)
+                    })
+                    .collect(),
+            ),
+            Agg::Min(_) => Column::from_opt_f64(
+                groups
+                    .iter()
+                    .map(|(_, a)| (a[ai].n > 0).then_some(a[ai].min))
+                    .collect(),
+            ),
+            Agg::Max(_) => Column::from_opt_f64(
+                groups
+                    .iter()
+                    .map(|(_, a)| (a[ai].n > 0).then_some(a[ai].max))
+                    .collect(),
+            ),
+            Agg::Median(_) => quantile_column(&groups, ai, 0.5),
+            Agg::Quantile(_, q) => quantile_column(&groups, ai, *q),
+        };
+        out.add_column(name, col)?;
+    }
+    Ok(out)
+}
+
+fn quantile_column(groups: &[(usize, Vec<Accum>)], ai: usize, q: f64) -> Column {
+    Column::from_opt_f64(
+        groups
+            .iter()
+            .map(|(_, a)| {
+                let mut vals = a[ai].values.clone();
+                if vals.is_empty() {
+                    return None;
+                }
+                vals.sort_by(|x, y| x.partial_cmp(y).unwrap());
+                Some(crate::stats::quantile_sorted(&vals, q))
+            })
+            .collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Frame {
+        Frame::new()
+            .with(
+                "user",
+                Column::from_str(
+                    ["a", "b", "a", "c", "b", "a"]
+                        .iter()
+                        .map(|s| s.to_string())
+                        .collect(),
+                ),
+            )
+            .with("wait", Column::from_i64(vec![10, 20, 30, 40, 60, 50]))
+    }
+
+    #[test]
+    fn count_per_group_in_first_occurrence_order() {
+        let g = group_by(&sample(), &["user"], &[("n", Agg::Count)]).unwrap();
+        assert_eq!(g.str("user").unwrap().str_values(), &["a", "b", "c"]);
+        assert_eq!(g.i64("n").unwrap().i64_values(), &[3, 2, 1]);
+    }
+
+    #[test]
+    fn sum_mean_min_max() {
+        let g = group_by(
+            &sample(),
+            &["user"],
+            &[
+                ("sum", Agg::Sum("wait".into())),
+                ("mean", Agg::Mean("wait".into())),
+                ("min", Agg::Min("wait".into())),
+                ("max", Agg::Max("wait".into())),
+            ],
+        )
+        .unwrap();
+        assert_eq!(g.f64("sum").unwrap().f64_values(), &[90.0, 80.0, 40.0]);
+        assert_eq!(g.column("mean").unwrap().get_f64(0), Some(30.0));
+        assert_eq!(g.column("min").unwrap().get_f64(1), Some(20.0));
+        assert_eq!(g.column("max").unwrap().get_f64(0), Some(50.0));
+    }
+
+    #[test]
+    fn median_and_quantile() {
+        let g = group_by(
+            &sample(),
+            &["user"],
+            &[
+                ("med", Agg::Median("wait".into())),
+                ("p75", Agg::Quantile("wait".into(), 0.75)),
+            ],
+        )
+        .unwrap();
+        assert_eq!(g.column("med").unwrap().get_f64(0), Some(30.0));
+        // user a values {10,30,50}: p75 interpolates 30..50.
+        let p75 = g.column("p75").unwrap().get_f64(0).unwrap();
+        assert!((p75 - 40.0).abs() < 1e-9, "{p75}");
+    }
+
+    #[test]
+    fn composite_keys() {
+        let f = sample().with(
+            "state",
+            Column::from_str(
+                ["ok", "ok", "bad", "ok", "ok", "bad"]
+                    .iter()
+                    .map(|s| s.to_string())
+                    .collect(),
+            ),
+        );
+        let g = group_by(&f, &["user", "state"], &[("n", Agg::Count)]).unwrap();
+        assert_eq!(g.height(), 4); // (a,ok) (b,ok) (a,bad) (c,ok)
+        assert_eq!(g.width(), 3);
+    }
+
+    #[test]
+    fn nulls_ignored_in_aggregates_but_counted_in_count() {
+        let f = Frame::new()
+            .with("k", Column::from_str(vec!["x".into(), "x".into()]))
+            .with("v", Column::from_opt_i64(vec![Some(4), None]));
+        let g = group_by(
+            &f,
+            &["k"],
+            &[("n", Agg::Count), ("mean", Agg::Mean("v".into()))],
+        )
+        .unwrap();
+        assert_eq!(g.i64("n").unwrap().i64_values(), &[2]);
+        assert_eq!(g.column("mean").unwrap().get_f64(0), Some(4.0));
+    }
+
+    #[test]
+    fn all_null_group_has_null_mean() {
+        let f = Frame::new()
+            .with("k", Column::from_str(vec!["x".into()]))
+            .with("v", Column::from_opt_i64(vec![None]));
+        let g = group_by(&f, &["k"], &[("mean", Agg::Mean("v".into()))]).unwrap();
+        assert_eq!(g.column("mean").unwrap().get_f64(0), None);
+    }
+
+    #[test]
+    fn float_keys_rejected() {
+        let f = Frame::new().with("k", Column::from_f64(vec![1.0]));
+        assert!(group_by(&f, &["k"], &[("n", Agg::Count)]).is_err());
+    }
+
+    #[test]
+    fn large_input_parallel_matches_sequential_semantics() {
+        // Build a frame large enough to trigger the parallel path.
+        let n = 50_000usize;
+        let users: Vec<String> = (0..n).map(|i| format!("u{}", i % 37)).collect();
+        let waits: Vec<i64> = (0..n as i64).collect();
+        let f = Frame::new()
+            .with("user", Column::from_str(users))
+            .with("wait", Column::from_i64(waits));
+        let g = group_by(
+            &f,
+            &["user"],
+            &[("n", Agg::Count), ("sum", Agg::Sum("wait".into()))],
+        )
+        .unwrap();
+        assert_eq!(g.height(), 37);
+        let total: i64 = g.i64("n").unwrap().i64_values().iter().sum();
+        assert_eq!(total as usize, n);
+        let sum: f64 = g.f64("sum").unwrap().f64_values().iter().sum();
+        assert_eq!(sum, (n as f64 - 1.0) * n as f64 / 2.0);
+    }
+}

@@ -1,0 +1,246 @@
+//! Hash joins on a single key column.
+//!
+//! Used by the federation analytics (§6's "multi-cluster and federated
+//! analytics" future work): aligning per-system summary frames on a shared
+//! key. Supports inner and left joins; right columns are renamed with a
+//! suffix when they collide with left names.
+
+use crate::column::{Cell, Column, DType};
+use crate::frame::{Frame, FrameError};
+use std::collections::HashMap;
+
+/// Join flavor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JoinKind {
+    /// Keep only keys present on both sides.
+    Inner,
+    /// Keep every left row; unmatched right columns are null.
+    Left,
+}
+
+fn key_bytes(col: &Column, row: usize) -> Option<Vec<u8>> {
+    match col.cell(row) {
+        Cell::Null => None,
+        Cell::Str(s) => {
+            let mut k = vec![3u8];
+            k.extend_from_slice(s.as_bytes());
+            Some(k)
+        }
+        Cell::Int(v) => {
+            let mut k = vec![1u8];
+            k.extend_from_slice(&v.to_le_bytes());
+            Some(k)
+        }
+        Cell::Bool(b) => Some(vec![2u8, u8::from(b)]),
+        Cell::Float(_) => None, // float keys rejected by validation below
+    }
+}
+
+/// Join `left` and `right` on the named key column.
+///
+/// One output row per matching (left row, right row) pair; left rows without
+/// a match survive only under [`JoinKind::Left`] (with nulls on the right).
+pub fn join(
+    left: &Frame,
+    right: &Frame,
+    key: &str,
+    kind: JoinKind,
+) -> Result<Frame, FrameError> {
+    let lk = left.column(key)?;
+    let rk = right.column(key)?;
+    for (name, col) in [(key, lk), (key, rk)] {
+        if col.dtype() == DType::Float {
+            return Err(FrameError::TypeMismatch {
+                column: name.to_owned(),
+                expected: DType::Str,
+                got: DType::Float,
+            });
+        }
+    }
+    if lk.dtype() != rk.dtype() {
+        return Err(FrameError::TypeMismatch {
+            column: key.to_owned(),
+            expected: lk.dtype(),
+            got: rk.dtype(),
+        });
+    }
+
+    // Index the right side: key → row indices.
+    let mut index: HashMap<Vec<u8>, Vec<usize>> = HashMap::new();
+    for row in 0..right.height() {
+        if let Some(k) = key_bytes(rk, row) {
+            index.entry(k).or_default().push(row);
+        }
+    }
+
+    // Emit row pairs.
+    let mut left_rows: Vec<usize> = Vec::new();
+    let mut right_rows: Vec<Option<usize>> = Vec::new();
+    for row in 0..left.height() {
+        match key_bytes(lk, row).and_then(|k| index.get(&k)) {
+            Some(matches) => {
+                for &r in matches {
+                    left_rows.push(row);
+                    right_rows.push(Some(r));
+                }
+            }
+            None => {
+                if kind == JoinKind::Left {
+                    left_rows.push(row);
+                    right_rows.push(None);
+                }
+            }
+        }
+    }
+
+    // Assemble: all left columns, then right columns (key skipped, name
+    // collisions suffixed `_right`).
+    let mut out = left.take(&left_rows);
+    for (name, col) in right.iter() {
+        if name == key {
+            continue;
+        }
+        let out_name = if out.has_column(name) {
+            format!("{name}_right")
+        } else {
+            name.to_owned()
+        };
+        let gathered = gather_optional(col, &right_rows);
+        out.add_column(&out_name, gathered)?;
+    }
+    Ok(out)
+}
+
+/// Gather rows from `col` where `None` produces a null.
+fn gather_optional(col: &Column, rows: &[Option<usize>]) -> Column {
+    match col.dtype() {
+        DType::Int | DType::Bool => Column::from_opt_i64(
+            rows.iter()
+                .map(|r| r.and_then(|i| col.get_i64(i)))
+                .collect(),
+        ),
+        DType::Float => Column::from_opt_f64(
+            rows.iter()
+                .map(|r| r.and_then(|i| col.get_f64(i)))
+                .collect(),
+        ),
+        DType::Str => {
+            // Strings lack an Option constructor with validity; build one.
+            let values: Vec<String> = rows
+                .iter()
+                .map(|r| {
+                    r.and_then(|i| col.get_str(i))
+                        .unwrap_or("")
+                        .to_owned()
+                })
+                .collect();
+            let validity: Vec<bool> = rows
+                .iter()
+                .map(|r| r.map_or(false, |i| col.is_valid(i)))
+                .collect();
+            if validity.iter().all(|&b| b) {
+                Column::from_str(values)
+            } else {
+                Column::Str {
+                    values,
+                    validity: Some(validity),
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn left() -> Frame {
+        Frame::new()
+            .with(
+                "user",
+                Column::from_str(vec!["a".into(), "b".into(), "c".into()]),
+            )
+            .with("jobs", Column::from_i64(vec![10, 20, 30]))
+    }
+
+    fn right() -> Frame {
+        Frame::new()
+            .with("user", Column::from_str(vec!["b".into(), "a".into()]))
+            .with("failures", Column::from_i64(vec![5, 1]))
+            .with("jobs", Column::from_i64(vec![200, 100]))
+    }
+
+    #[test]
+    fn inner_join_matches_keys() {
+        let j = join(&left(), &right(), "user", JoinKind::Inner).unwrap();
+        assert_eq!(j.height(), 2);
+        assert_eq!(j.str("user").unwrap().str_values(), &["a", "b"]);
+        assert_eq!(j.i64("failures").unwrap().i64_values(), &[1, 5]);
+        // Collision renamed.
+        assert!(j.has_column("jobs_right"));
+        assert_eq!(j.column("jobs_right").unwrap().get_i64(0), Some(100));
+    }
+
+    #[test]
+    fn left_join_keeps_unmatched_with_nulls() {
+        let j = join(&left(), &right(), "user", JoinKind::Left).unwrap();
+        assert_eq!(j.height(), 3);
+        assert_eq!(j.column("failures").unwrap().get_i64(2), None);
+        assert_eq!(j.i64("jobs").unwrap().i64_values(), &[10, 20, 30]);
+    }
+
+    #[test]
+    fn duplicate_right_keys_multiply_rows() {
+        let right = Frame::new()
+            .with("user", Column::from_str(vec!["a".into(), "a".into()]))
+            .with("x", Column::from_i64(vec![1, 2]));
+        let j = join(&left(), &right, "user", JoinKind::Inner).unwrap();
+        assert_eq!(j.height(), 2);
+        assert_eq!(j.column("x").unwrap().get_i64(0), Some(1));
+        assert_eq!(j.column("x").unwrap().get_i64(1), Some(2));
+    }
+
+    #[test]
+    fn int_keys_supported() {
+        let l = Frame::new().with("id", Column::from_i64(vec![1, 2]));
+        let r = Frame::new()
+            .with("id", Column::from_i64(vec![2]))
+            .with("v", Column::from_f64(vec![9.5]));
+        let j = join(&l, &r, "id", JoinKind::Left).unwrap();
+        assert_eq!(j.column("v").unwrap().get_f64(0), None);
+        assert_eq!(j.column("v").unwrap().get_f64(1), Some(9.5));
+    }
+
+    #[test]
+    fn null_keys_never_match() {
+        let l = Frame::new().with("id", Column::from_opt_i64(vec![Some(1), None]));
+        let r = Frame::new()
+            .with("id", Column::from_opt_i64(vec![Some(1), None]))
+            .with("v", Column::from_i64(vec![7, 8]));
+        let inner = join(&l, &r, "id", JoinKind::Inner).unwrap();
+        assert_eq!(inner.height(), 1, "null keys drop from inner joins");
+        let left_j = join(&l, &r, "id", JoinKind::Left).unwrap();
+        assert_eq!(left_j.height(), 2);
+        assert_eq!(left_j.column("v").unwrap().get_i64(1), None);
+    }
+
+    #[test]
+    fn mismatched_key_types_rejected() {
+        let l = Frame::new().with("k", Column::from_i64(vec![1]));
+        let r = Frame::new().with("k", Column::from_str(vec!["1".into()]));
+        assert!(join(&l, &r, "k", JoinKind::Inner).is_err());
+        let f = Frame::new().with("k", Column::from_f64(vec![1.0]));
+        assert!(join(&f, &f, "k", JoinKind::Inner).is_err());
+    }
+
+    #[test]
+    fn string_null_propagation() {
+        let l = Frame::new().with("k", Column::from_i64(vec![1, 2]));
+        let r = Frame::new()
+            .with("k", Column::from_i64(vec![1]))
+            .with("name", Column::from_str(vec!["x".into()]));
+        let j = join(&l, &r, "k", JoinKind::Left).unwrap();
+        assert_eq!(j.column("name").unwrap().get_str(0), Some("x"));
+        assert_eq!(j.column("name").unwrap().get_str(1), None);
+    }
+}

@@ -1,0 +1,28 @@
+//! # schedflow-frame
+//!
+//! A small columnar frame engine — the in-process substitute for the
+//! pandas/Polars layer of the paper's Python analysis stages.
+//!
+//! * [`column::Column`] — flat typed vectors (int/float/str/bool) with
+//!   validity masks;
+//! * [`frame::Frame`] — equal-length named columns with select / filter /
+//!   sort / vstack;
+//! * [`groupby`] — two-phase parallel hash aggregation (count, sum, mean,
+//!   min, max, median, quantile);
+//! * [`join`] — hash joins for multi-frame (federated) analyses;
+//! * [`csv`] — quoting CSV / pipe-separated I/O plus type inference, the
+//!   paper's curate-stage format boundary;
+//! * [`stats`] — descriptive statistics feeding analytics and chart digests.
+
+pub mod column;
+pub mod csv;
+pub mod frame;
+pub mod groupby;
+pub mod join;
+pub mod stats;
+
+pub use column::{Cell, Column, DType};
+pub use csv::{infer_types, read_csv_path, read_delimited, write_csv, write_csv_path, write_delimited, CsvError};
+pub use frame::{Frame, FrameError};
+pub use groupby::{group_by, Agg};
+pub use join::{join, JoinKind};

@@ -1,0 +1,288 @@
+//! Descriptive statistics over numeric slices.
+//!
+//! These feed two consumers: the analytics stages (summary tables) and the
+//! chart digests the rule-based analyst interprets (trend, spread, outliers).
+
+/// Arithmetic mean; `None` on empty input.
+pub fn mean(values: &[f64]) -> Option<f64> {
+    if values.is_empty() {
+        return None;
+    }
+    Some(values.iter().sum::<f64>() / values.len() as f64)
+}
+
+/// Population variance; `None` on empty input.
+pub fn variance(values: &[f64]) -> Option<f64> {
+    let m = mean(values)?;
+    Some(values.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / values.len() as f64)
+}
+
+/// Population standard deviation.
+pub fn stddev(values: &[f64]) -> Option<f64> {
+    variance(values).map(f64::sqrt)
+}
+
+/// Interpolated quantile of an already sorted slice, `q` in [0, 1].
+pub fn quantile_sorted(sorted: &[f64], q: f64) -> f64 {
+    assert!(!sorted.is_empty(), "quantile of empty slice");
+    let q = q.clamp(0.0, 1.0);
+    if sorted.len() == 1 {
+        return sorted[0];
+    }
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    sorted[lo] + (sorted[hi] - sorted[lo]) * frac
+}
+
+/// Interpolated quantile of an unsorted slice (allocates a sorted copy).
+pub fn quantile(values: &[f64], q: f64) -> Option<f64> {
+    if values.is_empty() {
+        return None;
+    }
+    let mut v = values.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    Some(quantile_sorted(&v, q))
+}
+
+/// Median shortcut.
+pub fn median(values: &[f64]) -> Option<f64> {
+    quantile(values, 0.5)
+}
+
+/// Pearson correlation coefficient; `None` if degenerate.
+pub fn pearson(x: &[f64], y: &[f64]) -> Option<f64> {
+    if x.len() != y.len() || x.len() < 2 {
+        return None;
+    }
+    let mx = mean(x)?;
+    let my = mean(y)?;
+    let mut sxy = 0.0;
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    for (&a, &b) in x.iter().zip(y) {
+        sxy += (a - mx) * (b - my);
+        sxx += (a - mx) * (a - mx);
+        syy += (b - my) * (b - my);
+    }
+    if sxx <= 0.0 || syy <= 0.0 {
+        return None;
+    }
+    Some(sxy / (sxx.sqrt() * syy.sqrt()))
+}
+
+/// Least-squares line `y = a + b·x`; returns `(intercept, slope)`.
+pub fn linear_fit(x: &[f64], y: &[f64]) -> Option<(f64, f64)> {
+    if x.len() != y.len() || x.len() < 2 {
+        return None;
+    }
+    let mx = mean(x)?;
+    let my = mean(y)?;
+    let mut sxy = 0.0;
+    let mut sxx = 0.0;
+    for (&a, &b) in x.iter().zip(y) {
+        sxy += (a - mx) * (b - my);
+        sxx += (a - mx) * (a - mx);
+    }
+    if sxx == 0.0 {
+        return None;
+    }
+    let slope = sxy / sxx;
+    Some((my - slope * mx, slope))
+}
+
+/// A histogram over equal-width bins.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    pub min: f64,
+    pub max: f64,
+    pub counts: Vec<u64>,
+}
+
+impl Histogram {
+    pub fn bin_width(&self) -> f64 {
+        (self.max - self.min) / self.counts.len() as f64
+    }
+
+    /// Inclusive-exclusive edges of bin `i`.
+    pub fn edges(&self, i: usize) -> (f64, f64) {
+        let w = self.bin_width();
+        (self.min + w * i as f64, self.min + w * (i + 1) as f64)
+    }
+
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Index of the fullest bin.
+    pub fn mode_bin(&self) -> usize {
+        self.counts
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, &c)| c)
+            .map(|(i, _)| i)
+            .unwrap_or(0)
+    }
+}
+
+/// Build a histogram with `bins` equal-width bins; non-finite values skipped.
+pub fn histogram(values: &[f64], bins: usize) -> Option<Histogram> {
+    let finite: Vec<f64> = values.iter().copied().filter(|v| v.is_finite()).collect();
+    if finite.is_empty() || bins == 0 {
+        return None;
+    }
+    let min = finite.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = finite.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let mut counts = vec![0u64; bins];
+    if min == max {
+        counts[0] = finite.len() as u64;
+        return Some(Histogram { min, max, counts });
+    }
+    let width = (max - min) / bins as f64;
+    for v in finite {
+        let mut idx = ((v - min) / width) as usize;
+        if idx >= bins {
+            idx = bins - 1; // v == max lands in the last bin
+        }
+        counts[idx] += 1;
+    }
+    Some(Histogram { min, max, counts })
+}
+
+/// Values beyond `k` interquartile ranges from the quartiles (Tukey fences).
+pub fn outliers(values: &[f64], k: f64) -> Vec<f64> {
+    if values.len() < 4 {
+        return Vec::new();
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let q1 = quantile_sorted(&sorted, 0.25);
+    let q3 = quantile_sorted(&sorted, 0.75);
+    let iqr = q3 - q1;
+    let lo = q1 - k * iqr;
+    let hi = q3 + k * iqr;
+    values.iter().copied().filter(|&v| v < lo || v > hi).collect()
+}
+
+/// Five-number summary `(min, q1, median, q3, max)`.
+pub fn five_number(values: &[f64]) -> Option<(f64, f64, f64, f64, f64)> {
+    if values.is_empty() {
+        return None;
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    Some((
+        sorted[0],
+        quantile_sorted(&sorted, 0.25),
+        quantile_sorted(&sorted, 0.5),
+        quantile_sorted(&sorted, 0.75),
+        sorted[sorted.len() - 1],
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn mean_and_stddev() {
+        let v = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert_eq!(mean(&v), Some(5.0));
+        assert_eq!(stddev(&v), Some(2.0));
+        assert_eq!(mean(&[]), None);
+    }
+
+    #[test]
+    fn quantiles_interpolate() {
+        let v = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(quantile(&v, 0.0), Some(1.0));
+        assert_eq!(quantile(&v, 1.0), Some(4.0));
+        assert_eq!(quantile(&v, 0.5), Some(2.5));
+        assert_eq!(median(&[5.0]), Some(5.0));
+    }
+
+    #[test]
+    fn pearson_detects_correlation() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let y = [2.0, 4.0, 6.0, 8.0];
+        assert!((pearson(&x, &y).unwrap() - 1.0).abs() < 1e-12);
+        let y_neg = [8.0, 6.0, 4.0, 2.0];
+        assert!((pearson(&x, &y_neg).unwrap() + 1.0).abs() < 1e-12);
+        assert_eq!(pearson(&x, &[1.0, 1.0, 1.0, 1.0]), None);
+    }
+
+    #[test]
+    fn linear_fit_recovers_line() {
+        let x = [0.0, 1.0, 2.0, 3.0];
+        let y = [1.0, 3.0, 5.0, 7.0];
+        let (a, b) = linear_fit(&x, &y).unwrap();
+        assert!((a - 1.0).abs() < 1e-12);
+        assert!((b - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_bins_and_edges() {
+        let v = [0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 9.9, 10.0];
+        let h = histogram(&v, 5).unwrap();
+        assert_eq!(h.total(), 8);
+        assert_eq!(h.counts.len(), 5);
+        // max value lands in last bin.
+        assert!(h.counts[4] >= 2);
+        let (lo, hi) = h.edges(0);
+        assert_eq!(lo, 0.0);
+        assert_eq!(hi, 2.0);
+    }
+
+    #[test]
+    fn histogram_degenerate_cases() {
+        assert!(histogram(&[], 5).is_none());
+        assert!(histogram(&[1.0], 0).is_none());
+        let h = histogram(&[3.0, 3.0, 3.0], 4).unwrap();
+        assert_eq!(h.counts[0], 3);
+        let h = histogram(&[1.0, f64::NAN, 2.0], 2).unwrap();
+        assert_eq!(h.total(), 2);
+    }
+
+    #[test]
+    fn tukey_outliers() {
+        let mut v: Vec<f64> = (0..100).map(|i| i as f64 / 10.0).collect();
+        v.push(1000.0);
+        let out = outliers(&v, 1.5);
+        assert_eq!(out, vec![1000.0]);
+        assert!(outliers(&[1.0, 2.0], 1.5).is_empty());
+    }
+
+    #[test]
+    fn five_number_summary() {
+        let (min, q1, med, q3, max) = five_number(&[1.0, 2.0, 3.0, 4.0, 5.0]).unwrap();
+        assert_eq!((min, q1, med, q3, max), (1.0, 2.0, 3.0, 4.0, 5.0));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_quantile_monotone(mut v in proptest::collection::vec(-1e6f64..1e6, 2..100)) {
+            v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            let q25 = quantile_sorted(&v, 0.25);
+            let q50 = quantile_sorted(&v, 0.5);
+            let q75 = quantile_sorted(&v, 0.75);
+            prop_assert!(q25 <= q50 && q50 <= q75);
+            prop_assert!(v[0] <= q25 && q75 <= v[v.len() - 1]);
+        }
+
+        #[test]
+        fn prop_mean_within_bounds(v in proptest::collection::vec(-1e6f64..1e6, 1..100)) {
+            let m = mean(&v).unwrap();
+            let min = v.iter().copied().fold(f64::INFINITY, f64::min);
+            let max = v.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+            prop_assert!(m >= min - 1e-9 && m <= max + 1e-9);
+        }
+
+        #[test]
+        fn prop_histogram_conserves_count(v in proptest::collection::vec(-1e3f64..1e3, 1..200), bins in 1usize..20) {
+            let h = histogram(&v, bins).unwrap();
+            prop_assert_eq!(h.total(), v.len() as u64);
+        }
+    }
+}

@@ -1,0 +1,146 @@
+//! The analyst abstraction: the seam where an LLM plugs into the workflow.
+//!
+//! The paper's user-defined subworkflows send chart images to a hosted model
+//! (Gemma 3) with one of two prompts. Here the same pipeline position is a
+//! trait: anything that can turn chart digests into narrated findings. The
+//! deterministic [`crate::rule::RuleAnalyst`] is the in-repo implementation;
+//! [`crate::api::ApiAnalyst`] shows how a hosted endpoint would slot in.
+
+use schedflow_charts::ChartDigest;
+use serde::{Deserialize, Serialize};
+
+/// How actionable a finding is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Severity {
+    /// Descriptive observation.
+    Info,
+    /// Pattern worth investigating.
+    Notable,
+    /// Inefficiency with a concrete policy lever.
+    Actionable,
+}
+
+/// One discrete observation inside an insight.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Finding {
+    pub severity: Severity,
+    pub text: String,
+}
+
+/// The analyst's output for one request: a human-readable narrative plus the
+/// quantitative statistics it was derived from (the prompts demand
+/// "quantitative analysis … calculate meaningful statistics").
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Insight {
+    /// Which chart(s) this concerns.
+    pub subject: String,
+    /// Flowing prose summary.
+    pub narrative: String,
+    pub findings: Vec<Finding>,
+    /// Named statistics backing the narrative.
+    pub stats: Vec<(String, f64)>,
+}
+
+impl Insight {
+    /// Highest severity across findings.
+    pub fn max_severity(&self) -> Option<Severity> {
+        self.findings.iter().map(|f| f.severity).max()
+    }
+
+    /// Render as markdown (the format the paper publishes its LLM analyses
+    /// in — see the llm_analysis/*.md artifacts it links).
+    pub fn to_markdown(&self) -> String {
+        let mut out = format!("## {}\n\n{}\n", self.subject, self.narrative);
+        if !self.findings.is_empty() {
+            out.push_str("\n**Findings**\n\n");
+            for f in &self.findings {
+                out.push_str(&format!("- [{:?}] {}\n", f.severity, f.text));
+            }
+        }
+        if !self.stats.is_empty() {
+            out.push_str("\n**Statistics**\n\n");
+            for (name, value) in &self.stats {
+                out.push_str(&format!("- {name}: {value:.4}\n"));
+            }
+        }
+        out
+    }
+}
+
+/// Errors an analyst can produce (network/API errors for hosted backends).
+#[derive(Debug, Clone, PartialEq)]
+pub enum AnalystError {
+    /// Backend unreachable or declined the request.
+    Backend(String),
+    /// The digest lacked the structure this analyst needs.
+    UnsupportedChart(String),
+}
+
+impl std::fmt::Display for AnalystError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AnalystError::Backend(m) => write!(f, "analyst backend error: {m}"),
+            AnalystError::UnsupportedChart(m) => write!(f, "unsupported chart: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for AnalystError {}
+
+/// Anything that can interpret chart digests.
+pub trait Analyst: Send + Sync {
+    /// Backend name (for provenance in reports).
+    fn name(&self) -> &str;
+
+    /// The paper's *LLM Insight* stage: summarize one chart.
+    fn insight(&self, digest: &ChartDigest) -> Result<Insight, AnalystError>;
+
+    /// The paper's *LLM Compare* stage: contrast two related charts.
+    fn compare(&self, a: &ChartDigest, b: &ChartDigest) -> Result<Insight, AnalystError>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn insight() -> Insight {
+        Insight {
+            subject: "Wait times".into(),
+            narrative: "Waits are long.".into(),
+            findings: vec![
+                Finding {
+                    severity: Severity::Info,
+                    text: "n=100".into(),
+                },
+                Finding {
+                    severity: Severity::Actionable,
+                    text: "reclaim walltime".into(),
+                },
+            ],
+            stats: vec![("median_wait_s".into(), 120.0)],
+        }
+    }
+
+    #[test]
+    fn severity_ordering() {
+        assert!(Severity::Actionable > Severity::Notable);
+        assert!(Severity::Notable > Severity::Info);
+        assert_eq!(insight().max_severity(), Some(Severity::Actionable));
+    }
+
+    #[test]
+    fn markdown_rendering() {
+        let md = insight().to_markdown();
+        assert!(md.contains("## Wait times"));
+        assert!(md.contains("- [Actionable] reclaim walltime"));
+        assert!(md.contains("median_wait_s: 120.0000"));
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let i = insight();
+        let j = serde_json::to_string(&i).unwrap();
+        let back: Insight = serde_json::from_str(&j).unwrap();
+        assert_eq!(back, i);
+    }
+}

@@ -1,0 +1,144 @@
+//! Hosted-backend adapter: how a real LLM API slots into the [`Analyst`]
+//! seam.
+//!
+//! The transport is a trait so the workflow can be exercised offline: tests
+//! inject canned transports; production would implement [`Transport`] over
+//! HTTPS to the chosen endpoint (Gemma 3 per the Table 2 selection). No
+//! network code ships in this repository — the reproduction environment is
+//! offline, and the substitution is documented in DESIGN.md.
+
+use crate::analyst::{Analyst, AnalystError, Finding, Insight, Severity};
+use crate::prompts::PromptRequest;
+use schedflow_charts::ChartDigest;
+
+/// The wire seam: send a prompt + attachments, get completion text back.
+pub trait Transport: Send + Sync {
+    fn complete(&self, request: &PromptRequest) -> Result<String, String>;
+}
+
+/// An [`Analyst`] that forwards to a hosted model via a [`Transport`].
+pub struct ApiAnalyst<T: Transport> {
+    backend_name: String,
+    transport: T,
+}
+
+impl<T: Transport> ApiAnalyst<T> {
+    pub fn new(backend_name: &str, transport: T) -> Self {
+        Self {
+            backend_name: backend_name.to_owned(),
+            transport,
+        }
+    }
+
+    fn ask(&self, subject: String, request: PromptRequest) -> Result<Insight, AnalystError> {
+        let text = self
+            .transport
+            .complete(&request)
+            .map_err(AnalystError::Backend)?;
+        // Hosted models return free text; we wrap it as a single narrative
+        // with one Info finding so downstream formatting is uniform.
+        Ok(Insight {
+            subject,
+            narrative: text.clone(),
+            findings: vec![Finding {
+                severity: Severity::Info,
+                text: format!("narrative produced by {}", self.backend_name),
+            }],
+            stats: Vec::new(),
+        })
+    }
+}
+
+impl<T: Transport> Analyst for ApiAnalyst<T> {
+    fn name(&self) -> &str {
+        &self.backend_name
+    }
+
+    fn insight(&self, digest: &ChartDigest) -> Result<Insight, AnalystError> {
+        self.ask(digest.title().to_owned(), PromptRequest::insight(digest))
+    }
+
+    fn compare(&self, a: &ChartDigest, b: &ChartDigest) -> Result<Insight, AnalystError> {
+        self.ask(
+            format!("{} vs {}", a.title(), b.title()),
+            PromptRequest::compare(a, b),
+        )
+    }
+}
+
+/// A transport that always fails — what a hosted backend looks like from an
+/// air-gapped environment. Useful for testing failure handling in the
+/// user-defined subworkflows.
+pub struct OfflineTransport;
+
+impl Transport for OfflineTransport {
+    fn complete(&self, _request: &PromptRequest) -> Result<String, String> {
+        Err("no network route to model endpoint (offline environment)".to_owned())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prompts::{COMPARE_PROMPT, INSIGHT_PROMPT};
+    use schedflow_charts::{digest, Axis, Chart, ScatterChart, Series};
+    use std::sync::Mutex;
+
+    struct Recording {
+        requests: Mutex<Vec<PromptRequest>>,
+        reply: String,
+    }
+
+    impl Transport for Recording {
+        fn complete(&self, request: &PromptRequest) -> Result<String, String> {
+            self.requests.lock().unwrap().push(request.clone());
+            Ok(self.reply.clone())
+        }
+    }
+
+    fn sample_digest() -> ChartDigest {
+        digest(&Chart::Scatter(
+            ScatterChart::new("waits", Axis::linear("t"), Axis::linear("w"))
+                .with_series(Series::scatter("s", vec![1.0, 2.0], vec![3.0, 4.0])),
+        ))
+    }
+
+    #[test]
+    fn insight_sends_single_attachment_with_paper_prompt() {
+        let t = Recording {
+            requests: Mutex::new(Vec::new()),
+            reply: "the chart shows things".into(),
+        };
+        let a = ApiAnalyst::new("gemma-3", t);
+        let out = a.insight(&sample_digest()).unwrap();
+        assert_eq!(out.narrative, "the chart shows things");
+        assert!(out.findings[0].text.contains("gemma-3"));
+        let reqs = a.transport.requests.lock().unwrap();
+        assert_eq!(reqs.len(), 1);
+        assert_eq!(reqs[0].prompt, INSIGHT_PROMPT);
+        assert_eq!(reqs[0].attachments.len(), 1);
+    }
+
+    #[test]
+    fn compare_sends_two_attachments() {
+        let t = Recording {
+            requests: Mutex::new(Vec::new()),
+            reply: "a vs b".into(),
+        };
+        let a = ApiAnalyst::new("gemma-3", t);
+        let d = sample_digest();
+        a.compare(&d, &d).unwrap();
+        let reqs = a.transport.requests.lock().unwrap();
+        assert_eq!(reqs[0].prompt, COMPARE_PROMPT);
+        assert_eq!(reqs[0].attachments.len(), 2);
+    }
+
+    #[test]
+    fn offline_transport_surfaces_backend_error() {
+        let a = ApiAnalyst::new("gemma-3", OfflineTransport);
+        match a.insight(&sample_digest()) {
+            Err(AnalystError::Backend(msg)) => assert!(msg.contains("offline")),
+            other => panic!("expected backend error, got {other:?}"),
+        }
+    }
+}

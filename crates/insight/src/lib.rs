@@ -1,0 +1,26 @@
+//! # schedflow-insight
+//!
+//! The AI interpretation layer of the workflow (§3.2 / §4.2 of the paper):
+//!
+//! * [`analyst::Analyst`] — the LLM seam: anything that can turn chart
+//!   digests into narrated, quantified insights;
+//! * [`rule::RuleAnalyst`] — a deterministic statistical analyst executing
+//!   the semantics of the paper's two prompts (trends, relationships,
+//!   outliers, statistics) with auditable numbers;
+//! * [`prompts`] — the paper's *LLM Insight* and *LLM Compare* prompts,
+//!   verbatim, plus the request envelope a hosted backend receives;
+//! * [`api::ApiAnalyst`] — the hosted-backend adapter over a [`api::Transport`];
+//! * [`registry`] — the Table 2 offering survey and the scoring that selects
+//!   Gemma 3.
+
+pub mod analyst;
+pub mod api;
+pub mod prompts;
+pub mod registry;
+pub mod rule;
+
+pub use analyst::{Analyst, AnalystError, Finding, Insight, Severity};
+pub use api::{ApiAnalyst, OfflineTransport, Transport};
+pub use prompts::{PromptRequest, COMPARE_PROMPT, INSIGHT_PROMPT};
+pub use registry::{select_backend, survey, table2_text, AccessModel, LlmOffering};
+pub use rule::RuleAnalyst;

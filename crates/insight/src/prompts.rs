@@ -1,0 +1,83 @@
+//! The two prompts of §3.2, verbatim, and the request envelope a hosted
+//! backend would receive.
+
+use schedflow_charts::ChartDigest;
+use serde::{Deserialize, Serialize};
+
+/// §3.2 *LLM Insight*: the single-chart summarization prompt.
+pub const INSIGHT_PROMPT: &str = "Act as a data scientist to summarize the chart and \
+provide a quantitative analysis of the key trends, relationships, and statistics of \
+the provided chart. Be specific and mention any notable patterns or outliers. \
+Calculate meaningful statistics from the plot.";
+
+/// §3.2 *LLM Compare*: the paired-chart comparison prompt.
+pub const COMPARE_PROMPT: &str = "Act as a data scientist to compare and contrast the \
+two provided charts. Provide a quantitative and qualitative analysis of the key \
+trends, relationships, and statistics, highlighting similarities and differences. \
+Be specific and mention any notable patterns or outliers. Calculate meaningful \
+statistics from the plots.";
+
+/// What would go over the wire to a hosted multimodal model: the prompt plus
+/// one or two chart attachments (digests standing in for the PNGs).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PromptRequest {
+    pub prompt: String,
+    /// JSON-serialized digests (the compact visual summaries).
+    pub attachments: Vec<String>,
+}
+
+impl PromptRequest {
+    /// Build a single-chart Insight request.
+    pub fn insight(digest: &ChartDigest) -> Self {
+        PromptRequest {
+            prompt: INSIGHT_PROMPT.to_owned(),
+            attachments: vec![digest.to_json()],
+        }
+    }
+
+    /// Build a paired-chart Compare request.
+    pub fn compare(a: &ChartDigest, b: &ChartDigest) -> Self {
+        PromptRequest {
+            prompt: COMPARE_PROMPT.to_owned(),
+            attachments: vec![a.to_json(), b.to_json()],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use schedflow_charts::{digest, Axis, Chart, ScatterChart, Series};
+
+    fn chart_digest() -> ChartDigest {
+        digest(&Chart::Scatter(
+            ScatterChart::new("t", Axis::linear("x"), Axis::linear("y"))
+                .with_series(Series::scatter("s", vec![1.0], vec![2.0])),
+        ))
+    }
+
+    #[test]
+    fn prompts_match_paper_text() {
+        assert!(INSIGHT_PROMPT.starts_with("Act as a data scientist to summarize"));
+        assert!(COMPARE_PROMPT.starts_with("Act as a data scientist to compare and contrast"));
+        assert!(INSIGHT_PROMPT.ends_with("Calculate meaningful statistics from the plot."));
+        assert!(COMPARE_PROMPT.ends_with("Calculate meaningful statistics from the plots."));
+    }
+
+    #[test]
+    fn insight_request_has_one_attachment() {
+        let r = PromptRequest::insight(&chart_digest());
+        assert_eq!(r.attachments.len(), 1);
+        assert_eq!(r.prompt, INSIGHT_PROMPT);
+        // Attachment is valid digest JSON.
+        let _: ChartDigest = serde_json::from_str(&r.attachments[0]).unwrap();
+    }
+
+    #[test]
+    fn compare_request_has_two_attachments() {
+        let d = chart_digest();
+        let r = PromptRequest::compare(&d, &d);
+        assert_eq!(r.attachments.len(), 2);
+        assert_eq!(r.prompt, COMPARE_PROMPT);
+    }
+}

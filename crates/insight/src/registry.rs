@@ -1,0 +1,254 @@
+//! Table 2: the LLM offering survey and the backend selection it motivates.
+//!
+//! The paper compares hosted model offerings on API availability, cost,
+//! image input, and deployment friction, choosing Google's Gemma 3 for
+//! (1) free unrestricted API access, (2) multimodal input, (3) low latency.
+//! This module reproduces the survey rows and makes the selection criteria
+//! an explicit scoring function.
+
+use serde::{Deserialize, Serialize};
+
+/// Access model of an offering.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AccessModel {
+    Free,
+    Paid,
+    Unclear,
+}
+
+/// One surveyed offering (a row of Table 2).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LlmOffering {
+    pub provider: &'static str,
+    pub version: &'static str,
+    pub has_api: bool,
+    pub access: AccessModel,
+    pub image_input: bool,
+    /// Usage limits on the free/API tier.
+    pub usage_limited: bool,
+    /// Geo-restricted or platform-locked.
+    pub restricted: bool,
+    /// Relative latency/footprint rank (lower is lighter/faster).
+    pub latency_rank: u8,
+    pub remarks: &'static str,
+}
+
+/// The Table 2 survey, row for row.
+pub fn survey() -> Vec<LlmOffering> {
+    vec![
+        LlmOffering {
+            provider: "OpenAI",
+            version: "All Models",
+            has_api: true,
+            access: AccessModel::Paid,
+            image_input: true,
+            usage_limited: false,
+            restricted: false,
+            latency_rank: 3,
+            remarks: "o3, o4, best for vision",
+        },
+        LlmOffering {
+            provider: "Google",
+            version: "Gemini 2.5 Flash",
+            has_api: true,
+            access: AccessModel::Free,
+            image_input: true,
+            usage_limited: false,
+            restricted: false,
+            latency_rank: 2,
+            remarks: "No limit on usage",
+        },
+        LlmOffering {
+            provider: "Google",
+            version: "Gemma 3",
+            has_api: true,
+            access: AccessModel::Free,
+            image_input: true,
+            usage_limited: false,
+            restricted: false,
+            latency_rank: 1,
+            remarks: "AI for \"developers\"",
+        },
+        LlmOffering {
+            provider: "Anthropic",
+            version: "All Models",
+            has_api: true,
+            access: AccessModel::Paid,
+            image_input: true,
+            usage_limited: false,
+            restricted: false,
+            latency_rank: 3,
+            remarks: "Interoperable with other models",
+        },
+        LlmOffering {
+            provider: "Apple",
+            version: "All Models",
+            has_api: false,
+            access: AccessModel::Free,
+            image_input: false,
+            usage_limited: true,
+            restricted: true,
+            latency_rank: 2,
+            remarks: "All LLMs must run locally on iOS devices",
+        },
+        LlmOffering {
+            provider: "DeepSeek",
+            version: "All Models",
+            has_api: true,
+            access: AccessModel::Paid,
+            image_input: false,
+            usage_limited: false,
+            restricted: true,
+            latency_rank: 3,
+            remarks: "Geo-restricted",
+        },
+        LlmOffering {
+            provider: "Mistral",
+            version: "All Models",
+            has_api: true,
+            access: AccessModel::Paid,
+            image_input: true,
+            usage_limited: true,
+            restricted: true,
+            latency_rank: 2,
+            remarks: "Restricted and limited free trial",
+        },
+        LlmOffering {
+            provider: "Meta",
+            version: "Llama",
+            has_api: true,
+            access: AccessModel::Unclear,
+            image_input: true,
+            usage_limited: true,
+            restricted: true,
+            latency_rank: 2,
+            remarks: "Waitlist for API, cost unclear",
+        },
+        LlmOffering {
+            provider: "Microsoft",
+            version: "Copilot",
+            has_api: true,
+            access: AccessModel::Paid,
+            image_input: true,
+            usage_limited: false,
+            restricted: true,
+            latency_rank: 3,
+            remarks: "Integrated into MS tools eg. Office suite",
+        },
+        LlmOffering {
+            provider: "Github",
+            version: "Copilot",
+            has_api: false,
+            access: AccessModel::Free,
+            image_input: false,
+            usage_limited: true,
+            restricted: true,
+            latency_rank: 2,
+            remarks: "Built into IDE, limited req/month",
+        },
+    ]
+}
+
+/// Selection score per §3.2's criteria: API availability and image input are
+/// hard requirements; then prefer free, unrestricted, unlimited, and
+/// lightweight offerings.
+pub fn score(offering: &LlmOffering) -> i32 {
+    if !offering.has_api || !offering.image_input {
+        return 0;
+    }
+    let mut s = 10;
+    if offering.access == AccessModel::Free {
+        s += 8;
+    }
+    if !offering.usage_limited {
+        s += 4;
+    }
+    if !offering.restricted {
+        s += 4;
+    }
+    s += i32::from(4 - offering.latency_rank.min(4)); // lighter is better
+    s
+}
+
+/// The backend the criteria select.
+pub fn select_backend() -> LlmOffering {
+    survey()
+        .into_iter()
+        .max_by_key(score)
+        .expect("survey nonempty")
+}
+
+/// Render the survey as aligned text rows (the Table 2 regenerator).
+pub fn table2_text() -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<10} {:<18} {:<4} {:<8} {:<6} Remarks\n",
+        "LLM / AI", "Version", "API", "Access", "Image"
+    ));
+    for o in survey() {
+        out.push_str(&format!(
+            "{:<10} {:<18} {:<4} {:<8} {:<6} {}\n",
+            o.provider,
+            o.version,
+            if o.has_api { "Yes" } else { "No" },
+            match o.access {
+                AccessModel::Free => "Free",
+                AccessModel::Paid => "Paid",
+                AccessModel::Unclear => "Unclear",
+            },
+            if o.image_input { "Yes" } else { "No" },
+            o.remarks
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn survey_has_ten_rows_like_table2() {
+        assert_eq!(survey().len(), 10);
+    }
+
+    #[test]
+    fn criteria_select_gemma3() {
+        let chosen = select_backend();
+        assert_eq!(chosen.provider, "Google");
+        assert_eq!(chosen.version, "Gemma 3");
+    }
+
+    #[test]
+    fn hard_requirements_zero_out() {
+        let apple = survey()
+            .into_iter()
+            .find(|o| o.provider == "Apple")
+            .unwrap();
+        assert_eq!(score(&apple), 0, "no API -> ineligible");
+        let github = survey()
+            .into_iter()
+            .find(|o| o.provider == "Github")
+            .unwrap();
+        assert_eq!(score(&github), 0);
+    }
+
+    #[test]
+    fn free_beats_paid_all_else_equal() {
+        let openai = survey().into_iter().find(|o| o.provider == "OpenAI").unwrap();
+        let gemini = survey()
+            .into_iter()
+            .find(|o| o.version == "Gemini 2.5 Flash")
+            .unwrap();
+        assert!(score(&gemini) > score(&openai));
+    }
+
+    #[test]
+    fn table_text_contains_all_providers() {
+        let t = table2_text();
+        for p in ["OpenAI", "Google", "Anthropic", "Apple", "DeepSeek", "Mistral", "Meta", "Microsoft", "Github"] {
+            assert!(t.contains(p), "{p} missing");
+        }
+        assert!(t.contains("Gemma 3"));
+    }
+}

@@ -1,0 +1,739 @@
+//! `RuleAnalyst`: a deterministic statistical analyst.
+//!
+//! Executes the semantics of the paper's two prompts — trends,
+//! relationships, statistics, notable patterns, outliers — directly over
+//! chart digests. Where the paper's hosted model narrates what it sees in a
+//! PNG, this analyst computes the same observations from the digest and
+//! narrates them reproducibly, which is exactly the "digital analyst"
+//! role §4.2 describes (and, unlike the proof-of-concept LLM, its numbers
+//! are auditable).
+
+use crate::analyst::{Analyst, AnalystError, Finding, Insight, Severity};
+use schedflow_charts::{ChartDigest, DensityGrid, SeriesDigest};
+
+/// The deterministic rule-based analyst.
+#[derive(Debug, Clone, Default)]
+pub struct RuleAnalyst;
+
+impl RuleAnalyst {
+    pub fn new() -> Self {
+        RuleAnalyst
+    }
+}
+
+/// Human description of a duration in seconds.
+fn human_secs(s: f64) -> String {
+    if s >= 172_800.0 {
+        format!("{:.1} days", s / 86_400.0)
+    } else if s >= 7200.0 {
+        format!("{:.1} hours", s / 3600.0)
+    } else if s >= 120.0 {
+        format!("{:.1} minutes", s / 60.0)
+    } else {
+        format!("{s:.0} seconds")
+    }
+}
+
+/// Signed percent change from `from` to `to`.
+fn pct_change(from: f64, to: f64) -> Option<f64> {
+    if from.abs() < 1e-12 {
+        None
+    } else {
+        Some((to - from) / from * 100.0)
+    }
+}
+
+/// Verbal location of the density peak ("low x / low y corner").
+fn peak_phrase(grid: &DensityGrid, x_label: &str, y_label: &str) -> String {
+    let (row, col) = grid.peak();
+    let third = |i: usize, n: usize| -> &'static str {
+        if i < n / 3 {
+            "low"
+        } else if i >= n - n / 3 {
+            "high"
+        } else {
+            "mid"
+        }
+    };
+    let share = if grid.total() == 0 {
+        0.0
+    } else {
+        *grid
+            .counts
+            .iter()
+            .max()
+            .unwrap_or(&0) as f64
+            / grid.total() as f64
+    };
+    format!(
+        "the densest region sits at {}-{} / {}-{} ({:.0}% of points in one cell)",
+        third(col, grid.cols),
+        x_label,
+        third(row, grid.rows),
+        y_label,
+        share * 100.0
+    )
+}
+
+fn correlation_phrase(r: f64) -> String {
+    let strength = match r.abs() {
+        a if a >= 0.8 => "strong",
+        a if a >= 0.5 => "moderate",
+        a if a >= 0.2 => "weak",
+        _ => "negligible",
+    };
+    let sign = if r >= 0.0 { "positive" } else { "negative" };
+    format!("a {strength} {sign} relationship (r = {r:.2})")
+}
+
+fn mentions_walltime(x_label: &str, y_label: &str) -> bool {
+    let l = format!("{x_label} {y_label}").to_lowercase();
+    l.contains("request") && (l.contains("actual") || l.contains("duration"))
+}
+
+impl Analyst for RuleAnalyst {
+    fn name(&self) -> &str {
+        "rule-analyst"
+    }
+
+    fn insight(&self, digest: &ChartDigest) -> Result<Insight, AnalystError> {
+        match digest {
+            ChartDigest::Scatter {
+                title,
+                x_label,
+                y_label,
+                diagonal,
+                series,
+                density,
+                ..
+            } => Ok(scatter_insight(title, x_label, y_label, *diagonal, series, density)),
+            ChartDigest::Bar {
+                title,
+                y_label,
+                stacks,
+                category_cv,
+                top_categories,
+                categories,
+                ..
+            } => Ok(bar_insight(
+                title,
+                y_label,
+                stacks,
+                *category_cv,
+                top_categories,
+                *categories,
+            )),
+            ChartDigest::Heatmap {
+                title,
+                value_label,
+                cells,
+                peak,
+                trough,
+                row_means,
+                ..
+            } => Ok(heatmap_insight(title, value_label, cells, peak, trough, row_means)),
+        }
+    }
+
+    fn compare(&self, a: &ChartDigest, b: &ChartDigest) -> Result<Insight, AnalystError> {
+        match (a, b) {
+            (
+                ChartDigest::Scatter {
+                    title: ta,
+                    series: sa,
+                    y_label,
+                    ..
+                },
+                ChartDigest::Scatter {
+                    title: tb,
+                    series: sb,
+                    ..
+                },
+            ) => Ok(scatter_compare(ta, sa, tb, sb, y_label)),
+            (
+                ChartDigest::Bar {
+                    title: ta,
+                    stacks: ka,
+                    category_cv: cva,
+                    ..
+                },
+                ChartDigest::Bar {
+                    title: tb,
+                    stacks: kb,
+                    category_cv: cvb,
+                    ..
+                },
+            ) => Ok(bar_compare(ta, ka, *cva, tb, kb, *cvb)),
+            _ => Err(AnalystError::UnsupportedChart(
+                "compare requires two charts of the same kind".to_owned(),
+            )),
+        }
+    }
+}
+
+fn heatmap_insight(
+    title: &str,
+    value_label: &str,
+    cells: &Option<schedflow_charts::DimStats>,
+    peak: &Option<(String, String, f64)>,
+    trough: &Option<(String, String, f64)>,
+    row_means: &[(String, f64)],
+) -> Insight {
+    let mut narrative = vec![format!("The heatmap \"{title}\" maps {value_label} over the week.")];
+    let mut findings = Vec::new();
+    let mut stats: Vec<(String, f64)> = Vec::new();
+
+    if let Some(c) = cells {
+        stats.push(("cells".into(), c.n as f64));
+        stats.push(("cell_median".into(), c.median));
+        stats.push(("cell_max".into(), c.max));
+    }
+    if let (Some((pr, pc, pv)), Some((tr, tc, tv))) = (peak, trough) {
+        narrative.push(format!(
+            "The hottest slot is {pr} {pc}:00 ({pv:.0}); the coolest is {tr} {tc}:00 ({tv:.0})."
+        ));
+        if *tv > 0.0 && pv / tv > 5.0 {
+            findings.push(Finding {
+                severity: Severity::Actionable,
+                text: format!(
+                    "A {:.0}x spread between the week's hottest and coolest slots suggests \
+                     time-of-week-aware policies (e.g. steering flexible work toward \
+                     {tr} {tc}:00) could flatten the queue.",
+                    pv / tv
+                ),
+            });
+        }
+    }
+    // Weekday vs weekend contrast from row means.
+    let mean_of = |rows: &[usize]| -> Option<f64> {
+        let vals: Vec<f64> = rows
+            .iter()
+            .filter_map(|&r| row_means.get(r).map(|(_, m)| *m))
+            .filter(|m| m.is_finite())
+            .collect();
+        (!vals.is_empty()).then(|| vals.iter().sum::<f64>() / vals.len() as f64)
+    };
+    if let (Some(weekday), Some(weekend)) = (mean_of(&[0, 1, 2, 3, 4]), mean_of(&[5, 6])) {
+        stats.push(("weekday_mean".into(), weekday));
+        stats.push(("weekend_mean".into(), weekend));
+        if weekend > 0.0 && weekday / weekend > 1.5 {
+            narrative.push(format!(
+                "Weekday slots average {:.0} against {:.0} on weekends — contention follows \
+                 the working week.",
+                weekday, weekend
+            ));
+        }
+    }
+
+    Insight {
+        subject: title.to_owned(),
+        narrative: narrative.join(" "),
+        findings,
+        stats,
+    }
+}
+
+fn scatter_insight(
+    title: &str,
+    x_label: &str,
+    y_label: &str,
+    diagonal: bool,
+    series: &[SeriesDigest],
+    density: &Option<DensityGrid>,
+) -> Insight {
+    let total_n: usize = series.iter().map(|s| s.n).sum();
+    let mut narrative = vec![format!(
+        "The chart \"{title}\" plots {total_n} points across {} series ({x_label} vs {y_label}).",
+        series.len()
+    )];
+    let mut findings = Vec::new();
+    let mut stats: Vec<(String, f64)> = vec![("points".into(), total_n as f64)];
+
+    if let Some(grid) = density {
+        narrative.push(format!("Spatially, {}.", peak_phrase(grid, x_label, y_label)));
+    }
+
+    // Pooled diagonal relation — only meaningful when the chart itself drew
+    // the y = x guide (both axes in the same units, requested-vs-actual).
+    let mut below_n = 0.0;
+    let mut pooled = 0.0;
+    for s in series {
+        if let Some(above) = s.frac_above_diagonal {
+            below_n += (1.0 - above) * s.n as f64;
+            pooled += s.n as f64;
+        }
+    }
+    if diagonal && pooled > 0.0 {
+        let below_frac = below_n / pooled;
+        stats.push(("fraction_below_diagonal".into(), below_frac));
+        if below_frac > 0.8 && mentions_walltime(x_label, y_label) {
+            narrative.push(format!(
+                "There is a consistent trend of users significantly overestimating their \
+                 walltime requests: {:.0}% of jobs complete in less time than requested. \
+                 This creates a systemic gap that reduces scheduling efficiency.",
+                below_frac * 100.0
+            ));
+            findings.push(Finding {
+                severity: Severity::Actionable,
+                text: "The tight cluster of short-actual, long-requested jobs suggests \
+                       implementing automated walltime prediction or adaptive rescheduling \
+                       to reclaim unused time."
+                    .to_owned(),
+            });
+        } else if below_frac > 0.8 || below_frac < 0.2 {
+            narrative.push(format!(
+                "{:.0}% of points lie below the y = x line.",
+                below_frac * 100.0
+            ));
+        }
+    }
+
+    for s in series {
+        if let (Some(r), true) = (s.correlation, s.n >= 10) {
+            narrative.push(format!(
+                "Series \"{}\" shows {} between {x_label} and {y_label}.",
+                s.name,
+                correlation_phrase(r)
+            ));
+            stats.push((format!("r_{}", s.name), r));
+        }
+        if let Some(y) = &s.y {
+            stats.push((format!("median_y_{}", s.name), y.median));
+            stats.push((format!("max_y_{}", s.name), y.max));
+        }
+        if s.y_outliers > 0 {
+            findings.push(Finding {
+                severity: Severity::Notable,
+                text: format!(
+                    "Series \"{}\" carries {} outlier points far beyond its interquartile \
+                     range — worth inspecting individually.",
+                    s.name, s.y_outliers
+                ),
+            });
+        }
+    }
+
+    // Two-series marker contrast (regular vs backfilled).
+    if series.len() == 2 {
+        if let (Some(a), Some(b)) = (&series[0].y, &series[1].y) {
+            if b.median < a.median * 0.75 {
+                narrative.push(format!(
+                    "Jobs in \"{}\" run markedly shorter than \"{}\" (median {} vs {}), \
+                     consistent with the scheduler slotting short jobs into gaps.",
+                    series[1].name,
+                    series[0].name,
+                    human_secs(b.median * 60.0),
+                    human_secs(a.median * 60.0)
+                ));
+            }
+        }
+    }
+
+    Insight {
+        subject: title.to_owned(),
+        narrative: narrative.join(" "),
+        findings,
+        stats,
+    }
+}
+
+fn bar_insight(
+    title: &str,
+    y_label: &str,
+    stacks: &[schedflow_charts::StackDigest],
+    category_cv: Option<f64>,
+    top_categories: &[(String, f64)],
+    categories: usize,
+) -> Insight {
+    let grand: f64 = stacks.iter().map(|s| s.total).sum();
+    let mut narrative = vec![format!(
+        "The chart \"{title}\" aggregates {grand:.0} {y_label} across {categories} categories \
+         and {} groups.",
+        stacks.len()
+    )];
+    let mut findings = Vec::new();
+    let mut stats: Vec<(String, f64)> = vec![("total".into(), grand)];
+
+    if let Some((name, share)) = stacks
+        .iter()
+        .map(|s| (s.name.clone(), if grand > 0.0 { s.total / grand } else { 0.0 }))
+        .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
+    {
+        narrative.push(format!(
+            "\"{name}\" dominates with {:.0}% of the total.",
+            share * 100.0
+        ));
+        stats.push((format!("share_{name}"), share));
+    }
+
+    for s in stacks {
+        stats.push((format!("total_{}", s.name), s.total));
+        let concentrated = s.total > 0.0 && s.peak_value / s.total > 0.3;
+        let unhappy = matches!(
+            s.name.as_str(),
+            "FAILED" | "CANCELLED" | "TIMEOUT" | "OUT_OF_MEMORY" | "NODE_FAIL"
+        );
+        if concentrated && unhappy {
+            findings.push(Finding {
+                severity: Severity::Notable,
+                text: format!(
+                    "{} jobs concentrate on \"{}\" ({:.0}% of all {}): targeted user \
+                     support or training would have outsized impact.",
+                    s.name,
+                    s.peak_category,
+                    s.peak_value / s.total * 100.0,
+                    s.name
+                ),
+            });
+        }
+    }
+
+    if let Some(cv) = category_cv {
+        stats.push(("category_cv".into(), cv));
+        let phrase = if cv > 1.0 {
+            "activity is highly concentrated in a few categories"
+        } else if cv > 0.5 {
+            "activity is unevenly spread"
+        } else {
+            "activity is fairly uniform across categories"
+        };
+        narrative.push(format!(
+            "Cross-category dispersion is {cv:.2} (coefficient of variation): {phrase}."
+        ));
+    }
+    if let Some((top, v)) = top_categories.first() {
+        narrative.push(format!("The largest category is \"{top}\" at {v:.0}."));
+    }
+
+    Insight {
+        subject: title.to_owned(),
+        narrative: narrative.join(" "),
+        findings,
+        stats,
+    }
+}
+
+fn scatter_compare(
+    title_a: &str,
+    series_a: &[SeriesDigest],
+    title_b: &str,
+    series_b: &[SeriesDigest],
+    y_label: &str,
+) -> Insight {
+    let mut narrative = vec![format!("Comparing \"{title_a}\" with \"{title_b}\".")];
+    let mut findings = Vec::new();
+    let mut stats = Vec::new();
+
+    let na: usize = series_a.iter().map(|s| s.n).sum();
+    let nb: usize = series_b.iter().map(|s| s.n).sum();
+    stats.push(("points_a".into(), na as f64));
+    stats.push(("points_b".into(), nb as f64));
+    if let Some(dn) = pct_change(na as f64, nb as f64) {
+        narrative.push(format!(
+            "Volume changed by {dn:+.0}% ({na} to {nb} points)."
+        ));
+    }
+
+    let is_wait = y_label.to_lowercase().contains("wait");
+    for sa in series_a {
+        let Some(sb) = series_b.iter().find(|s| s.name == sa.name) else {
+            continue;
+        };
+        let (Some(ya), Some(yb)) = (&sa.y, &sb.y) else {
+            continue;
+        };
+        stats.push((format!("median_a_{}", sa.name), ya.median));
+        stats.push((format!("median_b_{}", sa.name), yb.median));
+        if let Some(d) = pct_change(ya.median, yb.median) {
+            if d.abs() >= 10.0 {
+                let direction = if d < 0.0 { "shorter" } else { "longer" };
+                if is_wait && sa.name == "COMPLETED" {
+                    narrative.push(format!(
+                        "The majority of jobs that completed successfully have {direction} wait \
+                         times in {title_b} compared to {title_a} (median {} vs {}, {d:+.0}%), \
+                         suggesting {} .",
+                        human_secs(yb.median),
+                        human_secs(ya.median),
+                        if d < 0.0 {
+                            "either a decrease in queue load or more efficient scheduling \
+                             policies being implemented"
+                        } else {
+                            "increased queue congestion or stricter policy thresholds"
+                        }
+                    ));
+                } else {
+                    narrative.push(format!(
+                        "Series \"{}\": median {y_label} is {direction} in {title_b} \
+                         ({} vs {}, {d:+.0}%).",
+                        sa.name,
+                        human_secs(yb.median),
+                        human_secs(ya.median)
+                    ));
+                }
+            }
+        }
+        // Extended-tail contrast (the "waits exceeding 100,000 seconds"
+        // observation generalizes to outlier density + max).
+        if sa.y_outliers > 2 * sb.y_outliers.max(1) {
+            findings.push(Finding {
+                severity: Severity::Notable,
+                text: format!(
+                    "{title_a} has a higher density of extended-{y_label} points for \"{}\" \
+                     ({} vs {} outliers; max {} vs {}), which could indicate batch congestion \
+                     or policy thresholds being hit more frequently.",
+                    sa.name,
+                    sa.y_outliers,
+                    sb.y_outliers,
+                    human_secs(ya.max),
+                    human_secs(yb.max)
+                ),
+            });
+        }
+    }
+
+    Insight {
+        subject: format!("{title_a} vs {title_b}"),
+        narrative: narrative.join(" "),
+        findings,
+        stats,
+    }
+}
+
+fn bar_compare(
+    title_a: &str,
+    stacks_a: &[schedflow_charts::StackDigest],
+    cv_a: Option<f64>,
+    title_b: &str,
+    stacks_b: &[schedflow_charts::StackDigest],
+    cv_b: Option<f64>,
+) -> Insight {
+    let mut narrative = vec![format!("Comparing \"{title_a}\" with \"{title_b}\".")];
+    let mut stats = Vec::new();
+    let mut findings = Vec::new();
+
+    for sa in stacks_a {
+        let Some(sb) = stacks_b.iter().find(|s| s.name == sa.name) else {
+            continue;
+        };
+        stats.push((format!("total_a_{}", sa.name), sa.total));
+        stats.push((format!("total_b_{}", sa.name), sb.total));
+        if let Some(d) = pct_change(sa.total, sb.total) {
+            if d.abs() >= 15.0 {
+                narrative.push(format!(
+                    "\"{}\" totals differ by {d:+.0}% ({:.0} vs {:.0}).",
+                    sa.name, sa.total, sb.total
+                ));
+            }
+        }
+    }
+    if let (Some(a), Some(b)) = (cv_a, cv_b) {
+        stats.push(("category_cv_a".into(), a));
+        stats.push(("category_cv_b".into(), b));
+        if a > b * 1.3 {
+            findings.push(Finding {
+                severity: Severity::Notable,
+                text: format!(
+                    "Cross-category dispersion is markedly higher in {title_a} \
+                     (CV {a:.2} vs {b:.2}): a few categories dominate there, while \
+                     {title_b} behaves more uniformly."
+                ),
+            });
+        } else if b > a * 1.3 {
+            findings.push(Finding {
+                severity: Severity::Notable,
+                text: format!(
+                    "Cross-category dispersion is markedly higher in {title_b} \
+                     (CV {b:.2} vs {a:.2})."
+                ),
+            });
+        }
+    }
+
+    Insight {
+        subject: format!("{title_a} vs {title_b}"),
+        narrative: narrative.join(" "),
+        findings,
+        stats,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use schedflow_charts::{digest, Axis, BarChart, BarMode, Chart, ScatterChart, Series};
+
+    fn walltime_chart(factor: f64) -> ChartDigest {
+        // requested = factor × actual: below-diagonal mass when factor > 1.
+        let actual: Vec<f64> = (1..200).map(|i| i as f64).collect();
+        let requested: Vec<f64> = actual.iter().map(|a| a * factor).collect();
+        digest(&Chart::Scatter(
+            ScatterChart::new(
+                "Requested vs actual walltime",
+                Axis::linear("requested walltime (minutes)"),
+                Axis::linear("actual duration (minutes)"),
+            )
+            .with_series(Series::scatter("regular", requested, actual))
+            .with_diagonal(),
+        ))
+    }
+
+    #[test]
+    fn overestimation_yields_actionable_recommendation() {
+        let insight = RuleAnalyst::new().insight(&walltime_chart(3.0)).unwrap();
+        assert!(insight.narrative.contains("overestimating their walltime requests"));
+        assert_eq!(insight.max_severity(), Some(Severity::Actionable));
+        assert!(insight
+            .findings
+            .iter()
+            .any(|f| f.text.contains("automated walltime prediction")));
+        let below = insight
+            .stats
+            .iter()
+            .find(|(n, _)| n == "fraction_below_diagonal")
+            .unwrap()
+            .1;
+        assert!(below > 0.95);
+    }
+
+    #[test]
+    fn no_false_overestimation_when_balanced() {
+        let insight = RuleAnalyst::new().insight(&walltime_chart(1.0)).unwrap();
+        assert!(!insight.narrative.contains("overestimating"));
+    }
+
+    fn wait_chart(title: &str, scale: f64, with_tail: bool) -> ChartDigest {
+        let mut xs: Vec<f64> = (0..300).map(|i| i as f64).collect();
+        let mut ys: Vec<f64> = (0..300).map(|i| (50.0 + (i % 97) as f64) * scale).collect();
+        if with_tail {
+            for i in 0..8 {
+                xs.push(1000.0 + i as f64);
+                ys.push(150_000.0);
+            }
+        }
+        digest(&Chart::Scatter(
+            ScatterChart::new(title, Axis::linear("submit time"), Axis::linear("wait time (seconds)"))
+                .with_series(Series::scatter("COMPLETED", xs, ys)),
+        ))
+    }
+
+    #[test]
+    fn wait_comparison_mirrors_paper_quote() {
+        let march = wait_chart("March", 3.0, true);
+        let june = wait_chart("June", 1.0, false);
+        let insight = RuleAnalyst::new().compare(&march, &june).unwrap();
+        assert!(
+            insight
+                .narrative
+                .contains("shorter wait times in June compared to March"),
+            "{}",
+            insight.narrative
+        );
+        assert!(insight.narrative.contains("more efficient scheduling"));
+        assert!(
+            insight
+                .findings
+                .iter()
+                .any(|f| f.text.contains("extended-wait")),
+            "tail finding expected: {:?}",
+            insight.findings
+        );
+    }
+
+    #[test]
+    fn bar_insight_flags_failure_concentration() {
+        let c = Chart::Bar(
+            BarChart::new(
+                "Job end states per user — frontier",
+                (0..20).map(|i| format!("u{i:02}")).collect(),
+                "jobs",
+                BarMode::Stacked,
+            )
+            .with_stack("COMPLETED", (0..20).map(|i| 100.0 - i as f64).collect())
+            .with_stack("FAILED", {
+                let mut v = vec![3.0; 20];
+                v[0] = 500.0; // one user dominates failures
+                v
+            }),
+        );
+        let insight = RuleAnalyst::new().insight(&digest(&c)).unwrap();
+        assert!(insight
+            .findings
+            .iter()
+            .any(|f| f.text.contains("FAILED") && f.text.contains("u00")));
+        assert!(insight.narrative.contains("coefficient of variation"));
+    }
+
+    #[test]
+    fn bar_comparison_contrasts_dispersion() {
+        let skewed = Chart::Bar(
+            BarChart::new("frontier states", (0..10).map(|i| format!("u{i}")).collect(), "jobs", BarMode::Stacked)
+                .with_stack("FAILED", {
+                    let mut v = vec![2.0; 10];
+                    v[0] = 400.0;
+                    v
+                }),
+        );
+        let uniform = Chart::Bar(
+            BarChart::new("andes states", (0..10).map(|i| format!("u{i}")).collect(), "jobs", BarMode::Stacked)
+                .with_stack("FAILED", vec![20.0; 10]),
+        );
+        let insight = RuleAnalyst::new()
+            .compare(&digest(&skewed), &digest(&uniform))
+            .unwrap();
+        assert!(insight
+            .findings
+            .iter()
+            .any(|f| f.text.contains("dispersion is markedly higher in frontier states")));
+    }
+
+    #[test]
+    fn mixed_kind_comparison_is_unsupported() {
+        let s = walltime_chart(2.0);
+        let b = digest(&Chart::Bar(BarChart::new("b", vec![], "y", BarMode::Grouped)));
+        assert!(matches!(
+            RuleAnalyst::new().compare(&s, &b),
+            Err(AnalystError::UnsupportedChart(_))
+        ));
+    }
+
+    #[test]
+    fn heatmap_insight_names_hot_and_cool_slots() {
+        use schedflow_charts::HeatmapChart;
+        let mut values = vec![50.0; 168];
+        values[9] = 5000.0; // Monday 09:00 spike
+        values[5 * 24 + 3] = 10.0; // Saturday 03:00 trough
+        let mut h = HeatmapChart::new(
+            "Queue dynamics — frontier",
+            (0..24).map(|i| format!("{i:02}")).collect(),
+            ["Mon", "Tue", "Wed", "Thu", "Fri", "Sat", "Sun"]
+                .iter()
+                .map(|s| s.to_string())
+                .collect(),
+            values,
+        );
+        h.value_label = "mean wait (s)".into();
+        let insight = RuleAnalyst::new().insight(&digest(&Chart::Heatmap(h))).unwrap();
+        assert!(insight.narrative.contains("Mon 09:00"), "{}", insight.narrative);
+        assert!(insight.narrative.contains("Sat 03:00"));
+        assert_eq!(insight.max_severity(), Some(Severity::Actionable));
+        assert!(insight
+            .findings
+            .iter()
+            .any(|f| f.text.contains("time-of-week-aware")));
+    }
+
+    #[test]
+    fn human_durations() {
+        assert_eq!(human_secs(45.0), "45 seconds");
+        assert_eq!(human_secs(600.0), "10.0 minutes");
+        assert_eq!(human_secs(7200.0), "2.0 hours");
+        assert_eq!(human_secs(200_000.0), "2.3 days");
+    }
+
+    #[test]
+    fn deterministic_output() {
+        let a = RuleAnalyst::new().insight(&walltime_chart(3.0)).unwrap();
+        let b = RuleAnalyst::new().insight(&walltime_chart(3.0)).unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,352 @@
+//! The Slurm accounting field catalogue and the paper's curated selection.
+//!
+//! §2 of the paper: "From the 118 fields available in the Slurm accounting
+//! database, a subset of 50+ fields was selected based on their relevance…
+//! Redundant, sensitive, or less informative fields, such as those offering
+//! duplicative time representations (e.g., Elapsed vs. ElapsedRaw), were
+//! excluded." §3.1 pins the obtain-data query at 60 fields; we curate 60.
+//!
+//! Table 1 groups the curated fields into nine categories, reproduced by
+//! [`Category`]. The full catalogue (118 fields) retains the non-selected
+//! fields so the curation step has something real to exclude.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Table 1's field categories.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Category {
+    JobIdentification,
+    Timing,
+    ResourceRequests,
+    ResourceUsage,
+    Io,
+    JobState,
+    SchedulingMetadata,
+    SpecialIndicators,
+    Misc,
+}
+
+impl Category {
+    pub const ALL: [Category; 9] = [
+        Category::JobIdentification,
+        Category::Timing,
+        Category::ResourceRequests,
+        Category::ResourceUsage,
+        Category::Io,
+        Category::JobState,
+        Category::SchedulingMetadata,
+        Category::SpecialIndicators,
+        Category::Misc,
+    ];
+
+    /// Table 1's row label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Category::JobIdentification => "Job Identification",
+            Category::Timing => "Timing Information",
+            Category::ResourceRequests => "Resource Requests",
+            Category::ResourceUsage => "Resource Usage",
+            Category::Io => "IO Related",
+            Category::JobState => "Job State",
+            Category::SchedulingMetadata => "Scheduling Metadata",
+            Category::SpecialIndicators => "Special Indicators",
+            Category::Misc => "Misc",
+        }
+    }
+}
+
+impl fmt::Display for Category {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Why a non-curated field was excluded, mirroring §2's rationale.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Exclusion {
+    /// Field duplicates another representation (e.g. `ElapsedRaw` vs `Elapsed`).
+    Duplicative,
+    /// Field carries sensitive site/user information.
+    Sensitive,
+    /// Field rarely populated or not informative for scheduling analysis.
+    LowValue,
+}
+
+/// One entry of the accounting field catalogue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FieldSpec {
+    /// Field name as used in the sacct header line.
+    pub name: &'static str,
+    pub category: Category,
+    /// `None` = curated (selected for the study); `Some(reason)` = excluded.
+    pub excluded: Option<Exclusion>,
+}
+
+const fn keep(name: &'static str, category: Category) -> FieldSpec {
+    FieldSpec {
+        name,
+        category,
+        excluded: None,
+    }
+}
+
+const fn drop(name: &'static str, category: Category, why: Exclusion) -> FieldSpec {
+    FieldSpec {
+        name,
+        category,
+        excluded: Some(why),
+    }
+}
+
+use Category as C;
+use Exclusion as E;
+
+/// The full 118-field catalogue. Curated fields appear first, grouped per
+/// Table 1, followed by the excluded remainder of the accounting schema.
+pub const CATALOGUE: [FieldSpec; 118] = [
+    // ---- Curated: Job Identification (Table 1 row 1 + identity extras) ----
+    keep("JobID", C::JobIdentification),
+    keep("Partition", C::JobIdentification),
+    keep("Reservation", C::JobIdentification),
+    keep("ReservationID", C::JobIdentification),
+    keep("User", C::JobIdentification),
+    keep("Account", C::JobIdentification),
+    keep("JobName", C::JobIdentification),
+    keep("UID", C::JobIdentification),
+    keep("GID", C::JobIdentification),
+    keep("Cluster", C::JobIdentification),
+    // ---- Curated: Timing Information ----
+    keep("SubmitTime", C::Timing),
+    keep("StartTime", C::Timing),
+    keep("EndTime", C::Timing),
+    keep("Elapsed", C::Timing),
+    keep("Timelimit", C::Timing),
+    keep("CPUTime", C::Timing),
+    // ---- Curated: Resource Requests ----
+    keep("NNodes", C::ResourceRequests),
+    keep("NCPUs", C::ResourceRequests),
+    keep("NTasks", C::ResourceRequests),
+    keep("ReqMem", C::ResourceRequests),
+    keep("ReqGRES", C::ResourceRequests),
+    keep("Layout", C::ResourceRequests),
+    keep("AllocCPUS", C::ResourceRequests),
+    keep("AllocNodes", C::ResourceRequests),
+    keep("AllocTRES", C::ResourceRequests),
+    keep("ReqCPUS", C::ResourceRequests),
+    keep("ReqNodes", C::ResourceRequests),
+    // ---- Curated: Resource Usage ----
+    keep("VMSize", C::ResourceUsage),
+    keep("AveCPU", C::ResourceUsage),
+    keep("MaxRSS", C::ResourceUsage),
+    keep("TotalCPU", C::ResourceUsage),
+    keep("NodeList", C::ResourceUsage),
+    keep("ConsumedEnergy", C::ResourceUsage),
+    keep("AveRSS", C::ResourceUsage),
+    keep("AveVMSize", C::ResourceUsage),
+    // ---- Curated: IO Related ----
+    keep("WorkDir", C::Io),
+    keep("AveDiskRead", C::Io),
+    keep("AveDiskWrite", C::Io),
+    keep("MaxDiskRead", C::Io),
+    keep("MaxDiskWrite", C::Io),
+    // ---- Curated: Job State ----
+    keep("State", C::JobState),
+    keep("ExitCode", C::JobState),
+    keep("Reason", C::JobState),
+    keep("Suspended", C::JobState),
+    keep("Restarts", C::JobState),
+    keep("Constraints", C::JobState),
+    // ---- Curated: Scheduling Metadata ----
+    keep("Priority", C::SchedulingMetadata),
+    keep("Eligible", C::SchedulingMetadata),
+    keep("QOS", C::SchedulingMetadata),
+    keep("QOSReq", C::SchedulingMetadata),
+    keep("Flags", C::SchedulingMetadata),
+    keep("TRESUsageInAve", C::SchedulingMetadata),
+    keep("TRESReq", C::SchedulingMetadata),
+    // ---- Curated: Special Indicators ----
+    keep("Backfill", C::SpecialIndicators),
+    keep("Dependency", C::SpecialIndicators),
+    keep("ArrayJobID", C::SpecialIndicators),
+    // ---- Curated: Misc ----
+    keep("Comment", C::Misc),
+    keep("SystemComment", C::Misc),
+    keep("AdminComment", C::Misc),
+    keep("SubmitLine", C::Misc),
+    // ---- Excluded: duplicative time/ID representations ----
+    drop("Submit", C::Timing, E::Duplicative),
+    drop("Start", C::Timing, E::Duplicative),
+    drop("End", C::Timing, E::Duplicative),
+    drop("ElapsedRaw", C::Timing, E::Duplicative),
+    drop("TimelimitRaw", C::Timing, E::Duplicative),
+    drop("CPUTimeRAW", C::Timing, E::Duplicative),
+    drop("ConsumedEnergyRaw", C::ResourceUsage, E::Duplicative),
+    drop("JobIDRaw", C::JobIdentification, E::Duplicative),
+    drop("QOSRAW", C::SchedulingMetadata, E::Duplicative),
+    drop("ResvCPURAW", C::SchedulingMetadata, E::Duplicative),
+    drop("DerivedExitCode", C::JobState, E::Duplicative),
+    // ---- Excluded: sensitive ----
+    drop("Group", C::JobIdentification, E::Sensitive),
+    drop("McsLabel", C::JobIdentification, E::Sensitive),
+    drop("WCKey", C::SchedulingMetadata, E::Sensitive),
+    drop("WCKeyID", C::SchedulingMetadata, E::Sensitive),
+    // ---- Excluded: low analytical value for scheduling studies ----
+    drop("AssocID", C::SchedulingMetadata, E::LowValue),
+    drop("DBIndex", C::SchedulingMetadata, E::LowValue),
+    drop("BlockID", C::JobIdentification, E::LowValue),
+    drop("AveCPUFreq", C::ResourceUsage, E::LowValue),
+    drop("AvePages", C::ResourceUsage, E::LowValue),
+    drop("MaxPages", C::ResourceUsage, E::LowValue),
+    drop("MaxPagesNode", C::ResourceUsage, E::LowValue),
+    drop("MaxPagesTask", C::ResourceUsage, E::LowValue),
+    drop("MaxRSSNode", C::ResourceUsage, E::LowValue),
+    drop("MaxRSSTask", C::ResourceUsage, E::LowValue),
+    drop("MaxVMSize", C::ResourceUsage, E::Duplicative),
+    drop("MaxVMSizeNode", C::ResourceUsage, E::LowValue),
+    drop("MaxVMSizeTask", C::ResourceUsage, E::LowValue),
+    drop("MinCPU", C::ResourceUsage, E::LowValue),
+    drop("MinCPUNode", C::ResourceUsage, E::LowValue),
+    drop("MinCPUTask", C::ResourceUsage, E::LowValue),
+    drop("MaxDiskReadNode", C::Io, E::LowValue),
+    drop("MaxDiskReadTask", C::Io, E::LowValue),
+    drop("MaxDiskWriteNode", C::Io, E::LowValue),
+    drop("MaxDiskWriteTask", C::Io, E::LowValue),
+    drop("ReqCPUFreq", C::ResourceRequests, E::LowValue),
+    drop("ReqCPUFreqMin", C::ResourceRequests, E::LowValue),
+    drop("ReqCPUFreqMax", C::ResourceRequests, E::LowValue),
+    drop("ReqCPUFreqGov", C::ResourceRequests, E::LowValue),
+    drop("ResvCPU", C::SchedulingMetadata, E::LowValue),
+    drop("Reserved", C::SchedulingMetadata, E::LowValue),
+    drop("SystemCPU", C::ResourceUsage, E::Duplicative),
+    drop("UserCPU", C::ResourceUsage, E::Duplicative),
+    drop("TRESUsageInMax", C::ResourceUsage, E::LowValue),
+    drop("TRESUsageInMaxNode", C::ResourceUsage, E::LowValue),
+    drop("TRESUsageInMaxTask", C::ResourceUsage, E::LowValue),
+    drop("TRESUsageInMin", C::ResourceUsage, E::LowValue),
+    drop("TRESUsageInMinNode", C::ResourceUsage, E::LowValue),
+    drop("TRESUsageInMinTask", C::ResourceUsage, E::LowValue),
+    drop("TRESUsageInTot", C::ResourceUsage, E::Duplicative),
+    drop("TRESUsageOutAve", C::ResourceUsage, E::LowValue),
+    drop("TRESUsageOutMax", C::ResourceUsage, E::LowValue),
+    drop("TRESUsageOutMaxNode", C::ResourceUsage, E::LowValue),
+    drop("TRESUsageOutMaxTask", C::ResourceUsage, E::LowValue),
+    drop("TRESUsageOutMin", C::ResourceUsage, E::LowValue),
+    drop("TRESUsageOutMinNode", C::ResourceUsage, E::LowValue),
+    drop("TRESUsageOutMinTask", C::ResourceUsage, E::LowValue),
+    drop("TRESUsageOutTot", C::ResourceUsage, E::Duplicative),
+];
+
+/// Names of the curated fields, in sacct header order.
+pub fn curated_fields() -> Vec<&'static str> {
+    CATALOGUE
+        .iter()
+        .filter(|f| f.excluded.is_none())
+        .map(|f| f.name)
+        .collect()
+}
+
+/// Curated fields grouped per Table 1 category, in Table 1 row order.
+pub fn curated_by_category() -> Vec<(Category, Vec<&'static str>)> {
+    Category::ALL
+        .iter()
+        .map(|c| {
+            (
+                *c,
+                CATALOGUE
+                    .iter()
+                    .filter(|f| f.excluded.is_none() && f.category == *c)
+                    .map(|f| f.name)
+                    .collect(),
+            )
+        })
+        .collect()
+}
+
+/// Look up a field by (case-insensitive) name.
+pub fn field(name: &str) -> Option<&'static FieldSpec> {
+    CATALOGUE.iter().find(|f| f.name.eq_ignore_ascii_case(name))
+}
+
+/// Position of a curated field within the curated header, if curated.
+pub fn curated_index(name: &str) -> Option<usize> {
+    curated_fields()
+        .iter()
+        .position(|f| f.eq_ignore_ascii_case(name))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn catalogue_has_118_fields_and_60_curated() {
+        assert_eq!(CATALOGUE.len(), 118, "the accounting DB exposes 118 fields");
+        assert_eq!(
+            curated_fields().len(),
+            60,
+            "the obtain-data stage queries 60 curated fields"
+        );
+    }
+
+    #[test]
+    fn no_duplicate_names() {
+        let names: HashSet<_> = CATALOGUE.iter().map(|f| f.name).collect();
+        assert_eq!(names.len(), CATALOGUE.len());
+    }
+
+    #[test]
+    fn table1_fields_are_all_curated() {
+        // Every field named in the paper's Table 1 must be selected.
+        let table1 = [
+            "JobID", "Partition", "Reservation", "ReservationID",
+            "SubmitTime", "StartTime", "EndTime", "Elapsed", "Timelimit",
+            "NNodes", "NCPUs", "NTasks", "ReqMem", "ReqGRES", "Layout",
+            "VMSize", "AveCPU", "MaxRSS", "TotalCPU", "NodeList", "ConsumedEnergy",
+            "WorkDir", "AveDiskRead", "AveDiskWrite", "MaxDiskRead", "MaxDiskWrite",
+            "State", "ExitCode", "Reason", "Suspended", "Restarts", "Constraints",
+            "Priority", "Eligible", "QOS", "QOSReq", "Flags", "TRESUsageInAve", "TRESReq",
+            "Backfill", "Dependency", "ArrayJobID",
+            "Comment", "SystemComment", "AdminComment",
+        ];
+        for name in table1 {
+            let f = field(name).unwrap_or_else(|| panic!("{name} missing from catalogue"));
+            assert!(f.excluded.is_none(), "{name} must be curated");
+        }
+    }
+
+    #[test]
+    fn duplicative_time_fields_are_excluded() {
+        // §2 explicitly calls out Elapsed vs ElapsedRaw.
+        assert_eq!(field("ElapsedRaw").unwrap().excluded, Some(Exclusion::Duplicative));
+        assert!(field("Elapsed").unwrap().excluded.is_none());
+    }
+
+    #[test]
+    fn categories_partition_the_curated_set() {
+        let grouped = curated_by_category();
+        let total: usize = grouped.iter().map(|(_, v)| v.len()).sum();
+        assert_eq!(total, 60);
+        for (cat, fields) in &grouped {
+            assert!(!fields.is_empty(), "category {cat} has no curated fields");
+        }
+    }
+
+    #[test]
+    fn lookup_is_case_insensitive() {
+        assert!(field("jobid").is_some());
+        assert!(field("JOBID").is_some());
+        assert!(field("NoSuchField").is_none());
+    }
+
+    #[test]
+    fn curated_index_matches_header_order() {
+        assert_eq!(curated_index("JobID"), Some(0));
+        let header = curated_fields();
+        for (i, name) in header.iter().enumerate() {
+            assert_eq!(curated_index(name), Some(i));
+        }
+        assert_eq!(curated_index("ElapsedRaw"), None);
+    }
+}

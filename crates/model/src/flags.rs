@@ -1,0 +1,152 @@
+//! Scheduling flags (`Flags` column) — most importantly the backfill marker.
+//!
+//! sacct renders flags as a comma-separated list such as
+//! `SchedBackfill` or `SchedMain,StartedOnSubmit`. The paper's "Special
+//! Indicators" category extracts the backfill bit from this field.
+
+use crate::error::ParseError;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Bit positions for [`JobFlags`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u32)]
+pub enum Flag {
+    /// Started by the main (priority-order) scheduling pass.
+    SchedMain = 1 << 0,
+    /// Started by the backfill scheduler.
+    SchedBackfill = 1 << 1,
+    /// Job started the moment it was submitted (idle machine).
+    StartedOnSubmit = 1 << 2,
+    /// Job was submitted with a dependency clause.
+    Dependent = 1 << 3,
+    /// Job was requeued at least once.
+    Requeued = 1 << 4,
+    /// Job ran in a preemptible QOS.
+    Preemptible = 1 << 5,
+}
+
+const ALL_FLAGS: [(Flag, &str); 6] = [
+    (Flag::SchedMain, "SchedMain"),
+    (Flag::SchedBackfill, "SchedBackfill"),
+    (Flag::StartedOnSubmit, "StartedOnSubmit"),
+    (Flag::Dependent, "Dependent"),
+    (Flag::Requeued, "Requeued"),
+    (Flag::Preemptible, "Preemptible"),
+];
+
+/// A set of scheduling flags.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize, PartialOrd, Ord,
+)]
+#[serde(transparent)]
+pub struct JobFlags(pub u32);
+
+impl JobFlags {
+    pub const EMPTY: JobFlags = JobFlags(0);
+
+    pub fn with(mut self, flag: Flag) -> Self {
+        self.insert(flag);
+        self
+    }
+
+    pub fn insert(&mut self, flag: Flag) {
+        self.0 |= flag as u32;
+    }
+
+    pub fn remove(&mut self, flag: Flag) {
+        self.0 &= !(flag as u32);
+    }
+
+    pub fn contains(&self, flag: Flag) -> bool {
+        self.0 & (flag as u32) != 0
+    }
+
+    /// The paper's key special indicator: did the backfill pass start this job?
+    pub fn is_backfilled(&self) -> bool {
+        self.contains(Flag::SchedBackfill)
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.0 == 0
+    }
+
+    pub fn to_sacct(&self) -> String {
+        let mut parts = Vec::new();
+        for (flag, name) in ALL_FLAGS {
+            if self.contains(flag) {
+                parts.push(name);
+            }
+        }
+        parts.join(",")
+    }
+
+    pub fn parse_sacct(s: &str) -> Result<Self, ParseError> {
+        let mut flags = JobFlags::EMPTY;
+        for part in s.split(',') {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            let found = ALL_FLAGS
+                .iter()
+                .find(|(_, name)| name.eq_ignore_ascii_case(part));
+            match found {
+                Some((flag, _)) => flags.insert(*flag),
+                None => return Err(ParseError::new("job flags", s)),
+            }
+        }
+        Ok(flags)
+    }
+}
+
+impl fmt::Display for JobFlags {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_sacct())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_flags() {
+        let f = JobFlags::parse_sacct("").unwrap();
+        assert!(f.is_empty());
+        assert_eq!(f.to_sacct(), "");
+        assert!(!f.is_backfilled());
+    }
+
+    #[test]
+    fn backfill_detection() {
+        let f = JobFlags::parse_sacct("SchedBackfill").unwrap();
+        assert!(f.is_backfilled());
+        let f = JobFlags::parse_sacct("SchedMain,StartedOnSubmit").unwrap();
+        assert!(!f.is_backfilled());
+        assert!(f.contains(Flag::StartedOnSubmit));
+    }
+
+    #[test]
+    fn insert_remove() {
+        let mut f = JobFlags::EMPTY.with(Flag::SchedBackfill).with(Flag::Dependent);
+        assert!(f.contains(Flag::Dependent));
+        f.remove(Flag::Dependent);
+        assert!(!f.contains(Flag::Dependent));
+        assert!(f.is_backfilled());
+    }
+
+    #[test]
+    fn round_trips_every_combination() {
+        for bits in 0u32..(1 << 6) {
+            let f = JobFlags(bits);
+            let s = f.to_sacct();
+            assert_eq!(JobFlags::parse_sacct(&s).unwrap(), f, "bits={bits:b} s={s}");
+        }
+    }
+
+    #[test]
+    fn rejects_unknown_flag() {
+        assert!(JobFlags::parse_sacct("SchedBackfill,Bogus").is_err());
+    }
+}

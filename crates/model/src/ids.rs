@@ -1,0 +1,273 @@
+//! Job, step, array, and user identifiers.
+//!
+//! sacct renders job identity in several shapes:
+//!
+//! * `123456`           — a plain job
+//! * `123456_7`         — element 7 of array job 123456
+//! * `123456.0`         — numbered step 0 of job 123456
+//! * `123456.batch`     — the batch script step
+//! * `123456.extern`    — the external (prolog/epilog) step
+//! * `123456_7.12`      — a numbered step of an array element
+
+use crate::error::ParseError;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The numeric identity of a job (array membership included).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct JobId {
+    /// The base Slurm job id.
+    pub id: u64,
+    /// For array jobs: the task index within the array.
+    pub array_task: Option<u32>,
+}
+
+impl JobId {
+    pub fn plain(id: u64) -> Self {
+        Self {
+            id,
+            array_task: None,
+        }
+    }
+
+    pub fn array(id: u64, task: u32) -> Self {
+        Self {
+            id,
+            array_task: Some(task),
+        }
+    }
+
+    pub fn is_array_element(&self) -> bool {
+        self.array_task.is_some()
+    }
+
+    pub fn to_sacct(&self) -> String {
+        match self.array_task {
+            Some(t) => format!("{}_{}", self.id, t),
+            None => self.id.to_string(),
+        }
+    }
+
+    pub fn parse_sacct(s: &str) -> Result<Self, ParseError> {
+        let t = s.trim();
+        let err = || ParseError::new("job id", s);
+        match t.split_once('_') {
+            Some((base, task)) => Ok(JobId {
+                id: base.parse().map_err(|_| err())?,
+                array_task: Some(task.parse().map_err(|_| err())?),
+            }),
+            None => Ok(JobId {
+                id: t.parse().map_err(|_| err())?,
+                array_task: None,
+            }),
+        }
+    }
+}
+
+impl fmt::Display for JobId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_sacct())
+    }
+}
+
+/// Identity of a step within a job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum StepKind {
+    /// `jobid.batch` — the batch script itself.
+    Batch,
+    /// `jobid.extern` — external step (prolog/epilog accounting).
+    Extern,
+    /// `jobid.interactive` — interactive allocation shell.
+    Interactive,
+    /// `jobid.N` — an srun launch.
+    Numbered(u32),
+}
+
+impl StepKind {
+    pub fn to_sacct(&self) -> String {
+        match self {
+            StepKind::Batch => "batch".to_owned(),
+            StepKind::Extern => "extern".to_owned(),
+            StepKind::Interactive => "interactive".to_owned(),
+            StepKind::Numbered(n) => n.to_string(),
+        }
+    }
+
+    pub fn parse_sacct(s: &str) -> Result<Self, ParseError> {
+        match s.trim() {
+            "batch" => Ok(StepKind::Batch),
+            "extern" => Ok(StepKind::Extern),
+            "interactive" => Ok(StepKind::Interactive),
+            other => other
+                .parse::<u32>()
+                .map(StepKind::Numbered)
+                .map_err(|_| ParseError::new("step kind", s)),
+        }
+    }
+}
+
+/// A fully qualified step id: `job[.step]`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct StepId {
+    pub job: JobId,
+    pub step: StepKind,
+}
+
+impl StepId {
+    pub fn to_sacct(&self) -> String {
+        format!("{}.{}", self.job.to_sacct(), self.step.to_sacct())
+    }
+
+    pub fn parse_sacct(s: &str) -> Result<Self, ParseError> {
+        let t = s.trim();
+        let (job_part, step_part) = t
+            .split_once('.')
+            .ok_or_else(|| ParseError::new("step id", s))?;
+        Ok(StepId {
+            job: JobId::parse_sacct(job_part)?,
+            step: StepKind::parse_sacct(step_part)?,
+        })
+    }
+}
+
+impl fmt::Display for StepId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_sacct())
+    }
+}
+
+/// Either a job line or a step line, as they interleave in sacct output.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SacctId {
+    Job(JobId),
+    Step(StepId),
+}
+
+impl SacctId {
+    /// The owning job, regardless of line kind.
+    pub fn job(&self) -> JobId {
+        match self {
+            SacctId::Job(j) => *j,
+            SacctId::Step(s) => s.job,
+        }
+    }
+
+    pub fn to_sacct(&self) -> String {
+        match self {
+            SacctId::Job(j) => j.to_sacct(),
+            SacctId::Step(s) => s.to_sacct(),
+        }
+    }
+
+    pub fn parse_sacct(s: &str) -> Result<Self, ParseError> {
+        if s.contains('.') {
+            StepId::parse_sacct(s).map(SacctId::Step)
+        } else {
+            JobId::parse_sacct(s).map(SacctId::Job)
+        }
+    }
+}
+
+impl fmt::Display for SacctId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_sacct())
+    }
+}
+
+/// An anonymized user handle. Real traces carry usernames; our generated
+/// traces mint `u0001`-style handles, matching the paper's per-user figures
+/// where identities are anonymized.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct UserId(pub u32);
+
+impl UserId {
+    pub fn name(&self) -> String {
+        format!("u{:04}", self.0)
+    }
+}
+
+impl fmt::Display for UserId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.name())
+    }
+}
+
+/// Project/allocation account, e.g. `stf007`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Account(pub String);
+
+impl fmt::Display for Account {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plain_job_ids() {
+        let id = JobId::parse_sacct("123456").unwrap();
+        assert_eq!(id, JobId::plain(123456));
+        assert_eq!(id.to_sacct(), "123456");
+        assert!(!id.is_array_element());
+    }
+
+    #[test]
+    fn array_job_ids() {
+        let id = JobId::parse_sacct("123456_7").unwrap();
+        assert_eq!(id, JobId::array(123456, 7));
+        assert_eq!(id.to_sacct(), "123456_7");
+        assert!(id.is_array_element());
+    }
+
+    #[test]
+    fn step_ids_all_kinds() {
+        for (s, kind) in [
+            ("100.batch", StepKind::Batch),
+            ("100.extern", StepKind::Extern),
+            ("100.interactive", StepKind::Interactive),
+            ("100.42", StepKind::Numbered(42)),
+        ] {
+            let id = StepId::parse_sacct(s).unwrap();
+            assert_eq!(id.job, JobId::plain(100));
+            assert_eq!(id.step, kind);
+            assert_eq!(id.to_sacct(), s);
+        }
+    }
+
+    #[test]
+    fn array_element_step() {
+        let id = StepId::parse_sacct("123456_7.12").unwrap();
+        assert_eq!(id.job, JobId::array(123456, 7));
+        assert_eq!(id.step, StepKind::Numbered(12));
+    }
+
+    #[test]
+    fn sacct_id_dispatches() {
+        assert!(matches!(
+            SacctId::parse_sacct("55").unwrap(),
+            SacctId::Job(_)
+        ));
+        assert!(matches!(
+            SacctId::parse_sacct("55.batch").unwrap(),
+            SacctId::Step(_)
+        ));
+        assert_eq!(SacctId::parse_sacct("55.3").unwrap().job(), JobId::plain(55));
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        assert!(JobId::parse_sacct("abc").is_err());
+        assert!(JobId::parse_sacct("12_x").is_err());
+        assert!(StepId::parse_sacct("100").is_err());
+        assert!(StepId::parse_sacct("100.wat").is_err());
+    }
+
+    #[test]
+    fn user_handles() {
+        assert_eq!(UserId(7).name(), "u0007");
+        assert_eq!(UserId(1234).to_string(), "u1234");
+    }
+}

@@ -1,0 +1,44 @@
+//! # schedflow-model
+//!
+//! The Slurm accounting domain model underlying the `schedflow` workflow —
+//! a Rust reproduction of *"An LLM-enabled Workflow for Understanding and
+//! Evolving HPC Scheduling Practices"* (WISDOM 2025).
+//!
+//! This crate owns everything that defines what a job trace *is*:
+//!
+//! * [`record::JobRecord`] / [`record::StepRecord`] — typed sacct rows;
+//! * [`fields`] — the 118-field accounting catalogue and the curated
+//!   60-field selection of the paper's Table 1;
+//! * [`time`], [`units`], [`tres`], [`nodes`] — Slurm's wire formats
+//!   (timestamps, `D-HH:MM:SS` durations, `K`-suffixed counts, `4000Mn`
+//!   memory specs, TRES strings, bracketed hostlists);
+//! * [`state`], [`flags`], [`ids`], [`partition`] — job states, scheduling
+//!   flags (including the backfill indicator), job/step/array identity, and
+//!   the partition/QOS policy objects.
+//!
+//! Every parser accepts authentic sacct text and every formatter emits it, so
+//! traces round-trip through the textual pipeline stage exactly as they do at
+//! a real site.
+
+pub mod error;
+pub mod fields;
+pub mod flags;
+pub mod ids;
+pub mod nodes;
+pub mod partition;
+pub mod record;
+pub mod state;
+pub mod time;
+pub mod tres;
+pub mod units;
+
+pub use error::ParseError;
+pub use fields::{Category, FieldSpec, CATALOGUE};
+pub use flags::{Flag, JobFlags};
+pub use ids::{Account, JobId, SacctId, StepId, StepKind, UserId};
+pub use partition::{Partition, Qos};
+pub use record::{JobRecord, JobRecordBuilder, Layout, StepRecord};
+pub use state::{ExitCode, JobState, PendingReason, TERMINAL_STATES};
+pub use time::{Elapsed, TimeLimit, Timestamp};
+pub use tres::{Tres, TresKind};
+pub use units::{MemScope, MemSpec};

@@ -1,0 +1,210 @@
+//! Slurm hostlist expressions: `frontier[00001-00128,00200]`.
+//!
+//! The `NodeList` field compresses allocated node names into bracketed range
+//! syntax. We implement compression (used when emitting sacct text from
+//! simulated allocations) and expansion (used by curation and utilization
+//! analytics).
+
+use crate::error::ParseError;
+
+/// Compress a sorted list of node indices into `prefix[ranges]` syntax.
+///
+/// `width` is the zero-padding width of the numeric suffix (Frontier uses 5).
+pub fn compress(prefix: &str, indices: &[u32], width: usize) -> String {
+    if indices.is_empty() {
+        return String::new();
+    }
+    if indices.len() == 1 {
+        return format!("{prefix}{:0width$}", indices[0]);
+    }
+    let mut sorted = indices.to_vec();
+    sorted.sort_unstable();
+    sorted.dedup();
+
+    let mut ranges: Vec<(u32, u32)> = Vec::new();
+    let mut start = sorted[0];
+    let mut prev = sorted[0];
+    for &i in &sorted[1..] {
+        if i == prev + 1 {
+            prev = i;
+        } else {
+            ranges.push((start, prev));
+            start = i;
+            prev = i;
+        }
+    }
+    ranges.push((start, prev));
+
+    let body: Vec<String> = ranges
+        .iter()
+        .map(|&(a, b)| {
+            if a == b {
+                format!("{a:0width$}")
+            } else {
+                format!("{a:0width$}-{b:0width$}")
+            }
+        })
+        .collect();
+    format!("{prefix}[{}]", body.join(","))
+}
+
+/// Expand `prefix[ranges]` (or a bare `prefixNNN`) into node indices.
+///
+/// Returns the prefix and the sorted indices.
+pub fn expand(hostlist: &str) -> Result<(String, Vec<u32>), ParseError> {
+    let s = hostlist.trim();
+    if s.is_empty() {
+        return Ok((String::new(), Vec::new()));
+    }
+    let err = || ParseError::new("hostlist", hostlist);
+    match s.find('[') {
+        None => {
+            // Bare node name: split trailing digits.
+            let digits_at = s
+                .char_indices()
+                .rev()
+                .take_while(|(_, c)| c.is_ascii_digit())
+                .last()
+                .map(|(i, _)| i)
+                .ok_or_else(err)?;
+            let idx: u32 = s[digits_at..].parse().map_err(|_| err())?;
+            Ok((s[..digits_at].to_owned(), vec![idx]))
+        }
+        Some(open) => {
+            if !s.ends_with(']') {
+                return Err(err());
+            }
+            let prefix = &s[..open];
+            let body = &s[open + 1..s.len() - 1];
+            let mut out = Vec::new();
+            for part in body.split(',') {
+                let part = part.trim();
+                if part.is_empty() {
+                    return Err(err());
+                }
+                match part.split_once('-') {
+                    Some((a, b)) => {
+                        let a: u32 = a.parse().map_err(|_| err())?;
+                        let b: u32 = b.parse().map_err(|_| err())?;
+                        if b < a || b - a > 1_000_000 {
+                            return Err(err());
+                        }
+                        out.extend(a..=b);
+                    }
+                    None => out.push(part.parse().map_err(|_| err())?),
+                }
+            }
+            out.sort_unstable();
+            out.dedup();
+            Ok((prefix.to_owned(), out))
+        }
+    }
+}
+
+/// Count nodes in a hostlist without materializing the expansion.
+pub fn count(hostlist: &str) -> Result<u64, ParseError> {
+    let s = hostlist.trim();
+    if s.is_empty() {
+        return Ok(0);
+    }
+    let err = || ParseError::new("hostlist", hostlist);
+    match s.find('[') {
+        None => Ok(1),
+        Some(open) => {
+            if !s.ends_with(']') {
+                return Err(err());
+            }
+            let body = &s[open + 1..s.len() - 1];
+            let mut n: u64 = 0;
+            for part in body.split(',') {
+                match part.trim().split_once('-') {
+                    Some((a, b)) => {
+                        let a: u64 = a.trim().parse().map_err(|_| err())?;
+                        let b: u64 = b.trim().parse().map_err(|_| err())?;
+                        if b < a {
+                            return Err(err());
+                        }
+                        n += b - a + 1;
+                    }
+                    None => {
+                        let _: u64 = part.trim().parse().map_err(|_| err())?;
+                        n += 1;
+                    }
+                }
+            }
+            Ok(n)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn single_node() {
+        assert_eq!(compress("frontier", &[7], 5), "frontier00007");
+        let (p, idx) = expand("frontier00007").unwrap();
+        assert_eq!(p, "frontier");
+        assert_eq!(idx, vec![7]);
+    }
+
+    #[test]
+    fn contiguous_range() {
+        assert_eq!(compress("frontier", &[1, 2, 3, 4], 5), "frontier[00001-00004]");
+    }
+
+    #[test]
+    fn mixed_ranges_and_singletons() {
+        let s = compress("andes", &[1, 2, 3, 7, 10, 11], 3);
+        assert_eq!(s, "andes[001-003,007,010-011]");
+        let (p, idx) = expand(&s).unwrap();
+        assert_eq!(p, "andes");
+        assert_eq!(idx, vec![1, 2, 3, 7, 10, 11]);
+    }
+
+    #[test]
+    fn unsorted_input_with_duplicates() {
+        let s = compress("n", &[5, 3, 4, 3], 1);
+        assert_eq!(s, "n[3-5]");
+    }
+
+    #[test]
+    fn empty_list() {
+        assert_eq!(compress("n", &[], 3), "");
+        assert_eq!(expand("").unwrap().1.len(), 0);
+        assert_eq!(count("").unwrap(), 0);
+    }
+
+    #[test]
+    fn count_without_expansion() {
+        assert_eq!(count("frontier[00001-09408]").unwrap(), 9408);
+        assert_eq!(count("frontier00001").unwrap(), 1);
+        assert_eq!(count("n[1-3,9,20-21]").unwrap(), 6);
+    }
+
+    #[test]
+    fn malformed_hostlists_rejected() {
+        assert!(expand("frontier[1-").is_err());
+        assert!(expand("frontier[3-1]").is_err());
+        assert!(expand("frontier[a-b]").is_err());
+        assert!(expand("noDigits").is_err());
+        assert!(count("frontier[5-2]").is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_compress_expand_round_trip(
+            mut indices in proptest::collection::vec(0u32..100_000, 1..50),
+        ) {
+            indices.sort_unstable();
+            indices.dedup();
+            let s = compress("frontier", &indices, 5);
+            let (prefix, back) = expand(&s).unwrap();
+            prop_assert_eq!(prefix, "frontier");
+            prop_assert_eq!(back, indices.clone());
+            prop_assert_eq!(count(&s).unwrap() as usize, indices.len());
+        }
+    }
+}

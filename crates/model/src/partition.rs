@@ -1,0 +1,149 @@
+//! Partitions and quality-of-service (QOS) descriptors.
+//!
+//! These are the policy objects the paper's analyses are meant to inform:
+//! queue configurations, debug partitions for short interactive jobs,
+//! preemptible queues, and near real-time QOS settings.
+
+use crate::time::Elapsed;
+use serde::{Deserialize, Serialize};
+
+/// A scheduler partition (queue) and its admission limits.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Partition {
+    /// Partition name as it appears in sacct, e.g. `batch`, `debug`.
+    pub name: String,
+    /// Nodes reachable from this partition.
+    pub total_nodes: u32,
+    /// Smallest allowed allocation.
+    pub min_nodes: u32,
+    /// Largest allowed allocation.
+    pub max_nodes: u32,
+    /// Partition wall-time ceiling (jobs with `Partition_Limit` inherit this).
+    pub max_walltime: Elapsed,
+    /// Base priority tier: higher tiers are scheduled first.
+    pub priority_tier: u16,
+    /// Whether jobs here may be preempted by higher-priority QOS jobs.
+    pub preemptible: bool,
+}
+
+impl Partition {
+    /// A general batch partition covering the full machine.
+    pub fn batch(total_nodes: u32, max_walltime: Elapsed) -> Self {
+        Self {
+            name: "batch".to_owned(),
+            total_nodes,
+            min_nodes: 1,
+            max_nodes: total_nodes,
+            max_walltime,
+            priority_tier: 1,
+            preemptible: false,
+        }
+    }
+
+    /// A small high-turnaround debug partition.
+    pub fn debug(total_nodes: u32) -> Self {
+        Self {
+            name: "debug".to_owned(),
+            total_nodes,
+            min_nodes: 1,
+            max_nodes: total_nodes,
+            max_walltime: Elapsed::from_hours(2),
+            priority_tier: 3,
+            preemptible: false,
+        }
+    }
+
+    /// Validate a request against this partition's limits.
+    pub fn admits(&self, nodes: u32, walltime: Elapsed) -> bool {
+        nodes >= self.min_nodes && nodes <= self.max_nodes && walltime <= self.max_walltime
+    }
+}
+
+/// Quality-of-service level attached to a job.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Qos {
+    pub name: String,
+    /// Additive priority weight contributed by this QOS.
+    pub priority_weight: u32,
+    /// Whether jobs in this QOS may preempt preemptible workloads
+    /// (the "urgent" / "realtime" pattern from NERSC discussed in the paper).
+    pub can_preempt: bool,
+    /// Whether jobs submitted under this QOS can themselves be preempted.
+    pub preemptible: bool,
+    /// Cap on jobs a single user may have running under this QOS (0 = none).
+    pub max_running_per_user: u32,
+}
+
+impl Qos {
+    pub fn normal() -> Self {
+        Self {
+            name: "normal".to_owned(),
+            priority_weight: 0,
+            can_preempt: false,
+            preemptible: false,
+            max_running_per_user: 0,
+        }
+    }
+
+    pub fn debug() -> Self {
+        Self {
+            name: "debug".to_owned(),
+            priority_weight: 10_000,
+            can_preempt: false,
+            preemptible: false,
+            max_running_per_user: 2,
+        }
+    }
+
+    /// Low-priority preemptible backfill QOS.
+    pub fn standby() -> Self {
+        Self {
+            name: "standby".to_owned(),
+            priority_weight: 0,
+            can_preempt: false,
+            preemptible: true,
+            max_running_per_user: 0,
+        }
+    }
+
+    /// Near real-time QOS that may preempt standby work.
+    pub fn urgent() -> Self {
+        Self {
+            name: "urgent".to_owned(),
+            priority_weight: 100_000,
+            can_preempt: true,
+            preemptible: false,
+            max_running_per_user: 4,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batch_partition_admits_within_limits() {
+        let p = Partition::batch(9408, Elapsed::from_hours(24));
+        assert!(p.admits(1, Elapsed::from_hours(1)));
+        assert!(p.admits(9408, Elapsed::from_hours(24)));
+        assert!(!p.admits(9409, Elapsed::from_hours(1)));
+        assert!(!p.admits(0, Elapsed::from_hours(1)));
+        assert!(!p.admits(1, Elapsed::from_hours(25)));
+    }
+
+    #[test]
+    fn debug_partition_is_short_and_high_priority() {
+        let d = Partition::debug(64);
+        assert!(d.priority_tier > Partition::batch(64, Elapsed::from_hours(24)).priority_tier);
+        assert!(d.max_walltime <= Elapsed::from_hours(2));
+    }
+
+    #[test]
+    fn qos_presets_are_consistent() {
+        assert!(Qos::urgent().can_preempt);
+        assert!(!Qos::urgent().preemptible);
+        assert!(Qos::standby().preemptible);
+        assert!(Qos::debug().priority_weight > Qos::normal().priority_weight);
+    }
+}

@@ -1,0 +1,468 @@
+//! Typed job and step records — the in-memory form of one sacct row.
+//!
+//! A [`JobRecord`] carries the curated fields of Table 1 in native types;
+//! [`StepRecord`] models the `srun` job-steps that the paper shows dominate
+//! activity (Figure 1: job-steps outnumber jobs by an order of magnitude).
+
+use crate::flags::JobFlags;
+use crate::ids::{Account, JobId, StepId, UserId};
+use crate::state::{ExitCode, JobState, PendingReason};
+use crate::time::{Elapsed, TimeLimit, Timestamp};
+use crate::tres::Tres;
+use crate::units::MemSpec;
+use serde::{Deserialize, Serialize};
+
+/// Task layout across nodes (`Layout` field).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum Layout {
+    #[default]
+    Block,
+    Cyclic,
+    Plane,
+    Unknown,
+}
+
+impl Layout {
+    pub fn to_sacct(&self) -> &'static str {
+        match self {
+            Layout::Block => "Block",
+            Layout::Cyclic => "Cyclic",
+            Layout::Plane => "Plane",
+            Layout::Unknown => "Unknown",
+        }
+    }
+
+    pub fn parse_sacct(s: &str) -> Layout {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "block" => Layout::Block,
+            "cyclic" => Layout::Cyclic,
+            "plane" => Layout::Plane,
+            _ => Layout::Unknown,
+        }
+    }
+}
+
+/// One accounted job (the job-level sacct line).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobRecord {
+    // Identification
+    pub id: JobId,
+    pub name: String,
+    pub user: UserId,
+    pub account: Account,
+    pub cluster: String,
+    pub partition: String,
+    pub qos: String,
+    pub reservation: Option<String>,
+    pub reservation_id: Option<u64>,
+
+    // Timing
+    pub submit: Timestamp,
+    /// When the job became eligible to run (dependencies satisfied, not held).
+    pub eligible: Timestamp,
+    pub start: Timestamp,
+    pub end: Timestamp,
+    pub elapsed: Elapsed,
+    pub timelimit: TimeLimit,
+    pub suspended: Elapsed,
+
+    // Resource requests
+    pub nnodes: u32,
+    pub ncpus: u32,
+    pub ntasks: u32,
+    pub req_mem: MemSpec,
+    /// Generic resource request string, e.g. `gpu:8`.
+    pub req_gres: String,
+    pub layout: Layout,
+    pub alloc_tres: Tres,
+
+    // Resource usage
+    pub node_list: String,
+    pub consumed_energy_j: u64,
+    pub max_rss_bytes: u64,
+    pub ave_vm_size_bytes: u64,
+    pub total_cpu: Elapsed,
+
+    // IO
+    pub work_dir: String,
+    pub ave_disk_read: u64,
+    pub ave_disk_write: u64,
+    pub max_disk_read: u64,
+    pub max_disk_write: u64,
+
+    // State
+    pub state: JobState,
+    pub exit_code: ExitCode,
+    pub reason: PendingReason,
+    pub restarts: u32,
+    pub constraints: String,
+
+    // Scheduling metadata
+    pub priority: u32,
+    pub flags: JobFlags,
+    pub dependency: Option<JobId>,
+    /// For array elements: the parent array job id.
+    pub array_job_id: Option<u64>,
+
+    // Misc
+    pub comment: String,
+
+    /// The job's steps, in launch order.
+    pub steps: Vec<StepRecord>,
+}
+
+impl JobRecord {
+    /// Queue wait: eligible → start. `None` for jobs that never started.
+    ///
+    /// This is the quantity plotted in Figures 4 (Frontier) — Slurm's
+    /// convention measures from eligibility so held/dependent jobs don't
+    /// inflate the wait.
+    pub fn wait_secs(&self) -> Option<i64> {
+        self.start.since(self.eligible)
+    }
+
+    /// Submit → start latency (includes hold/dependency time).
+    pub fn submit_to_start_secs(&self) -> Option<i64> {
+        self.start.since(self.submit)
+    }
+
+    /// Requested wall time in seconds, `None` for `UNLIMITED`.
+    pub fn requested_secs(&self) -> Option<i64> {
+        match self.timelimit {
+            TimeLimit::Limit(e) => Some(e.0),
+            TimeLimit::Unlimited => None,
+            // Callers needing the partition ceiling resolve it via the system
+            // profile; standalone records treat it as unknown.
+            TimeLimit::PartitionLimit => None,
+        }
+    }
+
+    /// Fraction of the requested walltime actually used (Figure 6's y/x).
+    pub fn walltime_utilization(&self) -> Option<f64> {
+        let req = self.requested_secs()?;
+        if req <= 0 {
+            return None;
+        }
+        Some(self.elapsed.0 as f64 / req as f64)
+    }
+
+    /// Unused requested walltime in seconds (the reclaimable gap of §4.2).
+    pub fn unused_walltime_secs(&self) -> Option<i64> {
+        Some((self.requested_secs()? - self.elapsed.0).max(0))
+    }
+
+    /// Did the backfill pass start this job (Figure 6's `+` marker)?
+    pub fn is_backfilled(&self) -> bool {
+        self.flags.is_backfilled()
+    }
+
+    /// Node-seconds consumed.
+    pub fn node_seconds(&self) -> i64 {
+        i64::from(self.nnodes) * self.elapsed.0
+    }
+
+    /// Core-hours consumed (standard allocation accounting unit).
+    pub fn core_hours(&self) -> f64 {
+        f64::from(self.ncpus) * self.elapsed.as_hours()
+    }
+
+    /// Number of accounted steps.
+    pub fn step_count(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Internal consistency: timestamps ordered, elapsed matches start→end,
+    /// steps contained within the job window. Used by property tests and the
+    /// curation malformed-record filter.
+    pub fn validate(&self) -> Result<(), String> {
+        if !self.submit.is_unknown() && !self.eligible.is_unknown() && self.eligible < self.submit
+        {
+            return Err(format!("{}: eligible before submit", self.id));
+        }
+        if !self.start.is_unknown() {
+            if !self.eligible.is_unknown() && self.start < self.eligible {
+                return Err(format!("{}: start before eligible", self.id));
+            }
+            if !self.end.is_unknown() {
+                if self.end < self.start {
+                    return Err(format!("{}: end before start", self.id));
+                }
+                let span = self.end - self.start;
+                if (span - self.elapsed.0 - self.suspended.0).abs() > 1 {
+                    return Err(format!(
+                        "{}: elapsed {} + suspended {} != span {}",
+                        self.id, self.elapsed.0, self.suspended.0, span
+                    ));
+                }
+            }
+        }
+        if self.state.is_terminal() && self.state != JobState::Cancelled && self.start.is_unknown()
+        {
+            // Cancelled-while-pending jobs legitimately never start.
+            return Err(format!("{}: terminal {} without start", self.id, self.state));
+        }
+        for s in &self.steps {
+            if s.id.job != self.id {
+                return Err(format!("{}: step {} belongs to another job", self.id, s.id));
+            }
+            if !s.start.is_unknown() && !self.start.is_unknown() && s.start < self.start {
+                return Err(format!("{}: step {} starts before job", self.id, s.id));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// One accounted job step (an `srun` launch, the batch script, or extern).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StepRecord {
+    pub id: StepId,
+    pub name: String,
+    pub start: Timestamp,
+    pub end: Timestamp,
+    pub elapsed: Elapsed,
+    pub state: JobState,
+    pub exit_code: ExitCode,
+    pub nnodes: u32,
+    pub ntasks: u32,
+    pub ave_cpu: Elapsed,
+    pub max_rss_bytes: u64,
+    pub ave_disk_read: u64,
+    pub ave_disk_write: u64,
+    pub tres_usage_in_ave: Tres,
+}
+
+/// Builder with sane defaults so tests and the generator only set what they
+/// care about.
+#[derive(Debug, Clone)]
+pub struct JobRecordBuilder {
+    record: JobRecord,
+}
+
+impl JobRecordBuilder {
+    pub fn new(id: u64) -> Self {
+        let submit = Timestamp::from_ymd(2024, 1, 1);
+        Self {
+            record: JobRecord {
+                id: JobId::plain(id),
+                name: format!("job{id}"),
+                user: UserId(0),
+                account: Account("acct000".to_owned()),
+                cluster: "frontier".to_owned(),
+                partition: "batch".to_owned(),
+                qos: "normal".to_owned(),
+                reservation: None,
+                reservation_id: None,
+                submit,
+                eligible: submit,
+                start: submit,
+                end: submit + 3600,
+                elapsed: Elapsed(3600),
+                timelimit: TimeLimit::Limit(Elapsed(7200)),
+                suspended: Elapsed::ZERO,
+                nnodes: 1,
+                ncpus: 56,
+                ntasks: 1,
+                req_mem: MemSpec::per_node_mib(4000),
+                req_gres: String::new(),
+                layout: Layout::Block,
+                alloc_tres: Tres::new(),
+                node_list: "frontier00001".to_owned(),
+                consumed_energy_j: 0,
+                max_rss_bytes: 0,
+                ave_vm_size_bytes: 0,
+                total_cpu: Elapsed::ZERO,
+                work_dir: "/lustre/orion/proj/scratch".to_owned(),
+                ave_disk_read: 0,
+                ave_disk_write: 0,
+                max_disk_read: 0,
+                max_disk_write: 0,
+                state: JobState::Completed,
+                exit_code: ExitCode::SUCCESS,
+                reason: PendingReason::None,
+                restarts: 0,
+                constraints: String::new(),
+                priority: 1000,
+                flags: JobFlags::EMPTY,
+                dependency: None,
+                array_job_id: None,
+                comment: String::new(),
+                steps: Vec::new(),
+            },
+        }
+    }
+
+    pub fn user(mut self, u: u32) -> Self {
+        self.record.user = UserId(u);
+        self
+    }
+
+    pub fn times(mut self, submit: Timestamp, start: Timestamp, end: Timestamp) -> Self {
+        self.record.submit = submit;
+        self.record.eligible = submit;
+        self.record.start = start;
+        self.record.end = end;
+        self.record.elapsed = Elapsed((end - start).max(0));
+        self
+    }
+
+    pub fn nodes(mut self, n: u32) -> Self {
+        self.record.nnodes = n;
+        self
+    }
+
+    pub fn cpus(mut self, n: u32) -> Self {
+        self.record.ncpus = n;
+        self
+    }
+
+    pub fn state(mut self, s: JobState) -> Self {
+        self.record.state = s;
+        self
+    }
+
+    pub fn timelimit(mut self, t: TimeLimit) -> Self {
+        self.record.timelimit = t;
+        self
+    }
+
+    pub fn flags(mut self, f: JobFlags) -> Self {
+        self.record.flags = f;
+        self
+    }
+
+    pub fn partition(mut self, p: &str) -> Self {
+        self.record.partition = p.to_owned();
+        self
+    }
+
+    pub fn step(mut self, s: StepRecord) -> Self {
+        self.record.steps.push(s);
+        self
+    }
+
+    pub fn build(self) -> JobRecord {
+        self.record
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flags::Flag;
+
+    fn sample() -> JobRecord {
+        let t0 = Timestamp::from_ymd(2024, 3, 1);
+        JobRecordBuilder::new(42)
+            .times(t0, t0 + 600, t0 + 600 + 7200)
+            .nodes(128)
+            .cpus(128 * 56)
+            .timelimit(TimeLimit::Limit(Elapsed::from_hours(4)))
+            .build()
+    }
+
+    #[test]
+    fn wait_is_eligible_to_start() {
+        let j = sample();
+        assert_eq!(j.wait_secs(), Some(600));
+        assert_eq!(j.submit_to_start_secs(), Some(600));
+    }
+
+    #[test]
+    fn walltime_utilization_and_unused() {
+        let j = sample();
+        assert_eq!(j.requested_secs(), Some(4 * 3600));
+        let u = j.walltime_utilization().unwrap();
+        assert!((u - 0.5).abs() < 1e-9);
+        assert_eq!(j.unused_walltime_secs(), Some(2 * 3600));
+    }
+
+    #[test]
+    fn unlimited_has_no_utilization() {
+        let mut j = sample();
+        j.timelimit = TimeLimit::Unlimited;
+        assert_eq!(j.requested_secs(), None);
+        assert_eq!(j.walltime_utilization(), None);
+    }
+
+    #[test]
+    fn accounting_quantities() {
+        let j = sample();
+        assert_eq!(j.node_seconds(), 128 * 7200);
+        assert!((j.core_hours() - (128.0 * 56.0 * 2.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn backfill_flag_propagates() {
+        let j = JobRecordBuilder::new(1)
+            .flags(JobFlags::EMPTY.with(Flag::SchedBackfill))
+            .build();
+        assert!(j.is_backfilled());
+    }
+
+    #[test]
+    fn validate_accepts_consistent_record() {
+        sample().validate().unwrap();
+    }
+
+    #[test]
+    fn validate_rejects_end_before_start() {
+        let t0 = Timestamp::from_ymd(2024, 3, 1);
+        let mut j = sample();
+        j.start = t0 + 100;
+        j.end = t0 + 50;
+        assert!(j.validate().is_err());
+    }
+
+    #[test]
+    fn validate_rejects_elapsed_mismatch() {
+        let mut j = sample();
+        j.elapsed = Elapsed(1);
+        assert!(j.validate().is_err());
+    }
+
+    #[test]
+    fn validate_rejects_foreign_step() {
+        use crate::ids::StepKind;
+        let mut j = sample();
+        j.steps.push(StepRecord {
+            id: StepId {
+                job: JobId::plain(999),
+                step: StepKind::Numbered(0),
+            },
+            name: "orphan".to_owned(),
+            start: j.start,
+            end: j.end,
+            elapsed: j.elapsed,
+            state: JobState::Completed,
+            exit_code: ExitCode::SUCCESS,
+            nnodes: 1,
+            ntasks: 1,
+            ave_cpu: Elapsed::ZERO,
+            max_rss_bytes: 0,
+            ave_disk_read: 0,
+            ave_disk_write: 0,
+            tres_usage_in_ave: Tres::new(),
+        });
+        assert!(j.validate().is_err());
+    }
+
+    #[test]
+    fn cancelled_while_pending_is_valid() {
+        let mut j = sample();
+        j.state = JobState::Cancelled;
+        j.start = Timestamp::UNKNOWN;
+        j.end = Timestamp::UNKNOWN;
+        j.elapsed = Elapsed::ZERO;
+        j.validate().unwrap();
+        assert_eq!(j.wait_secs(), None);
+    }
+
+    #[test]
+    fn layout_round_trip() {
+        for l in [Layout::Block, Layout::Cyclic, Layout::Plane, Layout::Unknown] {
+            assert_eq!(Layout::parse_sacct(l.to_sacct()), l);
+        }
+        assert_eq!(Layout::parse_sacct("weird"), Layout::Unknown);
+    }
+}

@@ -1,0 +1,288 @@
+//! Job states and exit codes as recorded by Slurm accounting.
+
+use crate::error::ParseError;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Final (or current) state of a job or step, mirroring sacct's `State`.
+///
+/// Terminal states carry the semantics the paper's Figures 4/5/8 color-code:
+/// completed, failed, cancelled, timeout, node-fail, out-of-memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum JobState {
+    Completed,
+    Failed,
+    Cancelled,
+    Timeout,
+    NodeFail,
+    OutOfMemory,
+    Preempted,
+    BootFail,
+    Deadline,
+    Requeued,
+    Pending,
+    Running,
+    Suspended,
+}
+
+/// All terminal states in canonical presentation order (used for stacked-bar
+/// legends so every figure orders states identically).
+pub const TERMINAL_STATES: [JobState; 8] = [
+    JobState::Completed,
+    JobState::Failed,
+    JobState::Cancelled,
+    JobState::Timeout,
+    JobState::NodeFail,
+    JobState::OutOfMemory,
+    JobState::Preempted,
+    JobState::BootFail,
+];
+
+impl JobState {
+    /// sacct's upper-case rendering.
+    pub fn to_sacct(&self) -> &'static str {
+        match self {
+            JobState::Completed => "COMPLETED",
+            JobState::Failed => "FAILED",
+            JobState::Cancelled => "CANCELLED",
+            JobState::Timeout => "TIMEOUT",
+            JobState::NodeFail => "NODE_FAIL",
+            JobState::OutOfMemory => "OUT_OF_MEMORY",
+            JobState::Preempted => "PREEMPTED",
+            JobState::BootFail => "BOOT_FAIL",
+            JobState::Deadline => "DEADLINE",
+            JobState::Requeued => "REQUEUED",
+            JobState::Pending => "PENDING",
+            JobState::Running => "RUNNING",
+            JobState::Suspended => "SUSPENDED",
+        }
+    }
+
+    /// Parse sacct's `State` column. Cancellations are frequently rendered as
+    /// `CANCELLED by <uid>`; the suffix is accepted and dropped.
+    pub fn parse_sacct(s: &str) -> Result<Self, ParseError> {
+        let t = s.trim();
+        let head = t.split_whitespace().next().unwrap_or("");
+        let state = match head.to_ascii_uppercase().as_str() {
+            "COMPLETED" | "CD" => JobState::Completed,
+            "FAILED" | "F" => JobState::Failed,
+            "CANCELLED" | "CA" => JobState::Cancelled,
+            "TIMEOUT" | "TO" => JobState::Timeout,
+            "NODE_FAIL" | "NF" => JobState::NodeFail,
+            "OUT_OF_MEMORY" | "OOM" => JobState::OutOfMemory,
+            "PREEMPTED" | "PR" => JobState::Preempted,
+            "BOOT_FAIL" | "BF" => JobState::BootFail,
+            "DEADLINE" | "DL" => JobState::Deadline,
+            "REQUEUED" | "RQ" => JobState::Requeued,
+            "PENDING" | "PD" => JobState::Pending,
+            "RUNNING" | "R" => JobState::Running,
+            "SUSPENDED" | "S" => JobState::Suspended,
+            _ => return Err(ParseError::new("job state", s)),
+        };
+        Ok(state)
+    }
+
+    /// True once the job can no longer change state.
+    pub fn is_terminal(&self) -> bool {
+        !matches!(
+            self,
+            JobState::Pending | JobState::Running | JobState::Suspended | JobState::Requeued
+        )
+    }
+
+    /// True for the states the paper treats as "unsuccessful" when discussing
+    /// per-user failure/cancellation rates.
+    pub fn is_unsuccessful(&self) -> bool {
+        matches!(
+            self,
+            JobState::Failed
+                | JobState::Cancelled
+                | JobState::Timeout
+                | JobState::NodeFail
+                | JobState::OutOfMemory
+                | JobState::BootFail
+                | JobState::Deadline
+        )
+    }
+}
+
+impl fmt::Display for JobState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.to_sacct())
+    }
+}
+
+/// sacct `ExitCode`: `return_code:signal`.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize, PartialOrd, Ord,
+)]
+pub struct ExitCode {
+    pub code: u8,
+    pub signal: u8,
+}
+
+impl ExitCode {
+    pub const SUCCESS: ExitCode = ExitCode { code: 0, signal: 0 };
+
+    pub fn new(code: u8, signal: u8) -> Self {
+        Self { code, signal }
+    }
+
+    pub fn is_success(&self) -> bool {
+        self.code == 0 && self.signal == 0
+    }
+
+    pub fn to_sacct(&self) -> String {
+        format!("{}:{}", self.code, self.signal)
+    }
+
+    pub fn parse_sacct(s: &str) -> Result<Self, ParseError> {
+        let t = s.trim();
+        if t.is_empty() {
+            return Ok(ExitCode::SUCCESS);
+        }
+        let (c, sig) = t
+            .split_once(':')
+            .ok_or_else(|| ParseError::new("exit code", s))?;
+        Ok(ExitCode {
+            code: c.parse().map_err(|_| ParseError::new("exit code", s))?,
+            signal: sig.parse().map_err(|_| ParseError::new("exit code", s))?,
+        })
+    }
+}
+
+impl fmt::Display for ExitCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_sacct())
+    }
+}
+
+/// Pending/hold reason recorded by the scheduler (`Reason` column subset).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PendingReason {
+    None,
+    Priority,
+    Resources,
+    Dependency,
+    QosMaxJobsPerUser,
+    ReqNodeNotAvail,
+    BeginTime,
+    JobHeldUser,
+    JobHeldAdmin,
+}
+
+impl PendingReason {
+    pub fn to_sacct(&self) -> &'static str {
+        match self {
+            PendingReason::None => "None",
+            PendingReason::Priority => "Priority",
+            PendingReason::Resources => "Resources",
+            PendingReason::Dependency => "Dependency",
+            PendingReason::QosMaxJobsPerUser => "QOSMaxJobsPerUserLimit",
+            PendingReason::ReqNodeNotAvail => "ReqNodeNotAvail",
+            PendingReason::BeginTime => "BeginTime",
+            PendingReason::JobHeldUser => "JobHeldUser",
+            PendingReason::JobHeldAdmin => "JobHeldAdmin",
+        }
+    }
+
+    pub fn parse_sacct(s: &str) -> Result<Self, ParseError> {
+        match s.trim() {
+            "" | "None" => Ok(PendingReason::None),
+            "Priority" => Ok(PendingReason::Priority),
+            "Resources" => Ok(PendingReason::Resources),
+            "Dependency" => Ok(PendingReason::Dependency),
+            "QOSMaxJobsPerUserLimit" => Ok(PendingReason::QosMaxJobsPerUser),
+            "ReqNodeNotAvail" => Ok(PendingReason::ReqNodeNotAvail),
+            "BeginTime" => Ok(PendingReason::BeginTime),
+            "JobHeldUser" => Ok(PendingReason::JobHeldUser),
+            "JobHeldAdmin" => Ok(PendingReason::JobHeldAdmin),
+            _ => Err(ParseError::new("pending reason", s)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_canonical_and_short_forms() {
+        assert_eq!(JobState::parse_sacct("COMPLETED").unwrap(), JobState::Completed);
+        assert_eq!(JobState::parse_sacct("CD").unwrap(), JobState::Completed);
+        assert_eq!(JobState::parse_sacct("oom").unwrap(), JobState::OutOfMemory);
+    }
+
+    #[test]
+    fn parses_cancelled_by_uid() {
+        assert_eq!(
+            JobState::parse_sacct("CANCELLED by 12345").unwrap(),
+            JobState::Cancelled
+        );
+    }
+
+    #[test]
+    fn rejects_unknown_state() {
+        assert!(JobState::parse_sacct("EXPLODED").is_err());
+    }
+
+    #[test]
+    fn round_trips_all_states() {
+        for s in [
+            JobState::Completed,
+            JobState::Failed,
+            JobState::Cancelled,
+            JobState::Timeout,
+            JobState::NodeFail,
+            JobState::OutOfMemory,
+            JobState::Preempted,
+            JobState::BootFail,
+            JobState::Deadline,
+            JobState::Requeued,
+            JobState::Pending,
+            JobState::Running,
+            JobState::Suspended,
+        ] {
+            assert_eq!(JobState::parse_sacct(s.to_sacct()).unwrap(), s);
+        }
+    }
+
+    #[test]
+    fn terminality_and_success_classification() {
+        assert!(JobState::Completed.is_terminal());
+        assert!(!JobState::Completed.is_unsuccessful());
+        assert!(JobState::Failed.is_unsuccessful());
+        assert!(!JobState::Running.is_terminal());
+        assert!(JobState::Preempted.is_terminal());
+        assert!(!JobState::Preempted.is_unsuccessful());
+    }
+
+    #[test]
+    fn exit_codes() {
+        assert_eq!(ExitCode::parse_sacct("0:0").unwrap(), ExitCode::SUCCESS);
+        let e = ExitCode::parse_sacct("1:9").unwrap();
+        assert_eq!(e.code, 1);
+        assert_eq!(e.signal, 9);
+        assert!(!e.is_success());
+        assert_eq!(e.to_sacct(), "1:9");
+        assert!(ExitCode::parse_sacct("1").is_err());
+        assert_eq!(ExitCode::parse_sacct("").unwrap(), ExitCode::SUCCESS);
+    }
+
+    #[test]
+    fn pending_reasons_round_trip() {
+        for r in [
+            PendingReason::None,
+            PendingReason::Priority,
+            PendingReason::Resources,
+            PendingReason::Dependency,
+            PendingReason::QosMaxJobsPerUser,
+            PendingReason::ReqNodeNotAvail,
+            PendingReason::BeginTime,
+            PendingReason::JobHeldUser,
+            PendingReason::JobHeldAdmin,
+        ] {
+            assert_eq!(PendingReason::parse_sacct(r.to_sacct()).unwrap(), r);
+        }
+    }
+}

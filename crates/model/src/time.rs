@@ -1,0 +1,608 @@
+//! Slurm time formats: timestamps, elapsed durations, and time limits.
+//!
+//! Slurm accounting renders wall-clock instants as `YYYY-MM-DDTHH:MM:SS`
+//! (site-local time, no zone suffix) and durations as `[DD-]HH:MM:SS[.mmm]`.
+//! We model instants as seconds since the Unix epoch in a [`Timestamp`]
+//! newtype and implement the civil-calendar conversions directly (no external
+//! date crate), using the well-known days-from-civil algorithm.
+
+use crate::error::ParseError;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Seconds in one minute/hour/day, as `i64` for timestamp arithmetic.
+pub const MINUTE: i64 = 60;
+/// Seconds in one hour.
+pub const HOUR: i64 = 3600;
+/// Seconds in one day.
+pub const DAY: i64 = 86_400;
+
+/// An instant in time, as seconds since the Unix epoch (site-local civil time).
+///
+/// Slurm accounting records are written in the cluster's local time without a
+/// zone marker; analyses only ever compare records from the same cluster, so a
+/// plain epoch offset is sufficient and keeps arithmetic branch-free.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct Timestamp(pub i64);
+
+/// A civil (proleptic Gregorian) date-time, used for parsing and formatting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Civil {
+    pub year: i32,
+    pub month: u8,
+    pub day: u8,
+    pub hour: u8,
+    pub minute: u8,
+    pub second: u8,
+}
+
+/// Number of days from 1970-01-01 to the given civil date.
+///
+/// Howard Hinnant's `days_from_civil`; exact over the full `i32` year range.
+pub fn days_from_civil(year: i32, month: u8, day: u8) -> i64 {
+    let y = i64::from(year) - i64::from(month <= 2);
+    let era = if y >= 0 { y } else { y - 399 } / 400;
+    let yoe = y - era * 400; // [0, 399]
+    let m = i64::from(month);
+    let d = i64::from(day);
+    let doy = (153 * (if m > 2 { m - 3 } else { m + 9 }) + 2) / 5 + d - 1; // [0, 365]
+    let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy; // [0, 146096]
+    era * 146_097 + doe - 719_468
+}
+
+/// Inverse of [`days_from_civil`]: civil date for a day offset from the epoch.
+pub fn civil_from_days(z: i64) -> (i32, u8, u8) {
+    let z = z + 719_468;
+    let era = if z >= 0 { z } else { z - 146_096 } / 146_097;
+    let doe = z - era * 146_097; // [0, 146096]
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365; // [0, 399]
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100); // [0, 365]
+    let mp = (5 * doy + 2) / 153; // [0, 11]
+    let d = doy - (153 * mp + 2) / 5 + 1; // [1, 31]
+    let m = if mp < 10 { mp + 3 } else { mp - 9 }; // [1, 12]
+    ((y + i64::from(m <= 2)) as i32, m as u8, d as u8)
+}
+
+/// True if `year` is a Gregorian leap year.
+pub fn is_leap_year(year: i32) -> bool {
+    (year % 4 == 0 && year % 100 != 0) || year % 400 == 0
+}
+
+/// Number of days in the given month.
+pub fn days_in_month(year: i32, month: u8) -> u8 {
+    match month {
+        1 | 3 | 5 | 7 | 8 | 10 | 12 => 31,
+        4 | 6 | 9 | 11 => 30,
+        2 => {
+            if is_leap_year(year) {
+                29
+            } else {
+                28
+            }
+        }
+        _ => panic!("month out of range: {month}"),
+    }
+}
+
+impl Civil {
+    /// Construct, validating all components.
+    pub fn new(
+        year: i32,
+        month: u8,
+        day: u8,
+        hour: u8,
+        minute: u8,
+        second: u8,
+    ) -> Result<Self, ParseError> {
+        let ok = (1..=12).contains(&month)
+            && day >= 1
+            && day <= days_in_month(year, month)
+            && hour < 24
+            && minute < 60
+            && second < 60;
+        if !ok {
+            return Err(ParseError::with_detail(
+                "civil date-time",
+                &format!("{year}-{month:02}-{day:02}T{hour:02}:{minute:02}:{second:02}"),
+                "component out of range",
+            ));
+        }
+        Ok(Self {
+            year,
+            month,
+            day,
+            hour,
+            minute,
+            second,
+        })
+    }
+
+    /// Midnight on the given date.
+    pub fn date(year: i32, month: u8, day: u8) -> Result<Self, ParseError> {
+        Self::new(year, month, day, 0, 0, 0)
+    }
+
+    /// Convert to an epoch timestamp.
+    pub fn timestamp(&self) -> Timestamp {
+        let days = days_from_civil(self.year, self.month, self.day);
+        Timestamp(
+            days * DAY
+                + i64::from(self.hour) * HOUR
+                + i64::from(self.minute) * MINUTE
+                + i64::from(self.second),
+        )
+    }
+}
+
+impl Timestamp {
+    /// The conventional "unknown" instant used by Slurm for jobs that never
+    /// started (rendered as `Unknown` in sacct output).
+    pub const UNKNOWN: Timestamp = Timestamp(i64::MIN);
+
+    /// Construct from a civil date (midnight).
+    pub fn from_ymd(year: i32, month: u8, day: u8) -> Self {
+        Timestamp(days_from_civil(year, month, day) * DAY)
+    }
+
+    /// Construct from full civil components (panics on invalid input; use
+    /// [`Civil::new`] for fallible construction).
+    pub fn from_civil(year: i32, month: u8, day: u8, hour: u8, minute: u8, second: u8) -> Self {
+        Civil::new(year, month, day, hour, minute, second)
+            .expect("valid civil components")
+            .timestamp()
+    }
+
+    /// Decompose into civil components.
+    pub fn civil(&self) -> Civil {
+        let days = self.0.div_euclid(DAY);
+        let secs = self.0.rem_euclid(DAY);
+        let (year, month, day) = civil_from_days(days);
+        Civil {
+            year,
+            month,
+            day,
+            hour: (secs / HOUR) as u8,
+            minute: ((secs % HOUR) / MINUTE) as u8,
+            second: (secs % MINUTE) as u8,
+        }
+    }
+
+    /// Year component (cheap path used by group-by-year analytics).
+    pub fn year(&self) -> i32 {
+        self.civil().year
+    }
+
+    /// `(year, month)` pair, used for monthly granularity queries.
+    pub fn year_month(&self) -> (i32, u8) {
+        let c = self.civil();
+        (c.year, c.month)
+    }
+
+    /// Day-of-week, 0 = Monday … 6 = Sunday (1970-01-01 was a Thursday).
+    pub fn weekday(&self) -> u8 {
+        ((self.0.div_euclid(DAY) + 3).rem_euclid(7)) as u8
+    }
+
+    /// Seconds elapsed since local midnight.
+    pub fn seconds_of_day(&self) -> i64 {
+        self.0.rem_euclid(DAY)
+    }
+
+    /// True if this is the sentinel "unknown" instant.
+    pub fn is_unknown(&self) -> bool {
+        *self == Self::UNKNOWN
+    }
+
+    /// Saturating difference `self - earlier`, clamped at zero; `None` if
+    /// either side is unknown. This is how queue waits are computed.
+    pub fn since(&self, earlier: Timestamp) -> Option<i64> {
+        if self.is_unknown() || earlier.is_unknown() {
+            None
+        } else {
+            Some((self.0 - earlier.0).max(0))
+        }
+    }
+
+    /// Render in sacct format `YYYY-MM-DDTHH:MM:SS`, or `Unknown`.
+    pub fn to_sacct(&self) -> String {
+        if self.is_unknown() {
+            return "Unknown".to_owned();
+        }
+        let c = self.civil();
+        format!(
+            "{:04}-{:02}-{:02}T{:02}:{:02}:{:02}",
+            c.year, c.month, c.day, c.hour, c.minute, c.second
+        )
+    }
+
+    /// Parse sacct format `YYYY-MM-DDTHH:MM:SS` (also accepts a space
+    /// separator, `Unknown`, and `None`).
+    pub fn parse_sacct(s: &str) -> Result<Self, ParseError> {
+        let s = s.trim();
+        if s.eq_ignore_ascii_case("unknown") || s.eq_ignore_ascii_case("none") || s.is_empty() {
+            return Ok(Self::UNKNOWN);
+        }
+        let err = || ParseError::new("timestamp", s);
+        let bytes = s.as_bytes();
+        if bytes.len() != 19 || (bytes[10] != b'T' && bytes[10] != b' ') {
+            return Err(err());
+        }
+        let num = |range: std::ops::Range<usize>| -> Result<i64, ParseError> {
+            s[range].parse::<i64>().map_err(|_| err())
+        };
+        let civil = Civil::new(
+            num(0..4)? as i32,
+            num(5..7)? as u8,
+            num(8..10)? as u8,
+            num(11..13)? as u8,
+            num(14..16)? as u8,
+            num(17..19)? as u8,
+        )
+        .map_err(|_| err())?;
+        if bytes[4] != b'-' || bytes[7] != b'-' || bytes[13] != b':' || bytes[16] != b':' {
+            return Err(err());
+        }
+        Ok(civil.timestamp())
+    }
+}
+
+impl fmt::Display for Timestamp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_sacct())
+    }
+}
+
+impl std::ops::Add<i64> for Timestamp {
+    type Output = Timestamp;
+    fn add(self, rhs: i64) -> Timestamp {
+        Timestamp(self.0 + rhs)
+    }
+}
+
+impl std::ops::Sub<Timestamp> for Timestamp {
+    type Output = i64;
+    fn sub(self, rhs: Timestamp) -> i64 {
+        self.0 - rhs.0
+    }
+}
+
+/// A duration in whole seconds, rendered in Slurm's `[DD-]HH:MM:SS` form.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct Elapsed(pub i64);
+
+impl Elapsed {
+    pub const ZERO: Elapsed = Elapsed(0);
+
+    pub fn from_secs(secs: i64) -> Self {
+        Elapsed(secs.max(0))
+    }
+
+    pub fn from_minutes(minutes: i64) -> Self {
+        Elapsed(minutes * MINUTE)
+    }
+
+    pub fn from_hours(hours: i64) -> Self {
+        Elapsed(hours * HOUR)
+    }
+
+    pub fn as_secs(&self) -> i64 {
+        self.0
+    }
+
+    /// Minutes, rounded to nearest (the paper converts raw seconds to minutes
+    /// for readability in curation).
+    pub fn as_minutes(&self) -> f64 {
+        self.0 as f64 / 60.0
+    }
+
+    pub fn as_hours(&self) -> f64 {
+        self.0 as f64 / 3600.0
+    }
+
+    /// Render in sacct format: `HH:MM:SS`, or `D-HH:MM:SS` when ≥ 1 day.
+    pub fn to_sacct(&self) -> String {
+        let total = self.0.max(0);
+        let days = total / DAY;
+        let h = (total % DAY) / HOUR;
+        let m = (total % HOUR) / MINUTE;
+        let s = total % MINUTE;
+        if days > 0 {
+            format!("{days}-{h:02}:{m:02}:{s:02}")
+        } else {
+            format!("{h:02}:{m:02}:{s:02}")
+        }
+    }
+
+    /// Parse sacct format: `[DD-]HH:MM:SS[.fff]`, `MM:SS`, or bare minutes.
+    pub fn parse_sacct(s: &str) -> Result<Self, ParseError> {
+        let s = s.trim();
+        if s.is_empty() {
+            return Ok(Elapsed::ZERO);
+        }
+        let err = || ParseError::new("elapsed", s);
+        let (days, rest) = match s.split_once('-') {
+            Some((d, rest)) => (d.parse::<i64>().map_err(|_| err())?, rest),
+            None => (0, s),
+        };
+        // Strip fractional seconds (TotalCPU is reported with millisecond
+        // precision, e.g. `00:01:02.123`).
+        let rest = rest.split('.').next().unwrap_or(rest);
+        let parts: Vec<&str> = rest.split(':').collect();
+        let (h, m, sec) = match parts.as_slice() {
+            [h, m, sec] => (
+                h.parse::<i64>().map_err(|_| err())?,
+                m.parse::<i64>().map_err(|_| err())?,
+                sec.parse::<i64>().map_err(|_| err())?,
+            ),
+            [m, sec] => (
+                0,
+                m.parse::<i64>().map_err(|_| err())?,
+                sec.parse::<i64>().map_err(|_| err())?,
+            ),
+            // Bare number: Slurm interprets a suffix-free time spec as whole
+            // minutes, with no 0..60 constraint (e.g. `--time=90`).
+            [m] => {
+                let minutes = m.parse::<i64>().map_err(|_| err())?;
+                if minutes < 0 || days < 0 {
+                    return Err(err());
+                }
+                return Ok(Elapsed(days * DAY + minutes * MINUTE));
+            }
+            _ => return Err(err()),
+        };
+        if m >= 60 || sec >= 60 || h < 0 || m < 0 || sec < 0 || days < 0 {
+            return Err(err());
+        }
+        Ok(Elapsed(days * DAY + h * HOUR + m * MINUTE + sec))
+    }
+}
+
+impl fmt::Display for Elapsed {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_sacct())
+    }
+}
+
+/// A job time limit: a duration, `UNLIMITED`, or inherited from the partition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TimeLimit {
+    /// Explicit limit.
+    Limit(Elapsed),
+    /// `UNLIMITED` in sacct output.
+    Unlimited,
+    /// `Partition_Limit` in sacct output.
+    PartitionLimit,
+}
+
+impl TimeLimit {
+    /// The effective limit in seconds, given the partition's own limit.
+    pub fn effective_secs(&self, partition_limit: Elapsed) -> Option<i64> {
+        match self {
+            TimeLimit::Limit(e) => Some(e.0),
+            TimeLimit::Unlimited => None,
+            TimeLimit::PartitionLimit => Some(partition_limit.0),
+        }
+    }
+
+    pub fn to_sacct(&self) -> String {
+        match self {
+            TimeLimit::Limit(e) => e.to_sacct(),
+            TimeLimit::Unlimited => "UNLIMITED".to_owned(),
+            TimeLimit::PartitionLimit => "Partition_Limit".to_owned(),
+        }
+    }
+
+    pub fn parse_sacct(s: &str) -> Result<Self, ParseError> {
+        let t = s.trim();
+        if t.eq_ignore_ascii_case("unlimited") {
+            Ok(TimeLimit::Unlimited)
+        } else if t.eq_ignore_ascii_case("partition_limit") {
+            Ok(TimeLimit::PartitionLimit)
+        } else {
+            Elapsed::parse_sacct(t).map(TimeLimit::Limit)
+        }
+    }
+}
+
+impl fmt::Display for TimeLimit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_sacct())
+    }
+}
+
+/// Iterator over `(year, month)` pairs covering `[start, end]` inclusive —
+/// the "monthly granularity" used by the obtain-data stage.
+pub fn month_range(
+    start: (i32, u8),
+    end: (i32, u8),
+) -> impl Iterator<Item = (i32, u8)> + Clone + std::fmt::Debug {
+    let from = i64::from(start.0) * 12 + i64::from(start.1) - 1;
+    let to = i64::from(end.0) * 12 + i64::from(end.1) - 1;
+    (from..=to).map(|m| ((m.div_euclid(12)) as i32, (m.rem_euclid(12) + 1) as u8))
+}
+
+/// First instant of a month.
+pub fn month_start(year: i32, month: u8) -> Timestamp {
+    Timestamp::from_ymd(year, month, 1)
+}
+
+/// First instant of the month *after* the given one (exclusive end bound).
+pub fn month_end_exclusive(year: i32, month: u8) -> Timestamp {
+    if month == 12 {
+        Timestamp::from_ymd(year + 1, 1, 1)
+    } else {
+        Timestamp::from_ymd(year, month + 1, 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn epoch_is_1970() {
+        assert_eq!(days_from_civil(1970, 1, 1), 0);
+        assert_eq!(civil_from_days(0), (1970, 1, 1));
+    }
+
+    #[test]
+    fn known_dates_round_trip() {
+        // 2023-04-01 (Frontier production start in the paper).
+        let t = Timestamp::from_ymd(2023, 4, 1);
+        assert_eq!(t.civil().year, 2023);
+        assert_eq!(t.civil().month, 4);
+        assert_eq!(t.civil().day, 1);
+        assert_eq!(t.to_sacct(), "2023-04-01T00:00:00");
+    }
+
+    #[test]
+    fn weekday_of_known_days() {
+        // 1970-01-01 was a Thursday (index 3 with Monday=0).
+        assert_eq!(Timestamp::from_ymd(1970, 1, 1).weekday(), 3);
+        // 2024-01-01 was a Monday.
+        assert_eq!(Timestamp::from_ymd(2024, 1, 1).weekday(), 0);
+        // 2023-04-02 was a Sunday.
+        assert_eq!(Timestamp::from_ymd(2023, 4, 2).weekday(), 6);
+    }
+
+    #[test]
+    fn leap_years() {
+        assert!(is_leap_year(2024));
+        assert!(!is_leap_year(2023));
+        assert!(!is_leap_year(1900));
+        assert!(is_leap_year(2000));
+        assert_eq!(days_in_month(2024, 2), 29);
+        assert_eq!(days_in_month(2023, 2), 28);
+    }
+
+    #[test]
+    fn timestamp_parse_and_format() {
+        let s = "2024-06-15T13:45:09";
+        let t = Timestamp::parse_sacct(s).unwrap();
+        assert_eq!(t.to_sacct(), s);
+        // Space separator accepted.
+        let t2 = Timestamp::parse_sacct("2024-06-15 13:45:09").unwrap();
+        assert_eq!(t, t2);
+    }
+
+    #[test]
+    fn timestamp_unknown() {
+        assert!(Timestamp::parse_sacct("Unknown").unwrap().is_unknown());
+        assert!(Timestamp::parse_sacct("None").unwrap().is_unknown());
+        assert_eq!(Timestamp::UNKNOWN.to_sacct(), "Unknown");
+        assert_eq!(Timestamp::UNKNOWN.since(Timestamp(0)), None);
+    }
+
+    #[test]
+    fn timestamp_rejects_garbage() {
+        assert!(Timestamp::parse_sacct("2024-13-01T00:00:00").is_err());
+        assert!(Timestamp::parse_sacct("2024-02-30T00:00:00").is_err());
+        assert!(Timestamp::parse_sacct("yesterday").is_err());
+        assert!(Timestamp::parse_sacct("2024-06-15T25:00:00").is_err());
+    }
+
+    #[test]
+    fn since_clamps_and_propagates_unknown() {
+        let a = Timestamp(100);
+        let b = Timestamp(40);
+        assert_eq!(a.since(b), Some(60));
+        assert_eq!(b.since(a), Some(0));
+        assert_eq!(a.since(Timestamp::UNKNOWN), None);
+    }
+
+    #[test]
+    fn elapsed_formats() {
+        assert_eq!(Elapsed(0).to_sacct(), "00:00:00");
+        assert_eq!(Elapsed(59).to_sacct(), "00:00:59");
+        assert_eq!(Elapsed(3661).to_sacct(), "01:01:01");
+        assert_eq!(Elapsed(2 * DAY + 3 * HOUR + 4 * MINUTE + 5).to_sacct(), "2-03:04:05");
+    }
+
+    #[test]
+    fn elapsed_parses_all_forms() {
+        assert_eq!(Elapsed::parse_sacct("01:01:01").unwrap().0, 3661);
+        assert_eq!(Elapsed::parse_sacct("2-03:04:05").unwrap().0, 2 * DAY + 3 * HOUR + 4 * MINUTE + 5);
+        assert_eq!(Elapsed::parse_sacct("05:30").unwrap().0, 330);
+        assert_eq!(Elapsed::parse_sacct("90").unwrap().0, 90 * MINUTE);
+        assert_eq!(Elapsed::parse_sacct("00:01:02.123").unwrap().0, 62);
+        assert_eq!(Elapsed::parse_sacct("").unwrap().0, 0);
+    }
+
+    #[test]
+    fn elapsed_rejects_out_of_range_components() {
+        assert!(Elapsed::parse_sacct("00:61:00").is_err());
+        assert!(Elapsed::parse_sacct("00:00:75").is_err());
+        assert!(Elapsed::parse_sacct("x-00:00:00").is_err());
+    }
+
+    #[test]
+    fn time_limit_variants() {
+        assert_eq!(TimeLimit::parse_sacct("UNLIMITED").unwrap(), TimeLimit::Unlimited);
+        assert_eq!(
+            TimeLimit::parse_sacct("Partition_Limit").unwrap(),
+            TimeLimit::PartitionLimit
+        );
+        let l = TimeLimit::parse_sacct("1-00:00:00").unwrap();
+        assert_eq!(l.effective_secs(Elapsed(10)), Some(DAY));
+        assert_eq!(TimeLimit::Unlimited.effective_secs(Elapsed(10)), None);
+        assert_eq!(TimeLimit::PartitionLimit.effective_secs(Elapsed(10)), Some(10));
+    }
+
+    #[test]
+    fn month_range_spans_year_boundary() {
+        let months: Vec<_> = month_range((2023, 11), (2024, 2)).collect();
+        assert_eq!(months, vec![(2023, 11), (2023, 12), (2024, 1), (2024, 2)]);
+    }
+
+    #[test]
+    fn month_bounds() {
+        assert_eq!(month_start(2024, 2).to_sacct(), "2024-02-01T00:00:00");
+        assert_eq!(month_end_exclusive(2024, 2).to_sacct(), "2024-03-01T00:00:00");
+        assert_eq!(month_end_exclusive(2024, 12).to_sacct(), "2025-01-01T00:00:00");
+    }
+
+    proptest! {
+        #[test]
+        fn prop_civil_round_trip(days in -1_000_000i64..1_000_000) {
+            let (y, m, d) = civil_from_days(days);
+            prop_assert_eq!(days_from_civil(y, m, d), days);
+            prop_assert!((1..=12).contains(&m));
+            prop_assert!(d >= 1 && d <= days_in_month(y, m));
+        }
+
+        #[test]
+        fn prop_timestamp_round_trip(secs in -4_000_000_000i64..4_000_000_000i64) {
+            let t = Timestamp(secs);
+            let c = t.civil();
+            prop_assert_eq!(c.timestamp(), t);
+        }
+
+        #[test]
+        fn prop_timestamp_string_round_trip(secs in 0i64..4_000_000_000i64) {
+            let t = Timestamp(secs);
+            let s = t.to_sacct();
+            prop_assert_eq!(Timestamp::parse_sacct(&s).unwrap(), t);
+        }
+
+        #[test]
+        fn prop_elapsed_round_trip(secs in 0i64..10_000_000) {
+            let e = Elapsed(secs);
+            prop_assert_eq!(Elapsed::parse_sacct(&e.to_sacct()).unwrap(), e);
+        }
+
+        #[test]
+        fn prop_weekday_advances(day in -500_000i64..500_000) {
+            let today = Timestamp(day * DAY);
+            let tomorrow = Timestamp((day + 1) * DAY);
+            prop_assert_eq!((today.weekday() + 1) % 7, tomorrow.weekday());
+        }
+    }
+}

@@ -1,0 +1,217 @@
+//! Trackable RESources (TRES) strings: `cpu=64,mem=512000M,node=1,billing=64,gres/gpu=8`.
+//!
+//! TRES strings appear in several curated fields (`TRESUsageInAve`, `AllocTRES`,
+//! `ReqTRES`); the generator emits them and the curation stage parses them back.
+
+use crate::error::ParseError;
+use crate::units::{parse_bytes, parse_count};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One resource dimension within a TRES string.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum TresKind {
+    Cpu,
+    /// Memory — value stored in bytes.
+    Mem,
+    Node,
+    Billing,
+    Energy,
+    /// Generic resources, e.g. `gres/gpu`.
+    Gres(String),
+    /// Licenses, burst buffers, or anything else — preserved verbatim.
+    Other(String),
+}
+
+impl TresKind {
+    pub fn name(&self) -> String {
+        match self {
+            TresKind::Cpu => "cpu".to_owned(),
+            TresKind::Mem => "mem".to_owned(),
+            TresKind::Node => "node".to_owned(),
+            TresKind::Billing => "billing".to_owned(),
+            TresKind::Energy => "energy".to_owned(),
+            TresKind::Gres(g) => format!("gres/{g}"),
+            TresKind::Other(o) => o.clone(),
+        }
+    }
+
+    fn parse(name: &str) -> TresKind {
+        match name {
+            "cpu" => TresKind::Cpu,
+            "mem" => TresKind::Mem,
+            "node" => TresKind::Node,
+            "billing" => TresKind::Billing,
+            "energy" => TresKind::Energy,
+            other => match other.strip_prefix("gres/") {
+                Some(g) => TresKind::Gres(g.to_owned()),
+                None => TresKind::Other(other.to_owned()),
+            },
+        }
+    }
+}
+
+/// A parsed TRES specification: ordered list of `(kind, amount)` pairs.
+///
+/// Memory amounts are normalized to bytes; everything else is a plain count.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Tres {
+    pub entries: Vec<(TresKind, u64)>,
+}
+
+impl Tres {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builder-style insert, replacing any existing entry of the same kind.
+    pub fn with(mut self, kind: TresKind, amount: u64) -> Self {
+        self.set(kind, amount);
+        self
+    }
+
+    pub fn set(&mut self, kind: TresKind, amount: u64) {
+        if let Some(e) = self.entries.iter_mut().find(|(k, _)| *k == kind) {
+            e.1 = amount;
+        } else {
+            self.entries.push((kind, amount));
+        }
+    }
+
+    pub fn get(&self, kind: &TresKind) -> Option<u64> {
+        self.entries
+            .iter()
+            .find(|(k, _)| k == kind)
+            .map(|(_, v)| *v)
+    }
+
+    pub fn cpus(&self) -> u64 {
+        self.get(&TresKind::Cpu).unwrap_or(0)
+    }
+
+    pub fn nodes(&self) -> u64 {
+        self.get(&TresKind::Node).unwrap_or(0)
+    }
+
+    /// Memory in bytes.
+    pub fn mem_bytes(&self) -> u64 {
+        self.get(&TresKind::Mem).unwrap_or(0)
+    }
+
+    pub fn gpus(&self) -> u64 {
+        self.get(&TresKind::Gres("gpu".to_owned())).unwrap_or(0)
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Render in sacct syntax. Memory is rendered with an `M` suffix in whole
+    /// mebibytes (sacct's convention).
+    pub fn to_sacct(&self) -> String {
+        let mut parts = Vec::with_capacity(self.entries.len());
+        for (kind, amount) in &self.entries {
+            match kind {
+                TresKind::Mem => {
+                    parts.push(format!("mem={}M", amount / (1024 * 1024)));
+                }
+                k => parts.push(format!("{}={}", k.name(), amount)),
+            }
+        }
+        parts.join(",")
+    }
+
+    /// Parse sacct TRES syntax. Empty input yields an empty spec.
+    pub fn parse_sacct(s: &str) -> Result<Self, ParseError> {
+        let s = s.trim();
+        let mut tres = Tres::new();
+        if s.is_empty() {
+            return Ok(tres);
+        }
+        for pair in s.split(',') {
+            let (name, value) = pair
+                .split_once('=')
+                .ok_or_else(|| ParseError::with_detail("tres", s, format!("bad pair {pair:?}")))?;
+            let kind = TresKind::parse(name.trim());
+            let amount = match kind {
+                TresKind::Mem => parse_bytes(value.trim())
+                    .map_err(|e| ParseError::with_detail("tres", s, e.to_string()))?,
+                _ => parse_count(value.trim())
+                    .map_err(|e| ParseError::with_detail("tres", s, e.to_string()))?,
+            };
+            tres.entries.push((kind, amount));
+        }
+        Ok(tres)
+    }
+}
+
+impl fmt::Display for Tres {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_sacct())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MIB: u64 = 1024 * 1024;
+
+    #[test]
+    fn parses_full_alloc_tres() {
+        let t = Tres::parse_sacct("cpu=64,mem=512000M,node=1,billing=64,gres/gpu=8").unwrap();
+        assert_eq!(t.cpus(), 64);
+        assert_eq!(t.nodes(), 1);
+        assert_eq!(t.gpus(), 8);
+        assert_eq!(t.mem_bytes(), 512_000 * MIB);
+        assert_eq!(t.get(&TresKind::Billing), Some(64));
+    }
+
+    #[test]
+    fn round_trips_canonical_form() {
+        let s = "cpu=128,mem=1024M,node=2,gres/gpu=16";
+        let t = Tres::parse_sacct(s).unwrap();
+        assert_eq!(t.to_sacct(), s);
+    }
+
+    #[test]
+    fn empty_is_empty() {
+        let t = Tres::parse_sacct("").unwrap();
+        assert!(t.is_empty());
+        assert_eq!(t.to_sacct(), "");
+        assert_eq!(t.cpus(), 0);
+    }
+
+    #[test]
+    fn builder_replaces_duplicates() {
+        let t = Tres::new()
+            .with(TresKind::Cpu, 8)
+            .with(TresKind::Cpu, 16)
+            .with(TresKind::Node, 1);
+        assert_eq!(t.cpus(), 16);
+        assert_eq!(t.entries.len(), 2);
+    }
+
+    #[test]
+    fn unknown_kinds_survive() {
+        let t = Tres::parse_sacct("license/matlab=2,fs/lustre=100").unwrap();
+        assert_eq!(
+            t.get(&TresKind::Other("license/matlab".to_owned())),
+            Some(2)
+        );
+        assert!(t.to_sacct().contains("license/matlab=2"));
+    }
+
+    #[test]
+    fn rejects_malformed_pairs() {
+        assert!(Tres::parse_sacct("cpu").is_err());
+        assert!(Tres::parse_sacct("cpu=abc").is_err());
+    }
+
+    #[test]
+    fn gres_suffix_parsing() {
+        let t = Tres::parse_sacct("gres/gpu=8,gres/nvme=1").unwrap();
+        assert_eq!(t.gpus(), 8);
+        assert_eq!(t.get(&TresKind::Gres("nvme".to_owned())), Some(1));
+    }
+}

@@ -1,0 +1,321 @@
+//! Unit handling for Slurm accounting values: suffixed counts (`1.5K`),
+//! memory specifications (`4000Mn`, `2Gc`), byte rates, and energy.
+//!
+//! The paper's curation step normalizes exactly these: "certain fields
+//! required unit conversions (e.g., node counts expressed as 'K' for
+//! thousands)".
+
+use crate::error::ParseError;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Multipliers for Slurm's decimal suffixes on counts (`K`, `M`, `G`, `T`).
+fn count_multiplier(suffix: u8) -> Option<f64> {
+    match suffix.to_ascii_uppercase() {
+        b'K' => Some(1e3),
+        b'M' => Some(1e6),
+        b'G' => Some(1e9),
+        b'T' => Some(1e12),
+        _ => None,
+    }
+}
+
+/// Parse a count that may carry a decimal suffix: `32`, `1.5K`, `18M`.
+///
+/// Returns the value rounded to the nearest integer. Empty input parses to 0
+/// (sacct leaves many count fields blank on steps).
+pub fn parse_count(s: &str) -> Result<u64, ParseError> {
+    let s = s.trim();
+    if s.is_empty() {
+        return Ok(0);
+    }
+    let err = || ParseError::new("count", s);
+    let bytes = s.as_bytes();
+    let last = *bytes.last().unwrap();
+    if last.is_ascii_digit() {
+        // Fast path: plain integer.
+        if let Ok(v) = s.parse::<u64>() {
+            return Ok(v);
+        }
+        // Plain float (sacct sometimes emits `123.0`).
+        let f = s.parse::<f64>().map_err(|_| err())?;
+        if f < 0.0 || !f.is_finite() {
+            return Err(err());
+        }
+        return Ok(f.round() as u64);
+    }
+    let mult = count_multiplier(last).ok_or_else(err)?;
+    let num: f64 = s[..s.len() - 1].trim().parse().map_err(|_| err())?;
+    if num < 0.0 || !num.is_finite() {
+        return Err(err());
+    }
+    Ok((num * mult).round() as u64)
+}
+
+/// Render a count with a suffix when large, matching sacct's display style.
+pub fn format_count(v: u64) -> String {
+    if v >= 10_000_000 {
+        format!("{:.2}M", v as f64 / 1e6)
+    } else if v >= 100_000 {
+        format!("{:.2}K", v as f64 / 1e3)
+    } else {
+        v.to_string()
+    }
+}
+
+/// Scope of a memory request: per node (`n` suffix) or per CPU (`c` suffix).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MemScope {
+    /// `...n` — the amount applies to each allocated node.
+    PerNode,
+    /// `...c` — the amount applies to each allocated CPU.
+    PerCpu,
+    /// No scope suffix (total / unspecified).
+    Total,
+}
+
+/// A memory quantity with its allocation scope, e.g. `ReqMem=4000Mn`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct MemSpec {
+    /// Amount in mebibytes.
+    pub mib: u64,
+    pub scope: MemScope,
+}
+
+impl MemSpec {
+    pub fn per_node_mib(mib: u64) -> Self {
+        Self {
+            mib,
+            scope: MemScope::PerNode,
+        }
+    }
+
+    /// Total bytes given the allocation geometry.
+    pub fn total_bytes(&self, nodes: u64, cpus: u64) -> u64 {
+        let per = self.mib.saturating_mul(1024 * 1024);
+        match self.scope {
+            MemScope::PerNode => per.saturating_mul(nodes),
+            MemScope::PerCpu => per.saturating_mul(cpus),
+            MemScope::Total => per,
+        }
+    }
+
+    /// sacct rendering, e.g. `4000Mn`, `2Gc`, `512000M`.
+    pub fn to_sacct(&self) -> String {
+        let (value, unit) = if self.mib >= 1024 && self.mib % 1024 == 0 {
+            (self.mib / 1024, 'G')
+        } else {
+            (self.mib, 'M')
+        };
+        let scope = match self.scope {
+            MemScope::PerNode => "n",
+            MemScope::PerCpu => "c",
+            MemScope::Total => "",
+        };
+        format!("{value}{unit}{scope}")
+    }
+
+    /// Parse sacct memory syntax: `<num>[K|M|G|T][n|c]`. A bare number is
+    /// interpreted as mebibytes (Slurm's default memory unit).
+    pub fn parse_sacct(s: &str) -> Result<Self, ParseError> {
+        let s = s.trim();
+        let err = || ParseError::new("memory spec", s);
+        if s.is_empty() || s == "0" {
+            return Ok(MemSpec {
+                mib: 0,
+                scope: MemScope::Total,
+            });
+        }
+        let mut rest = s;
+        let scope = match rest.as_bytes().last() {
+            Some(b'n') | Some(b'N') => {
+                rest = &rest[..rest.len() - 1];
+                MemScope::PerNode
+            }
+            Some(b'c') | Some(b'C') => {
+                rest = &rest[..rest.len() - 1];
+                MemScope::PerCpu
+            }
+            _ => MemScope::Total,
+        };
+        let (num_str, mult_mib) = match rest.as_bytes().last() {
+            Some(b'K') | Some(b'k') => (&rest[..rest.len() - 1], 1.0 / 1024.0),
+            Some(b'M') | Some(b'm') => (&rest[..rest.len() - 1], 1.0),
+            Some(b'G') | Some(b'g') => (&rest[..rest.len() - 1], 1024.0),
+            Some(b'T') | Some(b't') => (&rest[..rest.len() - 1], 1024.0 * 1024.0),
+            _ => (rest, 1.0),
+        };
+        let num: f64 = num_str.trim().parse().map_err(|_| err())?;
+        if num < 0.0 || !num.is_finite() {
+            return Err(err());
+        }
+        Ok(MemSpec {
+            mib: (num * mult_mib).round() as u64,
+            scope,
+        })
+    }
+}
+
+impl fmt::Display for MemSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_sacct())
+    }
+}
+
+/// Parse a byte quantity with binary suffix (AveDiskRead et al.): `12.5M` →
+/// bytes. Bare numbers are bytes.
+pub fn parse_bytes(s: &str) -> Result<u64, ParseError> {
+    let s = s.trim();
+    if s.is_empty() {
+        return Ok(0);
+    }
+    let err = || ParseError::new("byte size", s);
+    let (num_str, mult) = match s.as_bytes().last() {
+        Some(b'K') | Some(b'k') => (&s[..s.len() - 1], 1024.0),
+        Some(b'M') | Some(b'm') => (&s[..s.len() - 1], 1024.0 * 1024.0),
+        Some(b'G') | Some(b'g') => (&s[..s.len() - 1], 1024.0 * 1024.0 * 1024.0),
+        Some(b'T') | Some(b't') => (&s[..s.len() - 1], 1024.0f64.powi(4)),
+        _ => (s, 1.0),
+    };
+    let num: f64 = num_str.trim().parse().map_err(|_| err())?;
+    if num < 0.0 || !num.is_finite() {
+        return Err(err());
+    }
+    Ok((num * mult).round() as u64)
+}
+
+/// Format bytes with a binary suffix, two decimals (sacct style).
+pub fn format_bytes(bytes: u64) -> String {
+    const UNITS: [(&str, f64); 4] = [
+        ("T", 1_099_511_627_776.0),
+        ("G", 1_073_741_824.0),
+        ("M", 1_048_576.0),
+        ("K", 1024.0),
+    ];
+    let b = bytes as f64;
+    for (suffix, scale) in UNITS {
+        if b >= scale {
+            return format!("{:.2}{suffix}", b / scale);
+        }
+    }
+    bytes.to_string()
+}
+
+/// Parse `ConsumedEnergy` (joules, possibly suffixed).
+pub fn parse_energy_joules(s: &str) -> Result<u64, ParseError> {
+    parse_count(s).map_err(|mut e| {
+        e.what = "energy";
+        e
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn plain_counts() {
+        assert_eq!(parse_count("0").unwrap(), 0);
+        assert_eq!(parse_count("9408").unwrap(), 9408);
+        assert_eq!(parse_count("").unwrap(), 0);
+        assert_eq!(parse_count("123.0").unwrap(), 123);
+    }
+
+    #[test]
+    fn suffixed_counts() {
+        assert_eq!(parse_count("1.5K").unwrap(), 1500);
+        assert_eq!(parse_count("18M").unwrap(), 18_000_000);
+        assert_eq!(parse_count("2k").unwrap(), 2000);
+        assert_eq!(parse_count("1G").unwrap(), 1_000_000_000);
+    }
+
+    #[test]
+    fn bad_counts_rejected() {
+        assert!(parse_count("-5").is_err());
+        assert!(parse_count("12X").is_err());
+        assert!(parse_count("K").is_err());
+    }
+
+    #[test]
+    fn count_formatting_thresholds() {
+        assert_eq!(format_count(9408), "9408");
+        assert_eq!(format_count(150_000), "150.00K");
+        assert_eq!(format_count(18_000_000), "18.00M");
+    }
+
+    #[test]
+    fn memory_specs_parse() {
+        let m = MemSpec::parse_sacct("4000Mn").unwrap();
+        assert_eq!(m.mib, 4000);
+        assert_eq!(m.scope, MemScope::PerNode);
+
+        let m = MemSpec::parse_sacct("2Gc").unwrap();
+        assert_eq!(m.mib, 2048);
+        assert_eq!(m.scope, MemScope::PerCpu);
+
+        let m = MemSpec::parse_sacct("512000M").unwrap();
+        assert_eq!(m.mib, 512_000);
+        assert_eq!(m.scope, MemScope::Total);
+
+        let m = MemSpec::parse_sacct("1024").unwrap();
+        assert_eq!(m.mib, 1024);
+    }
+
+    #[test]
+    fn memory_total_bytes_respects_scope() {
+        let per_node = MemSpec {
+            mib: 1000,
+            scope: MemScope::PerNode,
+        };
+        let per_cpu = MemSpec {
+            mib: 10,
+            scope: MemScope::PerCpu,
+        };
+        assert_eq!(per_node.total_bytes(4, 256), 4000 * 1024 * 1024);
+        assert_eq!(per_cpu.total_bytes(4, 256), 2560 * 1024 * 1024);
+    }
+
+    #[test]
+    fn memory_round_trips_display() {
+        for s in ["4000Mn", "2Gc", "512000M", "1Gn"] {
+            let m = MemSpec::parse_sacct(s).unwrap();
+            let back = MemSpec::parse_sacct(&m.to_sacct()).unwrap();
+            assert_eq!(m, back, "{s}");
+        }
+    }
+
+    #[test]
+    fn byte_sizes() {
+        assert_eq!(parse_bytes("1K").unwrap(), 1024);
+        assert_eq!(parse_bytes("1.5M").unwrap(), 1_572_864);
+        assert_eq!(parse_bytes("100").unwrap(), 100);
+        assert_eq!(format_bytes(1_572_864), "1.50M");
+        assert_eq!(format_bytes(512), "512");
+    }
+
+    proptest! {
+        #[test]
+        fn prop_count_round_trip_plain(v in 0u64..10_000_000_000) {
+            // format_count may lossily round large values; parse of the plain
+            // decimal must always round-trip.
+            prop_assert_eq!(parse_count(&v.to_string()).unwrap(), v);
+        }
+
+        #[test]
+        fn prop_format_count_parses_back_within_rounding(v in 0u64..10_000_000_000) {
+            let s = format_count(v);
+            let back = parse_count(&s).unwrap();
+            // Two-decimal suffixes keep 3+ significant digits: error < 1%.
+            let err = (back as f64 - v as f64).abs();
+            prop_assert!(err <= v as f64 * 0.01 + 1.0, "{v} -> {s} -> {back}");
+        }
+
+        #[test]
+        fn prop_memspec_round_trip(mib in 0u64..10_000_000, which in 0u8..3) {
+            let scope = match which { 0 => MemScope::PerNode, 1 => MemScope::PerCpu, _ => MemScope::Total };
+            let m = MemSpec { mib, scope };
+            prop_assert_eq!(MemSpec::parse_sacct(&m.to_sacct()).unwrap(), m);
+        }
+    }
+}

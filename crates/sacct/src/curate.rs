@@ -1,0 +1,230 @@
+//! The curate stage: raw pipe-separated sacct text → cleaned, typed, CSV.
+//!
+//! Reproduces §3.1's "Curate Data": removes malformed entries, performs the
+//! unit conversions §2 describes (raw seconds → minutes for readability,
+//! suffixed counts → plain integers), derives analysis columns (queue wait,
+//! walltime utilization, backfill indicator), and reformats from
+//! pipe-separated text to CSV "for compatibility with analysis libraries".
+
+use crate::parse::{parse_records, ParseReport};
+use schedflow_frame::{Column, Frame};
+use schedflow_model::record::JobRecord;
+use std::path::Path;
+
+/// Result of curating one raw file.
+pub struct CurationResult {
+    /// Job-level analysis frame.
+    pub frame: Frame,
+    /// Parse/discard accounting.
+    pub report: ParseReport,
+}
+
+/// Build the job-level analysis frame from typed records.
+///
+/// One row per job; step detail is aggregated into `nsteps` (the figure-1
+/// quantity). Column types are chosen for direct consumption by the
+/// analytics stages.
+pub fn records_to_frame(records: &[JobRecord]) -> Frame {
+    let n = records.len();
+    let mut job_id = Vec::with_capacity(n);
+    let mut user = Vec::with_capacity(n);
+    let mut account = Vec::with_capacity(n);
+    let mut partition = Vec::with_capacity(n);
+    let mut qos = Vec::with_capacity(n);
+    let mut state = Vec::with_capacity(n);
+    let mut submit = Vec::with_capacity(n);
+    let mut eligible = Vec::with_capacity(n);
+    let mut start = Vec::with_capacity(n);
+    let mut end = Vec::with_capacity(n);
+    let mut wait_s = Vec::with_capacity(n);
+    let mut elapsed_s = Vec::with_capacity(n);
+    let mut elapsed_min = Vec::with_capacity(n);
+    let mut timelimit_s = Vec::with_capacity(n);
+    let mut walltime_util = Vec::with_capacity(n);
+    let mut nnodes = Vec::with_capacity(n);
+    let mut ncpus = Vec::with_capacity(n);
+    let mut ntasks = Vec::with_capacity(n);
+    let mut backfilled = Vec::with_capacity(n);
+    let mut dependent = Vec::with_capacity(n);
+    let mut is_array = Vec::with_capacity(n);
+    let mut nsteps = Vec::with_capacity(n);
+    let mut year = Vec::with_capacity(n);
+    let mut month = Vec::with_capacity(n);
+    let mut energy_j = Vec::with_capacity(n);
+    let mut node_hours = Vec::with_capacity(n);
+
+    for r in records {
+        job_id.push(r.id.to_sacct());
+        user.push(r.user.name());
+        account.push(r.account.0.clone());
+        partition.push(r.partition.clone());
+        qos.push(r.qos.clone());
+        state.push(r.state.to_sacct().to_owned());
+        submit.push(r.submit.0);
+        eligible.push(r.eligible.0);
+        start.push((!r.start.is_unknown()).then_some(r.start.0));
+        end.push((!r.end.is_unknown()).then_some(r.end.0));
+        wait_s.push(r.wait_secs());
+        elapsed_s.push(r.elapsed.0);
+        elapsed_min.push(r.elapsed.as_minutes());
+        timelimit_s.push(r.requested_secs());
+        walltime_util.push(r.walltime_utilization());
+        nnodes.push(i64::from(r.nnodes));
+        ncpus.push(i64::from(r.ncpus));
+        ntasks.push(i64::from(r.ntasks));
+        backfilled.push(r.is_backfilled());
+        dependent.push(r.dependency.is_some());
+        is_array.push(r.array_job_id.is_some());
+        nsteps.push(r.step_count() as i64);
+        let (y, m) = r.submit.year_month();
+        year.push(i64::from(y));
+        month.push(i64::from(m));
+        energy_j.push(r.consumed_energy_j as i64);
+        node_hours.push(f64::from(r.nnodes) * r.elapsed.as_hours());
+    }
+
+    Frame::new()
+        .with("job_id", Column::from_str(job_id))
+        .with("user", Column::from_str(user))
+        .with("account", Column::from_str(account))
+        .with("partition", Column::from_str(partition))
+        .with("qos", Column::from_str(qos))
+        .with("state", Column::from_str(state))
+        .with("submit", Column::from_i64(submit))
+        .with("eligible", Column::from_i64(eligible))
+        .with("start", Column::from_opt_i64(start))
+        .with("end", Column::from_opt_i64(end))
+        .with("wait_s", Column::from_opt_i64(wait_s))
+        .with("elapsed_s", Column::from_i64(elapsed_s))
+        .with("elapsed_min", Column::from_f64(elapsed_min))
+        .with("timelimit_s", Column::from_opt_i64(timelimit_s))
+        .with("walltime_util", Column::from_opt_f64(walltime_util))
+        .with("nnodes", Column::from_i64(nnodes))
+        .with("ncpus", Column::from_i64(ncpus))
+        .with("ntasks", Column::from_i64(ntasks))
+        .with("backfilled", Column::from_bool(backfilled))
+        .with("dependent", Column::from_bool(dependent))
+        .with("is_array", Column::from_bool(is_array))
+        .with("nsteps", Column::from_i64(nsteps))
+        .with("year", Column::from_i64(year))
+        .with("month", Column::from_i64(month))
+        .with("energy_j", Column::from_i64(energy_j))
+        .with("node_hours", Column::from_f64(node_hours))
+}
+
+/// Curate one raw sacct text file into an analysis frame.
+pub fn curate_reader(reader: impl std::io::BufRead) -> std::io::Result<CurationResult> {
+    let (records, report) = parse_records(reader)?;
+    Ok(CurationResult {
+        frame: records_to_frame(&records),
+        report,
+    })
+}
+
+/// Curate a raw file on disk; optionally write the cleaned CSV next to it.
+pub fn curate_file(raw: &Path, csv_out: Option<&Path>) -> std::io::Result<CurationResult> {
+    let file = std::fs::File::open(raw)?;
+    let result = curate_reader(std::io::BufReader::new(file))?;
+    if let Some(out) = csv_out {
+        schedflow_frame::write_csv_path(&result.frame, out)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::Other, e.to_string()))?;
+    }
+    Ok(result)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::render::{write_records, RenderOptions};
+    use schedflow_model::record::JobRecordBuilder;
+    use schedflow_model::state::JobState;
+    use schedflow_model::time::Timestamp;
+
+    fn sample_records() -> Vec<JobRecord> {
+        let t = Timestamp::from_ymd(2024, 5, 10);
+        vec![
+            JobRecordBuilder::new(1)
+                .times(t, t + 120, t + 120 + 3600)
+                .nodes(64)
+                .build(),
+            JobRecordBuilder::new(2)
+                .times(t + 50, t + 500, t + 500 + 60)
+                .state(JobState::Failed)
+                .build(),
+        ]
+    }
+
+    #[test]
+    fn frame_has_expected_shape_and_derivations() {
+        let f = records_to_frame(&sample_records());
+        assert_eq!(f.height(), 2);
+        assert!(f.width() >= 25);
+        assert_eq!(f.column("wait_s").unwrap().get_i64(0), Some(120));
+        assert_eq!(f.column("wait_s").unwrap().get_i64(1), Some(450));
+        assert_eq!(f.column("year").unwrap().get_i64(0), Some(2024));
+        assert_eq!(f.column("month").unwrap().get_i64(0), Some(5));
+        // elapsed_min is the §2 minutes conversion.
+        assert_eq!(f.column("elapsed_min").unwrap().get_f64(0), Some(60.0));
+        assert_eq!(
+            f.column("node_hours").unwrap().get_f64(0),
+            Some(64.0)
+        );
+    }
+
+    #[test]
+    fn never_started_jobs_have_null_wait() {
+        let mut r = JobRecordBuilder::new(9).build();
+        r.state = JobState::Cancelled;
+        r.start = Timestamp::UNKNOWN;
+        r.end = Timestamp::UNKNOWN;
+        r.elapsed = schedflow_model::time::Elapsed::ZERO;
+        let f = records_to_frame(&[r]);
+        assert_eq!(f.column("wait_s").unwrap().get_i64(0), None);
+        assert_eq!(f.column("start").unwrap().get_i64(0), None);
+    }
+
+    #[test]
+    fn curation_pipeline_end_to_end() {
+        let records = sample_records();
+        let mut buf = Vec::new();
+        write_records(&records, &mut buf, &RenderOptions::default()).unwrap();
+        let result = curate_reader(std::io::Cursor::new(buf)).unwrap();
+        assert_eq!(result.frame.height(), 2);
+        assert!(result.report.malformed.is_empty());
+    }
+
+    #[test]
+    fn malformed_lines_are_dropped_from_frame() {
+        let records: Vec<_> = (0..300).map(|i| JobRecordBuilder::new(i).build()).collect();
+        let mut buf = Vec::new();
+        write_records(
+            &records,
+            &mut buf,
+            &RenderOptions::default().with_corruption(0.03),
+        )
+        .unwrap();
+        let result = curate_reader(std::io::Cursor::new(buf)).unwrap();
+        assert_eq!(
+            result.frame.height() + result.report.malformed.len(),
+            300
+        );
+        assert!(!result.report.malformed.is_empty());
+    }
+
+    #[test]
+    fn csv_round_trip_through_disk() {
+        let dir = std::env::temp_dir().join(format!("schedflow-curate-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let raw = dir.join("raw.txt");
+        let csv = dir.join("curated.csv");
+        let mut f = std::fs::File::create(&raw).unwrap();
+        write_records(&sample_records(), &mut f, &RenderOptions::default()).unwrap();
+        drop(f);
+        let result = curate_file(&raw, Some(&csv)).unwrap();
+        assert!(csv.exists());
+        let back = schedflow_frame::infer_types(&schedflow_frame::read_csv_path(&csv).unwrap());
+        assert_eq!(back.height(), result.frame.height());
+        assert_eq!(back.column("nnodes").unwrap().get_i64(0), Some(64));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

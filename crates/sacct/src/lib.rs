@@ -1,0 +1,27 @@
+//! # schedflow-sacct
+//!
+//! sacct emulation: the textual interface between the scheduler's accounting
+//! database and the analysis workflow.
+//!
+//! * [`render`] — emit records as authentic `sacct -P` pipe-separated text
+//!   (curated 60-field header, step lines interleaved after their jobs),
+//!   with optional deterministic corruption to exercise curation;
+//! * [`parse`] — read that text back, discarding malformed lines into a
+//!   [`parse::ParseReport`];
+//! * [`store`] — an in-memory accounting database queryable by date range;
+//! * [`fetch`] — the parameterized obtain-data stage: monthly/yearly
+//!   granularity, on-disk caching, parallel multi-period fan-out (the GNU
+//!   Parallel substitute);
+//! * [`curate`] — the curate stage: raw text → cleaned typed frame → CSV.
+
+pub mod curate;
+pub mod fetch;
+pub mod parse;
+pub mod render;
+pub mod store;
+
+pub use curate::{curate_file, curate_reader, records_to_frame, CurationResult};
+pub use fetch::{clear_cache, obtain_data, FetchError, FetchResult, FetchSpec, Granularity, Period};
+pub use parse::{parse_records, ParseReport};
+pub use render::{header, job_line, step_line, write_records, RenderOptions};
+pub use store::AccountingStore;

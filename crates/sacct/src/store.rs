@@ -1,0 +1,149 @@
+//! The accounting store: an in-memory stand-in for the Slurm accounting
+//! database (slurmdbd) that the obtain-data stage queries.
+
+use schedflow_model::record::JobRecord;
+use schedflow_model::time::{month_end_exclusive, month_start, Timestamp};
+
+/// Records indexed by submit time, queryable by date range.
+pub struct AccountingStore {
+    /// Sorted by (submit, id).
+    records: Vec<JobRecord>,
+    /// Cluster name (all records in one store belong to one cluster).
+    cluster: String,
+}
+
+impl AccountingStore {
+    /// Build a store; records are sorted internally.
+    pub fn new(cluster: &str, mut records: Vec<JobRecord>) -> Self {
+        records.sort_by_key(|r| (r.submit, r.id.id, r.id.array_task));
+        AccountingStore {
+            records,
+            cluster: cluster.to_owned(),
+        }
+    }
+
+    pub fn cluster(&self) -> &str {
+        &self.cluster
+    }
+
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    pub fn records(&self) -> &[JobRecord] {
+        &self.records
+    }
+
+    /// Jobs submitted in `[start, end)`.
+    pub fn query(&self, start: Timestamp, end: Timestamp) -> &[JobRecord] {
+        let lo = self.records.partition_point(|r| r.submit < start);
+        let hi = self.records.partition_point(|r| r.submit < end);
+        &self.records[lo..hi]
+    }
+
+    /// Jobs submitted in the given month.
+    pub fn query_month(&self, year: i32, month: u8) -> &[JobRecord] {
+        self.query(month_start(year, month), month_end_exclusive(year, month))
+    }
+
+    /// Jobs submitted in the given year.
+    pub fn query_year(&self, year: i32) -> &[JobRecord] {
+        self.query(
+            Timestamp::from_ymd(year, 1, 1),
+            Timestamp::from_ymd(year + 1, 1, 1),
+        )
+    }
+
+    /// `(first, last)` submit times, if nonempty.
+    pub fn span(&self) -> Option<(Timestamp, Timestamp)> {
+        Some((
+            self.records.first()?.submit,
+            self.records.last()?.submit,
+        ))
+    }
+
+    /// Distinct `(year, month)` pairs covered, in order.
+    pub fn months(&self) -> Vec<(i32, u8)> {
+        let mut out: Vec<(i32, u8)> = Vec::new();
+        for r in &self.records {
+            let ym = r.submit.year_month();
+            if out.last() != Some(&ym) {
+                out.push(ym);
+            }
+        }
+        out.dedup();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use schedflow_model::record::JobRecordBuilder;
+
+    fn store() -> AccountingStore {
+        let mk = |id: u64, y: i32, m: u8, d: u8| {
+            let t = Timestamp::from_ymd(y, m, d);
+            JobRecordBuilder::new(id).times(t, t + 60, t + 3660).build()
+        };
+        AccountingStore::new(
+            "frontier",
+            vec![
+                mk(3, 2024, 2, 10),
+                mk(1, 2024, 1, 5),
+                mk(2, 2024, 1, 20),
+                mk(4, 2024, 3, 1),
+            ],
+        )
+    }
+
+    #[test]
+    fn records_are_sorted_by_submit() {
+        let s = store();
+        let ids: Vec<u64> = s.records().iter().map(|r| r.id.id).collect();
+        assert_eq!(ids, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn month_queries() {
+        let s = store();
+        assert_eq!(s.query_month(2024, 1).len(), 2);
+        assert_eq!(s.query_month(2024, 2).len(), 1);
+        assert_eq!(s.query_month(2024, 4).len(), 0);
+    }
+
+    #[test]
+    fn year_queries() {
+        let s = store();
+        assert_eq!(s.query_year(2024).len(), 4);
+        assert_eq!(s.query_year(2023).len(), 0);
+    }
+
+    #[test]
+    fn half_open_range() {
+        let s = store();
+        let jan20 = Timestamp::from_ymd(2024, 1, 20);
+        assert_eq!(s.query(Timestamp::from_ymd(2024, 1, 1), jan20).len(), 1);
+        assert_eq!(s.query(jan20, Timestamp::from_ymd(2024, 4, 1)).len(), 3);
+    }
+
+    #[test]
+    fn months_enumeration() {
+        assert_eq!(store().months(), vec![(2024, 1), (2024, 2), (2024, 3)]);
+    }
+
+    #[test]
+    fn span_and_empty() {
+        let s = store();
+        let (a, b) = s.span().unwrap();
+        assert_eq!(a, Timestamp::from_ymd(2024, 1, 5));
+        assert_eq!(b, Timestamp::from_ymd(2024, 3, 1));
+        let empty = AccountingStore::new("x", vec![]);
+        assert!(empty.span().is_none());
+        assert!(empty.is_empty());
+    }
+}

@@ -1,0 +1,27 @@
+//! # schedflow-sim
+//!
+//! A discrete-event Slurm-like scheduler simulator.
+//!
+//! The paper analyzes traces whose scheduling artifacts (queue waits,
+//! `SchedBackfill` flags, timeout/cancel states) were produced by Frontier's
+//! real scheduler. Since those traces are not public, this crate *produces*
+//! them: workload generators emit [`request::JobRequest`] submissions, and the
+//! simulator plays them through a multifactor-priority queue with EASY or
+//! conservative backfilling over a [`nodepool::NodePool`], yielding
+//! [`request::SimOutcome`]s whose waits, flags, and end states emerge from the
+//! same mechanisms the paper observes.
+//!
+//! [`system::SystemConfig`] ships calibrated Frontier and Andes machine
+//! profiles; [`metrics`] summarizes runs for the policy-ablation benches.
+
+pub mod metrics;
+pub mod nodepool;
+pub mod request;
+pub mod sched;
+pub mod system;
+
+pub use metrics::{metrics, occupancy_series, SimMetrics};
+pub use nodepool::NodePool;
+pub use request::{JobRequest, PlannedOutcome, SimOutcome};
+pub use sched::{SimError, Simulator};
+pub use system::{BackfillPolicy, PriorityWeights, SystemConfig};

@@ -1,0 +1,208 @@
+//! Aggregate metrics over simulation outcomes: utilization, waits, backfill
+//! share. These quantify the policy-ablation experiments (FIFO vs EASY vs
+//! conservative) that motivate the paper's "policy evolution" goal.
+
+use crate::request::{JobRequest, SimOutcome};
+use serde::Serialize;
+use std::collections::HashMap;
+
+/// Summary statistics for one simulated trace.
+#[derive(Debug, Clone, Serialize)]
+pub struct SimMetrics {
+    pub jobs: usize,
+    pub started: usize,
+    pub completed: usize,
+    /// Jobs killed by QOS preemption.
+    pub preempted: usize,
+    pub mean_wait_secs: f64,
+    pub median_wait_secs: f64,
+    pub p95_wait_secs: f64,
+    pub max_wait_secs: i64,
+    /// Fraction of started jobs that the backfill pass started.
+    pub backfill_fraction: f64,
+    /// Node-seconds used / node-seconds available over the active span.
+    pub utilization: f64,
+    /// Mean of elapsed/requested over started jobs with a limit.
+    pub mean_walltime_accuracy: f64,
+}
+
+/// Compute metrics for a set of outcomes (paired with their requests).
+pub fn metrics(jobs: &[JobRequest], outcomes: &[SimOutcome], total_nodes: u32) -> SimMetrics {
+    assert_eq!(jobs.len(), outcomes.len());
+    let by_id: HashMap<u64, &JobRequest> = jobs.iter().map(|j| (j.id, j)).collect();
+
+    let mut waits: Vec<f64> = Vec::new();
+    let mut started = 0usize;
+    let mut completed = 0usize;
+    let mut preempted = 0usize;
+    let mut backfilled = 0usize;
+    let mut node_secs_used: i64 = 0;
+    let mut span_start = i64::MAX;
+    let mut span_end = i64::MIN;
+    let mut accuracy_sum = 0.0;
+    let mut accuracy_n = 0usize;
+
+    for o in outcomes {
+        let req = by_id[&o.id];
+        if let (Some(s), Some(e)) = (o.start, o.end) {
+            started += 1;
+            if o.backfilled {
+                backfilled += 1;
+            }
+            if o.state == schedflow_model::state::JobState::Completed {
+                completed += 1;
+            }
+            if o.state == schedflow_model::state::JobState::Preempted {
+                preempted += 1;
+            }
+            if let Some(w) = o.wait_secs() {
+                waits.push(w as f64);
+            }
+            node_secs_used += i64::from(req.nodes) * (e - s).max(0);
+            span_start = span_start.min(s.0);
+            span_end = span_end.max(e.0);
+            if req.walltime_secs > 0 {
+                accuracy_sum += (e - s).max(0) as f64 / req.walltime_secs as f64;
+                accuracy_n += 1;
+            }
+        }
+    }
+
+    waits.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let q = |f: f64| -> f64 {
+        if waits.is_empty() {
+            0.0
+        } else {
+            schedflow_frame_quantile(&waits, f)
+        }
+    };
+    let span = if started == 0 {
+        1
+    } else {
+        (span_end - span_start).max(1)
+    };
+    SimMetrics {
+        jobs: jobs.len(),
+        started,
+        completed,
+        preempted,
+        mean_wait_secs: if waits.is_empty() {
+            0.0
+        } else {
+            waits.iter().sum::<f64>() / waits.len() as f64
+        },
+        median_wait_secs: q(0.5),
+        p95_wait_secs: q(0.95),
+        max_wait_secs: waits.last().copied().unwrap_or(0.0) as i64,
+        backfill_fraction: if started == 0 {
+            0.0
+        } else {
+            backfilled as f64 / started as f64
+        },
+        utilization: node_secs_used as f64 / (span as f64 * f64::from(total_nodes)),
+        mean_walltime_accuracy: if accuracy_n == 0 {
+            0.0
+        } else {
+            accuracy_sum / accuracy_n as f64
+        },
+    }
+}
+
+/// Interpolated quantile over a sorted slice (kept local to avoid a frame
+/// dependency in this crate).
+fn schedflow_frame_quantile(sorted: &[f64], q: f64) -> f64 {
+    let q = q.clamp(0.0, 1.0);
+    if sorted.len() == 1 {
+        return sorted[0];
+    }
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    sorted[lo] + (sorted[hi] - sorted[lo]) * (pos - lo as f64)
+}
+
+/// Node-occupancy time series sampled at `step_secs`, for utilization charts.
+pub fn occupancy_series(
+    jobs: &[JobRequest],
+    outcomes: &[SimOutcome],
+    step_secs: i64,
+) -> Vec<(i64, u32)> {
+    let by_id: HashMap<u64, &JobRequest> = jobs.iter().map(|j| (j.id, j)).collect();
+    let mut deltas: Vec<(i64, i64)> = Vec::new();
+    for o in outcomes {
+        if let (Some(s), Some(e)) = (o.start, o.end) {
+            let nodes = i64::from(by_id[&o.id].nodes);
+            deltas.push((s.0, nodes));
+            deltas.push((e.0, -nodes));
+        }
+    }
+    if deltas.is_empty() {
+        return Vec::new();
+    }
+    deltas.sort_unstable();
+    let start = deltas[0].0;
+    let end = deltas[deltas.len() - 1].0;
+    let mut series = Vec::new();
+    let mut cur = 0i64;
+    let mut di = 0usize;
+    let mut t = start;
+    while t <= end {
+        while di < deltas.len() && deltas[di].0 <= t {
+            cur += deltas[di].1;
+            di += 1;
+        }
+        series.push((t, cur.max(0) as u32));
+        t += step_secs.max(1);
+    }
+    series
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::JobRequest;
+    use crate::sched::Simulator;
+    use crate::system::SystemConfig;
+    use schedflow_model::time::Timestamp;
+
+    fn t0() -> Timestamp {
+        Timestamp::from_ymd(2024, 1, 1)
+    }
+
+    #[test]
+    fn metrics_on_simple_trace() {
+        let jobs = vec![
+            JobRequest::simple(1, t0(), 4, 2000, 1000),
+            JobRequest::simple(2, t0(), 4, 2000, 1000),
+            JobRequest::simple(3, t0(), 8, 2000, 1000),
+        ];
+        let sim = Simulator::new(SystemConfig::toy(8));
+        let out = sim.run(&jobs).unwrap();
+        let m = metrics(&jobs, &out, 8);
+        assert_eq!(m.jobs, 3);
+        assert_eq!(m.started, 3);
+        assert_eq!(m.completed, 3);
+        // Jobs 1+2 run together, job 3 waits 1000s.
+        assert!(m.max_wait_secs >= 1000);
+        assert!(m.utilization > 0.5 && m.utilization <= 1.0, "{}", m.utilization);
+        assert!((m.mean_walltime_accuracy - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn occupancy_tracks_usage() {
+        let jobs = vec![JobRequest::simple(1, t0(), 4, 2000, 1000)];
+        let sim = Simulator::new(SystemConfig::toy(8));
+        let out = sim.run(&jobs).unwrap();
+        let series = occupancy_series(&jobs, &out, 100);
+        assert_eq!(series.first().unwrap().1, 4);
+        assert_eq!(series.last().unwrap().1, 0);
+    }
+
+    #[test]
+    fn empty_outcomes() {
+        let m = metrics(&[], &[], 8);
+        assert_eq!(m.jobs, 0);
+        assert_eq!(m.mean_wait_secs, 0.0);
+        assert!(occupancy_series(&[], &[], 10).is_empty());
+    }
+}

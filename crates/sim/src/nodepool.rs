@@ -1,0 +1,112 @@
+//! Free-node tracking with index assignment for hostlist generation.
+//!
+//! Allocation takes the lowest free indices (packing low, as Slurm's default
+//! node weighting tends to), which produces realistic compressed hostlists
+//! like `frontier[00001-00128]`.
+
+use std::collections::BTreeSet;
+
+/// Tracks which node indices are free.
+#[derive(Debug, Clone)]
+pub struct NodePool {
+    free: BTreeSet<u32>,
+    total: u32,
+}
+
+impl NodePool {
+    pub fn new(total: u32) -> Self {
+        NodePool {
+            free: (0..total).collect(),
+            total,
+        }
+    }
+
+    pub fn total(&self) -> u32 {
+        self.total
+    }
+
+    pub fn free_count(&self) -> u32 {
+        self.free.len() as u32
+    }
+
+    pub fn used_count(&self) -> u32 {
+        self.total - self.free_count()
+    }
+
+    /// Allocate `count` nodes (lowest indices first); `None` if insufficient.
+    pub fn allocate(&mut self, count: u32) -> Option<Vec<u32>> {
+        if count > self.free_count() {
+            return None;
+        }
+        let taken: Vec<u32> = self.free.iter().copied().take(count as usize).collect();
+        for i in &taken {
+            self.free.remove(i);
+        }
+        Some(taken)
+    }
+
+    /// Return nodes to the pool. Panics on double-free (an allocation bug).
+    pub fn release(&mut self, nodes: &[u32]) {
+        for &i in nodes {
+            assert!(i < self.total, "released node {i} out of range");
+            assert!(self.free.insert(i), "double free of node {i}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocates_lowest_indices() {
+        let mut pool = NodePool::new(10);
+        let a = pool.allocate(3).unwrap();
+        assert_eq!(a, vec![0, 1, 2]);
+        assert_eq!(pool.free_count(), 7);
+        let b = pool.allocate(2).unwrap();
+        assert_eq!(b, vec![3, 4]);
+    }
+
+    #[test]
+    fn refuses_oversized_requests() {
+        let mut pool = NodePool::new(4);
+        assert!(pool.allocate(5).is_none());
+        assert_eq!(pool.free_count(), 4);
+    }
+
+    #[test]
+    fn release_makes_nodes_reusable() {
+        let mut pool = NodePool::new(4);
+        let a = pool.allocate(4).unwrap();
+        assert_eq!(pool.free_count(), 0);
+        pool.release(&a[..2]);
+        assert_eq!(pool.free_count(), 2);
+        let b = pool.allocate(2).unwrap();
+        assert_eq!(b, vec![0, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "double free")]
+    fn double_free_panics() {
+        let mut pool = NodePool::new(4);
+        let a = pool.allocate(1).unwrap();
+        pool.release(&a);
+        pool.release(&a);
+    }
+
+    #[test]
+    fn full_machine_cycle() {
+        let mut pool = NodePool::new(100);
+        let mut allocs = Vec::new();
+        for _ in 0..10 {
+            allocs.push(pool.allocate(10).unwrap());
+        }
+        assert_eq!(pool.free_count(), 0);
+        assert!(pool.allocate(1).is_none());
+        for a in &allocs {
+            pool.release(a);
+        }
+        assert_eq!(pool.free_count(), 100);
+    }
+}

@@ -1,0 +1,151 @@
+//! Simulator inputs and outputs: job requests and scheduling outcomes.
+
+use schedflow_model::state::JobState;
+use schedflow_model::time::Timestamp;
+use serde::{Deserialize, Serialize};
+
+/// What the job *would* do if allowed to run — decided by the workload
+/// generator before scheduling, revealed by the simulator as it plays out.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum PlannedOutcome {
+    /// Runs `actual_runtime` then exits 0 (or times out at the limit).
+    Complete,
+    /// Crashes after `at` fraction of its actual runtime with `exit_code`.
+    Fail { at: f64, exit_code: u8 },
+    /// User cancels while it is running, after `at` fraction of the runtime.
+    CancelRunning { at: f64 },
+    /// User cancels if still pending after `patience_secs` of eligibility.
+    CancelPending { patience_secs: i64 },
+    /// A node dies under it after `at` fraction of the runtime.
+    NodeFail { at: f64 },
+    /// Killed by the OOM handler after `at` fraction of the runtime.
+    OutOfMemory { at: f64 },
+}
+
+/// One job submission, as fed to the simulator.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobRequest {
+    /// Unique job id (monotone in submit order by convention).
+    pub id: u64,
+    /// Submitting user index.
+    pub user: u32,
+    pub submit: Timestamp,
+    /// Requested node count.
+    pub nodes: u32,
+    /// Requested wall time, seconds.
+    pub walltime_secs: i64,
+    /// True runtime if it ran to natural completion, seconds.
+    pub actual_secs: i64,
+    pub partition: String,
+    pub qos: String,
+    pub outcome: PlannedOutcome,
+    /// Must-finish-first dependency (afterany semantics).
+    pub dependency: Option<u64>,
+}
+
+impl JobRequest {
+    /// Convenience constructor for tests: complete-able job.
+    pub fn simple(
+        id: u64,
+        submit: Timestamp,
+        nodes: u32,
+        walltime_secs: i64,
+        actual_secs: i64,
+    ) -> Self {
+        JobRequest {
+            id,
+            user: 0,
+            submit,
+            nodes,
+            walltime_secs,
+            actual_secs,
+            partition: "batch".to_owned(),
+            qos: "normal".to_owned(),
+            outcome: PlannedOutcome::Complete,
+            dependency: None,
+        }
+    }
+}
+
+/// The scheduling outcome for one request.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimOutcome {
+    pub id: u64,
+    /// When the job became eligible (dependency satisfied).
+    pub eligible: Timestamp,
+    /// Start time; `None` for jobs cancelled while pending.
+    pub start: Option<Timestamp>,
+    /// End time; `None` for jobs cancelled while pending.
+    pub end: Option<Timestamp>,
+    pub state: JobState,
+    pub exit_code: u8,
+    pub exit_signal: u8,
+    /// Started by the backfill pass rather than the main priority pass.
+    pub backfilled: bool,
+    /// Started the moment it became eligible (idle resources).
+    pub started_on_submit: bool,
+    /// Multifactor priority at start (or at cancellation).
+    pub priority: u32,
+    /// Allocated node indices (empty when never started).
+    pub node_indices: Vec<u32>,
+}
+
+impl SimOutcome {
+    /// Queue wait eligible→start, seconds.
+    pub fn wait_secs(&self) -> Option<i64> {
+        self.start.map(|s| (s - self.eligible).max(0))
+    }
+
+    /// Elapsed runtime, seconds.
+    pub fn elapsed_secs(&self) -> Option<i64> {
+        match (self.start, self.end) {
+            (Some(s), Some(e)) => Some((e - s).max(0)),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wait_and_elapsed() {
+        let t = Timestamp::from_ymd(2024, 1, 1);
+        let o = SimOutcome {
+            id: 1,
+            eligible: t,
+            start: Some(t + 100),
+            end: Some(t + 400),
+            state: JobState::Completed,
+            exit_code: 0,
+            exit_signal: 0,
+            backfilled: false,
+            started_on_submit: false,
+            priority: 0,
+            node_indices: vec![0],
+        };
+        assert_eq!(o.wait_secs(), Some(100));
+        assert_eq!(o.elapsed_secs(), Some(300));
+    }
+
+    #[test]
+    fn pending_cancel_has_no_times() {
+        let t = Timestamp::from_ymd(2024, 1, 1);
+        let o = SimOutcome {
+            id: 1,
+            eligible: t,
+            start: None,
+            end: None,
+            state: JobState::Cancelled,
+            exit_code: 0,
+            exit_signal: 0,
+            backfilled: false,
+            started_on_submit: false,
+            priority: 0,
+            node_indices: vec![],
+        };
+        assert_eq!(o.wait_secs(), None);
+        assert_eq!(o.elapsed_secs(), None);
+    }
+}

@@ -1,0 +1,1149 @@
+//! The discrete-event scheduler: priority queue + backfill over a node pool.
+//!
+//! Events (submissions, completions, cancellations) drive the clock; after
+//! each batch of same-timestamp events a scheduling pass runs: a main pass in
+//! multifactor-priority order until the head of queue blocks, then a backfill
+//! pass (EASY or conservative) that starts lower-priority jobs which do not
+//! delay the blocked reservation(s). Jobs started by the backfill pass carry
+//! the `SchedBackfill` flag — the "Backfill" special indicator the paper
+//! extracts from sacct `Flags`.
+
+use crate::nodepool::NodePool;
+use crate::request::{JobRequest, PlannedOutcome, SimOutcome};
+use crate::system::{BackfillPolicy, SystemConfig};
+use schedflow_model::state::JobState;
+use schedflow_model::time::Timestamp;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+/// Simulator errors: invalid requests detected before the run starts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    UnknownPartition { job: u64, partition: String },
+    UnknownQos { job: u64, qos: String },
+    TooManyNodes { job: u64, nodes: u32, limit: u32 },
+    WalltimeOverLimit { job: u64 },
+    DuplicateId(u64),
+    UnknownDependency { job: u64, dependency: u64 },
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::UnknownPartition { job, partition } => {
+                write!(f, "job {job}: unknown partition {partition:?}")
+            }
+            SimError::UnknownQos { job, qos } => write!(f, "job {job}: unknown qos {qos:?}"),
+            SimError::TooManyNodes { job, nodes, limit } => {
+                write!(f, "job {job}: {nodes} nodes exceeds limit {limit}")
+            }
+            SimError::WalltimeOverLimit { job } => {
+                write!(f, "job {job}: walltime exceeds partition limit")
+            }
+            SimError::DuplicateId(id) => write!(f, "duplicate job id {id}"),
+            SimError::UnknownDependency { job, dependency } => {
+                write!(f, "job {job}: depends on unknown job {dependency}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum EventKind {
+    /// Job arrives in the system.
+    Submit(usize),
+    /// Running job reaches its effective end.
+    Finish(usize),
+    /// Pending-cancel patience expires.
+    CancelCheck(usize),
+}
+
+#[derive(Debug, PartialEq, Eq)]
+struct Event {
+    time: i64,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Phase {
+    /// Submitted but dependency unmet.
+    Held,
+    /// Eligible, in queue.
+    Pending,
+    Running,
+    Done,
+}
+
+struct JobSim {
+    phase: Phase,
+    eligible: Timestamp,
+    start: Option<Timestamp>,
+    end: Option<Timestamp>,
+    state: JobState,
+    exit_code: u8,
+    exit_signal: u8,
+    backfilled: bool,
+    started_on_submit: bool,
+    priority: u32,
+    nodes: Vec<u32>,
+    /// start + requested walltime, used for shadow-time projection.
+    requested_end: i64,
+}
+
+/// The discrete-event scheduler simulator.
+pub struct Simulator {
+    config: SystemConfig,
+}
+
+impl Simulator {
+    pub fn new(config: SystemConfig) -> Self {
+        Self { config }
+    }
+
+    pub fn config(&self) -> &SystemConfig {
+        &self.config
+    }
+
+    /// Validate requests against the machine (partition existence & limits).
+    pub fn validate(&self, jobs: &[JobRequest]) -> Result<(), SimError> {
+        let mut ids = HashMap::with_capacity(jobs.len());
+        for j in jobs {
+            if ids.insert(j.id, ()).is_some() {
+                return Err(SimError::DuplicateId(j.id));
+            }
+        }
+        for j in jobs {
+            let part = self
+                .config
+                .partition(&j.partition)
+                .ok_or_else(|| SimError::UnknownPartition {
+                    job: j.id,
+                    partition: j.partition.clone(),
+                })?;
+            if self.config.qos(&j.qos).is_none() {
+                return Err(SimError::UnknownQos {
+                    job: j.id,
+                    qos: j.qos.clone(),
+                });
+            }
+            if j.nodes == 0 || j.nodes > part.max_nodes || j.nodes > self.config.total_nodes {
+                return Err(SimError::TooManyNodes {
+                    job: j.id,
+                    nodes: j.nodes,
+                    limit: part.max_nodes.min(self.config.total_nodes),
+                });
+            }
+            if j.walltime_secs > part.max_walltime.as_secs() {
+                return Err(SimError::WalltimeOverLimit { job: j.id });
+            }
+            if let Some(dep) = j.dependency {
+                if !ids.contains_key(&dep) {
+                    return Err(SimError::UnknownDependency {
+                        job: j.id,
+                        dependency: dep,
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Run the simulation to completion; outcomes are returned in the input
+    /// order of `jobs`.
+    pub fn run(&self, jobs: &[JobRequest]) -> Result<Vec<SimOutcome>, SimError> {
+        self.validate(jobs)?;
+        let n = jobs.len();
+        let id_to_idx: HashMap<u64, usize> =
+            jobs.iter().enumerate().map(|(i, j)| (j.id, i)).collect();
+
+        let mut sims: Vec<JobSim> = jobs
+            .iter()
+            .map(|j| JobSim {
+                phase: Phase::Held,
+                eligible: j.submit,
+                start: None,
+                end: None,
+                state: JobState::Pending,
+                exit_code: 0,
+                exit_signal: 0,
+                backfilled: false,
+                started_on_submit: false,
+                priority: 0,
+                nodes: Vec::new(),
+                requested_end: 0,
+            })
+            .collect();
+
+        let mut pool = NodePool::new(self.config.total_nodes);
+        let mut events = BinaryHeap::with_capacity(n * 2);
+        let mut seq = 0u64;
+        let push = |events: &mut BinaryHeap<Reverse<Event>>, seq: &mut u64, time: i64, kind: EventKind| {
+            *seq += 1;
+            events.push(Reverse(Event {
+                time,
+                seq: *seq,
+                kind,
+            }));
+        };
+        for (i, j) in jobs.iter().enumerate() {
+            push(&mut events, &mut seq, j.submit.0, EventKind::Submit(i));
+        }
+
+        // dependents[dep_idx] = jobs waiting on it.
+        let mut dependents: Vec<Vec<usize>> = vec![Vec::new(); n];
+        let mut pending: Vec<usize> = Vec::new();
+        let mut running: Vec<usize> = Vec::new();
+        // Per (user, qos) running counts for QOS caps.
+        let mut user_qos_running: HashMap<(u32, String), u32> = HashMap::new();
+        // Decayed per-user usage (node-seconds) driving the fair-share factor.
+        let mut usage = UsageTracker::new(self.config.weights.usage_halflife_secs);
+
+        while let Some(Reverse(first)) = events.pop() {
+            let now = first.time;
+            let mut batch = vec![first.kind];
+            while let Some(Reverse(e)) = events.peek() {
+                if e.time == now {
+                    batch.push(events.pop().unwrap().0.kind);
+                } else {
+                    break;
+                }
+            }
+
+            for kind in batch {
+                match kind {
+                    EventKind::Submit(i) => {
+                        let dep_done = match jobs[i].dependency {
+                            None => true,
+                            Some(dep_id) => {
+                                let di = id_to_idx[&dep_id];
+                                if sims[di].phase == Phase::Done {
+                                    true
+                                } else {
+                                    dependents[di].push(i);
+                                    false
+                                }
+                            }
+                        };
+                        if dep_done {
+                            make_eligible(
+                                i,
+                                Timestamp(now),
+                                jobs,
+                                &mut sims,
+                                &mut pending,
+                                &mut events,
+                                &mut seq,
+                            );
+                        }
+                    }
+                    EventKind::Finish(i) => {
+                        // Stale events are possible: a preempted job already
+                        // retired at preemption time.
+                        if sims[i].phase != Phase::Running {
+                            continue;
+                        }
+                        retire_running(
+                            i,
+                            now,
+                            None,
+                            jobs,
+                            &mut sims,
+                            &mut pending,
+                            &mut running,
+                            &mut pool,
+                            &mut user_qos_running,
+                            &mut usage,
+                            &mut dependents,
+                            &mut events,
+                            &mut seq,
+                        );
+                    }
+                    EventKind::CancelCheck(i) => {
+                        if sims[i].phase == Phase::Pending {
+                            sims[i].phase = Phase::Done;
+                            sims[i].state = JobState::Cancelled;
+                            let share =
+                                usage.factor(jobs[i].user, now, self.machine_capacity_scale());
+                            let p = self.priority(&jobs[i], &sims[i], now, share);
+                            sims[i].priority = p;
+                            pending.retain(|&p| p != i);
+                            // Dependents of a cancelled job still become
+                            // eligible (afterany), at cancellation time.
+                            let deps = std::mem::take(&mut dependents[i]);
+                            for d in deps {
+                                make_eligible(
+                                    d,
+                                    Timestamp(now),
+                                    jobs,
+                                    &mut sims,
+                                    &mut pending,
+                                    &mut events,
+                                    &mut seq,
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+
+            // Drive scheduling to a fixpoint: a pass may retire preempted
+            // jobs whose dependents become eligible within the same instant.
+            loop {
+                let started = self.schedule_pass(
+                    now,
+                    jobs,
+                    &mut sims,
+                    &mut pending,
+                    &mut running,
+                    &mut pool,
+                    &mut user_qos_running,
+                    &mut usage,
+                    &mut dependents,
+                    &mut events,
+                    &mut seq,
+                );
+                if started == 0 {
+                    break;
+                }
+            }
+        }
+
+        Ok(sims
+            .into_iter()
+            .zip(jobs)
+            .map(|(s, j)| SimOutcome {
+                id: j.id,
+                eligible: s.eligible,
+                start: s.start,
+                end: s.end,
+                state: if s.state == JobState::Pending {
+                    // Jobs never released (dependency never finished) — the
+                    // trace window closed on them; report as cancelled.
+                    JobState::Cancelled
+                } else {
+                    s.state
+                },
+                exit_code: s.exit_code,
+                exit_signal: s.exit_signal,
+                backfilled: s.backfilled,
+                started_on_submit: s.started_on_submit,
+                priority: s.priority,
+                node_indices: s.nodes,
+            })
+            .collect())
+    }
+
+    /// Scale that normalizes decayed usage for the fair-share factor: the
+    /// node-seconds a ~5% machine share accrues over one half-life.
+    fn machine_capacity_scale(&self) -> f64 {
+        f64::from(self.config.total_nodes)
+            * self.config.weights.usage_halflife_secs.max(1) as f64
+            * 0.05
+    }
+
+    /// Multifactor priority (age + size + QOS + partition tier + fair-share).
+    fn priority(&self, job: &JobRequest, sim: &JobSim, now: i64, fairshare: f64) -> u32 {
+        let w = &self.config.weights;
+        let age = (now - sim.eligible.0).clamp(0, w.max_age_secs) as f64;
+        let age_factor = if w.max_age_secs > 0 {
+            age / w.max_age_secs as f64
+        } else {
+            0.0
+        };
+        let size_factor = f64::from(job.nodes) / f64::from(self.config.total_nodes);
+        let qos_weight = self
+            .config
+            .qos(&job.qos)
+            .map_or(0.0, |q| f64::from(q.priority_weight));
+        let tier = self
+            .config
+            .partition(&job.partition)
+            .map_or(0.0, |p| f64::from(p.priority_tier));
+        (1000.0
+            + qos_weight
+            + w.age * age_factor
+            + w.size * size_factor
+            + w.tier * tier
+            + w.fairshare * fairshare)
+            .max(0.0) as u32
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn schedule_pass(
+        &self,
+        now: i64,
+        jobs: &[JobRequest],
+        sims: &mut Vec<JobSim>,
+        pending: &mut Vec<usize>,
+        running: &mut Vec<usize>,
+        pool: &mut NodePool,
+        user_qos_running: &mut HashMap<(u32, String), u32>,
+        usage: &mut UsageTracker,
+        dependents: &mut Vec<Vec<usize>>,
+        events: &mut BinaryHeap<Reverse<Event>>,
+        seq: &mut u64,
+    ) -> usize {
+        if pending.is_empty() {
+            return 0;
+        }
+        // Priority order: descending priority, FIFO tiebreak on eligibility.
+        let mut order: Vec<usize> = pending.clone();
+        for &i in &order {
+            let share = usage.factor(jobs[i].user, now, self.machine_capacity_scale());
+            let p = self.priority(&jobs[i], &sims[i], now, share);
+            sims[i].priority = p;
+        }
+        order.sort_by_key(|&i| (Reverse(sims[i].priority), sims[i].eligible.0, jobs[i].id));
+
+        let mut started: Vec<usize> = Vec::new();
+        let mut blocked: Vec<usize> = Vec::new();
+
+        // Main pass: start in strict priority order until the head blocks.
+        let mut cursor = 0usize;
+        while cursor < order.len() {
+            let i = order[cursor];
+            cursor += 1;
+            if self.qos_capped(&jobs[i], user_qos_running) {
+                continue; // held by QOS limit; does not block others
+            }
+            if jobs[i].nodes <= pool.free_count() {
+                self.start_job(i, now, false, jobs, sims, pool, user_qos_running, events, seq);
+                running.push(i);
+                started.push(i);
+            } else if self.try_preempt_for(
+                i,
+                now,
+                jobs,
+                sims,
+                pending,
+                running,
+                pool,
+                user_qos_running,
+                usage,
+                dependents,
+                events,
+                seq,
+            ) {
+                self.start_job(i, now, false, jobs, sims, pool, user_qos_running, events, seq);
+                running.push(i);
+                started.push(i);
+            } else {
+                blocked.push(i);
+                break;
+            }
+        }
+
+        // Backfill pass.
+        if !blocked.is_empty() && self.config.backfill != BackfillPolicy::None {
+            // Project node availability from running jobs' *requested* ends.
+            let mut frees: Vec<(i64, u32)> = running
+                .iter()
+                .map(|&r| (sims[r].requested_end, jobs[r].nodes))
+                .collect();
+            frees.sort_unstable();
+
+            let head = blocked[0];
+            let head_need = jobs[head].nodes;
+            let (shadow_time, extra_at_shadow) =
+                shadow(pool.free_count(), head_need, &frees);
+
+            // Conservative: earliest reservation among the top blocked jobs;
+            // candidates must finish before it. EASY: only the head reserves,
+            // and spare nodes beyond the head's need may run long jobs.
+            let conservative = self.config.backfill == BackfillPolicy::Conservative;
+            let mut extra = extra_at_shadow;
+            let mut examined = 0usize;
+            while cursor < order.len() && examined < self.config.bf_max_job_test {
+                let i = order[cursor];
+                cursor += 1;
+                examined += 1;
+                if self.qos_capped(&jobs[i], user_qos_running) {
+                    continue;
+                }
+                if jobs[i].nodes > pool.free_count() {
+                    continue;
+                }
+                let finishes_before_shadow = now + jobs[i].walltime_secs <= shadow_time;
+                let fits_spare = !conservative && jobs[i].nodes <= extra;
+                if finishes_before_shadow || fits_spare {
+                    self.start_job(
+                        i, now, true, jobs, sims, pool, user_qos_running, events, seq,
+                    );
+                    running.push(i);
+                    started.push(i);
+                    if !finishes_before_shadow {
+                        extra -= jobs[i].nodes;
+                    }
+                }
+            }
+        }
+
+        pending.retain(|p| !started.contains(p));
+        started.len()
+    }
+
+    /// Preemptive scheduling: when `i`'s QOS may preempt, retire just enough
+    /// preemptible running jobs (most recently started first, minimizing
+    /// lost work) to fit it. Returns true when enough nodes were freed —
+    /// the NERSC "realtime" / urgent-computing pattern the paper discusses.
+    #[allow(clippy::too_many_arguments)]
+    fn try_preempt_for(
+        &self,
+        i: usize,
+        now: i64,
+        jobs: &[JobRequest],
+        sims: &mut Vec<JobSim>,
+        pending: &mut Vec<usize>,
+        running: &mut Vec<usize>,
+        pool: &mut NodePool,
+        user_qos_running: &mut HashMap<(u32, String), u32>,
+        usage: &mut UsageTracker,
+        dependents: &mut Vec<Vec<usize>>,
+        events: &mut BinaryHeap<Reverse<Event>>,
+        seq: &mut u64,
+    ) -> bool {
+        let can_preempt = self
+            .config
+            .qos(&jobs[i].qos)
+            .map_or(false, |q| q.can_preempt);
+        if !can_preempt {
+            return false;
+        }
+        let mut victims: Vec<usize> = running
+            .iter()
+            .copied()
+            .filter(|&r| {
+                self.config
+                    .qos(&jobs[r].qos)
+                    .map_or(false, |q| q.preemptible)
+            })
+            .collect();
+        // Most recently started first: least work lost.
+        victims.sort_by_key(|&r| Reverse(sims[r].start.map_or(0, |t| t.0)));
+        let mut freed = pool.free_count();
+        let mut chosen = Vec::new();
+        for v in victims {
+            if freed >= jobs[i].nodes {
+                break;
+            }
+            freed += jobs[v].nodes;
+            chosen.push(v);
+        }
+        if freed < jobs[i].nodes {
+            return false;
+        }
+        for v in chosen {
+            retire_running(
+                v,
+                now,
+                Some(JobState::Preempted),
+                jobs,
+                sims,
+                pending,
+                running,
+                pool,
+                user_qos_running,
+                usage,
+                dependents,
+                events,
+                seq,
+            );
+        }
+        true
+    }
+
+    fn qos_capped(
+        &self,
+        job: &JobRequest,
+        user_qos_running: &HashMap<(u32, String), u32>,
+    ) -> bool {
+        let cap = self
+            .config
+            .qos(&job.qos)
+            .map_or(0, |q| q.max_running_per_user);
+        if cap == 0 {
+            return false;
+        }
+        user_qos_running
+            .get(&(job.user, job.qos.clone()))
+            .copied()
+            .unwrap_or(0)
+            >= cap
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn start_job(
+        &self,
+        i: usize,
+        now: i64,
+        backfilled: bool,
+        jobs: &[JobRequest],
+        sims: &mut [JobSim],
+        pool: &mut NodePool,
+        user_qos_running: &mut HashMap<(u32, String), u32>,
+        events: &mut BinaryHeap<Reverse<Event>>,
+        seq: &mut u64,
+    ) {
+        let job = &jobs[i];
+        let nodes = pool.allocate(job.nodes).expect("checked fit");
+        let (runtime, state, exit_code, exit_signal) = effective_run(job);
+        let sim = &mut sims[i];
+        sim.phase = Phase::Running;
+        sim.start = Some(Timestamp(now));
+        sim.end = Some(Timestamp(now + runtime));
+        sim.requested_end = now + job.walltime_secs;
+        sim.state = state;
+        sim.exit_code = exit_code;
+        sim.exit_signal = exit_signal;
+        sim.backfilled = backfilled;
+        sim.started_on_submit = now == sim.eligible.0;
+        sim.nodes = nodes;
+        *user_qos_running
+            .entry((job.user, job.qos.clone()))
+            .or_insert(0) += 1;
+        *seq += 1;
+        events.push(Reverse(Event {
+            time: now + runtime,
+            seq: *seq,
+            kind: EventKind::Finish(i),
+        }));
+    }
+}
+
+fn make_eligible(
+    i: usize,
+    now: Timestamp,
+    jobs: &[JobRequest],
+    sims: &mut [JobSim],
+    pending: &mut Vec<usize>,
+    events: &mut BinaryHeap<Reverse<Event>>,
+    seq: &mut u64,
+) {
+    let sim = &mut sims[i];
+    debug_assert_eq!(sim.phase, Phase::Held);
+    sim.phase = Phase::Pending;
+    sim.eligible = now.max(jobs[i].submit);
+    pending.push(i);
+    if let PlannedOutcome::CancelPending { patience_secs } = jobs[i].outcome {
+        *seq += 1;
+        events.push(Reverse(Event {
+            time: sim.eligible.0 + patience_secs,
+            seq: *seq,
+            kind: EventKind::CancelCheck(i),
+        }));
+    }
+}
+
+/// Exponentially decayed per-user resource usage (node-seconds), the input
+/// to Slurm's fair-share priority factor: users who consumed little lately
+/// score near 1, heavy users decay toward 0.
+struct UsageTracker {
+    halflife_secs: i64,
+    /// user → (usage at `last`, last update time).
+    usage: HashMap<u32, (f64, i64)>,
+}
+
+impl UsageTracker {
+    fn new(halflife_secs: i64) -> Self {
+        Self {
+            halflife_secs: halflife_secs.max(1),
+            usage: HashMap::new(),
+        }
+    }
+
+    fn decayed(&self, user: u32, now: i64) -> f64 {
+        match self.usage.get(&user) {
+            None => 0.0,
+            Some(&(u, last)) => {
+                let dt = (now - last).max(0) as f64;
+                u * 0.5f64.powf(dt / self.halflife_secs as f64)
+            }
+        }
+    }
+
+    /// Add `node_seconds` of usage for `user`, observed at `now`.
+    fn charge(&mut self, user: u32, node_seconds: f64, now: i64) {
+        let current = self.decayed(user, now);
+        self.usage.insert(user, (current + node_seconds, now));
+    }
+
+    /// Fair-share factor in (0, 1]: `2^(-usage/scale)`.
+    fn factor(&self, user: u32, now: i64, scale: f64) -> f64 {
+        let u = self.decayed(user, now);
+        if scale <= 0.0 {
+            return 1.0;
+        }
+        0.5f64.powf(u / scale)
+    }
+}
+
+/// Retire a running job: at its natural end (`state_override = None`, the
+/// planned state applies) or by preemption (`Some(Preempted)`, ending now).
+/// Frees nodes, updates QOS counts, and releases dependents (afterany).
+#[allow(clippy::too_many_arguments)]
+fn retire_running(
+    i: usize,
+    now: i64,
+    state_override: Option<JobState>,
+    jobs: &[JobRequest],
+    sims: &mut Vec<JobSim>,
+    pending: &mut Vec<usize>,
+    running: &mut Vec<usize>,
+    pool: &mut NodePool,
+    user_qos_running: &mut HashMap<(u32, String), u32>,
+    usage: &mut UsageTracker,
+    dependents: &mut Vec<Vec<usize>>,
+    events: &mut BinaryHeap<Reverse<Event>>,
+    seq: &mut u64,
+) {
+    debug_assert_eq!(sims[i].phase, Phase::Running);
+    if let Some(start) = sims[i].start {
+        let end = state_override.map_or_else(|| sims[i].end.map_or(now, |e| e.0), |_| now);
+        usage.charge(
+            jobs[i].user,
+            f64::from(jobs[i].nodes) * (end - start.0).max(0) as f64,
+            now,
+        );
+    }
+    sims[i].phase = Phase::Done;
+    if let Some(state) = state_override {
+        sims[i].state = state;
+        sims[i].end = Some(Timestamp(now));
+        // SIGTERM delivered by the preemption plugin.
+        sims[i].exit_code = 0;
+        sims[i].exit_signal = 15;
+    }
+    pool.release(&sims[i].nodes);
+    running.retain(|&r| r != i);
+    let key = (jobs[i].user, jobs[i].qos.clone());
+    if let Some(c) = user_qos_running.get_mut(&key) {
+        *c = c.saturating_sub(1);
+    }
+    let deps = std::mem::take(&mut dependents[i]);
+    for d in deps {
+        make_eligible(d, Timestamp(now), jobs, sims, pending, events, seq);
+    }
+}
+
+/// Effective runtime and final state once a job starts.
+fn effective_run(job: &JobRequest) -> (i64, JobState, u8, u8) {
+    let limit = job.walltime_secs;
+    let frac = |at: f64| ((job.actual_secs as f64 * at) as i64).clamp(1, limit.max(1));
+    match job.outcome {
+        PlannedOutcome::Complete | PlannedOutcome::CancelPending { .. } => {
+            if job.actual_secs > limit {
+                (limit, JobState::Timeout, 0, 1)
+            } else {
+                (job.actual_secs.max(1), JobState::Completed, 0, 0)
+            }
+        }
+        PlannedOutcome::Fail { at, exit_code } => (frac(at), JobState::Failed, exit_code, 0),
+        PlannedOutcome::CancelRunning { at } => (frac(at), JobState::Cancelled, 0, 15),
+        PlannedOutcome::NodeFail { at } => (frac(at), JobState::NodeFail, 0, 0),
+        PlannedOutcome::OutOfMemory { at } => (frac(at), JobState::OutOfMemory, 0, 9),
+    }
+}
+
+/// Given current free nodes, the head job's need, and projected `(end, nodes)`
+/// frees sorted by time: the time the head could start (shadow time) and the
+/// spare nodes beyond its need at that instant.
+fn shadow(mut free: u32, need: u32, frees: &[(i64, u32)]) -> (i64, u32) {
+    for &(t, n) in frees {
+        free += n;
+        if free >= need {
+            return (t, free - need);
+        }
+    }
+    // Head can never start from projections (shouldn't happen when the
+    // machine is large enough); treat as infinitely far.
+    (i64::MAX / 4, free.saturating_sub(need))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::system::SystemConfig;
+
+    fn t0() -> Timestamp {
+        Timestamp::from_ymd(2024, 1, 1)
+    }
+
+    fn run_toy(jobs: Vec<JobRequest>) -> Vec<SimOutcome> {
+        Simulator::new(SystemConfig::toy(8)).run(&jobs).unwrap()
+    }
+
+    #[test]
+    fn empty_machine_starts_job_immediately() {
+        let out = run_toy(vec![JobRequest::simple(1, t0(), 4, 3600, 1800)]);
+        let o = &out[0];
+        assert_eq!(o.start, Some(t0()));
+        assert_eq!(o.end, Some(t0() + 1800));
+        assert_eq!(o.state, JobState::Completed);
+        assert!(o.started_on_submit);
+        assert!(!o.backfilled);
+        assert_eq!(o.node_indices.len(), 4);
+    }
+
+    #[test]
+    fn fifo_when_machine_full() {
+        let out = run_toy(vec![
+            JobRequest::simple(1, t0(), 8, 3600, 3600),
+            JobRequest::simple(2, t0() + 10, 8, 3600, 100),
+        ]);
+        assert_eq!(out[0].start, Some(t0()));
+        // Second job waits for the first to finish.
+        assert_eq!(out[1].start, Some(t0() + 3600));
+        assert_eq!(out[1].wait_secs(), Some(3590));
+        assert!(!out[1].backfilled);
+    }
+
+    #[test]
+    fn timeout_when_actual_exceeds_limit() {
+        let out = run_toy(vec![JobRequest::simple(1, t0(), 1, 600, 1200)]);
+        assert_eq!(out[0].state, JobState::Timeout);
+        assert_eq!(out[0].elapsed_secs(), Some(600));
+    }
+
+    #[test]
+    fn easy_backfill_starts_short_job_ahead() {
+        // J1 occupies 6/8 nodes for 1000s. J2 (8 nodes) blocks.
+        // J3 (2 nodes, 500s) fits the 2 idle nodes and finishes before the
+        // shadow time (t0+1000) → backfilled.
+        let out = run_toy(vec![
+            JobRequest::simple(1, t0(), 6, 1000, 1000),
+            JobRequest::simple(2, t0() + 1, 8, 1000, 100),
+            JobRequest::simple(3, t0() + 2, 2, 500, 400),
+        ]);
+        assert_eq!(out[2].start, Some(t0() + 2));
+        assert!(out[2].backfilled);
+        // J2 starts when J1 ends, undelayed by the backfill.
+        assert_eq!(out[1].start, Some(t0() + 1000));
+    }
+
+    #[test]
+    fn backfill_does_not_delay_reservation() {
+        // J3 would need 2 nodes for 2000s — longer than the shadow window and
+        // wider than the spare (8-node head needs everything) → must wait.
+        let out = run_toy(vec![
+            JobRequest::simple(1, t0(), 6, 1000, 1000),
+            JobRequest::simple(2, t0() + 1, 8, 1000, 100),
+            JobRequest::simple(3, t0() + 2, 2, 2000, 1900),
+        ]);
+        // J2 must still start exactly at its shadow time.
+        assert_eq!(out[1].start, Some(t0() + 1000));
+        // J3 started only after J2 (or at least never before the shadow).
+        assert!(out[2].start.unwrap().0 >= t0().0 + 1000);
+    }
+
+    #[test]
+    fn easy_spare_nodes_run_long_narrow_jobs() {
+        // Head needs 6 of 8; with 4 nodes busy (ends t+1000) and 4 free:
+        // shadow frees 8 ≥ 6, extra = 2. A 2-node long job may run on spare.
+        let out = run_toy(vec![
+            JobRequest::simple(1, t0(), 4, 1000, 1000),
+            JobRequest::simple(2, t0() + 1, 6, 1000, 100),
+            JobRequest::simple(3, t0() + 2, 2, 5000, 4900),
+        ]);
+        assert_eq!(out[2].start, Some(t0() + 2), "long narrow job backfills on spare nodes");
+        assert!(out[2].backfilled);
+        assert_eq!(out[1].start, Some(t0() + 1000));
+    }
+
+    #[test]
+    fn conservative_rejects_spare_node_overruns_easy_allows() {
+        // Same scenario as easy_spare_nodes_run_long_narrow_jobs: the 2-node
+        // job outlives the shadow window but fits the spare nodes. EASY
+        // starts it; conservative (which protects every projected
+        // reservation) does not.
+        let jobs = [
+            JobRequest::simple(1, t0(), 4, 1000, 1000),
+            JobRequest::simple(2, t0() + 1, 6, 1000, 100),
+            JobRequest::simple(3, t0() + 2, 2, 5000, 4900),
+        ];
+        let mut cfg = SystemConfig::toy(8);
+        cfg.backfill = BackfillPolicy::Conservative;
+        let conservative = Simulator::new(cfg).run(&jobs).unwrap();
+        assert!(
+            conservative[2].start.unwrap().0 > t0().0 + 2,
+            "conservative defers the overrunning candidate"
+        );
+        let easy = Simulator::new(SystemConfig::toy(8)).run(&jobs).unwrap();
+        assert_eq!(easy[2].start, Some(t0() + 2), "EASY uses the spare nodes");
+    }
+
+    #[test]
+    fn no_backfill_policy_blocks_queue() {
+        let mut cfg = SystemConfig::toy(8);
+        cfg.backfill = BackfillPolicy::None;
+        let out = Simulator::new(cfg)
+            .run(&[
+                JobRequest::simple(1, t0(), 6, 1000, 1000),
+                JobRequest::simple(2, t0() + 1, 8, 1000, 100),
+                JobRequest::simple(3, t0() + 2, 2, 500, 400),
+            ])
+            .unwrap();
+        // Without backfill, J3 cannot jump ahead of blocked J2.
+        assert!(out[2].start.unwrap().0 >= out[1].start.unwrap().0);
+    }
+
+    #[test]
+    fn failed_job_records_exit_code() {
+        let mut j = JobRequest::simple(1, t0(), 1, 3600, 3000);
+        j.outcome = PlannedOutcome::Fail {
+            at: 0.5,
+            exit_code: 2,
+        };
+        let out = run_toy(vec![j]);
+        assert_eq!(out[0].state, JobState::Failed);
+        assert_eq!(out[0].exit_code, 2);
+        assert_eq!(out[0].elapsed_secs(), Some(1500));
+    }
+
+    #[test]
+    fn cancel_pending_fires_when_queue_too_slow() {
+        let mut j2 = JobRequest::simple(2, t0() + 1, 8, 3600, 100);
+        j2.outcome = PlannedOutcome::CancelPending { patience_secs: 500 };
+        let out = run_toy(vec![JobRequest::simple(1, t0(), 8, 3600, 3600), j2]);
+        assert_eq!(out[1].state, JobState::Cancelled);
+        assert_eq!(out[1].start, None);
+    }
+
+    #[test]
+    fn cancel_pending_runs_if_started_in_time() {
+        let mut j = JobRequest::simple(1, t0(), 2, 3600, 300);
+        j.outcome = PlannedOutcome::CancelPending { patience_secs: 500 };
+        let out = run_toy(vec![j]);
+        assert_eq!(out[0].state, JobState::Completed);
+    }
+
+    #[test]
+    fn dependency_waits_for_parent() {
+        let mut child = JobRequest::simple(2, t0(), 1, 600, 300);
+        child.dependency = Some(1);
+        let out = run_toy(vec![JobRequest::simple(1, t0(), 1, 600, 500), child]);
+        assert_eq!(out[1].eligible, t0() + 500);
+        assert_eq!(out[1].start, Some(t0() + 500));
+        // Wait measured from eligibility is zero.
+        assert_eq!(out[1].wait_secs(), Some(0));
+    }
+
+    #[test]
+    fn dependency_on_failed_parent_still_releases() {
+        let mut parent = JobRequest::simple(1, t0(), 1, 600, 500);
+        parent.outcome = PlannedOutcome::Fail {
+            at: 0.2,
+            exit_code: 1,
+        };
+        let mut child = JobRequest::simple(2, t0(), 1, 600, 300);
+        child.dependency = Some(1);
+        let out = run_toy(vec![parent, child]);
+        assert_eq!(out[1].state, JobState::Completed);
+        assert_eq!(out[1].eligible, t0() + 100);
+    }
+
+    #[test]
+    fn validation_rejects_bad_requests() {
+        let sim = Simulator::new(SystemConfig::toy(8));
+        let mut j = JobRequest::simple(1, t0(), 99, 600, 300);
+        assert!(matches!(
+            sim.run(&[j.clone()]),
+            Err(SimError::TooManyNodes { .. })
+        ));
+        j.nodes = 1;
+        j.partition = "gpu".into();
+        assert!(matches!(
+            sim.run(&[j.clone()]),
+            Err(SimError::UnknownPartition { .. })
+        ));
+        j.partition = "batch".into();
+        j.walltime_secs = 999_999_999;
+        assert!(matches!(
+            sim.run(&[j.clone()]),
+            Err(SimError::WalltimeOverLimit { .. })
+        ));
+        j.walltime_secs = 600;
+        let dup = JobRequest::simple(1, t0(), 1, 600, 300);
+        assert!(matches!(
+            sim.run(&[j.clone(), dup]),
+            Err(SimError::DuplicateId(1))
+        ));
+        j.dependency = Some(77);
+        assert!(matches!(
+            sim.run(&[j]),
+            Err(SimError::UnknownDependency { .. })
+        ));
+    }
+
+    #[test]
+    fn fairshare_boosts_light_users_in_queue_order() {
+        // Machine busy; user 0 has burned massive recent usage, user 1 none.
+        // Two identical jobs queue; the light user's starts first despite
+        // submitting later.
+        let mut cfg = SystemConfig::toy(8);
+        cfg.weights.fairshare = 50_000.0; // dominate the age factor
+        let sim = Simulator::new(cfg);
+        let mut history = JobRequest::simple(1, t0(), 8, 10_000, 9_000);
+        history.user = 0; // charges user 0 heavily when it finishes
+        let mut heavy = JobRequest::simple(2, t0() + 10, 8, 2000, 500);
+        heavy.user = 0;
+        let mut light = JobRequest::simple(3, t0() + 20, 8, 2000, 500);
+        light.user = 1;
+        let out = sim.run(&[history, heavy, light]).unwrap();
+        assert!(
+            out[2].start.unwrap() < out[1].start.unwrap(),
+            "light user jumps the heavy user: {:?} vs {:?}",
+            out[2].start,
+            out[1].start
+        );
+    }
+
+    #[test]
+    fn fairshare_decays_over_time() {
+        // Same scenario, but the contended jobs arrive ~120 half-lives after
+        // user 0's usage — the penalty decays to nothing and the earlier
+        // submission wins on the FIFO tiebreak again.
+        let mut cfg = SystemConfig::toy(8);
+        cfg.weights.fairshare = 50_000.0;
+        cfg.weights.usage_halflife_secs = 600;
+        let sim = Simulator::new(cfg);
+        let mut history = JobRequest::simple(1, t0(), 8, 10_000, 9_000);
+        history.user = 0;
+        let late = t0() + 9_000 + 20 * 3600; // long idle gap
+        let mut blocker = JobRequest::simple(2, late, 8, 10_000, 3000);
+        blocker.user = 2;
+        let mut heavy = JobRequest::simple(3, late + 10, 8, 2000, 500);
+        heavy.user = 0;
+        let mut light = JobRequest::simple(4, late + 20, 8, 2000, 500);
+        light.user = 1;
+        let out = sim.run(&[history, blocker, heavy, light]).unwrap();
+        assert!(
+            out[2].start.unwrap() <= out[3].start.unwrap(),
+            "after decay, earlier submission wins again"
+        );
+    }
+
+    #[test]
+    fn conservation_of_nodes() {
+        // Stress: many random-ish jobs; the pool must never oversubscribe
+        // (release panics on double-free, allocate refuses oversubscription —
+        // completion of the run is the assertion).
+        let mut jobs = Vec::new();
+        for i in 0..200u64 {
+            jobs.push(JobRequest::simple(
+                i,
+                t0() + (i as i64 * 37) % 5000,
+                (i % 7 + 1) as u32,
+                3600,
+                ((i * 131) % 3000 + 10) as i64,
+            ));
+        }
+        let out = run_toy(jobs);
+        assert_eq!(out.len(), 200);
+        assert!(out.iter().all(|o| o.state == JobState::Completed));
+        // All jobs ran within machine capacity.
+        assert!(out.iter().all(|o| o.node_indices.len() <= 8));
+    }
+
+    #[test]
+    fn urgent_preempts_standby_but_not_normal() {
+        let mut cfg = SystemConfig::toy(8);
+        cfg.qos.push(schedflow_model::partition::Qos::standby());
+        cfg.qos.push(schedflow_model::partition::Qos::urgent());
+        let sim = Simulator::new(cfg);
+
+        // Standby filler holds the machine; urgent arrives and preempts it.
+        let mut filler = JobRequest::simple(1, t0(), 8, 4000, 4000);
+        filler.qos = "standby".into();
+        let mut urgent = JobRequest::simple(2, t0() + 100, 4, 1000, 500);
+        urgent.qos = "urgent".into();
+        let out = sim.run(&[filler, urgent]).unwrap();
+        assert_eq!(out[0].state, JobState::Preempted);
+        assert_eq!(out[0].end, Some(t0() + 100), "preempted at urgent arrival");
+        assert_eq!(out[0].exit_signal, 15);
+        assert_eq!(out[1].start, Some(t0() + 100), "urgent starts immediately");
+        assert_eq!(out[1].state, JobState::Completed);
+    }
+
+    #[test]
+    fn urgent_does_not_preempt_non_preemptible_work() {
+        let mut cfg = SystemConfig::toy(8);
+        cfg.qos.push(schedflow_model::partition::Qos::urgent());
+        let sim = Simulator::new(cfg);
+        let filler = JobRequest::simple(1, t0(), 8, 2000, 2000); // normal QOS
+        let mut urgent = JobRequest::simple(2, t0() + 100, 4, 1000, 500);
+        urgent.qos = "urgent".into();
+        let out = sim.run(&[filler, urgent]).unwrap();
+        assert_eq!(out[0].state, JobState::Completed, "normal work untouched");
+        assert_eq!(out[1].start, Some(t0() + 2000), "urgent waits for the end");
+    }
+
+    #[test]
+    fn preemption_frees_only_what_is_needed() {
+        let mut cfg = SystemConfig::toy(8);
+        cfg.qos.push(schedflow_model::partition::Qos::standby());
+        cfg.qos.push(schedflow_model::partition::Qos::urgent());
+        let sim = Simulator::new(cfg);
+        // Two standby jobs of 4 nodes each; urgent needs 4 → one victim.
+        let mut s1 = JobRequest::simple(1, t0(), 4, 4000, 4000);
+        s1.qos = "standby".into();
+        let mut s2 = JobRequest::simple(2, t0() + 10, 4, 4000, 4000);
+        s2.qos = "standby".into();
+        let mut urgent = JobRequest::simple(3, t0() + 100, 4, 1000, 500);
+        urgent.qos = "urgent".into();
+        let out = sim.run(&[s1, s2, urgent]).unwrap();
+        let preempted = out.iter().filter(|o| o.state == JobState::Preempted).count();
+        assert_eq!(preempted, 1, "exactly one victim");
+        // The most recently started standby is the victim (least work lost).
+        assert_eq!(out[1].state, JobState::Preempted);
+        assert_eq!(out[0].state, JobState::Completed);
+    }
+
+    #[test]
+    fn dependents_of_preempted_jobs_are_released() {
+        let mut cfg = SystemConfig::toy(8);
+        cfg.qos.push(schedflow_model::partition::Qos::standby());
+        cfg.qos.push(schedflow_model::partition::Qos::urgent());
+        let sim = Simulator::new(cfg);
+        let mut parent = JobRequest::simple(1, t0(), 8, 4000, 4000);
+        parent.qos = "standby".into();
+        let mut child = JobRequest::simple(2, t0(), 1, 600, 300);
+        child.dependency = Some(1);
+        let mut urgent = JobRequest::simple(3, t0() + 100, 8, 1000, 500);
+        urgent.qos = "urgent".into();
+        let out = sim.run(&[parent, child, urgent]).unwrap();
+        assert_eq!(out[0].state, JobState::Preempted);
+        // afterany: the child becomes eligible at preemption time.
+        assert_eq!(out[1].eligible, t0() + 100);
+        assert_eq!(out[1].state, JobState::Completed);
+    }
+
+    #[test]
+    fn higher_qos_jumps_queue() {
+        let mut cfg = SystemConfig::toy(8);
+        cfg.qos.push(schedflow_model::partition::Qos::urgent());
+        let sim = Simulator::new(cfg);
+        // Fill the machine, then queue a normal and an urgent job.
+        let filler = JobRequest::simple(1, t0(), 8, 2000, 2000);
+        let normal = JobRequest::simple(2, t0() + 10, 8, 1000, 100);
+        let mut urgent = JobRequest::simple(3, t0() + 20, 8, 1000, 100);
+        urgent.qos = "urgent".into();
+        let out = sim.run(&[filler, normal, urgent]).unwrap();
+        // Urgent starts before normal despite later submission.
+        assert!(out[2].start.unwrap() < out[1].start.unwrap());
+    }
+}

@@ -1,0 +1,174 @@
+//! System configuration: the machine and its scheduling policy knobs.
+
+use schedflow_model::partition::{Partition, Qos};
+use schedflow_model::time::Elapsed;
+use serde::{Deserialize, Serialize};
+
+/// Backfill strategy used by the scheduling pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BackfillPolicy {
+    /// Strict priority order; the head of queue blocks everything behind it.
+    None,
+    /// EASY backfilling: reservation for the head job only; lower-priority
+    /// jobs may jump ahead if they do not delay that reservation.
+    Easy,
+    /// Conservative backfilling: reservations for every queued job (bounded
+    /// by `bf_max_job_test`); backfill must delay none of them.
+    Conservative,
+}
+
+/// Multifactor priority weights (Slurm's PriorityWeight* knobs, reduced to
+/// the factors that matter for trace shape: age, size, QOS, partition tier).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PriorityWeights {
+    /// Weight of the (saturating) age factor.
+    pub age: f64,
+    /// Queue age at which the age factor saturates, seconds.
+    pub max_age_secs: i64,
+    /// Weight of the job-size factor (fraction of machine requested).
+    /// Positive favors large jobs, as leadership-class systems do.
+    pub size: f64,
+    /// Weight multiplying the partition priority tier.
+    pub tier: f64,
+    /// Weight of the fair-share factor (users with little recent usage are
+    /// boosted; heavy users decay toward zero boost).
+    pub fairshare: f64,
+    /// Half-life of the decayed per-user usage behind the fair-share factor.
+    pub usage_halflife_secs: i64,
+}
+
+impl Default for PriorityWeights {
+    fn default() -> Self {
+        Self {
+            age: 10_000.0,
+            max_age_secs: 14 * 86_400,
+            size: 5_000.0,
+            tier: 50_000.0,
+            fairshare: 8_000.0,
+            usage_halflife_secs: 7 * 86_400,
+        }
+    }
+}
+
+/// Full simulator configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SystemConfig {
+    /// Cluster name as recorded in sacct (`frontier`, `andes`).
+    pub name: String,
+    /// Total compute nodes.
+    pub total_nodes: u32,
+    /// Physical cores per node (for NCPUs accounting).
+    pub cores_per_node: u32,
+    /// GPUs per node (0 for CPU machines).
+    pub gpus_per_node: u32,
+    /// Zero-padding width of node-name indices in hostlists.
+    pub node_name_width: usize,
+    pub partitions: Vec<Partition>,
+    pub qos: Vec<Qos>,
+    pub backfill: BackfillPolicy,
+    /// Maximum queued jobs examined per backfill pass (Slurm's
+    /// `bf_max_job_test`), bounding pass cost on deep queues.
+    pub bf_max_job_test: usize,
+    pub weights: PriorityWeights,
+}
+
+impl SystemConfig {
+    /// OLCF Frontier: 9,408 nodes, 64 cores + 8 (logical) GPUs per node,
+    /// exascale batch mission with a small high-priority debug slice.
+    pub fn frontier() -> Self {
+        SystemConfig {
+            name: "frontier".to_owned(),
+            total_nodes: 9408,
+            cores_per_node: 56, // 64 minus the 8 reserved "low-noise" cores
+            gpus_per_node: 8,
+            node_name_width: 5,
+            partitions: vec![
+                Partition::batch(9408, Elapsed::from_hours(24)),
+                Partition::debug(128),
+            ],
+            qos: vec![Qos::normal(), Qos::debug(), Qos::standby(), Qos::urgent()],
+            backfill: BackfillPolicy::Easy,
+            bf_max_job_test: 100,
+            weights: PriorityWeights::default(),
+        }
+    }
+
+    /// OLCF Andes: 704 CPU nodes for analysis/throughput workloads.
+    pub fn andes() -> Self {
+        SystemConfig {
+            name: "andes".to_owned(),
+            total_nodes: 704,
+            cores_per_node: 32,
+            gpus_per_node: 0,
+            node_name_width: 4,
+            partitions: vec![
+                Partition::batch(704, Elapsed::from_hours(48)),
+                Partition::debug(16),
+            ],
+            qos: vec![Qos::normal(), Qos::debug()],
+            backfill: BackfillPolicy::Easy,
+            bf_max_job_test: 100,
+            weights: PriorityWeights {
+                // Throughput machine: size bias mild, age dominates.
+                size: 1_000.0,
+                ..PriorityWeights::default()
+            },
+        }
+    }
+
+    /// A deliberately tiny machine for unit tests.
+    pub fn toy(total_nodes: u32) -> Self {
+        SystemConfig {
+            name: "toy".to_owned(),
+            total_nodes,
+            cores_per_node: 8,
+            gpus_per_node: 0,
+            node_name_width: 3,
+            partitions: vec![Partition::batch(total_nodes, Elapsed::from_hours(24))],
+            qos: vec![Qos::normal()],
+            backfill: BackfillPolicy::Easy,
+            bf_max_job_test: 50,
+            weights: PriorityWeights::default(),
+        }
+    }
+
+    pub fn partition(&self, name: &str) -> Option<&Partition> {
+        self.partitions.iter().find(|p| p.name == name)
+    }
+
+    pub fn qos(&self, name: &str) -> Option<&Qos> {
+        self.qos.iter().find(|q| q.name == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frontier_profile_is_exascale() {
+        let c = SystemConfig::frontier();
+        assert_eq!(c.total_nodes, 9408);
+        assert_eq!(c.gpus_per_node, 8);
+        assert!(c.partition("batch").is_some());
+        assert!(c.partition("debug").is_some());
+        assert!(c.qos("urgent").is_some());
+    }
+
+    #[test]
+    fn andes_profile_is_cpu_throughput() {
+        let c = SystemConfig::andes();
+        assert!(c.total_nodes < SystemConfig::frontier().total_nodes);
+        assert_eq!(c.gpus_per_node, 0);
+        assert!(c.weights.size < SystemConfig::frontier().weights.size);
+    }
+
+    #[test]
+    fn lookups() {
+        let c = SystemConfig::toy(8);
+        assert!(c.partition("batch").is_some());
+        assert!(c.partition("nope").is_none());
+        assert!(c.qos("normal").is_some());
+        assert!(c.qos("urgent").is_none());
+    }
+}

@@ -1,0 +1,146 @@
+//! Submission arrival process: nonhomogeneous Poisson with diurnal and
+//! weekly cycles, sampled by thinning.
+//!
+//! HPC submission streams peak during working hours and sag on weekends; the
+//! wait-time spikes in the paper's Figure 4 ride on exactly this modulation
+//! (bursts meeting a loaded machine).
+
+use rand::Rng;
+use schedflow_model::time::{Timestamp, DAY, HOUR};
+
+/// Instantaneous rate multiplier at `t` for the given modulation knobs.
+///
+/// Diurnal: sinusoid peaking at 14:00 local; weekly: weekend multiplier.
+pub fn rate_multiplier(t: Timestamp, diurnal_amplitude: f64, weekend_factor: f64) -> f64 {
+    let sec_of_day = t.seconds_of_day() as f64;
+    let phase = (sec_of_day - 14.0 * HOUR as f64) / DAY as f64 * std::f64::consts::TAU;
+    let diurnal = 1.0 + diurnal_amplitude * phase.cos();
+    let weekly = if t.weekday() >= 5 { weekend_factor } else { 1.0 };
+    (diurnal * weekly).max(0.0)
+}
+
+/// Sample arrival timestamps over `[start, end)` with mean `per_day` events
+/// per day, modulated by [`rate_multiplier`]. Uses Lewis–Shedler thinning
+/// against the envelope rate; output is sorted.
+pub fn sample_arrivals(
+    start: Timestamp,
+    end: Timestamp,
+    per_day: f64,
+    diurnal_amplitude: f64,
+    weekend_factor: f64,
+    rng: &mut impl Rng,
+) -> Vec<Timestamp> {
+    assert!(end.0 > start.0, "empty window");
+    assert!(per_day >= 0.0);
+    if per_day == 0.0 {
+        return Vec::new();
+    }
+    let base_rate = per_day / DAY as f64; // events per second
+    let envelope = base_rate * (1.0 + diurnal_amplitude) * weekend_factor.max(1.0);
+    let mut out = Vec::with_capacity((per_day * (end.0 - start.0) as f64 / DAY as f64) as usize);
+    let mut t = start.0 as f64;
+    loop {
+        // Exponential gap under the envelope rate.
+        let u: f64 = rng.gen::<f64>();
+        if u <= 0.0 {
+            continue;
+        }
+        t += -u.ln() / envelope;
+        if t >= end.0 as f64 {
+            break;
+        }
+        let ts = Timestamp(t as i64);
+        let accept = base_rate * rate_multiplier(ts, diurnal_amplitude, weekend_factor) / envelope;
+        if rng.gen::<f64>() < accept {
+            out.push(ts);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn window() -> (Timestamp, Timestamp) {
+        (Timestamp::from_ymd(2024, 3, 4), Timestamp::from_ymd(2024, 4, 1))
+    }
+
+    #[test]
+    fn volume_matches_rate() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let (s, e) = window();
+        let days = (e.0 - s.0) as f64 / DAY as f64;
+        let arr = sample_arrivals(s, e, 500.0, 0.4, 0.6, &mut rng);
+        let expected = 500.0 * days * weekly_mean_multiplier(0.6);
+        let got = arr.len() as f64;
+        assert!(
+            (got / expected - 1.0).abs() < 0.1,
+            "got {got}, expected ~{expected}"
+        );
+    }
+
+    fn weekly_mean_multiplier(weekend_factor: f64) -> f64 {
+        (5.0 + 2.0 * weekend_factor) / 7.0
+    }
+
+    #[test]
+    fn arrivals_are_sorted_and_in_window() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let (s, e) = window();
+        let arr = sample_arrivals(s, e, 200.0, 0.5, 0.5, &mut rng);
+        assert!(arr.windows(2).all(|w| w[0] <= w[1]));
+        assert!(arr.iter().all(|t| *t >= s && *t < e));
+    }
+
+    #[test]
+    fn daytime_outpaces_nighttime() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let (s, e) = window();
+        let arr = sample_arrivals(s, e, 800.0, 0.6, 1.0, &mut rng);
+        let day = arr
+            .iter()
+            .filter(|t| (10..18).contains(&(t.seconds_of_day() / HOUR)))
+            .count();
+        let night = arr
+            .iter()
+            .filter(|t| !(6..22).contains(&(t.seconds_of_day() / HOUR)))
+            .count();
+        assert!(day > night, "day {day} night {night}");
+    }
+
+    #[test]
+    fn weekends_are_quieter() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let (s, e) = window();
+        let arr = sample_arrivals(s, e, 800.0, 0.0, 0.3, &mut rng);
+        let weekend = arr.iter().filter(|t| t.weekday() >= 5).count() as f64;
+        let weekday = arr.iter().filter(|t| t.weekday() < 5).count() as f64;
+        // Per-day rates: weekend ≈ 0.3 × weekday.
+        let ratio = (weekend / 2.0) / (weekday / 5.0);
+        assert!((ratio - 0.3).abs() < 0.1, "ratio {ratio}");
+    }
+
+    #[test]
+    fn zero_rate_yields_nothing() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let (s, e) = window();
+        assert!(sample_arrivals(s, e, 0.0, 0.4, 0.5, &mut rng).is_empty());
+    }
+
+    #[test]
+    fn multiplier_is_nonnegative_and_periodic() {
+        for h in 0..48 {
+            let t = Timestamp(Timestamp::from_ymd(2024, 1, 1).0 + h * HOUR);
+            let m = rate_multiplier(t, 0.9, 0.5);
+            assert!(m >= 0.0);
+        }
+        let midday = Timestamp::from_civil(2024, 1, 3, 14, 0, 0);
+        let midnight = Timestamp::from_civil(2024, 1, 3, 2, 0, 0);
+        assert!(
+            rate_multiplier(midday, 0.5, 1.0) > rate_multiplier(midnight, 0.5, 1.0)
+        );
+    }
+}

@@ -1,0 +1,240 @@
+//! Record assembly: plan + scheduling outcome → a full sacct-shaped
+//! [`JobRecord`] with usage, energy, hostlist, flags and steps.
+
+use crate::profile::WorkloadProfile;
+use crate::requests::JobPlan;
+use crate::steps::generate_steps;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use schedflow_model::flags::{Flag, JobFlags};
+use schedflow_model::ids::{Account, JobId, UserId};
+use schedflow_model::nodes::compress;
+use schedflow_model::record::{JobRecord, Layout};
+use schedflow_model::state::{ExitCode, PendingReason};
+use schedflow_model::time::{Elapsed, TimeLimit, Timestamp};
+use schedflow_model::tres::{Tres, TresKind};
+use schedflow_model::units::MemSpec;
+use schedflow_sim::SimOutcome;
+
+/// Build the complete job record for one (plan, outcome) pair.
+pub fn assemble_record(
+    plan: &JobPlan,
+    outcome: &SimOutcome,
+    profile: &WorkloadProfile,
+) -> JobRecord {
+    // Usage RNG decorrelated from the step RNG (same seed, different stream).
+    let mut rng = SmallRng::seed_from_u64(plan.seed ^ 0x9e37_79b9_7f4a_7c15);
+    let sys = &profile.system;
+    let req = &plan.request;
+
+    let record_id = match plan.array {
+        Some((parent, k)) => JobId::array(parent, k),
+        None => JobId::plain(req.id),
+    };
+
+    let started = outcome.start.is_some();
+    let start = outcome.start.unwrap_or(Timestamp::UNKNOWN);
+    let end = outcome.end.unwrap_or(Timestamp::UNKNOWN);
+    let elapsed = Elapsed(outcome.elapsed_secs().unwrap_or(0));
+
+    let mut flags = JobFlags::EMPTY;
+    if started {
+        flags.insert(if outcome.backfilled {
+            Flag::SchedBackfill
+        } else {
+            Flag::SchedMain
+        });
+        if outcome.started_on_submit {
+            flags.insert(Flag::StartedOnSubmit);
+        }
+    }
+    if req.dependency.is_some() {
+        flags.insert(Flag::Dependent);
+    }
+    if req.qos == "standby" {
+        flags.insert(Flag::Preemptible);
+    }
+
+    let ncpus = req.nodes * sys.cores_per_node;
+    let ntasks = req.nodes * plan.tasks_per_node;
+    let node_list = if outcome.node_indices.is_empty() {
+        String::new()
+    } else {
+        // 1-based node names, as sites conventionally number hardware.
+        let idx: Vec<u32> = outcome.node_indices.iter().map(|i| i + 1).collect();
+        compress(&sys.name, &idx, sys.node_name_width)
+    };
+
+    // Usage models: CPU efficiency, memory footprint, energy, IO.
+    let cpu_eff = 0.35 + 0.6 * rng.gen::<f64>();
+    let total_cpu = Elapsed((elapsed.0 as f64 * f64::from(ncpus) * cpu_eff) as i64);
+    let mem_cap_bytes = plan.req_mem_mib_per_node * 1024 * 1024;
+    let max_rss = ((mem_cap_bytes as f64) * (0.1 + 0.75 * rng.gen::<f64>())) as u64;
+    let gpu_load = if sys.gpus_per_node > 0 { 0.6 + 0.4 * rng.gen::<f64>() } else { 1.0 };
+    let energy_j = (f64::from(req.nodes)
+        * elapsed.0 as f64
+        * profile.node_power_watts
+        * gpu_load) as u64;
+
+    let mut alloc_tres = Tres::new()
+        .with(TresKind::Cpu, u64::from(ncpus))
+        .with(TresKind::Mem, mem_cap_bytes * u64::from(req.nodes))
+        .with(TresKind::Node, u64::from(req.nodes))
+        .with(TresKind::Billing, u64::from(ncpus));
+    if sys.gpus_per_node > 0 {
+        alloc_tres.set(
+            TresKind::Gres("gpu".to_owned()),
+            u64::from(req.nodes * sys.gpus_per_node),
+        );
+    }
+
+    let wait = outcome.wait_secs().unwrap_or(0);
+    let reason = if !started {
+        PendingReason::Priority
+    } else if wait > 60 {
+        if req.nodes > sys.total_nodes / 4 {
+            PendingReason::Resources
+        } else {
+            PendingReason::Priority
+        }
+    } else if req.dependency.is_some() {
+        PendingReason::Dependency
+    } else {
+        PendingReason::None
+    };
+
+    let steps = generate_steps(plan, outcome, record_id);
+
+    JobRecord {
+        id: record_id,
+        name: plan.name.clone(),
+        user: UserId(req.user),
+        account: Account(plan.account.clone()),
+        cluster: sys.name.clone(),
+        partition: req.partition.clone(),
+        qos: req.qos.clone(),
+        reservation: None,
+        reservation_id: None,
+        submit: req.submit,
+        eligible: outcome.eligible,
+        start,
+        end,
+        elapsed,
+        timelimit: TimeLimit::Limit(Elapsed(req.walltime_secs)),
+        suspended: Elapsed::ZERO,
+        nnodes: req.nodes,
+        ncpus,
+        ntasks,
+        req_mem: MemSpec::per_node_mib(plan.req_mem_mib_per_node),
+        req_gres: if sys.gpus_per_node > 0 {
+            format!("gpu:{}", sys.gpus_per_node)
+        } else {
+            String::new()
+        },
+        layout: Layout::Block,
+        alloc_tres,
+        node_list,
+        consumed_energy_j: energy_j,
+        max_rss_bytes: max_rss,
+        ave_vm_size_bytes: (max_rss as f64 * (1.1 + 0.4 * rng.gen::<f64>())) as u64,
+        total_cpu,
+        work_dir: plan.work_dir.clone(),
+        ave_disk_read: (rng.gen::<f64>() * 8e9) as u64,
+        ave_disk_write: (rng.gen::<f64>() * 2e9) as u64,
+        max_disk_read: (rng.gen::<f64>() * 3e10) as u64,
+        max_disk_write: (rng.gen::<f64>() * 8e9) as u64,
+        state: outcome.state,
+        exit_code: ExitCode::new(outcome.exit_code, outcome.exit_signal),
+        reason,
+        restarts: 0,
+        constraints: String::new(),
+        priority: outcome.priority,
+        flags,
+        dependency: req.dependency.map(JobId::plain),
+        array_job_id: plan.array.map(|(parent, _)| parent),
+        comment: String::new(),
+        steps,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::users::UserPopulation;
+    use schedflow_sim::Simulator;
+
+    fn generate_small() -> (WorkloadProfile, Vec<JobPlan>, Vec<SimOutcome>) {
+        // Dense enough that the simulator must queue and backfill.
+        let profile = WorkloadProfile::andes().truncated_days(14).scaled(0.8);
+        let mut rng = SmallRng::seed_from_u64(21);
+        let pop = UserPopulation::generate(&profile, &mut rng);
+        let plans = crate::requests::synthesize_plans(&profile, &pop, &mut rng);
+        let reqs: Vec<_> = plans.iter().map(|p| p.request.clone()).collect();
+        let outcomes = Simulator::new(profile.system.clone()).run(&reqs).unwrap();
+        (profile, plans, outcomes)
+    }
+
+    #[test]
+    fn records_validate() {
+        let (profile, plans, outcomes) = generate_small();
+        assert!(plans.len() > 500);
+        for (plan, outcome) in plans.iter().zip(&outcomes) {
+            let rec = assemble_record(plan, outcome, &profile);
+            rec.validate()
+                .unwrap_or_else(|e| panic!("invalid record: {e}"));
+        }
+    }
+
+    #[test]
+    fn backfill_flags_and_hostlists_match_outcomes() {
+        let (profile, plans, outcomes) = generate_small();
+        let mut saw_backfill = false;
+        for (plan, outcome) in plans.iter().zip(&outcomes) {
+            let rec = assemble_record(plan, outcome, &profile);
+            assert_eq!(rec.is_backfilled(), outcome.backfilled);
+            if outcome.backfilled {
+                saw_backfill = true;
+            }
+            if outcome.start.is_some() {
+                let n = schedflow_model::nodes::count(&rec.node_list).unwrap();
+                assert_eq!(n, u64::from(rec.nnodes));
+            } else {
+                assert!(rec.node_list.is_empty());
+                assert!(rec.steps.is_empty());
+            }
+        }
+        assert!(saw_backfill, "a loaded machine should backfill something");
+    }
+
+    #[test]
+    fn array_elements_carry_parent() {
+        let (profile, plans, outcomes) = generate_small();
+        let mut saw = false;
+        for (plan, outcome) in plans.iter().zip(&outcomes) {
+            if let Some((parent, k)) = plan.array {
+                saw = true;
+                let rec = assemble_record(plan, outcome, &profile);
+                assert_eq!(rec.array_job_id, Some(parent));
+                assert_eq!(rec.id, JobId::array(parent, k));
+            }
+        }
+        assert!(saw);
+    }
+
+    #[test]
+    fn cpu_time_bounded_by_capacity() {
+        let (profile, plans, outcomes) = generate_small();
+        for (plan, outcome) in plans.iter().zip(&outcomes).take(500) {
+            let rec = assemble_record(plan, outcome, &profile);
+            assert!(rec.total_cpu.0 <= rec.elapsed.0 * i64::from(rec.ncpus));
+        }
+    }
+
+    #[test]
+    fn assembly_is_deterministic() {
+        let (profile, plans, outcomes) = generate_small();
+        let a = assemble_record(&plans[0], &outcomes[0], &profile);
+        let b = assemble_record(&plans[0], &outcomes[0], &profile);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,209 @@
+//! Sampling primitives for the workload generator.
+//!
+//! Only the distributions the workload phenomenology needs: normal/lognormal
+//! (runtimes, overestimation factors), exponential (inter-arrival gaps),
+//! weighted discrete choice (users, archetypes, size buckets), and Zipf
+//! weights (user activity skew). Implemented directly over `rand`'s uniform
+//! source so the crate stays within the approved dependency set.
+
+use rand::Rng;
+
+/// Standard normal via Box–Muller (one value per call; simple and fast
+/// enough for trace generation).
+pub fn normal(rng: &mut impl Rng) -> f64 {
+    loop {
+        let u1: f64 = rng.gen::<f64>();
+        if u1 <= f64::MIN_POSITIVE {
+            continue;
+        }
+        let u2: f64 = rng.gen::<f64>();
+        return (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+    }
+}
+
+/// Normal with mean `mu` and standard deviation `sigma`.
+pub fn normal_ms(rng: &mut impl Rng, mu: f64, sigma: f64) -> f64 {
+    mu + sigma * normal(rng)
+}
+
+/// Log-normal: `exp(N(mu, sigma))`. `mu` is the log of the median.
+pub fn lognormal(rng: &mut impl Rng, mu: f64, sigma: f64) -> f64 {
+    normal_ms(rng, mu, sigma).exp()
+}
+
+/// Exponential with the given rate (mean = 1/rate).
+pub fn exponential(rng: &mut impl Rng, rate: f64) -> f64 {
+    assert!(rate > 0.0, "rate must be positive");
+    loop {
+        let u: f64 = rng.gen::<f64>();
+        if u > 0.0 {
+            return -u.ln() / rate;
+        }
+    }
+}
+
+/// Pareto with scale `xm` and shape `alpha` (heavy-tailed sizes).
+pub fn pareto(rng: &mut impl Rng, xm: f64, alpha: f64) -> f64 {
+    assert!(xm > 0.0 && alpha > 0.0);
+    loop {
+        let u: f64 = rng.gen::<f64>();
+        if u > 0.0 {
+            return xm / u.powf(1.0 / alpha);
+        }
+    }
+}
+
+/// Precomputed cumulative table for repeated weighted sampling.
+#[derive(Debug, Clone)]
+pub struct Categorical {
+    cumulative: Vec<f64>,
+}
+
+impl Categorical {
+    /// Build from non-negative weights (at least one positive).
+    pub fn new(weights: &[f64]) -> Self {
+        assert!(!weights.is_empty(), "empty weight vector");
+        let mut cumulative = Vec::with_capacity(weights.len());
+        let mut acc = 0.0;
+        for &w in weights {
+            assert!(w >= 0.0 && w.is_finite(), "invalid weight {w}");
+            acc += w;
+            cumulative.push(acc);
+        }
+        assert!(acc > 0.0, "all weights zero");
+        Categorical { cumulative }
+    }
+
+    /// Sample an index proportional to its weight.
+    pub fn sample(&self, rng: &mut impl Rng) -> usize {
+        let total = *self.cumulative.last().unwrap();
+        let x: f64 = rng.gen::<f64>() * total;
+        match self
+            .cumulative
+            .binary_search_by(|c| c.partial_cmp(&x).unwrap())
+        {
+            Ok(i) => (i + 1).min(self.cumulative.len() - 1),
+            Err(i) => i.min(self.cumulative.len() - 1),
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.cumulative.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.cumulative.is_empty()
+    }
+}
+
+/// Zipf weights `1/k^alpha` for ranks 1..=n — the classic fit for per-user
+/// HPC activity skew.
+pub fn zipf_weights(n: usize, alpha: f64) -> Vec<f64> {
+    (1..=n).map(|k| (k as f64).powf(-alpha)).collect()
+}
+
+/// Clamp + round a float sample to an integer range.
+pub fn to_int_clamped(x: f64, lo: i64, hi: i64) -> i64 {
+    if x.is_nan() {
+        return lo;
+    }
+    (x.round() as i64).clamp(lo, hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn rng() -> SmallRng {
+        SmallRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut r = rng();
+        let n = 50_000;
+        let samples: Vec<f64> = (0..n).map(|_| normal(&mut r)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.03, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn lognormal_median() {
+        let mut r = rng();
+        let mut samples: Vec<f64> = (0..20_001).map(|_| lognormal(&mut r, 3.0, 0.8)).collect();
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = samples[10_000];
+        let expected = 3.0f64.exp();
+        assert!((median / expected - 1.0).abs() < 0.1, "median {median} vs {expected}");
+        assert!(samples.iter().all(|&x| x > 0.0));
+    }
+
+    #[test]
+    fn exponential_mean() {
+        let mut r = rng();
+        let n = 50_000;
+        let mean = (0..n).map(|_| exponential(&mut r, 0.25)).sum::<f64>() / n as f64;
+        assert!((mean - 4.0).abs() < 0.15, "mean {mean}");
+    }
+
+    #[test]
+    fn pareto_is_bounded_below() {
+        let mut r = rng();
+        for _ in 0..1000 {
+            assert!(pareto(&mut r, 2.0, 1.5) >= 2.0);
+        }
+    }
+
+    #[test]
+    fn categorical_respects_weights() {
+        let mut r = rng();
+        let cat = Categorical::new(&[1.0, 0.0, 3.0]);
+        let mut counts = [0usize; 3];
+        for _ in 0..40_000 {
+            counts[cat.sample(&mut r)] += 1;
+        }
+        assert_eq!(counts[1], 0);
+        let ratio = counts[2] as f64 / counts[0] as f64;
+        assert!((ratio - 3.0).abs() < 0.3, "ratio {ratio}");
+    }
+
+    #[test]
+    #[should_panic(expected = "all weights zero")]
+    fn categorical_rejects_zero_mass() {
+        Categorical::new(&[0.0, 0.0]);
+    }
+
+    #[test]
+    fn zipf_is_decreasing_and_skewed() {
+        let w = zipf_weights(100, 1.2);
+        assert_eq!(w.len(), 100);
+        for pair in w.windows(2) {
+            assert!(pair[0] > pair[1]);
+        }
+        let total: f64 = w.iter().sum();
+        // Top-10 users carry most of the mass at alpha=1.2.
+        let top10: f64 = w[..10].iter().sum();
+        assert!(top10 / total > 0.5);
+    }
+
+    #[test]
+    fn clamped_rounding() {
+        assert_eq!(to_int_clamped(2.6, 1, 10), 3);
+        assert_eq!(to_int_clamped(-5.0, 1, 10), 1);
+        assert_eq!(to_int_clamped(99.0, 1, 10), 10);
+        assert_eq!(to_int_clamped(f64::NAN, 1, 10), 1);
+    }
+
+    #[test]
+    fn determinism_under_fixed_seed() {
+        let mut a = SmallRng::seed_from_u64(7);
+        let mut b = SmallRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(normal(&mut a), normal(&mut b));
+        }
+    }
+}

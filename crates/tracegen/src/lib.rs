@@ -1,0 +1,173 @@
+//! # schedflow-tracegen
+//!
+//! Calibrated synthetic Slurm workload generation — the substitute for the
+//! paper's gated OLCF trace archives.
+//!
+//! The pipeline is: sample users ([`users`], Zipf activity + behavioral
+//! archetypes) and submissions ([`arrival`], nonhomogeneous Poisson;
+//! [`requests`], sizes/runtimes/overestimation/outcomes/arrays/dependencies),
+//! schedule them through `schedflow-sim` (waits and backfill flags *emerge*),
+//! then assemble full sacct-shaped records ([`assemble`], [`steps`]).
+//!
+//! [`profile::WorkloadProfile`] carries the per-system calibration; the
+//! `frontier`, `andes`, and `frontier_early` presets target the shapes of the
+//! paper's Figures 1 and 3–9.
+
+pub mod arrival;
+pub mod assemble;
+pub mod dist;
+pub mod profile;
+pub mod requests;
+pub mod steps;
+pub mod users;
+
+pub use assemble::assemble_record;
+pub use profile::{OutcomeWeights, SizeBucket, StepBucket, WorkloadProfile};
+pub use requests::{synthesize_plans, JobPlan, BASE_JOB_ID};
+pub use users::{Archetype, UserModel, UserPopulation};
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use schedflow_model::record::JobRecord;
+use schedflow_sim::{SimMetrics, Simulator};
+
+/// End-to-end generation: plans → simulation → records.
+pub struct TraceGenerator {
+    profile: WorkloadProfile,
+    seed: u64,
+}
+
+impl TraceGenerator {
+    pub fn new(profile: WorkloadProfile, seed: u64) -> Self {
+        Self { profile, seed }
+    }
+
+    pub fn profile(&self) -> &WorkloadProfile {
+        &self.profile
+    }
+
+    /// Generate the full trace in memory. For very large profiles prefer
+    /// [`TraceGenerator::generate_each`], which streams records (job steps
+    /// dominate memory at full paper scale).
+    pub fn generate(&self) -> Vec<JobRecord> {
+        let mut out = Vec::new();
+        self.generate_each(|r| out.push(r));
+        out
+    }
+
+    /// Generate the trace, invoking `sink` once per assembled record in
+    /// submit order, and return aggregate scheduling metrics.
+    pub fn generate_each(&self, mut sink: impl FnMut(JobRecord)) -> SimMetrics {
+        let mut rng = SmallRng::seed_from_u64(self.seed);
+        let population = UserPopulation::generate(&self.profile, &mut rng);
+        let plans = synthesize_plans(&self.profile, &population, &mut rng);
+        let requests: Vec<_> = plans.iter().map(|p| p.request.clone()).collect();
+        let sim = Simulator::new(self.profile.system.clone());
+        let outcomes = sim
+            .run(&requests)
+            .expect("synthesized requests are valid by construction");
+        let metrics = schedflow_sim::metrics(&requests, &outcomes, self.profile.system.total_nodes);
+        for (plan, outcome) in plans.iter().zip(&outcomes) {
+            sink(assemble_record(plan, outcome, &self.profile));
+        }
+        metrics
+    }
+}
+
+/// Generate a multi-segment trace (e.g. Figure 1's 2021–2024 Frontier
+/// history: the early acceptance era followed by production).
+pub fn generate_segments(segments: &[WorkloadProfile], seed: u64) -> Vec<JobRecord> {
+    let mut out = Vec::new();
+    for (i, profile) in segments.iter().enumerate() {
+        TraceGenerator::new(profile.clone(), seed.wrapping_add(i as u64 * 0x9e3779b9))
+            .generate_each(|r| out.push(r));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use schedflow_model::state::JobState;
+
+    fn small() -> TraceGenerator {
+        TraceGenerator::new(WorkloadProfile::andes().truncated_days(10).scaled(0.4), 7)
+    }
+
+    #[test]
+    fn end_to_end_generation_produces_valid_trace() {
+        let records = small().generate();
+        assert!(records.len() > 1000, "{}", records.len());
+        for r in &records {
+            r.validate().unwrap_or_else(|e| panic!("{e}"));
+        }
+        // Steps greatly outnumber jobs (Figure 1 shape).
+        let steps: usize = records.iter().map(|r| r.step_count()).sum();
+        assert!(
+            steps as f64 / records.len() as f64 > 3.0,
+            "steps/jobs = {}",
+            steps as f64 / records.len() as f64
+        );
+    }
+
+    #[test]
+    fn state_mix_has_all_major_states() {
+        let records = small().generate();
+        let count = |s: JobState| records.iter().filter(|r| r.state == s).count();
+        assert!(count(JobState::Completed) > records.len() / 2);
+        assert!(count(JobState::Failed) > 0);
+        assert!(count(JobState::Cancelled) > 0);
+        assert!(count(JobState::Timeout) > 0);
+    }
+
+    #[test]
+    fn overestimation_dominates() {
+        let records = small().generate();
+        let (mut over, mut total) = (0usize, 0usize);
+        for r in &records {
+            if r.state == JobState::Completed {
+                if let Some(u) = r.walltime_utilization() {
+                    total += 1;
+                    if u < 1.0 {
+                        over += 1;
+                    }
+                }
+            }
+        }
+        assert!(total > 100);
+        assert!(
+            over as f64 / total as f64 > 0.9,
+            "overestimation share {}",
+            over as f64 / total as f64
+        );
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = small().generate();
+        let b = small().generate();
+        assert_eq!(a.len(), b.len());
+        assert_eq!(a[0], b[0]);
+        assert_eq!(a[a.len() - 1], b[b.len() - 1]);
+    }
+
+    #[test]
+    fn segments_concatenate() {
+        let s1 = WorkloadProfile::andes().truncated_days(3).scaled(0.2);
+        let mut s2 = WorkloadProfile::andes().truncated_days(6).scaled(0.2);
+        s2.start = s1.end;
+        let records = generate_segments(&[s1.clone(), s2], 3);
+        assert!(!records.is_empty());
+        let boundary = s1.end;
+        assert!(records.iter().any(|r| r.submit < boundary));
+        assert!(records.iter().any(|r| r.submit >= boundary));
+    }
+
+    #[test]
+    fn metrics_reported_from_generation() {
+        let m = small().generate_each(|_| {});
+        assert!(m.jobs > 1000);
+        assert!(m.utilization > 0.02 && m.utilization < 1.0, "{}", m.utilization);
+        assert!(m.backfill_fraction >= 0.0);
+    }
+}

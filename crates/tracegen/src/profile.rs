@@ -1,0 +1,343 @@
+//! Workload profiles: the calibration knobs that make a synthetic trace look
+//! like a given machine's accounting history.
+//!
+//! Two presets reproduce the paper's systems: [`WorkloadProfile::frontier`]
+//! (exascale capability workload, Apr 2023–Dec 2024, ~0.5M jobs / ~7M steps)
+//! and [`WorkloadProfile::andes`] (CPU throughput workload, 2024). A third,
+//! [`WorkloadProfile::frontier_early`], models the 2021–Apr 2023 acceptance
+//! test / hero-run era that Figure 1 includes but §2 excludes from analysis.
+
+use schedflow_model::time::Timestamp;
+use schedflow_sim::SystemConfig;
+use serde::{Deserialize, Serialize};
+
+/// Relative weights of planned job outcomes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OutcomeWeights {
+    pub completed: f64,
+    pub failed: f64,
+    pub cancelled_running: f64,
+    pub cancelled_pending: f64,
+    pub timeout: f64,
+    pub node_fail: f64,
+    pub out_of_memory: f64,
+}
+
+impl OutcomeWeights {
+    pub fn as_vec(&self) -> Vec<f64> {
+        vec![
+            self.completed,
+            self.failed,
+            self.cancelled_running,
+            self.cancelled_pending,
+            self.timeout,
+            self.node_fail,
+            self.out_of_memory,
+        ]
+    }
+}
+
+/// A node-count bucket: jobs in the bucket draw log-uniformly from
+/// `[min_nodes, max_nodes]`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SizeBucket {
+    pub min_nodes: u32,
+    pub max_nodes: u32,
+    pub weight: f64,
+}
+
+/// A steps-per-job bucket (numbered `srun` steps, excluding batch/extern).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StepBucket {
+    pub min_steps: u32,
+    pub max_steps: u32,
+    pub weight: f64,
+}
+
+/// Full calibration of one generated trace segment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadProfile {
+    pub system: SystemConfig,
+    /// Trace window `[start, end)`.
+    pub start: Timestamp,
+    pub end: Timestamp,
+    /// Mean submissions per day (before diurnal/weekly modulation).
+    pub jobs_per_day: f64,
+    /// Diurnal modulation amplitude in [0,1): rate swings ±amplitude around
+    /// the mean with a working-hours peak.
+    pub diurnal_amplitude: f64,
+    /// Multiplier applied on Saturday/Sunday.
+    pub weekend_factor: f64,
+    /// Number of distinct users (paper: >1,000 on Frontier).
+    pub n_users: usize,
+    /// Zipf exponent of per-user activity (higher = more skew).
+    pub user_activity_alpha: f64,
+    /// Node-count mixture.
+    pub size_buckets: Vec<SizeBucket>,
+    /// Log-median of actual runtime, seconds.
+    pub runtime_median_secs: f64,
+    /// Log-sigma of actual runtime.
+    pub runtime_sigma: f64,
+    /// Median of the walltime overestimation factor (requested/actual); the
+    /// paper's Figures 6/9 show pervasive overestimation, tighter on Andes.
+    pub overestimate_median: f64,
+    /// Log-sigma of the overestimation factor.
+    pub overestimate_sigma: f64,
+    pub outcomes: OutcomeWeights,
+    /// Lognormal sigma of the per-user failure-rate multiplier: high on
+    /// Frontier (a few users dominate failures, Fig. 5), low on Andes (Fig. 8).
+    pub failure_skew_sigma: f64,
+    /// Steps-per-job mixture (drives Figure 1's steps ≫ jobs).
+    pub step_buckets: Vec<StepBucket>,
+    /// Fraction of submissions that are job-array parents.
+    pub array_fraction: f64,
+    /// Mean array width for array submissions.
+    pub array_mean_width: f64,
+    /// Fraction of jobs submitted with a dependency on the user's previous job.
+    pub dependency_fraction: f64,
+    /// Fraction of jobs routed to the debug partition.
+    pub debug_fraction: f64,
+    /// Fraction of jobs submitted under the preempting `urgent` QOS
+    /// (near real-time experiment analysis; 0 unless the system defines it).
+    pub urgent_fraction: f64,
+    /// Fraction of jobs submitted under the preemptible `standby` QOS
+    /// (flexible low-priority work; 0 unless the system defines it).
+    pub standby_fraction: f64,
+    /// Average per-node power draw, watts (for ConsumedEnergy).
+    pub node_power_watts: f64,
+}
+
+impl WorkloadProfile {
+    /// Frontier production era (the paper's §2 dataset): Apr 2023–Dec 2024.
+    pub fn frontier() -> Self {
+        WorkloadProfile {
+            system: SystemConfig::frontier(),
+            start: Timestamp::from_ymd(2023, 4, 1),
+            end: Timestamp::from_ymd(2025, 1, 1),
+            jobs_per_day: 780.0,
+            diurnal_amplitude: 0.45,
+            weekend_factor: 0.55,
+            n_users: 1100,
+            user_activity_alpha: 1.05,
+            size_buckets: vec![
+                SizeBucket { min_nodes: 1, max_nodes: 1, weight: 0.30 },
+                SizeBucket { min_nodes: 2, max_nodes: 8, weight: 0.36 },
+                SizeBucket { min_nodes: 9, max_nodes: 64, weight: 0.19 },
+                SizeBucket { min_nodes: 65, max_nodes: 512, weight: 0.11 },
+                SizeBucket { min_nodes: 513, max_nodes: 2048, weight: 0.025 },
+                SizeBucket { min_nodes: 2049, max_nodes: 4608, weight: 0.008 },
+                SizeBucket { min_nodes: 4609, max_nodes: 9408, weight: 0.002 },
+            ],
+            runtime_median_secs: 3000.0,
+            runtime_sigma: 1.0,
+            overestimate_median: 2.6,
+            overestimate_sigma: 0.75,
+            outcomes: OutcomeWeights {
+                completed: 0.62,
+                failed: 0.17,
+                cancelled_running: 0.06,
+                cancelled_pending: 0.05,
+                timeout: 0.07,
+                node_fail: 0.02,
+                out_of_memory: 0.01,
+            },
+            failure_skew_sigma: 1.2,
+            step_buckets: vec![
+                StepBucket { min_steps: 1, max_steps: 2, weight: 0.56 },
+                StepBucket { min_steps: 3, max_steps: 20, weight: 0.35 },
+                StepBucket { min_steps: 21, max_steps: 100, weight: 0.08 },
+                StepBucket { min_steps: 101, max_steps: 600, weight: 0.01 },
+            ],
+            array_fraction: 0.04,
+            array_mean_width: 12.0,
+            dependency_fraction: 0.06,
+            debug_fraction: 0.08,
+            urgent_fraction: 0.0,
+            standby_fraction: 0.0,
+            node_power_watts: 560.0,
+        }
+    }
+
+    /// Andes (CPU analysis cluster), calendar year 2024 — §4.3's portability
+    /// deployment: denser small/short jobs, tighter walltime estimates,
+    /// lower and more uniform failure rates.
+    pub fn andes() -> Self {
+        WorkloadProfile {
+            system: SystemConfig::andes(),
+            start: Timestamp::from_ymd(2024, 1, 1),
+            end: Timestamp::from_ymd(2025, 1, 1),
+            jobs_per_day: 1200.0,
+            diurnal_amplitude: 0.55,
+            weekend_factor: 0.35,
+            n_users: 420,
+            user_activity_alpha: 0.85,
+            size_buckets: vec![
+                SizeBucket { min_nodes: 1, max_nodes: 1, weight: 0.48 },
+                SizeBucket { min_nodes: 2, max_nodes: 4, weight: 0.33 },
+                SizeBucket { min_nodes: 5, max_nodes: 16, weight: 0.14 },
+                SizeBucket { min_nodes: 17, max_nodes: 64, weight: 0.04 },
+                SizeBucket { min_nodes: 65, max_nodes: 256, weight: 0.01 },
+            ],
+            runtime_median_secs: 2400.0,
+            runtime_sigma: 0.9,
+            overestimate_median: 1.8,
+            overestimate_sigma: 0.45,
+            outcomes: OutcomeWeights {
+                completed: 0.78,
+                failed: 0.09,
+                cancelled_running: 0.04,
+                cancelled_pending: 0.03,
+                timeout: 0.045,
+                node_fail: 0.01,
+                out_of_memory: 0.005,
+            },
+            failure_skew_sigma: 0.4,
+            step_buckets: vec![
+                StepBucket { min_steps: 1, max_steps: 1, weight: 0.62 },
+                StepBucket { min_steps: 2, max_steps: 8, weight: 0.30 },
+                StepBucket { min_steps: 9, max_steps: 60, weight: 0.08 },
+            ],
+            array_fraction: 0.07,
+            array_mean_width: 20.0,
+            dependency_fraction: 0.04,
+            debug_fraction: 0.12,
+            urgent_fraction: 0.0,
+            standby_fraction: 0.0,
+            node_power_watts: 350.0,
+        }
+    }
+
+    /// Frontier acceptance/early-science era (Jan 2021–Mar 2023): far fewer
+    /// submissions, skewed to huge short acceptance tests and hero runs.
+    /// Included only in the Figure 1 full-history view.
+    pub fn frontier_early() -> Self {
+        let mut p = Self::frontier();
+        p.start = Timestamp::from_ymd(2021, 1, 1);
+        p.end = Timestamp::from_ymd(2023, 4, 1);
+        p.jobs_per_day = 420.0;
+        p.n_users = 220;
+        p.size_buckets = vec![
+            SizeBucket { min_nodes: 1, max_nodes: 8, weight: 0.40 },
+            SizeBucket { min_nodes: 9, max_nodes: 512, weight: 0.30 },
+            SizeBucket { min_nodes: 513, max_nodes: 4608, weight: 0.22 },
+            SizeBucket { min_nodes: 4609, max_nodes: 9408, weight: 0.08 },
+        ];
+        p.outcomes = OutcomeWeights {
+            completed: 0.48,
+            failed: 0.26,
+            cancelled_running: 0.08,
+            cancelled_pending: 0.05,
+            timeout: 0.07,
+            node_fail: 0.05,
+            out_of_memory: 0.01,
+        };
+        p
+    }
+
+    /// Scale submission volume (and user count) by `factor` while preserving
+    /// the trace window — used to run benches and tests at reduced cost.
+    /// Note this lowers machine load, shortening queues relative to the
+    /// full-scale trace.
+    pub fn scaled(mut self, factor: f64) -> Self {
+        assert!(factor > 0.0);
+        self.jobs_per_day *= factor;
+        self.n_users = ((self.n_users as f64 * factor.sqrt()).ceil() as usize).max(4);
+        self
+    }
+
+    /// Enable the urgent-computing pattern: route fractions of the workload
+    /// to the preempting `urgent` QOS and the preemptible `standby` QOS
+    /// (requires the system profile to define both, as Frontier's does).
+    pub fn with_urgent_computing(mut self, urgent: f64, standby: f64) -> Self {
+        assert!(
+            self.system.qos("urgent").is_some() && self.system.qos("standby").is_some(),
+            "system profile lacks urgent/standby QOS"
+        );
+        self.urgent_fraction = urgent;
+        self.standby_fraction = standby;
+        self
+    }
+
+    /// Shrink the trace window to its first `days` days.
+    pub fn truncated_days(mut self, days: i64) -> Self {
+        let new_end = Timestamp(self.start.0 + days * 86_400);
+        if new_end < self.end {
+            self.end = new_end;
+        }
+        self
+    }
+
+    /// Expected number of submissions over the window.
+    pub fn expected_jobs(&self) -> f64 {
+        let days = (self.end.0 - self.start.0) as f64 / 86_400.0;
+        self.jobs_per_day * days
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frontier_targets_paper_scale() {
+        let p = WorkloadProfile::frontier();
+        // ~0.5M jobs over Apr 2023–Dec 2024 (§2 of the paper).
+        let expected = p.expected_jobs();
+        assert!((400_000.0..650_000.0).contains(&expected), "{expected}");
+        assert!(p.n_users > 1000);
+    }
+
+    #[test]
+    fn andes_contrasts_with_frontier() {
+        let f = WorkloadProfile::frontier();
+        let a = WorkloadProfile::andes();
+        let f_max = f.size_buckets.iter().map(|b| b.max_nodes).max().unwrap();
+        let a_max = a.size_buckets.iter().map(|b| b.max_nodes).max().unwrap();
+        assert!(a_max < f_max, "Andes jobs are smaller");
+        assert!(a.overestimate_median < f.overestimate_median, "Andes estimates tighter");
+        assert!(a.failure_skew_sigma < f.failure_skew_sigma, "Andes failures more uniform");
+        assert!(a.outcomes.completed > f.outcomes.completed, "Andes completes more");
+    }
+
+    #[test]
+    fn early_era_covers_figure1_prefix() {
+        let e = WorkloadProfile::frontier_early();
+        assert_eq!(e.start.civil().year, 2021);
+        assert_eq!(e.end, WorkloadProfile::frontier().start);
+        // Hero-run flavor: big-job buckets carry real mass.
+        let big: f64 = e
+            .size_buckets
+            .iter()
+            .filter(|b| b.min_nodes > 512)
+            .map(|b| b.weight)
+            .sum();
+        assert!(big > 0.2);
+    }
+
+    #[test]
+    fn scaling_preserves_window() {
+        let p = WorkloadProfile::frontier().scaled(0.1);
+        assert_eq!(p.start, WorkloadProfile::frontier().start);
+        assert!((p.expected_jobs() / WorkloadProfile::frontier().expected_jobs() - 0.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn truncation_clamps() {
+        let p = WorkloadProfile::andes().truncated_days(30);
+        assert_eq!((p.end.0 - p.start.0) / 86_400, 30);
+        let p2 = WorkloadProfile::andes().truncated_days(100_000);
+        assert_eq!(p2.end, WorkloadProfile::andes().end);
+    }
+
+    #[test]
+    fn size_bucket_weights_are_normalized_enough() {
+        for p in [WorkloadProfile::frontier(), WorkloadProfile::andes()] {
+            let total: f64 = p.size_buckets.iter().map(|b| b.weight).sum();
+            assert!((total - 1.0).abs() < 0.01, "{total}");
+            for b in &p.size_buckets {
+                assert!(b.min_nodes <= b.max_nodes);
+                assert!(b.max_nodes <= p.system.total_nodes);
+            }
+        }
+    }
+}

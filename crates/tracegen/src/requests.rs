@@ -1,0 +1,429 @@
+//! Plan synthesis: turning arrivals + users into concrete job submissions.
+//!
+//! A [`JobPlan`] is everything the generator decides about a job *before*
+//! scheduling: the simulator consumes its embedded
+//! [`schedflow_sim::JobRequest`]; the remaining fields (account, array
+//! membership, step count, memory request, …) feed record assembly afterward.
+
+use crate::dist;
+use crate::profile::WorkloadProfile;
+use crate::users::{Archetype, UserPopulation};
+use rand::Rng;
+use schedflow_model::time::Timestamp;
+use schedflow_sim::{JobRequest, PlannedOutcome};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// First job id minted by the generator (Slurm ids on a mature system are
+/// large; starting high keeps generated ids plausible).
+pub const BASE_JOB_ID: u64 = 1_200_000;
+
+/// One planned submission.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct JobPlan {
+    pub request: JobRequest,
+    pub name: String,
+    pub account: String,
+    pub archetype: Archetype,
+    /// `Some((parent_id, task_index))` for array elements.
+    pub array: Option<(u64, u32)>,
+    /// Numbered `srun` steps to synthesize (batch/extern are added on top).
+    pub n_steps: u32,
+    pub tasks_per_node: u32,
+    pub req_mem_mib_per_node: u64,
+    pub work_dir: String,
+    /// Per-job RNG seed for usage/step synthesis (keeps assembly
+    /// deterministic and order-independent).
+    pub seed: u64,
+}
+
+/// Synthesize all job plans for a profile. Deterministic under (profile, rng).
+pub fn synthesize_plans(
+    profile: &WorkloadProfile,
+    population: &UserPopulation,
+    rng: &mut impl Rng,
+) -> Vec<JobPlan> {
+    let arrivals = crate::arrival::sample_arrivals(
+        profile.start,
+        profile.end,
+        profile.jobs_per_day,
+        profile.diurnal_amplitude,
+        profile.weekend_factor,
+        rng,
+    );
+    let size_cat =
+        dist::Categorical::new(&profile.size_buckets.iter().map(|b| b.weight).collect::<Vec<_>>());
+    let step_cat =
+        dist::Categorical::new(&profile.step_buckets.iter().map(|b| b.weight).collect::<Vec<_>>());
+
+    let node_mem_mib: u64 = if profile.system.gpus_per_node > 0 {
+        512 * 1024
+    } else {
+        256 * 1024
+    };
+
+    let mut plans: Vec<JobPlan> = Vec::with_capacity(arrivals.len() + arrivals.len() / 8);
+    let mut next_id = BASE_JOB_ID;
+    let mut last_job_of_user: HashMap<u32, u64> = HashMap::new();
+
+    for submit in arrivals {
+        let user = population.sample(rng).clone();
+
+        // Partition choice.
+        let debug_p =
+            (profile.debug_fraction * user.archetype.debug_affinity()).clamp(0.0, 0.9);
+        let use_debug = rng.gen::<f64>() < debug_p;
+        let partition = if use_debug { "debug" } else { "batch" };
+        let part = profile
+            .system
+            .partition(partition)
+            .expect("profile partitions exist");
+
+        // Array membership.
+        let is_array = rng.gen::<f64>() < profile.array_fraction
+            && user.archetype != Archetype::Interactive;
+
+        // QOS routing for the urgent-computing pattern. Urgent is reserved
+        // for single near real-time jobs (a 200-wide array under a
+        // per-user-capped QOS would only queue against itself); standby
+        // suits flexible throughput work including arrays.
+        let qos_roll: f64 = rng.gen();
+        let special_qos = if use_debug {
+            None
+        } else if qos_roll < profile.urgent_fraction && !is_array {
+            Some("urgent")
+        } else if qos_roll < profile.urgent_fraction + profile.standby_fraction {
+            Some("standby")
+        } else {
+            None
+        };
+        let width = if is_array {
+            dist::to_int_clamped(
+                dist::lognormal(rng, profile.array_mean_width.ln(), 0.6),
+                2,
+                200,
+            ) as u32
+        } else {
+            1
+        };
+        let parent_id = next_id;
+
+        for k in 0..width {
+            let id = next_id;
+            next_id += 1;
+
+            // Node count: bucket → log-uniform → archetype scale → limits.
+            let b = profile.size_buckets[size_cat.sample(rng)];
+            let log_lo = f64::from(b.min_nodes).ln();
+            let log_hi = f64::from(b.max_nodes.max(b.min_nodes)).ln();
+            let raw = (log_lo + rng.gen::<f64>() * (log_hi - log_lo)).exp();
+            let nodes = dist::to_int_clamped(
+                raw * user.archetype.size_scale(),
+                1,
+                i64::from(part.max_nodes),
+            ) as u32;
+
+            // Actual runtime.
+            let median = profile.runtime_median_secs * user.archetype.runtime_scale();
+            let mut actual = dist::to_int_clamped(
+                dist::lognormal(rng, median.ln(), profile.runtime_sigma),
+                30,
+                part.max_walltime.as_secs() * 3,
+            );
+
+            // Outcome (failure-ish weights scaled by the user multiplier).
+            let w = &profile.outcomes;
+            let outcome_cat = dist::Categorical::new(&[
+                w.completed,
+                w.failed * user.failure_mult,
+                w.cancelled_running * user.failure_mult.sqrt(),
+                w.cancelled_pending,
+                w.timeout * user.failure_mult.sqrt(),
+                w.node_fail,
+                w.out_of_memory * user.failure_mult.sqrt(),
+            ]);
+            let outcome_idx = outcome_cat.sample(rng);
+            // Timeouts (index 4) are realized as Complete jobs whose request
+            // undershoots their actual runtime; the simulator kills them at
+            // the limit and records TIMEOUT.
+            let planned_timeout = outcome_idx == 4;
+            let outcome = match outcome_idx {
+                0 | 4 => PlannedOutcome::Complete,
+                1 => PlannedOutcome::Fail {
+                    at: rng.gen::<f64>().max(0.02),
+                    exit_code: [1u8, 2, 127, 134, 139][rng.gen_range(0..5)],
+                },
+                2 => PlannedOutcome::CancelRunning {
+                    at: rng.gen::<f64>().max(0.02),
+                },
+                3 => PlannedOutcome::CancelPending {
+                    patience_secs: user.cancel_patience_secs,
+                },
+                5 => PlannedOutcome::NodeFail {
+                    at: rng.gen::<f64>().max(0.02),
+                },
+                _ => PlannedOutcome::OutOfMemory {
+                    at: (0.3 + 0.7 * rng.gen::<f64>()).min(1.0),
+                },
+            };
+
+            // Requested walltime: overestimation factor, rounded up to a
+            // human-round granularity (15 min batch / 5 min debug) — the
+            // striping visible in Figures 6/9.
+            let factor = dist::lognormal(
+                rng,
+                (profile.overestimate_median * user.overestimate_scale).ln(),
+                profile.overestimate_sigma,
+            )
+            .max(1.05);
+            let granularity: i64 = if use_debug { 300 } else { 900 };
+            let mut walltime = if planned_timeout {
+                // User under-requested: the job will hit the limit.
+                ((actual as f64) * (0.4 + 0.5 * rng.gen::<f64>())) as i64
+            } else {
+                (actual as f64 * factor) as i64
+            };
+            walltime = ((walltime + granularity - 1) / granularity) * granularity;
+            walltime = walltime.clamp(granularity, part.max_walltime.as_secs());
+            if !planned_timeout {
+                // Keep non-timeout jobs inside their request.
+                actual = actual.min(walltime.max(31) - 1).max(30);
+            }
+
+            // Dependency on the user's previous job.
+            let dependency = if rng.gen::<f64>() < profile.dependency_fraction {
+                last_job_of_user.get(&user.id).copied()
+            } else {
+                None
+            };
+
+            // Steps.
+            let sb = profile.step_buckets[step_cat.sample(rng)];
+            let n_steps = dist::to_int_clamped(
+                f64::from(rng.gen_range(sb.min_steps..=sb.max_steps.max(sb.min_steps)))
+                    * user.archetype.steps_scale(),
+                1,
+                3000,
+            ) as u32;
+
+            let submit_k = if k == 0 { submit } else { Timestamp(submit.0 + i64::from(k)) };
+            // Urgent jobs are the near real-time pattern: small and short.
+            let (nodes, walltime, actual) = match special_qos {
+                Some("urgent") => {
+                    let n = nodes.min(32);
+                    let a = actual.min(2 * 3600);
+                    let w = walltime.clamp(granularity, 4 * 3600).max(granularity);
+                    (n, w, a.min(w.max(31) - 1).max(30))
+                }
+                _ => (nodes, walltime, actual),
+            };
+            let request = JobRequest {
+                id,
+                user: user.id,
+                submit: submit_k,
+                nodes,
+                walltime_secs: walltime,
+                actual_secs: actual,
+                partition: partition.to_owned(),
+                qos: match special_qos {
+                    Some(q) => q.to_owned(),
+                    None => if use_debug { "debug" } else { "normal" }.to_owned(),
+                },
+                outcome,
+                dependency,
+            };
+            last_job_of_user.insert(user.id, id);
+
+            plans.push(JobPlan {
+                request,
+                name: job_name(user.archetype, rng),
+                account: user.account.clone(),
+                archetype: user.archetype,
+                array: (width > 1).then_some((parent_id, k)),
+                n_steps,
+                tasks_per_node: match user.archetype {
+                    Archetype::Simulation => 8,
+                    Archetype::MachineLearning => profile.system.gpus_per_node.max(1),
+                    Archetype::Interactive => 1,
+                    Archetype::Analysis => 4,
+                },
+                req_mem_mib_per_node: node_mem_mib / [1u64, 2, 4][rng.gen_range(0..3)],
+                work_dir: format!("/lustre/orion/{}/scratch/u{:04}", user.account, user.id),
+                seed: rng.gen(),
+            });
+        }
+    }
+    plans
+}
+
+fn job_name(archetype: Archetype, rng: &mut impl Rng) -> String {
+    let stems: &[&str] = match archetype {
+        Archetype::Simulation => &["lammps", "gromacs", "cfd_run", "qmc", "climate"],
+        Archetype::MachineLearning => &["train", "finetune", "hpo_sweep", "inference", "eval"],
+        Archetype::Interactive => &["interactive", "debug", "test_run", "dev"],
+        Archetype::Analysis => &["postproc", "analysis", "viz", "reduce"],
+    };
+    format!("{}_{:03}", stems[rng.gen_range(0..stems.len())], rng.gen_range(0..1000))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use schedflow_sim::Simulator;
+
+    fn small_profile() -> WorkloadProfile {
+        WorkloadProfile::andes().truncated_days(14).scaled(0.5)
+    }
+
+    fn plans() -> Vec<JobPlan> {
+        let p = small_profile();
+        let mut rng = SmallRng::seed_from_u64(11);
+        let pop = UserPopulation::generate(&p, &mut rng);
+        synthesize_plans(&p, &pop, &mut rng)
+    }
+
+    #[test]
+    fn plans_have_unique_monotone_ids() {
+        let plans = plans();
+        assert!(plans.len() > 1000, "expected a real workload, got {}", plans.len());
+        for w in plans.windows(2) {
+            assert!(w[0].request.id < w[1].request.id);
+            assert!(w[0].request.submit <= w[1].request.submit || w[0].array.is_some() || w[1].array.is_some());
+        }
+    }
+
+    #[test]
+    fn requests_validate_against_the_machine() {
+        let p = small_profile();
+        let plans = plans();
+        let reqs: Vec<JobRequest> = plans.iter().map(|pl| pl.request.clone()).collect();
+        Simulator::new(p.system.clone()).validate(&reqs).unwrap();
+    }
+
+    #[test]
+    fn walltime_always_covers_or_times_out() {
+        for pl in plans() {
+            let r = &pl.request;
+            assert!(r.walltime_secs > 0);
+            if matches!(r.outcome, PlannedOutcome::Complete) && r.actual_secs > r.walltime_secs {
+                // Will be a timeout — allowed by design.
+            }
+            assert!(r.actual_secs >= 30 || r.actual_secs >= 1);
+        }
+    }
+
+    #[test]
+    fn walltimes_are_round_numbers() {
+        for pl in plans() {
+            let g = if pl.request.partition == "debug" { 300 } else { 900 };
+            assert_eq!(pl.request.walltime_secs % g, 0, "job {}", pl.request.id);
+        }
+    }
+
+    #[test]
+    fn arrays_share_parent_and_index_sequentially() {
+        let plans = plans();
+        let mut arrays: HashMap<u64, Vec<u32>> = HashMap::new();
+        for pl in &plans {
+            if let Some((parent, k)) = pl.array {
+                arrays.entry(parent).or_default().push(k);
+            }
+        }
+        assert!(!arrays.is_empty(), "profile should produce arrays");
+        for (parent, mut ks) in arrays {
+            ks.sort_unstable();
+            assert_eq!(ks[0], 0, "array {parent} starts at task 0");
+            assert!(ks.len() >= 2);
+            for (i, k) in ks.iter().enumerate() {
+                assert_eq!(*k as usize, i);
+            }
+        }
+    }
+
+    #[test]
+    fn dependencies_reference_earlier_jobs() {
+        let plans = plans();
+        let ids: std::collections::HashSet<u64> = plans.iter().map(|p| p.request.id).collect();
+        let mut n_dep = 0;
+        for pl in &plans {
+            if let Some(dep) = pl.request.dependency {
+                n_dep += 1;
+                assert!(ids.contains(&dep));
+                assert!(dep < pl.request.id, "dependency precedes the job");
+            }
+        }
+        assert!(n_dep > 0);
+    }
+
+    #[test]
+    fn outcome_mix_is_plausible() {
+        let plans = plans();
+        let completed = plans
+            .iter()
+            .filter(|p| matches!(p.request.outcome, PlannedOutcome::Complete))
+            .count() as f64;
+        let share = completed / plans.len() as f64;
+        assert!((0.55..0.95).contains(&share), "completed share {share}");
+    }
+
+    #[test]
+    fn debug_jobs_use_debug_qos() {
+        for pl in plans() {
+            if pl.request.partition == "debug" {
+                assert_eq!(pl.request.qos, "debug");
+                assert!(pl.request.walltime_secs <= 2 * 3600);
+            }
+        }
+    }
+
+    #[test]
+    fn urgent_computing_routes_qos() {
+        let p = WorkloadProfile::frontier()
+            .truncated_days(10)
+            .scaled(0.05)
+            .with_urgent_computing(0.05, 0.20);
+        let mut rng = SmallRng::seed_from_u64(31);
+        let pop = UserPopulation::generate(&p, &mut rng);
+        let plans = synthesize_plans(&p, &pop, &mut rng);
+        let urgent: Vec<_> = plans.iter().filter(|pl| pl.request.qos == "urgent").collect();
+        let standby = plans.iter().filter(|pl| pl.request.qos == "standby").count();
+        assert!(!urgent.is_empty(), "urgent jobs generated");
+        assert!(standby > urgent.len(), "standby outnumbers urgent");
+        for pl in &urgent {
+            assert!(pl.request.nodes <= 32, "urgent jobs are small");
+            assert!(pl.request.walltime_secs <= 4 * 3600, "urgent jobs are short");
+            assert_eq!(pl.request.partition, "batch");
+        }
+        // Validates against the machine (urgent/standby QOS exist on Frontier).
+        let reqs: Vec<_> = plans.iter().map(|pl| pl.request.clone()).collect();
+        schedflow_sim::Simulator::new(p.system.clone())
+            .validate(&reqs)
+            .unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "lacks urgent/standby QOS")]
+    fn urgent_computing_requires_qos_definitions() {
+        // Andes' default profile defines neither urgent nor standby.
+        let _ = WorkloadProfile::andes().with_urgent_computing(0.1, 0.1);
+    }
+
+    #[test]
+    fn determinism_under_seed() {
+        let p = small_profile();
+        let make = || {
+            let mut rng = SmallRng::seed_from_u64(99);
+            let pop = UserPopulation::generate(&p, &mut rng);
+            synthesize_plans(&p, &pop, &mut rng)
+        };
+        let a = make();
+        let b = make();
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.request, y.request);
+            assert_eq!(x.seed, y.seed);
+        }
+    }
+}

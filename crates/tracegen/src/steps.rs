@@ -1,0 +1,264 @@
+//! Job-step synthesis: the `srun` launches inside each job.
+//!
+//! Figure 1's headline observation is that job-steps outnumber jobs by an
+//! order of magnitude ("extensive use of task parallelism through srun").
+//! Every started job gets a `batch` and an `extern` step spanning its whole
+//! runtime, plus its planned numbered steps laid out sequentially over the
+//! elapsed window with small launch gaps.
+
+use crate::requests::JobPlan;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use schedflow_model::ids::{JobId, StepId, StepKind};
+use schedflow_model::record::StepRecord;
+use schedflow_model::state::{ExitCode, JobState};
+use schedflow_model::time::{Elapsed, Timestamp};
+use schedflow_model::tres::{Tres, TresKind};
+use schedflow_sim::SimOutcome;
+
+/// Synthesize the step records for one scheduled job. Deterministic per
+/// `plan.seed`. Jobs that never started have no steps.
+pub fn generate_steps(plan: &JobPlan, outcome: &SimOutcome, record_id: JobId) -> Vec<StepRecord> {
+    let (start, end) = match (outcome.start, outcome.end) {
+        (Some(s), Some(e)) => (s, e),
+        _ => return Vec::new(),
+    };
+    let elapsed = (end - start).max(0);
+    let mut rng = SmallRng::seed_from_u64(plan.seed);
+    let nodes = plan.request.nodes;
+    let ntasks = nodes * plan.tasks_per_node;
+    let mem_bytes_cap = plan.req_mem_mib_per_node * 1024 * 1024;
+
+    let mut steps = Vec::with_capacity(plan.n_steps as usize + 2);
+
+    // Failure semantics: the job's terminal state lands on its last numbered
+    // step (that's where the srun died); batch mirrors the job state.
+    let job_failed = outcome.state != JobState::Completed && outcome.state != JobState::Timeout;
+
+    let mk = |kind: StepKind,
+              name: String,
+              s: Timestamp,
+              e: Timestamp,
+              st_nodes: u32,
+              st_tasks: u32,
+              state: JobState,
+              exit: ExitCode,
+              rng: &mut SmallRng| {
+        let step_elapsed = (e - s).max(0);
+        let eff = 0.45 + 0.5 * rng.gen::<f64>();
+        StepRecord {
+            id: StepId {
+                job: record_id,
+                step: kind,
+            },
+            name,
+            start: s,
+            end: e,
+            elapsed: Elapsed(step_elapsed),
+            state,
+            exit_code: exit,
+            nnodes: st_nodes,
+            ntasks: st_tasks,
+            ave_cpu: Elapsed((step_elapsed as f64 * eff) as i64),
+            max_rss_bytes: ((mem_bytes_cap as f64) * (0.05 + 0.6 * rng.gen::<f64>())) as u64,
+            ave_disk_read: (rng.gen::<f64>() * 4e9) as u64,
+            ave_disk_write: (rng.gen::<f64>() * 1e9) as u64,
+            tres_usage_in_ave: Tres::new()
+                .with(TresKind::Cpu, u64::from(st_tasks))
+                .with(
+                    TresKind::Mem,
+                    // MiB-aligned: sacct renders TRES memory in whole MiB, so
+                    // alignment keeps text round-trips lossless.
+                    (((mem_bytes_cap as f64) * (0.05 + 0.5 * rng.gen::<f64>())) as u64
+                        / (1024 * 1024))
+                        .max(1)
+                        * 1024
+                        * 1024,
+                ),
+        }
+    };
+
+    // batch + extern span the job.
+    let job_state = outcome.state;
+    let job_exit = ExitCode::new(outcome.exit_code, outcome.exit_signal);
+    steps.push(mk(
+        StepKind::Batch,
+        "batch".to_owned(),
+        start,
+        end,
+        1,
+        1,
+        job_state,
+        job_exit,
+        &mut rng,
+    ));
+    steps.push(mk(
+        StepKind::Extern,
+        "extern".to_owned(),
+        start,
+        end,
+        nodes,
+        nodes,
+        JobState::Completed,
+        ExitCode::SUCCESS,
+        &mut rng,
+    ));
+
+    // Numbered steps: sequential segments with random (exponential) weights.
+    let n = plan.n_steps.min(3000).max(1);
+    let mut weights: Vec<f64> = (0..n).map(|_| -rng.gen::<f64>().max(1e-12).ln()).collect();
+    let total: f64 = weights.iter().sum();
+    for w in &mut weights {
+        *w /= total;
+    }
+    let mut cursor = 0i64;
+    for (i, w) in weights.iter().enumerate() {
+        let seg = ((elapsed as f64) * w) as i64;
+        let s = Timestamp(start.0 + cursor);
+        let e = Timestamp((start.0 + cursor + seg).min(end.0));
+        cursor += seg;
+        let last = i == n as usize - 1;
+        let (state, exit) = if last && job_failed {
+            (job_state, job_exit)
+        } else if last && job_state == JobState::Timeout {
+            (JobState::Cancelled, ExitCode::new(0, 15))
+        } else {
+            (JobState::Completed, ExitCode::SUCCESS)
+        };
+        steps.push(mk(
+            StepKind::Numbered(i as u32),
+            format!("{}.{i}", plan.name),
+            s,
+            e,
+            nodes,
+            ntasks,
+            state,
+            exit,
+            &mut rng,
+        ));
+    }
+    steps
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::users::Archetype;
+    use schedflow_sim::{JobRequest, PlannedOutcome};
+
+    fn plan(n_steps: u32) -> JobPlan {
+        JobPlan {
+            request: JobRequest {
+                id: 7,
+                user: 1,
+                submit: Timestamp::from_ymd(2024, 2, 1),
+                nodes: 4,
+                walltime_secs: 7200,
+                actual_secs: 3600,
+                partition: "batch".into(),
+                qos: "normal".into(),
+                outcome: PlannedOutcome::Complete,
+                dependency: None,
+            },
+            name: "test_job".into(),
+            account: "prj001".into(),
+            archetype: Archetype::Analysis,
+            array: None,
+            n_steps,
+            tasks_per_node: 4,
+            req_mem_mib_per_node: 8192,
+            work_dir: "/tmp".into(),
+            seed: 1234,
+        }
+    }
+
+    fn outcome(state: JobState) -> SimOutcome {
+        let t = Timestamp::from_ymd(2024, 2, 1);
+        SimOutcome {
+            id: 7,
+            eligible: t,
+            start: Some(t + 60),
+            end: Some(t + 60 + 3600),
+            state,
+            exit_code: if state == JobState::Failed { 1 } else { 0 },
+            exit_signal: 0,
+            backfilled: false,
+            started_on_submit: false,
+            priority: 1000,
+            node_indices: vec![0, 1, 2, 3],
+        }
+    }
+
+    #[test]
+    fn batch_extern_plus_numbered() {
+        let steps = generate_steps(&plan(5), &outcome(JobState::Completed), JobId::plain(7));
+        assert_eq!(steps.len(), 7);
+        assert!(matches!(steps[0].id.step, StepKind::Batch));
+        assert!(matches!(steps[1].id.step, StepKind::Extern));
+        for (i, s) in steps[2..].iter().enumerate() {
+            assert_eq!(s.id.step, StepKind::Numbered(i as u32));
+        }
+    }
+
+    #[test]
+    fn steps_fit_inside_job_window() {
+        let o = outcome(JobState::Completed);
+        let steps = generate_steps(&plan(50), &o, JobId::plain(7));
+        let (js, je) = (o.start.unwrap(), o.end.unwrap());
+        for s in &steps {
+            assert!(s.start >= js, "step starts at/after job start");
+            assert!(s.end <= je, "step ends at/before job end");
+            assert!(s.elapsed.0 >= 0);
+        }
+    }
+
+    #[test]
+    fn numbered_steps_are_sequential() {
+        let steps = generate_steps(&plan(20), &outcome(JobState::Completed), JobId::plain(7));
+        let numbered = &steps[2..];
+        for w in numbered.windows(2) {
+            assert!(w[0].end <= w[1].start || w[0].end.0 >= w[1].start.0 - 1);
+            assert!(w[0].start <= w[1].start);
+        }
+    }
+
+    #[test]
+    fn failed_job_marks_last_step() {
+        let steps = generate_steps(&plan(3), &outcome(JobState::Failed), JobId::plain(7));
+        let last = steps.last().unwrap();
+        assert_eq!(last.state, JobState::Failed);
+        assert_eq!(last.exit_code.code, 1);
+        assert_eq!(steps[2].state, JobState::Completed);
+    }
+
+    #[test]
+    fn timeout_cancels_last_step() {
+        let steps = generate_steps(&plan(2), &outcome(JobState::Timeout), JobId::plain(7));
+        assert_eq!(steps.last().unwrap().state, JobState::Cancelled);
+        assert_eq!(steps[0].state, JobState::Timeout, "batch mirrors the job");
+    }
+
+    #[test]
+    fn never_started_job_has_no_steps() {
+        let mut o = outcome(JobState::Cancelled);
+        o.start = None;
+        o.end = None;
+        assert!(generate_steps(&plan(5), &o, JobId::plain(7)).is_empty());
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = generate_steps(&plan(10), &outcome(JobState::Completed), JobId::plain(7));
+        let b = generate_steps(&plan(10), &outcome(JobState::Completed), JobId::plain(7));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn memory_stays_under_request() {
+        let p = plan(10);
+        let cap = p.req_mem_mib_per_node * 1024 * 1024;
+        for s in generate_steps(&p, &outcome(JobState::Completed), JobId::plain(7)) {
+            assert!(s.max_rss_bytes <= cap);
+        }
+    }
+}

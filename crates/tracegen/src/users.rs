@@ -1,0 +1,241 @@
+//! The synthetic user population.
+//!
+//! Users differ in activity (Zipf-weighted), in what they run (archetype),
+//! and in behavior: how badly they overestimate walltime, how often their
+//! jobs fail, how quickly they cancel stuck submissions. The per-user failure
+//! multiplier is the lever behind the paper's Figure 5 vs Figure 8 contrast
+//! (Frontier: a few users dominate failures; Andes: uniform low rates).
+
+use crate::dist;
+use crate::profile::WorkloadProfile;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// What kind of work a user predominantly submits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Archetype {
+    /// Large, long simulation campaigns.
+    Simulation,
+    /// AI training / hyperparameter sweeps: many short jobs, arrays, steps.
+    MachineLearning,
+    /// Interactive / debug / development activity.
+    Interactive,
+    /// Post-processing and data analysis.
+    Analysis,
+}
+
+impl Archetype {
+    pub const ALL: [Archetype; 4] = [
+        Archetype::Simulation,
+        Archetype::MachineLearning,
+        Archetype::Interactive,
+        Archetype::Analysis,
+    ];
+
+    /// Multiplier on sampled node counts.
+    pub fn size_scale(&self) -> f64 {
+        match self {
+            Archetype::Simulation => 1.6,
+            Archetype::MachineLearning => 0.7,
+            Archetype::Interactive => 0.25,
+            Archetype::Analysis => 0.5,
+        }
+    }
+
+    /// Multiplier on sampled runtimes.
+    pub fn runtime_scale(&self) -> f64 {
+        match self {
+            Archetype::Simulation => 1.8,
+            Archetype::MachineLearning => 0.8,
+            Archetype::Interactive => 0.15,
+            Archetype::Analysis => 0.6,
+        }
+    }
+
+    /// Multiplier on steps-per-job (ML ensembles launch many sruns).
+    pub fn steps_scale(&self) -> f64 {
+        match self {
+            Archetype::Simulation => 1.0,
+            Archetype::MachineLearning => 2.5,
+            Archetype::Interactive => 0.4,
+            Archetype::Analysis => 0.8,
+        }
+    }
+
+    /// Probability the user targets the debug partition, relative to the
+    /// profile's base debug fraction.
+    pub fn debug_affinity(&self) -> f64 {
+        match self {
+            Archetype::Simulation => 0.3,
+            Archetype::MachineLearning => 0.8,
+            Archetype::Interactive => 4.0,
+            Archetype::Analysis => 0.7,
+        }
+    }
+}
+
+/// One synthetic user.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct UserModel {
+    pub id: u32,
+    /// Activity weight (Zipf rank weight).
+    pub weight: f64,
+    pub archetype: Archetype,
+    /// Project account, shared by groups of users.
+    pub account: String,
+    /// Per-user multiplier on the overestimation factor median.
+    pub overestimate_scale: f64,
+    /// Per-user multiplier on failure-ish outcome weights.
+    pub failure_mult: f64,
+    /// Seconds of queue patience before a pending-cancel user gives up.
+    pub cancel_patience_secs: i64,
+}
+
+/// The population plus a sampler over it.
+#[derive(Debug, Clone)]
+pub struct UserPopulation {
+    pub users: Vec<UserModel>,
+    sampler: dist::Categorical,
+}
+
+impl UserPopulation {
+    /// Generate a population per the profile's knobs.
+    pub fn generate(profile: &WorkloadProfile, rng: &mut impl Rng) -> Self {
+        let n = profile.n_users.max(1);
+        let weights = dist::zipf_weights(n, profile.user_activity_alpha);
+        // Archetype mix differs by machine flavor: GPU exascale machines skew
+        // to simulation+ML; CPU clusters to analysis+interactive.
+        let arch_weights = if profile.system.gpus_per_node > 0 {
+            [0.38, 0.27, 0.15, 0.20]
+        } else {
+            [0.12, 0.13, 0.30, 0.45]
+        };
+        let arch_cat = dist::Categorical::new(&arch_weights);
+        let n_accounts = (n / 6).max(1);
+        let users = (0..n)
+            .map(|i| {
+                let archetype = Archetype::ALL[arch_cat.sample(rng)];
+                UserModel {
+                    id: i as u32,
+                    weight: weights[i],
+                    archetype,
+                    account: format!("prj{:03}", rng.gen_range(0..n_accounts)),
+                    overestimate_scale: dist::lognormal(rng, 0.0, 0.35),
+                    failure_mult: dist::lognormal(rng, 0.0, profile.failure_skew_sigma),
+                    cancel_patience_secs: dist::to_int_clamped(
+                        dist::lognormal(rng, (6.0f64 * 3600.0).ln(), 1.0),
+                        600,
+                        14 * 86_400,
+                    ),
+                }
+            })
+            .collect::<Vec<_>>();
+        let sampler = dist::Categorical::new(&weights);
+        UserPopulation { users, sampler }
+    }
+
+    /// Sample a user index by activity weight.
+    pub fn sample(&self, rng: &mut impl Rng) -> &UserModel {
+        &self.users[self.sampler.sample(rng)]
+    }
+
+    pub fn len(&self) -> usize {
+        self.users.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.users.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::WorkloadProfile;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn population_size_matches_profile() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let p = WorkloadProfile::frontier();
+        let pop = UserPopulation::generate(&p, &mut rng);
+        assert_eq!(pop.len(), p.n_users);
+    }
+
+    #[test]
+    fn activity_is_skewed() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let pop = UserPopulation::generate(&WorkloadProfile::frontier(), &mut rng);
+        let mut counts = vec![0usize; pop.len()];
+        for _ in 0..50_000 {
+            counts[pop.sample(&mut rng).id as usize] += 1;
+        }
+        let top10: usize = {
+            let mut c = counts.clone();
+            c.sort_unstable_by(|a, b| b.cmp(a));
+            c[..10].iter().sum()
+        };
+        // Zipf(1.05) over 1100 users: top-10 users carry a large share.
+        assert!(
+            top10 as f64 / 50_000.0 > 0.25,
+            "top10 share {}",
+            top10 as f64 / 50_000.0
+        );
+    }
+
+    #[test]
+    fn failure_skew_differs_between_systems() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let frontier = UserPopulation::generate(&WorkloadProfile::frontier(), &mut rng);
+        let andes = UserPopulation::generate(&WorkloadProfile::andes(), &mut rng);
+        let spread = |pop: &UserPopulation| {
+            let mut mults: Vec<f64> = pop.users.iter().map(|u| u.failure_mult).collect();
+            mults.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            mults[mults.len() * 95 / 100] / mults[mults.len() / 2]
+        };
+        assert!(
+            spread(&frontier) > spread(&andes) * 1.5,
+            "frontier {} andes {}",
+            spread(&frontier),
+            spread(&andes)
+        );
+    }
+
+    #[test]
+    fn archetype_mix_follows_machine_flavor() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let frontier = UserPopulation::generate(&WorkloadProfile::frontier(), &mut rng);
+        let andes = UserPopulation::generate(&WorkloadProfile::andes(), &mut rng);
+        let sim_share = |pop: &UserPopulation| {
+            pop.users
+                .iter()
+                .filter(|u| u.archetype == Archetype::Simulation)
+                .count() as f64
+                / pop.len() as f64
+        };
+        assert!(sim_share(&frontier) > sim_share(&andes));
+    }
+
+    #[test]
+    fn patience_is_bounded() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let pop = UserPopulation::generate(&WorkloadProfile::andes(), &mut rng);
+        for u in &pop.users {
+            assert!(u.cancel_patience_secs >= 600);
+            assert!(u.cancel_patience_secs <= 14 * 86_400);
+        }
+    }
+
+    #[test]
+    fn determinism() {
+        let p = WorkloadProfile::andes();
+        let a = UserPopulation::generate(&p, &mut SmallRng::seed_from_u64(9));
+        let b = UserPopulation::generate(&p, &mut SmallRng::seed_from_u64(9));
+        assert_eq!(a.users.len(), b.users.len());
+        for (x, y) in a.users.iter().zip(&b.users) {
+            assert_eq!(x.account, y.account);
+            assert_eq!(x.failure_mult, y.failure_mult);
+        }
+    }
+}

@@ -1,0 +1,159 @@
+//! Property tests over the chart substrate: rendering and digesting must be
+//! total — no panic for any series data (including NaN/∞, empty series,
+//! negative values on log axes) — and outputs must stay structurally sound.
+
+use proptest::prelude::*;
+use schedflow_charts::{
+    digest, render, Axis, BarChart, BarMode, Chart, Geometry, HeatmapChart, MarkerShape, Scale,
+    ScatterChart, Series,
+};
+
+fn arb_value() -> impl Strategy<Value = f64> {
+    prop_oneof![
+        8 => -1e9f64..1e9,
+        1 => Just(f64::NAN),
+        1 => Just(f64::INFINITY),
+        1 => Just(f64::NEG_INFINITY),
+        1 => Just(0.0),
+    ]
+}
+
+fn arb_series() -> impl Strategy<Value = Series> {
+    (
+        proptest::collection::vec(arb_value(), 0..200),
+        any::<bool>(),
+        0u8..3,
+    )
+        .prop_map(|(values, line, marker)| {
+            let n = values.len() / 2;
+            let mut s = Series::scatter(
+                "s",
+                values[..n].to_vec(),
+                values[n..2 * n].to_vec(),
+            );
+            s.line = line;
+            s.marker = match marker {
+                0 => MarkerShape::Dot,
+                1 => MarkerShape::Plus,
+                _ => MarkerShape::Square,
+            };
+            s
+        })
+}
+
+fn arb_scatter() -> impl Strategy<Value = Chart> {
+    (
+        proptest::collection::vec(arb_series(), 0..4),
+        any::<bool>(),
+        any::<bool>(),
+        any::<bool>(),
+    )
+        .prop_map(|(series, log_x, log_y, diagonal)| {
+            let mut c = ScatterChart::new(
+                "prop chart",
+                if log_x { Axis::log("x") } else { Axis::linear("x") },
+                if log_y { Axis::log("y") } else { Axis::linear("y") },
+            );
+            for (i, mut s) in series.into_iter().enumerate() {
+                s.name = format!("s{i}");
+                c = c.with_series(s);
+            }
+            if diagonal {
+                c = c.with_diagonal();
+            }
+            Chart::Scatter(c)
+        })
+}
+
+fn arb_bar() -> impl Strategy<Value = Chart> {
+    (1usize..12, 1usize..5, any::<bool>(), any::<bool>()).prop_flat_map(
+        |(cats, stacks, stacked, log)| {
+            proptest::collection::vec(
+                proptest::collection::vec(-1e6f64..1e6, cats..=cats),
+                stacks..=stacks,
+            )
+            .prop_map(move |data| {
+                let mut c = BarChart::new(
+                    "bars",
+                    (0..cats).map(|i| format!("c{i}")).collect(),
+                    "y",
+                    if stacked { BarMode::Stacked } else { BarMode::Grouped },
+                );
+                for (i, values) in data.into_iter().enumerate() {
+                    c = c.with_stack(&format!("k{i}"), values);
+                }
+                if log {
+                    c.y_scale = Scale::Log10;
+                }
+                Chart::Bar(c)
+            })
+        },
+    )
+}
+
+fn arb_heatmap() -> impl Strategy<Value = Chart> {
+    (1usize..8, 1usize..26).prop_flat_map(|(rows, cols)| {
+        proptest::collection::vec(arb_value(), rows * cols..=rows * cols).prop_map(
+            move |values| {
+                Chart::Heatmap(HeatmapChart::new(
+                    "heat",
+                    (0..cols).map(|i| i.to_string()).collect(),
+                    (0..rows).map(|i| i.to_string()).collect(),
+                    values,
+                ))
+            },
+        )
+    })
+}
+
+fn assert_sound_svg(svg: &str) {
+    assert!(svg.starts_with("<svg"), "starts with svg tag");
+    assert!(svg.ends_with("</svg>"), "closed svg tag");
+    assert_eq!(svg.matches("<svg").count(), 1);
+    // No raw NaN leaked into coordinates.
+    assert!(!svg.contains("NaN"), "NaN leaked into SVG");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn prop_scatter_total(chart in arb_scatter()) {
+        let svg = render(&chart, &Geometry::default());
+        assert_sound_svg(&svg);
+        let d = digest(&chart);
+        // Digest serializes and round-trips.
+        let json = d.to_json();
+        let _back: schedflow_charts::ChartDigest = serde_json::from_str(&json).unwrap();
+    }
+
+    #[test]
+    fn prop_bar_total(chart in arb_bar()) {
+        let svg = render(&chart, &Geometry::default());
+        assert_sound_svg(&svg);
+        let _ = digest(&chart);
+    }
+
+    #[test]
+    fn prop_heatmap_total(chart in arb_heatmap()) {
+        let svg = render(&chart, &Geometry::default());
+        assert_sound_svg(&svg);
+        let _ = digest(&chart);
+    }
+
+    #[test]
+    fn prop_html_wrapping_total(chart in arb_scatter()) {
+        let html = schedflow_charts::to_html(&chart, &Geometry::default());
+        prop_assert!(html.starts_with("<!DOCTYPE html>"));
+        prop_assert!(html.contains("</html>"));
+    }
+
+    #[test]
+    fn prop_analyst_total_on_random_charts(chart in arb_scatter()) {
+        use schedflow_insight::Analyst;
+        let d = digest(&chart);
+        // The deterministic analyst must never fail on a scatter digest.
+        let insight = schedflow_insight::RuleAnalyst::new().insight(&d).unwrap();
+        prop_assert!(!insight.narrative.is_empty());
+    }
+}

@@ -1,0 +1,170 @@
+//! Property tests over the dataflow engine: random layered DAGs must
+//! validate, execute to completion on any thread count, propagate values
+//! correctly, and honor failure semantics.
+
+use proptest::prelude::*;
+use schedflow_dataflow::{Artifact, RunOptions, Runner, StageKind, TaskStatus, Workflow};
+
+/// A random layered DAG description: `edges[layer][node]` lists the parent
+/// indices (into the previous layer) each node consumes.
+#[derive(Debug, Clone)]
+struct DagSpec {
+    layers: Vec<Vec<Vec<usize>>>,
+}
+
+fn arb_dag() -> impl Strategy<Value = DagSpec> {
+    // 2..5 layers, 1..6 nodes each, each node consuming 0..=parents edges.
+    proptest::collection::vec(1usize..6, 2..5).prop_flat_map(|sizes| {
+        let mut layer_strategies = Vec::new();
+        for (li, &size) in sizes.iter().enumerate() {
+            let parents = if li == 0 { 0 } else { sizes[li - 1] };
+            let node = proptest::collection::vec(0..parents.max(1), 0..=parents.min(3));
+            layer_strategies.push(proptest::collection::vec(node, size..=size));
+        }
+        layer_strategies.prop_map(|layers| DagSpec { layers })
+    })
+}
+
+/// Build the workflow: each node sums its parents' values plus one.
+/// Returns the output artifacts per layer.
+fn build(spec: &DagSpec) -> (Workflow, Vec<Vec<Artifact<u64>>>) {
+    let mut wf = Workflow::new();
+    let mut arts: Vec<Vec<Artifact<u64>>> = Vec::new();
+    for (li, layer) in spec.layers.iter().enumerate() {
+        let mut layer_arts = Vec::new();
+        for (ni, parents) in layer.iter().enumerate() {
+            let out = wf.value::<u64>(&format!("v-{li}-{ni}"));
+            layer_arts.push(out);
+            let parent_arts: Vec<Artifact<u64>> = if li == 0 {
+                Vec::new()
+            } else {
+                parents.iter().map(|&p| arts[li - 1][p]).collect()
+            };
+            let inputs: Vec<_> = parent_arts.iter().map(|a| a.id()).collect();
+            wf.task(
+                &format!("t-{li}-{ni}"),
+                if ni % 2 == 0 { StageKind::Static } else { StageKind::UserDefined },
+                inputs,
+                [out.id()],
+                move |ctx| {
+                    let mut sum = 1u64;
+                    for p in &parent_arts {
+                        sum += *ctx.get(*p)?;
+                    }
+                    ctx.put(out, sum)
+                },
+            );
+        }
+        arts.push(layer_arts);
+    }
+    (wf, arts)
+}
+
+/// Reference (sequential) evaluation of the same DAG.
+fn reference(spec: &DagSpec) -> Vec<Vec<u64>> {
+    let mut values: Vec<Vec<u64>> = Vec::new();
+    for (li, layer) in spec.layers.iter().enumerate() {
+        let mut row = Vec::new();
+        for parents in layer {
+            let mut sum = 1u64;
+            if li > 0 {
+                for &p in parents {
+                    sum += values[li - 1][p];
+                }
+            }
+            row.push(sum);
+        }
+        values.push(row);
+    }
+    values
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn prop_random_dags_execute_correctly(spec in arb_dag(), threads in 1usize..5) {
+        let (wf, arts) = build(&spec);
+        let depths = wf.validate().expect("layered DAGs are acyclic");
+        prop_assert_eq!(depths.len(), spec.layers.iter().map(Vec::len).sum::<usize>());
+        let runner = Runner::new(wf).unwrap();
+        let report = runner.run(&RunOptions::with_threads(threads));
+        prop_assert!(report.is_success(), "{:?}", report.failed());
+        let expected = reference(&spec);
+        for (li, layer) in arts.iter().enumerate() {
+            for (ni, art) in layer.iter().enumerate() {
+                let got = runner
+                    .store()
+                    .get_any(art.id())
+                    .and_then(|v| v.downcast::<u64>().ok())
+                    .map(|v| *v);
+                prop_assert_eq!(got, Some(expected[li][ni]), "node {}-{}", li, ni);
+            }
+        }
+    }
+
+    #[test]
+    fn prop_failure_skips_exactly_the_descendants(spec in arb_dag(), threads in 1usize..4) {
+        // Fail every node of layer 0; everything transitively reachable from
+        // layer 0 must be skipped, unreachable nodes must succeed.
+        let mut wf = Workflow::new();
+        let mut arts: Vec<Vec<Artifact<u64>>> = Vec::new();
+        for (li, layer) in spec.layers.iter().enumerate() {
+            let mut layer_arts = Vec::new();
+            for (ni, parents) in layer.iter().enumerate() {
+                let out = wf.value::<u64>(&format!("v-{li}-{ni}"));
+                layer_arts.push(out);
+                let parent_arts: Vec<Artifact<u64>> = if li == 0 {
+                    Vec::new()
+                } else {
+                    parents.iter().map(|&p| arts[li - 1][p]).collect()
+                };
+                let inputs: Vec<_> = parent_arts.iter().map(|a| a.id()).collect();
+                let fail = li == 0;
+                wf.task(&format!("t-{li}-{ni}"), StageKind::Static, inputs, [out.id()], move |ctx| {
+                    if fail {
+                        return Err("root failure".to_owned());
+                    }
+                    let mut sum = 1u64;
+                    for p in &parent_arts {
+                        sum += *ctx.get(*p)?;
+                    }
+                    ctx.put(out, sum)
+                });
+            }
+            arts.push(layer_arts);
+        }
+
+        // Reachability from layer 0 in the spec.
+        let mut tainted: Vec<Vec<bool>> = spec
+            .layers
+            .iter()
+            .enumerate()
+            .map(|(li, l)| vec![li == 0; l.len()])
+            .collect();
+        for li in 1..spec.layers.len() {
+            for (ni, parents) in spec.layers[li].iter().enumerate() {
+                if parents.iter().any(|&p| tainted[li - 1][p]) {
+                    tainted[li][ni] = true;
+                }
+            }
+        }
+
+        let runner = Runner::new(wf).unwrap();
+        let report = runner.run(&RunOptions::with_threads(threads));
+        let mut idx = 0;
+        for (li, layer) in spec.layers.iter().enumerate() {
+            for ni in 0..layer.len() {
+                let status = &report.tasks[idx].status;
+                idx += 1;
+                if li == 0 {
+                    prop_assert!(matches!(status, TaskStatus::Failed(_)), "{li}-{ni}: {status:?}");
+                } else if tainted[li][ni] {
+                    prop_assert_eq!(status.clone(), TaskStatus::Skipped, "{}-{}", li, ni);
+                } else {
+                    prop_assert_eq!(status.clone(), TaskStatus::Succeeded, "{}-{}", li, ni);
+                }
+            }
+        }
+    }
+}

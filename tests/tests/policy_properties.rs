@@ -1,0 +1,180 @@
+//! Integration + property tests over the scheduler simulator: invariants
+//! that must hold for *any* valid submission stream, plus cross-policy
+//! dominance properties on generated workloads.
+
+use proptest::prelude::*;
+use schedflow_model::time::Timestamp;
+use schedflow_sim::{
+    metrics, BackfillPolicy, JobRequest, PlannedOutcome, Simulator, SystemConfig,
+};
+
+fn arb_job(id: u64) -> impl Strategy<Value = JobRequest> {
+    (
+        0i64..50_000,          // submit offset
+        1u32..=16,             // nodes (toy machine of 16)
+        1i64..=24,             // walltime hours-ish units (15-min chunks)
+        1i64..20_000,          // actual seconds
+        0u8..5,                // outcome selector
+    )
+        .prop_map(move |(submit, nodes, wall_chunks, actual, which)| {
+            let outcome = match which {
+                0 | 1 => PlannedOutcome::Complete,
+                2 => PlannedOutcome::Fail { at: 0.5, exit_code: 1 },
+                3 => PlannedOutcome::CancelRunning { at: 0.3 },
+                _ => PlannedOutcome::CancelPending { patience_secs: 2000 },
+            };
+            JobRequest {
+                id,
+                user: (id % 7) as u32,
+                submit: Timestamp(Timestamp::from_ymd(2024, 1, 1).0 + submit),
+                nodes,
+                walltime_secs: wall_chunks * 900,
+                actual_secs: actual,
+                partition: "batch".to_owned(),
+                qos: "normal".to_owned(),
+                outcome,
+                dependency: None,
+            }
+        })
+}
+
+fn arb_stream() -> impl Strategy<Value = Vec<JobRequest>> {
+    proptest::collection::vec(0u8..1, 1..60).prop_flat_map(|v| {
+        let n = v.len();
+        (0..n as u64)
+            .map(arb_job)
+            .collect::<Vec<_>>()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn prop_simulator_invariants(jobs in arb_stream()) {
+        let sim = Simulator::new(SystemConfig::toy(16));
+        let outcomes = sim.run(&jobs).unwrap();
+        prop_assert_eq!(outcomes.len(), jobs.len());
+        for (j, o) in jobs.iter().zip(&outcomes) {
+            // Terminal state always.
+            prop_assert!(o.state.is_terminal(), "job {} state {:?}", j.id, o.state);
+            // Eligibility never precedes submission.
+            prop_assert!(o.eligible >= j.submit);
+            if let (Some(s), Some(e)) = (o.start, o.end) {
+                prop_assert!(s >= o.eligible);
+                prop_assert!(e >= s);
+                // Never runs past the requested limit.
+                prop_assert!(e - s <= j.walltime_secs);
+                prop_assert_eq!(o.node_indices.len(), j.nodes as usize);
+            } else {
+                // Only pending cancellations never start.
+                let pending_cancel = matches!(j.outcome, PlannedOutcome::CancelPending { .. });
+                prop_assert!(pending_cancel, "job {} never started", j.id);
+            }
+        }
+    }
+
+    #[test]
+    fn prop_no_oversubscription_at_any_instant(jobs in arb_stream()) {
+        let total_nodes = 16u32;
+        let sim = Simulator::new(SystemConfig::toy(total_nodes));
+        let outcomes = sim.run(&jobs).unwrap();
+        // Sweep events: allocation deltas must never exceed the machine.
+        let mut events: Vec<(i64, i64)> = Vec::new();
+        for (j, o) in jobs.iter().zip(&outcomes) {
+            if let (Some(s), Some(e)) = (o.start, o.end) {
+                events.push((s.0, i64::from(j.nodes)));
+                events.push((e.0, -i64::from(j.nodes)));
+            }
+        }
+        events.sort_unstable();
+        let mut used = 0i64;
+        for (_, delta) in events {
+            used += delta;
+            prop_assert!(used <= i64::from(total_nodes), "oversubscribed: {used}");
+            prop_assert!(used >= 0);
+        }
+    }
+
+    #[test]
+    fn prop_node_allocations_never_overlap(jobs in arb_stream()) {
+        let sim = Simulator::new(SystemConfig::toy(16));
+        let outcomes = sim.run(&jobs).unwrap();
+        // For every pair of time-overlapping jobs, node sets are disjoint.
+        let placed: Vec<_> = jobs
+            .iter()
+            .zip(&outcomes)
+            .filter_map(|(j, o)| Some((j.id, o.start?, o.end?, o.node_indices.clone())))
+            .collect();
+        for (i, a) in placed.iter().enumerate() {
+            for b in placed.iter().skip(i + 1) {
+                let overlap = a.1 < b.2 && b.1 < a.2;
+                if overlap {
+                    for n in &a.3 {
+                        prop_assert!(
+                            !b.3.contains(n),
+                            "jobs {} and {} share node {n}",
+                            a.0,
+                            b.0
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn backfill_never_delays_the_highest_priority_job() {
+    // Construct the classic scenario and check the EASY guarantee directly:
+    // the blocked head starts no later under EASY than under FIFO.
+    let t0 = Timestamp::from_ymd(2024, 1, 1);
+    let jobs = vec![
+        JobRequest::simple(1, t0, 12, 4000, 4000),
+        JobRequest::simple(2, t0 + 10, 16, 4000, 1000), // blocked head
+        JobRequest::simple(3, t0 + 20, 4, 3600, 3500),  // backfill candidate
+        JobRequest::simple(4, t0 + 30, 2, 900, 800),    // small short candidate
+    ];
+    let run = |policy| {
+        let mut system = SystemConfig::toy(16);
+        system.backfill = policy;
+        Simulator::new(system).run(&jobs).unwrap()
+    };
+    let fifo = run(BackfillPolicy::None);
+    let easy = run(BackfillPolicy::Easy);
+    assert!(
+        easy[1].start.unwrap() <= fifo[1].start.unwrap(),
+        "EASY delayed the reserved head: {:?} vs {:?}",
+        easy[1].start,
+        fifo[1].start
+    );
+    // And something actually backfilled.
+    assert!(easy.iter().any(|o| o.backfilled));
+}
+
+#[test]
+fn generated_workload_policy_dominance() {
+    use rand::SeedableRng;
+    use schedflow_tracegen::{synthesize_plans, UserPopulation, WorkloadProfile};
+    let profile = WorkloadProfile::andes().truncated_days(14).scaled(0.3);
+    let mut rng = rand::rngs::SmallRng::seed_from_u64(4);
+    let pop = UserPopulation::generate(&profile, &mut rng);
+    let jobs: Vec<JobRequest> = synthesize_plans(&profile, &pop, &mut rng)
+        .into_iter()
+        .map(|p| p.request)
+        .collect();
+    let mut mean_waits = Vec::new();
+    for policy in [BackfillPolicy::None, BackfillPolicy::Easy] {
+        let mut system = profile.system.clone();
+        system.backfill = policy;
+        let outcomes = Simulator::new(system).run(&jobs).unwrap();
+        let m = metrics(&jobs, &outcomes, profile.system.total_nodes);
+        mean_waits.push(m.mean_wait_secs);
+    }
+    assert!(
+        mean_waits[1] <= mean_waits[0] * 1.05,
+        "EASY should not worsen mean wait: fifo={} easy={}",
+        mean_waits[0],
+        mean_waits[1]
+    );
+}

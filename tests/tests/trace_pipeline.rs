@@ -1,0 +1,121 @@
+//! Integration: generator → simulator → sacct text → curation → analytics.
+//!
+//! Exercises the full data path the paper's static subworkflow covers, at
+//! reduced scale, asserting the invariants each boundary must preserve.
+
+use schedflow_model::state::JobState;
+use schedflow_sacct::{parse_records, records_to_frame, write_records, AccountingStore, RenderOptions};
+use schedflow_tracegen::{TraceGenerator, WorkloadProfile};
+
+fn trace() -> Vec<schedflow_model::record::JobRecord> {
+    TraceGenerator::new(WorkloadProfile::andes().truncated_days(21).scaled(0.25), 77).generate()
+}
+
+#[test]
+fn generated_records_round_trip_through_sacct_text() {
+    let records = trace();
+    assert!(records.len() > 2000, "{}", records.len());
+
+    let mut buf = Vec::new();
+    write_records(&records, &mut buf, &RenderOptions::default()).unwrap();
+    let (parsed, report) = parse_records(std::io::Cursor::new(buf)).unwrap();
+
+    assert_eq!(parsed.len(), records.len());
+    assert!(report.malformed.is_empty(), "{:?}", &report.malformed[..report.malformed.len().min(3)]);
+    // Full fidelity: every job (with steps) survives the text format.
+    for (a, b) in records.iter().zip(&parsed) {
+        assert_eq!(a, b, "record {} diverged", a.id);
+    }
+}
+
+#[test]
+fn corruption_injection_matches_papers_curation_story() {
+    let records = trace();
+    let mut buf = Vec::new();
+    // Paper: malformed records account for <0.002% — inject an order more
+    // so the filter has real work at this scale.
+    write_records(
+        &records,
+        &mut buf,
+        &RenderOptions::default().with_corruption(0.005),
+    )
+    .unwrap();
+    let (parsed, report) = parse_records(std::io::Cursor::new(buf)).unwrap();
+    assert!(!report.malformed.is_empty());
+    assert!(report.malformed_fraction() < 0.05);
+    assert_eq!(parsed.len() + report.malformed.len() - report.steps_discarded(), records.len());
+}
+
+trait StepsDiscarded {
+    fn steps_discarded(&self) -> usize;
+}
+
+impl StepsDiscarded for schedflow_sacct::ParseReport {
+    fn steps_discarded(&self) -> usize {
+        // Corrupting a job line orphans its step lines; both are reported
+        // malformed. Count the step-shaped malformed entries.
+        self.malformed
+            .iter()
+            .filter(|(_, why)| why.contains("orphan"))
+            .count()
+    }
+}
+
+#[test]
+fn scheduling_invariants_hold_over_the_whole_trace() {
+    let records = trace();
+    let mut started = 0;
+    let mut backfilled = 0;
+    for r in &records {
+        r.validate().unwrap_or_else(|e| panic!("{e}"));
+        if !r.start.is_unknown() {
+            started += 1;
+            // Eligible precedes start; wait is nonnegative by construction.
+            assert!(r.wait_secs().unwrap() >= 0);
+            // Timeout jobs ran exactly their limit.
+            if r.state == JobState::Timeout {
+                assert_eq!(Some(r.elapsed.0), r.requested_secs());
+            }
+            // Elapsed never exceeds the limit.
+            if let Some(limit) = r.requested_secs() {
+                assert!(r.elapsed.0 <= limit, "job {} over limit", r.id);
+            }
+            if r.is_backfilled() {
+                backfilled += 1;
+            }
+        } else {
+            assert_eq!(r.state, JobState::Cancelled, "only pending-cancels never start");
+            assert!(r.steps.is_empty());
+        }
+    }
+    assert!(started > records.len() * 8 / 10);
+    assert!(backfilled > 0, "a loaded system backfills");
+}
+
+#[test]
+fn store_query_frames_match_direct_conversion() {
+    let records = trace();
+    let store = AccountingStore::new("andes", records.clone());
+    let months = store.months();
+    assert!(!months.is_empty());
+
+    // Querying month by month and concatenating equals converting all at
+    // once (modulo submit-order sorting, which the store guarantees).
+    let mut total = 0;
+    for (y, m) in &months {
+        total += store.query_month(*y, *m).len();
+    }
+    assert_eq!(total, store.len());
+
+    let frame = records_to_frame(store.records());
+    assert_eq!(frame.height(), records.len());
+
+    // Analytics run end to end on the frame.
+    let vols = schedflow_analytics::yearly_volumes(&frame).unwrap();
+    assert_eq!(vols.len(), 1);
+    assert!(vols[0].steps_per_job() > 2.0);
+    let waits = schedflow_analytics::wait_summary(&frame).unwrap();
+    assert!(waits.iter().any(|w| w.state == "COMPLETED"));
+    let backfill = schedflow_analytics::backfill::summarize(&frame).unwrap();
+    assert!(backfill.overestimated_fraction > 0.5);
+}

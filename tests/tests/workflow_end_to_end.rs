@@ -1,0 +1,107 @@
+//! Integration: the full hybrid workflow (core crate) across systems — the
+//! §4.3 portability property, artifact completeness, and determinism.
+
+use schedflow_core::{run, System, WorkflowConfig};
+use std::path::PathBuf;
+
+fn config(system: System, tag: &str) -> WorkflowConfig {
+    let base = std::env::temp_dir().join(format!(
+        "schedflow-itest-{tag}-{}-{}",
+        system.name(),
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&base);
+    let mut cfg = WorkflowConfig::new(system);
+    let months = cfg.months();
+    cfg.from = months[0];
+    cfg.to = months[2.min(months.len() - 1)];
+    cfg.scale = 0.02;
+    cfg.threads = 4;
+    cfg.cache_dir = base.join("cache");
+    cfg.data_dir = base.join("data");
+    cfg
+}
+
+fn cleanup(cfg: &WorkflowConfig) {
+    if let Some(parent) = cfg.cache_dir.parent() {
+        let _ = std::fs::remove_dir_all(parent);
+    }
+}
+
+#[test]
+fn same_workflow_runs_unmodified_on_both_systems() {
+    for system in [System::Frontier, System::Andes] {
+        let cfg = config(system, "port");
+        let outcome = run(&cfg).unwrap_or_else(|e| panic!("{}: {e}", system.name()));
+        assert!(outcome.report.is_success());
+        assert_eq!(
+            outcome.insights.len(),
+            schedflow_core::PLOT_STAGES.len(),
+            "{}",
+            system.name()
+        );
+        assert!(outcome.dashboard_index.exists());
+        // Every month produced a curated CSV.
+        for (y, m) in cfg.months() {
+            let csv = cfg.data_dir.join("curated").join(format!("{y:04}-{m:02}.csv"));
+            assert!(csv.exists(), "missing {}", csv.display());
+        }
+        cleanup(&cfg);
+    }
+}
+
+#[test]
+fn dashboard_site_is_complete_and_servable() {
+    let cfg = config(System::Andes, "dash");
+    let outcome = run(&cfg).unwrap();
+    let dash_dir: PathBuf = outcome.dashboard_index.parent().unwrap().to_path_buf();
+
+    // All five panels exist and embed SVG.
+    for stage in schedflow_core::PLOT_STAGES {
+        let panel = dash_dir.join("panels").join(format!("{stage}.html"));
+        let content = std::fs::read_to_string(&panel).unwrap();
+        assert!(content.contains("<svg"), "{stage} panel lacks chart");
+        assert!(content.contains("Automated insight"), "{stage} panel lacks insight");
+    }
+
+    // Serve it over HTTP and fetch the index.
+    let server = schedflow_dashboard::serve(&dash_dir, 0).unwrap();
+    let mut stream = std::net::TcpStream::connect(server.addr()).unwrap();
+    use std::io::{Read, Write};
+    write!(stream, "GET /index.html HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+    let mut body = String::new();
+    stream.read_to_string(&mut body).unwrap();
+    assert!(body.starts_with("HTTP/1.1 200"));
+    assert!(body.contains("panels/volume.html"));
+    server.stop();
+    cleanup(&cfg);
+}
+
+#[test]
+fn runs_are_deterministic_given_seed() {
+    let cfg_a = config(System::Andes, "det-a");
+    let cfg_b = config(System::Andes, "det-b");
+    let a = run(&cfg_a).unwrap();
+    let b = run(&cfg_b).unwrap();
+    assert_eq!(a.frame.height(), b.frame.height());
+    // Insight narratives are identical: same trace, same deterministic analyst.
+    for ((sa, ia), (sb, ib)) in a.insights.iter().zip(&b.insights) {
+        assert_eq!(sa, sb);
+        assert_eq!(ia.narrative, ib.narrative);
+    }
+    cleanup(&cfg_a);
+    cleanup(&cfg_b);
+}
+
+#[test]
+fn insights_md_mirrors_papers_published_analyses() {
+    // The paper publishes its LLM outputs as markdown files; ours land in
+    // insights.md with per-stage markers and quantitative stats.
+    let cfg = config(System::Frontier, "md");
+    let outcome = run(&cfg).unwrap();
+    let md = std::fs::read_to_string(&outcome.insights_md).unwrap();
+    assert!(md.contains("# Automated insights — frontier"));
+    assert!(md.contains("**Statistics**"));
+    assert!(md.contains("overestimating their walltime requests"));
+    cleanup(&cfg);
+}
