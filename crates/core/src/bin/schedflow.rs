@@ -1,24 +1,31 @@
 //! The `schedflow` command-line interface.
 //!
 //! Mirrors the paper's workflow invocation (§3.3): physical concurrency
-//! `-n N`, a date range, a cache location, and a permanent data location.
+//! `-n N`, a date range, a cache location, and a permanent data location —
+//! plus the fault-tolerance surface (retries, deadlines, resume) and a
+//! deterministic fault-injection harness.
 //!
 //! ```text
 //! schedflow run --system frontier --from 2023-04 --to 2024-12 -n 8 \
 //!     --cache .cache --data out --scale 0.05 [--serve PORT]
+//! schedflow run --retries 3 --task-timeout 120 --resume     # fault-tolerant
+//! schedflow chaos --fail-p 0.3 --chaos-seed 7               # injection drill
 //! schedflow dot --system andes            # Figure 2 (Graphviz DOT)
 //! schedflow table2                        # the LLM offering survey
 //! ```
 
 use schedflow_core::{build, run, System, WorkflowConfig};
+use schedflow_dataflow::ChaosConfig;
+use std::time::Duration;
 
 fn usage() -> ! {
     eprintln!(
         "schedflow — LLM-enabled Slurm trace analytics workflow\n\n\
          USAGE:\n  schedflow run   [OPTIONS]   execute the full hybrid workflow\n  \
+         schedflow chaos [OPTIONS]   run under seeded fault injection\n  \
          schedflow dot   [OPTIONS]   print the workflow dataflow graph (DOT)\n  \
          schedflow table2            print the LLM offering survey (Table 2)\n\n\
-         OPTIONS (run/dot):\n  \
+         OPTIONS (run/chaos/dot):\n  \
          --system NAME    frontier | andes            [frontier]\n  \
          --from YYYY-MM   first month analyzed        [profile start]\n  \
          --to YYYY-MM     last month analyzed         [profile end]\n  \
@@ -28,7 +35,21 @@ fn usage() -> ! {
          --scale F        trace volume scale          [0.05]\n  \
          --seed N         generator seed              [42]\n  \
          --no-cache       refetch raw data\n  \
-         --serve PORT     serve the dashboard after the run"
+         --serve PORT     serve the dashboard after the run\n\n\
+         FAULT TOLERANCE (run/chaos):\n  \
+         --retries N         max attempts per task (1 = off)   [1]\n  \
+         --retry-delay MS    base retry backoff, milliseconds  [50]\n  \
+         --task-timeout S    per-task deadline, seconds        [none]\n  \
+         --stall-timeout S   whole-run stall guard, seconds    [3600]\n  \
+         --resume            re-execute only tasks not recorded\n                      \
+         successful in the run manifest\n\n\
+         CHAOS (chaos only):\n  \
+         --fail-p P       per-attempt transient failure probability [0.2]\n  \
+         --panic-p P      per-attempt panic probability             [0.0]\n  \
+         --delay-p P      per-attempt injected-delay probability    [0.0]\n  \
+         --max-delay MS   injected delay upper bound                [0]\n  \
+         --chaos-seed N   fault-injection seed                      [7]\n  \
+         --no-retries     disable the default chaos retry budget"
     );
     std::process::exit(2);
 }
@@ -38,11 +59,11 @@ struct Args {
     serve: Option<u16>,
 }
 
-fn parse_args(args: std::env::Args) -> (String, Args) {
+fn parse_args(command: &str, args: std::env::Args) -> Args {
     let mut rest: Vec<String> = args.collect();
     rest.reverse();
-    let command = rest.pop().unwrap_or_else(|| usage());
 
+    let chaos_mode = command == "chaos";
     let mut threads: Option<usize> = None;
     let mut system = System::Frontier;
     let mut from = None;
@@ -53,12 +74,32 @@ fn parse_args(args: std::env::Args) -> (String, Args) {
     let mut use_cache = true;
     let mut seed = None;
     let mut scale = None;
+    let mut retries: Option<u32> = None;
+    let mut retry_delay_ms: Option<u64> = None;
+    let mut task_timeout_secs: Option<u64> = None;
+    let mut stall_timeout_secs: Option<u64> = None;
+    let mut resume = false;
+    let mut no_retries = false;
+    let mut chaos = if chaos_mode {
+        Some(ChaosConfig::failing(7, 0.2))
+    } else {
+        None
+    };
 
     fn next(name: &str, rest: &mut Vec<String>) -> String {
         rest.pop().unwrap_or_else(|| {
             eprintln!("missing value for {name}");
             usage()
         })
+    }
+    fn parse<T: std::str::FromStr>(name: &str, rest: &mut Vec<String>) -> T {
+        next(name, rest).parse().unwrap_or_else(|_| {
+            eprintln!("bad value for {name}");
+            usage()
+        })
+    }
+    fn chaos_of(chaos: &mut Option<ChaosConfig>) -> &mut ChaosConfig {
+        chaos.get_or_insert_with(|| ChaosConfig::failing(7, 0.2))
     }
     while let Some(flag) = rest.pop() {
         match flag.as_str() {
@@ -81,20 +122,33 @@ fn parse_args(args: std::env::Args) -> (String, Args) {
                         .unwrap_or_else(|| usage()),
                 );
             }
-            "-n" => threads = Some(next("-n", &mut rest).parse().unwrap_or_else(|_| usage())),
+            "-n" => threads = Some(parse("-n", &mut rest)),
             "--cache" => cache_dir = Some(next("--cache", &mut rest)),
             "--data" => data_dir = Some(next("--data", &mut rest)),
-            "--scale" => scale = Some(next("--scale", &mut rest).parse().unwrap_or_else(|_| usage())),
-            "--seed" => seed = Some(next("--seed", &mut rest).parse().unwrap_or_else(|_| usage())),
+            "--scale" => scale = Some(parse("--scale", &mut rest)),
+            "--seed" => seed = Some(parse("--seed", &mut rest)),
             "--no-cache" => use_cache = false,
-            "--serve" => {
-                serve = Some(next("--serve", &mut rest).parse().unwrap_or_else(|_| usage()))
-            }
+            "--serve" => serve = Some(parse("--serve", &mut rest)),
+            "--retries" => retries = Some(parse("--retries", &mut rest)),
+            "--retry-delay" => retry_delay_ms = Some(parse("--retry-delay", &mut rest)),
+            "--task-timeout" => task_timeout_secs = Some(parse("--task-timeout", &mut rest)),
+            "--stall-timeout" => stall_timeout_secs = Some(parse("--stall-timeout", &mut rest)),
+            "--resume" => resume = true,
+            "--no-retries" => no_retries = true,
+            "--fail-p" => chaos_of(&mut chaos).fail_p = parse("--fail-p", &mut rest),
+            "--panic-p" => chaos_of(&mut chaos).panic_p = parse("--panic-p", &mut rest),
+            "--delay-p" => chaos_of(&mut chaos).delay_p = parse("--delay-p", &mut rest),
+            "--max-delay" => chaos_of(&mut chaos).max_delay_ms = parse("--max-delay", &mut rest),
+            "--chaos-seed" => chaos_of(&mut chaos).seed = parse("--chaos-seed", &mut rest),
             other => {
                 eprintln!("unknown flag {other:?}");
                 usage();
             }
         }
+    }
+    if !chaos_mode && chaos.is_some() {
+        eprintln!("chaos flags (--fail-p/--panic-p/--delay-p/--max-delay/--chaos-seed) require the `chaos` subcommand");
+        usage();
     }
 
     let mut cfg = WorkflowConfig::new(system);
@@ -120,13 +174,118 @@ fn parse_args(args: std::env::Args) -> (String, Args) {
     if let Some(t) = to {
         cfg.to = t;
     }
-    (command, Args { cfg, serve })
+    // Chaos drills default to a generous retry budget so the harness
+    // demonstrates recovery; `--no-retries` shows the unprotected run.
+    if let Some(r) = retries {
+        cfg.fault.retries = r;
+    } else if chaos_mode && !no_retries {
+        cfg.fault.retries = 8;
+    }
+    if no_retries {
+        cfg.fault.retries = 1;
+    }
+    if let Some(ms) = retry_delay_ms {
+        cfg.fault.retry_base_delay_ms = ms;
+    }
+    cfg.fault.task_timeout = task_timeout_secs.map(Duration::from_secs);
+    if let Some(s) = stall_timeout_secs {
+        cfg.fault.stall_timeout_secs = s;
+    }
+    cfg.fault.resume = resume;
+    cfg.fault.chaos = chaos;
+    Args { cfg, serve }
+}
+
+fn run_command(parsed: Args) {
+    let cfg = parsed.cfg;
+    eprintln!(
+        "schedflow: system={} window={:04}-{:02}..{:04}-{:02} threads={} scale={}",
+        cfg.system.name(),
+        cfg.from.0,
+        cfg.from.1,
+        cfg.to.0,
+        cfg.to.1,
+        cfg.threads,
+        cfg.scale
+    );
+    if let Some(c) = &cfg.fault.chaos {
+        eprintln!(
+            "chaos: seed={} fail-p={} panic-p={} delay-p={} retries={}",
+            c.seed, c.fail_p, c.panic_p, c.delay_p, cfg.fault.retries
+        );
+    }
+    if cfg.fault.resume {
+        eprintln!("resume: reusing successes from {}", cfg.data_dir.join(schedflow_core::MANIFEST_FILE).display());
+    }
+    match run(&cfg) {
+        Ok(outcome) => {
+            eprintln!(
+                "workflow complete: {} tasks in {:.1}s (max concurrency {}, speedup ≥ {:.1}×)",
+                outcome.report.tasks.len(),
+                outcome.report.makespan_ms / 1000.0,
+                outcome.report.max_concurrency(),
+                outcome.report.speedup()
+            );
+            let retried = outcome.report.retried();
+            if !retried.is_empty() {
+                let detail: Vec<String> = retried
+                    .iter()
+                    .map(|(name, n)| format!("{name}×{n}"))
+                    .collect();
+                eprintln!(
+                    "retries healed {} task(s): {}",
+                    retried.len(),
+                    detail.join(", ")
+                );
+            }
+            if outcome.report.resumed() > 0 {
+                eprintln!(
+                    "resume skipped {} task(s) already recorded successful",
+                    outcome.report.resumed()
+                );
+            }
+            eprintln!(
+                "analyzed {} jobs; curation discarded {}/{} raw lines",
+                outcome.frame.height(),
+                outcome.curation.1,
+                outcome.curation.0
+            );
+            eprintln!("dashboard: {}", outcome.dashboard_index.display());
+            eprintln!("insights:  {}", outcome.insights_md.display());
+            if let Some(port) = parsed.serve {
+                let dir = outcome.dashboard_index.parent().unwrap().to_path_buf();
+                match schedflow_dashboard::serve(dir, port) {
+                    Ok(handle) => {
+                        eprintln!(
+                            "serving dashboard at http://{}/ (ctrl-c to stop)",
+                            handle.addr()
+                        );
+                        loop {
+                            std::thread::sleep(std::time::Duration::from_secs(3600));
+                        }
+                    }
+                    Err(e) => {
+                        eprintln!("serve failed: {e}");
+                        std::process::exit(1);
+                    }
+                }
+            }
+        }
+        Err(e) => {
+            eprintln!("workflow failed: {e}");
+            if cfg.fault.retries <= 1 {
+                eprintln!("hint: re-run with --retries N to ride out transient failures,");
+            }
+            eprintln!("hint: re-run with --resume to re-execute only unfinished stages");
+            std::process::exit(1);
+        }
+    }
 }
 
 fn main() {
     let mut args = std::env::args();
     let _binary = args.next();
-    let (command, parsed) = parse_args(args);
+    let command = args.next().unwrap_or_else(|| usage());
 
     match command.as_str() {
         "table2" => {
@@ -135,6 +294,7 @@ fn main() {
             println!("selected backend: {} {}", chosen.provider, chosen.version);
         }
         "dot" => {
+            let parsed = parse_args("dot", args);
             let built = build(&parsed.cfg);
             let dot = schedflow_dataflow::to_dot(
                 &built.workflow,
@@ -149,60 +309,7 @@ fn main() {
             });
             println!("{dot}");
         }
-        "run" => {
-            let cfg = parsed.cfg;
-            eprintln!(
-                "schedflow: system={} window={:04}-{:02}..{:04}-{:02} threads={} scale={}",
-                cfg.system.name(),
-                cfg.from.0,
-                cfg.from.1,
-                cfg.to.0,
-                cfg.to.1,
-                cfg.threads,
-                cfg.scale
-            );
-            match run(&cfg) {
-                Ok(outcome) => {
-                    eprintln!(
-                        "workflow complete: {} tasks in {:.1}s (max concurrency {}, speedup ≥ {:.1}×)",
-                        outcome.report.tasks.len(),
-                        outcome.report.makespan_ms / 1000.0,
-                        outcome.report.max_concurrency(),
-                        outcome.report.speedup()
-                    );
-                    eprintln!(
-                        "analyzed {} jobs; curation discarded {}/{} raw lines",
-                        outcome.frame.height(),
-                        outcome.curation.1,
-                        outcome.curation.0
-                    );
-                    eprintln!("dashboard: {}", outcome.dashboard_index.display());
-                    eprintln!("insights:  {}", outcome.insights_md.display());
-                    if let Some(port) = parsed.serve {
-                        let dir = outcome.dashboard_index.parent().unwrap().to_path_buf();
-                        match schedflow_dashboard::serve(dir, port) {
-                            Ok(handle) => {
-                                eprintln!(
-                                    "serving dashboard at http://{}/ (ctrl-c to stop)",
-                                    handle.addr()
-                                );
-                                loop {
-                                    std::thread::sleep(std::time::Duration::from_secs(3600));
-                                }
-                            }
-                            Err(e) => {
-                                eprintln!("serve failed: {e}");
-                                std::process::exit(1);
-                            }
-                        }
-                    }
-                }
-                Err(e) => {
-                    eprintln!("workflow failed: {e}");
-                    std::process::exit(1);
-                }
-            }
-        }
+        "run" | "chaos" => run_command(parse_args(&command, args)),
         _ => usage(),
     }
 }

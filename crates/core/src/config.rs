@@ -5,9 +5,11 @@
 //! location. [`WorkflowConfig`] carries the same parameters plus the
 //! generator knobs our trace substitution introduces.
 
+use schedflow_dataflow::ChaosConfig;
 use schedflow_model::time::Timestamp;
 use schedflow_tracegen::WorkloadProfile;
 use std::path::PathBuf;
+use std::time::Duration;
 
 /// Which system profile to analyze.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -64,6 +66,56 @@ pub struct WorkflowConfig {
     /// Fraction of raw job lines deterministically corrupted (exercises the
     /// curation filter; the paper observed <0.002%).
     pub corrupt_fraction: f64,
+    /// Fault-tolerance knobs (retries, deadlines, resume, chaos).
+    pub fault: FaultOptions,
+    /// Insight backend selection (see [`InsightBackend`]).
+    pub insight_backend: InsightBackend,
+}
+
+/// Which analyst serves the LLM-insight stages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum InsightBackend {
+    /// The deterministic rule analyst only (the offline default — keeps
+    /// runs reproducible byte-for-byte).
+    #[default]
+    Rule,
+    /// A hosted backend first, falling back to the rule analyst when it
+    /// fails — the paper's deployment shape. In this offline reproduction
+    /// the hosted link is [`schedflow_insight::OfflineTransport`], so every
+    /// request exercises the fallback path.
+    HostedWithFallback,
+}
+
+/// Fault-tolerance configuration of one run — the knobs behind the
+/// `--retries`, `--task-timeout`, `--stall-timeout`, and `--resume` CLI
+/// flags and the `schedflow chaos` subcommand.
+#[derive(Debug, Clone)]
+pub struct FaultOptions {
+    /// Max attempts per task, including the first (1 = no retries).
+    pub retries: u32,
+    /// Base backoff between attempts, milliseconds.
+    pub retry_base_delay_ms: u64,
+    /// Per-task deadline; `None` = no deadline.
+    pub task_timeout: Option<Duration>,
+    /// Whole-run stall guard window, seconds.
+    pub stall_timeout_secs: u64,
+    /// Resume from the previous run's manifest instead of starting fresh.
+    pub resume: bool,
+    /// Seeded fault injection (the `schedflow chaos` subcommand).
+    pub chaos: Option<ChaosConfig>,
+}
+
+impl Default for FaultOptions {
+    fn default() -> Self {
+        FaultOptions {
+            retries: 1,
+            retry_base_delay_ms: 50,
+            task_timeout: None,
+            stall_timeout_secs: 3600,
+            resume: false,
+            chaos: None,
+        }
+    }
 }
 
 impl WorkflowConfig {
@@ -88,6 +140,8 @@ impl WorkflowConfig {
             scale: 0.05,
             top_users: 40,
             corrupt_fraction: 0.00002,
+            fault: FaultOptions::default(),
+            insight_backend: InsightBackend::default(),
         }
     }
 

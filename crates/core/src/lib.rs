@@ -18,6 +18,6 @@ pub mod config;
 pub mod pipeline;
 pub mod run;
 
-pub use config::{System, WorkflowConfig};
+pub use config::{FaultOptions, InsightBackend, System, WorkflowConfig};
 pub use pipeline::{build, BuiltWorkflow, Handles, PLOT_STAGES};
-pub use run::{run, CoreError, RunOutcome};
+pub use run::{run, run_options, CoreError, RunOutcome, MANIFEST_FILE};

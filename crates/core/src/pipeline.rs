@@ -8,15 +8,18 @@
 //! artifact references and runs independent stages concurrently — the §3.3
 //! "parallel pipelines" model.
 
-use crate::config::WorkflowConfig;
+use crate::config::{InsightBackend, WorkflowConfig};
 use schedflow_analytics as analytics;
 use schedflow_charts::{digest as chart_digest, to_html, Chart, ChartDigest, Geometry};
 use schedflow_dataflow::{Artifact, StageKind, Workflow};
 use schedflow_frame::Frame;
-use schedflow_insight::{Analyst, Insight, RuleAnalyst};
+use schedflow_insight::{
+    Analyst, ApiAnalyst, FallbackAnalyst, Insight, OfflineTransport, RuleAnalyst,
+};
 use schedflow_sacct::{AccountingStore, ParseReport, RenderOptions};
 use schedflow_tracegen::TraceGenerator;
 use std::path::PathBuf;
+use std::sync::Arc;
 
 /// The field-specific plotting stages of the static subworkflow: the five
 /// behind the paper's figures plus the utilization trend (§3.2's sysadmin
@@ -49,6 +52,17 @@ pub struct BuiltWorkflow {
     pub handles: Handles,
 }
 
+/// The analyst serving every insight stage of one built workflow (shared so
+/// a fallback chain's degradation counter spans the whole run).
+fn make_analyst(backend: InsightBackend) -> Arc<dyn Analyst> {
+    match backend {
+        InsightBackend::Rule => Arc::new(RuleAnalyst::new()),
+        InsightBackend::HostedWithFallback => Arc::new(FallbackAnalyst::with_rule_fallback(
+            Arc::new(ApiAnalyst::new("gemma-3", OfflineTransport)),
+        )),
+    }
+}
+
 /// Construct the full hybrid workflow for a configuration.
 pub fn build(cfg: &WorkflowConfig) -> BuiltWorkflow {
     let mut wf = Workflow::new();
@@ -56,6 +70,7 @@ pub fn build(cfg: &WorkflowConfig) -> BuiltWorkflow {
     let charts_dir = cfg.data_dir.join("charts");
     let insights_dir = cfg.data_dir.join("insights");
     let dashboard_dir = cfg.data_dir.join("dashboard");
+    let analyst = make_analyst(cfg.insight_backend);
 
     // ---- Static: simulate the system (the accounting database). ----
     let store_art = wf.value::<AccountingStore>("accounting-store");
@@ -212,6 +227,7 @@ pub fn build(cfg: &WorkflowConfig) -> BuiltWorkflow {
         let insight_md = wf.file(insights_dir.join(format!("{stage}.md")));
         {
             let insight_md = insight_md.clone();
+            let analyst = Arc::clone(&analyst);
             wf.task(
                 &format!("llm-insight-{stage}"),
                 StageKind::UserDefined,
@@ -219,9 +235,7 @@ pub fn build(cfg: &WorkflowConfig) -> BuiltWorkflow {
                 [insight_art.id(), insight_md.id()],
                 move |ctx| {
                     let digest = ctx.get(digest_art)?;
-                    let insight = RuleAnalyst::new()
-                        .insight(&digest)
-                        .map_err(|e| e.to_string())?;
+                    let insight = analyst.insight(&digest).map_err(|e| e.to_string())?;
                     let path = ctx.path(&insight_md)?;
                     if let Some(parent) = path.parent() {
                         std::fs::create_dir_all(parent).map_err(|e| e.to_string())?;
@@ -282,6 +296,7 @@ pub fn build(cfg: &WorkflowConfig) -> BuiltWorkflow {
         {
             let (da, db) = (month_digests[0], month_digests[1]);
             let compare_md = compare_md.clone();
+            let analyst = Arc::clone(&analyst);
             wf.task(
                 "llm-compare-waits",
                 StageKind::UserDefined,
@@ -290,9 +305,7 @@ pub fn build(cfg: &WorkflowConfig) -> BuiltWorkflow {
                 move |ctx| {
                     let a = ctx.get(da)?;
                     let b = ctx.get(db)?;
-                    let insight = RuleAnalyst::new()
-                        .compare(&a, &b)
-                        .map_err(|e| e.to_string())?;
+                    let insight = analyst.compare(&a, &b).map_err(|e| e.to_string())?;
                     let path = ctx.path(&compare_md)?;
                     if let Some(parent) = path.parent() {
                         std::fs::create_dir_all(parent).map_err(|e| e.to_string())?;
@@ -346,6 +359,9 @@ pub fn build(cfg: &WorkflowConfig) -> BuiltWorkflow {
     }
 
     // ---- Static: dashboard consolidating all plots (+ commentary). ----
+    // The dashboard tolerates upstream failures: when a plotting or insight
+    // task failed, its tab is emitted as a placeholder explaining why, so a
+    // partially failed run still produces a complete, navigable site.
     let dashboard_index = wf.file(dashboard_dir.join("index.html"));
     {
         let mut inputs: Vec<_> = Vec::new();
@@ -359,7 +375,7 @@ pub fn build(cfg: &WorkflowConfig) -> BuiltWorkflow {
             .collect();
         let out_dir = dashboard_dir.clone();
         let sys = system.clone();
-        wf.task(
+        let dash_task = wf.task(
             "dashboard",
             StageKind::Static,
             inputs,
@@ -369,20 +385,32 @@ pub fn build(cfg: &WorkflowConfig) -> BuiltWorkflow {
                     "HPC scheduling analytics — {sys}"
                 ));
                 for (name, chart_art, insight_art) in &stage_arts {
-                    let chart = ctx.get(*chart_art)?;
-                    let insight = ctx.get(*insight_art)?;
-                    dash.add_panel(schedflow_dashboard::Panel {
-                        id: name.clone(),
-                        title: chart.title().to_owned(),
-                        chart_html: to_html(&chart, &Geometry::default()),
-                        insight_md: insight.to_markdown(),
-                        group: sys.clone(),
-                    })?;
+                    let chart = ctx.get_opt(*chart_art)?;
+                    let insight = ctx.get_opt(*insight_art)?;
+                    let panel = match chart {
+                        Some(chart) => schedflow_dashboard::Panel {
+                            id: name.clone(),
+                            title: chart.title().to_owned(),
+                            chart_html: to_html(&chart, &Geometry::default()),
+                            insight_md: insight
+                                .map(|i| i.to_markdown())
+                                .unwrap_or_default(),
+                            group: sys.clone(),
+                        },
+                        None => schedflow_dashboard::Panel::placeholder(
+                            name,
+                            &format!("{name} (unavailable)"),
+                            &sys,
+                            &format!("the plot-{name} stage failed upstream"),
+                        ),
+                    };
+                    dash.add_panel(panel)?;
                 }
                 dash.write(&out_dir).map_err(|e| e.to_string())?;
                 Ok(())
             },
         );
+        wf.tolerate_failures(dash_task);
     }
 
     BuiltWorkflow {

@@ -2,27 +2,43 @@
 
 use crate::config::WorkflowConfig;
 use crate::pipeline::{build, BuiltWorkflow};
-use schedflow_dataflow::{GraphError, RunOptions, RunReport, Runner};
+use schedflow_dataflow::{
+    GraphError, RetryOn, RetryPolicy, RunOptions, RunReport, Runner,
+};
 use schedflow_frame::Frame;
 use schedflow_insight::Insight;
 use std::path::PathBuf;
 use std::sync::Arc;
+use std::time::Duration;
+
+/// File name of the checkpoint manifest inside `data_dir`.
+pub const MANIFEST_FILE: &str = "run-manifest.json";
 
 /// Errors from a workflow run.
 #[derive(Debug)]
 pub enum CoreError {
     Graph(GraphError),
-    /// One or more tasks failed; the report carries details.
-    TasksFailed { failed: Vec<String>, report: Box<RunReport> },
+    /// One or more stages failed (after retries); the report carries details.
+    StageFailed {
+        failed: Vec<String>,
+        report: Box<RunReport>,
+    },
+    /// The run reported success but an expected artifact is absent — an
+    /// engine/pipeline contract violation, reported instead of panicking.
+    MissingArtifact { artifact: String },
 }
 
 impl std::fmt::Display for CoreError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             CoreError::Graph(e) => write!(f, "workflow graph error: {e}"),
-            CoreError::TasksFailed { failed, .. } => {
-                write!(f, "workflow tasks failed: {failed:?}")
+            CoreError::StageFailed { failed, .. } => {
+                write!(f, "workflow stages failed: {}", failed.join("; "))
             }
+            CoreError::MissingArtifact { artifact } => write!(
+                f,
+                "workflow succeeded but artifact {artifact:?} was not produced"
+            ),
         }
     }
 }
@@ -37,7 +53,7 @@ impl From<GraphError> for CoreError {
 
 /// Everything a successful run produces.
 pub struct RunOutcome {
-    /// Per-task execution report (timings, workers, cache hits).
+    /// Per-task execution report (timings, workers, cache hits, attempts).
     pub report: RunReport,
     /// The merged analysis frame.
     pub frame: Arc<Frame>,
@@ -53,24 +69,48 @@ pub struct RunOutcome {
     pub curation: (usize, usize),
 }
 
-/// Build and execute the workflow for `cfg`.
-pub fn run(cfg: &WorkflowConfig) -> Result<RunOutcome, CoreError> {
-    let BuiltWorkflow { workflow, handles } = build(cfg);
-    let runner = Runner::new(workflow)?;
-    let report = runner.run(&RunOptions {
+/// Translate the configured fault options into engine [`RunOptions`].
+pub fn run_options(cfg: &WorkflowConfig) -> RunOptions {
+    let fault = &cfg.fault;
+    let mut options = RunOptions {
         threads: cfg.threads,
         // The engine-level file cache is never *harmful* here; obtain tasks
         // additionally implement the paper's raw-data cache themselves.
         use_cache: cfg.use_cache,
-    });
+        ..RunOptions::default()
+    };
+    if fault.retries > 1 {
+        options.default_retry = RetryPolicy::transient(fault.retries)
+            .with_backoff(fault.retry_base_delay_ms, fault.retry_base_delay_ms * 40)
+            .retrying(RetryOn::TransientAndTimeout);
+    }
+    options.task_timeout = fault.task_timeout;
+    options.stall_timeout = Duration::from_secs(fault.stall_timeout_secs.max(1));
+    options.manifest_path = Some(cfg.data_dir.join(MANIFEST_FILE));
+    options.resume = fault.resume;
+    options.chaos = fault.chaos;
+    options
+}
+
+/// Build and execute the workflow for `cfg`.
+pub fn run(cfg: &WorkflowConfig) -> Result<RunOutcome, CoreError> {
+    let BuiltWorkflow { workflow, handles } = build(cfg);
+    let runner = Runner::new(workflow)?;
+    let report = runner.run(&run_options(cfg));
 
     if !report.is_success() {
         let failed = report
             .failed()
             .iter()
-            .map(|t| format!("{}: {:?}", t.name, t.status))
+            .map(|t| {
+                if t.attempts > 1 {
+                    format!("{} ({:?} after {} attempts)", t.name, t.status, t.attempts)
+                } else {
+                    format!("{}: {:?}", t.name, t.status)
+                }
+            })
             .collect();
-        return Err(CoreError::TasksFailed {
+        return Err(CoreError::StageFailed {
             failed,
             report: Box::new(report),
         });
@@ -81,7 +121,9 @@ pub fn run(cfg: &WorkflowConfig) -> Result<RunOutcome, CoreError> {
 
     let frame = get(handles.merged.id())
         .and_then(|v| v.downcast::<Frame>().ok())
-        .expect("merged frame produced on success");
+        .ok_or(CoreError::MissingArtifact {
+            artifact: "merged-frame".to_owned(),
+        })?;
 
     let mut insights = Vec::new();
     for (stage, _, _, insight_art) in &handles.stages {
@@ -161,6 +203,13 @@ mod tests {
             assert!(md.contains(&format!("stage: {stage}")), "{stage} missing");
         }
         assert!(md.contains("stage: compare"));
+        // A checkpoint manifest was persisted with every task succeeded.
+        let manifest =
+            schedflow_dataflow::RunManifest::load(&cfg.data_dir.join(MANIFEST_FILE)).unwrap();
+        assert!(manifest
+            .tasks
+            .iter()
+            .all(|t| matches!(t.status.as_str(), "succeeded" | "cached" | "resumed")));
         let _ = std::fs::remove_dir_all(cfg.cache_dir.parent().unwrap());
     }
 
@@ -189,5 +238,50 @@ mod tests {
             "parallel pipelines expected, got {}",
             outcome.report.max_concurrency()
         );
+    }
+
+    #[test]
+    fn chaos_without_retries_fails_with_structured_error() {
+        let mut cfg = tiny_config("chaos-noretry");
+        cfg.fault.chaos = Some(schedflow_dataflow::ChaosConfig::failing(11, 0.4));
+        match run(&cfg) {
+            Err(CoreError::StageFailed { failed, report }) => {
+                assert!(!failed.is_empty());
+                assert!(report.skipped() > 0 || !report.failed().is_empty());
+            }
+            Ok(_) => panic!("p=0.4 chaos with no retries should fail the run"),
+            Err(other) => panic!("unexpected error {other}"),
+        }
+        let _ = std::fs::remove_dir_all(cfg.cache_dir.parent().unwrap());
+    }
+
+    #[test]
+    fn chaos_with_retries_recovers() {
+        let mut cfg = tiny_config("chaos-retry");
+        cfg.fault.chaos = Some(schedflow_dataflow::ChaosConfig::failing(11, 0.3));
+        cfg.fault.retries = 8;
+        cfg.fault.retry_base_delay_ms = 1;
+        let outcome = run(&cfg).unwrap_or_else(|e| panic!("{e}"));
+        assert!(outcome.report.is_success());
+        assert!(
+            !outcome.report.retried().is_empty(),
+            "p=0.3 across 34 tasks must retry something"
+        );
+        let _ = std::fs::remove_dir_all(cfg.cache_dir.parent().unwrap());
+    }
+
+    #[test]
+    fn hosted_backend_with_fallback_still_completes() {
+        let mut cfg = tiny_config("fallback");
+        cfg.insight_backend = crate::config::InsightBackend::HostedWithFallback;
+        let outcome = run(&cfg).unwrap_or_else(|e| panic!("{e}"));
+        assert!(outcome.report.is_success());
+        // The offline transport failed every request, so every insight came
+        // from the rule-analyst fallback and says so.
+        assert!(outcome
+            .insights
+            .iter()
+            .all(|(_, i)| i.narrative.contains("fallback")));
+        let _ = std::fs::remove_dir_all(cfg.cache_dir.parent().unwrap());
     }
 }

@@ -25,6 +25,35 @@ pub struct Panel {
     pub group: String,
 }
 
+impl Panel {
+    /// A placeholder panel standing in for a chart whose producing task
+    /// failed: the dashboard keeps its full tab structure under partial
+    /// upstream failure, each missing chart explaining why it is missing
+    /// instead of silently disappearing from the sidebar.
+    pub fn placeholder(id: &str, title: &str, group: &str, reason: &str) -> Panel {
+        Panel {
+            id: id.to_owned(),
+            title: title.to_owned(),
+            chart_html: format!(
+                "<div class=\"placeholder\" style=\"max-width:860px;padding:24px;\
+                 background:#fff3cd;border:1px solid #ffc107;border-radius:6px\">\
+                 <h3 style=\"margin-top:0\">Chart unavailable</h3>\
+                 <p>This panel could not be rendered: {}</p>\
+                 <p>Re-run the workflow (with <code>--resume</code>) to fill it in.</p>\
+                 </div>",
+                html_escape(reason)
+            ),
+            insight_md: String::new(),
+            group: group.to_owned(),
+        }
+    }
+
+    /// True when this panel is a degraded stand-in, not a real chart.
+    pub fn is_placeholder(&self) -> bool {
+        self.chart_html.contains("class=\"placeholder\"")
+    }
+}
+
 /// The dashboard under construction.
 #[derive(Debug, Clone, Default)]
 pub struct Dashboard {
@@ -222,5 +251,23 @@ mod tests {
     fn body_extraction_falls_back() {
         assert_eq!(extract_body("no body tags"), "no body tags");
         assert_eq!(extract_body("<body>x</body>"), "x");
+    }
+
+    #[test]
+    fn placeholder_panels_render_reason_and_are_detectable() {
+        let p = Panel::placeholder("waits", "Wait times", "Frontier", "plot task <failed>");
+        assert!(p.is_placeholder());
+        assert!(!panel("real", "A").is_placeholder());
+        assert!(p.chart_html.contains("Chart unavailable"));
+        assert!(p.chart_html.contains("plot task &lt;failed&gt;"), "reason escaped");
+
+        let dir = std::env::temp_dir().join(format!("schedflow-dash-ph-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut d = Dashboard::new("t");
+        d.add_panel(p).unwrap();
+        d.write(&dir).unwrap();
+        let page = std::fs::read_to_string(dir.join("panels/waits.html")).unwrap();
+        assert!(page.contains("Chart unavailable"));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

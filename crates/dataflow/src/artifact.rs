@@ -144,6 +144,30 @@ impl<'a> TaskCtx<'a> {
         Ok(())
     }
 
+    /// Read a declared input value artifact that may be absent — the
+    /// degraded-mode accessor for failure-tolerant tasks (see
+    /// [`crate::graph::Workflow::tolerate_failures`]): when the producing
+    /// task failed, `Ok(None)` is returned instead of an error. Reading an
+    /// undeclared artifact is still a bug and still errors.
+    pub fn get_opt<T: Send + Sync + 'static>(
+        &self,
+        a: Artifact<T>,
+    ) -> Result<Option<Arc<T>>, String> {
+        if !self.inputs.contains(&a.id) {
+            return Err(format!(
+                "task {:?} read artifact #{} it does not declare as input",
+                self.task_name, a.id.0
+            ));
+        }
+        match self.store.get_any(a.id) {
+            None => Ok(None),
+            Some(any) => any
+                .downcast::<T>()
+                .map(Some)
+                .map_err(|_| format!("artifact #{} has unexpected type", a.id.0)),
+        }
+    }
+
     /// Path of a declared input or output file artifact.
     pub fn path<'f>(&self, f: &'f FileArtifact) -> Result<&'f Path, String> {
         if self.inputs.contains(&f.id) || self.outputs.contains(&f.id) {

@@ -1,0 +1,220 @@
+//! Deterministic fault injection for workflow tasks.
+//!
+//! The paper's pipeline depends on exactly the kind of services that fail in
+//! production — an accounting database, headless chart rendering, a hosted
+//! LLM API — but the reproduction's substitutes are all reliable in-process
+//! code. The chaos harness restores the missing failure modes on demand: it
+//! wraps task bodies with seeded, per-attempt probabilities of transient
+//! failure, panic, and added latency, so the retry/deadline machinery can be
+//! exercised reproducibly from tests and from `schedflow chaos`.
+//!
+//! Determinism: every draw is a pure function of `(seed, task name,
+//! attempt)`. The same seed replays the exact same fault schedule, and a
+//! retried attempt rolls fresh dice — which is what makes "transient"
+//! failures transient.
+
+use crate::error::{fnv1a, splitmix64, unit_f64};
+use crate::graph::StageKind;
+
+/// Which stage kinds faults are injected into.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ChaosScope {
+    /// Every task.
+    #[default]
+    All,
+    /// Only fixed data-analysis stages.
+    Static,
+    /// Only user-defined (AI) stages — the paper's least reliable layer.
+    UserDefined,
+}
+
+impl ChaosScope {
+    fn covers(&self, kind: StageKind) -> bool {
+        match self {
+            ChaosScope::All => true,
+            ChaosScope::Static => kind == StageKind::Static,
+            ChaosScope::UserDefined => kind == StageKind::UserDefined,
+        }
+    }
+}
+
+/// Seeded fault-injection configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChaosConfig {
+    pub seed: u64,
+    /// Probability an attempt fails with a transient error (before the body
+    /// runs, so no partial outputs are produced).
+    pub fail_p: f64,
+    /// Probability an attempt panics.
+    pub panic_p: f64,
+    /// Probability an attempt is delayed before running.
+    pub delay_p: f64,
+    /// Injected delays are uniform in `[1, max_delay_ms]`.
+    pub max_delay_ms: u64,
+    pub scope: ChaosScope,
+}
+
+impl Default for ChaosConfig {
+    fn default() -> Self {
+        ChaosConfig {
+            seed: 0,
+            fail_p: 0.0,
+            panic_p: 0.0,
+            delay_p: 0.0,
+            max_delay_ms: 50,
+            scope: ChaosScope::All,
+        }
+    }
+}
+
+/// What the injector decided for one attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Injection {
+    /// Sleep this long before the body runs (also applied before an injected
+    /// failure, modelling a slow-then-failing backend).
+    pub delay_ms: Option<u64>,
+    pub outcome: Option<Fault>,
+}
+
+/// An injected failure mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fault {
+    /// Return [`crate::TaskError::Transient`] instead of running the body.
+    TransientFailure,
+    /// Panic instead of running the body (exercises the unwind path).
+    Panic,
+}
+
+impl ChaosConfig {
+    /// Fail transiently with probability `p` (the common harness setup).
+    pub fn failing(seed: u64, p: f64) -> Self {
+        ChaosConfig {
+            seed,
+            fail_p: p,
+            ..ChaosConfig::default()
+        }
+    }
+
+    /// Decide the injection for one `(task, attempt)` pair. Pure: the same
+    /// arguments always return the same decision.
+    pub fn injection(&self, kind: StageKind, task_name: &str, attempt: u32) -> Injection {
+        if !self.scope.covers(kind) {
+            return Injection::default();
+        }
+        let base = self
+            .seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(fnv1a(task_name))
+            .wrapping_add(u64::from(attempt).wrapping_mul(0x2545_F491_4F6C_DD1D));
+        let draw = |stream: u64| unit_f64(splitmix64(base.wrapping_add(stream)));
+
+        let mut inj = Injection::default();
+        if self.delay_p > 0.0 && draw(1) < self.delay_p {
+            let span = self.max_delay_ms.max(1);
+            inj.delay_ms = Some(1 + splitmix64(base.wrapping_add(2)) % span);
+        }
+        let u = draw(3);
+        if u < self.panic_p {
+            inj.outcome = Some(Fault::Panic);
+        } else if u < self.panic_p + self.fail_p {
+            inj.outcome = Some(Fault::TransientFailure);
+        }
+        inj
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_probabilities_inject_nothing() {
+        let c = ChaosConfig::default();
+        for a in 1..5 {
+            assert_eq!(c.injection(StageKind::Static, "t", a), Injection::default());
+        }
+    }
+
+    #[test]
+    fn certain_failure_always_fails() {
+        let c = ChaosConfig::failing(7, 1.0);
+        for a in 1..5 {
+            assert_eq!(
+                c.injection(StageKind::Static, "t", a).outcome,
+                Some(Fault::TransientFailure)
+            );
+        }
+    }
+
+    #[test]
+    fn injections_are_deterministic_per_seed() {
+        let c = ChaosConfig {
+            seed: 99,
+            fail_p: 0.4,
+            panic_p: 0.1,
+            delay_p: 0.5,
+            max_delay_ms: 20,
+            scope: ChaosScope::All,
+        };
+        for a in 1..10 {
+            for name in ["obtain-2024-01", "merge-curated", "llm-insight-waits"] {
+                assert_eq!(
+                    c.injection(StageKind::Static, name, a),
+                    c.injection(StageKind::Static, name, a)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn different_attempts_roll_fresh_dice() {
+        let c = ChaosConfig::failing(3, 0.5);
+        let outcomes: Vec<_> = (1..40)
+            .map(|a| c.injection(StageKind::Static, "flaky", a).outcome)
+            .collect();
+        assert!(outcomes.iter().any(|o| o.is_some()), "some attempts fail");
+        assert!(outcomes.iter().any(|o| o.is_none()), "some attempts pass");
+    }
+
+    #[test]
+    fn scope_limits_injection_to_stage_kind() {
+        let c = ChaosConfig {
+            fail_p: 1.0,
+            scope: ChaosScope::UserDefined,
+            ..ChaosConfig::default()
+        };
+        assert_eq!(c.injection(StageKind::Static, "t", 1), Injection::default());
+        assert_eq!(
+            c.injection(StageKind::UserDefined, "t", 1).outcome,
+            Some(Fault::TransientFailure)
+        );
+    }
+
+    #[test]
+    fn empirical_rate_tracks_probability() {
+        let c = ChaosConfig::failing(11, 0.3);
+        let n = 2000;
+        let failures = (0..n)
+            .filter(|i| {
+                c.injection(StageKind::Static, &format!("task-{i}"), 1)
+                    .outcome
+                    .is_some()
+            })
+            .count();
+        let rate = failures as f64 / n as f64;
+        assert!((0.25..0.35).contains(&rate), "rate {rate} far from 0.3");
+    }
+
+    #[test]
+    fn delays_stay_in_band() {
+        let c = ChaosConfig {
+            delay_p: 1.0,
+            max_delay_ms: 10,
+            ..ChaosConfig::default()
+        };
+        for a in 1..50 {
+            let d = c.injection(StageKind::Static, "x", a).delay_ms.unwrap();
+            assert!((1..=10).contains(&d));
+        }
+    }
+}

@@ -1,0 +1,297 @@
+//! The task error taxonomy and retry policies.
+//!
+//! The workflow runs unattended against dependencies of very different
+//! reliability: an in-process accounting store (never flaky), the filesystem
+//! (rarely flaky), and — in the paper's deployment — a hosted LLM endpoint
+//! (the least reliable stage of the whole pipeline). A single `String` error
+//! cannot distinguish "try again" from "this will never work", so task
+//! bodies classify their failures and [`RetryPolicy`] decides which classes
+//! are worth re-executing, how many times, and with what backoff.
+
+/// Classified failure of one task attempt.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TaskError {
+    /// Likely to succeed on retry: network hiccups, busy backends, transient
+    /// I/O. This is the default classification for plain `String` errors.
+    Transient(String),
+    /// Retrying cannot help: bad input, logic error, missing declared output.
+    Permanent(String),
+    /// The attempt exceeded its deadline (detected by the executor watchdog;
+    /// the elapsed time is measured from dispatch).
+    Timeout { elapsed_ms: u64 },
+    /// The body panicked.
+    Panic(String),
+}
+
+impl TaskError {
+    /// Convenience constructors.
+    pub fn transient(msg: impl Into<String>) -> Self {
+        TaskError::Transient(msg.into())
+    }
+
+    pub fn permanent(msg: impl Into<String>) -> Self {
+        TaskError::Permanent(msg.into())
+    }
+
+    /// Short class name (for reports and logs).
+    pub fn class(&self) -> &'static str {
+        match self {
+            TaskError::Transient(_) => "transient",
+            TaskError::Permanent(_) => "permanent",
+            TaskError::Timeout { .. } => "timeout",
+            TaskError::Panic(_) => "panic",
+        }
+    }
+}
+
+impl std::fmt::Display for TaskError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TaskError::Transient(m) => write!(f, "transient: {m}"),
+            TaskError::Permanent(m) => write!(f, "permanent: {m}"),
+            TaskError::Timeout { elapsed_ms } => {
+                write!(f, "timeout after {elapsed_ms} ms")
+            }
+            TaskError::Panic(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+impl std::error::Error for TaskError {}
+
+/// Untyped `String` errors (the pre-taxonomy body signature) classify as
+/// transient: with the default no-retry policy that changes nothing, and
+/// under an explicit retry policy "unknown" failures get the benefit of the
+/// doubt the way a flaky hosted backend deserves.
+impl From<String> for TaskError {
+    fn from(msg: String) -> Self {
+        TaskError::Transient(msg)
+    }
+}
+
+impl From<&str> for TaskError {
+    fn from(msg: &str) -> Self {
+        TaskError::Transient(msg.to_owned())
+    }
+}
+
+/// Which error classes a policy re-executes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RetryOn {
+    /// Retry nothing (every failure is terminal).
+    Never,
+    /// Retry only [`TaskError::Transient`].
+    Transient,
+    /// Retry transient failures and watchdog timeouts.
+    TransientAndTimeout,
+    /// Retry everything, including panics.
+    Any,
+}
+
+impl RetryOn {
+    pub fn covers(&self, error: &TaskError) -> bool {
+        match self {
+            RetryOn::Never => false,
+            RetryOn::Transient => matches!(error, TaskError::Transient(_)),
+            RetryOn::TransientAndTimeout => {
+                matches!(error, TaskError::Transient(_) | TaskError::Timeout { .. })
+            }
+            RetryOn::Any => true,
+        }
+    }
+}
+
+/// Per-task retry behaviour: attempt budget, exponential backoff with
+/// deterministic seeded jitter, and the error classes worth retrying.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Total attempts including the first (clamped to at least 1).
+    pub max_attempts: u32,
+    /// Backoff before retry k (1-based) is `base_delay_ms * 2^(k-1)`,
+    /// capped at `max_delay_ms`, then jittered.
+    pub base_delay_ms: u64,
+    pub max_delay_ms: u64,
+    /// Fraction of the delay randomized: the final delay is uniform in
+    /// `[d*(1-jitter), d*(1+jitter)]`. Clamped to `[0, 1]`.
+    pub jitter: f64,
+    pub retry_on: RetryOn,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy::none()
+    }
+}
+
+impl RetryPolicy {
+    /// No retries: every failure is terminal (the pre-fault-tolerance
+    /// behaviour, and the engine default).
+    pub fn none() -> Self {
+        RetryPolicy {
+            max_attempts: 1,
+            base_delay_ms: 0,
+            max_delay_ms: 0,
+            jitter: 0.0,
+            retry_on: RetryOn::Never,
+        }
+    }
+
+    /// Retry transient failures up to `max_attempts` total attempts with a
+    /// short exponential backoff.
+    pub fn transient(max_attempts: u32) -> Self {
+        RetryPolicy {
+            max_attempts: max_attempts.max(1),
+            base_delay_ms: 10,
+            max_delay_ms: 2_000,
+            jitter: 0.5,
+            retry_on: RetryOn::Transient,
+        }
+    }
+
+    pub fn with_backoff(mut self, base_delay_ms: u64, max_delay_ms: u64) -> Self {
+        self.base_delay_ms = base_delay_ms;
+        self.max_delay_ms = max_delay_ms.max(base_delay_ms);
+        self
+    }
+
+    pub fn retrying(mut self, on: RetryOn) -> Self {
+        self.retry_on = on;
+        self
+    }
+
+    /// Should a failure on attempt `attempt` (1-based) be retried?
+    pub fn should_retry(&self, error: &TaskError, attempt: u32) -> bool {
+        attempt < self.max_attempts.max(1) && self.retry_on.covers(error)
+    }
+
+    /// Backoff before the retry following failed attempt `attempt`
+    /// (1-based), deterministically jittered by `seed`.
+    pub fn delay_ms(&self, attempt: u32, seed: u64) -> u64 {
+        if self.base_delay_ms == 0 {
+            return 0;
+        }
+        let exp = attempt.saturating_sub(1).min(20);
+        let raw = self
+            .base_delay_ms
+            .saturating_mul(1u64 << exp)
+            .min(self.max_delay_ms.max(self.base_delay_ms));
+        let jitter = self.jitter.clamp(0.0, 1.0);
+        if jitter == 0.0 {
+            return raw;
+        }
+        let u = unit_f64(splitmix64(seed ^ u64::from(attempt).wrapping_mul(0x9E37_79B9)));
+        let factor = 1.0 - jitter + 2.0 * jitter * u;
+        ((raw as f64) * factor).round().max(0.0) as u64
+    }
+}
+
+/// SplitMix64: the deterministic generator behind retry jitter and the chaos
+/// harness. Stateless — every draw derives from an explicit seed, so a rerun
+/// with the same seed reproduces the exact failure/delay schedule.
+pub(crate) fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Map a draw to `[0, 1)`.
+pub(crate) fn unit_f64(x: u64) -> f64 {
+    (x >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// FNV-1a over a string — stable task-name hashing for seeds and manifest
+/// fingerprints.
+pub(crate) fn fnv1a(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn string_errors_classify_transient() {
+        let e: TaskError = "boom".to_owned().into();
+        assert_eq!(e, TaskError::Transient("boom".into()));
+        assert_eq!(e.class(), "transient");
+    }
+
+    #[test]
+    fn none_policy_never_retries() {
+        let p = RetryPolicy::none();
+        assert!(!p.should_retry(&TaskError::transient("x"), 1));
+    }
+
+    #[test]
+    fn transient_policy_respects_budget_and_class() {
+        let p = RetryPolicy::transient(3);
+        assert!(p.should_retry(&TaskError::transient("x"), 1));
+        assert!(p.should_retry(&TaskError::transient("x"), 2));
+        assert!(!p.should_retry(&TaskError::transient("x"), 3));
+        assert!(!p.should_retry(&TaskError::permanent("x"), 1));
+        assert!(!p.should_retry(&TaskError::Panic("p".into()), 1));
+        assert!(!p.should_retry(&TaskError::Timeout { elapsed_ms: 5 }, 1));
+    }
+
+    #[test]
+    fn retry_on_any_covers_panics_and_timeouts() {
+        let p = RetryPolicy::transient(3).retrying(RetryOn::Any);
+        assert!(p.should_retry(&TaskError::Panic("p".into()), 1));
+        assert!(p.should_retry(&TaskError::Timeout { elapsed_ms: 5 }, 2));
+    }
+
+    #[test]
+    fn backoff_grows_exponentially_and_caps() {
+        let p = RetryPolicy {
+            max_attempts: 10,
+            base_delay_ms: 10,
+            max_delay_ms: 100,
+            jitter: 0.0,
+            retry_on: RetryOn::Transient,
+        };
+        assert_eq!(p.delay_ms(1, 0), 10);
+        assert_eq!(p.delay_ms(2, 0), 20);
+        assert_eq!(p.delay_ms(3, 0), 40);
+        assert_eq!(p.delay_ms(5, 0), 100); // capped
+        assert_eq!(p.delay_ms(9, 0), 100);
+    }
+
+    #[test]
+    fn jitter_is_deterministic_and_bounded() {
+        let p = RetryPolicy {
+            max_attempts: 5,
+            base_delay_ms: 100,
+            max_delay_ms: 100,
+            jitter: 0.5,
+            retry_on: RetryOn::Transient,
+        };
+        let a = p.delay_ms(1, 42);
+        let b = p.delay_ms(1, 42);
+        assert_eq!(a, b, "same seed, same delay");
+        assert!((50..=150).contains(&a), "jittered delay in band, got {a}");
+        let c = p.delay_ms(1, 43);
+        // Different seeds almost surely differ; both stay in band.
+        assert!((50..=150).contains(&c));
+    }
+
+    #[test]
+    fn splitmix_is_stable() {
+        assert_eq!(splitmix64(0), splitmix64(0));
+        assert_ne!(splitmix64(1), splitmix64(2));
+        let u = unit_f64(splitmix64(7));
+        assert!((0.0..1.0).contains(&u));
+    }
+
+    #[test]
+    fn fnv_is_stable() {
+        assert_eq!(fnv1a("obtain-2024-01"), fnv1a("obtain-2024-01"));
+        assert_ne!(fnv1a("a"), fnv1a("b"));
+    }
+}

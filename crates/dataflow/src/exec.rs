@@ -4,15 +4,37 @@
 //! loop over a completion channel); task bodies run on pool workers. This
 //! mirrors Swift/T's engine/worker split and keeps the dependency bookkeeping
 //! free of locks.
+//!
+//! The fault-tolerance layer lives here too:
+//!
+//! * failed attempts are classified ([`TaskError`]) and retried per
+//!   [`RetryPolicy`] with exponential backoff and deterministic jitter;
+//! * a watchdog enforces per-task deadlines ([`RunOptions::task_timeout`],
+//!   [`Workflow::with_deadline`]) and reports overruns as
+//!   [`TaskStatus::TimedOut`] — a hung body can't be killed, so its worker
+//!   thread is detached at teardown instead of joined;
+//! * a configurable stall guard replaces the old silent 3600 s deadlock
+//!   break-out: a run with no completions for [`RunOptions::stall_timeout`]
+//!   marks in-flight tasks [`TaskStatus::Stalled`] and stops;
+//! * when [`RunOptions::manifest_path`] is set, a [`RunManifest`] checkpoint
+//!   is persisted after every resolution, and [`RunOptions::resume`] replays
+//!   previously succeeded file-producing tasks as [`TaskStatus::Resumed`];
+//! * [`RunOptions::chaos`] wraps every attempt with the seeded fault
+//!   injector from [`crate::chaos`].
 
 use crate::artifact::{ArtifactKindMeta, DataStore, TaskCtx};
+use crate::chaos::{ChaosConfig, Fault};
+use crate::error::{splitmix64, RetryPolicy, TaskError};
 use crate::graph::{GraphError, StageKind, Workflow};
+use crate::manifest::{fingerprint, RunManifest};
 use crate::pool::ThreadPool;
 use crate::report::{RunReport, TaskReport, TaskStatus};
 use crossbeam::channel;
+use std::collections::HashMap;
 use std::panic::AssertUnwindSafe;
+use std::path::PathBuf;
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Execution options.
 #[derive(Debug, Clone)]
@@ -21,6 +43,25 @@ pub struct RunOptions {
     pub threads: usize,
     /// Skip tasks whose file outputs are all newer than their file inputs.
     pub use_cache: bool,
+    /// Run-level retry policy; per-task [`Workflow::with_retry`] overrides.
+    /// Default: no retries (every failure terminal).
+    pub default_retry: RetryPolicy,
+    /// Run-level per-task deadline; per-task [`Workflow::with_deadline`]
+    /// overrides. Measured from dispatch, so pool queue time counts.
+    pub task_timeout: Option<Duration>,
+    /// How long the run may go without a single task resolution before the
+    /// stall guard reports in-flight tasks as [`TaskStatus::Stalled`] and
+    /// stops (previously a hard-coded silent 3600 s break).
+    pub stall_timeout: Duration,
+    /// Seed for retry-backoff jitter (and nothing else — chaos has its own).
+    pub retry_seed: u64,
+    /// Persist a [`RunManifest`] checkpoint here after every resolution.
+    pub manifest_path: Option<PathBuf>,
+    /// Replay previously succeeded file-producing tasks from the manifest at
+    /// `manifest_path` instead of re-executing them.
+    pub resume: bool,
+    /// Seeded fault injection around every attempt (tests, `schedflow chaos`).
+    pub chaos: Option<ChaosConfig>,
 }
 
 impl Default for RunOptions {
@@ -30,6 +71,13 @@ impl Default for RunOptions {
                 .map(std::num::NonZeroUsize::get)
                 .unwrap_or(2),
             use_cache: false,
+            default_retry: RetryPolicy::none(),
+            task_timeout: None,
+            stall_timeout: Duration::from_secs(3600),
+            retry_seed: 0x5eed,
+            manifest_path: None,
+            resume: false,
+            chaos: None,
         }
     }
 }
@@ -44,6 +92,36 @@ impl RunOptions {
 
     pub fn cached(mut self) -> Self {
         self.use_cache = true;
+        self
+    }
+
+    pub fn retrying(mut self, policy: RetryPolicy) -> Self {
+        self.default_retry = policy;
+        self
+    }
+
+    pub fn with_task_timeout(mut self, timeout: Duration) -> Self {
+        self.task_timeout = Some(timeout);
+        self
+    }
+
+    pub fn with_stall_timeout(mut self, timeout: Duration) -> Self {
+        self.stall_timeout = timeout;
+        self
+    }
+
+    pub fn with_manifest(mut self, path: impl Into<PathBuf>) -> Self {
+        self.manifest_path = Some(path.into());
+        self
+    }
+
+    pub fn resuming(mut self) -> Self {
+        self.resume = true;
+        self
+    }
+
+    pub fn with_chaos(mut self, chaos: ChaosConfig) -> Self {
+        self.chaos = Some(chaos);
         self
     }
 }
@@ -65,10 +143,42 @@ enum NodeState {
 
 struct Completion {
     task: usize,
-    result: Result<(), String>,
+    /// Attempt number (1-based) this completion belongs to — lets the event
+    /// loop discard late completions from attempts the watchdog already
+    /// timed out and superseded.
+    attempt: u32,
+    result: Result<(), TaskError>,
     start_ms: f64,
     end_ms: f64,
     worker: Option<usize>,
+}
+
+/// Mutable per-run bookkeeping, separated from the shared context so helper
+/// methods can borrow both without fighting the borrow checker.
+struct RunState {
+    state: Vec<NodeState>,
+    remaining: Vec<usize>,
+    reports: Vec<TaskReport>,
+    /// Current attempt per task (0 = never dispatched).
+    attempts: Vec<u32>,
+    /// Deadline anchor: expected start of the current attempt.
+    anchor: Vec<Option<Instant>>,
+    done: usize,
+}
+
+/// Immutable per-run context shared by the event loop and its helpers.
+struct Exec<'a> {
+    runner: &'a Runner,
+    options: &'a RunOptions,
+    pool: &'a ThreadPool,
+    tx: &'a channel::Sender<Completion>,
+    run_start: Instant,
+    dependents: Vec<Vec<usize>>,
+    fingerprints: Vec<u64>,
+    /// Previous run's manifest entries by task name (resume source).
+    resume_from: Option<HashMap<String, crate::manifest::ManifestEntry>>,
+    /// Skeleton manifest cloned and filled on every checkpoint.
+    manifest_template: Option<RunManifest>,
 }
 
 impl Runner {
@@ -100,7 +210,6 @@ impl Runner {
     pub fn run(&self, options: &RunOptions) -> RunReport {
         let n = self.workflow.tasks.len();
         let deps = self.workflow.dependencies();
-        let mut remaining: Vec<usize> = deps.iter().map(|d| d.len()).collect();
         let mut dependents: Vec<Vec<usize>> = vec![Vec::new(); n];
         for (ti, ds) in deps.iter().enumerate() {
             for d in ds {
@@ -109,168 +218,242 @@ impl Runner {
         }
 
         let pool = ThreadPool::new(options.threads);
+        let threads = pool.size();
         let (tx, rx) = channel::unbounded::<Completion>();
         let run_start = Instant::now();
 
-        let mut state = vec![NodeState::Waiting; n];
-        let mut reports: Vec<TaskReport> = (0..n)
-            .map(|i| TaskReport {
-                name: self.workflow.tasks[i].name.clone(),
-                kind: match self.workflow.tasks[i].kind {
-                    StageKind::Static => "static",
-                    StageKind::UserDefined => "user-defined",
-                },
-                status: TaskStatus::Skipped,
-                start_ms: 0.0,
-                end_ms: 0.0,
-                worker: None,
-                depth: self.depth[i],
-            })
+        let fingerprints: Vec<u64> = self
+            .workflow
+            .tasks
+            .iter()
+            .map(|t| fingerprint(&self.workflow, &t.name))
             .collect();
-        let mut done = 0usize;
+        let resume_from = if options.resume {
+            options
+                .manifest_path
+                .as_deref()
+                .and_then(RunManifest::load)
+                .map(|m| {
+                    m.tasks
+                        .into_iter()
+                        .map(|e| (e.name.clone(), e))
+                        .collect::<HashMap<_, _>>()
+                })
+        } else {
+            None
+        };
+        let manifest_template = options
+            .manifest_path
+            .is_some()
+            .then(|| RunManifest::for_workflow(&self.workflow));
+
+        let exec = Exec {
+            runner: self,
+            options,
+            pool: &pool,
+            tx: &tx,
+            run_start,
+            dependents,
+            fingerprints,
+            resume_from,
+            manifest_template,
+        };
+
+        let mut st = RunState {
+            state: vec![NodeState::Waiting; n],
+            remaining: deps.iter().map(|d| d.len()).collect(),
+            reports: (0..n)
+                .map(|i| TaskReport {
+                    name: self.workflow.tasks[i].name.clone(),
+                    kind: match self.workflow.tasks[i].kind {
+                        StageKind::Static => "static",
+                        StageKind::UserDefined => "user-defined",
+                    },
+                    status: TaskStatus::Skipped,
+                    start_ms: 0.0,
+                    end_ms: 0.0,
+                    worker: None,
+                    depth: self.depth[i],
+                    attempts: 0,
+                })
+                .collect(),
+            attempts: vec![0; n],
+            anchor: vec![None; n],
+            done: 0,
+        };
 
         // Submit every root (deterministic order). A root resolved
-        // synchronously (cache hit) releases its dependents immediately.
+        // synchronously (cache/resume hit) releases its dependents
+        // immediately.
         let mut initially_ready: Vec<usize> =
-            (0..n).filter(|&i| remaining[i] == 0).collect();
+            (0..n).filter(|&i| st.remaining[i] == 0).collect();
         initially_ready.sort_unstable();
         for i in initially_ready {
-            if self.dispatch(i, options, &pool, &tx, run_start, &mut state, &mut reports) {
-                done += 1;
-                done += self.release_dependents(
-                    i,
-                    &dependents,
-                    &mut remaining,
-                    options,
-                    &pool,
-                    &tx,
-                    run_start,
-                    &mut state,
-                    &mut reports,
-                );
+            if exec.dispatch(i, &mut st) {
+                st.done += 1;
+                exec.release_dependents(i, &mut st);
             }
         }
+        exec.checkpoint(&st);
 
-        while done < n {
-            let completion = match rx.recv_timeout(std::time::Duration::from_secs(3600)) {
-                Ok(c) => c,
-                Err(_) => break, // deadlock guard; report remaining as skipped
-            };
-            let i = completion.task;
-            state[i] = NodeState::Done;
-            done += 1;
-            reports[i].start_ms = completion.start_ms;
-            reports[i].end_ms = completion.end_ms;
-            reports[i].worker = completion.worker;
-            match completion.result {
-                Ok(()) => {
-                    reports[i].status = TaskStatus::Succeeded;
-                    done += self.release_dependents(
-                        i,
-                        &dependents,
-                        &mut remaining,
-                        options,
-                        &pool,
-                        &tx,
-                        run_start,
-                        &mut state,
-                        &mut reports,
-                    );
-                }
-                Err(msg) => {
-                    reports[i].status = TaskStatus::Failed(msg);
-                    done += skip_transitively(i, &dependents, &mut state, &mut reports);
-                }
-            }
-        }
+        let mut last_progress = Instant::now();
+        // True once a timed-out or stalled body may still be occupying a
+        // worker: teardown must detach instead of join.
+        let mut zombie_bodies = false;
 
-        RunReport {
-            threads: pool.size(),
-            makespan_ms: run_start.elapsed().as_secs_f64() * 1000.0,
-            tasks: reports,
-        }
-    }
-
-    /// Release the dependents of a finished task, dispatching newly ready
-    /// ones. Returns how many tasks were resolved synchronously (cache hits),
-    /// including ones resolved recursively.
-    #[allow(clippy::too_many_arguments)]
-    fn release_dependents(
-        &self,
-        finished: usize,
-        dependents: &[Vec<usize>],
-        remaining: &mut [usize],
-        options: &RunOptions,
-        pool: &ThreadPool,
-        tx: &channel::Sender<Completion>,
-        run_start: Instant,
-        state: &mut [NodeState],
-        reports: &mut [TaskReport],
-    ) -> usize {
-        let mut resolved = 0usize;
-        let mut stack = vec![finished];
-        while let Some(cur) = stack.pop() {
-            for &j in &dependents[cur] {
-                if state[j] != NodeState::Waiting {
-                    continue;
-                }
-                remaining[j] -= 1;
-                if remaining[j] == 0 {
-                    let sync =
-                        self.dispatch(j, options, pool, tx, run_start, state, reports);
-                    if sync {
-                        resolved += 1;
-                        stack.push(j);
+        while st.done < n {
+            // Wake at the earliest of: stall guard, next running-task
+            // deadline.
+            let mut wake = last_progress + options.stall_timeout;
+            for i in 0..n {
+                if st.state[i] == NodeState::Running {
+                    if let (Some(anchor), Some(d)) = (st.anchor[i], exec.deadline_of(i)) {
+                        wake = wake.min(anchor + d);
                     }
                 }
             }
-        }
-        resolved
-    }
+            let timeout = wake
+                .saturating_duration_since(Instant::now())
+                .max(Duration::from_millis(1));
 
-    /// Submit a ready task, or resolve it synchronously as a cache hit.
-    /// Returns true when resolved synchronously.
-    fn dispatch(
-        &self,
-        i: usize,
-        options: &RunOptions,
-        pool: &ThreadPool,
-        tx: &channel::Sender<Completion>,
-        run_start: Instant,
-        state: &mut [NodeState],
-        reports: &mut [TaskReport],
-    ) -> bool {
-        if options.use_cache && self.outputs_fresh(i) {
-            state[i] = NodeState::Done;
-            reports[i].status = TaskStatus::Cached;
-            return true;
+            match rx.recv_timeout(timeout) {
+                Ok(c) => {
+                    let i = c.task;
+                    // Discard stale completions: the task already resolved
+                    // (e.g. the watchdog timed it out) or this belongs to a
+                    // superseded attempt.
+                    if st.state[i] != NodeState::Running || c.attempt != st.attempts[i] {
+                        continue;
+                    }
+                    last_progress = Instant::now();
+                    st.reports[i].start_ms = c.start_ms;
+                    st.reports[i].end_ms = c.end_ms;
+                    st.reports[i].worker = c.worker;
+                    st.reports[i].attempts = c.attempt;
+                    match c.result {
+                        Ok(()) => {
+                            st.state[i] = NodeState::Done;
+                            st.anchor[i] = None;
+                            st.done += 1;
+                            st.reports[i].status = TaskStatus::Succeeded;
+                            exec.release_dependents(i, &mut st);
+                        }
+                        Err(err) => {
+                            let policy = exec.retry_of(i);
+                            if policy.should_retry(&err, c.attempt) {
+                                let delay = policy.delay_ms(
+                                    c.attempt,
+                                    splitmix64(options.retry_seed ^ (i as u64)),
+                                );
+                                st.attempts[i] = c.attempt + 1;
+                                st.reports[i].attempts = st.attempts[i];
+                                exec.submit_attempt(i, c.attempt + 1, delay, &mut st);
+                            } else {
+                                st.state[i] = NodeState::Done;
+                                st.anchor[i] = None;
+                                st.done += 1;
+                                st.reports[i].status = TaskStatus::Failed(err.to_string());
+                                exec.propagate_failure(i, &mut st);
+                            }
+                        }
+                    }
+                    exec.checkpoint(&st);
+                }
+                Err(channel::RecvTimeoutError::Timeout) => {
+                    let now = Instant::now();
+
+                    // Watchdog: expire running attempts past their deadline.
+                    let mut progressed = false;
+                    for i in 0..n {
+                        if st.state[i] != NodeState::Running {
+                            continue;
+                        }
+                        let (Some(anchor), Some(d)) = (st.anchor[i], exec.deadline_of(i))
+                        else {
+                            continue;
+                        };
+                        if now < anchor + d {
+                            continue;
+                        }
+                        let elapsed_ms =
+                            now.saturating_duration_since(anchor).as_millis() as u64;
+                        let err = TaskError::Timeout { elapsed_ms };
+                        let policy = exec.retry_of(i);
+                        let attempt = st.attempts[i];
+                        progressed = true;
+                        if policy.should_retry(&err, attempt) {
+                            // The hung body keeps running detached; its late
+                            // completion is discarded by the attempt guard.
+                            zombie_bodies = true;
+                            st.attempts[i] = attempt + 1;
+                            st.reports[i].attempts = st.attempts[i];
+                            let delay = policy.delay_ms(
+                                attempt,
+                                splitmix64(options.retry_seed ^ (i as u64)),
+                            );
+                            exec.submit_attempt(i, attempt + 1, delay, &mut st);
+                        } else {
+                            zombie_bodies = true;
+                            st.state[i] = NodeState::Done;
+                            st.done += 1;
+                            st.reports[i].status = TaskStatus::TimedOut { elapsed_ms };
+                            st.reports[i].start_ms = anchor
+                                .saturating_duration_since(run_start)
+                                .as_secs_f64()
+                                * 1000.0;
+                            st.reports[i].end_ms =
+                                run_start.elapsed().as_secs_f64() * 1000.0;
+                            st.anchor[i] = None;
+                            exec.propagate_failure(i, &mut st);
+                        }
+                    }
+                    if progressed {
+                        last_progress = now;
+                        exec.checkpoint(&st);
+                        continue;
+                    }
+
+                    // Stall guard: nothing resolved for the whole window.
+                    if now >= last_progress + options.stall_timeout {
+                        let elapsed_ms = now
+                            .saturating_duration_since(last_progress)
+                            .as_millis() as u64;
+                        for i in 0..n {
+                            match st.state[i] {
+                                NodeState::Running => {
+                                    zombie_bodies = true;
+                                    st.reports[i].status =
+                                        TaskStatus::Stalled { elapsed_ms };
+                                    st.reports[i].end_ms =
+                                        run_start.elapsed().as_secs_f64() * 1000.0;
+                                }
+                                NodeState::Waiting => {
+                                    st.reports[i].status = TaskStatus::Skipped;
+                                }
+                                NodeState::Done => {}
+                            }
+                        }
+                        exec.checkpoint(&st);
+                        break;
+                    }
+                }
+                Err(channel::RecvTimeoutError::Disconnected) => break,
+            }
         }
-        state[i] = NodeState::Running;
-        let wf = Arc::clone(&self.workflow);
-        let store = Arc::clone(&self.store);
-        let tx = tx.clone();
-        pool.execute(move || {
-            let start_ms = run_start.elapsed().as_secs_f64() * 1000.0;
-            let spec = &wf.tasks[i];
-            let ctx = TaskCtx {
-                store: &store,
-                task_name: &spec.name,
-                inputs: &spec.inputs,
-                outputs: &spec.outputs,
-            };
-            let result = std::panic::catch_unwind(AssertUnwindSafe(|| (spec.body)(&ctx)))
-                .unwrap_or_else(|p| Err(panic_message(p)))
-                .and_then(|()| verify_outputs(&wf, &store, i));
-            let end_ms = run_start.elapsed().as_secs_f64() * 1000.0;
-            let _ = tx.send(Completion {
-                task: i,
-                result,
-                start_ms,
-                end_ms,
-                worker: current_worker_index(),
-            });
-        });
-        false
+
+        let makespan_ms = run_start.elapsed().as_secs_f64() * 1000.0;
+        let reports = std::mem::take(&mut st.reports);
+        drop(exec);
+        drop(rx);
+        if zombie_bodies && pool.pending() > 0 {
+            // A timed-out/stalled body may never return; joining would hang.
+            pool.detach();
+        }
+        RunReport {
+            threads,
+            makespan_ms,
+            tasks: reports,
+        }
     }
 
     /// Make-style freshness: all file outputs exist and are at least as new
@@ -318,53 +501,195 @@ impl Runner {
     }
 }
 
+impl Exec<'_> {
+    /// Effective retry policy of a task.
+    fn retry_of(&self, i: usize) -> RetryPolicy {
+        self.runner.workflow.tasks[i]
+            .retry
+            .unwrap_or(self.options.default_retry)
+    }
+
+    /// Effective deadline of a task, if any.
+    fn deadline_of(&self, i: usize) -> Option<Duration> {
+        self.runner.workflow.tasks[i]
+            .deadline
+            .or(self.options.task_timeout)
+    }
+
+    /// Submit a ready task, or resolve it synchronously (resume hit, then
+    /// cache hit). Returns true when resolved synchronously; the caller
+    /// accounts `done` and releases dependents.
+    fn dispatch(&self, i: usize, st: &mut RunState) -> bool {
+        if let Some(prev) = &self.resume_from {
+            if let Some(entry) = prev.get(&self.runner.workflow.tasks[i].name) {
+                if entry.resumable(self.fingerprints[i]) {
+                    st.state[i] = NodeState::Done;
+                    st.reports[i].status = TaskStatus::Resumed;
+                    return true;
+                }
+            }
+        }
+        if self.options.use_cache && self.runner.outputs_fresh(i) {
+            st.state[i] = NodeState::Done;
+            st.reports[i].status = TaskStatus::Cached;
+            return true;
+        }
+        st.state[i] = NodeState::Running;
+        st.attempts[i] = 1;
+        st.reports[i].attempts = 1;
+        self.submit_attempt(i, 1, 0, st);
+        false
+    }
+
+    /// Submit one attempt of task `i` to the pool, optionally preceded by a
+    /// backoff delay (slept on the worker).
+    fn submit_attempt(&self, i: usize, attempt: u32, delay_ms: u64, st: &mut RunState) {
+        st.anchor[i] = Some(Instant::now() + Duration::from_millis(delay_ms));
+        let wf = Arc::clone(&self.runner.workflow);
+        let store = Arc::clone(&self.runner.store);
+        let tx = self.tx.clone();
+        let chaos = self.options.chaos;
+        let run_start = self.run_start;
+        self.pool.execute(move || {
+            if delay_ms > 0 {
+                std::thread::sleep(Duration::from_millis(delay_ms));
+            }
+            let start_ms = run_start.elapsed().as_secs_f64() * 1000.0;
+            let spec = &wf.tasks[i];
+            let injection = chaos
+                .map(|c| c.injection(spec.kind, &spec.name, attempt))
+                .unwrap_or_default();
+            if let Some(d) = injection.delay_ms {
+                std::thread::sleep(Duration::from_millis(d));
+            }
+            let result = match injection.outcome {
+                Some(Fault::TransientFailure) => Err(TaskError::transient(format!(
+                    "chaos: injected transient failure (attempt {attempt})"
+                ))),
+                Some(Fault::Panic) => {
+                    std::panic::catch_unwind(AssertUnwindSafe(|| -> Result<(), TaskError> {
+                        panic!("chaos: injected panic (attempt {attempt})");
+                    }))
+                    .unwrap_or_else(|p| Err(TaskError::Panic(panic_message(p))))
+                }
+                None => {
+                    let ctx = TaskCtx {
+                        store: &store,
+                        task_name: &spec.name,
+                        inputs: &spec.inputs,
+                        outputs: &spec.outputs,
+                    };
+                    std::panic::catch_unwind(AssertUnwindSafe(|| (spec.body)(&ctx)))
+                        .unwrap_or_else(|p| Err(TaskError::Panic(panic_message(p))))
+                        .and_then(|()| verify_outputs(&wf, &store, i))
+                }
+            };
+            let end_ms = run_start.elapsed().as_secs_f64() * 1000.0;
+            let _ = tx.send(Completion {
+                task: i,
+                attempt,
+                result,
+                start_ms,
+                end_ms,
+                worker: current_worker_index(),
+            });
+        });
+    }
+
+    /// Release the dependents of a successfully resolved task, dispatching
+    /// newly ready ones; synchronous resolutions (cache/resume hits) recurse.
+    fn release_dependents(&self, finished: usize, st: &mut RunState) {
+        let mut stack = vec![finished];
+        while let Some(cur) = stack.pop() {
+            for j in self.dependents[cur].clone() {
+                if st.state[j] != NodeState::Waiting {
+                    continue;
+                }
+                st.remaining[j] -= 1;
+                if st.remaining[j] == 0 && self.dispatch(j, st) {
+                    st.done += 1;
+                    stack.push(j);
+                }
+            }
+        }
+    }
+
+    /// Propagate a terminal failure: transitively skip dependents, except
+    /// failure-tolerant tasks, which are released instead (they run on
+    /// whatever artifacts survived).
+    fn propagate_failure(&self, failed: usize, st: &mut RunState) {
+        let mut stack = vec![failed];
+        while let Some(cur) = stack.pop() {
+            for j in self.dependents[cur].clone() {
+                if st.state[j] != NodeState::Waiting {
+                    continue;
+                }
+                if self.runner.workflow.tasks[j].tolerates_failure {
+                    st.remaining[j] -= 1;
+                    if st.remaining[j] == 0 && self.dispatch(j, st) {
+                        st.done += 1;
+                        self.release_dependents(j, st);
+                    }
+                } else {
+                    st.state[j] = NodeState::Done;
+                    st.reports[j].status = TaskStatus::Skipped;
+                    st.done += 1;
+                    stack.push(j);
+                }
+            }
+        }
+    }
+
+    /// Persist the checkpoint manifest, if configured. Best-effort: a failed
+    /// checkpoint write must not fail the run.
+    fn checkpoint(&self, st: &RunState) {
+        let (Some(path), Some(template)) =
+            (self.options.manifest_path.as_ref(), self.manifest_template.as_ref())
+        else {
+            return;
+        };
+        let mut manifest = template.clone();
+        // Entries are created by RunManifest::for_workflow in task order, so
+        // the pairing with the run-state vectors is positional.
+        for (i, (entry, report)) in manifest.tasks.iter_mut().zip(&st.reports).enumerate() {
+            entry.status = match st.state[i] {
+                NodeState::Done => report.status.manifest_str().to_owned(),
+                NodeState::Running => "running".to_owned(),
+                NodeState::Waiting => "pending".to_owned(),
+            };
+            entry.attempts = report.attempts;
+        }
+        let _ = manifest.save(path);
+    }
+}
+
 /// After a body returns Ok, every declared value output must exist in the
-/// store and every declared file output must exist on disk.
-fn verify_outputs(wf: &Workflow, store: &DataStore, i: usize) -> Result<(), String> {
+/// store and every declared file output must exist on disk. A violated
+/// declaration is a contract bug, not flakiness: permanent.
+fn verify_outputs(wf: &Workflow, store: &DataStore, i: usize) -> Result<(), TaskError> {
     let spec = &wf.tasks[i];
     for out in &spec.outputs {
         match &wf.artifacts[out.0].kind {
             ArtifactKindMeta::Value => {
                 if !store.contains(*out) {
-                    return Err(format!(
+                    return Err(TaskError::permanent(format!(
                         "task {:?} completed without producing value artifact {:?}",
                         spec.name, wf.artifacts[out.0].name
-                    ));
+                    )));
                 }
             }
             ArtifactKindMeta::File(p) => {
                 if !p.exists() {
-                    return Err(format!(
+                    return Err(TaskError::permanent(format!(
                         "task {:?} completed without writing file {:?}",
                         spec.name,
                         p.display()
-                    ));
+                    )));
                 }
             }
         }
     }
     Ok(())
-}
-
-/// Mark every transitive dependent of `failed` as skipped. Returns the count.
-fn skip_transitively(
-    failed: usize,
-    dependents: &[Vec<usize>],
-    state: &mut [NodeState],
-    reports: &mut [TaskReport],
-) -> usize {
-    let mut skipped = 0usize;
-    let mut stack: Vec<usize> = dependents[failed].clone();
-    while let Some(j) = stack.pop() {
-        if state[j] != NodeState::Waiting {
-            continue;
-        }
-        state[j] = NodeState::Done;
-        reports[j].status = TaskStatus::Skipped;
-        skipped += 1;
-        stack.extend(dependents[j].iter().copied());
-    }
-    skipped
 }
 
 /// Worker index of the current pool thread (from its name), if any.
@@ -384,7 +709,6 @@ fn panic_message(p: Box<dyn std::any::Any + Send>) -> String {
         "task panicked".to_owned()
     }
 }
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -602,5 +926,308 @@ mod tests {
                 .unwrap();
             assert_eq!(*v, 5 + i as u64);
         }
+    }
+
+    // ---- fault-tolerance tests ----
+
+    use crate::chaos::ChaosConfig;
+    use crate::error::{RetryOn, RetryPolicy};
+    use std::time::Duration;
+
+    fn temp_dir(tag: &str) -> std::path::PathBuf {
+        let d = std::env::temp_dir().join(format!(
+            "schedflow-exec-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&d);
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    #[test]
+    fn flaky_task_succeeds_under_retry_policy() {
+        let mut wf = Workflow::new();
+        let a = wf.value::<u32>("a");
+        let tries = Arc::new(AtomicUsize::new(0));
+        let tries2 = Arc::clone(&tries);
+        let id = wf.task("flaky", StageKind::Static, [], [a.id()], move |ctx| {
+            if tries2.fetch_add(1, Ordering::SeqCst) < 2 {
+                Err("transient glitch".to_owned())
+            } else {
+                ctx.put(a, 7)
+            }
+        });
+        wf.with_retry(id, RetryPolicy::transient(5).with_backoff(1, 4));
+        let runner = Runner::new(wf).unwrap();
+        let report = runner.run(&RunOptions::with_threads(2));
+        assert!(report.is_success(), "{report:?}");
+        assert_eq!(report.tasks[0].attempts, 3);
+        assert_eq!(report.retried(), vec![("flaky", 3)]);
+        assert_eq!(tries.load(Ordering::SeqCst), 3);
+    }
+
+    #[test]
+    fn retries_exhausted_reports_failure_with_attempts() {
+        let mut wf = Workflow::new();
+        let a = wf.value::<u32>("a");
+        let id = wf.task("hopeless", StageKind::Static, [], [a.id()], |_| {
+            Err("always".to_owned())
+        });
+        wf.with_retry(id, RetryPolicy::transient(3).with_backoff(1, 2));
+        let runner = Runner::new(wf).unwrap();
+        let report = runner.run(&RunOptions::with_threads(1));
+        assert!(!report.is_success());
+        assert_eq!(report.tasks[0].attempts, 3);
+        assert!(matches!(report.tasks[0].status, TaskStatus::Failed(_)));
+    }
+
+    #[test]
+    fn permanent_errors_are_not_retried() {
+        let mut wf = Workflow::new();
+        let a = wf.value::<u32>("a");
+        let tries = Arc::new(AtomicUsize::new(0));
+        let tries2 = Arc::clone(&tries);
+        let id = wf.task_typed("fatal", StageKind::Static, [], [a.id()], move |_| {
+            tries2.fetch_add(1, Ordering::SeqCst);
+            Err(TaskError::permanent("bad input"))
+        });
+        wf.with_retry(id, RetryPolicy::transient(5));
+        let runner = Runner::new(wf).unwrap();
+        let report = runner.run(&RunOptions::with_threads(1));
+        assert!(!report.is_success());
+        assert_eq!(tries.load(Ordering::SeqCst), 1, "no retry on permanent");
+    }
+
+    #[test]
+    fn deadline_times_out_hung_task_and_skips_dependents() {
+        let mut wf = Workflow::new();
+        let a = wf.value::<u32>("a");
+        let b = wf.value::<u32>("b");
+        let id = wf.task("hang", StageKind::Static, [], [a.id()], move |ctx| {
+            std::thread::sleep(Duration::from_secs(30));
+            ctx.put(a, 1)
+        });
+        wf.with_deadline(id, Duration::from_millis(50));
+        wf.task("dep", StageKind::Static, [a.id()], [b.id()], move |ctx| {
+            ctx.put(b, 2)
+        });
+        let runner = Runner::new(wf).unwrap();
+        let t0 = std::time::Instant::now();
+        let report = runner.run(&RunOptions::with_threads(2));
+        assert!(t0.elapsed() < Duration::from_secs(10), "watchdog fired early");
+        assert!(matches!(
+            report.tasks[0].status,
+            TaskStatus::TimedOut { .. }
+        ));
+        assert_eq!(report.tasks[1].status, TaskStatus::Skipped);
+        assert!(!report.is_success());
+    }
+
+    #[test]
+    fn timeout_retry_reruns_task() {
+        // First attempt hangs; the watchdog expires it and the retry (with a
+        // fast body) succeeds.
+        let mut wf = Workflow::new();
+        let a = wf.value::<u32>("a");
+        let tries = Arc::new(AtomicUsize::new(0));
+        let tries2 = Arc::clone(&tries);
+        let id = wf.task("slow-once", StageKind::Static, [], [a.id()], move |ctx| {
+            if tries2.fetch_add(1, Ordering::SeqCst) == 0 {
+                std::thread::sleep(Duration::from_secs(30));
+            }
+            ctx.put(a, 9)
+        });
+        wf.with_deadline(id, Duration::from_millis(80));
+        wf.with_retry(
+            id,
+            RetryPolicy::transient(3)
+                .with_backoff(1, 2)
+                .retrying(RetryOn::TransientAndTimeout),
+        );
+        let runner = Runner::new(wf).unwrap();
+        let t0 = std::time::Instant::now();
+        let report = runner.run(&RunOptions::with_threads(2));
+        assert!(t0.elapsed() < Duration::from_secs(10));
+        assert!(report.is_success(), "{report:?}");
+        assert_eq!(report.tasks[0].attempts, 2);
+    }
+
+    #[test]
+    fn stall_guard_reports_stalled_tasks() {
+        let mut wf = Workflow::new();
+        let a = wf.value::<u32>("a");
+        let b = wf.value::<u32>("b");
+        wf.task("stuck", StageKind::Static, [], [a.id()], move |ctx| {
+            std::thread::sleep(Duration::from_secs(30));
+            ctx.put(a, 1)
+        });
+        wf.task("after", StageKind::Static, [a.id()], [b.id()], move |ctx| {
+            ctx.put(b, 2)
+        });
+        let runner = Runner::new(wf).unwrap();
+        let opts = RunOptions::with_threads(2).with_stall_timeout(Duration::from_millis(100));
+        let t0 = std::time::Instant::now();
+        let report = runner.run(&opts);
+        assert!(t0.elapsed() < Duration::from_secs(10), "stall guard fired");
+        assert!(matches!(
+            report.tasks[0].status,
+            TaskStatus::Stalled { .. }
+        ));
+        assert_eq!(report.tasks[1].status, TaskStatus::Skipped);
+        assert!(!report.is_success());
+    }
+
+    #[test]
+    fn chaos_injection_fails_tasks_deterministically() {
+        let run_with = |seed: u64| {
+            let mut wf = Workflow::new();
+            for i in 0..8 {
+                let a = wf.value::<u32>(&format!("a{i}"));
+                wf.task(&format!("t{i}"), StageKind::Static, [], [a.id()], move |ctx| {
+                    ctx.put(a, i)
+                });
+            }
+            let runner = Runner::new(wf).unwrap();
+            let opts =
+                RunOptions::with_threads(4).with_chaos(ChaosConfig::failing(seed, 0.5));
+            let report = runner.run(&opts);
+            report
+                .tasks
+                .iter()
+                .map(|t| t.status.is_ok())
+                .collect::<Vec<_>>()
+        };
+        let a = run_with(11);
+        let b = run_with(11);
+        assert_eq!(a, b, "same seed, same fault schedule");
+        assert!(a.iter().any(|ok| !ok), "p=0.5 over 8 tasks should fail some");
+    }
+
+    #[test]
+    fn chaos_with_retries_recovers() {
+        // Each retry rolls fresh dice, so a generous attempt budget drives
+        // per-task success probability to ~1 even at p=0.5.
+        let mut wf = Workflow::new();
+        for i in 0..8 {
+            let a = wf.value::<u32>(&format!("a{i}"));
+            wf.task(&format!("t{i}"), StageKind::Static, [], [a.id()], move |ctx| {
+                ctx.put(a, i)
+            });
+        }
+        let runner = Runner::new(wf).unwrap();
+        let opts = RunOptions::with_threads(4)
+            .with_chaos(ChaosConfig::failing(11, 0.5))
+            .retrying(RetryPolicy::transient(12).with_backoff(1, 4));
+        let report = runner.run(&opts);
+        assert!(report.is_success(), "{report:?}");
+        assert!(report.total_attempts() > 8, "some retries must have fired");
+    }
+
+    #[test]
+    fn manifest_checkpoints_and_resume_skips_succeeded_file_tasks() {
+        let dir = temp_dir("resume");
+        let manifest = dir.join("run-manifest.json");
+        let out1 = dir.join("one.txt");
+        let out2 = dir.join("two.txt");
+
+        let runs = Arc::new(AtomicUsize::new(0));
+        let build = |fail_second: bool, runs: Arc<AtomicUsize>| {
+            let mut wf = Workflow::new();
+            let f1 = wf.file(&out1);
+            let f2 = wf.file(&out2);
+            let f1c = f1.clone();
+            let f2c = f2.clone();
+            let r1 = Arc::clone(&runs);
+            wf.task("write-one", StageKind::Static, [], [f1.id()], move |ctx| {
+                r1.fetch_add(1, Ordering::SeqCst);
+                std::fs::write(ctx.path(&f1c)?, "one").map_err(|e| e.to_string())
+            });
+            wf.task(
+                "write-two",
+                StageKind::Static,
+                [f1.id()],
+                [f2.id()],
+                move |ctx| {
+                    if fail_second {
+                        return Err("backend down".to_owned());
+                    }
+                    std::fs::write(ctx.path(&f2c)?, "two").map_err(|e| e.to_string())
+                },
+            );
+            wf
+        };
+
+        // First run: task one succeeds, task two fails; manifest records it.
+        let r1 = Runner::new(build(true, Arc::clone(&runs))).unwrap();
+        let report = r1.run(&RunOptions::with_threads(1).with_manifest(&manifest));
+        assert!(!report.is_success());
+        assert_eq!(runs.load(Ordering::SeqCst), 1);
+        let m = RunManifest::load(&manifest).unwrap();
+        assert_eq!(m.by_name("write-one").unwrap().status, "succeeded");
+        assert_eq!(m.by_name("write-two").unwrap().status, "failed");
+
+        // Resume: task one replays from the manifest, only task two runs.
+        let r2 = Runner::new(build(false, Arc::clone(&runs))).unwrap();
+        let report = r2.run(
+            &RunOptions::with_threads(1)
+                .with_manifest(&manifest)
+                .resuming(),
+        );
+        assert!(report.is_success(), "{report:?}");
+        assert_eq!(report.tasks[0].status, TaskStatus::Resumed);
+        assert_eq!(report.tasks[1].status, TaskStatus::Succeeded);
+        assert_eq!(runs.load(Ordering::SeqCst), 1, "write-one did not re-run");
+        assert_eq!(report.resumed(), 1);
+
+        // A deleted output invalidates the resume entry.
+        std::fs::remove_file(&out1).unwrap();
+        let r3 = Runner::new(build(false, Arc::clone(&runs))).unwrap();
+        let report = r3.run(
+            &RunOptions::with_threads(1)
+                .with_manifest(&manifest)
+                .resuming(),
+        );
+        assert!(report.is_success());
+        assert_eq!(report.tasks[0].status, TaskStatus::Succeeded);
+        assert_eq!(runs.load(Ordering::SeqCst), 2, "write-one re-ran");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn tolerant_task_runs_after_upstream_failure() {
+        let mut wf = Workflow::new();
+        let a = wf.value::<u32>("a");
+        let b = wf.value::<u32>("b");
+        let merged = wf.value::<String>("merged");
+        wf.task("good", StageKind::Static, [], [a.id()], move |ctx| {
+            ctx.put(a, 40)
+        });
+        wf.task("bad", StageKind::Static, [], [b.id()], |_| {
+            Err("boom".to_owned())
+        });
+        let id = wf.task(
+            "assemble",
+            StageKind::Static,
+            [a.id(), b.id()],
+            [merged.id()],
+            move |ctx| {
+                let a_val = ctx.get_opt(a)?.map(|v| *v);
+                let b_val = ctx.get_opt(b)?.map(|v| *v);
+                ctx.put(merged, format!("{a_val:?}/{b_val:?}"))
+            },
+        );
+        wf.tolerate_failures(id);
+        let runner = Runner::new(wf).unwrap();
+        let report = runner.run(&RunOptions::with_threads(2));
+        assert!(matches!(report.tasks[1].status, TaskStatus::Failed(_)));
+        assert_eq!(report.tasks[2].status, TaskStatus::Succeeded, "{report:?}");
+        let v = runner
+            .store()
+            .get_any(merged.id())
+            .unwrap()
+            .downcast::<String>()
+            .unwrap();
+        assert_eq!(*v, "Some(40)/None");
     }
 }

@@ -8,8 +8,10 @@
 use crate::artifact::{
     Artifact, ArtifactId, ArtifactKindMeta, ArtifactMeta, FileArtifact, TaskCtx,
 };
+use crate::error::{RetryPolicy, TaskError};
 use std::collections::HashMap;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
+use std::time::Duration;
 
 /// Whether a stage belongs to the fixed data-analysis subworkflow (blue in
 /// the paper's Figure 2) or a user-defined AI subworkflow (orange).
@@ -31,7 +33,7 @@ impl TaskId {
     }
 }
 
-pub(crate) type TaskBody = Box<dyn Fn(&TaskCtx) -> Result<(), String> + Send + Sync>;
+pub(crate) type TaskBody = Box<dyn Fn(&TaskCtx) -> Result<(), TaskError> + Send + Sync>;
 
 pub(crate) struct TaskSpec {
     pub name: String,
@@ -39,6 +41,16 @@ pub(crate) struct TaskSpec {
     pub inputs: Vec<ArtifactId>,
     pub outputs: Vec<ArtifactId>,
     pub body: TaskBody,
+    /// Per-task retry override (else the run-level default applies).
+    pub retry: Option<RetryPolicy>,
+    /// Per-task deadline override (else the run-level default applies).
+    pub deadline: Option<Duration>,
+    /// When true, this task is *not* skipped when an upstream dependency
+    /// fails: it runs once every dependency has resolved (successfully or
+    /// not) and reads whatever artifacts exist via [`TaskCtx::get_opt`].
+    /// This is the degraded-mode hook for terminal consolidation stages
+    /// (the dashboard renders a placeholder tab instead of disappearing).
+    pub tolerates_failure: bool,
 }
 
 /// Errors detected when validating a workflow graph.
@@ -134,7 +146,9 @@ impl Workflow {
     }
 
     /// Add a task. `inputs`/`outputs` are the data-dependency declaration the
-    /// engine builds the DAG from.
+    /// engine builds the DAG from. Untyped `String` errors classify as
+    /// [`TaskError::Transient`]; use [`Workflow::task_typed`] to classify
+    /// failures explicitly.
     pub fn task(
         &mut self,
         name: &str,
@@ -143,6 +157,21 @@ impl Workflow {
         outputs: impl IntoIterator<Item = ArtifactId>,
         body: impl Fn(&TaskCtx) -> Result<(), String> + Send + Sync + 'static,
     ) -> TaskId {
+        self.task_typed(name, kind, inputs, outputs, move |ctx| {
+            body(ctx).map_err(TaskError::from)
+        })
+    }
+
+    /// Add a task whose body classifies its own failures (transient vs
+    /// permanent), enabling precise retry-on decisions.
+    pub fn task_typed(
+        &mut self,
+        name: &str,
+        kind: StageKind,
+        inputs: impl IntoIterator<Item = ArtifactId>,
+        outputs: impl IntoIterator<Item = ArtifactId>,
+        body: impl Fn(&TaskCtx) -> Result<(), TaskError> + Send + Sync + 'static,
+    ) -> TaskId {
         let id = TaskId(self.tasks.len());
         self.tasks.push(TaskSpec {
             name: name.to_owned(),
@@ -150,8 +179,29 @@ impl Workflow {
             inputs: inputs.into_iter().collect(),
             outputs: outputs.into_iter().collect(),
             body: Box::new(body),
+            retry: None,
+            deadline: None,
+            tolerates_failure: false,
         });
         id
+    }
+
+    /// Override the retry policy for one task (otherwise the run-level
+    /// default from [`crate::RunOptions`] applies).
+    pub fn with_retry(&mut self, id: TaskId, policy: RetryPolicy) {
+        self.tasks[id.0].retry = Some(policy);
+    }
+
+    /// Override the deadline for one task (otherwise the run-level default
+    /// from [`crate::RunOptions`] applies).
+    pub fn with_deadline(&mut self, id: TaskId, deadline: Duration) {
+        self.tasks[id.0].deadline = Some(deadline);
+    }
+
+    /// Mark a task failure-tolerant: it runs even when upstream dependencies
+    /// fail, reading surviving artifacts via [`TaskCtx::get_opt`].
+    pub fn tolerate_failures(&mut self, id: TaskId) {
+        self.tasks[id.0].tolerates_failure = true;
     }
 
     pub fn task_count(&self) -> usize {
@@ -164,6 +214,19 @@ impl Workflow {
 
     pub fn task_name(&self, id: TaskId) -> &str {
         &self.tasks[id.0].name
+    }
+
+    /// Name of an artifact (for reports, fingerprints, DOT export).
+    pub fn artifact_name(&self, id: ArtifactId) -> &str {
+        &self.artifacts[id.0].name
+    }
+
+    /// Path of a file artifact, `None` for value artifacts.
+    pub fn file_path(&self, id: ArtifactId) -> Option<&Path> {
+        match &self.artifacts[id.0].kind {
+            ArtifactKindMeta::File(p) => Some(p.as_path()),
+            ArtifactKindMeta::Value => None,
+        }
     }
 
     /// All task names, in declaration order.

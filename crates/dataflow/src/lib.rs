@@ -19,18 +19,29 @@
 //!
 //! [`par`] offers the chunked data-parallel kernels (map/fold/fill) used by
 //! the frame engine and the trace generator.
+//!
+//! The fault-tolerance layer spans [`error`] (the [`TaskError`] taxonomy and
+//! [`RetryPolicy`]), [`exec`] (retries, deadlines, the stall guard,
+//! checkpoint/resume), [`manifest`] (the persisted [`RunManifest`]), and
+//! [`chaos`] (the deterministic seeded fault injector).
 
 pub mod artifact;
+pub mod chaos;
 pub mod dot;
+pub mod error;
 pub mod exec;
 pub mod graph;
+pub mod manifest;
 pub mod par;
 pub mod pool;
 pub mod report;
 
 pub use artifact::{Artifact, ArtifactId, DataStore, FileArtifact, TaskCtx};
+pub use chaos::{ChaosConfig, ChaosScope, Fault, Injection};
 pub use dot::{to_dot, DotOptions};
+pub use error::{RetryOn, RetryPolicy, TaskError};
 pub use exec::{RunOptions, Runner};
 pub use graph::{GraphError, StageKind, TaskId, Workflow};
+pub use manifest::{ManifestEntry, RunManifest};
 pub use pool::ThreadPool;
 pub use report::{RunReport, TaskReport, TaskStatus};

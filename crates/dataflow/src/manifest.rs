@@ -1,0 +1,225 @@
+//! Checkpoint/resume: the run manifest.
+//!
+//! The executor persists a JSON manifest after every task resolution —
+//! task fingerprints, terminal statuses, attempt counts, and file outputs —
+//! so an interrupted or partially failed run can be rerun with
+//! [`crate::RunOptions::resume`] and re-execute only the tasks that did not
+//! succeed. Resume composes with (and sits above) the make-style freshness
+//! cache: a task is resumed only when its fingerprint matches the previous
+//! run, it succeeded there, and every one of its outputs is a file that
+//! still exists. Tasks with in-memory value outputs cannot be restored from
+//! disk and always re-execute.
+
+use crate::graph::{StageKind, Workflow};
+use serde::{Deserialize, Serialize};
+use std::path::{Path, PathBuf};
+
+/// Manifest format version (bump on incompatible change).
+pub const MANIFEST_VERSION: u32 = 1;
+
+/// Terminal record of one task in a (possibly unfinished) run.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct ManifestEntry {
+    pub name: String,
+    /// Structural fingerprint: name, stage kind, and input/output artifact
+    /// names. A changed fingerprint invalidates the entry on resume.
+    pub fingerprint: u64,
+    /// `"succeeded" | "failed" | "timed-out" | "stalled" | "skipped" |
+    /// `"cached" | "resumed" | "pending"`.
+    pub status: String,
+    /// Executed attempts (0 when served from cache/resume or never run).
+    pub attempts: u32,
+    /// Declared file outputs (empty when any output is a value artifact —
+    /// such tasks are never resumable).
+    pub file_outputs: Vec<PathBuf>,
+    /// True when every declared output is a file (the resumability
+    /// precondition).
+    pub outputs_all_files: bool,
+}
+
+/// The persisted state of one run.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct RunManifest {
+    pub version: u32,
+    pub tasks: Vec<ManifestEntry>,
+}
+
+impl RunManifest {
+    /// Skeleton manifest for a workflow: every task `"pending"`.
+    pub fn for_workflow(workflow: &Workflow) -> Self {
+        let tasks = workflow
+            .tasks
+            .iter()
+            .map(|spec| {
+                let file_outputs: Vec<PathBuf> = spec
+                    .outputs
+                    .iter()
+                    .filter_map(|id| workflow.file_path(*id).map(Path::to_path_buf))
+                    .collect();
+                ManifestEntry {
+                    name: spec.name.clone(),
+                    fingerprint: fingerprint(workflow, spec.name.as_str()),
+                    status: "pending".to_owned(),
+                    attempts: 0,
+                    outputs_all_files: !spec.outputs.is_empty()
+                        && file_outputs.len() == spec.outputs.len(),
+                    file_outputs,
+                }
+            })
+            .collect();
+        RunManifest {
+            version: MANIFEST_VERSION,
+            tasks,
+        }
+    }
+
+    /// Load a manifest, tolerating absence and corruption (both mean "no
+    /// usable checkpoint": a truncated manifest must not be trusted).
+    pub fn load(path: &Path) -> Option<RunManifest> {
+        let text = std::fs::read_to_string(path).ok()?;
+        let manifest: RunManifest = serde_json::from_str(&text).ok()?;
+        (manifest.version == MANIFEST_VERSION).then_some(manifest)
+    }
+
+    /// Persist atomically (temp file + rename) so an interrupted checkpoint
+    /// never leaves a half-written manifest a later resume trusts.
+    pub fn save(&self, path: &Path) -> std::io::Result<()> {
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        let tmp = path.with_extension("json.partial");
+        std::fs::write(&tmp, serde_json::to_string_pretty(self).expect("manifest serializes"))?;
+        std::fs::rename(&tmp, path)
+    }
+
+    /// Look up the entry for a task by name.
+    pub fn by_name(&self, name: &str) -> Option<&ManifestEntry> {
+        self.tasks.iter().find(|t| t.name == name)
+    }
+
+    /// Tasks that finished successfully (succeeded / cached / resumed).
+    pub fn succeeded(&self) -> usize {
+        self.tasks
+            .iter()
+            .filter(|t| matches!(t.status.as_str(), "succeeded" | "cached" | "resumed"))
+            .count()
+    }
+}
+
+impl ManifestEntry {
+    /// Is this entry a valid resume source for a task with `fingerprint`?
+    /// Requires a successful previous outcome, an unchanged fingerprint,
+    /// file-only outputs, and every output file still on disk.
+    pub fn resumable(&self, fingerprint: u64) -> bool {
+        self.fingerprint == fingerprint
+            && matches!(self.status.as_str(), "succeeded" | "cached" | "resumed")
+            && self.outputs_all_files
+            && self.file_outputs.iter().all(|p| p.exists())
+    }
+}
+
+/// Structural fingerprint of a task: stable across runs, changed by renames,
+/// re-kinding, or re-wiring of inputs/outputs.
+pub fn fingerprint(workflow: &Workflow, task_name: &str) -> u64 {
+    let spec = workflow
+        .tasks
+        .iter()
+        .find(|t| t.name == task_name)
+        .expect("fingerprint of a declared task");
+    let mut h = crate::error::fnv1a(&spec.name);
+    h = h.wrapping_mul(31).wrapping_add(match spec.kind {
+        StageKind::Static => 1,
+        StageKind::UserDefined => 2,
+    });
+    for id in spec.inputs.iter().chain(spec.outputs.iter()) {
+        h = h
+            .wrapping_mul(0x100_0000_01b3)
+            .wrapping_add(crate::error::fnv1a(workflow.artifact_name(*id)));
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{StageKind, Workflow};
+
+    fn workflow(dir: &Path) -> Workflow {
+        let mut wf = Workflow::new();
+        let v = wf.value::<u32>("v");
+        let f = wf.file(dir.join("out.txt"));
+        wf.task("mk-value", StageKind::Static, [], [v.id()], move |ctx| ctx.put(v, 1));
+        let f2 = f.clone();
+        wf.task("mk-file", StageKind::Static, [], [f.id()], move |ctx| {
+            std::fs::write(ctx.path(&f2)?, "x").map_err(|e| e.to_string())
+        });
+        wf
+    }
+
+    fn tmp(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("schedflow-manifest-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    #[test]
+    fn skeleton_tracks_resumability() {
+        let dir = tmp("skel");
+        let wf = workflow(&dir);
+        let m = RunManifest::for_workflow(&wf);
+        assert_eq!(m.tasks.len(), 2);
+        assert!(!m.tasks[0].outputs_all_files, "value output not resumable");
+        assert!(m.tasks[1].outputs_all_files);
+        assert_eq!(m.tasks[1].file_outputs.len(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn save_load_round_trip() {
+        let dir = tmp("roundtrip");
+        let wf = workflow(&dir);
+        let m = RunManifest::for_workflow(&wf);
+        let path = dir.join("manifest.json");
+        m.save(&path).unwrap();
+        let back = RunManifest::load(&path).unwrap();
+        assert_eq!(back, m);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_manifest_is_ignored() {
+        let dir = tmp("corrupt");
+        let path = dir.join("manifest.json");
+        std::fs::write(&path, "{\"version\": 1, \"tasks\": [{tru").unwrap();
+        assert!(RunManifest::load(&path).is_none());
+        assert!(RunManifest::load(&dir.join("absent.json")).is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn resumable_requires_success_and_files() {
+        let dir = tmp("resume");
+        let wf = workflow(&dir);
+        let mut m = RunManifest::for_workflow(&wf);
+        let fp = m.tasks[1].fingerprint;
+        assert!(!m.tasks[1].resumable(fp), "pending is not resumable");
+        m.tasks[1].status = "succeeded".to_owned();
+        assert!(!m.tasks[1].resumable(fp), "output file missing");
+        std::fs::write(dir.join("out.txt"), "x").unwrap();
+        assert!(m.tasks[1].resumable(fp));
+        assert!(!m.tasks[1].resumable(fp ^ 1), "fingerprint mismatch");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fingerprint_changes_with_structure() {
+        let dir = tmp("fp");
+        let wf = workflow(&dir);
+        let a = fingerprint(&wf, "mk-value");
+        let b = fingerprint(&wf, "mk-file");
+        assert_ne!(a, b);
+        assert_eq!(a, fingerprint(&wf, "mk-value"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

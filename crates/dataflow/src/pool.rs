@@ -110,6 +110,19 @@ impl ThreadPool {
     pub fn pending(&self) -> usize {
         self.shared.pending.load(Ordering::SeqCst)
     }
+
+    /// Signal shutdown and detach the worker threads without joining them.
+    ///
+    /// Used by the executor when a timed-out or stalled task body may never
+    /// return: joining (as [`Drop`] does) would hang the caller forever.
+    /// Each worker exits as soon as it finishes its current job; a genuinely
+    /// hung body leaves its thread running detached.
+    pub fn detach(mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.shared.notify_all();
+        self.handles.drain(..);
+        // Drop now joins nothing (handles are gone).
+    }
 }
 
 impl Drop for ThreadPool {

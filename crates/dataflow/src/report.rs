@@ -3,22 +3,54 @@
 use serde::Serialize;
 
 /// Terminal status of one task in a run.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, PartialEq, Serialize)]
 #[serde(tag = "status", content = "detail")]
 pub enum TaskStatus {
     /// Ran to completion.
     Succeeded,
-    /// Body returned an error or panicked.
+    /// Body returned an error or panicked (after exhausting retries).
     Failed(String),
+    /// The watchdog saw the task exceed its deadline.
+    TimedOut { elapsed_ms: u64 },
+    /// The whole run stopped making progress while this task was in flight
+    /// (the stall guard fired after `elapsed_ms` without any completion).
+    Stalled { elapsed_ms: u64 },
     /// Not run because an upstream dependency failed.
     Skipped,
     /// Not run because its file outputs were newer than all file inputs.
     Cached,
+    /// Not run because the resume manifest recorded a previous success and
+    /// all file outputs still exist.
+    Resumed,
 }
 
 impl TaskStatus {
     pub fn is_ok(&self) -> bool {
-        matches!(self, TaskStatus::Succeeded | TaskStatus::Cached)
+        matches!(
+            self,
+            TaskStatus::Succeeded | TaskStatus::Cached | TaskStatus::Resumed
+        )
+    }
+
+    /// Terminal error states (failed, timed out, or stalled).
+    pub fn is_error(&self) -> bool {
+        matches!(
+            self,
+            TaskStatus::Failed(_) | TaskStatus::TimedOut { .. } | TaskStatus::Stalled { .. }
+        )
+    }
+
+    /// Manifest status string (see [`crate::manifest::ManifestEntry`]).
+    pub fn manifest_str(&self) -> &'static str {
+        match self {
+            TaskStatus::Succeeded => "succeeded",
+            TaskStatus::Failed(_) => "failed",
+            TaskStatus::TimedOut { .. } => "timed-out",
+            TaskStatus::Stalled { .. } => "stalled",
+            TaskStatus::Skipped => "skipped",
+            TaskStatus::Cached => "cached",
+            TaskStatus::Resumed => "resumed",
+        }
     }
 }
 
@@ -37,6 +69,9 @@ pub struct TaskReport {
     pub worker: Option<usize>,
     /// Longest-path depth in the DAG (the Figure 2 "row").
     pub depth: usize,
+    /// Executed attempts (0 for cached/resumed/skipped tasks; >1 means the
+    /// retry policy re-ran the task).
+    pub attempts: u32,
 }
 
 impl TaskReport {
@@ -75,11 +110,9 @@ impl RunReport {
             .count()
     }
 
+    /// Tasks in a terminal error state (failed, timed out, or stalled).
     pub fn failed(&self) -> Vec<&TaskReport> {
-        self.tasks
-            .iter()
-            .filter(|t| matches!(t.status, TaskStatus::Failed(_)))
-            .collect()
+        self.tasks.iter().filter(|t| t.status.is_error()).collect()
     }
 
     pub fn skipped(&self) -> usize {
@@ -87,6 +120,27 @@ impl RunReport {
             .iter()
             .filter(|t| t.status == TaskStatus::Skipped)
             .count()
+    }
+
+    pub fn resumed(&self) -> usize {
+        self.tasks
+            .iter()
+            .filter(|t| t.status == TaskStatus::Resumed)
+            .count()
+    }
+
+    /// Total executed attempts across all tasks (retries included).
+    pub fn total_attempts(&self) -> u32 {
+        self.tasks.iter().map(|t| t.attempts).sum()
+    }
+
+    /// Tasks that needed more than one attempt, `(name, attempts)`.
+    pub fn retried(&self) -> Vec<(&str, u32)> {
+        self.tasks
+            .iter()
+            .filter(|t| t.attempts > 1)
+            .map(|t| (t.name.as_str(), t.attempts))
+            .collect()
     }
 
     /// Sum of executed task durations — the work a 1-thread run would
@@ -108,7 +162,7 @@ impl RunReport {
     pub fn max_concurrency(&self) -> usize {
         let mut events: Vec<(f64, i32)> = Vec::new();
         for t in &self.tasks {
-            if t.status == TaskStatus::Succeeded || matches!(t.status, TaskStatus::Failed(_)) {
+            if t.status == TaskStatus::Succeeded || t.status.is_error() {
                 events.push((t.start_ms, 1));
                 events.push((t.end_ms, -1));
             }
@@ -156,6 +210,7 @@ mod tests {
                     end_ms: 60.0,
                     worker: Some(0),
                     depth: 0,
+                    attempts: 1,
                 },
                 TaskReport {
                     name: "b".into(),
@@ -165,6 +220,7 @@ mod tests {
                     end_ms: 90.0,
                     worker: Some(1),
                     depth: 0,
+                    attempts: 1,
                 },
                 TaskReport {
                     name: "c".into(),
@@ -174,6 +230,7 @@ mod tests {
                     end_ms: 0.0,
                     worker: None,
                     depth: 1,
+                    attempts: 0,
                 },
             ],
         }

@@ -1,0 +1,187 @@
+//! Fallback chaining over analysts: try the preferred (hosted) backend,
+//! degrade to the next on backend failure.
+//!
+//! The hosted endpoint is the least reliable stage of the whole pipeline —
+//! the paper's deployment talks to a remote model over the network. A
+//! [`FallbackAnalyst`] keeps the insight stage alive through an outage by
+//! degrading to the deterministic [`crate::rule::RuleAnalyst`] instead of
+//! failing the workflow: a run completes with rule-derived narratives rather
+//! than not completing at all.
+
+use crate::analyst::{Analyst, AnalystError, Insight};
+use schedflow_charts::ChartDigest;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// An [`Analyst`] that tries a chain of backends in order, returning the
+/// first success. Only [`AnalystError::Backend`] failures trigger the next
+/// link — [`AnalystError::UnsupportedChart`] means the *request* is at fault,
+/// and every backend would reject it the same way.
+pub struct FallbackAnalyst {
+    name: String,
+    chain: Vec<Arc<dyn Analyst>>,
+    /// How many requests any primary link has failed over so far (for
+    /// provenance: a dashboard built on fallbacks should say so).
+    fallbacks_used: AtomicUsize,
+}
+
+impl FallbackAnalyst {
+    /// Build a chain from preferred to last-resort. Panics on an empty chain
+    /// — an insight stage with no analyst at all is a construction bug.
+    pub fn new(chain: Vec<Arc<dyn Analyst>>) -> Self {
+        assert!(!chain.is_empty(), "FallbackAnalyst needs at least one link");
+        let name = chain
+            .iter()
+            .map(|a| a.name())
+            .collect::<Vec<_>>()
+            .join(" -> ");
+        Self {
+            name,
+            chain,
+            fallbacks_used: AtomicUsize::new(0),
+        }
+    }
+
+    /// The common production chain: a hosted backend with the deterministic
+    /// rule analyst as the last resort.
+    pub fn with_rule_fallback(primary: Arc<dyn Analyst>) -> Self {
+        Self::new(vec![primary, Arc::new(crate::rule::RuleAnalyst::new())])
+    }
+
+    /// Requests that were *not* served by the first link.
+    pub fn fallbacks_used(&self) -> usize {
+        self.fallbacks_used.load(Ordering::Relaxed)
+    }
+
+    fn run<F>(&self, call: F) -> Result<Insight, AnalystError>
+    where
+        F: Fn(&dyn Analyst) -> Result<Insight, AnalystError>,
+    {
+        let mut last = None;
+        for (i, analyst) in self.chain.iter().enumerate() {
+            match call(analyst.as_ref()) {
+                Ok(mut insight) => {
+                    if i > 0 {
+                        self.fallbacks_used.fetch_add(1, Ordering::Relaxed);
+                        insight.narrative = format!(
+                            "(fallback: served by {} after upstream failure) {}",
+                            analyst.name(),
+                            insight.narrative
+                        );
+                    }
+                    return Ok(insight);
+                }
+                Err(e @ AnalystError::UnsupportedChart(_)) => return Err(e),
+                Err(e @ AnalystError::Backend(_)) => last = Some(e),
+            }
+        }
+        Err(last.expect("chain is non-empty"))
+    }
+}
+
+impl Analyst for FallbackAnalyst {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn insight(&self, digest: &ChartDigest) -> Result<Insight, AnalystError> {
+        self.run(|a| a.insight(digest))
+    }
+
+    fn compare(&self, a: &ChartDigest, b: &ChartDigest) -> Result<Insight, AnalystError> {
+        self.run(|x| x.compare(a, b))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::api::{ApiAnalyst, OfflineTransport};
+    use crate::rule::RuleAnalyst;
+    use schedflow_charts::{digest, Axis, Chart, ScatterChart, Series};
+
+    fn sample_digest() -> ChartDigest {
+        digest(&Chart::Scatter(
+            ScatterChart::new("waits", Axis::linear("t"), Axis::linear("w"))
+                .with_series(Series::scatter("s", vec![1.0, 2.0], vec![3.0, 4.0])),
+        ))
+    }
+
+    struct AlwaysBackendError;
+    impl Analyst for AlwaysBackendError {
+        fn name(&self) -> &str {
+            "broken"
+        }
+        fn insight(&self, _d: &ChartDigest) -> Result<Insight, AnalystError> {
+            Err(AnalystError::Backend("down".into()))
+        }
+        fn compare(&self, _a: &ChartDigest, _b: &ChartDigest) -> Result<Insight, AnalystError> {
+            Err(AnalystError::Backend("down".into()))
+        }
+    }
+
+    struct Unsupported;
+    impl Analyst for Unsupported {
+        fn name(&self) -> &str {
+            "picky"
+        }
+        fn insight(&self, _d: &ChartDigest) -> Result<Insight, AnalystError> {
+            Err(AnalystError::UnsupportedChart("no".into()))
+        }
+        fn compare(&self, _a: &ChartDigest, _b: &ChartDigest) -> Result<Insight, AnalystError> {
+            Err(AnalystError::UnsupportedChart("no".into()))
+        }
+    }
+
+    #[test]
+    fn offline_primary_falls_back_to_rule_analyst() {
+        let primary: Arc<dyn Analyst> = Arc::new(ApiAnalyst::new("gemma-3", OfflineTransport));
+        let f = FallbackAnalyst::with_rule_fallback(primary);
+        let out = f.insight(&sample_digest()).unwrap();
+        assert!(out.narrative.contains("fallback"), "{}", out.narrative);
+        assert_eq!(f.fallbacks_used(), 1);
+        assert!(f.name().contains("gemma-3"));
+        assert!(f.name().contains("->"));
+    }
+
+    #[test]
+    fn healthy_primary_is_used_directly() {
+        let primary: Arc<dyn Analyst> = Arc::new(RuleAnalyst::new());
+        let f = FallbackAnalyst::with_rule_fallback(primary);
+        let out = f.insight(&sample_digest()).unwrap();
+        assert!(!out.narrative.contains("fallback"));
+        assert_eq!(f.fallbacks_used(), 0);
+    }
+
+    #[test]
+    fn all_links_down_surfaces_last_backend_error() {
+        let f = FallbackAnalyst::new(vec![
+            Arc::new(AlwaysBackendError),
+            Arc::new(AlwaysBackendError),
+        ]);
+        match f.insight(&sample_digest()) {
+            Err(AnalystError::Backend(m)) => assert_eq!(m, "down"),
+            other => panic!("expected backend error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unsupported_chart_does_not_fall_through() {
+        // A request-shape error would fail identically on every link; the
+        // chain must not mask it as a fallback success.
+        let f = FallbackAnalyst::new(vec![Arc::new(Unsupported), Arc::new(RuleAnalyst::new())]);
+        match f.insight(&sample_digest()) {
+            Err(AnalystError::UnsupportedChart(_)) => {}
+            other => panic!("expected unsupported-chart error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn compare_falls_back_too() {
+        let primary: Arc<dyn Analyst> = Arc::new(ApiAnalyst::new("gemma-3", OfflineTransport));
+        let f = FallbackAnalyst::with_rule_fallback(primary);
+        let d = sample_digest();
+        let out = f.compare(&d, &d).unwrap();
+        assert!(out.narrative.contains("fallback"));
+    }
+}

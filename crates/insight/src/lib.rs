@@ -10,17 +10,22 @@
 //! * [`prompts`] — the paper's *LLM Insight* and *LLM Compare* prompts,
 //!   verbatim, plus the request envelope a hosted backend receives;
 //! * [`api::ApiAnalyst`] — the hosted-backend adapter over a [`api::Transport`];
+//! * [`fallback::FallbackAnalyst`] — degradation chaining: a flaky hosted
+//!   backend falls back to the deterministic rule analyst instead of failing
+//!   the workflow;
 //! * [`registry`] — the Table 2 offering survey and the scoring that selects
 //!   Gemma 3.
 
 pub mod analyst;
 pub mod api;
+pub mod fallback;
 pub mod prompts;
 pub mod registry;
 pub mod rule;
 
 pub use analyst::{Analyst, AnalystError, Finding, Insight, Severity};
 pub use api::{ApiAnalyst, OfflineTransport, Transport};
+pub use fallback::FallbackAnalyst;
 pub use prompts::{PromptRequest, COMPARE_PROMPT, INSIGHT_PROMPT};
 pub use registry::{select_backend, survey, table2_text, AccessModel, LlmOffering};
 pub use rule::RuleAnalyst;

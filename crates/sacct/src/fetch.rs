@@ -51,6 +51,12 @@ pub struct FetchSpec {
     pub force: bool,
     /// Rendering knobs (step inclusion, corruption injection).
     pub render: RenderOptions,
+    /// Attempts per period, including the first (clamped to at least 1).
+    /// Real `sacct` calls against a busy slurmdbd fail transiently; each
+    /// period is retried independently with exponential backoff.
+    pub max_attempts: u32,
+    /// Backoff before retry k (1-based) is `backoff_ms * 2^(k-1)`.
+    pub backoff_ms: u64,
 }
 
 impl FetchSpec {
@@ -62,6 +68,8 @@ impl FetchSpec {
             cache_dir: cache_dir.into(),
             force: false,
             render: RenderOptions::default(),
+            max_attempts: 3,
+            backoff_ms: 10,
         }
     }
 
@@ -90,23 +98,88 @@ pub struct FetchResult {
 /// Errors from the fetch stage.
 #[derive(Debug)]
 pub enum FetchError {
-    Io(std::io::Error),
+    /// An I/O failure, annotated with the period and path being fetched when
+    /// known — "fetch io error: permission denied" is undebuggable across a
+    /// 24-month fan-out without them.
+    Io {
+        period: Option<String>,
+        path: Option<PathBuf>,
+        source: std::io::Error,
+    },
+}
+
+impl FetchError {
+    fn io_for<'a>(
+        period: &'a Period,
+        path: &'a Path,
+    ) -> impl FnOnce(std::io::Error) -> FetchError + 'a {
+        move |source| FetchError::Io {
+            period: Some(period.file_stem()),
+            path: Some(path.to_path_buf()),
+            source,
+        }
+    }
 }
 
 impl std::fmt::Display for FetchError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            FetchError::Io(e) => write!(f, "fetch io error: {e}"),
+            FetchError::Io {
+                period,
+                path,
+                source,
+            } => {
+                write!(f, "fetch io error")?;
+                if let Some(p) = period {
+                    write!(f, " for period {p}")?;
+                }
+                if let Some(p) = path {
+                    write!(f, " at {}", p.display())?;
+                }
+                write!(f, ": {source}")
+            }
         }
     }
 }
 
-impl std::error::Error for FetchError {}
+impl std::error::Error for FetchError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FetchError::Io { source, .. } => Some(source),
+        }
+    }
+}
 
 impl From<std::io::Error> for FetchError {
-    fn from(e: std::io::Error) -> Self {
-        FetchError::Io(e)
+    fn from(source: std::io::Error) -> Self {
+        FetchError::Io {
+            period: None,
+            path: None,
+            source,
+        }
     }
+}
+
+/// A cache file is trustworthy only if it is non-empty and newline-terminated
+/// — `write_records` always ends with `\n`, so anything else is a torn write
+/// from a crashed fetch (or external truncation) and must be treated as a
+/// cache miss, not parsed into silently short data.
+fn cache_file_valid(path: &Path) -> bool {
+    use std::io::{Read, Seek, SeekFrom};
+    let Ok(mut f) = std::fs::File::open(path) else {
+        return false;
+    };
+    let Ok(len) = f.seek(SeekFrom::End(0)) else {
+        return false;
+    };
+    if len == 0 {
+        return false;
+    }
+    if f.seek(SeekFrom::End(-1)).is_err() {
+        return false;
+    }
+    let mut last = [0u8; 1];
+    f.read_exact(&mut last).is_ok() && last[0] == b'\n'
 }
 
 /// Fetch every period of `spec` from `store`, concurrently, reusing fresh
@@ -119,9 +192,11 @@ pub fn obtain_data(
     std::fs::create_dir_all(&dir)?;
     let periods = spec.periods();
 
-    let fetch_one = |period: &Period| -> Result<FetchResult, FetchError> {
+    let fetch_once = |period: &Period| -> Result<FetchResult, FetchError> {
         let path = dir.join(format!("{}.txt", period.file_stem()));
-        if !spec.force && path.exists() {
+        // A cache hit requires a *valid* file: a truncated or empty file
+        // (torn write, disk full) is a miss and gets refetched.
+        if !spec.force && path.exists() && cache_file_valid(&path) {
             return Ok(FetchResult {
                 period: *period,
                 path,
@@ -137,16 +212,41 @@ pub fn obtain_data(
         // leaves a half-written file that a later run trusts as cache.
         let tmp = path.with_extension("txt.partial");
         {
-            let mut w = BufWriter::new(std::fs::File::create(&tmp)?);
-            write_records(records, &mut w, &spec.render)?;
+            let mut w = BufWriter::new(
+                std::fs::File::create(&tmp).map_err(FetchError::io_for(period, &tmp))?,
+            );
+            write_records(records, &mut w, &spec.render)
+                .map_err(FetchError::io_for(period, &tmp))?;
         }
-        std::fs::rename(&tmp, &path)?;
+        std::fs::rename(&tmp, &path).map_err(FetchError::io_for(period, &path))?;
         Ok(FetchResult {
             period: *period,
             path,
             cached: false,
             jobs_written: records.len(),
         })
+    };
+
+    // Retry each period independently with exponential backoff; periods are
+    // isolated, so one flaky month never costs the others their work.
+    let fetch_one = |period: &Period| -> Result<FetchResult, FetchError> {
+        let attempts = spec.max_attempts.max(1);
+        let mut last_err = None;
+        for attempt in 1..=attempts {
+            match fetch_once(period) {
+                Ok(r) => return Ok(r),
+                Err(e) => {
+                    if attempt < attempts && spec.backoff_ms > 0 {
+                        let delay = spec
+                            .backoff_ms
+                            .saturating_mul(1u64 << (attempt - 1).min(20));
+                        std::thread::sleep(std::time::Duration::from_millis(delay));
+                    }
+                    last_err = Some(e);
+                }
+            }
+        }
+        Err(last_err.expect("at least one attempt ran"))
     };
 
     // Parallel fan-out over periods (the GNU Parallel substitute).
@@ -283,5 +383,60 @@ mod tests {
     fn period_stems() {
         assert_eq!(Period::Month(2024, 3).file_stem(), "2024-03");
         assert_eq!(Period::Year(2023).file_stem(), "2023");
+    }
+
+    #[test]
+    fn truncated_cache_file_is_refetched() {
+        let dir = temp_dir("truncated");
+        let spec = FetchSpec::monthly((2024, 1), (2024, 1), &dir);
+        let s = store();
+        let first = obtain_data(&s, &spec).unwrap();
+        assert!(!first[0].cached);
+        let path = &first[0].path;
+
+        // Chop the file mid-line (no trailing newline): torn write.
+        let full = std::fs::read(path).unwrap();
+        std::fs::write(path, &full[..full.len() / 2]).unwrap();
+        let second = obtain_data(&s, &spec).unwrap();
+        assert!(!second[0].cached, "truncated cache must be a miss");
+        assert_eq!(std::fs::read(path).unwrap(), full, "refetch restores it");
+
+        // Empty file: also a miss.
+        std::fs::write(path, b"").unwrap();
+        let third = obtain_data(&s, &spec).unwrap();
+        assert!(!third[0].cached, "empty cache must be a miss");
+
+        // Intact file: a hit.
+        let fourth = obtain_data(&s, &spec).unwrap();
+        assert!(fourth[0].cached);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn io_errors_carry_period_and_path_context() {
+        let dir = temp_dir("errctx");
+        std::fs::create_dir_all(dir.join("testclus")).unwrap();
+        // Make the period's cache path a *directory* so the rename fails.
+        std::fs::create_dir_all(dir.join("testclus/2024-01.txt")).unwrap();
+        let spec = FetchSpec::monthly((2024, 1), (2024, 1), &dir);
+        let err = obtain_data(&store(), &spec).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("2024-01"), "period in message: {msg}");
+        assert!(msg.contains("2024-01.txt"), "path in message: {msg}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn retries_are_bounded() {
+        // A permanently failing period errors out after max_attempts rather
+        // than looping; with backoff_ms=0 this is fast.
+        let dir = temp_dir("bounded");
+        std::fs::create_dir_all(dir.join("testclus")).unwrap();
+        std::fs::create_dir_all(dir.join("testclus/2024-01.txt")).unwrap();
+        let mut spec = FetchSpec::monthly((2024, 1), (2024, 1), &dir);
+        spec.max_attempts = 5;
+        spec.backoff_ms = 0;
+        assert!(obtain_data(&store(), &spec).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

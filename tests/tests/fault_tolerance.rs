@@ -1,0 +1,271 @@
+//! Fault-tolerance integration tests: seeded chaos drills over the full
+//! workflow, checkpoint/resume after a partial run, and engine-level
+//! properties of retry + skip propagation.
+//!
+//! Every chaos outcome below is deterministic: injections are a pure
+//! function of `(seed, task name, attempt)`, so the asserted failure sets
+//! replay identically on every platform.
+
+use proptest::prelude::*;
+use schedflow_core::{run, CoreError, System, WorkflowConfig, MANIFEST_FILE};
+use schedflow_dataflow::{
+    Artifact, ChaosConfig, ChaosScope, RetryPolicy, RunManifest, RunOptions, Runner, StageKind,
+    TaskStatus, Workflow,
+};
+
+fn tiny_config(tag: &str) -> WorkflowConfig {
+    let base = std::env::temp_dir().join(format!("schedflow-ft-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&base);
+    let mut cfg = WorkflowConfig::new(System::Andes);
+    cfg.from = (2024, 1);
+    cfg.to = (2024, 2);
+    cfg.scale = 0.02;
+    cfg.threads = 4;
+    cfg.seed = 5;
+    cfg.cache_dir = base.join("cache");
+    cfg.data_dir = base.join("data");
+    cfg
+}
+
+fn cleanup(cfg: &WorkflowConfig) {
+    let _ = std::fs::remove_dir_all(cfg.cache_dir.parent().unwrap());
+}
+
+/// The acceptance drill: seeded p≈0.3 transient chaos plus the default
+/// retry budget heals every stage, and the dashboard comes out fully real.
+#[test]
+fn chaos_with_retries_recovers_end_to_end() {
+    let mut cfg = tiny_config("heal");
+    cfg.fault.chaos = Some(ChaosConfig::failing(11, 0.3));
+    cfg.fault.retries = 8;
+    cfg.fault.retry_base_delay_ms = 1;
+    let outcome = run(&cfg).unwrap_or_else(|e| panic!("chaos run should heal: {e}"));
+    assert!(outcome.report.is_success());
+    let retried = outcome.report.retried();
+    assert!(!retried.is_empty(), "p=0.3 must force at least one retry");
+    assert!(outcome.report.total_attempts() > outcome.report.tasks.len() as u32 - 2);
+
+    // Every dashboard tab is a real chart — no placeholders survived.
+    let panels_dir = cfg.data_dir.join("dashboard").join("panels");
+    let panels: Vec<_> = std::fs::read_dir(&panels_dir).unwrap().collect();
+    assert_eq!(panels.len(), schedflow_core::PLOT_STAGES.len());
+    for entry in panels {
+        let html = std::fs::read_to_string(entry.unwrap().path()).unwrap();
+        assert!(
+            !html.contains("Chart unavailable"),
+            "healed run must not leave placeholder tabs"
+        );
+    }
+    cleanup(&cfg);
+}
+
+/// Same chaos without retries: the run fails with a structured error that
+/// names the failed stages, and downstream work is skipped, not attempted.
+#[test]
+fn chaos_without_retries_fails_and_skips() {
+    let mut cfg = tiny_config("noheal");
+    cfg.fault.chaos = Some(ChaosConfig::failing(11, 0.4));
+    match run(&cfg) {
+        Err(CoreError::StageFailed { failed, report }) => {
+            assert!(!failed.is_empty());
+            assert!(!report.failed().is_empty());
+            assert!(report.skipped() > 0, "descendants of failures are skipped");
+            assert_eq!(report.tasks.iter().map(|t| t.attempts).max(), Some(1));
+        }
+        other => panic!("expected StageFailed, got {other:?}", other = other.err()),
+    }
+    cleanup(&cfg);
+}
+
+/// Partial upstream failure degrades the dashboard instead of losing tabs:
+/// with seed 20 / p=0.35 exactly plot-waits, plot-states, and plot-dynamics
+/// fail on their only attempt while the data spine and the (failure-
+/// tolerant) dashboard task succeed.
+#[test]
+fn partial_failure_keeps_dashboard_complete_with_placeholders() {
+    let mut cfg = tiny_config("degrade");
+    cfg.fault.chaos = Some(ChaosConfig::failing(20, 0.35));
+    let err = run(&cfg).err().expect("failed plots must fail the run");
+    assert!(matches!(err, CoreError::StageFailed { .. }));
+
+    let panels_dir = cfg.data_dir.join("dashboard").join("panels");
+    for stage in schedflow_core::PLOT_STAGES {
+        let html = std::fs::read_to_string(panels_dir.join(format!("{stage}.html")))
+            .unwrap_or_else(|e| panic!("tab {stage} missing from degraded dashboard: {e}"));
+        let placeholder = html.contains("Chart unavailable");
+        let expect_placeholder = matches!(stage, "waits" | "states" | "dynamics");
+        assert_eq!(
+            placeholder, expect_placeholder,
+            "stage {stage}: placeholder={placeholder}"
+        );
+        if expect_placeholder {
+            assert!(html.contains(&format!("the plot-{stage} stage failed upstream")));
+        }
+    }
+    cleanup(&cfg);
+}
+
+/// Checkpoint/resume: a run interrupted after the fetch stages (simulated by
+/// failing every user-defined stage) leaves a manifest from which a resumed
+/// run replays the file-producing successes and re-executes only the rest.
+#[test]
+fn resume_reexecutes_only_unfinished_tasks() {
+    let mut cfg = tiny_config("resume");
+    cfg.use_cache = false; // so resume, not mtime caching, explains reuse
+    cfg.fault.chaos = Some(ChaosConfig {
+        fail_p: 1.0,
+        scope: ChaosScope::UserDefined,
+        ..ChaosConfig::default()
+    });
+
+    let err = run(&cfg).err().expect("all AI stages fail");
+    assert!(matches!(err, CoreError::StageFailed { .. }));
+    let manifest_path = cfg.data_dir.join(MANIFEST_FILE);
+    let first = RunManifest::load(&manifest_path).expect("checkpoint persisted on failure");
+    let obtain: Vec<_> = first
+        .tasks
+        .iter()
+        .filter(|t| t.name.starts_with("obtain-"))
+        .collect();
+    assert_eq!(obtain.len(), 2);
+    for t in &obtain {
+        assert_eq!(t.status, "succeeded");
+        assert_eq!(t.attempts, 1);
+        assert!(t.outputs_all_files, "obtain stages are file-producing");
+    }
+    assert!(first.tasks.iter().any(|t| t.status == "failed"));
+    assert!(first.tasks.iter().any(|t| t.status == "skipped"));
+
+    // Second run: chaos off, resume on.
+    cfg.fault.chaos = None;
+    cfg.fault.resume = true;
+    let outcome = run(&cfg).unwrap_or_else(|e| panic!("resumed run should succeed: {e}"));
+    assert!(outcome.report.is_success());
+    assert_eq!(outcome.report.resumed(), 2, "both obtain stages replayed");
+    for t in &outcome.report.tasks {
+        if t.name.starts_with("obtain-") {
+            assert_eq!(t.status, TaskStatus::Resumed);
+            assert_eq!(t.attempts, 0, "resumed tasks never re-execute");
+        } else {
+            assert_eq!(t.status, TaskStatus::Succeeded, "{}", t.name);
+            assert!(t.attempts >= 1);
+        }
+    }
+    let second = RunManifest::load(&manifest_path).unwrap();
+    for t in &second.tasks {
+        if t.name.starts_with("obtain-") {
+            assert_eq!((t.status.as_str(), t.attempts), ("resumed", 0));
+        } else {
+            assert_eq!(t.status, "succeeded");
+        }
+    }
+    cleanup(&cfg);
+}
+
+// ---- Engine-level properties over random DAGs under chaos. ----
+
+/// Random layered DAG: `layers[li][ni]` lists parent indices in layer li-1.
+#[derive(Debug, Clone)]
+struct DagSpec {
+    layers: Vec<Vec<Vec<usize>>>,
+}
+
+fn arb_dag() -> impl Strategy<Value = DagSpec> {
+    proptest::collection::vec(1usize..6, 2..5).prop_flat_map(|sizes| {
+        let mut layer_strategies = Vec::new();
+        for (li, &size) in sizes.iter().enumerate() {
+            let parents = if li == 0 { 0 } else { sizes[li - 1] };
+            let node = proptest::collection::vec(0..parents.max(1), 0..=parents.min(3));
+            layer_strategies.push(proptest::collection::vec(node, size..=size));
+        }
+        layer_strategies.prop_map(|layers| DagSpec { layers })
+    })
+}
+
+fn build_dag(spec: &DagSpec) -> (Workflow, Vec<Vec<Artifact<u64>>>) {
+    let mut wf = Workflow::new();
+    let mut arts: Vec<Vec<Artifact<u64>>> = Vec::new();
+    for (li, layer) in spec.layers.iter().enumerate() {
+        let mut layer_arts = Vec::new();
+        for (ni, parents) in layer.iter().enumerate() {
+            let out = wf.value::<u64>(&format!("v-{li}-{ni}"));
+            layer_arts.push(out);
+            let parent_arts: Vec<Artifact<u64>> = if li == 0 {
+                Vec::new()
+            } else {
+                parents.iter().map(|&p| arts[li - 1][p]).collect()
+            };
+            let inputs: Vec<_> = parent_arts.iter().map(|a| a.id()).collect();
+            wf.task(
+                &format!("t-{li}-{ni}"),
+                StageKind::Static,
+                inputs,
+                [out.id()],
+                move |ctx| {
+                    let mut sum = 1u64;
+                    for p in &parent_arts {
+                        sum += *ctx.get(*p)?;
+                    }
+                    ctx.put(out, sum)
+                },
+            );
+        }
+        arts.push(layer_arts);
+    }
+    (wf, arts)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Chaos at p=0.3 (seed 5 never needs more than 3 attempts for any
+    /// `t-*-*` name) plus a 6-attempt transient budget heals every DAG.
+    #[test]
+    fn prop_chaos_with_retries_heals_any_dag(spec in arb_dag(), threads in 1usize..4) {
+        let (wf, _) = build_dag(&spec);
+        let runner = Runner::new(wf).unwrap();
+        let options = RunOptions::with_threads(threads)
+            .retrying(RetryPolicy::transient(6).with_backoff(1, 4))
+            .with_chaos(ChaosConfig::failing(5, 0.3));
+        let report = runner.run(&options);
+        prop_assert!(report.is_success(), "{:?}", report.failed());
+        // Layer 0 always contains t-0-0, which fails its first attempt at
+        // this seed — so retries demonstrably fired.
+        prop_assert!(!report.retried().is_empty());
+    }
+
+    /// Without retries chaos fails some tasks; skip propagation must remain
+    /// exact: a task is skipped iff at least one of its parents resolved
+    /// badly, and tasks whose parents all succeeded always run.
+    #[test]
+    fn prop_skips_require_a_failed_parent(spec in arb_dag(), threads in 1usize..4) {
+        let (wf, _) = build_dag(&spec);
+        let runner = Runner::new(wf).unwrap();
+        let options = RunOptions::with_threads(threads)
+            .with_chaos(ChaosConfig::failing(5, 0.35));
+        let report = runner.run(&options);
+
+        // Flatten (layer, node) -> report index; tasks were added in order.
+        let mut statuses: Vec<Vec<&TaskStatus>> = Vec::new();
+        let mut idx = 0;
+        for layer in &spec.layers {
+            let row = (0..layer.len()).map(|_| { let s = &report.tasks[idx].status; idx += 1; s }).collect();
+            statuses.push(row);
+        }
+        for (li, layer) in spec.layers.iter().enumerate() {
+            for (ni, parents) in layer.iter().enumerate() {
+                let parent_ok = li == 0
+                    || parents.iter().all(|&p| statuses[li - 1][p].is_ok());
+                let status = statuses[li][ni];
+                if parent_ok {
+                    prop_assert!(
+                        !matches!(status, TaskStatus::Skipped),
+                        "t-{li}-{ni} skipped although every dependency succeeded"
+                    );
+                } else {
+                    prop_assert_eq!(status.clone(), TaskStatus::Skipped, "t-{}-{}", li, ni);
+                }
+            }
+        }
+    }
+}
