@@ -5,7 +5,7 @@
 //! requested, revealing underutilization and missed opportunities for
 //! finer-grained resource scheduling."
 
-use crate::select::filter_started;
+use crate::select::started_view;
 use schedflow_charts::{Axis, Chart, MarkerShape, ScatterChart, Series};
 use schedflow_frame::{Frame, FrameError};
 
@@ -29,10 +29,10 @@ pub struct BackfillSummary {
 pub fn requested_vs_actual(
     frame: &Frame,
 ) -> Result<((Vec<f64>, Vec<f64>), (Vec<f64>, Vec<f64>)), FrameError> {
-    let started = filter_started(frame)?;
-    let req = started.column("timelimit_s")?;
-    let elapsed = started.column("elapsed_s")?;
-    let bf = started.bool("backfilled")?;
+    let started = started_view(frame)?;
+    let mut req = started.column("timelimit_s")?.cursor();
+    let mut elapsed = started.column("elapsed_s")?.cursor();
+    let mut bf = started.bool("backfilled")?.cursor();
     let mut regular = (Vec::new(), Vec::new());
     let mut backfilled = (Vec::new(), Vec::new());
     for i in 0..started.height() {
@@ -42,7 +42,7 @@ pub fn requested_vs_actual(
         if r <= 0.0 {
             continue;
         }
-        let slot = if bf.bool_values()[i] {
+        let slot = if bf.get_i64(i) == Some(1) {
             &mut backfilled
         } else {
             &mut regular
@@ -97,8 +97,16 @@ pub fn summarize(frame: &Frame) -> Result<BackfillSummary, FrameError> {
     Ok(BackfillSummary {
         jobs,
         backfilled: bx.len(),
-        overestimated_fraction: if jobs == 0 { 0.0 } else { over as f64 / jobs as f64 },
-        mean_over_factor: if jobs == 0 { 0.0 } else { factor_sum / jobs as f64 },
+        overestimated_fraction: if jobs == 0 {
+            0.0
+        } else {
+            over as f64 / jobs as f64
+        },
+        mean_over_factor: if jobs == 0 {
+            0.0
+        } else {
+            factor_sum / jobs as f64
+        },
         mean_over_factor_backfilled: bf_factor,
         unused_hours: unused_min / 60.0,
     })
@@ -119,10 +127,7 @@ mod tests {
                 "timelimit_s",
                 Column::from_opt_i64(vec![Some(7200), Some(3600), None, Some(600)]),
             )
-            .with(
-                "elapsed_s",
-                Column::from_i64(vec![3600, 600, 100, 0]),
-            )
+            .with("elapsed_s", Column::from_i64(vec![3600, 600, 100, 0]))
             .with(
                 "backfilled",
                 Column::from_bool(vec![false, true, false, false]),
@@ -159,6 +164,25 @@ mod tests {
         // (7200/3600 + 3600/600)/2 = (2 + 6)/2 = 4 in minutes space.
         assert!((s.mean_over_factor - 4.0).abs() < 1e-9);
         assert!((s.unused_hours - (60.0 + 50.0) / 60.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn multi_chunk_frame_needs_no_compaction() {
+        use schedflow_frame::copycount;
+        let f = Frame::vstack(&[frame(), frame(), frame()]).unwrap();
+        copycount::reset();
+        let ((rx, _), (bx, by)) = requested_vs_actual(&f).unwrap();
+        assert_eq!(
+            copycount::rows_copied(),
+            0,
+            "stage must scan the view in place"
+        );
+        assert_eq!(rx.len(), 3);
+        assert_eq!(bx, vec![60.0; 3]);
+        assert_eq!(by, vec![10.0; 3]);
+        let s = summarize(&f).unwrap();
+        assert_eq!(s.jobs, 6);
+        assert!((s.mean_over_factor - 4.0).abs() < 1e-9);
     }
 
     #[test]

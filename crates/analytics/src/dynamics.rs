@@ -47,8 +47,8 @@ impl QueueDynamics {
 
 /// Aggregate wait times into the weekly 7×24 grid.
 pub fn queue_dynamics(frame: &Frame) -> Result<QueueDynamics, FrameError> {
-    let submit = frame.i64("submit")?;
-    let wait = frame.column("wait_s")?;
+    let mut submit = frame.i64("submit")?.cursor();
+    let mut wait = frame.column("wait_s")?.cursor();
     let mut sums = vec![0.0f64; 7 * 24];
     let mut counts = vec![0u64; 7 * 24];
     for i in 0..frame.height() {
@@ -126,6 +126,14 @@ mod tests {
             }
             _ => panic!("expected heatmap"),
         }
+    }
+
+    #[test]
+    fn multi_chunk_aggregation_matches_single_chunk() {
+        let stacked = Frame::vstack(&[frame(), frame()]).unwrap();
+        let d = queue_dynamics(&stacked).unwrap();
+        assert_eq!(d.cell(0, 9), 200.0, "mean unchanged when counts double");
+        assert_eq!(d.submissions_at(0, 9), 4);
     }
 
     #[test]

@@ -161,14 +161,8 @@ mod tests {
                 "wait_s",
                 Column::from_opt_i64((0..n as i64).map(|i| Some(i * 10)).collect()),
             )
-            .with(
-                "elapsed_s",
-                Column::from_i64(vec![1000; n]),
-            )
-            .with(
-                "elapsed_min",
-                Column::from_f64(vec![1000.0 / 60.0; n]),
-            )
+            .with("elapsed_s", Column::from_i64(vec![1000; n]))
+            .with("elapsed_min", Column::from_f64(vec![1000.0 / 60.0; n]))
             .with(
                 "timelimit_s",
                 Column::from_opt_i64(vec![Some((4000.0 * system_bias) as i64); n]),
@@ -187,7 +181,10 @@ mod tests {
         assert!(a.mean_over_factor > b.mean_over_factor);
         let f = federation_frame(&[a, b]);
         assert_eq!(f.height(), 2);
-        assert_eq!(f.str("system").unwrap().str_values(), &["frontier", "andes"]);
+        assert_eq!(
+            f.str("system").unwrap().str_values(),
+            &["frontier", "andes"]
+        );
         assert!(f.column("mean_over_factor").unwrap().get_f64(0).unwrap() > 3.0);
     }
 

@@ -28,11 +28,15 @@ pub mod volume;
 pub mod waits;
 
 pub use backfill::{backfill_chart, BackfillSummary};
+pub use dynamics::{dynamics_chart, queue_dynamics, QueueDynamics};
+pub use federation::{
+    federation_chart, federation_frame, shared_users, summarize_system, SystemSummary,
+};
 pub use nodes_elapsed::{nodes_elapsed_chart, NodesElapsedSummary};
+pub use predictor::{
+    evaluate as evaluate_predictor, PredictorConfig, PredictorEvaluation, WalltimePredictor,
+};
 pub use states::{failure_dispersion, states_chart, states_per_user, UserStates};
+pub use utilization::{occupancy, utilization_chart, OccupancySample, UtilizationSummary};
 pub use volume::{volume_chart, yearly_volumes, YearVolume};
 pub use waits::{wait_chart, wait_summary, WaitOptions, WaitSummary};
-pub use federation::{federation_chart, federation_frame, shared_users, summarize_system, SystemSummary};
-pub use predictor::{evaluate as evaluate_predictor, PredictorConfig, PredictorEvaluation, WalltimePredictor};
-pub use utilization::{occupancy, utilization_chart, OccupancySample, UtilizationSummary};
-pub use dynamics::{dynamics_chart, queue_dynamics, QueueDynamics};

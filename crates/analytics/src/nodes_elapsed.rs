@@ -4,7 +4,7 @@
 //! thousands of nodes and day-long runtimes; Andes concentrates in the
 //! small/short corner.
 
-use crate::select::filter_started;
+use crate::select::started_view;
 use schedflow_charts::{Axis, Chart, ScatterChart, Series};
 use schedflow_frame::{Frame, FrameError};
 
@@ -22,9 +22,9 @@ pub struct NodesElapsedSummary {
 
 /// Extract `(elapsed_minutes, nodes)` pairs for all started jobs.
 pub fn nodes_vs_elapsed(frame: &Frame) -> Result<(Vec<f64>, Vec<f64>), FrameError> {
-    let started = filter_started(frame)?;
-    let nodes = started.i64("nnodes")?;
-    let elapsed = started.f64("elapsed_min")?;
+    let started = started_view(frame)?;
+    let mut nodes = started.i64("nnodes")?.cursor();
+    let mut elapsed = started.f64("elapsed_min")?.cursor();
     let mut xs = Vec::with_capacity(started.height());
     let mut ys = Vec::with_capacity(started.height());
     for i in 0..started.height() {
@@ -90,7 +90,10 @@ mod tests {
 
     fn frame() -> Frame {
         Frame::new()
-            .with("start", Column::from_opt_i64(vec![Some(1), Some(2), None, Some(4)]))
+            .with(
+                "start",
+                Column::from_opt_i64(vec![Some(1), Some(2), None, Some(4)]),
+            )
             .with("nnodes", Column::from_i64(vec![1, 1000, 5, 2]))
             .with(
                 "elapsed_min",
@@ -117,6 +120,17 @@ mod tests {
             }
             _ => panic!(),
         }
+    }
+
+    #[test]
+    fn multi_chunk_extraction_is_zero_copy() {
+        use schedflow_frame::copycount;
+        let f = Frame::vstack(&[frame(), frame()]).unwrap();
+        copycount::reset();
+        let (xs, ys) = nodes_vs_elapsed(&f).unwrap();
+        assert_eq!(copycount::rows_copied(), 0);
+        assert_eq!(xs.len(), 6);
+        assert_eq!(ys.iter().filter(|&&n| n == 1000.0).count(), 2);
     }
 
     #[test]

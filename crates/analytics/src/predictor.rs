@@ -78,7 +78,10 @@ impl WalltimePredictor {
     /// Observe a finished job's actual runtime.
     pub fn observe(&mut self, user: &str, actual_secs: i64) {
         let a = self.config.alpha;
-        for m in [self.users.entry(user.to_owned()).or_default(), &mut self.global] {
+        for m in [
+            self.users.entry(user.to_owned()).or_default(),
+            &mut self.global,
+        ] {
             m.ewma = if m.n == 0 {
                 actual_secs as f64
             } else {
@@ -149,9 +152,21 @@ pub fn evaluate(frame: &Frame, config: PredictorConfig) -> Result<PredictorEvalu
 
     Ok(PredictorEvaluation {
         jobs,
-        mean_predicted_over_actual: if jobs == 0 { 0.0 } else { pred_ratio_sum / jobs as f64 },
-        mean_requested_over_actual: if jobs == 0 { 0.0 } else { req_ratio_sum / jobs as f64 },
-        coverage: if jobs == 0 { 0.0 } else { covered as f64 / jobs as f64 },
+        mean_predicted_over_actual: if jobs == 0 {
+            0.0
+        } else {
+            pred_ratio_sum / jobs as f64
+        },
+        mean_requested_over_actual: if jobs == 0 {
+            0.0
+        } else {
+            req_ratio_sum / jobs as f64
+        },
+        coverage: if jobs == 0 {
+            0.0
+        } else {
+            covered as f64 / jobs as f64
+        },
         user_unused_hours: user_unused,
         predicted_unused_hours: pred_unused,
     })
@@ -170,7 +185,10 @@ mod tests {
             p.observe("u1", 1000);
         }
         let pred = p.predict("u1", 7200);
-        assert!((1400..=1600).contains(&pred), "≈1000 × 1.5 safety, got {pred}");
+        assert!(
+            (1400..=1600).contains(&pred),
+            "≈1000 × 1.5 safety, got {pred}"
+        );
     }
 
     #[test]
@@ -215,10 +233,7 @@ mod tests {
                 "timelimit_s",
                 Column::from_opt_i64(vec![Some(4000); n as usize]),
             )
-            .with(
-                "start",
-                Column::from_opt_i64((0..n).map(Some).collect()),
-            )
+            .with("start", Column::from_opt_i64((0..n).map(Some).collect()))
     }
 
     #[test]
@@ -231,7 +246,11 @@ mod tests {
             "tighter than users: {}",
             e.mean_predicted_over_actual
         );
-        assert!(e.coverage > 0.9, "but still covers runtimes: {}", e.coverage);
+        assert!(
+            e.coverage > 0.9,
+            "but still covers runtimes: {}",
+            e.coverage
+        );
         assert!(e.predicted_unused_hours < e.user_unused_hours);
     }
 

@@ -1,49 +1,92 @@
 //! Frame selection helpers shared by the analysis stages.
+//!
+//! Each predicate comes in two flavors: a zero-copy `*_view` form returning
+//! a [`FrameView`] over the (possibly multi-chunk) merged frame, and the
+//! historical eager form that materializes the view. Stages iterate views
+//! through [`schedflow_frame::ViewCursor`]s so a scan over a year of monthly
+//! chunks stays O(rows) instead of O(rows × chunks).
 
-use schedflow_frame::{Frame, FrameError};
+use schedflow_frame::{Frame, FrameError, FrameView};
+
+/// View of rows submitted in the given year. Zero-copy.
+pub fn year_view(frame: &Frame, year: i32) -> Result<FrameView<'_>, FrameError> {
+    let v = frame.view();
+    let mask = v.i64("year")?.mask_f64(|y| y as i32 == year);
+    v.filter(&mask)
+}
 
 /// Rows submitted in the given year.
 pub fn filter_year(frame: &Frame, year: i32) -> Result<Frame, FrameError> {
-    let mask = frame
-        .i64("year")?
-        .mask_f64(|y| y as i32 == year);
-    frame.filter(&mask)
+    Ok(year_view(frame, year)?.materialize())
+}
+
+/// View of rows submitted in the given month of the given year. Zero-copy.
+pub fn month_view(frame: &Frame, year: i32, month: u8) -> Result<FrameView<'_>, FrameError> {
+    let v = frame.view();
+    let mut y = v.i64("year")?.cursor();
+    let mut m = v.i64("month")?.cursor();
+    let mask: Vec<bool> = (0..v.height())
+        .map(|i| y.get_i64(i) == Some(i64::from(year)) && m.get_i64(i) == Some(i64::from(month)))
+        .collect();
+    v.filter(&mask)
 }
 
 /// Rows submitted in the given month of the given year.
 pub fn filter_month(frame: &Frame, year: i32, month: u8) -> Result<Frame, FrameError> {
-    let y = frame.i64("year")?;
-    let m = frame.i64("month")?;
-    let mask: Vec<bool> = (0..frame.height())
-        .map(|i| {
-            y.get_i64(i) == Some(i64::from(year)) && m.get_i64(i) == Some(i64::from(month))
-        })
-        .collect();
-    frame.filter(&mask)
+    Ok(month_view(frame, year, month)?.materialize())
+}
+
+/// View of rows whose `state` is one of `states`. Zero-copy.
+pub fn states_view<'a>(frame: &'a Frame, states: &[&str]) -> Result<FrameView<'a>, FrameError> {
+    let v = frame.view();
+    let mask = v.str("state")?.mask_str(|s| states.contains(&s));
+    v.filter(&mask)
 }
 
 /// Rows whose `state` is one of `states`.
 pub fn filter_states(frame: &Frame, states: &[&str]) -> Result<Frame, FrameError> {
-    let mask = frame
-        .str("state")?
-        .mask_str(|s| states.contains(&s));
-    frame.filter(&mask)
+    Ok(states_view(frame, states)?.materialize())
+}
+
+/// View of rows that actually started (non-null `start`). Zero-copy.
+pub fn started_view(frame: &Frame) -> Result<FrameView<'_>, FrameError> {
+    let v = frame.view();
+    let mask = v.column("start")?.validity_mask();
+    v.filter(&mask)
 }
 
 /// Rows that actually started (non-null `start`).
 pub fn filter_started(frame: &Frame) -> Result<Frame, FrameError> {
-    let col = frame.column("start")?;
-    let mask: Vec<bool> = (0..frame.height()).map(|i| col.is_valid(i)).collect();
-    frame.filter(&mask)
+    Ok(started_view(frame)?.materialize())
 }
 
 /// Column as f64 vec, nulls dropped, paired with their row indices.
 pub fn numeric_with_rows(frame: &Frame, name: &str) -> Result<(Vec<usize>, Vec<f64>), FrameError> {
     let col = frame.column(name)?;
+    let mut cur = col.cursor();
     let mut rows = Vec::new();
     let mut vals = Vec::new();
     for i in 0..frame.height() {
-        if let Some(v) = col.get_f64(i) {
+        if let Some(v) = cur.get_f64(i) {
+            rows.push(i);
+            vals.push(v);
+        }
+    }
+    Ok((rows, vals))
+}
+
+/// View-rank counterpart of [`numeric_with_rows`]: valid values of `name`
+/// within the view, paired with *view* row indices.
+pub fn view_numeric_with_rows(
+    view: &FrameView<'_>,
+    name: &str,
+) -> Result<(Vec<usize>, Vec<f64>), FrameError> {
+    let col = view.column(name)?;
+    let mut cur = col.cursor();
+    let mut rows = Vec::new();
+    let mut vals = Vec::new();
+    for i in 0..view.height() {
+        if let Some(v) = cur.get_f64(i) {
             rows.push(i);
             vals.push(v);
         }
@@ -54,7 +97,7 @@ pub fn numeric_with_rows(frame: &Frame, name: &str) -> Result<(Vec<usize>, Vec<f
 #[cfg(test)]
 mod tests {
     use super::*;
-    use schedflow_frame::Column;
+    use schedflow_frame::{copycount, Column};
 
     fn frame() -> Frame {
         Frame::new()
@@ -62,9 +105,16 @@ mod tests {
             .with("month", Column::from_i64(vec![5, 1, 2]))
             .with(
                 "state",
-                Column::from_str(vec!["COMPLETED".into(), "FAILED".into(), "COMPLETED".into()]),
+                Column::from_str(vec![
+                    "COMPLETED".into(),
+                    "FAILED".into(),
+                    "COMPLETED".into(),
+                ]),
             )
-            .with("start", Column::from_opt_i64(vec![Some(10), None, Some(30)]))
+            .with(
+                "start",
+                Column::from_opt_i64(vec![Some(10), None, Some(30)]),
+            )
             .with("wait_s", Column::from_opt_i64(vec![Some(5), None, Some(7)]))
     }
 
@@ -92,5 +142,28 @@ mod tests {
         let (rows, vals) = numeric_with_rows(&frame(), "wait_s").unwrap();
         assert_eq!(rows, vec![0, 2]);
         assert_eq!(vals, vec![5.0, 7.0]);
+    }
+
+    #[test]
+    fn views_select_without_copying_across_chunks() {
+        let f = Frame::vstack(&[frame(), frame(), frame()]).unwrap();
+        copycount::reset();
+        let started = started_view(&f).unwrap();
+        let y = year_view(&f, 2024).unwrap();
+        let m = month_view(&f, 2024, 2).unwrap();
+        let s = states_view(&f, &["COMPLETED"]).unwrap();
+        assert_eq!(
+            copycount::rows_copied(),
+            0,
+            "selection views must not copy rows"
+        );
+        assert_eq!(started.height(), 6);
+        assert_eq!(y.height(), 6);
+        assert_eq!(m.height(), 3);
+        assert_eq!(s.height(), 6);
+        let (rows, vals) = view_numeric_with_rows(&started, "wait_s").unwrap();
+        assert_eq!(rows.len(), 6);
+        assert_eq!(vals[0], 5.0);
+        assert_eq!(vals[1], 7.0);
     }
 }

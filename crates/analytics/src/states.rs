@@ -53,8 +53,7 @@ pub fn states_per_user(frame: &Frame, top_n: usize) -> Result<Vec<UserStates>, F
 
     let mut per_user: HashMap<String, Vec<u64>> = HashMap::new();
     for i in 0..g.height() {
-        let (Some(u), Some(s), Some(n)) =
-            (users.get_str(i), states.get_str(i), counts.get_i64(i))
+        let (Some(u), Some(s), Some(n)) = (users.get_str(i), states.get_str(i), counts.get_i64(i))
         else {
             continue;
         };

@@ -4,7 +4,7 @@
 //! Builds a node-occupancy time series from the curated frame's start/end
 //! intervals (an event sweep, sampled daily) and a utilization summary.
 
-use crate::select::filter_started;
+use crate::select::started_view;
 use schedflow_charts::{Axis, Chart, ScatterChart, Series};
 use schedflow_frame::{Frame, FrameError};
 
@@ -20,15 +20,14 @@ pub struct OccupancySample {
 /// Sweep the job intervals into an occupancy series sampled every
 /// `step_secs`.
 pub fn occupancy(frame: &Frame, step_secs: i64) -> Result<Vec<OccupancySample>, FrameError> {
-    let started = filter_started(frame)?;
-    let start = started.column("start")?;
-    let end = started.column("end")?;
-    let nodes = started.i64("nnodes")?;
+    let started = started_view(frame)?;
+    let mut start = started.column("start")?.cursor();
+    let mut end = started.column("end")?.cursor();
+    let mut nodes = started.i64("nnodes")?.cursor();
 
     let mut deltas: Vec<(i64, i64)> = Vec::new();
     for i in 0..started.height() {
-        let (Some(s), Some(e), Some(n)) =
-            (start.get_i64(i), end.get_i64(i), nodes.get_i64(i))
+        let (Some(s), Some(e), Some(n)) = (start.get_i64(i), end.get_i64(i), nodes.get_i64(i))
         else {
             continue;
         };
@@ -121,7 +120,10 @@ mod tests {
         // Two jobs: [0, 100)×4 nodes and [50, 150)×2 nodes.
         Frame::new()
             .with("start", Column::from_opt_i64(vec![Some(0), Some(50), None]))
-            .with("end", Column::from_opt_i64(vec![Some(100), Some(150), None]))
+            .with(
+                "end",
+                Column::from_opt_i64(vec![Some(100), Some(150), None]),
+            )
             .with("nnodes", Column::from_i64(vec![4, 2, 8]))
     }
 
@@ -171,6 +173,17 @@ mod tests {
             Chart::Scatter(sc) => assert!(sc.series[0].line),
             _ => panic!(),
         }
+    }
+
+    #[test]
+    fn multi_chunk_sweep_is_zero_copy() {
+        use schedflow_frame::copycount;
+        let f = Frame::vstack(&[frame(), frame()]).unwrap();
+        copycount::reset();
+        let s = occupancy(&f, 25).unwrap();
+        assert_eq!(copycount::rows_copied(), 0);
+        assert_eq!(s.len(), 7);
+        assert_eq!(s[2].nodes, 12.0, "doubled overlap region");
     }
 
     #[test]

@@ -56,7 +56,10 @@ pub fn volume_chart(frame: &Frame, system: &str) -> Result<Chart, FrameError> {
         BarMode::Grouped,
     )
     .with_stack("jobs", volumes.iter().map(|v| v.jobs as f64).collect())
-    .with_stack("job-steps", volumes.iter().map(|v| v.steps as f64).collect());
+    .with_stack(
+        "job-steps",
+        volumes.iter().map(|v| v.steps as f64).collect(),
+    );
     chart.y_scale = Scale::Log10;
     Ok(Chart::Bar(chart))
 }
@@ -68,10 +71,7 @@ mod tests {
 
     fn frame() -> Frame {
         Frame::new()
-            .with(
-                "year",
-                Column::from_i64(vec![2023, 2023, 2024, 2024, 2024]),
-            )
+            .with("year", Column::from_i64(vec![2023, 2023, 2024, 2024, 2024]))
             .with("nsteps", Column::from_i64(vec![10, 20, 5, 5, 50]))
     }
 
@@ -79,8 +79,22 @@ mod tests {
     fn volumes_per_year() {
         let v = yearly_volumes(&frame()).unwrap();
         assert_eq!(v.len(), 2);
-        assert_eq!(v[0], YearVolume { year: 2023, jobs: 2, steps: 30 });
-        assert_eq!(v[1], YearVolume { year: 2024, jobs: 3, steps: 60 });
+        assert_eq!(
+            v[0],
+            YearVolume {
+                year: 2023,
+                jobs: 2,
+                steps: 30
+            }
+        );
+        assert_eq!(
+            v[1],
+            YearVolume {
+                year: 2024,
+                jobs: 3,
+                steps: 60
+            }
+        );
         assert_eq!(v[0].steps_per_job(), 15.0);
     }
 

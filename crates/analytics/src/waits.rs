@@ -20,7 +20,9 @@ pub struct WaitOptions {
 
 impl Default for WaitOptions {
     fn default() -> Self {
-        Self { clip_quantile: 0.999 }
+        Self {
+            clip_quantile: 0.999,
+        }
     }
 }
 
@@ -40,14 +42,16 @@ pub fn waits_by_state(
     frame: &Frame,
     options: &WaitOptions,
 ) -> Result<Vec<(String, Vec<f64>, Vec<f64>)>, FrameError> {
-    let state = frame.str("state")?;
-    let submit = frame.i64("submit")?;
-    let wait = frame.column("wait_s")?;
+    let mut state = frame.str("state")?.cursor();
+    let mut submit = frame.i64("submit")?.cursor();
+    let wait_col = frame.column("wait_s")?;
+    let mut wait = wait_col.cursor();
 
     // Clip threshold over all waits.
-    let mut all: Vec<f64> = (0..frame.height())
-        .filter_map(|i| wait.get_f64(i))
-        .collect();
+    let mut all: Vec<f64> = {
+        let mut cur = wait_col.cursor();
+        (0..frame.height()).filter_map(|i| cur.get_f64(i)).collect()
+    };
     all.sort_by(|a, b| a.partial_cmp(b).unwrap());
     let clip = if all.is_empty() || options.clip_quantile >= 1.0 {
         f64::INFINITY
@@ -150,7 +154,10 @@ mod tests {
         let groups = waits_by_state(&frame(), &WaitOptions { clip_quantile: 1.0 }).unwrap();
         let completed = groups.iter().find(|g| g.0 == "COMPLETED").unwrap();
         assert_eq!(completed.2, vec![10.0, 50.0]);
-        assert!(groups.iter().all(|g| g.0 != "CANCELLED"), "null wait dropped");
+        assert!(
+            groups.iter().all(|g| g.0 != "CANCELLED"),
+            "null wait dropped"
+        );
     }
 
     #[test]
@@ -172,6 +179,17 @@ mod tests {
             }
             _ => panic!(),
         }
+    }
+
+    #[test]
+    fn multi_chunk_grouping_is_zero_copy() {
+        use schedflow_frame::copycount;
+        let f = Frame::vstack(&[frame(), frame(), frame()]).unwrap();
+        copycount::reset();
+        let groups = waits_by_state(&f, &WaitOptions { clip_quantile: 1.0 }).unwrap();
+        assert_eq!(copycount::rows_copied(), 0);
+        let completed = groups.iter().find(|g| g.0 == "COMPLETED").unwrap();
+        assert_eq!(completed.2.len(), 6);
     }
 
     #[test]

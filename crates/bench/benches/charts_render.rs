@@ -5,7 +5,9 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Through
 use schedflow_charts::{digest, render, Axis, Chart, Geometry, ScatterChart, Series};
 
 fn big_scatter(n: usize) -> Chart {
-    let xs: Vec<f64> = (0..n).map(|i| ((i * 2654435761) % 100_000) as f64 / 100.0 + 1.0).collect();
+    let xs: Vec<f64> = (0..n)
+        .map(|i| ((i * 2654435761) % 100_000) as f64 / 100.0 + 1.0)
+        .collect();
     let ys: Vec<f64> = (0..n).map(|i| ((i * 40503) % 9408 + 1) as f64).collect();
     Chart::Scatter(
         ScatterChart::new("bench", Axis::log("elapsed"), Axis::log("nodes"))

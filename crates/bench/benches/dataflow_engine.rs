@@ -13,15 +13,25 @@ fn chain_workflow(n: usize) -> Workflow {
         let out = wf.value::<u64>(&format!("v{i}"));
         match prev {
             None => {
-                wf.task(&format!("t{i}"), StageKind::Static, [], [out.id()], move |ctx| {
-                    ctx.put(out, 0)
-                });
+                wf.task(
+                    &format!("t{i}"),
+                    StageKind::Static,
+                    [],
+                    [out.id()],
+                    move |ctx| ctx.put(out, 0),
+                );
             }
             Some(p) => {
-                wf.task(&format!("t{i}"), StageKind::Static, [p.id()], [out.id()], move |ctx| {
-                    let v = *ctx.get(p)?;
-                    ctx.put(out, v + 1)
-                });
+                wf.task(
+                    &format!("t{i}"),
+                    StageKind::Static,
+                    [p.id()],
+                    [out.id()],
+                    move |ctx| {
+                        let v = *ctx.get(p)?;
+                        ctx.put(out, v + 1)
+                    },
+                );
             }
         }
         prev = Some(out);
@@ -32,13 +42,21 @@ fn chain_workflow(n: usize) -> Workflow {
 fn fanout_workflow(n: usize) -> Workflow {
     let mut wf = Workflow::new();
     let root = wf.value::<u64>("root");
-    wf.task("root", StageKind::Static, [], [root.id()], move |ctx| ctx.put(root, 1));
+    wf.task("root", StageKind::Static, [], [root.id()], move |ctx| {
+        ctx.put(root, 1)
+    });
     for i in 0..n {
         let out = wf.value::<u64>(&format!("leaf{i}"));
-        wf.task(&format!("leaf{i}"), StageKind::Static, [root.id()], [out.id()], move |ctx| {
-            let v = *ctx.get(root)?;
-            ctx.put(out, v + 1)
-        });
+        wf.task(
+            &format!("leaf{i}"),
+            StageKind::Static,
+            [root.id()],
+            [out.id()],
+            move |ctx| {
+                let v = *ctx.get(root)?;
+                ctx.put(out, v + 1)
+            },
+        );
     }
     wf
 }

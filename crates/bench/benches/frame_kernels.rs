@@ -7,7 +7,9 @@ use schedflow_frame::{group_by, Agg, Column, Frame};
 
 fn synthetic_frame(rows: usize) -> Frame {
     let users: Vec<String> = (0..rows).map(|i| format!("u{:04}", i % 997)).collect();
-    let waits: Vec<i64> = (0..rows).map(|i| ((i * 2654435761) % 100_000) as i64).collect();
+    let waits: Vec<i64> = (0..rows)
+        .map(|i| ((i * 2654435761) % 100_000) as i64)
+        .collect();
     let nodes: Vec<i64> = (0..rows).map(|i| ((i * 40503) % 1024 + 1) as i64).collect();
     Frame::new()
         .with("user", Column::from_str(users))

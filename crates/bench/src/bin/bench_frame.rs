@@ -1,0 +1,162 @@
+//! Data-plane micro-benchmarks: the zero-copy chunked column model against
+//! the eager copy-on-every-op baseline it replaced.
+//!
+//! Three kernels, matching the workflow's hot path:
+//!
+//! * `vstack_merge` — multi-month merge: O(chunks) concat vs the old
+//!   copy-stack (emulated by `compact()`);
+//! * `filter_group_by` — an analytics stage: selection-view aggregation vs
+//!   materialize-then-aggregate;
+//! * `pipeline_slice` — `head`-style windowing: chunk slicing vs index-gather.
+//!
+//! Results land in `BENCH_frame.json` (override the directory with
+//! `SCHEDFLOW_OUT`). `--test` runs a smoke-sized pass for CI.
+
+use schedflow_bench::{banner, check, out_dir};
+use schedflow_frame::{copycount, group_by, Agg, Frame};
+use std::time::Instant;
+
+struct BenchResult {
+    name: &'static str,
+    eager_ms: f64,
+    zero_copy_ms: f64,
+}
+
+impl BenchResult {
+    fn speedup(&self) -> f64 {
+        self.eager_ms / self.zero_copy_ms.max(1e-9)
+    }
+}
+
+/// Best-of-`reps` wall time in milliseconds.
+fn time_ms<R>(reps: usize, mut f: impl FnMut() -> R) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t = Instant::now();
+        std::hint::black_box(f());
+        best = best.min(t.elapsed().as_secs_f64() * 1e3);
+    }
+    best
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--test");
+    banner(
+        "bench_frame",
+        "data plane: zero-copy chunked ops vs eager copies",
+    );
+
+    // Per-month frames as curate produces them: single-chunk columns.
+    let full = schedflow_bench::frontier_frame();
+    let base = if smoke {
+        full.head(600).compact()
+    } else {
+        full
+    };
+    let n_months = 12usize.min(base.height().max(1));
+    let per = (base.height() / n_months).max(1);
+    let months: Vec<Frame> = (0..n_months)
+        .map(|i| {
+            let lo = i * per;
+            let len = if i == n_months - 1 {
+                base.height() - lo
+            } else {
+                per
+            };
+            base.slice(lo, len).compact()
+        })
+        .collect();
+    let reps = if smoke { 2 } else { 7 };
+    println!(
+        "rows {} across {} month frames, best of {reps}",
+        base.height(),
+        months.len()
+    );
+
+    // 1. Multi-month merge: chunk concat vs the pre-refactor copy-stack.
+    let merge = BenchResult {
+        name: "vstack_merge",
+        eager_ms: time_ms(reps, || Frame::vstack(&months).unwrap().compact()),
+        zero_copy_ms: time_ms(reps, || Frame::vstack(&months).unwrap()),
+    };
+    let merged = Frame::vstack(&months).unwrap();
+    copycount::reset();
+    let _ = Frame::vstack(&months).unwrap();
+    let merge_copies = copycount::rows_copied();
+
+    // 2. Analytics stage (waits-style): filter started jobs, aggregate per
+    //    user — view-driven aggregation vs materialize-then-aggregate.
+    let mask = merged.column("wait_s").unwrap().mask_f64(|w| w >= 0.0);
+    let aggs = [
+        ("jobs", Agg::Count),
+        ("mean_wait", Agg::Mean("wait_s".to_owned())),
+        ("max_wait", Agg::Max("wait_s".to_owned())),
+    ];
+    let stage = BenchResult {
+        name: "filter_group_by",
+        eager_ms: time_ms(reps, || {
+            let started = merged.filter(&mask).unwrap();
+            group_by(&started, &["user"], &aggs).unwrap()
+        }),
+        zero_copy_ms: time_ms(reps, || {
+            let view = merged.view().filter(&mask).unwrap();
+            view.group_by(&["user"], &aggs).unwrap()
+        }),
+    };
+
+    // 3. Pipeline slice: head as chunk windows vs index-gather.
+    let k = merged.height() / 2;
+    let idx: Vec<usize> = (0..k).collect();
+    let slice = BenchResult {
+        name: "pipeline_slice",
+        eager_ms: time_ms(reps, || merged.take(&idx)),
+        zero_copy_ms: time_ms(reps, || merged.head(k)),
+    };
+
+    let results = [merge, stage, slice];
+    for r in &results {
+        println!(
+            "{:<16} eager {:>10.3} ms   zero-copy {:>10.3} ms   speedup {:>6.1}x",
+            r.name,
+            r.eager_ms,
+            r.zero_copy_ms,
+            r.speedup()
+        );
+    }
+
+    // Manual JSON keeps the artifact dependency-free.
+    let entries: Vec<String> = results
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{\"name\": \"{}\", \"eager_ms\": {:.6}, \"zero_copy_ms\": {:.6}, \"speedup\": {:.3}}}",
+                r.name,
+                r.eager_ms,
+                r.zero_copy_ms,
+                r.speedup()
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"bench\": \"frame\",\n  \"rows\": {},\n  \"months\": {},\n  \"vstack_rows_copied\": {},\n  \"results\": [\n{}\n  ]\n}}\n",
+        base.height(),
+        months.len(),
+        merge_copies,
+        entries.join(",\n")
+    );
+    let path = out_dir().join("BENCH_frame.json");
+    std::fs::write(&path, json).expect("write BENCH_frame.json");
+    println!("json: {}", path.display());
+
+    check("vstack performs zero row copies", merge_copies == 0);
+    check(
+        "merge and slice results agree with the eager path",
+        Frame::vstack(&months).unwrap() == Frame::vstack(&months).unwrap().compact()
+            && merged.head(k) == merged.take(&idx),
+    );
+    if !smoke {
+        // The acceptance bar: merge and one analytics stage at least 2x.
+        check("multi-month merge ≥ 2x faster", results[0].speedup() >= 2.0);
+        check("analytics stage ≥ 2x faster", results[1].speedup() >= 2.0);
+    }
+}

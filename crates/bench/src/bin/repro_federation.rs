@@ -18,19 +18,28 @@ fn main() {
     schedflow_frame::write_csv(&table, &mut csv).unwrap();
     println!("{}", String::from_utf8(csv).unwrap());
 
-    save_chart(&federation::federation_chart(&[fa.clone(), an.clone()]), "federation_profile");
+    save_chart(
+        &federation::federation_chart(&[fa.clone(), an.clone()]),
+        "federation_profile",
+    );
 
     // Shared-user visibility: the anonymized handles coincide numerically
     // across our generated systems, standing in for federated identity.
     let shared = federation::shared_users(&frontier, &andes).unwrap();
     println!("users active on both systems: {}", shared.height());
 
-    check("both systems summarized into one frame", table.height() == 2);
+    check(
+        "both systems summarized into one frame",
+        table.height() == 2,
+    );
     check(
         "the frame preserves the portability contrasts (Figures 7–9)",
         fa.max_nodes > an.max_nodes
             && fa.mean_over_factor > an.mean_over_factor
             && fa.failure_rate_stddev > an.failure_rate_stddev,
     );
-    check("cross-facility user join produces rows", shared.height() > 0);
+    check(
+        "cross-facility user join produces rows",
+        shared.height() > 0,
+    );
 }

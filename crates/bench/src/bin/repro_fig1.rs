@@ -7,7 +7,10 @@ use schedflow_sacct::records_to_frame;
 use schedflow_tracegen::{generate_segments, WorkloadProfile};
 
 fn main() {
-    banner("fig1", "Figure 1 — jobs & job-steps per year, Frontier 2021–2024");
+    banner(
+        "fig1",
+        "Figure 1 — jobs & job-steps per year, Frontier 2021–2024",
+    );
     let segments = [
         WorkloadProfile::frontier_early().scaled(scale()),
         WorkloadProfile::frontier().scaled(scale()),
@@ -16,7 +19,10 @@ fn main() {
     let frame = records_to_frame(&records);
     let volumes = yearly_volumes(&frame).unwrap();
 
-    println!("\n{:<6} {:>10} {:>12} {:>8}", "year", "jobs", "job-steps", "ratio");
+    println!(
+        "\n{:<6} {:>10} {:>12} {:>8}",
+        "year", "jobs", "job-steps", "ratio"
+    );
     for v in &volumes {
         println!(
             "{:<6} {:>10} {:>12} {:>7.1}x",

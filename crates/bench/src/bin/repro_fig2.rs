@@ -23,7 +23,11 @@ fn main() {
     .unwrap();
     let path = out_dir().join("fig2_workflow.dot");
     std::fs::write(&path, &dot).unwrap();
-    println!("graph: {} ({} tasks)", path.display(), built.workflow.task_count());
+    println!(
+        "graph: {} ({} tasks)",
+        path.display(),
+        built.workflow.task_count()
+    );
     println!("render with: dot -Tpng {} -o fig2.png", path.display());
 
     // Concurrency rows ("tasks in the same horizontal row may be executed

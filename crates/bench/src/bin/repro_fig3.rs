@@ -4,17 +4,28 @@ use schedflow_analytics::nodes_elapsed;
 use schedflow_bench::{banner, check, frontier_frame, save_chart};
 
 fn main() {
-    banner("fig3", "Figure 3 — allocated nodes vs elapsed time, Frontier");
+    banner(
+        "fig3",
+        "Figure 3 — allocated nodes vs elapsed time, Frontier",
+    );
     let frame = frontier_frame();
     let chart = nodes_elapsed::nodes_elapsed_chart(&frame, "frontier").unwrap();
     save_chart(&chart, "fig3_nodes_elapsed_frontier");
     let s = nodes_elapsed::summarize(&frame).unwrap();
     println!(
         "\n{} jobs | widest {} nodes | median {} nodes, {:.0} min | small/short corner {:.0}%",
-        s.jobs, s.max_nodes, s.median_nodes, s.median_elapsed_min, s.small_short_fraction * 100.0
+        s.jobs,
+        s.max_nodes,
+        s.median_nodes,
+        s.median_elapsed_min,
+        s.small_short_fraction * 100.0
     );
-    check("both small short jobs and massively parallel long jobs present",
-        s.max_nodes > 1000 && s.small_short_fraction > 0.1);
-    check("capability-class tail: jobs beyond half the machine exist",
-        s.max_nodes as f64 > 9408.0 * 0.5);
+    check(
+        "both small short jobs and massively parallel long jobs present",
+        s.max_nodes > 1000 && s.small_short_fraction > 0.1,
+    );
+    check(
+        "capability-class tail: jobs beyond half the machine exist",
+        s.max_nodes as f64 > 9408.0 * 0.5,
+    );
 }

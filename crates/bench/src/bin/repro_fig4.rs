@@ -4,7 +4,10 @@ use schedflow_analytics::{wait_chart, wait_summary, WaitOptions};
 use schedflow_bench::{banner, check, frontier_frame, save_chart};
 
 fn main() {
-    banner("fig4", "Figure 4 — job wait times color-coded by final state, Frontier");
+    banner(
+        "fig4",
+        "Figure 4 — job wait times color-coded by final state, Frontier",
+    );
     let frame = frontier_frame();
     save_chart(
         &wait_chart(&frame, "frontier", &WaitOptions::default()).unwrap(),
@@ -25,9 +28,16 @@ fn main() {
     // Scale-robust stratification: the far tail dwarfs the typical wait
     // (at reduced SCHEDFLOW_SCALE the median collapses toward zero because
     // the machine is underloaded, but bursts still produce the strata).
-    check("wait distribution is stratified (max >> typical wait)",
-        completed.max_wait_s > (completed.median_wait_s + 60.0) * 5.0);
-    check("extended-wait tail present (paper shows waits beyond 1e5 s at full scale)",
-        summary.iter().any(|w| w.max_wait_s > 10_000.0));
-    check("all major end states carry wait samples", summary.len() >= 4);
+    check(
+        "wait distribution is stratified (max >> typical wait)",
+        completed.max_wait_s > (completed.median_wait_s + 60.0) * 5.0,
+    );
+    check(
+        "extended-wait tail present (paper shows waits beyond 1e5 s at full scale)",
+        summary.iter().any(|w| w.max_wait_s > 10_000.0),
+    );
+    check(
+        "all major end states carry wait samples",
+        summary.len() >= 4,
+    );
 }

@@ -6,15 +6,28 @@ use schedflow_bench::{banner, check, frontier_frame, save_chart};
 fn main() {
     banner("fig5", "Figure 5 — job end states per user, Frontier");
     let frame = frontier_frame();
-    save_chart(&states_chart(&frame, "frontier", 40).unwrap(), "fig5_states_frontier");
+    save_chart(
+        &states_chart(&frame, "frontier", 40).unwrap(),
+        "fig5_states_frontier",
+    );
     let rows = states_per_user(&frame, 10).unwrap();
     println!("\ntop users by activity:");
     for r in &rows {
-        println!("  {:<6} {:>7} jobs  failure rate {:.2}", r.user, r.total(), r.failure_rate());
+        println!(
+            "  {:<6} {:>7} jobs  failure rate {:.2}",
+            r.user,
+            r.total(),
+            r.failure_rate()
+        );
     }
     let (mean, sd) = failure_dispersion(&frame, 40).unwrap();
     println!("\ntop-40 users: mean failure rate {mean:.3}, stddev {sd:.3}");
-    check("some users show disproportionately high failure rates",
-        rows.iter().any(|r| r.failure_rate() > mean * 1.5));
-    check("cross-user failure variance is substantial on Frontier", sd > mean * 0.3);
+    check(
+        "some users show disproportionately high failure rates",
+        rows.iter().any(|r| r.failure_rate() > mean * 1.5),
+    );
+    check(
+        "cross-user failure variance is substantial on Frontier",
+        sd > mean * 0.3,
+    );
 }

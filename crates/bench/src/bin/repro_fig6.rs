@@ -4,9 +4,15 @@ use schedflow_analytics::backfill;
 use schedflow_bench::{banner, check, frontier_frame, save_chart};
 
 fn main() {
-    banner("fig6", "Figure 6 — requested vs actual walltime (+ = backfilled), Frontier");
+    banner(
+        "fig6",
+        "Figure 6 — requested vs actual walltime (+ = backfilled), Frontier",
+    );
     let frame = frontier_frame();
-    save_chart(&backfill::backfill_chart(&frame, "frontier").unwrap(), "fig6_backfill_frontier");
+    save_chart(
+        &backfill::backfill_chart(&frame, "frontier").unwrap(),
+        "fig6_backfill_frontier",
+    );
     let s = backfill::summarize(&frame).unwrap();
     println!(
         "\n{} started jobs | {} backfilled ({:.0}%) | {:.0}% overestimated\n\
@@ -19,8 +25,13 @@ fn main() {
         s.mean_over_factor_backfilled,
         s.unused_hours
     );
-    check("most jobs complete in less time than requested", s.overestimated_fraction > 0.8);
-    check("backfilled jobs exist and skew to larger overestimation",
-        s.backfilled > 0 && s.mean_over_factor_backfilled >= s.mean_over_factor * 0.8);
+    check(
+        "most jobs complete in less time than requested",
+        s.overestimated_fraction > 0.8,
+    );
+    check(
+        "backfilled jobs exist and skew to larger overestimation",
+        s.backfilled > 0 && s.mean_over_factor_backfilled >= s.mean_over_factor * 0.8,
+    );
     check("systemic reclaimable gap exists", s.unused_hours > 0.0);
 }

@@ -5,14 +5,43 @@ use schedflow_analytics::nodes_elapsed;
 use schedflow_bench::{andes_frame, banner, check, frontier_frame, save_chart};
 
 fn main() {
-    banner("fig7", "Figure 7 — nodes vs duration, Andes 2024 (vs Frontier)");
+    banner(
+        "fig7",
+        "Figure 7 — nodes vs duration, Andes 2024 (vs Frontier)",
+    );
     let andes = andes_frame();
-    save_chart(&nodes_elapsed::nodes_elapsed_chart(&andes, "andes").unwrap(), "fig7_nodes_elapsed_andes");
+    save_chart(
+        &nodes_elapsed::nodes_elapsed_chart(&andes, "andes").unwrap(),
+        "fig7_nodes_elapsed_andes",
+    );
     let a = nodes_elapsed::summarize(&andes).unwrap();
     let f = nodes_elapsed::summarize(&frontier_frame()).unwrap();
-    println!("\n{:<10} {:>8} {:>12} {:>14} {:>18}", "system", "jobs", "max nodes", "median nodes", "small/short corner");
-    println!("{:<10} {:>8} {:>12} {:>14.1} {:>17.0}%", "frontier", f.jobs, f.max_nodes, f.median_nodes, f.small_short_fraction * 100.0);
-    println!("{:<10} {:>8} {:>12} {:>14.1} {:>17.0}%", "andes", a.jobs, a.max_nodes, a.median_nodes, a.small_short_fraction * 100.0);
-    check("Andes concentrates smaller jobs than Frontier", a.max_nodes < f.max_nodes && a.median_nodes <= f.median_nodes);
-    check("Andes small/short corner denser than Frontier's", a.small_short_fraction > f.small_short_fraction);
+    println!(
+        "\n{:<10} {:>8} {:>12} {:>14} {:>18}",
+        "system", "jobs", "max nodes", "median nodes", "small/short corner"
+    );
+    println!(
+        "{:<10} {:>8} {:>12} {:>14.1} {:>17.0}%",
+        "frontier",
+        f.jobs,
+        f.max_nodes,
+        f.median_nodes,
+        f.small_short_fraction * 100.0
+    );
+    println!(
+        "{:<10} {:>8} {:>12} {:>14.1} {:>17.0}%",
+        "andes",
+        a.jobs,
+        a.max_nodes,
+        a.median_nodes,
+        a.small_short_fraction * 100.0
+    );
+    check(
+        "Andes concentrates smaller jobs than Frontier",
+        a.max_nodes < f.max_nodes && a.median_nodes <= f.median_nodes,
+    );
+    check(
+        "Andes small/short corner denser than Frontier's",
+        a.small_short_fraction > f.small_short_fraction,
+    );
 }

@@ -5,14 +5,26 @@ use schedflow_analytics::{failure_dispersion, states_chart};
 use schedflow_bench::{andes_frame, banner, check, frontier_frame, save_chart};
 
 fn main() {
-    banner("fig8", "Figure 8 — end states per user, Andes 2024 (vs Frontier)");
+    banner(
+        "fig8",
+        "Figure 8 — end states per user, Andes 2024 (vs Frontier)",
+    );
     let andes = andes_frame();
-    save_chart(&states_chart(&andes, "andes", 40).unwrap(), "fig8_states_andes");
+    save_chart(
+        &states_chart(&andes, "andes", 40).unwrap(),
+        "fig8_states_andes",
+    );
     let (am, asd) = failure_dispersion(&andes, 40).unwrap();
     let (fm, fsd) = failure_dispersion(&frontier_frame(), 40).unwrap();
-    println!("\n{:<10} {:>18} {:>20}", "system", "mean failure rate", "failure-rate stddev");
+    println!(
+        "\n{:<10} {:>18} {:>20}",
+        "system", "mean failure rate", "failure-rate stddev"
+    );
     println!("{:<10} {:>18.3} {:>20.3}", "frontier", fm, fsd);
     println!("{:<10} {:>18.3} {:>20.3}", "andes", am, asd);
     check("Andes users fail less overall", am < fm);
-    check("Andes failure rates more uniform (lower variance)", asd < fsd);
+    check(
+        "Andes failure rates more uniform (lower variance)",
+        asd < fsd,
+    );
 }

@@ -5,14 +5,43 @@ use schedflow_analytics::backfill;
 use schedflow_bench::{andes_frame, banner, check, frontier_frame, save_chart};
 
 fn main() {
-    banner("fig9", "Figure 9 — requested vs actual walltime, Andes 2024 (vs Frontier)");
+    banner(
+        "fig9",
+        "Figure 9 — requested vs actual walltime, Andes 2024 (vs Frontier)",
+    );
     let andes = andes_frame();
-    save_chart(&backfill::backfill_chart(&andes, "andes").unwrap(), "fig9_backfill_andes");
+    save_chart(
+        &backfill::backfill_chart(&andes, "andes").unwrap(),
+        "fig9_backfill_andes",
+    );
     let a = backfill::summarize(&andes).unwrap();
     let f = backfill::summarize(&frontier_frame()).unwrap();
-    println!("\n{:<10} {:>8} {:>14} {:>18} {:>14}", "system", "jobs", "overestimated", "mean req/actual", "backfilled");
-    println!("{:<10} {:>8} {:>13.0}% {:>17.1}x {:>13.1}%", "frontier", f.jobs, f.overestimated_fraction * 100.0, f.mean_over_factor, f.backfilled as f64 / f.jobs.max(1) as f64 * 100.0);
-    println!("{:<10} {:>8} {:>13.0}% {:>17.1}x {:>13.1}%", "andes", a.jobs, a.overestimated_fraction * 100.0, a.mean_over_factor, a.backfilled as f64 / a.jobs.max(1) as f64 * 100.0);
-    check("overestimation persists on Andes", a.overestimated_fraction > 0.8);
-    check("Andes overestimation range tighter than Frontier", a.mean_over_factor < f.mean_over_factor);
+    println!(
+        "\n{:<10} {:>8} {:>14} {:>18} {:>14}",
+        "system", "jobs", "overestimated", "mean req/actual", "backfilled"
+    );
+    println!(
+        "{:<10} {:>8} {:>13.0}% {:>17.1}x {:>13.1}%",
+        "frontier",
+        f.jobs,
+        f.overestimated_fraction * 100.0,
+        f.mean_over_factor,
+        f.backfilled as f64 / f.jobs.max(1) as f64 * 100.0
+    );
+    println!(
+        "{:<10} {:>8} {:>13.0}% {:>17.1}x {:>13.1}%",
+        "andes",
+        a.jobs,
+        a.overestimated_fraction * 100.0,
+        a.mean_over_factor,
+        a.backfilled as f64 / a.jobs.max(1) as f64 * 100.0
+    );
+    check(
+        "overestimation persists on Andes",
+        a.overestimated_fraction > 0.8,
+    );
+    check(
+        "Andes overestimation range tighter than Frontier",
+        a.mean_over_factor < f.mean_over_factor,
+    );
 }

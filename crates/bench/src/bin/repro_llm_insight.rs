@@ -7,7 +7,10 @@ use schedflow_charts::digest;
 use schedflow_insight::{Analyst, RuleAnalyst, Severity};
 
 fn main() {
-    banner("llm2", "§4.2 LLM Insight — walltime overestimation narrative");
+    banner(
+        "llm2",
+        "§4.2 LLM Insight — walltime overestimation narrative",
+    );
     let frame = frontier_frame();
     let chart = backfill_chart(&frame, "frontier").unwrap();
     let insight = RuleAnalyst::new().insight(&digest(&chart)).unwrap();
@@ -15,13 +18,14 @@ fn main() {
 
     check(
         "insight states the overestimation trend",
-        insight.narrative.contains("overestimating their walltime requests"),
+        insight
+            .narrative
+            .contains("overestimating their walltime requests"),
     );
     check(
         "insight recommends automated prediction / adaptive rescheduling",
-        insight
-            .findings
-            .iter()
-            .any(|f| f.severity == Severity::Actionable && f.text.contains("automated walltime prediction")),
+        insight.findings.iter().any(|f| {
+            f.severity == Severity::Actionable && f.text.contains("automated walltime prediction")
+        }),
     );
 }

@@ -7,8 +7,13 @@ use schedflow_sim::{metrics, BackfillPolicy, Simulator};
 use schedflow_tracegen::{synthesize_plans, UserPopulation, WorkloadProfile};
 
 fn main() {
-    banner("ablation", "backfill policy ablation (FIFO / EASY / conservative)");
-    let profile = WorkloadProfile::frontier().truncated_days(90).scaled(scale() * 3.0);
+    banner(
+        "ablation",
+        "backfill policy ablation (FIFO / EASY / conservative)",
+    );
+    let profile = WorkloadProfile::frontier()
+        .truncated_days(90)
+        .scaled(scale() * 3.0);
     let mut rng = rand::rngs::SmallRng::seed_from_u64(seed());
     let pop = UserPopulation::generate(&profile, &mut rng);
     let jobs: Vec<_> = synthesize_plans(&profile, &pop, &mut rng)
@@ -16,7 +21,10 @@ fn main() {
         .map(|p| p.request)
         .collect();
     println!("\nreplaying {} submissions over 90 days\n", jobs.len());
-    println!("{:<14} {:>11} {:>12} {:>12} {:>8} {:>11}", "policy", "mean wait", "median wait", "p95 wait", "util", "backfilled");
+    println!(
+        "{:<14} {:>11} {:>12} {:>12} {:>8} {:>11}",
+        "policy", "mean wait", "median wait", "p95 wait", "util", "backfilled"
+    );
     let mut results = Vec::new();
     for (name, policy) in [
         ("fifo", BackfillPolicy::None),
@@ -29,14 +37,27 @@ fn main() {
         let m = metrics(&jobs, &outcomes, profile.system.total_nodes);
         println!(
             "{:<14} {:>10.0}s {:>11.0}s {:>11.0}s {:>7.1}% {:>10.1}%",
-            name, m.mean_wait_secs, m.median_wait_secs, m.p95_wait_secs,
-            m.utilization * 100.0, m.backfill_fraction * 100.0
+            name,
+            m.mean_wait_secs,
+            m.median_wait_secs,
+            m.p95_wait_secs,
+            m.utilization * 100.0,
+            m.backfill_fraction * 100.0
         );
         results.push((name, m));
     }
     let fifo = &results[0].1;
     let easy = &results[1].1;
-    check("EASY backfilling reduces mean wait vs FIFO", easy.mean_wait_secs <= fifo.mean_wait_secs);
-    check("EASY improves or preserves utilization", easy.utilization >= fifo.utilization * 0.98);
-    check("backfill actually fires under EASY", easy.backfill_fraction > 0.0);
+    check(
+        "EASY backfilling reduces mean wait vs FIFO",
+        easy.mean_wait_secs <= fifo.mean_wait_secs,
+    );
+    check(
+        "EASY improves or preserves utilization",
+        easy.utilization >= fifo.utilization * 0.98,
+    );
+    check(
+        "backfill actually fires under EASY",
+        easy.backfill_fraction > 0.0,
+    );
 }

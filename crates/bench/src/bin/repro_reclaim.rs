@@ -8,18 +8,33 @@ use schedflow_sim::{metrics, JobRequest, Simulator};
 use schedflow_tracegen::{synthesize_plans, UserPopulation, WorkloadProfile};
 
 fn main() {
-    banner("reclaim", "walltime reclamation what-if (AI-predicted estimates)");
-    let profile = WorkloadProfile::frontier().truncated_days(90).scaled(scale() * 3.0);
+    banner(
+        "reclaim",
+        "walltime reclamation what-if (AI-predicted estimates)",
+    );
+    let profile = WorkloadProfile::frontier()
+        .truncated_days(90)
+        .scaled(scale() * 3.0);
     let mut rng = rand::rngs::SmallRng::seed_from_u64(seed());
     let pop = UserPopulation::generate(&profile, &mut rng);
     let jobs: Vec<_> = synthesize_plans(&profile, &pop, &mut rng)
         .into_iter()
         .map(|p| p.request)
         .collect();
-    println!("\n{} submissions; tightening requests toward actual runtimes\n", jobs.len());
-    println!("{:<22} {:>11} {:>12} {:>8}", "request accuracy", "mean wait", "p95 wait", "util");
+    println!(
+        "\n{} submissions; tightening requests toward actual runtimes\n",
+        jobs.len()
+    );
+    println!(
+        "{:<22} {:>11} {:>12} {:>8}",
+        "request accuracy", "mean wait", "p95 wait", "util"
+    );
     let mut waits = Vec::new();
-    for (name, tighten) in [("as submitted", 1.0f64), ("50% tighter", 0.5), ("perfect prediction", 0.0)] {
+    for (name, tighten) in [
+        ("as submitted", 1.0f64),
+        ("50% tighter", 0.5),
+        ("perfect prediction", 0.0),
+    ] {
         let adjusted: Vec<JobRequest> = jobs
             .iter()
             .map(|j| {
@@ -33,12 +48,23 @@ fn main() {
                 j
             })
             .collect();
-        let outcomes = Simulator::new(profile.system.clone()).run(&adjusted).expect("valid");
+        let outcomes = Simulator::new(profile.system.clone())
+            .run(&adjusted)
+            .expect("valid");
         let m = metrics(&adjusted, &outcomes, profile.system.total_nodes);
-        println!("{:<22} {:>10.0}s {:>11.0}s {:>7.1}%", name, m.mean_wait_secs, m.p95_wait_secs, m.utilization * 100.0);
+        println!(
+            "{:<22} {:>10.0}s {:>11.0}s {:>7.1}%",
+            name,
+            m.mean_wait_secs,
+            m.p95_wait_secs,
+            m.utilization * 100.0
+        );
         waits.push(m.mean_wait_secs);
     }
-    check("tighter requests reduce mean queue wait", waits[2] <= waits[0]);
+    check(
+        "tighter requests reduce mean queue wait",
+        waits[2] <= waits[0],
+    );
 
     // §6's concrete proposal: an actual online predictor (per-user EWMA with
     // a safety margin) replacing user estimates at submission time.
@@ -61,11 +87,17 @@ fn main() {
             j
         })
         .collect();
-    let outcomes = Simulator::new(profile.system.clone()).run(&predicted).expect("valid");
+    let outcomes = Simulator::new(profile.system.clone())
+        .run(&predicted)
+        .expect("valid");
     let m = metrics(&predicted, &outcomes, profile.system.total_nodes);
     println!(
         "{:<22} {:>10.0}s {:>11.0}s {:>7.1}%   ({} jobs at timeout risk)",
-        "EWMA predictor", m.mean_wait_secs, m.p95_wait_secs, m.utilization * 100.0, timeouts_risked
+        "EWMA predictor",
+        m.mean_wait_secs,
+        m.p95_wait_secs,
+        m.utilization * 100.0,
+        timeouts_risked
     );
     println!(
         "note: under-predictions convert to timeouts (work lost); a deployed\n\

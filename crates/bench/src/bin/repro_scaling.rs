@@ -6,13 +6,18 @@ use schedflow_core::{run, System, WorkflowConfig};
 
 fn main() {
     banner("scale", "§3.3 — workflow scaling with -n N workers");
-    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     println!("host offers {cores} core(s); wall-clock gains require >1 — the");
     println!("structural checks below hold regardless of host parallelism.\n");
     let base = std::env::temp_dir().join(format!("schedflow-scaling-{}", std::process::id()));
     let mut makespans = Vec::new();
     let mut concurrency = Vec::new();
-    println!("{:>4} {:>12} {:>18} {:>12}", "N", "makespan", "max concurrency", "overlap≥");
+    println!(
+        "{:>4} {:>12} {:>18} {:>12}",
+        "N", "makespan", "max concurrency", "overlap≥"
+    );
     for n in [1usize, 2, 4, 8] {
         let mut cfg = WorkflowConfig::new(System::Andes);
         cfg.from = (2024, 1);

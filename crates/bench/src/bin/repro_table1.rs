@@ -5,7 +5,10 @@ use schedflow_bench::{banner, check};
 use schedflow_model::fields::{curated_by_category, curated_fields, CATALOGUE};
 
 fn main() {
-    banner("table1", "Table 1 — selected Slurm accounting fields by category");
+    banner(
+        "table1",
+        "Table 1 — selected Slurm accounting fields by category",
+    );
     println!();
     for (category, fields) in curated_by_category() {
         println!("{:<22} {}", category.label(), fields.join(", "));
@@ -22,7 +25,10 @@ fn main() {
     println!("excluded as duplicative (e.g. ElapsedRaw vs Elapsed): {excluded_dup}");
 
     check("catalogue exposes 118 fields", CATALOGUE.len() == 118);
-    check("60 fields curated (the obtain-data query width)", curated_fields().len() == 60);
+    check(
+        "60 fields curated (the obtain-data query width)",
+        curated_fields().len() == 60,
+    );
     check(
         "every Table 1 category is populated",
         curated_by_category().iter().all(|(_, f)| !f.is_empty()),

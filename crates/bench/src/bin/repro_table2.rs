@@ -4,14 +4,20 @@ use schedflow_bench::{banner, check};
 use schedflow_insight::{select_backend, survey, table2_text};
 
 fn main() {
-    banner("table2", "Table 2 — LLM offerings: API, access, image input");
+    banner(
+        "table2",
+        "Table 2 — LLM offerings: API, access, image input",
+    );
     println!("\n{}", table2_text());
     let chosen = select_backend();
     println!("selected backend: {} {}", chosen.provider, chosen.version);
     println!("rationale: free API access without usage restrictions, multimodal");
     println!("input, low latency / lightweight footprint (§3.2).");
 
-    check("survey reproduces all ten Table 2 rows", survey().len() == 10);
+    check(
+        "survey reproduces all ten Table 2 rows",
+        survey().len() == 10,
+    );
     check(
         "selection criteria choose Google Gemma 3",
         chosen.provider == "Google" && chosen.version == "Gemma 3",

@@ -10,7 +10,10 @@ use schedflow_sim::Simulator;
 use schedflow_tracegen::{synthesize_plans, UserPopulation, WorkloadProfile};
 
 fn main() {
-    banner("urgent", "urgent-computing QOS: preemption-backed turnaround");
+    banner(
+        "urgent",
+        "urgent-computing QOS: preemption-backed turnaround",
+    );
     let profile = WorkloadProfile::frontier()
         .truncated_days(60)
         .scaled((scale() * 20.0).min(1.0)) // urgent value shows under contention
@@ -30,13 +33,24 @@ fn main() {
             .collect();
         waits.sort_by(|a, b| a.partial_cmp(b).unwrap());
         let n = waits.len();
-        let mean = if n == 0 { 0.0 } else { waits.iter().sum::<f64>() / n as f64 };
-        let p95 = if n == 0 { 0.0 } else { waits[(n - 1) * 95 / 100] };
+        let mean = if n == 0 {
+            0.0
+        } else {
+            waits.iter().sum::<f64>() / n as f64
+        };
+        let p95 = if n == 0 {
+            0.0
+        } else {
+            waits[(n - 1) * 95 / 100]
+        };
         (n, mean, p95)
     };
 
     println!("\nreplayed {} submissions over 60 days\n", jobs.len());
-    println!("{:<10} {:>8} {:>12} {:>12}", "qos", "jobs", "mean wait", "p95 wait");
+    println!(
+        "{:<10} {:>8} {:>12} {:>12}",
+        "qos", "jobs", "mean wait", "p95 wait"
+    );
     for qos in ["urgent", "normal", "standby"] {
         let (n, mean, p95) = wait_stats(qos);
         println!("{:<10} {:>8} {:>11.0}s {:>11.0}s", qos, n, mean, p95);

@@ -241,13 +241,12 @@ fn digest_scatter(c: &ScatterChart) -> ChartDigest {
         .series
         .iter()
         .map(|s| {
-            let pairs: Vec<(f64, f64)> = s
-                .x
-                .iter()
-                .zip(&s.y)
-                .filter(|(x, y)| x.is_finite() && y.is_finite())
-                .map(|(&x, &y)| (x, y))
-                .collect();
+            let pairs: Vec<(f64, f64)> =
+                s.x.iter()
+                    .zip(&s.y)
+                    .filter(|(x, y)| x.is_finite() && y.is_finite())
+                    .map(|(&x, &y)| (x, y))
+                    .collect();
             let xs: Vec<f64> = pairs.iter().map(|p| p.0).collect();
             let ys: Vec<f64> = pairs.iter().map(|p| p.1).collect();
             let above = if pairs.is_empty() {
@@ -425,13 +424,17 @@ mod tests {
 
     fn scatter() -> Chart {
         Chart::Scatter(
-            ScatterChart::new("req vs actual", Axis::linear("requested"), Axis::linear("actual"))
-                .with_series(Series::scatter(
-                    "regular",
-                    vec![100.0, 200.0, 300.0, 400.0],
-                    vec![50.0, 90.0, 150.0, 180.0],
-                ))
-                .with_series(Series::scatter("backfilled", vec![60.0], vec![10.0])),
+            ScatterChart::new(
+                "req vs actual",
+                Axis::linear("requested"),
+                Axis::linear("actual"),
+            )
+            .with_series(Series::scatter(
+                "regular",
+                vec![100.0, 200.0, 300.0, 400.0],
+                vec![50.0, 90.0, 150.0, 180.0],
+            ))
+            .with_series(Series::scatter("backfilled", vec![60.0], vec![10.0])),
         )
     }
 
@@ -439,7 +442,9 @@ mod tests {
     fn scatter_digest_captures_diagonal_relation() {
         let d = digest(&scatter());
         match d {
-            ChartDigest::Scatter { series, density, .. } => {
+            ChartDigest::Scatter {
+                series, density, ..
+            } => {
                 assert_eq!(series.len(), 2);
                 // All points lie below the diagonal (overestimation).
                 assert_eq!(series[0].frac_above_diagonal, Some(0.0));
@@ -453,11 +458,12 @@ mod tests {
 
     #[test]
     fn log_scatter_density_uses_log_space() {
-        let c = Chart::Scatter(
-            ScatterChart::new("log", Axis::log("x"), Axis::log("y")).with_series(
-                Series::scatter("s", vec![1.0, 10.0, 100.0, -5.0], vec![1.0, 1.0, 1.0, 1.0]),
-            ),
-        );
+        let c =
+            Chart::Scatter(
+                ScatterChart::new("log", Axis::log("x"), Axis::log("y")).with_series(
+                    Series::scatter("s", vec![1.0, 10.0, 100.0, -5.0], vec![1.0, 1.0, 1.0, 1.0]),
+                ),
+            );
         match digest(&c) {
             ChartDigest::Scatter { density, .. } => {
                 let g = density.unwrap();

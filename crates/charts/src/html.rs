@@ -61,7 +61,11 @@ pub fn to_html(chart: &Chart, geometry: &Geometry) -> String {
 }
 
 /// Write a chart to an HTML file, creating parent directories.
-pub fn write_html(chart: &Chart, geometry: &Geometry, path: &std::path::Path) -> std::io::Result<()> {
+pub fn write_html(
+    chart: &Chart,
+    geometry: &Geometry,
+    path: &std::path::Path,
+) -> std::io::Result<()> {
     if let Some(parent) = path.parent() {
         std::fs::create_dir_all(parent)?;
     }
@@ -75,8 +79,9 @@ mod tests {
 
     fn chart() -> Chart {
         Chart::Scatter(
-            ScatterChart::new("Wait times", Axis::linear("t"), Axis::log("wait"))
-                .with_series(Series::scatter("COMPLETED", vec![1.0, 2.0], vec![10.0, 100.0])),
+            ScatterChart::new("Wait times", Axis::linear("t"), Axis::log("wait")).with_series(
+                Series::scatter("COMPLETED", vec![1.0, 2.0], vec![10.0, 100.0]),
+            ),
         )
     }
 

@@ -15,5 +15,7 @@ pub mod svg;
 
 pub use digest::{digest, ChartDigest, DensityGrid, DimStats, SeriesDigest, StackDigest};
 pub use html::{to_html, write_html};
-pub use spec::{Axis, BarChart, BarMode, Chart, HeatmapChart, MarkerShape, Scale, ScatterChart, Series};
+pub use spec::{
+    Axis, BarChart, BarMode, Chart, HeatmapChart, MarkerShape, Scale, ScatterChart, Series,
+};
 pub use svg::{render, Geometry};

@@ -273,9 +273,7 @@ mod tests {
     fn scatter_builder() {
         let c = ScatterChart::new("t", Axis::linear("x"), Axis::log("y"))
             .with_series(Series::scatter("a", vec![1.0, 2.0], vec![3.0, 4.0]))
-            .with_series(
-                Series::scatter("b", vec![1.0], vec![1.0]).with_marker(MarkerShape::Plus),
-            )
+            .with_series(Series::scatter("b", vec![1.0], vec![1.0]).with_marker(MarkerShape::Plus))
             .with_diagonal();
         assert_eq!(c.total_points(), 3);
         assert!(c.diagonal);
@@ -305,8 +303,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "length mismatch")]
     fn mismatched_stack_panics() {
-        BarChart::new("t", vec!["a".into()], "y", BarMode::Grouped)
-            .with_stack("s", vec![1.0, 2.0]);
+        BarChart::new("t", vec!["a".into()], "y", BarMode::Grouped).with_stack("s", vec![1.0, 2.0]);
     }
 
     #[test]
@@ -336,10 +333,11 @@ mod tests {
 
     #[test]
     fn serde_round_trip() {
-        let c = Chart::Scatter(
-            ScatterChart::new("t", Axis::linear("x"), Axis::linear("y"))
-                .with_series(Series::line("l", vec![0.0], vec![1.0])),
-        );
+        let c =
+            Chart::Scatter(
+                ScatterChart::new("t", Axis::linear("x"), Axis::linear("y"))
+                    .with_series(Series::line("l", vec![0.0], vec![1.0])),
+            );
         let json = serde_json::to_string(&c).unwrap();
         let back: Chart = serde_json::from_str(&json).unwrap();
         assert_eq!(back, c);

@@ -6,7 +6,9 @@
 //! figure would otherwise emit hundreds of MB of SVG).
 
 use crate::color::{categorical, state_color, GRID, INK};
-use crate::spec::{BarChart, BarMode, Chart, HeatmapChart, MarkerShape, Scale, ScatterChart, Series};
+use crate::spec::{
+    BarChart, BarMode, Chart, HeatmapChart, MarkerShape, Scale, ScatterChart, Series,
+};
 use std::fmt::Write as _;
 
 /// Canvas geometry.
@@ -702,7 +704,11 @@ mod tests {
     fn scatter_svg_is_well_formed() {
         let c = Chart::Scatter(
             ScatterChart::new("Nodes vs elapsed", Axis::log("elapsed"), Axis::log("nodes"))
-                .with_series(Series::scatter("jobs", vec![10.0, 100.0, 1000.0], vec![1.0, 8.0, 512.0])),
+                .with_series(Series::scatter(
+                    "jobs",
+                    vec![10.0, 100.0, 1000.0],
+                    vec![1.0, 8.0, 512.0],
+                )),
         );
         let svg = render(&c, &Geometry::default());
         assert!(svg.starts_with("<svg"));
@@ -716,8 +722,7 @@ mod tests {
     fn plus_markers_render_paths() {
         let c = Chart::Scatter(
             ScatterChart::new("bf", Axis::linear("x"), Axis::linear("y")).with_series(
-                Series::scatter("backfilled", vec![1.0], vec![2.0])
-                    .with_marker(MarkerShape::Plus),
+                Series::scatter("backfilled", vec![1.0], vec![2.0]).with_marker(MarkerShape::Plus),
             ),
         );
         let svg = render(&c, &Geometry::default());
@@ -786,7 +791,10 @@ mod tests {
         let mut h = HeatmapChart::new(
             "queue dynamics",
             (0..24).map(|i| i.to_string()).collect(),
-            ["Mon", "Tue", "Wed"].iter().map(|s| s.to_string()).collect(),
+            ["Mon", "Tue", "Wed"]
+                .iter()
+                .map(|s| s.to_string())
+                .collect(),
             (0..72).map(|i| i as f64).collect(),
         );
         h.value_label = "mean wait (s)".into();
@@ -822,7 +830,11 @@ mod tests {
 
     #[test]
     fn empty_series_render_without_panic() {
-        let c = Chart::Scatter(ScatterChart::new("empty", Axis::linear("x"), Axis::log("y")));
+        let c = Chart::Scatter(ScatterChart::new(
+            "empty",
+            Axis::linear("x"),
+            Axis::log("y"),
+        ));
         let svg = render(&c, &Geometry::default());
         assert!(svg.contains("</svg>"));
     }
@@ -830,8 +842,9 @@ mod tests {
     #[test]
     fn line_series_renders_polyline_path() {
         let c = Chart::Scatter(
-            ScatterChart::new("ts", Axis::linear("t"), Axis::linear("v"))
-                .with_series(Series::line("load", vec![0.0, 1.0, 2.0], vec![5.0, 3.0, 8.0])),
+            ScatterChart::new("ts", Axis::linear("t"), Axis::linear("v")).with_series(
+                Series::line("load", vec![0.0, 1.0, 2.0], vec![5.0, 3.0, 8.0]),
+            ),
         );
         let svg = render(&c, &Geometry::default());
         assert!(svg.contains(r#"fill="none" stroke="#));

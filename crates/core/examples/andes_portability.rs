@@ -11,7 +11,8 @@ use schedflow_core::{run, RunOutcome, System, WorkflowConfig};
 fn analyze(system: System, scale: f64) -> (WorkflowConfig, RunOutcome) {
     let mut cfg = WorkflowConfig::new(system);
     cfg.scale = scale;
-    cfg.cache_dir = std::env::temp_dir().join(format!("schedflow-port/{}/cache", cfg.system.name()));
+    cfg.cache_dir =
+        std::env::temp_dir().join(format!("schedflow-port/{}/cache", cfg.system.name()));
     cfg.data_dir = std::env::temp_dir().join(format!("schedflow-port/{}/out", cfg.system.name()));
     println!("running the unmodified workflow on {}…", cfg.system.name());
     let outcome = run(&cfg).expect("workflow runs");

@@ -48,7 +48,10 @@ fn main() {
 
     println!("\n== Figure 5 shape: failure concentration across users ==");
     let (mean, sd) = analytics::failure_dispersion(frame, cfg.top_users).unwrap();
-    println!("top-{} users: mean failure rate {:.2}, stddev {:.2}", cfg.top_users, mean, sd);
+    println!(
+        "top-{} users: mean failure rate {:.2}, stddev {:.2}",
+        cfg.top_users, mean, sd
+    );
     let rows = analytics::states_per_user(frame, 5).unwrap();
     for r in rows {
         println!(

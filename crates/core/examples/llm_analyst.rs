@@ -28,10 +28,16 @@ fn main() {
     println!("== what a hosted model would receive (LLM Insight) ==");
     let request = PromptRequest::insight(&backfill_digest);
     println!("prompt: {}…", &request.prompt[..60]);
-    println!("attachment: {} bytes of chart digest\n", request.attachments[0].len());
+    println!(
+        "attachment: {} bytes of chart digest\n",
+        request.attachments[0].len()
+    );
 
     let insight = analyst.insight(&backfill_digest).unwrap();
-    println!("== LLM Insight (walltime overestimation) ==\n{}", insight.to_markdown());
+    println!(
+        "== LLM Insight (walltime overestimation) ==\n{}",
+        insight.to_markdown()
+    );
 
     // --- §4.2 quote 1: compare wait times across two months. ---
     let march = analytics::select::filter_month(frame, 2024, 3).unwrap();
@@ -42,5 +48,8 @@ fn main() {
     let comparison = analyst
         .compare(&digest(&chart_march), &digest(&chart_june))
         .unwrap();
-    println!("== LLM Compare (March vs June wait times) ==\n{}", comparison.to_markdown());
+    println!(
+        "== LLM Compare (March vs June wait times) ==\n{}",
+        comparison.to_markdown()
+    );
 }

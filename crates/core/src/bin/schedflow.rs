@@ -196,6 +196,8 @@ fn parse_args(command: &str, args: std::env::Args) -> Args {
     Args { cfg, serve }
 }
 
+use schedflow_dataflow::human_bytes as fmt_bytes;
+
 fn run_command(parsed: Args) {
     let cfg = parsed.cfg;
     eprintln!(
@@ -215,7 +217,10 @@ fn run_command(parsed: Args) {
         );
     }
     if cfg.fault.resume {
-        eprintln!("resume: reusing successes from {}", cfg.data_dir.join(schedflow_core::MANIFEST_FILE).display());
+        eprintln!(
+            "resume: reusing successes from {}",
+            cfg.data_dir.join(schedflow_core::MANIFEST_FILE).display()
+        );
     }
     match run(&cfg) {
         Ok(outcome) => {
@@ -225,6 +230,12 @@ fn run_command(parsed: Args) {
                 outcome.report.makespan_ms / 1000.0,
                 outcome.report.max_concurrency(),
                 outcome.report.speedup()
+            );
+            eprintln!(
+                "data plane: {} read / {} produced by tasks, peak resident {}",
+                fmt_bytes(outcome.report.total_bytes_in()),
+                fmt_bytes(outcome.report.total_bytes_out()),
+                fmt_bytes(outcome.report.peak_resident_bytes)
             );
             let retried = outcome.report.retried();
             if !retried.is_empty() {

@@ -40,7 +40,12 @@ pub struct Handles {
     pub merged: Artifact<Frame>,
     pub reports: Vec<Artifact<ParseReport>>,
     /// `(stage, chart, digest, insight)` per plotting stage.
-    pub stages: Vec<(String, Artifact<Chart>, Artifact<ChartDigest>, Artifact<Insight>)>,
+    pub stages: Vec<(
+        String,
+        Artifact<Chart>,
+        Artifact<ChartDigest>,
+        Artifact<Insight>,
+    )>,
     pub compare: Option<Artifact<Insight>>,
     pub dashboard_index: PathBuf,
     pub insights_md: PathBuf,
@@ -154,10 +159,13 @@ pub fn build(cfg: &WorkflowConfig) -> BuiltWorkflow {
                 move |ctx| {
                     let raw_path = ctx.path(&raw)?;
                     let csv_path = ctx.path(&csv)?;
-                    let result = schedflow_sacct::curate_file(raw_path, Some(csv_path))
+                    // Warm-cache memoization: an unchanged raw file yields the
+                    // previously parsed frame as shared chunks (no re-parse).
+                    let result = schedflow_sacct::curate_file_cached(raw_path, Some(csv_path))
                         .map_err(|e| e.to_string())?;
-                    ctx.put(frame_art, result.frame)?;
-                    ctx.put(report_art, result.report)
+                    let bytes = result.frame.estimated_bytes() as u64;
+                    ctx.put_sized(frame_art, result.frame.clone(), bytes)?;
+                    ctx.put(report_art, result.report.clone())
                 },
             );
         }
@@ -174,12 +182,15 @@ pub fn build(cfg: &WorkflowConfig) -> BuiltWorkflow {
             inputs,
             [merged.id()],
             move |ctx| {
+                // Frame clones share chunk Arcs, and vstack appends chunk
+                // descriptors, so the merge is O(chunks) with zero row copies.
                 let frames: Vec<Frame> = frame_arts
                     .iter()
                     .map(|a| ctx.get(*a).map(|f| (*f).clone()))
                     .collect::<Result<_, _>>()?;
                 let stacked = Frame::vstack(&frames).map_err(|e| e.to_string())?;
-                ctx.put(merged, stacked)
+                let bytes = stacked.estimated_bytes() as u64;
+                ctx.put_sized(merged, stacked, bytes)
             },
         );
     }
@@ -392,9 +403,7 @@ pub fn build(cfg: &WorkflowConfig) -> BuiltWorkflow {
                             id: name.clone(),
                             title: chart.title().to_owned(),
                             chart_html: to_html(&chart, &Geometry::default()),
-                            insight_md: insight
-                                .map(|i| i.to_markdown())
-                                .unwrap_or_default(),
+                            insight_md: insight.map(|i| i.to_markdown()).unwrap_or_default(),
                             group: sys.clone(),
                         },
                         None => schedflow_dashboard::Panel::placeholder(
@@ -406,11 +415,39 @@ pub fn build(cfg: &WorkflowConfig) -> BuiltWorkflow {
                     };
                     dash.add_panel(panel)?;
                 }
+                // Sidebar slot for the run report. The page body is rewritten
+                // by `run::run` once per-task timings and data-plane byte
+                // accounting exist (i.e. after this very workflow finishes).
+                dash.add_panel(schedflow_dashboard::Panel {
+                    id: "run-report".to_owned(),
+                    title: "Run report".to_owned(),
+                    chart_html: "<div style=\"max-width:860px\"><p>The run report \
+                         (per-task timings, data-plane bytes, peak resident memory) \
+                         is written when the workflow finishes.</p></div>"
+                        .to_owned(),
+                    insight_md: String::new(),
+                    group: "Engine".to_owned(),
+                })?;
                 dash.write(&out_dir).map_err(|e| e.to_string())?;
                 Ok(())
             },
         );
         wf.tolerate_failures(dash_task);
+    }
+
+    // The artifacts `run::run` reads after the engine finishes must outlive
+    // their last in-graph consumer; everything else (per-month frames, charts,
+    // digests, the accounting store) is dropped by the lifetime tracker as
+    // soon as its final consumer resolves.
+    wf.retain(merged.id());
+    for r in &report_arts {
+        wf.retain(r.id());
+    }
+    for (_, _, _, insight) in &stages {
+        wf.retain(insight.id());
+    }
+    if let Some(c) = compare {
+        wf.retain(c.id());
     }
 
     BuiltWorkflow {
@@ -452,10 +489,8 @@ mod tests {
     use crate::config::System;
 
     fn tiny_config(tag: &str) -> WorkflowConfig {
-        let base = std::env::temp_dir().join(format!(
-            "schedflow-core-{tag}-{}",
-            std::process::id()
-        ));
+        let base =
+            std::env::temp_dir().join(format!("schedflow-core-{tag}-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&base);
         let mut cfg = WorkflowConfig::new(System::Andes);
         cfg.from = (2024, 1);
@@ -485,11 +520,9 @@ mod tests {
     fn dot_export_shows_both_stage_kinds() {
         let cfg = tiny_config("dot");
         let built = build(&cfg);
-        let dot = schedflow_dataflow::to_dot(
-            &built.workflow,
-            &schedflow_dataflow::DotOptions::default(),
-        )
-        .unwrap();
+        let dot =
+            schedflow_dataflow::to_dot(&built.workflow, &schedflow_dataflow::DotOptions::default())
+                .unwrap();
         assert!(dot.contains("cfe2f3"), "static stages colored blue");
         assert!(dot.contains("fce5cd"), "user-defined stages colored orange");
         assert!(dot.contains("llm-insight-backfill"));

@@ -2,9 +2,7 @@
 
 use crate::config::WorkflowConfig;
 use crate::pipeline::{build, BuiltWorkflow};
-use schedflow_dataflow::{
-    GraphError, RetryOn, RetryPolicy, RunOptions, RunReport, Runner,
-};
+use schedflow_dataflow::{GraphError, RetryOn, RetryPolicy, RunOptions, RunReport, Runner};
 use schedflow_frame::Frame;
 use schedflow_insight::Insight;
 use std::path::PathBuf;
@@ -25,7 +23,9 @@ pub enum CoreError {
     },
     /// The run reported success but an expected artifact is absent — an
     /// engine/pipeline contract violation, reported instead of panicking.
-    MissingArtifact { artifact: String },
+    MissingArtifact {
+        artifact: String,
+    },
 }
 
 impl std::fmt::Display for CoreError {
@@ -92,6 +92,51 @@ pub fn run_options(cfg: &WorkflowConfig) -> RunOptions {
     options
 }
 
+/// Render the run report as the dashboard's "Run report" tab body: run-level
+/// data-plane figures plus a per-task table with timings and bytes.
+fn run_report_html(report: &RunReport) -> String {
+    use schedflow_dataflow::human_bytes;
+    let esc = |s: &str| {
+        s.replace('&', "&amp;")
+            .replace('<', "&lt;")
+            .replace('>', "&gt;")
+    };
+    let mut rows = String::new();
+    for t in &report.tasks {
+        rows.push_str(&format!(
+            "<tr><td>{name}</td><td>{kind}</td><td>{status}</td>\
+             <td class=\"num\">{dur:.1}</td>\
+             <td class=\"num\">{bin}</td><td class=\"num\">{bout}</td></tr>",
+            name = esc(&t.name),
+            kind = t.kind,
+            status = esc(t.status.manifest_str()),
+            dur = t.duration_ms(),
+            bin = human_bytes(t.bytes_in),
+            bout = human_bytes(t.bytes_out),
+        ));
+    }
+    format!(
+        "<p>{tasks} tasks in {makespan:.1} s on {threads} threads \
+         (max concurrency {conc}, speedup &ge; {speedup:.1}&times;).</p>\
+         <p>Data plane: <strong>{bin}</strong> read / <strong>{bout}</strong> \
+         produced by tasks; peak resident <strong>{peak}</strong> of value \
+         artifacts (the lifetime tracker drops each artifact after its last \
+         consumer).</p>\
+         <table><thead><tr><th>Task</th><th>Kind</th><th>Status</th>\
+         <th>Duration (ms)</th><th>Bytes in</th><th>Bytes out</th></tr></thead>\
+         <tbody>{rows}</tbody></table>",
+        tasks = report.tasks.len(),
+        makespan = report.makespan_ms / 1000.0,
+        threads = report.threads,
+        conc = report.max_concurrency(),
+        speedup = report.speedup(),
+        bin = human_bytes(report.total_bytes_in()),
+        bout = human_bytes(report.total_bytes_out()),
+        peak = human_bytes(report.peak_resident_bytes),
+        rows = rows,
+    )
+}
+
 /// Build and execute the workflow for `cfg`.
 pub fn run(cfg: &WorkflowConfig) -> Result<RunOutcome, CoreError> {
     let BuiltWorkflow { workflow, handles } = build(cfg);
@@ -139,10 +184,25 @@ pub fn run(cfg: &WorkflowConfig) -> Result<RunOutcome, CoreError> {
     let mut total_lines = 0usize;
     let mut malformed = 0usize;
     for r in &handles.reports {
-        if let Some(rep) = get(r.id()).and_then(|v| v.downcast::<schedflow_sacct::ParseReport>().ok())
+        if let Some(rep) =
+            get(r.id()).and_then(|v| v.downcast::<schedflow_sacct::ParseReport>().ok())
         {
             total_lines += rep.total_lines;
             malformed += rep.malformed.len();
+        }
+    }
+
+    // Fill the dashboard's "Run report" tab: its sidebar slot was created by
+    // the in-workflow dashboard task, but timings and byte accounting only
+    // exist now. Best-effort — a missing dashboard must not fail the run.
+    if let Some(dash_dir) = handles.dashboard_index.parent() {
+        if dash_dir.exists() {
+            let _ = schedflow_dashboard::write_panel_page(
+                dash_dir,
+                "run-report",
+                "Run report",
+                &run_report_html(&report),
+            );
         }
     }
 
@@ -163,10 +223,7 @@ mod tests {
     use crate::config::{System, WorkflowConfig};
 
     fn tiny_config(tag: &str) -> WorkflowConfig {
-        let base = std::env::temp_dir().join(format!(
-            "schedflow-run-{tag}-{}",
-            std::process::id()
-        ));
+        let base = std::env::temp_dir().join(format!("schedflow-run-{tag}-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&base);
         let mut cfg = WorkflowConfig::new(System::Andes);
         cfg.from = (2024, 1);
@@ -185,17 +242,41 @@ mod tests {
         let cfg = tiny_config("e2e");
         let outcome = run(&cfg).unwrap_or_else(|e| panic!("{e}"));
         assert!(outcome.report.is_success());
-        assert!(outcome.frame.height() > 200, "jobs analyzed: {}", outcome.frame.height());
+        assert!(
+            outcome.frame.height() > 200,
+            "jobs analyzed: {}",
+            outcome.frame.height()
+        );
         assert_eq!(outcome.insights.len(), crate::pipeline::PLOT_STAGES.len());
         assert!(outcome.compare.is_some());
         assert!(outcome.dashboard_index.exists());
         assert!(outcome.insights_md.exists());
+        // The run-report tab is linked from the sidebar and was rewritten
+        // post-run with the data-plane figures.
+        let index = std::fs::read_to_string(&outcome.dashboard_index).unwrap();
+        assert!(index.contains("panels/run-report.html"));
+        let run_report = std::fs::read_to_string(
+            outcome
+                .dashboard_index
+                .parent()
+                .unwrap()
+                .join("panels")
+                .join("run-report.html"),
+        )
+        .unwrap();
+        assert!(run_report.contains("peak resident"), "data-plane summary");
+        assert!(run_report.contains("Bytes out"), "per-task byte columns");
+        assert!(!run_report.contains("is written when the workflow finishes"));
         // Curation saw the injected corruption.
         assert!(outcome.curation.0 > 0);
         assert!(outcome.curation.1 > 0, "some malformed lines expected");
         // Charts on disk.
         for stage in crate::pipeline::PLOT_STAGES {
-            assert!(cfg.data_dir.join("charts").join(format!("{stage}.html")).exists());
+            assert!(cfg
+                .data_dir
+                .join("charts")
+                .join(format!("{stage}.html"))
+                .exists());
         }
         // The insights report mentions every stage.
         let md = std::fs::read_to_string(&outcome.insights_md).unwrap();

@@ -179,6 +179,42 @@ impl Dashboard {
     }
 }
 
+/// Write one standalone panel page with the dashboard chrome, outside the
+/// [`Dashboard::write`] batch — for tabs whose content only exists after the
+/// run finishes (the sidebar entry is added as a normal panel during the run;
+/// this call then replaces the page body in place).
+pub fn write_panel_page(
+    dir: &Path,
+    id: &str,
+    title: &str,
+    body_html: &str,
+) -> std::io::Result<PathBuf> {
+    if id.is_empty()
+        || !id
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '-' || c == '_')
+    {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidInput,
+            format!("panel id {id:?} is not path-safe"),
+        ));
+    }
+    let panels_dir = dir.join("panels");
+    std::fs::create_dir_all(&panels_dir)?;
+    let page = format!(
+        "<!DOCTYPE html><html><head><meta charset=\"utf-8\"><title>{t}</title>\
+         <style>body{{font-family:Helvetica,Arial,sans-serif;margin:16px}}\
+         table{{border-collapse:collapse;font-size:14px}}\
+         th,td{{border:1px solid #d0d7de;padding:4px 10px;text-align:left}}\
+         th{{background:#f6f8fa}}td.num{{text-align:right}}</style></head><body>\
+         <h2>{t}</h2>{body_html}</body></html>",
+        t = html_escape(title),
+    );
+    let path = panels_dir.join(format!("{id}.html"));
+    std::fs::write(&path, page)?;
+    Ok(path)
+}
+
 fn html_escape(s: &str) -> String {
     s.replace('&', "&amp;")
         .replace('<', "&lt;")
@@ -202,8 +238,9 @@ mod tests {
         Panel {
             id: id.to_owned(),
             title: format!("Panel {id}"),
-            chart_html: "<html><head></head><body><svg>chart</svg><script>x()</script></body></html>"
-                .to_owned(),
+            chart_html:
+                "<html><head></head><body><svg>chart</svg><script>x()</script></body></html>"
+                    .to_owned(),
             insight_md: "## Finding\n\n- **notable** thing\n".to_owned(),
             group: group.to_owned(),
         }
@@ -259,7 +296,10 @@ mod tests {
         assert!(p.is_placeholder());
         assert!(!panel("real", "A").is_placeholder());
         assert!(p.chart_html.contains("Chart unavailable"));
-        assert!(p.chart_html.contains("plot task &lt;failed&gt;"), "reason escaped");
+        assert!(
+            p.chart_html.contains("plot task &lt;failed&gt;"),
+            "reason escaped"
+        );
 
         let dir = std::env::temp_dir().join(format!("schedflow-dash-ph-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);

@@ -9,5 +9,5 @@ pub mod assemble;
 pub mod markdown;
 pub mod server;
 
-pub use assemble::{Dashboard, Panel};
+pub use assemble::{write_panel_page, Dashboard, Panel};
 pub use server::{serve, ServerHandle};

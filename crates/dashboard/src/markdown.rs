@@ -117,7 +117,10 @@ mod tests {
     #[test]
     fn unbalanced_bold_is_closed() {
         let html = to_html("**oops");
-        assert_eq!(html.matches("<strong>").count(), html.matches("</strong>").count());
+        assert_eq!(
+            html.matches("<strong>").count(),
+            html.matches("</strong>").count()
+        );
     }
 
     #[test]

@@ -137,12 +137,7 @@ fn handle(mut stream: TcpStream, root: &Path) -> std::io::Result<()> {
     }
 }
 
-fn respond(
-    stream: &mut TcpStream,
-    status: u16,
-    ctype: &str,
-    body: &[u8],
-) -> std::io::Result<()> {
+fn respond(stream: &mut TcpStream, status: u16, ctype: &str, body: &[u8]) -> std::io::Result<()> {
     let reason = match status {
         200 => "OK",
         404 => "Not Found",
@@ -240,7 +235,10 @@ mod tests {
 
     #[test]
     fn content_types() {
-        assert_eq!(content_type(Path::new("a.html")), "text/html; charset=utf-8");
+        assert_eq!(
+            content_type(Path::new("a.html")),
+            "text/html; charset=utf-8"
+        );
         assert_eq!(content_type(Path::new("a.svg")), "image/svg+xml");
         assert_eq!(content_type(Path::new("a.bin")), "application/octet-stream");
     }

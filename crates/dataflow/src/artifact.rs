@@ -14,6 +14,7 @@ use std::any::Any;
 use std::collections::HashMap;
 use std::marker::PhantomData;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Untyped artifact identity within one [`crate::graph::Workflow`].
@@ -82,10 +83,29 @@ pub(crate) enum ArtifactKindMeta {
     File(PathBuf),
 }
 
+/// One stored value plus its advertised payload size.
+struct Slot {
+    value: Arc<dyn Any + Send + Sync>,
+    bytes: u64,
+}
+
 /// Shared store of produced artifact values for one run.
+///
+/// Besides the `Arc<dyn Any>` slots, the store does the run's memory
+/// accounting: every value carries an advertised payload size (zero when the
+/// producer didn't declare one), the store tracks the currently resident sum,
+/// and the high-water mark survives removals — that peak is what the run
+/// report surfaces as `peak_resident_bytes`.
 #[derive(Default)]
 pub struct DataStore {
-    values: Mutex<HashMap<usize, Arc<dyn Any + Send + Sync>>>,
+    values: Mutex<Inner>,
+}
+
+#[derive(Default)]
+struct Inner {
+    slots: HashMap<usize, Slot>,
+    resident: u64,
+    peak: u64,
 }
 
 impl DataStore {
@@ -94,28 +114,91 @@ impl DataStore {
     }
 
     pub fn put_any(&self, id: ArtifactId, value: Arc<dyn Any + Send + Sync>) {
-        self.values.lock().insert(id.0, value);
+        self.put_any_sized(id, value, 0);
+    }
+
+    /// Store a value advertising its payload size (feeds the run's
+    /// resident/peak accounting).
+    pub fn put_any_sized(&self, id: ArtifactId, value: Arc<dyn Any + Send + Sync>, bytes: u64) {
+        let mut inner = self.values.lock();
+        if let Some(old) = inner.slots.insert(id.0, Slot { value, bytes }) {
+            inner.resident -= old.bytes;
+        }
+        inner.resident += bytes;
+        inner.peak = inner.peak.max(inner.resident);
     }
 
     pub fn get_any(&self, id: ArtifactId) -> Option<Arc<dyn Any + Send + Sync>> {
-        self.values.lock().get(&id.0).cloned()
+        self.values
+            .lock()
+            .slots
+            .get(&id.0)
+            .map(|s| Arc::clone(&s.value))
+    }
+
+    /// Advertised payload size of a stored value (zero if absent or unsized).
+    pub fn bytes_of(&self, id: ArtifactId) -> u64 {
+        self.values.lock().slots.get(&id.0).map_or(0, |s| s.bytes)
+    }
+
+    /// Drop a value, releasing the engine's `Arc` (the lifetime-tracking
+    /// hook: the executor calls this once an artifact's last consumer has
+    /// resolved). Returns the bytes released.
+    pub fn remove(&self, id: ArtifactId) -> u64 {
+        let mut inner = self.values.lock();
+        match inner.slots.remove(&id.0) {
+            Some(slot) => {
+                inner.resident -= slot.bytes;
+                slot.bytes
+            }
+            None => 0,
+        }
     }
 
     pub fn contains(&self, id: ArtifactId) -> bool {
-        self.values.lock().contains_key(&id.0)
+        self.values.lock().slots.contains_key(&id.0)
+    }
+
+    /// Currently resident advertised bytes.
+    pub fn resident_bytes(&self) -> u64 {
+        self.values.lock().resident
+    }
+
+    /// High-water mark of resident advertised bytes over the store's life.
+    pub fn peak_resident_bytes(&self) -> u64 {
+        self.values.lock().peak
     }
 }
 
 /// The context handed to a running task body: typed access to its inputs and
-/// outputs.
+/// outputs, plus per-task byte accounting (every `get` adds the artifact's
+/// advertised size to `bytes_in`, every `put` to `bytes_out`).
 pub struct TaskCtx<'a> {
     pub(crate) store: &'a DataStore,
     pub(crate) task_name: &'a str,
     pub(crate) inputs: &'a [ArtifactId],
     pub(crate) outputs: &'a [ArtifactId],
+    pub(crate) bytes_in: AtomicU64,
+    pub(crate) bytes_out: AtomicU64,
 }
 
 impl<'a> TaskCtx<'a> {
+    pub(crate) fn new(
+        store: &'a DataStore,
+        task_name: &'a str,
+        inputs: &'a [ArtifactId],
+        outputs: &'a [ArtifactId],
+    ) -> Self {
+        Self {
+            store,
+            task_name,
+            inputs,
+            outputs,
+            bytes_in: AtomicU64::new(0),
+            bytes_out: AtomicU64::new(0),
+        }
+    }
+
     /// Read a declared input value artifact.
     pub fn get<T: Send + Sync + 'static>(&self, a: Artifact<T>) -> Result<Arc<T>, String> {
         if !self.inputs.contains(&a.id) {
@@ -128,19 +211,33 @@ impl<'a> TaskCtx<'a> {
             .store
             .get_any(a.id)
             .ok_or_else(|| format!("artifact #{} not yet produced", a.id.0))?;
+        self.bytes_in
+            .fetch_add(self.store.bytes_of(a.id), Ordering::Relaxed);
         any.downcast::<T>()
             .map_err(|_| format!("artifact #{} has unexpected type", a.id.0))
     }
 
     /// Write a declared output value artifact.
     pub fn put<T: Send + Sync + 'static>(&self, a: Artifact<T>, value: T) -> Result<(), String> {
+        self.put_sized(a, value, 0)
+    }
+
+    /// Write a declared output value artifact, advertising its payload size
+    /// for the run's memory accounting (e.g. `frame.estimated_bytes()`).
+    pub fn put_sized<T: Send + Sync + 'static>(
+        &self,
+        a: Artifact<T>,
+        value: T,
+        bytes: u64,
+    ) -> Result<(), String> {
         if !self.outputs.contains(&a.id) {
             return Err(format!(
                 "task {:?} wrote artifact #{} it does not declare as output",
                 self.task_name, a.id.0
             ));
         }
-        self.store.put_any(a.id, Arc::new(value));
+        self.store.put_any_sized(a.id, Arc::new(value), bytes);
+        self.bytes_out.fetch_add(bytes, Ordering::Relaxed);
         Ok(())
     }
 
@@ -161,10 +258,13 @@ impl<'a> TaskCtx<'a> {
         }
         match self.store.get_any(a.id) {
             None => Ok(None),
-            Some(any) => any
-                .downcast::<T>()
-                .map(Some)
-                .map_err(|_| format!("artifact #{} has unexpected type", a.id.0)),
+            Some(any) => {
+                self.bytes_in
+                    .fetch_add(self.store.bytes_of(a.id), Ordering::Relaxed);
+                any.downcast::<T>()
+                    .map(Some)
+                    .map_err(|_| format!("artifact #{} has unexpected type", a.id.0))
+            }
         }
     }
 
@@ -207,24 +307,15 @@ mod tests {
         let declared = ArtifactId(0);
         let undeclared = Artifact::<String>::new(ArtifactId(9));
         store.put_any(ArtifactId(9), Arc::new("hi".to_owned()));
-        let ctx = TaskCtx {
-            store: &store,
-            task_name: "t",
-            inputs: &[declared],
-            outputs: &[],
-        };
+        let inputs = [declared];
+        let ctx = TaskCtx::new(&store, "t", &inputs, &[]);
         assert!(ctx.get(undeclared).is_err());
     }
 
     #[test]
     fn ctx_enforces_declared_outputs() {
         let store = DataStore::new();
-        let ctx = TaskCtx {
-            store: &store,
-            task_name: "t",
-            inputs: &[],
-            outputs: &[ArtifactId(1)],
-        };
+        let ctx = TaskCtx::new(&store, "t", &[], &[ArtifactId(1)]);
         assert!(ctx.put(Artifact::<u32>::new(ArtifactId(1)), 5).is_ok());
         assert!(ctx.put(Artifact::<u32>::new(ArtifactId(2)), 5).is_err());
     }
@@ -234,13 +325,42 @@ mod tests {
         let store = DataStore::new();
         let id = ArtifactId(3);
         store.put_any(id, Arc::new(42u64));
-        let ctx = TaskCtx {
-            store: &store,
-            task_name: "t",
-            inputs: &[id],
-            outputs: &[],
-        };
+        let inputs = [id];
+        let ctx = TaskCtx::new(&store, "t", &inputs, &[]);
         assert!(ctx.get(Artifact::<String>::new(id)).is_err());
         assert_eq!(*ctx.get(Artifact::<u64>::new(id)).unwrap(), 42);
+    }
+
+    #[test]
+    fn store_accounts_resident_and_peak_bytes() {
+        let store = DataStore::new();
+        store.put_any_sized(ArtifactId(0), Arc::new(1u8), 100);
+        store.put_any_sized(ArtifactId(1), Arc::new(2u8), 250);
+        assert_eq!(store.resident_bytes(), 350);
+        assert_eq!(store.peak_resident_bytes(), 350);
+        assert_eq!(store.bytes_of(ArtifactId(1)), 250);
+        assert_eq!(store.remove(ArtifactId(0)), 100);
+        assert!(!store.contains(ArtifactId(0)));
+        assert_eq!(store.resident_bytes(), 250);
+        assert_eq!(store.peak_resident_bytes(), 350, "peak survives removal");
+        // Overwriting replaces, not accumulates.
+        store.put_any_sized(ArtifactId(1), Arc::new(3u8), 50);
+        assert_eq!(store.resident_bytes(), 50);
+    }
+
+    #[test]
+    fn ctx_counts_bytes_in_and_out() {
+        use std::sync::atomic::Ordering;
+        let store = DataStore::new();
+        let input = ArtifactId(0);
+        let output = ArtifactId(1);
+        store.put_any_sized(input, Arc::new(7u32), 64);
+        let inputs = [input];
+        let outputs = [output];
+        let ctx = TaskCtx::new(&store, "t", &inputs, &outputs);
+        assert_eq!(*ctx.get(Artifact::<u32>::new(input)).unwrap(), 7);
+        ctx.put_sized(Artifact::<u32>::new(output), 9, 128).unwrap();
+        assert_eq!(ctx.bytes_in.load(Ordering::Relaxed), 64);
+        assert_eq!(ctx.bytes_out.load(Ordering::Relaxed), 128);
     }
 }

@@ -125,8 +125,12 @@ mod tests {
         let plot = wf.value::<String>("plot");
         let insight = wf.value::<String>("insight");
         wf.task("obtain", StageKind::Static, [], [raw.id()], |_| Ok(()));
-        wf.task("curate", StageKind::Static, [raw.id()], [csv.id()], |_| Ok(()));
-        wf.task("plot", StageKind::Static, [csv.id()], [plot.id()], |_| Ok(()));
+        wf.task("curate", StageKind::Static, [raw.id()], [csv.id()], |_| {
+            Ok(())
+        });
+        wf.task("plot", StageKind::Static, [csv.id()], [plot.id()], |_| {
+            Ok(())
+        });
         wf.task(
             "llm-insight",
             StageKind::UserDefined,
@@ -177,7 +181,9 @@ mod tests {
         let other = wf.value::<String>("other");
         {
             let csv_id = crate::artifact::ArtifactId(1);
-            wf.task("plot2", StageKind::Static, [csv_id], [other.id()], |_| Ok(()));
+            wf.task("plot2", StageKind::Static, [csv_id], [other.id()], |_| {
+                Ok(())
+            });
         }
         let dot = to_dot(&wf, &DotOptions::default()).unwrap();
         assert!(dot.contains("rank=same"));

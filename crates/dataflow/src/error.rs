@@ -179,7 +179,9 @@ impl RetryPolicy {
         if jitter == 0.0 {
             return raw;
         }
-        let u = unit_f64(splitmix64(seed ^ u64::from(attempt).wrapping_mul(0x9E37_79B9)));
+        let u = unit_f64(splitmix64(
+            seed ^ u64::from(attempt).wrapping_mul(0x9E37_79B9),
+        ));
         let factor = 1.0 - jitter + 2.0 * jitter * u;
         ((raw as f64) * factor).round().max(0.0) as u64
     }

@@ -151,6 +151,9 @@ struct Completion {
     start_ms: f64,
     end_ms: f64,
     worker: Option<usize>,
+    /// Advertised bytes the attempt read / produced (data-plane accounting).
+    bytes_in: u64,
+    bytes_out: u64,
 }
 
 /// Mutable per-run bookkeeping, separated from the shared context so helper
@@ -163,6 +166,10 @@ struct RunState {
     attempts: Vec<u32>,
     /// Deadline anchor: expected start of the current attempt.
     anchor: Vec<Option<Instant>>,
+    /// Unresolved consumer tasks per artifact — the lifetime tracker's
+    /// reference counts. A decrement to zero drops the value from the store
+    /// (unless the workflow retained it).
+    artifact_refs: Vec<usize>,
     done: usize,
 }
 
@@ -275,18 +282,20 @@ impl Runner {
                     worker: None,
                     depth: self.depth[i],
                     attempts: 0,
+                    bytes_in: 0,
+                    bytes_out: 0,
                 })
                 .collect(),
             attempts: vec![0; n],
             anchor: vec![None; n],
+            artifact_refs: self.workflow.consumer_counts(),
             done: 0,
         };
 
         // Submit every root (deterministic order). A root resolved
         // synchronously (cache/resume hit) releases its dependents
         // immediately.
-        let mut initially_ready: Vec<usize> =
-            (0..n).filter(|&i| st.remaining[i] == 0).collect();
+        let mut initially_ready: Vec<usize> = (0..n).filter(|&i| st.remaining[i] == 0).collect();
         initially_ready.sort_unstable();
         for i in initially_ready {
             if exec.dispatch(i, &mut st) {
@@ -330,12 +339,15 @@ impl Runner {
                     st.reports[i].end_ms = c.end_ms;
                     st.reports[i].worker = c.worker;
                     st.reports[i].attempts = c.attempt;
+                    st.reports[i].bytes_in = c.bytes_in;
+                    st.reports[i].bytes_out = c.bytes_out;
                     match c.result {
                         Ok(()) => {
                             st.state[i] = NodeState::Done;
                             st.anchor[i] = None;
                             st.done += 1;
                             st.reports[i].status = TaskStatus::Succeeded;
+                            exec.release_inputs(i, &mut st);
                             exec.release_dependents(i, &mut st);
                         }
                         Err(err) => {
@@ -353,6 +365,7 @@ impl Runner {
                                 st.anchor[i] = None;
                                 st.done += 1;
                                 st.reports[i].status = TaskStatus::Failed(err.to_string());
+                                exec.release_inputs(i, &mut st);
                                 exec.propagate_failure(i, &mut st);
                             }
                         }
@@ -368,15 +381,13 @@ impl Runner {
                         if st.state[i] != NodeState::Running {
                             continue;
                         }
-                        let (Some(anchor), Some(d)) = (st.anchor[i], exec.deadline_of(i))
-                        else {
+                        let (Some(anchor), Some(d)) = (st.anchor[i], exec.deadline_of(i)) else {
                             continue;
                         };
                         if now < anchor + d {
                             continue;
                         }
-                        let elapsed_ms =
-                            now.saturating_duration_since(anchor).as_millis() as u64;
+                        let elapsed_ms = now.saturating_duration_since(anchor).as_millis() as u64;
                         let err = TaskError::Timeout { elapsed_ms };
                         let policy = exec.retry_of(i);
                         let attempt = st.attempts[i];
@@ -387,23 +398,19 @@ impl Runner {
                             zombie_bodies = true;
                             st.attempts[i] = attempt + 1;
                             st.reports[i].attempts = st.attempts[i];
-                            let delay = policy.delay_ms(
-                                attempt,
-                                splitmix64(options.retry_seed ^ (i as u64)),
-                            );
+                            let delay = policy
+                                .delay_ms(attempt, splitmix64(options.retry_seed ^ (i as u64)));
                             exec.submit_attempt(i, attempt + 1, delay, &mut st);
                         } else {
                             zombie_bodies = true;
                             st.state[i] = NodeState::Done;
                             st.done += 1;
                             st.reports[i].status = TaskStatus::TimedOut { elapsed_ms };
-                            st.reports[i].start_ms = anchor
-                                .saturating_duration_since(run_start)
-                                .as_secs_f64()
-                                * 1000.0;
-                            st.reports[i].end_ms =
-                                run_start.elapsed().as_secs_f64() * 1000.0;
+                            st.reports[i].start_ms =
+                                anchor.saturating_duration_since(run_start).as_secs_f64() * 1000.0;
+                            st.reports[i].end_ms = run_start.elapsed().as_secs_f64() * 1000.0;
                             st.anchor[i] = None;
+                            exec.release_inputs(i, &mut st);
                             exec.propagate_failure(i, &mut st);
                         }
                     }
@@ -415,15 +422,13 @@ impl Runner {
 
                     // Stall guard: nothing resolved for the whole window.
                     if now >= last_progress + options.stall_timeout {
-                        let elapsed_ms = now
-                            .saturating_duration_since(last_progress)
-                            .as_millis() as u64;
+                        let elapsed_ms =
+                            now.saturating_duration_since(last_progress).as_millis() as u64;
                         for i in 0..n {
                             match st.state[i] {
                                 NodeState::Running => {
                                     zombie_bodies = true;
-                                    st.reports[i].status =
-                                        TaskStatus::Stalled { elapsed_ms };
+                                    st.reports[i].status = TaskStatus::Stalled { elapsed_ms };
                                     st.reports[i].end_ms =
                                         run_start.elapsed().as_secs_f64() * 1000.0;
                                 }
@@ -452,6 +457,7 @@ impl Runner {
         RunReport {
             threads,
             makespan_ms,
+            peak_resident_bytes: self.store.peak_resident_bytes(),
             tasks: reports,
         }
     }
@@ -525,6 +531,7 @@ impl Exec<'_> {
                 if entry.resumable(self.fingerprints[i]) {
                     st.state[i] = NodeState::Done;
                     st.reports[i].status = TaskStatus::Resumed;
+                    self.release_inputs(i, st);
                     return true;
                 }
             }
@@ -532,6 +539,7 @@ impl Exec<'_> {
         if self.options.use_cache && self.runner.outputs_fresh(i) {
             st.state[i] = NodeState::Done;
             st.reports[i].status = TaskStatus::Cached;
+            self.release_inputs(i, st);
             return true;
         }
         st.state[i] = NodeState::Running;
@@ -562,6 +570,8 @@ impl Exec<'_> {
             if let Some(d) = injection.delay_ms {
                 std::thread::sleep(Duration::from_millis(d));
             }
+            let mut bytes_in = 0u64;
+            let mut bytes_out = 0u64;
             let result = match injection.outcome {
                 Some(Fault::TransientFailure) => Err(TaskError::transient(format!(
                     "chaos: injected transient failure (attempt {attempt})"
@@ -573,15 +583,13 @@ impl Exec<'_> {
                     .unwrap_or_else(|p| Err(TaskError::Panic(panic_message(p))))
                 }
                 None => {
-                    let ctx = TaskCtx {
-                        store: &store,
-                        task_name: &spec.name,
-                        inputs: &spec.inputs,
-                        outputs: &spec.outputs,
-                    };
-                    std::panic::catch_unwind(AssertUnwindSafe(|| (spec.body)(&ctx)))
+                    let ctx = TaskCtx::new(&store, &spec.name, &spec.inputs, &spec.outputs);
+                    let result = std::panic::catch_unwind(AssertUnwindSafe(|| (spec.body)(&ctx)))
                         .unwrap_or_else(|p| Err(TaskError::Panic(panic_message(p))))
-                        .and_then(|()| verify_outputs(&wf, &store, i))
+                        .and_then(|()| verify_outputs(&wf, &store, i));
+                    bytes_in = ctx.bytes_in.load(std::sync::atomic::Ordering::Relaxed);
+                    bytes_out = ctx.bytes_out.load(std::sync::atomic::Ordering::Relaxed);
+                    result
                 }
             };
             let end_ms = run_start.elapsed().as_secs_f64() * 1000.0;
@@ -592,6 +600,8 @@ impl Exec<'_> {
                 start_ms,
                 end_ms,
                 worker: current_worker_index(),
+                bytes_in,
+                bytes_out,
             });
         });
     }
@@ -634,8 +644,29 @@ impl Exec<'_> {
                     st.state[j] = NodeState::Done;
                     st.reports[j].status = TaskStatus::Skipped;
                     st.done += 1;
+                    self.release_inputs(j, st);
                     stack.push(j);
                 }
+            }
+        }
+    }
+
+    /// Lifetime tracking: task `i` has terminally resolved, so each of its
+    /// distinct input artifacts loses one pending consumer. An artifact whose
+    /// last consumer resolves is dropped from the store — unless the workflow
+    /// retained it for post-run inspection. (Artifacts nobody consumes are
+    /// never dropped: they are the run's terminal products.)
+    fn release_inputs(&self, i: usize, st: &mut RunState) {
+        let wf = &self.runner.workflow;
+        let mut inputs = wf.tasks[i].inputs.clone();
+        inputs.sort_unstable();
+        inputs.dedup();
+        for a in inputs {
+            let refs = &mut st.artifact_refs[a.0];
+            debug_assert!(*refs > 0, "consumer resolved twice for artifact #{}", a.0);
+            *refs -= 1;
+            if *refs == 0 && !wf.is_retained(a) && wf.file_path(a).is_none() {
+                self.runner.store.remove(a);
             }
         }
     }
@@ -643,9 +674,10 @@ impl Exec<'_> {
     /// Persist the checkpoint manifest, if configured. Best-effort: a failed
     /// checkpoint write must not fail the run.
     fn checkpoint(&self, st: &RunState) {
-        let (Some(path), Some(template)) =
-            (self.options.manifest_path.as_ref(), self.manifest_template.as_ref())
-        else {
+        let (Some(path), Some(template)) = (
+            self.options.manifest_path.as_ref(),
+            self.manifest_template.as_ref(),
+        ) else {
             return;
         };
         let mut manifest = template.clone();
@@ -723,10 +755,16 @@ mod tests {
         wf.task("produce", StageKind::Static, [], [a.id()], move |ctx| {
             ctx.put(a, 21)
         });
-        wf.task("double", StageKind::Static, [a.id()], [b.id()], move |ctx| {
-            let v = *ctx.get(a)?;
-            ctx.put(b, v * 2)
-        });
+        wf.task(
+            "double",
+            StageKind::Static,
+            [a.id()],
+            [b.id()],
+            move |ctx| {
+                let v = *ctx.get(a)?;
+                ctx.put(b, v * 2)
+            },
+        );
         let runner = Runner::new(wf).unwrap();
         let report = runner.run(&RunOptions::with_threads(4));
         assert!(report.is_success(), "{report:?}");
@@ -748,13 +786,19 @@ mod tests {
             let out = wf.value::<()>(&format!("o{i}"));
             let peak = Arc::clone(&peak);
             let cur = Arc::clone(&cur);
-            wf.task(&format!("t{i}"), StageKind::Static, [], [out.id()], move |ctx| {
-                let now = cur.fetch_add(1, Ordering::SeqCst) + 1;
-                peak.fetch_max(now, Ordering::SeqCst);
-                std::thread::sleep(std::time::Duration::from_millis(30));
-                cur.fetch_sub(1, Ordering::SeqCst);
-                ctx.put(Artifact::<()>::new(ctx.outputs[0]), ())
-            });
+            wf.task(
+                &format!("t{i}"),
+                StageKind::Static,
+                [],
+                [out.id()],
+                move |ctx| {
+                    let now = cur.fetch_add(1, Ordering::SeqCst) + 1;
+                    peak.fetch_max(now, Ordering::SeqCst);
+                    std::thread::sleep(std::time::Duration::from_millis(30));
+                    cur.fetch_sub(1, Ordering::SeqCst);
+                    ctx.put(Artifact::<()>::new(ctx.outputs[0]), ())
+                },
+            );
         }
         let runner = Runner::new(wf).unwrap();
         let report = runner.run(&RunOptions::with_threads(4));
@@ -825,10 +869,16 @@ mod tests {
         let param = wf.value::<String>("param");
         let out = wf.value::<String>("out");
         wf.provide(param, "hello".to_owned());
-        wf.task("use", StageKind::Static, [param.id()], [out.id()], move |ctx| {
-            let p = ctx.get(param)?;
-            ctx.put(out, format!("{p} world"))
-        });
+        wf.task(
+            "use",
+            StageKind::Static,
+            [param.id()],
+            [out.id()],
+            move |ctx| {
+                let p = ctx.get(param)?;
+                ctx.put(out, format!("{p} world"))
+            },
+        );
         let runner = Runner::new(wf).unwrap();
         assert!(runner.run(&RunOptions::with_threads(1)).is_success());
         let v = runner
@@ -928,6 +978,125 @@ mod tests {
         }
     }
 
+    // ---- lifetime-tracking / byte-accounting tests ----
+
+    #[test]
+    fn consumed_artifacts_drop_after_last_consumer() {
+        let mut wf = Workflow::new();
+        let a = wf.value::<Vec<u8>>("intermediate");
+        let b = wf.value::<usize>("terminal");
+        wf.task("produce", StageKind::Static, [], [a.id()], move |ctx| {
+            ctx.put_sized(a, vec![0u8; 1000], 1000)
+        });
+        wf.task(
+            "consume",
+            StageKind::Static,
+            [a.id()],
+            [b.id()],
+            move |ctx| {
+                let v = ctx.get(a)?;
+                ctx.put(b, v.len())
+            },
+        );
+        let runner = Runner::new(wf).unwrap();
+        let report = runner.run(&RunOptions::with_threads(2));
+        assert!(report.is_success(), "{report:?}");
+        assert!(
+            !runner.store().contains(a.id()),
+            "intermediate dropped after its last consumer"
+        );
+        assert!(
+            runner.store().contains(b.id()),
+            "zero-consumer terminal output kept"
+        );
+        assert_eq!(runner.store().resident_bytes(), 0);
+        assert_eq!(report.peak_resident_bytes, 1000);
+    }
+
+    #[test]
+    fn retained_artifacts_survive_their_consumers() {
+        let mut wf = Workflow::new();
+        let a = wf.value::<u32>("kept");
+        let b = wf.value::<u32>("out");
+        wf.task("produce", StageKind::Static, [], [a.id()], move |ctx| {
+            ctx.put(a, 11)
+        });
+        wf.task(
+            "consume",
+            StageKind::Static,
+            [a.id()],
+            [b.id()],
+            move |ctx| {
+                let v = *ctx.get(a)?;
+                ctx.put(b, v + 1)
+            },
+        );
+        wf.retain(a.id());
+        let runner = Runner::new(wf).unwrap();
+        assert!(runner.run(&RunOptions::with_threads(2)).is_success());
+        assert!(runner.store().contains(a.id()), "retained value survives");
+    }
+
+    #[test]
+    fn fan_in_artifact_dropped_only_after_all_consumers() {
+        // One producer, three consumers: the shared input must survive until
+        // the last consumer resolves, then go.
+        let mut wf = Workflow::new();
+        let shared = wf.value::<u64>("shared");
+        wf.task("src", StageKind::Static, [], [shared.id()], move |ctx| {
+            ctx.put_sized(shared, 5, 8)
+        });
+        for i in 0..3 {
+            let out = wf.value::<u64>(&format!("o{i}"));
+            wf.task(
+                &format!("c{i}"),
+                StageKind::Static,
+                [shared.id()],
+                [out.id()],
+                move |ctx| {
+                    let v = *ctx.get(shared)?;
+                    ctx.put(out, v + i)
+                },
+            );
+        }
+        let runner = Runner::new(wf).unwrap();
+        let report = runner.run(&RunOptions::with_threads(4));
+        assert!(report.is_success(), "{report:?}");
+        assert!(!runner.store().contains(shared.id()));
+    }
+
+    #[test]
+    fn reports_carry_per_task_bytes() {
+        let mut wf = Workflow::new();
+        let a = wf.value::<Vec<u8>>("payload");
+        let b = wf.value::<usize>("len");
+        wf.task("produce", StageKind::Static, [], [a.id()], move |ctx| {
+            ctx.put_sized(a, vec![7u8; 300], 300)
+        });
+        wf.task(
+            "measure",
+            StageKind::Static,
+            [a.id()],
+            [b.id()],
+            move |ctx| {
+                let v = ctx.get(a)?;
+                ctx.put_sized(b, v.len(), 8)
+            },
+        );
+        let runner = Runner::new(wf).unwrap();
+        let report = runner.run(&RunOptions::with_threads(1));
+        assert!(report.is_success());
+        let produce = report.tasks.iter().find(|t| t.name == "produce").unwrap();
+        let measure = report.tasks.iter().find(|t| t.name == "measure").unwrap();
+        assert_eq!(produce.bytes_out, 300);
+        assert_eq!(produce.bytes_in, 0);
+        assert_eq!(measure.bytes_in, 300);
+        assert_eq!(measure.bytes_out, 8);
+        assert_eq!(report.total_bytes_in(), 300);
+        assert_eq!(report.total_bytes_out(), 308);
+        assert!(report.peak_resident_bytes >= 300);
+    }
+
     // ---- fault-tolerance tests ----
 
     use crate::chaos::ChaosConfig;
@@ -1015,7 +1184,10 @@ mod tests {
         let runner = Runner::new(wf).unwrap();
         let t0 = std::time::Instant::now();
         let report = runner.run(&RunOptions::with_threads(2));
-        assert!(t0.elapsed() < Duration::from_secs(10), "watchdog fired early");
+        assert!(
+            t0.elapsed() < Duration::from_secs(10),
+            "watchdog fired early"
+        );
         assert!(matches!(
             report.tasks[0].status,
             TaskStatus::TimedOut { .. }
@@ -1070,10 +1242,7 @@ mod tests {
         let t0 = std::time::Instant::now();
         let report = runner.run(&opts);
         assert!(t0.elapsed() < Duration::from_secs(10), "stall guard fired");
-        assert!(matches!(
-            report.tasks[0].status,
-            TaskStatus::Stalled { .. }
-        ));
+        assert!(matches!(report.tasks[0].status, TaskStatus::Stalled { .. }));
         assert_eq!(report.tasks[1].status, TaskStatus::Skipped);
         assert!(!report.is_success());
     }
@@ -1084,13 +1253,16 @@ mod tests {
             let mut wf = Workflow::new();
             for i in 0..8 {
                 let a = wf.value::<u32>(&format!("a{i}"));
-                wf.task(&format!("t{i}"), StageKind::Static, [], [a.id()], move |ctx| {
-                    ctx.put(a, i)
-                });
+                wf.task(
+                    &format!("t{i}"),
+                    StageKind::Static,
+                    [],
+                    [a.id()],
+                    move |ctx| ctx.put(a, i),
+                );
             }
             let runner = Runner::new(wf).unwrap();
-            let opts =
-                RunOptions::with_threads(4).with_chaos(ChaosConfig::failing(seed, 0.5));
+            let opts = RunOptions::with_threads(4).with_chaos(ChaosConfig::failing(seed, 0.5));
             let report = runner.run(&opts);
             report
                 .tasks
@@ -1101,7 +1273,10 @@ mod tests {
         let a = run_with(11);
         let b = run_with(11);
         assert_eq!(a, b, "same seed, same fault schedule");
-        assert!(a.iter().any(|ok| !ok), "p=0.5 over 8 tasks should fail some");
+        assert!(
+            a.iter().any(|ok| !ok),
+            "p=0.5 over 8 tasks should fail some"
+        );
     }
 
     #[test]
@@ -1111,9 +1286,13 @@ mod tests {
         let mut wf = Workflow::new();
         for i in 0..8 {
             let a = wf.value::<u32>(&format!("a{i}"));
-            wf.task(&format!("t{i}"), StageKind::Static, [], [a.id()], move |ctx| {
-                ctx.put(a, i)
-            });
+            wf.task(
+                &format!("t{i}"),
+                StageKind::Static,
+                [],
+                [a.id()],
+                move |ctx| ctx.put(a, i),
+            );
         }
         let runner = Runner::new(wf).unwrap();
         let opts = RunOptions::with_threads(4)

@@ -101,6 +101,9 @@ pub struct Workflow {
     pub(crate) tasks: Vec<TaskSpec>,
     /// Values supplied from outside the graph (workflow parameters).
     pub(crate) provided: Vec<(ArtifactId, std::sync::Arc<dyn std::any::Any + Send + Sync>)>,
+    /// Value artifacts the caller reads after the run — exempt from the
+    /// executor's drop-after-last-consumer lifetime tracking.
+    pub(crate) retained: std::collections::HashSet<ArtifactId>,
 }
 
 impl Default for Workflow {
@@ -115,6 +118,7 @@ impl Workflow {
             artifacts: Vec::new(),
             tasks: Vec::new(),
             provided: Vec::new(),
+            retained: std::collections::HashSet::new(),
         }
     }
 
@@ -204,8 +208,42 @@ impl Workflow {
         self.tasks[id.0].tolerates_failure = true;
     }
 
+    /// Keep an artifact's value alive past its last consumer: the executor
+    /// normally drops each consumed value artifact once every reader has
+    /// resolved, so anything the caller inspects post-run (via
+    /// [`crate::exec::Runner::store`]) must be marked retained.
+    pub fn retain(&mut self, id: ArtifactId) {
+        self.retained.insert(id);
+    }
+
+    /// Whether an artifact is exempt from lifetime-based dropping.
+    pub fn is_retained(&self, id: ArtifactId) -> bool {
+        self.retained.contains(&id)
+    }
+
+    /// Number of distinct consumer tasks per artifact (indexed by
+    /// [`ArtifactId::index`]) — the executor's initial reference counts for
+    /// lifetime tracking, exposed so callers can audit drop decisions.
+    pub fn consumer_counts(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.artifacts.len()];
+        for t in &self.tasks {
+            let mut seen: Vec<ArtifactId> = t.inputs.clone();
+            seen.sort_unstable();
+            seen.dedup();
+            for a in seen {
+                counts[a.0] += 1;
+            }
+        }
+        counts
+    }
+
     pub fn task_count(&self) -> usize {
         self.tasks.len()
+    }
+
+    /// Ids of all declared artifacts, in declaration order.
+    pub fn artifact_ids(&self) -> impl Iterator<Item = ArtifactId> + '_ {
+        (0..self.artifacts.len()).map(ArtifactId)
     }
 
     pub fn artifact_count(&self) -> usize {
@@ -371,7 +409,9 @@ mod tests {
         let y = wf.value::<u32>("y");
         wf.task("root", StageKind::Static, [], [a.id()], |_| Ok(()));
         wf.task("left", StageKind::Static, [a.id()], [x.id()], |_| Ok(()));
-        wf.task("right", StageKind::UserDefined, [a.id()], [y.id()], |_| Ok(()));
+        wf.task("right", StageKind::UserDefined, [a.id()], [y.id()], |_| {
+            Ok(())
+        });
         let depth = wf.validate().unwrap();
         assert_eq!(depth, vec![0, 1, 1]);
     }

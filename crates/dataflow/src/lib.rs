@@ -44,4 +44,4 @@ pub use exec::{RunOptions, Runner};
 pub use graph::{GraphError, StageKind, TaskId, Workflow};
 pub use manifest::{ManifestEntry, RunManifest};
 pub use pool::ThreadPool;
-pub use report::{RunReport, TaskReport, TaskStatus};
+pub use report::{human_bytes, RunReport, TaskReport, TaskStatus};

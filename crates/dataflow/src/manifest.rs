@@ -88,7 +88,10 @@ impl RunManifest {
             std::fs::create_dir_all(parent)?;
         }
         let tmp = path.with_extension("json.partial");
-        std::fs::write(&tmp, serde_json::to_string_pretty(self).expect("manifest serializes"))?;
+        std::fs::write(
+            &tmp,
+            serde_json::to_string_pretty(self).expect("manifest serializes"),
+        )?;
         std::fs::rename(&tmp, path)
     }
 
@@ -148,7 +151,9 @@ mod tests {
         let mut wf = Workflow::new();
         let v = wf.value::<u32>("v");
         let f = wf.file(dir.join("out.txt"));
-        wf.task("mk-value", StageKind::Static, [], [v.id()], move |ctx| ctx.put(v, 1));
+        wf.task("mk-value", StageKind::Static, [], [v.id()], move |ctx| {
+            ctx.put(v, 1)
+        });
         let f2 = f.clone();
         wf.task("mk-file", StageKind::Static, [], [f.id()], move |ctx| {
             std::fs::write(ctx.path(&f2)?, "x").map_err(|e| e.to_string())
@@ -157,7 +162,8 @@ mod tests {
     }
 
     fn tmp(tag: &str) -> PathBuf {
-        let d = std::env::temp_dir().join(format!("schedflow-manifest-{tag}-{}", std::process::id()));
+        let d =
+            std::env::temp_dir().join(format!("schedflow-manifest-{tag}-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&d);
         std::fs::create_dir_all(&d).unwrap();
         d

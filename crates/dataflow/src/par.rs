@@ -132,11 +132,7 @@ pub fn par_fold<T: Sync, A: Send>(
 }
 
 /// Parallel for-each over mutable chunks: `f(chunk_index, chunk)`.
-pub fn par_chunks_mut<T: Send>(
-    data: &mut [T],
-    parts: usize,
-    f: impl Fn(usize, &mut [T]) + Sync,
-) {
+pub fn par_chunks_mut<T: Send>(data: &mut [T], parts: usize, f: impl Fn(usize, &mut [T]) + Sync) {
     let len = data.len();
     if len == 0 {
         return;

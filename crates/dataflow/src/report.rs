@@ -2,6 +2,22 @@
 
 use serde::Serialize;
 
+/// Human-readable byte count for summary lines (`1.5 MiB`).
+pub fn human_bytes(b: u64) -> String {
+    const UNITS: [&str; 4] = ["B", "KiB", "MiB", "GiB"];
+    let mut v = b as f64;
+    let mut unit = 0;
+    while v >= 1024.0 && unit < UNITS.len() - 1 {
+        v /= 1024.0;
+        unit += 1;
+    }
+    if unit == 0 {
+        format!("{b} B")
+    } else {
+        format!("{v:.1} {}", UNITS[unit])
+    }
+}
+
 /// Terminal status of one task in a run.
 #[derive(Debug, Clone, PartialEq, Serialize)]
 #[serde(tag = "status", content = "detail")]
@@ -72,6 +88,10 @@ pub struct TaskReport {
     /// Executed attempts (0 for cached/resumed/skipped tasks; >1 means the
     /// retry policy re-ran the task).
     pub attempts: u32,
+    /// Advertised bytes of value artifacts the task read (data-plane in).
+    pub bytes_in: u64,
+    /// Advertised bytes of value artifacts the task produced (data-plane out).
+    pub bytes_out: u64,
 }
 
 impl TaskReport {
@@ -87,6 +107,9 @@ pub struct RunReport {
     pub threads: usize,
     /// Wall time of the whole run, milliseconds.
     pub makespan_ms: f64,
+    /// High-water mark of value-artifact bytes resident in the data store
+    /// (advertised sizes; the lifetime tracker's drop decisions shape this).
+    pub peak_resident_bytes: u64,
     pub tasks: Vec<TaskReport>,
 }
 
@@ -132,6 +155,16 @@ impl RunReport {
     /// Total executed attempts across all tasks (retries included).
     pub fn total_attempts(&self) -> u32 {
         self.tasks.iter().map(|t| t.attempts).sum()
+    }
+
+    /// Total advertised bytes read by tasks (data-plane traffic in).
+    pub fn total_bytes_in(&self) -> u64 {
+        self.tasks.iter().map(|t| t.bytes_in).sum()
+    }
+
+    /// Total advertised bytes produced by tasks (data-plane traffic out).
+    pub fn total_bytes_out(&self) -> u64 {
+        self.tasks.iter().map(|t| t.bytes_out).sum()
     }
 
     /// Tasks that needed more than one attempt, `(name, attempts)`.
@@ -201,6 +234,7 @@ mod tests {
         RunReport {
             threads: 2,
             makespan_ms: 100.0,
+            peak_resident_bytes: 4096,
             tasks: vec![
                 TaskReport {
                     name: "a".into(),
@@ -211,6 +245,8 @@ mod tests {
                     worker: Some(0),
                     depth: 0,
                     attempts: 1,
+                    bytes_in: 0,
+                    bytes_out: 1024,
                 },
                 TaskReport {
                     name: "b".into(),
@@ -221,6 +257,8 @@ mod tests {
                     worker: Some(1),
                     depth: 0,
                     attempts: 1,
+                    bytes_in: 1024,
+                    bytes_out: 512,
                 },
                 TaskReport {
                     name: "c".into(),
@@ -231,6 +269,8 @@ mod tests {
                     worker: None,
                     depth: 1,
                     attempts: 0,
+                    bytes_in: 0,
+                    bytes_out: 0,
                 },
             ],
         }
@@ -282,5 +322,23 @@ mod tests {
         let parsed: serde_json::Value = serde_json::from_str(&r.to_json()).unwrap();
         assert_eq!(parsed["threads"], 2);
         assert_eq!(parsed["tasks"].as_array().unwrap().len(), 3);
+        assert_eq!(parsed["peak_resident_bytes"], 4096);
+        assert_eq!(parsed["tasks"][1]["bytes_in"], 1024);
+    }
+
+    #[test]
+    fn human_bytes_scales_units() {
+        assert_eq!(human_bytes(0), "0 B");
+        assert_eq!(human_bytes(1023), "1023 B");
+        assert_eq!(human_bytes(1024), "1.0 KiB");
+        assert_eq!(human_bytes(1536 * 1024), "1.5 MiB");
+        assert_eq!(human_bytes(3 * 1024 * 1024 * 1024), "3.0 GiB");
+    }
+
+    #[test]
+    fn byte_totals() {
+        let r = report();
+        assert_eq!(r.total_bytes_in(), 1024);
+        assert_eq!(r.total_bytes_out(), 1536);
     }
 }

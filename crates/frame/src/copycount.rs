@@ -1,0 +1,54 @@
+//! Row-copy accounting: the test hook behind the zero-copy contract.
+//!
+//! Every frame operation that materializes rows into fresh buffers
+//! (`filter`, `take`, `compact`, view materialization) reports the number of
+//! rows it copied to a thread-local counter. Operations that are required to
+//! be zero-copy (`vstack`, `head`, `slice`, `select`, view construction)
+//! report nothing, so a test can snapshot the counter, run the operation, and
+//! assert the delta is zero.
+//!
+//! The counter is thread-local on purpose: copies performed by parallel
+//! kernel workers are not attributed to the coordinating thread, and
+//! concurrently running tests cannot pollute each other's deltas.
+
+use std::cell::Cell;
+
+thread_local! {
+    static ROWS_COPIED: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Record `rows` materialized row copies on this thread.
+pub(crate) fn add(rows: u64) {
+    ROWS_COPIED.with(|c| c.set(c.get() + rows));
+}
+
+/// Rows copied on this thread since the last [`reset`].
+pub fn rows_copied() -> u64 {
+    ROWS_COPIED.with(Cell::get)
+}
+
+/// Reset this thread's counter to zero.
+pub fn reset() {
+    ROWS_COPIED.with(|c| c.set(0));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_are_per_thread() {
+        reset();
+        add(3);
+        assert_eq!(rows_copied(), 3);
+        std::thread::spawn(|| {
+            assert_eq!(rows_copied(), 0, "fresh thread starts at zero");
+            add(100);
+        })
+        .join()
+        .unwrap();
+        assert_eq!(rows_copied(), 3, "other threads do not leak in");
+        reset();
+        assert_eq!(rows_copied(), 0);
+    }
+}

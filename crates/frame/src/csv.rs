@@ -6,7 +6,7 @@
 //! and best-effort type inference (string columns become int/float when every
 //! non-empty value parses; empty cells become nulls).
 
-use crate::column::Column;
+use crate::column::{Column, Cursor, DType};
 use crate::frame::{Frame, FrameError};
 use std::io::{BufRead, Write};
 
@@ -16,9 +16,15 @@ pub enum CsvError {
     Io(std::io::Error),
     Frame(FrameError),
     /// A data row's field count differs from the header's.
-    RaggedRow { line: usize, expected: usize, got: usize },
+    RaggedRow {
+        line: usize,
+        expected: usize,
+        got: usize,
+    },
     /// Unterminated quoted field.
-    UnterminatedQuote { line: usize },
+    UnterminatedQuote {
+        line: usize,
+    },
     Empty,
 }
 
@@ -67,22 +73,21 @@ fn quote_field(field: &str, sep: char) -> String {
 }
 
 /// Write a frame as delimiter-separated text with a header row.
-pub fn write_delimited(
-    frame: &Frame,
-    writer: &mut impl Write,
-    sep: char,
-) -> Result<(), CsvError> {
+pub fn write_delimited(frame: &Frame, writer: &mut impl Write, sep: char) -> Result<(), CsvError> {
     let names = frame.column_names();
     let header: Vec<String> = names.iter().map(|n| quote_field(n, sep)).collect();
     writeln!(writer, "{}", header.join(&sep.to_string()))?;
+    // Per-column cursors: the row scan stays amortized O(1) per cell even
+    // when the frame is a multi-month chunk concatenation.
+    let mut cursors: Vec<Cursor<'_>> = frame.iter().map(|(_, c)| c.cursor()).collect();
     let mut line = String::with_capacity(256);
     for row in 0..frame.height() {
         line.clear();
-        for (i, (_, col)) in frame.iter().enumerate() {
+        for (i, cur) in cursors.iter_mut().enumerate() {
             if i > 0 {
                 line.push(sep);
             }
-            line.push_str(&quote_field(&col.cell(row).render(), sep));
+            line.push_str(&quote_field(&cur.cell(row).render(), sep));
         }
         writeln!(writer, "{line}")?;
     }
@@ -189,9 +194,9 @@ pub fn read_csv_path(path: &std::path::Path) -> Result<Frame, CsvError> {
 pub fn infer_types(frame: &Frame) -> Frame {
     let mut out = Frame::new();
     for (name, col) in frame.iter() {
-        let converted = match col {
-            Column::Str { values, .. } => try_numeric(values),
-            other => Some(other.clone()),
+        let converted = match col.dtype() {
+            DType::Str => try_numeric(col),
+            _ => None,
         };
         out.add_column(name, converted.unwrap_or_else(|| col.clone()))
             .expect("same shape");
@@ -199,16 +204,19 @@ pub fn infer_types(frame: &Frame) -> Frame {
     out
 }
 
-fn try_numeric(values: &[String]) -> Option<Column> {
-    if values.is_empty() {
+/// Parse a string column into Int/Float if every non-empty, non-null value
+/// parses; empty and null cells become nulls.
+fn try_numeric(col: &Column) -> Option<Column> {
+    if col.is_empty() {
         return None;
     }
     let mut any_value = false;
     // Integer attempt.
-    let mut ints: Vec<Option<i64>> = Vec::with_capacity(values.len());
+    let mut cur = col.cursor();
+    let mut ints: Vec<Option<i64>> = Vec::with_capacity(col.len());
     let mut all_int = true;
-    for v in values {
-        let t = v.trim();
+    for row in 0..col.len() {
+        let t = cur.get_str(row).map_or("", str::trim);
         if t.is_empty() {
             ints.push(None);
         } else if let Ok(i) = t.parse::<i64>() {
@@ -223,9 +231,10 @@ fn try_numeric(values: &[String]) -> Option<Column> {
         return Some(Column::from_opt_i64(ints));
     }
     // Float attempt.
-    let mut floats: Vec<Option<f64>> = Vec::with_capacity(values.len());
-    for v in values {
-        let t = v.trim();
+    let mut cur = col.cursor();
+    let mut floats: Vec<Option<f64>> = Vec::with_capacity(col.len());
+    for row in 0..col.len() {
+        let t = cur.get_str(row).map_or("", str::trim);
         if t.is_empty() {
             floats.push(None);
         } else if let Ok(f) = t.parse::<f64>() {

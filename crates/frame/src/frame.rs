@@ -27,10 +27,7 @@ impl std::fmt::Display for FrameError {
                 column,
                 expected,
                 got,
-            } => write!(
-                f,
-                "column {column:?} has {got} rows, frame has {expected}"
-            ),
+            } => write!(f, "column {column:?} has {got} rows, frame has {expected}"),
             FrameError::DuplicateColumn(c) => write!(f, "duplicate column {c:?}"),
             FrameError::NoSuchColumn(c) => write!(f, "no such column {c:?}"),
             FrameError::TypeMismatch {
@@ -183,11 +180,30 @@ impl Frame {
         Frame { columns }
     }
 
-    /// First `n` rows.
+    /// First `n` rows — a zero-copy window over shared chunks, O(chunks).
     pub fn head(&self, n: usize) -> Frame {
-        let n = n.min(self.height());
-        let idx: Vec<usize> = (0..n).collect();
-        self.take(&idx)
+        self.slice(0, n.min(self.height()))
+    }
+
+    /// Rows `[offset, offset + len)` as zero-copy chunk windows.
+    pub fn slice(&self, offset: usize, len: usize) -> Frame {
+        let columns = self
+            .columns
+            .iter()
+            .map(|(n, c)| (n.clone(), c.slice(offset, len)))
+            .collect();
+        Frame { columns }
+    }
+
+    /// Materialize every column into one fresh contiguous chunk (copies all
+    /// rows; the explicit opposite of the zero-copy path).
+    pub fn compact(&self) -> Frame {
+        let columns = self
+            .columns
+            .iter()
+            .map(|(n, c)| (n.clone(), c.compact()))
+            .collect();
+        Frame { columns }
     }
 
     /// Cell at `(row, column)`.
@@ -196,22 +212,24 @@ impl Frame {
     }
 
     /// Vertically concatenate frames with identical schemas.
+    ///
+    /// Zero-copy: each output column is the concatenation of the inputs'
+    /// chunk lists — O(chunks) pointer work, no row copies. The inputs keep
+    /// sharing their buffers with the result.
     pub fn vstack(frames: &[Frame]) -> Result<Frame, FrameError> {
-        let mut nonempty: Vec<&Frame> = frames.iter().filter(|f| f.width() > 0).collect();
-        if nonempty.is_empty() {
+        let nonempty: Vec<&Frame> = frames.iter().filter(|f| f.width() > 0).collect();
+        let Some(first) = nonempty.first() else {
             return Ok(Frame::new());
-        }
-        let first = nonempty.remove(0);
-        let mut out = first.clone();
-        for f in nonempty {
-            if f.column_names() != out.column_names() {
+        };
+        for f in &nonempty[1..] {
+            if f.column_names() != first.column_names() {
                 return Err(FrameError::NoSuchColumn(format!(
                     "schema mismatch: {:?} vs {:?}",
-                    out.column_names(),
+                    first.column_names(),
                     f.column_names()
                 )));
             }
-            for (i, (name, col)) in out.columns.iter_mut().enumerate() {
+            for (i, (name, col)) in first.columns.iter().enumerate() {
                 let other = &f.columns[i].1;
                 if other.dtype() != col.dtype() {
                     return Err(FrameError::TypeMismatch {
@@ -220,10 +238,18 @@ impl Frame {
                         got: other.dtype(),
                     });
                 }
-                append_column(col, other);
             }
         }
-        Ok(out)
+        let columns = first
+            .columns
+            .iter()
+            .enumerate()
+            .map(|(i, (name, _))| {
+                let parts: Vec<&Column> = nonempty.iter().map(|f| &f.columns[i].1).collect();
+                (name.clone(), Column::concat(&parts))
+            })
+            .collect();
+        Ok(Frame { columns })
     }
 
     /// Argsort by one column ascending/descending (nulls last), stable.
@@ -284,68 +310,11 @@ impl Frame {
     pub fn iter(&self) -> impl Iterator<Item = (&str, &Column)> {
         self.columns.iter().map(|(n, c)| (n.as_str(), c))
     }
-}
 
-fn append_column(dst: &mut Column, src: &Column) {
-    // Materialize validity on both sides if either has one.
-    fn merge_validity(
-        dst_len: usize,
-        dst_v: &mut Option<Vec<bool>>,
-        src_len: usize,
-        src_v: Option<&Vec<bool>>,
-    ) {
-        if dst_v.is_none() && src_v.is_none() {
-            return;
-        }
-        let mut v = dst_v.take().unwrap_or_else(|| vec![true; dst_len]);
-        match src_v {
-            Some(sv) => v.extend(sv.iter().copied()),
-            None => v.extend(std::iter::repeat(true).take(src_len)),
-        }
-        *dst_v = Some(v);
-    }
-    match (dst, src) {
-        (
-            Column::Int { values, validity },
-            Column::Int {
-                values: sv,
-                validity: svd,
-            },
-        ) => {
-            merge_validity(values.len(), validity, sv.len(), svd.as_ref());
-            values.extend_from_slice(sv);
-        }
-        (
-            Column::Float { values, validity },
-            Column::Float {
-                values: sv,
-                validity: svd,
-            },
-        ) => {
-            merge_validity(values.len(), validity, sv.len(), svd.as_ref());
-            values.extend_from_slice(sv);
-        }
-        (
-            Column::Str { values, validity },
-            Column::Str {
-                values: sv,
-                validity: svd,
-            },
-        ) => {
-            merge_validity(values.len(), validity, sv.len(), svd.as_ref());
-            values.extend_from_slice(sv);
-        }
-        (
-            Column::Bool { values, validity },
-            Column::Bool {
-                values: sv,
-                validity: svd,
-            },
-        ) => {
-            merge_validity(values.len(), validity, sv.len(), svd.as_ref());
-            values.extend_from_slice(sv);
-        }
-        _ => unreachable!("dtype checked by caller"),
+    /// Estimated resident bytes across all columns (feeds the dataflow
+    /// artifact accounting; windows over shared buffers count in full).
+    pub fn estimated_bytes(&self) -> usize {
+        self.columns.iter().map(|(_, c)| c.estimated_bytes()).sum()
     }
 }
 
@@ -355,7 +324,10 @@ mod tests {
 
     fn sample() -> Frame {
         Frame::new()
-            .with("user", Column::from_str(vec!["a".into(), "b".into(), "a".into()]))
+            .with(
+                "user",
+                Column::from_str(vec!["a".into(), "b".into(), "a".into()]),
+            )
             .with("wait", Column::from_i64(vec![10, 300, 25]))
             .with("ok", Column::from_bool(vec![true, false, true]))
     }
@@ -418,10 +390,7 @@ mod tests {
 
     #[test]
     fn sort_nulls_last() {
-        let f = Frame::new().with(
-            "x",
-            Column::from_opt_i64(vec![Some(5), None, Some(1)]),
-        );
+        let f = Frame::new().with("x", Column::from_opt_i64(vec![Some(5), None, Some(1)]));
         let s = f.sort_by("x", false).unwrap();
         assert_eq!(s.column("x").unwrap().get_i64(0), Some(1));
         assert_eq!(s.column("x").unwrap().get_i64(2), None);
@@ -462,6 +431,49 @@ mod tests {
     fn head_truncates() {
         assert_eq!(sample().head(2).height(), 2);
         assert_eq!(sample().head(99).height(), 3);
+    }
+
+    #[test]
+    fn head_is_a_zero_copy_view() {
+        let f = Frame::vstack(&[sample(), sample()]).unwrap();
+        crate::copycount::reset();
+        let h = f.head(4);
+        assert_eq!(
+            crate::copycount::rows_copied(),
+            0,
+            "head must not materialize rows"
+        );
+        assert_eq!(h.height(), 4);
+        assert_eq!(h.str("user").unwrap().get_str(3), Some("a"));
+        assert_eq!(h.column("wait").unwrap().get_i64(3), Some(10));
+    }
+
+    #[test]
+    fn vstack_performs_zero_row_copies() {
+        let months: Vec<Frame> = (0..6).map(|_| sample()).collect();
+        crate::copycount::reset();
+        let merged = Frame::vstack(&months).unwrap();
+        assert_eq!(
+            crate::copycount::rows_copied(),
+            0,
+            "vstack must concatenate chunks, not rows"
+        );
+        assert_eq!(merged.height(), 18);
+        assert_eq!(merged.column("wait").unwrap().num_chunks(), 6);
+        // The merge shares buffers with the inputs and stays logically equal
+        // to the eager single-chunk result.
+        assert_eq!(merged, merged.compact());
+    }
+
+    #[test]
+    fn slice_windows_share_chunks() {
+        let f = Frame::vstack(&[sample(), sample()]).unwrap();
+        crate::copycount::reset();
+        let s = f.slice(2, 3);
+        assert_eq!(crate::copycount::rows_copied(), 0);
+        assert_eq!(s.height(), 3);
+        assert_eq!(s.i64("wait").unwrap().get_i64(0), Some(25));
+        assert_eq!(s.i64("wait").unwrap().get_i64(1), Some(10));
     }
 
     #[test]

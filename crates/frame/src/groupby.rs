@@ -1,13 +1,23 @@
-//! Hash group-by with parallel partial aggregation.
+//! Morsel-driven hash group-by with parallel partial aggregation.
 //!
-//! Each worker folds a contiguous row range into its own hash map of partial
-//! accumulators (no shared state, no locks), and the per-worker maps are
-//! merged at the end — the textbook two-phase parallel aggregation.
+//! Phase 1 splits the input into morsels — per-worker row ranges refined at
+//! the chunk boundaries of the driving key column, so each morsel scans one
+//! contiguous buffer — and folds each into a private hash map of partial
+//! accumulators (no shared state, no locks). Phase 2 merges the per-worker
+//! maps. Because workers walk the chunked columns through [`crate::column::Cursor`]s,
+//! a multi-month `vstack` aggregates in place: no pre-merge compaction, no
+//! row copies.
+//!
+//! The kernel is selection-aware: [`group_by_selection`] aggregates a
+//! [`crate::view::Selection`] (a filtered/reordered view) directly, with
+//! group order defined by first occurrence *in view order*.
 
-use crate::column::{Cell, Column, DType};
+use crate::column::{Column, Cursor, DType};
 use crate::frame::{Frame, FrameError};
+use crate::view::Selection;
 use schedflow_dataflow::par;
 use std::collections::HashMap;
+use std::ops::Range;
 
 /// An aggregation over one column (or over the group itself for `Count`).
 #[derive(Debug, Clone, PartialEq)]
@@ -87,12 +97,39 @@ impl Accum {
     }
 }
 
-type GroupMap = HashMap<Vec<u8>, (usize, Vec<Accum>)>;
+/// key -> (first view ordinal, base row of that ordinal, partial accumulators)
+type GroupMap = HashMap<Vec<u8>, (usize, usize, Vec<Accum>)>;
+
+/// Split `0..height` into per-worker morsels: `split_ranges` refined at the
+/// driving column's chunk starts, so each morsel lies within one chunk.
+/// Returns one morsel list per worker.
+fn morsels(height: usize, chunk_starts: &[usize], workers: usize) -> Vec<Vec<Range<usize>>> {
+    par::split_ranges(height, workers)
+        .into_iter()
+        .map(|r| {
+            let mut parts = Vec::new();
+            let mut pos = r.start;
+            for &s in chunk_starts.iter().filter(|&&s| s > r.start && s < r.end) {
+                parts.push(pos..s);
+                pos = s;
+            }
+            parts.push(pos..r.end);
+            parts
+        })
+        .collect()
+}
 
 /// Group `frame` by `keys` and compute `aggs`; output columns are named by
 /// the paired strings. Groups appear in order of first occurrence.
-pub fn group_by(
+pub fn group_by(frame: &Frame, keys: &[&str], aggs: &[(&str, Agg)]) -> Result<Frame, FrameError> {
+    group_by_selection(frame, &Selection::All(frame.height()), keys, aggs)
+}
+
+/// Selection-aware group-by: aggregate the view rows of `sel` without
+/// materializing them. Group order is first occurrence in view order.
+pub(crate) fn group_by_selection(
     frame: &Frame,
+    sel: &Selection,
     keys: &[&str],
     aggs: &[(&str, Agg)],
 ) -> Result<Frame, FrameError> {
@@ -116,58 +153,48 @@ pub fn group_by(
         .collect::<Result<_, _>>()?;
     let collect_flags: Vec<bool> = aggs.iter().map(|(_, a)| a.needs_values()).collect();
 
-    let height = frame.height();
-    let encode_key = |row: usize| -> Vec<u8> {
-        let mut key = Vec::with_capacity(keys.len() * 8);
-        for c in &key_cols {
-            match c.cell(row) {
-                Cell::Null => key.push(0u8),
-                Cell::Int(v) => {
-                    key.push(1);
-                    key.extend_from_slice(&v.to_le_bytes());
-                }
-                Cell::Bool(b) => {
-                    key.push(2);
-                    key.push(u8::from(b));
-                }
-                Cell::Str(s) => {
-                    key.push(3);
-                    key.extend_from_slice(&(s.len() as u32).to_le_bytes());
-                    key.extend_from_slice(s.as_bytes());
-                }
-                Cell::Float(_) => unreachable!("float keys rejected above"),
-            }
-        }
-        key
-    };
+    let height = sel.len();
 
-    // Phase 1: per-chunk partial maps.
-    let ranges = par::split_ranges(height, par::threads());
-    let fold_range = |range: std::ops::Range<usize>| -> GroupMap {
+    // Phase 1: fold morsels into per-worker partial maps. Each worker owns
+    // sequential cursors into every referenced column, so chunk lookup is
+    // amortized O(1) even across month boundaries.
+    let fold_morsels = |parts: &[Range<usize>]| -> GroupMap {
         let mut map: GroupMap = HashMap::new();
-        for row in range {
-            let key = encode_key(row);
-            let entry = map
-                .entry(key)
-                .or_insert_with(|| (row, vec![Accum::new(); aggs.len()]));
-            for (ai, acc) in entry.1.iter_mut().enumerate() {
-                let v = agg_cols[ai].and_then(|c| c.get_f64(row));
-                acc.push(v, collect_flags[ai]);
+        let mut key_curs: Vec<Cursor<'_>> = key_cols.iter().map(|c| c.cursor()).collect();
+        let mut agg_curs: Vec<Option<Cursor<'_>>> =
+            agg_cols.iter().map(|c| c.map(Column::cursor)).collect();
+        let mut key = Vec::with_capacity(keys.len() * 8);
+        for range in parts {
+            for ord in range.clone() {
+                let row = sel.base(ord);
+                key.clear();
+                for (c, cur) in key_cols.iter().zip(key_curs.iter_mut()) {
+                    encode_key_part(&mut key, c.dtype(), cur, row);
+                }
+                let entry = map
+                    .entry(key.clone())
+                    .or_insert_with(|| (ord, row, vec![Accum::new(); aggs.len()]));
+                for (ai, acc) in entry.2.iter_mut().enumerate() {
+                    let v = agg_curs[ai].as_mut().and_then(|c| c.get_f64(row));
+                    acc.push(v, collect_flags[ai]);
+                }
             }
         }
         map
     };
 
-    let partials: Vec<GroupMap> = if height < par::PAR_THRESHOLD || ranges.len() <= 1 {
-        vec![fold_range(0..height)]
+    let workers = par::threads();
+    let align = key_cols.first().map_or(&[0usize][..], |c| c.chunk_starts());
+    let worker_parts = morsels(height, align, workers);
+    let partials: Vec<GroupMap> = if height < par::PAR_THRESHOLD || worker_parts.len() <= 1 {
+        vec![fold_morsels(std::slice::from_ref(&(0..height)))]
     } else {
         std::thread::scope(|scope| {
-            let joins: Vec<_> = ranges
+            let joins: Vec<_> = worker_parts
                 .iter()
-                .map(|r| {
-                    let r = r.clone();
-                    let fold_range = &fold_range;
-                    scope.spawn(move || fold_range(r))
+                .map(|parts| {
+                    let fold_morsels = &fold_morsels;
+                    scope.spawn(move || fold_morsels(parts))
                 })
                 .collect();
             joins
@@ -180,15 +207,18 @@ pub fn group_by(
     // Phase 2: merge.
     let mut merged: GroupMap = HashMap::new();
     for partial in partials {
-        for (key, (first_row, accs)) in partial {
+        for (key, (first_ord, first_row, accs)) in partial {
             match merged.entry(key) {
                 std::collections::hash_map::Entry::Vacant(e) => {
-                    e.insert((first_row, accs));
+                    e.insert((first_ord, first_row, accs));
                 }
                 std::collections::hash_map::Entry::Occupied(mut e) => {
                     let slot = e.get_mut();
-                    slot.0 = slot.0.min(first_row);
-                    for (dst, src) in slot.1.iter_mut().zip(accs) {
+                    if first_ord < slot.0 {
+                        slot.0 = first_ord;
+                        slot.1 = first_row;
+                    }
+                    for (dst, src) in slot.2.iter_mut().zip(accs) {
                         dst.merge(src);
                     }
                 }
@@ -196,12 +226,12 @@ pub fn group_by(
         }
     }
 
-    // Stable output order: first occurrence in the frame.
-    let mut groups: Vec<(usize, Vec<Accum>)> = merged.into_values().collect();
-    groups.sort_by_key(|(first, _)| *first);
+    // Stable output order: first occurrence in view order.
+    let mut groups: Vec<(usize, usize, Vec<Accum>)> = merged.into_values().collect();
+    groups.sort_by_key(|(first_ord, _, _)| *first_ord);
 
-    // Key columns from representative rows.
-    let rep_rows: Vec<usize> = groups.iter().map(|(first, _)| *first).collect();
+    // Key columns from representative base rows.
+    let rep_rows: Vec<usize> = groups.iter().map(|(_, row, _)| *row).collect();
     let mut out = Frame::new();
     for (ki, k) in keys.iter().enumerate() {
         out.add_column(k, key_cols[ki].take(&rep_rows))?;
@@ -210,14 +240,14 @@ pub fn group_by(
     // Aggregate columns.
     for (ai, (name, agg)) in aggs.iter().enumerate() {
         let col = match agg {
-            Agg::Count => Column::from_i64(
-                groups.iter().map(|(_, a)| a[ai].count as i64).collect(),
-            ),
-            Agg::Sum(_) => Column::from_f64(groups.iter().map(|(_, a)| a[ai].sum).collect()),
+            Agg::Count => {
+                Column::from_i64(groups.iter().map(|(_, _, a)| a[ai].count as i64).collect())
+            }
+            Agg::Sum(_) => Column::from_f64(groups.iter().map(|(_, _, a)| a[ai].sum).collect()),
             Agg::Mean(_) => Column::from_opt_f64(
                 groups
                     .iter()
-                    .map(|(_, a)| {
+                    .map(|(_, _, a)| {
                         let acc = &a[ai];
                         (acc.n > 0).then(|| acc.sum / acc.n as f64)
                     })
@@ -226,13 +256,13 @@ pub fn group_by(
             Agg::Min(_) => Column::from_opt_f64(
                 groups
                     .iter()
-                    .map(|(_, a)| (a[ai].n > 0).then_some(a[ai].min))
+                    .map(|(_, _, a)| (a[ai].n > 0).then_some(a[ai].min))
                     .collect(),
             ),
             Agg::Max(_) => Column::from_opt_f64(
                 groups
                     .iter()
-                    .map(|(_, a)| (a[ai].n > 0).then_some(a[ai].max))
+                    .map(|(_, _, a)| (a[ai].n > 0).then_some(a[ai].max))
                     .collect(),
             ),
             Agg::Median(_) => quantile_column(&groups, ai, 0.5),
@@ -243,11 +273,41 @@ pub fn group_by(
     Ok(out)
 }
 
-fn quantile_column(groups: &[(usize, Vec<Accum>)], ai: usize, q: f64) -> Column {
+/// Append one key column's value at `row` to the group key encoding.
+/// Tags match the pre-chunked format: 0 null, 1 int, 2 bool, 3 str.
+fn encode_key_part(key: &mut Vec<u8>, dtype: DType, cur: &mut Cursor<'_>, row: usize) {
+    match dtype {
+        DType::Int => match cur.get_i64(row) {
+            None => key.push(0),
+            Some(v) => {
+                key.push(1);
+                key.extend_from_slice(&v.to_le_bytes());
+            }
+        },
+        DType::Bool => match cur.get_i64(row) {
+            None => key.push(0),
+            Some(v) => {
+                key.push(2);
+                key.push(v as u8);
+            }
+        },
+        DType::Str => match cur.get_str(row) {
+            None => key.push(0),
+            Some(s) => {
+                key.push(3);
+                key.extend_from_slice(&(s.len() as u32).to_le_bytes());
+                key.extend_from_slice(s.as_bytes());
+            }
+        },
+        DType::Float => unreachable!("float keys rejected above"),
+    }
+}
+
+fn quantile_column(groups: &[(usize, usize, Vec<Accum>)], ai: usize, q: f64) -> Column {
     Column::from_opt_f64(
         groups
             .iter()
-            .map(|(_, a)| {
+            .map(|(_, _, a)| {
                 let mut vals = a[ai].values.clone();
                 if vals.is_empty() {
                     return None;
@@ -386,5 +446,59 @@ mod tests {
         assert_eq!(total as usize, n);
         let sum: f64 = g.f64("sum").unwrap().f64_values().iter().sum();
         assert_eq!(sum, (n as f64 - 1.0) * n as f64 / 2.0);
+    }
+
+    #[test]
+    fn aggregates_multi_chunk_merges_without_compaction() {
+        // Two "months" stacked: the kernel must cross the chunk seam with
+        // cursors, not copies, and match the single-chunk result.
+        let merged = Frame::vstack(&[sample(), sample()]).unwrap();
+        crate::copycount::reset();
+        let g = group_by(
+            &merged,
+            &["user"],
+            &[("n", Agg::Count), ("sum", Agg::Sum("wait".into()))],
+        )
+        .unwrap();
+        // Only the 3 representative key rows materialize.
+        assert_eq!(crate::copycount::rows_copied(), 3);
+        let eager = group_by(
+            &merged.compact(),
+            &["user"],
+            &[("n", Agg::Count), ("sum", Agg::Sum("wait".into()))],
+        )
+        .unwrap();
+        assert_eq!(g, eager);
+        assert_eq!(g.i64("n").unwrap().i64_values(), &[6, 4, 2]);
+    }
+
+    #[test]
+    fn view_group_by_respects_selection_and_order() {
+        let f = sample();
+        // Drop row 0 ("a",10): first occurrence order becomes b, a, c.
+        let v = f
+            .view()
+            .filter(&[false, true, true, true, true, true])
+            .unwrap();
+        let g = v
+            .group_by(&["user"], &[("sum", Agg::Sum("wait".into()))])
+            .unwrap();
+        assert_eq!(g.str("user").unwrap().str_values(), &["b", "a", "c"]);
+        assert_eq!(g.f64("sum").unwrap().f64_values(), &[80.0, 80.0, 40.0]);
+    }
+
+    #[test]
+    fn morsels_align_to_chunk_starts() {
+        let per_worker = morsels(10, &[0, 4, 8], 2);
+        assert_eq!(per_worker.len(), 2);
+        let flat: Vec<Range<usize>> = per_worker.into_iter().flatten().collect();
+        // Covers 0..10 in order, splitting at 4 and 8.
+        assert_eq!(flat.first().unwrap().start, 0);
+        assert_eq!(flat.last().unwrap().end, 10);
+        for w in flat.windows(2) {
+            assert_eq!(w[0].end, w[1].start);
+        }
+        assert!(flat.iter().all(|r| !(r.start < 4 && r.end > 4)));
+        assert!(flat.iter().all(|r| !(r.start < 8 && r.end > 8)));
     }
 }

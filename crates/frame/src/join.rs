@@ -1,12 +1,18 @@
-//! Hash joins on a single key column.
+//! Morsel-driven hash joins on a single key column.
 //!
 //! Used by the federation analytics (§6's "multi-cluster and federated
 //! analytics" future work): aligning per-system summary frames on a shared
 //! key. Supports inner and left joins; right columns are renamed with a
 //! suffix when they collide with left names.
+//!
+//! The build phase indexes the right side once; the probe phase walks the
+//! left side in `par::split_ranges` morsels with per-worker
+//! [`crate::column::Cursor`]s, so a chunked (multi-month) left frame probes
+//! in parallel without compaction.
 
-use crate::column::{Cell, Column, DType};
+use crate::column::{Column, Cursor, DType};
 use crate::frame::{Frame, FrameError};
+use schedflow_dataflow::par;
 use std::collections::HashMap;
 
 /// Join flavor.
@@ -18,21 +24,20 @@ pub enum JoinKind {
     Left,
 }
 
-fn key_bytes(col: &Column, row: usize) -> Option<Vec<u8>> {
-    match col.cell(row) {
-        Cell::Null => None,
-        Cell::Str(s) => {
+fn key_bytes(dtype: DType, cur: &mut Cursor<'_>, row: usize) -> Option<Vec<u8>> {
+    match dtype {
+        DType::Str => cur.get_str(row).map(|s| {
             let mut k = vec![3u8];
             k.extend_from_slice(s.as_bytes());
-            Some(k)
-        }
-        Cell::Int(v) => {
+            k
+        }),
+        DType::Int => cur.get_i64(row).map(|v| {
             let mut k = vec![1u8];
             k.extend_from_slice(&v.to_le_bytes());
-            Some(k)
-        }
-        Cell::Bool(b) => Some(vec![2u8, u8::from(b)]),
-        Cell::Float(_) => None, // float keys rejected by validation below
+            k
+        }),
+        DType::Bool => cur.get_i64(row).map(|v| vec![2u8, v as u8]),
+        DType::Float => None, // float keys rejected by validation below
     }
 }
 
@@ -40,12 +45,7 @@ fn key_bytes(col: &Column, row: usize) -> Option<Vec<u8>> {
 ///
 /// One output row per matching (left row, right row) pair; left rows without
 /// a match survive only under [`JoinKind::Left`] (with nulls on the right).
-pub fn join(
-    left: &Frame,
-    right: &Frame,
-    key: &str,
-    kind: JoinKind,
-) -> Result<Frame, FrameError> {
+pub fn join(left: &Frame, right: &Frame, key: &str, kind: JoinKind) -> Result<Frame, FrameError> {
     let lk = left.column(key)?;
     let rk = right.column(key)?;
     for (name, col) in [(key, lk), (key, rk)] {
@@ -65,32 +65,65 @@ pub fn join(
         });
     }
 
-    // Index the right side: key → row indices.
+    // Build: index the right side, key → row indices.
     let mut index: HashMap<Vec<u8>, Vec<usize>> = HashMap::new();
+    let mut rcur = rk.cursor();
     for row in 0..right.height() {
-        if let Some(k) = key_bytes(rk, row) {
+        if let Some(k) = key_bytes(rk.dtype(), &mut rcur, row) {
             index.entry(k).or_default().push(row);
         }
     }
 
-    // Emit row pairs.
-    let mut left_rows: Vec<usize> = Vec::new();
-    let mut right_rows: Vec<Option<usize>> = Vec::new();
-    for row in 0..left.height() {
-        match key_bytes(lk, row).and_then(|k| index.get(&k)) {
-            Some(matches) => {
-                for &r in matches {
-                    left_rows.push(row);
-                    right_rows.push(Some(r));
+    // Probe: emit row pairs, one morsel per worker.
+    let probe = |range: std::ops::Range<usize>| -> (Vec<usize>, Vec<Option<usize>>) {
+        let mut lcur = lk.cursor();
+        let mut left_rows: Vec<usize> = Vec::new();
+        let mut right_rows: Vec<Option<usize>> = Vec::new();
+        for row in range {
+            match key_bytes(lk.dtype(), &mut lcur, row).and_then(|k| index.get(&k)) {
+                Some(matches) => {
+                    for &r in matches {
+                        left_rows.push(row);
+                        right_rows.push(Some(r));
+                    }
                 }
-            }
-            None => {
-                if kind == JoinKind::Left {
-                    left_rows.push(row);
-                    right_rows.push(None);
+                None => {
+                    if kind == JoinKind::Left {
+                        left_rows.push(row);
+                        right_rows.push(None);
+                    }
                 }
             }
         }
+        (left_rows, right_rows)
+    };
+
+    let height = left.height();
+    let ranges = par::split_ranges(height, par::threads());
+    let parts: Vec<(Vec<usize>, Vec<Option<usize>>)> =
+        if height < par::PAR_THRESHOLD || ranges.len() <= 1 {
+            vec![probe(0..height)]
+        } else {
+            std::thread::scope(|scope| {
+                let joins: Vec<_> = ranges
+                    .iter()
+                    .map(|r| {
+                        let r = r.clone();
+                        let probe = &probe;
+                        scope.spawn(move || probe(r))
+                    })
+                    .collect();
+                joins
+                    .into_iter()
+                    .map(|j| j.join().expect("join worker panicked"))
+                    .collect()
+            })
+        };
+    let mut left_rows: Vec<usize> = Vec::new();
+    let mut right_rows: Vec<Option<usize>> = Vec::new();
+    for (lr, rr) in parts {
+        left_rows.extend(lr);
+        right_rows.extend(rr);
     }
 
     // Assemble: all left columns, then right columns (key skipped, name
@@ -124,29 +157,11 @@ fn gather_optional(col: &Column, rows: &[Option<usize>]) -> Column {
                 .map(|r| r.and_then(|i| col.get_f64(i)))
                 .collect(),
         ),
-        DType::Str => {
-            // Strings lack an Option constructor with validity; build one.
-            let values: Vec<String> = rows
-                .iter()
-                .map(|r| {
-                    r.and_then(|i| col.get_str(i))
-                        .unwrap_or("")
-                        .to_owned()
-                })
-                .collect();
-            let validity: Vec<bool> = rows
-                .iter()
-                .map(|r| r.map_or(false, |i| col.is_valid(i)))
-                .collect();
-            if validity.iter().all(|&b| b) {
-                Column::from_str(values)
-            } else {
-                Column::Str {
-                    values,
-                    validity: Some(validity),
-                }
-            }
-        }
+        DType::Str => Column::from_opt_str(
+            rows.iter()
+                .map(|r| r.and_then(|i| col.get_str(i).map(str::to_owned)))
+                .collect(),
+        ),
     }
 }
 
@@ -242,5 +257,14 @@ mod tests {
         let j = join(&l, &r, "k", JoinKind::Left).unwrap();
         assert_eq!(j.column("name").unwrap().get_str(0), Some("x"));
         assert_eq!(j.column("name").unwrap().get_str(1), None);
+    }
+
+    #[test]
+    fn chunked_left_side_probes_across_seams() {
+        let l = Frame::vstack(&[left(), left()]).unwrap();
+        let j = join(&l, &right(), "user", JoinKind::Inner).unwrap();
+        assert_eq!(j.height(), 4);
+        assert_eq!(j.str("user").unwrap().str_values(), &["a", "b", "a", "b"]);
+        assert_eq!(j.i64("failures").unwrap().i64_values(), &[1, 5, 1, 5]);
     }
 }

@@ -3,26 +3,37 @@
 //! A small columnar frame engine — the in-process substitute for the
 //! pandas/Polars layer of the paper's Python analysis stages.
 //!
-//! * [`column::Column`] — flat typed vectors (int/float/str/bool) with
-//!   validity masks;
+//! * [`column::Column`] — `Arc`-shared immutable chunks (int/float/str/bool)
+//!   with validity masks; concat and slice are zero-copy chunk windowing;
 //! * [`frame::Frame`] — equal-length named columns with select / filter /
-//!   sort / vstack;
-//! * [`groupby`] — two-phase parallel hash aggregation (count, sum, mean,
-//!   min, max, median, quantile);
+//!   sort / O(chunks) `vstack`;
+//! * [`view`] — selection-vector views (`filter`/`take`/`head` compose
+//!   without copying; materialization is explicit and on demand);
+//! * [`groupby`] — morsel-driven two-phase parallel hash aggregation
+//!   (count, sum, mean, min, max, median, quantile) over chunked columns
+//!   and views;
 //! * [`join`] — hash joins for multi-frame (federated) analyses;
 //! * [`csv`] — quoting CSV / pipe-separated I/O plus type inference, the
 //!   paper's curate-stage format boundary;
-//! * [`stats`] — descriptive statistics feeding analytics and chart digests.
+//! * [`stats`] — descriptive statistics feeding analytics and chart digests;
+//! * [`copycount`] — thread-local row-copy accounting, the test hook that
+//!   enforces the zero-copy contract.
 
 pub mod column;
+pub mod copycount;
 pub mod csv;
 pub mod frame;
 pub mod groupby;
 pub mod join;
 pub mod stats;
+pub mod view;
 
-pub use column::{Cell, Column, DType};
-pub use csv::{infer_types, read_csv_path, read_delimited, write_csv, write_csv_path, write_delimited, CsvError};
+pub use column::{Cell, Column, Cursor, DType};
+pub use csv::{
+    infer_types, read_csv_path, read_delimited, write_csv, write_csv_path, write_delimited,
+    CsvError,
+};
 pub use frame::{Frame, FrameError};
 pub use groupby::{group_by, Agg};
 pub use join::{join, JoinKind};
+pub use view::{ColumnView, FrameView, Selection, ViewCursor};

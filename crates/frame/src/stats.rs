@@ -162,7 +162,11 @@ pub fn outliers(values: &[f64], k: f64) -> Vec<f64> {
     let iqr = q3 - q1;
     let lo = q1 - k * iqr;
     let hi = q3 + k * iqr;
-    values.iter().copied().filter(|&v| v < lo || v > hi).collect()
+    values
+        .iter()
+        .copied()
+        .filter(|&v| v < lo || v > hi)
+        .collect()
 }
 
 /// Five-number summary `(min, q1, median, q3, max)`.

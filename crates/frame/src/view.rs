@@ -1,0 +1,382 @@
+//! Selection-vector views: late-materializing row subsets of a frame.
+//!
+//! A [`FrameView`] is a borrowed frame plus a [`Selection`] — either the
+//! identity or an explicit row-index vector. Building a view (`filter`,
+//! `take`, `head`, and compositions thereof) never copies rows; only
+//! [`FrameView::materialize`] gathers the selected rows into fresh buffers,
+//! and kernels such as [`FrameView::group_by`] consume the selection
+//! directly without ever materializing it.
+//!
+//! This is the API the analytics stages run on: a stage filters the merged
+//! multi-month frame down to its population of interest and aggregates the
+//! view in place, so the only full-size buffers in the process are the
+//! shared per-month chunks.
+
+use crate::column::{Cell, Column, Cursor, DType};
+use crate::frame::{Frame, FrameError};
+use crate::groupby::{group_by_selection, Agg};
+
+/// Which rows of the base frame a view exposes, in view order.
+#[derive(Debug, Clone)]
+pub enum Selection {
+    /// All rows `0..n` in frame order.
+    All(usize),
+    /// Explicit base-row indices (a subset and/or reordering).
+    Indices(Vec<usize>),
+}
+
+impl Selection {
+    pub fn len(&self) -> usize {
+        match self {
+            Selection::All(n) => *n,
+            Selection::Indices(idx) => idx.len(),
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Base-frame row behind view row `i`.
+    #[inline]
+    pub fn base(&self, i: usize) -> usize {
+        match self {
+            Selection::All(_) => i,
+            Selection::Indices(idx) => idx[i],
+        }
+    }
+}
+
+impl Frame {
+    /// View of every row, in frame order. Zero-copy.
+    pub fn view(&self) -> FrameView<'_> {
+        FrameView {
+            frame: self,
+            selection: Selection::All(self.height()),
+        }
+    }
+}
+
+/// A zero-copy row subset of a borrowed frame.
+#[derive(Debug, Clone)]
+pub struct FrameView<'a> {
+    frame: &'a Frame,
+    selection: Selection,
+}
+
+impl<'a> FrameView<'a> {
+    /// The underlying frame (all rows, ignoring the selection).
+    pub fn frame(&self) -> &'a Frame {
+        self.frame
+    }
+
+    pub fn selection(&self) -> &Selection {
+        &self.selection
+    }
+
+    /// Number of selected rows.
+    pub fn height(&self) -> usize {
+        self.selection.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.selection.is_empty()
+    }
+
+    /// Base-frame row behind view row `i`.
+    pub fn base_row(&self, i: usize) -> usize {
+        self.selection.base(i)
+    }
+
+    /// Column accessor; the returned [`ColumnView`] resolves the selection.
+    pub fn column(&self, name: &str) -> Result<ColumnView<'_>, FrameError> {
+        Ok(ColumnView {
+            col: self.frame.column(name)?,
+            selection: &self.selection,
+        })
+    }
+
+    pub fn i64(&self, name: &str) -> Result<ColumnView<'_>, FrameError> {
+        self.typed(name, DType::Int)
+    }
+
+    pub fn f64(&self, name: &str) -> Result<ColumnView<'_>, FrameError> {
+        self.typed(name, DType::Float)
+    }
+
+    pub fn str(&self, name: &str) -> Result<ColumnView<'_>, FrameError> {
+        self.typed(name, DType::Str)
+    }
+
+    pub fn bool(&self, name: &str) -> Result<ColumnView<'_>, FrameError> {
+        self.typed(name, DType::Bool)
+    }
+
+    fn typed(&self, name: &str, dtype: DType) -> Result<ColumnView<'_>, FrameError> {
+        let col = self.frame.column(name)?;
+        if col.dtype() != dtype {
+            return Err(FrameError::TypeMismatch {
+                column: name.to_owned(),
+                expected: dtype,
+                got: col.dtype(),
+            });
+        }
+        Ok(ColumnView {
+            col,
+            selection: &self.selection,
+        })
+    }
+
+    /// Narrow the view to rows where `mask` (over *view* rows) is true.
+    /// Zero-copy: composes selections.
+    pub fn filter(&self, mask: &[bool]) -> Result<FrameView<'a>, FrameError> {
+        if mask.len() != self.height() {
+            return Err(FrameError::LengthMismatch {
+                column: "<mask>".to_owned(),
+                expected: self.height(),
+                got: mask.len(),
+            });
+        }
+        let indices = mask
+            .iter()
+            .enumerate()
+            .filter(|&(_, &m)| m)
+            .map(|(i, _)| self.selection.base(i))
+            .collect();
+        Ok(FrameView {
+            frame: self.frame,
+            selection: Selection::Indices(indices),
+        })
+    }
+
+    /// Reorder/subset by view-row indices. Zero-copy.
+    pub fn take(&self, indices: &[usize]) -> FrameView<'a> {
+        let indices = indices.iter().map(|&i| self.selection.base(i)).collect();
+        FrameView {
+            frame: self.frame,
+            selection: Selection::Indices(indices),
+        }
+    }
+
+    /// First `n` view rows. Zero-copy.
+    pub fn head(&self, n: usize) -> FrameView<'a> {
+        let n = n.min(self.height());
+        match &self.selection {
+            Selection::All(_) => FrameView {
+                frame: self.frame,
+                selection: Selection::Indices((0..n).collect()),
+            },
+            Selection::Indices(idx) => FrameView {
+                frame: self.frame,
+                selection: Selection::Indices(idx[..n].to_vec()),
+            },
+        }
+    }
+
+    /// Gather the selected rows into an owned frame (the only copying step;
+    /// identity selections just share the base frame's chunks).
+    pub fn materialize(&self) -> Frame {
+        match &self.selection {
+            Selection::All(_) => self.frame.clone(),
+            Selection::Indices(idx) => self.frame.take(idx),
+        }
+    }
+
+    /// Morsel-driven group-by over the selection — aggregates without
+    /// materializing the selected rows.
+    pub fn group_by(&self, keys: &[&str], aggs: &[(&str, Agg)]) -> Result<Frame, FrameError> {
+        group_by_selection(self.frame, &self.selection, keys, aggs)
+    }
+}
+
+/// A column seen through a view's selection.
+pub struct ColumnView<'v> {
+    col: &'v Column,
+    selection: &'v Selection,
+}
+
+impl<'v> ColumnView<'v> {
+    pub fn len(&self) -> usize {
+        self.selection.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.selection.is_empty()
+    }
+
+    pub fn dtype(&self) -> DType {
+        self.col.dtype()
+    }
+
+    pub fn is_valid(&self, i: usize) -> bool {
+        self.col.is_valid(self.selection.base(i))
+    }
+
+    pub fn get_i64(&self, i: usize) -> Option<i64> {
+        self.col.get_i64(self.selection.base(i))
+    }
+
+    pub fn get_f64(&self, i: usize) -> Option<f64> {
+        self.col.get_f64(self.selection.base(i))
+    }
+
+    pub fn get_str(&self, i: usize) -> Option<&'v str> {
+        self.col.get_str(self.selection.base(i))
+    }
+
+    pub fn cell(&self, i: usize) -> Cell {
+        self.col.cell(self.selection.base(i))
+    }
+
+    /// Boolean mask over *view* rows; null rows map to false.
+    pub fn mask_f64(&self, pred: impl Fn(f64) -> bool) -> Vec<bool> {
+        let mut cur = self.cursor();
+        (0..self.len())
+            .map(|i| cur.get_f64(i).map(&pred).unwrap_or(false))
+            .collect()
+    }
+
+    /// Boolean mask over *view* rows; null rows map to false.
+    pub fn mask_str(&self, pred: impl Fn(&str) -> bool) -> Vec<bool> {
+        let mut cur = self.cursor();
+        (0..self.len())
+            .map(|i| cur.get_str(i).map(&pred).unwrap_or(false))
+            .collect()
+    }
+
+    /// Validity mask over *view* rows.
+    pub fn validity_mask(&self) -> Vec<bool> {
+        let mut cur = self.cursor();
+        (0..self.len()).map(|i| cur.is_valid(i)).collect()
+    }
+
+    /// Valid numeric values in view order (nulls skipped).
+    pub fn numeric(&self) -> Vec<f64> {
+        let mut cur = self.cursor();
+        (0..self.len()).filter_map(|i| cur.get_f64(i)).collect()
+    }
+
+    /// Sequential reader over the view's rows: amortized O(1) per access
+    /// for monotone scans even when the column has many chunks.
+    pub fn cursor(&self) -> ViewCursor<'v> {
+        ViewCursor {
+            cur: self.col.cursor(),
+            selection: self.selection,
+        }
+    }
+}
+
+/// A chunk-seeking cursor through a column view; the scan-loop counterpart
+/// of [`crate::column::Cursor`] for selected row subsets.
+pub struct ViewCursor<'v> {
+    cur: Cursor<'v>,
+    selection: &'v Selection,
+}
+
+impl<'v> ViewCursor<'v> {
+    pub fn is_valid(&mut self, i: usize) -> bool {
+        self.cur.is_valid(self.selection.base(i))
+    }
+
+    pub fn get_i64(&mut self, i: usize) -> Option<i64> {
+        self.cur.get_i64(self.selection.base(i))
+    }
+
+    pub fn get_f64(&mut self, i: usize) -> Option<f64> {
+        self.cur.get_f64(self.selection.base(i))
+    }
+
+    pub fn get_str(&mut self, i: usize) -> Option<&'v str> {
+        self.cur.get_str(self.selection.base(i))
+    }
+
+    pub fn cell(&mut self, i: usize) -> Cell {
+        self.cur.cell(self.selection.base(i))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::copycount;
+
+    fn sample() -> Frame {
+        Frame::new()
+            .with(
+                "user",
+                Column::from_str(vec!["a".into(), "b".into(), "a".into(), "c".into()]),
+            )
+            .with(
+                "wait",
+                Column::from_opt_i64(vec![Some(10), Some(300), None, Some(25)]),
+            )
+    }
+
+    #[test]
+    fn views_compose_without_copying() {
+        let f = Frame::vstack(&[sample(), sample()]).unwrap();
+        copycount::reset();
+        let v = f.view();
+        let big = v
+            .filter(&v.column("wait").unwrap().mask_f64(|w| w > 20.0))
+            .unwrap();
+        let top = big.head(2);
+        assert_eq!(copycount::rows_copied(), 0, "view chain must not copy rows");
+        assert_eq!(big.height(), 4);
+        assert_eq!(top.height(), 2);
+        assert_eq!(top.column("user").unwrap().get_str(0), Some("b"));
+        assert_eq!(top.base_row(1), 3);
+    }
+
+    #[test]
+    fn materialize_matches_eager_filter() {
+        let f = Frame::vstack(&[sample(), sample()]).unwrap();
+        let mask: Vec<bool> = f.column("wait").unwrap().mask_f64(|w| w > 20.0);
+        let eager = f.filter(&mask).unwrap();
+        let view = f.view().filter(&mask).unwrap();
+        assert_eq!(view.materialize(), eager);
+    }
+
+    #[test]
+    fn take_through_a_filter_resolves_base_rows() {
+        let f = sample();
+        let v = f
+            .view()
+            .filter(&[false, true, false, true])
+            .unwrap()
+            .take(&[1, 0]);
+        assert_eq!(v.height(), 2);
+        assert_eq!(v.column("user").unwrap().get_str(0), Some("c"));
+        assert_eq!(v.column("user").unwrap().get_str(1), Some("b"));
+    }
+
+    #[test]
+    fn identity_materialize_shares_chunks() {
+        let f = Frame::vstack(&[sample(), sample()]).unwrap();
+        copycount::reset();
+        let owned = f.view().materialize();
+        assert_eq!(copycount::rows_copied(), 0);
+        assert_eq!(owned, f);
+    }
+
+    #[test]
+    fn column_view_honors_nulls() {
+        let f = sample();
+        let v = f.view().filter(&[true, false, true, true]).unwrap();
+        let w = v.column("wait").unwrap();
+        assert_eq!(w.get_i64(0), Some(10));
+        assert_eq!(w.get_i64(1), None);
+        assert!(!w.is_valid(1));
+        assert_eq!(w.numeric(), vec![10.0, 25.0]);
+        assert_eq!(w.mask_f64(|x| x > 20.0), vec![false, false, true]);
+    }
+
+    #[test]
+    fn mask_length_checked() {
+        let f = sample();
+        assert!(matches!(
+            f.view().filter(&[true]),
+            Err(FrameError::LengthMismatch { .. })
+        ));
+    }
+}

@@ -235,7 +235,10 @@ mod tests {
 
     #[test]
     fn free_beats_paid_all_else_equal() {
-        let openai = survey().into_iter().find(|o| o.provider == "OpenAI").unwrap();
+        let openai = survey()
+            .into_iter()
+            .find(|o| o.provider == "OpenAI")
+            .unwrap();
         let gemini = survey()
             .into_iter()
             .find(|o| o.version == "Gemini 2.5 Flash")
@@ -246,7 +249,17 @@ mod tests {
     #[test]
     fn table_text_contains_all_providers() {
         let t = table2_text();
-        for p in ["OpenAI", "Google", "Anthropic", "Apple", "DeepSeek", "Mistral", "Meta", "Microsoft", "Github"] {
+        for p in [
+            "OpenAI",
+            "Google",
+            "Anthropic",
+            "Apple",
+            "DeepSeek",
+            "Mistral",
+            "Meta",
+            "Microsoft",
+            "Github",
+        ] {
             assert!(t.contains(p), "{p} missing");
         }
         assert!(t.contains("Gemma 3"));

@@ -58,12 +58,7 @@ fn peak_phrase(grid: &DensityGrid, x_label: &str, y_label: &str) -> String {
     let share = if grid.total() == 0 {
         0.0
     } else {
-        *grid
-            .counts
-            .iter()
-            .max()
-            .unwrap_or(&0) as f64
-            / grid.total() as f64
+        *grid.counts.iter().max().unwrap_or(&0) as f64 / grid.total() as f64
     };
     format!(
         "the densest region sits at {}-{} / {}-{} ({:.0}% of points in one cell)",
@@ -106,7 +101,9 @@ impl Analyst for RuleAnalyst {
                 series,
                 density,
                 ..
-            } => Ok(scatter_insight(title, x_label, y_label, *diagonal, series, density)),
+            } => Ok(scatter_insight(
+                title, x_label, y_label, *diagonal, series, density,
+            )),
             ChartDigest::Bar {
                 title,
                 y_label,
@@ -131,7 +128,14 @@ impl Analyst for RuleAnalyst {
                 trough,
                 row_means,
                 ..
-            } => Ok(heatmap_insight(title, value_label, cells, peak, trough, row_means)),
+            } => Ok(heatmap_insight(
+                title,
+                value_label,
+                cells,
+                peak,
+                trough,
+                row_means,
+            )),
         }
     }
 
@@ -179,7 +183,9 @@ fn heatmap_insight(
     trough: &Option<(String, String, f64)>,
     row_means: &[(String, f64)],
 ) -> Insight {
-    let mut narrative = vec![format!("The heatmap \"{title}\" maps {value_label} over the week.")];
+    let mut narrative = vec![format!(
+        "The heatmap \"{title}\" maps {value_label} over the week."
+    )];
     let mut findings = Vec::new();
     let mut stats: Vec<(String, f64)> = Vec::new();
 
@@ -250,7 +256,10 @@ fn scatter_insight(
     let mut stats: Vec<(String, f64)> = vec![("points".into(), total_n as f64)];
 
     if let Some(grid) = density {
-        narrative.push(format!("Spatially, {}.", peak_phrase(grid, x_label, y_label)));
+        narrative.push(format!(
+            "Spatially, {}.",
+            peak_phrase(grid, x_label, y_label)
+        ));
     }
 
     // Pooled diagonal relation — only meaningful when the chart itself drew
@@ -356,7 +365,12 @@ fn bar_insight(
 
     if let Some((name, share)) = stacks
         .iter()
-        .map(|s| (s.name.clone(), if grand > 0.0 { s.total / grand } else { 0.0 }))
+        .map(|s| {
+            (
+                s.name.clone(),
+                if grand > 0.0 { s.total / grand } else { 0.0 },
+            )
+        })
         .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
     {
         narrative.push(format!(
@@ -580,7 +594,9 @@ mod tests {
     #[test]
     fn overestimation_yields_actionable_recommendation() {
         let insight = RuleAnalyst::new().insight(&walltime_chart(3.0)).unwrap();
-        assert!(insight.narrative.contains("overestimating their walltime requests"));
+        assert!(insight
+            .narrative
+            .contains("overestimating their walltime requests"));
         assert_eq!(insight.max_severity(), Some(Severity::Actionable));
         assert!(insight
             .findings
@@ -611,8 +627,12 @@ mod tests {
             }
         }
         digest(&Chart::Scatter(
-            ScatterChart::new(title, Axis::linear("submit time"), Axis::linear("wait time (seconds)"))
-                .with_series(Series::scatter("COMPLETED", xs, ys)),
+            ScatterChart::new(
+                title,
+                Axis::linear("submit time"),
+                Axis::linear("wait time (seconds)"),
+            )
+            .with_series(Series::scatter("COMPLETED", xs, ys)),
         ))
     }
 
@@ -666,30 +686,44 @@ mod tests {
     #[test]
     fn bar_comparison_contrasts_dispersion() {
         let skewed = Chart::Bar(
-            BarChart::new("frontier states", (0..10).map(|i| format!("u{i}")).collect(), "jobs", BarMode::Stacked)
-                .with_stack("FAILED", {
-                    let mut v = vec![2.0; 10];
-                    v[0] = 400.0;
-                    v
-                }),
+            BarChart::new(
+                "frontier states",
+                (0..10).map(|i| format!("u{i}")).collect(),
+                "jobs",
+                BarMode::Stacked,
+            )
+            .with_stack("FAILED", {
+                let mut v = vec![2.0; 10];
+                v[0] = 400.0;
+                v
+            }),
         );
         let uniform = Chart::Bar(
-            BarChart::new("andes states", (0..10).map(|i| format!("u{i}")).collect(), "jobs", BarMode::Stacked)
-                .with_stack("FAILED", vec![20.0; 10]),
+            BarChart::new(
+                "andes states",
+                (0..10).map(|i| format!("u{i}")).collect(),
+                "jobs",
+                BarMode::Stacked,
+            )
+            .with_stack("FAILED", vec![20.0; 10]),
         );
         let insight = RuleAnalyst::new()
             .compare(&digest(&skewed), &digest(&uniform))
             .unwrap();
-        assert!(insight
-            .findings
-            .iter()
-            .any(|f| f.text.contains("dispersion is markedly higher in frontier states")));
+        assert!(insight.findings.iter().any(|f| f
+            .text
+            .contains("dispersion is markedly higher in frontier states")));
     }
 
     #[test]
     fn mixed_kind_comparison_is_unsupported() {
         let s = walltime_chart(2.0);
-        let b = digest(&Chart::Bar(BarChart::new("b", vec![], "y", BarMode::Grouped)));
+        let b = digest(&Chart::Bar(BarChart::new(
+            "b",
+            vec![],
+            "y",
+            BarMode::Grouped,
+        )));
         assert!(matches!(
             RuleAnalyst::new().compare(&s, &b),
             Err(AnalystError::UnsupportedChart(_))
@@ -712,8 +746,14 @@ mod tests {
             values,
         );
         h.value_label = "mean wait (s)".into();
-        let insight = RuleAnalyst::new().insight(&digest(&Chart::Heatmap(h))).unwrap();
-        assert!(insight.narrative.contains("Mon 09:00"), "{}", insight.narrative);
+        let insight = RuleAnalyst::new()
+            .insight(&digest(&Chart::Heatmap(h)))
+            .unwrap();
+        assert!(
+            insight.narrative.contains("Mon 09:00"),
+            "{}",
+            insight.narrative
+        );
         assert!(insight.narrative.contains("Sat 03:00"));
         assert_eq!(insight.max_severity(), Some(Severity::Actionable));
         assert!(insight

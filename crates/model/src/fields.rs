@@ -300,15 +300,51 @@ mod tests {
     fn table1_fields_are_all_curated() {
         // Every field named in the paper's Table 1 must be selected.
         let table1 = [
-            "JobID", "Partition", "Reservation", "ReservationID",
-            "SubmitTime", "StartTime", "EndTime", "Elapsed", "Timelimit",
-            "NNodes", "NCPUs", "NTasks", "ReqMem", "ReqGRES", "Layout",
-            "VMSize", "AveCPU", "MaxRSS", "TotalCPU", "NodeList", "ConsumedEnergy",
-            "WorkDir", "AveDiskRead", "AveDiskWrite", "MaxDiskRead", "MaxDiskWrite",
-            "State", "ExitCode", "Reason", "Suspended", "Restarts", "Constraints",
-            "Priority", "Eligible", "QOS", "QOSReq", "Flags", "TRESUsageInAve", "TRESReq",
-            "Backfill", "Dependency", "ArrayJobID",
-            "Comment", "SystemComment", "AdminComment",
+            "JobID",
+            "Partition",
+            "Reservation",
+            "ReservationID",
+            "SubmitTime",
+            "StartTime",
+            "EndTime",
+            "Elapsed",
+            "Timelimit",
+            "NNodes",
+            "NCPUs",
+            "NTasks",
+            "ReqMem",
+            "ReqGRES",
+            "Layout",
+            "VMSize",
+            "AveCPU",
+            "MaxRSS",
+            "TotalCPU",
+            "NodeList",
+            "ConsumedEnergy",
+            "WorkDir",
+            "AveDiskRead",
+            "AveDiskWrite",
+            "MaxDiskRead",
+            "MaxDiskWrite",
+            "State",
+            "ExitCode",
+            "Reason",
+            "Suspended",
+            "Restarts",
+            "Constraints",
+            "Priority",
+            "Eligible",
+            "QOS",
+            "QOSReq",
+            "Flags",
+            "TRESUsageInAve",
+            "TRESReq",
+            "Backfill",
+            "Dependency",
+            "ArrayJobID",
+            "Comment",
+            "SystemComment",
+            "AdminComment",
         ];
         for name in table1 {
             let f = field(name).unwrap_or_else(|| panic!("{name} missing from catalogue"));
@@ -319,7 +355,10 @@ mod tests {
     #[test]
     fn duplicative_time_fields_are_excluded() {
         // §2 explicitly calls out Elapsed vs ElapsedRaw.
-        assert_eq!(field("ElapsedRaw").unwrap().excluded, Some(Exclusion::Duplicative));
+        assert_eq!(
+            field("ElapsedRaw").unwrap().excluded,
+            Some(Exclusion::Duplicative)
+        );
         assert!(field("Elapsed").unwrap().excluded.is_none());
     }
 

@@ -129,7 +129,9 @@ mod tests {
 
     #[test]
     fn insert_remove() {
-        let mut f = JobFlags::EMPTY.with(Flag::SchedBackfill).with(Flag::Dependent);
+        let mut f = JobFlags::EMPTY
+            .with(Flag::SchedBackfill)
+            .with(Flag::Dependent);
         assert!(f.contains(Flag::Dependent));
         f.remove(Flag::Dependent);
         assert!(!f.contains(Flag::Dependent));

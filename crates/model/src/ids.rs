@@ -254,7 +254,10 @@ mod tests {
             SacctId::parse_sacct("55.batch").unwrap(),
             SacctId::Step(_)
         ));
-        assert_eq!(SacctId::parse_sacct("55.3").unwrap().job(), JobId::plain(55));
+        assert_eq!(
+            SacctId::parse_sacct("55.3").unwrap().job(),
+            JobId::plain(55)
+        );
     }
 
     #[test]

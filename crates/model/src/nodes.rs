@@ -152,7 +152,10 @@ mod tests {
 
     #[test]
     fn contiguous_range() {
-        assert_eq!(compress("frontier", &[1, 2, 3, 4], 5), "frontier[00001-00004]");
+        assert_eq!(
+            compress("frontier", &[1, 2, 3, 4], 5),
+            "frontier[00001-00004]"
+        );
     }
 
     #[test]

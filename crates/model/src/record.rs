@@ -175,8 +175,7 @@ impl JobRecord {
     /// steps contained within the job window. Used by property tests and the
     /// curation malformed-record filter.
     pub fn validate(&self) -> Result<(), String> {
-        if !self.submit.is_unknown() && !self.eligible.is_unknown() && self.eligible < self.submit
-        {
+        if !self.submit.is_unknown() && !self.eligible.is_unknown() && self.eligible < self.submit {
             return Err(format!("{}: eligible before submit", self.id));
         }
         if !self.start.is_unknown() {
@@ -199,7 +198,10 @@ impl JobRecord {
         if self.state.is_terminal() && self.state != JobState::Cancelled && self.start.is_unknown()
         {
             // Cancelled-while-pending jobs legitimately never start.
-            return Err(format!("{}: terminal {} without start", self.id, self.state));
+            return Err(format!(
+                "{}: terminal {} without start",
+                self.id, self.state
+            ));
         }
         for s in &self.steps {
             if s.id.job != self.id {
@@ -460,7 +462,12 @@ mod tests {
 
     #[test]
     fn layout_round_trip() {
-        for l in [Layout::Block, Layout::Cyclic, Layout::Plane, Layout::Unknown] {
+        for l in [
+            Layout::Block,
+            Layout::Cyclic,
+            Layout::Plane,
+            Layout::Unknown,
+        ] {
             assert_eq!(Layout::parse_sacct(l.to_sacct()), l);
         }
         assert_eq!(Layout::parse_sacct("weird"), Layout::Unknown);

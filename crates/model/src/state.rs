@@ -208,7 +208,10 @@ mod tests {
 
     #[test]
     fn parses_canonical_and_short_forms() {
-        assert_eq!(JobState::parse_sacct("COMPLETED").unwrap(), JobState::Completed);
+        assert_eq!(
+            JobState::parse_sacct("COMPLETED").unwrap(),
+            JobState::Completed
+        );
         assert_eq!(JobState::parse_sacct("CD").unwrap(), JobState::Completed);
         assert_eq!(JobState::parse_sacct("oom").unwrap(), JobState::OutOfMemory);
     }

@@ -523,13 +523,19 @@ mod tests {
         assert_eq!(Elapsed(0).to_sacct(), "00:00:00");
         assert_eq!(Elapsed(59).to_sacct(), "00:00:59");
         assert_eq!(Elapsed(3661).to_sacct(), "01:01:01");
-        assert_eq!(Elapsed(2 * DAY + 3 * HOUR + 4 * MINUTE + 5).to_sacct(), "2-03:04:05");
+        assert_eq!(
+            Elapsed(2 * DAY + 3 * HOUR + 4 * MINUTE + 5).to_sacct(),
+            "2-03:04:05"
+        );
     }
 
     #[test]
     fn elapsed_parses_all_forms() {
         assert_eq!(Elapsed::parse_sacct("01:01:01").unwrap().0, 3661);
-        assert_eq!(Elapsed::parse_sacct("2-03:04:05").unwrap().0, 2 * DAY + 3 * HOUR + 4 * MINUTE + 5);
+        assert_eq!(
+            Elapsed::parse_sacct("2-03:04:05").unwrap().0,
+            2 * DAY + 3 * HOUR + 4 * MINUTE + 5
+        );
         assert_eq!(Elapsed::parse_sacct("05:30").unwrap().0, 330);
         assert_eq!(Elapsed::parse_sacct("90").unwrap().0, 90 * MINUTE);
         assert_eq!(Elapsed::parse_sacct("00:01:02.123").unwrap().0, 62);
@@ -545,7 +551,10 @@ mod tests {
 
     #[test]
     fn time_limit_variants() {
-        assert_eq!(TimeLimit::parse_sacct("UNLIMITED").unwrap(), TimeLimit::Unlimited);
+        assert_eq!(
+            TimeLimit::parse_sacct("UNLIMITED").unwrap(),
+            TimeLimit::Unlimited
+        );
         assert_eq!(
             TimeLimit::parse_sacct("Partition_Limit").unwrap(),
             TimeLimit::PartitionLimit
@@ -553,7 +562,10 @@ mod tests {
         let l = TimeLimit::parse_sacct("1-00:00:00").unwrap();
         assert_eq!(l.effective_secs(Elapsed(10)), Some(DAY));
         assert_eq!(TimeLimit::Unlimited.effective_secs(Elapsed(10)), None);
-        assert_eq!(TimeLimit::PartitionLimit.effective_secs(Elapsed(10)), Some(10));
+        assert_eq!(
+            TimeLimit::PartitionLimit.effective_secs(Elapsed(10)),
+            Some(10)
+        );
     }
 
     #[test]
@@ -565,8 +577,14 @@ mod tests {
     #[test]
     fn month_bounds() {
         assert_eq!(month_start(2024, 2).to_sacct(), "2024-02-01T00:00:00");
-        assert_eq!(month_end_exclusive(2024, 2).to_sacct(), "2024-03-01T00:00:00");
-        assert_eq!(month_end_exclusive(2024, 12).to_sacct(), "2025-01-01T00:00:00");
+        assert_eq!(
+            month_end_exclusive(2024, 2).to_sacct(),
+            "2024-03-01T00:00:00"
+        );
+        assert_eq!(
+            month_end_exclusive(2024, 12).to_sacct(),
+            "2025-01-01T00:00:00"
+        );
     }
 
     proptest! {

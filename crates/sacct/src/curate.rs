@@ -9,7 +9,10 @@
 use crate::parse::{parse_records, ParseReport};
 use schedflow_frame::{Column, Frame};
 use schedflow_model::record::JobRecord;
-use std::path::Path;
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::SystemTime;
 
 /// Result of curating one raw file.
 pub struct CurationResult {
@@ -127,8 +130,58 @@ pub fn curate_file(raw: &Path, csv_out: Option<&Path>) -> std::io::Result<Curati
     let result = curate_reader(std::io::BufReader::new(file))?;
     if let Some(out) = csv_out {
         schedflow_frame::write_csv_path(&result.frame, out)
-            .map_err(|e| std::io::Error::new(std::io::ErrorKind::Other, e.to_string()))?;
+            .map_err(|e| std::io::Error::other(e.to_string()))?;
     }
+    Ok(result)
+}
+
+/// `(len, mtime)` identity of a raw file — the same freshness signal the
+/// fetch cache trusts; atomic rename on refetch always bumps it.
+type RawStamp = (u64, SystemTime);
+
+type ParseMemo = Mutex<HashMap<PathBuf, (RawStamp, Arc<CurationResult>)>>;
+
+static PARSE_MEMO: OnceLock<ParseMemo> = OnceLock::new();
+
+fn memo() -> &'static ParseMemo {
+    PARSE_MEMO.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+fn raw_stamp(path: &Path) -> std::io::Result<RawStamp> {
+    let meta = std::fs::metadata(path)?;
+    Ok((meta.len(), meta.modified()?))
+}
+
+/// [`curate_file`] with warm-cache memoization: when the raw file's stamp is
+/// unchanged since the last parse, the previously built frame is returned as
+/// shared chunks (`Arc`-cloned, zero rows re-parsed or copied). One entry is
+/// kept per path, so the memo is bounded by the number of distinct periods.
+pub fn curate_file_cached(
+    raw: &Path,
+    csv_out: Option<&Path>,
+) -> std::io::Result<Arc<CurationResult>> {
+    let stamp = raw_stamp(raw)?;
+    let hit = memo()
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .get(raw)
+        .filter(|(s, _)| *s == stamp)
+        .map(|(_, cached)| Arc::clone(cached));
+    if let Some(cached) = hit {
+        // The CSV side product must still exist for downstream file tasks.
+        if let Some(out) = csv_out {
+            if !out.exists() {
+                schedflow_frame::write_csv_path(&cached.frame, out)
+                    .map_err(|e| std::io::Error::other(e.to_string()))?;
+            }
+        }
+        return Ok(cached);
+    }
+    let result = Arc::new(curate_file(raw, csv_out)?);
+    memo()
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .insert(raw.to_path_buf(), (stamp, Arc::clone(&result)));
     Ok(result)
 }
 
@@ -165,10 +218,7 @@ mod tests {
         assert_eq!(f.column("month").unwrap().get_i64(0), Some(5));
         // elapsed_min is the §2 minutes conversion.
         assert_eq!(f.column("elapsed_min").unwrap().get_f64(0), Some(60.0));
-        assert_eq!(
-            f.column("node_hours").unwrap().get_f64(0),
-            Some(64.0)
-        );
+        assert_eq!(f.column("node_hours").unwrap().get_f64(0), Some(64.0));
     }
 
     #[test]
@@ -204,11 +254,42 @@ mod tests {
         )
         .unwrap();
         let result = curate_reader(std::io::Cursor::new(buf)).unwrap();
-        assert_eq!(
-            result.frame.height() + result.report.malformed.len(),
-            300
-        );
+        assert_eq!(result.frame.height() + result.report.malformed.len(), 300);
         assert!(!result.report.malformed.is_empty());
+    }
+
+    #[test]
+    fn warm_cache_reuses_parsed_chunks() {
+        let dir = std::env::temp_dir().join(format!("schedflow-memo-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let raw = dir.join("raw.txt");
+        let csv = dir.join("curated.csv");
+        let mut f = std::fs::File::create(&raw).unwrap();
+        write_records(&sample_records(), &mut f, &RenderOptions::default()).unwrap();
+        drop(f);
+
+        let first = curate_file_cached(&raw, Some(&csv)).unwrap();
+        let second = curate_file_cached(&raw, Some(&csv)).unwrap();
+        assert!(
+            Arc::ptr_eq(&first, &second),
+            "unchanged raw file must be served from the memo"
+        );
+
+        // A missing CSV side product is rewritten from the memoized frame.
+        std::fs::remove_file(&csv).unwrap();
+        let third = curate_file_cached(&raw, Some(&csv)).unwrap();
+        assert!(Arc::ptr_eq(&first, &third));
+        assert!(csv.exists());
+
+        // Rewriting the raw file (different length) invalidates the entry.
+        let mut f = std::fs::File::create(&raw).unwrap();
+        let longer: Vec<_> = (0..5).map(|i| JobRecordBuilder::new(i).build()).collect();
+        write_records(&longer, &mut f, &RenderOptions::default()).unwrap();
+        drop(f);
+        let fourth = curate_file_cached(&raw, None).unwrap();
+        assert!(!Arc::ptr_eq(&first, &fourth), "stale memo entry must miss");
+        assert_eq!(fourth.frame.height(), 5);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

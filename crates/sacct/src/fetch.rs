@@ -362,8 +362,7 @@ mod tests {
         let spec = FetchSpec::monthly((2024, 2), (2024, 2), &dir);
         let results = obtain_data(&store(), &spec).unwrap();
         let file = std::fs::File::open(&results[0].path).unwrap();
-        let (records, report) =
-            crate::parse::parse_records(std::io::BufReader::new(file)).unwrap();
+        let (records, report) = crate::parse::parse_records(std::io::BufReader::new(file)).unwrap();
         assert_eq!(records.len(), 3);
         assert!(report.malformed.is_empty());
         let _ = std::fs::remove_dir_all(&dir);

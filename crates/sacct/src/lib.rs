@@ -20,8 +20,12 @@ pub mod parse;
 pub mod render;
 pub mod store;
 
-pub use curate::{curate_file, curate_reader, records_to_frame, CurationResult};
-pub use fetch::{clear_cache, obtain_data, FetchError, FetchResult, FetchSpec, Granularity, Period};
+pub use curate::{
+    curate_file, curate_file_cached, curate_reader, records_to_frame, CurationResult,
+};
+pub use fetch::{
+    clear_cache, obtain_data, FetchError, FetchResult, FetchSpec, Granularity, Period,
+};
 pub use parse::{parse_records, ParseReport};
 pub use render::{header, job_line, step_line, write_records, RenderOptions};
 pub use store::AccountingStore;

@@ -94,9 +94,7 @@ pub fn parse_records(reader: impl BufRead) -> std::io::Result<(Vec<JobRecord>, P
                 Err(reason) => report.malformed.push((line_no, reason)),
             },
             Ok(SacctId::Step(step_id)) => {
-                let attach = records
-                    .last_mut()
-                    .filter(|j| j.id == step_id.job);
+                let attach = records.last_mut().filter(|j| j.id == step_id.job);
                 match attach {
                     Some(job) => match parse_step(step_id, &row) {
                         Ok(step) => {
@@ -236,10 +234,7 @@ fn parse_job(row: &Row<'_, '_>) -> Result<JobRecord, String> {
     })
 }
 
-fn parse_step(
-    id: schedflow_model::ids::StepId,
-    row: &Row<'_, '_>,
-) -> Result<StepRecord, String> {
+fn parse_step(id: schedflow_model::ids::StepId, row: &Row<'_, '_>) -> Result<StepRecord, String> {
     let get = |name: &str| row.get(name);
     let e = |what: &str, err: String| format!("step {what}: {err}");
     let parse_u64 = |name: &str| -> Result<u64, String> {
@@ -260,8 +255,12 @@ fn parse_step(
         state: JobState::parse_sacct(get("State")).map_err(|x| e("State", x.to_string()))?,
         exit_code: ExitCode::parse_sacct(get("ExitCode"))
             .map_err(|x| e("ExitCode", x.to_string()))?,
-        nnodes: get("NNodes").parse().map_err(|_| e("NNodes", get("NNodes").to_owned()))?,
-        ntasks: get("NTasks").parse().map_err(|_| e("NTasks", get("NTasks").to_owned()))?,
+        nnodes: get("NNodes")
+            .parse()
+            .map_err(|_| e("NNodes", get("NNodes").to_owned()))?,
+        ntasks: get("NTasks")
+            .parse()
+            .map_err(|_| e("NTasks", get("NTasks").to_owned()))?,
         ave_cpu: Elapsed::parse_sacct(get("AveCPU")).map_err(|x| e("AveCPU", x.to_string()))?,
         max_rss_bytes: parse_u64("MaxRSS")?,
         ave_disk_read: parse_u64("AveDiskRead")?,
@@ -307,13 +306,9 @@ mod tests {
 
     #[test]
     fn corrupted_lines_are_reported_not_fatal() {
-        let records: Vec<_> = (0..500)
-            .map(|i| JobRecordBuilder::new(i).build())
-            .collect();
-        let (parsed, report) = round_trip(
-            &records,
-            &RenderOptions::default().with_corruption(0.02),
-        );
+        let records: Vec<_> = (0..500).map(|i| JobRecordBuilder::new(i).build()).collect();
+        let (parsed, report) =
+            round_trip(&records, &RenderOptions::default().with_corruption(0.02));
         assert!(!report.malformed.is_empty());
         assert_eq!(parsed.len() + report.malformed.len(), 500);
         assert!(report.malformed_fraction() > 0.0);

@@ -256,7 +256,9 @@ mod tests {
 
     #[test]
     fn corruption_is_deterministic_and_partial() {
-        let records: Vec<_> = (0..1000).map(|i| JobRecordBuilder::new(i).build()).collect();
+        let records: Vec<_> = (0..1000)
+            .map(|i| JobRecordBuilder::new(i).build())
+            .collect();
         let render = || {
             let mut buf = Vec::new();
             write_records(

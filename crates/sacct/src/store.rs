@@ -60,10 +60,7 @@ impl AccountingStore {
 
     /// `(first, last)` submit times, if nonempty.
     pub fn span(&self) -> Option<(Timestamp, Timestamp)> {
-        Some((
-            self.records.first()?.submit,
-            self.records.last()?.submit,
-        ))
+        Some((self.records.first()?.submit, self.records.last()?.submit))
     }
 
     /// Distinct `(year, month)` pairs covered, in order.

@@ -184,7 +184,11 @@ mod tests {
         assert_eq!(m.completed, 3);
         // Jobs 1+2 run together, job 3 waits 1000s.
         assert!(m.max_wait_secs >= 1000);
-        assert!(m.utilization > 0.5 && m.utilization <= 1.0, "{}", m.utilization);
+        assert!(
+            m.utilization > 0.5 && m.utilization <= 1.0,
+            "{}",
+            m.utilization
+        );
         assert!((m.mean_walltime_accuracy - 0.5).abs() < 1e-9);
     }
 

@@ -128,13 +128,13 @@ impl Simulator {
             }
         }
         for j in jobs {
-            let part = self
-                .config
-                .partition(&j.partition)
-                .ok_or_else(|| SimError::UnknownPartition {
-                    job: j.id,
-                    partition: j.partition.clone(),
-                })?;
+            let part =
+                self.config
+                    .partition(&j.partition)
+                    .ok_or_else(|| SimError::UnknownPartition {
+                        job: j.id,
+                        partition: j.partition.clone(),
+                    })?;
             if self.config.qos(&j.qos).is_none() {
                 return Err(SimError::UnknownQos {
                     job: j.id,
@@ -192,14 +192,15 @@ impl Simulator {
         let mut pool = NodePool::new(self.config.total_nodes);
         let mut events = BinaryHeap::with_capacity(n * 2);
         let mut seq = 0u64;
-        let push = |events: &mut BinaryHeap<Reverse<Event>>, seq: &mut u64, time: i64, kind: EventKind| {
-            *seq += 1;
-            events.push(Reverse(Event {
-                time,
-                seq: *seq,
-                kind,
-            }));
-        };
+        let push =
+            |events: &mut BinaryHeap<Reverse<Event>>, seq: &mut u64, time: i64, kind: EventKind| {
+                *seq += 1;
+                events.push(Reverse(Event {
+                    time,
+                    seq: *seq,
+                    kind,
+                }));
+            };
         for (i, j) in jobs.iter().enumerate() {
             push(&mut events, &mut seq, j.submit.0, EventKind::Submit(i));
         }
@@ -422,7 +423,17 @@ impl Simulator {
                 continue; // held by QOS limit; does not block others
             }
             if jobs[i].nodes <= pool.free_count() {
-                self.start_job(i, now, false, jobs, sims, pool, user_qos_running, events, seq);
+                self.start_job(
+                    i,
+                    now,
+                    false,
+                    jobs,
+                    sims,
+                    pool,
+                    user_qos_running,
+                    events,
+                    seq,
+                );
                 running.push(i);
                 started.push(i);
             } else if self.try_preempt_for(
@@ -439,7 +450,17 @@ impl Simulator {
                 events,
                 seq,
             ) {
-                self.start_job(i, now, false, jobs, sims, pool, user_qos_running, events, seq);
+                self.start_job(
+                    i,
+                    now,
+                    false,
+                    jobs,
+                    sims,
+                    pool,
+                    user_qos_running,
+                    events,
+                    seq,
+                );
                 running.push(i);
                 started.push(i);
             } else {
@@ -459,8 +480,7 @@ impl Simulator {
 
             let head = blocked[0];
             let head_need = jobs[head].nodes;
-            let (shadow_time, extra_at_shadow) =
-                shadow(pool.free_count(), head_need, &frees);
+            let (shadow_time, extra_at_shadow) = shadow(pool.free_count(), head_need, &frees);
 
             // Conservative: earliest reservation among the top blocked jobs;
             // candidates must finish before it. EASY: only the head reserves,
@@ -482,7 +502,15 @@ impl Simulator {
                 let fits_spare = !conservative && jobs[i].nodes <= extra;
                 if finishes_before_shadow || fits_spare {
                     self.start_job(
-                        i, now, true, jobs, sims, pool, user_qos_running, events, seq,
+                        i,
+                        now,
+                        true,
+                        jobs,
+                        sims,
+                        pool,
+                        user_qos_running,
+                        events,
+                        seq,
                     );
                     running.push(i);
                     started.push(i);
@@ -567,11 +595,7 @@ impl Simulator {
         true
     }
 
-    fn qos_capped(
-        &self,
-        job: &JobRequest,
-        user_qos_running: &HashMap<(u32, String), u32>,
-    ) -> bool {
+    fn qos_capped(&self, job: &JobRequest, user_qos_running: &HashMap<(u32, String), u32>) -> bool {
         let cap = self
             .config
             .qos(&job.qos)
@@ -859,7 +883,11 @@ mod tests {
             JobRequest::simple(2, t0() + 1, 6, 1000, 100),
             JobRequest::simple(3, t0() + 2, 2, 5000, 4900),
         ]);
-        assert_eq!(out[2].start, Some(t0() + 2), "long narrow job backfills on spare nodes");
+        assert_eq!(
+            out[2].start,
+            Some(t0() + 2),
+            "long narrow job backfills on spare nodes"
+        );
         assert!(out[2].backfilled);
         assert_eq!(out[1].start, Some(t0() + 1000));
     }
@@ -1106,7 +1134,10 @@ mod tests {
         let mut urgent = JobRequest::simple(3, t0() + 100, 4, 1000, 500);
         urgent.qos = "urgent".into();
         let out = sim.run(&[s1, s2, urgent]).unwrap();
-        let preempted = out.iter().filter(|o| o.state == JobState::Preempted).count();
+        let preempted = out
+            .iter()
+            .filter(|o| o.state == JobState::Preempted)
+            .count();
         assert_eq!(preempted, 1, "exactly one victim");
         // The most recently started standby is the victim (least work lost).
         assert_eq!(out[1].state, JobState::Preempted);

@@ -15,7 +15,11 @@ pub fn rate_multiplier(t: Timestamp, diurnal_amplitude: f64, weekend_factor: f64
     let sec_of_day = t.seconds_of_day() as f64;
     let phase = (sec_of_day - 14.0 * HOUR as f64) / DAY as f64 * std::f64::consts::TAU;
     let diurnal = 1.0 + diurnal_amplitude * phase.cos();
-    let weekly = if t.weekday() >= 5 { weekend_factor } else { 1.0 };
+    let weekly = if t.weekday() >= 5 {
+        weekend_factor
+    } else {
+        1.0
+    };
     (diurnal * weekly).max(0.0)
 }
 
@@ -65,7 +69,10 @@ mod tests {
     use rand::SeedableRng;
 
     fn window() -> (Timestamp, Timestamp) {
-        (Timestamp::from_ymd(2024, 3, 4), Timestamp::from_ymd(2024, 4, 1))
+        (
+            Timestamp::from_ymd(2024, 3, 4),
+            Timestamp::from_ymd(2024, 4, 1),
+        )
     }
 
     #[test]
@@ -139,8 +146,6 @@ mod tests {
         }
         let midday = Timestamp::from_civil(2024, 1, 3, 14, 0, 0);
         let midnight = Timestamp::from_civil(2024, 1, 3, 2, 0, 0);
-        assert!(
-            rate_multiplier(midday, 0.5, 1.0) > rate_multiplier(midnight, 0.5, 1.0)
-        );
+        assert!(rate_multiplier(midday, 0.5, 1.0) > rate_multiplier(midnight, 0.5, 1.0));
     }
 }

@@ -70,11 +70,13 @@ pub fn assemble_record(
     let total_cpu = Elapsed((elapsed.0 as f64 * f64::from(ncpus) * cpu_eff) as i64);
     let mem_cap_bytes = plan.req_mem_mib_per_node * 1024 * 1024;
     let max_rss = ((mem_cap_bytes as f64) * (0.1 + 0.75 * rng.gen::<f64>())) as u64;
-    let gpu_load = if sys.gpus_per_node > 0 { 0.6 + 0.4 * rng.gen::<f64>() } else { 1.0 };
-    let energy_j = (f64::from(req.nodes)
-        * elapsed.0 as f64
-        * profile.node_power_watts
-        * gpu_load) as u64;
+    let gpu_load = if sys.gpus_per_node > 0 {
+        0.6 + 0.4 * rng.gen::<f64>()
+    } else {
+        1.0
+    };
+    let energy_j =
+        (f64::from(req.nodes) * elapsed.0 as f64 * profile.node_power_watts * gpu_load) as u64;
 
     let mut alloc_tres = Tres::new()
         .with(TresKind::Cpu, u64::from(ncpus))

@@ -138,7 +138,10 @@ mod tests {
         samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
         let median = samples[10_000];
         let expected = 3.0f64.exp();
-        assert!((median / expected - 1.0).abs() < 0.1, "median {median} vs {expected}");
+        assert!(
+            (median / expected - 1.0).abs() < 0.1,
+            "median {median} vs {expected}"
+        );
         assert!(samples.iter().all(|&x| x > 0.0));
     }
 

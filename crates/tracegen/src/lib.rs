@@ -167,7 +167,11 @@ mod tests {
     fn metrics_reported_from_generation() {
         let m = small().generate_each(|_| {});
         assert!(m.jobs > 1000);
-        assert!(m.utilization > 0.02 && m.utilization < 1.0, "{}", m.utilization);
+        assert!(
+            m.utilization > 0.02 && m.utilization < 1.0,
+            "{}",
+            m.utilization
+        );
         assert!(m.backfill_fraction >= 0.0);
     }
 }

@@ -120,13 +120,41 @@ impl WorkloadProfile {
             n_users: 1100,
             user_activity_alpha: 1.05,
             size_buckets: vec![
-                SizeBucket { min_nodes: 1, max_nodes: 1, weight: 0.30 },
-                SizeBucket { min_nodes: 2, max_nodes: 8, weight: 0.36 },
-                SizeBucket { min_nodes: 9, max_nodes: 64, weight: 0.19 },
-                SizeBucket { min_nodes: 65, max_nodes: 512, weight: 0.11 },
-                SizeBucket { min_nodes: 513, max_nodes: 2048, weight: 0.025 },
-                SizeBucket { min_nodes: 2049, max_nodes: 4608, weight: 0.008 },
-                SizeBucket { min_nodes: 4609, max_nodes: 9408, weight: 0.002 },
+                SizeBucket {
+                    min_nodes: 1,
+                    max_nodes: 1,
+                    weight: 0.30,
+                },
+                SizeBucket {
+                    min_nodes: 2,
+                    max_nodes: 8,
+                    weight: 0.36,
+                },
+                SizeBucket {
+                    min_nodes: 9,
+                    max_nodes: 64,
+                    weight: 0.19,
+                },
+                SizeBucket {
+                    min_nodes: 65,
+                    max_nodes: 512,
+                    weight: 0.11,
+                },
+                SizeBucket {
+                    min_nodes: 513,
+                    max_nodes: 2048,
+                    weight: 0.025,
+                },
+                SizeBucket {
+                    min_nodes: 2049,
+                    max_nodes: 4608,
+                    weight: 0.008,
+                },
+                SizeBucket {
+                    min_nodes: 4609,
+                    max_nodes: 9408,
+                    weight: 0.002,
+                },
             ],
             runtime_median_secs: 3000.0,
             runtime_sigma: 1.0,
@@ -143,10 +171,26 @@ impl WorkloadProfile {
             },
             failure_skew_sigma: 1.2,
             step_buckets: vec![
-                StepBucket { min_steps: 1, max_steps: 2, weight: 0.56 },
-                StepBucket { min_steps: 3, max_steps: 20, weight: 0.35 },
-                StepBucket { min_steps: 21, max_steps: 100, weight: 0.08 },
-                StepBucket { min_steps: 101, max_steps: 600, weight: 0.01 },
+                StepBucket {
+                    min_steps: 1,
+                    max_steps: 2,
+                    weight: 0.56,
+                },
+                StepBucket {
+                    min_steps: 3,
+                    max_steps: 20,
+                    weight: 0.35,
+                },
+                StepBucket {
+                    min_steps: 21,
+                    max_steps: 100,
+                    weight: 0.08,
+                },
+                StepBucket {
+                    min_steps: 101,
+                    max_steps: 600,
+                    weight: 0.01,
+                },
             ],
             array_fraction: 0.04,
             array_mean_width: 12.0,
@@ -172,11 +216,31 @@ impl WorkloadProfile {
             n_users: 420,
             user_activity_alpha: 0.85,
             size_buckets: vec![
-                SizeBucket { min_nodes: 1, max_nodes: 1, weight: 0.48 },
-                SizeBucket { min_nodes: 2, max_nodes: 4, weight: 0.33 },
-                SizeBucket { min_nodes: 5, max_nodes: 16, weight: 0.14 },
-                SizeBucket { min_nodes: 17, max_nodes: 64, weight: 0.04 },
-                SizeBucket { min_nodes: 65, max_nodes: 256, weight: 0.01 },
+                SizeBucket {
+                    min_nodes: 1,
+                    max_nodes: 1,
+                    weight: 0.48,
+                },
+                SizeBucket {
+                    min_nodes: 2,
+                    max_nodes: 4,
+                    weight: 0.33,
+                },
+                SizeBucket {
+                    min_nodes: 5,
+                    max_nodes: 16,
+                    weight: 0.14,
+                },
+                SizeBucket {
+                    min_nodes: 17,
+                    max_nodes: 64,
+                    weight: 0.04,
+                },
+                SizeBucket {
+                    min_nodes: 65,
+                    max_nodes: 256,
+                    weight: 0.01,
+                },
             ],
             runtime_median_secs: 2400.0,
             runtime_sigma: 0.9,
@@ -193,9 +257,21 @@ impl WorkloadProfile {
             },
             failure_skew_sigma: 0.4,
             step_buckets: vec![
-                StepBucket { min_steps: 1, max_steps: 1, weight: 0.62 },
-                StepBucket { min_steps: 2, max_steps: 8, weight: 0.30 },
-                StepBucket { min_steps: 9, max_steps: 60, weight: 0.08 },
+                StepBucket {
+                    min_steps: 1,
+                    max_steps: 1,
+                    weight: 0.62,
+                },
+                StepBucket {
+                    min_steps: 2,
+                    max_steps: 8,
+                    weight: 0.30,
+                },
+                StepBucket {
+                    min_steps: 9,
+                    max_steps: 60,
+                    weight: 0.08,
+                },
             ],
             array_fraction: 0.07,
             array_mean_width: 20.0,
@@ -217,10 +293,26 @@ impl WorkloadProfile {
         p.jobs_per_day = 420.0;
         p.n_users = 220;
         p.size_buckets = vec![
-            SizeBucket { min_nodes: 1, max_nodes: 8, weight: 0.40 },
-            SizeBucket { min_nodes: 9, max_nodes: 512, weight: 0.30 },
-            SizeBucket { min_nodes: 513, max_nodes: 4608, weight: 0.22 },
-            SizeBucket { min_nodes: 4609, max_nodes: 9408, weight: 0.08 },
+            SizeBucket {
+                min_nodes: 1,
+                max_nodes: 8,
+                weight: 0.40,
+            },
+            SizeBucket {
+                min_nodes: 9,
+                max_nodes: 512,
+                weight: 0.30,
+            },
+            SizeBucket {
+                min_nodes: 513,
+                max_nodes: 4608,
+                weight: 0.22,
+            },
+            SizeBucket {
+                min_nodes: 4609,
+                max_nodes: 9408,
+                weight: 0.08,
+            },
         ];
         p.outcomes = OutcomeWeights {
             completed: 0.48,
@@ -294,9 +386,18 @@ mod tests {
         let f_max = f.size_buckets.iter().map(|b| b.max_nodes).max().unwrap();
         let a_max = a.size_buckets.iter().map(|b| b.max_nodes).max().unwrap();
         assert!(a_max < f_max, "Andes jobs are smaller");
-        assert!(a.overestimate_median < f.overestimate_median, "Andes estimates tighter");
-        assert!(a.failure_skew_sigma < f.failure_skew_sigma, "Andes failures more uniform");
-        assert!(a.outcomes.completed > f.outcomes.completed, "Andes completes more");
+        assert!(
+            a.overestimate_median < f.overestimate_median,
+            "Andes estimates tighter"
+        );
+        assert!(
+            a.failure_skew_sigma < f.failure_skew_sigma,
+            "Andes failures more uniform"
+        );
+        assert!(
+            a.outcomes.completed > f.outcomes.completed,
+            "Andes completes more"
+        );
     }
 
     #[test]
@@ -318,7 +419,9 @@ mod tests {
     fn scaling_preserves_window() {
         let p = WorkloadProfile::frontier().scaled(0.1);
         assert_eq!(p.start, WorkloadProfile::frontier().start);
-        assert!((p.expected_jobs() / WorkloadProfile::frontier().expected_jobs() - 0.1).abs() < 1e-9);
+        assert!(
+            (p.expected_jobs() / WorkloadProfile::frontier().expected_jobs() - 0.1).abs() < 1e-9
+        );
     }
 
     #[test]

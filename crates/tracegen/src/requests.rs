@@ -51,10 +51,20 @@ pub fn synthesize_plans(
         profile.weekend_factor,
         rng,
     );
-    let size_cat =
-        dist::Categorical::new(&profile.size_buckets.iter().map(|b| b.weight).collect::<Vec<_>>());
-    let step_cat =
-        dist::Categorical::new(&profile.step_buckets.iter().map(|b| b.weight).collect::<Vec<_>>());
+    let size_cat = dist::Categorical::new(
+        &profile
+            .size_buckets
+            .iter()
+            .map(|b| b.weight)
+            .collect::<Vec<_>>(),
+    );
+    let step_cat = dist::Categorical::new(
+        &profile
+            .step_buckets
+            .iter()
+            .map(|b| b.weight)
+            .collect::<Vec<_>>(),
+    );
 
     let node_mem_mib: u64 = if profile.system.gpus_per_node > 0 {
         512 * 1024
@@ -70,8 +80,7 @@ pub fn synthesize_plans(
         let user = population.sample(rng).clone();
 
         // Partition choice.
-        let debug_p =
-            (profile.debug_fraction * user.archetype.debug_affinity()).clamp(0.0, 0.9);
+        let debug_p = (profile.debug_fraction * user.archetype.debug_affinity()).clamp(0.0, 0.9);
         let use_debug = rng.gen::<f64>() < debug_p;
         let partition = if use_debug { "debug" } else { "batch" };
         let part = profile
@@ -80,8 +89,8 @@ pub fn synthesize_plans(
             .expect("profile partitions exist");
 
         // Array membership.
-        let is_array = rng.gen::<f64>() < profile.array_fraction
-            && user.archetype != Archetype::Interactive;
+        let is_array =
+            rng.gen::<f64>() < profile.array_fraction && user.archetype != Archetype::Interactive;
 
         // QOS routing for the urgent-computing pattern. Urgent is reserved
         // for single near real-time jobs (a 200-wide array under a
@@ -206,7 +215,11 @@ pub fn synthesize_plans(
                 3000,
             ) as u32;
 
-            let submit_k = if k == 0 { submit } else { Timestamp(submit.0 + i64::from(k)) };
+            let submit_k = if k == 0 {
+                submit
+            } else {
+                Timestamp(submit.0 + i64::from(k))
+            };
             // Urgent jobs are the near real-time pattern: small and short.
             let (nodes, walltime, actual) = match special_qos {
                 Some("urgent") => {
@@ -263,7 +276,11 @@ fn job_name(archetype: Archetype, rng: &mut impl Rng) -> String {
         Archetype::Interactive => &["interactive", "debug", "test_run", "dev"],
         Archetype::Analysis => &["postproc", "analysis", "viz", "reduce"],
     };
-    format!("{}_{:03}", stems[rng.gen_range(0..stems.len())], rng.gen_range(0..1000))
+    format!(
+        "{}_{:03}",
+        stems[rng.gen_range(0..stems.len())],
+        rng.gen_range(0..1000)
+    )
 }
 
 #[cfg(test)]
@@ -287,10 +304,18 @@ mod tests {
     #[test]
     fn plans_have_unique_monotone_ids() {
         let plans = plans();
-        assert!(plans.len() > 1000, "expected a real workload, got {}", plans.len());
+        assert!(
+            plans.len() > 1000,
+            "expected a real workload, got {}",
+            plans.len()
+        );
         for w in plans.windows(2) {
             assert!(w[0].request.id < w[1].request.id);
-            assert!(w[0].request.submit <= w[1].request.submit || w[0].array.is_some() || w[1].array.is_some());
+            assert!(
+                w[0].request.submit <= w[1].request.submit
+                    || w[0].array.is_some()
+                    || w[1].array.is_some()
+            );
         }
     }
 
@@ -317,7 +342,11 @@ mod tests {
     #[test]
     fn walltimes_are_round_numbers() {
         for pl in plans() {
-            let g = if pl.request.partition == "debug" { 300 } else { 900 };
+            let g = if pl.request.partition == "debug" {
+                300
+            } else {
+                900
+            };
             assert_eq!(pl.request.walltime_secs % g, 0, "job {}", pl.request.id);
         }
     }
@@ -387,13 +416,22 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(31);
         let pop = UserPopulation::generate(&p, &mut rng);
         let plans = synthesize_plans(&p, &pop, &mut rng);
-        let urgent: Vec<_> = plans.iter().filter(|pl| pl.request.qos == "urgent").collect();
-        let standby = plans.iter().filter(|pl| pl.request.qos == "standby").count();
+        let urgent: Vec<_> = plans
+            .iter()
+            .filter(|pl| pl.request.qos == "urgent")
+            .collect();
+        let standby = plans
+            .iter()
+            .filter(|pl| pl.request.qos == "standby")
+            .count();
         assert!(!urgent.is_empty(), "urgent jobs generated");
         assert!(standby > urgent.len(), "standby outnumbers urgent");
         for pl in &urgent {
             assert!(pl.request.nodes <= 32, "urgent jobs are small");
-            assert!(pl.request.walltime_secs <= 4 * 3600, "urgent jobs are short");
+            assert!(
+                pl.request.walltime_secs <= 4 * 3600,
+                "urgent jobs are short"
+            );
             assert_eq!(pl.request.partition, "batch");
         }
         // Validates against the machine (urgent/standby QOS exist on Frontier).

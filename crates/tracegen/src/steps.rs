@@ -63,18 +63,15 @@ pub fn generate_steps(plan: &JobPlan, outcome: &SimOutcome, record_id: JobId) ->
             max_rss_bytes: ((mem_bytes_cap as f64) * (0.05 + 0.6 * rng.gen::<f64>())) as u64,
             ave_disk_read: (rng.gen::<f64>() * 4e9) as u64,
             ave_disk_write: (rng.gen::<f64>() * 1e9) as u64,
-            tres_usage_in_ave: Tres::new()
-                .with(TresKind::Cpu, u64::from(st_tasks))
-                .with(
-                    TresKind::Mem,
-                    // MiB-aligned: sacct renders TRES memory in whole MiB, so
-                    // alignment keeps text round-trips lossless.
-                    (((mem_bytes_cap as f64) * (0.05 + 0.5 * rng.gen::<f64>())) as u64
-                        / (1024 * 1024))
-                        .max(1)
-                        * 1024
-                        * 1024,
-                ),
+            tres_usage_in_ave: Tres::new().with(TresKind::Cpu, u64::from(st_tasks)).with(
+                TresKind::Mem,
+                // MiB-aligned: sacct renders TRES memory in whole MiB, so
+                // alignment keeps text round-trips lossless.
+                (((mem_bytes_cap as f64) * (0.05 + 0.5 * rng.gen::<f64>())) as u64 / (1024 * 1024))
+                    .max(1)
+                    * 1024
+                    * 1024,
+            ),
         }
     };
 

@@ -4,6 +4,9 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+echo "==> cargo fmt --all --check"
+cargo fmt --all --check
+
 echo "==> cargo build --workspace --release"
 cargo build --workspace --release
 
@@ -12,5 +15,8 @@ cargo test --workspace -q
 
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> bench smoke: bench_frame --test"
+cargo run --release -p schedflow-bench --bin bench_frame -- --test
 
 echo "verify: OK"

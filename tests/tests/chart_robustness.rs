@@ -26,11 +26,7 @@ fn arb_series() -> impl Strategy<Value = Series> {
     )
         .prop_map(|(values, line, marker)| {
             let n = values.len() / 2;
-            let mut s = Series::scatter(
-                "s",
-                values[..n].to_vec(),
-                values[n..2 * n].to_vec(),
-            );
+            let mut s = Series::scatter("s", values[..n].to_vec(), values[n..2 * n].to_vec());
             s.line = line;
             s.marker = match marker {
                 0 => MarkerShape::Dot,
@@ -51,8 +47,16 @@ fn arb_scatter() -> impl Strategy<Value = Chart> {
         .prop_map(|(series, log_x, log_y, diagonal)| {
             let mut c = ScatterChart::new(
                 "prop chart",
-                if log_x { Axis::log("x") } else { Axis::linear("x") },
-                if log_y { Axis::log("y") } else { Axis::linear("y") },
+                if log_x {
+                    Axis::log("x")
+                } else {
+                    Axis::linear("x")
+                },
+                if log_y {
+                    Axis::log("y")
+                } else {
+                    Axis::linear("y")
+                },
             );
             for (i, mut s) in series.into_iter().enumerate() {
                 s.name = format!("s{i}");
@@ -77,7 +81,11 @@ fn arb_bar() -> impl Strategy<Value = Chart> {
                     "bars",
                     (0..cats).map(|i| format!("c{i}")).collect(),
                     "y",
-                    if stacked { BarMode::Stacked } else { BarMode::Grouped },
+                    if stacked {
+                        BarMode::Stacked
+                    } else {
+                        BarMode::Grouped
+                    },
                 );
                 for (i, values) in data.into_iter().enumerate() {
                     c = c.with_stack(&format!("k{i}"), values);
@@ -93,16 +101,14 @@ fn arb_bar() -> impl Strategy<Value = Chart> {
 
 fn arb_heatmap() -> impl Strategy<Value = Chart> {
     (1usize..8, 1usize..26).prop_flat_map(|(rows, cols)| {
-        proptest::collection::vec(arb_value(), rows * cols..=rows * cols).prop_map(
-            move |values| {
-                Chart::Heatmap(HeatmapChart::new(
-                    "heat",
-                    (0..cols).map(|i| i.to_string()).collect(),
-                    (0..rows).map(|i| i.to_string()).collect(),
-                    values,
-                ))
-            },
-        )
+        proptest::collection::vec(arb_value(), rows * cols..=rows * cols).prop_map(move |values| {
+            Chart::Heatmap(HeatmapChart::new(
+                "heat",
+                (0..cols).map(|i| i.to_string()).collect(),
+                (0..rows).map(|i| i.to_string()).collect(),
+                values,
+            ))
+        })
     })
 }
 

@@ -26,14 +26,19 @@ fn arb_dag() -> impl Strategy<Value = DagSpec> {
 }
 
 /// Build the workflow: each node sums its parents' values plus one.
-/// Returns the output artifacts per layer.
-fn build(spec: &DagSpec) -> (Workflow, Vec<Vec<Artifact<u64>>>) {
+/// Returns the output artifacts per layer. With `retain_all`, every value
+/// artifact is pinned past the lifetime tracker so it can be read post-run;
+/// without it, consumed artifacts are dropped after their last consumer.
+fn build(spec: &DagSpec, retain_all: bool) -> (Workflow, Vec<Vec<Artifact<u64>>>) {
     let mut wf = Workflow::new();
     let mut arts: Vec<Vec<Artifact<u64>>> = Vec::new();
     for (li, layer) in spec.layers.iter().enumerate() {
         let mut layer_arts = Vec::new();
         for (ni, parents) in layer.iter().enumerate() {
             let out = wf.value::<u64>(&format!("v-{li}-{ni}"));
+            if retain_all {
+                wf.retain(out.id());
+            }
             layer_arts.push(out);
             let parent_arts: Vec<Artifact<u64>> = if li == 0 {
                 Vec::new()
@@ -43,7 +48,11 @@ fn build(spec: &DagSpec) -> (Workflow, Vec<Vec<Artifact<u64>>>) {
             let inputs: Vec<_> = parent_arts.iter().map(|a| a.id()).collect();
             wf.task(
                 &format!("t-{li}-{ni}"),
-                if ni % 2 == 0 { StageKind::Static } else { StageKind::UserDefined },
+                if ni % 2 == 0 {
+                    StageKind::Static
+                } else {
+                    StageKind::UserDefined
+                },
                 inputs,
                 [out.id()],
                 move |ctx| {
@@ -84,7 +93,7 @@ proptest! {
 
     #[test]
     fn prop_random_dags_execute_correctly(spec in arb_dag(), threads in 1usize..5) {
-        let (wf, arts) = build(&spec);
+        let (wf, arts) = build(&spec, true);
         let depths = wf.validate().expect("layered DAGs are acyclic");
         prop_assert_eq!(depths.len(), spec.layers.iter().map(Vec::len).sum::<usize>());
         let runner = Runner::new(wf).unwrap();
@@ -99,6 +108,41 @@ proptest! {
                     .and_then(|v| v.downcast::<u64>().ok())
                     .map(|v| *v);
                 prop_assert_eq!(got, Some(expected[li][ni]), "node {}-{}", li, ni);
+            }
+        }
+    }
+
+    #[test]
+    fn prop_lifetime_drops_exactly_the_consumed_artifacts(spec in arb_dag(), threads in 1usize..5) {
+        // Without retains, every artifact with at least one consumer must be
+        // dropped after the run, and every unconsumed (terminal) artifact
+        // must survive with the correct value.
+        let (wf, arts) = build(&spec, false);
+        let mut consumed: Vec<Vec<bool>> =
+            spec.layers.iter().map(|l| vec![false; l.len()]).collect();
+        for li in 1..spec.layers.len() {
+            for parents in &spec.layers[li] {
+                for &p in parents {
+                    consumed[li - 1][p] = true;
+                }
+            }
+        }
+        let runner = Runner::new(wf).unwrap();
+        let report = runner.run(&RunOptions::with_threads(threads));
+        prop_assert!(report.is_success(), "{:?}", report.failed());
+        let expected = reference(&spec);
+        for (li, layer) in arts.iter().enumerate() {
+            for (ni, art) in layer.iter().enumerate() {
+                let got = runner
+                    .store()
+                    .get_any(art.id())
+                    .and_then(|v| v.downcast::<u64>().ok())
+                    .map(|v| *v);
+                if consumed[li][ni] {
+                    prop_assert_eq!(got, None, "consumed {}-{} must be dropped", li, ni);
+                } else {
+                    prop_assert_eq!(got, Some(expected[li][ni]), "terminal {}-{}", li, ni);
+                }
             }
         }
     }

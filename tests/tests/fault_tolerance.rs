@@ -45,10 +45,11 @@ fn chaos_with_retries_recovers_end_to_end() {
     assert!(!retried.is_empty(), "p=0.3 must force at least one retry");
     assert!(outcome.report.total_attempts() > outcome.report.tasks.len() as u32 - 2);
 
-    // Every dashboard tab is a real chart — no placeholders survived.
+    // Every dashboard tab is a real chart — no placeholders survived. The
+    // extra panel is the post-run "Run report" tab.
     let panels_dir = cfg.data_dir.join("dashboard").join("panels");
     let panels: Vec<_> = std::fs::read_dir(&panels_dir).unwrap().collect();
-    assert_eq!(panels.len(), schedflow_core::PLOT_STAGES.len());
+    assert_eq!(panels.len(), schedflow_core::PLOT_STAGES.len() + 1);
     for entry in panels {
         let html = std::fs::read_to_string(entry.unwrap().path()).unwrap();
         assert!(

@@ -1,0 +1,183 @@
+//! Property tests for the zero-copy data plane: every view-producing op
+//! (`filter`/`take`/`head`/`select`/`vstack`-then-`group_by`) must be
+//! semantically identical to the eager single-chunk baseline across random
+//! chunkings, null masks, and dtypes — and the zero-copy ops must report
+//! zero row copies through the `copycount` hook.
+
+use proptest::prelude::*;
+use schedflow_frame::{copycount, group_by, Agg, Column, Frame};
+
+/// Random per-row data covering all four dtypes, nulls included.
+#[derive(Debug, Clone)]
+struct Rows {
+    ints: Vec<Option<i64>>,
+    floats: Vec<Option<f64>>,
+    strs: Vec<Option<String>>,
+    bools: Vec<bool>,
+}
+
+impl Rows {
+    fn len(&self) -> usize {
+        self.ints.len()
+    }
+
+    /// Build a frame over rows `[lo, hi)` — single-chunk columns.
+    fn frame(&self, lo: usize, hi: usize) -> Frame {
+        Frame::new()
+            .with("i", Column::from_opt_i64(self.ints[lo..hi].to_vec()))
+            .with("f", Column::from_opt_f64(self.floats[lo..hi].to_vec()))
+            .with("s", Column::from_opt_str(self.strs[lo..hi].to_vec()))
+            .with("b", Column::from_bool(self.bools[lo..hi].to_vec()))
+    }
+}
+
+/// Rows plus a random chunking (cut points) and a random row mask.
+#[derive(Debug, Clone)]
+struct Case {
+    rows: Rows,
+    cuts: Vec<usize>,
+    mask: Vec<bool>,
+    take: Vec<usize>,
+    head: usize,
+}
+
+fn arb_case() -> impl Strategy<Value = Case> {
+    (1usize..40).prop_flat_map(|n| {
+        let rows = (
+            proptest::collection::vec(proptest::option::of(-100i64..100), n..=n),
+            proptest::collection::vec(proptest::option::of(-10.0f64..10.0), n..=n),
+            proptest::collection::vec(
+                proptest::option::of(proptest::sample::select(vec!["alpha", "beta", "gamma", ""])),
+                n..=n,
+            ),
+            proptest::collection::vec(any::<bool>(), n..=n),
+        );
+        let shape = (
+            proptest::collection::vec(0..=n, 0..4),
+            proptest::collection::vec(any::<bool>(), n..=n),
+            proptest::collection::vec(0..n, 0..(2 * n)),
+            0..=n + 2,
+        );
+        (rows, shape).prop_map(
+            |((ints, floats, strs, bools), (cuts, mask, take, head))| Case {
+                rows: Rows {
+                    ints,
+                    floats,
+                    strs: strs.into_iter().map(|o| o.map(str::to_owned)).collect(),
+                    bools,
+                },
+                cuts,
+                mask,
+                take,
+                head,
+            },
+        )
+    })
+}
+
+/// The same rows as a multi-chunk frame: vstack of the segments between the
+/// (sorted, deduplicated) cut points.
+fn chunked(case: &Case) -> Frame {
+    let n = case.rows.len();
+    let mut bounds = vec![0, n];
+    bounds.extend(&case.cuts);
+    bounds.sort_unstable();
+    bounds.dedup();
+    let parts: Vec<Frame> = bounds
+        .windows(2)
+        .map(|w| case.rows.frame(w[0], w[1]))
+        .collect();
+    Frame::vstack(&parts).expect("identical schemas")
+}
+
+fn aggs() -> Vec<(&'static str, Agg)> {
+    vec![
+        ("n", Agg::Count),
+        ("sum_i", Agg::Sum("i".to_owned())),
+        ("mean_f", Agg::Mean("f".to_owned())),
+        ("max_i", Agg::Max("i".to_owned())),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn vstack_is_lossless_and_zero_copy(case in arb_case()) {
+        let baseline = case.rows.frame(0, case.rows.len());
+        copycount::reset();
+        let multi = chunked(&case);
+        prop_assert_eq!(copycount::rows_copied(), 0, "vstack must not copy rows");
+        prop_assert_eq!(&multi, &baseline);
+        prop_assert_eq!(&multi.compact(), &baseline);
+    }
+
+    #[test]
+    fn filter_view_matches_eager_baseline(case in arb_case()) {
+        let baseline = case.rows.frame(0, case.rows.len());
+        let multi = chunked(&case);
+        let eager = baseline.filter(&case.mask).unwrap();
+        copycount::reset();
+        let view = multi.view().filter(&case.mask).unwrap();
+        prop_assert_eq!(copycount::rows_copied(), 0, "a view is not a copy");
+        prop_assert_eq!(view.height(), eager.height());
+        prop_assert_eq!(&view.materialize(), &eager);
+        prop_assert_eq!(&multi.filter(&case.mask).unwrap(), &eager);
+    }
+
+    #[test]
+    fn take_view_matches_eager_baseline(case in arb_case()) {
+        let baseline = case.rows.frame(0, case.rows.len());
+        let multi = chunked(&case);
+        let eager = baseline.take(&case.take);
+        copycount::reset();
+        let view = multi.view().take(&case.take);
+        prop_assert_eq!(copycount::rows_copied(), 0, "a view is not a copy");
+        prop_assert_eq!(&view.materialize(), &eager);
+        prop_assert_eq!(&multi.take(&case.take), &eager);
+    }
+
+    #[test]
+    fn head_is_an_equal_zero_copy_window(case in arb_case()) {
+        let baseline = case.rows.frame(0, case.rows.len());
+        let multi = chunked(&case);
+        let eager = baseline.head(case.head).compact();
+        copycount::reset();
+        let h = multi.head(case.head);
+        let hv = multi.view().head(case.head);
+        prop_assert_eq!(copycount::rows_copied(), 0, "head must stay a view");
+        prop_assert_eq!(&h, &eager);
+        prop_assert_eq!(&hv.materialize(), &eager);
+    }
+
+    #[test]
+    fn select_shares_columns_across_chunkings(case in arb_case()) {
+        let baseline = case.rows.frame(0, case.rows.len());
+        let multi = chunked(&case);
+        copycount::reset();
+        let sel = multi.select(&["s", "i"]).unwrap();
+        prop_assert_eq!(copycount::rows_copied(), 0, "select clones Arcs, not rows");
+        prop_assert_eq!(&sel, &baseline.select(&["s", "i"]).unwrap());
+    }
+
+    #[test]
+    fn group_by_over_chunked_matches_single_chunk(case in arb_case()) {
+        let baseline = case.rows.frame(0, case.rows.len());
+        let multi = chunked(&case);
+        let aggs = aggs();
+        let expected = group_by(&baseline, &["s", "b"], &aggs).unwrap();
+        let got = group_by(&multi, &["s", "b"], &aggs).unwrap();
+        prop_assert_eq!(&got, &expected);
+    }
+
+    #[test]
+    fn composed_views_match_composed_eager_ops(case in arb_case()) {
+        let baseline = case.rows.frame(0, case.rows.len());
+        let multi = chunked(&case);
+        let eager = baseline.filter(&case.mask).unwrap().head(case.head).compact();
+        copycount::reset();
+        let view = multi.view().filter(&case.mask).unwrap().head(case.head);
+        prop_assert_eq!(copycount::rows_copied(), 0, "composed views stay views");
+        prop_assert_eq!(&view.materialize(), &eager);
+    }
+}

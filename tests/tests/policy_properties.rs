@@ -4,24 +4,27 @@
 
 use proptest::prelude::*;
 use schedflow_model::time::Timestamp;
-use schedflow_sim::{
-    metrics, BackfillPolicy, JobRequest, PlannedOutcome, Simulator, SystemConfig,
-};
+use schedflow_sim::{metrics, BackfillPolicy, JobRequest, PlannedOutcome, Simulator, SystemConfig};
 
 fn arb_job(id: u64) -> impl Strategy<Value = JobRequest> {
     (
-        0i64..50_000,          // submit offset
-        1u32..=16,             // nodes (toy machine of 16)
-        1i64..=24,             // walltime hours-ish units (15-min chunks)
-        1i64..20_000,          // actual seconds
-        0u8..5,                // outcome selector
+        0i64..50_000, // submit offset
+        1u32..=16,    // nodes (toy machine of 16)
+        1i64..=24,    // walltime hours-ish units (15-min chunks)
+        1i64..20_000, // actual seconds
+        0u8..5,       // outcome selector
     )
         .prop_map(move |(submit, nodes, wall_chunks, actual, which)| {
             let outcome = match which {
                 0 | 1 => PlannedOutcome::Complete,
-                2 => PlannedOutcome::Fail { at: 0.5, exit_code: 1 },
+                2 => PlannedOutcome::Fail {
+                    at: 0.5,
+                    exit_code: 1,
+                },
                 3 => PlannedOutcome::CancelRunning { at: 0.3 },
-                _ => PlannedOutcome::CancelPending { patience_secs: 2000 },
+                _ => PlannedOutcome::CancelPending {
+                    patience_secs: 2000,
+                },
             };
             JobRequest {
                 id,
@@ -41,9 +44,7 @@ fn arb_job(id: u64) -> impl Strategy<Value = JobRequest> {
 fn arb_stream() -> impl Strategy<Value = Vec<JobRequest>> {
     proptest::collection::vec(0u8..1, 1..60).prop_flat_map(|v| {
         let n = v.len();
-        (0..n as u64)
-            .map(arb_job)
-            .collect::<Vec<_>>()
+        (0..n as u64).map(arb_job).collect::<Vec<_>>()
     })
 }
 

@@ -4,7 +4,9 @@
 //! reduced scale, asserting the invariants each boundary must preserve.
 
 use schedflow_model::state::JobState;
-use schedflow_sacct::{parse_records, records_to_frame, write_records, AccountingStore, RenderOptions};
+use schedflow_sacct::{
+    parse_records, records_to_frame, write_records, AccountingStore, RenderOptions,
+};
 use schedflow_tracegen::{TraceGenerator, WorkloadProfile};
 
 fn trace() -> Vec<schedflow_model::record::JobRecord> {
@@ -21,7 +23,11 @@ fn generated_records_round_trip_through_sacct_text() {
     let (parsed, report) = parse_records(std::io::Cursor::new(buf)).unwrap();
 
     assert_eq!(parsed.len(), records.len());
-    assert!(report.malformed.is_empty(), "{:?}", &report.malformed[..report.malformed.len().min(3)]);
+    assert!(
+        report.malformed.is_empty(),
+        "{:?}",
+        &report.malformed[..report.malformed.len().min(3)]
+    );
     // Full fidelity: every job (with steps) survives the text format.
     for (a, b) in records.iter().zip(&parsed) {
         assert_eq!(a, b, "record {} diverged", a.id);
@@ -43,7 +49,10 @@ fn corruption_injection_matches_papers_curation_story() {
     let (parsed, report) = parse_records(std::io::Cursor::new(buf)).unwrap();
     assert!(!report.malformed.is_empty());
     assert!(report.malformed_fraction() < 0.05);
-    assert_eq!(parsed.len() + report.malformed.len() - report.steps_discarded(), records.len());
+    assert_eq!(
+        parsed.len() + report.malformed.len() - report.steps_discarded(),
+        records.len()
+    );
 }
 
 trait StepsDiscarded {
@@ -84,7 +93,11 @@ fn scheduling_invariants_hold_over_the_whole_trace() {
                 backfilled += 1;
             }
         } else {
-            assert_eq!(r.state, JobState::Cancelled, "only pending-cancels never start");
+            assert_eq!(
+                r.state,
+                JobState::Cancelled,
+                "only pending-cancels never start"
+            );
             assert!(r.steps.is_empty());
         }
     }

@@ -43,7 +43,10 @@ fn same_workflow_runs_unmodified_on_both_systems() {
         assert!(outcome.dashboard_index.exists());
         // Every month produced a curated CSV.
         for (y, m) in cfg.months() {
-            let csv = cfg.data_dir.join("curated").join(format!("{y:04}-{m:02}.csv"));
+            let csv = cfg
+                .data_dir
+                .join("curated")
+                .join(format!("{y:04}-{m:02}.csv"));
             assert!(csv.exists(), "missing {}", csv.display());
         }
         cleanup(&cfg);
@@ -61,7 +64,10 @@ fn dashboard_site_is_complete_and_servable() {
         let panel = dash_dir.join("panels").join(format!("{stage}.html"));
         let content = std::fs::read_to_string(&panel).unwrap();
         assert!(content.contains("<svg"), "{stage} panel lacks chart");
-        assert!(content.contains("Automated insight"), "{stage} panel lacks insight");
+        assert!(
+            content.contains("Automated insight"),
+            "{stage} panel lacks insight"
+        );
     }
 
     // Serve it over HTTP and fetch the index.
@@ -91,6 +97,65 @@ fn runs_are_deterministic_given_seed() {
     }
     cleanup(&cfg_a);
     cleanup(&cfg_b);
+}
+
+#[test]
+fn lifetime_tracking_drops_consumed_value_artifacts() {
+    let cfg = config(System::Andes, "lifetime");
+    let built = schedflow_core::build(&cfg);
+    let wf = &built.workflow;
+
+    // Partition value artifacts by expected post-run fate: consumed +
+    // non-retained must be dropped after their last consumer; retained ones
+    // must survive for the caller.
+    let counts = wf.consumer_counts();
+    let mut expect_dropped = Vec::new();
+    let mut expect_kept = Vec::new();
+    for id in wf.artifact_ids() {
+        if wf.file_path(id).is_some() || counts[id.index()] == 0 {
+            continue;
+        }
+        let name = wf.artifact_name(id).to_owned();
+        if wf.is_retained(id) {
+            expect_kept.push((id, name));
+        } else {
+            expect_dropped.push((id, name));
+        }
+    }
+    assert!(
+        expect_dropped.len() >= 10,
+        "per-month frames, the store, charts, and digests are all consumed"
+    );
+    assert!(
+        !expect_kept.is_empty(),
+        "merged frame and insights are retained"
+    );
+
+    let runner = schedflow_dataflow::Runner::new(built.workflow).unwrap();
+    let report = runner.run(&schedflow_core::run_options(&cfg));
+    assert!(report.is_success());
+
+    for (id, name) in &expect_dropped {
+        assert!(
+            runner.store().get_any(*id).is_none(),
+            "value artifact {name:?} should have been dropped after its last consumer"
+        );
+    }
+    for (id, name) in &expect_kept {
+        assert!(
+            runner.store().get_any(*id).is_some(),
+            "retained artifact {name:?} must survive the run"
+        );
+    }
+
+    // The data plane advertised frame sizes, so byte accounting is live.
+    assert!(report.peak_resident_bytes > 0);
+    assert!(report.total_bytes_out() > 0);
+    assert!(
+        report.total_bytes_in() >= report.total_bytes_out(),
+        "the merged frame is read by several stages"
+    );
+    cleanup(&cfg);
 }
 
 #[test]
