@@ -7,7 +7,18 @@
 
 use crate::select::started_view;
 use schedflow_charts::{Axis, Chart, MarkerShape, ScatterChart, Series};
+use schedflow_dataflow::contract::{ColType, FrameSchema};
 use schedflow_frame::{Frame, FrameError};
+
+/// Input columns this stage reads from the curated frame — its declared
+/// [`TaskContract`](schedflow_dataflow::contract::TaskContract) requirement
+/// for the backfill analysis.
+pub fn required_schema() -> FrameSchema {
+    FrameSchema::new()
+        .with("backfilled", ColType::Bool)
+        .with("elapsed_s", ColType::Int)
+        .with_nullable("timelimit_s", ColType::Int)
+}
 
 /// Shape-check summary for the backfill figures.
 #[derive(Debug, Clone, PartialEq)]

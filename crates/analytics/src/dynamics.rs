@@ -6,8 +6,18 @@
 //! scatter can only hint at.
 
 use schedflow_charts::{Chart, HeatmapChart};
+use schedflow_dataflow::contract::{ColType, FrameSchema};
 use schedflow_frame::{Frame, FrameError};
 use schedflow_model::time::{Timestamp, HOUR};
+
+/// Input columns this stage reads from the curated frame — its declared
+/// [`TaskContract`](schedflow_dataflow::contract::TaskContract) requirement
+/// for the queue-dynamics heatmap.
+pub fn required_schema() -> FrameSchema {
+    FrameSchema::new()
+        .with("submit", ColType::Int)
+        .with_nullable("wait_s", ColType::Int)
+}
 
 /// Weekday labels, Monday-first (matching `Timestamp::weekday`).
 pub const WEEKDAYS: [&str; 7] = ["Mon", "Tue", "Wed", "Thu", "Fri", "Sat", "Sun"];

@@ -8,7 +8,17 @@
 
 use crate::{backfill, nodes_elapsed, states, waits};
 use schedflow_charts::{BarChart, BarMode, Chart, Scale};
+use schedflow_dataflow::contract::{ColType, FrameSchema};
 use schedflow_frame::{join, Column, Frame, FrameError, JoinKind};
+
+/// Input columns this stage reads from the curated frame — its declared
+/// [`TaskContract`](schedflow_dataflow::contract::TaskContract) requirement
+/// for the federation comparison.
+pub fn required_schema() -> FrameSchema {
+    FrameSchema::new()
+        .with("user", ColType::Str)
+        .with_nullable("wait_s", ColType::Int)
+}
 
 /// Headline metrics of one system, as a single-row frame column set.
 #[derive(Debug, Clone, PartialEq)]

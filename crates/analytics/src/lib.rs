@@ -27,6 +27,26 @@ pub mod utilization;
 pub mod volume;
 pub mod waits;
 
+/// The input contract of a named analysis stage, keyed by the task-name
+/// fragments the core pipeline uses (`plot-waits` → `"waits"`). Returns
+/// `None` for unknown stage names so callers can stay contract-free for
+/// stages that have no frame input.
+pub fn stage_schema(stage: &str) -> Option<schedflow_dataflow::contract::FrameSchema> {
+    Some(match stage {
+        "volume" => volume::required_schema(),
+        "nodes-elapsed" => nodes_elapsed::required_schema(),
+        "waits" => waits::required_schema(),
+        "states" => states::required_schema(),
+        "backfill" => backfill::required_schema(),
+        "utilization" => utilization::required_schema(),
+        "dynamics" => dynamics::required_schema(),
+        "predictor" => predictor::required_schema(),
+        "federation" => federation::required_schema(),
+        "select-month" => select::required_schema(),
+        _ => return None,
+    })
+}
+
 pub use backfill::{backfill_chart, BackfillSummary};
 pub use dynamics::{dynamics_chart, queue_dynamics, QueueDynamics};
 pub use federation::{

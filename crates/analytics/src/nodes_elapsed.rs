@@ -6,7 +6,17 @@
 
 use crate::select::started_view;
 use schedflow_charts::{Axis, Chart, ScatterChart, Series};
+use schedflow_dataflow::contract::{ColType, FrameSchema};
 use schedflow_frame::{Frame, FrameError};
+
+/// Input columns this stage reads from the curated frame — its declared
+/// [`TaskContract`](schedflow_dataflow::contract::TaskContract) requirement
+/// for the nodes-vs-elapsed scatter.
+pub fn required_schema() -> FrameSchema {
+    FrameSchema::new()
+        .with("elapsed_min", ColType::Float)
+        .with("nnodes", ColType::Int)
+}
 
 /// Summary numbers used by the shape checks in EXPERIMENTS.md.
 #[derive(Debug, Clone, PartialEq)]

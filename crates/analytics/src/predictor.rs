@@ -8,8 +8,21 @@
 //! evaluation walks the trace in submit order, predicting each job *before*
 //! observing it — no lookahead.
 
+use schedflow_dataflow::contract::{ColType, FrameSchema};
 use schedflow_frame::{Frame, FrameError};
 use std::collections::HashMap;
+
+/// Input columns this stage reads from the curated frame — its declared
+/// [`TaskContract`](schedflow_dataflow::contract::TaskContract) requirement
+/// for the walltime predictor.
+pub fn required_schema() -> FrameSchema {
+    FrameSchema::new()
+        .with("user", ColType::Str)
+        .with("submit", ColType::Int)
+        .with("elapsed_s", ColType::Int)
+        .with_nullable("timelimit_s", ColType::Int)
+        .with_nullable("start", ColType::Int)
+}
 
 /// Configuration of the per-user EWMA predictor.
 #[derive(Debug, Clone)]

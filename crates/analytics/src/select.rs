@@ -6,7 +6,19 @@
 //! through [`schedflow_frame::ViewCursor`]s so a scan over a year of monthly
 //! chunks stays O(rows) instead of O(rows × chunks).
 
+use schedflow_dataflow::contract::{ColType, FrameSchema};
 use schedflow_frame::{Frame, FrameError, FrameView};
+
+/// Input columns this stage reads from the curated frame — its declared
+/// [`TaskContract`](schedflow_dataflow::contract::TaskContract) requirement
+/// for the month/state selection filters.
+pub fn required_schema() -> FrameSchema {
+    FrameSchema::new()
+        .with("year", ColType::Int)
+        .with("month", ColType::Int)
+        .with("state", ColType::Str)
+        .with_nullable("start", ColType::Int)
+}
 
 /// View of rows submitted in the given year. Zero-copy.
 pub fn year_view(frame: &Frame, year: i32) -> Result<FrameView<'_>, FrameError> {

@@ -5,9 +5,19 @@
 //! the contrast §4.3 reads as a difference in workload style.
 
 use schedflow_charts::{BarChart, BarMode, Chart, Scale};
+use schedflow_dataflow::contract::{ColType, FrameSchema};
 use schedflow_frame::{group_by, Agg, Frame, FrameError};
 use schedflow_model::TERMINAL_STATES;
 use std::collections::HashMap;
+
+/// Input columns this stage reads from the curated frame — its declared
+/// [`TaskContract`](schedflow_dataflow::contract::TaskContract) requirement
+/// for the per-user end-state analysis.
+pub fn required_schema() -> FrameSchema {
+    FrameSchema::new()
+        .with("state", ColType::Str)
+        .with("user", ColType::Str)
+}
 
 /// Per-user state breakdown.
 #[derive(Debug, Clone, PartialEq)]
@@ -113,8 +123,8 @@ mod tests {
     use schedflow_frame::Column;
 
     fn frame() -> Frame {
-        let users = vec!["u1", "u1", "u1", "u2", "u2", "u3"];
-        let states = vec![
+        let users = ["u1", "u1", "u1", "u2", "u2", "u3"];
+        let states = [
             "COMPLETED",
             "FAILED",
             "FAILED",

@@ -6,7 +6,18 @@
 
 use crate::select::started_view;
 use schedflow_charts::{Axis, Chart, ScatterChart, Series};
+use schedflow_dataflow::contract::{ColType, FrameSchema};
 use schedflow_frame::{Frame, FrameError};
+
+/// Input columns this stage reads from the curated frame — its declared
+/// [`TaskContract`](schedflow_dataflow::contract::TaskContract) requirement
+/// for the node-occupancy analysis.
+pub fn required_schema() -> FrameSchema {
+    FrameSchema::new()
+        .with_nullable("start", ColType::Int)
+        .with_nullable("end", ColType::Int)
+        .with("nnodes", ColType::Int)
+}
 
 /// One sample of the occupancy series.
 #[derive(Debug, Clone, Copy, PartialEq)]

@@ -5,7 +5,17 @@
 //! count," reflecting srun task parallelism.
 
 use schedflow_charts::{BarChart, BarMode, Chart, Scale};
+use schedflow_dataflow::contract::{ColType, FrameSchema};
 use schedflow_frame::{group_by, Agg, Frame, FrameError};
+
+/// Input columns this stage reads from the curated frame — its declared
+/// [`TaskContract`](schedflow_dataflow::contract::TaskContract) requirement
+/// for the yearly volume analysis.
+pub fn required_schema() -> FrameSchema {
+    FrameSchema::new()
+        .with("nsteps", ColType::Int)
+        .with("year", ColType::Int)
+}
 
 /// One year's volumes.
 #[derive(Debug, Clone, PartialEq)]

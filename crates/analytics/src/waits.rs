@@ -7,8 +7,19 @@
 //! expose that as a quantile clip option.
 
 use schedflow_charts::{Axis, Chart, ScatterChart, Series};
+use schedflow_dataflow::contract::{ColType, FrameSchema};
 use schedflow_frame::{Frame, FrameError};
 use schedflow_model::TERMINAL_STATES;
+
+/// Input columns this stage reads from the curated frame — its declared
+/// [`TaskContract`](schedflow_dataflow::contract::TaskContract) requirement
+/// for the queue-wait analysis.
+pub fn required_schema() -> FrameSchema {
+    FrameSchema::new()
+        .with("state", ColType::Str)
+        .with("submit", ColType::Int)
+        .with_nullable("wait_s", ColType::Int)
+}
 
 /// Options for the wait-time stage.
 #[derive(Debug, Clone)]
@@ -37,11 +48,14 @@ pub struct WaitSummary {
     pub max_wait_s: f64,
 }
 
+/// One per-state series: `(state, submit_epochs, wait_seconds)`.
+pub type StateWaitSeries = (String, Vec<f64>, Vec<f64>);
+
 /// Extract `(submit_epoch, wait_s)` per state.
 pub fn waits_by_state(
     frame: &Frame,
     options: &WaitOptions,
-) -> Result<Vec<(String, Vec<f64>, Vec<f64>)>, FrameError> {
+) -> Result<Vec<StateWaitSeries>, FrameError> {
     let mut state = frame.str("state")?.cursor();
     let mut submit = frame.i64("submit")?.cursor();
     let wait_col = frame.column("wait_s")?;

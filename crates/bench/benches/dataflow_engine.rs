@@ -63,8 +63,8 @@ fn fanout_workflow(n: usize) -> Workflow {
 
 fn bench_engine(c: &mut Criterion) {
     let mut group = c.benchmark_group("engine_overhead");
-    let shapes: [(&str, fn(usize) -> Workflow); 2] =
-        [("chain", chain_workflow), ("fanout", fanout_workflow)];
+    type Shape = (&'static str, fn(usize) -> Workflow);
+    let shapes: [Shape; 2] = [("chain", chain_workflow), ("fanout", fanout_workflow)];
     for (name, build) in shapes {
         for n in [64usize, 512] {
             group.throughput(Throughput::Elements(n as u64));

@@ -7,6 +7,7 @@ use schedflow_bench::{andes_frame, banner, check, frontier_frame, save_chart};
 
 fn main() {
     banner("federation", "§6 — multi-cluster / federated analytics");
+    schedflow_bench::lint_gate(&["federation"]);
     let frontier = frontier_frame();
     let andes = andes_frame();
     let fa = federation::summarize_system(&frontier, "frontier").unwrap();

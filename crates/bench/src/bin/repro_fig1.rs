@@ -11,12 +11,13 @@ fn main() {
         "fig1",
         "Figure 1 — jobs & job-steps per year, Frontier 2021–2024",
     );
+    schedflow_bench::lint_gate(&["volume"]);
     let segments = [
         WorkloadProfile::frontier_early().scaled(scale()),
         WorkloadProfile::frontier().scaled(scale()),
     ];
     let records = generate_segments(&segments, seed());
-    let frame = records_to_frame(&records);
+    let frame = records_to_frame(&records).expect("curated frame");
     let volumes = yearly_volumes(&frame).unwrap();
 
     println!(

@@ -6,6 +6,7 @@ use schedflow_core::{build, System, WorkflowConfig};
 
 fn main() {
     banner("fig2", "Figure 2 — hybrid workflow dataflow diagram");
+    schedflow_bench::lint_gate(&[]);
     let mut cfg = WorkflowConfig::new(System::Frontier);
     // Three months keeps the diagram readable, like the paper's sketch.
     cfg.from = (2023, 4);
@@ -18,6 +19,7 @@ fn main() {
         &schedflow_dataflow::DotOptions {
             show_artifacts: false,
             title: "schedflow hybrid workflow (blue = static, orange = user-defined AI)".into(),
+            ..Default::default()
         },
     )
     .unwrap();

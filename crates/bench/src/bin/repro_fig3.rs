@@ -8,6 +8,7 @@ fn main() {
         "fig3",
         "Figure 3 — allocated nodes vs elapsed time, Frontier",
     );
+    schedflow_bench::lint_gate(&["nodes-elapsed"]);
     let frame = frontier_frame();
     let chart = nodes_elapsed::nodes_elapsed_chart(&frame, "frontier").unwrap();
     save_chart(&chart, "fig3_nodes_elapsed_frontier");

@@ -8,6 +8,7 @@ fn main() {
         "fig4",
         "Figure 4 — job wait times color-coded by final state, Frontier",
     );
+    schedflow_bench::lint_gate(&["waits"]);
     let frame = frontier_frame();
     save_chart(
         &wait_chart(&frame, "frontier", &WaitOptions::default()).unwrap(),

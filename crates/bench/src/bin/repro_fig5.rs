@@ -5,6 +5,7 @@ use schedflow_bench::{banner, check, frontier_frame, save_chart};
 
 fn main() {
     banner("fig5", "Figure 5 — job end states per user, Frontier");
+    schedflow_bench::lint_gate(&["states"]);
     let frame = frontier_frame();
     save_chart(
         &states_chart(&frame, "frontier", 40).unwrap(),

@@ -8,6 +8,7 @@ fn main() {
         "fig6",
         "Figure 6 — requested vs actual walltime (+ = backfilled), Frontier",
     );
+    schedflow_bench::lint_gate(&["backfill"]);
     let frame = frontier_frame();
     save_chart(
         &backfill::backfill_chart(&frame, "frontier").unwrap(),

@@ -9,6 +9,7 @@ fn main() {
         "fig7",
         "Figure 7 — nodes vs duration, Andes 2024 (vs Frontier)",
     );
+    schedflow_bench::lint_gate(&["nodes-elapsed"]);
     let andes = andes_frame();
     save_chart(
         &nodes_elapsed::nodes_elapsed_chart(&andes, "andes").unwrap(),

@@ -9,6 +9,7 @@ fn main() {
         "fig8",
         "Figure 8 — end states per user, Andes 2024 (vs Frontier)",
     );
+    schedflow_bench::lint_gate(&["states"]);
     let andes = andes_frame();
     save_chart(
         &states_chart(&andes, "andes", 40).unwrap(),

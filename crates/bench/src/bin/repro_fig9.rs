@@ -9,6 +9,7 @@ fn main() {
         "fig9",
         "Figure 9 — requested vs actual walltime, Andes 2024 (vs Frontier)",
     );
+    schedflow_bench::lint_gate(&["backfill"]);
     let andes = andes_frame();
     save_chart(
         &backfill::backfill_chart(&andes, "andes").unwrap(),

@@ -8,6 +8,7 @@ use schedflow_insight::{Analyst, RuleAnalyst};
 
 fn main() {
     banner("llm1", "§4.2 LLM Compare — monthly wait-time comparison");
+    schedflow_bench::lint_gate(&["waits", "select-month"]);
     let frame = frontier_frame();
     let options = WaitOptions::default();
     let march = select::filter_month(&frame, 2024, 3).unwrap();

@@ -11,6 +11,7 @@ fn main() {
         "llm2",
         "§4.2 LLM Insight — walltime overestimation narrative",
     );
+    schedflow_bench::lint_gate(&["backfill"]);
     let frame = frontier_frame();
     let chart = backfill_chart(&frame, "frontier").unwrap();
     let insight = RuleAnalyst::new().insight(&digest(&chart)).unwrap();

@@ -11,6 +11,7 @@ fn main() {
         "ablation",
         "backfill policy ablation (FIFO / EASY / conservative)",
     );
+    schedflow_bench::lint_gate(&[]);
     let profile = WorkloadProfile::frontier()
         .truncated_days(90)
         .scaled(scale() * 3.0);

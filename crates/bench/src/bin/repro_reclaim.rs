@@ -12,6 +12,7 @@ fn main() {
         "reclaim",
         "walltime reclamation what-if (AI-predicted estimates)",
     );
+    schedflow_bench::lint_gate(&["predictor"]);
     let profile = WorkloadProfile::frontier()
         .truncated_days(90)
         .scaled(scale() * 3.0);

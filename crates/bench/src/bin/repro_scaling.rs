@@ -6,6 +6,7 @@ use schedflow_core::{run, System, WorkflowConfig};
 
 fn main() {
     banner("scale", "§3.3 — workflow scaling with -n N workers");
+    schedflow_bench::lint_gate(&[]);
     let cores = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);

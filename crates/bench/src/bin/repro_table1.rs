@@ -9,6 +9,7 @@ fn main() {
         "table1",
         "Table 1 — selected Slurm accounting fields by category",
     );
+    schedflow_bench::lint_gate(&[]);
     println!();
     for (category, fields) in curated_by_category() {
         println!("{:<22} {}", category.label(), fields.join(", "));

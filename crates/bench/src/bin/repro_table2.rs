@@ -8,6 +8,7 @@ fn main() {
         "table2",
         "Table 2 — LLM offerings: API, access, image input",
     );
+    schedflow_bench::lint_gate(&[]);
     println!("\n{}", table2_text());
     let chosen = select_backend();
     println!("selected backend: {} {}", chosen.provider, chosen.version);

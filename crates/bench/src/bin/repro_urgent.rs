@@ -14,6 +14,7 @@ fn main() {
         "urgent",
         "urgent-computing QOS: preemption-backed turnaround",
     );
+    schedflow_bench::lint_gate(&[]);
     let profile = WorkloadProfile::frontier()
         .truncated_days(60)
         .scaled((scale() * 20.0).min(1.0)) // urgent value shows under contention

@@ -50,13 +50,13 @@ pub fn generate(profile: WorkloadProfile) -> (Vec<JobRecord>, SimMetrics) {
 /// The Frontier production trace (Apr 2023–Dec 2024) as an analysis frame.
 pub fn frontier_frame() -> Frame {
     let (records, _) = generate(WorkloadProfile::frontier());
-    records_to_frame(&records)
+    records_to_frame(&records).expect("curated frame")
 }
 
 /// The Andes 2024 trace as an analysis frame.
 pub fn andes_frame() -> Frame {
     let (records, _) = generate(WorkloadProfile::andes());
-    records_to_frame(&records)
+    records_to_frame(&records).expect("curated frame")
 }
 
 /// Print the experiment banner.
@@ -65,6 +65,69 @@ pub fn banner(id: &str, paper_artifact: &str) {
     println!("{id}: regenerating {paper_artifact}");
     println!("scale {} (SCHEDFLOW_SCALE), seed {}", scale(), seed());
     println!("==============================================================");
+}
+
+/// Statically lint the dataflow an experiment is about to execute, and
+/// refuse to run it when the linter finds errors.
+///
+/// `stages` names the analytics stages the binary exercises (keys of
+/// [`schedflow_analytics::stage_schema`]). The gate models the binary's
+/// real dataflow — trace generation producing the curated frame, then each
+/// stage consuming it under its declared [`TaskContract`] — and lints that
+/// workflow. With an empty `stages` list the binary runs the core pipeline
+/// itself, so the gate lints the default Frontier workflow instead.
+///
+/// [`TaskContract`]: schedflow_dataflow::contract::TaskContract
+pub fn lint_gate(stages: &[&str]) {
+    use schedflow_dataflow::contract::{SchemaEffect, TaskContract};
+    use schedflow_dataflow::{StageKind, Workflow};
+
+    let report = if stages.is_empty() {
+        let cfg = schedflow_core::WorkflowConfig::new(schedflow_core::System::Frontier);
+        let built = schedflow_core::build(&cfg);
+        schedflow_lint::lint_workflow(&built.workflow)
+    } else {
+        let mut wf = Workflow::new();
+        let trace = wf.value::<u32>("trace");
+        let frame = wf.value::<u32>("frame");
+        wf.task("generate", StageKind::Static, [], [trace.id()], |_| Ok(()));
+        let curate_task = wf.task(
+            "curate",
+            StageKind::Static,
+            [trace.id()],
+            [frame.id()],
+            |_| Ok(()),
+        );
+        wf.with_contract(
+            curate_task,
+            TaskContract::new().effect(
+                frame.id(),
+                SchemaEffect::Produces(schedflow_sacct::curated_schema()),
+            ),
+        );
+        for stage in stages {
+            let out = wf.value::<u32>(&format!("{stage}-out"));
+            let task = wf.task(
+                &format!("stage-{stage}"),
+                StageKind::Static,
+                [frame.id()],
+                [out.id()],
+                |_| Ok(()),
+            );
+            wf.retain(out.id());
+            let required = schedflow_analytics::stage_schema(stage)
+                .unwrap_or_else(|| panic!("unknown analytics stage {stage:?}"));
+            wf.with_contract(task, TaskContract::new().require(frame.id(), required));
+        }
+        schedflow_lint::lint_workflow(&wf)
+    };
+
+    if report.has_errors() {
+        print!("{}", report.render());
+        eprintln!("lint gate: refusing to run — fix the schema contract errors above");
+        std::process::exit(1);
+    }
+    println!("lint gate: clean ({} warning(s))", report.warnings());
 }
 
 /// Write a chart to `repro_out/<name>.html` and report the path.
@@ -95,7 +158,7 @@ mod tests {
         // Tiny inline generation to keep the test quick.
         let profile = WorkloadProfile::andes().truncated_days(5).scaled(0.2);
         let records = TraceGenerator::new(profile, 1).generate();
-        let frame = records_to_frame(&records);
+        let frame = records_to_frame(&records).unwrap();
         for col in ["nnodes", "wait_s", "state", "backfilled", "nsteps", "year"] {
             assert!(frame.has_column(col), "{col}");
         }

@@ -450,7 +450,7 @@ fn marker_svg(out: &mut String, shape: MarkerShape, x: f64, y: f64, color: &str,
     if !title.is_empty() {
         let _ = write!(out, "<title>{}</title>", escape(title));
     }
-    let _ = out.push_str(match shape {
+    out.push_str(match shape {
         MarkerShape::Dot => "</circle>",
         MarkerShape::Plus => "</path>",
         MarkerShape::Square => "</rect>",

@@ -10,7 +10,8 @@
 //!     --cache .cache --data out --scale 0.05 [--serve PORT]
 //! schedflow run --retries 3 --task-timeout 120 --resume     # fault-tolerant
 //! schedflow chaos --fail-p 0.3 --chaos-seed 7               # injection drill
-//! schedflow dot --system andes            # Figure 2 (Graphviz DOT)
+//! schedflow lint --system andes           # static analysis, no execution
+//! schedflow dot --system andes --lint     # Figure 2 (DOT), lint-annotated
 //! schedflow table2                        # the LLM offering survey
 //! ```
 
@@ -23,9 +24,10 @@ fn usage() -> ! {
         "schedflow — LLM-enabled Slurm trace analytics workflow\n\n\
          USAGE:\n  schedflow run   [OPTIONS]   execute the full hybrid workflow\n  \
          schedflow chaos [OPTIONS]   run under seeded fault injection\n  \
+         schedflow lint  [OPTIONS]   statically analyze the workflow, run nothing\n  \
          schedflow dot   [OPTIONS]   print the workflow dataflow graph (DOT)\n  \
          schedflow table2            print the LLM offering survey (Table 2)\n\n\
-         OPTIONS (run/chaos/dot):\n  \
+         OPTIONS (run/chaos/lint/dot):\n  \
          --system NAME    frontier | andes            [frontier]\n  \
          --from YYYY-MM   first month analyzed        [profile start]\n  \
          --to YYYY-MM     last month analyzed         [profile end]\n  \
@@ -36,6 +38,10 @@ fn usage() -> ! {
          --seed N         generator seed              [42]\n  \
          --no-cache       refetch raw data\n  \
          --serve PORT     serve the dashboard after the run\n\n\
+         STATIC ANALYSIS:\n  \
+         --no-deny        (run/chaos) execute even when lint finds errors\n  \
+         --deny           (lint) exit nonzero on warnings too, not just errors\n  \
+         --lint           (dot) annotate the graph with lint diagnostics\n\n\
          FAULT TOLERANCE (run/chaos):\n  \
          --retries N         max attempts per task (1 = off)   [1]\n  \
          --retry-delay MS    base retry backoff, milliseconds  [50]\n  \
@@ -57,6 +63,10 @@ fn usage() -> ! {
 struct Args {
     cfg: WorkflowConfig,
     serve: Option<u16>,
+    /// `lint --deny`: treat warnings as fatal too.
+    deny_warnings: bool,
+    /// `dot --lint`: annotate the graph with diagnostics.
+    dot_lint: bool,
 }
 
 fn parse_args(command: &str, args: std::env::Args) -> Args {
@@ -80,6 +90,9 @@ fn parse_args(command: &str, args: std::env::Args) -> Args {
     let mut stall_timeout_secs: Option<u64> = None;
     let mut resume = false;
     let mut no_retries = false;
+    let mut no_deny = false;
+    let mut deny_warnings = false;
+    let mut dot_lint = false;
     let mut chaos = if chaos_mode {
         Some(ChaosConfig::failing(7, 0.2))
     } else {
@@ -135,6 +148,9 @@ fn parse_args(command: &str, args: std::env::Args) -> Args {
             "--stall-timeout" => stall_timeout_secs = Some(parse("--stall-timeout", &mut rest)),
             "--resume" => resume = true,
             "--no-retries" => no_retries = true,
+            "--no-deny" => no_deny = true,
+            "--deny" => deny_warnings = true,
+            "--lint" => dot_lint = true,
             "--fail-p" => chaos_of(&mut chaos).fail_p = parse("--fail-p", &mut rest),
             "--panic-p" => chaos_of(&mut chaos).panic_p = parse("--panic-p", &mut rest),
             "--delay-p" => chaos_of(&mut chaos).delay_p = parse("--delay-p", &mut rest),
@@ -148,6 +164,18 @@ fn parse_args(command: &str, args: std::env::Args) -> Args {
     }
     if !chaos_mode && chaos.is_some() {
         eprintln!("chaos flags (--fail-p/--panic-p/--delay-p/--max-delay/--chaos-seed) require the `chaos` subcommand");
+        usage();
+    }
+    if deny_warnings && command != "lint" {
+        eprintln!("--deny applies to the `lint` subcommand only");
+        usage();
+    }
+    if dot_lint && command != "dot" {
+        eprintln!("--lint applies to the `dot` subcommand only");
+        usage();
+    }
+    if no_deny && !matches!(command, "run" | "chaos") {
+        eprintln!("--no-deny applies to the `run` and `chaos` subcommands only");
         usage();
     }
 
@@ -193,7 +221,13 @@ fn parse_args(command: &str, args: std::env::Args) -> Args {
     }
     cfg.fault.resume = resume;
     cfg.fault.chaos = chaos;
-    Args { cfg, serve }
+    cfg.lint_deny = !no_deny;
+    Args {
+        cfg,
+        serve,
+        deny_warnings,
+        dot_lint,
+    }
 }
 
 use schedflow_dataflow::human_bytes as fmt_bytes;
@@ -304,16 +338,39 @@ fn main() {
             let chosen = schedflow_insight::select_backend();
             println!("selected backend: {} {}", chosen.provider, chosen.version);
         }
+        "lint" => {
+            let parsed = parse_args("lint", args);
+            let built = build(&parsed.cfg);
+            let report = schedflow_lint::lint_all(
+                &built.workflow,
+                Some(&schedflow_core::run_options(&parsed.cfg)),
+            );
+            print!("{}", report.render());
+            let fatal = report.errors() > 0 || (parsed.deny_warnings && report.warnings() > 0);
+            if fatal {
+                std::process::exit(1);
+            }
+        }
         "dot" => {
             let parsed = parse_args("dot", args);
             let built = build(&parsed.cfg);
-            let dot = schedflow_dataflow::to_dot(
-                &built.workflow,
-                &schedflow_dataflow::DotOptions {
-                    show_artifacts: false,
-                    title: format!("schedflow hybrid workflow — {}", parsed.cfg.system.name()),
-                },
-            )
+            let title = format!("schedflow hybrid workflow — {}", parsed.cfg.system.name());
+            let dot = if parsed.dot_lint {
+                let report = schedflow_lint::lint_all(
+                    &built.workflow,
+                    Some(&schedflow_core::run_options(&parsed.cfg)),
+                );
+                schedflow_lint::annotated_dot(&built.workflow, &report, &title)
+            } else {
+                schedflow_dataflow::to_dot(
+                    &built.workflow,
+                    &schedflow_dataflow::DotOptions {
+                        show_artifacts: false,
+                        title,
+                        ..Default::default()
+                    },
+                )
+            }
             .unwrap_or_else(|e| {
                 eprintln!("graph error: {e}");
                 std::process::exit(1);

@@ -70,6 +70,9 @@ pub struct WorkflowConfig {
     pub fault: FaultOptions,
     /// Insight backend selection (see [`InsightBackend`]).
     pub insight_backend: InsightBackend,
+    /// Refuse to execute when `schedflow-lint` finds errors (on by default;
+    /// the CLI's `--no-deny` disables the gate). Warnings never block a run.
+    pub lint_deny: bool,
 }
 
 /// Which analyst serves the LLM-insight stages.
@@ -142,6 +145,7 @@ impl WorkflowConfig {
             corrupt_fraction: 0.00002,
             fault: FaultOptions::default(),
             insight_backend: InsightBackend::default(),
+            lint_deny: true,
         }
     }
 

@@ -20,4 +20,4 @@ pub mod run;
 
 pub use config::{FaultOptions, InsightBackend, System, WorkflowConfig};
 pub use pipeline::{build, BuiltWorkflow, Handles, PLOT_STAGES};
-pub use run::{run, run_options, CoreError, RunOutcome, MANIFEST_FILE};
+pub use run::{run, run_built, run_options, CoreError, RunOutcome, MANIFEST_FILE};

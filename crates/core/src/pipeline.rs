@@ -11,6 +11,7 @@
 use crate::config::{InsightBackend, WorkflowConfig};
 use schedflow_analytics as analytics;
 use schedflow_charts::{digest as chart_digest, to_html, Chart, ChartDigest, Geometry};
+use schedflow_dataflow::contract::{SchemaEffect, TaskContract};
 use schedflow_dataflow::{Artifact, StageKind, Workflow};
 use schedflow_frame::Frame;
 use schedflow_insight::{
@@ -34,18 +35,21 @@ pub const PLOT_STAGES: [&str; 7] = [
     "dynamics",
 ];
 
+/// Per-plotting-stage handles: `(stage, chart, digest, insight)`.
+pub type StageHandles = (
+    String,
+    Artifact<Chart>,
+    Artifact<ChartDigest>,
+    Artifact<Insight>,
+);
+
 /// Artifact handles needed to collect results after the run.
 pub struct Handles {
     pub store: Artifact<AccountingStore>,
     pub merged: Artifact<Frame>,
     pub reports: Vec<Artifact<ParseReport>>,
     /// `(stage, chart, digest, insight)` per plotting stage.
-    pub stages: Vec<(
-        String,
-        Artifact<Chart>,
-        Artifact<ChartDigest>,
-        Artifact<Insight>,
-    )>,
+    pub stages: Vec<StageHandles>,
     pub compare: Option<Artifact<Insight>>,
     pub dashboard_index: PathBuf,
     pub insights_md: PathBuf,
@@ -82,7 +86,6 @@ pub fn build(cfg: &WorkflowConfig) -> BuiltWorkflow {
     {
         let profile = cfg.profile();
         let seed = cfg.seed;
-        let store_art = store_art;
         let system = system.clone();
         wf.task(
             "simulate-trace",
@@ -148,10 +151,12 @@ pub fn build(cfg: &WorkflowConfig) -> BuiltWorkflow {
         }
 
         // Curate: raw text → cleaned frame + CSV, malformed lines reported.
+        // Its contract roots the schema dataflow: the monthly frame carries
+        // exactly the curated schema.
         {
             let raw = raw.clone();
             let csv = csv.clone();
-            wf.task(
+            let curate_task = wf.task(
                 &format!("curate-{stem}"),
                 StageKind::Static,
                 [raw.id()],
@@ -168,6 +173,10 @@ pub fn build(cfg: &WorkflowConfig) -> BuiltWorkflow {
                     ctx.put(report_art, result.report.clone())
                 },
             );
+            wf.with_contract(
+                curate_task,
+                TaskContract::new().produces(frame_art.id(), schedflow_sacct::curated_schema()),
+            );
         }
     }
 
@@ -175,8 +184,8 @@ pub fn build(cfg: &WorkflowConfig) -> BuiltWorkflow {
     let merged = wf.value::<Frame>("merged-frame");
     {
         let inputs: Vec<_> = frame_arts.iter().map(|a| a.id()).collect();
-        let frame_arts = frame_arts.clone();
-        wf.task(
+        let frame_arts2 = frame_arts.clone();
+        let merge_task = wf.task(
             "merge-curated",
             StageKind::Static,
             inputs,
@@ -184,7 +193,7 @@ pub fn build(cfg: &WorkflowConfig) -> BuiltWorkflow {
             move |ctx| {
                 // Frame clones share chunk Arcs, and vstack appends chunk
                 // descriptors, so the merge is O(chunks) with zero row copies.
-                let frames: Vec<Frame> = frame_arts
+                let frames: Vec<Frame> = frame_arts2
                     .iter()
                     .map(|a| ctx.get(*a).map(|f| (*f).clone()))
                     .collect::<Result<_, _>>()?;
@@ -193,6 +202,16 @@ pub fn build(cfg: &WorkflowConfig) -> BuiltWorkflow {
                 ctx.put_sized(merged, stacked, bytes)
             },
         );
+        // vstack demands every month carry the full curated schema, and the
+        // merged frame passes it through unchanged.
+        let mut contract = TaskContract::new();
+        for a in &frame_arts {
+            contract = contract.require(a.id(), schedflow_sacct::curated_schema());
+        }
+        if let Some(first) = frame_arts.first() {
+            contract = contract.effect(merged.id(), SchemaEffect::passthrough(first.id()));
+        }
+        wf.with_contract(merge_task, contract);
     }
 
     // ---- Static: field-specific plotting stages (concurrent). ----
@@ -205,7 +224,7 @@ pub fn build(cfg: &WorkflowConfig) -> BuiltWorkflow {
             let sys = system.clone();
             let top_users = cfg.top_users;
             let stage_name = stage.to_owned();
-            wf.task(
+            let plot_task = wf.task(
                 &format!("plot-{stage}"),
                 StageKind::Static,
                 [merged.id()],
@@ -219,6 +238,14 @@ pub fn build(cfg: &WorkflowConfig) -> BuiltWorkflow {
                     ctx.put(chart_art, chart)
                 },
             );
+            // Each plotting stage requires exactly the columns its analytics
+            // module reads from the merged frame.
+            if let Some(required) = analytics::stage_schema(stage) {
+                wf.with_contract(
+                    plot_task,
+                    TaskContract::new().require(merged.id(), required),
+                );
+            }
         }
 
         // ---- User-defined: digest (HTML2PNG substitute) + LLM Insight. ----
@@ -269,7 +296,7 @@ pub fn build(cfg: &WorkflowConfig) -> BuiltWorkflow {
             {
                 let sys = system.clone();
                 let label2 = label.clone();
-                wf.task(
+                let wait_task = wf.task(
                     &format!("wait-chart-{label}"),
                     StageKind::UserDefined,
                     [merged.id()],
@@ -286,6 +313,13 @@ pub fn build(cfg: &WorkflowConfig) -> BuiltWorkflow {
                         .map_err(|e| e.to_string())?;
                         ctx.put(chart_art, chart)
                     },
+                );
+                // Reads the month filter's columns plus the wait analysis's.
+                let required = analytics::select::required_schema()
+                    .union(&analytics::waits::required_schema());
+                wf.with_contract(
+                    wait_task,
+                    TaskContract::new().require(merged.id(), required),
                 );
             }
             let digest_art = wf.value::<ChartDigest>(&format!("wait-digest-{label}"));

@@ -16,6 +16,10 @@ pub const MANIFEST_FILE: &str = "run-manifest.json";
 #[derive(Debug)]
 pub enum CoreError {
     Graph(GraphError),
+    /// Static analysis found errors before any task ran (the `--deny` gate).
+    Lint {
+        report: Box<schedflow_lint::LintReport>,
+    },
     /// One or more stages failed (after retries); the report carries details.
     StageFailed {
         failed: Vec<String>,
@@ -32,6 +36,12 @@ impl std::fmt::Display for CoreError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             CoreError::Graph(e) => write!(f, "workflow graph error: {e}"),
+            CoreError::Lint { report } => write!(
+                f,
+                "lint found {} error(s) before any task ran:\n{}",
+                report.errors(),
+                report.render()
+            ),
             CoreError::StageFailed { failed, .. } => {
                 write!(f, "workflow stages failed: {}", failed.join("; "))
             }
@@ -139,7 +149,26 @@ fn run_report_html(report: &RunReport) -> String {
 
 /// Build and execute the workflow for `cfg`.
 pub fn run(cfg: &WorkflowConfig) -> Result<RunOutcome, CoreError> {
-    let BuiltWorkflow { workflow, handles } = build(cfg);
+    run_built(build(cfg), cfg)
+}
+
+/// Execute an already-built workflow — the seam that lets tests tamper with
+/// contracts before the lint gate sees them.
+pub fn run_built(built: BuiltWorkflow, cfg: &WorkflowConfig) -> Result<RunOutcome, CoreError> {
+    let BuiltWorkflow { workflow, handles } = built;
+
+    // The static-analysis gate: schema dataflow, liveness, and policy lints
+    // run before any task does. Errors abort here (unless `--no-deny`);
+    // warnings are advisory either way.
+    if cfg.lint_deny {
+        let lint = schedflow_lint::lint_all(&workflow, Some(&run_options(cfg)));
+        if lint.has_errors() {
+            return Err(CoreError::Lint {
+                report: Box::new(lint),
+            });
+        }
+    }
+
     let runner = Runner::new(workflow)?;
     let report = runner.run(&run_options(cfg));
 
@@ -349,6 +378,70 @@ mod tests {
             "p=0.3 across 34 tasks must retry something"
         );
         let _ = std::fs::remove_dir_all(cfg.cache_dir.parent().unwrap());
+    }
+
+    /// The acceptance scenario: a column typo in one analytics stage's
+    /// contract is caught statically — SF0101 names the task, suggests the
+    /// nearest real column, and zero tasks execute.
+    #[test]
+    fn seeded_typo_is_caught_before_any_task_runs() {
+        use schedflow_dataflow::contract::{ColType, FrameSchema, TaskContract};
+
+        let cfg = tiny_config("lint-typo");
+        let mut built = build(&cfg);
+        let plot_waits = built.workflow.task_id("plot-waits").unwrap();
+        let merged = built.handles.merged.id();
+        built.workflow.with_contract(
+            plot_waits,
+            TaskContract::new().require(merged, FrameSchema::new().with("wait_secs", ColType::Int)),
+        );
+        match run_built(built, &cfg) {
+            Err(CoreError::Lint { report }) => {
+                let missing = report.with_code(schedflow_lint::codes::MISSING_COLUMN);
+                assert_eq!(missing.len(), 1, "{}", report.render());
+                assert_eq!(missing[0].task.as_deref(), Some("plot-waits"));
+                assert!(
+                    missing[0].help.as_deref().unwrap().contains("`wait_s`"),
+                    "nearest-column suggestion expected: {}",
+                    missing[0].render()
+                );
+            }
+            Ok(_) => panic!("the lint gate should have refused to run"),
+            Err(other) => panic!("unexpected error {other}"),
+        }
+        // Zero tasks executed: nothing touched the cache or output dirs.
+        assert!(!cfg.cache_dir.exists(), "no task ran — no raw cache");
+        assert!(!cfg.data_dir.exists(), "no task ran — no outputs");
+    }
+
+    /// `--no-deny` escape hatch: the same tampered workflow executes when the
+    /// gate is off (the typo lives only in the declaration, so the stages
+    /// themselves still succeed).
+    #[test]
+    fn no_deny_executes_despite_lint_errors() {
+        use schedflow_dataflow::contract::{ColType, FrameSchema, TaskContract};
+
+        let mut cfg = tiny_config("lint-nodeny");
+        cfg.lint_deny = false;
+        let mut built = build(&cfg);
+        let plot_waits = built.workflow.task_id("plot-waits").unwrap();
+        let merged = built.handles.merged.id();
+        built.workflow.with_contract(
+            plot_waits,
+            TaskContract::new().require(merged, FrameSchema::new().with("wait_secs", ColType::Int)),
+        );
+        let outcome = run_built(built, &cfg).unwrap_or_else(|e| panic!("{e}"));
+        assert!(outcome.report.is_success());
+        let _ = std::fs::remove_dir_all(cfg.cache_dir.parent().unwrap());
+    }
+
+    /// The default pipeline must itself be lint-clean — the gate's base case.
+    #[test]
+    fn default_pipeline_lints_clean() {
+        let cfg = tiny_config("lint-clean");
+        let built = build(&cfg);
+        let report = schedflow_lint::lint_all(&built.workflow, Some(&run_options(&cfg)));
+        assert!(report.is_clean(), "{}", report.render());
     }
 
     #[test]

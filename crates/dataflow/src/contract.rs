@@ -1,0 +1,271 @@
+//! Typed artifact contracts: what a task requires of its inputs and what it
+//! promises about its outputs.
+//!
+//! The paper builds its pipeline in Swift/T, whose compiler checks the
+//! dataflow before launch; the Rust engine only validates graph *shape*
+//! (cycles, single writer). Contracts close the gap for the dominant payload
+//! type — tabular frames — by letting every stage declare the columns it
+//! reads ([`FrameSchema`] requirements) and the columns it produces, renames,
+//! or drops ([`SchemaEffect`]). `schedflow-lint` propagates these schemas
+//! through the DAG by abstract interpretation and reports contract
+//! violations *before any task runs*.
+//!
+//! Contracts are deliberately engine-agnostic: a [`ColType`] is not a frame
+//! `DType` (the frame crate depends on this one, not vice versa) and an
+//! artifact with no declared effect simply propagates as unknown — linting
+//! is gradual, never blocking adoption.
+
+use crate::artifact::ArtifactId;
+
+/// Abstract column type, mirroring the frame engine's dtypes plus a wildcard.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ColType {
+    Int,
+    Float,
+    Str,
+    Bool,
+    /// Matches any concrete type (for stages that only test presence).
+    Any,
+}
+
+impl ColType {
+    /// Whether a column of concrete type `actual` satisfies this requirement.
+    pub fn accepts(&self, actual: ColType) -> bool {
+        matches!(self, ColType::Any) || actual == ColType::Any || *self == actual
+    }
+}
+
+impl std::fmt::Display for ColType {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            ColType::Int => "int",
+            ColType::Float => "float",
+            ColType::Str => "str",
+            ColType::Bool => "bool",
+            ColType::Any => "any",
+        })
+    }
+}
+
+/// One column in a schema: name, abstract type, and whether nulls may occur.
+///
+/// In a *requirement*, `nullable: false` means the consumer cannot tolerate
+/// nulls; in a *produced* schema, `nullable: true` means nulls may be
+/// present.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnSpec {
+    pub name: String,
+    pub ty: ColType,
+    pub nullable: bool,
+}
+
+impl ColumnSpec {
+    pub fn new(name: impl Into<String>, ty: ColType) -> Self {
+        ColumnSpec {
+            name: name.into(),
+            ty,
+            nullable: false,
+        }
+    }
+
+    /// Mark the column as possibly containing nulls (produced schemas) or as
+    /// null-tolerant (requirements).
+    pub fn nullable(mut self) -> Self {
+        self.nullable = true;
+        self
+    }
+}
+
+/// An ordered set of [`ColumnSpec`]s — the contract-level view of a frame.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FrameSchema {
+    columns: Vec<ColumnSpec>,
+}
+
+impl FrameSchema {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add (or replace, by name) a non-nullable column.
+    pub fn with(self, name: impl Into<String>, ty: ColType) -> Self {
+        self.with_spec(ColumnSpec::new(name, ty))
+    }
+
+    /// Add (or replace, by name) a nullable column.
+    pub fn with_nullable(self, name: impl Into<String>, ty: ColType) -> Self {
+        self.with_spec(ColumnSpec::new(name, ty).nullable())
+    }
+
+    pub fn with_spec(mut self, spec: ColumnSpec) -> Self {
+        self.upsert(spec);
+        self
+    }
+
+    /// Insert a column, replacing any existing column of the same name.
+    pub fn upsert(&mut self, spec: ColumnSpec) {
+        match self.columns.iter_mut().find(|c| c.name == spec.name) {
+            Some(existing) => *existing = spec,
+            None => self.columns.push(spec),
+        }
+    }
+
+    pub fn get(&self, name: &str) -> Option<&ColumnSpec> {
+        self.columns.iter().find(|c| c.name == name)
+    }
+
+    pub fn contains(&self, name: &str) -> bool {
+        self.get(name).is_some()
+    }
+
+    /// Remove a column by name; returns whether it existed.
+    pub fn remove(&mut self, name: &str) -> bool {
+        let before = self.columns.len();
+        self.columns.retain(|c| c.name != name);
+        self.columns.len() != before
+    }
+
+    /// Rename a column; returns whether the source existed.
+    pub fn rename(&mut self, from: &str, to: &str) -> bool {
+        match self.columns.iter_mut().find(|c| c.name == from) {
+            Some(c) => {
+                c.name = to.to_owned();
+                true
+            }
+            None => false,
+        }
+    }
+
+    pub fn columns(&self) -> &[ColumnSpec] {
+        &self.columns
+    }
+
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.columns.iter().map(|c| c.name.as_str())
+    }
+
+    pub fn len(&self) -> usize {
+        self.columns.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.columns.is_empty()
+    }
+
+    /// Merge another schema's columns into this one (other wins on clashes).
+    pub fn union(mut self, other: &FrameSchema) -> Self {
+        for c in &other.columns {
+            self.upsert(c.clone());
+        }
+        self
+    }
+}
+
+/// What a task promises about one output artifact's schema.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SchemaEffect {
+    /// The output has exactly this schema, regardless of the inputs.
+    Produces(FrameSchema),
+    /// The output schema is the schema of the `from` input artifact with the
+    /// listed edits applied: renames first, then drops, then additions.
+    Derives {
+        from: ArtifactId,
+        adds: Vec<ColumnSpec>,
+        drops: Vec<String>,
+        renames: Vec<(String, String)>,
+    },
+    /// The task makes no promise; downstream propagation sees "unknown".
+    Opaque,
+}
+
+impl SchemaEffect {
+    /// The output carries the `from` input's schema unchanged.
+    pub fn passthrough(from: ArtifactId) -> Self {
+        SchemaEffect::Derives {
+            from,
+            adds: Vec::new(),
+            drops: Vec::new(),
+            renames: Vec::new(),
+        }
+    }
+}
+
+/// The declared dataflow contract of one task: per-input column requirements
+/// and per-output schema effects. Artifacts not mentioned are unconstrained.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TaskContract {
+    /// `(input artifact, columns the task reads)`.
+    pub requires: Vec<(ArtifactId, FrameSchema)>,
+    /// `(output artifact, schema promise)`.
+    pub effects: Vec<(ArtifactId, SchemaEffect)>,
+}
+
+impl TaskContract {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Declare the columns this task reads from one input artifact.
+    pub fn require(mut self, input: ArtifactId, schema: FrameSchema) -> Self {
+        self.requires.push((input, schema));
+        self
+    }
+
+    /// Declare the schema promise for one output artifact.
+    pub fn effect(mut self, output: ArtifactId, effect: SchemaEffect) -> Self {
+        self.effects.push((output, effect));
+        self
+    }
+
+    /// Shorthand: the output has exactly `schema`.
+    pub fn produces(self, output: ArtifactId, schema: FrameSchema) -> Self {
+        self.effect(output, SchemaEffect::Produces(schema))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coltype_accepts() {
+        assert!(ColType::Any.accepts(ColType::Int));
+        assert!(ColType::Int.accepts(ColType::Int));
+        assert!(!ColType::Int.accepts(ColType::Float));
+        assert!(ColType::Str.accepts(ColType::Any));
+    }
+
+    #[test]
+    fn schema_builder_upserts() {
+        let s = FrameSchema::new()
+            .with("a", ColType::Int)
+            .with_nullable("b", ColType::Float)
+            .with("a", ColType::Str);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.get("a").unwrap().ty, ColType::Str);
+        assert!(s.get("b").unwrap().nullable);
+    }
+
+    #[test]
+    fn schema_edits() {
+        let mut s = FrameSchema::new()
+            .with("x", ColType::Int)
+            .with("y", ColType::Int);
+        assert!(s.rename("x", "z"));
+        assert!(!s.rename("x", "w"));
+        assert!(s.remove("y"));
+        assert!(!s.remove("y"));
+        assert!(s.contains("z"));
+    }
+
+    #[test]
+    fn union_overwrites() {
+        let a = FrameSchema::new().with("k", ColType::Int);
+        let b = FrameSchema::new()
+            .with("k", ColType::Str)
+            .with("v", ColType::Bool);
+        let u = a.union(&b);
+        assert_eq!(u.get("k").unwrap().ty, ColType::Str);
+        assert_eq!(u.len(), 2);
+    }
+}

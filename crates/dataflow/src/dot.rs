@@ -16,6 +16,10 @@ pub struct DotOptions {
     pub show_artifacts: bool,
     /// Graph title.
     pub title: String,
+    /// Per-task annotation lines (task name → extra label lines). Annotated
+    /// tasks render with a red border and the lines appended to their label
+    /// — this is how `schedflow-lint` draws diagnostics onto the graph.
+    pub annotations: std::collections::BTreeMap<String, Vec<String>>,
 }
 
 impl Default for DotOptions {
@@ -23,9 +27,13 @@ impl Default for DotOptions {
         Self {
             show_artifacts: false,
             title: "schedflow workflow".to_owned(),
+            annotations: std::collections::BTreeMap::new(),
         }
     }
 }
+
+/// Border color of annotated (diagnosed) task nodes.
+const ANNOTATION_COLOR: &str = "#cc0000";
 
 const STATIC_FILL: &str = "#cfe2f3"; // blue — fixed analysis stages
 const USER_FILL: &str = "#fce5cd"; // orange — user-defined AI stages
@@ -47,10 +55,20 @@ pub fn to_dot(wf: &Workflow, options: &DotOptions) -> Result<String, crate::grap
             StageKind::Static => STATIC_FILL,
             StageKind::UserDefined => USER_FILL,
         };
-        out.push_str(&format!(
-            "  t{i} [label={}, shape=box, style=filled, fillcolor=\"{fill}\"];\n",
-            quote(&t.name)
-        ));
+        match options.annotations.get(&t.name).filter(|a| !a.is_empty()) {
+            Some(lines) => {
+                let label = format!("{}\n{}", t.name, lines.join("\n"));
+                out.push_str(&format!(
+                    "  t{i} [label={}, shape=box, style=filled, fillcolor=\"{fill}\", \
+                     color=\"{ANNOTATION_COLOR}\", penwidth=2];\n",
+                    quote(&label)
+                ));
+            }
+            None => out.push_str(&format!(
+                "  t{i} [label={}, shape=box, style=filled, fillcolor=\"{fill}\"];\n",
+                quote(&t.name)
+            )),
+        }
     }
 
     if options.show_artifacts {
@@ -110,7 +128,12 @@ pub fn to_dot(wf: &Workflow, options: &DotOptions) -> Result<String, crate::grap
 }
 
 fn quote(s: &str) -> String {
-    format!("\"{}\"", s.replace('\\', "\\\\").replace('"', "\\\""))
+    format!(
+        "\"{}\"",
+        s.replace('\\', "\\\\")
+            .replace('"', "\\\"")
+            .replace('\n', "\\n")
+    )
 }
 
 #[cfg(test)]
@@ -165,6 +188,7 @@ mod tests {
             &DotOptions {
                 show_artifacts: true,
                 title: "fig2".into(),
+                ..DotOptions::default()
             },
         )
         .unwrap();
@@ -202,5 +226,21 @@ mod tests {
     #[test]
     fn quoting_escapes() {
         assert_eq!(quote("a\"b"), "\"a\\\"b\"");
+        assert_eq!(quote("a\nb"), "\"a\\nb\"");
+    }
+
+    #[test]
+    fn annotations_highlight_tasks() {
+        let mut options = DotOptions::default();
+        options.annotations.insert(
+            "curate".to_owned(),
+            vec!["SF0101 missing wait_s".to_owned()],
+        );
+        let dot = to_dot(&sample(), &options).unwrap();
+        assert!(dot.contains("SF0101 missing wait_s"));
+        assert!(dot.contains(ANNOTATION_COLOR));
+        assert!(dot.contains("penwidth=2"));
+        // Only the annotated task gets the highlight border.
+        assert_eq!(dot.matches("penwidth=2").count(), 1);
     }
 }

@@ -8,6 +8,7 @@
 use crate::artifact::{
     Artifact, ArtifactId, ArtifactKindMeta, ArtifactMeta, FileArtifact, TaskCtx,
 };
+use crate::contract::{FrameSchema, TaskContract};
 use crate::error::{RetryPolicy, TaskError};
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
@@ -51,6 +52,9 @@ pub(crate) struct TaskSpec {
     /// This is the degraded-mode hook for terminal consolidation stages
     /// (the dashboard renders a placeholder tab instead of disappearing).
     pub tolerates_failure: bool,
+    /// Declared dataflow contract (input column requirements + output schema
+    /// effects) — consumed by `schedflow-lint`, never by the executor.
+    pub contract: Option<TaskContract>,
 }
 
 /// Errors detected when validating a workflow graph.
@@ -104,6 +108,9 @@ pub struct Workflow {
     /// Value artifacts the caller reads after the run — exempt from the
     /// executor's drop-after-last-consumer lifetime tracking.
     pub(crate) retained: std::collections::HashSet<ArtifactId>,
+    /// Schemas declared directly on artifacts (workflow parameters and
+    /// external file inputs whose shape is known to the caller).
+    pub(crate) declared_schemas: Vec<(ArtifactId, FrameSchema)>,
 }
 
 impl Default for Workflow {
@@ -119,6 +126,7 @@ impl Workflow {
             tasks: Vec::new(),
             provided: Vec::new(),
             retained: std::collections::HashSet::new(),
+            declared_schemas: Vec::new(),
         }
     }
 
@@ -186,8 +194,39 @@ impl Workflow {
             retry: None,
             deadline: None,
             tolerates_failure: false,
+            contract: None,
         });
         id
+    }
+
+    /// Attach (or replace) the dataflow contract of one task. The executor
+    /// ignores contracts entirely; `schedflow-lint` interprets them before
+    /// any task runs.
+    pub fn with_contract(&mut self, id: TaskId, contract: TaskContract) {
+        self.tasks[id.0].contract = Some(contract);
+    }
+
+    /// The declared contract of a task, if any.
+    pub fn contract(&self, id: TaskId) -> Option<&TaskContract> {
+        self.tasks[id.0].contract.as_ref()
+    }
+
+    /// Declare the schema of an artifact directly — for workflow parameters
+    /// ([`Workflow::provide`]) and external file inputs whose shape the
+    /// caller knows even though no task in the graph produces them.
+    pub fn declare_schema(&mut self, id: ArtifactId, schema: FrameSchema) {
+        match self.declared_schemas.iter_mut().find(|(a, _)| *a == id) {
+            Some((_, s)) => *s = schema,
+            None => self.declared_schemas.push((id, schema)),
+        }
+    }
+
+    /// A schema declared directly on an artifact, if any.
+    pub fn declared_schema(&self, id: ArtifactId) -> Option<&FrameSchema> {
+        self.declared_schemas
+            .iter()
+            .find(|(a, _)| *a == id)
+            .map(|(_, s)| s)
     }
 
     /// Override the retry policy for one task (otherwise the run-level
@@ -254,6 +293,51 @@ impl Workflow {
         &self.tasks[id.0].name
     }
 
+    /// Ids of all declared tasks, in declaration order.
+    pub fn task_ids(&self) -> impl Iterator<Item = TaskId> + '_ {
+        (0..self.tasks.len()).map(TaskId)
+    }
+
+    /// Look a task up by name.
+    pub fn task_id(&self, name: &str) -> Option<TaskId> {
+        self.tasks.iter().position(|t| t.name == name).map(TaskId)
+    }
+
+    /// Stage kind (static analysis vs user-defined AI) of a task.
+    pub fn task_kind(&self, id: TaskId) -> StageKind {
+        self.tasks[id.0].kind
+    }
+
+    /// Input artifacts of a task, as declared.
+    pub fn task_inputs(&self, id: TaskId) -> &[ArtifactId] {
+        &self.tasks[id.0].inputs
+    }
+
+    /// Output artifacts of a task, as declared.
+    pub fn task_outputs(&self, id: TaskId) -> &[ArtifactId] {
+        &self.tasks[id.0].outputs
+    }
+
+    /// Per-task retry override, if any.
+    pub fn task_retry(&self, id: TaskId) -> Option<&RetryPolicy> {
+        self.tasks[id.0].retry.as_ref()
+    }
+
+    /// Per-task deadline override, if any.
+    pub fn task_deadline(&self, id: TaskId) -> Option<Duration> {
+        self.tasks[id.0].deadline
+    }
+
+    /// Whether the task runs even when upstream dependencies fail.
+    pub fn task_tolerates_failure(&self, id: TaskId) -> bool {
+        self.tasks[id.0].tolerates_failure
+    }
+
+    /// Whether an artifact has an externally provided value.
+    pub fn is_provided(&self, id: ArtifactId) -> bool {
+        self.provided.iter().any(|(a, _)| *a == id)
+    }
+
     /// Name of an artifact (for reports, fingerprints, DOT export).
     pub fn artifact_name(&self, id: ArtifactId) -> &str {
         &self.artifacts[id.0].name
@@ -273,7 +357,7 @@ impl Workflow {
     }
 
     /// Producer task of each artifact, if any.
-    pub(crate) fn producers(&self) -> HashMap<ArtifactId, TaskId> {
+    pub fn producers(&self) -> HashMap<ArtifactId, TaskId> {
         let mut map = HashMap::new();
         for (ti, t) in self.tasks.iter().enumerate() {
             for &out in &t.outputs {
@@ -284,7 +368,7 @@ impl Workflow {
     }
 
     /// Direct dependencies of each task (deduplicated, by producer lookup).
-    pub(crate) fn dependencies(&self) -> Vec<Vec<TaskId>> {
+    pub fn dependencies(&self) -> Vec<Vec<TaskId>> {
         let producers = self.producers();
         self.tasks
             .iter()
@@ -372,13 +456,64 @@ impl Workflow {
             }
         }
         if visited != n {
-            let involving = (0..n)
-                .filter(|&i| indegree[i] > 0)
-                .map(|i| self.tasks[i].name.clone())
-                .collect();
-            return Err(GraphError::Cycle { involving });
+            return Err(GraphError::Cycle {
+                involving: self.extract_cycle(&deps, &indegree),
+            });
         }
         Ok(depth)
+    }
+
+    /// Extract one actual dependency cycle, deterministically.
+    ///
+    /// After Kahn's algorithm, every node with residual indegree > 0 has at
+    /// least one unresolved dependency — but that set also contains mere
+    /// *descendants* of cycles. Walking from the smallest remaining task
+    /// index, always into the smallest remaining dependency, must revisit a
+    /// node; the loop from that node is a genuine cycle. It is reported in
+    /// dependency order, rotated to start at its smallest task index, so the
+    /// diagnostic is stable across runs and snapshot-testable.
+    fn extract_cycle(&self, deps: &[Vec<TaskId>], indegree: &[usize]) -> Vec<String> {
+        let remaining = |i: usize| indegree[i] > 0;
+        let start = match (0..self.tasks.len()).find(|&i| remaining(i)) {
+            Some(i) => i,
+            None => return Vec::new(),
+        };
+        let mut seen_at = vec![usize::MAX; self.tasks.len()];
+        let mut path = Vec::new();
+        let mut cur = start;
+        let cycle_start = loop {
+            if seen_at[cur] != usize::MAX {
+                break seen_at[cur];
+            }
+            seen_at[cur] = path.len();
+            path.push(cur);
+            match deps[cur]
+                .iter()
+                .map(|d| d.0)
+                .filter(|&d| remaining(d))
+                .min()
+            {
+                Some(next) => cur = next,
+                // Unreachable: a remaining node always has a remaining dep.
+                None => break path.len().saturating_sub(1),
+            }
+        };
+        let mut cycle: Vec<usize> = path[cycle_start..].to_vec();
+        // The walk follows dependency edges backwards (consumer → producer);
+        // reverse so the report reads in execution (dependency) order.
+        cycle.reverse();
+        if let Some(min_pos) = cycle
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, &t)| t)
+            .map(|(p, _)| p)
+        {
+            cycle.rotate_left(min_pos);
+        }
+        cycle
+            .into_iter()
+            .map(|i| self.tasks[i].name.clone())
+            .collect()
     }
 }
 
@@ -464,6 +599,45 @@ mod tests {
         wf.task("t1", StageKind::Static, [b.id()], [a.id()], |_| Ok(()));
         wf.task("t2", StageKind::Static, [a.id()], [b.id()], |_| Ok(()));
         assert!(matches!(wf.validate(), Err(GraphError::Cycle { .. })));
+    }
+
+    #[test]
+    fn cycle_report_is_the_cycle_only_in_stable_order() {
+        // A 3-cycle (u → v → w → u) plus a descendant that consumes from it:
+        // the descendant must not appear, and the order is deterministic —
+        // dependency order starting from the smallest task index.
+        let mut wf = Workflow::new();
+        let a = wf.value::<u32>("a");
+        let b = wf.value::<u32>("b");
+        let c = wf.value::<u32>("c");
+        let d = wf.value::<u32>("d");
+        wf.task("u", StageKind::Static, [c.id()], [a.id()], |_| Ok(()));
+        wf.task("v", StageKind::Static, [a.id()], [b.id()], |_| Ok(()));
+        wf.task("w", StageKind::Static, [b.id()], [c.id()], |_| Ok(()));
+        wf.task("descendant", StageKind::Static, [c.id()], [d.id()], |_| {
+            Ok(())
+        });
+        match wf.validate() {
+            Err(GraphError::Cycle { involving }) => {
+                assert_eq!(involving, vec!["u", "v", "w"]);
+            }
+            other => panic!("expected cycle, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn contract_round_trips() {
+        use crate::contract::{ColType, FrameSchema, TaskContract};
+        let mut wf = Workflow::new();
+        let a = wf.value::<u32>("a");
+        let t = wf.task("t", StageKind::Static, [], [a.id()], |_| Ok(()));
+        assert!(wf.contract(t).is_none());
+        let schema = FrameSchema::new().with("x", ColType::Int);
+        wf.with_contract(t, TaskContract::new().produces(a.id(), schema.clone()));
+        let c = wf.contract(t).unwrap();
+        assert_eq!(c.effects.len(), 1);
+        wf.declare_schema(a.id(), schema.clone());
+        assert_eq!(wf.declared_schema(a.id()), Some(&schema));
     }
 
     #[test]

@@ -1,3 +1,5 @@
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
+
 //! # schedflow-dataflow
 //!
 //! A dataflow workflow engine — the Rust stand-in for the Swift/T runtime the
@@ -27,6 +29,7 @@
 
 pub mod artifact;
 pub mod chaos;
+pub mod contract;
 pub mod dot;
 pub mod error;
 pub mod exec;
@@ -38,6 +41,7 @@ pub mod report;
 
 pub use artifact::{Artifact, ArtifactId, DataStore, FileArtifact, TaskCtx};
 pub use chaos::{ChaosConfig, ChaosScope, Fault, Injection};
+pub use contract::{ColType, ColumnSpec, FrameSchema, SchemaEffect, TaskContract};
 pub use dot::{to_dot, DotOptions};
 pub use error::{RetryOn, RetryPolicy, TaskError};
 pub use exec::{RunOptions, Runner};

@@ -88,10 +88,9 @@ impl RunManifest {
             std::fs::create_dir_all(parent)?;
         }
         let tmp = path.with_extension("json.partial");
-        std::fs::write(
-            &tmp,
-            serde_json::to_string_pretty(self).expect("manifest serializes"),
-        )?;
+        let text =
+            serde_json::to_string_pretty(self).map_err(|e| std::io::Error::other(e.to_string()))?;
+        std::fs::write(&tmp, text)?;
         std::fs::rename(&tmp, path)
     }
 
@@ -123,6 +122,10 @@ impl ManifestEntry {
 
 /// Structural fingerprint of a task: stable across runs, changed by renames,
 /// re-kinding, or re-wiring of inputs/outputs.
+///
+/// Panics if `task_name` is not declared in the workflow — callers pass names
+/// read back from the same workflow, so this is an internal invariant.
+#[allow(clippy::expect_used)]
 pub fn fingerprint(workflow: &Workflow, task_name: &str) -> u64 {
     let spec = workflow
         .tasks

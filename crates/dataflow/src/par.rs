@@ -66,7 +66,7 @@ pub fn par_map<T: Sync, R: Send>(data: &[T], f: impl Fn(&T) -> R + Sync) -> Vec<
             joins.push(scope.spawn(move || slice.iter().map(f).collect::<Vec<R>>()));
         }
         for j in joins {
-            out.extend(j.join().expect("par_map worker panicked"));
+            out.extend(j.join().unwrap_or_else(|p| std::panic::resume_unwind(p)));
         }
     });
     out
@@ -92,7 +92,7 @@ pub fn par_fill<R: Send>(len: usize, out: &mut Vec<R>, f: impl Fn(usize) -> R + 
             joins.push(scope.spawn(move || range.map(f).collect::<Vec<R>>()));
         }
         for j in joins {
-            parts.push(j.join().expect("par_fill worker panicked"));
+            parts.push(j.join().unwrap_or_else(|p| std::panic::resume_unwind(p)));
         }
     });
     for p in parts {
@@ -123,12 +123,10 @@ pub fn par_fold<T: Sync, A: Send>(
             joins.push(scope.spawn(move || slice.iter().fold(init(), fold)));
         }
         for j in joins {
-            accs.push(j.join().expect("par_fold worker panicked"));
+            accs.push(j.join().unwrap_or_else(|p| std::panic::resume_unwind(p)));
         }
     });
-    let mut iter = accs.into_iter();
-    let first = iter.next().expect("at least one chunk");
-    iter.fold(first, merge)
+    accs.into_iter().reduce(merge).unwrap_or_else(init)
 }
 
 /// Parallel for-each over mutable chunks: `f(chunk_index, chunk)`.

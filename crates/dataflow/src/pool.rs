@@ -72,7 +72,9 @@ impl ThreadPool {
                 std::thread::Builder::new()
                     .name(format!("schedflow-worker-{index}"))
                     .spawn(move || worker_loop(index, worker, shared))
-                    .expect("spawn pool worker")
+                    // Spawn fails only on resource exhaustion; nothing to
+                    // degrade to at that point.
+                    .unwrap_or_else(|e| panic!("spawn pool worker {index}: {e}"))
             })
             .collect();
 

@@ -200,7 +200,7 @@ impl RunReport {
                 events.push((t.end_ms, -1));
             }
         }
-        events.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap().then(a.1.cmp(&b.1)));
+        events.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
         let mut cur = 0i32;
         let mut max = 0i32;
         for (_, delta) in events {
@@ -221,6 +221,9 @@ impl RunReport {
         rows
     }
 
+    // The report is a tree of plain strings and numbers; serialization
+    // cannot fail for it.
+    #[allow(clippy::expect_used)]
     pub fn to_json(&self) -> String {
         serde_json::to_string_pretty(self).expect("report serializes")
     }

@@ -191,17 +191,19 @@ pub fn read_csv_path(path: &std::path::Path) -> Result<Frame, CsvError> {
 
 /// Convert string columns to Int/Float where every non-empty value parses;
 /// empty cells become nulls. Non-convertible columns stay strings.
-pub fn infer_types(frame: &Frame) -> Frame {
+///
+/// Fails only if the input frame is itself inconsistent (duplicate column
+/// names), surfaced as [`CsvError::Frame`] instead of a panic.
+pub fn infer_types(frame: &Frame) -> Result<Frame, CsvError> {
     let mut out = Frame::new();
     for (name, col) in frame.iter() {
         let converted = match col.dtype() {
             DType::Str => try_numeric(col),
             _ => None,
         };
-        out.add_column(name, converted.unwrap_or_else(|| col.clone()))
-            .expect("same shape");
+        out.add_column(name, converted.unwrap_or_else(|| col.clone()))?;
     }
-    out
+    Ok(out)
 }
 
 /// Parse a string column into Int/Float if every non-empty, non-null value
@@ -280,7 +282,7 @@ mod tests {
         assert_eq!(back.str("user").unwrap().str_values()[1], "bob,jr");
         assert_eq!(back.str("user").unwrap().str_values()[2], "carol \"c\"");
 
-        let typed = infer_types(&back);
+        let typed = infer_types(&back).unwrap();
         assert_eq!(typed.column("wait").unwrap().dtype(), DType::Int);
         assert_eq!(typed.column("ratio").unwrap().dtype(), DType::Float);
         assert_eq!(typed.column("user").unwrap().dtype(), DType::Str);
@@ -303,7 +305,7 @@ mod tests {
     fn empty_cells_become_nulls_on_inference() {
         let csv = "a,b\n1,\n2,5\n";
         let f = read_delimited(std::io::Cursor::new(csv), ',').unwrap();
-        let typed = infer_types(&f);
+        let typed = infer_types(&f).unwrap();
         assert_eq!(typed.column("b").unwrap().get_i64(0), None);
         assert_eq!(typed.column("b").unwrap().get_i64(1), Some(5));
     }
@@ -341,7 +343,7 @@ mod tests {
     #[test]
     fn all_empty_column_stays_string() {
         let csv = "a,b\n1,\n2,\n";
-        let typed = infer_types(&read_delimited(std::io::Cursor::new(csv), ',').unwrap());
+        let typed = infer_types(&read_delimited(std::io::Cursor::new(csv), ',').unwrap()).unwrap();
         assert_eq!(typed.column("b").unwrap().dtype(), DType::Str);
     }
 
@@ -350,7 +352,7 @@ mod tests {
         let dir = std::env::temp_dir().join(format!("schedflow-csv-{}", std::process::id()));
         let path = dir.join("frame.csv");
         write_csv_path(&sample(), &path).unwrap();
-        let back = infer_types(&read_csv_path(&path).unwrap());
+        let back = infer_types(&read_csv_path(&path).unwrap()).unwrap();
         assert_eq!(back.height(), 3);
         assert_eq!(back.column("wait").unwrap().dtype(), DType::Int);
         let _ = std::fs::remove_dir_all(&dir);
@@ -359,7 +361,7 @@ mod tests {
     #[test]
     fn mixed_int_then_float_becomes_float() {
         let csv = "x\n1\n2.5\n";
-        let typed = infer_types(&read_delimited(std::io::Cursor::new(csv), ',').unwrap());
+        let typed = infer_types(&read_delimited(std::io::Cursor::new(csv), ',').unwrap()).unwrap();
         assert_eq!(typed.column("x").unwrap().dtype(), DType::Float);
         assert_eq!(typed.column("x").unwrap().get_f64(0), Some(1.0));
     }

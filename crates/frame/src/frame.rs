@@ -1,7 +1,19 @@
 //! The frame: an ordered set of equal-length named columns.
 
 use crate::column::{Cell, Column, DType};
+use schedflow_dataflow::contract::{ColType, ColumnSpec, FrameSchema};
 use serde::{Deserialize, Serialize};
+
+impl From<DType> for ColType {
+    fn from(d: DType) -> Self {
+        match d {
+            DType::Int => ColType::Int,
+            DType::Float => ColType::Float,
+            DType::Str => ColType::Str,
+            DType::Bool => ColType::Bool,
+        }
+    }
+}
 
 /// Errors raised by frame operations.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -89,8 +101,24 @@ impl Frame {
     /// Builder-style [`Frame::add_column`], panicking on error — for literals
     /// in tests and generators where shapes are static.
     pub fn with(mut self, name: &str, column: Column) -> Self {
-        self.add_column(name, column).expect("consistent column");
-        self
+        match self.add_column(name, column) {
+            Ok(()) => self,
+            Err(e) => panic!("Frame::with({name:?}): {e}"),
+        }
+    }
+
+    /// The frame's schema as a static-analysis [`FrameSchema`]: one spec per
+    /// column, in order; a column is nullable when it currently holds nulls.
+    pub fn schema(&self) -> FrameSchema {
+        let mut schema = FrameSchema::new();
+        for (name, col) in &self.columns {
+            let mut spec = ColumnSpec::new(name, col.dtype().into());
+            if col.null_count() > 0 {
+                spec = spec.nullable();
+            }
+            schema = schema.with_spec(spec);
+        }
+        schema
     }
 
     pub fn column(&self, name: &str) -> Result<&Column, FrameError> {

@@ -199,7 +199,8 @@ pub(crate) fn group_by_selection(
                 .collect();
             joins
                 .into_iter()
-                .map(|j| j.join().expect("group-by worker panicked"))
+                // Re-raise worker panics on the coordinating thread.
+                .map(|j| j.join().unwrap_or_else(|p| std::panic::resume_unwind(p)))
                 .collect()
         })
     };
@@ -312,7 +313,7 @@ fn quantile_column(groups: &[(usize, usize, Vec<Accum>)], ai: usize, q: f64) -> 
                 if vals.is_empty() {
                     return None;
                 }
-                vals.sort_by(|x, y| x.partial_cmp(y).unwrap());
+                vals.sort_by(f64::total_cmp);
                 Some(crate::stats::quantile_sorted(&vals, q))
             })
             .collect(),

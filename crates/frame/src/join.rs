@@ -115,7 +115,8 @@ pub fn join(left: &Frame, right: &Frame, key: &str, kind: JoinKind) -> Result<Fr
                     .collect();
                 joins
                     .into_iter()
-                    .map(|j| j.join().expect("join worker panicked"))
+                    // Re-raise worker panics on the coordinating thread.
+                    .map(|j| j.join().unwrap_or_else(|p| std::panic::resume_unwind(p)))
                     .collect()
             })
         };

@@ -1,3 +1,5 @@
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
+
 //! # schedflow-frame
 //!
 //! A small columnar frame engine — the in-process substitute for the

@@ -289,7 +289,7 @@ fn scatter_insight(
                        to reclaim unused time."
                     .to_owned(),
             });
-        } else if below_frac > 0.8 || below_frac < 0.2 {
+        } else if !(0.2..=0.8).contains(&below_frac) {
             narrative.push(format!(
                 "{:.0}% of points lie below the y = x line.",
                 below_frac * 100.0

@@ -1,0 +1,243 @@
+//! Diagnostics: stable codes, severities, and rustc-style rendering.
+//!
+//! Every lint carries a stable `SFxxyy` code (family `xx`, lint `yy`) so
+//! diagnostics can be grepped, suppressed in discussion, and snapshot-tested
+//! without depending on message wording:
+//!
+//! | family | meaning                               |
+//! |--------|---------------------------------------|
+//! | SF00xx | graph structure (from [`GraphError`]) |
+//! | SF01xx | schema dataflow (columns, dtypes)     |
+//! | SF02xx | liveness (orphans, dead tasks)        |
+//! | SF03xx | retry/deadline policy contradictions  |
+//! | SF04xx | nondeterminism hazards                |
+//!
+//! [`GraphError`]: schedflow_dataflow::GraphError
+
+/// How bad a diagnostic is. Errors gate `schedflow run` by default;
+/// warnings only fail `schedflow lint --deny`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    Warning,
+    Error,
+}
+
+impl std::fmt::Display for Severity {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        })
+    }
+}
+
+/// Stable diagnostic codes.
+pub mod codes {
+    /// The graph itself is invalid (cycle, duplicate writer, …).
+    pub const INVALID_GRAPH: &str = "SF0001";
+    /// A required input column does not exist in the propagated schema.
+    pub const MISSING_COLUMN: &str = "SF0101";
+    /// A required input column exists with an incompatible dtype.
+    pub const DTYPE_MISMATCH: &str = "SF0102";
+    /// A nullable column flows into a consumer that declared it non-null.
+    pub const NULLABILITY: &str = "SF0103";
+    /// A schema effect edits (renames/drops) a column its source lacks.
+    pub const BAD_SCHEMA_EDIT: &str = "SF0104";
+    /// A value artifact is produced but never consumed nor retained.
+    pub const ORPHAN_ARTIFACT: &str = "SF0201";
+    /// No observable output (file, retained value) depends on this task.
+    pub const DEAD_TASK: &str = "SF0202";
+    /// Worst-case retry backoff alone exceeds the task deadline.
+    pub const BACKOFF_EXCEEDS_DEADLINE: &str = "SF0301";
+    /// A retry policy with zero attempts: the task can never run.
+    pub const ZERO_ATTEMPTS: &str = "SF0302";
+    /// Chaos injection enabled without an explicit seed.
+    pub const UNSEEDED_CHAOS: &str = "SF0401";
+}
+
+/// One finding, with enough context to render a rustc-style report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Diagnostic {
+    pub code: &'static str,
+    pub severity: Severity,
+    /// Task the finding anchors to, when there is one.
+    pub task: Option<String>,
+    /// Artifact the finding anchors to, when there is one.
+    pub artifact: Option<String>,
+    /// One-line statement of the defect.
+    pub message: String,
+    /// Supporting facts (`= note:` lines).
+    pub notes: Vec<String>,
+    /// Actionable suggestion (`= help:` line).
+    pub help: Option<String>,
+}
+
+impl Diagnostic {
+    pub fn error(code: &'static str, message: impl Into<String>) -> Self {
+        Diagnostic {
+            code,
+            severity: Severity::Error,
+            task: None,
+            artifact: None,
+            message: message.into(),
+            notes: Vec::new(),
+            help: None,
+        }
+    }
+
+    pub fn warning(code: &'static str, message: impl Into<String>) -> Self {
+        Diagnostic {
+            severity: Severity::Warning,
+            ..Diagnostic::error(code, message)
+        }
+    }
+
+    pub fn at_task(mut self, task: impl Into<String>) -> Self {
+        self.task = Some(task.into());
+        self
+    }
+
+    pub fn at_artifact(mut self, artifact: impl Into<String>) -> Self {
+        self.artifact = Some(artifact.into());
+        self
+    }
+
+    pub fn note(mut self, note: impl Into<String>) -> Self {
+        self.notes.push(note.into());
+        self
+    }
+
+    pub fn help(mut self, help: impl Into<String>) -> Self {
+        self.help = Some(help.into());
+        self
+    }
+
+    /// Render as a rustc-style block:
+    ///
+    /// ```text
+    /// error[SF0101]: missing column `wait_secs`
+    ///   --> task `plot-waits`, input `merged-frame`
+    ///   = note: `merged-frame` is produced by task `merge-curated`
+    ///   = help: a column named `wait_s` exists — did you mean that?
+    /// ```
+    pub fn render(&self) -> String {
+        let mut out = format!("{}[{}]: {}\n", self.severity, self.code, self.message);
+        match (&self.task, &self.artifact) {
+            (Some(t), Some(a)) => {
+                out.push_str(&format!("  --> task `{t}`, artifact `{a}`\n"));
+            }
+            (Some(t), None) => out.push_str(&format!("  --> task `{t}`\n")),
+            (None, Some(a)) => out.push_str(&format!("  --> artifact `{a}`\n")),
+            (None, None) => {}
+        }
+        for n in &self.notes {
+            out.push_str(&format!("  = note: {n}\n"));
+        }
+        if let Some(h) = &self.help {
+            out.push_str(&format!("  = help: {h}\n"));
+        }
+        out
+    }
+}
+
+/// All findings of one lint pass, in deterministic (propagation) order.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LintReport {
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl LintReport {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn push(&mut self, d: Diagnostic) {
+        self.diagnostics.push(d);
+    }
+
+    pub fn extend(&mut self, other: LintReport) {
+        self.diagnostics.extend(other.diagnostics);
+    }
+
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+
+    pub fn errors(&self) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Error)
+            .count()
+    }
+
+    pub fn warnings(&self) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Warning)
+            .count()
+    }
+
+    pub fn has_errors(&self) -> bool {
+        self.errors() > 0
+    }
+
+    /// Diagnostics with a given code (for tests and tooling).
+    pub fn with_code(&self, code: &str) -> Vec<&Diagnostic> {
+        self.diagnostics.iter().filter(|d| d.code == code).collect()
+    }
+
+    /// Render the whole report, one blank line between diagnostics, ending
+    /// with a summary line.
+    pub fn render(&self) -> String {
+        if self.is_clean() {
+            return "lint: clean\n".to_owned();
+        }
+        let mut out = String::new();
+        for d in &self.diagnostics {
+            out.push_str(&d.render());
+            out.push('\n');
+        }
+        out.push_str(&format!(
+            "lint: {} error(s), {} warning(s)\n",
+            self.errors(),
+            self.warnings()
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_rustc_style() {
+        let d = Diagnostic::error(codes::MISSING_COLUMN, "missing column `wait_secs`")
+            .at_task("plot-waits")
+            .at_artifact("merged-frame")
+            .note("`merged-frame` is produced by task `merge-curated`")
+            .help("a column named `wait_s` exists — did you mean that?");
+        let text = d.render();
+        assert_eq!(
+            text,
+            "error[SF0101]: missing column `wait_secs`\n\
+             \x20 --> task `plot-waits`, artifact `merged-frame`\n\
+             \x20 = note: `merged-frame` is produced by task `merge-curated`\n\
+             \x20 = help: a column named `wait_s` exists — did you mean that?\n"
+        );
+    }
+
+    #[test]
+    fn report_counts_and_summary() {
+        let mut r = LintReport::new();
+        assert!(r.is_clean());
+        assert_eq!(r.render(), "lint: clean\n");
+        r.push(Diagnostic::warning(codes::ORPHAN_ARTIFACT, "orphan"));
+        r.push(Diagnostic::error(codes::ZERO_ATTEMPTS, "zero"));
+        assert_eq!(r.errors(), 1);
+        assert_eq!(r.warnings(), 1);
+        assert!(r.has_errors());
+        assert!(r.render().ends_with("lint: 1 error(s), 1 warning(s)\n"));
+        assert_eq!(r.with_code(codes::ZERO_ATTEMPTS).len(), 1);
+    }
+}

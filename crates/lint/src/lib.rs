@@ -1,0 +1,245 @@
+//! # schedflow-lint
+//!
+//! Static analysis over a [`Workflow`] *before any task runs* — the Rust
+//! stand-in for the dataflow checking the paper gets for free from the
+//! Swift/T compiler. A misconfigured million-job run should fail in
+//! milliseconds at submit time, not hours in.
+//!
+//! Two lint families:
+//!
+//! 1. **Schema dataflow** ([`schema_flow`]): tasks declare typed artifact
+//!    contracts ([`TaskContract`]: required input columns with dtypes and
+//!    nullability, produced/renamed/dropped output columns); the linter
+//!    propagates [`FrameSchema`]s through the DAG by abstract interpretation
+//!    and reports missing columns (with nearest-name suggestions), dtype
+//!    mismatches, and nullability hazards.
+//! 2. **Workflow hygiene** ([`workflow_lints`]): orphan artifacts, dead
+//!    tasks, retry/deadline contradictions, and nondeterminism hazards.
+//!
+//! Diagnostics ([`diag`]) are rustc-style with stable `SFxxyy` codes.
+//! Entry points: [`lint_workflow`] for the graph, [`lint_run_options`] for
+//! engine options, [`lint_all`] for both, and [`annotated_dot`] to render
+//! findings onto the Graphviz export.
+
+pub mod diag;
+pub mod schema_flow;
+pub mod workflow_lints;
+
+pub use diag::{codes, Diagnostic, LintReport, Severity};
+
+pub use schedflow_dataflow::contract::{
+    ColType, ColumnSpec, FrameSchema, SchemaEffect, TaskContract,
+};
+
+use schedflow_dataflow::dot::DotOptions;
+use schedflow_dataflow::graph::Workflow;
+use schedflow_dataflow::RunOptions;
+
+/// Lint a workflow: structural validity, schema dataflow, liveness, and
+/// per-task policy contradictions.
+pub fn lint_workflow(wf: &Workflow) -> LintReport {
+    let mut report = LintReport::new();
+    if let Err(e) = wf.validate() {
+        report.push(
+            Diagnostic::error(codes::INVALID_GRAPH, format!("invalid workflow graph: {e}"))
+                .note("structural errors block all further analysis"),
+        );
+        return report;
+    }
+    schema_flow::check(wf, &mut report);
+    workflow_lints::orphan_artifacts(wf, &mut report);
+    workflow_lints::dead_tasks(wf, &mut report);
+    workflow_lints::policy_contradictions(wf, &mut report);
+    report
+}
+
+/// Lint run-level options (default retry vs deadline, chaos seeding).
+pub fn lint_run_options(options: &RunOptions) -> LintReport {
+    let mut report = LintReport::new();
+    workflow_lints::run_option_lints(options, &mut report);
+    report
+}
+
+/// Lint the workflow and, when given, the run options — one combined report.
+pub fn lint_all(wf: &Workflow, options: Option<&RunOptions>) -> LintReport {
+    let mut report = lint_workflow(wf);
+    if let Some(o) = options {
+        report.extend(lint_run_options(o));
+    }
+    report
+}
+
+/// Render the workflow as Graphviz DOT with lint findings drawn on the
+/// graph: each diagnosed task gets a red border and its codes appended to
+/// the node label.
+pub fn annotated_dot(
+    wf: &Workflow,
+    report: &LintReport,
+    title: &str,
+) -> Result<String, schedflow_dataflow::GraphError> {
+    let mut options = DotOptions {
+        title: title.to_owned(),
+        ..DotOptions::default()
+    };
+    for d in &report.diagnostics {
+        if let Some(task) = &d.task {
+            options
+                .annotations
+                .entry(task.clone())
+                .or_default()
+                .push(format!("{}[{}]: {}", d.severity, d.code, d.message));
+        }
+    }
+    schedflow_dataflow::to_dot(wf, &options)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use schedflow_dataflow::contract::{ColType, SchemaEffect};
+    use schedflow_dataflow::StageKind;
+
+    /// producer ⟶ frame ⟶ consumer, with a contract mismatch knob.
+    fn chain(consumer_wants: &str, want_ty: ColType) -> Workflow {
+        let mut wf = Workflow::new();
+        let frame = wf.value::<u32>("frame");
+        let out = wf.value::<u32>("out");
+        let t1 = wf.task("produce", StageKind::Static, [], [frame.id()], |_| Ok(()));
+        let t2 = wf.task(
+            "consume",
+            StageKind::Static,
+            [frame.id()],
+            [out.id()],
+            |_| Ok(()),
+        );
+        wf.retain(out.id());
+        wf.with_contract(
+            t1,
+            TaskContract::new().produces(
+                frame.id(),
+                FrameSchema::new()
+                    .with("wait_s", ColType::Int)
+                    .with("state", ColType::Str),
+            ),
+        );
+        wf.with_contract(
+            t2,
+            TaskContract::new()
+                .require(frame.id(), FrameSchema::new().with(consumer_wants, want_ty)),
+        );
+        wf
+    }
+
+    #[test]
+    fn clean_chain_is_clean() {
+        let report = lint_workflow(&chain("wait_s", ColType::Int));
+        assert!(report.is_clean(), "{}", report.render());
+    }
+
+    #[test]
+    fn typo_yields_missing_column_with_suggestion() {
+        let report = lint_workflow(&chain("wait_secs", ColType::Int));
+        let missing = report.with_code(codes::MISSING_COLUMN);
+        assert_eq!(missing.len(), 1);
+        let d = missing[0];
+        assert_eq!(d.task.as_deref(), Some("consume"));
+        assert!(d.help.as_deref().unwrap().contains("`wait_s`"));
+        assert!(d.notes.iter().any(|n| n.contains("`produce`")));
+    }
+
+    #[test]
+    fn dtype_mismatch_detected() {
+        let report = lint_workflow(&chain("wait_s", ColType::Str));
+        assert_eq!(report.with_code(codes::DTYPE_MISMATCH).len(), 1);
+        assert!(report.has_errors());
+    }
+
+    #[test]
+    fn invalid_graph_reported_as_diagnostic() {
+        let mut wf = Workflow::new();
+        let a = wf.value::<u32>("a");
+        let b = wf.value::<u32>("b");
+        wf.task("x", StageKind::Static, [b.id()], [a.id()], |_| Ok(()));
+        wf.task("y", StageKind::Static, [a.id()], [b.id()], |_| Ok(()));
+        let report = lint_workflow(&wf);
+        assert_eq!(report.with_code(codes::INVALID_GRAPH).len(), 1);
+    }
+
+    #[test]
+    fn derives_applies_edits_and_flags_bad_ones() {
+        let mut wf = Workflow::new();
+        let src = wf.value::<u32>("src");
+        let derived = wf.value::<u32>("derived");
+        let out = wf.value::<u32>("out");
+        let t1 = wf.task("make", StageKind::Static, [], [src.id()], |_| Ok(()));
+        let t2 = wf.task(
+            "derive",
+            StageKind::Static,
+            [src.id()],
+            [derived.id()],
+            |_| Ok(()),
+        );
+        let t3 = wf.task("use", StageKind::Static, [derived.id()], [out.id()], |_| {
+            Ok(())
+        });
+        wf.retain(out.id());
+        wf.with_contract(
+            t1,
+            TaskContract::new().produces(
+                src.id(),
+                FrameSchema::new()
+                    .with("old_name", ColType::Int)
+                    .with("extra", ColType::Float),
+            ),
+        );
+        wf.with_contract(
+            t2,
+            TaskContract::new().effect(
+                derived.id(),
+                SchemaEffect::Derives {
+                    from: src.id(),
+                    adds: vec![],
+                    drops: vec!["extra".into(), "not_there".into()],
+                    renames: vec![("old_name".into(), "new_name".into())],
+                },
+            ),
+        );
+        wf.with_contract(
+            t3,
+            TaskContract::new().require(
+                derived.id(),
+                FrameSchema::new().with("new_name", ColType::Int),
+            ),
+        );
+        let report = lint_workflow(&wf);
+        // The rename propagated (no missing column), but the bogus drop is
+        // flagged.
+        assert!(report.with_code(codes::MISSING_COLUMN).is_empty());
+        assert_eq!(report.with_code(codes::BAD_SCHEMA_EDIT).len(), 1);
+    }
+
+    #[test]
+    fn annotated_dot_marks_diagnosed_tasks() {
+        let wf = chain("wait_secs", ColType::Int);
+        let report = lint_workflow(&wf);
+        let dot = annotated_dot(&wf, &report, "lint test").unwrap();
+        assert!(dot.contains("SF0101"));
+        assert!(dot.contains("penwidth=2"));
+        assert!(dot.contains("label=\"lint test\""));
+    }
+
+    #[test]
+    fn unseeded_chaos_flagged() {
+        let options = RunOptions {
+            chaos: Some(schedflow_dataflow::ChaosConfig::default()),
+            ..RunOptions::default()
+        };
+        let report = lint_run_options(&options);
+        assert_eq!(report.with_code(codes::UNSEEDED_CHAOS).len(), 1);
+        let seeded = RunOptions {
+            chaos: Some(schedflow_dataflow::ChaosConfig::failing(7, 0.2)),
+            ..RunOptions::default()
+        };
+        assert!(lint_run_options(&seeded).is_clean());
+    }
+}

@@ -1,0 +1,236 @@
+//! Schema dataflow analysis: abstract interpretation of task contracts.
+//!
+//! Each artifact holds an abstract value — `Unknown`, or `Known(schema)` —
+//! and tasks are interpreted in topological order: requirements are checked
+//! against the incoming abstract schemas, then the task's declared
+//! [`SchemaEffect`]s compute the outgoing ones. Artifacts and tasks without
+//! contracts propagate `Unknown`, so analysis is gradual: it never reports a
+//! violation it cannot prove from declarations.
+
+use crate::diag::{codes, Diagnostic, LintReport};
+use schedflow_dataflow::contract::{FrameSchema, SchemaEffect};
+use schedflow_dataflow::graph::{TaskId, Workflow};
+
+/// Abstract schema of one artifact during propagation.
+#[derive(Debug, Clone, PartialEq)]
+enum AbstractSchema {
+    /// Nothing is declared about this artifact.
+    Unknown,
+    /// The artifact carries a frame with exactly this schema.
+    Known(FrameSchema),
+}
+
+/// Check contract requirements and propagate schema effects through the DAG.
+///
+/// Assumes the graph already validated (callers run the structural pass
+/// first); on an invalid graph this returns an empty report.
+pub fn check(wf: &Workflow, report: &mut LintReport) {
+    let depths = match wf.validate() {
+        Ok(d) => d,
+        Err(_) => return,
+    };
+
+    // Deterministic topological order: by depth, ties by declaration index.
+    let mut order: Vec<TaskId> = wf.task_ids().collect();
+    order.sort_by_key(|t| (depths[t.index()], t.index()));
+
+    let producers = wf.producers();
+    let mut state: Vec<AbstractSchema> = wf
+        .artifact_ids()
+        .map(|id| match wf.declared_schema(id) {
+            Some(s) => AbstractSchema::Known(s.clone()),
+            None => AbstractSchema::Unknown,
+        })
+        .collect();
+
+    for tid in order {
+        let task = wf.task_name(tid).to_owned();
+        let Some(contract) = wf.contract(tid) else {
+            continue;
+        };
+
+        for (input, required) in &contract.requires {
+            let AbstractSchema::Known(actual) = &state[input.index()] else {
+                continue; // nothing declared upstream — nothing to prove
+            };
+            let artifact = wf.artifact_name(*input).to_owned();
+            let produced_by = producers.get(input).map(|p| wf.task_name(*p).to_owned());
+            for req in required.columns() {
+                match actual.get(&req.name) {
+                    None => {
+                        let mut d = Diagnostic::error(
+                            codes::MISSING_COLUMN,
+                            format!("missing column `{}` required by task `{task}`", req.name),
+                        )
+                        .at_task(task.clone())
+                        .at_artifact(artifact.clone());
+                        if let Some(p) = &produced_by {
+                            d = d.note(format!("`{artifact}` is produced by task `{p}`"));
+                        }
+                        if let Some(near) = nearest(&req.name, actual) {
+                            d = d.help(format!(
+                                "a column named `{near}` exists upstream — did you mean that?"
+                            ));
+                        } else {
+                            d = d.note(format!(
+                                "available columns: {}",
+                                actual.names().collect::<Vec<_>>().join(", ")
+                            ));
+                        }
+                        report.push(d);
+                    }
+                    Some(actual_col) => {
+                        if !req.ty.accepts(actual_col.ty) {
+                            report.push(
+                                Diagnostic::error(
+                                    codes::DTYPE_MISMATCH,
+                                    format!(
+                                        "column `{}` has dtype {} but task `{task}` requires {}",
+                                        req.name, actual_col.ty, req.ty
+                                    ),
+                                )
+                                .at_task(task.clone())
+                                .at_artifact(artifact.clone()),
+                            );
+                        }
+                        if actual_col.nullable && !req.nullable {
+                            let mut d = Diagnostic::warning(
+                                codes::NULLABILITY,
+                                format!(
+                                    "column `{}` may contain nulls but task `{task}` declares \
+                                     it non-nullable",
+                                    req.name
+                                ),
+                            )
+                            .at_task(task.clone())
+                            .at_artifact(artifact.clone())
+                            .help(
+                                "mark the requirement nullable or filter nulls upstream".to_owned(),
+                            );
+                            if let Some(p) = &produced_by {
+                                d = d.note(format!("`{artifact}` is produced by task `{p}`"));
+                            }
+                            report.push(d);
+                        }
+                    }
+                }
+            }
+        }
+
+        for (output, effect) in &contract.effects {
+            state[output.index()] = apply_effect(wf, &task, effect, &state, report);
+        }
+    }
+}
+
+/// Compute one output's abstract schema from a [`SchemaEffect`], reporting
+/// edits that reference columns the source schema lacks (SF0104).
+fn apply_effect(
+    wf: &Workflow,
+    task: &str,
+    effect: &SchemaEffect,
+    state: &[AbstractSchema],
+    report: &mut LintReport,
+) -> AbstractSchema {
+    match effect {
+        SchemaEffect::Produces(schema) => AbstractSchema::Known(schema.clone()),
+        SchemaEffect::Opaque => AbstractSchema::Unknown,
+        SchemaEffect::Derives {
+            from,
+            adds,
+            drops,
+            renames,
+        } => {
+            let AbstractSchema::Known(source) = &state[from.index()] else {
+                return AbstractSchema::Unknown;
+            };
+            let mut schema = source.clone();
+            let from_name = wf.artifact_name(*from);
+            for (old, new) in renames {
+                if !schema.rename(old, new) {
+                    report.push(
+                        Diagnostic::warning(
+                            codes::BAD_SCHEMA_EDIT,
+                            format!(
+                                "task `{task}` renames `{old}` → `{new}` but `{from_name}` \
+                                 has no column `{old}`"
+                            ),
+                        )
+                        .at_task(task.to_owned())
+                        .at_artifact(from_name.to_owned()),
+                    );
+                }
+            }
+            for name in drops {
+                if !schema.remove(name) {
+                    report.push(
+                        Diagnostic::warning(
+                            codes::BAD_SCHEMA_EDIT,
+                            format!(
+                                "task `{task}` drops `{name}` but `{from_name}` has no \
+                                 column `{name}`"
+                            ),
+                        )
+                        .at_task(task.to_owned())
+                        .at_artifact(from_name.to_owned()),
+                    );
+                }
+            }
+            for spec in adds {
+                schema.upsert(spec.clone());
+            }
+            AbstractSchema::Known(schema)
+        }
+    }
+}
+
+/// Nearest column name by edit distance, when close enough to be a likely
+/// typo (distance ≤ 2, or ≤ ⅓ of the name length for long names).
+fn nearest(wanted: &str, schema: &FrameSchema) -> Option<String> {
+    let budget = 2.max(wanted.len() / 3);
+    schema
+        .names()
+        .map(|n| (levenshtein(wanted, n), n))
+        .filter(|(d, _)| *d <= budget)
+        .min_by_key(|(d, n)| (*d, n.to_owned()))
+        .map(|(_, n)| n.to_owned())
+}
+
+/// Plain O(len²) Levenshtein distance — column names are short.
+fn levenshtein(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    for (i, ca) in a.iter().enumerate() {
+        let mut cur = vec![i + 1];
+        for (j, cb) in b.iter().enumerate() {
+            let sub = prev[j] + usize::from(ca != cb);
+            cur.push(sub.min(prev[j + 1] + 1).min(cur[j] + 1));
+        }
+        prev = cur;
+    }
+    prev[b.len()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use schedflow_dataflow::contract::ColType;
+
+    #[test]
+    fn levenshtein_basics() {
+        assert_eq!(levenshtein("wait_s", "wait_s"), 0);
+        assert_eq!(levenshtein("wait_secs", "wait_s"), 3);
+        assert_eq!(levenshtein("", "abc"), 3);
+        assert_eq!(levenshtein("kitten", "sitting"), 3);
+    }
+
+    #[test]
+    fn nearest_respects_budget() {
+        let s = FrameSchema::new()
+            .with("wait_s", ColType::Int)
+            .with("state", ColType::Str);
+        assert_eq!(nearest("wait_secs", &s).as_deref(), Some("wait_s"));
+        assert_eq!(nearest("zzzzzzzz", &s), None);
+    }
+}

@@ -1,0 +1,216 @@
+//! Workflow-level lints beyond schema dataflow: liveness (orphan artifacts,
+//! dead tasks) and retry/deadline policy contradictions.
+
+use crate::diag::{codes, Diagnostic, LintReport};
+use schedflow_dataflow::graph::{TaskId, Workflow};
+use schedflow_dataflow::RetryPolicy;
+use std::time::Duration;
+
+/// SF0201: value artifacts that are produced, never consumed, and not
+/// retained — their producer's work on them is thrown away by the lifetime
+/// tracker the moment it completes.
+pub fn orphan_artifacts(wf: &Workflow, report: &mut LintReport) {
+    let counts = wf.consumer_counts();
+    let producers = wf.producers();
+    for id in wf.artifact_ids() {
+        // File artifacts are outputs in their own right (they persist on
+        // disk); only value artifacts can be silently wasted.
+        if wf.file_path(id).is_some() {
+            continue;
+        }
+        let Some(producer) = producers.get(&id) else {
+            continue; // unproduced artifacts are MissingProducer territory
+        };
+        if counts[id.index()] == 0 && !wf.is_retained(id) {
+            report.push(
+                Diagnostic::warning(
+                    codes::ORPHAN_ARTIFACT,
+                    format!(
+                        "value artifact `{}` is produced but never consumed nor retained",
+                        wf.artifact_name(id)
+                    ),
+                )
+                .at_task(wf.task_name(*producer))
+                .at_artifact(wf.artifact_name(id))
+                .help("consume it, `retain()` it, or stop producing it"),
+            );
+        }
+    }
+}
+
+/// SF0202: tasks whose results cannot reach any observable output.
+///
+/// Sinks are tasks that write a file artifact, produce a retained value, or
+/// have no outputs at all (pure side effects). A task is *dead* when no sink
+/// transitively depends on it — it will execute, but nothing it computes can
+/// ever be seen.
+pub fn dead_tasks(wf: &Workflow, report: &mut LintReport) {
+    let n = wf.task_count();
+    let deps = wf.dependencies();
+    let is_sink = |t: TaskId| -> bool {
+        let outputs = wf.task_outputs(t);
+        outputs.is_empty()
+            || outputs
+                .iter()
+                .any(|&a| wf.file_path(a).is_some() || wf.is_retained(a))
+    };
+    let mut alive = vec![false; n];
+    let mut stack: Vec<usize> = wf
+        .task_ids()
+        .filter(|&t| is_sink(t))
+        .map(|t| t.index())
+        .collect();
+    while let Some(i) = stack.pop() {
+        if std::mem::replace(&mut alive[i], true) {
+            continue;
+        }
+        for d in &deps[i] {
+            if !alive[d.index()] {
+                stack.push(d.index());
+            }
+        }
+    }
+    for t in wf.task_ids() {
+        if !alive[t.index()] {
+            report.push(
+                Diagnostic::warning(
+                    codes::DEAD_TASK,
+                    format!(
+                        "task `{}` is unreachable from any observable output",
+                        wf.task_name(t)
+                    ),
+                )
+                .at_task(wf.task_name(t))
+                .note(
+                    "no file output, retained value, or side-effecting sink \
+                     depends on it",
+                )
+                .help("retain one of its outputs, consume them, or remove the task"),
+            );
+        }
+    }
+}
+
+/// Worst-case sum of the backoff delays a policy can spend between attempts
+/// (exponential, capped, plus maximal jitter).
+pub fn worst_case_backoff_ms(policy: &RetryPolicy) -> u64 {
+    let retries = policy.max_attempts.saturating_sub(1);
+    let jitter = 1.0 + policy.jitter.clamp(0.0, 1.0);
+    let mut total = 0u64;
+    for k in 0..retries {
+        let exp = policy
+            .base_delay_ms
+            .saturating_mul(1u64.checked_shl(k).unwrap_or(u64::MAX));
+        let capped = exp.min(policy.max_delay_ms.max(policy.base_delay_ms));
+        total = total.saturating_add((capped as f64 * jitter).ceil() as u64);
+    }
+    total
+}
+
+/// SF0301/SF0302 for one `(retry, deadline)` pair; `what` names the scope in
+/// the message (a task name or "run options").
+fn check_policy(
+    retry: &RetryPolicy,
+    deadline: Option<Duration>,
+    task: Option<&str>,
+    scope: &str,
+    report: &mut LintReport,
+) {
+    if retry.max_attempts == 0 {
+        let mut d = Diagnostic::error(
+            codes::ZERO_ATTEMPTS,
+            format!("{scope} declares a retry policy with zero attempts"),
+        )
+        .note("`max_attempts` counts the first attempt; 0 means the task never runs")
+        .help("use `max_attempts: 1` to disable retries");
+        if let Some(t) = task {
+            d = d.at_task(t);
+        }
+        report.push(d);
+    }
+    if let Some(deadline) = deadline {
+        if retry.max_attempts > 1 {
+            let backoff = worst_case_backoff_ms(retry);
+            let deadline_ms = deadline.as_millis() as u64;
+            if backoff >= deadline_ms {
+                let mut d = Diagnostic::warning(
+                    codes::BACKOFF_EXCEEDS_DEADLINE,
+                    format!(
+                        "{scope}: worst-case retry backoff ({backoff} ms) meets or exceeds \
+                         the {deadline_ms} ms deadline"
+                    ),
+                )
+                .note("later attempts can never start before the watchdog fires")
+                .help("shorten the backoff, raise the deadline, or lower `max_attempts`");
+                if let Some(t) = task {
+                    d = d.at_task(t);
+                }
+                report.push(d);
+            }
+        }
+    }
+}
+
+/// SF03xx over every task's per-task retry/deadline overrides.
+pub fn policy_contradictions(wf: &Workflow, report: &mut LintReport) {
+    for t in wf.task_ids() {
+        if let Some(retry) = wf.task_retry(t) {
+            let name = wf.task_name(t).to_owned();
+            check_policy(
+                retry,
+                wf.task_deadline(t),
+                Some(&name),
+                &format!("task `{name}`"),
+                report,
+            );
+        }
+    }
+}
+
+/// SF03xx/SF04xx over run-level options (the run default retry against the
+/// run default deadline, and the chaos seed hazard).
+pub fn run_option_lints(options: &schedflow_dataflow::RunOptions, report: &mut LintReport) {
+    check_policy(
+        &options.default_retry,
+        options.task_timeout,
+        None,
+        "run options",
+        report,
+    );
+    if let Some(chaos) = &options.chaos {
+        if chaos.seed == 0 {
+            report.push(
+                Diagnostic::warning(
+                    codes::UNSEEDED_CHAOS,
+                    "chaos injection is enabled without an explicit seed (seed = 0)",
+                )
+                .note("fault schedules are a pure function of the seed")
+                .help("set a non-zero seed so failures replay deterministically"),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use schedflow_dataflow::{RetryOn, RetryPolicy};
+
+    #[test]
+    fn backoff_sum_is_capped_exponential_with_jitter() {
+        let p = RetryPolicy {
+            max_attempts: 4,
+            base_delay_ms: 100,
+            max_delay_ms: 250,
+            jitter: 0.5,
+            retry_on: RetryOn::Transient,
+        };
+        // delays: 100, 200, 250 (capped); ×1.5 jitter = 150+300+375
+        assert_eq!(worst_case_backoff_ms(&p), 825);
+    }
+
+    #[test]
+    fn no_retries_no_backoff() {
+        assert_eq!(worst_case_backoff_ms(&RetryPolicy::none()), 0);
+    }
+}

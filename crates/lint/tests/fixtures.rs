@@ -1,0 +1,353 @@
+//! One fixture per diagnostic code, each asserting the stable code and the
+//! golden rendered text, plus a property test tying the static analysis to
+//! the runtime: a lint-clean schema chain never fails with a runtime schema
+//! error.
+
+use proptest::prelude::*;
+use schedflow_dataflow::{
+    ChaosConfig, RetryOn, RetryPolicy, RunOptions, Runner, StageKind, Workflow,
+};
+use schedflow_frame::{Column, Frame};
+use schedflow_lint::{
+    codes, lint_run_options, lint_workflow, ColType, FrameSchema, SchemaEffect, TaskContract,
+};
+use std::time::Duration;
+
+/// producer ⟶ frame ⟶ consumer with configurable schemas on both ends.
+fn chain(produced: FrameSchema, required: FrameSchema) -> Workflow {
+    let mut wf = Workflow::new();
+    let frame = wf.value::<u32>("frame");
+    let out = wf.value::<u32>("out");
+    let t1 = wf.task("produce", StageKind::Static, [], [frame.id()], |_| Ok(()));
+    let t2 = wf.task(
+        "consume",
+        StageKind::Static,
+        [frame.id()],
+        [out.id()],
+        |_| Ok(()),
+    );
+    wf.retain(out.id());
+    wf.with_contract(t1, TaskContract::new().produces(frame.id(), produced));
+    wf.with_contract(t2, TaskContract::new().require(frame.id(), required));
+    wf
+}
+
+#[test]
+fn sf0001_invalid_graph() {
+    let mut wf = Workflow::new();
+    let a = wf.value::<u32>("a");
+    let b = wf.value::<u32>("b");
+    wf.task("x", StageKind::Static, [b.id()], [a.id()], |_| Ok(()));
+    wf.task("y", StageKind::Static, [a.id()], [b.id()], |_| Ok(()));
+    let report = lint_workflow(&wf);
+    let diags = report.with_code(codes::INVALID_GRAPH);
+    assert_eq!(diags.len(), 1);
+    assert!(report.has_errors());
+    let text = diags[0].render();
+    assert!(
+        text.starts_with("error[SF0001]: invalid workflow graph:"),
+        "{text}"
+    );
+    assert!(text.contains("= note: structural errors block all further analysis"));
+}
+
+#[test]
+fn sf0101_missing_column_golden() {
+    let report = lint_workflow(&chain(
+        FrameSchema::new()
+            .with("wait_s", ColType::Int)
+            .with("state", ColType::Str),
+        FrameSchema::new().with("wait_secs", ColType::Int),
+    ));
+    let diags = report.with_code(codes::MISSING_COLUMN);
+    assert_eq!(diags.len(), 1);
+    assert_eq!(
+        diags[0].render(),
+        "error[SF0101]: missing column `wait_secs` required by task `consume`\n\
+         \x20 --> task `consume`, artifact `frame`\n\
+         \x20 = note: `frame` is produced by task `produce`\n\
+         \x20 = help: a column named `wait_s` exists upstream — did you mean that?\n"
+    );
+}
+
+#[test]
+fn sf0102_dtype_mismatch_golden() {
+    let report = lint_workflow(&chain(
+        FrameSchema::new().with("wait_s", ColType::Int),
+        FrameSchema::new().with("wait_s", ColType::Str),
+    ));
+    let diags = report.with_code(codes::DTYPE_MISMATCH);
+    assert_eq!(diags.len(), 1);
+    assert_eq!(
+        diags[0].render(),
+        "error[SF0102]: column `wait_s` has dtype int but task `consume` requires str\n\
+         \x20 --> task `consume`, artifact `frame`\n"
+    );
+}
+
+#[test]
+fn sf0103_nullability_golden() {
+    let report = lint_workflow(&chain(
+        FrameSchema::new().with_nullable("wait_s", ColType::Int),
+        FrameSchema::new().with("wait_s", ColType::Int),
+    ));
+    let diags = report.with_code(codes::NULLABILITY);
+    assert_eq!(diags.len(), 1);
+    // A warning, not an error: the run still proceeds under `--deny`-less
+    // gating.
+    assert!(!report.has_errors());
+    assert_eq!(
+        diags[0].render(),
+        "warning[SF0103]: column `wait_s` may contain nulls but task `consume` declares \
+         it non-nullable\n\
+         \x20 --> task `consume`, artifact `frame`\n\
+         \x20 = note: `frame` is produced by task `produce`\n\
+         \x20 = help: mark the requirement nullable or filter nulls upstream\n"
+    );
+}
+
+#[test]
+fn sf0104_bad_schema_edit_golden() {
+    let mut wf = Workflow::new();
+    let src = wf.value::<u32>("src");
+    let derived = wf.value::<u32>("derived");
+    let t1 = wf.task("make", StageKind::Static, [], [src.id()], |_| Ok(()));
+    let t2 = wf.task(
+        "derive",
+        StageKind::Static,
+        [src.id()],
+        [derived.id()],
+        |_| Ok(()),
+    );
+    wf.retain(derived.id());
+    wf.with_contract(
+        t1,
+        TaskContract::new().produces(src.id(), FrameSchema::new().with("a", ColType::Int)),
+    );
+    wf.with_contract(
+        t2,
+        TaskContract::new().effect(
+            derived.id(),
+            SchemaEffect::Derives {
+                from: src.id(),
+                adds: vec![],
+                drops: vec!["ghost".into()],
+                renames: vec![],
+            },
+        ),
+    );
+    let report = lint_workflow(&wf);
+    let diags = report.with_code(codes::BAD_SCHEMA_EDIT);
+    assert_eq!(diags.len(), 1);
+    assert_eq!(
+        diags[0].render(),
+        "warning[SF0104]: task `derive` drops `ghost` but `src` has no column `ghost`\n\
+         \x20 --> task `derive`, artifact `src`\n"
+    );
+}
+
+#[test]
+fn sf0201_orphan_artifact_golden() {
+    let mut wf = Workflow::new();
+    let wasted = wf.value::<u32>("wasted");
+    wf.task("produce", StageKind::Static, [], [wasted.id()], |_| Ok(()));
+    let report = lint_workflow(&wf);
+    let diags = report.with_code(codes::ORPHAN_ARTIFACT);
+    assert_eq!(diags.len(), 1);
+    assert_eq!(
+        diags[0].render(),
+        "warning[SF0201]: value artifact `wasted` is produced but never consumed nor retained\n\
+         \x20 --> task `produce`, artifact `wasted`\n\
+         \x20 = help: consume it, `retain()` it, or stop producing it\n"
+    );
+}
+
+#[test]
+fn sf0202_dead_task_golden() {
+    // t1 ⟶ v ⟶ t2 ⟶ w, with w unobservable: both tasks are dead (and w is
+    // additionally an orphan).
+    let mut wf = Workflow::new();
+    let v = wf.value::<u32>("v");
+    let w = wf.value::<u32>("w");
+    wf.task("t1", StageKind::Static, [], [v.id()], |_| Ok(()));
+    wf.task("t2", StageKind::Static, [v.id()], [w.id()], |_| Ok(()));
+    let report = lint_workflow(&wf);
+    let diags = report.with_code(codes::DEAD_TASK);
+    assert_eq!(diags.len(), 2);
+    assert_eq!(
+        diags[0].render(),
+        "warning[SF0202]: task `t1` is unreachable from any observable output\n\
+         \x20 --> task `t1`\n\
+         \x20 = note: no file output, retained value, or side-effecting sink depends on it\n\
+         \x20 = help: retain one of its outputs, consume them, or remove the task\n"
+    );
+    // Retaining the final artifact revives the whole chain.
+    let mut wf = Workflow::new();
+    let v = wf.value::<u32>("v");
+    let w = wf.value::<u32>("w");
+    wf.task("t1", StageKind::Static, [], [v.id()], |_| Ok(()));
+    wf.task("t2", StageKind::Static, [v.id()], [w.id()], |_| Ok(()));
+    wf.retain(w.id());
+    assert!(lint_workflow(&wf).is_clean());
+}
+
+#[test]
+fn sf0301_backoff_exceeds_deadline_golden() {
+    let mut wf = Workflow::new();
+    let out = wf.value::<u32>("out");
+    let t = wf.task("slow", StageKind::Static, [], [out.id()], |_| Ok(()));
+    wf.retain(out.id());
+    wf.with_retry(
+        t,
+        RetryPolicy {
+            max_attempts: 4,
+            base_delay_ms: 100,
+            max_delay_ms: 250,
+            jitter: 0.5,
+            retry_on: RetryOn::Transient,
+        },
+    );
+    wf.with_deadline(t, Duration::from_millis(500));
+    let report = lint_workflow(&wf);
+    let diags = report.with_code(codes::BACKOFF_EXCEEDS_DEADLINE);
+    assert_eq!(diags.len(), 1);
+    assert_eq!(
+        diags[0].render(),
+        "warning[SF0301]: task `slow`: worst-case retry backoff (825 ms) meets or exceeds \
+         the 500 ms deadline\n\
+         \x20 --> task `slow`\n\
+         \x20 = note: later attempts can never start before the watchdog fires\n\
+         \x20 = help: shorten the backoff, raise the deadline, or lower `max_attempts`\n"
+    );
+}
+
+#[test]
+fn sf0302_zero_attempts_golden() {
+    let mut wf = Workflow::new();
+    let out = wf.value::<u32>("out");
+    let t = wf.task("never", StageKind::Static, [], [out.id()], |_| Ok(()));
+    wf.retain(out.id());
+    wf.with_retry(
+        t,
+        RetryPolicy {
+            max_attempts: 0,
+            ..RetryPolicy::none()
+        },
+    );
+    let report = lint_workflow(&wf);
+    let diags = report.with_code(codes::ZERO_ATTEMPTS);
+    assert_eq!(diags.len(), 1);
+    assert!(report.has_errors());
+    assert_eq!(
+        diags[0].render(),
+        "error[SF0302]: task `never` declares a retry policy with zero attempts\n\
+         \x20 --> task `never`\n\
+         \x20 = note: `max_attempts` counts the first attempt; 0 means the task never runs\n\
+         \x20 = help: use `max_attempts: 1` to disable retries\n"
+    );
+}
+
+#[test]
+fn sf0401_unseeded_chaos_golden() {
+    let options = RunOptions {
+        chaos: Some(ChaosConfig::default()),
+        ..RunOptions::default()
+    };
+    let report = lint_run_options(&options);
+    let diags = report.with_code(codes::UNSEEDED_CHAOS);
+    assert_eq!(diags.len(), 1);
+    assert_eq!(
+        diags[0].render(),
+        "warning[SF0401]: chaos injection is enabled without an explicit seed (seed = 0)\n\
+         \x20 = note: fault schedules are a pure function of the seed\n\
+         \x20 = help: set a non-zero seed so failures replay deterministically\n"
+    );
+}
+
+/// Columns the property-test pipelines draw from.
+const POOL: [&str; 5] = ["wait_s", "state", "nnodes", "elapsed_s", "user"];
+
+/// Build an executable two-task pipeline: the producer materializes a real
+/// [`Frame`] with `produced` columns (and a matching contract); the consumer
+/// declares it requires `required` and at runtime actually reads those
+/// columns, failing like a real analytics stage would on a missing one.
+fn executable_chain(produced: Vec<&'static str>, required: Vec<&'static str>) -> Workflow {
+    let mut wf = Workflow::new();
+    let frame = wf.value::<Frame>("frame");
+    let out = wf.value::<usize>("out");
+    let produced_for_body = produced.clone();
+    let t1 = wf.task("produce", StageKind::Static, [], [frame.id()], move |ctx| {
+        let mut f = Frame::new();
+        for name in &produced_for_body {
+            f = f.with(name, Column::from_i64(vec![1, 2, 3]));
+        }
+        ctx.put(frame, f)
+    });
+    let required_for_body = required.clone();
+    let t2 = wf.task(
+        "consume",
+        StageKind::Static,
+        [frame.id()],
+        [out.id()],
+        move |ctx| {
+            let f = ctx.get(frame)?;
+            let mut rows = 0;
+            for name in &required_for_body {
+                rows += f.column(name).map_err(|e| e.to_string())?.len();
+            }
+            ctx.put(out, rows)
+        },
+    );
+    wf.retain(out.id());
+    let mut produced_schema = FrameSchema::new();
+    for name in &produced {
+        produced_schema = produced_schema.with(*name, ColType::Int);
+    }
+    let mut required_schema = FrameSchema::new();
+    for name in &required {
+        required_schema = required_schema.with(*name, ColType::Int);
+    }
+    wf.with_contract(
+        t1,
+        TaskContract::new().produces(frame.id(), produced_schema),
+    );
+    wf.with_contract(t2, TaskContract::new().require(frame.id(), required_schema));
+    wf
+}
+
+/// The subset of [`POOL`] a bitmask selects.
+fn subset(mask: usize) -> Vec<&'static str> {
+    POOL.iter()
+        .enumerate()
+        .filter(|(i, _)| mask & (1 << i) != 0)
+        .map(|(_, name)| *name)
+        .collect()
+}
+
+proptest! {
+    /// The gate's soundness contract: a lint-clean pipeline never fails at
+    /// runtime with a schema error — and, on this fixture family, a pipeline
+    /// the linter rejects really would have failed had it been allowed to
+    /// run.
+    #[test]
+    fn lint_clean_iff_no_runtime_schema_error(
+        produced_mask in 0usize..32,
+        required_mask in 0usize..32,
+    ) {
+        let produced = subset(produced_mask);
+        let required = subset(required_mask);
+        let wf = executable_chain(produced.clone(), required.clone());
+        let report = lint_workflow(&wf);
+        let expect_clean = !report.has_errors();
+        prop_assert_eq!(
+            expect_clean,
+            required.iter().all(|r| produced.contains(r)),
+            "{}",
+            report.render()
+        );
+
+        let runner = Runner::new(wf).expect("chain graph is structurally valid");
+        let run = runner.run(&RunOptions::with_threads(2));
+        prop_assert_eq!(run.is_success(), expect_clean);
+    }
+}

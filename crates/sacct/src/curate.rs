@@ -7,12 +7,55 @@
 //! pipe-separated text to CSV "for compatibility with analysis libraries".
 
 use crate::parse::{parse_records, ParseReport};
-use schedflow_frame::{Column, Frame};
+use schedflow_dataflow::contract::{ColType, FrameSchema};
+use schedflow_frame::{Column, Frame, FrameError};
 use schedflow_model::record::JobRecord;
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 use std::sync::{Arc, Mutex, OnceLock};
 use std::time::SystemTime;
+
+/// Errors from the curate stage, with enough context to name the failing
+/// column instead of panicking mid-frame-build.
+#[derive(Debug)]
+pub enum CurateError {
+    /// Reading the raw file or writing the CSV side product failed.
+    Io(std::io::Error),
+    /// Assembling one analysis column into the frame failed.
+    Column {
+        column: &'static str,
+        rows: usize,
+        source: FrameError,
+    },
+}
+
+impl std::fmt::Display for CurateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CurateError::Io(e) => write!(f, "curate io error: {e}"),
+            CurateError::Column {
+                column,
+                rows,
+                source,
+            } => write!(f, "curate column `{column}` ({rows} rows): {source}"),
+        }
+    }
+}
+
+impl std::error::Error for CurateError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CurateError::Io(e) => Some(e),
+            CurateError::Column { source, .. } => Some(source),
+        }
+    }
+}
+
+impl From<std::io::Error> for CurateError {
+    fn from(e: std::io::Error) -> Self {
+        CurateError::Io(e)
+    }
+}
 
 /// Result of curating one raw file.
 pub struct CurationResult {
@@ -22,12 +65,45 @@ pub struct CurationResult {
     pub report: ParseReport,
 }
 
+/// The static schema of the curated job-level frame — the root fact the
+/// lint layer propagates through the analysis DAG. Must match
+/// [`records_to_frame`] column for column (a unit test enforces this).
+pub fn curated_schema() -> FrameSchema {
+    FrameSchema::new()
+        .with("job_id", ColType::Str)
+        .with("user", ColType::Str)
+        .with("account", ColType::Str)
+        .with("partition", ColType::Str)
+        .with("qos", ColType::Str)
+        .with("state", ColType::Str)
+        .with("submit", ColType::Int)
+        .with("eligible", ColType::Int)
+        .with_nullable("start", ColType::Int)
+        .with_nullable("end", ColType::Int)
+        .with_nullable("wait_s", ColType::Int)
+        .with("elapsed_s", ColType::Int)
+        .with("elapsed_min", ColType::Float)
+        .with_nullable("timelimit_s", ColType::Int)
+        .with_nullable("walltime_util", ColType::Float)
+        .with("nnodes", ColType::Int)
+        .with("ncpus", ColType::Int)
+        .with("ntasks", ColType::Int)
+        .with("backfilled", ColType::Bool)
+        .with("dependent", ColType::Bool)
+        .with("is_array", ColType::Bool)
+        .with("nsteps", ColType::Int)
+        .with("year", ColType::Int)
+        .with("month", ColType::Int)
+        .with("energy_j", ColType::Int)
+        .with("node_hours", ColType::Float)
+}
+
 /// Build the job-level analysis frame from typed records.
 ///
 /// One row per job; step detail is aggregated into `nsteps` (the figure-1
 /// quantity). Column types are chosen for direct consumption by the
 /// analytics stages.
-pub fn records_to_frame(records: &[JobRecord]) -> Frame {
+pub fn records_to_frame(records: &[JobRecord]) -> Result<Frame, CurateError> {
     let n = records.len();
     let mut job_id = Vec::with_capacity(n);
     let mut user = Vec::with_capacity(n);
@@ -86,46 +162,60 @@ pub fn records_to_frame(records: &[JobRecord]) -> Frame {
         node_hours.push(f64::from(r.nnodes) * r.elapsed.as_hours());
     }
 
-    Frame::new()
-        .with("job_id", Column::from_str(job_id))
-        .with("user", Column::from_str(user))
-        .with("account", Column::from_str(account))
-        .with("partition", Column::from_str(partition))
-        .with("qos", Column::from_str(qos))
-        .with("state", Column::from_str(state))
-        .with("submit", Column::from_i64(submit))
-        .with("eligible", Column::from_i64(eligible))
-        .with("start", Column::from_opt_i64(start))
-        .with("end", Column::from_opt_i64(end))
-        .with("wait_s", Column::from_opt_i64(wait_s))
-        .with("elapsed_s", Column::from_i64(elapsed_s))
-        .with("elapsed_min", Column::from_f64(elapsed_min))
-        .with("timelimit_s", Column::from_opt_i64(timelimit_s))
-        .with("walltime_util", Column::from_opt_f64(walltime_util))
-        .with("nnodes", Column::from_i64(nnodes))
-        .with("ncpus", Column::from_i64(ncpus))
-        .with("ntasks", Column::from_i64(ntasks))
-        .with("backfilled", Column::from_bool(backfilled))
-        .with("dependent", Column::from_bool(dependent))
-        .with("is_array", Column::from_bool(is_array))
-        .with("nsteps", Column::from_i64(nsteps))
-        .with("year", Column::from_i64(year))
-        .with("month", Column::from_i64(month))
-        .with("energy_j", Column::from_i64(energy_j))
-        .with("node_hours", Column::from_f64(node_hours))
+    let mut frame = Frame::new();
+    let add = |frame: &mut Frame, name: &'static str, col: Column| {
+        frame
+            .add_column(name, col)
+            .map_err(|source| CurateError::Column {
+                column: name,
+                rows: n,
+                source,
+            })
+    };
+    add(&mut frame, "job_id", Column::from_str(job_id))?;
+    add(&mut frame, "user", Column::from_str(user))?;
+    add(&mut frame, "account", Column::from_str(account))?;
+    add(&mut frame, "partition", Column::from_str(partition))?;
+    add(&mut frame, "qos", Column::from_str(qos))?;
+    add(&mut frame, "state", Column::from_str(state))?;
+    add(&mut frame, "submit", Column::from_i64(submit))?;
+    add(&mut frame, "eligible", Column::from_i64(eligible))?;
+    add(&mut frame, "start", Column::from_opt_i64(start))?;
+    add(&mut frame, "end", Column::from_opt_i64(end))?;
+    add(&mut frame, "wait_s", Column::from_opt_i64(wait_s))?;
+    add(&mut frame, "elapsed_s", Column::from_i64(elapsed_s))?;
+    add(&mut frame, "elapsed_min", Column::from_f64(elapsed_min))?;
+    add(&mut frame, "timelimit_s", Column::from_opt_i64(timelimit_s))?;
+    add(
+        &mut frame,
+        "walltime_util",
+        Column::from_opt_f64(walltime_util),
+    )?;
+    add(&mut frame, "nnodes", Column::from_i64(nnodes))?;
+    add(&mut frame, "ncpus", Column::from_i64(ncpus))?;
+    add(&mut frame, "ntasks", Column::from_i64(ntasks))?;
+    add(&mut frame, "backfilled", Column::from_bool(backfilled))?;
+    add(&mut frame, "dependent", Column::from_bool(dependent))?;
+    add(&mut frame, "is_array", Column::from_bool(is_array))?;
+    add(&mut frame, "nsteps", Column::from_i64(nsteps))?;
+    add(&mut frame, "year", Column::from_i64(year))?;
+    add(&mut frame, "month", Column::from_i64(month))?;
+    add(&mut frame, "energy_j", Column::from_i64(energy_j))?;
+    add(&mut frame, "node_hours", Column::from_f64(node_hours))?;
+    Ok(frame)
 }
 
 /// Curate one raw sacct text file into an analysis frame.
-pub fn curate_reader(reader: impl std::io::BufRead) -> std::io::Result<CurationResult> {
+pub fn curate_reader(reader: impl std::io::BufRead) -> Result<CurationResult, CurateError> {
     let (records, report) = parse_records(reader)?;
     Ok(CurationResult {
-        frame: records_to_frame(&records),
+        frame: records_to_frame(&records)?,
         report,
     })
 }
 
 /// Curate a raw file on disk; optionally write the cleaned CSV next to it.
-pub fn curate_file(raw: &Path, csv_out: Option<&Path>) -> std::io::Result<CurationResult> {
+pub fn curate_file(raw: &Path, csv_out: Option<&Path>) -> Result<CurationResult, CurateError> {
     let file = std::fs::File::open(raw)?;
     let result = curate_reader(std::io::BufReader::new(file))?;
     if let Some(out) = csv_out {
@@ -159,7 +249,7 @@ fn raw_stamp(path: &Path) -> std::io::Result<RawStamp> {
 pub fn curate_file_cached(
     raw: &Path,
     csv_out: Option<&Path>,
-) -> std::io::Result<Arc<CurationResult>> {
+) -> Result<Arc<CurationResult>, CurateError> {
     let stamp = raw_stamp(raw)?;
     let hit = memo()
         .lock()
@@ -209,7 +299,7 @@ mod tests {
 
     #[test]
     fn frame_has_expected_shape_and_derivations() {
-        let f = records_to_frame(&sample_records());
+        let f = records_to_frame(&sample_records()).unwrap();
         assert_eq!(f.height(), 2);
         assert!(f.width() >= 25);
         assert_eq!(f.column("wait_s").unwrap().get_i64(0), Some(120));
@@ -228,7 +318,7 @@ mod tests {
         r.start = Timestamp::UNKNOWN;
         r.end = Timestamp::UNKNOWN;
         r.elapsed = schedflow_model::time::Elapsed::ZERO;
-        let f = records_to_frame(&[r]);
+        let f = records_to_frame(&[r]).unwrap();
         assert_eq!(f.column("wait_s").unwrap().get_i64(0), None);
         assert_eq!(f.column("start").unwrap().get_i64(0), None);
     }
@@ -293,6 +383,28 @@ mod tests {
     }
 
     #[test]
+    fn curated_schema_matches_built_frame() {
+        let f = records_to_frame(&sample_records()).unwrap();
+        let declared = curated_schema();
+        let actual = f.schema();
+        assert_eq!(
+            declared.names().collect::<Vec<_>>(),
+            actual.names().collect::<Vec<_>>(),
+            "curated_schema() column order must match records_to_frame()"
+        );
+        for spec in actual.columns() {
+            let d = declared.get(&spec.name).unwrap();
+            assert_eq!(d.ty, spec.ty, "dtype of `{}`", spec.name);
+            // Declared nullability must cover observed nulls.
+            assert!(
+                d.nullable || !spec.nullable,
+                "column `{}` holds nulls but is declared non-nullable",
+                spec.name
+            );
+        }
+    }
+
+    #[test]
     fn csv_round_trip_through_disk() {
         let dir = std::env::temp_dir().join(format!("schedflow-curate-{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
@@ -303,7 +415,8 @@ mod tests {
         drop(f);
         let result = curate_file(&raw, Some(&csv)).unwrap();
         assert!(csv.exists());
-        let back = schedflow_frame::infer_types(&schedflow_frame::read_csv_path(&csv).unwrap());
+        let back =
+            schedflow_frame::infer_types(&schedflow_frame::read_csv_path(&csv).unwrap()).unwrap();
         assert_eq!(back.height(), result.frame.height());
         assert_eq!(back.column("nnodes").unwrap().get_i64(0), Some(64));
         let _ = std::fs::remove_dir_all(&dir);

@@ -21,7 +21,8 @@ pub mod render;
 pub mod store;
 
 pub use curate::{
-    curate_file, curate_file_cached, curate_reader, records_to_frame, CurationResult,
+    curate_file, curate_file_cached, curate_reader, curated_schema, records_to_frame, CurateError,
+    CurationResult,
 };
 pub use fetch::{
     clear_cache, obtain_data, FetchError, FetchResult, FetchSpec, Granularity, Period,

@@ -85,7 +85,14 @@ pub fn parse_records(reader: impl BufRead) -> std::io::Result<(Vec<JobRecord>, P
             index: &index,
         };
 
-        match SacctId::parse_sacct(row.get("JobID")) {
+        let job_id_field = match row.get("JobID") {
+            Ok(v) => v,
+            Err(reason) => {
+                report.malformed.push((line_no, reason));
+                continue;
+            }
+        };
+        match SacctId::parse_sacct(job_id_field) {
             Ok(SacctId::Job(_)) => match parse_job(&row) {
                 Ok(job) => {
                     records.push(job);
@@ -121,22 +128,28 @@ struct Row<'a, 'h> {
 }
 
 impl Row<'_, '_> {
-    fn get(&self, name: &str) -> &str {
-        self.fields[*self.index.get(name).expect("validated header")].trim()
+    /// Field value by header name. `Err` names the missing field — reachable
+    /// only when a parser asks for a field outside the validated header, so
+    /// the line is reported malformed instead of panicking the whole parse.
+    fn get(&self, name: &str) -> Result<&str, String> {
+        match self.index.get(name) {
+            Some(&i) => Ok(self.fields[i].trim()),
+            None => Err(format!("field {name:?} not in curated header")),
+        }
     }
 }
 
 fn parse_job(row: &Row<'_, '_>) -> Result<JobRecord, String> {
     let get = |name: &str| row.get(name);
     let e = |what: &str, err: String| format!("{what}: {err}");
-    let id = JobId::parse_sacct(get("JobID")).map_err(|x| e("JobID", x.to_string()))?;
-    let user_name = get("User");
+    let id = JobId::parse_sacct(get("JobID")?).map_err(|x| e("JobID", x.to_string()))?;
+    let user_name = get("User")?;
     let user = user_name
         .strip_prefix('u')
         .and_then(|s| s.parse::<u32>().ok())
         .ok_or_else(|| format!("User: bad handle {user_name:?}"))?;
     let parse_u32 = |name: &str| -> Result<u32, String> {
-        let v = get(name);
+        let v = get(name)?;
         if v.is_empty() {
             Ok(0)
         } else {
@@ -144,7 +157,7 @@ fn parse_job(row: &Row<'_, '_>) -> Result<JobRecord, String> {
         }
     };
     let parse_u64 = |name: &str| -> Result<u64, String> {
-        let v = get(name);
+        let v = get(name)?;
         if v.is_empty() {
             Ok(0)
         } else {
@@ -152,23 +165,23 @@ fn parse_job(row: &Row<'_, '_>) -> Result<JobRecord, String> {
         }
     };
     let ts = |name: &str| -> Result<Timestamp, String> {
-        Timestamp::parse_sacct(get(name)).map_err(|x| e(name, x.to_string()))
+        Timestamp::parse_sacct(get(name)?).map_err(|x| e(name, x.to_string()))
     };
 
     Ok(JobRecord {
         id,
-        name: get("JobName").to_owned(),
+        name: get("JobName")?.to_owned(),
         user: UserId(user),
-        account: Account(get("Account").to_owned()),
-        cluster: get("Cluster").to_owned(),
-        partition: get("Partition").to_owned(),
-        qos: get("QOS").to_owned(),
+        account: Account(get("Account")?.to_owned()),
+        cluster: get("Cluster")?.to_owned(),
+        partition: get("Partition")?.to_owned(),
+        qos: get("QOS")?.to_owned(),
         reservation: {
-            let r = get("Reservation");
+            let r = get("Reservation")?;
             (!r.is_empty()).then(|| r.to_owned())
         },
         reservation_id: {
-            let r = get("ReservationID");
+            let r = get("ReservationID")?;
             if r.is_empty() {
                 None
             } else {
@@ -179,41 +192,41 @@ fn parse_job(row: &Row<'_, '_>) -> Result<JobRecord, String> {
         eligible: ts("Eligible")?,
         start: ts("StartTime")?,
         end: ts("EndTime")?,
-        elapsed: Elapsed::parse_sacct(get("Elapsed")).map_err(|x| e("Elapsed", x.to_string()))?,
-        timelimit: TimeLimit::parse_sacct(get("Timelimit"))
+        elapsed: Elapsed::parse_sacct(get("Elapsed")?).map_err(|x| e("Elapsed", x.to_string()))?,
+        timelimit: TimeLimit::parse_sacct(get("Timelimit")?)
             .map_err(|x| e("Timelimit", x.to_string()))?,
-        suspended: Elapsed::parse_sacct(get("Suspended"))
+        suspended: Elapsed::parse_sacct(get("Suspended")?)
             .map_err(|x| e("Suspended", x.to_string()))?,
         nnodes: parse_u32("NNodes")?,
         ncpus: parse_u32("NCPUs")?,
         ntasks: parse_u32("NTasks")?,
-        req_mem: MemSpec::parse_sacct(get("ReqMem")).map_err(|x| e("ReqMem", x.to_string()))?,
-        req_gres: get("ReqGRES").to_owned(),
-        layout: Layout::parse_sacct(get("Layout")),
-        alloc_tres: Tres::parse_sacct(get("AllocTRES"))
+        req_mem: MemSpec::parse_sacct(get("ReqMem")?).map_err(|x| e("ReqMem", x.to_string()))?,
+        req_gres: get("ReqGRES")?.to_owned(),
+        layout: Layout::parse_sacct(get("Layout")?),
+        alloc_tres: Tres::parse_sacct(get("AllocTRES")?)
             .map_err(|x| e("AllocTRES", x.to_string()))?,
-        node_list: get("NodeList").to_owned(),
+        node_list: get("NodeList")?.to_owned(),
         consumed_energy_j: parse_u64("ConsumedEnergy")?,
         max_rss_bytes: parse_u64("MaxRSS")?,
         ave_vm_size_bytes: parse_u64("AveVMSize")?,
-        total_cpu: Elapsed::parse_sacct(get("TotalCPU"))
+        total_cpu: Elapsed::parse_sacct(get("TotalCPU")?)
             .map_err(|x| e("TotalCPU", x.to_string()))?,
-        work_dir: get("WorkDir").to_owned(),
+        work_dir: get("WorkDir")?.to_owned(),
         ave_disk_read: parse_u64("AveDiskRead")?,
         ave_disk_write: parse_u64("AveDiskWrite")?,
         max_disk_read: parse_u64("MaxDiskRead")?,
         max_disk_write: parse_u64("MaxDiskWrite")?,
-        state: JobState::parse_sacct(get("State")).map_err(|x| e("State", x.to_string()))?,
-        exit_code: ExitCode::parse_sacct(get("ExitCode"))
+        state: JobState::parse_sacct(get("State")?).map_err(|x| e("State", x.to_string()))?,
+        exit_code: ExitCode::parse_sacct(get("ExitCode")?)
             .map_err(|x| e("ExitCode", x.to_string()))?,
-        reason: PendingReason::parse_sacct(get("Reason"))
+        reason: PendingReason::parse_sacct(get("Reason")?)
             .map_err(|x| e("Reason", x.to_string()))?,
         restarts: parse_u32("Restarts")?,
-        constraints: get("Constraints").to_owned(),
+        constraints: get("Constraints")?.to_owned(),
         priority: parse_u32("Priority")?,
-        flags: JobFlags::parse_sacct(get("Flags")).map_err(|x| e("Flags", x.to_string()))?,
+        flags: JobFlags::parse_sacct(get("Flags")?).map_err(|x| e("Flags", x.to_string()))?,
         dependency: {
-            let d = get("Dependency");
+            let d = get("Dependency")?;
             if d.is_empty() {
                 None
             } else {
@@ -222,14 +235,14 @@ fn parse_job(row: &Row<'_, '_>) -> Result<JobRecord, String> {
             }
         },
         array_job_id: {
-            let a = get("ArrayJobID");
+            let a = get("ArrayJobID")?;
             if a.is_empty() {
                 None
             } else {
                 Some(a.parse().map_err(|_| format!("ArrayJobID: {a:?}"))?)
             }
         },
-        comment: get("Comment").to_owned(),
+        comment: get("Comment")?.to_owned(),
         steps: Vec::new(),
     })
 }
@@ -238,7 +251,7 @@ fn parse_step(id: schedflow_model::ids::StepId, row: &Row<'_, '_>) -> Result<Ste
     let get = |name: &str| row.get(name);
     let e = |what: &str, err: String| format!("step {what}: {err}");
     let parse_u64 = |name: &str| -> Result<u64, String> {
-        let v = get(name);
+        let v = get(name)?;
         if v.is_empty() {
             Ok(0)
         } else {
@@ -247,25 +260,27 @@ fn parse_step(id: schedflow_model::ids::StepId, row: &Row<'_, '_>) -> Result<Ste
     };
     Ok(StepRecord {
         id,
-        name: get("JobName").to_owned(),
-        start: Timestamp::parse_sacct(get("StartTime"))
+        name: get("JobName")?.to_owned(),
+        start: Timestamp::parse_sacct(get("StartTime")?)
             .map_err(|x| e("StartTime", x.to_string()))?,
-        end: Timestamp::parse_sacct(get("EndTime")).map_err(|x| e("EndTime", x.to_string()))?,
-        elapsed: Elapsed::parse_sacct(get("Elapsed")).map_err(|x| e("Elapsed", x.to_string()))?,
-        state: JobState::parse_sacct(get("State")).map_err(|x| e("State", x.to_string()))?,
-        exit_code: ExitCode::parse_sacct(get("ExitCode"))
+        end: Timestamp::parse_sacct(get("EndTime")?).map_err(|x| e("EndTime", x.to_string()))?,
+        elapsed: Elapsed::parse_sacct(get("Elapsed")?).map_err(|x| e("Elapsed", x.to_string()))?,
+        state: JobState::parse_sacct(get("State")?).map_err(|x| e("State", x.to_string()))?,
+        exit_code: ExitCode::parse_sacct(get("ExitCode")?)
             .map_err(|x| e("ExitCode", x.to_string()))?,
-        nnodes: get("NNodes")
-            .parse()
-            .map_err(|_| e("NNodes", get("NNodes").to_owned()))?,
-        ntasks: get("NTasks")
-            .parse()
-            .map_err(|_| e("NTasks", get("NTasks").to_owned()))?,
-        ave_cpu: Elapsed::parse_sacct(get("AveCPU")).map_err(|x| e("AveCPU", x.to_string()))?,
+        nnodes: {
+            let v = get("NNodes")?;
+            v.parse().map_err(|_| e("NNodes", v.to_owned()))?
+        },
+        ntasks: {
+            let v = get("NTasks")?;
+            v.parse().map_err(|_| e("NTasks", v.to_owned()))?
+        },
+        ave_cpu: Elapsed::parse_sacct(get("AveCPU")?).map_err(|x| e("AveCPU", x.to_string()))?,
         max_rss_bytes: parse_u64("MaxRSS")?,
         ave_disk_read: parse_u64("AveDiskRead")?,
         ave_disk_write: parse_u64("AveDiskWrite")?,
-        tres_usage_in_ave: Tres::parse_sacct(get("TRESUsageInAve"))
+        tres_usage_in_ave: Tres::parse_sacct(get("TRESUsageInAve")?)
             .map_err(|x| e("TRESUsageInAve", x.to_string()))?,
     })
 }
@@ -285,7 +300,7 @@ mod tests {
     #[test]
     fn simple_record_round_trips() {
         let r = JobRecordBuilder::new(42).user(7).nodes(16).build();
-        let (parsed, report) = round_trip(&[r.clone()], &RenderOptions::default());
+        let (parsed, report) = round_trip(std::slice::from_ref(&r), &RenderOptions::default());
         assert_eq!(report.jobs, 1);
         assert!(report.malformed.is_empty());
         assert_eq!(parsed[0], r);

@@ -389,13 +389,13 @@ impl Simulator {
         &self,
         now: i64,
         jobs: &[JobRequest],
-        sims: &mut Vec<JobSim>,
+        sims: &mut [JobSim],
         pending: &mut Vec<usize>,
         running: &mut Vec<usize>,
         pool: &mut NodePool,
         user_qos_running: &mut HashMap<(u32, String), u32>,
         usage: &mut UsageTracker,
-        dependents: &mut Vec<Vec<usize>>,
+        dependents: &mut [Vec<usize>],
         events: &mut BinaryHeap<Reverse<Event>>,
         seq: &mut u64,
     ) -> usize {
@@ -422,34 +422,22 @@ impl Simulator {
             if self.qos_capped(&jobs[i], user_qos_running) {
                 continue; // held by QOS limit; does not block others
             }
-            if jobs[i].nodes <= pool.free_count() {
-                self.start_job(
+            if jobs[i].nodes <= pool.free_count()
+                || self.try_preempt_for(
                     i,
                     now,
-                    false,
                     jobs,
                     sims,
+                    pending,
+                    running,
                     pool,
                     user_qos_running,
+                    usage,
+                    dependents,
                     events,
                     seq,
-                );
-                running.push(i);
-                started.push(i);
-            } else if self.try_preempt_for(
-                i,
-                now,
-                jobs,
-                sims,
-                pending,
-                running,
-                pool,
-                user_qos_running,
-                usage,
-                dependents,
-                events,
-                seq,
-            ) {
+                )
+            {
                 self.start_job(
                     i,
                     now,
@@ -535,31 +523,24 @@ impl Simulator {
         i: usize,
         now: i64,
         jobs: &[JobRequest],
-        sims: &mut Vec<JobSim>,
+        sims: &mut [JobSim],
         pending: &mut Vec<usize>,
         running: &mut Vec<usize>,
         pool: &mut NodePool,
         user_qos_running: &mut HashMap<(u32, String), u32>,
         usage: &mut UsageTracker,
-        dependents: &mut Vec<Vec<usize>>,
+        dependents: &mut [Vec<usize>],
         events: &mut BinaryHeap<Reverse<Event>>,
         seq: &mut u64,
     ) -> bool {
-        let can_preempt = self
-            .config
-            .qos(&jobs[i].qos)
-            .map_or(false, |q| q.can_preempt);
+        let can_preempt = self.config.qos(&jobs[i].qos).is_some_and(|q| q.can_preempt);
         if !can_preempt {
             return false;
         }
         let mut victims: Vec<usize> = running
             .iter()
             .copied()
-            .filter(|&r| {
-                self.config
-                    .qos(&jobs[r].qos)
-                    .map_or(false, |q| q.preemptible)
-            })
+            .filter(|&r| self.config.qos(&jobs[r].qos).is_some_and(|q| q.preemptible))
             .collect();
         // Most recently started first: least work lost.
         victims.sort_by_key(|&r| Reverse(sims[r].start.map_or(0, |t| t.0)));
@@ -725,13 +706,13 @@ fn retire_running(
     now: i64,
     state_override: Option<JobState>,
     jobs: &[JobRequest],
-    sims: &mut Vec<JobSim>,
+    sims: &mut [JobSim],
     pending: &mut Vec<usize>,
     running: &mut Vec<usize>,
     pool: &mut NodePool,
     user_qos_running: &mut HashMap<(u32, String), u32>,
     usage: &mut UsageTracker,
-    dependents: &mut Vec<Vec<usize>>,
+    dependents: &mut [Vec<usize>],
     events: &mut BinaryHeap<Reverse<Event>>,
     seq: &mut u64,
 ) {

@@ -102,7 +102,7 @@ pub fn generate_steps(plan: &JobPlan, outcome: &SimOutcome, record_id: JobId) ->
     ));
 
     // Numbered steps: sequential segments with random (exponential) weights.
-    let n = plan.n_steps.min(3000).max(1);
+    let n = plan.n_steps.clamp(1, 3000);
     let mut weights: Vec<f64> = (0..n).map(|_| -rng.gen::<f64>().max(1e-12).ln()).collect();
     let total: f64 = weights.iter().sum();
     for w in &mut weights {

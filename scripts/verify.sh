@@ -19,4 +19,7 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> bench smoke: bench_frame --test"
 cargo run --release -p schedflow-bench --bin bench_frame -- --test
 
+echo "==> schedflow lint (default frontier pipeline must be clean)"
+cargo run --release -p schedflow-core --bin schedflow -- lint
+
 echo "verify: OK"

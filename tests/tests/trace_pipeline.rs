@@ -120,7 +120,7 @@ fn store_query_frames_match_direct_conversion() {
     }
     assert_eq!(total, store.len());
 
-    let frame = records_to_frame(store.records());
+    let frame = records_to_frame(store.records()).unwrap();
     assert_eq!(frame.height(), records.len());
 
     // Analytics run end to end on the frame.
