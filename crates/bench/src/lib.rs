@@ -128,6 +128,76 @@ pub fn lint_gate(stages: &[&str]) {
         std::process::exit(1);
     }
     println!("lint gate: clean ({} warning(s))", report.warnings());
+    determinism_gate();
+}
+
+/// Digest every artifact of a small tracked workflow executed at the given
+/// thread count ([`determinism_gate`]'s probe).
+fn probe_digests(threads: usize) -> Vec<(String, Option<String>)> {
+    use schedflow_dataflow::{RunOptions, Runner, StageKind, Workflow};
+
+    let mut wf = Workflow::new();
+    let parts: Vec<_> = (0..6)
+        .map(|i| wf.value::<u64>(&format!("part-{i}")))
+        .collect();
+    for (i, part) in parts.iter().enumerate() {
+        let part = *part;
+        wf.task(
+            &format!("make-{i}"),
+            StageKind::Static,
+            [],
+            [part.id()],
+            move |ctx| ctx.put(part, (i as u64 + 1).wrapping_mul(0x9E37_79B9)),
+        );
+        wf.track_digest(part);
+    }
+    let sum = wf.value::<u64>("sum");
+    let inputs: Vec<_> = parts.iter().map(|p| p.id()).collect();
+    let parts_for_body = parts.clone();
+    wf.task("sum", StageKind::Static, inputs, [sum.id()], move |ctx| {
+        let mut total = 0u64;
+        for p in &parts_for_body {
+            total = total.wrapping_add(*ctx.get(*p)?);
+        }
+        ctx.put(sum, total)
+    });
+    wf.retain(sum.id());
+    wf.track_digest(sum);
+
+    let runner = Runner::new(wf).expect("probe workflow is structurally valid");
+    let report = runner.run(&RunOptions::with_threads(threads));
+    assert!(report.is_success(), "determinism probe failed to execute");
+    report
+        .artifacts
+        .iter()
+        .map(|a| (a.name.clone(), a.digest.clone()))
+        .collect()
+}
+
+/// Determinism gate: before an experiment regenerates a paper artifact, prove
+/// the engine it runs on schedules deterministically — execute a small
+/// digest-tracked workflow serially and on four workers and require identical
+/// per-artifact content digests. A mismatch means task scheduling leaks into
+/// results, which would make every regenerated figure unreproducible; the
+/// binary refuses to continue. Called by [`lint_gate`], so every `repro_*`
+/// binary certifies this alongside its schema contracts.
+pub fn determinism_gate() {
+    let serial = probe_digests(1);
+    let parallel = probe_digests(4);
+    if serial != parallel {
+        eprintln!("determinism gate: artifact digests differ between 1 and 4 threads:");
+        for ((name, s), (_, p)) in serial.iter().zip(&parallel) {
+            if s != p {
+                eprintln!("  {name}: {s:?} (serial) != {p:?} (parallel)");
+            }
+        }
+        eprintln!("determinism gate: refusing to run — the engine is not replay-stable");
+        std::process::exit(1);
+    }
+    println!(
+        "determinism gate: {} artifact digest(s) identical at 1 and 4 threads",
+        serial.len()
+    );
 }
 
 /// Write a chart to `repro_out/<name>.html` and report the path.
@@ -151,6 +221,13 @@ mod tests {
     fn defaults_are_sane() {
         assert!(scale() > 0.0);
         assert!(out_dir().exists());
+    }
+
+    #[test]
+    fn determinism_probe_digests_match_across_thread_counts() {
+        let serial = probe_digests(1);
+        assert_eq!(serial.len(), 7, "6 parts + sum");
+        assert_eq!(serial, probe_digests(4));
     }
 
     #[test]

@@ -11,6 +11,7 @@
 //! schedflow run --retries 3 --task-timeout 120 --resume     # fault-tolerant
 //! schedflow chaos --fail-p 0.3 --chaos-seed 7               # injection drill
 //! schedflow lint --system andes           # static analysis, no execution
+//! schedflow verify-run --scale 0.02       # determinism check: 1 vs N threads
 //! schedflow dot --system andes --lint     # Figure 2 (DOT), lint-annotated
 //! schedflow table2                        # the LLM offering survey
 //! ```
@@ -24,10 +25,11 @@ fn usage() -> ! {
         "schedflow — LLM-enabled Slurm trace analytics workflow\n\n\
          USAGE:\n  schedflow run   [OPTIONS]   execute the full hybrid workflow\n  \
          schedflow chaos [OPTIONS]   run under seeded fault injection\n  \
+         schedflow verify-run [OPTIONS]  run at 1 and N threads, diff artifact digests\n  \
          schedflow lint  [OPTIONS]   statically analyze the workflow, run nothing\n  \
          schedflow dot   [OPTIONS]   print the workflow dataflow graph (DOT)\n  \
          schedflow table2            print the LLM offering survey (Table 2)\n\n\
-         OPTIONS (run/chaos/lint/dot):\n  \
+         OPTIONS (run/chaos/verify-run/lint/dot):\n  \
          --system NAME    frontier | andes            [frontier]\n  \
          --from YYYY-MM   first month analyzed        [profile start]\n  \
          --to YYYY-MM     last month analyzed         [profile end]\n  \
@@ -49,7 +51,7 @@ fn usage() -> ! {
          --stall-timeout S   whole-run stall guard, seconds    [3600]\n  \
          --resume            re-execute only tasks not recorded\n                      \
          successful in the run manifest\n\n\
-         CHAOS (chaos only):\n  \
+         CHAOS (chaos and verify-run):\n  \
          --fail-p P       per-attempt transient failure probability [0.2]\n  \
          --panic-p P      per-attempt panic probability             [0.0]\n  \
          --delay-p P      per-attempt injected-delay probability    [0.0]\n  \
@@ -162,8 +164,8 @@ fn parse_args(command: &str, args: std::env::Args) -> Args {
             }
         }
     }
-    if !chaos_mode && chaos.is_some() {
-        eprintln!("chaos flags (--fail-p/--panic-p/--delay-p/--max-delay/--chaos-seed) require the `chaos` subcommand");
+    if chaos.is_some() && !matches!(command, "chaos" | "verify-run") {
+        eprintln!("chaos flags (--fail-p/--panic-p/--delay-p/--max-delay/--chaos-seed) require the `chaos` or `verify-run` subcommand");
         usage();
     }
     if deny_warnings && command != "lint" {
@@ -202,11 +204,12 @@ fn parse_args(command: &str, args: std::env::Args) -> Args {
     if let Some(t) = to {
         cfg.to = t;
     }
-    // Chaos drills default to a generous retry budget so the harness
-    // demonstrates recovery; `--no-retries` shows the unprotected run.
+    // Chaos drills (and chaotic verify-run legs) default to a generous retry
+    // budget so the harness demonstrates recovery; `--no-retries` shows the
+    // unprotected run.
     if let Some(r) = retries {
         cfg.fault.retries = r;
-    } else if chaos_mode && !no_retries {
+    } else if chaos.is_some() && !no_retries {
         cfg.fault.retries = 8;
     }
     if no_retries {
@@ -327,6 +330,62 @@ fn run_command(parsed: Args) {
     }
 }
 
+/// `schedflow verify-run`: execute the workflow at 1 thread and at N threads
+/// (optionally under seeded chaos) in isolated sandboxes and diff the
+/// per-artifact content digests. Exit 0 iff every digest matches.
+fn verify_command(parsed: Args) {
+    let cfg = parsed.cfg;
+    eprintln!(
+        "schedflow verify-run: system={} window={:04}-{:02}..{:04}-{:02} legs=1/{} scale={}",
+        cfg.system.name(),
+        cfg.from.0,
+        cfg.from.1,
+        cfg.to.0,
+        cfg.to.1,
+        cfg.threads.max(2),
+        cfg.scale
+    );
+    if let Some(c) = &cfg.fault.chaos {
+        eprintln!(
+            "chaos: seed={} fail-p={} panic-p={} delay-p={} retries={}",
+            c.seed, c.fail_p, c.panic_p, c.delay_p, cfg.fault.retries
+        );
+    }
+    match schedflow_core::verify_run(&cfg) {
+        Ok(outcome) => {
+            if outcome.is_deterministic() {
+                println!(
+                    "deterministic: {} artifact digest(s) identical at {} and {} threads",
+                    outcome.serial.digests.len(),
+                    outcome.serial.threads,
+                    outcome.parallel.threads
+                );
+            } else {
+                println!(
+                    "NONDETERMINISTIC: {} of {} artifact digest(s) differ between {} and {} threads",
+                    outcome.mismatches.len(),
+                    outcome.serial.digests.len(),
+                    outcome.serial.threads,
+                    outcome.parallel.threads
+                );
+                for m in &outcome.mismatches {
+                    println!(
+                        "  {}: {} (serial) != {} (parallel)",
+                        m.artifact,
+                        m.serial.as_deref().unwrap_or("<none>"),
+                        m.parallel.as_deref().unwrap_or("<none>")
+                    );
+                }
+                std::process::exit(1);
+            }
+        }
+        Err(e) => {
+            eprintln!("verify-run failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
 fn main() {
     let mut args = std::env::args();
     let _binary = args.next();
@@ -378,6 +437,7 @@ fn main() {
             println!("{dot}");
         }
         "run" | "chaos" => run_command(parse_args(&command, args)),
+        "verify-run" => verify_command(parse_args("verify-run", args)),
         _ => usage(),
     }
 }

@@ -10,7 +10,10 @@
 //!   plots → dashboard) and the user-defined AI subworkflows (chart digest →
 //!   LLM Insight per chart, the two-month LLM Compare, and the insight
 //!   collector);
-//! * [`run::run`] — execute on the work-stealing engine and collect results.
+//! * [`run::run`] — execute on the work-stealing engine and collect results;
+//! * [`run::verify_run`] — the determinism verifier: run the workflow
+//!   serially and in parallel in isolated sandboxes and diff the
+//!   per-artifact content digests (`schedflow verify-run`).
 //!
 //! The `schedflow` binary wraps this as a CLI.
 
@@ -20,4 +23,7 @@ pub mod run;
 
 pub use config::{FaultOptions, InsightBackend, System, WorkflowConfig};
 pub use pipeline::{build, BuiltWorkflow, Handles, PLOT_STAGES};
-pub use run::{run, run_built, run_options, CoreError, RunOutcome, MANIFEST_FILE};
+pub use run::{
+    run, run_built, run_options, verify_run, CoreError, DigestMismatch, RunOutcome, VerifyLeg,
+    VerifyOutcome, MANIFEST_FILE,
+};

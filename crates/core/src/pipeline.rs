@@ -484,6 +484,21 @@ pub fn build(cfg: &WorkflowConfig) -> BuiltWorkflow {
         wf.retain(c.id());
     }
 
+    // Determinism verifier: register content digests for the analysis
+    // products, so `schedflow verify-run` can certify that reruns at any
+    // thread count (and under seeded chaos) produce identical bytes. File
+    // artifacts are digested unconditionally by the engine; value artifacts
+    // are digested only when registered here.
+    wf.track_digest(merged);
+    for (_, chart, digest, insight) in &stages {
+        wf.track_digest(*chart);
+        wf.track_digest(*digest);
+        wf.track_digest(*insight);
+    }
+    if let Some(c) = compare {
+        wf.track_digest(c);
+    }
+
     BuiltWorkflow {
         workflow: wf,
         handles: Handles {

@@ -173,7 +173,7 @@ pub fn run_built(built: BuiltWorkflow, cfg: &WorkflowConfig) -> Result<RunOutcom
     let report = runner.run(&run_options(cfg));
 
     if !report.is_success() {
-        let failed = report
+        let mut failed: Vec<String> = report
             .failed()
             .iter()
             .map(|t| {
@@ -184,6 +184,9 @@ pub fn run_built(built: BuiltWorkflow, cfg: &WorkflowConfig) -> Result<RunOutcom
                 }
             })
             .collect();
+        // A run aborted by the happens-before tracker has no status-failed
+        // task — the counterexample traces *are* the failure.
+        failed.extend(report.race_violations.iter().cloned());
         return Err(CoreError::StageFailed {
             failed,
             report: Box::new(report),
@@ -243,6 +246,115 @@ pub fn run_built(built: BuiltWorkflow, cfg: &WorkflowConfig) -> Result<RunOutcom
         dashboard_index: handles.dashboard_index,
         insights_md: handles.insights_md,
         curation: (total_lines, malformed),
+    })
+}
+
+/// One leg of a determinism comparison: the thread count it ran at and its
+/// normalized `(artifact, digest)` pairs, sorted by artifact name.
+#[derive(Debug, Clone)]
+pub struct VerifyLeg {
+    pub threads: usize,
+    /// `(normalized artifact name, digest)` — file paths have the leg's
+    /// private data/cache prefixes rewritten to `$DATA`/`$CACHE` so the two
+    /// legs are comparable; `None` means the artifact's digest could not be
+    /// computed (deterministically so, on both legs or neither).
+    pub digests: Vec<(String, Option<String>)>,
+}
+
+/// An artifact whose content differed between the two legs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DigestMismatch {
+    pub artifact: String,
+    pub serial: Option<String>,
+    pub parallel: Option<String>,
+}
+
+/// Outcome of [`verify_run`]: both legs plus the artifacts that differed.
+#[derive(Debug, Clone)]
+pub struct VerifyOutcome {
+    pub serial: VerifyLeg,
+    pub parallel: VerifyLeg,
+    pub mismatches: Vec<DigestMismatch>,
+}
+
+impl VerifyOutcome {
+    /// True when every artifact digested identically on both legs.
+    pub fn is_deterministic(&self) -> bool {
+        self.mismatches.is_empty()
+    }
+}
+
+/// Rewrite a leg's private directory prefixes out of an artifact name so the
+/// serial and parallel legs (which run in separate sandboxes) compare equal.
+fn normalize_artifact_name(name: &str, cfg: &WorkflowConfig) -> String {
+    name.replace(&cfg.data_dir.display().to_string(), "$DATA")
+        .replace(&cfg.cache_dir.display().to_string(), "$CACHE")
+}
+
+/// Execute one verification leg in its own sandbox under `cfg.data_dir`.
+fn verify_leg(cfg: &WorkflowConfig, threads: usize, tag: &str) -> Result<VerifyLeg, CoreError> {
+    let mut leg = cfg.clone();
+    leg.threads = threads.max(1);
+    leg.cache_dir = cfg.data_dir.join(tag).join("cache");
+    leg.data_dir = cfg.data_dir.join(tag).join("data");
+    // Each leg must recompute everything itself: a resumed or cached leg
+    // would certify the *other* leg's bytes, not its own scheduling.
+    leg.fault.resume = false;
+    leg.use_cache = false;
+    let outcome = run(&leg)?;
+    let mut digests: Vec<(String, Option<String>)> = outcome
+        .report
+        .artifacts
+        .iter()
+        .map(|a| (normalize_artifact_name(&a.name, &leg), a.digest.clone()))
+        .collect();
+    digests.sort();
+    Ok(VerifyLeg {
+        threads: leg.threads,
+        digests,
+    })
+}
+
+/// The determinism verifier behind `schedflow verify-run`: execute the
+/// workflow twice — serially, then at the configured thread count (under
+/// whatever chaos/retry options `cfg.fault` carries) — in isolated sandboxes
+/// under `cfg.data_dir`, and diff the per-artifact content digests. Identical
+/// digests certify that scheduling (and fault-injection timing) leaves no
+/// fingerprint on any analysis product.
+pub fn verify_run(cfg: &WorkflowConfig) -> Result<VerifyOutcome, CoreError> {
+    let serial = verify_leg(cfg, 1, "verify-1t")?;
+    let threads = cfg.threads.max(2);
+    let parallel = verify_leg(cfg, threads, &format!("verify-{threads}t"))?;
+
+    let lookup: std::collections::BTreeMap<&str, &Option<String>> = parallel
+        .digests
+        .iter()
+        .map(|(n, d)| (n.as_str(), d))
+        .collect();
+    let mut mismatches = Vec::new();
+    for (name, digest) in &serial.digests {
+        let other = lookup.get(name.as_str()).copied();
+        if other != Some(digest) {
+            mismatches.push(DigestMismatch {
+                artifact: name.clone(),
+                serial: digest.clone(),
+                parallel: other.cloned().flatten(),
+            });
+        }
+    }
+    for (name, digest) in &parallel.digests {
+        if !serial.digests.iter().any(|(n, _)| n == name) {
+            mismatches.push(DigestMismatch {
+                artifact: name.clone(),
+                serial: None,
+                parallel: digest.clone(),
+            });
+        }
+    }
+    Ok(VerifyOutcome {
+        serial,
+        parallel,
+        mismatches,
     })
 }
 
@@ -442,6 +554,53 @@ mod tests {
         let built = build(&cfg);
         let report = schedflow_lint::lint_all(&built.workflow, Some(&run_options(&cfg)));
         assert!(report.is_clean(), "{}", report.render());
+    }
+
+    /// The acceptance scenario: `verify-run` on the default pipeline reports
+    /// identical per-artifact digests at 1 thread and N threads.
+    #[test]
+    fn verify_run_certifies_identical_digests_across_thread_counts() {
+        let cfg = tiny_config("verify");
+        let outcome = verify_run(&cfg).unwrap_or_else(|e| panic!("{e}"));
+        assert_eq!(outcome.serial.threads, 1);
+        assert!(outcome.parallel.threads >= 2);
+        assert!(
+            outcome.is_deterministic(),
+            "digest mismatches: {:?}",
+            outcome.mismatches
+        );
+        // Both legs digested the same (nonempty) artifact set, and the
+        // private sandbox paths were normalized out of the names.
+        assert_eq!(outcome.serial.digests.len(), outcome.parallel.digests.len());
+        assert!(!outcome.serial.digests.is_empty());
+        assert!(outcome
+            .serial
+            .digests
+            .iter()
+            .any(|(n, _)| n.starts_with("$DATA/")));
+        assert!(outcome
+            .serial
+            .digests
+            .iter()
+            .any(|(n, _)| *n == "merged-frame"));
+        let _ = std::fs::remove_dir_all(cfg.cache_dir.parent().unwrap());
+    }
+
+    /// Determinism holds under seeded chaos too: injected transient faults
+    /// plus retries must leave no fingerprint on any artifact.
+    #[test]
+    fn verify_run_is_deterministic_under_seeded_chaos() {
+        let mut cfg = tiny_config("verify-chaos");
+        cfg.fault.chaos = Some(schedflow_dataflow::ChaosConfig::failing(13, 0.2));
+        cfg.fault.retries = 8;
+        cfg.fault.retry_base_delay_ms = 1;
+        let outcome = verify_run(&cfg).unwrap_or_else(|e| panic!("{e}"));
+        assert!(
+            outcome.is_deterministic(),
+            "digest mismatches under chaos: {:?}",
+            outcome.mismatches
+        );
+        let _ = std::fs::remove_dir_all(cfg.cache_dir.parent().unwrap());
     }
 
     #[test]

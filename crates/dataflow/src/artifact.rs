@@ -180,6 +180,9 @@ pub struct TaskCtx<'a> {
     pub(crate) outputs: &'a [ArtifactId],
     pub(crate) bytes_in: AtomicU64,
     pub(crate) bytes_out: AtomicU64,
+    /// When race detection is on: the run's happens-before tracker and this
+    /// task's index, so every access through this context is recorded.
+    pub(crate) race: Option<(Arc<crate::race::RaceTracker>, usize)>,
 }
 
 impl<'a> TaskCtx<'a> {
@@ -196,6 +199,18 @@ impl<'a> TaskCtx<'a> {
             outputs,
             bytes_in: AtomicU64::new(0),
             bytes_out: AtomicU64::new(0),
+            race: None,
+        }
+    }
+
+    pub(crate) fn with_race(mut self, tracker: Arc<crate::race::RaceTracker>, task: usize) -> Self {
+        self.race = Some((tracker, task));
+        self
+    }
+
+    fn note_access(&self, id: ArtifactId, write: bool) {
+        if let Some((tracker, task)) = &self.race {
+            tracker.record(*task, id, write);
         }
     }
 
@@ -207,6 +222,7 @@ impl<'a> TaskCtx<'a> {
                 self.task_name, a.id.0
             ));
         }
+        self.note_access(a.id, false);
         let any = self
             .store
             .get_any(a.id)
@@ -236,6 +252,7 @@ impl<'a> TaskCtx<'a> {
                 self.task_name, a.id.0
             ));
         }
+        self.note_access(a.id, true);
         self.store.put_any_sized(a.id, Arc::new(value), bytes);
         self.bytes_out.fetch_add(bytes, Ordering::Relaxed);
         Ok(())
@@ -256,6 +273,7 @@ impl<'a> TaskCtx<'a> {
                 self.task_name, a.id.0
             ));
         }
+        self.note_access(a.id, false);
         match self.store.get_any(a.id) {
             None => Ok(None),
             Some(any) => {
@@ -271,6 +289,8 @@ impl<'a> TaskCtx<'a> {
     /// Path of a declared input or output file artifact.
     pub fn path<'f>(&self, f: &'f FileArtifact) -> Result<&'f Path, String> {
         if self.inputs.contains(&f.id) || self.outputs.contains(&f.id) {
+            // Declared outputs are writes; pure inputs are reads.
+            self.note_access(f.id, self.outputs.contains(&f.id));
             Ok(&f.path)
         } else {
             Err(format!(

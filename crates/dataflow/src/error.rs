@@ -206,8 +206,15 @@ pub(crate) fn unit_f64(x: u64) -> f64 {
 /// FNV-1a over a string — stable task-name hashing for seeds and manifest
 /// fingerprints.
 pub(crate) fn fnv1a(s: &str) -> u64 {
+    fnv1a_bytes(s.as_bytes())
+}
+
+/// FNV-1a over raw bytes — the content digests behind the determinism
+/// verifier (file artifacts are hashed from disk, value artifacts from their
+/// serialized form).
+pub(crate) fn fnv1a_bytes(bytes: &[u8]) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for b in s.as_bytes() {
+    for b in bytes {
         h ^= u64::from(*b);
         h = h.wrapping_mul(0x1000_0000_01b3);
     }

@@ -24,11 +24,12 @@
 
 use crate::artifact::{ArtifactKindMeta, DataStore, TaskCtx};
 use crate::chaos::{ChaosConfig, Fault};
-use crate::error::{splitmix64, RetryPolicy, TaskError};
+use crate::error::{fnv1a_bytes, splitmix64, RetryPolicy, TaskError};
 use crate::graph::{GraphError, StageKind, Workflow};
 use crate::manifest::{fingerprint, RunManifest};
 use crate::pool::ThreadPool;
-use crate::report::{RunReport, TaskReport, TaskStatus};
+use crate::race::RaceTracker;
+use crate::report::{ArtifactDigest, RunReport, TaskReport, TaskStatus};
 use crossbeam::channel;
 use std::collections::HashMap;
 use std::panic::AssertUnwindSafe;
@@ -62,6 +63,12 @@ pub struct RunOptions {
     pub resume: bool,
     /// Seeded fault injection around every attempt (tests, `schedflow chaos`).
     pub chaos: Option<ChaosConfig>,
+    /// Dynamic race detection: record every artifact access through
+    /// [`TaskCtx`] in a vector-clock happens-before tracker
+    /// ([`crate::race::RaceTracker`]) and abort the run with counterexample
+    /// traces on a violation. On by default in debug builds (every test
+    /// doubles as a soak), opt-in elsewhere.
+    pub detect_races: bool,
 }
 
 impl Default for RunOptions {
@@ -78,6 +85,7 @@ impl Default for RunOptions {
             manifest_path: None,
             resume: false,
             chaos: None,
+            detect_races: cfg!(debug_assertions),
         }
     }
 }
@@ -122,6 +130,11 @@ impl RunOptions {
 
     pub fn with_chaos(mut self, chaos: ChaosConfig) -> Self {
         self.chaos = Some(chaos);
+        self
+    }
+
+    pub fn detecting_races(mut self, on: bool) -> Self {
+        self.detect_races = on;
         self
     }
 }
@@ -170,6 +183,9 @@ struct RunState {
     /// reference counts. A decrement to zero drops the value from the store
     /// (unless the workflow retained it).
     artifact_refs: Vec<usize>,
+    /// Content digests captured at producer completion (indexed by artifact),
+    /// before the lifetime tracker can drop the value.
+    digests: Vec<Option<ArtifactDigest>>,
     done: usize,
 }
 
@@ -186,6 +202,8 @@ struct Exec<'a> {
     resume_from: Option<HashMap<String, crate::manifest::ManifestEntry>>,
     /// Skeleton manifest cloned and filled on every checkpoint.
     manifest_template: Option<RunManifest>,
+    /// Vector-clock happens-before tracker ([`RunOptions::detect_races`]).
+    tracker: Option<Arc<RaceTracker>>,
 }
 
 impl Runner {
@@ -264,6 +282,9 @@ impl Runner {
             fingerprints,
             resume_from,
             manifest_template,
+            tracker: options
+                .detect_races
+                .then(|| Arc::new(RaceTracker::for_workflow(&self.workflow))),
         };
 
         let mut st = RunState {
@@ -289,6 +310,7 @@ impl Runner {
             attempts: vec![0; n],
             anchor: vec![None; n],
             artifact_refs: self.workflow.consumer_counts(),
+            digests: vec![None; self.workflow.artifacts.len()],
             done: 0,
         };
 
@@ -347,6 +369,10 @@ impl Runner {
                             st.anchor[i] = None;
                             st.done += 1;
                             st.reports[i].status = TaskStatus::Succeeded;
+                            // Digests must be captured before dependents can
+                            // resolve: a released consumer may be the value's
+                            // last, and the lifetime tracker would drop it.
+                            exec.capture_digests(i, &mut st);
                             exec.release_inputs(i, &mut st);
                             exec.release_dependents(i, &mut st);
                         }
@@ -371,6 +397,19 @@ impl Runner {
                         }
                     }
                     exec.checkpoint(&st);
+                    // Dynamic cross-check: a happens-before violation aborts
+                    // the run. Tasks still waiting are skipped; the
+                    // counterexample traces reach the report below.
+                    if exec.tracker.as_ref().is_some_and(|t| t.has_violations()) {
+                        for j in 0..n {
+                            if st.state[j] == NodeState::Waiting {
+                                st.state[j] = NodeState::Done;
+                                st.reports[j].status = TaskStatus::Skipped;
+                            }
+                        }
+                        exec.checkpoint(&st);
+                        break;
+                    }
                 }
                 Err(channel::RecvTimeoutError::Timeout) => {
                     let now = Instant::now();
@@ -448,6 +487,16 @@ impl Runner {
 
         let makespan_ms = run_start.elapsed().as_secs_f64() * 1000.0;
         let reports = std::mem::take(&mut st.reports);
+        let mut artifacts: Vec<ArtifactDigest> = std::mem::take(&mut st.digests)
+            .into_iter()
+            .flatten()
+            .collect();
+        artifacts.sort_by(|a, b| a.name.cmp(&b.name));
+        let race_violations = exec
+            .tracker
+            .as_ref()
+            .map(|t| t.violations())
+            .unwrap_or_default();
         drop(exec);
         drop(rx);
         if zombie_bodies && pool.pending() > 0 {
@@ -459,6 +508,8 @@ impl Runner {
             makespan_ms,
             peak_resident_bytes: self.store.peak_resident_bytes(),
             tasks: reports,
+            artifacts,
+            race_violations,
         }
     }
 
@@ -526,11 +577,18 @@ impl Exec<'_> {
     /// cache hit). Returns true when resolved synchronously; the caller
     /// accounts `done` and releases dependents.
     fn dispatch(&self, i: usize, st: &mut RunState) -> bool {
+        // Assign the task's vector clock before any attempt (or synchronous
+        // resolution) can order against it — cached/resumed tasks still
+        // anchor the happens-before chain for their dependents.
+        if let Some(t) = &self.tracker {
+            t.task_dispatched(i);
+        }
         if let Some(prev) = &self.resume_from {
             if let Some(entry) = prev.get(&self.runner.workflow.tasks[i].name) {
                 if entry.resumable(self.fingerprints[i]) {
                     st.state[i] = NodeState::Done;
                     st.reports[i].status = TaskStatus::Resumed;
+                    self.capture_digests(i, st);
                     self.release_inputs(i, st);
                     return true;
                 }
@@ -539,6 +597,7 @@ impl Exec<'_> {
         if self.options.use_cache && self.runner.outputs_fresh(i) {
             st.state[i] = NodeState::Done;
             st.reports[i].status = TaskStatus::Cached;
+            self.capture_digests(i, st);
             self.release_inputs(i, st);
             return true;
         }
@@ -558,6 +617,7 @@ impl Exec<'_> {
         let tx = self.tx.clone();
         let chaos = self.options.chaos;
         let run_start = self.run_start;
+        let tracker = self.tracker.clone();
         self.pool.execute(move || {
             if delay_ms > 0 {
                 std::thread::sleep(Duration::from_millis(delay_ms));
@@ -583,7 +643,10 @@ impl Exec<'_> {
                     .unwrap_or_else(|p| Err(TaskError::Panic(panic_message(p))))
                 }
                 None => {
-                    let ctx = TaskCtx::new(&store, &spec.name, &spec.inputs, &spec.outputs);
+                    let mut ctx = TaskCtx::new(&store, &spec.name, &spec.inputs, &spec.outputs);
+                    if let Some(t) = tracker {
+                        ctx = ctx.with_race(t, i);
+                    }
                     let result = std::panic::catch_unwind(AssertUnwindSafe(|| (spec.body)(&ctx)))
                         .unwrap_or_else(|p| Err(TaskError::Panic(panic_message(p))))
                         .and_then(|()| verify_outputs(&wf, &store, i));
@@ -667,6 +730,40 @@ impl Exec<'_> {
             *refs -= 1;
             if *refs == 0 && !wf.is_retained(a) && wf.file_path(a).is_none() {
                 self.runner.store.remove(a);
+            }
+        }
+    }
+
+    /// Capture content digests of task `i`'s outputs for the determinism
+    /// verifier: file artifacts are hashed from their on-disk bytes, value
+    /// artifacts through the digest function registered with
+    /// [`Workflow::track_digest`] (untracked values are skipped). Runs on
+    /// the event-loop thread at resolution time, *before* the lifetime
+    /// tracker can drop the value.
+    fn capture_digests(&self, i: usize, st: &mut RunState) {
+        let wf = &self.runner.workflow;
+        for &out in &wf.tasks[i].outputs {
+            let entry = match &wf.artifacts[out.0].kind {
+                ArtifactKindMeta::File(p) => Some(ArtifactDigest {
+                    name: wf.artifacts[out.0].name.clone(),
+                    kind: "file",
+                    digest: std::fs::read(p)
+                        .ok()
+                        .map(|b| format!("{:016x}", fnv1a_bytes(&b))),
+                }),
+                ArtifactKindMeta::Value => wf.digest_fn(out).map(|f| ArtifactDigest {
+                    name: wf.artifacts[out.0].name.clone(),
+                    kind: "value",
+                    digest: self
+                        .runner
+                        .store
+                        .get_any(out)
+                        .and_then(|v| f(v.as_ref()))
+                        .map(|h| format!("{h:016x}")),
+                }),
+            };
+            if entry.is_some() {
+                st.digests[out.0] = entry;
             }
         }
     }
@@ -1408,5 +1505,184 @@ mod tests {
             .downcast::<String>()
             .unwrap();
         assert_eq!(*v, "Some(40)/None");
+    }
+
+    // ---- race-detection / determinism-digest tests ----
+
+    #[test]
+    fn aliased_file_writers_abort_with_counterexample() {
+        // Two unordered tasks write FileArtifacts aliasing one path: passes
+        // validate (distinct ids), races at runtime. A dependent of neither
+        // racer must be skipped once the run aborts.
+        let dir = temp_dir("race");
+        let p = dir.join("shared.txt");
+        let mut wf = Workflow::new();
+        let f1 = wf.file(&p);
+        let f2 = wf.file(&p);
+        let f1c = f1.clone();
+        let f2c = f2.clone();
+        let gate = wf.value::<u32>("gate");
+        let after = wf.value::<u32>("after");
+        wf.task("left", StageKind::Static, [], [f1.id()], move |ctx| {
+            std::fs::write(ctx.path(&f1c)?, "left").map_err(|e| e.to_string())
+        });
+        wf.task("right", StageKind::Static, [], [f2.id()], move |ctx| {
+            std::fs::write(ctx.path(&f2c)?, "right").map_err(|e| e.to_string())
+        });
+        wf.task(
+            "slow-gate",
+            StageKind::Static,
+            [],
+            [gate.id()],
+            move |ctx| {
+                std::thread::sleep(Duration::from_millis(200));
+                ctx.put(gate, 1)
+            },
+        );
+        wf.task(
+            "dependent",
+            StageKind::Static,
+            [gate.id()],
+            [after.id()],
+            move |ctx| ctx.put(after, 2),
+        );
+        let runner = Runner::new(wf).unwrap();
+        let report = runner.run(&RunOptions::with_threads(1).detecting_races(true));
+        assert!(!report.is_success());
+        assert_eq!(
+            report.race_violations.len(),
+            1,
+            "{:?}",
+            report.race_violations
+        );
+        let v = &report.race_violations[0];
+        assert!(v.contains("`left`") && v.contains("`right`"), "{v}");
+        assert!(v.contains("shared.txt"), "{v}");
+        assert!(
+            v.contains("clock ["),
+            "counterexample carries clock state: {v}"
+        );
+        let dependent = report.tasks.iter().find(|t| t.name == "dependent").unwrap();
+        assert_eq!(dependent.status, TaskStatus::Skipped, "run aborted");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn ordered_writers_of_one_path_are_not_a_race() {
+        let dir = temp_dir("race-ok");
+        let p = dir.join("staged.txt");
+        let mut wf = Workflow::new();
+        let f1 = wf.file(&p);
+        let f2 = wf.file(&p);
+        let f1c = f1.clone();
+        let f2c = f2.clone();
+        let link = wf.value::<u32>("link");
+        wf.task(
+            "stage-one",
+            StageKind::Static,
+            [],
+            [f1.id(), link.id()],
+            move |ctx| {
+                std::fs::write(ctx.path(&f1c)?, "one").map_err(|e| e.to_string())?;
+                ctx.put(link, 1)
+            },
+        );
+        wf.task(
+            "stage-two",
+            StageKind::Static,
+            [link.id()],
+            [f2.id()],
+            move |ctx| std::fs::write(ctx.path(&f2c)?, "two").map_err(|e| e.to_string()),
+        );
+        let runner = Runner::new(wf).unwrap();
+        let report = runner.run(&RunOptions::with_threads(2).detecting_races(true));
+        assert!(report.is_success(), "{:?}", report.race_violations);
+        assert!(report.race_violations.is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn digests_capture_tracked_values_and_files_sorted() {
+        let dir = temp_dir("digest");
+        let p = dir.join("artifact-file.txt");
+        let mut wf = Workflow::new();
+        let f = wf.file(&p);
+        let fc = f.clone();
+        let v = wf.value::<Vec<u32>>("zz-value");
+        let untracked = wf.value::<u32>("untracked");
+        wf.task("write-file", StageKind::Static, [], [f.id()], move |ctx| {
+            std::fs::write(ctx.path(&fc)?, "stable bytes").map_err(|e| e.to_string())
+        });
+        wf.task("make-value", StageKind::Static, [], [v.id()], move |ctx| {
+            ctx.put(v, vec![1, 2, 3])
+        });
+        wf.task(
+            "noise",
+            StageKind::Static,
+            [],
+            [untracked.id()],
+            move |ctx| ctx.put(untracked, 9),
+        );
+        wf.track_digest(v);
+        wf.retain(v.id());
+        let runner = Runner::new(wf).unwrap();
+        let report = runner.run(&RunOptions::with_threads(2));
+        assert!(report.is_success(), "{report:?}");
+        // Files always digested; tracked value digested; untracked skipped.
+        assert_eq!(report.artifacts.len(), 2, "{:?}", report.artifacts);
+        assert_eq!(report.artifacts[0].kind, "file");
+        assert!(report.artifacts[0].digest.is_some());
+        assert_eq!(report.artifacts[1].name, "zz-value");
+        let names: Vec<&str> = report.artifacts.iter().map(|a| a.name.as_str()).collect();
+        let mut sorted = names.clone();
+        sorted.sort_unstable();
+        assert_eq!(names, sorted, "artifact digests sorted by name");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn digests_are_identical_across_thread_counts() {
+        let run_with = |threads: usize| {
+            let mut wf = Workflow::new();
+            let mut parts = Vec::new();
+            for i in 0..6u64 {
+                let part = wf.value::<Vec<u64>>(&format!("part-{i}"));
+                parts.push(part);
+                wf.task(
+                    &format!("make-{i}"),
+                    StageKind::Static,
+                    [],
+                    [part.id()],
+                    move |ctx| ctx.put(part, (0..100).map(|k| k * i).collect()),
+                );
+                wf.track_digest(part);
+            }
+            let merged = wf.value::<u64>("merged");
+            let inputs: Vec<_> = parts.iter().map(|p| p.id()).collect();
+            let parts2 = parts.clone();
+            wf.task(
+                "merge",
+                StageKind::Static,
+                inputs,
+                [merged.id()],
+                move |ctx| {
+                    let mut sum = 0u64;
+                    for p in &parts2 {
+                        sum += ctx.get(*p)?.iter().sum::<u64>();
+                    }
+                    ctx.put(merged, sum)
+                },
+            );
+            wf.track_digest(merged);
+            wf.retain(merged.id());
+            let runner = Runner::new(wf).unwrap();
+            let report = runner.run(&RunOptions::with_threads(threads));
+            assert!(report.is_success(), "{report:?}");
+            report.artifacts
+        };
+        let serial = run_with(1);
+        let parallel = run_with(4);
+        assert!(!serial.is_empty());
+        assert_eq!(serial, parallel, "digests must not depend on concurrency");
     }
 }

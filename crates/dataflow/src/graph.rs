@@ -36,6 +36,13 @@ impl TaskId {
 
 pub(crate) type TaskBody = Box<dyn Fn(&TaskCtx) -> Result<(), TaskError> + Send + Sync>;
 
+/// Type-erased content digest of one stored value artifact. `None` when the
+/// stored value is not of the registered type or fails to serialize — the
+/// outcome is deterministic per value, so digests stay comparable across
+/// runs.
+pub(crate) type DigestFn =
+    std::sync::Arc<dyn Fn(&(dyn std::any::Any + Send + Sync)) -> Option<u64> + Send + Sync>;
+
 pub(crate) struct TaskSpec {
     pub name: String,
     pub kind: StageKind,
@@ -111,6 +118,10 @@ pub struct Workflow {
     /// Schemas declared directly on artifacts (workflow parameters and
     /// external file inputs whose shape is known to the caller).
     pub(crate) declared_schemas: Vec<(ArtifactId, FrameSchema)>,
+    /// Content-digest functions for value artifacts the determinism verifier
+    /// tracks (see [`Workflow::track_digest`]). File artifacts need no
+    /// registration — their bytes are hashed from disk.
+    pub(crate) digests: Vec<(ArtifactId, DigestFn)>,
 }
 
 impl Default for Workflow {
@@ -127,6 +138,7 @@ impl Workflow {
             provided: Vec::new(),
             retained: std::collections::HashSet::new(),
             declared_schemas: Vec::new(),
+            digests: Vec::new(),
         }
     }
 
@@ -258,6 +270,34 @@ impl Workflow {
     /// Whether an artifact is exempt from lifetime-based dropping.
     pub fn is_retained(&self, id: ArtifactId) -> bool {
         self.retained.contains(&id)
+    }
+
+    /// Track the content digest of a value artifact for the determinism
+    /// verifier: after the producing task succeeds, the executor serializes
+    /// the stored value and records an FNV-1a digest of the bytes in
+    /// [`crate::RunReport::artifacts`]. Two runs of the same workflow that
+    /// disagree on a tracked digest are nondeterministic. File artifacts are
+    /// digested automatically from their on-disk bytes.
+    pub fn track_digest<T: serde::Serialize + Send + Sync + 'static>(&mut self, a: Artifact<T>) {
+        let f: DigestFn = std::sync::Arc::new(|any| {
+            any.downcast_ref::<T>()
+                .and_then(|v| serde_json::to_vec(v).ok())
+                .map(|bytes| crate::error::fnv1a_bytes(&bytes))
+        });
+        match self.digests.iter_mut().find(|(id, _)| *id == a.id) {
+            Some((_, g)) => *g = f,
+            None => self.digests.push((a.id, f)),
+        }
+    }
+
+    /// Whether [`Workflow::track_digest`] was called for this artifact.
+    pub fn tracks_digest(&self, id: ArtifactId) -> bool {
+        self.digests.iter().any(|(a, _)| *a == id)
+    }
+
+    /// The registered digest function of a value artifact, if any.
+    pub(crate) fn digest_fn(&self, id: ArtifactId) -> Option<&DigestFn> {
+        self.digests.iter().find(|(a, _)| *a == id).map(|(_, f)| f)
     }
 
     /// Number of distinct consumer tasks per artifact (indexed by

@@ -26,6 +26,13 @@
 //! [`RetryPolicy`]), [`exec`] (retries, deadlines, the stall guard,
 //! checkpoint/resume), [`manifest`] (the persisted [`RunManifest`]), and
 //! [`chaos`] (the deterministic seeded fault injector).
+//!
+//! The concurrency-verification layer spans [`race`] (the vector-clock
+//! happens-before tracker cross-checking actual artifact accesses at
+//! runtime, [`RunOptions::detect_races`]) and the per-artifact content
+//! digests ([`Workflow::track_digest`], [`report::RunReport::artifacts`])
+//! that `schedflow verify-run` diffs across thread counts to certify
+//! deterministic output.
 
 pub mod artifact;
 pub mod chaos;
@@ -37,6 +44,7 @@ pub mod graph;
 pub mod manifest;
 pub mod par;
 pub mod pool;
+pub mod race;
 pub mod report;
 
 pub use artifact::{Artifact, ArtifactId, DataStore, FileArtifact, TaskCtx};
@@ -48,4 +56,5 @@ pub use exec::{RunOptions, Runner};
 pub use graph::{GraphError, StageKind, TaskId, Workflow};
 pub use manifest::{ManifestEntry, RunManifest};
 pub use pool::ThreadPool;
-pub use report::{human_bytes, RunReport, TaskReport, TaskStatus};
+pub use race::RaceTracker;
+pub use report::{human_bytes, ArtifactDigest, RunReport, TaskReport, TaskStatus};

@@ -1,0 +1,356 @@
+//! Dynamic race detection: a vector-clock happens-before tracker.
+//!
+//! The static effect analysis in `schedflow-lint` (`effect_flow`, the SF05xx
+//! family) proves the *declared* read/write sets free of unordered conflicts.
+//! This module cross-checks the same property at runtime against the accesses
+//! tasks *actually perform* through [`crate::TaskCtx`] — catching aliased
+//! file paths the linter was never shown, bodies that touch artifacts outside
+//! their declaration, and engine bugs in the dependency bookkeeping itself.
+//!
+//! The design is the classic vector-clock happens-before relation:
+//!
+//! * every task gets a clock `C_t: Vec<u32>` assigned at dispatch — the
+//!   element-wise max over its dependencies' clocks, then its own component
+//!   incremented;
+//! * task `a` *happens before* task `b` iff `C_b[a] >= C_a[a]` (b's clock
+//!   has absorbed a's increment through some dependency path);
+//! * two accesses to the same artifact conflict when they come from
+//!   different tasks, at least one is a write, and neither task happens
+//!   before the other.
+//!
+//! File artifacts are keyed by *lexically normalized path*, not artifact id,
+//! so two `Workflow::file` declarations aliasing one path (the SF0503
+//! scenario) collide here too. Re-accesses by the same task are always
+//! allowed — retried attempts legitimately rewrite their own outputs.
+//!
+//! A detected violation carries the task pair, the artifact, and both clock
+//! states as a counterexample; the executor aborts the run (skipping every
+//! task still waiting) and surfaces the traces in
+//! [`crate::RunReport::race_violations`].
+
+use crate::artifact::{ArtifactId, ArtifactKindMeta};
+use crate::graph::Workflow;
+use parking_lot::Mutex;
+use std::collections::{HashMap, HashSet};
+use std::path::{Component, Path, PathBuf};
+
+/// Lexical path normalization (resolves `.` and `..` without touching the
+/// filesystem) so aliased spellings of one path share an access key.
+fn normalize_path(p: &Path) -> PathBuf {
+    let mut out = PathBuf::new();
+    for c in p.components() {
+        match c {
+            Component::CurDir => {}
+            Component::ParentDir => {
+                if !out.pop() {
+                    out.push(Component::ParentDir);
+                }
+            }
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+/// What one access record is keyed by: value artifacts by id, file artifacts
+/// by normalized path (so aliased declarations collide).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum AccessKey {
+    Value(usize),
+    File(PathBuf),
+}
+
+struct Access {
+    task: usize,
+    write: bool,
+}
+
+struct Inner {
+    /// Per-task vector clock; all zeros until the task is dispatched.
+    clocks: Vec<Vec<u32>>,
+    accesses: HashMap<AccessKey, Vec<Access>>,
+    violations: Vec<String>,
+    /// Task pairs already reported per key (dedup: one counterexample per
+    /// racing pair and artifact, not one per access).
+    reported: HashSet<(usize, usize, AccessKey)>,
+}
+
+/// `a` happens before `b` iff `b`'s clock absorbed `a`'s own increment.
+fn happens_before(clocks: &[Vec<u32>], a: usize, b: usize) -> bool {
+    clocks[a][a] > 0 && clocks[b][a] >= clocks[a][a]
+}
+
+/// Records every artifact access during a run and checks each new access
+/// against all prior accesses of the same artifact for happens-before
+/// ordering. Shared between the executor's event loop (clock assignment)
+/// and the pool workers (access recording).
+pub struct RaceTracker {
+    task_names: Vec<String>,
+    /// Direct dependencies per task (the clock-join sources).
+    deps: Vec<Vec<usize>>,
+    /// Per-artifact display name and access key.
+    artifacts: Vec<(String, AccessKey)>,
+    inner: Mutex<Inner>,
+}
+
+impl RaceTracker {
+    /// Build a tracker for one workflow: task names for messages, the
+    /// dependency lists clocks are joined over, and per-artifact keys.
+    pub fn for_workflow(wf: &Workflow) -> Self {
+        let n = wf.tasks.len();
+        let deps = wf
+            .dependencies()
+            .into_iter()
+            .map(|ds| ds.into_iter().map(|t| t.index()).collect())
+            .collect();
+        let artifacts = wf
+            .artifacts
+            .iter()
+            .enumerate()
+            .map(|(i, meta)| {
+                let key = match &meta.kind {
+                    ArtifactKindMeta::File(p) => AccessKey::File(normalize_path(p)),
+                    ArtifactKindMeta::Value => AccessKey::Value(i),
+                };
+                (meta.name.clone(), key)
+            })
+            .collect();
+        Self {
+            task_names: wf.tasks.iter().map(|t| t.name.clone()).collect(),
+            deps,
+            artifacts,
+            inner: Mutex::new(Inner {
+                clocks: vec![vec![0; n]; n],
+                accesses: HashMap::new(),
+                violations: Vec::new(),
+                reported: HashSet::new(),
+            }),
+        }
+    }
+
+    /// Assign task `task`'s vector clock at dispatch: the element-wise max
+    /// over its dependencies' clocks, with its own component incremented.
+    /// Called from the executor's event-loop thread once per task, before
+    /// any attempt of the task can run.
+    pub fn task_dispatched(&self, task: usize) {
+        let inner = &mut *self.inner.lock();
+        let n = inner.clocks.len();
+        let mut clock = vec![0u32; n];
+        for &d in &self.deps[task] {
+            for (c, dep) in clock.iter_mut().zip(&inner.clocks[d]) {
+                *c = (*c).max(*dep);
+            }
+        }
+        clock[task] += 1;
+        inner.clocks[task] = clock;
+    }
+
+    /// Record one artifact access by a running task and check it against
+    /// every prior access of the same artifact (same normalized file path or
+    /// same value id) for happens-before ordering.
+    pub fn record(&self, task: usize, artifact: ArtifactId, write: bool) {
+        let (name, key) = &self.artifacts[artifact.index()];
+        // Files are reported by normalized path (aliased declarations race
+        // *because* they normalize to one path — show that path).
+        let (what, display) = match key {
+            AccessKey::File(p) => ("file", p.display().to_string()),
+            AccessKey::Value(_) => ("value", name.clone()),
+        };
+        let inner = &mut *self.inner.lock();
+        let mut conflicts: Vec<(usize, bool)> = Vec::new();
+        if let Some(records) = inner.accesses.get(key) {
+            for prior in records {
+                if prior.task == task || !(prior.write || write) {
+                    continue;
+                }
+                if happens_before(&inner.clocks, prior.task, task)
+                    || happens_before(&inner.clocks, task, prior.task)
+                {
+                    continue;
+                }
+                conflicts.push((prior.task, prior.write));
+            }
+        }
+        for (other, other_write) in conflicts {
+            let pair = (task.min(other), task.max(other), key.clone());
+            if !inner.reported.insert(pair) {
+                continue;
+            }
+            let desc = match (other_write, write) {
+                (true, true) => "both write it",
+                _ => "one reads while the other writes",
+            };
+            inner.violations.push(format!(
+                "data race on {what} `{display}`: tasks `{}` (clock {:?}) and `{}` (clock {:?}) \
+                 {desc} with no happens-before path between them",
+                self.task_names[other],
+                inner.clocks[other],
+                self.task_names[task],
+                inner.clocks[task],
+            ));
+        }
+        inner
+            .accesses
+            .entry(key.clone())
+            .or_default()
+            .push(Access { task, write });
+    }
+
+    /// Whether any violation has been detected so far.
+    pub fn has_violations(&self) -> bool {
+        !self.inner.lock().violations.is_empty()
+    }
+
+    /// Counterexample traces collected so far (task pair, artifact, clock
+    /// states), in detection order.
+    pub fn violations(&self) -> Vec<String> {
+        self.inner.lock().violations.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::StageKind;
+
+    /// Two tasks each writing their own `FileArtifact` that alias one path —
+    /// passes `validate` (distinct ids) but races at runtime.
+    fn aliased_writers(ordered: bool) -> Workflow {
+        let mut wf = Workflow::new();
+        let f1 = wf.file("/tmp/race/out.txt");
+        let f2 = wf.file("/tmp/race/../race/out.txt");
+        let link = wf.value::<u32>("link");
+        if ordered {
+            wf.task("first", StageKind::Static, [], [f1.id(), link.id()], |_| {
+                Ok(())
+            });
+            wf.task("second", StageKind::Static, [link.id()], [f2.id()], |_| {
+                Ok(())
+            });
+        } else {
+            wf.task("first", StageKind::Static, [], [f1.id()], |_| Ok(()));
+            wf.task("second", StageKind::Static, [], [f2.id()], |_| Ok(()));
+            wf.task("bystander", StageKind::Static, [], [link.id()], |_| Ok(()));
+        }
+        wf
+    }
+
+    #[test]
+    fn unordered_aliased_writes_are_detected_with_clocks() {
+        let wf = aliased_writers(false);
+        let t = RaceTracker::for_workflow(&wf);
+        t.task_dispatched(0);
+        t.task_dispatched(1);
+        t.record(0, ArtifactId(0), true);
+        assert!(!t.has_violations(), "single write is not a race");
+        t.record(1, ArtifactId(1), true);
+        let v = t.violations();
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(
+            v[0].contains("`first`") && v[0].contains("`second`"),
+            "{}",
+            v[0]
+        );
+        assert!(v[0].contains("/tmp/race/out.txt"), "{}", v[0]);
+        assert!(v[0].contains("clock [1, 0, 0]"), "{}", v[0]);
+        assert!(v[0].contains("both write"), "{}", v[0]);
+    }
+
+    #[test]
+    fn dependency_ordered_writes_are_clean() {
+        let wf = aliased_writers(true);
+        let t = RaceTracker::for_workflow(&wf);
+        t.task_dispatched(0);
+        t.record(0, ArtifactId(0), true);
+        t.task_dispatched(1);
+        t.record(1, ArtifactId(1), true);
+        assert!(t.violations().is_empty(), "{:?}", t.violations());
+    }
+
+    #[test]
+    fn unordered_read_of_aliased_write_is_a_race() {
+        let mut wf = Workflow::new();
+        let f1 = wf.file("/tmp/race/a.txt");
+        let f2 = wf.file("/tmp/race/./a.txt");
+        wf.task("writer", StageKind::Static, [], [f1.id()], |_| Ok(()));
+        wf.task("reader", StageKind::Static, [f2.id()], [], |_| Ok(()));
+        let t = RaceTracker::for_workflow(&wf);
+        t.task_dispatched(0);
+        t.task_dispatched(1);
+        t.record(1, ArtifactId(1), false);
+        t.record(0, ArtifactId(0), true);
+        let v = t.violations();
+        assert_eq!(v.len(), 1);
+        assert!(
+            v[0].contains("one reads while the other writes"),
+            "{}",
+            v[0]
+        );
+    }
+
+    #[test]
+    fn concurrent_reads_are_clean() {
+        let mut wf = Workflow::new();
+        let f = wf.file("/tmp/race/shared.txt");
+        wf.task("r1", StageKind::Static, [f.id()], [], |_| Ok(()));
+        wf.task("r2", StageKind::Static, [f.id()], [], |_| Ok(()));
+        let t = RaceTracker::for_workflow(&wf);
+        t.task_dispatched(0);
+        t.task_dispatched(1);
+        t.record(0, ArtifactId(0), false);
+        t.record(1, ArtifactId(0), false);
+        assert!(t.violations().is_empty(), "{:?}", t.violations());
+    }
+
+    #[test]
+    fn same_task_rewrites_are_clean() {
+        // A retried attempt legitimately rewrites its own output; an
+        // unrelated concurrent task is no reason to flag it.
+        let mut wf = Workflow::new();
+        let f = wf.file("/tmp/race/own.txt");
+        let x = wf.value::<u32>("x");
+        wf.task("writer", StageKind::Static, [], [f.id()], |_| Ok(()));
+        wf.task("other", StageKind::Static, [], [x.id()], |_| Ok(()));
+        let t = RaceTracker::for_workflow(&wf);
+        t.task_dispatched(0);
+        t.task_dispatched(1);
+        t.record(0, ArtifactId(0), true);
+        t.record(0, ArtifactId(0), true);
+        t.record(1, ArtifactId(1), true);
+        assert!(t.violations().is_empty(), "{:?}", t.violations());
+    }
+
+    #[test]
+    fn racing_pair_is_reported_once_per_artifact() {
+        let wf = aliased_writers(false);
+        let t = RaceTracker::for_workflow(&wf);
+        t.task_dispatched(0);
+        t.task_dispatched(1);
+        t.record(0, ArtifactId(0), true);
+        t.record(1, ArtifactId(1), true);
+        t.record(1, ArtifactId(1), true);
+        t.record(0, ArtifactId(0), true);
+        assert_eq!(t.violations().len(), 1);
+    }
+
+    #[test]
+    fn clock_join_gives_transitive_ordering() {
+        // a -> b -> c: a and c never share an artifact edge directly, but
+        // c's clock must still absorb a's increment through b.
+        let mut wf = Workflow::new();
+        let x = wf.value::<u32>("x");
+        let y = wf.value::<u32>("y");
+        let fa = wf.file("/tmp/race/t.txt");
+        let fc = wf.file("/tmp/race/t.txt");
+        wf.task("a", StageKind::Static, [], [x.id(), fa.id()], |_| Ok(()));
+        wf.task("b", StageKind::Static, [x.id()], [y.id()], |_| Ok(()));
+        wf.task("c", StageKind::Static, [y.id()], [fc.id()], |_| Ok(()));
+        let t = RaceTracker::for_workflow(&wf);
+        t.task_dispatched(0);
+        t.record(0, ArtifactId(2), true);
+        t.task_dispatched(1);
+        t.task_dispatched(2);
+        t.record(2, ArtifactId(3), true);
+        assert!(t.violations().is_empty(), "{:?}", t.violations());
+    }
+}

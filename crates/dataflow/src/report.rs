@@ -100,7 +100,27 @@ impl TaskReport {
     }
 }
 
+/// Content digest of one artifact produced during a run — the determinism
+/// verifier's unit of comparison (`schedflow verify-run` diffs these across
+/// thread counts).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct ArtifactDigest {
+    pub name: String,
+    /// `"value"` or `"file"`.
+    pub kind: &'static str,
+    /// Hex FNV-1a digest of the artifact content: file bytes for file
+    /// artifacts, the serialized form for tracked value artifacts
+    /// ([`crate::Workflow::track_digest`]). `None` when the content could
+    /// not be read or serialized — deterministically so, hence still
+    /// comparable across runs.
+    pub digest: Option<String>,
+}
+
 /// Summary of one workflow execution.
+///
+/// Entries are deterministically ordered for byte-diffability across runs:
+/// `tasks` in task-declaration (id) order regardless of completion order,
+/// `artifacts` sorted by artifact name.
 #[derive(Debug, Clone, Serialize)]
 pub struct RunReport {
     /// Physical concurrency (`-n N`).
@@ -111,12 +131,28 @@ pub struct RunReport {
     /// (advertised sizes; the lifetime tracker's drop decisions shape this).
     pub peak_resident_bytes: u64,
     pub tasks: Vec<TaskReport>,
+    /// Content digests of produced artifacts (files always; value artifacts
+    /// when tracked), sorted by name.
+    pub artifacts: Vec<ArtifactDigest>,
+    /// Counterexample traces from the dynamic race detector (task pair,
+    /// artifact, vector-clock states). Non-empty means the run was aborted.
+    pub race_violations: Vec<String>,
 }
 
 impl RunReport {
-    /// True when every task succeeded or was served from cache.
+    /// True when every task succeeded or was served from cache and no data
+    /// race was detected.
     pub fn is_success(&self) -> bool {
-        self.tasks.iter().all(|t| t.status.is_ok())
+        self.race_violations.is_empty() && self.tasks.iter().all(|t| t.status.is_ok())
+    }
+
+    /// Digest lookup by artifact name (only artifacts whose digest was
+    /// actually computed).
+    pub fn digest_of(&self, name: &str) -> Option<&str> {
+        self.artifacts
+            .iter()
+            .find(|a| a.name == name)
+            .and_then(|a| a.digest.as_deref())
     }
 
     pub fn succeeded(&self) -> usize {
@@ -276,6 +312,12 @@ mod tests {
                     bytes_out: 0,
                 },
             ],
+            artifacts: vec![ArtifactDigest {
+                name: "out".into(),
+                kind: "value",
+                digest: Some("00000000deadbeef".into()),
+            }],
+            race_violations: Vec::new(),
         }
     }
 
@@ -343,5 +385,20 @@ mod tests {
         let r = report();
         assert_eq!(r.total_bytes_in(), 1024);
         assert_eq!(r.total_bytes_out(), 1536);
+    }
+
+    #[test]
+    fn digest_lookup_by_name() {
+        let r = report();
+        assert_eq!(r.digest_of("out"), Some("00000000deadbeef"));
+        assert_eq!(r.digest_of("missing"), None);
+    }
+
+    #[test]
+    fn race_violations_fail_the_run() {
+        let mut r = report();
+        assert!(r.is_success());
+        r.race_violations.push("data race on value `x`".into());
+        assert!(!r.is_success());
     }
 }

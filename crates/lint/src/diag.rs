@@ -11,6 +11,12 @@
 //! | SF02xx | liveness (orphans, dead tasks)        |
 //! | SF03xx | retry/deadline policy contradictions  |
 //! | SF04xx | nondeterminism hazards                |
+//! | SF05xx | concurrency effects (races, aliasing) |
+//! | SF06xx | simulator runtime invariants          |
+//!
+//! The SF06xx family is emitted at *runtime* by the simulator's invariant
+//! monitor (`schedflow_sim::invariant`), not by this crate — the codes share
+//! the namespace so a violation report greps like any other diagnostic.
 //!
 //! [`GraphError`]: schedflow_dataflow::GraphError
 
@@ -53,6 +59,20 @@ pub mod codes {
     pub const ZERO_ATTEMPTS: &str = "SF0302";
     /// Chaos injection enabled without an explicit seed.
     pub const UNSEEDED_CHAOS: &str = "SF0401";
+    /// Two tasks write the same artifact path with no happens-before path
+    /// between them: last-writer-wins nondeterminism.
+    pub const WRITE_WRITE_CONFLICT: &str = "SF0501";
+    /// A task reads an artifact path that another task writes, with no
+    /// ordering between reader and writer: the read may observe a torn or
+    /// stale value depending on scheduling.
+    pub const READ_WRITE_RACE: &str = "SF0502";
+    /// Two distinct artifact declarations resolve to the same file path, so
+    /// dependency inference (which is per-artifact-id) cannot see writes
+    /// through one id from readers of the other.
+    pub const ARTIFACT_ALIASING: &str = "SF0503";
+    /// An artifact may be dropped by the lifetime tracker while a timed-out
+    /// task's still-running body can read it (the zombie-read hazard).
+    pub const LIFETIME_HAZARD: &str = "SF0504";
 }
 
 /// One finding, with enough context to render a rustc-style report.

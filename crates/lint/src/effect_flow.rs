@@ -1,0 +1,408 @@
+//! Effect dataflow analysis: concurrency safety of artifact reads/writes.
+//!
+//! Where [`crate::schema_flow`] interprets *what shape* of data flows along
+//! each edge, this pass interprets *who touches which storage when*. Each
+//! task's effect set — the artifacts it reads and writes — is derived from
+//! its declared inputs/outputs; file artifacts are additionally resolved to
+//! lexically normalized paths, because two distinct artifact ids naming the
+//! same path are the same storage even though dependency inference (which is
+//! per-id) treats them as unrelated.
+//!
+//! Over those effect sets the pass checks a happens-before relation (DAG
+//! reachability — the static analogue of the runtime's vector clocks in
+//! `schedflow_dataflow::race`):
+//!
+//! * **SF0501** write-write conflict: two tasks write the same path with no
+//!   ordering between them — which write survives depends on scheduling.
+//! * **SF0502** read-write race: a task reads a path another task writes,
+//!   unordered with the writer — the read may see either version (or a torn
+//!   file mid-write).
+//! * **SF0503** artifact aliasing (warning): the aliasing itself, reported
+//!   once per path group, even when every access happens to be ordered —
+//!   the graph is one refactor away from SF0501/SF0502.
+//! * **SF0504** lifetime hazard (warning): a value artifact consumed by a
+//!   deadline-bearing task. The watchdog resolves a timed-out task while its
+//!   body is still running detached; the lifetime tracker then sees the last
+//!   consumer resolved and drops the artifact under the zombie's feet. Retain
+//!   the artifact or drop the deadline.
+
+use crate::diag::{codes, Diagnostic, LintReport};
+use schedflow_dataflow::Workflow;
+use std::collections::BTreeMap;
+use std::path::{Component, Path, PathBuf};
+
+/// Lexical path normalization: resolve `.` and non-leading `..` without
+/// touching the filesystem (the lint must not require paths to exist).
+/// Purely textual, so `a/b`, `a/./b`, and `a/x/../b` all collapse to the
+/// same key while `a/b` and `/a/b` stay distinct.
+pub fn normalize_path(p: &Path) -> PathBuf {
+    let mut out = PathBuf::new();
+    for comp in p.components() {
+        match comp {
+            Component::CurDir => {}
+            Component::ParentDir => {
+                // Pop a normal component when there is one; otherwise keep
+                // the `..` (it escapes the visible prefix and stays
+                // meaningful as written).
+                if matches!(out.components().next_back(), Some(Component::Normal(_))) {
+                    out.pop();
+                } else {
+                    out.push("..");
+                }
+            }
+            other => out.push(other.as_os_str()),
+        }
+    }
+    out
+}
+
+/// Transitive happens-before over the task DAG, as bitsets: bit `j` of
+/// `reach[i]` is set when task `j` happens before task `i` (i.e. `i`
+/// transitively depends on `j`). Computed in topological order with bitset
+/// unions — O(tasks² / 64) words.
+fn reachability(wf: &Workflow, depths: &[usize]) -> Vec<Vec<u64>> {
+    let n = wf.task_count();
+    let words = n.div_ceil(64).max(1);
+    let deps = wf.dependencies();
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by_key(|&i| (depths[i], i));
+    let mut reach = vec![vec![0u64; words]; n];
+    for i in order {
+        // Dependencies of `i` sort earlier in topological order, so their
+        // reach sets are already complete.
+        let mut acc = vec![0u64; words];
+        for d in &deps[i] {
+            let j = d.index();
+            for (w, src) in acc.iter_mut().zip(&reach[j]) {
+                *w |= *src;
+            }
+            acc[j / 64] |= 1u64 << (j % 64);
+        }
+        reach[i] = acc;
+    }
+    reach
+}
+
+/// True when task `j` happens before task `i` per the reachability bitsets.
+fn before(reach: &[Vec<u64>], j: usize, i: usize) -> bool {
+    reach[i][j / 64] & (1u64 << (j % 64)) != 0
+}
+
+/// One access to a storage location (a normalized path group).
+#[derive(Clone, Copy)]
+struct Access {
+    task: usize,
+    write: bool,
+}
+
+/// Run the effect analysis, appending findings to `report`.
+///
+/// Assumes the graph already validated (callers run the structural pass
+/// first); on an invalid graph this returns without findings.
+pub fn check(wf: &Workflow, report: &mut LintReport) {
+    let Ok(depths) = wf.validate() else {
+        return;
+    };
+    let reach = reachability(wf, &depths);
+    let names = wf.task_names();
+
+    // Group file artifacts by normalized path. BTreeMap keeps path-group
+    // iteration deterministic.
+    let mut groups: BTreeMap<PathBuf, Vec<usize>> = BTreeMap::new();
+    for id in wf.artifact_ids() {
+        if let Some(p) = wf.file_path(id) {
+            groups
+                .entry(normalize_path(p))
+                .or_default()
+                .push(id.index());
+        }
+    }
+
+    for (path, ids) in &groups {
+        if ids.len() > 1 {
+            let id_list: Vec<String> = ids.iter().map(|a| format!("#{a}")).collect();
+            report.push(
+                Diagnostic::warning(
+                    codes::ARTIFACT_ALIASING,
+                    format!(
+                        "{} artifact declarations alias the same path `{}`",
+                        ids.len(),
+                        path.display()
+                    ),
+                )
+                .at_artifact(path.display().to_string())
+                .note(format!(
+                    "aliased artifact ids: {} — dependency inference is per-id, \
+                     so accesses through one id are invisible to the others",
+                    id_list.join(", ")
+                ))
+                .help("declare the file once and share the handle"),
+            );
+        }
+
+        // Every access to this path group, in task declaration order.
+        let mut accesses: Vec<Access> = Vec::new();
+        for (ti, tid) in wf.task_ids().enumerate() {
+            if wf.task_inputs(tid).iter().any(|a| ids.contains(&a.index())) {
+                accesses.push(Access {
+                    task: ti,
+                    write: false,
+                });
+            }
+            if wf
+                .task_outputs(tid)
+                .iter()
+                .any(|a| ids.contains(&a.index()))
+            {
+                accesses.push(Access {
+                    task: ti,
+                    write: true,
+                });
+            }
+        }
+
+        // Pairwise happens-before over conflicting accesses (at least one
+        // write, different tasks). Quadratic, but path groups are tiny.
+        for (i, x) in accesses.iter().enumerate() {
+            for y in &accesses[i + 1..] {
+                if x.task == y.task || !(x.write || y.write) {
+                    continue;
+                }
+                if before(&reach, x.task, y.task) || before(&reach, y.task, x.task) {
+                    continue;
+                }
+                let (first, second) = if x.task <= y.task { (x, y) } else { (y, x) };
+                let (first_name, second_name) = (names[first.task], names[second.task]);
+                if x.write && y.write {
+                    report.push(
+                        Diagnostic::error(
+                            codes::WRITE_WRITE_CONFLICT,
+                            format!(
+                                "tasks `{first_name}` and `{second_name}` both write \
+                                 `{}` with no happens-before path between them",
+                                path.display()
+                            ),
+                        )
+                        .at_task(first_name)
+                        .at_artifact(path.display().to_string())
+                        .note(
+                            "which write survives depends on thread scheduling — \
+                             the run is not replay-stable",
+                        )
+                        .help(format!(
+                            "add a data dependency ordering `{first_name}` and \
+                             `{second_name}`, or write distinct paths"
+                        )),
+                    );
+                } else {
+                    let (reader, writer) = if x.write {
+                        (names[y.task], names[x.task])
+                    } else {
+                        (names[x.task], names[y.task])
+                    };
+                    report.push(
+                        Diagnostic::error(
+                            codes::READ_WRITE_RACE,
+                            format!(
+                                "task `{reader}` reads `{}` while task `{writer}` \
+                                 may be writing it (no ordering between them)",
+                                path.display()
+                            ),
+                        )
+                        .at_task(reader)
+                        .at_artifact(path.display().to_string())
+                        .note(format!(
+                            "`{reader}` and `{writer}` access the path through \
+                             different artifact ids, so dependency inference \
+                             created no edge"
+                        ))
+                        .help(format!(
+                            "make `{reader}` consume the artifact id `{writer}` \
+                             writes"
+                        )),
+                    );
+                }
+            }
+        }
+    }
+
+    // SF0504: a deadline-bearing consumer of an unretained value artifact.
+    // The watchdog resolves the task at its deadline while the body keeps
+    // running detached; drop-after-last-consumer then frees the artifact the
+    // zombie body may still read.
+    for (ti, tid) in wf.task_ids().enumerate() {
+        if wf.task_deadline(tid).is_none() {
+            continue;
+        }
+        let mut seen: Vec<usize> = Vec::new();
+        for &a in wf.task_inputs(tid) {
+            if wf.file_path(a).is_some() || wf.is_retained(a) || seen.contains(&a.index()) {
+                continue;
+            }
+            seen.push(a.index());
+            let artifact = wf.artifact_name(a);
+            report.push(
+                Diagnostic::warning(
+                    codes::LIFETIME_HAZARD,
+                    format!(
+                        "value artifact `{artifact}` may be dropped while a \
+                         timed-out attempt of task `{}` is still reading it",
+                        names[ti]
+                    ),
+                )
+                .at_task(names[ti])
+                .at_artifact(artifact)
+                .note(
+                    "a deadline resolves the task while its body runs on \
+                     detached; drop-after-last-consumer then frees the \
+                     artifact under it",
+                )
+                .help(format!(
+                    "retain `{artifact}` (Workflow::retain) or remove the \
+                     per-task deadline"
+                )),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use schedflow_dataflow::StageKind;
+    use std::time::Duration;
+
+    #[test]
+    fn normalize_collapses_dot_and_parent() {
+        assert_eq!(
+            normalize_path(Path::new("a/./b/../c")),
+            PathBuf::from("a/c")
+        );
+        assert_eq!(normalize_path(Path::new("./x")), PathBuf::from("x"));
+        assert_eq!(normalize_path(Path::new("../x")), PathBuf::from("../x"));
+        assert_ne!(
+            normalize_path(Path::new("/a/b")),
+            normalize_path(Path::new("a/b"))
+        );
+    }
+
+    #[test]
+    fn unordered_aliased_writers_are_a_conflict() {
+        let mut wf = Workflow::new();
+        let f1 = wf.file("/tmp/schedflow-eff/out.txt");
+        let f2 = wf.file("/tmp/schedflow-eff/./out.txt");
+        wf.task("writer-a", StageKind::Static, [], [f1.id()], |_| Ok(()));
+        wf.task("writer-b", StageKind::Static, [], [f2.id()], |_| Ok(()));
+        let mut report = LintReport::new();
+        check(&wf, &mut report);
+        let conflicts = report.with_code(codes::WRITE_WRITE_CONFLICT);
+        assert_eq!(conflicts.len(), 1);
+        assert!(conflicts[0].message.contains("writer-a"));
+        assert!(conflicts[0].message.contains("writer-b"));
+        assert_eq!(report.with_code(codes::ARTIFACT_ALIASING).len(), 1);
+    }
+
+    #[test]
+    fn ordered_writers_of_aliased_path_are_not_a_conflict() {
+        // writer-a → (value edge) → writer-b, both writing the same path via
+        // distinct ids: aliasing warning, but no SF0501 (they are ordered).
+        let mut wf = Workflow::new();
+        let f1 = wf.file("/tmp/schedflow-eff/ordered.txt");
+        let f2 = wf.file("/tmp/schedflow-eff/./ordered.txt");
+        let link = wf.value::<u32>("link");
+        wf.task(
+            "writer-a",
+            StageKind::Static,
+            [],
+            [f1.id(), link.id()],
+            |_| Ok(()),
+        );
+        wf.task(
+            "writer-b",
+            StageKind::Static,
+            [link.id()],
+            [f2.id()],
+            |_| Ok(()),
+        );
+        let mut report = LintReport::new();
+        check(&wf, &mut report);
+        assert_eq!(report.with_code(codes::ARTIFACT_ALIASING).len(), 1);
+        assert!(report.with_code(codes::WRITE_WRITE_CONFLICT).is_empty());
+        assert!(report.with_code(codes::READ_WRITE_RACE).is_empty());
+    }
+
+    #[test]
+    fn unordered_reader_of_aliased_path_is_a_race() {
+        let mut wf = Workflow::new();
+        let w = wf.file("/tmp/schedflow-eff/race.txt");
+        let r = wf.file("/tmp/schedflow-eff/./race.txt");
+        wf.task("writer", StageKind::Static, [], [w.id()], |_| Ok(()));
+        wf.task("reader", StageKind::Static, [r.id()], [], |_| Ok(()));
+        let mut report = LintReport::new();
+        check(&wf, &mut report);
+        let races = report.with_code(codes::READ_WRITE_RACE);
+        assert_eq!(races.len(), 1);
+        assert!(races[0].message.contains("reader"));
+        assert!(races[0].message.contains("writer"));
+    }
+
+    #[test]
+    fn same_id_reader_is_ordered_and_clean() {
+        // The ordinary case: reader consumes the id the writer produces, so
+        // dependency inference makes the edge and nothing fires.
+        let mut wf = Workflow::new();
+        let f = wf.file("/tmp/schedflow-eff/clean.txt");
+        wf.task("writer", StageKind::Static, [], [f.id()], |_| Ok(()));
+        wf.task("reader", StageKind::Static, [f.id()], [], |_| Ok(()));
+        let mut report = LintReport::new();
+        check(&wf, &mut report);
+        assert!(report.is_clean());
+    }
+
+    #[test]
+    fn deadline_consumer_of_unretained_value_warns() {
+        let mut wf = Workflow::new();
+        let v = wf.value::<u32>("payload");
+        wf.task("producer", StageKind::Static, [], [v.id()], |_| Ok(()));
+        let consumer = wf.task("consumer", StageKind::Static, [v.id()], [], |_| Ok(()));
+        wf.with_deadline(consumer, Duration::from_secs(1));
+        let mut report = LintReport::new();
+        check(&wf, &mut report);
+        let hazards = report.with_code(codes::LIFETIME_HAZARD);
+        assert_eq!(hazards.len(), 1);
+        assert!(hazards[0].message.contains("payload"));
+        assert!(hazards[0].message.contains("consumer"));
+    }
+
+    #[test]
+    fn retained_value_is_not_a_lifetime_hazard() {
+        let mut wf = Workflow::new();
+        let v = wf.value::<u32>("payload");
+        wf.task("producer", StageKind::Static, [], [v.id()], |_| Ok(()));
+        let consumer = wf.task("consumer", StageKind::Static, [v.id()], [], |_| Ok(()));
+        wf.with_deadline(consumer, Duration::from_secs(1));
+        wf.retain(v.id());
+        let mut report = LintReport::new();
+        check(&wf, &mut report);
+        assert!(report.with_code(codes::LIFETIME_HAZARD).is_empty());
+    }
+
+    #[test]
+    fn reachability_is_transitive() {
+        let mut wf = Workflow::new();
+        let a = wf.value::<u32>("a");
+        let b = wf.value::<u32>("b");
+        let c = wf.value::<u32>("c");
+        wf.task("t0", StageKind::Static, [], [a.id()], |_| Ok(()));
+        wf.task("t1", StageKind::Static, [a.id()], [b.id()], |_| Ok(()));
+        wf.task("t2", StageKind::Static, [b.id()], [c.id()], |_| Ok(()));
+        let depths = match wf.validate() {
+            Ok(d) => d,
+            Err(e) => panic!("valid graph: {e}"),
+        };
+        let reach = reachability(&wf, &depths);
+        assert!(before(&reach, 0, 2), "t0 happens before t2 transitively");
+        assert!(before(&reach, 1, 2));
+        assert!(!before(&reach, 2, 0));
+    }
+}

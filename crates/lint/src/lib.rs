@@ -15,6 +15,9 @@
 //!    mismatches, and nullability hazards.
 //! 2. **Workflow hygiene** ([`workflow_lints`]): orphan artifacts, dead
 //!    tasks, retry/deadline contradictions, and nondeterminism hazards.
+//! 3. **Effect dataflow** ([`effect_flow`]): per-task read/write effect sets
+//!    checked against DAG happens-before — write-write conflicts, read-write
+//!    races, artifact path aliasing, and lifetime hazards (SF05xx).
 //!
 //! Diagnostics ([`diag`]) are rustc-style with stable `SFxxyy` codes.
 //! Entry points: [`lint_workflow`] for the graph, [`lint_run_options`] for
@@ -22,6 +25,7 @@
 //! findings onto the Graphviz export.
 
 pub mod diag;
+pub mod effect_flow;
 pub mod schema_flow;
 pub mod workflow_lints;
 
@@ -47,6 +51,7 @@ pub fn lint_workflow(wf: &Workflow) -> LintReport {
         return report;
     }
     schema_flow::check(wf, &mut report);
+    effect_flow::check(wf, &mut report);
     workflow_lints::orphan_artifacts(wf, &mut report);
     workflow_lints::dead_tasks(wf, &mut report);
     workflow_lints::policy_contradictions(wf, &mut report);

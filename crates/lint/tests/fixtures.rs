@@ -248,6 +248,145 @@ fn sf0302_zero_attempts_golden() {
 }
 
 #[test]
+fn sf0501_write_write_conflict_golden() {
+    let mut wf = Workflow::new();
+    let f1 = wf.file("/tmp/schedflow-fix/out.txt");
+    let f2 = wf.file("/tmp/schedflow-fix/./out.txt");
+    wf.task("writer-a", StageKind::Static, [], [f1.id()], |_| Ok(()));
+    wf.task("writer-b", StageKind::Static, [], [f2.id()], |_| Ok(()));
+    let report = lint_workflow(&wf);
+    assert!(report.has_errors());
+    let diags = report.with_code(codes::WRITE_WRITE_CONFLICT);
+    assert_eq!(diags.len(), 1);
+    assert_eq!(
+        diags[0].render(),
+        "error[SF0501]: tasks `writer-a` and `writer-b` both write \
+         `/tmp/schedflow-fix/out.txt` with no happens-before path between them\n\
+         \x20 --> task `writer-a`, artifact `/tmp/schedflow-fix/out.txt`\n\
+         \x20 = note: which write survives depends on thread scheduling — the run \
+         is not replay-stable\n\
+         \x20 = help: add a data dependency ordering `writer-a` and `writer-b`, \
+         or write distinct paths\n"
+    );
+}
+
+#[test]
+fn sf0502_read_write_race_golden() {
+    let mut wf = Workflow::new();
+    let w = wf.file("/tmp/schedflow-fix/race.txt");
+    let r = wf.file("/tmp/schedflow-fix/./race.txt");
+    wf.task("writer", StageKind::Static, [], [w.id()], |_| Ok(()));
+    wf.task("reader", StageKind::Static, [r.id()], [], |_| Ok(()));
+    let report = lint_workflow(&wf);
+    assert!(report.has_errors());
+    let diags = report.with_code(codes::READ_WRITE_RACE);
+    assert_eq!(diags.len(), 1);
+    assert_eq!(
+        diags[0].render(),
+        "error[SF0502]: task `reader` reads `/tmp/schedflow-fix/race.txt` while \
+         task `writer` may be writing it (no ordering between them)\n\
+         \x20 --> task `reader`, artifact `/tmp/schedflow-fix/race.txt`\n\
+         \x20 = note: `reader` and `writer` access the path through different \
+         artifact ids, so dependency inference created no edge\n\
+         \x20 = help: make `reader` consume the artifact id `writer` writes\n"
+    );
+}
+
+#[test]
+fn sf0503_artifact_aliasing_golden() {
+    // Ordered via a value edge, so the aliasing itself is the only finding:
+    // the graph is one refactor away from SF0501/SF0502.
+    let mut wf = Workflow::new();
+    let f1 = wf.file("/tmp/schedflow-fix/ordered.txt");
+    let f2 = wf.file("/tmp/schedflow-fix/./ordered.txt");
+    let link = wf.value::<u32>("link");
+    wf.task(
+        "writer-a",
+        StageKind::Static,
+        [],
+        [f1.id(), link.id()],
+        |_| Ok(()),
+    );
+    wf.task(
+        "writer-b",
+        StageKind::Static,
+        [link.id()],
+        [f2.id()],
+        |_| Ok(()),
+    );
+    let report = lint_workflow(&wf);
+    assert!(!report.has_errors(), "{}", report.render());
+    let diags = report.with_code(codes::ARTIFACT_ALIASING);
+    assert_eq!(diags.len(), 1);
+    assert_eq!(
+        diags[0].render(),
+        "warning[SF0503]: 2 artifact declarations alias the same path \
+         `/tmp/schedflow-fix/ordered.txt`\n\
+         \x20 --> artifact `/tmp/schedflow-fix/ordered.txt`\n\
+         \x20 = note: aliased artifact ids: #0, #1 — dependency inference is \
+         per-id, so accesses through one id are invisible to the others\n\
+         \x20 = help: declare the file once and share the handle\n"
+    );
+}
+
+#[test]
+fn sf0504_lifetime_hazard_golden() {
+    let mut wf = Workflow::new();
+    let v = wf.value::<u32>("payload");
+    wf.task("producer", StageKind::Static, [], [v.id()], |_| Ok(()));
+    let consumer = wf.task("consumer", StageKind::Static, [v.id()], [], |_| Ok(()));
+    wf.with_deadline(consumer, Duration::from_secs(1));
+    let report = lint_workflow(&wf);
+    let diags = report.with_code(codes::LIFETIME_HAZARD);
+    assert_eq!(diags.len(), 1);
+    assert_eq!(
+        diags[0].render(),
+        "warning[SF0504]: value artifact `payload` may be dropped while a \
+         timed-out attempt of task `consumer` is still reading it\n\
+         \x20 --> task `consumer`, artifact `payload`\n\
+         \x20 = note: a deadline resolves the task while its body runs on \
+         detached; drop-after-last-consumer then frees the artifact under it\n\
+         \x20 = help: retain `payload` (Workflow::retain) or remove the \
+         per-task deadline\n"
+    );
+}
+
+/// The acceptance scenario: a seeded two-unordered-writers workflow is
+/// rejected statically — SF0501 names both tasks, and because the gate
+/// refuses execution on lint errors, zero task bodies ever run.
+#[test]
+fn sf0501_gate_rejects_unordered_writers_before_any_task_runs() {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    let executed = Arc::new(AtomicUsize::new(0));
+    let mut wf = Workflow::new();
+    let f1 = wf.file("/tmp/schedflow-fix/gate.txt");
+    let f2 = wf.file("/tmp/schedflow-fix/./gate.txt");
+    for (name, f) in [("writer-a", f1), ("writer-b", f2)] {
+        let executed = Arc::clone(&executed);
+        wf.task(name, StageKind::Static, [], [f.id()], move |_| {
+            executed.fetch_add(1, Ordering::SeqCst);
+            Ok(())
+        });
+    }
+
+    let report = lint_workflow(&wf);
+    let conflicts = report.with_code(codes::WRITE_WRITE_CONFLICT);
+    assert_eq!(conflicts.len(), 1, "{}", report.render());
+    assert!(conflicts[0].message.contains("`writer-a`"));
+    assert!(conflicts[0].message.contains("`writer-b`"));
+    assert!(report.has_errors());
+
+    // The deny gate (`schedflow run` default): errors refuse execution.
+    if !report.has_errors() {
+        let runner = Runner::new(wf).expect("structurally valid");
+        runner.run(&RunOptions::with_threads(2));
+    }
+    assert_eq!(executed.load(Ordering::SeqCst), 0, "zero tasks executed");
+}
+
+#[test]
 fn sf0401_unseeded_chaos_golden() {
     let options = RunOptions {
         chaos: Some(ChaosConfig::default()),

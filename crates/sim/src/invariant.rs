@@ -1,0 +1,233 @@
+//! Runtime invariant monitors for the simulator (the SF06xx family).
+//!
+//! The static lints in `schedflow-lint` check the *workflow* before it runs;
+//! these monitors check the *simulator* while it runs. They share the
+//! `SFxxyy` code namespace (documented in `schedflow_lint::diag`) so an
+//! invariant breach greps like any other diagnostic:
+//!
+//! * **SF0601** node conservation — `free + used == total` at every event,
+//!   and every release is of nodes actually allocated (a [`PoolError`] is
+//!   reported under this code).
+//! * **SF0602** no time travel — the event clock never moves backwards.
+//! * **SF0603** EASY-backfill guarantee — a backfilled job either finishes
+//!   before the blocked head's shadow time or fits the spare nodes beyond
+//!   the head's reservation; it never delays the reservation.
+//!
+//! The monitor keeps a ring buffer of recent scheduler events; a violation
+//! carries that buffer as a counterexample trace, so the report shows not
+//! just *what* broke but the event sequence that led there. Checks are on by
+//! default in debug builds (every existing sim test doubles as a monitor
+//! soak) and opt-in via [`crate::Simulator::with_verification`] elsewhere.
+
+use crate::nodepool::PoolError;
+use std::collections::VecDeque;
+
+/// Stable runtime-invariant codes, extending the `schedflow-lint` namespace.
+pub mod codes {
+    /// Node accounting broke: free + used != total, or an invalid release.
+    pub const NODE_CONSERVATION: &str = "SF0601";
+    /// The event clock moved backwards.
+    pub const TIME_TRAVEL: &str = "SF0602";
+    /// A backfilled job delayed the blocked head job's reservation.
+    pub const BACKFILL_GUARANTEE: &str = "SF0603";
+}
+
+/// How many trailing events the counterexample trace keeps.
+const TRACE_CAPACITY: usize = 32;
+
+/// An invariant breach, with the recent-event trace as a counterexample.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InvariantViolation {
+    pub code: &'static str,
+    pub message: String,
+    /// The most recent scheduler events (oldest first) leading to the breach.
+    pub trace: Vec<String>,
+}
+
+impl std::fmt::Display for InvariantViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "error[{}]: {}", self.code, self.message)?;
+        writeln!(f, "  counterexample trace ({} events):", self.trace.len())?;
+        for e in &self.trace {
+            writeln!(f, "    {e}")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for InvariantViolation {}
+
+/// Records scheduler events and checks the SF06xx invariants against them.
+pub struct InvariantMonitor {
+    recent: VecDeque<String>,
+    last_time: Option<i64>,
+}
+
+impl Default for InvariantMonitor {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl InvariantMonitor {
+    pub fn new() -> Self {
+        Self {
+            recent: VecDeque::with_capacity(TRACE_CAPACITY),
+            last_time: None,
+        }
+    }
+
+    /// Append one event to the trace ring buffer.
+    pub fn record(&mut self, event: String) {
+        if self.recent.len() == TRACE_CAPACITY {
+            self.recent.pop_front();
+        }
+        self.recent.push_back(event);
+    }
+
+    /// Snapshot the current trace (oldest first).
+    pub fn trace(&self) -> Vec<String> {
+        self.recent.iter().cloned().collect()
+    }
+
+    fn violation(&self, code: &'static str, message: String) -> InvariantViolation {
+        InvariantViolation {
+            code,
+            message,
+            trace: self.trace(),
+        }
+    }
+
+    /// SF0602: the event clock must be monotone.
+    pub fn observe_clock(&mut self, now: i64) -> Result<(), InvariantViolation> {
+        if let Some(last) = self.last_time {
+            if now < last {
+                return Err(self.violation(
+                    codes::TIME_TRAVEL,
+                    format!("event clock moved backwards: t={now} after t={last}"),
+                ));
+            }
+        }
+        self.last_time = Some(now);
+        Ok(())
+    }
+
+    /// SF0601: free + used must equal the machine size at every instant.
+    pub fn check_conservation(
+        &self,
+        now: i64,
+        free: u32,
+        used: u32,
+        total: u32,
+    ) -> Result<(), InvariantViolation> {
+        if free + used != total {
+            return Err(self.violation(
+                codes::NODE_CONSERVATION,
+                format!(
+                    "node conservation broken at t={now}: free={free} + used={used} != \
+                     total={total}"
+                ),
+            ));
+        }
+        Ok(())
+    }
+
+    /// SF0601: a rejected release (double-free / out-of-range) is a
+    /// conservation breach caught at its source.
+    pub fn pool_fault(&self, now: i64, job: u64, err: &PoolError) -> InvariantViolation {
+        self.violation(
+            codes::NODE_CONSERVATION,
+            format!("invalid node release at t={now} retiring job {job}: {err}"),
+        )
+    }
+
+    /// SF0603: independently re-derive the backfill admission condition for
+    /// a job the scheduler chose to backfill. `shadow_time` is when the
+    /// blocked head job is projected to start; `spare` is the node surplus
+    /// beyond the head's need at that instant (before this job took any).
+    #[allow(clippy::too_many_arguments)]
+    pub fn check_backfill(
+        &self,
+        now: i64,
+        job: u64,
+        nodes: u32,
+        walltime_secs: i64,
+        shadow_time: i64,
+        spare: u32,
+        conservative: bool,
+    ) -> Result<(), InvariantViolation> {
+        let finishes_before_shadow = now + walltime_secs <= shadow_time;
+        let fits_spare = !conservative && nodes <= spare;
+        if !finishes_before_shadow && !fits_spare {
+            return Err(self.violation(
+                codes::BACKFILL_GUARANTEE,
+                format!(
+                    "backfilled job {job} ({nodes} nodes, walltime {walltime_secs}s, \
+                     started t={now}) outlives the head reservation (shadow t={shadow_time}) \
+                     and exceeds the {spare} spare node(s) — the reservation is delayed"
+                ),
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_monotone_passes_and_regression_fails() {
+        let mut m = InvariantMonitor::new();
+        m.observe_clock(10).unwrap();
+        m.observe_clock(10).unwrap();
+        m.observe_clock(20).unwrap();
+        let v = m.observe_clock(5).unwrap_err();
+        assert_eq!(v.code, codes::TIME_TRAVEL);
+        assert!(v.message.contains("t=5"));
+    }
+
+    #[test]
+    fn conservation_detects_leak_and_oversubscription() {
+        let m = InvariantMonitor::new();
+        m.check_conservation(0, 4, 4, 8).unwrap();
+        let leak = m.check_conservation(7, 3, 4, 8).unwrap_err();
+        assert_eq!(leak.code, codes::NODE_CONSERVATION);
+        let over = m.check_conservation(7, 4, 5, 8).unwrap_err();
+        assert_eq!(over.code, codes::NODE_CONSERVATION);
+    }
+
+    #[test]
+    fn backfill_guarantee_admits_valid_and_rejects_delaying_jobs() {
+        let m = InvariantMonitor::new();
+        // Finishes before the shadow: fine.
+        m.check_backfill(0, 1, 2, 500, 1000, 0, false).unwrap();
+        // Outlives the shadow but fits spare under EASY: fine.
+        m.check_backfill(0, 2, 2, 5000, 1000, 2, false).unwrap();
+        // Same job under conservative: spare nodes are not usable.
+        let v = m.check_backfill(0, 2, 2, 5000, 1000, 2, true).unwrap_err();
+        assert_eq!(v.code, codes::BACKFILL_GUARANTEE);
+        // Too wide for spare and too long for the window.
+        let v = m.check_backfill(0, 3, 4, 5000, 1000, 2, false).unwrap_err();
+        assert_eq!(v.code, codes::BACKFILL_GUARANTEE);
+    }
+
+    #[test]
+    fn trace_ring_buffer_keeps_most_recent_events() {
+        let mut m = InvariantMonitor::new();
+        for i in 0..40 {
+            m.record(format!("event {i}"));
+        }
+        let trace = m.trace();
+        assert_eq!(trace.len(), TRACE_CAPACITY);
+        assert_eq!(trace.first().map(String::as_str), Some("event 8"));
+        assert_eq!(trace.last().map(String::as_str), Some("event 39"));
+        // A violation carries the trace as its counterexample.
+        m.observe_clock(10).unwrap();
+        let v = m.observe_clock(0).unwrap_err();
+        assert_eq!(v.trace.len(), TRACE_CAPACITY);
+        let rendered = v.to_string();
+        assert!(rendered.contains("error[SF0602]"));
+        assert!(rendered.contains("event 39"));
+    }
+}

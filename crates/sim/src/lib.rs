@@ -13,15 +13,19 @@
 //!
 //! [`system::SystemConfig`] ships calibrated Frontier and Andes machine
 //! profiles; [`metrics`] summarizes runs for the policy-ablation benches.
+//! [`invariant`] hosts the SF06xx runtime monitors (node conservation, clock
+//! monotonicity, EASY-backfill guarantee) checked during [`Simulator::run`].
 
+pub mod invariant;
 pub mod metrics;
 pub mod nodepool;
 pub mod request;
 pub mod sched;
 pub mod system;
 
+pub use invariant::{InvariantMonitor, InvariantViolation};
 pub use metrics::{metrics, occupancy_series, SimMetrics};
-pub use nodepool::NodePool;
+pub use nodepool::{NodePool, PoolError};
 pub use request::{JobRequest, PlannedOutcome, SimOutcome};
 pub use sched::{SimError, Simulator};
 pub use system::{BackfillPolicy, PriorityWeights, SystemConfig};

@@ -6,6 +6,31 @@
 
 use std::collections::BTreeSet;
 
+/// Pool misuse detected at release time. These are allocation bugs in the
+/// caller, surfaced as typed errors so the SF06xx invariant monitor (see
+/// [`crate::invariant`]) can report them with an event trace instead of the
+/// process aborting — and so they cannot be silently absorbed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PoolError {
+    /// A released node index does not exist in this pool.
+    OutOfRange { node: u32, total: u32 },
+    /// A released node was already free.
+    DoubleFree { node: u32 },
+}
+
+impl std::fmt::Display for PoolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PoolError::OutOfRange { node, total } => {
+                write!(f, "released node {node} out of range (pool has {total})")
+            }
+            PoolError::DoubleFree { node } => write!(f, "double free of node {node}"),
+        }
+    }
+}
+
+impl std::error::Error for PoolError {}
+
 /// Tracks which node indices are free.
 #[derive(Debug, Clone)]
 pub struct NodePool {
@@ -45,12 +70,26 @@ impl NodePool {
         Some(taken)
     }
 
-    /// Return nodes to the pool. Panics on double-free (an allocation bug).
-    pub fn release(&mut self, nodes: &[u32]) {
+    /// Return nodes to the pool. Double-free or out-of-range indices are
+    /// rejected with a typed [`PoolError`] *before* any node is re-inserted,
+    /// so a failed release leaves the pool state unchanged (conservation
+    /// stays checkable after the error).
+    pub fn release(&mut self, nodes: &[u32]) -> Result<(), PoolError> {
         for &i in nodes {
-            assert!(i < self.total, "released node {i} out of range");
-            assert!(self.free.insert(i), "double free of node {i}");
+            if i >= self.total {
+                return Err(PoolError::OutOfRange {
+                    node: i,
+                    total: self.total,
+                });
+            }
+            if self.free.contains(&i) {
+                return Err(PoolError::DoubleFree { node: i });
+            }
         }
+        for &i in nodes {
+            self.free.insert(i);
+        }
+        Ok(())
     }
 }
 
@@ -80,19 +119,34 @@ mod tests {
         let mut pool = NodePool::new(4);
         let a = pool.allocate(4).unwrap();
         assert_eq!(pool.free_count(), 0);
-        pool.release(&a[..2]);
+        pool.release(&a[..2]).unwrap();
         assert_eq!(pool.free_count(), 2);
         let b = pool.allocate(2).unwrap();
         assert_eq!(b, vec![0, 1]);
     }
 
     #[test]
-    #[should_panic(expected = "double free")]
-    fn double_free_panics() {
+    fn double_free_is_a_typed_error() {
         let mut pool = NodePool::new(4);
         let a = pool.allocate(1).unwrap();
-        pool.release(&a);
-        pool.release(&a);
+        pool.release(&a).unwrap();
+        assert_eq!(pool.release(&a), Err(PoolError::DoubleFree { node: 0 }));
+        // The failed release must not have corrupted the free set.
+        assert_eq!(pool.free_count(), 4);
+    }
+
+    #[test]
+    fn out_of_range_release_is_rejected_atomically() {
+        let mut pool = NodePool::new(4);
+        let a = pool.allocate(2).unwrap();
+        // One valid node, one bogus: nothing is re-inserted.
+        assert_eq!(
+            pool.release(&[a[0], 99]),
+            Err(PoolError::OutOfRange { node: 99, total: 4 })
+        );
+        assert_eq!(pool.free_count(), 2);
+        pool.release(&a).unwrap();
+        assert_eq!(pool.free_count(), 4);
     }
 
     #[test]
@@ -105,7 +159,7 @@ mod tests {
         assert_eq!(pool.free_count(), 0);
         assert!(pool.allocate(1).is_none());
         for a in &allocs {
-            pool.release(a);
+            pool.release(a).unwrap();
         }
         assert_eq!(pool.free_count(), 100);
     }

@@ -8,7 +8,8 @@
 //! the `SchedBackfill` flag — the "Backfill" special indicator the paper
 //! extracts from sacct `Flags`.
 
-use crate::nodepool::NodePool;
+use crate::invariant::{InvariantMonitor, InvariantViolation};
+use crate::nodepool::{NodePool, PoolError};
 use crate::request::{JobRequest, PlannedOutcome, SimOutcome};
 use crate::system::{BackfillPolicy, SystemConfig};
 use schedflow_model::state::JobState;
@@ -16,15 +17,36 @@ use schedflow_model::time::Timestamp;
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
 
-/// Simulator errors: invalid requests detected before the run starts.
+/// Simulator errors: invalid requests detected before the run starts, plus
+/// runtime faults (pool misuse, invariant breaches) detected during it.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SimError {
-    UnknownPartition { job: u64, partition: String },
-    UnknownQos { job: u64, qos: String },
-    TooManyNodes { job: u64, nodes: u32, limit: u32 },
-    WalltimeOverLimit { job: u64 },
+    UnknownPartition {
+        job: u64,
+        partition: String,
+    },
+    UnknownQos {
+        job: u64,
+        qos: String,
+    },
+    TooManyNodes {
+        job: u64,
+        nodes: u32,
+        limit: u32,
+    },
+    WalltimeOverLimit {
+        job: u64,
+    },
     DuplicateId(u64),
-    UnknownDependency { job: u64, dependency: u64 },
+    UnknownDependency {
+        job: u64,
+        dependency: u64,
+    },
+    /// The node pool rejected a release (verification disabled, so there is
+    /// no event trace — enable it for a counterexample).
+    Pool(PoolError),
+    /// An SF06xx runtime invariant broke; carries the counterexample trace.
+    Invariant(Box<InvariantViolation>),
 }
 
 impl std::fmt::Display for SimError {
@@ -44,6 +66,8 @@ impl std::fmt::Display for SimError {
             SimError::UnknownDependency { job, dependency } => {
                 write!(f, "job {job}: depends on unknown job {dependency}")
             }
+            SimError::Pool(e) => write!(f, "node pool fault: {e}"),
+            SimError::Invariant(v) => write!(f, "{v}"),
         }
     }
 }
@@ -108,15 +132,41 @@ struct JobSim {
 /// The discrete-event scheduler simulator.
 pub struct Simulator {
     config: SystemConfig,
+    /// Run the SF06xx invariant monitor during [`Simulator::run`]. Defaults
+    /// to on in debug builds (every test doubles as a monitor soak) and off
+    /// in release builds.
+    verify: bool,
+    /// Test hook: release this job's nodes twice at retirement, forcing a
+    /// conservation breach the monitor must catch.
+    inject_double_release: Option<u64>,
 }
 
 impl Simulator {
     pub fn new(config: SystemConfig) -> Self {
-        Self { config }
+        Self {
+            config,
+            verify: cfg!(debug_assertions),
+            inject_double_release: None,
+        }
     }
 
     pub fn config(&self) -> &SystemConfig {
         &self.config
+    }
+
+    /// Enable or disable the SF06xx runtime invariant monitor (node
+    /// conservation, clock monotonicity, backfill guarantee) regardless of
+    /// build profile.
+    pub fn with_verification(mut self, on: bool) -> Self {
+        self.verify = on;
+        self
+    }
+
+    /// Test hook: force a double release of `job`'s nodes when it retires,
+    /// to exercise the SF0601 conservation monitor end to end.
+    pub fn inject_double_release(mut self, job: u64) -> Self {
+        self.inject_double_release = Some(job);
+        self
     }
 
     /// Validate requests against the machine (partition existence & limits).
@@ -213,9 +263,16 @@ impl Simulator {
         let mut user_qos_running: HashMap<(u32, String), u32> = HashMap::new();
         // Decayed per-user usage (node-seconds) driving the fair-share factor.
         let mut usage = UsageTracker::new(self.config.weights.usage_halflife_secs);
+        // SF06xx runtime monitor (debug/verify mode only).
+        let mut monitor = self.verify.then(InvariantMonitor::new);
+        let inject = self.inject_double_release;
 
         while let Some(Reverse(first)) = events.pop() {
             let now = first.time;
+            if let Some(m) = monitor.as_mut() {
+                m.observe_clock(now)
+                    .map_err(|v| SimError::Invariant(Box::new(v)))?;
+            }
             let mut batch = vec![first.kind];
             while let Some(Reverse(e)) = events.peek() {
                 if e.time == now {
@@ -241,6 +298,9 @@ impl Simulator {
                             }
                         };
                         if dep_done {
+                            if let Some(m) = monitor.as_mut() {
+                                m.record(format!("t={now} submit job {}", jobs[i].id));
+                            }
                             make_eligible(
                                 i,
                                 Timestamp(now),
@@ -272,10 +332,15 @@ impl Simulator {
                             &mut dependents,
                             &mut events,
                             &mut seq,
-                        );
+                            &mut monitor,
+                            inject,
+                        )?;
                     }
                     EventKind::CancelCheck(i) => {
                         if sims[i].phase == Phase::Pending {
+                            if let Some(m) = monitor.as_mut() {
+                                m.record(format!("t={now} cancel pending job {}", jobs[i].id));
+                            }
                             sims[i].phase = Phase::Done;
                             sims[i].state = JobState::Cancelled;
                             let share =
@@ -317,10 +382,19 @@ impl Simulator {
                     &mut dependents,
                     &mut events,
                     &mut seq,
-                );
+                    &mut monitor,
+                    inject,
+                )?;
                 if started == 0 {
                     break;
                 }
+            }
+
+            // SF0601: free + used == total after every settled instant.
+            if let Some(m) = monitor.as_ref() {
+                let used: u32 = running.iter().map(|&r| jobs[r].nodes).sum();
+                m.check_conservation(now, pool.free_count(), used, pool.total())
+                    .map_err(|v| SimError::Invariant(Box::new(v)))?;
             }
         }
 
@@ -398,9 +472,11 @@ impl Simulator {
         dependents: &mut [Vec<usize>],
         events: &mut BinaryHeap<Reverse<Event>>,
         seq: &mut u64,
-    ) -> usize {
+        monitor: &mut Option<InvariantMonitor>,
+        inject: Option<u64>,
+    ) -> Result<usize, SimError> {
         if pending.is_empty() {
-            return 0;
+            return Ok(0);
         }
         // Priority order: descending priority, FIFO tiebreak on eligibility.
         let mut order: Vec<usize> = pending.clone();
@@ -422,7 +498,7 @@ impl Simulator {
             if self.qos_capped(&jobs[i], user_qos_running) {
                 continue; // held by QOS limit; does not block others
             }
-            if jobs[i].nodes <= pool.free_count()
+            let admitted = jobs[i].nodes <= pool.free_count()
                 || self.try_preempt_for(
                     i,
                     now,
@@ -436,8 +512,10 @@ impl Simulator {
                     dependents,
                     events,
                     seq,
-                )
-            {
+                    monitor,
+                    inject,
+                )?;
+            if admitted {
                 self.start_job(
                     i,
                     now,
@@ -448,6 +526,7 @@ impl Simulator {
                     user_qos_running,
                     events,
                     seq,
+                    monitor,
                 );
                 running.push(i);
                 started.push(i);
@@ -489,6 +568,20 @@ impl Simulator {
                 let finishes_before_shadow = now + jobs[i].walltime_secs <= shadow_time;
                 let fits_spare = !conservative && jobs[i].nodes <= extra;
                 if finishes_before_shadow || fits_spare {
+                    // SF0603: independently re-derive the admission condition
+                    // before committing the start.
+                    if let Some(m) = monitor.as_ref() {
+                        m.check_backfill(
+                            now,
+                            jobs[i].id,
+                            jobs[i].nodes,
+                            jobs[i].walltime_secs,
+                            shadow_time,
+                            extra,
+                            conservative,
+                        )
+                        .map_err(|v| SimError::Invariant(Box::new(v)))?;
+                    }
                     self.start_job(
                         i,
                         now,
@@ -499,6 +592,7 @@ impl Simulator {
                         user_qos_running,
                         events,
                         seq,
+                        monitor,
                     );
                     running.push(i);
                     started.push(i);
@@ -510,7 +604,7 @@ impl Simulator {
         }
 
         pending.retain(|p| !started.contains(p));
-        started.len()
+        Ok(started.len())
     }
 
     /// Preemptive scheduling: when `i`'s QOS may preempt, retire just enough
@@ -532,10 +626,12 @@ impl Simulator {
         dependents: &mut [Vec<usize>],
         events: &mut BinaryHeap<Reverse<Event>>,
         seq: &mut u64,
-    ) -> bool {
+        monitor: &mut Option<InvariantMonitor>,
+        inject: Option<u64>,
+    ) -> Result<bool, SimError> {
         let can_preempt = self.config.qos(&jobs[i].qos).is_some_and(|q| q.can_preempt);
         if !can_preempt {
-            return false;
+            return Ok(false);
         }
         let mut victims: Vec<usize> = running
             .iter()
@@ -554,7 +650,7 @@ impl Simulator {
             chosen.push(v);
         }
         if freed < jobs[i].nodes {
-            return false;
+            return Ok(false);
         }
         for v in chosen {
             retire_running(
@@ -571,9 +667,11 @@ impl Simulator {
                 dependents,
                 events,
                 seq,
-            );
+                monitor,
+                inject,
+            )?;
         }
-        true
+        Ok(true)
     }
 
     fn qos_capped(&self, job: &JobRequest, user_qos_running: &HashMap<(u32, String), u32>) -> bool {
@@ -603,8 +701,17 @@ impl Simulator {
         user_qos_running: &mut HashMap<(u32, String), u32>,
         events: &mut BinaryHeap<Reverse<Event>>,
         seq: &mut u64,
+        monitor: &mut Option<InvariantMonitor>,
     ) {
         let job = &jobs[i];
+        if let Some(m) = monitor.as_mut() {
+            m.record(format!(
+                "t={now} start job {} on {} node(s){}",
+                job.id,
+                job.nodes,
+                if backfilled { " (backfill)" } else { "" }
+            ));
+        }
         let nodes = pool.allocate(job.nodes).expect("checked fit");
         let (runtime, state, exit_code, exit_signal) = effective_run(job);
         let sim = &mut sims[i];
@@ -715,7 +822,9 @@ fn retire_running(
     dependents: &mut [Vec<usize>],
     events: &mut BinaryHeap<Reverse<Event>>,
     seq: &mut u64,
-) {
+    monitor: &mut Option<InvariantMonitor>,
+    inject: Option<u64>,
+) -> Result<(), SimError> {
     debug_assert_eq!(sims[i].phase, Phase::Running);
     if let Some(start) = sims[i].start {
         let end = state_override.map_or_else(|| sims[i].end.map_or(now, |e| e.0), |_| now);
@@ -733,7 +842,23 @@ fn retire_running(
         sims[i].exit_code = 0;
         sims[i].exit_signal = 15;
     }
-    pool.release(&sims[i].nodes);
+    if let Some(m) = monitor.as_mut() {
+        m.record(format!(
+            "t={now} retire job {}: release nodes {:?}",
+            jobs[i].id, sims[i].nodes
+        ));
+    }
+    let mut released = pool.release(&sims[i].nodes);
+    if released.is_ok() && inject == Some(jobs[i].id) {
+        // Forced fault for the SF0601 acceptance path: release again.
+        released = pool.release(&sims[i].nodes);
+    }
+    if let Err(e) = released {
+        return Err(match monitor.as_ref() {
+            Some(m) => SimError::Invariant(Box::new(m.pool_fault(now, jobs[i].id, &e))),
+            None => SimError::Pool(e),
+        });
+    }
     running.retain(|&r| r != i);
     let key = (jobs[i].user, jobs[i].qos.clone());
     if let Some(c) = user_qos_running.get_mut(&key) {
@@ -743,6 +868,7 @@ fn retire_running(
     for d in deps {
         make_eligible(d, Timestamp(now), jobs, sims, pending, events, seq);
     }
+    Ok(())
 }
 
 /// Effective runtime and final state once a job starts.
@@ -1048,9 +1174,10 @@ mod tests {
 
     #[test]
     fn conservation_of_nodes() {
-        // Stress: many random-ish jobs; the pool must never oversubscribe
-        // (release panics on double-free, allocate refuses oversubscription —
-        // completion of the run is the assertion).
+        // Stress: many random-ish jobs; the pool must never oversubscribe.
+        // The SF0601 monitor (on by default in debug builds) checks
+        // free + used == total after every event — an Ok run is the
+        // assertion.
         let mut jobs = Vec::new();
         for i in 0..200u64 {
             jobs.push(JobRequest::simple(
@@ -1066,6 +1193,53 @@ mod tests {
         assert!(out.iter().all(|o| o.state == JobState::Completed));
         // All jobs ran within machine capacity.
         assert!(out.iter().all(|o| o.node_indices.len() <= 8));
+    }
+
+    #[test]
+    fn injected_double_release_caught_with_counterexample_trace() {
+        let sim = Simulator::new(SystemConfig::toy(8))
+            .with_verification(true)
+            .inject_double_release(1);
+        let err = sim
+            .run(&[
+                JobRequest::simple(1, t0(), 4, 3600, 1800),
+                JobRequest::simple(2, t0() + 10, 2, 600, 300),
+            ])
+            .unwrap_err();
+        match err {
+            SimError::Invariant(v) => {
+                assert_eq!(v.code, crate::invariant::codes::NODE_CONSERVATION);
+                assert!(v.message.contains("double free"), "{}", v.message);
+                assert!(v.message.contains("job 1"), "{}", v.message);
+                assert!(
+                    v.trace.iter().any(|e| e.contains("start job 1")),
+                    "trace names the start event: {:?}",
+                    v.trace
+                );
+                assert!(
+                    v.trace.iter().any(|e| e.contains("retire job 1")),
+                    "trace names the retire event: {:?}",
+                    v.trace
+                );
+                let rendered = format!("{v}");
+                assert!(rendered.contains("error[SF0601]"));
+                assert!(rendered.contains("counterexample trace"));
+            }
+            other => panic!("expected invariant violation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn injection_without_monitor_is_a_typed_pool_error() {
+        // With verification off there is no trace, but the fault still
+        // surfaces as a typed error instead of being absorbed.
+        let sim = Simulator::new(SystemConfig::toy(8))
+            .with_verification(false)
+            .inject_double_release(1);
+        let err = sim
+            .run(&[JobRequest::simple(1, t0(), 1, 600, 300)])
+            .unwrap_err();
+        assert_eq!(err, SimError::Pool(PoolError::DoubleFree { node: 0 }));
     }
 
     #[test]

@@ -22,4 +22,28 @@ cargo run --release -p schedflow-bench --bin bench_frame -- --test
 echo "==> schedflow lint (default frontier pipeline must be clean)"
 cargo run --release -p schedflow-core --bin schedflow -- lint
 
+# Opt-in deep checking of the concurrency layer. Both stages need optional
+# toolchain pieces, so they skip gracefully when those are absent.
+if [ "${SCHEDFLOW_SANITIZE:-0}" = "1" ]; then
+    echo "==> ThreadSanitizer: cargo +nightly test -p schedflow-dataflow"
+    if rustup run nightly rustc --version >/dev/null 2>&1; then
+        RUSTFLAGS="-Z sanitizer=thread" RUSTDOCFLAGS="-Z sanitizer=thread" \
+            cargo +nightly test -p schedflow-dataflow --lib \
+            -Z build-std --target "$(rustc -vV | sed -n 's/^host: //p')" \
+            || { echo "verify: TSan stage FAILED"; exit 1; }
+    else
+        echo "==> skipped: no nightly toolchain (rustup run nightly failed)"
+    fi
+fi
+
+if [ "${SCHEDFLOW_SANITIZE:-0}" = "1" ] || [ "${SCHEDFLOW_MIRI:-0}" = "1" ]; then
+    echo "==> Miri: cargo miri test -p schedflow-dataflow -p schedflow-sim"
+    if cargo miri --version >/dev/null 2>&1; then
+        cargo miri test -p schedflow-dataflow -p schedflow-sim \
+            || { echo "verify: Miri stage FAILED"; exit 1; }
+    else
+        echo "==> skipped: miri component unavailable (rustup component add miri)"
+    fi
+fi
+
 echo "verify: OK"

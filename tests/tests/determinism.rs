@@ -1,0 +1,132 @@
+//! Determinism and race-detection properties spanning the static lint gate,
+//! the runtime happens-before tracker, and the digest-based verifier.
+//!
+//! The contract under test: a lint-clean workflow produces *identical*
+//! per-artifact content digests no matter the thread count and no matter
+//! what seeded chaos injects — and a workflow the effect analysis rejects
+//! (SF0501) really does trip the vector-clock tracker when forced to run.
+
+use proptest::prelude::*;
+use schedflow_dataflow::{ChaosConfig, RetryPolicy, RunOptions, Runner, StageKind, Workflow};
+use schedflow_lint::lint_workflow;
+
+/// Deterministic layered workflow: `widths[l]` tasks in layer `l`, each
+/// consuming every artifact of the previous layer and producing one
+/// digest-tracked `u64`. Lint-clean by construction: every intermediate
+/// artifact is consumed, and the final layer is retained.
+fn layered(widths: &[usize]) -> Workflow {
+    let mut wf = Workflow::new();
+    let mut prev: Vec<schedflow_dataflow::Artifact<u64>> = Vec::new();
+    for (l, &w) in widths.iter().enumerate() {
+        let mut layer = Vec::new();
+        for t in 0..w {
+            let out = wf.value::<u64>(&format!("v-{l}-{t}"));
+            let inputs: Vec<_> = prev.iter().map(|a| a.id()).collect();
+            let prev_arts = prev.clone();
+            wf.task(
+                &format!("t-{l}-{t}"),
+                StageKind::Static,
+                inputs,
+                [out.id()],
+                move |ctx| {
+                    let mut acc = ((l as u64) << 32) | t as u64;
+                    for a in &prev_arts {
+                        acc = acc.wrapping_mul(31).wrapping_add(*ctx.get(*a)?);
+                    }
+                    ctx.put(out, acc)
+                },
+            );
+            wf.track_digest(out);
+            layer.push(out);
+        }
+        prev = layer;
+    }
+    for a in &prev {
+        wf.retain(a.id());
+    }
+    wf
+}
+
+/// Run to completion and collect `(artifact, digest)` pairs.
+fn digests(wf: Workflow, options: &RunOptions) -> Vec<(String, Option<String>)> {
+    let runner = Runner::new(wf).expect("layered workflow is structurally valid");
+    let report = runner.run(options);
+    assert!(
+        report.is_success(),
+        "workflow failed: {:?}",
+        report.failed()
+    );
+    report
+        .artifacts
+        .iter()
+        .map(|a| (a.name.clone(), a.digest.clone()))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Lint-clean ⇒ digest-deterministic: the same workflow digests
+    /// identically at 1 and 4 threads, and under seeded chaos with retries —
+    /// neither scheduling nor injected faults leave a fingerprint.
+    #[test]
+    fn lint_clean_workflows_digest_identically(
+        widths in proptest::collection::vec(1usize..4, 2..5),
+        chaos_seed in 1u64..10_000,
+    ) {
+        let report = lint_workflow(&layered(&widths));
+        prop_assert!(!report.has_errors(), "{}", report.render());
+
+        let serial = digests(layered(&widths), &RunOptions::with_threads(1));
+        let parallel = digests(layered(&widths), &RunOptions::with_threads(4));
+        prop_assert_eq!(&serial, &parallel);
+
+        let mut chaotic_opts = RunOptions::with_threads(4);
+        chaotic_opts.default_retry = RetryPolicy::transient(12).with_backoff(1, 4);
+        chaotic_opts.chaos = Some(ChaosConfig::failing(chaos_seed, 0.2));
+        let chaotic = digests(layered(&widths), &chaotic_opts);
+        prop_assert_eq!(&serial, &chaotic);
+    }
+}
+
+/// The static and dynamic analyses agree on the two-unordered-writers race:
+/// lint rejects it with SF0501, and forcing execution anyway trips the
+/// vector-clock tracker, which aborts the run with a counterexample naming
+/// the same task pair.
+#[test]
+fn static_sf0501_and_dynamic_tracker_agree_on_unordered_writers() {
+    let dir = std::env::temp_dir().join(format!("schedflow-det-{}", std::process::id()));
+    let _ = std::fs::create_dir_all(&dir);
+
+    let build = || {
+        let mut wf = Workflow::new();
+        let f1 = wf.file(dir.join("shared.txt"));
+        let f2 = wf.file(dir.join("./shared.txt"));
+        for (name, f) in [("writer-a", f1), ("writer-b", f2)] {
+            wf.task(name, StageKind::Static, [], [f.id()], move |ctx| {
+                std::fs::write(ctx.path(&f)?, name).map_err(|e| e.to_string())
+            });
+        }
+        wf
+    };
+
+    let report = lint_workflow(&build());
+    assert!(
+        !report
+            .with_code(schedflow_lint::codes::WRITE_WRITE_CONFLICT)
+            .is_empty(),
+        "{}",
+        report.render()
+    );
+
+    let mut options = RunOptions::with_threads(2);
+    options.detect_races = true;
+    let run = Runner::new(build())
+        .expect("structurally valid")
+        .run(&options);
+    assert!(!run.is_success(), "the tracker must fail the run");
+    assert_eq!(run.race_violations.len(), 1, "{:?}", run.race_violations);
+    assert!(run.race_violations[0].contains("writer-a"));
+    assert!(run.race_violations[0].contains("writer-b"));
+    let _ = std::fs::remove_dir_all(&dir);
+}
