@@ -60,16 +60,15 @@ pub fn to_html(chart: &Chart, geometry: &Geometry) -> String {
     )
 }
 
-/// Write a chart to an HTML file, creating parent directories.
+/// Write a chart to an HTML file, creating parent directories. The write
+/// goes through the durable store's atomic protocol, and the checksum
+/// footer rides along as an HTML comment — invisible in the rendered page.
 pub fn write_html(
     chart: &Chart,
     geometry: &Geometry,
     path: &std::path::Path,
 ) -> std::io::Result<()> {
-    if let Some(parent) = path.parent() {
-        std::fs::create_dir_all(parent)?;
-    }
-    std::fs::write(path, to_html(chart, geometry))
+    schedflow_dataflow::store::ambient().write_atomic(path, to_html(chart, geometry).as_bytes())
 }
 
 #[cfg(test)]

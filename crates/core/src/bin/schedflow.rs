@@ -10,8 +10,10 @@
 //!     --cache .cache --data out --scale 0.05 [--serve PORT]
 //! schedflow run --retries 3 --task-timeout 120 --resume     # fault-tolerant
 //! schedflow chaos --fail-p 0.3 --chaos-seed 7               # injection drill
+//! schedflow chaos --io-torn-p 0.3 --crash-after 12          # I/O + crash drill
 //! schedflow lint --system andes           # static analysis, no execution
 //! schedflow verify-run --scale 0.02       # determinism check: 1 vs N threads
+//! schedflow verify-crash --io-torn-p 0.3  # crash mid-run, resume, diff digests
 //! schedflow dot --system andes --lint     # Figure 2 (DOT), lint-annotated
 //! schedflow table2                        # the LLM offering survey
 //! ```
@@ -26,10 +28,11 @@ fn usage() -> ! {
          USAGE:\n  schedflow run   [OPTIONS]   execute the full hybrid workflow\n  \
          schedflow chaos [OPTIONS]   run under seeded fault injection\n  \
          schedflow verify-run [OPTIONS]  run at 1 and N threads, diff artifact digests\n  \
+         schedflow verify-crash [OPTIONS]  crash at a store write, resume, diff digests\n  \
          schedflow lint  [OPTIONS]   statically analyze the workflow, run nothing\n  \
          schedflow dot   [OPTIONS]   print the workflow dataflow graph (DOT)\n  \
          schedflow table2            print the LLM offering survey (Table 2)\n\n\
-         OPTIONS (run/chaos/verify-run/lint/dot):\n  \
+         OPTIONS (run/chaos/verify-run/verify-crash/lint/dot):\n  \
          --system NAME    frontier | andes            [frontier]\n  \
          --from YYYY-MM   first month analyzed        [profile start]\n  \
          --to YYYY-MM     last month analyzed         [profile end]\n  \
@@ -51,11 +54,16 @@ fn usage() -> ! {
          --stall-timeout S   whole-run stall guard, seconds    [3600]\n  \
          --resume            re-execute only tasks not recorded\n                      \
          successful in the run manifest\n\n\
-         CHAOS (chaos and verify-run):\n  \
+         CHAOS (chaos, verify-run, verify-crash):\n  \
          --fail-p P       per-attempt transient failure probability [0.2]\n  \
          --panic-p P      per-attempt panic probability             [0.0]\n  \
          --delay-p P      per-attempt injected-delay probability    [0.0]\n  \
          --max-delay MS   injected delay upper bound                [0]\n  \
+         --io-torn-p P    per-store-write torn-write probability    [0.0]\n  \
+         --io-enospc-p P  per-store-write ENOSPC probability        [0.0]\n  \
+         --io-eio-p P     per-store-write EIO probability           [0.0]\n  \
+         --crash-after N  die at the N-th store write (chaos:\n                   \
+         simulated process death; verify-crash: crash point) [seeded]\n  \
          --chaos-seed N   fault-injection seed                      [7]\n  \
          --no-retries     disable the default chaos retry budget"
     );
@@ -69,6 +77,9 @@ struct Args {
     deny_warnings: bool,
     /// `dot --lint`: annotate the graph with diagnostics.
     dot_lint: bool,
+    /// `--crash-after N`: the store write to die at (verify-crash picks a
+    /// seeded default when absent).
+    crash_after: Option<u64>,
 }
 
 fn parse_args(command: &str, args: std::env::Args) -> Args {
@@ -95,6 +106,7 @@ fn parse_args(command: &str, args: std::env::Args) -> Args {
     let mut no_deny = false;
     let mut deny_warnings = false;
     let mut dot_lint = false;
+    let mut crash_after: Option<u64> = None;
     let mut chaos = if chaos_mode {
         Some(ChaosConfig::failing(7, 0.2))
     } else {
@@ -158,15 +170,30 @@ fn parse_args(command: &str, args: std::env::Args) -> Args {
             "--delay-p" => chaos_of(&mut chaos).delay_p = parse("--delay-p", &mut rest),
             "--max-delay" => chaos_of(&mut chaos).max_delay_ms = parse("--max-delay", &mut rest),
             "--chaos-seed" => chaos_of(&mut chaos).seed = parse("--chaos-seed", &mut rest),
+            "--io-torn-p" => chaos_of(&mut chaos).io_torn_p = parse("--io-torn-p", &mut rest),
+            "--io-enospc-p" => chaos_of(&mut chaos).io_enospc_p = parse("--io-enospc-p", &mut rest),
+            "--io-eio-p" => chaos_of(&mut chaos).io_eio_p = parse("--io-eio-p", &mut rest),
+            "--crash-after" => crash_after = Some(parse("--crash-after", &mut rest)),
             other => {
                 eprintln!("unknown flag {other:?}");
                 usage();
             }
         }
     }
-    if chaos.is_some() && !matches!(command, "chaos" | "verify-run") {
-        eprintln!("chaos flags (--fail-p/--panic-p/--delay-p/--max-delay/--chaos-seed) require the `chaos` or `verify-run` subcommand");
+    if chaos.is_some() && !matches!(command, "chaos" | "verify-run" | "verify-crash") {
+        eprintln!("chaos flags (--fail-p/--panic-p/--delay-p/--max-delay/--io-*-p/--chaos-seed) require the `chaos`, `verify-run`, or `verify-crash` subcommand");
         usage();
+    }
+    if crash_after.is_some() && !matches!(command, "chaos" | "verify-crash") {
+        eprintln!("--crash-after applies to the `chaos` and `verify-crash` subcommands only");
+        usage();
+    }
+    // On a plain chaos drill the countdown is part of the chaos config; the
+    // verify-crash harness instead injects it per leg itself.
+    if command == "chaos" {
+        if let Some(n) = crash_after {
+            chaos_of(&mut chaos).crash_after_writes = Some(n);
+        }
     }
     if deny_warnings && command != "lint" {
         eprintln!("--deny applies to the `lint` subcommand only");
@@ -230,6 +257,7 @@ fn parse_args(command: &str, args: std::env::Args) -> Args {
         serve,
         deny_warnings,
         dot_lint,
+        crash_after,
     }
 }
 
@@ -252,6 +280,16 @@ fn run_command(parsed: Args) {
             "chaos: seed={} fail-p={} panic-p={} delay-p={} retries={}",
             c.seed, c.fail_p, c.panic_p, c.delay_p, cfg.fault.retries
         );
+        if c.has_io_faults() || c.crash_after_writes.is_some() {
+            eprintln!(
+                "io-chaos: torn-p={} enospc-p={} eio-p={} crash-after={}",
+                c.io_torn_p,
+                c.io_enospc_p,
+                c.io_eio_p,
+                c.crash_after_writes
+                    .map_or("off".to_owned(), |n| n.to_string())
+            );
+        }
     }
     if cfg.fault.resume {
         eprintln!(
@@ -386,6 +424,64 @@ fn verify_command(parsed: Args) {
     }
 }
 
+/// `schedflow verify-crash`: run fault-free, run again dying at a store
+/// write (under any configured I/O chaos), resume the crashed sandbox, and
+/// diff every artifact digest against the baseline. Exit 0 iff converged.
+fn verify_crash_command(parsed: Args) {
+    let cfg = parsed.cfg;
+    // Default crash point: seeded, so "randomized" runs replay exactly.
+    let seed = cfg.fault.chaos.map_or(cfg.seed, |c| c.seed);
+    let crash_after = parsed
+        .crash_after
+        .unwrap_or(1 + seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) % 23);
+    eprintln!(
+        "schedflow verify-crash: system={} window={:04}-{:02}..{:04}-{:02} crash at store write {}",
+        cfg.system.name(),
+        cfg.from.0,
+        cfg.from.1,
+        cfg.to.0,
+        cfg.to.1,
+        crash_after
+    );
+    if let Some(c) = &cfg.fault.chaos {
+        eprintln!(
+            "io-chaos: seed={} torn-p={} enospc-p={} eio-p={} retries={}",
+            c.seed, c.io_torn_p, c.io_enospc_p, c.io_eio_p, cfg.fault.retries
+        );
+    }
+    match schedflow_core::verify_crash_recovery(&cfg, crash_after) {
+        Ok(outcome) => {
+            if outcome.is_converged() {
+                println!(
+                    "crash recovery OK: crashed={} resumed={} task(s), {} artifact digest(s) identical to the fault-free run",
+                    outcome.crashed,
+                    outcome.resumed,
+                    outcome.baseline.digests.len()
+                );
+            } else {
+                println!(
+                    "CRASH RECOVERY DIVERGED: {} of {} artifact digest(s) differ after resume",
+                    outcome.mismatches.len(),
+                    outcome.baseline.digests.len()
+                );
+                for m in &outcome.mismatches {
+                    println!(
+                        "  {}: {} (baseline) != {} (recovered)",
+                        m.artifact,
+                        m.serial.as_deref().unwrap_or("<none>"),
+                        m.parallel.as_deref().unwrap_or("<none>")
+                    );
+                }
+                std::process::exit(1);
+            }
+        }
+        Err(e) => {
+            eprintln!("verify-crash failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
 fn main() {
     let mut args = std::env::args();
     let _binary = args.next();
@@ -400,10 +496,20 @@ fn main() {
         "lint" => {
             let parsed = parse_args("lint", args);
             let built = build(&parsed.cfg);
-            let report = schedflow_lint::lint_all(
+            let mut report = schedflow_lint::lint_all(
                 &built.workflow,
                 Some(&schedflow_core::run_options(&parsed.cfg)),
             );
+            // SF0701: probe already-existing storage dirs for atomic rename
+            // (lint must not create directories as a side effect).
+            let dirs: Vec<&std::path::Path> = [
+                parsed.cfg.cache_dir.as_path(),
+                parsed.cfg.data_dir.as_path(),
+            ]
+            .into_iter()
+            .filter(|d| d.exists())
+            .collect();
+            report.extend(schedflow_lint::lint_storage(&dirs));
             print!("{}", report.render());
             let fatal = report.errors() > 0 || (parsed.deny_warnings && report.warnings() > 0);
             if fatal {
@@ -438,6 +544,7 @@ fn main() {
         }
         "run" | "chaos" => run_command(parse_args(&command, args)),
         "verify-run" => verify_command(parse_args("verify-run", args)),
+        "verify-crash" => verify_crash_command(parse_args("verify-crash", args)),
         _ => usage(),
     }
 }

@@ -13,7 +13,11 @@
 //! * [`run::run`] — execute on the work-stealing engine and collect results;
 //! * [`run::verify_run`] — the determinism verifier: run the workflow
 //!   serially and in parallel in isolated sandboxes and diff the
-//!   per-artifact content digests (`schedflow verify-run`).
+//!   per-artifact content digests (`schedflow verify-run`);
+//! * [`run::verify_crash_recovery`] — the durability verifier: die at a
+//!   chosen durable-store write, resume from the checkpoint manifest, and
+//!   certify the digests converge to a fault-free run's
+//!   (`schedflow verify-crash`).
 //!
 //! The `schedflow` binary wraps this as a CLI.
 
@@ -24,6 +28,6 @@ pub mod run;
 pub use config::{FaultOptions, InsightBackend, System, WorkflowConfig};
 pub use pipeline::{build, BuiltWorkflow, Handles, PLOT_STAGES};
 pub use run::{
-    run, run_built, run_options, verify_run, CoreError, DigestMismatch, RunOutcome, VerifyLeg,
-    VerifyOutcome, MANIFEST_FILE,
+    run, run_built, run_options, verify_crash_recovery, verify_run, CoreError,
+    CrashRecoveryOutcome, DigestMismatch, RunOutcome, VerifyLeg, VerifyOutcome, MANIFEST_FILE,
 };

@@ -130,22 +130,19 @@ pub fn build(cfg: &WorkflowConfig) -> BuiltWorkflow {
                     }
                     let store = ctx.get(store_art)?;
                     let records = store.query_month(year, month);
-                    if let Some(parent) = path.parent() {
-                        std::fs::create_dir_all(parent).map_err(|e| e.to_string())?;
-                    }
-                    let tmp = path.with_extension("txt.partial");
-                    {
-                        let mut w = std::io::BufWriter::new(
-                            std::fs::File::create(&tmp).map_err(|e| e.to_string())?,
-                        );
-                        schedflow_sacct::write_records(
-                            records,
-                            &mut w,
-                            &RenderOptions::default().with_corruption(corrupt),
-                        )
-                        .map_err(|e| e.to_string())?;
-                    }
-                    std::fs::rename(&tmp, path).map_err(|e| e.to_string())
+                    // Render in memory, land atomically through the durable
+                    // store: a crash mid-obtain leaves no torn raw file for a
+                    // later cached run to trust.
+                    let mut buf = Vec::new();
+                    schedflow_sacct::write_records(
+                        records,
+                        &mut buf,
+                        &RenderOptions::default().with_corruption(corrupt),
+                    )
+                    .map_err(|e| e.to_string())?;
+                    schedflow_dataflow::store::ambient()
+                        .write_atomic(path, &buf)
+                        .map_err(|e| e.to_string())
                 },
             );
         }
@@ -275,10 +272,9 @@ pub fn build(cfg: &WorkflowConfig) -> BuiltWorkflow {
                     let digest = ctx.get(digest_art)?;
                     let insight = analyst.insight(&digest).map_err(|e| e.to_string())?;
                     let path = ctx.path(&insight_md)?;
-                    if let Some(parent) = path.parent() {
-                        std::fs::create_dir_all(parent).map_err(|e| e.to_string())?;
-                    }
-                    std::fs::write(path, insight.to_markdown()).map_err(|e| e.to_string())?;
+                    schedflow_dataflow::store::ambient()
+                        .write_atomic(path, insight.to_markdown().as_bytes())
+                        .map_err(|e| e.to_string())?;
                     ctx.put(insight_art, insight)
                 },
             );
@@ -352,10 +348,9 @@ pub fn build(cfg: &WorkflowConfig) -> BuiltWorkflow {
                     let b = ctx.get(db)?;
                     let insight = analyst.compare(&a, &b).map_err(|e| e.to_string())?;
                     let path = ctx.path(&compare_md)?;
-                    if let Some(parent) = path.parent() {
-                        std::fs::create_dir_all(parent).map_err(|e| e.to_string())?;
-                    }
-                    std::fs::write(path, insight.to_markdown()).map_err(|e| e.to_string())?;
+                    schedflow_dataflow::store::ambient()
+                        .write_atomic(path, insight.to_markdown().as_bytes())
+                        .map_err(|e| e.to_string())?;
                     ctx.put(compare_art, insight)
                 },
             );
@@ -395,10 +390,9 @@ pub fn build(cfg: &WorkflowConfig) -> BuiltWorkflow {
                     out.push_str(&insight.to_markdown());
                 }
                 let path = ctx.path(&insights_md_file2)?;
-                if let Some(parent) = path.parent() {
-                    std::fs::create_dir_all(parent).map_err(|e| e.to_string())?;
-                }
-                std::fs::write(path, out).map_err(|e| e.to_string())
+                schedflow_dataflow::store::ambient()
+                    .write_atomic(path, out.as_bytes())
+                    .map_err(|e| e.to_string())
             },
         );
     }

@@ -169,6 +169,14 @@ pub fn run_built(built: BuiltWorkflow, cfg: &WorkflowConfig) -> Result<RunOutcom
         }
     }
 
+    // Storage health (SF0701, advisory): probe the cache and data dirs for
+    // the same-directory atomic rename the durable store depends on. Runs
+    // after the error gate so a refused run leaves no directories behind.
+    let storage = schedflow_lint::lint_storage(&[&cfg.cache_dir, &cfg.data_dir]);
+    for d in &storage.diagnostics {
+        eprintln!("{}", d.render());
+    }
+
     let runner = Runner::new(workflow)?;
     let report = runner.run(&run_options(cfg));
 
@@ -354,6 +362,131 @@ pub fn verify_run(cfg: &WorkflowConfig) -> Result<VerifyOutcome, CoreError> {
     Ok(VerifyOutcome {
         serial,
         parallel,
+        mismatches,
+    })
+}
+
+/// Outcome of [`verify_crash_recovery`]: the fault-free baseline, the
+/// crashed-then-resumed leg, and any artifacts whose digests differ.
+#[derive(Debug, Clone)]
+pub struct CrashRecoveryOutcome {
+    /// True when the injected crash actually fired (a large enough
+    /// `crash_after` can outlast the run's writes).
+    pub crashed: bool,
+    /// Tasks the recovery run restored from the checkpoint manifest instead
+    /// of re-executing.
+    pub resumed: usize,
+    pub baseline: VerifyLeg,
+    pub recovered: VerifyLeg,
+    pub mismatches: Vec<DigestMismatch>,
+}
+
+impl CrashRecoveryOutcome {
+    /// True when the resumed run converged to the fault-free digests.
+    pub fn is_converged(&self) -> bool {
+        self.mismatches.is_empty()
+    }
+}
+
+/// Normalized, sorted `(artifact, digest)` pairs of one run outcome.
+fn leg_digests(outcome: &RunOutcome, leg: &WorkflowConfig) -> Vec<(String, Option<String>)> {
+    let mut digests: Vec<(String, Option<String>)> = outcome
+        .report
+        .artifacts
+        .iter()
+        .map(|a| (normalize_artifact_name(&a.name, leg), a.digest.clone()))
+        .collect();
+    digests.sort();
+    digests
+}
+
+/// The crash-recovery verifier behind `schedflow verify-crash`: run the
+/// workflow once fault-free (the baseline), run it again with a simulated
+/// process death at the `crash_after`-th durable-store write (plus whatever
+/// I/O chaos `cfg.fault.chaos` carries), then resume the crashed sandbox
+/// from its checkpoint manifest and diff every artifact digest against the
+/// baseline. Convergence certifies crash-only durability: no torn file, no
+/// stale checkpoint, no divergent byte anywhere in the output tree.
+pub fn verify_crash_recovery(
+    cfg: &WorkflowConfig,
+    crash_after: u64,
+) -> Result<CrashRecoveryOutcome, CoreError> {
+    // Baseline: chaos-free, sandboxed, full recompute.
+    let mut base = cfg.clone();
+    base.cache_dir = cfg.data_dir.join("crash-baseline").join("cache");
+    base.data_dir = cfg.data_dir.join("crash-baseline").join("data");
+    base.fault.chaos = None;
+    base.fault.resume = false;
+    base.use_cache = false;
+    let base_outcome = run(&base)?;
+    let baseline = VerifyLeg {
+        threads: base.threads,
+        digests: leg_digests(&base_outcome, &base),
+    };
+
+    // Crash leg: same workflow in its own sandbox, dying mid-run. I/O chaos
+    // needs retries to clear; make sure the legs have headroom.
+    let mut leg = cfg.clone();
+    leg.cache_dir = cfg.data_dir.join("crash-run").join("cache");
+    leg.data_dir = cfg.data_dir.join("crash-run").join("data");
+    leg.fault.resume = false;
+    leg.use_cache = false;
+    if leg.fault.chaos.is_some_and(|c| c.has_io_faults()) {
+        leg.fault.retries = leg.fault.retries.max(8);
+        leg.fault.retry_base_delay_ms = leg.fault.retry_base_delay_ms.max(1);
+    }
+    let mut chaos = leg.fault.chaos.unwrap_or_default();
+    chaos.crash_after_writes = Some(crash_after.max(1));
+    leg.fault.chaos = Some(chaos);
+    let crashed = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run(&leg))).is_err();
+
+    // Recovery: same sandbox, chaos off, resume from the manifest. The crash
+    // leg already exercised the atomic protocol under fire; the recovery leg
+    // must be deterministic so every digest can be diffed against the
+    // baseline — the fault schedule is a pure function of (seed, task,
+    // attempt), so a seed that dooms one task's every retry would abort the
+    // resume on schedule rather than say anything about durability.
+    let mut rec = leg.clone();
+    rec.fault.chaos = None;
+    rec.fault.resume = true;
+    rec.use_cache = true;
+    let rec_outcome = run(&rec)?;
+    let resumed = rec_outcome.report.resumed();
+    let recovered = VerifyLeg {
+        threads: rec.threads,
+        digests: leg_digests(&rec_outcome, &rec),
+    };
+
+    let lookup: std::collections::BTreeMap<&str, &Option<String>> = recovered
+        .digests
+        .iter()
+        .map(|(n, d)| (n.as_str(), d))
+        .collect();
+    let mut mismatches = Vec::new();
+    for (name, digest) in &baseline.digests {
+        let other = lookup.get(name.as_str()).copied();
+        if other != Some(digest) {
+            mismatches.push(DigestMismatch {
+                artifact: name.clone(),
+                serial: digest.clone(),
+                parallel: other.cloned().flatten(),
+            });
+        }
+    }
+    for (name, digest) in &recovered.digests {
+        if !baseline.digests.iter().any(|(n, _)| n == name) {
+            mismatches.push(DigestMismatch {
+                artifact: name.clone(),
+                serial: None,
+                parallel: digest.clone(),
+            });
+        }
+    }
+    Ok(CrashRecoveryOutcome {
+        crashed,
+        resumed,
+        baseline,
+        recovered,
         mismatches,
     })
 }
@@ -600,6 +733,24 @@ mod tests {
             "digest mismatches under chaos: {:?}",
             outcome.mismatches
         );
+        let _ = std::fs::remove_dir_all(cfg.cache_dir.parent().unwrap());
+    }
+
+    /// The acceptance scenario: die at a store write mid-run, resume from
+    /// the manifest, and converge to the fault-free run's digests.
+    #[test]
+    fn crash_recovery_converges_to_fault_free_digests() {
+        let mut cfg = tiny_config("crashrec");
+        cfg.fault.retries = 8;
+        cfg.fault.retry_base_delay_ms = 1;
+        let outcome = verify_crash_recovery(&cfg, 7).unwrap_or_else(|e| panic!("{e}"));
+        assert!(outcome.crashed, "write 7 lands inside the run");
+        assert!(
+            outcome.is_converged(),
+            "digest mismatches after resume: {:?}",
+            outcome.mismatches
+        );
+        assert!(!outcome.baseline.digests.is_empty());
         let _ = std::fs::remove_dir_all(cfg.cache_dir.parent().unwrap());
     }
 

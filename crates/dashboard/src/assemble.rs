@@ -98,7 +98,10 @@ impl Dashboard {
     }
 
     /// Write the static site into `dir`: `index.html` + `panels/<id>.html`.
+    /// Every page lands through the durable store's atomic, checksummed
+    /// write, so a crash mid-assembly never leaves half a dashboard.
     pub fn write(&self, dir: &Path) -> std::io::Result<Vec<PathBuf>> {
+        let store = schedflow_dataflow::store::ambient();
         let panels_dir = dir.join("panels");
         std::fs::create_dir_all(&panels_dir)?;
         let mut written = Vec::new();
@@ -126,13 +129,13 @@ impl Dashboard {
                 chart = extract_body(&p.chart_html),
                 insight = insight_html
             );
-            std::fs::write(&path, page)?;
+            store.write_atomic(&path, page.as_bytes())?;
             written.push(path);
         }
 
         let index = self.index_html();
         let index_path = dir.join("index.html");
-        std::fs::write(&index_path, index)?;
+        store.write_atomic(&index_path, index.as_bytes())?;
         written.push(index_path);
         Ok(written)
     }
@@ -211,7 +214,7 @@ pub fn write_panel_page(
         t = html_escape(title),
     );
     let path = panels_dir.join(format!("{id}.html"));
-    std::fs::write(&path, page)?;
+    schedflow_dataflow::store::ambient().write_atomic(&path, page.as_bytes())?;
     Ok(path)
 }
 

@@ -2,13 +2,69 @@
 //!
 //! Single-purpose by design: GET only, rooted at the dashboard directory,
 //! path-traversal safe, one thread per connection. This is the "explore the
-//! dashboard from a browser" affordance, not a production web server.
+//! dashboard from a browser" affordance, not a production web server — but
+//! it is hardened against the accidents browsers inflict: concurrent
+//! connections are bounded by a semaphore (excess requests are shed with
+//! `503` + `Retry-After` instead of spawning unbounded threads), and every
+//! socket carries read/write timeouts so a stalled client cannot pin a
+//! handler thread forever.
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpListener, TcpStream};
 use std::path::{Component, Path, PathBuf};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
+
+/// Connection-handling limits for [`serve_with`].
+#[derive(Debug, Clone, Copy)]
+pub struct ServeOptions {
+    /// Maximum concurrently served connections; excess requests receive
+    /// `503 Service Unavailable` with a `Retry-After` hint.
+    pub max_connections: usize,
+    /// Per-socket read and write timeout: a client that stops sending or
+    /// consuming releases its handler thread after this long.
+    pub io_timeout: Duration,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            max_connections: 32,
+            io_timeout: Duration::from_secs(5),
+        }
+    }
+}
+
+/// A held slot in the connection semaphore; dropping it releases the slot.
+struct ConnPermit {
+    active: Arc<AtomicUsize>,
+}
+
+impl ConnPermit {
+    fn try_acquire(active: &Arc<AtomicUsize>, limit: usize) -> Option<ConnPermit> {
+        let mut cur = active.load(Ordering::Relaxed);
+        loop {
+            if cur >= limit {
+                return None;
+            }
+            match active.compare_exchange_weak(cur, cur + 1, Ordering::AcqRel, Ordering::Relaxed) {
+                Ok(_) => {
+                    return Some(ConnPermit {
+                        active: Arc::clone(active),
+                    })
+                }
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+}
+
+impl Drop for ConnPermit {
+    fn drop(&mut self) {
+        self.active.fetch_sub(1, Ordering::AcqRel);
+    }
+}
 
 /// A running server; dropping it (or calling [`ServerHandle::stop`]) shuts it
 /// down.
@@ -47,13 +103,24 @@ impl Drop for ServerHandle {
     }
 }
 
-/// Serve `root` on `127.0.0.1:port` (0 = ephemeral) in a background thread.
+/// Serve `root` on `127.0.0.1:port` (0 = ephemeral) in a background thread,
+/// with default limits ([`ServeOptions::default`]).
 pub fn serve(root: impl Into<PathBuf>, port: u16) -> std::io::Result<ServerHandle> {
+    serve_with(root, port, ServeOptions::default())
+}
+
+/// [`serve`] with explicit connection limits.
+pub fn serve_with(
+    root: impl Into<PathBuf>,
+    port: u16,
+    options: ServeOptions,
+) -> std::io::Result<ServerHandle> {
     let root = root.into();
     let listener = TcpListener::bind(("127.0.0.1", port))?;
     let addr = listener.local_addr()?;
     let stop = Arc::new(AtomicBool::new(false));
     let stop2 = Arc::clone(&stop);
+    let active = Arc::new(AtomicUsize::new(0));
     let join = std::thread::Builder::new()
         .name("schedflow-dashboard".to_owned())
         .spawn(move || {
@@ -61,11 +128,23 @@ pub fn serve(root: impl Into<PathBuf>, port: u16) -> std::io::Result<ServerHandl
                 if stop2.load(Ordering::SeqCst) {
                     break;
                 }
-                if let Ok(stream) = conn {
-                    let root = root.clone();
-                    std::thread::spawn(move || {
-                        let _ = handle(stream, &root);
-                    });
+                if let Ok(mut stream) = conn {
+                    let _ = stream.set_read_timeout(Some(options.io_timeout));
+                    let _ = stream.set_write_timeout(Some(options.io_timeout));
+                    match ConnPermit::try_acquire(&active, options.max_connections.max(1)) {
+                        Some(permit) => {
+                            let root = root.clone();
+                            std::thread::spawn(move || {
+                                let _ = handle(stream, &root);
+                                drop(permit);
+                            });
+                        }
+                        // Overload: shed on the accept thread — a bounded,
+                        // header-only write — rather than queueing work.
+                        None => {
+                            let _ = respond_overloaded(&mut stream);
+                        }
+                    }
                 }
             }
         })?;
@@ -131,10 +210,26 @@ fn handle(mut stream: TcpStream, root: &Path) -> std::io::Result<()> {
     match resolve(root, path) {
         Some(file) => {
             let body = std::fs::read(&file)?;
-            respond(&mut stream, 200, content_type(&file), &body)
+            // Serve the verified payload: the durable store's checksum
+            // footer is transport framing, not page content.
+            let payload = schedflow_dataflow::store::payload_of(&body);
+            respond(&mut stream, 200, content_type(&file), payload)
         }
         None => respond(&mut stream, 404, "text/plain", b"not found"),
     }
+}
+
+/// `503 Service Unavailable` with a retry hint, written on the accept
+/// thread when the connection semaphore is exhausted.
+fn respond_overloaded(stream: &mut TcpStream) -> std::io::Result<()> {
+    let body = b"server overloaded, retry shortly";
+    write!(
+        stream,
+        "HTTP/1.1 503 Service Unavailable\r\nContent-Type: text/plain\r\nContent-Length: {}\r\nRetry-After: 1\r\nConnection: close\r\n\r\n",
+        body.len()
+    )?;
+    stream.write_all(body)?;
+    Ok(())
 }
 
 fn respond(stream: &mut TcpStream, status: u16, ctype: &str, body: &[u8]) -> std::io::Result<()> {
@@ -229,6 +324,49 @@ mod tests {
         let mut buf = String::new();
         s.read_to_string(&mut buf).unwrap();
         assert!(buf.starts_with("HTTP/1.1 405"));
+        server.stop();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn overload_is_shed_with_503_and_retry_after() {
+        let dir = site();
+        let server = serve_with(
+            &dir,
+            0,
+            ServeOptions {
+                max_connections: 1,
+                io_timeout: Duration::from_secs(2),
+            },
+        )
+        .unwrap();
+        // Occupy the single slot with a connection that never sends its
+        // request; the handler thread holds the permit until its read
+        // timeout fires.
+        let slow = TcpStream::connect(server.addr()).unwrap();
+        std::thread::sleep(Duration::from_millis(200));
+        let mut s = TcpStream::connect(server.addr()).unwrap();
+        write!(s, "GET / HTTP/1.1\r\nHost: localhost\r\n\r\n").unwrap();
+        let mut buf = String::new();
+        s.read_to_string(&mut buf).unwrap();
+        assert!(buf.starts_with("HTTP/1.1 503"), "got: {buf}");
+        assert!(buf.contains("Retry-After: 1"));
+        drop(slow);
+        server.stop();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn checksum_footer_is_stripped_from_served_pages() {
+        let dir = site();
+        schedflow_dataflow::store::ambient()
+            .write_atomic(&dir.join("durable.html"), b"<html>durable</html>")
+            .unwrap();
+        let server = serve(&dir, 0).unwrap();
+        let (status, body) = get(server.addr(), "/durable.html");
+        assert_eq!(status, 200);
+        assert!(body.contains("durable"));
+        assert!(!body.contains("SFCK1"), "footer must not reach the client");
         server.stop();
         let _ = std::fs::remove_dir_all(&dir);
     }

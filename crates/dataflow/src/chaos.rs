@@ -29,7 +29,7 @@ pub enum ChaosScope {
 }
 
 impl ChaosScope {
-    fn covers(&self, kind: StageKind) -> bool {
+    pub(crate) fn covers(&self, kind: StageKind) -> bool {
         match self {
             ChaosScope::All => true,
             ChaosScope::Static => kind == StageKind::Static,
@@ -51,6 +51,17 @@ pub struct ChaosConfig {
     pub delay_p: f64,
     /// Injected delays are uniform in `[1, max_delay_ms]`.
     pub max_delay_ms: u64,
+    /// Per-store-write probability of a torn write (partial bytes, then an
+    /// error). Injected through the durable store's [`crate::store::Fs`]
+    /// handle, so the atomic protocol confines the tear to the temp file.
+    pub io_torn_p: f64,
+    /// Per-store-write probability of `ENOSPC` (disk full).
+    pub io_enospc_p: f64,
+    /// Per-store-write probability of `EIO` (generic device error).
+    pub io_eio_p: f64,
+    /// Simulate process death (panic out of the run) at the n-th store write
+    /// across the whole run. `None` disables the crash countdown.
+    pub crash_after_writes: Option<u64>,
     pub scope: ChaosScope,
 }
 
@@ -62,6 +73,10 @@ impl Default for ChaosConfig {
             panic_p: 0.0,
             delay_p: 0.0,
             max_delay_ms: 50,
+            io_torn_p: 0.0,
+            io_enospc_p: 0.0,
+            io_eio_p: 0.0,
+            crash_after_writes: None,
             scope: ChaosScope::All,
         }
     }
@@ -83,6 +98,14 @@ pub enum Fault {
     TransientFailure,
     /// Panic instead of running the body (exercises the unwind path).
     Panic,
+    /// A store write lands partially, then errors (torn write).
+    IoTorn,
+    /// A store write fails with `ENOSPC` (disk full).
+    IoEnospc,
+    /// A store write fails with `EIO` (device error).
+    IoEio,
+    /// Simulated process death at the n-th store write of the run.
+    CrashAfterWrites(u64),
 }
 
 impl ChaosConfig {
@@ -95,17 +118,47 @@ impl ChaosConfig {
         }
     }
 
+    /// The per-`(task, attempt)` PRNG base every draw streams from.
+    fn base(&self, task_name: &str, attempt: u32) -> u64 {
+        self.seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(fnv1a(task_name))
+            .wrapping_add(u64::from(attempt).wrapping_mul(0x2545_F491_4F6C_DD1D))
+    }
+
+    /// True when any per-write I/O fault probability is set.
+    pub fn has_io_faults(&self) -> bool {
+        self.io_torn_p > 0.0 || self.io_enospc_p > 0.0 || self.io_eio_p > 0.0
+    }
+
+    /// Decide the I/O fault (if any) for the `write_ordinal`-th store write
+    /// of one task attempt. Pure in `(seed, task, attempt, ordinal)`, and on
+    /// streams disjoint from [`ChaosConfig::injection`]'s, so enabling I/O
+    /// chaos never perturbs the attempt-level fault schedule.
+    pub fn io_fault(&self, task_name: &str, attempt: u32, write_ordinal: u64) -> Option<Fault> {
+        if !self.has_io_faults() {
+            return None;
+        }
+        let base = self.base(task_name, attempt);
+        let u = unit_f64(splitmix64(base.wrapping_add(4 + write_ordinal)));
+        if u < self.io_torn_p {
+            Some(Fault::IoTorn)
+        } else if u < self.io_torn_p + self.io_enospc_p {
+            Some(Fault::IoEnospc)
+        } else if u < self.io_torn_p + self.io_enospc_p + self.io_eio_p {
+            Some(Fault::IoEio)
+        } else {
+            None
+        }
+    }
+
     /// Decide the injection for one `(task, attempt)` pair. Pure: the same
     /// arguments always return the same decision.
     pub fn injection(&self, kind: StageKind, task_name: &str, attempt: u32) -> Injection {
         if !self.scope.covers(kind) {
             return Injection::default();
         }
-        let base = self
-            .seed
-            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
-            .wrapping_add(fnv1a(task_name))
-            .wrapping_add(u64::from(attempt).wrapping_mul(0x2545_F491_4F6C_DD1D));
+        let base = self.base(task_name, attempt);
         let draw = |stream: u64| unit_f64(splitmix64(base.wrapping_add(stream)));
 
         let mut inj = Injection::default();
@@ -155,6 +208,7 @@ mod tests {
             delay_p: 0.5,
             max_delay_ms: 20,
             scope: ChaosScope::All,
+            ..ChaosConfig::default()
         };
         for a in 1..10 {
             for name in ["obtain-2024-01", "merge-curated", "llm-insight-waits"] {

@@ -30,6 +30,7 @@ use crate::manifest::{fingerprint, RunManifest};
 use crate::pool::ThreadPool;
 use crate::race::RaceTracker;
 use crate::report::{ArtifactDigest, RunReport, TaskReport, TaskStatus};
+use crate::store::{self, ChaosFs, CrashPlan, DurableStore, FileCheck, RealFs};
 use crossbeam::channel;
 use std::collections::HashMap;
 use std::panic::AssertUnwindSafe;
@@ -204,6 +205,10 @@ struct Exec<'a> {
     manifest_template: Option<RunManifest>,
     /// Vector-clock happens-before tracker ([`RunOptions::detect_races`]).
     tracker: Option<Arc<RaceTracker>>,
+    /// Run-global countdown to an injected crash
+    /// ([`ChaosConfig::crash_after_writes`]): shared by every task attempt's
+    /// chaos-wrapped store so the n-th write is counted across the run.
+    crash_plan: Option<CrashPlan>,
 }
 
 impl Runner {
@@ -285,6 +290,10 @@ impl Runner {
             tracker: options
                 .detect_races
                 .then(|| Arc::new(RaceTracker::for_workflow(&self.workflow))),
+            crash_plan: options
+                .chaos
+                .and_then(|c| c.crash_after_writes)
+                .map(CrashPlan::new),
         };
 
         let mut st = RunState {
@@ -377,6 +386,14 @@ impl Runner {
                             exec.release_dependents(i, &mut st);
                         }
                         Err(err) => {
+                            let msg = err.to_string();
+                            if msg.contains(store::CRASH_MARKER) {
+                                // Simulated process death: this completion is
+                                // never checkpointed — only checkpoints
+                                // persisted before the crash survive, exactly
+                                // as if the process had been killed mid-write.
+                                std::panic::resume_unwind(Box::new(msg));
+                            }
                             let policy = exec.retry_of(i);
                             if policy.should_retry(&err, c.attempt) {
                                 let delay = policy.delay_ms(
@@ -542,12 +559,18 @@ impl Runner {
         for output in &spec.outputs {
             match &self.workflow.artifacts[output.0].kind {
                 ArtifactKindMeta::Value => return false,
-                ArtifactKindMeta::File(_) => match mtime(output) {
+                ArtifactKindMeta::File(p) => match mtime(output) {
                     Some(out_t) => {
                         if let Some(in_t) = newest_input {
                             if out_t < in_t {
                                 return false;
                             }
+                        }
+                        // A fresh mtime is not enough: a checksum-invalid
+                        // cached output is quarantined and rebuilt instead of
+                        // being served to downstream parsers.
+                        if !verified_on_disk(p) {
+                            return false;
                         }
                     }
                     None => return false,
@@ -555,6 +578,21 @@ impl Runner {
             }
         }
         true
+    }
+}
+
+/// True when the file is safe to reuse: checksum verified, or a legacy file
+/// with no footer. A corrupt file is moved aside to `<name>.corrupt` so the
+/// producing task re-executes (quarantine-and-rebuild).
+fn verified_on_disk(p: &std::path::Path) -> bool {
+    let durable = DurableStore::real();
+    match durable.check_file(p) {
+        Ok(FileCheck::Verified | FileCheck::Unchecksummed) => true,
+        Ok(FileCheck::Corrupt) => {
+            let _ = durable.quarantine(p);
+            false
+        }
+        Err(_) => false,
     }
 }
 
@@ -585,7 +623,12 @@ impl Exec<'_> {
         }
         if let Some(prev) = &self.resume_from {
             if let Some(entry) = prev.get(&self.runner.workflow.tasks[i].name) {
-                if entry.resumable(self.fingerprints[i]) {
+                // A manifest claim is honored only when every recorded file
+                // output still verifies; a corrupt survivor is quarantined
+                // and the task re-executes.
+                if entry.resumable(self.fingerprints[i])
+                    && entry.file_outputs.iter().all(|p| verified_on_disk(p))
+                {
                     st.state[i] = NodeState::Done;
                     st.reports[i].status = TaskStatus::Resumed;
                     self.capture_digests(i, st);
@@ -618,6 +661,7 @@ impl Exec<'_> {
         let chaos = self.options.chaos;
         let run_start = self.run_start;
         let tracker = self.tracker.clone();
+        let crash_plan = self.crash_plan.clone();
         self.pool.execute(move || {
             if delay_ms > 0 {
                 std::thread::sleep(Duration::from_millis(delay_ms));
@@ -642,14 +686,39 @@ impl Exec<'_> {
                     }))
                     .unwrap_or_else(|p| Err(TaskError::Panic(panic_message(p))))
                 }
+                // Write-time faults are injected through the durable store's
+                // `Fs` handle below, never as an attempt-level outcome.
+                Some(
+                    Fault::IoTorn | Fault::IoEnospc | Fault::IoEio | Fault::CrashAfterWrites(_),
+                ) => Err(TaskError::transient(format!(
+                    "chaos: injected i/o fault (attempt {attempt})"
+                ))),
                 None => {
                     let mut ctx = TaskCtx::new(&store, &spec.name, &spec.inputs, &spec.outputs);
                     if let Some(t) = tracker {
                         ctx = ctx.with_race(t, i);
                     }
-                    let result = std::panic::catch_unwind(AssertUnwindSafe(|| (spec.body)(&ctx)))
-                        .unwrap_or_else(|p| Err(TaskError::Panic(panic_message(p))))
-                        .and_then(|()| verify_outputs(&wf, &store, i));
+                    // Every durable write the body performs goes through the
+                    // thread's ambient store; under chaos that store injects
+                    // seeded I/O faults and counts down to the crash point.
+                    let durable = match chaos {
+                        Some(c) if c.has_io_faults() || crash_plan.is_some() => {
+                            DurableStore::with_fs(Arc::new(ChaosFs::new(
+                                Arc::new(RealFs),
+                                c,
+                                c.scope.covers(spec.kind),
+                                &spec.name,
+                                attempt,
+                                crash_plan,
+                            )))
+                        }
+                        _ => DurableStore::real(),
+                    };
+                    let result = store::with_ambient(&durable, || {
+                        std::panic::catch_unwind(AssertUnwindSafe(|| (spec.body)(&ctx)))
+                            .unwrap_or_else(|p| Err(TaskError::Panic(panic_message(p))))
+                    })
+                    .and_then(|()| verify_outputs(&wf, &store, i));
                     bytes_in = ctx.bytes_in.load(std::sync::atomic::Ordering::Relaxed);
                     bytes_out = ctx.bytes_out.load(std::sync::atomic::Ordering::Relaxed);
                     result
@@ -735,11 +804,12 @@ impl Exec<'_> {
     }
 
     /// Capture content digests of task `i`'s outputs for the determinism
-    /// verifier: file artifacts are hashed from their on-disk bytes, value
-    /// artifacts through the digest function registered with
-    /// [`Workflow::track_digest`] (untracked values are skipped). Runs on
-    /// the event-loop thread at resolution time, *before* the lifetime
-    /// tracker can drop the value.
+    /// verifier: file artifacts are hashed from their on-disk bytes (with
+    /// any valid checksum footer stripped, so digests stay content-based and
+    /// comparable across store and legacy writers), value artifacts through
+    /// the digest function registered with [`Workflow::track_digest`]
+    /// (untracked values are skipped). Runs on the event-loop thread at
+    /// resolution time, *before* the lifetime tracker can drop the value.
     fn capture_digests(&self, i: usize, st: &mut RunState) {
         let wf = &self.runner.workflow;
         for &out in &wf.tasks[i].outputs {
@@ -749,7 +819,7 @@ impl Exec<'_> {
                     kind: "file",
                     digest: std::fs::read(p)
                         .ok()
-                        .map(|b| format!("{:016x}", fnv1a_bytes(&b))),
+                        .map(|b| format!("{:016x}", fnv1a_bytes(store::payload_of(&b)))),
                 }),
                 ArtifactKindMeta::Value => wf.digest_fn(out).map(|f| ArtifactDigest {
                     name: wf.artifacts[out.0].name.clone(),

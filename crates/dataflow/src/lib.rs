@@ -27,6 +27,11 @@
 //! checkpoint/resume), [`manifest`] (the persisted [`RunManifest`]), and
 //! [`chaos`] (the deterministic seeded fault injector).
 //!
+//! The durability layer is [`store`]: an atomic (temp → fsync → rename →
+//! dir-fsync), checksummed artifact store over an injectable [`store::Fs`]
+//! handle, with quarantine-and-rebuild on checksum mismatch and seeded I/O
+//! fault injection (torn writes, `ENOSPC`, `EIO`, crash-at-nth-write).
+//!
 //! The concurrency-verification layer spans [`race`] (the vector-clock
 //! happens-before tracker cross-checking actual artifact accesses at
 //! runtime, [`RunOptions::detect_races`]) and the per-artifact content
@@ -46,6 +51,7 @@ pub mod par;
 pub mod pool;
 pub mod race;
 pub mod report;
+pub mod store;
 
 pub use artifact::{Artifact, ArtifactId, DataStore, FileArtifact, TaskCtx};
 pub use chaos::{ChaosConfig, ChaosScope, Fault, Injection};
@@ -58,3 +64,4 @@ pub use manifest::{ManifestEntry, RunManifest};
 pub use pool::ThreadPool;
 pub use race::RaceTracker;
 pub use report::{human_bytes, ArtifactDigest, RunReport, TaskReport, TaskStatus};
+pub use store::{DurableStore, FileCheck, Fs, RealFs};

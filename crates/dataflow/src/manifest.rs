@@ -74,24 +74,26 @@ impl RunManifest {
     }
 
     /// Load a manifest, tolerating absence and corruption (both mean "no
-    /// usable checkpoint": a truncated manifest must not be trusted).
+    /// usable checkpoint": a truncated manifest must not be trusted). A
+    /// checksum-invalid manifest is quarantined to `<name>.corrupt` before
+    /// being ignored, so the damaged evidence survives for inspection.
     pub fn load(path: &Path) -> Option<RunManifest> {
-        let text = std::fs::read_to_string(path).ok()?;
+        let payload = crate::store::DurableStore::real()
+            .read_verified(path)
+            .ok()?
+            .into_bytes();
+        let text = String::from_utf8(payload).ok()?;
         let manifest: RunManifest = serde_json::from_str(&text).ok()?;
         (manifest.version == MANIFEST_VERSION).then_some(manifest)
     }
 
-    /// Persist atomically (temp file + rename) so an interrupted checkpoint
-    /// never leaves a half-written manifest a later resume trusts.
+    /// Persist through the durable store's atomic protocol (temp file →
+    /// fsync → rename → parent-dir fsync, checksum footer) so an interrupted
+    /// checkpoint never leaves a half-written manifest a later resume trusts.
     pub fn save(&self, path: &Path) -> std::io::Result<()> {
-        if let Some(parent) = path.parent() {
-            std::fs::create_dir_all(parent)?;
-        }
-        let tmp = path.with_extension("json.partial");
         let text =
             serde_json::to_string_pretty(self).map_err(|e| std::io::Error::other(e.to_string()))?;
-        std::fs::write(&tmp, text)?;
-        std::fs::rename(&tmp, path)
+        crate::store::DurableStore::real().write_atomic(path, text.as_bytes())
     }
 
     /// Look up the entry for a task by name.

@@ -1,0 +1,644 @@
+//! Crash-only durable artifact storage.
+//!
+//! Every file the workflow persists — raw sacct caches, curated CSVs, chart
+//! HTML, dashboard pages, the run manifest — goes through this module, which
+//! guarantees two invariants no matter where a process dies:
+//!
+//! 1. **Atomicity.** Writes follow the classic crash-safe protocol: write a
+//!    sibling temp file, `fsync` it, `rename` it over the final path, then
+//!    `fsync` the parent directory. A final artifact path therefore only ever
+//!    holds a complete previous version or a complete new version — never a
+//!    torn prefix.
+//! 2. **Integrity.** Every payload is sealed with a fixed-width FNV-1a
+//!    checksum footer (`<!--SFCK1:<16 hex>-->\n`, 30 bytes). Readers verify
+//!    the footer and strip it; a mismatch means external corruption (bit
+//!    rot, a truncating copy, a concurrent writer outside the store) and the
+//!    file is *quarantined* — renamed to `<name>.corrupt` — so the producing
+//!    task re-executes instead of parsing garbage.
+//!
+//! The filesystem itself is reached through the injectable [`Fs`] handle.
+//! [`RealFs`] talks to the OS; the chaos engine wraps it with [`ChaosFs`] to
+//! inject deterministic I/O faults (torn writes, `ENOSPC`, `EIO`) and
+//! simulated process death at the n-th store write
+//! ([`crate::Fault::CrashAfterWrites`]) — the machinery behind
+//! `schedflow chaos --io-*` / `--crash-after` and the crash–resume
+//! convergence harness.
+//!
+//! Library write sites (frame CSV, chart HTML, dashboard pages) resolve the
+//! handle via [`ambient`]: inside a running task the executor scopes the
+//! task's (possibly chaos-wrapped) store onto the worker thread, so fault
+//! injection reaches every write without threading a handle through each
+//! signature; outside a task the ambient store is the real filesystem.
+
+use crate::chaos::{ChaosConfig, Fault};
+use crate::error::fnv1a_bytes;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Footer prefix; `SFCK1` names the checksum format (FNV-1a 64, version 1).
+const FOOTER_PREFIX: &str = "<!--SFCK1:";
+const FOOTER_SUFFIX: &str = "-->\n";
+/// Total footer width: prefix (10) + 16 hex digits + suffix (4).
+pub const FOOTER_LEN: usize = 30;
+
+/// Marker embedded in the panic message of an injected crash so the executor
+/// can tell simulated process death apart from an ordinary task panic.
+pub const CRASH_MARKER: &str = "schedflow-injected-crash";
+
+/// Render the checksum footer for a payload.
+pub fn footer_for(payload: &[u8]) -> String {
+    format!(
+        "{FOOTER_PREFIX}{:016x}{FOOTER_SUFFIX}",
+        fnv1a_bytes(payload)
+    )
+}
+
+/// Parse a trailing checksum footer: `Some((payload, stored_checksum))` when
+/// the last [`FOOTER_LEN`] bytes are syntactically a footer (the checksum is
+/// *not* validated here).
+pub fn split_footer(bytes: &[u8]) -> Option<(&[u8], u64)> {
+    if bytes.len() < FOOTER_LEN {
+        return None;
+    }
+    let (payload, tail) = bytes.split_at(bytes.len() - FOOTER_LEN);
+    let tail = std::str::from_utf8(tail).ok()?;
+    let hex = tail
+        .strip_prefix(FOOTER_PREFIX)?
+        .strip_suffix(FOOTER_SUFFIX)?;
+    let stored = u64::from_str_radix(hex, 16).ok()?;
+    Some((payload, stored))
+}
+
+/// The checksum-stripped view used for content digests: the payload when a
+/// *valid* footer is present, the raw bytes otherwise. Corrupt files hash to
+/// their (corrupt) full contents, so digest comparison still flags them.
+pub fn payload_of(bytes: &[u8]) -> &[u8] {
+    match split_footer(bytes) {
+        Some((payload, stored)) if fnv1a_bytes(payload) == stored => payload,
+        _ => bytes,
+    }
+}
+
+/// [`payload_of`] for text read via `read_to_string`.
+pub fn strip_footer_str(s: &str) -> &str {
+    match split_footer(s.as_bytes()) {
+        Some((payload, stored)) if fnv1a_bytes(payload) == stored => &s[..s.len() - FOOTER_LEN],
+        _ => s,
+    }
+}
+
+/// Verification status of a file on disk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileCheck {
+    /// Footer present and checksum matches the payload.
+    Verified,
+    /// No footer — a legacy or externally produced file.
+    Unchecksummed,
+    /// Footer present but the checksum does not match: the file is damaged.
+    Corrupt,
+}
+
+/// A verified read: the payload with the footer stripped (when present).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Payload {
+    Verified(Vec<u8>),
+    Unchecksummed(Vec<u8>),
+}
+
+impl Payload {
+    pub fn into_bytes(self) -> Vec<u8> {
+        match self {
+            Payload::Verified(b) | Payload::Unchecksummed(b) => b,
+        }
+    }
+
+    pub fn is_verified(&self) -> bool {
+        matches!(self, Payload::Verified(_))
+    }
+}
+
+/// The injectable filesystem primitive set the durable store is built on.
+///
+/// Implementations must be cheap to share across worker threads; the chaos
+/// engine substitutes a fault-injecting wrapper per task attempt.
+pub trait Fs: Send + Sync {
+    /// Create (truncating) `path`, write all of `bytes`, and `fsync`.
+    fn write_all(&self, path: &Path, bytes: &[u8]) -> io::Result<()>;
+    /// Atomically replace `to` with `from`.
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()>;
+    /// `fsync` a directory so a preceding rename survives power loss.
+    /// Best-effort on platforms where directories cannot be opened.
+    fn sync_dir(&self, dir: &Path) -> io::Result<()>;
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>>;
+    fn create_dir_all(&self, dir: &Path) -> io::Result<()>;
+}
+
+/// The real filesystem.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct RealFs;
+
+impl Fs for RealFs {
+    fn write_all(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        use std::io::Write;
+        let mut f = std::fs::File::create(path)?;
+        f.write_all(bytes)?;
+        f.sync_all()
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        std::fs::rename(from, to)
+    }
+
+    fn sync_dir(&self, dir: &Path) -> io::Result<()> {
+        if let Ok(d) = std::fs::File::open(dir) {
+            let _ = d.sync_all();
+        }
+        Ok(())
+    }
+
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        std::fs::read(path)
+    }
+
+    fn create_dir_all(&self, dir: &Path) -> io::Result<()> {
+        std::fs::create_dir_all(dir)
+    }
+}
+
+/// Shared countdown to an injected crash: process death is simulated at the
+/// `after`-th store write *across the whole run*, so the crash point moves
+/// through the pipeline as the counter is varied.
+#[derive(Debug, Clone)]
+pub struct CrashPlan {
+    pub after: u64,
+    pub counter: Arc<AtomicU64>,
+}
+
+impl CrashPlan {
+    pub fn new(after: u64) -> Self {
+        CrashPlan {
+            after,
+            counter: Arc::new(AtomicU64::new(0)),
+        }
+    }
+}
+
+/// Fault-injecting [`Fs`] wrapper. Probabilistic I/O faults are a pure
+/// function of `(chaos seed, task name, attempt, write ordinal)`; the crash
+/// countdown is shared across all tasks of a run.
+pub struct ChaosFs {
+    inner: Arc<dyn Fs>,
+    cfg: ChaosConfig,
+    /// Whether the chaos scope covers this task's stage kind; the crash
+    /// countdown applies regardless (process death is not per-stage).
+    covered: bool,
+    task: String,
+    attempt: u32,
+    /// Writes issued through this handle so far (one task attempt's stream).
+    ordinal: AtomicU64,
+    crash: Option<CrashPlan>,
+}
+
+impl ChaosFs {
+    pub fn new(
+        inner: Arc<dyn Fs>,
+        cfg: ChaosConfig,
+        covered: bool,
+        task: &str,
+        attempt: u32,
+        crash: Option<CrashPlan>,
+    ) -> Self {
+        ChaosFs {
+            inner,
+            cfg,
+            covered,
+            task: task.to_owned(),
+            attempt,
+            ordinal: AtomicU64::new(0),
+            crash,
+        }
+    }
+}
+
+impl Fs for ChaosFs {
+    fn write_all(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        if let Some(plan) = &self.crash {
+            let k = plan.counter.fetch_add(1, Ordering::SeqCst) + 1;
+            if k == plan.after {
+                panic!(
+                    "{CRASH_MARKER}: simulated process death at store write {k} ({})",
+                    path.display()
+                );
+            }
+        }
+        let w = self.ordinal.fetch_add(1, Ordering::SeqCst);
+        if self.covered {
+            match self.cfg.io_fault(&self.task, self.attempt, w) {
+                Some(Fault::IoTorn) => {
+                    // A torn write: half the bytes land, then the device
+                    // gives up. The atomic protocol confines the damage to
+                    // the temp file — the final path is never touched.
+                    let cut = bytes.len() / 2;
+                    let _ = self.inner.write_all(path, &bytes[..cut]);
+                    return Err(io::Error::other(format!(
+                        "injected torn write: {cut} of {} bytes reached {}",
+                        bytes.len(),
+                        path.display()
+                    )));
+                }
+                Some(Fault::IoEnospc) => {
+                    return Err(io::Error::from_raw_os_error(28)); // ENOSPC
+                }
+                Some(Fault::IoEio) => {
+                    return Err(io::Error::from_raw_os_error(5)); // EIO
+                }
+                _ => {}
+            }
+        }
+        self.inner.write_all(path, bytes)
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        self.inner.rename(from, to)
+    }
+
+    fn sync_dir(&self, dir: &Path) -> io::Result<()> {
+        self.inner.sync_dir(dir)
+    }
+
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        self.inner.read(path)
+    }
+
+    fn create_dir_all(&self, dir: &Path) -> io::Result<()> {
+        self.inner.create_dir_all(dir)
+    }
+}
+
+/// Handle to durable storage: the atomic-write protocol plus checksum
+/// verification, over an injectable [`Fs`].
+#[derive(Clone)]
+pub struct DurableStore {
+    fs: Arc<dyn Fs>,
+}
+
+impl Default for DurableStore {
+    fn default() -> Self {
+        DurableStore::real()
+    }
+}
+
+impl DurableStore {
+    /// A store over the real filesystem.
+    pub fn real() -> Self {
+        DurableStore {
+            fs: Arc::new(RealFs),
+        }
+    }
+
+    pub fn with_fs(fs: Arc<dyn Fs>) -> Self {
+        DurableStore { fs }
+    }
+
+    /// Atomically persist `payload` (plus checksum footer) at `path`:
+    /// temp file → fsync → rename → parent-dir fsync. On any error the final
+    /// path is untouched (it keeps its previous complete contents, if any).
+    pub fn write_atomic(&self, path: &Path, payload: &[u8]) -> io::Result<()> {
+        let parent = path.parent().filter(|p| !p.as_os_str().is_empty());
+        if let Some(dir) = parent {
+            self.fs.create_dir_all(dir)?;
+        }
+        let mut bytes = Vec::with_capacity(payload.len() + FOOTER_LEN);
+        bytes.extend_from_slice(payload);
+        bytes.extend_from_slice(footer_for(payload).as_bytes());
+        let tmp = tmp_path(path);
+        self.fs.write_all(&tmp, &bytes)?;
+        self.fs.rename(&tmp, path)?;
+        if let Some(dir) = parent {
+            self.fs.sync_dir(dir)?;
+        }
+        Ok(())
+    }
+
+    /// Verify `path` without consuming it (and without quarantining).
+    pub fn check_file(&self, path: &Path) -> io::Result<FileCheck> {
+        let bytes = self.fs.read(path)?;
+        Ok(match split_footer(&bytes) {
+            Some((payload, stored)) => {
+                if fnv1a_bytes(payload) == stored {
+                    FileCheck::Verified
+                } else {
+                    FileCheck::Corrupt
+                }
+            }
+            None => FileCheck::Unchecksummed,
+        })
+    }
+
+    /// Move a damaged file aside to `<name>.corrupt` and return its new home.
+    pub fn quarantine(&self, path: &Path) -> io::Result<PathBuf> {
+        let name = path
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_default();
+        let target = path.with_file_name(format!("{name}.corrupt"));
+        self.fs.rename(path, &target)?;
+        Ok(target)
+    }
+
+    /// Read and verify: returns the footer-stripped payload. A checksum
+    /// mismatch quarantines the file and surfaces as
+    /// [`io::ErrorKind::InvalidData`] naming the quarantine path.
+    pub fn read_verified(&self, path: &Path) -> io::Result<Payload> {
+        let bytes = self.fs.read(path)?;
+        match split_footer(&bytes) {
+            Some((payload, stored)) => {
+                if fnv1a_bytes(payload) == stored {
+                    Ok(Payload::Verified(payload.to_vec()))
+                } else {
+                    let to = self.quarantine(path)?;
+                    Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!(
+                            "checksum mismatch in {}: quarantined to {}",
+                            path.display(),
+                            to.display()
+                        ),
+                    ))
+                }
+            }
+            None => Ok(Payload::Unchecksummed(bytes)),
+        }
+    }
+}
+
+fn tmp_path(path: &Path) -> PathBuf {
+    let name = path
+        .file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+        .unwrap_or_default();
+    path.with_file_name(format!("{name}.tmp"))
+}
+
+/// Probe whether `dir` supports the store's atomic-rename protocol. Fails on
+/// paths that cannot be created (e.g. a cache dir configured over an
+/// existing file) or where rename is refused — the SF0701 lint's signal.
+pub fn atomic_rename_probe(dir: &Path) -> io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+    let probe = dir.join(".schedflow-rename-probe");
+    let target = dir.join(".schedflow-rename-probe.ok");
+    std::fs::write(&probe, b"probe")?;
+    let renamed = std::fs::rename(&probe, &target);
+    let _ = std::fs::remove_file(&probe);
+    let _ = std::fs::remove_file(&target);
+    renamed
+}
+
+// ---- Ambient store: the executor scopes each task's (possibly
+// chaos-wrapped) store onto the worker thread for the duration of the body,
+// so library write sites pick up fault injection without plumbing. ----
+
+thread_local! {
+    static AMBIENT: std::cell::RefCell<Vec<DurableStore>> =
+        const { std::cell::RefCell::new(Vec::new()) };
+}
+
+/// Run `f` with `store` as the thread's ambient durable store. Unwind-safe:
+/// the previous ambient store is restored even if `f` panics.
+pub fn with_ambient<R>(store: &DurableStore, f: impl FnOnce() -> R) -> R {
+    struct Pop;
+    impl Drop for Pop {
+        fn drop(&mut self) {
+            AMBIENT.with(|s| {
+                s.borrow_mut().pop();
+            });
+        }
+    }
+    AMBIENT.with(|s| s.borrow_mut().push(store.clone()));
+    let _pop = Pop;
+    f()
+}
+
+/// The thread's ambient durable store — the executing task's handle inside a
+/// task body, the real filesystem everywhere else.
+pub fn ambient() -> DurableStore {
+    AMBIENT
+        .with(|s| s.borrow().last().cloned())
+        .unwrap_or_default()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("schedflow-store-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    #[test]
+    fn footer_round_trip() {
+        let payload = b"a,b,c\n1,2,3\n";
+        let footer = footer_for(payload);
+        assert_eq!(footer.len(), FOOTER_LEN);
+        let mut bytes = payload.to_vec();
+        bytes.extend_from_slice(footer.as_bytes());
+        let (p, stored) = split_footer(&bytes).unwrap();
+        assert_eq!(p, payload);
+        assert_eq!(stored, crate::error::fnv1a_bytes(payload));
+        assert_eq!(payload_of(&bytes), payload);
+        let s = String::from_utf8(bytes.clone()).unwrap();
+        assert_eq!(strip_footer_str(&s), "a,b,c\n1,2,3\n");
+    }
+
+    #[test]
+    fn footerless_bytes_pass_through() {
+        assert_eq!(split_footer(b"short"), None);
+        assert_eq!(payload_of(b"no footer here"), b"no footer here");
+        assert_eq!(strip_footer_str("plain"), "plain");
+    }
+
+    #[test]
+    fn write_read_verify_cycle() {
+        let dir = tmp_dir("cycle");
+        let path = dir.join("artifact.csv");
+        let store = DurableStore::real();
+        store.write_atomic(&path, b"hello world").unwrap();
+        assert_eq!(store.check_file(&path).unwrap(), FileCheck::Verified);
+        let payload = store.read_verified(&path).unwrap();
+        assert!(payload.is_verified());
+        assert_eq!(payload.into_bytes(), b"hello world");
+        // No temp file left behind.
+        assert!(!tmp_path(&path).exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corruption_is_quarantined_on_read() {
+        let dir = tmp_dir("quarantine");
+        let path = dir.join("data.txt");
+        let store = DurableStore::real();
+        store.write_atomic(&path, b"pristine payload").unwrap();
+        // Flip a payload byte, leaving the footer in place.
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[2] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+        assert_eq!(store.check_file(&path).unwrap(), FileCheck::Corrupt);
+        let err = store.read_verified(&path).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(!path.exists(), "corrupt file must be moved aside");
+        assert!(dir.join("data.txt.corrupt").exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn legacy_files_read_as_unchecksummed() {
+        let dir = tmp_dir("legacy");
+        let path = dir.join("old.txt");
+        std::fs::write(&path, b"written before the store existed").unwrap();
+        let store = DurableStore::real();
+        assert_eq!(store.check_file(&path).unwrap(), FileCheck::Unchecksummed);
+        let p = store.read_verified(&path).unwrap();
+        assert!(!p.is_verified());
+        assert_eq!(p.into_bytes(), b"written before the store existed");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    fn io_chaos(torn: f64, enospc: f64, eio: f64) -> ChaosConfig {
+        ChaosConfig {
+            seed: 7,
+            io_torn_p: torn,
+            io_enospc_p: enospc,
+            io_eio_p: eio,
+            ..ChaosConfig::default()
+        }
+    }
+
+    #[test]
+    fn torn_write_never_reaches_the_final_path() {
+        let dir = tmp_dir("torn");
+        let path = dir.join("out.html");
+        let store = DurableStore::with_fs(Arc::new(ChaosFs::new(
+            Arc::new(RealFs),
+            io_chaos(1.0, 0.0, 0.0),
+            true,
+            "plot-waits",
+            1,
+            None,
+        )));
+        let err = store.write_atomic(&path, b"0123456789").unwrap_err();
+        assert!(err.to_string().contains("torn write"), "{err}");
+        assert!(!path.exists(), "final path must never hold a torn file");
+        // The damage is confined to the temp file.
+        let tmp = tmp_path(&path);
+        assert!(tmp.exists());
+        assert_eq!(std::fs::read(&tmp).unwrap().len(), (10 + FOOTER_LEN) / 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn enospc_and_eio_surface_their_os_codes() {
+        let dir = tmp_dir("errno");
+        let store_of = |cfg: ChaosConfig| {
+            DurableStore::with_fs(Arc::new(ChaosFs::new(
+                Arc::new(RealFs),
+                cfg,
+                true,
+                "t",
+                1,
+                None,
+            )))
+        };
+        let enospc = store_of(io_chaos(0.0, 1.0, 0.0))
+            .write_atomic(&dir.join("a"), b"x")
+            .unwrap_err();
+        assert_eq!(enospc.raw_os_error(), Some(28));
+        let eio = store_of(io_chaos(0.0, 0.0, 1.0))
+            .write_atomic(&dir.join("b"), b"x")
+            .unwrap_err();
+        assert_eq!(eio.raw_os_error(), Some(5));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn io_faults_are_deterministic_per_seed_and_retry_can_clear_them() {
+        let cfg = ChaosConfig {
+            seed: 13,
+            io_eio_p: 0.5,
+            ..ChaosConfig::default()
+        };
+        let schedule = |attempt: u32| -> Vec<bool> {
+            (0..20)
+                .map(|w| cfg.io_fault("obtain-2024-01", attempt, w).is_some())
+                .collect()
+        };
+        assert_eq!(schedule(1), schedule(1), "same seed, same schedule");
+        assert_ne!(schedule(1), schedule(2), "fresh dice per attempt");
+        assert!(schedule(1).iter().any(|&f| f));
+        assert!(schedule(1).iter().any(|&f| !f));
+    }
+
+    #[test]
+    fn crash_plan_panics_at_the_nth_write_with_marker() {
+        let dir = tmp_dir("crash");
+        let plan = CrashPlan::new(3);
+        let store = DurableStore::with_fs(Arc::new(ChaosFs::new(
+            Arc::new(RealFs),
+            ChaosConfig::default(),
+            true,
+            "t",
+            1,
+            Some(plan.clone()),
+        )));
+        store.write_atomic(&dir.join("w1"), b"1").unwrap();
+        store.write_atomic(&dir.join("w2"), b"2").unwrap();
+        let died = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            store.write_atomic(&dir.join("w3"), b"3")
+        }))
+        .unwrap_err();
+        let msg = died.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.contains(CRASH_MARKER), "{msg}");
+        assert!(!dir.join("w3").exists());
+        // Writes before the crash are durable and verified.
+        assert_eq!(
+            DurableStore::real().check_file(&dir.join("w2")).unwrap(),
+            FileCheck::Verified
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn rename_probe_fails_on_a_file_path() {
+        let dir = tmp_dir("probe");
+        assert!(atomic_rename_probe(&dir).is_ok());
+        let not_a_dir = dir.join("occupied");
+        std::fs::write(&not_a_dir, b"file").unwrap();
+        assert!(atomic_rename_probe(&not_a_dir).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn ambient_store_scopes_and_restores() {
+        let base = ambient();
+        base.write_atomic(&tmp_dir("ambient").join("x"), b"x")
+            .unwrap();
+        let chaos = DurableStore::with_fs(Arc::new(ChaosFs::new(
+            Arc::new(RealFs),
+            io_chaos(0.0, 1.0, 0.0),
+            true,
+            "t",
+            1,
+            None,
+        )));
+        let dir = tmp_dir("ambient2");
+        let result = with_ambient(&chaos, || ambient().write_atomic(&dir.join("y"), b"y"));
+        assert_eq!(result.unwrap_err().raw_os_error(), Some(28));
+        // Outside the scope the ambient store is clean again.
+        assert!(ambient().write_atomic(&dir.join("z"), b"z").is_ok());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -8,6 +8,7 @@
 
 use crate::column::{Column, Cursor, DType};
 use crate::frame::{Frame, FrameError};
+use schedflow_dataflow::store;
 use std::io::{BufRead, Write};
 
 /// Errors from CSV I/O.
@@ -91,6 +92,10 @@ pub fn write_delimited(frame: &Frame, writer: &mut impl Write, sep: char) -> Res
         }
         writeln!(writer, "{line}")?;
     }
+    // Flush explicitly: a `BufWriter` dropped without flushing swallows the
+    // final write error, which is exactly how a full disk turns into a
+    // silently truncated CSV.
+    writer.flush()?;
     Ok(())
 }
 
@@ -99,13 +104,15 @@ pub fn write_csv(frame: &Frame, writer: &mut impl Write) -> Result<(), CsvError>
     write_delimited(frame, writer, ',')
 }
 
-/// Write a frame to a CSV file.
+/// Write a frame to a CSV file through the durable store: the bytes are
+/// serialized in memory, then land atomically (temp file → fsync → rename →
+/// parent-dir fsync) with a checksum footer, so readers never observe a
+/// torn or truncated CSV under crashes or injected I/O faults.
 pub fn write_csv_path(frame: &Frame, path: &std::path::Path) -> Result<(), CsvError> {
-    if let Some(parent) = path.parent() {
-        std::fs::create_dir_all(parent)?;
-    }
-    let mut w = std::io::BufWriter::new(std::fs::File::create(path)?);
-    write_csv(frame, &mut w)
+    let mut buf = Vec::new();
+    write_csv(frame, &mut buf)?;
+    store::ambient().write_atomic(path, &buf)?;
+    Ok(())
 }
 
 /// Split one physical CSV record, honoring quotes. Returns fields.
@@ -183,10 +190,13 @@ pub fn read_delimited(reader: impl BufRead, sep: char) -> Result<Frame, CsvError
     Ok(frame)
 }
 
-/// Read a CSV file into a string-typed frame.
+/// Read a CSV file into a string-typed frame, verifying the store checksum
+/// when present. A checksum-invalid file is quarantined to `<name>.corrupt`
+/// and surfaced as an I/O error rather than parsed as damaged data; legacy
+/// footerless files read as-is.
 pub fn read_csv_path(path: &std::path::Path) -> Result<Frame, CsvError> {
-    let f = std::fs::File::open(path)?;
-    read_delimited(std::io::BufReader::new(f), ',')
+    let payload = store::ambient().read_verified(path)?.into_bytes();
+    read_delimited(std::io::Cursor::new(payload), ',')
 }
 
 /// Convert string columns to Int/Float where every non-empty value parses;
@@ -355,6 +365,25 @@ mod tests {
         let back = infer_types(&read_csv_path(&path).unwrap()).unwrap();
         assert_eq!(back.height(), 3);
         assert_eq!(back.column("wait").unwrap().dtype(), DType::Int);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn file_write_is_checksummed_and_corruption_quarantined() {
+        let dir =
+            std::env::temp_dir().join(format!("schedflow-csv-durable-{}", std::process::id()));
+        let path = dir.join("frame.csv");
+        write_csv_path(&sample(), &path).unwrap();
+        let raw = std::fs::read(&path).unwrap();
+        assert!(String::from_utf8_lossy(&raw).contains("SFCK1"), "footer");
+
+        // Flip one payload byte: the read must quarantine, not parse.
+        let mut bad = raw.clone();
+        bad[0] ^= 0x01;
+        std::fs::write(&path, &bad).unwrap();
+        assert!(read_csv_path(&path).is_err());
+        assert!(!path.exists(), "corrupt file removed from its path");
+        assert!(dir.join("frame.csv.corrupt").exists(), "evidence kept");
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -13,6 +13,7 @@
 //! | SF04xx | nondeterminism hazards                |
 //! | SF05xx | concurrency effects (races, aliasing) |
 //! | SF06xx | simulator runtime invariants          |
+//! | SF07xx | durable storage & cache health        |
 //!
 //! The SF06xx family is emitted at *runtime* by the simulator's invariant
 //! monitor (`schedflow_sim::invariant`), not by this crate — the codes share
@@ -73,6 +74,10 @@ pub mod codes {
     /// An artifact may be dropped by the lifetime tracker while a timed-out
     /// task's still-running body can read it (the zombie-read hazard).
     pub const LIFETIME_HAZARD: &str = "SF0504";
+    /// A cache/output directory failed the atomic-rename probe: the durable
+    /// store's crash-safety protocol (temp file → fsync → rename) cannot
+    /// hold there, so torn files may survive a crash.
+    pub const CACHE_NOT_ATOMIC: &str = "SF0701";
 }
 
 /// One finding, with enough context to render a rustc-style report.

@@ -65,6 +65,14 @@ pub fn lint_run_options(options: &RunOptions) -> LintReport {
     report
 }
 
+/// Lint storage directories (SF07xx): probe each for the same-directory
+/// atomic rename the durable store's crash-safety protocol depends on.
+pub fn lint_storage(dirs: &[&std::path::Path]) -> LintReport {
+    let mut report = LintReport::new();
+    workflow_lints::storage_lints(dirs, &mut report);
+    report
+}
+
 /// Lint the workflow and, when given, the run options — one combined report.
 pub fn lint_all(wf: &Workflow, options: Option<&RunOptions>) -> LintReport {
     let mut report = lint_workflow(wf);
@@ -231,6 +239,23 @@ mod tests {
         assert!(dot.contains("SF0101"));
         assert!(dot.contains("penwidth=2"));
         assert!(dot.contains("label=\"lint test\""));
+    }
+
+    #[test]
+    fn storage_probe_warns_on_unrenamable_dir_and_passes_on_tmp() {
+        let good = std::env::temp_dir().join(format!("schedflow-lint-st-{}", std::process::id()));
+        let report = lint_storage(&[&good]);
+        assert!(report.is_clean(), "{}", report.render());
+
+        // A *file* where a directory is expected cannot host the probe.
+        let bad = good.join("not-a-dir");
+        std::fs::write(&bad, b"x").unwrap();
+        let report = lint_storage(&[&bad]);
+        let hits = report.with_code(codes::CACHE_NOT_ATOMIC);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].severity, Severity::Warning);
+        assert!(!report.has_errors(), "SF0701 is a warning, not an error");
+        let _ = std::fs::remove_dir_all(&good);
     }
 
     #[test]

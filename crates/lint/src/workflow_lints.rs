@@ -191,6 +191,29 @@ pub fn run_option_lints(options: &schedflow_dataflow::RunOptions, report: &mut L
     }
 }
 
+/// SF0701 (W): probe each storage directory for same-directory atomic
+/// rename, the primitive the durable store's crash-safety protocol rests
+/// on. A directory that fails the probe (odd mount, permissions, exotic
+/// filesystem) silently downgrades every "atomic" write into a torn-write
+/// hazard — worth a warning before hours of fetching land there.
+pub fn storage_lints(dirs: &[&std::path::Path], report: &mut LintReport) {
+    for dir in dirs {
+        if let Err(e) = schedflow_dataflow::store::atomic_rename_probe(dir) {
+            report.push(
+                Diagnostic::warning(
+                    codes::CACHE_NOT_ATOMIC,
+                    format!(
+                        "storage directory {} failed the atomic-rename probe: {e}",
+                        dir.display()
+                    ),
+                )
+                .note("the durable store relies on same-directory rename for crash safety")
+                .help("point --cache/--data at a local filesystem that supports rename(2)"),
+            );
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

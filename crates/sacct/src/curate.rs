@@ -215,9 +215,14 @@ pub fn curate_reader(reader: impl std::io::BufRead) -> Result<CurationResult, Cu
 }
 
 /// Curate a raw file on disk; optionally write the cleaned CSV next to it.
+/// The raw file is read through the durable store: its checksum footer (when
+/// present) is verified and stripped rather than parsed as a malformed line,
+/// and a corrupt file is quarantined instead of curated.
 pub fn curate_file(raw: &Path, csv_out: Option<&Path>) -> Result<CurationResult, CurateError> {
-    let file = std::fs::File::open(raw)?;
-    let result = curate_reader(std::io::BufReader::new(file))?;
+    let payload = schedflow_dataflow::store::ambient()
+        .read_verified(raw)?
+        .into_bytes();
+    let result = curate_reader(std::io::Cursor::new(payload))?;
     if let Some(out) = csv_out {
         schedflow_frame::write_csv_path(&result.frame, out)
             .map_err(|e| std::io::Error::other(e.to_string()))?;

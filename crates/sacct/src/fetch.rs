@@ -10,8 +10,8 @@
 
 use crate::render::{write_records, RenderOptions};
 use crate::store::AccountingStore;
+use schedflow_dataflow::store::FileCheck;
 use schedflow_model::time::month_range;
-use std::io::BufWriter;
 use std::path::{Path, PathBuf};
 
 /// Query granularity: one output file per month or per year.
@@ -93,6 +93,10 @@ pub struct FetchResult {
     pub cached: bool,
     /// Jobs written (0 when cached).
     pub jobs_written: usize,
+    /// Non-fatal observations (e.g. a checksum-corrupt cache file that was
+    /// quarantined and refetched). A silent refetch would hide the evidence
+    /// that the cache directory is rotting.
+    pub warnings: Vec<String>,
 }
 
 /// Errors from the fetch stage.
@@ -192,38 +196,66 @@ pub fn obtain_data(
     std::fs::create_dir_all(&dir)?;
     let periods = spec.periods();
 
+    let durable = schedflow_dataflow::store::ambient();
     let fetch_once = |period: &Period| -> Result<FetchResult, FetchError> {
         let path = dir.join(format!("{}.txt", period.file_stem()));
-        // A cache hit requires a *valid* file: a truncated or empty file
-        // (torn write, disk full) is a miss and gets refetched.
-        if !spec.force && path.exists() && cache_file_valid(&path) {
-            return Ok(FetchResult {
-                period: *period,
-                path,
-                cached: true,
-                jobs_written: 0,
-            });
+        let mut warnings = Vec::new();
+        // A cache hit requires a *valid* file. A checksum-verified file is
+        // trusted outright; a legacy footerless file falls back to the
+        // newline heuristic (truncated or empty = torn write = miss). A
+        // checksum *mismatch* is not a mere miss: the file is quarantined to
+        // `<name>.corrupt` and the refetch is reported as a warning.
+        if !spec.force && path.exists() {
+            match durable.check_file(&path) {
+                Ok(FileCheck::Verified) => {
+                    return Ok(FetchResult {
+                        period: *period,
+                        path,
+                        cached: true,
+                        jobs_written: 0,
+                        warnings,
+                    });
+                }
+                Ok(FileCheck::Unchecksummed) if cache_file_valid(&path) => {
+                    return Ok(FetchResult {
+                        period: *period,
+                        path,
+                        cached: true,
+                        jobs_written: 0,
+                        warnings,
+                    });
+                }
+                Ok(FileCheck::Corrupt) => {
+                    let _ = durable.quarantine(&path);
+                    warnings.push(format!(
+                        "cache file {} failed checksum verification; quarantined to \
+                         {}.corrupt and refetched",
+                        path.display(),
+                        path.display()
+                    ));
+                }
+                _ => {} // legacy-invalid or unreadable: a plain miss
+            }
         }
         let records = match period {
             Period::Month(y, m) => store.query_month(*y, *m),
             Period::Year(y) => store.query_year(*y),
         };
-        // Write atomically: temp file + rename, so a crashed fetch never
-        // leaves a half-written file that a later run trusts as cache.
-        let tmp = path.with_extension("txt.partial");
-        {
-            let mut w = BufWriter::new(
-                std::fs::File::create(&tmp).map_err(FetchError::io_for(period, &tmp))?,
-            );
-            write_records(records, &mut w, &spec.render)
-                .map_err(FetchError::io_for(period, &tmp))?;
-        }
-        std::fs::rename(&tmp, &path).map_err(FetchError::io_for(period, &path))?;
+        // Land through the durable store (temp file → fsync → rename →
+        // dir-fsync, checksum footer), so a crashed fetch never leaves a
+        // half-written file that a later run trusts as cache.
+        let mut buf = Vec::new();
+        write_records(records, &mut buf, &spec.render)
+            .map_err(FetchError::io_for(period, &path))?;
+        durable
+            .write_atomic(&path, &buf)
+            .map_err(FetchError::io_for(period, &path))?;
         Ok(FetchResult {
             period: *period,
             path,
             cached: false,
             jobs_written: records.len(),
+            warnings,
         })
     };
 
@@ -361,8 +393,11 @@ mod tests {
         let dir = temp_dir("parse");
         let spec = FetchSpec::monthly((2024, 2), (2024, 2), &dir);
         let results = obtain_data(&store(), &spec).unwrap();
-        let file = std::fs::File::open(&results[0].path).unwrap();
-        let (records, report) = crate::parse::parse_records(std::io::BufReader::new(file)).unwrap();
+        let payload = schedflow_dataflow::store::ambient()
+            .read_verified(&results[0].path)
+            .unwrap()
+            .into_bytes();
+        let (records, report) = crate::parse::parse_records(std::io::Cursor::new(payload)).unwrap();
         assert_eq!(records.len(), 3);
         assert!(report.malformed.is_empty());
         let _ = std::fs::remove_dir_all(&dir);
@@ -408,6 +443,34 @@ mod tests {
         // Intact file: a hit.
         let fourth = obtain_data(&s, &spec).unwrap();
         assert!(fourth[0].cached);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_cache_is_quarantined_with_warning_not_silently_refetched() {
+        let dir = temp_dir("corrupt");
+        let spec = FetchSpec::monthly((2024, 1), (2024, 1), &dir);
+        let s = store();
+        let first = obtain_data(&s, &spec).unwrap();
+        let path = first[0].path.clone();
+
+        // Flip one payload byte, keeping the checksum footer: the file now
+        // fails verification rather than the newline heuristic.
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[0] ^= 0x01;
+        std::fs::write(&path, &bytes).unwrap();
+
+        let second = obtain_data(&s, &spec).unwrap();
+        assert!(!second[0].cached, "corrupt cache refetched");
+        assert_eq!(second[0].warnings.len(), 1, "refetch carries a warning");
+        assert!(second[0].warnings[0].contains("quarantined"));
+        let corrupt = path.with_file_name("2024-01.txt.corrupt");
+        assert!(corrupt.exists(), "damaged evidence kept: {corrupt:?}");
+
+        // The refetched file verifies again and hits on the next pass.
+        let third = obtain_data(&s, &spec).unwrap();
+        assert!(third[0].cached);
+        assert!(third[0].warnings.is_empty());
         let _ = std::fs::remove_dir_all(&dir);
     }
 

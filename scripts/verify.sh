@@ -22,6 +22,15 @@ cargo run --release -p schedflow-bench --bin bench_frame -- --test
 echo "==> schedflow lint (default frontier pipeline must be clean)"
 cargo run --release -p schedflow-core --bin schedflow -- lint
 
+echo "==> crash-recovery smoke: die at store write 7 under I/O chaos, resume, diff digests"
+CRASH_TMP="$(mktemp -d)"
+trap 'rm -rf "$CRASH_TMP"' EXIT
+cargo run --release -p schedflow-core --bin schedflow -- verify-crash \
+    --system andes --from 2024-01 --to 2024-02 --scale 0.02 \
+    --cache "$CRASH_TMP/cache" --data "$CRASH_TMP/data" \
+    --io-torn-p 0.3 --chaos-seed 9 --crash-after 7 \
+    --retries 8 --retry-delay 1
+
 # Opt-in deep checking of the concurrency layer. Both stages need optional
 # toolchain pieces, so they skip gracefully when those are absent.
 if [ "${SCHEDFLOW_SANITIZE:-0}" = "1" ]; then

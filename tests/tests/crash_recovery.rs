@@ -1,0 +1,260 @@
+//! Crash-only durability drills: injected I/O faults against the durable
+//! store, checksum quarantine end-to-end, and the headline property — a run
+//! killed at an arbitrary durable-store write, then resumed, converges to
+//! the exact artifact digests of a fault-free run.
+//!
+//! Every fault below is deterministic: I/O injections are a pure function
+//! of `(seed, task name, attempt, write ordinal)` and the crash countdown
+//! is an explicit write index, so failures replay identically everywhere.
+
+use proptest::prelude::*;
+use schedflow_core::{verify_crash_recovery, System, WorkflowConfig};
+use schedflow_dataflow::store::{self, ChaosFs, CrashPlan, DurableStore, RealFs};
+use schedflow_dataflow::ChaosConfig;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::Arc;
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("schedflow-cr-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn tiny_config(tag: &str) -> WorkflowConfig {
+    let base = scratch(tag);
+    let mut cfg = WorkflowConfig::new(System::Andes);
+    cfg.from = (2024, 1);
+    cfg.to = (2024, 2);
+    cfg.scale = 0.02;
+    cfg.threads = 4;
+    cfg.seed = 5;
+    cfg.cache_dir = base.join("cache");
+    cfg.data_dir = base.join("data");
+    cfg
+}
+
+fn cleanup(cfg: &WorkflowConfig) {
+    let _ = std::fs::remove_dir_all(cfg.cache_dir.parent().unwrap());
+}
+
+/// A chaos schedule that is pure I/O faults (no task-outcome chaos), with
+/// combined fault probability ≥ 0.3 per store write.
+fn io_chaos(seed: u64) -> ChaosConfig {
+    ChaosConfig {
+        seed,
+        io_torn_p: 0.15,
+        io_enospc_p: 0.1,
+        io_eio_p: 0.05,
+        ..ChaosConfig::default()
+    }
+}
+
+fn chaos_store(cfg: ChaosConfig, crash: Option<CrashPlan>) -> DurableStore {
+    DurableStore::with_fs(Arc::new(ChaosFs::new(
+        Arc::new(RealFs),
+        cfg,
+        true,
+        "drill",
+        1,
+        crash,
+    )))
+}
+
+// ---- Fault-path unit drills against the store itself. ----
+
+/// A torn write (half the bytes land, then the device errors) must never
+/// reach the final path: the atomic protocol confines damage to the temp
+/// file, and a later fault-free attempt fully replaces it.
+#[test]
+fn torn_write_never_corrupts_the_final_path() {
+    let dir = scratch("torn");
+    let path = dir.join("artifact.txt");
+    let torn = chaos_store(
+        ChaosConfig {
+            seed: 3,
+            io_torn_p: 1.0,
+            ..ChaosConfig::default()
+        },
+        None,
+    );
+    let err = torn
+        .write_atomic(&path, b"payload that will be torn mid-write")
+        .expect_err("torn write must surface as an error");
+    assert!(err.to_string().contains("torn"), "{err}");
+    assert!(
+        !path.exists(),
+        "final path must not exist after a torn write"
+    );
+
+    // Retry through a clean store: full payload, verified checksum.
+    let clean = DurableStore::real();
+    clean.write_atomic(&path, b"second attempt").unwrap();
+    let payload = clean.read_verified(&path).unwrap();
+    assert!(payload.is_verified());
+    assert_eq!(payload.into_bytes(), b"second attempt");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// ENOSPC and EIO injections surface as the genuine OS error codes, so
+/// retry classification treats them exactly like the real thing.
+#[test]
+fn enospc_and_eio_surface_with_real_error_codes() {
+    let dir = scratch("errno");
+    let path = dir.join("artifact.txt");
+    let enospc = chaos_store(
+        ChaosConfig {
+            seed: 3,
+            io_enospc_p: 1.0,
+            ..ChaosConfig::default()
+        },
+        None,
+    );
+    let err = enospc.write_atomic(&path, b"x").expect_err("ENOSPC");
+    assert_eq!(err.raw_os_error(), Some(28), "{err}");
+
+    let eio = chaos_store(
+        ChaosConfig {
+            seed: 3,
+            io_eio_p: 1.0,
+            ..ChaosConfig::default()
+        },
+        None,
+    );
+    let err = eio.write_atomic(&path, b"x").expect_err("EIO");
+    assert_eq!(err.raw_os_error(), Some(5), "{err}");
+    assert!(!path.exists());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// I/O fault schedules are a pure function of the seed and write ordinal:
+/// the same config produces the same fault sequence on every evaluation.
+#[test]
+fn io_fault_schedule_is_deterministic() {
+    let cfg = io_chaos(11);
+    let first: Vec<_> = (0..64).map(|w| cfg.io_fault("curate", 1, w)).collect();
+    let second: Vec<_> = (0..64).map(|w| cfg.io_fault("curate", 1, w)).collect();
+    assert_eq!(first, second);
+    assert!(
+        first.iter().any(Option::is_some),
+        "p=0.3 over 64 writes must inject at least once"
+    );
+    // A different seed reshuffles the schedule.
+    let other: Vec<_> = (0..64)
+        .map(|w| io_chaos(12).io_fault("curate", 1, w))
+        .collect();
+    assert_ne!(first, other);
+}
+
+/// Bytes flipped on disk after a verified write are detected on read: the
+/// damaged file is quarantined to `<name>.corrupt` rather than parsed.
+#[test]
+fn corruption_is_quarantined_on_read() {
+    let dir = scratch("quarantine");
+    let path = dir.join("frame.csv");
+    let store = DurableStore::real();
+    store.write_atomic(&path, b"a,b\n1,2\n").unwrap();
+
+    let mut bytes = std::fs::read(&path).unwrap();
+    bytes[0] ^= 0x01; // flip one payload bit
+    std::fs::write(&path, &bytes).unwrap();
+
+    let err = store.read_verified(&path).expect_err("corrupt read");
+    assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    assert!(!path.exists(), "damaged file must not stay in place");
+    let corrupt = dir.join("frame.csv.corrupt");
+    assert!(corrupt.exists(), "damaged file is preserved for forensics");
+    assert_eq!(std::fs::read(&corrupt).unwrap(), bytes);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The crash countdown is global across store handles — it models one
+/// process dying, not one task — and fires exactly once at write N.
+#[test]
+fn crash_plan_fires_once_at_the_nth_write_across_handles() {
+    let dir = scratch("crashplan");
+    let plan = CrashPlan::new(3);
+    let a = chaos_store(ChaosConfig::default(), Some(plan.clone()));
+    let b = chaos_store(ChaosConfig::default(), Some(plan));
+    a.write_atomic(&dir.join("w1"), b"1").unwrap();
+    b.write_atomic(&dir.join("w2"), b"2").unwrap();
+    let died = catch_unwind(AssertUnwindSafe(|| a.write_atomic(&dir.join("w3"), b"3")))
+        .expect_err("third write is the crash point");
+    let msg = died.downcast_ref::<String>().cloned().unwrap_or_default();
+    assert!(msg.contains(store::CRASH_MARKER), "{msg}");
+    assert!(
+        !dir.join("w3").exists(),
+        "the dying write left nothing behind"
+    );
+    // The countdown has passed; later writes proceed normally.
+    b.write_atomic(&dir.join("w4"), b"4").unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+// ---- End-to-end: crash, resume, converge. ----
+
+/// The acceptance drill: seeded I/O chaos at combined p=0.3 on every store
+/// write plus a process death at write 7; the resumed run must converge to
+/// the fault-free digests with no torn artifact anywhere.
+#[test]
+fn crash_under_io_chaos_resumes_to_fault_free_digests() {
+    let mut cfg = tiny_config("accept");
+    cfg.fault.chaos = Some(io_chaos(11));
+    cfg.fault.retries = 8;
+    cfg.fault.retry_base_delay_ms = 1;
+    let outcome = verify_crash_recovery(&cfg, 7).unwrap_or_else(|e| panic!("verifier: {e}"));
+    assert!(outcome.crashed, "write 7 must land mid-run");
+    assert!(
+        outcome.is_converged(),
+        "digests diverged: {:?}",
+        outcome.mismatches
+    );
+    assert!(
+        !outcome.baseline.digests.is_empty(),
+        "convergence must be over a non-trivial artifact set"
+    );
+    assert!(
+        outcome.recovered.digests.iter().all(|(_, d)| d.is_some()),
+        "every recovered artifact carries a digest"
+    );
+    cleanup(&cfg);
+}
+
+/// A crash point beyond the run's total writes means no crash at all: the
+/// leg completes first time and trivially matches the baseline.
+#[test]
+fn crash_point_past_the_last_write_degenerates_to_verify() {
+    let mut cfg = tiny_config("nocrash");
+    cfg.fault.retries = 2;
+    cfg.fault.retry_base_delay_ms = 1;
+    let outcome = verify_crash_recovery(&cfg, 100_000).unwrap();
+    assert!(!outcome.crashed);
+    assert!(outcome.is_converged(), "{:?}", outcome.mismatches);
+    cleanup(&cfg);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Crash at the k-th durable-store write for arbitrary small k: wherever
+    /// the process dies — during fetch, curate, a chart, an insight, or the
+    /// dashboard — resume from the checkpoint manifest converges to the
+    /// fault-free digest map.
+    #[test]
+    fn prop_crash_at_any_write_point_converges(k in 1u64..28) {
+        let mut cfg = tiny_config(&format!("prop{k}"));
+        cfg.fault.chaos = Some(io_chaos(7));
+        cfg.fault.retries = 8;
+        cfg.fault.retry_base_delay_ms = 1;
+        let outcome = verify_crash_recovery(&cfg, k)
+            .unwrap_or_else(|e| panic!("verifier at k={k}: {e}"));
+        prop_assert!(
+            outcome.is_converged(),
+            "k={}: digests diverged: {:?}",
+            k,
+            outcome.mismatches
+        );
+        prop_assert!(!outcome.baseline.digests.is_empty());
+        cleanup(&cfg);
+    }
+}
