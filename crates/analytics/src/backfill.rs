@@ -5,19 +5,34 @@
 //! requested, revealing underutilization and missed opportunities for
 //! finer-grained resource scheduling."
 
-use crate::select::started_view;
+use crate::select::started_plan;
 use schedflow_charts::{Axis, Chart, MarkerShape, ScatterChart, Series};
-use schedflow_dataflow::contract::{ColType, FrameSchema};
-use schedflow_frame::{Frame, FrameError};
+use schedflow_dataflow::contract::FrameSchema;
+use schedflow_frame::{col_bool, col_num, lit_i64, Frame, FrameError, LazyPlan};
+
+/// Logical plan for the backfill analysis: started jobs with a finite
+/// positive walltime request and a measured duration, narrowed to the three
+/// plotted columns (UNLIMITED requests carry a null `timelimit_s`).
+pub fn plan() -> LazyPlan {
+    started_plan()
+        .filter(
+            col_num("timelimit_s")
+                .gt(lit_i64(0))
+                .and(col_num("elapsed_s").is_not_null()),
+        )
+        .project(&[
+            col_num("timelimit_s"),
+            col_num("elapsed_s"),
+            col_bool("backfilled"),
+        ])
+}
 
 /// Input columns this stage reads from the curated frame — its declared
-/// [`TaskContract`](schedflow_dataflow::contract::TaskContract) requirement
-/// for the backfill analysis.
+/// [`TaskContract`](schedflow_dataflow::contract::TaskContract) requirement,
+/// derived from [`plan`]'s typed column references (including the `start`
+/// null-check the old hand-written contract omitted).
 pub fn required_schema() -> FrameSchema {
-    FrameSchema::new()
-        .with("backfilled", ColType::Bool)
-        .with("elapsed_s", ColType::Int)
-        .with_nullable("timelimit_s", ColType::Int)
+    plan().required_schema()
 }
 
 /// Shape-check summary for the backfill figures.
@@ -40,19 +55,17 @@ pub struct BackfillSummary {
 pub fn requested_vs_actual(
     frame: &Frame,
 ) -> Result<((Vec<f64>, Vec<f64>), (Vec<f64>, Vec<f64>)), FrameError> {
-    let started = started_view(frame)?;
-    let mut req = started.column("timelimit_s")?.cursor();
-    let mut elapsed = started.column("elapsed_s")?.cursor();
-    let mut bf = started.bool("backfilled")?.cursor();
+    let out = plan().execute_view(frame)?;
+    let view = out.view();
+    let mut req = view.column("timelimit_s")?.cursor();
+    let mut elapsed = view.column("elapsed_s")?.cursor();
+    let mut bf = view.bool("backfilled")?.cursor();
     let mut regular = (Vec::new(), Vec::new());
     let mut backfilled = (Vec::new(), Vec::new());
-    for i in 0..started.height() {
+    for i in 0..view.height() {
         let (Some(r), Some(e)) = (req.get_f64(i), elapsed.get_f64(i)) else {
-            continue; // UNLIMITED requests are not comparable
-        };
-        if r <= 0.0 {
             continue;
-        }
+        };
         let slot = if bf.get_i64(i) == Some(1) {
             &mut backfilled
         } else {

@@ -6,17 +6,27 @@
 //! scatter can only hint at.
 
 use schedflow_charts::{Chart, HeatmapChart};
-use schedflow_dataflow::contract::{ColType, FrameSchema};
-use schedflow_frame::{Frame, FrameError};
+use schedflow_dataflow::contract::FrameSchema;
+use schedflow_frame::{col_i64, col_num, Frame, FrameError, LazyPlan};
 use schedflow_model::time::{Timestamp, HOUR};
 
+/// Logical plan for the queue-dynamics heatmap: submissions with a measured
+/// wait, narrowed to the grid's two columns.
+pub fn plan() -> LazyPlan {
+    LazyPlan::scan()
+        .filter(
+            col_i64("submit")
+                .is_not_null()
+                .and(col_num("wait_s").is_not_null()),
+        )
+        .project(&[col_i64("submit"), col_num("wait_s")])
+}
+
 /// Input columns this stage reads from the curated frame — its declared
-/// [`TaskContract`](schedflow_dataflow::contract::TaskContract) requirement
-/// for the queue-dynamics heatmap.
+/// [`TaskContract`](schedflow_dataflow::contract::TaskContract) requirement,
+/// derived from [`plan`]'s typed column references.
 pub fn required_schema() -> FrameSchema {
-    FrameSchema::new()
-        .with("submit", ColType::Int)
-        .with_nullable("wait_s", ColType::Int)
+    plan().required_schema()
 }
 
 /// Weekday labels, Monday-first (matching `Timestamp::weekday`).
@@ -57,11 +67,13 @@ impl QueueDynamics {
 
 /// Aggregate wait times into the weekly 7×24 grid.
 pub fn queue_dynamics(frame: &Frame) -> Result<QueueDynamics, FrameError> {
-    let mut submit = frame.i64("submit")?.cursor();
-    let mut wait = frame.column("wait_s")?.cursor();
+    let out = plan().execute_view(frame)?;
+    let view = out.view();
+    let mut submit = view.i64("submit")?.cursor();
+    let mut wait = view.column("wait_s")?.cursor();
     let mut sums = vec![0.0f64; 7 * 24];
     let mut counts = vec![0u64; 7 * 24];
-    for i in 0..frame.height() {
+    for i in 0..view.height() {
         let (Some(t), Some(w)) = (submit.get_i64(i), wait.get_f64(i)) else {
             continue;
         };

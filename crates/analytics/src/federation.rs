@@ -8,16 +8,39 @@
 
 use crate::{backfill, nodes_elapsed, states, waits};
 use schedflow_charts::{BarChart, BarMode, Chart, Scale};
-use schedflow_dataflow::contract::{ColType, FrameSchema};
-use schedflow_frame::{join, Column, Frame, FrameError, JoinKind};
+use schedflow_dataflow::contract::FrameSchema;
+use schedflow_frame::{Agg, Column, Frame, FrameError, JoinKind, LazyPlan};
 
-/// Input columns this stage reads from the curated frame — its declared
-/// [`TaskContract`](schedflow_dataflow::contract::TaskContract) requirement
-/// for the federation comparison.
+/// Two-source logical plan behind [`shared_users`]: aggregate each system's
+/// per-user activity, then inner-join on the anonymized user handle.
+pub fn shared_users_plan() -> LazyPlan {
+    let per_user = || {
+        LazyPlan::scan().group_by(
+            &["user"],
+            &[
+                ("jobs", Agg::Count),
+                ("mean_wait_s", Agg::Mean("wait_s".into())),
+            ],
+        )
+    };
+    per_user().join(per_user(), "user", JoinKind::Inner)
+}
+
+/// Input columns this stage reads from each curated frame — its declared
+/// [`TaskContract`](schedflow_dataflow::contract::TaskContract) requirement,
+/// derived as the union of [`shared_users_plan`] and the summarized
+/// sub-stages' plans (later, more precisely typed references win).
 pub fn required_schema() -> FrameSchema {
-    FrameSchema::new()
-        .with("user", ColType::Str)
-        .with_nullable("wait_s", ColType::Int)
+    let mut schema = shared_users_plan().required_schema();
+    for sub in [
+        nodes_elapsed::plan(),
+        backfill::plan(),
+        states::plan(),
+        waits::plan(),
+    ] {
+        schema = schema.union(&sub.required_schema());
+    }
+    schema
 }
 
 /// Headline metrics of one system, as a single-row frame column set.
@@ -105,17 +128,7 @@ pub fn federation_frame(summaries: &[SystemSummary]) -> Frame {
 /// cross-facility visibility into shared users' behavior. Returns rows for
 /// users active on *both* systems.
 pub fn shared_users(a: &Frame, b: &Frame) -> Result<Frame, FrameError> {
-    let per_user = |frame: &Frame| -> Result<Frame, FrameError> {
-        schedflow_frame::group_by(
-            frame,
-            &["user"],
-            &[
-                ("jobs", schedflow_frame::Agg::Count),
-                ("mean_wait_s", schedflow_frame::Agg::Mean("wait_s".into())),
-            ],
-        )
-    };
-    join(&per_user(a)?, &per_user(b)?, "user", JoinKind::Inner)
+    shared_users_plan().execute_multi(&[a, b])
 }
 
 /// Grouped bar chart contrasting normalized headline metrics per system.

@@ -27,10 +27,45 @@ pub mod utilization;
 pub mod volume;
 pub mod waits;
 
-/// The input contract of a named analysis stage, keyed by the task-name
-/// fragments the core pipeline uses (`plot-waits` → `"waits"`). Returns
-/// `None` for unknown stage names so callers can stay contract-free for
-/// stages that have no frame input.
+/// The names of every analysis stage with a logical plan / input contract,
+/// in pipeline order — the domain of [`stage_plan`] and [`stage_schema`].
+pub const STAGES: [&str; 10] = [
+    "volume",
+    "nodes-elapsed",
+    "waits",
+    "states",
+    "backfill",
+    "utilization",
+    "dynamics",
+    "predictor",
+    "federation",
+    "select-month",
+];
+
+/// The logical plan of a named analysis stage, keyed by the task-name
+/// fragments the core pipeline uses (`plot-waits` → `"waits"`). This is the
+/// source of truth for both the stage's derived input contract and the
+/// `schedflow explain` subcommand. Returns `None` for unknown stage names.
+pub fn stage_plan(stage: &str) -> Option<schedflow_frame::LazyPlan> {
+    Some(match stage {
+        "volume" => volume::plan(),
+        "nodes-elapsed" => nodes_elapsed::plan(),
+        "waits" => waits::plan(),
+        "states" => states::plan(),
+        "backfill" => backfill::plan(),
+        "utilization" => utilization::plan(),
+        "dynamics" => dynamics::plan(),
+        "predictor" => predictor::plan(),
+        "federation" => federation::shared_users_plan(),
+        "select-month" => select::selection_plan(),
+        _ => return None,
+    })
+}
+
+/// The input contract of a named analysis stage, derived from its logical
+/// plan's typed column references (see [`stage_plan`]). Returns `None` for
+/// unknown stage names so callers can stay contract-free for stages that
+/// have no frame input.
 pub fn stage_schema(stage: &str) -> Option<schedflow_dataflow::contract::FrameSchema> {
     Some(match stage {
         "volume" => volume::required_schema(),

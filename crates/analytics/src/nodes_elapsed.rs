@@ -4,18 +4,29 @@
 //! thousands of nodes and day-long runtimes; Andes concentrates in the
 //! small/short corner.
 
-use crate::select::started_view;
+use crate::select::started_plan;
 use schedflow_charts::{Axis, Chart, ScatterChart, Series};
-use schedflow_dataflow::contract::{ColType, FrameSchema};
-use schedflow_frame::{Frame, FrameError};
+use schedflow_dataflow::contract::FrameSchema;
+use schedflow_frame::{col_f64, col_i64, lit_f64, lit_i64, Frame, FrameError, LazyPlan};
+
+/// Logical plan for the nodes-vs-elapsed scatter: started jobs with a
+/// positive duration and node count, narrowed to the two plotted columns.
+pub fn plan() -> LazyPlan {
+    started_plan()
+        .filter(
+            col_f64("elapsed_min")
+                .gt(lit_f64(0.0))
+                .and(col_i64("nnodes").gt(lit_i64(0))),
+        )
+        .project(&[col_f64("elapsed_min"), col_i64("nnodes")])
+}
 
 /// Input columns this stage reads from the curated frame — its declared
-/// [`TaskContract`](schedflow_dataflow::contract::TaskContract) requirement
-/// for the nodes-vs-elapsed scatter.
+/// [`TaskContract`](schedflow_dataflow::contract::TaskContract) requirement,
+/// derived from [`plan`]'s typed column references (including the `start`
+/// null-check the old hand-written contract omitted).
 pub fn required_schema() -> FrameSchema {
-    FrameSchema::new()
-        .with("elapsed_min", ColType::Float)
-        .with("nnodes", ColType::Int)
+    plan().required_schema()
 }
 
 /// Summary numbers used by the shape checks in EXPERIMENTS.md.
@@ -30,21 +41,22 @@ pub struct NodesElapsedSummary {
     pub small_short_fraction: f64,
 }
 
-/// Extract `(elapsed_minutes, nodes)` pairs for all started jobs.
+/// Extract `(elapsed_minutes, nodes)` pairs for all started jobs. The plan
+/// does the selection (pushed into the scan); this is a zero-copy cursor
+/// walk over the surviving rows.
 pub fn nodes_vs_elapsed(frame: &Frame) -> Result<(Vec<f64>, Vec<f64>), FrameError> {
-    let started = started_view(frame)?;
-    let mut nodes = started.i64("nnodes")?.cursor();
-    let mut elapsed = started.f64("elapsed_min")?.cursor();
-    let mut xs = Vec::with_capacity(started.height());
-    let mut ys = Vec::with_capacity(started.height());
-    for i in 0..started.height() {
+    let out = plan().execute_view(frame)?;
+    let view = out.view();
+    let mut nodes = view.i64("nnodes")?.cursor();
+    let mut elapsed = view.f64("elapsed_min")?.cursor();
+    let mut xs = Vec::with_capacity(view.height());
+    let mut ys = Vec::with_capacity(view.height());
+    for i in 0..view.height() {
         let (Some(e), Some(n)) = (elapsed.get_f64(i), nodes.get_f64(i)) else {
             continue;
         };
-        if e > 0.0 && n > 0.0 {
-            xs.push(e);
-            ys.push(n);
-        }
+        xs.push(e);
+        ys.push(n);
     }
     Ok((xs, ys))
 }

@@ -8,20 +8,37 @@
 //! evaluation walks the trace in submit order, predicting each job *before*
 //! observing it — no lookahead.
 
-use schedflow_dataflow::contract::{ColType, FrameSchema};
-use schedflow_frame::{Frame, FrameError};
+use schedflow_dataflow::contract::FrameSchema;
+use schedflow_frame::{col_any, col_i64, col_num, col_str, lit_i64, Frame, FrameError, LazyPlan};
 use std::collections::HashMap;
 
+/// Logical plan for the predictor evaluation: started jobs with a known
+/// user, a positive runtime, and a finite positive request, in submit
+/// order. Filtering before the (stable) sort yields the same walk order as
+/// the historical sort-then-skip loop, but as a zero-copy view.
+pub fn plan() -> LazyPlan {
+    LazyPlan::scan()
+        .filter(
+            col_any("start")
+                .is_not_null()
+                .and(col_str("user").is_not_null())
+                .and(col_num("elapsed_s").gt(lit_i64(0)))
+                .and(col_num("timelimit_s").gt(lit_i64(0))),
+        )
+        .sort("submit", false)
+        .project(&[
+            col_i64("submit"),
+            col_str("user"),
+            col_num("elapsed_s"),
+            col_num("timelimit_s"),
+        ])
+}
+
 /// Input columns this stage reads from the curated frame — its declared
-/// [`TaskContract`](schedflow_dataflow::contract::TaskContract) requirement
-/// for the walltime predictor.
+/// [`TaskContract`](schedflow_dataflow::contract::TaskContract) requirement,
+/// derived from [`plan`]'s typed column references.
 pub fn required_schema() -> FrameSchema {
-    FrameSchema::new()
-        .with("user", ColType::Str)
-        .with("submit", ColType::Int)
-        .with("elapsed_s", ColType::Int)
-        .with_nullable("timelimit_s", ColType::Int)
-        .with_nullable("start", ColType::Int)
+    plan().required_schema()
 }
 
 /// Configuration of the per-user EWMA predictor.
@@ -125,11 +142,11 @@ pub struct PredictorEvaluation {
 /// Walk the curated frame in submit order, predicting each started job's
 /// walltime before observing it, and compare against the users' requests.
 pub fn evaluate(frame: &Frame, config: PredictorConfig) -> Result<PredictorEvaluation, FrameError> {
-    let ordered = frame.sort_by("submit", false)?;
-    let user = ordered.str("user")?;
-    let elapsed = ordered.column("elapsed_s")?;
-    let requested = ordered.column("timelimit_s")?;
-    let start = ordered.column("start")?;
+    let out = plan().execute_view(frame)?;
+    let view = out.view();
+    let user = view.str("user")?;
+    let mut elapsed = view.column("elapsed_s")?.cursor();
+    let mut requested = view.column("timelimit_s")?.cursor();
 
     let mut predictor = WalltimePredictor::new(config);
     let mut jobs = 0usize;
@@ -139,18 +156,12 @@ pub fn evaluate(frame: &Frame, config: PredictorConfig) -> Result<PredictorEvalu
     let mut user_unused = 0.0;
     let mut pred_unused = 0.0;
 
-    for i in 0..ordered.height() {
-        if !start.is_valid(i) {
-            continue;
-        }
+    for i in 0..view.height() {
         let (Some(u), Some(actual), Some(req)) =
             (user.get_str(i), elapsed.get_i64(i), requested.get_i64(i))
         else {
             continue;
         };
-        if actual <= 0 || req <= 0 {
-            continue;
-        }
         let predicted = predictor.predict(u, req);
         jobs += 1;
         pred_ratio_sum += predicted as f64 / actual as f64;

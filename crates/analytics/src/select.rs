@@ -1,30 +1,73 @@
 //! Frame selection helpers shared by the analysis stages.
 //!
-//! Each predicate comes in two flavors: a zero-copy `*_view` form returning
-//! a [`FrameView`] over the (possibly multi-chunk) merged frame, and the
-//! historical eager form that materializes the view. Stages iterate views
-//! through [`schedflow_frame::ViewCursor`]s so a scan over a year of monthly
-//! chunks stays O(rows) instead of O(rows × chunks).
+//! Each selection is declared as a [`LazyPlan`] — a logical filter over the
+//! curated frame — and comes in two flavors: a zero-copy `*_view` form
+//! returning a [`FrameView`] over the (possibly multi-chunk) merged frame,
+//! and the historical eager form that materializes the view. Stages iterate
+//! views through [`schedflow_frame::ViewCursor`]s so a scan over a year of
+//! monthly chunks stays O(rows) instead of O(rows × chunks).
+//!
+//! Because the selections are plans, their input contract is derived from
+//! the typed column references ([`required_schema`]) instead of being
+//! written by hand.
 
-use schedflow_dataflow::contract::{ColType, FrameSchema};
-use schedflow_frame::{Frame, FrameError, FrameView};
+use schedflow_dataflow::contract::FrameSchema;
+use schedflow_frame::{
+    col_any, col_i64, col_str, lit_i64, Frame, FrameError, FrameView, LazyPlan, PlanOutput,
+};
 
-/// Input columns this stage reads from the curated frame — its declared
-/// [`TaskContract`](schedflow_dataflow::contract::TaskContract) requirement
-/// for the month/state selection filters.
+/// Input columns this stage reads from the curated frame, derived from the
+/// union of the selection plans' typed column references.
 pub fn required_schema() -> FrameSchema {
-    FrameSchema::new()
-        .with("year", ColType::Int)
-        .with("month", ColType::Int)
-        .with("state", ColType::Str)
-        .with_nullable("start", ColType::Int)
+    selection_plan().required_schema()
+}
+
+/// A plan touching every column the selection helpers can reference; the
+/// literal values are placeholders — only the typed refs matter for the
+/// derived contract.
+pub fn selection_plan() -> LazyPlan {
+    month_plan(0, 1)
+        .filter(col_str("state").in_str(&[]))
+        .filter(col_any("start").is_not_null())
+}
+
+/// Logical plan: rows submitted in the given year.
+pub fn year_plan(year: i32) -> LazyPlan {
+    LazyPlan::scan().filter(col_i64("year").eq(lit_i64(i64::from(year))))
+}
+
+/// Logical plan: rows submitted in the given month of the given year.
+pub fn month_plan(year: i32, month: u8) -> LazyPlan {
+    LazyPlan::scan().filter(
+        col_i64("year")
+            .eq(lit_i64(i64::from(year)))
+            .and(col_i64("month").eq(lit_i64(i64::from(month)))),
+    )
+}
+
+/// Logical plan: rows whose `state` is one of `states`.
+pub fn states_plan(states: &[&str]) -> LazyPlan {
+    LazyPlan::scan().filter(col_str("state").in_str(states))
+}
+
+/// Logical plan: rows that actually started (non-null `start`).
+pub fn started_plan() -> LazyPlan {
+    LazyPlan::scan().filter(col_any("start").is_not_null())
+}
+
+/// Run a pure-selection plan, returning the zero-copy view it produces.
+fn view_of<'a>(plan: &LazyPlan, frame: &'a Frame) -> Result<FrameView<'a>, FrameError> {
+    match plan.execute_view(frame)? {
+        PlanOutput::View { view, .. } => Ok(view),
+        PlanOutput::Owned(_) => Err(FrameError::Plan(
+            "selection plan unexpectedly materialized".to_owned(),
+        )),
+    }
 }
 
 /// View of rows submitted in the given year. Zero-copy.
 pub fn year_view(frame: &Frame, year: i32) -> Result<FrameView<'_>, FrameError> {
-    let v = frame.view();
-    let mask = v.i64("year")?.mask_f64(|y| y as i32 == year);
-    v.filter(&mask)
+    view_of(&year_plan(year), frame)
 }
 
 /// Rows submitted in the given year.
@@ -34,13 +77,7 @@ pub fn filter_year(frame: &Frame, year: i32) -> Result<Frame, FrameError> {
 
 /// View of rows submitted in the given month of the given year. Zero-copy.
 pub fn month_view(frame: &Frame, year: i32, month: u8) -> Result<FrameView<'_>, FrameError> {
-    let v = frame.view();
-    let mut y = v.i64("year")?.cursor();
-    let mut m = v.i64("month")?.cursor();
-    let mask: Vec<bool> = (0..v.height())
-        .map(|i| y.get_i64(i) == Some(i64::from(year)) && m.get_i64(i) == Some(i64::from(month)))
-        .collect();
-    v.filter(&mask)
+    view_of(&month_plan(year, month), frame)
 }
 
 /// Rows submitted in the given month of the given year.
@@ -50,9 +87,7 @@ pub fn filter_month(frame: &Frame, year: i32, month: u8) -> Result<Frame, FrameE
 
 /// View of rows whose `state` is one of `states`. Zero-copy.
 pub fn states_view<'a>(frame: &'a Frame, states: &[&str]) -> Result<FrameView<'a>, FrameError> {
-    let v = frame.view();
-    let mask = v.str("state")?.mask_str(|s| states.contains(&s));
-    v.filter(&mask)
+    view_of(&states_plan(states), frame)
 }
 
 /// Rows whose `state` is one of `states`.
@@ -62,9 +97,7 @@ pub fn filter_states(frame: &Frame, states: &[&str]) -> Result<Frame, FrameError
 
 /// View of rows that actually started (non-null `start`). Zero-copy.
 pub fn started_view(frame: &Frame) -> Result<FrameView<'_>, FrameError> {
-    let v = frame.view();
-    let mask = v.column("start")?.validity_mask();
-    v.filter(&mask)
+    view_of(&started_plan(), frame)
 }
 
 /// Rows that actually started (non-null `start`).
@@ -109,6 +142,7 @@ pub fn view_numeric_with_rows(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use schedflow_dataflow::contract::ColType;
     use schedflow_frame::{copycount, Column};
 
     fn frame() -> Frame {
@@ -154,6 +188,16 @@ mod tests {
         let (rows, vals) = numeric_with_rows(&frame(), "wait_s").unwrap();
         assert_eq!(rows, vec![0, 2]);
         assert_eq!(vals, vec![5.0, 7.0]);
+    }
+
+    #[test]
+    fn derived_schema_covers_all_selection_columns() {
+        let s = required_schema();
+        assert_eq!(s.get("year").unwrap().ty, ColType::Int);
+        assert_eq!(s.get("month").unwrap().ty, ColType::Int);
+        assert_eq!(s.get("state").unwrap().ty, ColType::Str);
+        assert_eq!(s.get("start").unwrap().ty, ColType::Any);
+        assert!(s.get("start").unwrap().nullable);
     }
 
     #[test]

@@ -5,18 +5,27 @@
 //! the contrast §4.3 reads as a difference in workload style.
 
 use schedflow_charts::{BarChart, BarMode, Chart, Scale};
-use schedflow_dataflow::contract::{ColType, FrameSchema};
-use schedflow_frame::{group_by, Agg, Frame, FrameError};
+use schedflow_dataflow::contract::FrameSchema;
+use schedflow_frame::{col_str, Agg, Frame, FrameError, LazyPlan};
 use schedflow_model::TERMINAL_STATES;
 use std::collections::HashMap;
 
+/// Logical plan for the per-user end-state analysis: keep rows with a known
+/// user in a terminal state (null users and non-terminal states are never
+/// plotted), then count jobs per `(user, state)`.
+pub fn plan() -> LazyPlan {
+    let terminal: Vec<&str> = TERMINAL_STATES.iter().map(|s| s.to_sacct()).collect();
+    LazyPlan::scan()
+        .filter(col_str("user").is_not_null())
+        .filter(col_str("state").in_str(&terminal))
+        .group_by(&["user", "state"], &[("n", Agg::Count)])
+}
+
 /// Input columns this stage reads from the curated frame — its declared
-/// [`TaskContract`](schedflow_dataflow::contract::TaskContract) requirement
-/// for the per-user end-state analysis.
+/// [`TaskContract`](schedflow_dataflow::contract::TaskContract) requirement,
+/// derived from [`plan`]'s typed column references.
 pub fn required_schema() -> FrameSchema {
-    FrameSchema::new()
-        .with("state", ColType::Str)
-        .with("user", ColType::Str)
+    plan().required_schema()
 }
 
 /// Per-user state breakdown.
@@ -50,7 +59,7 @@ impl UserStates {
 
 /// State counts for the `top_n` most active users, ordered by job count.
 pub fn states_per_user(frame: &Frame, top_n: usize) -> Result<Vec<UserStates>, FrameError> {
-    let g = group_by(frame, &["user", "state"], &[("n", Agg::Count)])?;
+    let g = plan().execute(frame)?;
     let users = g.str("user")?;
     let states = g.str("state")?;
     let counts = g.i64("n")?;

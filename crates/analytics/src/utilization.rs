@@ -4,19 +4,28 @@
 //! Builds a node-occupancy time series from the curated frame's start/end
 //! intervals (an event sweep, sampled daily) and a utilization summary.
 
-use crate::select::started_view;
 use schedflow_charts::{Axis, Chart, ScatterChart, Series};
-use schedflow_dataflow::contract::{ColType, FrameSchema};
-use schedflow_frame::{Frame, FrameError};
+use schedflow_dataflow::contract::FrameSchema;
+use schedflow_frame::{col_i64, Frame, FrameError, LazyPlan};
+
+/// Logical plan for the node-occupancy analysis: jobs with a real interval
+/// (`end > start`, which also demands both be non-null) and a node count,
+/// narrowed to the sweep's three columns.
+pub fn plan() -> LazyPlan {
+    LazyPlan::scan()
+        .filter(
+            col_i64("end")
+                .gt(col_i64("start"))
+                .and(col_i64("nnodes").is_not_null()),
+        )
+        .project(&[col_i64("start"), col_i64("end"), col_i64("nnodes")])
+}
 
 /// Input columns this stage reads from the curated frame — its declared
-/// [`TaskContract`](schedflow_dataflow::contract::TaskContract) requirement
-/// for the node-occupancy analysis.
+/// [`TaskContract`](schedflow_dataflow::contract::TaskContract) requirement,
+/// derived from [`plan`]'s typed column references.
 pub fn required_schema() -> FrameSchema {
-    FrameSchema::new()
-        .with_nullable("start", ColType::Int)
-        .with_nullable("end", ColType::Int)
-        .with("nnodes", ColType::Int)
+    plan().required_schema()
 }
 
 /// One sample of the occupancy series.
@@ -31,21 +40,20 @@ pub struct OccupancySample {
 /// Sweep the job intervals into an occupancy series sampled every
 /// `step_secs`.
 pub fn occupancy(frame: &Frame, step_secs: i64) -> Result<Vec<OccupancySample>, FrameError> {
-    let started = started_view(frame)?;
-    let mut start = started.column("start")?.cursor();
-    let mut end = started.column("end")?.cursor();
-    let mut nodes = started.i64("nnodes")?.cursor();
+    let out = plan().execute_view(frame)?;
+    let view = out.view();
+    let mut start = view.column("start")?.cursor();
+    let mut end = view.column("end")?.cursor();
+    let mut nodes = view.i64("nnodes")?.cursor();
 
     let mut deltas: Vec<(i64, i64)> = Vec::new();
-    for i in 0..started.height() {
+    for i in 0..view.height() {
         let (Some(s), Some(e), Some(n)) = (start.get_i64(i), end.get_i64(i), nodes.get_i64(i))
         else {
             continue;
         };
-        if e > s {
-            deltas.push((s, n));
-            deltas.push((e, -n));
-        }
+        deltas.push((s, n));
+        deltas.push((e, -n));
     }
     if deltas.is_empty() {
         return Ok(Vec::new());

@@ -5,16 +5,25 @@
 //! count," reflecting srun task parallelism.
 
 use schedflow_charts::{BarChart, BarMode, Chart, Scale};
-use schedflow_dataflow::contract::{ColType, FrameSchema};
-use schedflow_frame::{group_by, Agg, Frame, FrameError};
+use schedflow_dataflow::contract::FrameSchema;
+use schedflow_frame::{Agg, Frame, FrameError, LazyPlan};
+
+/// Logical plan for the yearly volume analysis: group the curated frame by
+/// year, counting jobs and summing job-steps, sorted by year.
+pub fn plan() -> LazyPlan {
+    LazyPlan::scan()
+        .group_by(
+            &["year"],
+            &[("jobs", Agg::Count), ("steps", Agg::Sum("nsteps".into()))],
+        )
+        .sort("year", false)
+}
 
 /// Input columns this stage reads from the curated frame — its declared
-/// [`TaskContract`](schedflow_dataflow::contract::TaskContract) requirement
-/// for the yearly volume analysis.
+/// [`TaskContract`](schedflow_dataflow::contract::TaskContract) requirement,
+/// derived from [`plan`]'s typed column references.
 pub fn required_schema() -> FrameSchema {
-    FrameSchema::new()
-        .with("nsteps", ColType::Int)
-        .with("year", ColType::Int)
+    plan().required_schema()
 }
 
 /// One year's volumes.
@@ -37,12 +46,7 @@ impl YearVolume {
 
 /// Aggregate per-year job and step counts from the curated frame.
 pub fn yearly_volumes(frame: &Frame) -> Result<Vec<YearVolume>, FrameError> {
-    let g = group_by(
-        frame,
-        &["year"],
-        &[("jobs", Agg::Count), ("steps", Agg::Sum("nsteps".into()))],
-    )?;
-    let g = g.sort_by("year", false)?;
+    let g = plan().execute(frame)?;
     let years = g.i64("year")?;
     let jobs = g.i64("jobs")?;
     let steps = g.f64("steps")?;

@@ -7,18 +7,24 @@
 //! expose that as a quantile clip option.
 
 use schedflow_charts::{Axis, Chart, ScatterChart, Series};
-use schedflow_dataflow::contract::{ColType, FrameSchema};
-use schedflow_frame::{Frame, FrameError};
+use schedflow_dataflow::contract::FrameSchema;
+use schedflow_frame::{col_i64, col_num, col_str, Frame, FrameError, LazyPlan};
 use schedflow_model::TERMINAL_STATES;
 
+/// Logical plan for the queue-wait analysis: rows with a measured wait,
+/// narrowed to the three columns the scatter consumes. The clip-quantile
+/// pool is every non-null wait, which is exactly this plan's output.
+pub fn plan() -> LazyPlan {
+    LazyPlan::scan()
+        .filter(col_num("wait_s").is_not_null())
+        .project(&[col_str("state"), col_i64("submit"), col_num("wait_s")])
+}
+
 /// Input columns this stage reads from the curated frame — its declared
-/// [`TaskContract`](schedflow_dataflow::contract::TaskContract) requirement
-/// for the queue-wait analysis.
+/// [`TaskContract`](schedflow_dataflow::contract::TaskContract) requirement,
+/// derived from [`plan`]'s typed column references.
 pub fn required_schema() -> FrameSchema {
-    FrameSchema::new()
-        .with("state", ColType::Str)
-        .with("submit", ColType::Int)
-        .with_nullable("wait_s", ColType::Int)
+    plan().required_schema()
 }
 
 /// Options for the wait-time stage.
@@ -56,15 +62,17 @@ pub fn waits_by_state(
     frame: &Frame,
     options: &WaitOptions,
 ) -> Result<Vec<StateWaitSeries>, FrameError> {
-    let mut state = frame.str("state")?.cursor();
-    let mut submit = frame.i64("submit")?.cursor();
-    let wait_col = frame.column("wait_s")?;
+    let out = plan().execute_view(frame)?;
+    let view = out.view();
+    let mut state = view.str("state")?.cursor();
+    let mut submit = view.i64("submit")?.cursor();
+    let wait_col = view.column("wait_s")?;
     let mut wait = wait_col.cursor();
 
-    // Clip threshold over all waits.
+    // Clip threshold over all measured waits (the plan's filter).
     let mut all: Vec<f64> = {
         let mut cur = wait_col.cursor();
-        (0..frame.height()).filter_map(|i| cur.get_f64(i)).collect()
+        (0..view.height()).filter_map(|i| cur.get_f64(i)).collect()
     };
     all.sort_by(|a, b| a.partial_cmp(b).unwrap());
     let clip = if all.is_empty() || options.clip_quantile >= 1.0 {
@@ -78,7 +86,7 @@ pub fn waits_by_state(
         .iter()
         .map(|s| (s.to_sacct().to_owned(), Vec::new(), Vec::new()))
         .collect();
-    for i in 0..frame.height() {
+    for i in 0..view.height() {
         let (Some(w), Some(s), Some(t)) = (wait.get_f64(i), state.get_str(i), submit.get_f64(i))
         else {
             continue;

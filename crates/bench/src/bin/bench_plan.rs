@@ -1,0 +1,157 @@
+//! Query-layer benchmark: every analytics stage's logical plan executed
+//! through the optimizer (projection pruning, predicate pushdown, filter
+//! fusion, subplan memoization) against the eager unoptimized interpreter
+//! it replaced — same plans, same Frontier trace, byte-identical outputs.
+//!
+//! Per stage, the two legs are timed and the optimizer's own accounting
+//! (bytes scanned vs. the eager full-width scan) is captured from the
+//! plan-stats tally. Results land in `BENCH_plan.json` (override the
+//! directory with `SCHEDFLOW_OUT`). `--test` runs a smoke-sized pass for CI.
+
+use schedflow_analytics as analytics;
+use schedflow_bench::{banner, check, out_dir};
+use schedflow_dataflow::fnv::fnv1a_str;
+use schedflow_frame::{planstats, Frame};
+use std::time::Instant;
+
+struct StageResult {
+    stage: &'static str,
+    eager_ms: f64,
+    optimized_ms: f64,
+    bytes_eager: u64,
+    bytes_scanned: u64,
+    digests_match: bool,
+}
+
+impl StageResult {
+    fn speedup(&self) -> f64 {
+        self.eager_ms / self.optimized_ms.max(1e-9)
+    }
+
+    fn scan_reduction(&self) -> f64 {
+        if self.bytes_scanned == 0 {
+            return 1.0;
+        }
+        self.bytes_eager as f64 / self.bytes_scanned as f64
+    }
+}
+
+/// Best-of-`reps` wall time in milliseconds.
+fn time_ms<R>(reps: usize, mut f: impl FnMut() -> R) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t = Instant::now();
+        std::hint::black_box(f());
+        best = best.min(t.elapsed().as_secs_f64() * 1e3);
+    }
+    best
+}
+
+/// Content digest of a result frame — the per-leg artifact identity.
+/// Serialization densifies chunked columns, so two logically equal frames
+/// digest identically whatever their chunk layout.
+fn digest(frame: &Frame) -> u64 {
+    fnv1a_str(&serde_json::to_string(frame).expect("frame serializes"))
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--test");
+    banner(
+        "bench_plan",
+        "query layer: optimized logical plans vs eager execution",
+    );
+    schedflow_bench::lint_gate(&analytics::STAGES);
+
+    let full = schedflow_bench::frontier_frame();
+    let frame = if smoke {
+        full.head(600).compact()
+    } else {
+        full
+    };
+    let reps = if smoke { 2 } else { 5 };
+    println!("rows {}, best of {reps}", frame.height());
+
+    let mut results = Vec::new();
+    for stage in analytics::STAGES {
+        let plan = analytics::stage_plan(stage).expect("registry covers STAGES");
+        // The federation plan reads two systems; feed it the same trace twice.
+        let sources: Vec<&Frame> = (0..plan.source_count()).map(|_| &frame).collect();
+
+        planstats::reset();
+        let optimized_out = plan.execute_multi(&sources).expect(stage);
+        let stats = planstats::snapshot();
+        let eager_out = plan.execute_eager_multi(&sources).expect(stage);
+
+        let optimized_ms = time_ms(reps, || plan.execute_multi(&sources).unwrap());
+        let eager_ms = time_ms(reps, || plan.execute_eager_multi(&sources).unwrap());
+
+        let r = StageResult {
+            stage,
+            eager_ms,
+            optimized_ms,
+            bytes_eager: stats.bytes_eager,
+            bytes_scanned: stats.bytes_scanned,
+            digests_match: digest(&optimized_out) == digest(&eager_out),
+        };
+        println!(
+            "{:<14} eager {:>9.3} ms   optimized {:>9.3} ms   speedup {:>5.1}x   scan {:>6.1}x less   digests {}",
+            r.stage,
+            r.eager_ms,
+            r.optimized_ms,
+            r.speedup(),
+            r.scan_reduction(),
+            if r.digests_match { "match" } else { "DIFFER" }
+        );
+        results.push(r);
+    }
+
+    let bytes_eager: u64 = results.iter().map(|r| r.bytes_eager).sum();
+    let bytes_scanned: u64 = results.iter().map(|r| r.bytes_scanned).sum();
+    let total_reduction = bytes_eager as f64 / bytes_scanned.max(1) as f64;
+    println!(
+        "total: {bytes_scanned} bytes scanned vs {bytes_eager} eager ({total_reduction:.1}x reduction)"
+    );
+
+    // Manual JSON keeps the artifact dependency-free.
+    let entries: Vec<String> = results
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{\"stage\": \"{}\", \"eager_ms\": {:.6}, \"optimized_ms\": {:.6}, \
+                 \"speedup\": {:.3}, \"bytes_eager\": {}, \"bytes_scanned\": {}, \
+                 \"scan_reduction\": {:.3}, \"digests_match\": {}}}",
+                r.stage,
+                r.eager_ms,
+                r.optimized_ms,
+                r.speedup(),
+                r.bytes_eager,
+                r.bytes_scanned,
+                r.scan_reduction(),
+                r.digests_match
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"bench\": \"plan\",\n  \"rows\": {},\n  \"bytes_eager\": {},\n  \"bytes_scanned\": {},\n  \"scan_reduction\": {:.3},\n  \"results\": [\n{}\n  ]\n}}\n",
+        frame.height(),
+        bytes_eager,
+        bytes_scanned,
+        total_reduction,
+        entries.join(",\n")
+    );
+    let path = out_dir().join("BENCH_plan.json");
+    std::fs::write(&path, json).expect("write BENCH_plan.json");
+    println!("json: {}", path.display());
+
+    check(
+        "optimized and eager outputs digest identically on every stage",
+        results.iter().all(|r| r.digests_match),
+    );
+    // The acceptance bar: projection pruning + pushdown must at least halve
+    // the bytes the pipeline's plans touch. The ratio is data-volume
+    // independent, so the smoke pass enforces it too.
+    check(
+        "bytes scanned reduced ≥ 2x vs eager",
+        total_reduction >= 2.0,
+    );
+}

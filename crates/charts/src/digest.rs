@@ -171,6 +171,13 @@ impl ChartDigest {
     pub fn to_json(&self) -> String {
         serde_json::to_string_pretty(self).expect("digest serializes")
     }
+
+    /// Stable 64-bit content identity of the digest — the workspace-shared
+    /// FNV-1a ([`schedflow_dataflow::fnv`]) over the canonical JSON form,
+    /// comparable against the determinism verifier's artifact digests.
+    pub fn fingerprint(&self) -> u64 {
+        schedflow_dataflow::fnv::fnv1a_str(&self.to_json())
+    }
 }
 
 /// Grid resolution of the density summary.

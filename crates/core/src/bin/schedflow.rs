@@ -12,6 +12,8 @@
 //! schedflow chaos --fail-p 0.3 --chaos-seed 7               # injection drill
 //! schedflow chaos --io-torn-p 0.3 --crash-after 12          # I/O + crash drill
 //! schedflow lint --system andes           # static analysis, no execution
+//! schedflow explain waits                 # stage logical plan, pre/post optimizer
+//! schedflow explain all --dot             # every stage plan as DOT
 //! schedflow verify-run --scale 0.02       # determinism check: 1 vs N threads
 //! schedflow verify-crash --io-torn-p 0.3  # crash mid-run, resume, diff digests
 //! schedflow dot --system andes --lint     # Figure 2 (DOT), lint-annotated
@@ -30,6 +32,8 @@ fn usage() -> ! {
          schedflow verify-run [OPTIONS]  run at 1 and N threads, diff artifact digests\n  \
          schedflow verify-crash [OPTIONS]  crash at a store write, resume, diff digests\n  \
          schedflow lint  [OPTIONS]   statically analyze the workflow, run nothing\n  \
+         schedflow explain [STAGE|all] [--dot]  print analysis-stage logical plans\n                                         \
+         before and after optimization\n  \
          schedflow dot   [OPTIONS]   print the workflow dataflow graph (DOT)\n  \
          schedflow table2            print the LLM offering survey (Table 2)\n\n\
          OPTIONS (run/chaos/verify-run/verify-crash/lint/dot):\n  \
@@ -312,6 +316,22 @@ fn run_command(parsed: Args) {
                 fmt_bytes(outcome.report.total_bytes_out()),
                 fmt_bytes(outcome.report.peak_resident_bytes)
             );
+            if let Some(p) = outcome.report.plan_totals() {
+                eprintln!(
+                    "plan optimizer: {} plan(s) scanned {} of {} eager ({:.1}× less), \
+                     {}/{} columns read, {} predicate(s) pushed, {} filter(s) fused, \
+                     {} subplan(s) deduped",
+                    p.plans,
+                    fmt_bytes(p.bytes_scanned),
+                    fmt_bytes(p.bytes_eager),
+                    p.scan_reduction(),
+                    p.cols_scanned,
+                    p.cols_total,
+                    p.predicates_pushed,
+                    p.filters_fused,
+                    p.subplans_deduped
+                );
+            }
             let retried = outcome.report.retried();
             if !retried.is_empty() {
                 let detail: Vec<String> = retried
@@ -482,6 +502,69 @@ fn verify_crash_command(parsed: Args) {
     }
 }
 
+/// `schedflow explain [STAGE|all] [--dot]`: print each analysis stage's
+/// logical plan before and after optimization (or as a DOT graph), straight
+/// from the same plan registry that derives the stages' lint contracts and
+/// checkpoint fingerprints.
+fn explain_command(args: std::env::Args) {
+    let mut stage_arg: Option<String> = None;
+    let mut dot = false;
+    for a in args {
+        match a.as_str() {
+            "--dot" => dot = true,
+            s if stage_arg.is_none() && !s.starts_with('-') => stage_arg = Some(s.to_owned()),
+            other => {
+                eprintln!("unknown argument {other:?} for `explain`");
+                usage();
+            }
+        }
+    }
+    let stages: Vec<&str> = match stage_arg.as_deref() {
+        None | Some("all") => schedflow_analytics::STAGES.to_vec(),
+        Some(s) => {
+            if schedflow_analytics::stage_plan(s).is_none() {
+                eprintln!(
+                    "unknown stage {s:?}; available: {}",
+                    schedflow_analytics::STAGES.join(", ")
+                );
+                std::process::exit(2);
+            }
+            vec![schedflow_analytics::STAGES
+                .iter()
+                .find(|n| **n == s)
+                .copied()
+                .unwrap()]
+        }
+    };
+    for (i, stage) in stages.iter().enumerate() {
+        let plan = schedflow_analytics::stage_plan(stage).expect("registry covers STAGES");
+        if i > 0 {
+            println!();
+        }
+        if dot {
+            println!(
+                "// stage: {stage} (fingerprint {:016x})",
+                plan.fingerprint()
+            );
+            println!("{}", plan.to_dot());
+        } else {
+            println!(
+                "== stage: {stage} (fingerprint {:016x}) ==",
+                plan.fingerprint()
+            );
+            println!("logical:");
+            print!("{}", indent(&plan.explain()));
+            println!("optimized:");
+            print!("{}", indent(&plan.explain_optimized()));
+        }
+    }
+}
+
+/// Two-space indent for the explain trees.
+fn indent(tree: &str) -> String {
+    tree.lines().map(|l| format!("  {l}\n")).collect::<String>()
+}
+
 fn main() {
     let mut args = std::env::args();
     let _binary = args.next();
@@ -542,6 +625,7 @@ fn main() {
             });
             println!("{dot}");
         }
+        "explain" => explain_command(args),
         "run" | "chaos" => run_command(parse_args(&command, args)),
         "verify-run" => verify_command(parse_args("verify-run", args)),
         "verify-crash" => verify_crash_command(parse_args("verify-crash", args)),

@@ -227,21 +227,30 @@ pub fn build(cfg: &WorkflowConfig) -> BuiltWorkflow {
                 [merged.id()],
                 [chart_art.id(), html.id()],
                 move |ctx| {
+                    // Bracket the stage body so the optimizer accounting of
+                    // every plan it executes lands on this task's report.
+                    schedflow_frame::planstats::reset();
                     let frame = ctx.get(merged)?;
                     let chart = build_stage_chart(&stage_name, &frame, &sys, top_users)
                         .map_err(|e| e.to_string())?;
                     schedflow_charts::write_html(&chart, &Geometry::default(), ctx.path(&html)?)
                         .map_err(|e| e.to_string())?;
+                    ctx.record_plan_stats(schedflow_frame::planstats::snapshot());
                     ctx.put(chart_art, chart)
                 },
             );
             // Each plotting stage requires exactly the columns its analytics
-            // module reads from the merged frame.
+            // module reads from the merged frame — derived from the stage's
+            // logical plan, whose fingerprint also joins the checkpoint
+            // identity (a plan change invalidates the cached stage).
             if let Some(required) = analytics::stage_schema(stage) {
                 wf.with_contract(
                     plot_task,
                     TaskContract::new().require(merged.id(), required),
                 );
+            }
+            if let Some(plan) = analytics::stage_plan(stage) {
+                wf.with_plan_fingerprint(plot_task, plan.fingerprint());
             }
         }
 
@@ -298,6 +307,7 @@ pub fn build(cfg: &WorkflowConfig) -> BuiltWorkflow {
                     [merged.id()],
                     [chart_art.id()],
                     move |ctx| {
+                        schedflow_frame::planstats::reset();
                         let frame = ctx.get(merged)?;
                         let monthly = analytics::select::filter_month(&frame, year, month)
                             .map_err(|e| e.to_string())?;
@@ -307,16 +317,22 @@ pub fn build(cfg: &WorkflowConfig) -> BuiltWorkflow {
                             &analytics::WaitOptions::default(),
                         )
                         .map_err(|e| e.to_string())?;
+                        ctx.record_plan_stats(schedflow_frame::planstats::snapshot());
                         ctx.put(chart_art, chart)
                     },
                 );
-                // Reads the month filter's columns plus the wait analysis's.
-                let required = analytics::select::required_schema()
-                    .union(&analytics::waits::required_schema());
+                // The task is the waits analysis composed over the month
+                // selection; deriving the contract from that composition
+                // keeps it exactly as wide as the columns the two plans
+                // read, and its fingerprint (which covers the year/month
+                // literals) keys the checkpoint per compared month.
+                let composed =
+                    analytics::waits::plan().compose(analytics::select::month_plan(year, month));
                 wf.with_contract(
                     wait_task,
-                    TaskContract::new().require(merged.id(), required),
+                    TaskContract::new().require(merged.id(), composed.required_schema()),
                 );
+                wf.with_plan_fingerprint(wait_task, composed.fingerprint());
             }
             let digest_art = wf.value::<ChartDigest>(&format!("wait-digest-{label}"));
             wf.task(
@@ -557,6 +573,34 @@ mod tests {
         // Rows exist at several depths (Figure 2's structure).
         let max_depth = depths.iter().max().unwrap();
         assert!(*max_depth >= 5, "deep pipeline, got {max_depth}");
+    }
+
+    #[test]
+    fn plot_and_wait_tasks_carry_plan_fingerprints() {
+        let cfg = tiny_config("planfp");
+        let built = build(&cfg);
+        let mut fps = Vec::new();
+        for stage in PLOT_STAGES {
+            let id = built.workflow.task_id(&format!("plot-{stage}")).unwrap();
+            let fp = built.workflow.plan_fingerprint(id);
+            assert!(fp.is_some(), "plot-{stage} has no plan fingerprint");
+            fps.push(fp.unwrap());
+        }
+        // Distinct stages fingerprint distinctly.
+        fps.sort_unstable();
+        fps.dedup();
+        assert_eq!(fps.len(), PLOT_STAGES.len());
+        // The two compare months differ only in their literals — which the
+        // fingerprint covers, keying each month's checkpoint separately.
+        let a = built.workflow.task_id("wait-chart-2024-01").unwrap();
+        let b = built.workflow.task_id("wait-chart-2024-02").unwrap();
+        assert_ne!(
+            built.workflow.plan_fingerprint(a).unwrap(),
+            built.workflow.plan_fingerprint(b).unwrap()
+        );
+        // Tasks that execute no analytics plans carry none.
+        let merge = built.workflow.task_id("merge-curated").unwrap();
+        assert!(built.workflow.plan_fingerprint(merge).is_none());
     }
 
     #[test]

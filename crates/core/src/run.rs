@@ -113,10 +113,21 @@ fn run_report_html(report: &RunReport) -> String {
     };
     let mut rows = String::new();
     for t in &report.tasks {
+        // Plan columns are empty for tasks that executed no logical plans.
+        let (plan_cols, plan_red) = t.plan.as_ref().map_or_else(
+            || (String::new(), String::new()),
+            |p| {
+                (
+                    format!("{}/{}", p.cols_scanned, p.cols_total),
+                    format!("{:.1}&times;", p.scan_reduction()),
+                )
+            },
+        );
         rows.push_str(&format!(
             "<tr><td>{name}</td><td>{kind}</td><td>{status}</td>\
              <td class=\"num\">{dur:.1}</td>\
-             <td class=\"num\">{bin}</td><td class=\"num\">{bout}</td></tr>",
+             <td class=\"num\">{bin}</td><td class=\"num\">{bout}</td>\
+             <td class=\"num\">{plan_cols}</td><td class=\"num\">{plan_red}</td></tr>",
             name = esc(&t.name),
             kind = t.kind,
             status = esc(t.status.manifest_str()),
@@ -125,15 +136,34 @@ fn run_report_html(report: &RunReport) -> String {
             bout = human_bytes(t.bytes_out),
         ));
     }
+    let plan_summary = report.plan_totals().map_or_else(String::new, |p| {
+        format!(
+            "<p>Plan optimizer: {plans} logical plan(s) scanned \
+             <strong>{scanned}</strong> of <strong>{eager}</strong> eager bytes \
+             ({red:.1}&times; reduction); {cs}/{ct} source columns read, \
+             {pushed} predicate(s) pushed into scans, {fused} filter(s) fused, \
+             {dedup} duplicate subplan(s) served from cache.</p>",
+            plans = p.plans,
+            scanned = human_bytes(p.bytes_scanned),
+            eager = human_bytes(p.bytes_eager),
+            red = p.scan_reduction(),
+            cs = p.cols_scanned,
+            ct = p.cols_total,
+            pushed = p.predicates_pushed,
+            fused = p.filters_fused,
+            dedup = p.subplans_deduped,
+        )
+    });
     format!(
         "<p>{tasks} tasks in {makespan:.1} s on {threads} threads \
          (max concurrency {conc}, speedup &ge; {speedup:.1}&times;).</p>\
          <p>Data plane: <strong>{bin}</strong> read / <strong>{bout}</strong> \
          produced by tasks; peak resident <strong>{peak}</strong> of value \
          artifacts (the lifetime tracker drops each artifact after its last \
-         consumer).</p>\
+         consumer).</p>{plan_summary}\
          <table><thead><tr><th>Task</th><th>Kind</th><th>Status</th>\
-         <th>Duration (ms)</th><th>Bytes in</th><th>Bytes out</th></tr></thead>\
+         <th>Duration (ms)</th><th>Bytes in</th><th>Bytes out</th>\
+         <th>Plan cols</th><th>Scan &divide;</th></tr></thead>\
          <tbody>{rows}</tbody></table>",
         tasks = report.tasks.len(),
         makespan = report.makespan_ms / 1000.0,
@@ -144,6 +174,7 @@ fn run_report_html(report: &RunReport) -> String {
         bout = human_bytes(report.total_bytes_out()),
         peak = human_bytes(report.peak_resident_bytes),
         rows = rows,
+        plan_summary = plan_summary,
     )
 }
 
@@ -540,6 +571,24 @@ mod tests {
         .unwrap();
         assert!(run_report.contains("peak resident"), "data-plane summary");
         assert!(run_report.contains("Bytes out"), "per-task byte columns");
+        assert!(run_report.contains("Plan optimizer"), "plan-stats summary");
+        assert!(run_report.contains("Plan cols"), "per-task plan columns");
+        // Every plotting stage executed logical plans and recorded optimizer
+        // accounting; projection pruning reads well under half the eager bytes.
+        let plan = outcome.report.plan_totals().expect("plan stats recorded");
+        assert!(plan.plans >= crate::pipeline::PLOT_STAGES.len() as u64);
+        assert!(
+            plan.scan_reduction() >= 2.0,
+            "scan reduction only {:.2}× ({} of {} bytes)",
+            plan.scan_reduction(),
+            plan.bytes_scanned,
+            plan.bytes_eager
+        );
+        for t in &outcome.report.tasks {
+            if t.name.starts_with("plot-") {
+                assert!(t.plan.is_some(), "{} recorded no plan stats", t.name);
+            }
+        }
         assert!(!run_report.contains("is written when the workflow finishes"));
         // Curation saw the injected corruption.
         assert!(outcome.curation.0 > 0);

@@ -180,6 +180,9 @@ pub struct TaskCtx<'a> {
     pub(crate) outputs: &'a [ArtifactId],
     pub(crate) bytes_in: AtomicU64,
     pub(crate) bytes_out: AtomicU64,
+    /// Logical-plan optimizer accounting the body recorded (merged across
+    /// [`TaskCtx::record_plan_stats`] calls), harvested into the task report.
+    pub(crate) plan: Mutex<Option<crate::report::PlanStats>>,
     /// When race detection is on: the run's happens-before tracker and this
     /// task's index, so every access through this context is recorded.
     pub(crate) race: Option<(Arc<crate::race::RaceTracker>, usize)>,
@@ -199,8 +202,25 @@ impl<'a> TaskCtx<'a> {
             outputs,
             bytes_in: AtomicU64::new(0),
             bytes_out: AtomicU64::new(0),
+            plan: Mutex::new(None),
             race: None,
         }
+    }
+
+    /// Record logical-plan optimizer accounting for this task (merged when
+    /// called repeatedly — a stage may execute several plans). Surfaced in
+    /// [`crate::report::TaskReport::plan`].
+    pub fn record_plan_stats(&self, stats: crate::report::PlanStats) {
+        let mut slot = self.plan.lock();
+        match slot.as_mut() {
+            Some(acc) => acc.merge(&stats),
+            None => *slot = Some(stats),
+        }
+    }
+
+    /// Harvest the recorded plan accounting (executor hook).
+    pub(crate) fn take_plan_stats(&self) -> Option<crate::report::PlanStats> {
+        self.plan.lock().take()
     }
 
     pub(crate) fn with_race(mut self, tracker: Arc<crate::race::RaceTracker>, task: usize) -> Self {

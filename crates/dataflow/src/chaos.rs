@@ -13,7 +13,8 @@
 //! retried attempt rolls fresh dice — which is what makes "transient"
 //! failures transient.
 
-use crate::error::{fnv1a, splitmix64, unit_f64};
+use crate::error::{splitmix64, unit_f64};
+use crate::fnv::fnv1a_str as fnv1a;
 use crate::graph::StageKind;
 
 /// Which stage kinds faults are injected into.

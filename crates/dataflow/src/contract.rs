@@ -24,6 +24,10 @@ pub enum ColType {
     Float,
     Str,
     Bool,
+    /// Matches any *numeric* concrete type (int or float) — the requirement
+    /// a plan-derived contract emits for columns consumed through numeric
+    /// expressions, where either width evaluates identically.
+    Num,
     /// Matches any concrete type (for stages that only test presence).
     Any,
 }
@@ -31,7 +35,14 @@ pub enum ColType {
 impl ColType {
     /// Whether a column of concrete type `actual` satisfies this requirement.
     pub fn accepts(&self, actual: ColType) -> bool {
-        matches!(self, ColType::Any) || actual == ColType::Any || *self == actual
+        match self {
+            ColType::Any => true,
+            ColType::Num => matches!(
+                actual,
+                ColType::Int | ColType::Float | ColType::Num | ColType::Any
+            ),
+            _ => actual == ColType::Any || *self == actual,
+        }
     }
 }
 
@@ -42,6 +53,7 @@ impl std::fmt::Display for ColType {
             ColType::Float => "float",
             ColType::Str => "str",
             ColType::Bool => "bool",
+            ColType::Num => "num",
             ColType::Any => "any",
         })
     }
@@ -233,6 +245,10 @@ mod tests {
         assert!(ColType::Int.accepts(ColType::Int));
         assert!(!ColType::Int.accepts(ColType::Float));
         assert!(ColType::Str.accepts(ColType::Any));
+        assert!(ColType::Num.accepts(ColType::Int));
+        assert!(ColType::Num.accepts(ColType::Float));
+        assert!(!ColType::Num.accepts(ColType::Str));
+        assert!(!ColType::Str.accepts(ColType::Num));
     }
 
     #[test]

@@ -203,23 +203,9 @@ pub(crate) fn unit_f64(x: u64) -> f64 {
     (x >> 11) as f64 / (1u64 << 53) as f64
 }
 
-/// FNV-1a over a string — stable task-name hashing for seeds and manifest
-/// fingerprints.
-pub(crate) fn fnv1a(s: &str) -> u64 {
-    fnv1a_bytes(s.as_bytes())
-}
-
-/// FNV-1a over raw bytes — the content digests behind the determinism
-/// verifier (file artifacts are hashed from disk, value artifacts from their
-/// serialized form).
-pub(crate) fn fnv1a_bytes(bytes: &[u8]) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for b in bytes {
-        h ^= u64::from(*b);
-        h = h.wrapping_mul(0x1000_0000_01b3);
-    }
-    h
-}
+// FNV-1a used to live here; it is now the shared [`crate::fnv`] module,
+// reused by the durable store, manifest fingerprints, chaos seeds, and the
+// frame crate's logical-plan fingerprints.
 
 #[cfg(test)]
 mod tests {
@@ -296,11 +282,5 @@ mod tests {
         assert_ne!(splitmix64(1), splitmix64(2));
         let u = unit_f64(splitmix64(7));
         assert!((0.0..1.0).contains(&u));
-    }
-
-    #[test]
-    fn fnv_is_stable() {
-        assert_eq!(fnv1a("obtain-2024-01"), fnv1a("obtain-2024-01"));
-        assert_ne!(fnv1a("a"), fnv1a("b"));
     }
 }

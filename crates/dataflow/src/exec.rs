@@ -24,7 +24,8 @@
 
 use crate::artifact::{ArtifactKindMeta, DataStore, TaskCtx};
 use crate::chaos::{ChaosConfig, Fault};
-use crate::error::{fnv1a_bytes, splitmix64, RetryPolicy, TaskError};
+use crate::error::{splitmix64, RetryPolicy, TaskError};
+use crate::fnv::fnv1a_bytes;
 use crate::graph::{GraphError, StageKind, Workflow};
 use crate::manifest::{fingerprint, RunManifest};
 use crate::pool::ThreadPool;
@@ -168,6 +169,8 @@ struct Completion {
     /// Advertised bytes the attempt read / produced (data-plane accounting).
     bytes_in: u64,
     bytes_out: u64,
+    /// Logical-plan optimizer accounting the body recorded, if any.
+    plan: Option<crate::report::PlanStats>,
 }
 
 /// Mutable per-run bookkeeping, separated from the shared context so helper
@@ -314,6 +317,7 @@ impl Runner {
                     attempts: 0,
                     bytes_in: 0,
                     bytes_out: 0,
+                    plan: None,
                 })
                 .collect(),
             attempts: vec![0; n],
@@ -372,6 +376,7 @@ impl Runner {
                     st.reports[i].attempts = c.attempt;
                     st.reports[i].bytes_in = c.bytes_in;
                     st.reports[i].bytes_out = c.bytes_out;
+                    st.reports[i].plan = c.plan;
                     match c.result {
                         Ok(()) => {
                             st.state[i] = NodeState::Done;
@@ -676,6 +681,7 @@ impl Exec<'_> {
             }
             let mut bytes_in = 0u64;
             let mut bytes_out = 0u64;
+            let mut plan_stats = None;
             let result = match injection.outcome {
                 Some(Fault::TransientFailure) => Err(TaskError::transient(format!(
                     "chaos: injected transient failure (attempt {attempt})"
@@ -721,6 +727,7 @@ impl Exec<'_> {
                     .and_then(|()| verify_outputs(&wf, &store, i));
                     bytes_in = ctx.bytes_in.load(std::sync::atomic::Ordering::Relaxed);
                     bytes_out = ctx.bytes_out.load(std::sync::atomic::Ordering::Relaxed);
+                    plan_stats = ctx.take_plan_stats();
                     result
                 }
             };
@@ -734,6 +741,7 @@ impl Exec<'_> {
                 worker: current_worker_index(),
                 bytes_in,
                 bytes_out,
+                plan: plan_stats,
             });
         });
     }

@@ -1,0 +1,106 @@
+//! The workspace's one FNV-1a implementation.
+//!
+//! FNV-1a shows up everywhere a stable, dependency-free 64-bit digest is
+//! needed: durable-store checksum footers, determinism-verifier artifact
+//! digests, manifest task fingerprints, chaos seed derivation, and logical
+//! plan fingerprints ([`schedflow-frame`'s `plan` module]). Those call sites
+//! used to carry their own copies of the fold, and the dominant copy had
+//! mistyped the prime with an extra zero nibble (`0x1000000001b3`), hashing
+//! with a non-FNV constant. This module is the single shared definition they
+//! all reuse, with the standard 64-bit parameters: offset basis
+//! `0xcbf29ce484222325`, prime `0x100000001b3`. Digests are only ever
+//! compared against digests produced in-process by this same fold (store
+//! checksums are rewritten on write, mismatches quarantine and rebuild), so
+//! correcting the constant is safe.
+
+/// FNV-1a 64-bit offset basis.
+pub const OFFSET_BASIS: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// FNV-1a 64-bit prime (`2^40 + 2^8 + 0xb3`).
+pub const PRIME: u64 = 0x100_0000_01b3;
+
+/// Streaming FNV-1a hasher for digests built from several fields (plan
+/// canonical forms, task fingerprints) without intermediate allocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fnv1a(u64);
+
+impl Default for Fnv1a {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Fnv1a {
+    pub fn new() -> Self {
+        Fnv1a(OFFSET_BASIS)
+    }
+
+    /// Fold raw bytes into the running hash.
+    pub fn update(&mut self, bytes: &[u8]) -> &mut Self {
+        for b in bytes {
+            self.0 ^= u64::from(*b);
+            self.0 = self.0.wrapping_mul(PRIME);
+        }
+        self
+    }
+
+    /// Fold a string field, terminated by a `0xff` separator byte (which
+    /// cannot occur in UTF-8), so `("ab","c")` and `("a","bc")` digest
+    /// differently.
+    pub fn update_str(&mut self, s: &str) -> &mut Self {
+        self.update(s.as_bytes());
+        self.update(&[0xff])
+    }
+
+    /// Fold a `u64` field (little-endian bytes).
+    pub fn update_u64(&mut self, x: u64) -> &mut Self {
+        self.update(&x.to_le_bytes())
+    }
+
+    /// The current digest.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// FNV-1a over raw bytes — content digests (checksum footers, determinism
+/// verifier artifacts).
+pub fn fnv1a_bytes(bytes: &[u8]) -> u64 {
+    let mut h = Fnv1a::new();
+    h.update(bytes);
+    h.finish()
+}
+
+/// FNV-1a over a string — stable name hashing for seeds and fingerprints.
+pub fn fnv1a_str(s: &str) -> u64 {
+    fnv1a_bytes(s.as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_reference_vectors() {
+        // Standard FNV-1a/64 test vectors.
+        assert_eq!(fnv1a_bytes(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a_str("a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a_str("foobar"), 0x8594_4171_f739_67e8);
+    }
+
+    #[test]
+    fn streaming_equals_oneshot() {
+        let mut h = Fnv1a::new();
+        h.update(b"foo").update(b"bar");
+        assert_eq!(h.finish(), fnv1a_str("foobar"));
+    }
+
+    #[test]
+    fn field_separator_disambiguates() {
+        let mut a = Fnv1a::new();
+        a.update_str("ab").update_str("c");
+        let mut b = Fnv1a::new();
+        b.update_str("a").update_str("bc");
+        assert_ne!(a.finish(), b.finish());
+    }
+}

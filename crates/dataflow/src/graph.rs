@@ -62,6 +62,11 @@ pub(crate) struct TaskSpec {
     /// Declared dataflow contract (input column requirements + output schema
     /// effects) — consumed by `schedflow-lint`, never by the executor.
     pub contract: Option<TaskContract>,
+    /// Fingerprint of the task's canonicalized optimized logical plan, when
+    /// the body executes one (see `schedflow-frame`'s `plan` module). Folded
+    /// into the manifest fingerprint so artifact-cache/resume freshness is
+    /// invalidated when the *computation* changes, not just the graph wiring.
+    pub plan_fingerprint: Option<u64>,
 }
 
 /// Errors detected when validating a workflow graph.
@@ -207,6 +212,7 @@ impl Workflow {
             deadline: None,
             tolerates_failure: false,
             contract: None,
+            plan_fingerprint: None,
         });
         id
     }
@@ -221,6 +227,21 @@ impl Workflow {
     /// The declared contract of a task, if any.
     pub fn contract(&self, id: TaskId) -> Option<&TaskContract> {
         self.tasks[id.0].contract.as_ref()
+    }
+
+    /// Attach the fingerprint of the canonicalized optimized logical plan the
+    /// task's body executes. Composes with the structural manifest
+    /// fingerprint ([`crate::manifest::fingerprint`]): a changed plan — new
+    /// predicate, different projection — invalidates checkpoint/resume and
+    /// cache freshness for the task even though its graph wiring is
+    /// unchanged.
+    pub fn with_plan_fingerprint(&mut self, id: TaskId, fingerprint: u64) {
+        self.tasks[id.0].plan_fingerprint = Some(fingerprint);
+    }
+
+    /// The declared plan fingerprint of a task, if any.
+    pub fn plan_fingerprint(&self, id: TaskId) -> Option<u64> {
+        self.tasks[id.0].plan_fingerprint
     }
 
     /// Declare the schema of an artifact directly — for workflow parameters
@@ -282,7 +303,7 @@ impl Workflow {
         let f: DigestFn = std::sync::Arc::new(|any| {
             any.downcast_ref::<T>()
                 .and_then(|v| serde_json::to_vec(v).ok())
-                .map(|bytes| crate::error::fnv1a_bytes(&bytes))
+                .map(|bytes| crate::fnv::fnv1a_bytes(&bytes))
         });
         match self.digests.iter_mut().find(|(id, _)| *id == a.id) {
             Some((_, g)) => *g = f,

@@ -45,6 +45,7 @@ pub mod contract;
 pub mod dot;
 pub mod error;
 pub mod exec;
+pub mod fnv;
 pub mod graph;
 pub mod manifest;
 pub mod par;
@@ -59,9 +60,10 @@ pub use contract::{ColType, ColumnSpec, FrameSchema, SchemaEffect, TaskContract}
 pub use dot::{to_dot, DotOptions};
 pub use error::{RetryOn, RetryPolicy, TaskError};
 pub use exec::{RunOptions, Runner};
+pub use fnv::{fnv1a_bytes, fnv1a_str, Fnv1a};
 pub use graph::{GraphError, StageKind, TaskId, Workflow};
 pub use manifest::{ManifestEntry, RunManifest};
 pub use pool::ThreadPool;
 pub use race::RaceTracker;
-pub use report::{human_bytes, ArtifactDigest, RunReport, TaskReport, TaskStatus};
+pub use report::{human_bytes, ArtifactDigest, PlanStats, RunReport, TaskReport, TaskStatus};
 pub use store::{DurableStore, FileCheck, Fs, RealFs};

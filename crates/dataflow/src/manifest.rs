@@ -123,7 +123,11 @@ impl ManifestEntry {
 }
 
 /// Structural fingerprint of a task: stable across runs, changed by renames,
-/// re-kinding, or re-wiring of inputs/outputs.
+/// re-kinding, re-wiring of inputs/outputs, or — when the task declares one
+/// ([`Workflow::with_plan_fingerprint`]) — a change to the canonicalized
+/// optimized logical plan its body executes. One streaming FNV-1a digest over
+/// all of those fields ([`crate::fnv::Fnv1a`]); this replaces an earlier
+/// ad-hoc multiply-add mix that had copied the FNV prime with a typo.
 ///
 /// Panics if `task_name` is not declared in the workflow — callers pass names
 /// read back from the same workflow, so this is an internal invariant.
@@ -134,17 +138,19 @@ pub fn fingerprint(workflow: &Workflow, task_name: &str) -> u64 {
         .iter()
         .find(|t| t.name == task_name)
         .expect("fingerprint of a declared task");
-    let mut h = crate::error::fnv1a(&spec.name);
-    h = h.wrapping_mul(31).wrapping_add(match spec.kind {
+    let mut h = crate::fnv::Fnv1a::new();
+    h.update_str(&spec.name);
+    h.update(&[match spec.kind {
         StageKind::Static => 1,
         StageKind::UserDefined => 2,
-    });
+    }]);
     for id in spec.inputs.iter().chain(spec.outputs.iter()) {
-        h = h
-            .wrapping_mul(0x100_0000_01b3)
-            .wrapping_add(crate::error::fnv1a(workflow.artifact_name(*id)));
+        h.update_str(workflow.artifact_name(*id));
     }
-    h
+    if let Some(plan) = spec.plan_fingerprint {
+        h.update_u64(plan);
+    }
+    h.finish()
 }
 
 #[cfg(test)]
@@ -220,6 +226,22 @@ mod tests {
         std::fs::write(dir.join("out.txt"), "x").unwrap();
         assert!(m.tasks[1].resumable(fp));
         assert!(!m.tasks[1].resumable(fp ^ 1), "fingerprint mismatch");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn plan_fingerprint_composes_into_task_fingerprint() {
+        let dir = tmp("planfp");
+        let mut wf = workflow(&dir);
+        let a = fingerprint(&wf, "mk-value");
+        let id = wf.task_id("mk-value").unwrap();
+        wf.with_plan_fingerprint(id, 0xdead_beef);
+        let b = fingerprint(&wf, "mk-value");
+        assert_ne!(a, b, "a declared plan must invalidate the fingerprint");
+        wf.with_plan_fingerprint(id, 0xdead_beef);
+        assert_eq!(b, fingerprint(&wf, "mk-value"), "same plan, same print");
+        wf.with_plan_fingerprint(id, 0xdead_beee);
+        assert_ne!(b, fingerprint(&wf, "mk-value"), "changed plan changes it");
         let _ = std::fs::remove_dir_all(&dir);
     }
 

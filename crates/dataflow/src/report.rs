@@ -70,6 +70,65 @@ impl TaskStatus {
     }
 }
 
+/// Optimizer accounting for the logical plans a task executed (zero-valued
+/// when the task ran no plans). Produced by `schedflow-frame`'s plan
+/// executor, recorded through [`crate::TaskCtx::record_plan_stats`], and
+/// surfaced per task in [`TaskReport::plan`] plus run-wide in
+/// [`RunReport::plan_totals`].
+#[derive(Debug, Clone, Default, PartialEq, Serialize)]
+pub struct PlanStats {
+    /// Logical plans executed.
+    pub plans: u64,
+    /// Source columns visible to the plans' scans.
+    pub cols_total: u64,
+    /// Source columns actually scanned after projection pruning.
+    pub cols_scanned: u64,
+    /// Predicate conjuncts pushed down into scans.
+    pub predicates_pushed: u64,
+    /// Adjacent filter nodes fused by the optimizer.
+    pub filters_fused: u64,
+    /// Duplicate subplans served from the common-subplan cache.
+    pub subplans_deduped: u64,
+    /// Estimated bytes of the columns the optimized plans touched.
+    pub bytes_scanned: u64,
+    /// Estimated bytes an eager full-frame execution would have touched
+    /// (every source column, once per scan).
+    pub bytes_eager: u64,
+    /// Source rows visible to the scans.
+    pub rows_in: u64,
+    /// Rows in the plans' outputs.
+    pub rows_out: u64,
+    /// Row-gathering materializations performed (the optimizer contract is
+    /// at most one per plan).
+    pub materializations: u64,
+}
+
+impl PlanStats {
+    /// Fold another accounting record into this one.
+    pub fn merge(&mut self, other: &PlanStats) {
+        self.plans += other.plans;
+        self.cols_total += other.cols_total;
+        self.cols_scanned += other.cols_scanned;
+        self.predicates_pushed += other.predicates_pushed;
+        self.filters_fused += other.filters_fused;
+        self.subplans_deduped += other.subplans_deduped;
+        self.bytes_scanned += other.bytes_scanned;
+        self.bytes_eager += other.bytes_eager;
+        self.rows_in += other.rows_in;
+        self.rows_out += other.rows_out;
+        self.materializations += other.materializations;
+    }
+
+    /// Bytes-scanned reduction factor vs. eager execution (1.0 when nothing
+    /// was saved or nothing was scanned).
+    pub fn scan_reduction(&self) -> f64 {
+        if self.bytes_scanned == 0 {
+            return 1.0;
+        }
+        (self.bytes_eager as f64 / self.bytes_scanned as f64).max(1.0)
+    }
+}
+
 /// Outcome of one task.
 #[derive(Debug, Clone, Serialize)]
 pub struct TaskReport {
@@ -92,6 +151,9 @@ pub struct TaskReport {
     pub bytes_in: u64,
     /// Advertised bytes of value artifacts the task produced (data-plane out).
     pub bytes_out: u64,
+    /// Logical-plan optimizer accounting, when the task executed plans and
+    /// recorded them ([`crate::TaskCtx::record_plan_stats`]).
+    pub plan: Option<PlanStats>,
 }
 
 impl TaskReport {
@@ -203,6 +265,20 @@ impl RunReport {
         self.tasks.iter().map(|t| t.bytes_out).sum()
     }
 
+    /// Run-wide logical-plan accounting: the merge of every task's recorded
+    /// [`PlanStats`]. `None` when no task recorded any.
+    pub fn plan_totals(&self) -> Option<PlanStats> {
+        let mut total = PlanStats::default();
+        let mut any = false;
+        for t in &self.tasks {
+            if let Some(p) = &t.plan {
+                total.merge(p);
+                any = true;
+            }
+        }
+        any.then_some(total)
+    }
+
     /// Tasks that needed more than one attempt, `(name, attempts)`.
     pub fn retried(&self) -> Vec<(&str, u32)> {
         self.tasks
@@ -286,6 +362,7 @@ mod tests {
                     attempts: 1,
                     bytes_in: 0,
                     bytes_out: 1024,
+                    plan: None,
                 },
                 TaskReport {
                     name: "b".into(),
@@ -298,6 +375,7 @@ mod tests {
                     attempts: 1,
                     bytes_in: 1024,
                     bytes_out: 512,
+                    plan: None,
                 },
                 TaskReport {
                     name: "c".into(),
@@ -310,6 +388,7 @@ mod tests {
                     attempts: 0,
                     bytes_in: 0,
                     bytes_out: 0,
+                    plan: None,
                 },
             ],
             artifacts: vec![ArtifactDigest {

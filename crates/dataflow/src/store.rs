@@ -31,7 +31,7 @@
 //! signature; outside a task the ambient store is the real filesystem.
 
 use crate::chaos::{ChaosConfig, Fault};
-use crate::error::fnv1a_bytes;
+use crate::fnv::fnv1a_bytes;
 use std::io;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -449,7 +449,7 @@ mod tests {
         bytes.extend_from_slice(footer.as_bytes());
         let (p, stored) = split_footer(&bytes).unwrap();
         assert_eq!(p, payload);
-        assert_eq!(stored, crate::error::fnv1a_bytes(payload));
+        assert_eq!(stored, crate::fnv::fnv1a_bytes(payload));
         assert_eq!(payload_of(&bytes), payload);
         let s = String::from_utf8(bytes.clone()).unwrap();
         assert_eq!(strip_footer_str(&s), "a,b,c\n1,2,3\n");

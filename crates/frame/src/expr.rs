@@ -1,0 +1,670 @@
+//! The typed expression tree of the logical-plan IR.
+//!
+//! Expressions are built from *typed column references* — [`col_i64`],
+//! [`col_f64`], [`col_str`], [`col_bool`], [`col_num`] (either numeric
+//! width), [`col_any`] (presence only) — so the plan itself records how each
+//! column is consumed. [`crate::plan`] walks those references to derive a
+//! stage's input contract instead of a hand-written schema.
+//!
+//! Evaluation is null-total with Kleene three-valued logic: any operand
+//! being null makes comparisons and arithmetic null, `and`/`or` short-
+//! circuit through nulls the SQL way (`false AND null = false`,
+//! `true OR null = true`), and a [`Plan::Filter`](crate::plan::Plan) keeps
+//! only rows whose predicate is *definitely* true. Because nulls can never
+//! fault an expression, derived requirements mark every column nullable —
+//! presence and dtype are the checked contract.
+
+use crate::view::FrameView;
+use schedflow_dataflow::contract::ColType;
+use schedflow_dataflow::fnv::Fnv1a;
+use std::fmt::Write as _;
+
+/// A column reference with the type context it is consumed under.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColRef {
+    pub name: String,
+    pub ty: ColType,
+}
+
+/// Comparison operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+impl CmpOp {
+    fn token(self) -> &'static str {
+        match self {
+            CmpOp::Eq => "==",
+            CmpOp::Ne => "!=",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+        }
+    }
+}
+
+/// Arithmetic operator. `Div` always evaluates in floating point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArithOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+}
+
+impl ArithOp {
+    fn token(self) -> &'static str {
+        match self {
+            ArithOp::Add => "+",
+            ArithOp::Sub => "-",
+            ArithOp::Mul => "*",
+            ArithOp::Div => "/",
+        }
+    }
+}
+
+/// A scalar expression over one row of a frame.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    Col(ColRef),
+    LitI64(i64),
+    LitF64(f64),
+    LitStr(String),
+    LitBool(bool),
+    Cmp(CmpOp, Box<Expr>, Box<Expr>),
+    Arith(ArithOp, Box<Expr>, Box<Expr>),
+    And(Box<Expr>, Box<Expr>),
+    Or(Box<Expr>, Box<Expr>),
+    Not(Box<Expr>),
+    IsNull(Box<Expr>),
+    IsNotNull(Box<Expr>),
+    /// String-set membership (`state IN ('FAILED', ...)`).
+    InStr(Box<Expr>, Vec<String>),
+}
+
+/// Reference a column consumed as `int` (the frame dtype must be `Int`).
+pub fn col_i64(name: impl Into<String>) -> Expr {
+    Expr::Col(ColRef {
+        name: name.into(),
+        ty: ColType::Int,
+    })
+}
+
+/// Reference a column consumed as `float`.
+pub fn col_f64(name: impl Into<String>) -> Expr {
+    Expr::Col(ColRef {
+        name: name.into(),
+        ty: ColType::Float,
+    })
+}
+
+/// Reference a column consumed as a string.
+pub fn col_str(name: impl Into<String>) -> Expr {
+    Expr::Col(ColRef {
+        name: name.into(),
+        ty: ColType::Str,
+    })
+}
+
+/// Reference a column consumed as a boolean.
+pub fn col_bool(name: impl Into<String>) -> Expr {
+    Expr::Col(ColRef {
+        name: name.into(),
+        ty: ColType::Bool,
+    })
+}
+
+/// Reference a column consumed numerically — `int` or `float` both satisfy
+/// the derived requirement ([`ColType::Num`]).
+pub fn col_num(name: impl Into<String>) -> Expr {
+    Expr::Col(ColRef {
+        name: name.into(),
+        ty: ColType::Num,
+    })
+}
+
+/// Reference a column whose presence is the only requirement (e.g. a
+/// validity test on `start`).
+pub fn col_any(name: impl Into<String>) -> Expr {
+    Expr::Col(ColRef {
+        name: name.into(),
+        ty: ColType::Any,
+    })
+}
+
+/// Integer literal.
+pub fn lit_i64(v: i64) -> Expr {
+    Expr::LitI64(v)
+}
+
+/// Float literal.
+pub fn lit_f64(v: f64) -> Expr {
+    Expr::LitF64(v)
+}
+
+/// String literal.
+pub fn lit_str(v: impl Into<String>) -> Expr {
+    Expr::LitStr(v.into())
+}
+
+impl Expr {
+    pub fn eq(self, rhs: Expr) -> Expr {
+        Expr::Cmp(CmpOp::Eq, Box::new(self), Box::new(rhs))
+    }
+
+    pub fn ne(self, rhs: Expr) -> Expr {
+        Expr::Cmp(CmpOp::Ne, Box::new(self), Box::new(rhs))
+    }
+
+    pub fn lt(self, rhs: Expr) -> Expr {
+        Expr::Cmp(CmpOp::Lt, Box::new(self), Box::new(rhs))
+    }
+
+    pub fn le(self, rhs: Expr) -> Expr {
+        Expr::Cmp(CmpOp::Le, Box::new(self), Box::new(rhs))
+    }
+
+    pub fn gt(self, rhs: Expr) -> Expr {
+        Expr::Cmp(CmpOp::Gt, Box::new(self), Box::new(rhs))
+    }
+
+    pub fn ge(self, rhs: Expr) -> Expr {
+        Expr::Cmp(CmpOp::Ge, Box::new(self), Box::new(rhs))
+    }
+
+    pub fn and(self, rhs: Expr) -> Expr {
+        Expr::And(Box::new(self), Box::new(rhs))
+    }
+
+    pub fn or(self, rhs: Expr) -> Expr {
+        Expr::Or(Box::new(self), Box::new(rhs))
+    }
+
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(self) -> Expr {
+        Expr::Not(Box::new(self))
+    }
+
+    pub fn is_null(self) -> Expr {
+        Expr::IsNull(Box::new(self))
+    }
+
+    pub fn is_not_null(self) -> Expr {
+        Expr::IsNotNull(Box::new(self))
+    }
+
+    pub fn in_str(self, set: &[&str]) -> Expr {
+        Expr::InStr(
+            Box::new(self),
+            set.iter().map(|s| (*s).to_owned()).collect(),
+        )
+    }
+
+    #[allow(clippy::should_implement_trait)]
+    pub fn add(self, rhs: Expr) -> Expr {
+        Expr::Arith(ArithOp::Add, Box::new(self), Box::new(rhs))
+    }
+
+    #[allow(clippy::should_implement_trait)]
+    pub fn sub(self, rhs: Expr) -> Expr {
+        Expr::Arith(ArithOp::Sub, Box::new(self), Box::new(rhs))
+    }
+
+    #[allow(clippy::should_implement_trait)]
+    pub fn mul(self, rhs: Expr) -> Expr {
+        Expr::Arith(ArithOp::Mul, Box::new(self), Box::new(rhs))
+    }
+
+    #[allow(clippy::should_implement_trait)]
+    pub fn div(self, rhs: Expr) -> Expr {
+        Expr::Arith(ArithOp::Div, Box::new(self), Box::new(rhs))
+    }
+
+    /// Collect every column reference (pre-order, duplicates preserved).
+    pub fn col_refs<'e>(&'e self, out: &mut Vec<&'e ColRef>) {
+        match self {
+            Expr::Col(c) => out.push(c),
+            Expr::LitI64(_) | Expr::LitF64(_) | Expr::LitStr(_) | Expr::LitBool(_) => {}
+            Expr::Cmp(_, a, b) | Expr::Arith(_, a, b) | Expr::And(a, b) | Expr::Or(a, b) => {
+                a.col_refs(out);
+                b.col_refs(out);
+            }
+            Expr::Not(e) | Expr::IsNull(e) | Expr::IsNotNull(e) | Expr::InStr(e, _) => {
+                e.col_refs(out)
+            }
+        }
+    }
+
+    /// Stable textual rendering — the canonical sort key for conjunct
+    /// ordering and the leaf encoding of plan fingerprints.
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        self.render_into(&mut s);
+        s
+    }
+
+    fn render_into(&self, s: &mut String) {
+        match self {
+            Expr::Col(c) => {
+                let _ = write!(s, "col({}:{})", c.name, c.ty);
+            }
+            Expr::LitI64(v) => {
+                let _ = write!(s, "{v}i");
+            }
+            Expr::LitF64(v) => {
+                // `{:?}` keeps a trailing `.0`, disambiguating from ints.
+                let _ = write!(s, "{v:?}f");
+            }
+            Expr::LitStr(v) => {
+                let _ = write!(s, "{v:?}");
+            }
+            Expr::LitBool(v) => {
+                let _ = write!(s, "{v}");
+            }
+            Expr::Cmp(op, a, b) => {
+                s.push('(');
+                a.render_into(s);
+                s.push_str(op.token());
+                b.render_into(s);
+                s.push(')');
+            }
+            Expr::Arith(op, a, b) => {
+                s.push('(');
+                a.render_into(s);
+                s.push_str(op.token());
+                b.render_into(s);
+                s.push(')');
+            }
+            Expr::And(a, b) => {
+                s.push('(');
+                a.render_into(s);
+                s.push_str(" & ");
+                b.render_into(s);
+                s.push(')');
+            }
+            Expr::Or(a, b) => {
+                s.push('(');
+                a.render_into(s);
+                s.push_str(" | ");
+                b.render_into(s);
+                s.push(')');
+            }
+            Expr::Not(e) => {
+                s.push('!');
+                e.render_into(s);
+            }
+            Expr::IsNull(e) => {
+                e.render_into(s);
+                s.push_str(".is_null()");
+            }
+            Expr::IsNotNull(e) => {
+                e.render_into(s);
+                s.push_str(".is_not_null()");
+            }
+            Expr::InStr(e, set) => {
+                e.render_into(s);
+                let _ = write!(s, " in {set:?}");
+            }
+        }
+    }
+
+    /// Rebuild with `And`/`Or` conjunct chains flattened and sorted by
+    /// rendered key, so `a & b` and `b & a` canonicalize identically.
+    pub fn canonicalize(&self) -> Expr {
+        match self {
+            Expr::And(..) => Expr::rebuild_chain(self, true),
+            Expr::Or(..) => Expr::rebuild_chain(self, false),
+            Expr::Cmp(op, a, b) => {
+                Expr::Cmp(*op, Box::new(a.canonicalize()), Box::new(b.canonicalize()))
+            }
+            Expr::Arith(op, a, b) => {
+                Expr::Arith(*op, Box::new(a.canonicalize()), Box::new(b.canonicalize()))
+            }
+            Expr::Not(e) => Expr::Not(Box::new(e.canonicalize())),
+            Expr::IsNull(e) => Expr::IsNull(Box::new(e.canonicalize())),
+            Expr::IsNotNull(e) => Expr::IsNotNull(Box::new(e.canonicalize())),
+            Expr::InStr(e, set) => Expr::InStr(Box::new(e.canonicalize()), set.clone()),
+            leaf => leaf.clone(),
+        }
+    }
+
+    fn rebuild_chain(root: &Expr, is_and: bool) -> Expr {
+        let mut parts = Vec::new();
+        Expr::flatten_chain(root, is_and, &mut parts);
+        parts.sort_by_key(|e| e.render());
+        let mut it = parts.into_iter();
+        // An And/Or root always flattens to at least one operand; the
+        // identity element covers the unreachable empty case.
+        let first = match it.next() {
+            Some(e) => e,
+            None => return Expr::LitBool(is_and),
+        };
+        it.fold(first, |acc, e| if is_and { acc.and(e) } else { acc.or(e) })
+    }
+
+    fn flatten_chain(e: &Expr, is_and: bool, out: &mut Vec<Expr>) {
+        match (e, is_and) {
+            (Expr::And(a, b), true) | (Expr::Or(a, b), false) => {
+                Expr::flatten_chain(a, is_and, out);
+                Expr::flatten_chain(b, is_and, out);
+            }
+            _ => out.push(e.canonicalize()),
+        }
+    }
+
+    /// Fold this expression's canonical form into a fingerprint hasher.
+    pub fn fingerprint_into(&self, h: &mut Fnv1a) {
+        h.update_str(&self.canonicalize().render());
+    }
+}
+
+/// A scalar value produced by evaluating an expression at one row.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Value<'v> {
+    Null,
+    Int(i64),
+    Float(f64),
+    Str(&'v str),
+    Bool(bool),
+}
+
+impl Value<'_> {
+    fn as_f64(self) -> Option<f64> {
+        match self {
+            Value::Int(v) => Some(v as f64),
+            Value::Float(v) => Some(v),
+            Value::Bool(v) => Some(if v { 1.0 } else { 0.0 }),
+            _ => None,
+        }
+    }
+}
+
+/// Kleene truth value: `Some(bool)` or null.
+type Truth = Option<bool>;
+
+/// Row-wise evaluator over a [`FrameView`]: resolves the expression's column
+/// references once, then evaluates per row without re-looking anything up.
+pub struct Evaluator<'v> {
+    cols: Vec<(String, crate::view::ColumnView<'v>)>,
+}
+
+impl<'v> Evaluator<'v> {
+    /// Bind `expr`'s columns against `view`. Fails on a missing column or a
+    /// reference whose concrete dtype cannot satisfy its typed context.
+    pub fn bind(expr: &Expr, view: &'v FrameView<'v>) -> Result<Self, crate::frame::FrameError> {
+        let mut refs = Vec::new();
+        expr.col_refs(&mut refs);
+        let mut cols: Vec<(String, crate::view::ColumnView<'v>)> = Vec::new();
+        for r in refs {
+            if cols.iter().any(|(n, _)| *n == r.name) {
+                continue;
+            }
+            let cv = match r.ty {
+                ColType::Int => view.i64(&r.name)?,
+                ColType::Float => view.f64(&r.name)?,
+                ColType::Str => view.str(&r.name)?,
+                ColType::Bool => view.bool(&r.name)?,
+                ColType::Num => {
+                    let cv = view.column(&r.name)?;
+                    match cv.dtype() {
+                        crate::column::DType::Int | crate::column::DType::Float => cv,
+                        got => {
+                            return Err(crate::frame::FrameError::TypeMismatch {
+                                column: r.name.clone(),
+                                expected: crate::column::DType::Float,
+                                got,
+                            })
+                        }
+                    }
+                }
+                ColType::Any => view.column(&r.name)?,
+            };
+            cols.push((r.name.clone(), cv));
+        }
+        Ok(Evaluator { cols })
+    }
+
+    // Every reference is resolved in `bind`; plans only evaluate
+    // expressions they bound, so the lookup cannot miss.
+    #[allow(clippy::expect_used)]
+    fn col(&self, name: &str) -> &crate::view::ColumnView<'v> {
+        &self
+            .cols
+            .iter()
+            .find(|(n, _)| n == name)
+            .expect("column bound")
+            .1
+    }
+
+    /// Evaluate `expr` at view row `i`. The returned value borrows from
+    /// whichever of the view or the expression (string literals) is shorter-
+    /// lived.
+    pub fn eval<'e>(&'e self, expr: &'e Expr, i: usize) -> Value<'e> {
+        match expr {
+            Expr::Col(r) => {
+                let cv = self.col(&r.name);
+                if !cv.is_valid(i) {
+                    return Value::Null;
+                }
+                match cv.dtype() {
+                    crate::column::DType::Int => cv.get_i64(i).map_or(Value::Null, Value::Int),
+                    crate::column::DType::Float => cv.get_f64(i).map_or(Value::Null, Value::Float),
+                    crate::column::DType::Str => cv.get_str(i).map_or(Value::Null, Value::Str),
+                    crate::column::DType::Bool => {
+                        cv.get_i64(i).map_or(Value::Null, |v| Value::Bool(v != 0))
+                    }
+                }
+            }
+            Expr::LitI64(v) => Value::Int(*v),
+            Expr::LitF64(v) => Value::Float(*v),
+            Expr::LitStr(v) => Value::Str(v),
+            Expr::LitBool(v) => Value::Bool(*v),
+            Expr::Cmp(op, a, b) => truth_value(self.cmp(*op, self.eval(a, i), self.eval(b, i))),
+            Expr::Arith(op, a, b) => self.arith(*op, self.eval(a, i), self.eval(b, i)),
+            Expr::And(a, b) => {
+                let l = self.truth(a, i);
+                if l == Some(false) {
+                    return Value::Bool(false);
+                }
+                let r = self.truth(b, i);
+                truth_value(match (l, r) {
+                    (_, Some(false)) => Some(false),
+                    (Some(true), Some(true)) => Some(true),
+                    _ => None,
+                })
+            }
+            Expr::Or(a, b) => {
+                let l = self.truth(a, i);
+                if l == Some(true) {
+                    return Value::Bool(true);
+                }
+                let r = self.truth(b, i);
+                truth_value(match (l, r) {
+                    (_, Some(true)) => Some(true),
+                    (Some(false), Some(false)) => Some(false),
+                    _ => None,
+                })
+            }
+            Expr::Not(e) => truth_value(self.truth(e, i).map(|b| !b)),
+            Expr::IsNull(e) => Value::Bool(self.eval(e, i) == Value::Null),
+            Expr::IsNotNull(e) => Value::Bool(self.eval(e, i) != Value::Null),
+            Expr::InStr(e, set) => match self.eval(e, i) {
+                Value::Null => Value::Null,
+                Value::Str(s) => Value::Bool(set.iter().any(|x| x == s)),
+                _ => Value::Null,
+            },
+        }
+    }
+
+    /// Evaluate as a Kleene truth value.
+    pub fn truth(&self, expr: &Expr, i: usize) -> Truth {
+        match self.eval(expr, i) {
+            Value::Bool(b) => Some(b),
+            Value::Int(v) => Some(v != 0),
+            _ => None,
+        }
+    }
+
+    fn cmp(&self, op: CmpOp, a: Value<'_>, b: Value<'_>) -> Truth {
+        use std::cmp::Ordering;
+        let ord = match (a, b) {
+            (Value::Null, _) | (_, Value::Null) => return None,
+            (Value::Str(x), Value::Str(y)) => x.cmp(y),
+            (x, y) => {
+                let (Some(x), Some(y)) = (x.as_f64(), y.as_f64()) else {
+                    return None; // str vs numeric: incomparable, null
+                };
+                x.partial_cmp(&y)?
+            }
+        };
+        Some(match op {
+            CmpOp::Eq => ord == Ordering::Equal,
+            CmpOp::Ne => ord != Ordering::Equal,
+            CmpOp::Lt => ord == Ordering::Less,
+            CmpOp::Le => ord != Ordering::Greater,
+            CmpOp::Gt => ord == Ordering::Greater,
+            CmpOp::Ge => ord != Ordering::Less,
+        })
+    }
+
+    fn arith<'e>(&self, op: ArithOp, a: Value<'e>, b: Value<'e>) -> Value<'e> {
+        match (a, b) {
+            (Value::Int(x), Value::Int(y)) if op != ArithOp::Div => Value::Int(match op {
+                ArithOp::Add => x.wrapping_add(y),
+                ArithOp::Sub => x.wrapping_sub(y),
+                ArithOp::Mul => x.wrapping_mul(y),
+                ArithOp::Div => unreachable!(),
+            }),
+            (x, y) => match (x.as_f64(), y.as_f64()) {
+                (Some(x), Some(y)) => Value::Float(match op {
+                    ArithOp::Add => x + y,
+                    ArithOp::Sub => x - y,
+                    ArithOp::Mul => x * y,
+                    ArithOp::Div => x / y,
+                }),
+                _ => Value::Null,
+            },
+        }
+    }
+
+    /// Boolean mask over the view: true where the predicate is definitely
+    /// true (Kleene: null is not kept).
+    pub fn mask(&self, expr: &Expr, height: usize) -> Vec<bool> {
+        (0..height)
+            .map(|i| self.truth(expr, i) == Some(true))
+            .collect()
+    }
+}
+
+fn truth_value<'v>(t: Truth) -> Value<'v> {
+    t.map_or(Value::Null, Value::Bool)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::column::Column;
+    use crate::frame::Frame;
+
+    fn frame() -> Frame {
+        Frame::new()
+            .with("n", Column::from_opt_i64(vec![Some(1), Some(5), None]))
+            .with("x", Column::from_f64(vec![0.5, 2.5, 9.0]))
+            .with(
+                "s",
+                Column::from_str(vec!["a".into(), "b".into(), "a".into()]),
+            )
+    }
+
+    #[test]
+    fn kleene_null_semantics() {
+        let f = frame();
+        let v = f.view();
+        let pred = col_num("n").gt(lit_i64(2));
+        let ev = Evaluator::bind(&pred, &v).unwrap();
+        assert_eq!(ev.truth(&pred, 0), Some(false));
+        assert_eq!(ev.truth(&pred, 1), Some(true));
+        assert_eq!(ev.truth(&pred, 2), None, "null comparison is null");
+
+        // false AND null = false; true OR null = true.
+        let and = col_num("n").gt(lit_i64(100)).and(col_num("n").is_null());
+        let ev = Evaluator::bind(&and, &v).unwrap();
+        assert_eq!(ev.truth(&and, 2), None, "null > 100 is null, null AND x");
+        let and2 = lit_i64(0).gt(lit_i64(1)).and(col_num("n").gt(lit_i64(0)));
+        let ev = Evaluator::bind(&and2, &v).unwrap();
+        assert_eq!(ev.truth(&and2, 2), Some(false), "false AND null = false");
+        let or = lit_i64(1).gt(lit_i64(0)).or(col_num("n").gt(lit_i64(0)));
+        let ev = Evaluator::bind(&or, &v).unwrap();
+        assert_eq!(ev.truth(&or, 2), Some(true), "true OR null = true");
+    }
+
+    #[test]
+    fn masks_keep_only_definite_true() {
+        let f = frame();
+        let v = f.view();
+        let pred = col_num("n").ge(lit_i64(1));
+        let ev = Evaluator::bind(&pred, &v).unwrap();
+        assert_eq!(ev.mask(&pred, v.height()), vec![true, true, false]);
+    }
+
+    #[test]
+    fn string_membership_and_equality() {
+        let f = frame();
+        let v = f.view();
+        let e = col_str("s").in_str(&["a", "z"]);
+        let ev = Evaluator::bind(&e, &v).unwrap();
+        assert_eq!(ev.mask(&e, 3), vec![true, false, true]);
+        let e = col_str("s").eq(lit_str("b"));
+        let ev = Evaluator::bind(&e, &v).unwrap();
+        assert_eq!(ev.mask(&e, 3), vec![false, true, false]);
+    }
+
+    #[test]
+    fn arithmetic_promotes_and_propagates_null() {
+        let f = frame();
+        let v = f.view();
+        let e = col_num("n").add(col_num("x"));
+        let ev = Evaluator::bind(&e, &v).unwrap();
+        assert_eq!(ev.eval(&e, 0), Value::Float(1.5));
+        assert_eq!(ev.eval(&e, 2), Value::Null);
+        let int = col_num("n").mul(lit_i64(3));
+        let ev = Evaluator::bind(&int, &v).unwrap();
+        assert_eq!(ev.eval(&int, 1), Value::Int(15), "int×int stays int");
+        let div = col_num("n").div(lit_i64(2));
+        let ev = Evaluator::bind(&div, &v).unwrap();
+        assert_eq!(ev.eval(&div, 0), Value::Float(0.5), "div is float");
+    }
+
+    #[test]
+    fn typed_binding_enforces_dtype() {
+        let f = frame();
+        let v = f.view();
+        let e = col_i64("x").gt(lit_i64(0));
+        assert!(Evaluator::bind(&e, &v).is_err(), "x is float, not int");
+        let e = col_num("s").gt(lit_i64(0));
+        assert!(Evaluator::bind(&e, &v).is_err(), "s is not numeric");
+    }
+
+    #[test]
+    fn canonicalization_sorts_conjuncts() {
+        let a = col_num("n").gt(lit_i64(0));
+        let b = col_str("s").eq(lit_str("a"));
+        let c = col_num("x").lt(lit_f64(5.0));
+        let p1 = a.clone().and(b.clone()).and(c.clone());
+        let p2 = c.and(a).and(b);
+        assert_eq!(p1.canonicalize().render(), p2.canonicalize().render());
+    }
+
+    #[test]
+    fn render_distinguishes_literal_kinds() {
+        assert_ne!(lit_i64(1).render(), lit_f64(1.0).render());
+        assert_ne!(lit_str("1").render(), lit_i64(1).render());
+    }
+}

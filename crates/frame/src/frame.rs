@@ -30,6 +30,9 @@ pub enum FrameError {
         expected: DType,
         got: DType,
     },
+    /// A logical plan could not execute (bad source binding, mixed-type
+    /// expression output) — see [`crate::plan`].
+    Plan(String),
 }
 
 impl std::fmt::Display for FrameError {
@@ -47,6 +50,7 @@ impl std::fmt::Display for FrameError {
                 expected,
                 got,
             } => write!(f, "column {column:?} is {got}, expected {expected}"),
+            FrameError::Plan(msg) => write!(f, "plan error: {msg}"),
         }
     }
 }

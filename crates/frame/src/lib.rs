@@ -19,14 +19,24 @@
 //!   paper's curate-stage format boundary;
 //! * [`stats`] — descriptive statistics feeding analytics and chart digests;
 //! * [`copycount`] — thread-local row-copy accounting, the test hook that
-//!   enforces the zero-copy contract.
+//!   enforces the zero-copy contract;
+//! * [`expr`] / [`plan`] — the lazy logical-plan IR: typed expression trees,
+//!   an optimizer (filter fusion, predicate pushdown, projection pruning,
+//!   common-subplan elimination), plan-derived input contracts and stable
+//!   FNV-1a plan fingerprints, executing on the view machinery so optimized
+//!   plans materialize at most once;
+//! * [`planstats`] — thread-local plan-execution accounting (bytes scanned
+//!   vs. eager, pruned columns) snapshotted into dataflow run reports.
 
 pub mod column;
 pub mod copycount;
 pub mod csv;
+pub mod expr;
 pub mod frame;
 pub mod groupby;
 pub mod join;
+pub mod plan;
+pub mod planstats;
 pub mod stats;
 pub mod view;
 
@@ -35,7 +45,11 @@ pub use csv::{
     infer_types, read_csv_path, read_delimited, write_csv, write_csv_path, write_delimited,
     CsvError,
 };
+pub use expr::{
+    col_any, col_bool, col_f64, col_i64, col_num, col_str, lit_f64, lit_i64, lit_str, ColRef, Expr,
+};
 pub use frame::{Frame, FrameError};
 pub use groupby::{group_by, Agg};
 pub use join::{join, JoinKind};
+pub use plan::{LazyPlan, Plan, PlanOutput};
 pub use view::{ColumnView, FrameView, Selection, ViewCursor};

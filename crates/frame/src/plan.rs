@@ -1,0 +1,1734 @@
+//! Lazy logical plans with an optimizing query layer.
+//!
+//! A [`LazyPlan`] describes a frame computation — scans, filters,
+//! projections, derived columns, group-bys, sorts, joins — as data, without
+//! touching any rows. Before execution the optimizer rewrites the plan:
+//!
+//! * **filter fusion** — adjacent filters collapse into one conjunction;
+//! * **predicate pushdown** — filters sink through projections and sorts
+//!   into the scan, so rows are dropped at the source;
+//! * **projection pruning** — scans narrow to the columns the plan actually
+//!   consumes, so untouched columns are never gathered;
+//! * **common-subplan elimination** — identical materializing subplans
+//!   (group-bys, joins) execute once per run, keyed by fingerprint.
+//!
+//! Execution rides the zero-copy [`FrameView`] machinery: scan → filter →
+//! sort → head compose as selection vectors over the source's shared
+//! chunks, and an optimized plan materializes rows **at most once** (at a
+//! group-by/join boundary or at the final gather, which copies only the
+//! pruned column set).
+//!
+//! Because every column reference in a plan is typed ([`crate::expr`]), the
+//! plan doubles as the stage's input contract: [`LazyPlan::required_schema`]
+//! derives the `FrameSchema` a consumer must provide, replacing hand-written
+//! requirement lists. A canonicalized plan also digests to a stable
+//! [`LazyPlan::fingerprint`] (shared FNV-1a), which the dataflow layer folds
+//! into task fingerprints so a changed computation invalidates caches.
+//!
+//! Each execution tallies a [`PlanStats`] delta (bytes scanned vs. eager,
+//! rows in/out, pruned columns, pushdowns) into a thread-local
+//! ([`crate::planstats`]) that pipeline tasks snapshot into run reports.
+
+use crate::column::{Column, DType};
+use crate::expr::{ColRef, Evaluator, Expr, Value};
+use crate::frame::{Frame, FrameError};
+use crate::groupby::{group_by, Agg};
+use crate::join::{join, JoinKind};
+use crate::planstats;
+use crate::view::{FrameView, Selection};
+use schedflow_dataflow::contract::{ColType, ColumnSpec, FrameSchema};
+use schedflow_dataflow::fnv::Fnv1a;
+use schedflow_dataflow::report::PlanStats;
+use std::collections::{BTreeSet, HashMap};
+use std::fmt::Write as _;
+
+/// A logical plan node. Build via [`LazyPlan`]; the enum is public so
+/// tooling (`schedflow explain`) can walk optimized trees.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Plan {
+    /// Read input frame `source`. `projection`/`predicate` start empty and
+    /// are filled in by the optimizer (pruning, pushdown).
+    Scan {
+        source: usize,
+        projection: Option<Vec<String>>,
+        predicate: Option<Expr>,
+    },
+    Filter {
+        input: Box<Plan>,
+        predicate: Expr,
+    },
+    Project {
+        input: Box<Plan>,
+        columns: Vec<ColRef>,
+    },
+    WithColumn {
+        input: Box<Plan>,
+        name: String,
+        expr: Expr,
+    },
+    GroupBy {
+        input: Box<Plan>,
+        keys: Vec<String>,
+        aggs: Vec<(String, Agg)>,
+    },
+    Sort {
+        input: Box<Plan>,
+        by: String,
+        descending: bool,
+    },
+    Head {
+        input: Box<Plan>,
+        n: usize,
+    },
+    Join {
+        left: Box<Plan>,
+        right: Box<Plan>,
+        key: String,
+        kind: JoinKind,
+    },
+}
+
+/// Builder for single- and multi-source logical plans.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LazyPlan {
+    root: Plan,
+    sources: usize,
+}
+
+impl LazyPlan {
+    /// Start a plan over one input frame (source 0).
+    pub fn scan() -> Self {
+        LazyPlan {
+            root: Plan::Scan {
+                source: 0,
+                projection: None,
+                predicate: None,
+            },
+            sources: 1,
+        }
+    }
+
+    /// Keep rows where `predicate` is definitely true (Kleene).
+    pub fn filter(self, predicate: Expr) -> Self {
+        LazyPlan {
+            root: Plan::Filter {
+                input: Box::new(self.root),
+                predicate,
+            },
+            sources: self.sources,
+        }
+    }
+
+    /// Narrow to the given typed column references. Every expression must be
+    /// a bare column reference (`col_*`); anything else is a builder bug.
+    pub fn project(self, columns: &[Expr]) -> Self {
+        let columns = columns
+            .iter()
+            .map(|e| match e {
+                Expr::Col(c) => c.clone(),
+                other => panic!("project() takes column refs, got {}", other.render()),
+            })
+            .collect();
+        LazyPlan {
+            root: Plan::Project {
+                input: Box::new(self.root),
+                columns,
+            },
+            sources: self.sources,
+        }
+    }
+
+    /// Append (or replace) a computed column.
+    pub fn with_column(self, name: impl Into<String>, expr: Expr) -> Self {
+        LazyPlan {
+            root: Plan::WithColumn {
+                input: Box::new(self.root),
+                name: name.into(),
+                expr,
+            },
+            sources: self.sources,
+        }
+    }
+
+    /// Hash-aggregate over `keys`.
+    pub fn group_by(self, keys: &[&str], aggs: &[(&str, Agg)]) -> Self {
+        LazyPlan {
+            root: Plan::GroupBy {
+                input: Box::new(self.root),
+                keys: keys.iter().map(|k| (*k).to_owned()).collect(),
+                aggs: aggs
+                    .iter()
+                    .map(|(n, a)| ((*n).to_owned(), a.clone()))
+                    .collect(),
+            },
+            sources: self.sources,
+        }
+    }
+
+    /// Stable sort by one column, nulls last.
+    pub fn sort(self, by: impl Into<String>, descending: bool) -> Self {
+        LazyPlan {
+            root: Plan::Sort {
+                input: Box::new(self.root),
+                by: by.into(),
+                descending,
+            },
+            sources: self.sources,
+        }
+    }
+
+    /// First `n` rows.
+    pub fn head(self, n: usize) -> Self {
+        LazyPlan {
+            root: Plan::Head {
+                input: Box::new(self.root),
+                n,
+            },
+            sources: self.sources,
+        }
+    }
+
+    /// Join with another plan on `key`; the right plan's sources are
+    /// renumbered to follow this plan's (execute with
+    /// [`LazyPlan::execute_multi`]).
+    pub fn join(self, right: LazyPlan, key: impl Into<String>, kind: JoinKind) -> Self {
+        let shifted = shift_sources(right.root, self.sources);
+        LazyPlan {
+            root: Plan::Join {
+                left: Box::new(self.root),
+                right: Box::new(shifted),
+                key: key.into(),
+                kind,
+            },
+            sources: self.sources + right.sources,
+        }
+    }
+
+    /// Substitute `inner` for this single-source plan's scan — the composed
+    /// plan reads what `inner` produces. Used by pipeline stages that chain
+    /// a stage plan onto a curation plan for contract derivation.
+    pub fn compose(self, inner: LazyPlan) -> Self {
+        assert_eq!(
+            self.sources, 1,
+            "compose() requires a single-source outer plan"
+        );
+        LazyPlan {
+            root: substitute_scan(self.root, &inner.root),
+            sources: inner.sources,
+        }
+    }
+
+    /// Number of input frames this plan reads.
+    pub fn source_count(&self) -> usize {
+        self.sources
+    }
+
+    /// The unoptimized logical tree.
+    pub fn logical(&self) -> &Plan {
+        &self.root
+    }
+
+    /// The optimized tree (fused, pushed-down, pruned).
+    pub fn optimized(&self) -> Plan {
+        optimize(&self.root).0
+    }
+
+    /// Stable fingerprint of the canonicalized optimized plan. Insensitive
+    /// to optimization/canonicalization order and to commuted conjuncts.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = Fnv1a::new();
+        fold_plan(&canonicalize(&self.optimized()), &mut h);
+        h.finish()
+    }
+
+    /// Derive the input contract of source 0 from the plan's typed column
+    /// references. Every derived requirement is nullable: plans are
+    /// null-total (Kleene), so presence and dtype are the real contract.
+    ///
+    /// Panics if one column is consumed under conflicting types — that is a
+    /// statically wrong plan, not a data condition.
+    pub fn required_schema(&self) -> FrameSchema {
+        self.required_schemas()
+            .into_iter()
+            .next()
+            .unwrap_or_default()
+    }
+
+    /// Per-source derived input contracts (see [`LazyPlan::required_schema`]).
+    pub fn required_schemas(&self) -> Vec<FrameSchema> {
+        let mut reqs: Vec<Vec<(String, ColType)>> = vec![Vec::new(); self.sources];
+        collect_requirements(&self.root, &mut reqs);
+        reqs.into_iter()
+            .map(|cols| {
+                let mut schema = FrameSchema::new();
+                for (name, ty) in cols {
+                    schema = schema.with_spec(ColumnSpec::new(name, ty).nullable());
+                }
+                schema
+            })
+            .collect()
+    }
+
+    /// Execute against one source frame, materializing the result.
+    pub fn execute(&self, frame: &Frame) -> Result<Frame, FrameError> {
+        self.execute_multi(&[frame])
+    }
+
+    /// Execute against `frames` (one per source), materializing the result.
+    pub fn execute_multi(&self, frames: &[&Frame]) -> Result<Frame, FrameError> {
+        let (mut stats, out) = self.run(frames)?;
+        let f = out_into_frame(out, &mut stats)?;
+        stats.rows_out = f.height() as u64;
+        planstats::record(&stats);
+        Ok(f)
+    }
+
+    /// Execute against one source frame, returning the result *lazily*: a
+    /// zero-copy [`FrameView`] over the source when no materializing node
+    /// intervened, an owned frame otherwise. Stages that scan with cursors
+    /// use this to keep the whole pipeline copy-free.
+    pub fn execute_view<'a>(&self, frame: &'a Frame) -> Result<PlanOutput<'a>, FrameError> {
+        let (mut stats, out) = self.run(&[frame])?;
+        let output = match out {
+            Out::View { view, cols } => PlanOutput::View {
+                view,
+                columns: cols,
+            },
+            Out::Owned(f) => PlanOutput::Owned(f),
+        };
+        stats.rows_out = output.height() as u64;
+        planstats::record(&stats);
+        Ok(output)
+    }
+
+    /// Execute the *unoptimized* logical plan, materializing every node —
+    /// the pre-IR execution model. No pruning, no pushdown, no subplan
+    /// cache: the scan copies the full source and each stage materializes
+    /// its whole intermediate frame. Kept as the `bench_plan` baseline and
+    /// as the equivalence oracle for the property suite; records nothing in
+    /// the plan-stats tally.
+    pub fn execute_eager(&self, frame: &Frame) -> Result<Frame, FrameError> {
+        self.execute_eager_multi(&[frame])
+    }
+
+    /// Multi-source form of [`LazyPlan::execute_eager`].
+    pub fn execute_eager_multi(&self, frames: &[&Frame]) -> Result<Frame, FrameError> {
+        if frames.len() != self.sources {
+            return Err(FrameError::Plan(format!(
+                "plan reads {} source(s), got {}",
+                self.sources,
+                frames.len()
+            )));
+        }
+        eager_exec(&self.root, frames)
+    }
+
+    fn run<'a>(&self, frames: &[&'a Frame]) -> Result<(PlanStats, Out<'a>), FrameError> {
+        if frames.len() != self.sources {
+            return Err(FrameError::Plan(format!(
+                "plan reads {} source(s), got {}",
+                self.sources,
+                frames.len()
+            )));
+        }
+        let (plan, counts) = optimize(&self.root);
+        let mut stats = PlanStats {
+            plans: 1,
+            predicates_pushed: counts.predicates_pushed,
+            filters_fused: counts.filters_fused,
+            ..PlanStats::default()
+        };
+        let mut memo = HashMap::new();
+        let out = exec(&plan, frames, &mut stats, &mut memo)?;
+        Ok((stats, out))
+    }
+
+    /// Indented tree rendering of the unoptimized plan.
+    pub fn explain(&self) -> String {
+        render_plan(&self.root)
+    }
+
+    /// Indented tree rendering of the optimized plan.
+    pub fn explain_optimized(&self) -> String {
+        render_plan(&self.optimized())
+    }
+
+    /// Graphviz DOT rendering of the optimized plan.
+    pub fn to_dot(&self) -> String {
+        let mut s = String::from(
+            "digraph plan {\n  rankdir=BT;\n  node [shape=box, fontname=\"monospace\"];\n",
+        );
+        let mut next = 0usize;
+        dot_node(&self.optimized(), &mut next, &mut s);
+        s.push_str("}\n");
+        s
+    }
+}
+
+/// Result of [`LazyPlan::execute_view`].
+pub enum PlanOutput<'a> {
+    /// Zero-copy: a selection over the source frame, optionally narrowed to
+    /// a column subset.
+    View {
+        view: FrameView<'a>,
+        columns: Option<Vec<String>>,
+    },
+    /// The plan materialized (group-by, join, derived column).
+    Owned(Frame),
+}
+
+impl PlanOutput<'_> {
+    pub fn height(&self) -> usize {
+        match self {
+            PlanOutput::View { view, .. } => view.height(),
+            PlanOutput::Owned(f) => f.height(),
+        }
+    }
+
+    /// A view over the result (borrowing the output itself when owned).
+    pub fn view(&self) -> FrameView<'_> {
+        match self {
+            PlanOutput::View { view, .. } => view.clone(),
+            PlanOutput::Owned(f) => f.view(),
+        }
+    }
+
+    /// Gather into an owned frame (column subset applied).
+    pub fn materialize(&self) -> Result<Frame, FrameError> {
+        match self {
+            PlanOutput::View { view, columns } => materialize_projected(view, columns.as_deref()),
+            PlanOutput::Owned(f) => Ok(f.clone()),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Optimizer
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Default, Clone, Copy)]
+struct OptCounts {
+    predicates_pushed: u64,
+    filters_fused: u64,
+}
+
+fn optimize(plan: &Plan) -> (Plan, OptCounts) {
+    let mut counts = OptCounts::default();
+    let mut p = plan.clone();
+    // Fuse + push to fixpoint (pushing through a sort can re-stack filters).
+    loop {
+        let (fused, nfused) = fuse_filters(p);
+        let (pushed, npushed) = push_down(fused);
+        counts.filters_fused += nfused;
+        counts.predicates_pushed += npushed;
+        if nfused == 0 && npushed == 0 {
+            p = pushed;
+            break;
+        }
+        p = pushed;
+    }
+    (prune(p, Req::All), counts)
+}
+
+fn fuse_filters(plan: Plan) -> (Plan, u64) {
+    let mut n = 0;
+    let p = map_children(plan, &mut |child| {
+        let (c, m) = fuse_filters(child);
+        n += m;
+        c
+    });
+    match p {
+        Plan::Filter { input, predicate } => match *input {
+            Plan::Filter {
+                input: inner,
+                predicate: first,
+            } => (
+                Plan::Filter {
+                    input: inner,
+                    predicate: first.and(predicate),
+                },
+                n + 1,
+            ),
+            other => (
+                Plan::Filter {
+                    input: Box::new(other),
+                    predicate,
+                },
+                n,
+            ),
+        },
+        other => (other, n),
+    }
+}
+
+fn push_down(plan: Plan) -> (Plan, u64) {
+    let mut n = 0;
+    let p = map_children(plan, &mut |child| {
+        let (c, m) = push_down(child);
+        n += m;
+        c
+    });
+    match p {
+        Plan::Filter { input, predicate } => match *input {
+            // Sink into the scan: rows drop at the source.
+            Plan::Scan {
+                source,
+                projection,
+                predicate: scan_pred,
+            } => {
+                n += conjunct_count(&predicate);
+                let predicate = match scan_pred {
+                    Some(existing) => existing.and(predicate),
+                    None => predicate,
+                };
+                (
+                    Plan::Scan {
+                        source,
+                        projection,
+                        predicate: Some(predicate),
+                    },
+                    n,
+                )
+            }
+            // Filter and sort commute (both preserve relative order).
+            Plan::Sort {
+                input: sorted,
+                by,
+                descending,
+            } => (
+                Plan::Sort {
+                    input: Box::new(Plan::Filter {
+                        input: sorted,
+                        predicate,
+                    }),
+                    by,
+                    descending,
+                },
+                n + 1,
+            ),
+            // Through a projection only when the predicate survives it.
+            Plan::Project {
+                input: projected,
+                columns,
+            } if pred_cols_subset(&predicate, &columns) => (
+                Plan::Project {
+                    input: Box::new(Plan::Filter {
+                        input: projected,
+                        predicate,
+                    }),
+                    columns,
+                },
+                n + 1,
+            ),
+            other => (
+                Plan::Filter {
+                    input: Box::new(other),
+                    predicate,
+                },
+                n,
+            ),
+        },
+        other => (other, n),
+    }
+}
+
+fn conjunct_count(e: &Expr) -> u64 {
+    match e {
+        Expr::And(a, b) => conjunct_count(a) + conjunct_count(b),
+        _ => 1,
+    }
+}
+
+fn pred_cols_subset(pred: &Expr, columns: &[ColRef]) -> bool {
+    let mut refs = Vec::new();
+    pred.col_refs(&mut refs);
+    refs.iter()
+        .all(|r| columns.iter().any(|c| c.name == r.name))
+}
+
+/// Which columns a parent requires of a node's output.
+#[derive(Debug, Clone)]
+enum Req {
+    All,
+    Cols(BTreeSet<String>),
+}
+
+impl Req {
+    fn add_expr(&mut self, e: &Expr) {
+        if let Req::Cols(set) = self {
+            let mut refs = Vec::new();
+            e.col_refs(&mut refs);
+            for r in refs {
+                set.insert(r.name.clone());
+            }
+        }
+    }
+}
+
+fn prune(plan: Plan, req: Req) -> Plan {
+    match plan {
+        Plan::Scan {
+            source,
+            projection,
+            predicate,
+        } => {
+            let projection = match (&req, projection) {
+                (Req::All, p) => p,
+                (Req::Cols(set), _) => {
+                    let mut need = set.clone();
+                    if let Some(p) = &predicate {
+                        let mut refs = Vec::new();
+                        p.col_refs(&mut refs);
+                        for r in refs {
+                            need.insert(r.name.clone());
+                        }
+                    }
+                    Some(need.into_iter().collect())
+                }
+            };
+            Plan::Scan {
+                source,
+                projection,
+                predicate,
+            }
+        }
+        Plan::Filter { input, predicate } => {
+            let mut child = req;
+            child.add_expr(&predicate);
+            Plan::Filter {
+                input: Box::new(prune(*input, child)),
+                predicate,
+            }
+        }
+        Plan::Project { input, columns } => {
+            // The projection closes the column set regardless of the parent.
+            let set = columns.iter().map(|c| c.name.clone()).collect();
+            Plan::Project {
+                input: Box::new(prune(*input, Req::Cols(set))),
+                columns,
+            }
+        }
+        Plan::WithColumn { input, name, expr } => {
+            let child = match req {
+                Req::All => Req::All,
+                Req::Cols(mut set) => {
+                    set.remove(&name);
+                    let mut r = Req::Cols(set);
+                    r.add_expr(&expr);
+                    r
+                }
+            };
+            Plan::WithColumn {
+                input: Box::new(prune(*input, child)),
+                name,
+                expr,
+            }
+        }
+        Plan::GroupBy { input, keys, aggs } => {
+            let mut set: BTreeSet<String> = keys.iter().cloned().collect();
+            for (_, a) in &aggs {
+                if let Some(src) = agg_source(a) {
+                    set.insert(src.to_owned());
+                }
+            }
+            Plan::GroupBy {
+                input: Box::new(prune(*input, Req::Cols(set))),
+                keys,
+                aggs,
+            }
+        }
+        Plan::Sort {
+            input,
+            by,
+            descending,
+        } => {
+            let child = match req {
+                Req::All => Req::All,
+                Req::Cols(mut set) => {
+                    set.insert(by.clone());
+                    Req::Cols(set)
+                }
+            };
+            Plan::Sort {
+                input: Box::new(prune(*input, child)),
+                by,
+                descending,
+            }
+        }
+        Plan::Head { input, n } => Plan::Head {
+            input: Box::new(prune(*input, req)),
+            n,
+        },
+        // Joins rename/suffix columns; prune conservatively on both sides.
+        Plan::Join {
+            left,
+            right,
+            key,
+            kind,
+        } => Plan::Join {
+            left: Box::new(prune(*left, Req::All)),
+            right: Box::new(prune(*right, Req::All)),
+            key,
+            kind,
+        },
+    }
+}
+
+fn map_children(plan: Plan, f: &mut impl FnMut(Plan) -> Plan) -> Plan {
+    match plan {
+        Plan::Scan { .. } => plan,
+        Plan::Filter { input, predicate } => Plan::Filter {
+            input: Box::new(f(*input)),
+            predicate,
+        },
+        Plan::Project { input, columns } => Plan::Project {
+            input: Box::new(f(*input)),
+            columns,
+        },
+        Plan::WithColumn { input, name, expr } => Plan::WithColumn {
+            input: Box::new(f(*input)),
+            name,
+            expr,
+        },
+        Plan::GroupBy { input, keys, aggs } => Plan::GroupBy {
+            input: Box::new(f(*input)),
+            keys,
+            aggs,
+        },
+        Plan::Sort {
+            input,
+            by,
+            descending,
+        } => Plan::Sort {
+            input: Box::new(f(*input)),
+            by,
+            descending,
+        },
+        Plan::Head { input, n } => Plan::Head {
+            input: Box::new(f(*input)),
+            n,
+        },
+        Plan::Join {
+            left,
+            right,
+            key,
+            kind,
+        } => Plan::Join {
+            left: Box::new(f(*left)),
+            right: Box::new(f(*right)),
+            key,
+            kind,
+        },
+    }
+}
+
+fn shift_sources(plan: Plan, by: usize) -> Plan {
+    match plan {
+        Plan::Scan {
+            source,
+            projection,
+            predicate,
+        } => Plan::Scan {
+            source: source + by,
+            projection,
+            predicate,
+        },
+        other => map_children(other, &mut |c| shift_sources(c, by)),
+    }
+}
+
+fn substitute_scan(plan: Plan, inner: &Plan) -> Plan {
+    match plan {
+        Plan::Scan {
+            projection: None,
+            predicate: None,
+            ..
+        } => inner.clone(),
+        Plan::Scan { .. } => panic!("compose() requires a bare (unoptimized) scan"),
+        other => map_children(other, &mut |c| substitute_scan(c, inner)),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Canonical form & fingerprint
+// ---------------------------------------------------------------------------
+
+fn canonicalize(plan: &Plan) -> Plan {
+    match plan {
+        Plan::Scan {
+            source,
+            projection,
+            predicate,
+        } => {
+            let projection = projection.as_ref().map(|p| {
+                let mut p = p.clone();
+                p.sort();
+                p
+            });
+            Plan::Scan {
+                source: *source,
+                projection,
+                predicate: predicate.as_ref().map(Expr::canonicalize),
+            }
+        }
+        Plan::Filter { input, predicate } => Plan::Filter {
+            input: Box::new(canonicalize(input)),
+            predicate: predicate.canonicalize(),
+        },
+        other => map_children(other.clone(), &mut |c| canonicalize(&c)),
+    }
+}
+
+fn agg_render(a: &Agg) -> String {
+    match a {
+        Agg::Count => "count".to_owned(),
+        Agg::Sum(c) => format!("sum({c})"),
+        Agg::Mean(c) => format!("mean({c})"),
+        Agg::Min(c) => format!("min({c})"),
+        Agg::Max(c) => format!("max({c})"),
+        Agg::Median(c) => format!("median({c})"),
+        Agg::Quantile(c, q) => format!("quantile({c},{q:?})"),
+    }
+}
+
+fn agg_source(a: &Agg) -> Option<&str> {
+    match a {
+        Agg::Count => None,
+        Agg::Sum(c) | Agg::Mean(c) | Agg::Min(c) | Agg::Max(c) | Agg::Median(c) => Some(c),
+        Agg::Quantile(c, _) => Some(c),
+    }
+}
+
+fn fold_plan(plan: &Plan, h: &mut Fnv1a) {
+    match plan {
+        Plan::Scan {
+            source,
+            projection,
+            predicate,
+        } => {
+            h.update_str("scan");
+            h.update_u64(*source as u64);
+            if let Some(p) = projection {
+                for c in p {
+                    h.update_str(c);
+                }
+            }
+            h.update_str("/");
+            if let Some(p) = predicate {
+                p.fingerprint_into(h);
+            }
+        }
+        Plan::Filter { input, predicate } => {
+            h.update_str("filter");
+            predicate.fingerprint_into(h);
+            fold_plan(input, h);
+        }
+        Plan::Project { input, columns } => {
+            h.update_str("project");
+            for c in columns {
+                h.update_str(&c.name);
+                h.update_str(&c.ty.to_string());
+            }
+            fold_plan(input, h);
+        }
+        Plan::WithColumn { input, name, expr } => {
+            h.update_str("with_column");
+            h.update_str(name);
+            expr.fingerprint_into(h);
+            fold_plan(input, h);
+        }
+        Plan::GroupBy { input, keys, aggs } => {
+            h.update_str("group_by");
+            for k in keys {
+                h.update_str(k);
+            }
+            h.update_str("/");
+            for (n, a) in aggs {
+                h.update_str(n);
+                h.update_str(&agg_render(a));
+            }
+            fold_plan(input, h);
+        }
+        Plan::Sort {
+            input,
+            by,
+            descending,
+        } => {
+            h.update_str("sort");
+            h.update_str(by);
+            h.update_u64(u64::from(*descending));
+            fold_plan(input, h);
+        }
+        Plan::Head { input, n } => {
+            h.update_str("head");
+            h.update_u64(*n as u64);
+            fold_plan(input, h);
+        }
+        Plan::Join {
+            left,
+            right,
+            key,
+            kind,
+        } => {
+            h.update_str("join");
+            h.update_str(key);
+            h.update_str(match kind {
+                JoinKind::Inner => "inner",
+                JoinKind::Left => "left",
+            });
+            fold_plan(left, h);
+            fold_plan(right, h);
+        }
+    }
+}
+
+fn subplan_fingerprint(plan: &Plan) -> u64 {
+    let mut h = Fnv1a::new();
+    fold_plan(&canonicalize(plan), &mut h);
+    h.finish()
+}
+
+// ---------------------------------------------------------------------------
+// Contract derivation
+// ---------------------------------------------------------------------------
+
+fn unify(a: ColType, b: ColType) -> Option<ColType> {
+    use ColType::*;
+    match (a, b) {
+        (x, y) if x == y => Some(x),
+        (Any, x) | (x, Any) => Some(x),
+        (Num, Int) | (Int, Num) => Some(Int),
+        (Num, Float) | (Float, Num) => Some(Float),
+        _ => None,
+    }
+}
+
+fn require(reqs: &mut [Vec<(String, ColType)>], source: usize, name: &str, ty: ColType) {
+    let cols = &mut reqs[source];
+    match cols.iter_mut().find(|(n, _)| n == name) {
+        Some((_, existing)) => {
+            *existing = unify(*existing, ty)
+                .unwrap_or_else(|| panic!("column {name:?} consumed as both {existing} and {ty}"));
+        }
+        None => cols.push((name.to_owned(), ty)),
+    }
+}
+
+fn require_expr(reqs: &mut [Vec<(String, ColType)>], source: usize, e: &Expr) {
+    let mut refs = Vec::new();
+    e.col_refs(&mut refs);
+    for r in refs {
+        require(reqs, source, &r.name, r.ty);
+    }
+}
+
+/// Collect column requirements, attributing each node's references to the
+/// single source feeding it. Nodes above a join consume *derived* columns
+/// (join output), so they add no source requirements. Returns the set of
+/// sources below `plan`.
+fn collect_requirements(plan: &Plan, reqs: &mut Vec<Vec<(String, ColType)>>) -> Vec<usize> {
+    match plan {
+        Plan::Scan {
+            source, predicate, ..
+        } => {
+            if let Some(p) = predicate {
+                require_expr(reqs, *source, p);
+            }
+            vec![*source]
+        }
+        Plan::Filter { input, predicate } => {
+            let below = collect_requirements(input, reqs);
+            if let [s] = below[..] {
+                require_expr(reqs, s, predicate);
+            }
+            below
+        }
+        Plan::Project { input, columns } => {
+            let below = collect_requirements(input, reqs);
+            if let [s] = below[..] {
+                for c in columns {
+                    require(reqs, s, &c.name, c.ty);
+                }
+            }
+            below
+        }
+        Plan::WithColumn { input, expr, .. } => {
+            let below = collect_requirements(input, reqs);
+            if let [s] = below[..] {
+                require_expr(reqs, s, expr);
+            }
+            below
+        }
+        Plan::GroupBy { input, keys, aggs } => {
+            let below = collect_requirements(input, reqs);
+            if let [s] = below[..] {
+                for k in keys {
+                    require(reqs, s, k, ColType::Any);
+                }
+                for (_, a) in aggs {
+                    if let Some(src) = agg_source(a) {
+                        require(reqs, s, src, ColType::Num);
+                    }
+                }
+            }
+            below
+        }
+        Plan::Sort { input, by, .. } => {
+            let below = collect_requirements(input, reqs);
+            if let [s] = below[..] {
+                require(reqs, s, by, ColType::Any);
+            }
+            below
+        }
+        Plan::Head { input, .. } => collect_requirements(input, reqs),
+        Plan::Join {
+            left, right, key, ..
+        } => {
+            let l = collect_requirements(left, reqs);
+            let r = collect_requirements(right, reqs);
+            if let [s] = l[..] {
+                require(reqs, s, key, ColType::Any);
+            }
+            if let [s] = r[..] {
+                require(reqs, s, key, ColType::Any);
+            }
+            let mut all = l;
+            all.extend(r);
+            all
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Execution
+// ---------------------------------------------------------------------------
+
+enum Out<'a> {
+    View {
+        view: FrameView<'a>,
+        cols: Option<Vec<String>>,
+    },
+    Owned(Frame),
+}
+
+fn materialize_projected(
+    view: &FrameView<'_>,
+    cols: Option<&[String]>,
+) -> Result<Frame, FrameError> {
+    match cols {
+        None => Ok(view.materialize()),
+        Some(names) => {
+            let refs: Vec<&str> = names.iter().map(String::as_str).collect();
+            let projected = view.frame().select(&refs)?;
+            Ok(match view.selection() {
+                Selection::All(_) => projected,
+                Selection::Indices(idx) => projected.take(idx),
+            })
+        }
+    }
+}
+
+fn out_into_frame(out: Out<'_>, stats: &mut PlanStats) -> Result<Frame, FrameError> {
+    match out {
+        Out::Owned(f) => Ok(f),
+        Out::View { view, cols } => {
+            stats.materializations += 1;
+            materialize_projected(&view, cols.as_deref())
+        }
+    }
+}
+
+fn exec<'a>(
+    plan: &Plan,
+    sources: &[&'a Frame],
+    stats: &mut PlanStats,
+    memo: &mut HashMap<u64, Frame>,
+) -> Result<Out<'a>, FrameError> {
+    match plan {
+        Plan::Scan {
+            source,
+            projection,
+            predicate,
+        } => {
+            let frame = *sources.get(*source).ok_or_else(|| {
+                FrameError::Plan(format!("plan scans source {source}, not provided"))
+            })?;
+            stats.rows_in += frame.height() as u64;
+            stats.cols_total += frame.width() as u64;
+            stats.bytes_eager += frame.estimated_bytes() as u64;
+            match projection {
+                Some(cols) => {
+                    stats.cols_scanned += cols.len() as u64;
+                    for c in cols {
+                        stats.bytes_scanned += frame.column(c)?.estimated_bytes() as u64;
+                    }
+                }
+                None => {
+                    stats.cols_scanned += frame.width() as u64;
+                    stats.bytes_scanned += frame.estimated_bytes() as u64;
+                }
+            }
+            let mut view = frame.view();
+            if let Some(p) = predicate {
+                let ev = Evaluator::bind(p, &view)?;
+                let mask = ev.mask(p, view.height());
+                view = view.filter(&mask)?;
+            }
+            Ok(Out::View {
+                view,
+                cols: projection.clone(),
+            })
+        }
+        Plan::Filter { input, predicate } => match exec(input, sources, stats, memo)? {
+            Out::View { view, cols } => {
+                let ev = Evaluator::bind(predicate, &view)?;
+                let mask = ev.mask(predicate, view.height());
+                Ok(Out::View {
+                    view: view.filter(&mask)?,
+                    cols,
+                })
+            }
+            Out::Owned(f) => {
+                let v = f.view();
+                let ev = Evaluator::bind(predicate, &v)?;
+                let mask = ev.mask(predicate, v.height());
+                drop(ev);
+                drop(v);
+                Ok(Out::Owned(f.filter(&mask)?))
+            }
+        },
+        Plan::Project { input, columns } => {
+            let names: Vec<String> = columns.iter().map(|c| c.name.clone()).collect();
+            match exec(input, sources, stats, memo)? {
+                Out::View { view, .. } => {
+                    // Validate presence eagerly so missing columns surface
+                    // here, not at the final gather.
+                    for n in &names {
+                        view.frame().column(n)?;
+                    }
+                    Ok(Out::View {
+                        view,
+                        cols: Some(names),
+                    })
+                }
+                Out::Owned(f) => {
+                    let refs: Vec<&str> = names.iter().map(String::as_str).collect();
+                    Ok(Out::Owned(f.select(&refs)?))
+                }
+            }
+        }
+        Plan::WithColumn { input, name, expr } => {
+            let out = exec(input, sources, stats, memo)?;
+            let mut f = out_into_frame(out, stats)?;
+            let v = f.view();
+            let ev = Evaluator::bind(expr, &v)?;
+            let col = eval_column(&ev, expr, v.height())?;
+            drop(ev);
+            drop(v);
+            if f.has_column(name) {
+                f.drop_column(name)?;
+            }
+            f.add_column(name, col)?;
+            Ok(Out::Owned(f))
+        }
+        Plan::GroupBy { input, keys, aggs } => {
+            let fp = subplan_fingerprint(plan);
+            if let Some(cached) = memo.get(&fp) {
+                stats.subplans_deduped += 1;
+                return Ok(Out::Owned(cached.clone()));
+            }
+            let keys_ref: Vec<&str> = keys.iter().map(String::as_str).collect();
+            let aggs_ref: Vec<(&str, Agg)> =
+                aggs.iter().map(|(n, a)| (n.as_str(), a.clone())).collect();
+            let grouped = match exec(input, sources, stats, memo)? {
+                Out::View { view, .. } => view.group_by(&keys_ref, &aggs_ref)?,
+                Out::Owned(f) => group_by(&f, &keys_ref, &aggs_ref)?,
+            };
+            stats.materializations += 1;
+            memo.insert(fp, grouped.clone());
+            Ok(Out::Owned(grouped))
+        }
+        Plan::Sort {
+            input,
+            by,
+            descending,
+        } => match exec(input, sources, stats, memo)? {
+            Out::View { view, cols } => {
+                let order = view_sort_indices(&view, by, *descending)?;
+                Ok(Out::View {
+                    view: view.take(&order),
+                    cols,
+                })
+            }
+            Out::Owned(f) => Ok(Out::Owned(f.sort_by(by, *descending)?)),
+        },
+        Plan::Head { input, n } => match exec(input, sources, stats, memo)? {
+            Out::View { view, cols } => Ok(Out::View {
+                view: view.head(*n),
+                cols,
+            }),
+            Out::Owned(f) => Ok(Out::Owned(f.head(*n))),
+        },
+        Plan::Join {
+            left,
+            right,
+            key,
+            kind,
+        } => {
+            let fp = subplan_fingerprint(plan);
+            if let Some(cached) = memo.get(&fp) {
+                stats.subplans_deduped += 1;
+                return Ok(Out::Owned(cached.clone()));
+            }
+            let lf = {
+                let out = exec(left, sources, stats, memo)?;
+                out_into_frame(out, stats)?
+            };
+            let rf = {
+                let out = exec(right, sources, stats, memo)?;
+                out_into_frame(out, stats)?
+            };
+            let joined = join(&lf, &rf, key, *kind)?;
+            stats.materializations += 1;
+            memo.insert(fp, joined.clone());
+            Ok(Out::Owned(joined))
+        }
+    }
+}
+
+/// The eager baseline interpreter behind [`LazyPlan::execute_eager`]: the
+/// unoptimized tree, one fully materialized frame per node. Duplicate
+/// subplans under a join recompute — exactly what the pre-IR stages did.
+fn eager_exec(plan: &Plan, sources: &[&Frame]) -> Result<Frame, FrameError> {
+    match plan {
+        Plan::Scan { source, .. } => {
+            let frame = *sources.get(*source).ok_or_else(|| {
+                FrameError::Plan(format!("plan scans source {source}, not provided"))
+            })?;
+            // The eager engine handed each stage its own contiguous copy of
+            // every column — O(bytes) per scan, the cost the lazy IR avoids.
+            Ok(frame.compact())
+        }
+        Plan::Filter { input, predicate } => {
+            let f = eager_exec(input, sources)?;
+            let mask = {
+                let v = f.view();
+                let ev = Evaluator::bind(predicate, &v)?;
+                ev.mask(predicate, v.height())
+            };
+            f.filter(&mask)
+        }
+        Plan::Project { input, columns } => {
+            let f = eager_exec(input, sources)?;
+            let refs: Vec<&str> = columns.iter().map(|c| c.name.as_str()).collect();
+            f.select(&refs)
+        }
+        Plan::WithColumn { input, name, expr } => {
+            let mut f = eager_exec(input, sources)?;
+            let col = {
+                let v = f.view();
+                let ev = Evaluator::bind(expr, &v)?;
+                eval_column(&ev, expr, v.height())?
+            };
+            if f.has_column(name) {
+                f.drop_column(name)?;
+            }
+            f.add_column(name, col)?;
+            Ok(f)
+        }
+        Plan::GroupBy { input, keys, aggs } => {
+            let f = eager_exec(input, sources)?;
+            let keys_ref: Vec<&str> = keys.iter().map(String::as_str).collect();
+            let aggs_ref: Vec<(&str, Agg)> =
+                aggs.iter().map(|(n, a)| (n.as_str(), a.clone())).collect();
+            group_by(&f, &keys_ref, &aggs_ref)
+        }
+        Plan::Sort {
+            input,
+            by,
+            descending,
+        } => eager_exec(input, sources)?.sort_by(by, *descending),
+        Plan::Head { input, n } => Ok(eager_exec(input, sources)?.head(*n).compact()),
+        Plan::Join {
+            left,
+            right,
+            key,
+            kind,
+        } => {
+            let lf = eager_exec(left, sources)?;
+            let rf = eager_exec(right, sources)?;
+            join(&lf, &rf, key, *kind)
+        }
+    }
+}
+
+/// Argsort the view's rows by one column — stable, nulls last; the selection
+/// counterpart of [`Frame::sort_indices`].
+fn view_sort_indices(
+    view: &FrameView<'_>,
+    by: &str,
+    descending: bool,
+) -> Result<Vec<usize>, FrameError> {
+    let cv = view.column(by)?;
+    let h = view.height();
+    let mut idx: Vec<usize> = (0..h).collect();
+    match cv.dtype() {
+        DType::Int | DType::Bool => {
+            let keys: Vec<Option<i64>> = (0..h).map(|i| cv.get_i64(i)).collect();
+            idx.sort_by_key(|&i| match keys[i] {
+                Some(v) => (false, if descending { -v } else { v }),
+                None => (true, 0),
+            });
+        }
+        DType::Float => {
+            let keys: Vec<Option<f64>> = (0..h).map(|i| cv.get_f64(i)).collect();
+            idx.sort_by(|&a, &b| match (keys[a], keys[b]) {
+                (Some(x), Some(y)) => {
+                    let o = x.partial_cmp(&y).unwrap_or(std::cmp::Ordering::Equal);
+                    if descending {
+                        o.reverse()
+                    } else {
+                        o
+                    }
+                }
+                (Some(_), None) => std::cmp::Ordering::Less,
+                (None, Some(_)) => std::cmp::Ordering::Greater,
+                (None, None) => std::cmp::Ordering::Equal,
+            });
+        }
+        DType::Str => {
+            let keys: Vec<Option<&str>> = (0..h).map(|i| cv.get_str(i)).collect();
+            idx.sort_by(|&a, &b| {
+                let ord = match (keys[a], keys[b]) {
+                    (Some(x), Some(y)) => x.cmp(y),
+                    (Some(_), None) => std::cmp::Ordering::Less,
+                    (None, Some(_)) => std::cmp::Ordering::Greater,
+                    (None, None) => std::cmp::Ordering::Equal,
+                };
+                if descending && keys[a].is_some() && keys[b].is_some() {
+                    ord.reverse()
+                } else {
+                    ord
+                }
+            });
+        }
+    }
+    Ok(idx)
+}
+
+/// Evaluate an expression into a column. Numeric outputs stay `Int` when
+/// every value is integral; booleans materialize as 0/1 ints (the column
+/// layer has no nullable bool constructor).
+fn eval_column(ev: &Evaluator<'_>, expr: &Expr, height: usize) -> Result<Column, FrameError> {
+    let mut any_float = false;
+    let mut any_str = false;
+    let mut any_num = false;
+    let vals: Vec<Value<'_>> = (0..height).map(|i| ev.eval(expr, i)).collect();
+    for v in &vals {
+        match v {
+            Value::Float(_) => any_float = true,
+            Value::Int(_) | Value::Bool(_) => any_num = true,
+            Value::Str(_) => any_str = true,
+            Value::Null => {}
+        }
+    }
+    if any_str && (any_float || any_num) {
+        return Err(FrameError::Plan(format!(
+            "expression {} mixes string and numeric values",
+            expr.render()
+        )));
+    }
+    Ok(if any_str {
+        Column::from_opt_str(
+            vals.iter()
+                .map(|v| match v {
+                    Value::Str(s) => Some((*s).to_owned()),
+                    _ => None,
+                })
+                .collect(),
+        )
+    } else if any_float {
+        Column::from_opt_f64(
+            vals.iter()
+                .map(|v| match v {
+                    Value::Float(x) => Some(*x),
+                    Value::Int(x) => Some(*x as f64),
+                    Value::Bool(b) => Some(if *b { 1.0 } else { 0.0 }),
+                    _ => None,
+                })
+                .collect(),
+        )
+    } else {
+        Column::from_opt_i64(
+            vals.iter()
+                .map(|v| match v {
+                    Value::Int(x) => Some(*x),
+                    Value::Bool(b) => Some(i64::from(*b)),
+                    _ => None,
+                })
+                .collect(),
+        )
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Rendering
+// ---------------------------------------------------------------------------
+
+fn render_plan(plan: &Plan) -> String {
+    let mut s = String::new();
+    render_into(plan, 0, &mut s);
+    s
+}
+
+fn node_label(plan: &Plan) -> String {
+    match plan {
+        Plan::Scan {
+            source,
+            projection,
+            predicate,
+        } => {
+            let cols = match projection {
+                Some(p) => format!("[{}]", p.join(", ")),
+                None => "*".to_owned(),
+            };
+            match predicate {
+                Some(p) => format!("Scan source={source} cols={cols} pred={}", p.render()),
+                None => format!("Scan source={source} cols={cols}"),
+            }
+        }
+        Plan::Filter { predicate, .. } => format!("Filter {}", predicate.render()),
+        Plan::Project { columns, .. } => format!(
+            "Project [{}]",
+            columns
+                .iter()
+                .map(|c| format!("{}:{}", c.name, c.ty))
+                .collect::<Vec<_>>()
+                .join(", ")
+        ),
+        Plan::WithColumn { name, expr, .. } => {
+            format!("WithColumn {name} = {}", expr.render())
+        }
+        Plan::GroupBy { keys, aggs, .. } => format!(
+            "GroupBy keys=[{}] aggs=[{}]",
+            keys.join(", "),
+            aggs.iter()
+                .map(|(n, a)| format!("{n}={}", agg_render(a)))
+                .collect::<Vec<_>>()
+                .join(", ")
+        ),
+        Plan::Sort { by, descending, .. } => {
+            format!("Sort by={by} {}", if *descending { "desc" } else { "asc" })
+        }
+        Plan::Head { n, .. } => format!("Head n={n}"),
+        Plan::Join { key, kind, .. } => format!(
+            "Join key={key} kind={}",
+            match kind {
+                JoinKind::Inner => "inner",
+                JoinKind::Left => "left",
+            }
+        ),
+    }
+}
+
+fn render_into(plan: &Plan, depth: usize, s: &mut String) {
+    for _ in 0..depth {
+        s.push_str("  ");
+    }
+    s.push_str(&node_label(plan));
+    s.push('\n');
+    match plan {
+        Plan::Scan { .. } => {}
+        Plan::Filter { input, .. }
+        | Plan::Project { input, .. }
+        | Plan::WithColumn { input, .. }
+        | Plan::GroupBy { input, .. }
+        | Plan::Sort { input, .. }
+        | Plan::Head { input, .. } => render_into(input, depth + 1, s),
+        Plan::Join { left, right, .. } => {
+            render_into(left, depth + 1, s);
+            render_into(right, depth + 1, s);
+        }
+    }
+}
+
+fn dot_node(plan: &Plan, next: &mut usize, s: &mut String) -> usize {
+    let id = *next;
+    *next += 1;
+    let label = node_label(plan).replace('"', "'");
+    let _ = writeln!(s, "  n{id} [label=\"{label}\"];");
+    let link = |child: &Plan, next: &mut usize, s: &mut String| {
+        let c = dot_node(child, next, s);
+        let _ = writeln!(s, "  n{c} -> n{id};");
+    };
+    match plan {
+        Plan::Scan { .. } => {}
+        Plan::Filter { input, .. }
+        | Plan::Project { input, .. }
+        | Plan::WithColumn { input, .. }
+        | Plan::GroupBy { input, .. }
+        | Plan::Sort { input, .. }
+        | Plan::Head { input, .. } => link(input, next, s),
+        Plan::Join { left, right, .. } => {
+            link(left, next, s);
+            link(right, next, s);
+        }
+    }
+    id
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::copycount;
+    use crate::expr::{col_any, col_num, col_str, lit_i64};
+
+    fn curated() -> Frame {
+        Frame::new()
+            .with("year", Column::from_i64(vec![2023, 2023, 2024, 2024]))
+            .with("nsteps", Column::from_i64(vec![10, 20, 5, 50]))
+            .with(
+                "state",
+                Column::from_str(vec![
+                    "COMPLETED".into(),
+                    "FAILED".into(),
+                    "COMPLETED".into(),
+                    "COMPLETED".into(),
+                ]),
+            )
+            .with(
+                "wait_s",
+                Column::from_opt_i64(vec![Some(10), None, Some(50), Some(5)]),
+            )
+            .with("payload", Column::from_f64(vec![0.0; 4]))
+    }
+
+    #[test]
+    fn filter_project_executes_lazily_and_matches_eager() {
+        let f = curated();
+        let plan = LazyPlan::scan()
+            .filter(col_num("wait_s").is_not_null())
+            .filter(col_num("year").eq(lit_i64(2024)))
+            .project(&[col_str("state"), col_num("wait_s")]);
+
+        copycount::reset();
+        let out = plan.execute_view(&f).unwrap();
+        assert_eq!(copycount::rows_copied(), 0, "view path must not copy");
+        assert_eq!(out.height(), 2);
+
+        let got = plan.execute(&f).unwrap();
+        assert_eq!(got.column_names(), vec!["state", "wait_s"]);
+        assert_eq!(got.height(), 2);
+        assert_eq!(got.column("wait_s").unwrap().get_i64(0), Some(50));
+    }
+
+    #[test]
+    fn optimizer_fuses_pushes_and_prunes() {
+        let plan = LazyPlan::scan()
+            .filter(col_num("wait_s").is_not_null())
+            .filter(col_num("year").eq(lit_i64(2024)))
+            .project(&[col_str("state"), col_num("wait_s")]);
+        let opt = plan.optimized();
+        // Root is the projection; below it sits a single pruned scan with
+        // both predicates pushed in.
+        match &opt {
+            Plan::Project { input, .. } => match input.as_ref() {
+                Plan::Scan {
+                    projection,
+                    predicate,
+                    ..
+                } => {
+                    let p = projection.as_ref().expect("pruned");
+                    assert_eq!(
+                        p.iter().map(String::as_str).collect::<Vec<_>>(),
+                        vec!["state", "wait_s", "year"],
+                        "projection = needed ∪ predicate cols, sorted"
+                    );
+                    let pred = predicate.as_ref().expect("pushed");
+                    assert_eq!(conjunct_count(pred), 2);
+                }
+                other => panic!("expected scan, got {}", node_label(other)),
+            },
+            other => panic!("expected project, got {}", node_label(other)),
+        }
+    }
+
+    #[test]
+    fn plan_stats_report_scan_reduction() {
+        let f = curated();
+        let plan = LazyPlan::scan()
+            .filter(col_num("year").eq(lit_i64(2024)))
+            .project(&[col_num("wait_s")]);
+        planstats::reset();
+        plan.execute(&f).unwrap();
+        let s = planstats::snapshot();
+        assert_eq!(s.plans, 1);
+        assert_eq!(s.cols_total, 5);
+        assert_eq!(s.cols_scanned, 2, "wait_s + predicate col year");
+        assert!(s.bytes_scanned < s.bytes_eager);
+        assert_eq!(s.predicates_pushed, 1);
+        assert_eq!(s.rows_in, 4);
+        assert_eq!(s.rows_out, 2);
+        assert_eq!(s.materializations, 1, "single final gather");
+    }
+
+    #[test]
+    fn group_by_and_sort_match_eager_path() {
+        let f = curated();
+        let plan = LazyPlan::scan()
+            .group_by(
+                &["year"],
+                &[("jobs", Agg::Count), ("steps", Agg::Sum("nsteps".into()))],
+            )
+            .sort("year", false);
+        let got = plan.execute(&f).unwrap();
+        let eager = group_by(
+            &f,
+            &["year"],
+            &[("jobs", Agg::Count), ("steps", Agg::Sum("nsteps".into()))],
+        )
+        .unwrap()
+        .sort_by("year", false)
+        .unwrap();
+        assert_eq!(got, eager);
+    }
+
+    #[test]
+    fn fingerprint_is_insensitive_to_conjunct_order() {
+        let a = LazyPlan::scan()
+            .filter(col_num("wait_s").is_not_null())
+            .filter(col_num("year").eq(lit_i64(2024)))
+            .project(&[col_num("wait_s")]);
+        let b = LazyPlan::scan()
+            .filter(col_num("year").eq(lit_i64(2024)))
+            .filter(col_num("wait_s").is_not_null())
+            .project(&[col_num("wait_s")]);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        let c = LazyPlan::scan()
+            .filter(col_num("year").eq(lit_i64(2023)))
+            .filter(col_num("wait_s").is_not_null())
+            .project(&[col_num("wait_s")]);
+        assert_ne!(a.fingerprint(), c.fingerprint(), "different literal");
+    }
+
+    #[test]
+    fn derived_schema_reflects_typed_consumption() {
+        let plan = LazyPlan::scan()
+            .filter(
+                col_any("start")
+                    .is_not_null()
+                    .and(col_num("nnodes").gt(lit_i64(0))),
+            )
+            .project(&[col_num("elapsed_min"), col_num("nnodes")]);
+        let schema = plan.required_schema();
+        assert_eq!(schema.get("start").unwrap().ty, ColType::Any);
+        assert_eq!(schema.get("nnodes").unwrap().ty, ColType::Num);
+        assert_eq!(schema.get("elapsed_min").unwrap().ty, ColType::Num);
+        assert!(schema.columns().iter().all(|c| c.nullable), "null-total");
+    }
+
+    #[test]
+    #[should_panic(expected = "consumed as both")]
+    fn conflicting_typed_reads_panic() {
+        let plan = LazyPlan::scan()
+            .filter(col_str("x").eq(crate::expr::lit_str("a")))
+            .project(&[col_num("x")]);
+        let _ = plan.required_schema();
+    }
+
+    #[test]
+    fn join_of_identical_subplans_deduplicates() {
+        let f = curated();
+        let per_year = LazyPlan::scan().group_by(&["year"], &[("jobs", Agg::Count)]);
+        let plan = per_year.clone().join(
+            LazyPlan::scan().group_by(&["year"], &[("jobs", Agg::Count)]),
+            "year",
+            JoinKind::Inner,
+        );
+        // Both sides scan source 0 after renumbering? No — join shifts the
+        // right side to source 1, so dedup must NOT fire across sources.
+        planstats::reset();
+        let out = plan.execute_multi(&[&f, &f]).unwrap();
+        assert_eq!(out.height(), 2);
+        assert_eq!(planstats::snapshot().subplans_deduped, 0);
+
+        // Same-source duplicate subplans (compose onto one source) dedup.
+        let dup = LazyPlan {
+            root: Plan::Join {
+                left: Box::new(per_year.root.clone()),
+                right: Box::new(per_year.root.clone()),
+                key: "year".into(),
+                kind: JoinKind::Inner,
+            },
+            sources: 1,
+        };
+        planstats::reset();
+        let out = dup.execute(&f).unwrap();
+        assert_eq!(out.height(), 2);
+        assert_eq!(planstats::snapshot().subplans_deduped, 1);
+    }
+
+    #[test]
+    fn sort_on_view_matches_frame_sort() {
+        let f = curated();
+        let plan = LazyPlan::scan().sort("wait_s", false);
+        assert_eq!(
+            plan.execute(&f).unwrap(),
+            f.sort_by("wait_s", false).unwrap()
+        );
+        let plan = LazyPlan::scan().sort("state", true);
+        assert_eq!(plan.execute(&f).unwrap(), f.sort_by("state", true).unwrap());
+    }
+
+    #[test]
+    fn with_column_derives_values() {
+        let f = curated();
+        let plan = LazyPlan::scan()
+            .with_column("double_steps", col_num("nsteps").mul(lit_i64(2)))
+            .project(&[col_any("double_steps")]);
+        let out = plan.execute(&f).unwrap();
+        assert_eq!(out.column("double_steps").unwrap().get_i64(1), Some(40));
+    }
+
+    #[test]
+    fn head_limits_rows_zero_copy() {
+        let f = curated();
+        let plan = LazyPlan::scan().head(2);
+        copycount::reset();
+        let out = plan.execute_view(&f).unwrap();
+        assert_eq!(copycount::rows_copied(), 0);
+        assert_eq!(out.height(), 2);
+    }
+
+    #[test]
+    fn explain_renders_before_and_after() {
+        let plan = LazyPlan::scan()
+            .filter(col_num("year").eq(lit_i64(2024)))
+            .project(&[col_num("wait_s")]);
+        let before = plan.explain();
+        let after = plan.explain_optimized();
+        assert!(before.contains("Filter"));
+        assert!(
+            !after.contains("Filter"),
+            "filter pushed into scan:\n{after}"
+        );
+        assert!(after.contains("Scan"));
+        assert!(after.contains("pred="));
+        let dot = plan.to_dot();
+        assert!(dot.starts_with("digraph plan {"));
+        assert!(dot.contains("->"));
+    }
+
+    #[test]
+    fn compose_substitutes_the_scan() {
+        let inner = LazyPlan::scan().filter(col_num("year").eq(lit_i64(2024)));
+        let outer = LazyPlan::scan().group_by(&["state"], &[("n", Agg::Count)]);
+        let composed = outer.compose(inner);
+        let f = curated();
+        let got = composed.execute(&f).unwrap();
+        assert_eq!(got.height(), 1, "2024 rows are all COMPLETED");
+        let schema = composed.required_schema();
+        assert!(schema.contains("year"), "inner requirement surfaces");
+        assert!(schema.contains("state"));
+    }
+}

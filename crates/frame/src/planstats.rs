@@ -1,0 +1,58 @@
+//! Thread-local plan-execution accounting.
+//!
+//! Every [`crate::plan::LazyPlan`] execution folds a
+//! [`PlanStats`](schedflow_dataflow::report::PlanStats) delta into a
+//! thread-local tally (same idiom as [`crate::copycount`]). Pipeline tasks
+//! call [`reset`] before running a stage body and [`snapshot`] after, then
+//! attach the delta to the task's run report — giving per-stage visibility
+//! into columns pruned, predicates pushed, and bytes scanned vs. an eager
+//! execution, without threading a stats handle through every stage
+//! signature.
+//!
+//! The tally is per-thread: the dataflow engine runs each task body on one
+//! pool thread, so a task's stages never interleave with another task's on
+//! the same tally.
+
+use schedflow_dataflow::report::PlanStats;
+use std::cell::RefCell;
+
+thread_local! {
+    static TALLY: RefCell<PlanStats> = RefCell::new(PlanStats::default());
+}
+
+/// Fold one plan execution's accounting into this thread's tally.
+pub(crate) fn record(delta: &PlanStats) {
+    TALLY.with(|t| t.borrow_mut().merge(delta));
+}
+
+/// Clear this thread's tally (call before a stage body).
+pub fn reset() {
+    TALLY.with(|t| *t.borrow_mut() = PlanStats::default());
+}
+
+/// This thread's accumulated plan accounting since the last [`reset`].
+pub fn snapshot() -> PlanStats {
+    TALLY.with(|t| t.borrow().clone())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tally_is_per_thread() {
+        reset();
+        record(&PlanStats {
+            plans: 1,
+            rows_in: 10,
+            ..PlanStats::default()
+        });
+        let handle = std::thread::spawn(|| snapshot().plans);
+        assert_eq!(handle.join().unwrap(), 0, "other threads see a fresh tally");
+        let here = snapshot();
+        assert_eq!(here.plans, 1);
+        assert_eq!(here.rows_in, 10);
+        reset();
+        assert_eq!(snapshot().plans, 0);
+    }
+}

@@ -1,0 +1,214 @@
+//! Property suite for the logical-plan optimizer: on arbitrary frames and
+//! arbitrary well-formed plans, the optimized execution (fused, pushed-down,
+//! pruned, memoized) must produce exactly the frame the eager unoptimized
+//! interpreter produces, and plan fingerprints must be stable and
+//! insensitive to conjunct order and to filter splitting.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use proptest::prelude::*;
+use schedflow_frame::{col_i64, col_num, col_str, lit_i64, Agg, Column, Frame, JoinKind, LazyPlan};
+
+const STATES: [&str; 3] = ["COMPLETED", "FAILED", "CANCELLED"];
+
+/// One curated-frame-shaped table: ints, nullable ints, and strings, split
+/// into 1–3 chunks so the zero-copy path crosses chunk boundaries.
+fn arb_frame() -> impl Strategy<Value = Frame> {
+    (2usize..40).prop_flat_map(|n| {
+        (
+            proptest::collection::vec(2023i64..2026, n),
+            proptest::collection::vec(proptest::option::of(0i64..1000), n),
+            proptest::collection::vec(0usize..3, n),
+            proptest::collection::vec(0usize..4, n),
+            proptest::collection::vec(1i64..65, n),
+            1usize..4,
+        )
+            .prop_map(move |(years, waits, states, users, nodes, chunks)| {
+                let whole = Frame::new()
+                    .with("year", Column::from_i64(years))
+                    .with("wait_s", Column::from_opt_i64(waits))
+                    .with(
+                        "state",
+                        Column::from_str(states.iter().map(|&i| STATES[i].to_owned()).collect()),
+                    )
+                    .with(
+                        "user",
+                        Column::from_str(users.iter().map(|&i| format!("u{i}")).collect()),
+                    )
+                    .with("nnodes", Column::from_i64(nodes));
+                let chunks = chunks.min(n);
+                if chunks <= 1 {
+                    return whole;
+                }
+                let per = n / chunks;
+                let parts: Vec<Frame> = (0..chunks)
+                    .map(|i| {
+                        let lo = i * per;
+                        let len = if i == chunks - 1 { n - lo } else { per };
+                        whole.slice(lo, len)
+                    })
+                    .collect();
+                Frame::vstack(&parts).unwrap()
+            })
+    })
+}
+
+/// A well-formed plan over [`arb_frame`]'s schema: a pipeline of filters,
+/// then either a group-by tail or a project/sort/head tail — so every node
+/// only references columns its input still carries.
+#[derive(Clone, Debug)]
+struct PlanSpec {
+    filters: Vec<FilterOp>,
+    tail: Tail,
+}
+
+#[derive(Clone, Debug)]
+enum FilterOp {
+    WaitOver(i64),
+    StateIs(usize),
+    YearIs(i64),
+}
+
+#[derive(Clone, Debug)]
+enum Tail {
+    None,
+    GroupByUser {
+        sort_jobs: bool,
+    },
+    Project {
+        sort_wait: Option<bool>,
+        head: Option<usize>,
+    },
+}
+
+fn arb_spec() -> impl Strategy<Value = PlanSpec> {
+    let filter = prop_oneof![
+        (0i64..800).prop_map(FilterOp::WaitOver),
+        (0usize..3).prop_map(FilterOp::StateIs),
+        (2023i64..2026).prop_map(FilterOp::YearIs),
+    ];
+    let tail = prop_oneof![
+        Just(Tail::None),
+        any::<bool>().prop_map(|sort_jobs| Tail::GroupByUser { sort_jobs }),
+        (
+            proptest::option::of(any::<bool>()),
+            proptest::option::of(1usize..20)
+        )
+            .prop_map(|(sort_wait, head)| Tail::Project { sort_wait, head }),
+    ];
+    (proptest::collection::vec(filter, 0..4), tail)
+        .prop_map(|(filters, tail)| PlanSpec { filters, tail })
+}
+
+fn build_plan(spec: &PlanSpec) -> LazyPlan {
+    let mut plan = LazyPlan::scan();
+    for f in &spec.filters {
+        plan = match f {
+            FilterOp::WaitOver(k) => plan.filter(col_num("wait_s").gt(lit_i64(*k))),
+            FilterOp::StateIs(i) => plan.filter(col_str("state").in_str(&[STATES[*i]])),
+            FilterOp::YearIs(y) => plan.filter(col_i64("year").eq(lit_i64(*y))),
+        };
+    }
+    match &spec.tail {
+        Tail::None => plan,
+        Tail::GroupByUser { sort_jobs } => {
+            let g = plan.group_by(
+                &["user"],
+                &[
+                    ("jobs", Agg::Count),
+                    ("mean_wait", Agg::Mean("wait_s".into())),
+                ],
+            );
+            if *sort_jobs {
+                g.sort("jobs", true)
+            } else {
+                g
+            }
+        }
+        Tail::Project { sort_wait, head } => {
+            let mut p = plan.project(&[col_i64("year"), col_num("wait_s")]);
+            if let Some(desc) = sort_wait {
+                p = p.sort("wait_s", *desc);
+            }
+            if let Some(n) = head {
+                p = p.head(*n);
+            }
+            p
+        }
+    }
+}
+
+proptest! {
+    /// The optimizer is semantics-preserving: fused/pushed/pruned/memoized
+    /// execution equals the eager unoptimized interpreter, frame for frame.
+    #[test]
+    fn prop_optimized_equals_eager(frame in arb_frame(), spec in arb_spec()) {
+        let plan = build_plan(&spec);
+        let optimized = plan.execute(&frame).unwrap();
+        let eager = plan.execute_eager(&frame).unwrap();
+        prop_assert_eq!(optimized, eager);
+    }
+
+    /// The zero-copy output path materializes to the same frame too.
+    #[test]
+    fn prop_view_output_equals_eager(frame in arb_frame(), spec in arb_spec()) {
+        let plan = build_plan(&spec);
+        let via_view = plan.execute_view(&frame).unwrap().materialize().unwrap();
+        let eager = plan.execute_eager(&frame).unwrap();
+        prop_assert_eq!(via_view, eager);
+    }
+
+    /// Fingerprints are stable across calls and blind to conjunct order.
+    #[test]
+    fn prop_fingerprint_conjunct_order_insensitive(a in 0i64..1000, y in 2023i64..2026) {
+        let ab = LazyPlan::scan().filter(
+            col_num("wait_s").gt(lit_i64(a)).and(col_i64("year").eq(lit_i64(y))),
+        );
+        let ba = LazyPlan::scan().filter(
+            col_i64("year").eq(lit_i64(y)).and(col_num("wait_s").gt(lit_i64(a))),
+        );
+        prop_assert_eq!(ab.fingerprint(), ab.fingerprint());
+        prop_assert_eq!(ab.fingerprint(), ba.fingerprint());
+    }
+
+    /// Splitting a conjunction into chained filters fingerprints like the
+    /// fused form: the optimizer normalizes both to the same pushed scan.
+    #[test]
+    fn prop_fingerprint_filter_split_insensitive(a in 0i64..1000, y in 2023i64..2026) {
+        let fused = LazyPlan::scan().filter(
+            col_num("wait_s").gt(lit_i64(a)).and(col_i64("year").eq(lit_i64(y))),
+        );
+        let split = LazyPlan::scan()
+            .filter(col_num("wait_s").gt(lit_i64(a)))
+            .filter(col_i64("year").eq(lit_i64(y)));
+        prop_assert_eq!(fused.fingerprint(), split.fingerprint());
+    }
+
+    /// Literals are part of the identity: a different constant must change
+    /// the fingerprint (the checkpoint key for a changed stage).
+    #[test]
+    fn prop_fingerprint_sensitive_to_literals(a in 0i64..1000, b in 0i64..1000) {
+        prop_assume!(a != b);
+        let fp = |k: i64| {
+            LazyPlan::scan()
+                .filter(col_num("wait_s").gt(lit_i64(k)))
+                .fingerprint()
+        };
+        prop_assert_ne!(fp(a), fp(b));
+    }
+
+    /// A join of identical aggregation subplans over two sources (the
+    /// federation shape) equals the eager twice-computed join.
+    #[test]
+    fn prop_join_preserves_semantics(frame in arb_frame()) {
+        let per_user = || {
+            LazyPlan::scan().group_by(
+                &["user"],
+                &[("jobs", Agg::Count), ("mean_wait", Agg::Mean("wait_s".into()))],
+            )
+        };
+        let plan = per_user().join(per_user(), "user", JoinKind::Inner);
+        let optimized = plan.execute_multi(&[&frame, &frame]).unwrap();
+        let eager = plan.execute_eager_multi(&[&frame, &frame]).unwrap();
+        prop_assert_eq!(optimized, eager);
+    }
+}

@@ -19,6 +19,9 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> bench smoke: bench_frame --test"
 cargo run --release -p schedflow-bench --bin bench_frame -- --test
 
+echo "==> bench smoke: bench_plan --test (optimizer vs eager, digests must match)"
+cargo run --release -p schedflow-bench --bin bench_plan -- --test
+
 echo "==> schedflow lint (default frontier pipeline must be clean)"
 cargo run --release -p schedflow-core --bin schedflow -- lint
 
