@@ -1,0 +1,16 @@
+//! Estimate-soundness regeneration: certify that the static cost analysis'
+//! per-stage row intervals contain the cardinalities the default Frontier
+//! pipeline actually produces, at 1 and at 4 worker threads.
+//!
+//! ```text
+//! cargo run --release --bin repro_soundness
+//! ```
+
+fn main() {
+    schedflow_bench::banner(
+        "repro_soundness",
+        "static cost-estimate soundness (SF08xx cross-check)",
+    );
+    schedflow_bench::soundness_gate();
+    schedflow_bench::check("estimate intervals contain actual cardinalities", true);
+}

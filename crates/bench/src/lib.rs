@@ -200,6 +200,89 @@ pub fn determinism_gate() {
     );
 }
 
+/// One thread-count leg of the estimate soundness check: run the default
+/// Frontier pipeline (trimmed to its first two months, sandboxed under a
+/// private temp dir) and compare every single-plan stage's actual output
+/// cardinality against its static estimate. Returns `(stages compared,
+/// violations)`.
+fn soundness_leg(threads: usize) -> (usize, Vec<String>) {
+    let base = std::env::temp_dir().join(format!(
+        "schedflow-soundness-{}-{threads}t",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&base);
+    let mut cfg = schedflow_core::WorkflowConfig::new(schedflow_core::System::Frontier);
+    // Two months: every stage kind (including the two-month compare) still
+    // runs, and the trace stays small.
+    let (y, m) = cfg.from;
+    cfg.to = if m == 12 { (y + 1, 1) } else { (y, m + 1) };
+    cfg.scale = scale().min(0.02);
+    cfg.threads = threads;
+    cfg.cache_dir = base.join("cache");
+    cfg.data_dir = base.join("data");
+    let outcome = match schedflow_core::run(&cfg) {
+        Ok(o) => o,
+        Err(e) => {
+            let _ = std::fs::remove_dir_all(&base);
+            return (
+                0,
+                vec![format!("pipeline failed at {threads} thread(s): {e}")],
+            );
+        }
+    };
+    let mut compared = 0;
+    let mut violations = Vec::new();
+    for t in &outcome.report.tasks {
+        // Comparable only when the stage executed exactly one plan, so the
+        // per-task scanned-row tally is the estimate's `n`.
+        let (Some(est), Some(plan)) = (&t.estimate, &t.plan) else {
+            continue;
+        };
+        if plan.plans != 1 {
+            continue;
+        }
+        compared += 1;
+        if !est.contains_rows(plan.rows_in, plan.rows_out) {
+            let (lo, hi) = est.rows_interval(plan.rows_in);
+            violations.push(format!(
+                "{}: {} rows outside predicted [{lo}, {hi}] (scanned {}, {} thread(s))",
+                t.name, plan.rows_out, plan.rows_in, threads
+            ));
+        }
+    }
+    let _ = std::fs::remove_dir_all(&base);
+    (compared, violations)
+}
+
+/// Soundness gate for the static cost analysis: run the default Frontier
+/// pipeline at 1 and at 4 worker threads and require every single-plan
+/// stage's actual output cardinality to lie inside its statically predicted
+/// row interval (the [`PlanEstimate`] the pipeline attaches per stage). Any
+/// cardinality outside its interval means the abstract interpreter's
+/// transfer rules are wrong — the binary refuses to continue.
+///
+/// [`PlanEstimate`]: schedflow_dataflow::PlanEstimate
+pub fn soundness_gate() {
+    for threads in [1usize, 4] {
+        let (compared, violations) = soundness_leg(threads);
+        if !violations.is_empty() {
+            for v in &violations {
+                eprintln!("soundness gate: {v}");
+            }
+            eprintln!("soundness gate: refusing to run — the static cost bounds are unsound");
+            std::process::exit(1);
+        }
+        if compared == 0 {
+            eprintln!("soundness gate: no estimated stages to check at {threads} thread(s)");
+            std::process::exit(1);
+        }
+        println!(
+            "soundness gate: {compared} stage estimate(s) contain their actual \
+             cardinalities at {threads} thread(s)"
+        );
+    }
+}
+
 /// Write a chart to `repro_out/<name>.html` and report the path.
 pub fn save_chart(chart: &schedflow_charts::Chart, name: &str) {
     let path = out_dir().join(format!("{name}.html"));
@@ -228,6 +311,16 @@ mod tests {
         let serial = probe_digests(1);
         assert_eq!(serial.len(), 7, "6 parts + sum");
         assert_eq!(serial, probe_digests(4));
+    }
+
+    #[test]
+    fn soundness_leg_finds_no_violations() {
+        let (compared, violations) = soundness_leg(2);
+        assert!(violations.is_empty(), "{violations:?}");
+        assert!(
+            compared >= 7,
+            "all plotting stages compared, got {compared}"
+        );
     }
 
     #[test]

@@ -50,6 +50,10 @@ fn usage() -> ! {
          STATIC ANALYSIS:\n  \
          --no-deny        (run/chaos) execute even when lint finds errors\n  \
          --deny           (lint) exit nonzero on warnings too, not just errors\n  \
+         --mem-budget N   (lint) SF0803: error when the estimated peak of\n                   \
+         resident artifact bytes exceeds N\n  \
+         --format FMT     (lint) output format: text | json | sarif  [text]\n  \
+         --explain CODE   (lint) print long-form docs for one SF0xxx code\n  \
          --lint           (dot) annotate the graph with lint diagnostics\n\n\
          FAULT TOLERANCE (run/chaos):\n  \
          --retries N         max attempts per task (1 = off)   [1]\n  \
@@ -74,11 +78,25 @@ fn usage() -> ! {
     std::process::exit(2);
 }
 
+/// `lint --format`: how to render the report.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum LintFormat {
+    Text,
+    Json,
+    Sarif,
+}
+
 struct Args {
     cfg: WorkflowConfig,
     serve: Option<u16>,
     /// `lint --deny`: treat warnings as fatal too.
     deny_warnings: bool,
+    /// `lint --mem-budget N`: SF0803 peak-memory threshold, bytes.
+    mem_budget: Option<u64>,
+    /// `lint --format`: text (default), json, or sarif.
+    lint_format: LintFormat,
+    /// `lint --explain CODE`: print docs for one code instead of linting.
+    explain_code: Option<String>,
     /// `dot --lint`: annotate the graph with diagnostics.
     dot_lint: bool,
     /// `--crash-after N`: the store write to die at (verify-crash picks a
@@ -109,6 +127,10 @@ fn parse_args(command: &str, args: std::env::Args) -> Args {
     let mut no_retries = false;
     let mut no_deny = false;
     let mut deny_warnings = false;
+    let mut mem_budget: Option<u64> = None;
+    let mut lint_format = LintFormat::Text;
+    let mut lint_format_set = false;
+    let mut explain_code: Option<String> = None;
     let mut dot_lint = false;
     let mut crash_after: Option<u64> = None;
     let mut chaos = if chaos_mode {
@@ -168,6 +190,21 @@ fn parse_args(command: &str, args: std::env::Args) -> Args {
             "--no-retries" => no_retries = true,
             "--no-deny" => no_deny = true,
             "--deny" => deny_warnings = true,
+            "--mem-budget" => mem_budget = Some(parse("--mem-budget", &mut rest)),
+            "--format" => {
+                let v = next("--format", &mut rest);
+                lint_format = match v.as_str() {
+                    "text" => LintFormat::Text,
+                    "json" => LintFormat::Json,
+                    "sarif" => LintFormat::Sarif,
+                    other => {
+                        eprintln!("unknown format {other:?} (expected text, json, or sarif)");
+                        usage();
+                    }
+                };
+                lint_format_set = true;
+            }
+            "--explain" => explain_code = Some(next("--explain", &mut rest)),
             "--lint" => dot_lint = true,
             "--fail-p" => chaos_of(&mut chaos).fail_p = parse("--fail-p", &mut rest),
             "--panic-p" => chaos_of(&mut chaos).panic_p = parse("--panic-p", &mut rest),
@@ -201,6 +238,10 @@ fn parse_args(command: &str, args: std::env::Args) -> Args {
     }
     if deny_warnings && command != "lint" {
         eprintln!("--deny applies to the `lint` subcommand only");
+        usage();
+    }
+    if (mem_budget.is_some() || lint_format_set || explain_code.is_some()) && command != "lint" {
+        eprintln!("--mem-budget/--format/--explain apply to the `lint` subcommand only");
         usage();
     }
     if dot_lint && command != "dot" {
@@ -260,6 +301,9 @@ fn parse_args(command: &str, args: std::env::Args) -> Args {
         cfg,
         serve,
         deny_warnings,
+        mem_budget,
+        lint_format,
+        explain_code,
         dot_lint,
         crash_after,
     }
@@ -331,6 +375,36 @@ fn run_command(parsed: Args) {
                     p.filters_fused,
                     p.subplans_deduped
                 );
+            }
+            // Estimated-vs-actual per plan stage: the static cost analysis'
+            // row interval (evaluated at the observed scanned-row tally)
+            // against the rows the plan actually produced. Only comparable
+            // when the stage executed exactly one plan — otherwise the
+            // per-task tally mixes cardinalities of unrelated plans.
+            let estimated: Vec<_> = outcome
+                .report
+                .tasks
+                .iter()
+                .filter_map(|t| {
+                    let est = t.estimate.as_ref()?;
+                    let plan = t.plan.as_ref()?;
+                    (plan.plans == 1).then_some((t, est, plan))
+                })
+                .collect();
+            if !estimated.is_empty() {
+                eprintln!("plan estimates (static interval vs actual rows):");
+                for (t, est, plan) in estimated {
+                    let (lo, hi) = est.rows_interval(plan.rows_in);
+                    let sound = est.contains_rows(plan.rows_in, plan.rows_out);
+                    eprintln!(
+                        "  {}: scanned {} rows -> {} out, predicted [{lo}, {hi}] {}, bytes ≤ {}",
+                        t.name,
+                        plan.rows_in,
+                        plan.rows_out,
+                        if sound { "ok" } else { "OUTSIDE INTERVAL" },
+                        fmt_bytes(est.bytes_hi(plan.rows_in)),
+                    );
+                }
             }
             let retried = outcome.report.retried();
             if !retried.is_empty() {
@@ -578,10 +652,25 @@ fn main() {
         }
         "lint" => {
             let parsed = parse_args("lint", args);
+            if let Some(code) = &parsed.explain_code {
+                match schedflow_lint::explain(code) {
+                    Some(doc) => print!("{doc}"),
+                    None => {
+                        eprintln!("no extended documentation for {code:?}");
+                        std::process::exit(2);
+                    }
+                }
+                return;
+            }
             let built = build(&parsed.cfg);
-            let mut report = schedflow_lint::lint_all(
+            let cost = schedflow_lint::CostOptions {
+                mem_budget: parsed.mem_budget,
+                ..schedflow_lint::CostOptions::default()
+            };
+            let mut report = schedflow_lint::lint_all_with(
                 &built.workflow,
                 Some(&schedflow_core::run_options(&parsed.cfg)),
+                &cost,
             );
             // SF0701: probe already-existing storage dirs for atomic rename
             // (lint must not create directories as a side effect).
@@ -593,7 +682,12 @@ fn main() {
             .filter(|d| d.exists())
             .collect();
             report.extend(schedflow_lint::lint_storage(&dirs));
-            print!("{}", report.render());
+            report.sort();
+            match parsed.lint_format {
+                LintFormat::Text => print!("{}", report.render()),
+                LintFormat::Json => print!("{}", schedflow_lint::to_json(&report)),
+                LintFormat::Sarif => print!("{}", schedflow_lint::to_sarif(&report)),
+            }
             let fatal = report.errors() > 0 || (parsed.deny_warnings && report.warnings() > 0);
             if fatal {
                 std::process::exit(1);

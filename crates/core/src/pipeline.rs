@@ -251,6 +251,12 @@ pub fn build(cfg: &WorkflowConfig) -> BuiltWorkflow {
             }
             if let Some(plan) = analytics::stage_plan(stage) {
                 wf.with_plan_fingerprint(plot_task, plan.fingerprint());
+                // Static cost analysis of the same plan: the estimate rides
+                // on the task (for estimated-vs-actual reporting) and the
+                // plan itself on an opaque payload the lint cost pass walks.
+                let analysis = schedflow_frame::cost::analyze(&plan);
+                wf.with_plan_estimate(plot_task, analysis.estimate);
+                wf.with_plan_payload(plot_task, Arc::new(plan));
             }
         }
 
@@ -333,6 +339,11 @@ pub fn build(cfg: &WorkflowConfig) -> BuiltWorkflow {
                     TaskContract::new().require(merged.id(), composed.required_schema()),
                 );
                 wf.with_plan_fingerprint(wait_task, composed.fingerprint());
+                // The composed plan feeds the cost pass; no estimate is
+                // attached because the stage body executes two plans (the
+                // wait analysis plus the month selection), so no single
+                // interval describes its scan-to-output cardinality.
+                wf.with_plan_payload(wait_task, Arc::new(composed));
             }
             let digest_art = wf.value::<ChartDigest>(&format!("wait-digest-{label}"));
             wf.task(
@@ -601,6 +612,38 @@ mod tests {
         // Tasks that execute no analytics plans carry none.
         let merge = built.workflow.task_id("merge-curated").unwrap();
         assert!(built.workflow.plan_fingerprint(merge).is_none());
+    }
+
+    #[test]
+    fn plot_tasks_carry_estimates_and_plan_payloads() {
+        let cfg = tiny_config("planest");
+        let built = build(&cfg);
+        for stage in PLOT_STAGES {
+            let id = built.workflow.task_id(&format!("plot-{stage}")).unwrap();
+            let est = built
+                .workflow
+                .plan_estimate(id)
+                .unwrap_or_else(|| panic!("plot-{stage} has no estimate"));
+            // Plot plans never invent rows: the upper bound at n rows is ≤ n.
+            let (lo, hi) = est.rows_interval(1000);
+            assert!(lo <= hi && hi <= 1000, "plot-{stage}: [{lo}, {hi}]");
+            let payload = built
+                .workflow
+                .task_plan_payload(id)
+                .unwrap_or_else(|| panic!("plot-{stage} has no plan payload"));
+            assert!(payload
+                .downcast_ref::<schedflow_frame::LazyPlan>()
+                .is_some());
+        }
+        // The wait-chart body executes two plans, so it carries the composed
+        // plan for the cost pass but no single-interval estimate.
+        let wait = built.workflow.task_id("wait-chart-2024-01").unwrap();
+        assert!(built.workflow.plan_estimate(wait).is_none());
+        assert!(built.workflow.task_plan_payload(wait).is_some());
+        // Tasks without analytics plans carry neither.
+        let merge = built.workflow.task_id("merge-curated").unwrap();
+        assert!(built.workflow.plan_estimate(merge).is_none());
+        assert!(built.workflow.task_plan_payload(merge).is_none());
     }
 
     #[test]

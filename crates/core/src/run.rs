@@ -123,11 +123,27 @@ fn run_report_html(report: &RunReport) -> String {
                 )
             },
         );
+        // Estimated-vs-actual rows: only meaningful when the stage executed
+        // exactly one plan, so the per-task scan tally matches the estimate's
+        // `n`. The interval is the static bound evaluated at the actual scan.
+        let est_rows = match (&t.estimate, &t.plan) {
+            (Some(est), Some(p)) if p.plans == 1 => {
+                let (lo, hi) = est.rows_interval(p.rows_in);
+                let verdict = if est.contains_rows(p.rows_in, p.rows_out) {
+                    "ok"
+                } else {
+                    "<strong>outside</strong>"
+                };
+                format!("[{lo}, {hi}] / {} {verdict}", p.rows_out)
+            }
+            _ => String::new(),
+        };
         rows.push_str(&format!(
             "<tr><td>{name}</td><td>{kind}</td><td>{status}</td>\
              <td class=\"num\">{dur:.1}</td>\
              <td class=\"num\">{bin}</td><td class=\"num\">{bout}</td>\
-             <td class=\"num\">{plan_cols}</td><td class=\"num\">{plan_red}</td></tr>",
+             <td class=\"num\">{plan_cols}</td><td class=\"num\">{plan_red}</td>\
+             <td class=\"num\">{est_rows}</td></tr>",
             name = esc(&t.name),
             kind = t.kind,
             status = esc(t.status.manifest_str()),
@@ -163,7 +179,8 @@ fn run_report_html(report: &RunReport) -> String {
          consumer).</p>{plan_summary}\
          <table><thead><tr><th>Task</th><th>Kind</th><th>Status</th>\
          <th>Duration (ms)</th><th>Bytes in</th><th>Bytes out</th>\
-         <th>Plan cols</th><th>Scan &divide;</th></tr></thead>\
+         <th>Plan cols</th><th>Scan &divide;</th>\
+         <th>Est rows / actual</th></tr></thead>\
          <tbody>{rows}</tbody></table>",
         tasks = report.tasks.len(),
         makespan = report.makespan_ms / 1000.0,
@@ -587,8 +604,33 @@ mod tests {
         for t in &outcome.report.tasks {
             if t.name.starts_with("plot-") {
                 assert!(t.plan.is_some(), "{} recorded no plan stats", t.name);
+                assert!(t.estimate.is_some(), "{} carries no cost estimate", t.name);
             }
         }
+        // Estimate soundness: every single-plan stage's actual output
+        // cardinality lies inside its statically predicted interval.
+        assert!(run_report.contains("Est rows"), "estimate column present");
+        let mut compared = 0;
+        for t in &outcome.report.tasks {
+            if let (Some(est), Some(p)) = (&t.estimate, &t.plan) {
+                if p.plans == 1 {
+                    let (lo, hi) = est.rows_interval(p.rows_in);
+                    assert!(
+                        est.contains_rows(p.rows_in, p.rows_out),
+                        "{}: {} rows outside predicted [{lo}, {hi}] (scanned {})",
+                        t.name,
+                        p.rows_out,
+                        p.rows_in
+                    );
+                    compared += 1;
+                }
+            }
+        }
+        assert_eq!(
+            compared,
+            crate::pipeline::PLOT_STAGES.len(),
+            "every plotting stage is estimate-checked"
+        );
         assert!(!run_report.contains("is written when the workflow finishes"));
         // Curation saw the injected corruption.
         assert!(outcome.curation.0 > 0);

@@ -186,6 +186,10 @@ pub struct TaskCtx<'a> {
     /// When race detection is on: the run's happens-before tracker and this
     /// task's index, so every access through this context is recorded.
     pub(crate) race: Option<(Arc<crate::race::RaceTracker>, usize)>,
+    /// Static cost estimate declared for this task's plan
+    /// ([`crate::Workflow::with_plan_estimate`]), visible to the body so it
+    /// can cross-check its own cardinalities while executing.
+    pub(crate) estimate: Option<crate::report::PlanEstimate>,
 }
 
 impl<'a> TaskCtx<'a> {
@@ -204,7 +208,20 @@ impl<'a> TaskCtx<'a> {
             bytes_out: AtomicU64::new(0),
             plan: Mutex::new(None),
             race: None,
+            estimate: None,
         }
+    }
+
+    /// The static plan estimate declared for this task, if any — the interval
+    /// the SF08xx cost analysis predicted for the plan the body is about to
+    /// execute.
+    pub fn plan_estimate(&self) -> Option<&crate::report::PlanEstimate> {
+        self.estimate.as_ref()
+    }
+
+    pub(crate) fn with_estimate(mut self, estimate: Option<crate::report::PlanEstimate>) -> Self {
+        self.estimate = estimate;
+        self
     }
 
     /// Record logical-plan optimizer accounting for this task (merged when

@@ -318,6 +318,7 @@ impl Runner {
                     bytes_in: 0,
                     bytes_out: 0,
                     plan: None,
+                    estimate: self.workflow.tasks[i].plan_estimate.clone(),
                 })
                 .collect(),
             attempts: vec![0; n],
@@ -700,7 +701,8 @@ impl Exec<'_> {
                     "chaos: injected i/o fault (attempt {attempt})"
                 ))),
                 None => {
-                    let mut ctx = TaskCtx::new(&store, &spec.name, &spec.inputs, &spec.outputs);
+                    let mut ctx = TaskCtx::new(&store, &spec.name, &spec.inputs, &spec.outputs)
+                        .with_estimate(spec.plan_estimate.clone());
                     if let Some(t) = tracker {
                         ctx = ctx.with_race(t, i);
                     }

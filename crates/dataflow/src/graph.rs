@@ -67,6 +67,16 @@ pub(crate) struct TaskSpec {
     /// into the manifest fingerprint so artifact-cache/resume freshness is
     /// invalidated when the *computation* changes, not just the graph wiring.
     pub plan_fingerprint: Option<u64>,
+    /// Static cost estimate for the task's declared plan — computed by the
+    /// SF08xx cost analysis at declaration time, copied into
+    /// [`crate::report::TaskReport::estimate`] for the estimated-vs-actual
+    /// cross-check. Never consulted for scheduling.
+    pub plan_estimate: Option<crate::report::PlanEstimate>,
+    /// The declared logical plan itself, type-erased so this crate stays
+    /// independent of `schedflow-frame` (which defines the plan IR and
+    /// depends on us). `schedflow-lint`'s cost pass downcasts it back to a
+    /// `LazyPlan` to run the abstract interpreter; the executor ignores it.
+    pub plan_payload: Option<std::sync::Arc<dyn std::any::Any + Send + Sync>>,
 }
 
 /// Errors detected when validating a workflow graph.
@@ -213,6 +223,8 @@ impl Workflow {
             tolerates_failure: false,
             contract: None,
             plan_fingerprint: None,
+            plan_estimate: None,
+            plan_payload: None,
         });
         id
     }
@@ -242,6 +254,39 @@ impl Workflow {
     /// The declared plan fingerprint of a task, if any.
     pub fn plan_fingerprint(&self, id: TaskId) -> Option<u64> {
         self.tasks[id.0].plan_fingerprint
+    }
+
+    /// Attach the static cost estimate of the task's declared plan (the
+    /// SF08xx abstract-interpretation result). Surfaced per task in
+    /// [`crate::report::TaskReport::estimate`] so runs can report
+    /// estimated-vs-actual cardinalities; never consulted for scheduling.
+    pub fn with_plan_estimate(&mut self, id: TaskId, estimate: crate::report::PlanEstimate) {
+        self.tasks[id.0].plan_estimate = Some(estimate);
+    }
+
+    /// The declared static plan estimate of a task, if any.
+    pub fn plan_estimate(&self, id: TaskId) -> Option<&crate::report::PlanEstimate> {
+        self.tasks[id.0].plan_estimate.as_ref()
+    }
+
+    /// Attach the task's declared logical plan as an opaque payload. This
+    /// crate never interprets it — `schedflow-lint`'s cost pass downcasts it
+    /// to the frame crate's `LazyPlan` to run the SF08xx analysis without
+    /// introducing a dataflow→frame dependency cycle.
+    pub fn with_plan_payload(
+        &mut self,
+        id: TaskId,
+        payload: std::sync::Arc<dyn std::any::Any + Send + Sync>,
+    ) {
+        self.tasks[id.0].plan_payload = Some(payload);
+    }
+
+    /// The task's opaque plan payload, if any.
+    pub fn task_plan_payload(
+        &self,
+        id: TaskId,
+    ) -> Option<&std::sync::Arc<dyn std::any::Any + Send + Sync>> {
+        self.tasks[id.0].plan_payload.as_ref()
     }
 
     /// Declare the schema of an artifact directly — for workflow parameters

@@ -65,5 +65,8 @@ pub use graph::{GraphError, StageKind, TaskId, Workflow};
 pub use manifest::{ManifestEntry, RunManifest};
 pub use pool::ThreadPool;
 pub use race::RaceTracker;
-pub use report::{human_bytes, ArtifactDigest, PlanStats, RunReport, TaskReport, TaskStatus};
+pub use report::{
+    human_bytes, ArtifactDigest, CardPoly, PlanEstimate, PlanStats, RunReport, TaskReport,
+    TaskStatus,
+};
 pub use store::{DurableStore, FileCheck, Fs, RealFs};

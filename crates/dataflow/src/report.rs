@@ -70,6 +70,186 @@ impl TaskStatus {
     }
 }
 
+/// A saturating cardinality polynomial in `n`, the number of source rows a
+/// plan scans: `konst + linear·n + quad·n²`, or `∞` when `unbounded` is set.
+///
+/// This is the abstract domain of the SF08xx cost analysis
+/// (`schedflow-lint`'s `cost_flow` pass): source sizes are unknown at lint
+/// time, so per-operator row bounds are kept symbolic in `n` and only
+/// evaluated once a concrete row count exists — at runtime against the
+/// scanned-row tally, or at lint time against an assumed source size for the
+/// `--mem-budget` peak check. Degree is capped at 2; any product that would
+/// exceed it (nested non-key joins) widens to `∞`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+pub struct CardPoly {
+    /// Constant term.
+    pub konst: u64,
+    /// Coefficient of `n`.
+    pub linear: u64,
+    /// Coefficient of `n²`.
+    pub quad: u64,
+    /// Top element: no finite bound (quadratic blow-up past degree 2).
+    pub unbounded: bool,
+}
+
+impl CardPoly {
+    /// The zero polynomial (bottom of the domain for upper bounds).
+    pub fn zero() -> Self {
+        Self::default()
+    }
+
+    /// A constant bound.
+    pub fn konst(c: u64) -> Self {
+        Self {
+            konst: c,
+            ..Self::default()
+        }
+    }
+
+    /// The identity bound `n` (one output row per scanned source row).
+    pub fn n() -> Self {
+        Self {
+            linear: 1,
+            ..Self::default()
+        }
+    }
+
+    /// Top: no finite bound.
+    pub fn unbounded() -> Self {
+        Self {
+            unbounded: true,
+            ..Self::default()
+        }
+    }
+
+    /// Whether this is the zero polynomial.
+    pub fn is_zero(&self) -> bool {
+        !self.unbounded && self.konst == 0 && self.linear == 0 && self.quad == 0
+    }
+
+    /// Saturating pointwise sum.
+    pub fn add(&self, other: &CardPoly) -> CardPoly {
+        if self.unbounded || other.unbounded {
+            return CardPoly::unbounded();
+        }
+        CardPoly {
+            konst: self.konst.saturating_add(other.konst),
+            linear: self.linear.saturating_add(other.linear),
+            quad: self.quad.saturating_add(other.quad),
+            unbounded: false,
+        }
+    }
+
+    /// Polynomial product, widening to `∞` past degree 2.
+    pub fn mul(&self, other: &CardPoly) -> CardPoly {
+        if self.unbounded || other.unbounded {
+            return CardPoly::unbounded();
+        }
+        // Degree overflow: any term whose combined degree exceeds 2 widens.
+        if (self.quad > 0 && (other.linear > 0 || other.quad > 0))
+            || (other.quad > 0 && self.linear > 0)
+            || (self.linear > 0 && other.linear > 0 && (self.quad > 0 || other.quad > 0))
+        {
+            return CardPoly::unbounded();
+        }
+        CardPoly {
+            konst: self.konst.saturating_mul(other.konst),
+            linear: self
+                .konst
+                .saturating_mul(other.linear)
+                .saturating_add(self.linear.saturating_mul(other.konst)),
+            quad: self
+                .konst
+                .saturating_mul(other.quad)
+                .saturating_add(self.quad.saturating_mul(other.konst))
+                .saturating_add(self.linear.saturating_mul(other.linear)),
+            unbounded: false,
+        }
+    }
+
+    /// Pointwise maximum — a sound join for upper bounds.
+    pub fn max(&self, other: &CardPoly) -> CardPoly {
+        if self.unbounded || other.unbounded {
+            return CardPoly::unbounded();
+        }
+        CardPoly {
+            konst: self.konst.max(other.konst),
+            linear: self.linear.max(other.linear),
+            quad: self.quad.max(other.quad),
+            unbounded: false,
+        }
+    }
+
+    /// Evaluate at a concrete source-row count, saturating; `∞` evaluates to
+    /// `u64::MAX`.
+    pub fn eval(&self, n: u64) -> u64 {
+        if self.unbounded {
+            return u64::MAX;
+        }
+        self.konst
+            .saturating_add(self.linear.saturating_mul(n))
+            .saturating_add(self.quad.saturating_mul(n.saturating_mul(n)))
+    }
+
+    /// Compact symbolic rendering: `0`, `3`, `n`, `2n+1`, `n²`, `∞`.
+    pub fn render(&self) -> String {
+        if self.unbounded {
+            return "∞".to_owned();
+        }
+        let mut terms = Vec::new();
+        match self.quad {
+            0 => {}
+            1 => terms.push("n²".to_owned()),
+            q => terms.push(format!("{q}n²")),
+        }
+        match self.linear {
+            0 => {}
+            1 => terms.push("n".to_owned()),
+            l => terms.push(format!("{l}n")),
+        }
+        if self.konst > 0 || terms.is_empty() {
+            terms.push(self.konst.to_string());
+        }
+        terms.join("+")
+    }
+}
+
+/// Static cardinality and byte-width estimate for the single logical plan a
+/// task executes — the product of the SF08xx cost abstract interpreter
+/// (`schedflow_frame::cost`), attached to tasks at workflow-declaration time
+/// and carried into [`TaskReport::estimate`] so every run can report
+/// estimated-vs-actual rows and bytes per stage.
+#[derive(Debug, Clone, Default, PartialEq, Serialize)]
+pub struct PlanEstimate {
+    /// Lower bound on output rows, as a polynomial in scanned source rows.
+    pub rows_lo: CardPoly,
+    /// Upper bound on output rows.
+    pub rows_hi: CardPoly,
+    /// Estimated bytes per output row (column-width model).
+    pub out_row_bytes: u64,
+    /// Estimated bytes per scanned source row after projection pruning.
+    pub scan_row_bytes: u64,
+}
+
+impl PlanEstimate {
+    /// The concrete `[lo, hi]` row interval at a given source-row count.
+    pub fn rows_interval(&self, n: u64) -> (u64, u64) {
+        (self.rows_lo.eval(n), self.rows_hi.eval(n))
+    }
+
+    /// Soundness check: does an observed output-row count fall inside the
+    /// predicted interval for `n` scanned source rows?
+    pub fn contains_rows(&self, n: u64, actual: u64) -> bool {
+        let (lo, hi) = self.rows_interval(n);
+        lo <= actual && actual <= hi
+    }
+
+    /// Upper bound on materialized output bytes at a given source-row count.
+    pub fn bytes_hi(&self, n: u64) -> u64 {
+        self.rows_hi.eval(n).saturating_mul(self.out_row_bytes)
+    }
+}
+
 /// Optimizer accounting for the logical plans a task executed (zero-valued
 /// when the task ran no plans). Produced by `schedflow-frame`'s plan
 /// executor, recorded through [`crate::TaskCtx::record_plan_stats`], and
@@ -154,6 +334,10 @@ pub struct TaskReport {
     /// Logical-plan optimizer accounting, when the task executed plans and
     /// recorded them ([`crate::TaskCtx::record_plan_stats`]).
     pub plan: Option<PlanStats>,
+    /// Static cost estimate for the task's declared plan, when one was
+    /// attached ([`crate::Workflow::with_plan_estimate`]) — compare against
+    /// `plan` for the estimated-vs-actual soundness cross-check.
+    pub estimate: Option<PlanEstimate>,
 }
 
 impl TaskReport {
@@ -363,6 +547,7 @@ mod tests {
                     bytes_in: 0,
                     bytes_out: 1024,
                     plan: None,
+                    estimate: None,
                 },
                 TaskReport {
                     name: "b".into(),
@@ -376,6 +561,7 @@ mod tests {
                     bytes_in: 1024,
                     bytes_out: 512,
                     plan: None,
+                    estimate: None,
                 },
                 TaskReport {
                     name: "c".into(),
@@ -389,6 +575,7 @@ mod tests {
                     bytes_in: 0,
                     bytes_out: 0,
                     plan: None,
+                    estimate: None,
                 },
             ],
             artifacts: vec![ArtifactDigest {
@@ -471,6 +658,52 @@ mod tests {
         let r = report();
         assert_eq!(r.digest_of("out"), Some("00000000deadbeef"));
         assert_eq!(r.digest_of("missing"), None);
+    }
+
+    #[test]
+    fn cardpoly_arithmetic_and_eval() {
+        let n = CardPoly::n();
+        let c = CardPoly::konst(3);
+        assert_eq!(n.add(&c).eval(10), 13);
+        assert_eq!(n.mul(&n).eval(10), 100);
+        assert_eq!(n.mul(&c).eval(10), 30);
+        assert_eq!(n.max(&c).eval(2), 5); // max is pointwise: n + 3 at n=2
+        assert_eq!(CardPoly::zero().eval(u64::MAX), 0);
+    }
+
+    #[test]
+    fn cardpoly_degree_cap_widens_to_unbounded() {
+        let n = CardPoly::n();
+        let n2 = n.mul(&n);
+        assert!(!n2.unbounded);
+        assert!(n2.mul(&n).unbounded);
+        assert_eq!(n2.mul(&n).eval(1), u64::MAX);
+        assert!(CardPoly::unbounded().add(&CardPoly::zero()).unbounded);
+    }
+
+    #[test]
+    fn cardpoly_renders_symbolically() {
+        assert_eq!(CardPoly::zero().render(), "0");
+        assert_eq!(CardPoly::konst(7).render(), "7");
+        assert_eq!(CardPoly::n().render(), "n");
+        assert_eq!(CardPoly::n().add(&CardPoly::konst(1)).render(), "n+1");
+        assert_eq!(CardPoly::n().mul(&CardPoly::n()).render(), "n²");
+        assert_eq!(CardPoly::unbounded().render(), "∞");
+    }
+
+    #[test]
+    fn estimate_interval_containment() {
+        let est = PlanEstimate {
+            rows_lo: CardPoly::zero(),
+            rows_hi: CardPoly::n(),
+            out_row_bytes: 16,
+            scan_row_bytes: 24,
+        };
+        assert!(est.contains_rows(100, 0));
+        assert!(est.contains_rows(100, 100));
+        assert!(!est.contains_rows(100, 101));
+        assert_eq!(est.rows_interval(50), (0, 50));
+        assert_eq!(est.bytes_hi(100), 1600);
     }
 
     #[test]

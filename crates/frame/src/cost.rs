@@ -1,0 +1,427 @@
+//! Static cost & cardinality analysis over the logical plan IR — the frame
+//! half of the SF08xx lint family.
+//!
+//! [`analyze`] abstractly interprets an optimized [`LazyPlan`], propagating a
+//! row-count interval through every operator. The abstract domain is
+//! [`CardPoly`], a saturating polynomial in `n` (the total rows the plan's
+//! scans read), so bounds stay symbolic until a concrete source size exists:
+//! the runtime soundness cross-check evaluates them at the observed
+//! scanned-row tally, while the lint-time `--mem-budget` peak computation
+//! evaluates them at an assumed source size.
+//!
+//! Per-operator transfer rules (all bounds inclusive):
+//!
+//! * **Scan** — `[n, n]` for the only scan of a single-source plan with no
+//!   pushed predicate; `[0, n]` otherwise (a pushed predicate or sibling
+//!   scans can take any share of `n`).
+//! * **Filter** — `[0, hi]`: may drop everything, never adds rows.
+//! * **Project / WithColumn / Sort** — row-preserving.
+//! * **Head k** — upper bound clamps to `k`; the lower bound keeps only its
+//!   provably-constant part (`min(lo.konst, k)`).
+//! * **GroupBy** — at most one group per input row; at least one group when
+//!   the input is provably nonempty. The output becomes *key-unique*.
+//! * **Join** — the widening point. When one side is unique on the join key
+//!   (it descends from a group-by over that key), output rows are bounded by
+//!   the other side (plus the left side for left joins). When neither side
+//!   is key-unique the product `hi_l · hi_r` applies — degree-capped at 2,
+//!   beyond which the bound widens to `∞` — and the join is reported for
+//!   SF0804.
+//!
+//! The walk also collects the canonical fingerprints of materializing
+//! subplans (group-bys, joins) for the SF0801 cross-stage duplicate check,
+//! and filters that survive optimization above a materialization point even
+//! though they only touch scan columns (SF0805).
+
+use crate::expr::Expr;
+use crate::plan::{subplan_fingerprint, LazyPlan, Plan};
+use schedflow_dataflow::contract::ColType;
+use schedflow_dataflow::report::{CardPoly, PlanEstimate};
+use std::collections::BTreeSet;
+
+/// Estimated width of one column value, by contract type: strings dominate
+/// at 16 bytes (pointer + small-string payload), everything else is a
+/// machine word.
+fn col_width(ty: ColType) -> u64 {
+    match ty {
+        ColType::Str => 16,
+        _ => 8,
+    }
+}
+
+/// Result of abstractly interpreting one plan.
+#[derive(Debug, Clone)]
+pub struct CostAnalysis {
+    /// Row interval and byte widths — the per-task [`PlanEstimate`] the
+    /// pipeline attaches for the estimated-vs-actual run columns.
+    pub estimate: PlanEstimate,
+    /// Canonical fingerprint and description of every materializing subplan
+    /// (group-by, join) — SF0801 flags fingerprints shared across tasks.
+    pub expensive_subplans: Vec<(u64, String)>,
+    /// Joins where neither input is provably unique on the join key, with a
+    /// description of the quadratic/unbounded growth (SF0804).
+    pub unbounded_joins: Vec<String>,
+    /// Filters the optimizer left above a materialization even though their
+    /// predicates only read scan columns (SF0805); rendered predicates.
+    pub post_mat_filters: Vec<String>,
+    /// Output column names when statically known (`None` when the plan ends
+    /// in a bare scan whose source schema is unknown).
+    pub output_columns: Option<Vec<String>>,
+}
+
+/// Abstract state flowing up the plan tree.
+struct NodeFacts {
+    lo: CardPoly,
+    hi: CardPoly,
+    /// Key sets the rows are provably unique on (from a group-by below).
+    unique_on: Option<BTreeSet<String>>,
+    /// Output columns as `(name, width)` when statically known.
+    cols: Option<Vec<(String, u64)>>,
+    /// Column names derived below this node (with-column outputs, group-by
+    /// aggregates) — a filter on any of these is inherently post-
+    /// materialization and exempt from SF0805.
+    derived: BTreeSet<String>,
+    /// Whether a materializing operator (group-by, join, with-column)
+    /// exists below this node.
+    materialized: bool,
+}
+
+struct Walker {
+    single_source: bool,
+    expensive: Vec<(u64, String)>,
+    unbounded_joins: Vec<String>,
+    post_mat_filters: Vec<String>,
+}
+
+/// One-line description of a materializing node, for diagnostics.
+fn describe(plan: &Plan) -> String {
+    match plan {
+        Plan::GroupBy { keys, aggs, .. } => {
+            let aggs: Vec<&str> = aggs.iter().map(|(n, _)| n.as_str()).collect();
+            format!("group_by({}) -> [{}]", keys.join(", "), aggs.join(", "))
+        }
+        Plan::Join { key, kind, .. } => format!("join on `{key}` ({kind:?})"),
+        _ => "subplan".to_owned(),
+    }
+}
+
+impl Walker {
+    fn walk(&mut self, plan: &Plan) -> NodeFacts {
+        match plan {
+            Plan::Scan {
+                projection,
+                predicate,
+                ..
+            } => {
+                let exact = self.single_source && predicate.is_none();
+                NodeFacts {
+                    lo: if exact {
+                        CardPoly::n()
+                    } else {
+                        CardPoly::zero()
+                    },
+                    hi: CardPoly::n(),
+                    unique_on: None,
+                    cols: projection
+                        .as_ref()
+                        .map(|p| p.iter().map(|name| (name.clone(), 8)).collect()),
+                    derived: BTreeSet::new(),
+                    materialized: false,
+                }
+            }
+            Plan::Filter { input, predicate } => {
+                let f = self.walk(input);
+                // A filter still above a materialization whose predicate
+                // only reads scan columns could have run before it (SF0805).
+                if f.materialized && !refs_any(predicate, &f.derived) {
+                    self.post_mat_filters.push(predicate.render());
+                }
+                NodeFacts {
+                    lo: CardPoly::zero(),
+                    ..f
+                }
+            }
+            Plan::Project { input, columns } => {
+                let f = self.walk(input);
+                let names: BTreeSet<&str> = columns.iter().map(|c| c.name.as_str()).collect();
+                NodeFacts {
+                    unique_on: f
+                        .unique_on
+                        .filter(|keys| keys.iter().all(|k| names.contains(k.as_str()))),
+                    cols: Some(
+                        columns
+                            .iter()
+                            .map(|c| (c.name.clone(), col_width(c.ty)))
+                            .collect(),
+                    ),
+                    ..f
+                }
+            }
+            Plan::WithColumn { input, name, .. } => {
+                let mut f = self.walk(input);
+                if let Some(cols) = &mut f.cols {
+                    cols.retain(|(n, _)| n != name);
+                    cols.push((name.clone(), 8));
+                }
+                f.derived.insert(name.clone());
+                f.materialized = true;
+                f
+            }
+            Plan::GroupBy { input, keys, aggs } => {
+                let f = self.walk(input);
+                self.expensive
+                    .push((subplan_fingerprint(plan), describe(plan)));
+                let mut cols: Vec<(String, u64)> = keys.iter().map(|k| (k.clone(), 16)).collect();
+                cols.extend(aggs.iter().map(|(n, _)| (n.clone(), 8)));
+                NodeFacts {
+                    lo: CardPoly::konst(u64::from(f.lo.konst >= 1)),
+                    hi: f.hi,
+                    unique_on: Some(keys.iter().cloned().collect()),
+                    cols: Some(cols),
+                    derived: {
+                        let mut d = f.derived;
+                        d.extend(aggs.iter().map(|(n, _)| n.clone()));
+                        d
+                    },
+                    materialized: true,
+                }
+            }
+            Plan::Sort { input, .. } => self.walk(input),
+            Plan::Head { input, n } => {
+                let f = self.walk(input);
+                let k = *n as u64;
+                NodeFacts {
+                    lo: CardPoly::konst(f.lo.konst.min(k)),
+                    hi: if f.hi.linear == 0 && f.hi.quad == 0 && !f.hi.unbounded {
+                        CardPoly::konst(f.hi.konst.min(k))
+                    } else {
+                        CardPoly::konst(k)
+                    },
+                    ..f
+                }
+            }
+            Plan::Join {
+                left,
+                right,
+                key,
+                kind,
+            } => {
+                let l = self.walk(left);
+                let r = self.walk(right);
+                self.expensive
+                    .push((subplan_fingerprint(plan), describe(plan)));
+                let left_unique = l.unique_on.as_ref().is_some_and(|keys| keys.contains(key));
+                let right_unique = r.unique_on.as_ref().is_some_and(|keys| keys.contains(key));
+                let is_left_join = matches!(kind, crate::join::JoinKind::Left);
+                let (lo, hi) = if right_unique {
+                    // Each left row matches at most one right row.
+                    let lo = if is_left_join { l.lo } else { CardPoly::zero() };
+                    (lo, l.hi)
+                } else if left_unique {
+                    // Each right row matches at most one left row; a left
+                    // join additionally keeps unmatched left rows.
+                    if is_left_join {
+                        (l.lo, l.hi.add(&r.hi))
+                    } else {
+                        (CardPoly::zero(), r.hi)
+                    }
+                } else {
+                    self.unbounded_joins.push(format!(
+                        "join on `{key}`: neither side is unique on the key \
+                         (bound {} × {})",
+                        l.hi.render(),
+                        r.hi.render()
+                    ));
+                    let lo = if is_left_join { l.lo } else { CardPoly::zero() };
+                    (lo, l.hi.mul(&r.hi))
+                };
+                let cols = match (l.cols, r.cols) {
+                    (Some(mut lc), Some(rc)) => {
+                        for (n, w) in rc {
+                            if n != *key && !lc.iter().any(|(e, _)| *e == n) {
+                                lc.push((n, w));
+                            }
+                        }
+                        Some(lc)
+                    }
+                    _ => None,
+                };
+                NodeFacts {
+                    lo,
+                    hi,
+                    unique_on: (left_unique && right_unique)
+                        .then(|| [key.clone()].into_iter().collect()),
+                    cols,
+                    derived: {
+                        let mut d = l.derived;
+                        d.extend(r.derived);
+                        d
+                    },
+                    materialized: true,
+                }
+            }
+        }
+    }
+}
+
+/// Does the expression reference any of the given column names?
+fn refs_any(e: &Expr, names: &BTreeSet<String>) -> bool {
+    let mut refs = Vec::new();
+    e.col_refs(&mut refs);
+    refs.iter().any(|r| names.contains(&r.name))
+}
+
+/// Abstractly interpret a plan: row-count interval, byte widths, and the
+/// SF0801/SF0804/SF0805 evidence. Operates on the *optimized* tree, so the
+/// estimate describes the computation that will actually run.
+pub fn analyze(plan: &LazyPlan) -> CostAnalysis {
+    let optimized = plan.optimized();
+    let mut walker = Walker {
+        single_source: plan.source_count() == 1,
+        expensive: Vec::new(),
+        unbounded_joins: Vec::new(),
+        post_mat_filters: Vec::new(),
+    };
+    let facts = walker.walk(&optimized);
+
+    // Byte widths from the derived input contracts: what one scanned row
+    // costs after projection pruning, and what one output row costs.
+    let mut scan_row_bytes = 0u64;
+    let mut widths: Vec<(String, u64)> = Vec::new();
+    for schema in plan.required_schemas() {
+        for spec in schema.columns() {
+            let w = col_width(spec.ty);
+            scan_row_bytes += w;
+            widths.push((spec.name.clone(), w));
+        }
+    }
+    let out_row_bytes = match &facts.cols {
+        Some(cols) => cols
+            .iter()
+            .map(|(name, w)| {
+                widths
+                    .iter()
+                    .find(|(n, _)| n == name)
+                    .map_or(*w, |(_, w)| *w)
+            })
+            .sum::<u64>()
+            .max(8),
+        None => scan_row_bytes.max(8),
+    };
+
+    CostAnalysis {
+        estimate: PlanEstimate {
+            rows_lo: facts.lo,
+            rows_hi: facts.hi,
+            out_row_bytes,
+            scan_row_bytes: scan_row_bytes.max(8),
+        },
+        expensive_subplans: walker.expensive,
+        unbounded_joins: walker.unbounded_joins,
+        post_mat_filters: walker.post_mat_filters,
+        output_columns: facts
+            .cols
+            .map(|cols| cols.into_iter().map(|(n, _)| n).collect()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{col_num, col_str, lit_i64};
+    use crate::groupby::Agg;
+    use crate::join::JoinKind;
+
+    #[test]
+    fn bare_scan_is_exact() {
+        let a = analyze(&LazyPlan::scan());
+        assert_eq!(a.estimate.rows_interval(100), (100, 100));
+        assert!(a.expensive_subplans.is_empty());
+    }
+
+    #[test]
+    fn filter_drops_lower_bound() {
+        let a = analyze(&LazyPlan::scan().filter(col_num("x").gt(lit_i64(3))));
+        assert_eq!(a.estimate.rows_interval(100), (0, 100));
+    }
+
+    #[test]
+    fn projection_preserves_rows_and_narrows_output() {
+        let a = analyze(
+            &LazyPlan::scan()
+                .filter(col_num("x").is_not_null())
+                .project(&[col_num("x")]),
+        );
+        assert_eq!(a.estimate.rows_interval(50), (0, 50));
+        assert_eq!(a.output_columns.as_deref(), Some(&["x".to_owned()][..]));
+        assert_eq!(a.estimate.out_row_bytes, 8);
+    }
+
+    #[test]
+    fn head_clamps_upper_bound() {
+        let a = analyze(&LazyPlan::scan().head(10));
+        assert_eq!(a.estimate.rows_interval(100), (0, 10));
+        assert_eq!(a.estimate.rows_interval(4), (0, 10));
+    }
+
+    #[test]
+    fn group_by_bounds_and_fingerprints() {
+        let plan = LazyPlan::scan().group_by(&["user"], &[("n", Agg::Count)]);
+        let a = analyze(&plan);
+        // At most one group per input row. The lower bound stays 0: the
+        // symbolic domain cannot prove the input nonempty (n may be 0), and
+        // an empty scan really does produce zero groups.
+        assert_eq!(a.estimate.rows_interval(100), (0, 100));
+        assert_eq!(a.expensive_subplans.len(), 1);
+        assert_eq!(
+            a.output_columns.as_deref(),
+            Some(&["user".to_owned(), "n".to_owned()][..])
+        );
+    }
+
+    #[test]
+    fn key_unique_join_is_linearly_bounded() {
+        let per_user = || LazyPlan::scan().group_by(&["user"], &[("n", Agg::Count)]);
+        let a = analyze(&per_user().join(per_user(), "user", JoinKind::Inner));
+        assert!(a.unbounded_joins.is_empty());
+        let (lo, hi) = a.estimate.rows_interval(100);
+        assert_eq!(lo, 0);
+        assert!(hi <= 100);
+    }
+
+    #[test]
+    fn non_key_join_widens_and_reports_sf0804_evidence() {
+        let a = analyze(&LazyPlan::scan().join(LazyPlan::scan(), "user", JoinKind::Inner));
+        assert_eq!(a.unbounded_joins.len(), 1);
+        let (_, hi) = a.estimate.rows_interval(100);
+        assert_eq!(hi, 10_000);
+    }
+
+    #[test]
+    fn filter_above_group_by_on_scan_column_is_post_materialization() {
+        let plan = LazyPlan::scan()
+            .group_by(&["user"], &[("n", Agg::Count)])
+            .filter(col_str("user").is_not_null());
+        let a = analyze(&plan);
+        assert_eq!(a.post_mat_filters.len(), 1);
+    }
+
+    #[test]
+    fn filter_on_derived_column_is_inherent_not_flagged() {
+        let plan = LazyPlan::scan()
+            .group_by(&["user"], &[("n", Agg::Count)])
+            .filter(col_num("n").gt(lit_i64(5)));
+        let a = analyze(&plan);
+        assert!(a.post_mat_filters.is_empty());
+    }
+
+    #[test]
+    fn pushed_filters_are_not_post_materialization() {
+        // The optimizer pushes this predicate into the scan, so nothing
+        // survives above a materializer.
+        let plan = LazyPlan::scan()
+            .filter(col_num("x").gt(lit_i64(1)))
+            .group_by(&["user"], &[("n", Agg::Count)]);
+        let a = analyze(&plan);
+        assert!(a.post_mat_filters.is_empty());
+    }
+}

@@ -26,10 +26,14 @@
 //!   FNV-1a plan fingerprints, executing on the view machinery so optimized
 //!   plans materialize at most once;
 //! * [`planstats`] — thread-local plan-execution accounting (bytes scanned
-//!   vs. eager, pruned columns) snapshotted into dataflow run reports.
+//!   vs. eager, pruned columns) snapshotted into dataflow run reports;
+//! * [`cost`] — the static cost/cardinality abstract interpreter behind the
+//!   SF08xx lint family: symbolic row-count intervals, byte-width estimates,
+//!   and duplicate-subplan/unbounded-join/post-materialization evidence.
 
 pub mod column;
 pub mod copycount;
+pub mod cost;
 pub mod csv;
 pub mod expr;
 pub mod frame;
@@ -41,6 +45,7 @@ pub mod stats;
 pub mod view;
 
 pub use column::{Cell, Column, Cursor, DType};
+pub use cost::{analyze, CostAnalysis};
 pub use csv::{
     infer_types, read_csv_path, read_delimited, write_csv, write_csv_path, write_delimited,
     CsvError,

@@ -882,7 +882,7 @@ fn fold_plan(plan: &Plan, h: &mut Fnv1a) {
     }
 }
 
-fn subplan_fingerprint(plan: &Plan) -> u64 {
+pub(crate) fn subplan_fingerprint(plan: &Plan) -> u64 {
     let mut h = Fnv1a::new();
     fold_plan(&canonicalize(plan), &mut h);
     h.finish()

@@ -1,0 +1,504 @@
+//! Plan-aware cost & resource analysis (SF08xx).
+//!
+//! The other lint families reason about *schemas* and *effects*; this pass
+//! reasons about *volume*. Tasks that execute a logical plan attach it to
+//! the workflow as an opaque payload ([`Workflow::with_plan_payload`]); the
+//! pass downcasts each payload back to a [`LazyPlan`], runs the frame
+//! crate's cost abstract interpreter ([`schedflow_frame::cost::analyze`])
+//! over the optimized tree, and combines the per-task results with the
+//! workflow's artifact-lifetime structure:
+//!
+//! * **SF0801** — the same canonical materializing subplan (group-by, join)
+//!   fingerprint appears in two or more tasks: each recomputes it; a shared
+//!   upstream artifact would compute it once.
+//! * **SF0802** — a produced column (from a `Produces` contract) that no
+//!   downstream contract reads: materialized, shipped, dropped unobserved.
+//! * **SF0803** — simulating the executor's drop-after-last-consumer
+//!   lifetime tracking over the static byte estimates, the peak of resident
+//!   artifact bytes exceeds the configured memory budget. An **error** —
+//!   only emitted when a budget was explicitly set.
+//! * **SF0804** — a join with no equi-key uniqueness on either side: output
+//!   cardinality can grow as the product of its inputs.
+//! * **SF0805** — a filter the optimizer provably could not push into the
+//!   scan even though it only reads scan columns: rows are materialized and
+//!   then discarded.
+//!
+//! Row bounds are symbolic polynomials in the scanned source rows
+//! ([`schedflow_dataflow::report::CardPoly`]); the peak computation
+//! evaluates them at [`CostOptions::assumed_source_rows`].
+
+use crate::diag::{codes, Diagnostic, LintReport};
+use schedflow_dataflow::contract::SchemaEffect;
+use schedflow_dataflow::graph::Workflow;
+use schedflow_dataflow::report::human_bytes;
+use schedflow_dataflow::ArtifactId;
+use schedflow_frame::cost::{analyze, CostAnalysis};
+use schedflow_frame::LazyPlan;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+/// Knobs for the cost pass.
+#[derive(Debug, Clone)]
+pub struct CostOptions {
+    /// Peak-resident-bytes budget (SF0803 fires only when set).
+    pub mem_budget: Option<u64>,
+    /// Source-row count the symbolic byte bounds are evaluated at for the
+    /// peak computation.
+    pub assumed_source_rows: u64,
+}
+
+impl Default for CostOptions {
+    fn default() -> Self {
+        CostOptions {
+            mem_budget: None,
+            assumed_source_rows: 100_000,
+        }
+    }
+}
+
+/// Run the SF08xx family over a structurally valid workflow.
+pub fn check(wf: &Workflow, options: &CostOptions, report: &mut LintReport) {
+    // Recover each task's plan and analyze it once.
+    let analyses: Vec<(String, CostAnalysis)> = wf
+        .task_ids()
+        .filter_map(|id| {
+            let plan = wf.task_plan_payload(id)?.downcast_ref::<LazyPlan>()?;
+            Some((wf.task_name(id).to_owned(), analyze(plan)))
+        })
+        .collect();
+
+    duplicated_subplans(&analyses, report);
+    per_task_plan_lints(&analyses, report);
+    dead_columns(wf, report);
+    if let Some(budget) = options.mem_budget {
+        peak_memory(wf, &analyses, options.assumed_source_rows, budget, report);
+    }
+}
+
+/// SF0801: the same canonical materializing subplan in ≥ 2 distinct tasks.
+fn duplicated_subplans(analyses: &[(String, CostAnalysis)], report: &mut LintReport) {
+    // fingerprint → (description, tasks computing it); BTreeMap for
+    // deterministic diagnostic order.
+    let mut by_print: BTreeMap<u64, (String, BTreeSet<&str>)> = BTreeMap::new();
+    for (task, a) in analyses {
+        for (print, desc) in &a.expensive_subplans {
+            let entry = by_print
+                .entry(*print)
+                .or_insert_with(|| (desc.clone(), BTreeSet::new()));
+            entry.1.insert(task.as_str());
+        }
+    }
+    for (print, (desc, tasks)) in by_print {
+        if tasks.len() < 2 {
+            continue;
+        }
+        let list: Vec<&str> = tasks.iter().copied().collect();
+        report.push(
+            Diagnostic::warning(
+                codes::DUPLICATED_SUBPLAN,
+                format!(
+                    "subplan {desc} is computed independently by {} tasks",
+                    tasks.len()
+                ),
+            )
+            .at_task(list[0])
+            .note(format!("canonical fingerprint {print:016x}"))
+            .note(format!("computed by: {}", list.join(", ")))
+            .help("compute it once in an upstream task and share the result artifact"),
+        );
+    }
+}
+
+/// SF0804 + SF0805: per-task findings straight from the plan analysis.
+fn per_task_plan_lints(analyses: &[(String, CostAnalysis)], report: &mut LintReport) {
+    for (task, a) in analyses {
+        for join in &a.unbounded_joins {
+            report.push(
+                Diagnostic::warning(
+                    codes::UNBOUNDED_JOIN,
+                    format!("join with unbounded cardinality growth: {join}"),
+                )
+                .at_task(task)
+                .note(format!(
+                    "estimated output rows: {} (n = scanned source rows)",
+                    a.estimate.rows_hi.render()
+                ))
+                .help(
+                    "restrict one side to unique keys (e.g. group it by the join key) \
+                     so the output is linearly bounded",
+                ),
+            );
+        }
+        for pred in &a.post_mat_filters {
+            report.push(
+                Diagnostic::warning(
+                    codes::POST_MATERIALIZATION_FILTER,
+                    format!("filter `{pred}` runs after materialization"),
+                )
+                .at_task(task)
+                .note(
+                    "the predicate only reads scan columns, but a group-by/join/derived \
+                     column below it blocks pushdown — rows are materialized, then dropped",
+                )
+                .help("apply the filter before the materializing operator"),
+            );
+        }
+    }
+}
+
+/// SF0802: columns in a `Produces` contract that no consumer contract reads.
+///
+/// Only fires when the analysis is *complete*: every consumer of the
+/// artifact declares a requirement for it. A contract-less consumer could
+/// read anything, so the artifact is skipped. Retained artifacts are exempt
+/// — the caller inspects them after the run, outside any contract.
+fn dead_columns(wf: &Workflow, report: &mut LintReport) {
+    // Producer contracts: artifact → (producer task, produced column names).
+    let mut produced: BTreeMap<ArtifactId, (String, Vec<String>)> = BTreeMap::new();
+    for id in wf.task_ids() {
+        let Some(contract) = wf.contract(id) else {
+            continue;
+        };
+        for (art, effect) in &contract.effects {
+            if let SchemaEffect::Produces(schema) = effect {
+                produced.insert(
+                    *art,
+                    (
+                        wf.task_name(id).to_owned(),
+                        schema.names().map(str::to_owned).collect(),
+                    ),
+                );
+            }
+        }
+    }
+
+    for (art, (producer, columns)) in produced {
+        if wf.is_retained(art) {
+            continue;
+        }
+        let consumers: Vec<_> = wf
+            .task_ids()
+            .filter(|id| wf.task_inputs(*id).contains(&art))
+            .collect();
+        if consumers.is_empty() {
+            continue; // orphanhood is SF0201's finding, not ours
+        }
+        let mut read: BTreeSet<String> = BTreeSet::new();
+        let mut complete = true;
+        for c in &consumers {
+            let requires = wf.contract(*c).map(|ct| {
+                ct.requires
+                    .iter()
+                    .filter(|(a, _)| *a == art)
+                    .flat_map(|(_, schema)| schema.names())
+                    .map(|n| n.to_owned())
+                    .collect::<Vec<_>>()
+            });
+            match requires {
+                Some(cols) if !cols.is_empty() => read.extend(cols),
+                // A consumer with no contract (or no requirement on this
+                // artifact) may read any column — the analysis is incomplete.
+                _ => complete = false,
+            }
+        }
+        if !complete {
+            continue;
+        }
+        let dead: Vec<&str> = columns
+            .iter()
+            .filter(|c| !read.contains(*c))
+            .map(String::as_str)
+            .collect();
+        if dead.is_empty() {
+            continue;
+        }
+        let dead_list = dead
+            .iter()
+            .map(|c| format!("`{c}`"))
+            .collect::<Vec<_>>()
+            .join(", ");
+        report.push(
+            Diagnostic::warning(
+                codes::DEAD_COLUMN,
+                format!(
+                    "column{} {dead_list} produced but read by no downstream contract",
+                    if dead.len() == 1 { "" } else { "s" }
+                ),
+            )
+            .at_task(&producer)
+            .at_artifact(wf.artifact_name(art))
+            .note(format!(
+                "every consumer of `{}` declares its requirements; none lists {dead_list}",
+                wf.artifact_name(art)
+            ))
+            .help("project the column away in the producing plan to skip materializing it"),
+        );
+    }
+}
+
+/// SF0803: simulate the executor's lifetime tracking over static byte
+/// estimates and compare the peak against the budget.
+///
+/// Tasks run in deterministic topological order `(depth, declaration
+/// index)` — the serial schedule. For each task: its value outputs become
+/// resident (at the producing plan's byte upper bound evaluated at the
+/// assumed source size); afterwards each input's remaining-consumer count
+/// drops, and a non-retained artifact with no consumers left is dropped.
+/// Parallel schedules can only interleave more liveness, so the serial peak
+/// is a *lower* bound on the true worst case — exceeding the budget serially
+/// is therefore a definite finding.
+fn peak_memory(
+    wf: &Workflow,
+    analyses: &[(String, CostAnalysis)],
+    assumed_rows: u64,
+    budget: u64,
+    report: &mut LintReport,
+) {
+    let Ok(depths) = wf.validate() else {
+        return; // structural errors were already reported (SF0001)
+    };
+    let by_task: HashMap<&str, &CostAnalysis> =
+        analyses.iter().map(|(t, a)| (t.as_str(), a)).collect();
+
+    // Static byte estimate per artifact: the producing plan's materialized
+    // upper bound, split across nothing — each value output of a plan task
+    // is charged the full bound (conservative). Plan-less tasks charge 0.
+    let mut artifact_bytes = vec![0u64; wf.artifact_count()];
+    for id in wf.task_ids() {
+        let Some(a) = by_task.get(wf.task_name(id)) else {
+            continue;
+        };
+        let bytes = a.estimate.bytes_hi(assumed_rows);
+        for out in wf.task_outputs(id) {
+            if wf.file_path(*out).is_none() {
+                artifact_bytes[out.index()] = bytes;
+            }
+        }
+    }
+
+    let mut order: Vec<_> = wf.task_ids().collect();
+    order.sort_by_key(|t| (depths[t.index()], t.index()));
+
+    let mut refs = wf.consumer_counts();
+    let mut resident = 0u64;
+    let mut peak = 0u64;
+    let mut peak_task: Option<&str> = None;
+    for t in order {
+        for out in wf.task_outputs(t) {
+            resident = resident.saturating_add(artifact_bytes[out.index()]);
+        }
+        if resident > peak {
+            peak = resident;
+            peak_task = Some(wf.task_name(t));
+        }
+        for input in wf.task_inputs(t) {
+            let slot = &mut refs[input.index()];
+            *slot = slot.saturating_sub(1);
+            if *slot == 0 && !wf.is_retained(*input) {
+                resident = resident.saturating_sub(artifact_bytes[input.index()]);
+            }
+        }
+    }
+
+    if peak > budget {
+        let mut d = Diagnostic::error(
+            codes::MEM_BUDGET_EXCEEDED,
+            format!(
+                "estimated peak resident artifact bytes {} exceed the budget {}",
+                human_bytes(peak),
+                human_bytes(budget)
+            ),
+        )
+        .note(format!(
+            "lifetime simulation at {assumed_rows} assumed source rows; the serial \
+             schedule peaks while running the flagged task"
+        ))
+        .help(
+            "raise --mem-budget, narrow the producing plans' projections, or drop \
+             retain() on artifacts no caller reads",
+        );
+        if let Some(t) = peak_task {
+            d = d.at_task(t);
+        }
+        report.push(d);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use schedflow_dataflow::contract::{ColType, FrameSchema, TaskContract};
+    use schedflow_dataflow::StageKind;
+    use schedflow_frame::expr::{col_num, col_str};
+    use schedflow_frame::{Agg, JoinKind};
+    use std::sync::Arc;
+
+    fn lint(wf: &Workflow, options: &CostOptions) -> LintReport {
+        let mut report = LintReport::new();
+        check(wf, options, &mut report);
+        report
+    }
+
+    fn plan_task(wf: &mut Workflow, name: &str, plan: LazyPlan) {
+        let input = wf.value::<u32>(&format!("{name}-in"));
+        let out = wf.value::<u32>(&format!("{name}-out"));
+        wf.provide(input, 0);
+        let t = wf.task(
+            name,
+            StageKind::Static,
+            [input.id()],
+            [out.id()],
+            |_| Ok(()),
+        );
+        wf.retain(out.id());
+        wf.with_plan_payload(t, Arc::new(plan));
+    }
+
+    #[test]
+    fn duplicated_group_by_across_tasks_is_sf0801() {
+        let mut wf = Workflow::new();
+        let per_user = || LazyPlan::scan().group_by(&["user"], &[("n", Agg::Count)]);
+        plan_task(&mut wf, "stage-a", per_user());
+        plan_task(&mut wf, "stage-b", per_user());
+        let report = lint(&wf, &CostOptions::default());
+        let hits = report.with_code(codes::DUPLICATED_SUBPLAN);
+        assert_eq!(hits.len(), 1);
+        assert!(hits[0].notes.iter().any(|n| n.contains("stage-a, stage-b")));
+    }
+
+    #[test]
+    fn same_subplan_twice_in_one_task_is_not_sf0801() {
+        // In-task duplication is already eliminated by the executor's
+        // common-subplan cache; only cross-task duplication is a finding.
+        let mut wf = Workflow::new();
+        let per_user = || LazyPlan::scan().group_by(&["user"], &[("n", Agg::Count)]);
+        plan_task(
+            &mut wf,
+            "stage-a",
+            per_user().join(per_user(), "user", JoinKind::Inner),
+        );
+        let report = lint(&wf, &CostOptions::default());
+        assert!(report.with_code(codes::DUPLICATED_SUBPLAN).is_empty());
+    }
+
+    #[test]
+    fn non_key_join_is_sf0804() {
+        let mut wf = Workflow::new();
+        plan_task(
+            &mut wf,
+            "fanout",
+            LazyPlan::scan().join(LazyPlan::scan(), "user", JoinKind::Inner),
+        );
+        let report = lint(&wf, &CostOptions::default());
+        assert_eq!(report.with_code(codes::UNBOUNDED_JOIN).len(), 1);
+    }
+
+    #[test]
+    fn late_filter_is_sf0805() {
+        let mut wf = Workflow::new();
+        plan_task(
+            &mut wf,
+            "late-filter",
+            LazyPlan::scan()
+                .group_by(&["user"], &[("n", Agg::Count)])
+                .filter(col_str("user").is_not_null()),
+        );
+        let report = lint(&wf, &CostOptions::default());
+        assert_eq!(
+            report.with_code(codes::POST_MATERIALIZATION_FILTER).len(),
+            1
+        );
+    }
+
+    #[test]
+    fn dead_column_with_complete_consumer_contracts_is_sf0802() {
+        let mut wf = Workflow::new();
+        let frame = wf.value::<u32>("frame");
+        let out = wf.value::<u32>("out");
+        let t1 = wf.task("produce", StageKind::Static, [], [frame.id()], |_| Ok(()));
+        let t2 = wf.task(
+            "consume",
+            StageKind::Static,
+            [frame.id()],
+            [out.id()],
+            |_| Ok(()),
+        );
+        wf.retain(out.id());
+        wf.with_contract(
+            t1,
+            TaskContract::new().produces(
+                frame.id(),
+                FrameSchema::new()
+                    .with("wait_s", ColType::Int)
+                    .with("unused", ColType::Str),
+            ),
+        );
+        wf.with_contract(
+            t2,
+            TaskContract::new()
+                .require(frame.id(), FrameSchema::new().with("wait_s", ColType::Int)),
+        );
+        let report = lint(&wf, &CostOptions::default());
+        let hits = report.with_code(codes::DEAD_COLUMN);
+        assert_eq!(hits.len(), 1);
+        assert!(hits[0].message.contains("`unused`"));
+    }
+
+    #[test]
+    fn contractless_consumer_suppresses_sf0802() {
+        let mut wf = Workflow::new();
+        let frame = wf.value::<u32>("frame");
+        let out = wf.value::<u32>("out");
+        let t1 = wf.task("produce", StageKind::Static, [], [frame.id()], |_| Ok(()));
+        wf.task(
+            "consume",
+            StageKind::Static,
+            [frame.id()],
+            [out.id()],
+            |_| Ok(()),
+        );
+        wf.retain(out.id());
+        wf.with_contract(
+            t1,
+            TaskContract::new()
+                .produces(frame.id(), FrameSchema::new().with("unused", ColType::Str)),
+        );
+        assert!(lint(&wf, &CostOptions::default())
+            .with_code(codes::DEAD_COLUMN)
+            .is_empty());
+    }
+
+    #[test]
+    fn peak_over_budget_is_sf0803_error() {
+        let mut wf = Workflow::new();
+        // A full-width scan estimate: n rows × per-row bytes at the assumed
+        // source size easily exceeds a 1 KiB budget.
+        plan_task(
+            &mut wf,
+            "wide",
+            LazyPlan::scan().filter(col_num("x").is_not_null()),
+        );
+        let tight = CostOptions {
+            mem_budget: Some(1024),
+            assumed_source_rows: 100_000,
+        };
+        let report = lint(&wf, &tight);
+        let hits = report.with_code(codes::MEM_BUDGET_EXCEEDED);
+        assert_eq!(hits.len(), 1);
+        assert!(report.has_errors());
+
+        let roomy = CostOptions {
+            mem_budget: Some(u64::MAX),
+            assumed_source_rows: 100_000,
+        };
+        assert!(lint(&wf, &roomy)
+            .with_code(codes::MEM_BUDGET_EXCEEDED)
+            .is_empty());
+    }
+
+    #[test]
+    fn no_budget_means_no_sf0803() {
+        let mut wf = Workflow::new();
+        plan_task(&mut wf, "wide", LazyPlan::scan());
+        assert!(lint(&wf, &CostOptions::default()).is_clean());
+    }
+}

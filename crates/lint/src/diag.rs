@@ -14,6 +14,7 @@
 //! | SF05xx | concurrency effects (races, aliasing) |
 //! | SF06xx | simulator runtime invariants          |
 //! | SF07xx | durable storage & cache health        |
+//! | SF08xx | plan cost & resource analysis         |
 //!
 //! The SF06xx family is emitted at *runtime* by the simulator's invariant
 //! monitor (`schedflow_sim::invariant`), not by this crate — the codes share
@@ -78,6 +79,23 @@ pub mod codes {
     /// store's crash-safety protocol (temp file → fsync → rename) cannot
     /// hold there, so torn files may survive a crash.
     pub const CACHE_NOT_ATOMIC: &str = "SF0701";
+    /// The same canonical materializing subplan (group-by, join) is computed
+    /// in two or more tasks — each recomputes it from scratch; a shared
+    /// upstream artifact would compute it once.
+    pub const DUPLICATED_SUBPLAN: &str = "SF0801";
+    /// A produced column no downstream contract ever reads — it is
+    /// materialized, shipped, and dropped unobserved.
+    pub const DEAD_COLUMN: &str = "SF0802";
+    /// The statically estimated peak of resident artifact bytes exceeds the
+    /// configured memory budget (`--mem-budget`).
+    pub const MEM_BUDGET_EXCEEDED: &str = "SF0803";
+    /// A join where neither input is provably unique on the join key: output
+    /// cardinality can grow as the product of its inputs.
+    pub const UNBOUNDED_JOIN: &str = "SF0804";
+    /// A filter that survives optimization above a materialization point even
+    /// though its predicate only reads scan columns — rows are materialized
+    /// and then discarded.
+    pub const POST_MATERIALIZATION_FILTER: &str = "SF0805";
 }
 
 /// One finding, with enough context to render a rustc-style report.
@@ -209,6 +227,21 @@ impl LintReport {
     /// Diagnostics with a given code (for tests and tooling).
     pub fn with_code(&self, code: &str) -> Vec<&Diagnostic> {
         self.diagnostics.iter().filter(|d| d.code == code).collect()
+    }
+
+    /// Sort diagnostics by `(code, task, artifact, message)` so the final
+    /// report is deterministic regardless of the order lint passes ran in.
+    /// The sort is stable, so diagnostics identical on the key keep their
+    /// emission order.
+    pub fn sort(&mut self) {
+        self.diagnostics.sort_by(|a, b| {
+            (a.code, &a.task, &a.artifact, &a.message).cmp(&(
+                b.code,
+                &b.task,
+                &b.artifact,
+                &b.message,
+            ))
+        });
     }
 
     /// Render the whole report, one blank line between diagnostics, ending

@@ -1,0 +1,238 @@
+//! Long-form documentation for every diagnostic code (`schedflow lint
+//! --explain SF0xxx`), in the spirit of `rustc --explain`.
+//!
+//! Every code in [`crate::diag::codes`] has an entry, plus the SF06xx
+//! runtime invariant codes the simulator emits under the shared namespace.
+
+/// The long-form documentation for a diagnostic code, or `None` for an
+/// unknown code. Codes are matched case-insensitively.
+pub fn explain(code: &str) -> Option<&'static str> {
+    let code = code.to_ascii_uppercase();
+    Some(match code.as_str() {
+        "SF0001" => {
+            "SF0001: invalid workflow graph\n\
+             \n\
+             The workflow failed structural validation before any dataflow analysis\n\
+             could run: a dependency cycle, two tasks writing the same artifact, a\n\
+             consumed value artifact with no producer, or a duplicate task name.\n\
+             Structural errors block all further lint passes — fix the graph first.\n"
+        }
+        "SF0101" => {
+            "SF0101: missing column\n\
+             \n\
+             A task's contract requires an input column that the propagated schema of\n\
+             the artifact does not contain. The linter runs abstract interpretation\n\
+             over the DAG: producer contracts seed schemas, schema effects (derives,\n\
+             renames, drops) transform them, and each consumer requirement is checked\n\
+             against what actually arrives. The diagnostic names the producing task\n\
+             and suggests the nearest existing column name when one is close.\n"
+        }
+        "SF0102" => {
+            "SF0102: dtype mismatch\n\
+             \n\
+             A required input column exists but with an incompatible dtype — e.g. the\n\
+             consumer declares `wait_s: int` while the producer promises `wait_s: str`.\n\
+             Numeric widening (int → num, float → num) is accepted; everything else\n\
+             is an error because the stage would fail (or silently coerce) at runtime.\n"
+        }
+        "SF0103" => {
+            "SF0103: nullability hazard\n\
+             \n\
+             A column that may contain nulls flows into a consumer whose contract\n\
+             declares it non-null. Null-total plan semantics (Kleene logic) make\n\
+             nulls survivable, but a stage that declared non-null input typically\n\
+             divides, casts, or indexes on the column — a warning, not an error.\n"
+        }
+        "SF0104" => {
+            "SF0104: bad schema edit\n\
+             \n\
+             A schema effect (rename/drop in a `Derives` contract) edits a column its\n\
+             source schema does not contain. The edit is a no-op at best and a typo'd\n\
+             contract at worst; the remaining edits still propagate so one mistake\n\
+             does not cascade into spurious missing-column reports downstream.\n"
+        }
+        "SF0201" => {
+            "SF0201: orphan artifact\n\
+             \n\
+             A value artifact is produced but never consumed by any task and never\n\
+             marked retained for post-run inspection. The work to compute it is pure\n\
+             waste — either wire a consumer, retain it, or delete the output.\n"
+        }
+        "SF0202" => {
+            "SF0202: dead task\n\
+             \n\
+             No observable output (file artifact, retained value) transitively\n\
+             depends on this task, so deleting it would not change anything the\n\
+             caller can see. Usually a leftover stage after a pipeline refactor.\n"
+        }
+        "SF0301" => {
+            "SF0301: backoff exceeds deadline\n\
+             \n\
+             The worst-case sum of retry backoff delays alone (before any attempt\n\
+             runs) exceeds the task's deadline: later attempts are guaranteed to be\n\
+             killed by the watchdog before they start. Shrink the backoff, raise the\n\
+             deadline, or reduce attempts.\n"
+        }
+        "SF0302" => {
+            "SF0302: zero attempts\n\
+             \n\
+             A retry policy with `attempts = 0`: the task can never execute, so every\n\
+             downstream dependent is skipped. Almost certainly a configuration typo.\n"
+        }
+        "SF0401" => {
+            "SF0401: unseeded chaos\n\
+             \n\
+             Fault injection is enabled without an explicit seed. Chaos runs must be\n\
+             reproducible — an unseeded run that fails cannot be replayed to debug\n\
+             the failure. Set a seed (any fixed integer) to make injection\n\
+             deterministic.\n"
+        }
+        "SF0501" => {
+            "SF0501: write-write conflict\n\
+             \n\
+             Two tasks write the same artifact path with no happens-before path\n\
+             between them. Which write survives depends on scheduling —\n\
+             last-writer-wins nondeterminism that the determinism verifier would\n\
+             flag at runtime. Order the writers or split the outputs.\n"
+        }
+        "SF0502" => {
+            "SF0502: read-write race\n\
+             \n\
+             A task reads an artifact path another task writes, with no DAG ordering\n\
+             between reader and writer. The read may observe the old value, the new\n\
+             value, or (for files) a torn intermediate depending on scheduling.\n"
+        }
+        "SF0503" => {
+            "SF0503: artifact aliasing\n\
+             \n\
+             Two distinct artifact declarations resolve to the same file path.\n\
+             Dependency inference is per-artifact-id, so writes through one id are\n\
+             invisible to readers of the other — the engine may schedule them\n\
+             concurrently. Declare the file once and share the handle.\n"
+        }
+        "SF0504" => {
+            "SF0504: lifetime hazard\n\
+             \n\
+             An artifact may be dropped by the drop-after-last-consumer lifetime\n\
+             tracker while a timed-out task's still-running body can observe it (the\n\
+             zombie-read hazard). Retain the artifact or tighten the deadline\n\
+             configuration so abandoned bodies cannot outlive their inputs.\n"
+        }
+        "SF0601" | "SF0602" | "SF0603" | "SF0604" => {
+            "SF06xx: simulator runtime invariants\n\
+             \n\
+             Emitted at runtime by the scheduling simulator's invariant monitor, not\n\
+             by the static linter: capacity overcommitment, time monotonicity, job\n\
+             accounting conservation, and backfill correctness. They share the SFxxyy\n\
+             namespace so violation reports grep like lint findings.\n"
+        }
+        "SF0701" => {
+            "SF0701: cache directory not atomic\n\
+             \n\
+             A cache/output directory failed the same-directory atomic-rename probe.\n\
+             The durable store's crash-safety protocol (temp file → fsync → rename →\n\
+             dir fsync) requires rename atomicity; on filesystems without it, torn\n\
+             files can survive a crash and poison later runs. Move the directory to\n\
+             a local filesystem.\n"
+        }
+        "SF0801" => {
+            "SF0801: cross-stage duplicated subplan\n\
+             \n\
+             Two or more tasks independently compute a materializing subplan\n\
+             (group-by or join) with the same canonical fingerprint. Within one task\n\
+             the executor's common-subplan cache already deduplicates; across tasks\n\
+             each stage pays the full cost. Hoist the shared computation into an\n\
+             upstream task and let both stages consume its artifact.\n\
+             \n\
+             Detected by the cost pass: every attached plan is canonicalized and its\n\
+             group-by/join subtrees fingerprinted; a fingerprint owned by ≥ 2 tasks\n\
+             fires this warning.\n"
+        }
+        "SF0802" => {
+            "SF0802: dead column\n\
+             \n\
+             A column promised by a producer's `Produces` contract is read by no\n\
+             downstream contract: it is materialized, shipped through the data\n\
+             plane, and dropped unobserved. Project it away in the producing plan.\n\
+             \n\
+             The check only fires when the analysis is complete — every consumer of\n\
+             the artifact declares requirements for it — and never for retained\n\
+             artifacts, which the caller inspects outside any contract.\n"
+        }
+        "SF0803" => {
+            "SF0803: estimated peak memory exceeds budget\n\
+             \n\
+             Simulating the executor's drop-after-last-consumer lifetime tracking\n\
+             over the plans' static byte estimates (row-bound polynomials evaluated\n\
+             at an assumed source size × estimated row width), the serial-schedule\n\
+             peak of resident artifact bytes exceeds `--mem-budget`. The serial peak\n\
+             is a lower bound on the parallel worst case, so this is an error, not a\n\
+             maybe. Narrow projections, drop unneeded `retain()`s, or raise the\n\
+             budget.\n"
+        }
+        "SF0804" => {
+            "SF0804: join with unbounded cardinality growth\n\
+             \n\
+             Neither side of a join is provably unique on the join key (unique = it\n\
+             descends from a group-by over that key, surviving row-preserving\n\
+             operators). Output cardinality is then bounded only by the product of\n\
+             the input cardinalities — quadratic in source rows, widening to ∞ when\n\
+             nested. Group one side by the join key first, or join on a key with a\n\
+             uniqueness guarantee.\n"
+        }
+        "SF0805" => {
+            "SF0805: filter evaluated post-materialization\n\
+             \n\
+             After optimization (filter fusion, predicate pushdown), a filter\n\
+             remains above a materializing operator even though its predicate only\n\
+             reads scan columns. The optimizer cannot push through group-bys, joins,\n\
+             or derived columns, so rows are materialized and then discarded.\n\
+             Restructure the plan to apply the predicate before the materializing\n\
+             operator. Filters over derived columns (aggregates, with-column\n\
+             outputs) are inherent and not flagged.\n"
+        }
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diag::codes;
+
+    #[test]
+    fn every_declared_code_has_an_entry() {
+        for code in [
+            codes::INVALID_GRAPH,
+            codes::MISSING_COLUMN,
+            codes::DTYPE_MISMATCH,
+            codes::NULLABILITY,
+            codes::BAD_SCHEMA_EDIT,
+            codes::ORPHAN_ARTIFACT,
+            codes::DEAD_TASK,
+            codes::BACKOFF_EXCEEDS_DEADLINE,
+            codes::ZERO_ATTEMPTS,
+            codes::UNSEEDED_CHAOS,
+            codes::WRITE_WRITE_CONFLICT,
+            codes::READ_WRITE_RACE,
+            codes::ARTIFACT_ALIASING,
+            codes::LIFETIME_HAZARD,
+            codes::CACHE_NOT_ATOMIC,
+            codes::DUPLICATED_SUBPLAN,
+            codes::DEAD_COLUMN,
+            codes::MEM_BUDGET_EXCEEDED,
+            codes::UNBOUNDED_JOIN,
+            codes::POST_MATERIALIZATION_FILTER,
+        ] {
+            let doc = explain(code).unwrap_or_else(|| panic!("no explain entry for {code}"));
+            assert!(doc.starts_with(code), "{code} doc must lead with its code");
+        }
+    }
+
+    #[test]
+    fn runtime_invariant_family_and_case_insensitivity() {
+        assert!(explain("SF0601").is_some());
+        assert!(explain("sf0801").is_some());
+        assert!(explain("SF9999").is_none());
+    }
+}

@@ -18,18 +18,34 @@
 //! 3. **Effect dataflow** ([`effect_flow`]): per-task read/write effect sets
 //!    checked against DAG happens-before — write-write conflicts, read-write
 //!    races, artifact path aliasing, and lifetime hazards (SF05xx).
+//! 4. **Cost & resource analysis** ([`cost_flow`]): abstract interpretation
+//!    of each task's attached logical plan — row-count intervals, duplicate
+//!    materializing subplans, dead columns, unbounded joins, late filters,
+//!    and a lifetime-aware peak-memory estimate against `--mem-budget`
+//!    (SF08xx).
 //!
-//! Diagnostics ([`diag`]) are rustc-style with stable `SFxxyy` codes.
+//! Diagnostics ([`diag`]) are rustc-style with stable `SFxxyy` codes; the
+//! final report is sorted by `(code, task, artifact, message)` so output is
+//! deterministic regardless of pass registration order. [`output`] renders
+//! reports as JSON or SARIF 2.1.0 for CI annotators, and [`explain`] holds
+//! the `--explain SF0xxx` long-form documentation.
 //! Entry points: [`lint_workflow`] for the graph, [`lint_run_options`] for
-//! engine options, [`lint_all`] for both, and [`annotated_dot`] to render
-//! findings onto the Graphviz export.
+//! engine options, [`lint_all`] for both ([`lint_workflow_with`] /
+//! [`lint_all_with`] to pass [`CostOptions`]), and [`annotated_dot`] to
+//! render findings onto the Graphviz export.
 
+pub mod cost_flow;
 pub mod diag;
 pub mod effect_flow;
+pub mod explain;
+pub mod output;
 pub mod schema_flow;
 pub mod workflow_lints;
 
+pub use cost_flow::CostOptions;
 pub use diag::{codes, Diagnostic, LintReport, Severity};
+pub use explain::explain;
+pub use output::{to_json, to_sarif};
 
 pub use schedflow_dataflow::contract::{
     ColType, ColumnSpec, FrameSchema, SchemaEffect, TaskContract,
@@ -39,9 +55,16 @@ use schedflow_dataflow::dot::DotOptions;
 use schedflow_dataflow::graph::Workflow;
 use schedflow_dataflow::RunOptions;
 
-/// Lint a workflow: structural validity, schema dataflow, liveness, and
-/// per-task policy contradictions.
+/// Lint a workflow: structural validity, schema dataflow, liveness,
+/// per-task policy contradictions, and plan cost analysis (with default
+/// [`CostOptions`] — see [`lint_workflow_with`]).
 pub fn lint_workflow(wf: &Workflow) -> LintReport {
+    lint_workflow_with(wf, &CostOptions::default())
+}
+
+/// [`lint_workflow`] with explicit cost-analysis options (`--mem-budget`,
+/// assumed source size).
+pub fn lint_workflow_with(wf: &Workflow, cost: &CostOptions) -> LintReport {
     let mut report = LintReport::new();
     if let Err(e) = wf.validate() {
         report.push(
@@ -55,6 +78,8 @@ pub fn lint_workflow(wf: &Workflow) -> LintReport {
     workflow_lints::orphan_artifacts(wf, &mut report);
     workflow_lints::dead_tasks(wf, &mut report);
     workflow_lints::policy_contradictions(wf, &mut report);
+    cost_flow::check(wf, cost, &mut report);
+    report.sort();
     report
 }
 
@@ -62,6 +87,7 @@ pub fn lint_workflow(wf: &Workflow) -> LintReport {
 pub fn lint_run_options(options: &RunOptions) -> LintReport {
     let mut report = LintReport::new();
     workflow_lints::run_option_lints(options, &mut report);
+    report.sort();
     report
 }
 
@@ -70,15 +96,26 @@ pub fn lint_run_options(options: &RunOptions) -> LintReport {
 pub fn lint_storage(dirs: &[&std::path::Path]) -> LintReport {
     let mut report = LintReport::new();
     workflow_lints::storage_lints(dirs, &mut report);
+    report.sort();
     report
 }
 
 /// Lint the workflow and, when given, the run options — one combined report.
 pub fn lint_all(wf: &Workflow, options: Option<&RunOptions>) -> LintReport {
-    let mut report = lint_workflow(wf);
+    lint_all_with(wf, options, &CostOptions::default())
+}
+
+/// [`lint_all`] with explicit cost-analysis options.
+pub fn lint_all_with(
+    wf: &Workflow,
+    options: Option<&RunOptions>,
+    cost: &CostOptions,
+) -> LintReport {
+    let mut report = lint_workflow_with(wf, cost);
     if let Some(o) = options {
         report.extend(lint_run_options(o));
     }
+    report.sort();
     report
 }
 
@@ -137,8 +174,14 @@ mod tests {
         );
         wf.with_contract(
             t2,
-            TaskContract::new()
-                .require(frame.id(), FrameSchema::new().with(consumer_wants, want_ty)),
+            TaskContract::new().require(
+                frame.id(),
+                FrameSchema::new()
+                    .with(consumer_wants, want_ty)
+                    // Read the second produced column too, so the clean case
+                    // has no dead columns (SF0802).
+                    .with("state", ColType::Str),
+            ),
         );
         wf
     }
@@ -256,6 +299,63 @@ mod tests {
         assert_eq!(hits[0].severity, Severity::Warning);
         assert!(!report.has_errors(), "SF0701 is a warning, not an error");
         let _ = std::fs::remove_dir_all(&good);
+    }
+
+    #[test]
+    fn report_is_sorted_regardless_of_pass_order() {
+        // Push diagnostics in deliberately shuffled pass order and verify
+        // sort() restores the canonical (code, task, artifact, message) key.
+        let mut r = LintReport::new();
+        r.push(Diagnostic::warning(codes::CACHE_NOT_ATOMIC, "late family").at_task("z"));
+        r.push(Diagnostic::warning(codes::DEAD_COLUMN, "cost family").at_task("b"));
+        r.push(Diagnostic::error(codes::MISSING_COLUMN, "schema family").at_task("m"));
+        r.push(Diagnostic::warning(codes::DEAD_COLUMN, "cost family").at_task("a"));
+        r.sort();
+        let keys: Vec<(&str, Option<&str>)> = r
+            .diagnostics
+            .iter()
+            .map(|d| (d.code, d.task.as_deref()))
+            .collect();
+        assert_eq!(
+            keys,
+            vec![
+                (codes::MISSING_COLUMN, Some("m")),
+                (codes::CACHE_NOT_ATOMIC, Some("z")),
+                (codes::DEAD_COLUMN, Some("a")),
+                (codes::DEAD_COLUMN, Some("b")),
+            ]
+        );
+    }
+
+    #[test]
+    fn lint_workflow_output_is_deterministically_ordered() {
+        // A workflow that trips several passes at once: the rendered report
+        // must come out in code order, not pass-registration order.
+        let mut wf = Workflow::new();
+        let frame = wf.value::<u32>("frame");
+        let orphan = wf.value::<u32>("orphan");
+        let t1 = wf.task(
+            "produce",
+            StageKind::Static,
+            [],
+            [frame.id(), orphan.id()],
+            |_| Ok(()),
+        );
+        let t2 = wf.task("consume", StageKind::Static, [frame.id()], [], |_| Ok(()));
+        wf.with_contract(
+            t1,
+            TaskContract::new().produces(frame.id(), FrameSchema::new().with("x", ColType::Int)),
+        );
+        wf.with_contract(
+            t2,
+            TaskContract::new().require(frame.id(), FrameSchema::new().with("y", ColType::Int)),
+        );
+        let report = lint_workflow(&wf);
+        assert!(report.diagnostics.len() >= 2, "{}", report.render());
+        let codes_seen: Vec<&str> = report.diagnostics.iter().map(|d| d.code).collect();
+        let mut sorted = codes_seen.clone();
+        sorted.sort_unstable();
+        assert_eq!(codes_seen, sorted, "report not in code order");
     }
 
     #[test]

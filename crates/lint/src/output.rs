@@ -1,0 +1,245 @@
+//! Machine-readable lint output: JSON and SARIF 2.1.0.
+//!
+//! The renderers are hand-rolled string builders — the diagnostic shape is
+//! small and fixed, and keeping this crate free of a serializer dependency
+//! keeps the lint gate's build surface minimal. Field layout is stable:
+//! CI annotators may key on `code`, `severity`, `task`, `artifact`,
+//! `message`, `notes`, and `help`.
+
+use crate::diag::{Diagnostic, LintReport, Severity};
+use std::fmt::Write as _;
+
+/// Escape a string for a JSON string literal (quotes not included).
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn opt(v: &Option<String>) -> String {
+    match v {
+        Some(s) => format!("\"{}\"", esc(s)),
+        None => "null".to_owned(),
+    }
+}
+
+fn severity_str(s: Severity) -> &'static str {
+    match s {
+        Severity::Warning => "warning",
+        Severity::Error => "error",
+    }
+}
+
+fn diagnostic_json(d: &Diagnostic, indent: &str) -> String {
+    let notes = d
+        .notes
+        .iter()
+        .map(|n| format!("\"{}\"", esc(n)))
+        .collect::<Vec<_>>()
+        .join(", ");
+    format!(
+        "{indent}{{\n\
+         {indent}  \"code\": \"{}\",\n\
+         {indent}  \"severity\": \"{}\",\n\
+         {indent}  \"task\": {},\n\
+         {indent}  \"artifact\": {},\n\
+         {indent}  \"message\": \"{}\",\n\
+         {indent}  \"notes\": [{notes}],\n\
+         {indent}  \"help\": {}\n\
+         {indent}}}",
+        d.code,
+        severity_str(d.severity),
+        opt(&d.task),
+        opt(&d.artifact),
+        esc(&d.message),
+        opt(&d.help),
+    )
+}
+
+/// Render the report as a stable JSON document:
+/// `{"errors": N, "warnings": M, "diagnostics": [...]}`.
+pub fn to_json(report: &LintReport) -> String {
+    let diags = report
+        .diagnostics
+        .iter()
+        .map(|d| diagnostic_json(d, "    "))
+        .collect::<Vec<_>>()
+        .join(",\n");
+    let body = if diags.is_empty() {
+        String::new()
+    } else {
+        format!("\n{diags}\n  ")
+    };
+    format!(
+        "{{\n  \"errors\": {},\n  \"warnings\": {},\n  \"diagnostics\": [{body}]\n}}\n",
+        report.errors(),
+        report.warnings()
+    )
+}
+
+/// Render the report as a minimal SARIF 2.1.0 log: one run, one driver
+/// (`schedflow-lint`), one rule per distinct code, one result per
+/// diagnostic. Task/artifact anchors map to SARIF logical locations.
+pub fn to_sarif(report: &LintReport) -> String {
+    // One rule entry per distinct code, in first-appearance order.
+    let mut rule_ids: Vec<&str> = Vec::new();
+    for d in &report.diagnostics {
+        if !rule_ids.contains(&d.code) {
+            rule_ids.push(d.code);
+        }
+    }
+    let rules = rule_ids
+        .iter()
+        .map(|id| {
+            let help = crate::explain::explain(id)
+                .map(|doc| {
+                    format!(
+                        ",\n              \"fullDescription\": {{ \"text\": \"{}\" }}",
+                        esc(doc)
+                    )
+                })
+                .unwrap_or_default();
+            format!("            {{\n              \"id\": \"{id}\"{help}\n            }}")
+        })
+        .collect::<Vec<_>>()
+        .join(",\n");
+
+    let results = report
+        .diagnostics
+        .iter()
+        .map(|d| {
+            let mut locations = Vec::new();
+            if let Some(t) = &d.task {
+                locations.push(format!(
+                    "{{ \"logicalLocations\": [ {{ \"name\": \"{}\", \"kind\": \"task\" }} ] }}",
+                    esc(t)
+                ));
+            }
+            if let Some(a) = &d.artifact {
+                locations.push(format!(
+                    "{{ \"logicalLocations\": [ {{ \"name\": \"{}\", \"kind\": \"artifact\" }} ] }}",
+                    esc(a)
+                ));
+            }
+            // SARIF has no notes/help slots on results; fold them into the
+            // message text the way the text renderer does.
+            let mut text = d.message.clone();
+            for n in &d.notes {
+                text.push_str("\nnote: ");
+                text.push_str(n);
+            }
+            if let Some(h) = &d.help {
+                text.push_str("\nhelp: ");
+                text.push_str(h);
+            }
+            format!(
+                "        {{\n\
+                 \x20         \"ruleId\": \"{}\",\n\
+                 \x20         \"level\": \"{}\",\n\
+                 \x20         \"message\": {{ \"text\": \"{}\" }},\n\
+                 \x20         \"locations\": [ {} ]\n\
+                 \x20       }}",
+                d.code,
+                severity_str(d.severity),
+                esc(&text),
+                locations.join(", ")
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n");
+
+    format!(
+        "{{\n\
+         \x20 \"$schema\": \"https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json\",\n\
+         \x20 \"version\": \"2.1.0\",\n\
+         \x20 \"runs\": [\n\
+         \x20   {{\n\
+         \x20     \"tool\": {{\n\
+         \x20       \"driver\": {{\n\
+         \x20         \"name\": \"schedflow-lint\",\n\
+         \x20         \"rules\": [\n{rules}\n          ]\n\
+         \x20       }}\n\
+         \x20     }},\n\
+         \x20     \"results\": [\n{results}\n      ]\n\
+         \x20   }}\n\
+         \x20 ]\n\
+         }}\n"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diag::codes;
+
+    fn sample() -> LintReport {
+        let mut r = LintReport::new();
+        r.push(
+            Diagnostic::error(codes::MISSING_COLUMN, "missing column `wait_secs`")
+                .at_task("plot-waits")
+                .at_artifact("merged-frame")
+                .note("`merged-frame` is produced by task `merge-curated`")
+                .help("a column named `wait_s` exists — did you mean that?"),
+        );
+        r.push(Diagnostic::warning(
+            codes::DUPLICATED_SUBPLAN,
+            "subplan group_by(user) is computed independently by 2 tasks",
+        ));
+        r
+    }
+
+    #[test]
+    fn json_has_stable_fields() {
+        let json = to_json(&sample());
+        assert!(json.contains("\"errors\": 1"));
+        assert!(json.contains("\"warnings\": 1"));
+        assert!(json.contains("\"code\": \"SF0101\""));
+        assert!(json.contains("\"task\": \"plot-waits\""));
+        assert!(json.contains("\"artifact\": \"merged-frame\""));
+        assert!(json.contains("\"help\":"));
+    }
+
+    #[test]
+    fn json_of_clean_report_is_empty_array() {
+        let json = to_json(&LintReport::new());
+        assert!(json.contains("\"diagnostics\": []"));
+    }
+
+    #[test]
+    fn json_escapes_special_characters() {
+        let mut r = LintReport::new();
+        r.push(Diagnostic::warning(
+            codes::DEAD_COLUMN,
+            "a \"quoted\"\nmulti\tline",
+        ));
+        let json = to_json(&r);
+        assert!(json.contains("a \\\"quoted\\\"\\nmulti\\tline"));
+    }
+
+    #[test]
+    fn sarif_has_required_shape() {
+        let sarif = to_sarif(&sample());
+        assert!(sarif.contains("\"$schema\""));
+        assert!(sarif.contains("\"version\": \"2.1.0\""));
+        assert!(sarif.contains("\"name\": \"schedflow-lint\""));
+        assert!(sarif.contains("\"ruleId\": \"SF0101\""));
+        assert!(sarif.contains("\"level\": \"error\""));
+        assert!(sarif.contains("\"level\": \"warning\""));
+        assert!(sarif.contains("\"kind\": \"task\""));
+        // Every distinct code appears once in the rules table.
+        assert_eq!(sarif.matches("\"id\": \"SF0101\"").count(), 1);
+        assert_eq!(sarif.matches("\"id\": \"SF0801\"").count(), 1);
+    }
+}

@@ -4,13 +4,18 @@
 //! error.
 
 use proptest::prelude::*;
+use schedflow_dataflow::report::human_bytes;
 use schedflow_dataflow::{
     ChaosConfig, RetryOn, RetryPolicy, RunOptions, Runner, StageKind, Workflow,
 };
-use schedflow_frame::{Column, Frame};
-use schedflow_lint::{
-    codes, lint_run_options, lint_workflow, ColType, FrameSchema, SchemaEffect, TaskContract,
+use schedflow_frame::{
+    analyze, col_i64, col_num, col_str, lit_i64, Agg, Column, Frame, JoinKind, LazyPlan,
 };
+use schedflow_lint::{
+    codes, lint_run_options, lint_workflow, lint_workflow_with, ColType, CostOptions, FrameSchema,
+    SchemaEffect, TaskContract,
+};
+use std::sync::Arc;
 use std::time::Duration;
 
 /// producer ⟶ frame ⟶ consumer with configurable schemas on both ends.
@@ -357,7 +362,6 @@ fn sf0504_lifetime_hazard_golden() {
 #[test]
 fn sf0501_gate_rejects_unordered_writers_before_any_task_runs() {
     use std::sync::atomic::{AtomicUsize, Ordering};
-    use std::sync::Arc;
 
     let executed = Arc::new(AtomicUsize::new(0));
     let mut wf = Workflow::new();
@@ -400,6 +404,160 @@ fn sf0401_unseeded_chaos_golden() {
         "warning[SF0401]: chaos injection is enabled without an explicit seed (seed = 0)\n\
          \x20 = note: fault schedules are a pure function of the seed\n\
          \x20 = help: set a non-zero seed so failures replay deterministically\n"
+    );
+}
+
+/// A task that declares it executes `plan`: the plan rides on the workflow
+/// as the opaque payload the SF08xx cost pass downcasts back to a
+/// [`LazyPlan`].
+fn plan_task(wf: &mut Workflow, name: &str, plan: LazyPlan) {
+    let input = wf.value::<u32>(&format!("{name}-in"));
+    let out = wf.value::<u32>(&format!("{name}-out"));
+    wf.provide(input, 0);
+    let t = wf.task(
+        name,
+        StageKind::Static,
+        [input.id()],
+        [out.id()],
+        |_| Ok(()),
+    );
+    wf.retain(out.id());
+    wf.with_plan_payload(t, Arc::new(plan));
+}
+
+#[test]
+fn sf0801_duplicated_subplan_golden() {
+    let mut wf = Workflow::new();
+    let per_user = || LazyPlan::scan().group_by(&["user"], &[("n", Agg::Count)]);
+    plan_task(&mut wf, "stage-a", per_user());
+    plan_task(&mut wf, "stage-b", per_user());
+    let report = lint_workflow(&wf);
+    assert!(!report.has_errors(), "{}", report.render());
+    let diags = report.with_code(codes::DUPLICATED_SUBPLAN);
+    assert_eq!(diags.len(), 1, "{}", report.render());
+    let text = diags[0].render();
+    assert!(
+        text.starts_with(
+            "warning[SF0801]: subplan group_by(user) -> [n] is computed \
+             independently by 2 tasks\n\
+             \x20 --> task `stage-a`\n"
+        ),
+        "{text}"
+    );
+    // The canonical fingerprint is stable but opaque; pin the shape, not
+    // the hex digits.
+    assert!(text.contains("= note: canonical fingerprint "), "{text}");
+    assert!(
+        text.contains("= note: computed by: stage-a, stage-b\n"),
+        "{text}"
+    );
+    assert!(
+        text.ends_with(
+            "= help: compute it once in an upstream task and share the result artifact\n"
+        ),
+        "{text}"
+    );
+}
+
+#[test]
+fn sf0802_dead_column_golden() {
+    let report = lint_workflow(&chain(
+        FrameSchema::new()
+            .with("wait_s", ColType::Int)
+            .with("unused", ColType::Str),
+        FrameSchema::new().with("wait_s", ColType::Int),
+    ));
+    let diags = report.with_code(codes::DEAD_COLUMN);
+    assert_eq!(diags.len(), 1, "{}", report.render());
+    assert!(!report.has_errors());
+    assert_eq!(
+        diags[0].render(),
+        "warning[SF0802]: column `unused` produced but read by no downstream contract\n\
+         \x20 --> task `produce`, artifact `frame`\n\
+         \x20 = note: every consumer of `frame` declares its requirements; none lists \
+         `unused`\n\
+         \x20 = help: project the column away in the producing plan to skip \
+         materializing it\n"
+    );
+}
+
+#[test]
+fn sf0803_mem_budget_exceeded_golden() {
+    let plan = LazyPlan::scan().filter(col_num("x").is_not_null());
+    // The expected peak is the plan's own static byte bound at the default
+    // assumed source size — computed here rather than hardcoded so the
+    // column-width model can evolve without breaking the fixture.
+    let peak = analyze(&plan).estimate.bytes_hi(100_000);
+    let mut wf = Workflow::new();
+    plan_task(&mut wf, "wide", plan);
+    let options = CostOptions {
+        mem_budget: Some(1024),
+        assumed_source_rows: 100_000,
+    };
+    let report = lint_workflow_with(&wf, &options);
+    let diags = report.with_code(codes::MEM_BUDGET_EXCEEDED);
+    assert_eq!(diags.len(), 1, "{}", report.render());
+    assert!(report.has_errors());
+    assert_eq!(
+        diags[0].render(),
+        format!(
+            "error[SF0803]: estimated peak resident artifact bytes {} exceed the \
+             budget 1.0 KiB\n\
+             \x20 --> task `wide`\n\
+             \x20 = note: lifetime simulation at 100000 assumed source rows; the serial \
+             schedule peaks while running the flagged task\n\
+             \x20 = help: raise --mem-budget, narrow the producing plans' projections, \
+             or drop retain() on artifacts no caller reads\n",
+            human_bytes(peak)
+        )
+    );
+}
+
+#[test]
+fn sf0804_unbounded_join_golden() {
+    let mut wf = Workflow::new();
+    plan_task(
+        &mut wf,
+        "fanout",
+        LazyPlan::scan().join(LazyPlan::scan(), "user", JoinKind::Inner),
+    );
+    let report = lint_workflow(&wf);
+    let diags = report.with_code(codes::UNBOUNDED_JOIN);
+    assert_eq!(diags.len(), 1, "{}", report.render());
+    assert!(!report.has_errors());
+    assert_eq!(
+        diags[0].render(),
+        "warning[SF0804]: join with unbounded cardinality growth: join on `user`: \
+         neither side is unique on the key (bound n × n)\n\
+         \x20 --> task `fanout`\n\
+         \x20 = note: estimated output rows: n² (n = scanned source rows)\n\
+         \x20 = help: restrict one side to unique keys (e.g. group it by the join key) \
+         so the output is linearly bounded\n"
+    );
+}
+
+#[test]
+fn sf0805_post_materialization_filter_golden() {
+    let mut wf = Workflow::new();
+    plan_task(
+        &mut wf,
+        "late-filter",
+        LazyPlan::scan()
+            .group_by(&["user"], &[("n", Agg::Count)])
+            .filter(col_str("user").is_not_null()),
+    );
+    let report = lint_workflow(&wf);
+    let diags = report.with_code(codes::POST_MATERIALIZATION_FILTER);
+    assert_eq!(diags.len(), 1, "{}", report.render());
+    assert!(!report.has_errors());
+    assert_eq!(
+        diags[0].render(),
+        "warning[SF0805]: filter `col(user:str).is_not_null()` runs after \
+         materialization\n\
+         \x20 --> task `late-filter`\n\
+         \x20 = note: the predicate only reads scan columns, but a group-by/join/derived \
+         column below it blocks pushdown — rows are materialized, then dropped\n\
+         \x20 = help: apply the filter before the materializing operator\n"
     );
 }
 
@@ -488,5 +646,78 @@ proptest! {
         let runner = Runner::new(wf).expect("chain graph is structurally valid");
         let run = runner.run(&RunOptions::with_threads(2));
         prop_assert_eq!(run.is_success(), expect_clean);
+    }
+}
+
+/// The lint-clean single-source plan family the soundness property draws
+/// from — the same shapes the default pipeline's stages use (bare scans,
+/// pushed filters, group-bys, sort+head, projections), none of which carry
+/// SF08xx evidence.
+fn arb_clean_plan() -> impl Strategy<Value = LazyPlan> {
+    prop_oneof![
+        Just(LazyPlan::scan()),
+        (0i64..100).prop_map(|k| LazyPlan::scan().filter(col_i64("wait_s").gt(lit_i64(k)))),
+        Just(LazyPlan::scan().group_by(&["user"], &[("n", Agg::Count)])),
+        (0i64..100).prop_map(|k| {
+            LazyPlan::scan()
+                .filter(col_i64("wait_s").le(lit_i64(k)))
+                .group_by(
+                    &["user"],
+                    &[("jobs", Agg::Count), ("total", Agg::Sum("wait_s".into()))],
+                )
+        }),
+        (0usize..40).prop_map(|k| LazyPlan::scan().sort("wait_s", true).head(k)),
+        Just(LazyPlan::scan().project(&[col_str("user"), col_i64("wait_s")])),
+    ]
+}
+
+proptest! {
+    /// SF08xx estimate soundness, the static half of the runtime cross-check
+    /// `schedflow run` performs per stage: for arbitrary chunked frames and
+    /// any lint-clean plan shape, the row count the executed plan actually
+    /// produces lies inside the statically predicted interval evaluated at
+    /// the scanned source height.
+    #[test]
+    fn estimate_interval_contains_executed_rows(
+        chunks in proptest::collection::vec(
+            proptest::collection::vec((0usize..4, 0i64..100), 0..30),
+            1..4,
+        ),
+        plan in arb_clean_plan(),
+    ) {
+        const USERS: [&str; 4] = ["ada", "bob", "cyd", "dee"];
+        let parts: Vec<Frame> = chunks
+            .iter()
+            .map(|rows| {
+                Frame::new()
+                    .with(
+                        "user",
+                        Column::from_str(
+                            rows.iter().map(|(u, _)| USERS[*u].to_owned()).collect(),
+                        ),
+                    )
+                    .with(
+                        "wait_s",
+                        Column::from_i64(rows.iter().map(|(_, w)| *w).collect()),
+                    )
+            })
+            .collect();
+        let frame = Frame::vstack(&parts).expect("chunks share a schema");
+
+        let analysis = analyze(&plan);
+        prop_assert!(analysis.unbounded_joins.is_empty());
+        prop_assert!(analysis.post_mat_filters.is_empty());
+
+        let out = plan.execute(&frame).expect("plan family is executable");
+        let n = frame.height() as u64;
+        let (lo, hi) = analysis.estimate.rows_interval(n);
+        prop_assert!(
+            analysis.estimate.contains_rows(n, out.height() as u64),
+            "{} rows from {} source rows escape the predicted interval [{}, {}]",
+            out.height(),
+            n,
+            lo,
+            hi
+        );
     }
 }

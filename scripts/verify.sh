@@ -25,6 +25,30 @@ cargo run --release -p schedflow-bench --bin bench_plan -- --test
 echo "==> schedflow lint (default frontier pipeline must be clean)"
 cargo run --release -p schedflow-core --bin schedflow -- lint
 
+echo "==> schedflow lint --format sarif (output must be shaped like SARIF 2.1.0)"
+SARIF_OUT="$(cargo run --release -p schedflow-core --bin schedflow -- lint --format sarif)"
+if command -v python3 >/dev/null 2>&1; then
+    printf '%s' "$SARIF_OUT" | python3 -c '
+import json, sys
+doc = json.load(sys.stdin)
+assert doc["version"] == "2.1.0", doc["version"]
+assert "sarif-schema-2.1.0" in doc["$schema"], doc["$schema"]
+runs = doc["runs"]
+assert runs and runs[0]["tool"]["driver"]["name"] == "schedflow-lint"
+assert isinstance(runs[0]["results"], list)
+print("sarif: valid shape, %d result(s)" % len(runs[0]["results"]))
+'
+else
+    for needle in '"$schema"' '"version": "2.1.0"' '"runs"' '"schedflow-lint"'; do
+        printf '%s' "$SARIF_OUT" | grep -qF "$needle" \
+            || { echo "verify: SARIF output missing $needle"; exit 1; }
+    done
+    echo "sarif: valid shape (grep fallback — no python3)"
+fi
+
+echo "==> estimate soundness: repro_soundness (static intervals vs actual rows, 1 and 4 threads)"
+cargo run --release -p schedflow-bench --bin repro_soundness
+
 echo "==> crash-recovery smoke: die at store write 7 under I/O chaos, resume, diff digests"
 CRASH_TMP="$(mktemp -d)"
 trap 'rm -rf "$CRASH_TMP"' EXIT
