@@ -1,0 +1,30 @@
+use schedflow_frame::cost::analyze;
+use schedflow_frame::expr::col_str;
+use schedflow_frame::{Agg, Column, Frame, JoinKind, LazyPlan};
+
+#[test]
+fn multikey_groupby_join_soundness() {
+    // left: group_by(user, day) -> unique on (user, day), NOT on user alone
+    let left = LazyPlan::scan().group_by(&["user", "day"], &[("n", Agg::Count)]);
+    let plan = left.join(LazyPlan::scan(), "user", JoinKind::Inner);
+    let a = analyze(&plan);
+    println!("unbounded_joins: {:?}", a.unbounded_joins);
+    println!("rows_hi: {}", a.estimate.rows_hi.render());
+
+    let lf = Frame::new()
+        .with("user", Column::from_str(vec!["a".into(); 4]))
+        .with("day", Column::from_i64(vec![1, 2, 3, 4]));
+    let rf = Frame::new().with("user", Column::from_str(vec!["a".into(); 4]));
+    let out = plan.execute_multi(&[&lf, &rf]).unwrap();
+    let n = (lf.height() + rf.height()) as u64;
+    let (lo, hi) = a.estimate.rows_interval(n);
+    println!("n={} actual={} predicted=[{},{}]", n, out.height(), lo, hi);
+    assert!(
+        a.estimate.contains_rows(n, out.height() as u64),
+        "UNSOUND: actual {} outside [{}, {}]",
+        out.height(),
+        lo,
+        hi
+    );
+    let _ = col_str("x");
+}
