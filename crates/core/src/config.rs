@@ -73,6 +73,12 @@ pub struct WorkflowConfig {
     /// Refuse to execute when `schedflow-lint` finds errors (on by default;
     /// the CLI's `--no-deny` disables the gate). Warnings never block a run.
     pub lint_deny: bool,
+    /// Override the system profile's age-priority weight (`--age-weight`);
+    /// `None` keeps the preset. Exercises the SF0902 starvation analysis.
+    pub age_weight: Option<f64>,
+    /// Override the system profile's backfill policy (`--backfill`);
+    /// `None` keeps the preset.
+    pub backfill: Option<schedflow_sim::BackfillPolicy>,
 }
 
 /// Which analyst serves the LLM-insight stages.
@@ -146,14 +152,23 @@ impl WorkflowConfig {
             fault: FaultOptions::default(),
             insight_backend: InsightBackend::default(),
             lint_deny: true,
+            age_weight: None,
+            backfill: None,
         }
     }
 
-    /// The workload profile trimmed to the configured window and scale.
+    /// The workload profile trimmed to the configured window and scale, with
+    /// any policy overrides (`--age-weight`, `--backfill`) applied.
     pub fn profile(&self) -> WorkloadProfile {
         let mut p = self.system.profile().scaled(self.scale);
         p.start = Timestamp::from_ymd(self.from.0, self.from.1, 1);
         p.end = schedflow_model::time::month_end_exclusive(self.to.0, self.to.1);
+        if let Some(age) = self.age_weight {
+            p.system.weights.age = age;
+        }
+        if let Some(backfill) = self.backfill {
+            p.system.backfill = backfill;
+        }
         p
     }
 
@@ -218,6 +233,20 @@ mod tests {
         assert_eq!(p.start, Timestamp::from_ymd(2024, 1, 1));
         assert_eq!(p.end, Timestamp::from_ymd(2024, 4, 1));
         assert!(p.jobs_per_day < WorkloadProfile::frontier().jobs_per_day * 0.02);
+    }
+
+    #[test]
+    fn profile_applies_policy_overrides() {
+        let mut c = WorkflowConfig::new(System::Frontier);
+        c.age_weight = Some(0.0);
+        c.backfill = Some(schedflow_sim::BackfillPolicy::None);
+        let p = c.profile();
+        assert_eq!(p.system.weights.age, 0.0);
+        assert_eq!(p.system.backfill, schedflow_sim::BackfillPolicy::None);
+        // Without overrides the preset survives.
+        let d = WorkflowConfig::new(System::Frontier).profile();
+        assert_eq!(d.system.backfill, schedflow_sim::BackfillPolicy::Easy);
+        assert!(d.system.weights.age > 0.0);
     }
 
     #[test]

@@ -483,6 +483,18 @@ pub fn build(cfg: &WorkflowConfig) -> BuiltWorkflow {
                     insight_md: String::new(),
                     group: "Engine".to_owned(),
                 })?;
+                // Sidebar slot for the SF09xx policy verdict, also rewritten
+                // by `run::run` (the witness replays run post-workflow).
+                dash.add_panel(schedflow_dashboard::Panel {
+                    id: "policy".to_owned(),
+                    title: "Policy analysis".to_owned(),
+                    chart_html: "<div style=\"max-width:860px\"><p>The scheduling-policy \
+                         analysis (SF09xx verdicts and witness replays) is written \
+                         when the workflow finishes.</p></div>"
+                        .to_owned(),
+                    insight_md: String::new(),
+                    group: "Engine".to_owned(),
+                })?;
                 dash.write(&out_dir).map_err(|e| e.to_string())?;
                 Ok(())
             },

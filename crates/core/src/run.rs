@@ -195,6 +195,109 @@ fn run_report_html(report: &RunReport) -> String {
     )
 }
 
+/// Render the SF09xx policy analysis as the dashboard's "Policy analysis"
+/// tab body: verdict, the rendered report, and witness replay results.
+fn policy_panel_html(
+    policy: &schedflow_lint::PolicyAnalysis,
+    replays: &[schedflow_sim::ReplayReport],
+) -> String {
+    let esc = |s: &str| {
+        s.replace('&', "&amp;")
+            .replace('<', "&lt;")
+            .replace('>', "&gt;")
+    };
+    let verdict = if policy.is_clean() {
+        "<p>The active system configuration is <strong>policy-clean</strong>: \
+         every generated job class is schedulable, the age factor closes \
+         priority gaps, QOS ordering is consistent with partition tiers, \
+         backfill covers the expected queue depth, no partition is shadowed, \
+         and the fair-share half-life lies inside the trace window.</p>"
+            .to_owned()
+    } else {
+        format!(
+            "<p>Static policy analysis found <strong>{} error(s)</strong> and \
+             <strong>{} warning(s)</strong>:</p><pre>{}</pre>",
+            policy.report.errors(),
+            policy.report.warnings(),
+            esc(&policy.report.render())
+        )
+    };
+    let mut replay_html = String::new();
+    if !replays.is_empty() {
+        replay_html.push_str(
+            "<h3>Witness replays</h3><p>Each starvation verdict ships a \
+             concrete witness queue; the simulator replayed them:</p><ul>",
+        );
+        for r in replays {
+            replay_html.push_str(&format!(
+                "<li><code>{}</code> — {}: {}</li>",
+                esc(&r.code),
+                if r.holds {
+                    "<strong>confirmed</strong>"
+                } else {
+                    "<strong>did not reproduce</strong>"
+                },
+                esc(&r.detail)
+            ));
+        }
+        replay_html.push_str("</ul>");
+    }
+    let mut edits_html = String::new();
+    if !policy.edits.is_empty() {
+        edits_html.push_str("<h3>Suggested edits</h3><ul>");
+        for e in &policy.edits {
+            edits_html.push_str(&format!("<li><code>{}</code></li>", esc(&e.render())));
+        }
+        edits_html.push_str("</ul>");
+    }
+    format!("{verdict}{replay_html}{edits_html}")
+}
+
+/// Outcome of [`verify_policy`]: the static SF09xx report, every witness
+/// replay, and the witnesses whose predicted misbehavior did not reproduce.
+#[derive(Debug, Clone)]
+pub struct PolicyVerification {
+    pub report: schedflow_lint::LintReport,
+    pub replays: Vec<schedflow_sim::ReplayReport>,
+    /// Verdicts the simulator could not confirm — a soundness bug in the
+    /// static analyzer if ever non-empty.
+    pub failed: Vec<String>,
+}
+
+impl PolicyVerification {
+    /// True when every static starvation verdict reproduced under simulation.
+    pub fn is_sound(&self) -> bool {
+        self.failed.is_empty()
+    }
+}
+
+/// The policy verifier behind `schedflow verify-policy`: run the SF09xx
+/// static analysis on the active profile (with `--age-weight`/`--backfill`
+/// overrides applied), then replay every witness queue through the real
+/// scheduler and check each predicted overtaking/blocking actually occurs.
+pub fn verify_policy(cfg: &WorkflowConfig) -> PolicyVerification {
+    let profile = cfg.profile();
+    let analysis = schedflow_lint::lint_policy(&profile);
+    let mut replays = Vec::new();
+    let mut failed = Vec::new();
+    for w in &analysis.witnesses {
+        match schedflow_sim::replay(&profile.system, w) {
+            Ok(r) => {
+                if !r.holds {
+                    failed.push(format!("{}: {}", r.code, r.detail));
+                }
+                replays.push(r);
+            }
+            Err(e) => failed.push(format!("{}: witness queue rejected: {e}", w.code)),
+        }
+    }
+    PolicyVerification {
+        report: analysis.report,
+        replays,
+        failed,
+    }
+}
+
 /// Build and execute the workflow for `cfg`.
 pub fn run(cfg: &WorkflowConfig) -> Result<RunOutcome, CoreError> {
     run_built(build(cfg), cfg)
@@ -205,11 +308,14 @@ pub fn run(cfg: &WorkflowConfig) -> Result<RunOutcome, CoreError> {
 pub fn run_built(built: BuiltWorkflow, cfg: &WorkflowConfig) -> Result<RunOutcome, CoreError> {
     let BuiltWorkflow { workflow, handles } = built;
 
-    // The static-analysis gate: schema dataflow, liveness, and policy lints
-    // run before any task does. Errors abort here (unless `--no-deny`);
+    // The static-analysis gate: schema dataflow, liveness, run-option lints,
+    // and the SF09xx scheduling-policy analysis of the active system config
+    // all run before any task does. Errors abort here (unless `--no-deny`);
     // warnings are advisory either way.
     if cfg.lint_deny {
-        let lint = schedflow_lint::lint_all(&workflow, Some(&run_options(cfg)));
+        let mut lint = schedflow_lint::lint_all(&workflow, Some(&run_options(cfg)));
+        lint.extend(schedflow_lint::lint_policy(&cfg.profile()).report);
+        lint.sort();
         if lint.has_errors() {
             return Err(CoreError::Lint {
                 report: Box::new(lint),
@@ -280,9 +386,10 @@ pub fn run_built(built: BuiltWorkflow, cfg: &WorkflowConfig) -> Result<RunOutcom
         }
     }
 
-    // Fill the dashboard's "Run report" tab: its sidebar slot was created by
-    // the in-workflow dashboard task, but timings and byte accounting only
-    // exist now. Best-effort — a missing dashboard must not fail the run.
+    // Fill the dashboard's "Run report" and "Policy analysis" tabs: their
+    // sidebar slots were created by the in-workflow dashboard task, but the
+    // timings only exist now and the policy panel replays its witnesses.
+    // Best-effort — a missing dashboard must not fail the run.
     if let Some(dash_dir) = handles.dashboard_index.parent() {
         if dash_dir.exists() {
             let _ = schedflow_dashboard::write_panel_page(
@@ -290,6 +397,19 @@ pub fn run_built(built: BuiltWorkflow, cfg: &WorkflowConfig) -> Result<RunOutcom
                 "run-report",
                 "Run report",
                 &run_report_html(&report),
+            );
+            let profile = cfg.profile();
+            let policy = schedflow_lint::lint_policy(&profile);
+            let replays: Vec<schedflow_sim::ReplayReport> = policy
+                .witnesses
+                .iter()
+                .filter_map(|w| schedflow_sim::replay(&profile.system, w).ok())
+                .collect();
+            let _ = schedflow_dashboard::write_panel_page(
+                dash_dir,
+                "policy",
+                "Policy analysis",
+                &policy_panel_html(&policy, &replays),
             );
         }
     }
@@ -577,6 +697,19 @@ mod tests {
         // post-run with the data-plane figures.
         let index = std::fs::read_to_string(&outcome.dashboard_index).unwrap();
         assert!(index.contains("panels/run-report.html"));
+        // The policy-analysis tab was rewritten post-run with the SF09xx
+        // verdict for the active (clean) configuration.
+        assert!(index.contains("panels/policy.html"));
+        let policy_panel = std::fs::read_to_string(
+            outcome
+                .dashboard_index
+                .parent()
+                .unwrap()
+                .join("panels")
+                .join("policy.html"),
+        )
+        .unwrap();
+        assert!(policy_panel.contains("policy-clean"), "{policy_panel}");
         let run_report = std::fs::read_to_string(
             outcome
                 .dashboard_index
@@ -776,8 +909,47 @@ mod tests {
     fn default_pipeline_lints_clean() {
         let cfg = tiny_config("lint-clean");
         let built = build(&cfg);
-        let report = schedflow_lint::lint_all(&built.workflow, Some(&run_options(&cfg)));
+        let mut report = schedflow_lint::lint_all(&built.workflow, Some(&run_options(&cfg)));
+        report.extend(schedflow_lint::lint_policy(&cfg.profile()).report);
         assert!(report.is_clean(), "{}", report.render());
+    }
+
+    /// `verify-policy` on the default configuration: clean report, nothing
+    /// to replay, trivially sound.
+    #[test]
+    fn verify_policy_clean_on_defaults() {
+        let v = verify_policy(&tiny_config("policy-clean"));
+        assert!(v.report.is_clean(), "{}", v.report.render());
+        assert!(v.replays.is_empty());
+        assert!(v.is_sound());
+    }
+
+    /// The acceptance scenario: an inert age weight plus no backfill must
+    /// produce SF0902 and SF0904 verdicts whose witness queues reproduce the
+    /// predicted starvation in the real scheduler.
+    #[test]
+    fn verify_policy_confirms_starvation_verdicts() {
+        let mut cfg = tiny_config("policy-starve");
+        cfg.system = System::Frontier;
+        cfg.age_weight = Some(0.0);
+        cfg.backfill = Some(schedflow_sim::BackfillPolicy::None);
+        let v = verify_policy(&cfg);
+        assert!(!v.report.is_clean());
+        assert_eq!(
+            v.report
+                .with_code(schedflow_lint::codes::STARVATION_POTENTIAL)
+                .len(),
+            1
+        );
+        assert_eq!(
+            v.report
+                .with_code(schedflow_lint::codes::BACKFILL_STARVATION)
+                .len(),
+            1
+        );
+        assert_eq!(v.replays.len(), 2);
+        assert!(v.replays.iter().all(|r| r.holds), "{:?}", v.failed);
+        assert!(v.is_sound());
     }
 
     /// The acceptance scenario: `verify-run` on the default pipeline reports

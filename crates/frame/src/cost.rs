@@ -209,8 +209,16 @@ impl Walker {
                 let r = self.walk(right);
                 self.expensive
                     .push((subplan_fingerprint(plan), describe(plan)));
-                let left_unique = l.unique_on.as_ref().is_some_and(|keys| keys.contains(key));
-                let right_unique = r.unique_on.as_ref().is_some_and(|keys| keys.contains(key));
+                // Unique on a key set S proves unique on the join key only
+                // when S ⊆ {key}: a (user, day) group-by is NOT unique on
+                // `user` alone, so the linear bound would be unsound there.
+                let unique_on_key = |f: &NodeFacts| {
+                    f.unique_on
+                        .as_ref()
+                        .is_some_and(|keys| keys.iter().all(|k| k == key))
+                };
+                let left_unique = unique_on_key(&l);
+                let right_unique = unique_on_key(&r);
                 let is_left_join = matches!(kind, crate::join::JoinKind::Left);
                 let (lo, hi) = if right_unique {
                     // Each left row matches at most one right row.
@@ -330,6 +338,7 @@ mod tests {
     use crate::expr::{col_num, col_str, lit_i64};
     use crate::groupby::Agg;
     use crate::join::JoinKind;
+    use crate::{Column, Frame};
 
     #[test]
     fn bare_scan_is_exact() {
@@ -386,6 +395,31 @@ mod tests {
         let (lo, hi) = a.estimate.rows_interval(100);
         assert_eq!(lo, 0);
         assert!(hi <= 100);
+    }
+
+    #[test]
+    fn multikey_group_by_is_not_unique_on_a_single_join_key() {
+        // group_by(user, day) is unique on the *pair*; joining on `user`
+        // alone must widen to the product bound, not the linear one — four
+        // (user, day) groups for one user each match every right row.
+        let left = LazyPlan::scan().group_by(&["user", "day"], &[("n", Agg::Count)]);
+        let plan = left.join(LazyPlan::scan(), "user", JoinKind::Inner);
+        let a = analyze(&plan);
+        assert_eq!(a.unbounded_joins.len(), 1);
+
+        let lf = Frame::new()
+            .with("user", Column::from_str(vec!["a".into(); 4]))
+            .with("day", Column::from_i64(vec![1, 2, 3, 4]));
+        let rf = Frame::new().with("user", Column::from_str(vec!["a".into(); 4]));
+        let out = plan.execute_multi(&[&lf, &rf]).expect("join executes");
+        let n = (lf.height() + rf.height()) as u64;
+        assert_eq!(out.height(), 16);
+        assert!(
+            a.estimate.contains_rows(n, out.height() as u64),
+            "actual {} outside predicted {:?}",
+            out.height(),
+            a.estimate.rows_interval(n)
+        );
     }
 
     #[test]

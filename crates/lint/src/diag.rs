@@ -15,6 +15,7 @@
 //! | SF06xx | simulator runtime invariants          |
 //! | SF07xx | durable storage & cache health        |
 //! | SF08xx | plan cost & resource analysis         |
+//! | SF09xx | scheduling-policy analysis            |
 //!
 //! The SF06xx family is emitted at *runtime* by the simulator's invariant
 //! monitor (`schedflow_sim::invariant`), not by this crate — the codes share
@@ -96,6 +97,28 @@ pub mod codes {
     /// though its predicate only reads scan columns — rows are materialized
     /// and then discarded.
     pub const POST_MATERIALIZATION_FILTER: &str = "SF0805";
+    /// A generated job class (size bucket × partition route) that no
+    /// admitting partition can ever start — rejected or silently rewritten
+    /// before the simulator runs a single event.
+    pub const UNSCHEDULABLE_CLASS: &str = "SF0901";
+    /// With the age factor inert (weight 0 or non-positive `max_age_secs`),
+    /// a statically dominated job class can be overtaken forever by a stream
+    /// of higher-priority arrivals — starvation with a concrete witness.
+    pub const STARVATION_POTENTIAL: &str = "SF0902";
+    /// Partition-tier weighting contradicts the declared QoS priority order:
+    /// a lower-weight QoS class statically outranks a higher-weight one.
+    pub const PRIORITY_INVERSION: &str = "SF0903";
+    /// Backfill reservation starvation: `BackfillPolicy::None` under
+    /// heavy-tailed runtimes, or `Conservative` with `bf_max_job_test` below
+    /// the typical queue depth, leaves fitting jobs idle behind a blocked
+    /// head.
+    pub const BACKFILL_STARVATION: &str = "SF0904";
+    /// A partition no generated job class can route to: configured capacity
+    /// the workload model can never exercise.
+    pub const PARTITION_SHADOWED: &str = "SF0905";
+    /// `usage_halflife_secs` is inconsistent with the profile horizon: the
+    /// fair-share factor is effectively constant over the whole trace.
+    pub const FAIRSHARE_DECAY: &str = "SF0906";
 }
 
 /// One finding, with enough context to render a rustc-style report.

@@ -191,6 +191,73 @@ pub fn explain(code: &str) -> Option<&'static str> {
              operator. Filters over derived columns (aggregates, with-column\n\
              outputs) are inherent and not flagged.\n"
         }
+        "SF0901" => {
+            "SF0901: unschedulable job class\n\
+             \n\
+             A job class the workload generator will emit — a size bucket × route\n\
+             (partition, QOS) combination — can never start on the configured\n\
+             machine: the route targets a partition or QOS the system does not\n\
+             define, the partition's walltime cap sits below the generator's\n\
+             walltime rounding granularity, the partition admits more nodes than\n\
+             the machine has (so generated requests fail validation), or the\n\
+             bucket's minimum size exceeds every routable partition's cap. The\n\
+             analyzer probes each class through the exact admission predicate\n\
+             `Simulator::validate` applies at runtime, so a clean report\n\
+             guarantees generation cannot produce a rejected request.\n"
+        }
+        "SF0902" => {
+            "SF0902: starvation potential\n\
+             \n\
+             The age factor is inert (zero weight or zero saturation age) while\n\
+             some routable job class statically dominates a full-size batch job's\n\
+             priority by more than the maximum fair-share boost. Nothing ever\n\
+             closes the gap, so a steady trickle of the dominating class overtakes\n\
+             the big job forever. The diagnostic carries a concrete witness queue\n\
+             — fillers, a wide victim, staggered competitors — and\n\
+             `schedflow verify-policy` replays it through the real scheduler to\n\
+             confirm every later-submitted competitor starts first.\n"
+        }
+        "SF0903" => {
+            "SF0903: priority inversion\n\
+             \n\
+             One QOS declares a higher priority weight than another, but on the\n\
+             partitions that actually carry them the tier term flips the effective\n\
+             ordering: qos_hi + tier_weight × tier_hi ≤ qos_lo + tier_weight ×\n\
+             tier_lo. Operators reading the QOS table expect the declared order;\n\
+             the scheduler delivers the opposite. The suggested edit raises the\n\
+             inverted QOS weight just past the crossover point.\n"
+        }
+        "SF0904" => {
+            "SF0904: backfill reservation starvation\n\
+             \n\
+             Short jobs that fit the idle nodes sit behind a wide reservation they\n\
+             could never delay. Two arms: backfill disabled entirely under a\n\
+             heavy-tailed runtime distribution, or conservative backfill whose\n\
+             `bf_max_job_test` examination budget is smaller than the typical\n\
+             queue depth (jobs past the budget are never even considered). The\n\
+             witness queue demonstrates a fitting job that waits under the\n\
+             configured policy and starts immediately under the suggested edit —\n\
+             the contrast leg proves the wait is pure policy, not capacity.\n"
+        }
+        "SF0905" => {
+            "SF0905: partition shadowed\n\
+             \n\
+             A partition is defined in the system config but the workload\n\
+             generator never routes jobs to it — either a partition name the\n\
+             router does not know, or a `debug` partition with `debug_fraction =\n\
+             0`. Its nodes sit idle for the whole trace while appearing in\n\
+             capacity accounting, silently skewing utilization results.\n"
+        }
+        "SF0906" => {
+            "SF0906: fair-share decay inconsistency\n\
+             \n\
+             The fair-share weight is non-zero but the usage half-life lies\n\
+             outside the usable range: non-positive (clamped to one second — usage\n\
+             decays instantly, every user keeps the full boost) or at least the\n\
+             trace window (usage never decays — the factor degrades into a static\n\
+             penalty on active users). Either way the knob does not do what its\n\
+             value suggests; pick a half-life well inside the trace window.\n"
+        }
         _ => return None,
     })
 }
@@ -223,6 +290,12 @@ mod tests {
             codes::MEM_BUDGET_EXCEEDED,
             codes::UNBOUNDED_JOIN,
             codes::POST_MATERIALIZATION_FILTER,
+            codes::UNSCHEDULABLE_CLASS,
+            codes::STARVATION_POTENTIAL,
+            codes::PRIORITY_INVERSION,
+            codes::BACKFILL_STARVATION,
+            codes::PARTITION_SHADOWED,
+            codes::FAIRSHARE_DECAY,
         ] {
             let doc = explain(code).unwrap_or_else(|| panic!("no explain entry for {code}"));
             assert!(doc.starts_with(code), "{code} doc must lead with its code");

@@ -23,6 +23,12 @@
 //!    materializing subplans, dead columns, unbounded joins, late filters,
 //!    and a lifetime-aware peak-memory estimate against `--mem-budget`
 //!    (SF08xx).
+//! 5. **Scheduling-policy analysis** ([`policy_flow`]): an abstract
+//!    interpreter over the system config + workload profile that proves
+//!    unschedulability, starvation potential, priority inversion, backfill
+//!    starvation, partition shadowing, and fair-share decay inconsistency
+//!    before the simulator runs (SF09xx) — starvation verdicts come with
+//!    concrete witness queues the simulator replays to confirm them.
 //!
 //! Diagnostics ([`diag`]) are rustc-style with stable `SFxxyy` codes; the
 //! final report is sorted by `(code, task, artifact, message)` so output is
@@ -39,6 +45,7 @@ pub mod diag;
 pub mod effect_flow;
 pub mod explain;
 pub mod output;
+pub mod policy_flow;
 pub mod schema_flow;
 pub mod workflow_lints;
 
@@ -46,6 +53,7 @@ pub use cost_flow::CostOptions;
 pub use diag::{codes, Diagnostic, LintReport, Severity};
 pub use explain::explain;
 pub use output::{to_json, to_sarif};
+pub use policy_flow::{lint_policy, ConfigEdit, PolicyAnalysis};
 
 pub use schedflow_dataflow::contract::{
     ColType, ColumnSpec, FrameSchema, SchemaEffect, TaskContract,

@@ -1,0 +1,1167 @@
+//! Scheduling-policy static analysis: the SF09xx family.
+//!
+//! An abstract interpreter over [`SystemConfig`] + [`WorkloadProfile`] that
+//! decides policy properties *before* the simulator runs. Instead of
+//! simulating the workload, it enumerates the symbolic job classes the
+//! generator can emit (size bucket × route) and pushes them through the same
+//! admission predicate the simulator applies at runtime
+//! ([`schedflow_sim::policy::class_admitted`]), plus closed-form reasoning
+//! over the multifactor priority formula. Six properties are decided:
+//!
+//! | code   | property |
+//! |--------|----------|
+//! | SF0901 | unschedulable job class (route target missing, node/walltime caps) |
+//! | SF0902 | starvation potential: inert aging + a dominating job class |
+//! | SF0903 | priority inversion: QOS weights contradicted by partition tiers |
+//! | SF0904 | backfill reservation starvation (no backfill, or budget too small) |
+//! | SF0905 | partition shadowing: a partition the workload never routes to |
+//! | SF0906 | fair-share decay inconsistency: half-life outside the usable range |
+//!
+//! Verdicts that predict *dynamic* misbehavior (SF0902, SF0904) come with a
+//! concrete [`PolicyWitness`] queue; `schedflow_sim::policy::replay` executes
+//! the queue through the real discrete-event scheduler and confirms the
+//! predicted overtaking/blocking actually occurs. Every finding also carries a
+//! machine-applicable [`ConfigEdit`] that clears it.
+
+use crate::diag::{codes, Diagnostic, LintReport};
+use schedflow_model::time::Elapsed;
+use schedflow_sim::policy::{self, ContrastEdit, PolicyWitness, WitnessExpectation};
+use schedflow_sim::{BackfillPolicy, JobRequest, PlannedOutcome, SimError, SystemConfig};
+use schedflow_tracegen::WorkloadProfile;
+
+/// First job id used in witness queues, far above the generator's id range.
+const WITNESS_BASE_ID: u64 = 9_000_000;
+
+/// A machine-applicable edit to a [`WorkloadProfile`] that clears the finding
+/// it is attached to. `path` addresses a closed set of profile/system knobs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigEdit {
+    pub path: String,
+    pub value: String,
+}
+
+impl ConfigEdit {
+    fn new(path: impl Into<String>, value: impl Into<String>) -> Self {
+        ConfigEdit {
+            path: path.into(),
+            value: value.into(),
+        }
+    }
+
+    /// Human-readable form used in diagnostic `help:` lines.
+    pub fn render(&self) -> String {
+        format!("set `{} = {}`", self.path, self.value)
+    }
+
+    /// Apply the edit in place. Returns false when the path does not resolve
+    /// against this profile (unknown knob, missing partition/qos/bucket).
+    pub fn apply(&self, profile: &mut WorkloadProfile) -> bool {
+        let sys = &mut profile.system;
+        match self.path.as_str() {
+            "weights.age" => parse(&self.value).map(|v| sys.weights.age = v).is_some(),
+            "weights.max_age_secs" => parse(&self.value)
+                .map(|v| sys.weights.max_age_secs = v)
+                .is_some(),
+            "weights.usage_halflife_secs" => parse(&self.value)
+                .map(|v| sys.weights.usage_halflife_secs = v)
+                .is_some(),
+            "backfill" => {
+                let policy = match self.value.as_str() {
+                    "none" => BackfillPolicy::None,
+                    "easy" => BackfillPolicy::Easy,
+                    "conservative" => BackfillPolicy::Conservative,
+                    _ => return false,
+                };
+                sys.backfill = policy;
+                true
+            }
+            "bf_max_job_test" => parse(&self.value)
+                .map(|v| sys.bf_max_job_test = v)
+                .is_some(),
+            "debug_fraction" => parse(&self.value)
+                .map(|v| profile.debug_fraction = v)
+                .is_some(),
+            "urgent_fraction" => parse(&self.value)
+                .map(|v| profile.urgent_fraction = v)
+                .is_some(),
+            "standby_fraction" => parse(&self.value)
+                .map(|v| profile.standby_fraction = v)
+                .is_some(),
+            p => {
+                if let Some(rest) = p.strip_prefix("partitions.") {
+                    if let Some(name) = rest.strip_suffix(".max_nodes") {
+                        let Some(v) = parse(&self.value) else {
+                            return false;
+                        };
+                        match sys.partitions.iter_mut().find(|pt| pt.name == name) {
+                            Some(pt) => {
+                                pt.max_nodes = v;
+                                true
+                            }
+                            None => false,
+                        }
+                    } else if let Some(name) = rest.strip_suffix(".max_walltime_secs") {
+                        let Some(v) = parse::<i64>(&self.value) else {
+                            return false;
+                        };
+                        match sys.partitions.iter_mut().find(|pt| pt.name == name) {
+                            Some(pt) => {
+                                pt.max_walltime = Elapsed::from_secs(v);
+                                true
+                            }
+                            None => false,
+                        }
+                    } else if self.value == "remove" {
+                        let before = sys.partitions.len();
+                        sys.partitions.retain(|pt| pt.name != rest);
+                        sys.partitions.len() != before
+                    } else {
+                        false
+                    }
+                } else if let Some(rest) = p.strip_prefix("qos.") {
+                    let Some(name) = rest.strip_suffix(".priority_weight") else {
+                        return false;
+                    };
+                    let Some(v) = parse(&self.value) else {
+                        return false;
+                    };
+                    match sys.qos.iter_mut().find(|q| q.name == name) {
+                        Some(q) => {
+                            q.priority_weight = v;
+                            true
+                        }
+                        None => false,
+                    }
+                } else if let Some(rest) = p.strip_prefix("size_buckets.") {
+                    let Some(idx) = rest.strip_suffix(".min_nodes") else {
+                        return false;
+                    };
+                    let Some(i) = parse::<usize>(idx) else {
+                        return false;
+                    };
+                    let Some(v) = parse(&self.value) else {
+                        return false;
+                    };
+                    match profile.size_buckets.get_mut(i) {
+                        Some(b) => {
+                            b.min_nodes = v;
+                            b.max_nodes = b.max_nodes.max(v);
+                            true
+                        }
+                        None => false,
+                    }
+                } else {
+                    false
+                }
+            }
+        }
+    }
+}
+
+fn parse<T: std::str::FromStr>(s: &str) -> Option<T> {
+    s.parse().ok()
+}
+
+/// Result of analyzing one profile: the diagnostics, the replayable witnesses
+/// backing the SF0902/SF0904 verdicts, and the suggested edits.
+#[derive(Debug, Clone, Default)]
+pub struct PolicyAnalysis {
+    pub report: LintReport,
+    pub witnesses: Vec<PolicyWitness>,
+    pub edits: Vec<ConfigEdit>,
+}
+
+impl PolicyAnalysis {
+    pub fn is_clean(&self) -> bool {
+        self.report.is_clean()
+    }
+}
+
+/// A (partition, qos) pair the generator can route jobs to, with the walltime
+/// rounding granularity it applies on that route.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Route {
+    partition: &'static str,
+    qos: &'static str,
+    granularity: i64,
+}
+
+/// The routes the generator can emit for this profile. Mirrors the routing
+/// logic in `schedflow_tracegen::requests`: everything goes to `batch` except
+/// a `debug_fraction` slice, and the urgent/standby QOS are used only when
+/// their fractions are positive.
+fn routes(profile: &WorkloadProfile) -> Vec<Route> {
+    let mut v = vec![Route {
+        partition: "batch",
+        qos: "normal",
+        granularity: 900,
+    }];
+    if profile.urgent_fraction > 0.0 {
+        v.push(Route {
+            partition: "batch",
+            qos: "urgent",
+            granularity: 900,
+        });
+    }
+    if profile.standby_fraction > 0.0 {
+        v.push(Route {
+            partition: "batch",
+            qos: "standby",
+            granularity: 900,
+        });
+    }
+    if profile.debug_fraction > 0.0 {
+        v.push(Route {
+            partition: "debug",
+            qos: "debug",
+            granularity: 300,
+        });
+    }
+    v
+}
+
+/// The static part of the multifactor priority a job of `nodes` nodes gets on
+/// this route: QOS weight + tier term + size term. Age and fair-share are
+/// handled separately by the checks that reason about them.
+fn class_priority(sys: &SystemConfig, route: Route, nodes: u32) -> Option<f64> {
+    let part = sys.partition(route.partition)?;
+    let qos = sys.qos(route.qos)?;
+    let w = &sys.weights;
+    Some(
+        qos.priority_weight as f64
+            + w.tier * part.priority_tier as f64
+            + w.size * nodes as f64 / sys.total_nodes.max(1) as f64,
+    )
+}
+
+/// Entry point: run all six SF09xx checks against a workload profile.
+pub fn lint_policy(profile: &WorkloadProfile) -> PolicyAnalysis {
+    let mut a = PolicyAnalysis::default();
+    let routes = routes(profile);
+    let live = check_unschedulable(profile, &routes, &mut a);
+    check_starvation(profile, &live, &mut a);
+    check_inversion(profile, &live, &mut a);
+    check_backfill(profile, &live, &mut a);
+    check_shadowing(profile, &mut a);
+    check_fairshare(profile, &mut a);
+    a.report.sort();
+    a
+}
+
+/// SF0901: job classes the machine can never start. Returns the routes that
+/// survived (exist and admit at least a minimal job), for the later checks.
+fn check_unschedulable(
+    profile: &WorkloadProfile,
+    routes: &[Route],
+    a: &mut PolicyAnalysis,
+) -> Vec<Route> {
+    let sys = &profile.system;
+    let mut live = Vec::new();
+    for &r in routes {
+        // Probe the smallest job the generator can emit on this route through
+        // the exact predicate `Simulator::validate` applies.
+        match policy::class_admitted(sys, r.partition, r.qos, 1, r.granularity) {
+            Ok(()) => live.push(r),
+            Err(SimError::UnknownPartition { .. }) => {
+                let (d, e) = route_target_missing(r, "partition", r.partition, profile);
+                push(a, d, e);
+            }
+            Err(SimError::UnknownQos { .. }) => {
+                let (d, e) = route_target_missing(r, "QOS", r.qos, profile);
+                push(a, d, e);
+            }
+            Err(SimError::WalltimeOverLimit { .. }) => {
+                let d = Diagnostic::error(
+                    codes::UNSCHEDULABLE_CLASS,
+                    format!(
+                        "partition `{}` caps walltime below the generator's {}s rounding granularity: every `{}/{}` job is rejected",
+                        r.partition, r.granularity, r.partition, r.qos
+                    ),
+                )
+                .at_artifact(r.partition)
+                .note("the generator rounds requested walltimes up to the granularity, so no request can fit under the cap");
+                let e = ConfigEdit::new(
+                    format!("partitions.{}.max_walltime_secs", r.partition),
+                    (r.granularity * 4).to_string(),
+                );
+                push(a, d, Some(e));
+            }
+            Err(_) => {
+                let d = Diagnostic::error(
+                    codes::UNSCHEDULABLE_CLASS,
+                    format!(
+                        "route `{}/{}` admits no job at all (node limit is zero)",
+                        r.partition, r.qos
+                    ),
+                )
+                .at_artifact(r.partition);
+                let e = (sys.total_nodes > 0).then(|| {
+                    ConfigEdit::new(
+                        format!("partitions.{}.max_nodes", r.partition),
+                        sys.total_nodes.to_string(),
+                    )
+                });
+                push(a, d, e);
+            }
+        }
+    }
+
+    // Partition caps above the machine: the generator clamps node draws to
+    // the *partition* cap, so any bucket reaching past the machine emits
+    // requests the validator then rejects — the run aborts.
+    for &r in &live {
+        let Some(part) = sys.partition(r.partition) else {
+            continue;
+        };
+        if part.max_nodes <= sys.total_nodes {
+            continue;
+        }
+        for (i, b) in profile.size_buckets.iter().enumerate() {
+            let probe = b.max_nodes.min(part.max_nodes);
+            if policy::class_admitted(sys, r.partition, r.qos, probe, r.granularity).is_err() {
+                let d = Diagnostic::error(
+                    codes::UNSCHEDULABLE_CLASS,
+                    format!(
+                        "partition `{}` admits up to {} nodes but the machine has {}: size bucket {} ({}–{} nodes) generates requests the validator rejects",
+                        r.partition, part.max_nodes, sys.total_nodes, i, b.min_nodes, b.max_nodes
+                    ),
+                )
+                .at_artifact(r.partition)
+                .note("generated node counts are clamped to the partition cap, not the machine size, so the simulator aborts on the first oversize request");
+                let e = ConfigEdit::new(
+                    format!("partitions.{}.max_nodes", r.partition),
+                    sys.total_nodes.to_string(),
+                );
+                push(a, d, Some(e));
+                break;
+            }
+        }
+    }
+
+    // Size buckets no live route can start as declared.
+    if !live.is_empty() {
+        for (i, b) in profile.size_buckets.iter().enumerate() {
+            let admitted = live.iter().any(|r| {
+                policy::class_admitted(sys, r.partition, r.qos, b.min_nodes, r.granularity).is_ok()
+            });
+            if !admitted {
+                let cap = live
+                    .iter()
+                    .filter_map(|r| sys.partition(r.partition))
+                    .map(|p| p.max_nodes.min(sys.total_nodes))
+                    .max()
+                    .unwrap_or(0);
+                let d = Diagnostic::error(
+                    codes::UNSCHEDULABLE_CLASS,
+                    format!(
+                        "size bucket {} ({}–{} nodes, weight {}) can never start as declared: the widest routable partition caps at {} nodes",
+                        i, b.min_nodes, b.max_nodes, b.weight, cap
+                    ),
+                )
+                .note("the generator clamps these jobs down to the partition cap, silently erasing the declared class");
+                let e = (cap > 0).then(|| {
+                    ConfigEdit::new(format!("size_buckets.{i}.min_nodes"), cap.to_string())
+                });
+                push(a, d, e);
+            }
+        }
+    }
+    live
+}
+
+fn route_target_missing(
+    r: Route,
+    kind: &str,
+    name: &str,
+    profile: &WorkloadProfile,
+) -> (Diagnostic, Option<ConfigEdit>) {
+    let frac = match (r.partition, r.qos) {
+        ("debug", _) => Some(("debug_fraction", profile.debug_fraction)),
+        (_, "urgent") => Some(("urgent_fraction", profile.urgent_fraction)),
+        (_, "standby") => Some(("standby_fraction", profile.standby_fraction)),
+        _ => None,
+    };
+    let share = frac.map_or_else(String::new, |(_, f)| {
+        format!(" ({:.1}% of traffic)", f * 100.0)
+    });
+    let d = Diagnostic::error(
+        codes::UNSCHEDULABLE_CLASS,
+        format!(
+            "workload routes jobs to `{}/{}`{share} but the system defines no {kind} `{name}`",
+            r.partition, r.qos
+        ),
+    )
+    .at_artifact(name)
+    .note("the generator panics on the first job it routes there");
+    let e = frac.map(|(knob, _)| ConfigEdit::new(knob, "0"));
+    (d, e)
+}
+
+/// SF0902: starvation potential. When the age factor is inert, a large
+/// batch/normal job can be overtaken forever by a dominating class — nothing
+/// ever closes the priority gap. Emits a replayable overtaking witness.
+fn check_starvation(profile: &WorkloadProfile, live: &[Route], a: &mut PolicyAnalysis) {
+    let sys = &profile.system;
+    let w = &sys.weights;
+    let age_inert = w.age <= 0.0 || w.max_age_secs <= 0;
+    if !age_inert {
+        return;
+    }
+    let victim_route = Route {
+        partition: "batch",
+        qos: "normal",
+        granularity: 900,
+    };
+    if !live.contains(&victim_route) {
+        return;
+    }
+    let batch = sys.partition("batch").expect("live route has partition");
+    let total = sys.total_nodes;
+    let victim_nodes = batch.max_nodes.min(total);
+    if victim_nodes < 2 {
+        return;
+    }
+    let max_wall_batch = batch.max_walltime.as_secs();
+    let filler_wall = max_wall_batch.min(50_400);
+    if filler_wall < 4_000 {
+        // Too short a window to stage fillers + staggered competitors.
+        return;
+    }
+    let Some(victim_prio) = class_priority(sys, victim_route, victim_nodes) else {
+        return;
+    };
+    // Pick the dominating competitor class: the live route whose static
+    // priority most exceeds the victim's even granting the victim the full
+    // fair-share boost.
+    let mut best: Option<(Route, u32, f64)> = None;
+    for &r in live {
+        if r == victim_route {
+            continue;
+        }
+        let Some(part) = sys.partition(r.partition) else {
+            continue;
+        };
+        let comp_nodes = part
+            .max_nodes
+            .min(total)
+            .min((total / 8).max(1))
+            .min(victim_nodes - 1);
+        if comp_nodes == 0 {
+            continue;
+        }
+        let Some(comp_prio) = class_priority(sys, r, comp_nodes) else {
+            continue;
+        };
+        let margin = comp_prio - (victim_prio + w.fairshare.max(0.0));
+        let better = match &best {
+            Some((_, _, m)) => margin > *m,
+            None => margin > 1.0,
+        };
+        if margin > 1.0 && better {
+            best = Some((r, comp_nodes, margin));
+        }
+    }
+    let Some((comp, comp_nodes, margin)) = best else {
+        return;
+    };
+
+    let (witness, queue_notes) =
+        overtaking_witness(profile, victim_nodes, filler_wall, comp, comp_nodes);
+    let reason = if w.age <= 0.0 {
+        format!("weights.age = {}", w.age)
+    } else {
+        format!("weights.max_age_secs = {}", w.max_age_secs)
+    };
+    let edit = if w.age <= 0.0 {
+        ConfigEdit::new("weights.age", "10000")
+    } else {
+        ConfigEdit::new("weights.max_age_secs", "1209600")
+    };
+    let mut d = Diagnostic::warning(
+        codes::STARVATION_POTENTIAL,
+        format!(
+            "age factor is inert ({reason}): a {victim_nodes}-node `batch/normal` job can be overtaken indefinitely by `{}/{}` arrivals",
+            comp.partition, comp.qos
+        ),
+    )
+    .at_artifact("batch")
+    .note(format!(
+        "static priority gap: competitor ≈ {:.0} vs victim ≈ {:.0} (margin {:.0}) with no age term to close it",
+        victim_prio + w.fairshare.max(0.0) + margin,
+        victim_prio + w.fairshare.max(0.0),
+        margin
+    ));
+    for n in queue_notes {
+        d = d.note(n);
+    }
+    d = d.help(format!(
+        "suggested edit: {}; confirm the witness with `schedflow verify-policy`",
+        edit.render()
+    ));
+    a.witnesses.push(witness);
+    push(a, d, Some(edit));
+}
+
+/// Build the SF0902 witness: fillers pin all but `comp_nodes` nodes, the
+/// wide victim arrives, then staggered competitors on the dominating route
+/// keep starting ahead of it. Distinct users per job keep per-user QOS caps
+/// and fair-share coupling out of the picture.
+fn overtaking_witness(
+    profile: &WorkloadProfile,
+    victim_nodes: u32,
+    filler_wall: i64,
+    comp: Route,
+    comp_nodes: u32,
+) -> (PolicyWitness, Vec<String>) {
+    let sys = &profile.system;
+    let t0 = profile.start;
+    let batch_cap = sys
+        .partition("batch")
+        .map_or(sys.total_nodes, |p| p.max_nodes.min(sys.total_nodes));
+    let comp_wall = sys
+        .partition(comp.partition)
+        .map_or(900, |p| p.max_walltime.as_secs().min(900))
+        .max(1);
+    let mut queue = Vec::new();
+    let mut id = WITNESS_BASE_ID;
+    let mut user = 1000;
+    let mut remaining = sys.total_nodes - comp_nodes;
+    let mut fillers = 0u32;
+    while remaining > 0 {
+        let n = remaining.min(batch_cap);
+        queue.push(JobRequest {
+            id,
+            user,
+            submit: t0,
+            nodes: n,
+            walltime_secs: filler_wall,
+            actual_secs: filler_wall - 100,
+            partition: "batch".to_owned(),
+            qos: "normal".to_owned(),
+            outcome: PlannedOutcome::Complete,
+            dependency: None,
+        });
+        id += 1;
+        user += 1;
+        remaining -= n;
+        fillers += 1;
+    }
+    let victim = id;
+    queue.push(JobRequest {
+        id,
+        user: 1,
+        submit: t0 + 10,
+        nodes: victim_nodes,
+        walltime_secs: sys
+            .partition("batch")
+            .map_or(20_000, |p| p.max_walltime.as_secs().min(20_000)),
+        actual_secs: 900,
+        partition: "batch".to_owned(),
+        qos: "normal".to_owned(),
+        outcome: PlannedOutcome::Complete,
+        dependency: None,
+    });
+    id += 1;
+    let mut competitors = Vec::new();
+    for k in 0..3i64 {
+        competitors.push(id);
+        queue.push(JobRequest {
+            id,
+            user: 2000 + k as u32,
+            submit: t0 + 20 + k * 1000,
+            nodes: comp_nodes,
+            walltime_secs: comp_wall,
+            actual_secs: comp_wall.min(500),
+            partition: comp.partition.to_owned(),
+            qos: comp.qos.to_owned(),
+            outcome: PlannedOutcome::Complete,
+            dependency: None,
+        });
+        id += 1;
+    }
+    let notes = vec![
+        format!(
+            "concrete witness queue ({} jobs): {fillers} filler(s) pin {} nodes for {filler_wall}s from t0",
+            queue.len(),
+            sys.total_nodes - comp_nodes
+        ),
+        format!("victim: job {victim}, {victim_nodes} nodes `batch/normal`, submitted t0+10"),
+        format!(
+            "competitors: jobs {competitors:?}, {comp_nodes} nodes `{}/{}`, submitted t0+20 onward — each starts while the victim waits",
+            comp.partition, comp.qos
+        ),
+    ];
+    (
+        PolicyWitness {
+            code: codes::STARVATION_POTENTIAL.to_owned(),
+            queue,
+            expectation: WitnessExpectation::Overtaking {
+                victim,
+                competitors,
+            },
+        },
+        notes,
+    )
+}
+
+/// SF0903: priority inversion. A QOS declares higher priority than another,
+/// but partition tier weights invert the effective ordering between the
+/// routes that actually carry them.
+fn check_inversion(profile: &WorkloadProfile, live: &[Route], a: &mut PolicyAnalysis) {
+    let sys = &profile.system;
+    let w = &sys.weights;
+    for &hi in live {
+        for &lo in live {
+            if hi.qos == lo.qos {
+                continue;
+            }
+            let (Some(q_hi), Some(q_lo)) = (sys.qos(hi.qos), sys.qos(lo.qos)) else {
+                continue;
+            };
+            if q_hi.priority_weight <= q_lo.priority_weight {
+                continue;
+            }
+            let (Some(p_hi), Some(p_lo)) =
+                (sys.partition(hi.partition), sys.partition(lo.partition))
+            else {
+                continue;
+            };
+            let base_hi = q_hi.priority_weight as f64 + w.tier * p_hi.priority_tier as f64;
+            let base_lo = q_lo.priority_weight as f64 + w.tier * p_lo.priority_tier as f64;
+            if base_hi > base_lo {
+                continue;
+            }
+            let needed = (base_lo - w.tier * p_hi.priority_tier as f64 + 1.0).max(0.0);
+            let edit = ConfigEdit::new(
+                format!("qos.{}.priority_weight", hi.qos),
+                format!("{}", needed.ceil() as u64),
+            );
+            let d = Diagnostic::warning(
+                codes::PRIORITY_INVERSION,
+                format!(
+                    "QOS `{}` declares higher priority than `{}` ({} > {}) but partition tiers invert it: effective {:.0} on `{}` ≤ {:.0} on `{}`",
+                    hi.qos,
+                    lo.qos,
+                    q_hi.priority_weight,
+                    q_lo.priority_weight,
+                    base_hi,
+                    hi.partition,
+                    base_lo,
+                    lo.partition
+                ),
+            )
+            .at_artifact(hi.qos)
+            .note(format!(
+                "effective priority = qos_weight + {:.0} × partition_tier; tier {} vs {} outweighs the declared QOS ordering",
+                w.tier, p_hi.priority_tier, p_lo.priority_tier
+            ))
+            .help(format!("suggested edit: {}", edit.render()));
+            push(a, d, Some(edit));
+        }
+    }
+}
+
+/// SF0904: backfill reservation starvation. Either no backfill at all under a
+/// heavy-tailed runtime mix, or conservative backfill whose examination
+/// budget is below the typical queue depth. Emits an idle-blocking witness
+/// whose contrast leg proves the wait is pure policy.
+fn check_backfill(profile: &WorkloadProfile, live: &[Route], a: &mut PolicyAnalysis) {
+    let sys = &profile.system;
+    let batch_route = Route {
+        partition: "batch",
+        qos: "normal",
+        granularity: 900,
+    };
+    if !live.contains(&batch_route) {
+        return;
+    }
+    let Some(batch) = sys.partition("batch") else {
+        return;
+    };
+    let total = sys.total_nodes;
+    let cap = batch.max_nodes.min(total);
+    let filler_wall = batch.max_walltime.as_secs().min(10_800);
+    match sys.backfill {
+        BackfillPolicy::None => {
+            if profile.runtime_sigma < 0.75 || total < 4 || cap < 3 || filler_wall < 2_000 {
+                return;
+            }
+            let (witness, notes) = idle_blocking_witness(
+                profile,
+                filler_wall,
+                cap,
+                0,
+                ContrastEdit::Backfill(BackfillPolicy::Easy),
+            );
+            let edit = ConfigEdit::new("backfill", "easy");
+            let mut d = Diagnostic::warning(
+                codes::BACKFILL_STARVATION,
+                format!(
+                    "backfill is disabled under a heavy-tailed runtime mix (sigma {}): short jobs idle behind wide reservations on free nodes",
+                    profile.runtime_sigma
+                ),
+            )
+            .note("with BackfillPolicy::None the queue head blocks everything behind it, even jobs that fit the idle nodes and finish before the head could start");
+            for n in notes {
+                d = d.note(n);
+            }
+            d = d.help(format!(
+                "suggested edit: {}; confirm the witness with `schedflow verify-policy`",
+                edit.render()
+            ));
+            a.witnesses.push(witness);
+            push(a, d, Some(edit));
+        }
+        BackfillPolicy::Conservative => {
+            let depth =
+                (profile.jobs_per_day * profile.runtime_median_secs / 86_400.0).ceil() as usize;
+            let k = sys.bf_max_job_test;
+            if k >= depth || total < 4 || cap < 2 {
+                return;
+            }
+            if k > 2_000 || filler_wall < k as i64 + 1_100 {
+                // Witness would not fit the staging window; skip rather than
+                // emit an unconfirmable verdict.
+                return;
+            }
+            let (witness, notes) = idle_blocking_witness(
+                profile,
+                filler_wall,
+                cap,
+                k,
+                ContrastEdit::BfMaxJobTest(k + 2),
+            );
+            let edit = ConfigEdit::new("bf_max_job_test", depth.max(k + 2).to_string());
+            let mut d = Diagnostic::warning(
+                codes::BACKFILL_STARVATION,
+                format!(
+                    "conservative backfill examines only {k} jobs per pass but the typical queue depth is ≈{depth}: jobs past the budget never backfill",
+                ),
+            )
+            .note(format!(
+                "typical depth ≈ jobs_per_day × median_runtime / 86400 = {:.0} × {:.0} / 86400",
+                profile.jobs_per_day, profile.runtime_median_secs
+            ));
+            for n in notes {
+                d = d.note(n);
+            }
+            d = d.help(format!(
+                "suggested edit: {}; confirm the witness with `schedflow verify-policy`",
+                edit.render()
+            ));
+            a.witnesses.push(witness);
+            push(a, d, Some(edit));
+        }
+        BackfillPolicy::Easy => {}
+    }
+}
+
+/// Build the SF0904 witness. With `wides = 0` (the no-backfill arm): fillers
+/// pin all but 2 nodes, one wide head blocks, and a 2-node candidate that
+/// fits the idle nodes must wait. With `wides = k` (the conservative arm):
+/// fillers pin all but 1 node and `k + 1` wide jobs exhaust the examination
+/// budget before a 1-node candidate is ever looked at.
+fn idle_blocking_witness(
+    profile: &WorkloadProfile,
+    filler_wall: i64,
+    cap: u32,
+    wides: usize,
+    contrast: ContrastEdit,
+) -> (PolicyWitness, Vec<String>) {
+    let sys = &profile.system;
+    let t0 = profile.start;
+    let spare: u32 = if wides == 0 { 2 } else { 1 };
+    let head_wall = sys
+        .partition("batch")
+        .map_or(5_400, |p| p.max_walltime.as_secs().min(5_400));
+    let mut queue = Vec::new();
+    let mut id = WITNESS_BASE_ID + 1_000;
+    let mut user = 3000;
+    let mut remaining = sys.total_nodes - spare;
+    let mut fillers = 0u32;
+    while remaining > 0 {
+        let n = remaining.min(cap);
+        queue.push(JobRequest {
+            id,
+            user,
+            submit: t0,
+            nodes: n,
+            walltime_secs: filler_wall,
+            actual_secs: filler_wall - 100,
+            partition: "batch".to_owned(),
+            qos: "normal".to_owned(),
+            outcome: PlannedOutcome::Complete,
+            dependency: None,
+        });
+        id += 1;
+        user += 1;
+        remaining -= n;
+        fillers += 1;
+    }
+    let head = id;
+    let n_wide = wides.max(1) as i64 + if wides == 0 { 0 } else { 1 };
+    for w in 0..n_wide {
+        queue.push(JobRequest {
+            id,
+            user: 4000 + w as u32,
+            submit: t0 + 10 + w,
+            nodes: cap,
+            walltime_secs: head_wall,
+            actual_secs: 100,
+            partition: "batch".to_owned(),
+            qos: "normal".to_owned(),
+            outcome: PlannedOutcome::Complete,
+            dependency: None,
+        });
+        id += 1;
+    }
+    let blocked = id;
+    queue.push(JobRequest {
+        id,
+        user: 2,
+        submit: t0 + 10 + n_wide + 10,
+        nodes: spare,
+        walltime_secs: 900,
+        actual_secs: 500,
+        partition: "batch".to_owned(),
+        qos: "normal".to_owned(),
+        outcome: PlannedOutcome::Complete,
+        dependency: None,
+    });
+    let notes = vec![
+        format!(
+            "concrete witness queue ({} jobs): {fillers} filler(s) pin {} nodes for {filler_wall}s from t0, leaving {spare} idle",
+            queue.len(),
+            sys.total_nodes - spare
+        ),
+        format!("{n_wide} wide {cap}-node job(s) from t0+10 head the queue and cannot start"),
+        format!(
+            "blocked: job {blocked}, {spare} node(s), 900s — fits the idle nodes and finishes before the head could start, yet waits; under `{contrast}` it starts immediately"
+        ),
+    ];
+    (
+        PolicyWitness {
+            code: codes::BACKFILL_STARVATION.to_owned(),
+            queue,
+            expectation: WitnessExpectation::IdleBlocking {
+                blocked,
+                head,
+                contrast,
+            },
+        },
+        notes,
+    )
+}
+
+/// SF0905: partitions the workload never routes to. The generator only knows
+/// `batch` and `debug` (the latter only when `debug_fraction > 0`).
+fn check_shadowing(profile: &WorkloadProfile, a: &mut PolicyAnalysis) {
+    for p in &profile.system.partitions {
+        match p.name.as_str() {
+            "batch" => {}
+            "debug" => {
+                if profile.debug_fraction <= 0.0 {
+                    let edit = ConfigEdit::new("debug_fraction", "0.08");
+                    let d = Diagnostic::warning(
+                        codes::PARTITION_SHADOWED,
+                        "partition `debug` receives no traffic: debug_fraction is 0",
+                    )
+                    .at_artifact("debug")
+                    .note(format!(
+                        "{} nodes sit idle for the whole trace window",
+                        p.max_nodes
+                    ))
+                    .help(format!("suggested edit: {}", edit.render()));
+                    push(a, d, Some(edit));
+                }
+            }
+            other => {
+                let edit = ConfigEdit::new(format!("partitions.{other}"), "remove");
+                let d = Diagnostic::warning(
+                    codes::PARTITION_SHADOWED,
+                    format!(
+                        "partition `{other}` is shadowed: the workload generator routes only to `batch` and `debug`"
+                    ),
+                )
+                .at_artifact(other)
+                .help(format!("suggested edit: {}", edit.render()));
+                push(a, d, Some(edit));
+            }
+        }
+    }
+}
+
+/// SF0906: fair-share decay inconsistency. A non-zero fair-share weight with
+/// a half-life outside (0, trace window) makes the factor effectively
+/// constant: instant decay pins every user at full boost, and a half-life
+/// longer than the window never forgets anything.
+fn check_fairshare(profile: &WorkloadProfile, a: &mut PolicyAnalysis) {
+    let w = &profile.system.weights;
+    if w.fairshare == 0.0 {
+        return;
+    }
+    let horizon = profile.end.0 - profile.start.0;
+    let hl = w.usage_halflife_secs;
+    if hl <= 0 {
+        let edit = ConfigEdit::new("weights.usage_halflife_secs", "604800");
+        let d = Diagnostic::warning(
+            codes::FAIRSHARE_DECAY,
+            format!(
+                "usage half-life {hl}s is clamped to 1s at runtime: per-user usage decays instantly and the fair-share factor pins at full boost"
+            ),
+        )
+        .note(format!(
+            "weights.fairshare = {} then adds a constant to every job, influencing nothing",
+            w.fairshare
+        ))
+        .help(format!("suggested edit: {}", edit.render()));
+        push(a, d, Some(edit));
+    } else if horizon > 0 && hl >= horizon {
+        let edit = ConfigEdit::new(
+            "weights.usage_halflife_secs",
+            (horizon / 8).max(1).to_string(),
+        );
+        let d = Diagnostic::warning(
+            codes::FAIRSHARE_DECAY,
+            format!(
+                "usage half-life {hl}s meets or exceeds the {}-day trace window: usage never meaningfully decays and fair-share degrades into a static penalty on active users",
+                horizon / 86_400
+            ),
+        )
+        .help(format!("suggested edit: {}", edit.render()));
+        push(a, d, Some(edit));
+    }
+}
+
+fn push(a: &mut PolicyAnalysis, d: Diagnostic, edit: Option<ConfigEdit>) {
+    a.report.push(d);
+    if let Some(e) = edit {
+        a.edits.push(e);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use schedflow_sim::policy::replay;
+
+    /// A small, policy-clean profile on the toy machine (buckets that do not
+    /// exist on toy(64) are clamped away; no debug partition exists there).
+    fn toy_profile() -> WorkloadProfile {
+        let mut p = WorkloadProfile::andes();
+        p.system = SystemConfig::toy(64);
+        p.debug_fraction = 0.0;
+        p.size_buckets.retain(|b| b.max_nodes <= 64);
+        p
+    }
+
+    #[test]
+    fn preset_profiles_are_policy_clean() {
+        for p in [
+            WorkloadProfile::frontier(),
+            WorkloadProfile::andes(),
+            WorkloadProfile::frontier_early(),
+            toy_profile(),
+        ] {
+            let a = lint_policy(&p);
+            assert!(a.is_clean(), "{}:\n{}", p.system.name, a.report.render());
+            assert!(a.witnesses.is_empty());
+        }
+    }
+
+    #[test]
+    fn inert_age_fires_sf0902_with_replaying_witness() {
+        let mut p = WorkloadProfile::frontier();
+        p.system.weights.age = 0.0;
+        let a = lint_policy(&p);
+        assert_eq!(a.report.with_code(codes::STARVATION_POTENTIAL).len(), 1);
+        let w = &a.witnesses[0];
+        assert_eq!(w.code, codes::STARVATION_POTENTIAL);
+        let rep = replay(&p.system, w).unwrap();
+        assert!(rep.holds, "{}", rep.detail);
+        // The diagnostic names the witness queue.
+        let d = a.report.with_code(codes::STARVATION_POTENTIAL)[0];
+        assert!(
+            d.render().contains("concrete witness queue"),
+            "{}",
+            d.render()
+        );
+    }
+
+    #[test]
+    fn zero_max_age_is_also_inert() {
+        let mut p = WorkloadProfile::frontier();
+        p.system.weights.max_age_secs = 0;
+        let a = lint_policy(&p);
+        assert_eq!(a.report.with_code(codes::STARVATION_POTENTIAL).len(), 1);
+        assert!(a.edits.iter().any(|e| e.path == "weights.max_age_secs"));
+    }
+
+    #[test]
+    fn no_backfill_fires_sf0904_with_replaying_witness() {
+        let mut p = WorkloadProfile::frontier();
+        p.system.backfill = BackfillPolicy::None;
+        let a = lint_policy(&p);
+        assert_eq!(a.report.with_code(codes::BACKFILL_STARVATION).len(), 1);
+        let rep = replay(&p.system, &a.witnesses[0]).unwrap();
+        assert!(rep.holds, "{}", rep.detail);
+    }
+
+    #[test]
+    fn conservative_low_budget_fires_sf0904_with_replaying_witness() {
+        let mut p = WorkloadProfile::frontier();
+        p.system.backfill = BackfillPolicy::Conservative;
+        p.system.bf_max_job_test = 4;
+        let a = lint_policy(&p);
+        assert_eq!(a.report.with_code(codes::BACKFILL_STARVATION).len(), 1);
+        let rep = replay(&p.system, &a.witnesses[0]).unwrap();
+        assert!(rep.holds, "{}", rep.detail);
+        // A budget at or above the typical depth is fine.
+        p.system.bf_max_job_test = 100;
+        assert!(lint_policy(&p).is_clean());
+    }
+
+    #[test]
+    fn urgent_routing_exposes_priority_inversion() {
+        let p = WorkloadProfile::frontier().with_urgent_computing(0.05, 0.0);
+        let a = lint_policy(&p);
+        let hits = a.report.with_code(codes::PRIORITY_INVERSION);
+        assert_eq!(hits.len(), 1, "{}", a.report.render());
+        assert!(hits[0].render().contains("urgent"));
+        // The suggested edit clears the inversion.
+        let mut fixed = p.clone();
+        for e in &a.edits {
+            assert!(e.apply(&mut fixed), "edit {} did not apply", e.render());
+        }
+        assert!(lint_policy(&fixed).is_clean());
+    }
+
+    #[test]
+    fn ghost_partition_and_dead_debug_fire_sf0905() {
+        let mut p = WorkloadProfile::frontier();
+        p.debug_fraction = 0.0; // debug partition now shadowed
+        p.system
+            .partitions
+            .push(schedflow_model::partition::Partition::batch(
+                64,
+                Elapsed::from_hours(1),
+            ));
+        p.system.partitions.last_mut().unwrap().name = "gpu".to_owned();
+        let a = lint_policy(&p);
+        assert_eq!(a.report.with_code(codes::PARTITION_SHADOWED).len(), 2);
+        let mut fixed = p.clone();
+        for e in &a.edits {
+            assert!(e.apply(&mut fixed));
+        }
+        assert!(
+            lint_policy(&fixed).is_clean(),
+            "{}",
+            lint_policy(&fixed).report.render()
+        );
+    }
+
+    #[test]
+    fn missing_route_targets_fire_sf0901() {
+        // Route debug traffic on a system with no debug partition.
+        let mut p = toy_profile();
+        p.debug_fraction = 0.10;
+        let a = lint_policy(&p);
+        assert!(a.report.has_errors());
+        assert_eq!(a.report.with_code(codes::UNSCHEDULABLE_CLASS).len(), 1);
+        let mut fixed = p.clone();
+        for e in &a.edits {
+            assert!(e.apply(&mut fixed));
+        }
+        assert!(lint_policy(&fixed).is_clean());
+    }
+
+    #[test]
+    fn walltime_below_granularity_fires_sf0901() {
+        let mut p = toy_profile();
+        p.system.partitions[0].max_walltime = Elapsed::from_secs(600);
+        let a = lint_policy(&p);
+        let hits = a.report.with_code(codes::UNSCHEDULABLE_CLASS);
+        assert_eq!(hits.len(), 1, "{}", a.report.render());
+        assert!(hits[0].render().contains("granularity"));
+        let mut fixed = p.clone();
+        for e in &a.edits {
+            assert!(e.apply(&mut fixed));
+        }
+        assert!(lint_policy(&fixed).is_clean());
+    }
+
+    #[test]
+    fn partition_cap_above_machine_fires_sf0901() {
+        let mut p = toy_profile();
+        p.system.partitions[0].max_nodes = 128; // machine has 64
+        p.size_buckets.push(schedflow_tracegen::SizeBucket {
+            min_nodes: 65,
+            max_nodes: 128,
+            weight: 0.01,
+        });
+        let a = lint_policy(&p);
+        assert!(a.report.has_errors(), "{}", a.report.render());
+        // Both arms fire: the cap lets the generator draw rejectable sizes,
+        // and the bucket can never start as declared.
+        assert_eq!(a.report.with_code(codes::UNSCHEDULABLE_CLASS).len(), 2);
+        let mut fixed = p.clone();
+        for e in &a.edits {
+            assert!(e.apply(&mut fixed));
+        }
+        assert!(lint_policy(&fixed).is_clean());
+    }
+
+    #[test]
+    fn unreachable_size_bucket_fires_sf0901() {
+        let mut p = toy_profile();
+        p.size_buckets.push(schedflow_tracegen::SizeBucket {
+            min_nodes: 65,
+            max_nodes: 65,
+            weight: 0.01,
+        });
+        let a = lint_policy(&p);
+        let hits = a.report.with_code(codes::UNSCHEDULABLE_CLASS);
+        assert_eq!(hits.len(), 1, "{}", a.report.render());
+        assert!(hits[0].render().contains("size bucket"));
+        let mut fixed = p.clone();
+        for e in &a.edits {
+            assert!(e.apply(&mut fixed));
+        }
+        assert!(lint_policy(&fixed).is_clean());
+    }
+
+    #[test]
+    fn fairshare_halflife_extremes_fire_sf0906() {
+        for hl in [0i64, 10 * 365 * 86_400] {
+            let mut p = WorkloadProfile::andes();
+            p.system.weights.usage_halflife_secs = hl;
+            let a = lint_policy(&p);
+            assert_eq!(
+                a.report.with_code(codes::FAIRSHARE_DECAY).len(),
+                1,
+                "hl={hl}: {}",
+                a.report.render()
+            );
+            let mut fixed = p.clone();
+            for e in &a.edits {
+                assert!(e.apply(&mut fixed));
+            }
+            assert!(lint_policy(&fixed).is_clean());
+        }
+        // Zero fair-share weight: the half-life is irrelevant.
+        let mut p = WorkloadProfile::andes();
+        p.system.weights.fairshare = 0.0;
+        p.system.weights.usage_halflife_secs = 0;
+        assert!(lint_policy(&p).is_clean());
+    }
+
+    #[test]
+    fn config_edit_rejects_unknown_paths() {
+        let mut p = WorkloadProfile::andes();
+        assert!(!ConfigEdit::new("nonsense.knob", "1").apply(&mut p));
+        assert!(!ConfigEdit::new("partitions.gpu.max_nodes", "1").apply(&mut p));
+        assert!(!ConfigEdit::new("backfill", "aggressive").apply(&mut p));
+        assert!(ConfigEdit::new("backfill", "conservative").apply(&mut p));
+        assert_eq!(p.system.backfill, BackfillPolicy::Conservative);
+    }
+}

@@ -1,0 +1,197 @@
+//! Golden fixtures and property tests for the SF09xx scheduling-policy
+//! analyzer.
+//!
+//! Each SF090x code has a minimal known-bad profile whose rendered
+//! diagnostic is pinned under `tests/golden/` (re-bless with
+//! `SCHEDFLOW_BLESS=1 cargo test -p schedflow-lint --test policy_fixtures`),
+//! and two properties tie the static verdicts to the runtime:
+//!
+//! * a profile with no SF0901 errors only ever synthesizes job requests the
+//!   simulator's admission predicates accept, and
+//! * every SF0902 starvation witness the analyzer emits reproduces the
+//!   predicted overtaking when replayed through the real scheduler.
+
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use schedflow_lint::lint_policy;
+use schedflow_sim::{BackfillPolicy, SystemConfig};
+use schedflow_tracegen::{synthesize_plans, UserPopulation, WorkloadProfile};
+use std::path::PathBuf;
+
+/// The batch-only single-partition test machine (no debug route).
+fn toy_profile() -> WorkloadProfile {
+    let mut p = WorkloadProfile::andes();
+    p.system = SystemConfig::toy(64);
+    p.debug_fraction = 0.0;
+    p.size_buckets.retain(|b| b.max_nodes <= 64);
+    p
+}
+
+/// One minimal known-bad profile per SF090x code: `(fixture name, code,
+/// profile)`. Each must produce exactly one finding, of that code.
+fn fixture_cases() -> Vec<(&'static str, &'static str, WorkloadProfile)> {
+    let sf0901 = {
+        // Debug traffic on a machine with no debug partition: every job in
+        // that class is rejected at submission.
+        let mut p = toy_profile();
+        p.debug_fraction = 0.10;
+        p
+    };
+    let sf0902 = {
+        // Inert age weight: queued jobs never accrue priority, so newer
+        // higher-priority submissions overtake forever.
+        let mut p = WorkloadProfile::frontier();
+        p.system.weights.age = 0.0;
+        p
+    };
+    let sf0903 = {
+        // Urgent QOS outweighed by the debug partition's tier boost.
+        WorkloadProfile::frontier().with_urgent_computing(0.05, 0.0)
+    };
+    let sf0904 = {
+        // No backfill: the reservation for a wide head job idles nodes that
+        // short narrow jobs could use.
+        let mut p = WorkloadProfile::frontier();
+        p.system.backfill = BackfillPolicy::None;
+        p
+    };
+    let sf0905 = {
+        // Debug partition configured but no traffic routes to it.
+        let mut p = WorkloadProfile::frontier();
+        p.debug_fraction = 0.0;
+        p
+    };
+    let sf0906 = {
+        // Fairshare decay half-life of zero pins usage at full boost.
+        let mut p = WorkloadProfile::frontier();
+        p.system.weights.usage_halflife_secs = 0;
+        p
+    };
+    vec![
+        ("sf0901-missing-route", "SF0901", sf0901),
+        ("sf0902-inert-age", "SF0902", sf0902),
+        ("sf0903-urgent-inversion", "SF0903", sf0903),
+        ("sf0904-no-backfill", "SF0904", sf0904),
+        ("sf0905-dead-debug", "SF0905", sf0905),
+        ("sf0906-zero-halflife", "SF0906", sf0906),
+    ]
+}
+
+/// Compare `actual` against the checked-in golden file, or rewrite the
+/// golden when `SCHEDFLOW_BLESS` is set.
+fn golden(name: &str, actual: &str) {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden");
+    let path = dir.join(name);
+    if std::env::var("SCHEDFLOW_BLESS").is_ok() {
+        std::fs::create_dir_all(&dir).expect("golden dir");
+        std::fs::write(&path, actual).expect("write golden");
+        return;
+    }
+    let expected = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden {name} ({e}); re-bless with SCHEDFLOW_BLESS=1"));
+    assert_eq!(
+        actual, expected,
+        "golden mismatch for {name}; re-bless with SCHEDFLOW_BLESS=1 if intended"
+    );
+}
+
+#[test]
+fn golden_fixtures_match() {
+    for (name, code, profile) in fixture_cases() {
+        let analysis = lint_policy(&profile);
+        let diags = analysis.report.with_code(code);
+        assert_eq!(diags.len(), 1, "{name}: expected exactly one {code}");
+        assert_eq!(
+            analysis.report.errors() + analysis.report.warnings(),
+            1,
+            "{name}: expected only {code}, got:\n{}",
+            analysis.report.render()
+        );
+        golden(&format!("{name}.txt"), &diags[0].render());
+    }
+}
+
+#[test]
+fn suggested_edits_clear_every_fixture() {
+    for (name, _code, mut profile) in fixture_cases() {
+        let analysis = lint_policy(&profile);
+        assert!(!analysis.edits.is_empty(), "{name}: no suggested edit");
+        for e in &analysis.edits {
+            assert!(
+                e.apply(&mut profile),
+                "{name}: edit {} rejected",
+                e.render()
+            );
+        }
+        let after = lint_policy(&profile);
+        assert!(
+            after.is_clean(),
+            "{name}: still dirty after applying suggested edits:\n{}",
+            after.report.render()
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// No SF0901 errors ⇒ every job request the generator synthesizes for
+    /// the profile passes the simulator's shared admission predicates.
+    #[test]
+    fn clean_profiles_generate_admissible_requests(
+        total in 8u32..200,
+        age in prop_oneof![Just(0.0), 1.0..20_000.0f64],
+        max_age_days in 0i64..30,
+        bf in 0usize..3,
+        debug_on in any::<bool>(),
+        seed in 0u64..1_000,
+    ) {
+        let mut p = WorkloadProfile::andes().truncated_days(2).scaled(0.05);
+        p.system = SystemConfig::toy(total);
+        p.system.weights.age = age;
+        p.system.weights.max_age_secs = max_age_days * 86_400;
+        p.system.backfill =
+            [BackfillPolicy::None, BackfillPolicy::Easy, BackfillPolicy::Conservative][bf];
+        p.debug_fraction = if debug_on { 0.08 } else { 0.0 };
+        let analysis = lint_policy(&p);
+        if analysis.report.errors() == 0 {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let pop = UserPopulation::generate(&p, &mut rng);
+            for plan in synthesize_plans(&p, &pop, &mut rng) {
+                prop_assert!(
+                    schedflow_sim::policy::check_request(&p.system, &plan.request).is_ok(),
+                    "SF0901-clean profile synthesized an inadmissible request: {:?}",
+                    plan.request
+                );
+            }
+        }
+    }
+
+    /// Every SF0902 starvation witness replays: the predicted competitors
+    /// really do start before the starved victim in the real scheduler.
+    #[test]
+    fn starvation_witnesses_reproduce(
+        zero_max_age in any::<bool>(),
+        tier in 0.0..100_000.0f64,
+        size in 0.0..10_000.0f64,
+        bf in 0usize..2,
+    ) {
+        let mut p = WorkloadProfile::frontier();
+        if zero_max_age {
+            p.system.weights.max_age_secs = 0;
+        } else {
+            p.system.weights.age = 0.0;
+        }
+        p.system.weights.tier = tier;
+        p.system.weights.size = size;
+        p.system.backfill = [BackfillPolicy::Easy, BackfillPolicy::None][bf];
+        let analysis = lint_policy(&p);
+        for w in analysis.witnesses.iter().filter(|w| w.code == "SF0902") {
+            let report = schedflow_sim::replay(&p.system, w);
+            prop_assert!(report.is_ok(), "witness queue rejected: {:?}", report.err());
+            let report = report.unwrap();
+            prop_assert!(report.holds, "witness did not reproduce: {}", report.detail);
+        }
+    }
+}

@@ -15,10 +15,13 @@
 //! profiles; [`metrics`] summarizes runs for the policy-ablation benches.
 //! [`invariant`] hosts the SF06xx runtime monitors (node conservation, clock
 //! monotonicity, EASY-backfill guarantee) checked during [`Simulator::run`].
+//! [`policy`] hosts the admission predicates shared with the static SF09xx
+//! policy analyzer plus the starvation-witness replayer.
 
 pub mod invariant;
 pub mod metrics;
 pub mod nodepool;
+pub mod policy;
 pub mod request;
 pub mod sched;
 pub mod system;
@@ -26,6 +29,7 @@ pub mod system;
 pub use invariant::{InvariantMonitor, InvariantViolation};
 pub use metrics::{metrics, occupancy_series, SimMetrics};
 pub use nodepool::{NodePool, PoolError};
+pub use policy::{replay, ContrastEdit, PolicyWitness, ReplayReport, WitnessExpectation};
 pub use request::{JobRequest, PlannedOutcome, SimOutcome};
 pub use sched::{SimError, Simulator};
-pub use system::{BackfillPolicy, PriorityWeights, SystemConfig};
+pub use system::{BackfillPolicy, PriorityWeights, SystemConfig, FRONTIER_USABLE_CORES};

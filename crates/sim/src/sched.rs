@@ -170,47 +170,12 @@ impl Simulator {
     }
 
     /// Validate requests against the machine (partition existence & limits).
+    ///
+    /// A thin wrapper over [`crate::policy::validate_requests`] — the same
+    /// admission predicates the static SF09xx policy analyzer probes with
+    /// symbolic job classes, so static and runtime validation cannot drift.
     pub fn validate(&self, jobs: &[JobRequest]) -> Result<(), SimError> {
-        let mut ids = HashMap::with_capacity(jobs.len());
-        for j in jobs {
-            if ids.insert(j.id, ()).is_some() {
-                return Err(SimError::DuplicateId(j.id));
-            }
-        }
-        for j in jobs {
-            let part =
-                self.config
-                    .partition(&j.partition)
-                    .ok_or_else(|| SimError::UnknownPartition {
-                        job: j.id,
-                        partition: j.partition.clone(),
-                    })?;
-            if self.config.qos(&j.qos).is_none() {
-                return Err(SimError::UnknownQos {
-                    job: j.id,
-                    qos: j.qos.clone(),
-                });
-            }
-            if j.nodes == 0 || j.nodes > part.max_nodes || j.nodes > self.config.total_nodes {
-                return Err(SimError::TooManyNodes {
-                    job: j.id,
-                    nodes: j.nodes,
-                    limit: part.max_nodes.min(self.config.total_nodes),
-                });
-            }
-            if j.walltime_secs > part.max_walltime.as_secs() {
-                return Err(SimError::WalltimeOverLimit { job: j.id });
-            }
-            if let Some(dep) = j.dependency {
-                if !ids.contains_key(&dep) {
-                    return Err(SimError::UnknownDependency {
-                        job: j.id,
-                        dependency: dep,
-                    });
-                }
-            }
-        }
-        Ok(())
+        crate::policy::validate_requests(&self.config, jobs)
     }
 
     /// Run the simulation to completion; outcomes are returned in the input

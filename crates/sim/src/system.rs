@@ -72,14 +72,21 @@ pub struct SystemConfig {
     pub weights: PriorityWeights,
 }
 
+/// Cores per Frontier node as sacct accounts them: 64 physical cores minus
+/// the 8 "low-noise" cores (one per L3 region) that SLURM reserves for the
+/// OS and system daemons, leaving 56 allocatable to jobs.
+pub const FRONTIER_USABLE_CORES: u32 = 56;
+
 impl SystemConfig {
-    /// OLCF Frontier: 9,408 nodes, 64 cores + 8 (logical) GPUs per node,
-    /// exascale batch mission with a small high-priority debug slice.
+    /// OLCF Frontier: 9,408 nodes, 56 usable cores (of 64 physical; 8 are
+    /// reserved as low-noise cores — [`FRONTIER_USABLE_CORES`]) + 8 (logical)
+    /// GPUs per node, exascale batch mission with a small high-priority debug
+    /// slice.
     pub fn frontier() -> Self {
         SystemConfig {
             name: "frontier".to_owned(),
             total_nodes: 9408,
-            cores_per_node: 56, // 64 minus the 8 reserved "low-noise" cores
+            cores_per_node: FRONTIER_USABLE_CORES,
             gpus_per_node: 8,
             node_name_width: 5,
             partitions: vec![
@@ -149,6 +156,7 @@ mod tests {
     fn frontier_profile_is_exascale() {
         let c = SystemConfig::frontier();
         assert_eq!(c.total_nodes, 9408);
+        assert_eq!(c.cores_per_node, FRONTIER_USABLE_CORES);
         assert_eq!(c.gpus_per_node, 8);
         assert!(c.partition("batch").is_some());
         assert!(c.partition("debug").is_some());

@@ -49,6 +49,18 @@ fi
 echo "==> estimate soundness: repro_soundness (static intervals vs actual rows, 1 and 4 threads)"
 cargo run --release -p schedflow-bench --bin repro_soundness
 
+echo "==> policy soundness: repro_policy (SF09xx verdicts vs witness replay, 1 and 4 threads)"
+cargo run --release -p schedflow-bench --bin repro_policy
+
+echo "==> policy negative smoke: inert age + no backfill must fail lint with SF0902"
+if POLICY_OUT="$(cargo run --release -p schedflow-core --bin schedflow -- \
+    lint --age-weight 0 --backfill none --deny)"; then
+    echo "verify: broken policy passed lint --deny"; exit 1
+fi
+printf '%s' "$POLICY_OUT" | grep -qF "SF0902" \
+    || { echo "verify: broken-policy lint output lacks SF0902"; exit 1; }
+echo "policy smoke: SF0902 emitted and --deny exited nonzero"
+
 echo "==> crash-recovery smoke: die at store write 7 under I/O chaos, resume, diff digests"
 CRASH_TMP="$(mktemp -d)"
 trap 'rm -rf "$CRASH_TMP"' EXIT

@@ -46,10 +46,10 @@ fn chaos_with_retries_recovers_end_to_end() {
     assert!(outcome.report.total_attempts() > outcome.report.tasks.len() as u32 - 2);
 
     // Every dashboard tab is a real chart — no placeholders survived. The
-    // extra panel is the post-run "Run report" tab.
+    // extra panels are the post-run "Run report" and "Policy analysis" tabs.
     let panels_dir = cfg.data_dir.join("dashboard").join("panels");
     let panels: Vec<_> = std::fs::read_dir(&panels_dir).unwrap().collect();
-    assert_eq!(panels.len(), schedflow_core::PLOT_STAGES.len() + 1);
+    assert_eq!(panels.len(), schedflow_core::PLOT_STAGES.len() + 2);
     for entry in panels {
         let html = std::fs::read_to_string(entry.unwrap().path()).unwrap();
         assert!(
