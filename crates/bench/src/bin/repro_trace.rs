@@ -1,0 +1,19 @@
+//! Trace-contract regeneration: certify the observability layer's
+//! determinism contract — on the trimmed Frontier pipeline, critical path ≤
+//! wall clock ≤ Σ per-task times, the structural span digest is identical at
+//! 1 and 4 worker threads, and tracing costs under 3% of wall clock versus
+//! `--no-trace`. Evidence lands in `repro_out/BENCH_trace.json`.
+//!
+//! ```text
+//! cargo run --release --bin repro_trace
+//! ```
+
+fn main() {
+    schedflow_bench::banner(
+        "repro_trace",
+        "trace determinism contract (spans, critical path, overhead)",
+    );
+    schedflow_bench::lint_gate(&[]);
+    schedflow_bench::trace_gate();
+    schedflow_bench::check("trace ordering/determinism/overhead invariants hold", true);
+}

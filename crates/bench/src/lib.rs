@@ -431,6 +431,195 @@ pub fn policy_gate() {
     );
 }
 
+/// One run of the trace benchmark's pipeline: the default Frontier workflow
+/// trimmed to its first two months, sandboxed under a private temp dir so a
+/// warm cache never hides tracing cost or changes the executed span set.
+/// Returns the wall-clock milliseconds and the run's telemetry
+/// (default-empty when `trace` is off).
+fn trace_run(
+    threads: usize,
+    trace: bool,
+    rep: usize,
+) -> Result<(f64, schedflow_dataflow::Telemetry), String> {
+    let base = std::env::temp_dir().join(format!(
+        "schedflow-trace-{}-{threads}t-{}-{rep}",
+        std::process::id(),
+        if trace { "on" } else { "off" }
+    ));
+    let _ = std::fs::remove_dir_all(&base);
+    let mut cfg = schedflow_core::WorkflowConfig::new(schedflow_core::System::Frontier);
+    // Two months: every stage kind (including the two-month compare) still
+    // runs, and the trace stays small.
+    let (y, m) = cfg.from;
+    cfg.to = if m == 12 { (y + 1, 1) } else { (y, m + 1) };
+    cfg.scale = scale().min(0.02);
+    cfg.seed = seed();
+    cfg.threads = threads;
+    cfg.trace = trace;
+    cfg.cache_dir = base.join("cache");
+    cfg.data_dir = base.join("data");
+    let outcome = schedflow_core::run(&cfg);
+    let _ = std::fs::remove_dir_all(&base);
+    let outcome = outcome.map_err(|e| format!("pipeline failed at {threads} thread(s): {e}"))?;
+    Ok((outcome.report.makespan_ms, outcome.report.telemetry))
+}
+
+/// Median of a small sample (odd sample sizes pick the true middle).
+fn median_ms(samples: &mut [f64]) -> f64 {
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+/// One thread count's worth of trace-gate evidence.
+struct TraceLeg {
+    threads: usize,
+    traced_ms: f64,
+    untraced_ms: f64,
+    spans: u64,
+    critical_ms: f64,
+    digest: u64,
+}
+
+/// Trace gate for the observability layer: run the trimmed Frontier pipeline
+/// traced and untraced, 3 repetitions each at 1 and at 4 worker threads, and
+/// require
+///
+/// 1. **ordering** — on every traced run, critical path ≤ wall clock and
+///    wall clock ≤ Σ per-task times (with scheduling slack), the sandwich
+///    that certifies both span timestamps and the dependency edges;
+/// 2. **determinism** — the structural span digest is identical across every
+///    traced run at both thread counts (seeded span identities, no
+///    timing-derived structure);
+/// 3. **overhead** — the median traced wall clock is within 3% (+100ms
+///    measurement noise floor) of the median untraced wall clock.
+///
+/// Evidence is recorded to `repro_out/BENCH_trace.json`; any violated
+/// invariant makes the binary refuse to continue.
+pub fn trace_gate() {
+    const REPS: usize = 3;
+    let mut failures: Vec<String> = Vec::new();
+    let mut legs: Vec<TraceLeg> = Vec::new();
+    for threads in [1usize, 4] {
+        let mut traced = Vec::new();
+        let mut untraced = Vec::new();
+        let mut leg: Option<TraceLeg> = None;
+        for rep in 0..REPS {
+            let (wall, t) = match trace_run(threads, true, rep) {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("trace gate: {e}");
+                    std::process::exit(1);
+                }
+            };
+            traced.push(wall);
+            let cp = schedflow_dataflow::critical_path(&t);
+            let sum = t.sum_of_task_times_ms();
+            // ε absorbs the sub-ms skew between the engine's makespan clock
+            // and the span clock; the sum side gets scheduling slack.
+            if cp.length_ms > wall + 5.0 {
+                failures.push(format!(
+                    "{threads}t rep {rep}: critical path {:.1}ms exceeds wall {wall:.1}ms",
+                    cp.length_ms
+                ));
+            }
+            if wall > sum * 1.10 + 250.0 {
+                failures.push(format!(
+                    "{threads}t rep {rep}: wall {wall:.1}ms exceeds Σ task times {sum:.1}ms \
+                     beyond scheduling slack"
+                ));
+            }
+            let digest = schedflow_dataflow::structural_digest(&t);
+            if let Some(prev) = &leg {
+                if prev.digest != digest {
+                    failures.push(format!(
+                        "{threads}t rep {rep}: structural digest {digest:016x} differs from \
+                         {:016x} within the same thread count",
+                        prev.digest
+                    ));
+                }
+            }
+            leg = Some(TraceLeg {
+                threads,
+                traced_ms: 0.0,
+                untraced_ms: 0.0,
+                spans: t.counters.spans,
+                critical_ms: cp.length_ms,
+                digest,
+            });
+            match trace_run(threads, false, rep) {
+                Ok((wall, _)) => untraced.push(wall),
+                Err(e) => {
+                    eprintln!("trace gate: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        let mut leg = leg.unwrap_or_else(|| unreachable!("REPS > 0"));
+        leg.traced_ms = median_ms(&mut traced);
+        leg.untraced_ms = median_ms(&mut untraced);
+        if leg.traced_ms > leg.untraced_ms * 1.03 + 100.0 {
+            failures.push(format!(
+                "{threads}t: traced median {:.1}ms exceeds untraced {:.1}ms + 3% overhead budget",
+                leg.traced_ms, leg.untraced_ms
+            ));
+        }
+        println!(
+            "trace gate: {threads} thread(s): traced {:.1}ms vs untraced {:.1}ms \
+             ({:+.1}%), {} span(s), critical path {:.1}ms, digest {:016x}",
+            leg.traced_ms,
+            leg.untraced_ms,
+            (leg.traced_ms / leg.untraced_ms - 1.0) * 100.0,
+            leg.spans,
+            leg.critical_ms,
+            leg.digest
+        );
+        legs.push(leg);
+    }
+    if let [a, b] = legs.as_slice() {
+        if a.digest != b.digest {
+            failures.push(format!(
+                "structural digest differs across thread counts: {:016x} (1t) vs {:016x} (4t)",
+                a.digest, b.digest
+            ));
+        }
+    }
+    let body: Vec<String> = legs
+        .iter()
+        .map(|l| {
+            format!(
+                "    {{\"threads\": {}, \"traced_ms\": {:.1}, \"untraced_ms\": {:.1}, \
+                 \"overhead_pct\": {:.2}, \"spans\": {}, \"critical_path_ms\": {:.1}, \
+                 \"digest\": \"{:016x}\"}}",
+                l.threads,
+                l.traced_ms,
+                l.untraced_ms,
+                (l.traced_ms / l.untraced_ms - 1.0) * 100.0,
+                l.spans,
+                l.critical_ms,
+                l.digest
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"bench\": \"repro_trace\",\n  \"scale\": {},\n  \"seed\": {},\n  \
+         \"reps\": {REPS},\n  \"legs\": [\n{}\n  ]\n}}\n",
+        scale().min(0.02),
+        seed(),
+        body.join(",\n")
+    );
+    let path = out_dir().join("BENCH_trace.json");
+    std::fs::write(&path, json).expect("write BENCH_trace.json");
+    println!("evidence: {}", path.display());
+    if !failures.is_empty() {
+        for f in &failures {
+            eprintln!("trace gate: {f}");
+        }
+        eprintln!("trace gate: refusing to pass — the trace contract is violated");
+        std::process::exit(1);
+    }
+    println!("trace gate: ordering, determinism and overhead invariants hold at 1 and 4 threads");
+}
+
 /// Write a chart to `repro_out/<name>.html` and report the path.
 pub fn save_chart(chart: &schedflow_charts::Chart, name: &str) {
     let path = out_dir().join(format!("{name}.html"));

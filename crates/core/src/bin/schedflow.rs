@@ -17,6 +17,8 @@
 //! schedflow verify-run --scale 0.02       # determinism check: 1 vs N threads
 //! schedflow verify-crash --io-torn-p 0.3  # crash mid-run, resume, diff digests
 //! schedflow verify-policy --age-weight 0  # static policy verdicts + witness replay
+//! schedflow run --trace-out trace.json    # export a Perfetto-loadable trace
+//! schedflow trace schedflow-out           # span/critical-path summary of a run
 //! schedflow dot --system andes --lint     # Figure 2 (DOT), lint-annotated
 //! schedflow table2                        # the LLM offering survey
 //! ```
@@ -37,6 +39,8 @@ fn usage() -> ! {
          schedflow lint  [OPTIONS]   statically analyze the workflow, run nothing\n  \
          schedflow explain [STAGE|all] [--dot]  print analysis-stage logical plans\n                                         \
          before and after optimization\n  \
+         schedflow trace DATA_DIR    summarize a finished run's trace: spans,\n                              \
+         histograms, critical path, headroom\n  \
          schedflow dot   [OPTIONS]   print the workflow dataflow graph (DOT)\n  \
          schedflow table2            print the LLM offering survey (Table 2)\n\n\
          OPTIONS (run/chaos/verify-run/verify-crash/verify-policy/lint/dot):\n  \
@@ -50,6 +54,10 @@ fn usage() -> ! {
          --seed N         generator seed              [42]\n  \
          --no-cache       refetch raw data\n  \
          --serve PORT     serve the dashboard after the run\n\n\
+         OBSERVABILITY (run/chaos):\n  \
+         --trace-out FILE also export the trace as Chrome trace-event JSON\n                   \
+         (loadable in Perfetto / chrome://tracing)\n  \
+         --no-trace       disable span/metric recording entirely\n\n\
          STATIC ANALYSIS:\n  \
          --no-deny        (run/chaos) execute even when lint finds errors\n  \
          --deny           (lint) exit nonzero on warnings too, not just errors\n  \
@@ -140,6 +148,8 @@ fn parse_args(command: &str, args: std::env::Args) -> Args {
     let mut explain_code: Option<String> = None;
     let mut dot_lint = false;
     let mut crash_after: Option<u64> = None;
+    let mut trace_out: Option<String> = None;
+    let mut no_trace = false;
     let mut age_weight: Option<f64> = None;
     let mut backfill: Option<schedflow_sim::BackfillPolicy> = None;
     let mut chaos = if chaos_mode {
@@ -239,6 +249,8 @@ fn parse_args(command: &str, args: std::env::Args) -> Args {
             "--io-enospc-p" => chaos_of(&mut chaos).io_enospc_p = parse("--io-enospc-p", &mut rest),
             "--io-eio-p" => chaos_of(&mut chaos).io_eio_p = parse("--io-eio-p", &mut rest),
             "--crash-after" => crash_after = Some(parse("--crash-after", &mut rest)),
+            "--trace-out" => trace_out = Some(next("--trace-out", &mut rest)),
+            "--no-trace" => no_trace = true,
             other => {
                 eprintln!("unknown flag {other:?}");
                 usage();
@@ -283,6 +295,10 @@ fn parse_args(command: &str, args: std::env::Args) -> Args {
     }
     if no_deny && !matches!(command, "run" | "chaos") {
         eprintln!("--no-deny applies to the `run` and `chaos` subcommands only");
+        usage();
+    }
+    if (trace_out.is_some() || no_trace) && !matches!(command, "run" | "chaos") {
+        eprintln!("--trace-out/--no-trace apply to the `run` and `chaos` subcommands only");
         usage();
     }
 
@@ -332,6 +348,8 @@ fn parse_args(command: &str, args: std::env::Args) -> Args {
     cfg.lint_deny = !no_deny;
     cfg.age_weight = age_weight;
     cfg.backfill = backfill;
+    cfg.trace = !no_trace;
+    cfg.trace_out = trace_out.map(Into::into);
     Args {
         cfg,
         serve,
@@ -465,6 +483,30 @@ fn run_command(parsed: Args) {
                 outcome.curation.1,
                 outcome.curation.0
             );
+            let telemetry = &outcome.report.telemetry;
+            if telemetry.enabled {
+                let cp = schedflow_dataflow::critical_path(telemetry);
+                eprintln!(
+                    "trace: {} span(s) across {} task(s); critical path {:.1}ms \
+                     over {} task(s), headroom {:.1}ms",
+                    telemetry.counters.spans,
+                    telemetry.counters.tasks_executed,
+                    cp.length_ms,
+                    cp.steps.len(),
+                    cp.headroom_ms()
+                );
+                eprintln!(
+                    "telemetry: {} (inspect with `schedflow trace {}`)",
+                    cfg.data_dir.join(schedflow_core::TELEMETRY_FILE).display(),
+                    cfg.data_dir.display()
+                );
+                if let Some(out) = &cfg.trace_out {
+                    eprintln!(
+                        "trace-out: {} (load in Perfetto / chrome://tracing)",
+                        out.display()
+                    );
+                }
+            }
             eprintln!("dashboard: {}", outcome.dashboard_index.display());
             eprintln!("insights:  {}", outcome.insights_md.display());
             if let Some(port) = parsed.serve {
@@ -709,6 +751,23 @@ fn indent(tree: &str) -> String {
     tree.lines().map(|l| format!("  {l}\n")).collect::<String>()
 }
 
+/// `schedflow trace DATA_DIR`: load the telemetry a finished run persisted to
+/// its data directory and print the span/critical-path summary.
+fn trace_command(mut args: std::env::Args) {
+    let dir = std::path::PathBuf::from(args.next().unwrap_or_else(|| "schedflow-out".to_owned()));
+    match schedflow_core::load_telemetry(&dir) {
+        Some(t) => print!("{}", schedflow_dataflow::render_summary(&t)),
+        None => {
+            eprintln!(
+                "no readable telemetry at {}",
+                dir.join(schedflow_core::TELEMETRY_FILE).display()
+            );
+            eprintln!("hint: finish a `schedflow run` first (tracing is on unless --no-trace)");
+            std::process::exit(2);
+        }
+    }
+}
+
 fn main() {
     let mut args = std::env::args();
     let _binary = args.next();
@@ -793,6 +852,7 @@ fn main() {
             println!("{dot}");
         }
         "explain" => explain_command(args),
+        "trace" => trace_command(args),
         "run" | "chaos" => run_command(parse_args(&command, args)),
         "verify-run" => verify_command(parse_args("verify-run", args)),
         "verify-crash" => verify_crash_command(parse_args("verify-crash", args)),

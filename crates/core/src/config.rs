@@ -79,6 +79,13 @@ pub struct WorkflowConfig {
     /// Override the system profile's backfill policy (`--backfill`);
     /// `None` keeps the preset.
     pub backfill: Option<schedflow_sim::BackfillPolicy>,
+    /// Record spans/counters/histograms into the run report and persist them
+    /// next to the dashboard (`--no-trace` disables; see
+    /// `schedflow_dataflow::trace`). Span identities derive from `seed`.
+    pub trace: bool,
+    /// Also export the trace as Chrome trace-event JSON here
+    /// (`--trace-out`), loadable in Perfetto / `chrome://tracing`.
+    pub trace_out: Option<PathBuf>,
 }
 
 /// Which analyst serves the LLM-insight stages.
@@ -154,6 +161,8 @@ impl WorkflowConfig {
             lint_deny: true,
             age_weight: None,
             backfill: None,
+            trace: true,
+            trace_out: None,
         }
     }
 

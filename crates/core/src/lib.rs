@@ -28,7 +28,7 @@ pub mod run;
 pub use config::{FaultOptions, InsightBackend, System, WorkflowConfig};
 pub use pipeline::{build, BuiltWorkflow, Handles, PLOT_STAGES};
 pub use run::{
-    run, run_built, run_options, verify_crash_recovery, verify_policy, verify_run, CoreError,
-    CrashRecoveryOutcome, DigestMismatch, PolicyVerification, RunOutcome, VerifyLeg, VerifyOutcome,
-    MANIFEST_FILE,
+    load_telemetry, run, run_built, run_options, verify_crash_recovery, verify_policy, verify_run,
+    CoreError, CrashRecoveryOutcome, DigestMismatch, PolicyVerification, RunOutcome, VerifyLeg,
+    VerifyOutcome, MANIFEST_FILE, TELEMETRY_FILE,
 };

@@ -495,6 +495,18 @@ pub fn build(cfg: &WorkflowConfig) -> BuiltWorkflow {
                     insight_md: String::new(),
                     group: "Engine".to_owned(),
                 })?;
+                // Sidebar slot for the span-waterfall timeline, rewritten by
+                // `run::run` once the trace exists (it records this very run).
+                dash.add_panel(schedflow_dashboard::Panel {
+                    id: "timeline".to_owned(),
+                    title: "Timeline".to_owned(),
+                    chart_html: "<div style=\"max-width:860px\"><p>The span waterfall \
+                         (queue-wait / run / retry spans, critical path, headroom) \
+                         is written when the workflow finishes.</p></div>"
+                        .to_owned(),
+                    insight_md: String::new(),
+                    group: "Engine".to_owned(),
+                })?;
                 dash.write(&out_dir).map_err(|e| e.to_string())?;
                 Ok(())
             },

@@ -12,6 +12,10 @@ use std::time::Duration;
 /// File name of the checkpoint manifest inside `data_dir`.
 pub const MANIFEST_FILE: &str = "run-manifest.json";
 
+/// File name of the persisted telemetry record inside `data_dir` (the
+/// `schedflow trace <run>` input).
+pub const TELEMETRY_FILE: &str = "run-telemetry.json";
+
 /// Errors from a workflow run.
 #[derive(Debug)]
 pub enum CoreError {
@@ -99,7 +103,42 @@ pub fn run_options(cfg: &WorkflowConfig) -> RunOptions {
     options.manifest_path = Some(cfg.data_dir.join(MANIFEST_FILE));
     options.resume = fault.resume;
     options.chaos = fault.chaos;
+    // Span identities derive from the workload seed, so two runs of the same
+    // configuration (at any thread counts) produce digest-identical traces.
+    options.trace = cfg.trace;
+    options.trace_seed = cfg.seed;
     options
+}
+
+/// Persist the run's telemetry next to the manifest and, when requested,
+/// export the Chrome trace-event JSON. Best-effort and called for failed
+/// runs too — a trace is most valuable exactly when the run went wrong.
+/// (The Chrome file is written plain, without the store's checksum footer:
+/// external viewers must be able to load it as-is.)
+fn persist_telemetry(cfg: &WorkflowConfig, report: &RunReport) {
+    let t = &report.telemetry;
+    if !t.enabled {
+        return;
+    }
+    let store = schedflow_dataflow::DurableStore::real();
+    let _ = store.write_atomic(&cfg.data_dir.join(TELEMETRY_FILE), t.to_json().as_bytes());
+    if let Some(out) = &cfg.trace_out {
+        if let Some(dir) = out.parent().filter(|p| !p.as_os_str().is_empty()) {
+            let _ = std::fs::create_dir_all(dir);
+        }
+        let _ = std::fs::write(out, schedflow_dataflow::to_chrome_json(t));
+    }
+}
+
+/// Load the telemetry record persisted by a previous run of `data_dir`
+/// (`schedflow trace <run>` reads it back through the checksummed store).
+pub fn load_telemetry(data_dir: &std::path::Path) -> Option<schedflow_dataflow::Telemetry> {
+    let store = schedflow_dataflow::DurableStore::real();
+    let bytes = store
+        .read_verified(&data_dir.join(TELEMETRY_FILE))
+        .ok()?
+        .into_bytes();
+    schedflow_dataflow::Telemetry::from_json(std::str::from_utf8(&bytes).ok()?)
 }
 
 /// Render the run report as the dashboard's "Run report" tab body: run-level
@@ -192,6 +231,92 @@ fn run_report_html(report: &RunReport) -> String {
         peak = human_bytes(report.peak_resident_bytes),
         rows = rows,
         plan_summary = plan_summary,
+    )
+}
+
+/// Render the telemetry as the dashboard's "Timeline" tab body: the span
+/// waterfall (one row per task, bars positioned on the run's wall clock)
+/// plus the critical path with per-task self-times and headroom.
+fn timeline_panel_html(report: &RunReport) -> String {
+    use schedflow_dataflow::trace as obs;
+    let t = &report.telemetry;
+    if !t.enabled {
+        return "<p>Tracing was disabled for this run (<code>--no-trace</code>), \
+                so no timeline was recorded.</p>"
+            .to_owned();
+    }
+    let esc = |s: &str| {
+        s.replace('&', "&amp;")
+            .replace('<', "&lt;")
+            .replace('>', "&gt;")
+    };
+    let wall = t.makespan_ms.max(1e-6);
+    let mut rows = String::new();
+    for s in &t.spans {
+        if s.kind != obs::KIND_RUN {
+            continue;
+        }
+        let left = 100.0 * s.start_ms / wall;
+        let width = (100.0 * s.duration_ms() / wall).max(0.15);
+        let class = match (s.ok, s.attempt) {
+            (false, _) => "span-fail",
+            (true, 0) => "span-cached",
+            (true, _) => "span-ok",
+        };
+        rows.push_str(&format!(
+            "<div class=\"lane\"><span class=\"lane-name\">{name}</span>\
+             <span class=\"bar {class}\" \
+             style=\"margin-left:{left:.2}%;width:{width:.2}%\" \
+             title=\"attempt {attempt}: {start:.1}&ndash;{end:.1} ms (worker {worker})\">\
+             </span></div>",
+            name = esc(&s.task),
+            attempt = s.attempt,
+            start = s.start_ms,
+            end = s.end_ms,
+            worker = s.worker,
+        ));
+    }
+    let cp = obs::critical_path(t);
+    let mut path_rows = String::new();
+    for step in &cp.steps {
+        path_rows.push_str(&format!(
+            "<li><code>{}</code> &mdash; {:.1} ms self-time</li>",
+            esc(&step.task),
+            step.self_ms
+        ));
+    }
+    let c = &t.counters;
+    format!(
+        "<style>.lane{{display:flex;align-items:center;font-size:12px;\
+         margin:1px 0}}.lane-name{{flex:0 0 14em;overflow:hidden;\
+         text-overflow:ellipsis;white-space:nowrap}}\
+         .lane .bar{{display:inline-block;height:10px;border-radius:2px}}\
+         .span-ok{{background:#4878a8}}.span-fail{{background:#c0392b}}\
+         .span-cached{{background:#95a5a6}}</style>\
+         <p>{spans} span(s) over {tasks} task(s) in {wall:.1} ms on \
+         {threads} thread(s); {attempts} attempt(s), {retries} retried; \
+         {writes} store write(s) ({fsyncs} fsyncs), {kernels} parallel \
+         kernel(s). Trace seed {seed}.</p>\
+         <p>Critical path <strong>{cp_ms:.1} ms</strong> across \
+         {cp_len} task(s); headroom (wall &minus; critical path) \
+         <strong>{headroom:.1} ms</strong> &mdash; the most any scheduling \
+         improvement could still save.</p>\
+         <ol>{path_rows}</ol><h3>Span waterfall</h3>{rows}",
+        spans = c.spans,
+        tasks = c.tasks_executed,
+        wall = t.makespan_ms,
+        threads = t.threads,
+        attempts = c.attempts,
+        retries = c.retries,
+        writes = c.store_writes,
+        fsyncs = c.store_fsyncs,
+        kernels = c.par_kernels,
+        seed = t.seed,
+        cp_ms = cp.length_ms,
+        cp_len = cp.steps.len(),
+        headroom = cp.headroom_ms(),
+        path_rows = path_rows,
+        rows = rows,
     )
 }
 
@@ -334,6 +459,10 @@ pub fn run_built(built: BuiltWorkflow, cfg: &WorkflowConfig) -> Result<RunOutcom
     let runner = Runner::new(workflow)?;
     let report = runner.run(&run_options(cfg));
 
+    // Telemetry is persisted before the failure gate: a failed run's trace
+    // is exactly the one worth inspecting.
+    persist_telemetry(cfg, &report);
+
     if !report.is_success() {
         let mut failed: Vec<String> = report
             .failed()
@@ -410,6 +539,12 @@ pub fn run_built(built: BuiltWorkflow, cfg: &WorkflowConfig) -> Result<RunOutcom
                 "policy",
                 "Policy analysis",
                 &policy_panel_html(&policy, &replays),
+            );
+            let _ = schedflow_dashboard::write_panel_page(
+                dash_dir,
+                "timeline",
+                "Timeline",
+                &timeline_panel_html(&report),
             );
         }
     }
@@ -700,6 +835,45 @@ mod tests {
         // The policy-analysis tab was rewritten post-run with the SF09xx
         // verdict for the active (clean) configuration.
         assert!(index.contains("panels/policy.html"));
+        // The timeline tab renders the span waterfall and critical path.
+        assert!(index.contains("panels/timeline.html"));
+        let timeline = std::fs::read_to_string(
+            outcome
+                .dashboard_index
+                .parent()
+                .unwrap()
+                .join("panels")
+                .join("timeline.html"),
+        )
+        .unwrap();
+        assert!(timeline.contains("Critical path"), "{timeline}");
+        assert!(timeline.contains("Span waterfall"));
+        assert!(timeline.contains("span-ok"));
+        // Telemetry: enabled by default, persisted, reload-able, and the run
+        // span set equals the executed task set.
+        let t = &outcome.report.telemetry;
+        assert!(t.enabled);
+        let executed: std::collections::BTreeSet<&str> = outcome
+            .report
+            .tasks
+            .iter()
+            .filter(|t| t.status.manifest_str() != "skipped")
+            .map(|t| t.name.as_str())
+            .collect();
+        let spanned: std::collections::BTreeSet<&str> = t
+            .spans_of(schedflow_dataflow::trace::KIND_RUN)
+            .map(|s| s.task.as_str())
+            .collect();
+        assert_eq!(executed, spanned, "span set == executed task set");
+        let cp = schedflow_dataflow::critical_path(t);
+        assert!(cp.length_ms > 0.0);
+        assert!(cp.length_ms <= t.makespan_ms + 5.0);
+        let reloaded = load_telemetry(&cfg.data_dir).expect("run-telemetry.json persisted");
+        assert_eq!(
+            schedflow_dataflow::structural_digest(&reloaded),
+            schedflow_dataflow::structural_digest(t),
+            "persisted telemetry round-trips structurally"
+        );
         let policy_panel = std::fs::read_to_string(
             outcome
                 .dashboard_index

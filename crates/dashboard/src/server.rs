@@ -71,6 +71,7 @@ impl Drop for ConnPermit {
 pub struct ServerHandle {
     addr: std::net::SocketAddr,
     stop: Arc<AtomicBool>,
+    active: Arc<AtomicUsize>,
     join: Option<std::thread::JoinHandle<()>>,
 }
 
@@ -78,6 +79,14 @@ impl ServerHandle {
     /// Bound address (useful with port 0).
     pub fn addr(&self) -> std::net::SocketAddr {
         self.addr
+    }
+
+    /// Connections currently holding a semaphore slot. The permit is
+    /// acquired on the accept thread, so once a client's connection has been
+    /// accepted it is counted here — tests synchronize on this instead of
+    /// sleeping and hoping the accept loop has caught up.
+    pub fn active_connections(&self) -> usize {
+        self.active.load(Ordering::SeqCst)
     }
 
     /// Signal shutdown and join the accept loop.
@@ -121,6 +130,7 @@ pub fn serve_with(
     let stop = Arc::new(AtomicBool::new(false));
     let stop2 = Arc::clone(&stop);
     let active = Arc::new(AtomicUsize::new(0));
+    let active2 = Arc::clone(&active);
     let join = std::thread::Builder::new()
         .name("schedflow-dashboard".to_owned())
         .spawn(move || {
@@ -131,7 +141,7 @@ pub fn serve_with(
                 if let Ok(mut stream) = conn {
                     let _ = stream.set_read_timeout(Some(options.io_timeout));
                     let _ = stream.set_write_timeout(Some(options.io_timeout));
-                    match ConnPermit::try_acquire(&active, options.max_connections.max(1)) {
+                    match ConnPermit::try_acquire(&active2, options.max_connections.max(1)) {
                         Some(permit) => {
                             let root = root.clone();
                             std::thread::spawn(move || {
@@ -151,6 +161,7 @@ pub fn serve_with(
     Ok(ServerHandle {
         addr,
         stop,
+        active,
         join: Some(join),
     })
 }
@@ -342,11 +353,22 @@ mod tests {
         .unwrap();
         // Occupy the single slot with a connection that never sends its
         // request; the handler thread holds the permit until its read
-        // timeout fires.
+        // timeout fires. Wait until the accept thread has actually taken the
+        // permit — a fixed sleep raced the accept loop and flaked under
+        // load — before issuing the request that must be shed.
         let slow = TcpStream::connect(server.addr()).unwrap();
-        std::thread::sleep(Duration::from_millis(200));
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while server.active_connections() < 1 {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "accept thread never took the slow connection's permit"
+            );
+            std::thread::yield_now();
+        }
+        // The shed path responds on accept without reading the request, so
+        // read the 503 without writing one: bytes the server receives after
+        // it closes would turn into a RST that discards the response.
         let mut s = TcpStream::connect(server.addr()).unwrap();
-        write!(s, "GET / HTTP/1.1\r\nHost: localhost\r\n\r\n").unwrap();
         let mut buf = String::new();
         s.read_to_string(&mut buf).unwrap();
         assert!(buf.starts_with("HTTP/1.1 503"), "got: {buf}");

@@ -71,6 +71,12 @@ pub struct RunOptions {
     /// traces on a violation. On by default in debug builds (every test
     /// doubles as a soak), opt-in elsewhere.
     pub detect_races: bool,
+    /// Record spans, counters, and histograms into
+    /// [`RunReport::telemetry`] (see [`crate::trace`]). On by default; the
+    /// hot path only pays a thread-local push per instrumented event.
+    pub trace: bool,
+    /// Seed for deterministic span identities ([`crate::trace::span_id`]).
+    pub trace_seed: u64,
 }
 
 impl Default for RunOptions {
@@ -88,6 +94,8 @@ impl Default for RunOptions {
             resume: false,
             chaos: None,
             detect_races: cfg!(debug_assertions),
+            trace: true,
+            trace_seed: 0,
         }
     }
 }
@@ -139,6 +147,16 @@ impl RunOptions {
         self.detect_races = on;
         self
     }
+
+    pub fn tracing(mut self, on: bool) -> Self {
+        self.trace = on;
+        self
+    }
+
+    pub fn with_trace_seed(mut self, seed: u64) -> Self {
+        self.trace_seed = seed;
+        self
+    }
 }
 
 /// Owns a validated workflow and executes it; the [`DataStore`] outlives the
@@ -171,6 +189,9 @@ struct Completion {
     bytes_out: u64,
     /// Logical-plan optimizer accounting the body recorded, if any.
     plan: Option<crate::report::PlanStats>,
+    /// Worker-side trace events (artifact writes, par kernels, race hits)
+    /// harvested from the attempt's thread-local buffer.
+    notes: Vec<crate::trace::TraceNote>,
 }
 
 /// Mutable per-run bookkeeping, separated from the shared context so helper
@@ -190,6 +211,9 @@ struct RunState {
     /// Content digests captured at producer completion (indexed by artifact),
     /// before the lifetime tracker can drop the value.
     digests: Vec<Option<ArtifactDigest>>,
+    /// When each task became ready (dispatch time, run-relative ms) — the
+    /// start of its queue-wait span.
+    ready_ms: Vec<f64>,
     done: usize,
 }
 
@@ -325,8 +349,30 @@ impl Runner {
             anchor: vec![None; n],
             artifact_refs: self.workflow.consumer_counts(),
             digests: vec![None; self.workflow.artifacts.len()],
+            ready_ms: vec![0.0; n],
             done: 0,
         };
+
+        // Observability: the span builder lives on the event-loop thread;
+        // worker-side events arrive inside completion messages.
+        let trace_edges: Vec<crate::trace::DepEdge> = if options.trace {
+            let mut set = std::collections::BTreeSet::new();
+            for (ti, ds) in deps.iter().enumerate() {
+                for d in ds {
+                    set.insert((d.0, ti));
+                }
+            }
+            set.into_iter()
+                .map(|(from, to)| crate::trace::DepEdge {
+                    from: self.workflow.tasks[from].name.clone(),
+                    to: self.workflow.tasks[to].name.clone(),
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
+        let mut tracer =
+            crate::trace::TraceBuilder::new(options.trace, options.trace_seed, n, trace_edges);
 
         // Submit every root (deterministic order). A root resolved
         // synchronously (cache/resume hit) releases its dependents
@@ -339,7 +385,12 @@ impl Runner {
                 exec.release_dependents(i, &mut st);
             }
         }
-        exec.checkpoint(&st);
+        if exec.manifest_template.is_some() {
+            let ck_start = run_start.elapsed().as_secs_f64() * 1000.0;
+            exec.checkpoint(&st);
+            let ck_end = run_start.elapsed().as_secs_f64() * 1000.0;
+            tracer.checkpoint("init", 0, ck_start, ck_end);
+        }
 
         let mut last_progress = Instant::now();
         // True once a timed-out or stalled body may still be occupying a
@@ -362,7 +413,7 @@ impl Runner {
                 .max(Duration::from_millis(1));
 
             match rx.recv_timeout(timeout) {
-                Ok(c) => {
+                Ok(mut c) => {
                     let i = c.task;
                     // Discard stale completions: the task already resolved
                     // (e.g. the watchdog timed it out) or this belongs to a
@@ -377,7 +428,24 @@ impl Runner {
                     st.reports[i].attempts = c.attempt;
                     st.reports[i].bytes_in = c.bytes_in;
                     st.reports[i].bytes_out = c.bytes_out;
-                    st.reports[i].plan = c.plan;
+                    st.reports[i].plan = c.plan.take();
+                    tracer.attempt_finished(
+                        i,
+                        &self.workflow.tasks[i].name,
+                        c.attempt,
+                        st.ready_ms[i],
+                        c.start_ms,
+                        c.end_ms,
+                        c.worker,
+                        c.result.is_ok(),
+                        &c.result
+                            .as_ref()
+                            .err()
+                            .map(ToString::to_string)
+                            .unwrap_or_default(),
+                        c.bytes_in + c.bytes_out,
+                        std::mem::take(&mut c.notes),
+                    );
                     match c.result {
                         Ok(()) => {
                             st.state[i] = NodeState::Done;
@@ -408,6 +476,12 @@ impl Runner {
                                 );
                                 st.attempts[i] = c.attempt + 1;
                                 st.reports[i].attempts = st.attempts[i];
+                                tracer.retry_scheduled(
+                                    &self.workflow.tasks[i].name,
+                                    c.attempt,
+                                    run_start.elapsed().as_secs_f64() * 1000.0,
+                                    delay,
+                                );
                                 exec.submit_attempt(i, c.attempt + 1, delay, &mut st);
                             } else {
                                 st.state[i] = NodeState::Done;
@@ -419,7 +493,17 @@ impl Runner {
                             }
                         }
                     }
-                    exec.checkpoint(&st);
+                    if exec.manifest_template.is_some() {
+                        let ck_start = run_start.elapsed().as_secs_f64() * 1000.0;
+                        exec.checkpoint(&st);
+                        let ck_end = run_start.elapsed().as_secs_f64() * 1000.0;
+                        tracer.checkpoint(
+                            &self.workflow.tasks[i].name,
+                            c.attempt,
+                            ck_start,
+                            ck_end,
+                        );
+                    }
                     // Dynamic cross-check: a happens-before violation aborts
                     // the run. Tasks still waiting are skipped; the
                     // counterexample traces reach the report below.
@@ -510,6 +594,7 @@ impl Runner {
 
         let makespan_ms = run_start.elapsed().as_secs_f64() * 1000.0;
         let reports = std::mem::take(&mut st.reports);
+        let telemetry = tracer.finish(&reports, makespan_ms, threads);
         let mut artifacts: Vec<ArtifactDigest> = std::mem::take(&mut st.digests)
             .into_iter()
             .flatten()
@@ -533,6 +618,7 @@ impl Runner {
             tasks: reports,
             artifacts,
             race_violations,
+            telemetry,
         }
     }
 
@@ -621,6 +707,8 @@ impl Exec<'_> {
     /// cache hit). Returns true when resolved synchronously; the caller
     /// accounts `done` and releases dependents.
     fn dispatch(&self, i: usize, st: &mut RunState) -> bool {
+        // Queue-wait starts now: all dependencies just resolved.
+        st.ready_ms[i] = self.run_start.elapsed().as_secs_f64() * 1000.0;
         // Assign the task's vector clock before any attempt (or synchronous
         // resolution) can order against it — cached/resumed tasks still
         // anchor the happens-before chain for their dependents.
@@ -668,11 +756,17 @@ impl Exec<'_> {
         let run_start = self.run_start;
         let tracker = self.tracker.clone();
         let crash_plan = self.crash_plan.clone();
+        let trace_on = self.options.trace;
         self.pool.execute(move || {
             if delay_ms > 0 {
                 std::thread::sleep(Duration::from_millis(delay_ms));
             }
             let start_ms = run_start.elapsed().as_secs_f64() * 1000.0;
+            if trace_on {
+                // Open this worker's lock-free note buffer for the attempt;
+                // harvested after the body and shipped in the completion.
+                crate::trace::begin_attempt(run_start);
+            }
             let spec = &wf.tasks[i];
             let injection = chaos
                 .map(|c| c.injection(spec.kind, &spec.name, attempt))
@@ -734,6 +828,11 @@ impl Exec<'_> {
                 }
             };
             let end_ms = run_start.elapsed().as_secs_f64() * 1000.0;
+            let notes = if trace_on {
+                crate::trace::end_attempt()
+            } else {
+                Vec::new()
+            };
             let _ = tx.send(Completion {
                 task: i,
                 attempt,
@@ -744,6 +843,7 @@ impl Exec<'_> {
                 bytes_in,
                 bytes_out,
                 plan: plan_stats,
+                notes,
             });
         });
     }

@@ -38,6 +38,12 @@
 //! digests ([`Workflow::track_digest`], [`report::RunReport::artifacts`])
 //! that `schedflow verify-run` diffs across thread counts to certify
 //! deterministic output.
+//!
+//! The observability layer is [`trace`] (aliased as [`obs`]):
+//! seeded-deterministic spans for queue-wait / run / retry / checkpoint /
+//! artifact-write / par-kernel events, counters and log2 histograms
+//! aggregated into [`report::RunReport::telemetry`], a critical-path
+//! analyzer, and Chrome trace-event export.
 
 pub mod artifact;
 pub mod chaos;
@@ -53,6 +59,10 @@ pub mod pool;
 pub mod race;
 pub mod report;
 pub mod store;
+pub mod trace;
+
+/// The observability surface under its subsystem name (`schedflow-obs`).
+pub use trace as obs;
 
 pub use artifact::{Artifact, ArtifactId, DataStore, FileArtifact, TaskCtx};
 pub use chaos::{ChaosConfig, ChaosScope, Fault, Injection};
@@ -70,3 +80,7 @@ pub use report::{
     TaskStatus,
 };
 pub use store::{DurableStore, FileCheck, Fs, RealFs};
+pub use trace::{
+    chrome_events, critical_path, render_summary, span_id, structural_digest, to_chrome_json,
+    ChromeEvent, CriticalPath, DepEdge, Histogram, PathStep, SpanEvent, Telemetry, TraceCounters,
+};

@@ -8,9 +8,39 @@
 
 use std::num::NonZeroUsize;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
 
 /// Below this many elements, parallel entry points run sequentially.
 pub const PAR_THRESHOLD: usize = 4096;
+
+/// Trace one kernel invocation on the calling task attempt's span buffer.
+///
+/// The decision to record is taken on input *size* alone (≥
+/// [`PAR_THRESHOLD`]), never on the effective thread count: data sizes are
+/// deterministic across runs, so the span set — and with it the structural
+/// trace digest — stays identical at 1 and N threads even though the small
+/// degree-1 fallback executes sequentially.
+struct KernelSpan {
+    label: &'static str,
+    items: u64,
+    t0: Instant,
+}
+
+impl KernelSpan {
+    fn open(label: &'static str, len: usize) -> Option<Self> {
+        (len >= PAR_THRESHOLD).then(|| KernelSpan {
+            label,
+            items: len as u64,
+            t0: Instant::now(),
+        })
+    }
+}
+
+impl Drop for KernelSpan {
+    fn drop(&mut self) {
+        crate::trace::note_par(self.label, self.items, self.t0.elapsed());
+    }
+}
 
 static CONFIGURED_THREADS: AtomicUsize = AtomicUsize::new(0);
 
@@ -52,6 +82,7 @@ pub fn split_ranges(len: usize, parts: usize) -> Vec<std::ops::Range<usize>> {
 
 /// Parallel map: applies `f` to each element, preserving order.
 pub fn par_map<T: Sync, R: Send>(data: &[T], f: impl Fn(&T) -> R + Sync) -> Vec<R> {
+    let _span = KernelSpan::open("par_map", data.len());
     let n = threads();
     if data.len() < PAR_THRESHOLD || n == 1 {
         return data.iter().map(f).collect();
@@ -77,6 +108,7 @@ pub fn par_map<T: Sync, R: Send>(data: &[T], f: impl Fn(&T) -> R + Sync) -> Vec<
 /// overhead. `out` must have the same length as `data` conceptually covers.
 pub fn par_fill<R: Send>(len: usize, out: &mut Vec<R>, f: impl Fn(usize) -> R + Sync) {
     out.clear();
+    let _span = KernelSpan::open("par_fill", len);
     let n = threads();
     if len < PAR_THRESHOLD || n == 1 {
         out.extend((0..len).map(f));
@@ -108,6 +140,7 @@ pub fn par_fold<T: Sync, A: Send>(
     fold: impl Fn(A, &T) -> A + Sync,
     merge: impl Fn(A, A) -> A,
 ) -> A {
+    let _span = KernelSpan::open("par_fold", data.len());
     let n = threads();
     if data.len() < PAR_THRESHOLD || n == 1 {
         return data.iter().fold(init(), fold);
@@ -135,6 +168,7 @@ pub fn par_chunks_mut<T: Send>(data: &mut [T], parts: usize, f: impl Fn(usize, &
     if len == 0 {
         return;
     }
+    let _span = KernelSpan::open("par_chunks_mut", len);
     let parts = parts.max(1).min(len);
     if parts == 1 {
         f(0, data);

@@ -188,6 +188,12 @@ impl RaceTracker {
                 self.task_names[task],
                 inner.clocks[task],
             ));
+            // Surface the violation on the detecting attempt's trace buffer
+            // (instant span; `record` runs on the accessing worker thread).
+            crate::trace::note_race(format!(
+                "data race on {what} `{display}` between `{}` and `{}`",
+                self.task_names[other], self.task_names[task],
+            ));
         }
         inner
             .accesses

@@ -383,6 +383,10 @@ pub struct RunReport {
     /// Counterexample traces from the dynamic race detector (task pair,
     /// artifact, vector-clock states). Non-empty means the run was aborted.
     pub race_violations: Vec<String>,
+    /// Observability record: spans, counters, histograms, and the executed
+    /// DAG's edges (see [`crate::trace`]). Default-empty when the run
+    /// executed with tracing off.
+    pub telemetry: crate::trace::Telemetry,
 }
 
 impl RunReport {
@@ -584,6 +588,7 @@ mod tests {
                 digest: Some("00000000deadbeef".into()),
             }],
             race_violations: Vec::new(),
+            telemetry: crate::trace::Telemetry::default(),
         }
     }
 

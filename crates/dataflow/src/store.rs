@@ -305,7 +305,17 @@ impl DurableStore {
     /// Atomically persist `payload` (plus checksum footer) at `path`:
     /// temp file → fsync → rename → parent-dir fsync. On any error the final
     /// path is untouched (it keeps its previous complete contents, if any).
+    ///
+    /// Each call is recorded as an `artifact-write` span on the calling task
+    /// attempt's trace buffer (a no-op outside traced runs).
     pub fn write_atomic(&self, path: &Path, payload: &[u8]) -> io::Result<()> {
+        let t0 = std::time::Instant::now();
+        let result = self.write_atomic_inner(path, payload);
+        crate::trace::note_write(path, payload.len() as u64, result.is_ok(), t0.elapsed());
+        result
+    }
+
+    fn write_atomic_inner(&self, path: &Path, payload: &[u8]) -> io::Result<()> {
         let parent = path.parent().filter(|p| !p.as_os_str().is_empty());
         if let Some(dir) = parent {
             self.fs.create_dir_all(dir)?;

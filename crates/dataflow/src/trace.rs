@@ -1,0 +1,1037 @@
+//! Observability: deterministic spans, counters, log2 histograms, and the
+//! critical-path analyzer (the `obs` surface).
+//!
+//! The pipeline's behavior is provable statically (the SF01xx–SF09xx
+//! analyses) but was invisible at runtime: no per-task timing breakdown, no
+//! span tree, no answer to "what would make this run faster?". This module
+//! adds that substrate without giving up the engine's replay guarantees:
+//!
+//! * **Deterministic span identities.** Every span id is a pure function of
+//!   `(trace seed, kind, task name, attempt, ordinal)` through the shared
+//!   FNV-1a/splitmix64 machinery — never of wall-clock time or thread
+//!   identity — so the *structural* trace (ids, parents, kinds, outcomes,
+//!   byte counts) is identical at 1 and N worker threads under a fixed seed.
+//!   [`structural_digest`] hashes exactly that timing-free view; the
+//!   `repro_trace` bench gate and the `trace_properties` proptests compare
+//!   digests across thread counts.
+//! * **Lock-free per-thread event buffers.** Worker-side events (artifact
+//!   writes from the durable store, data-parallel kernels, race-tracker
+//!   violations) land in a thread-local sink active for the duration of one
+//!   task attempt — no locks, no channels on the hot path — and ship to the
+//!   executor's event loop inside the attempt's completion message, where
+//!   they are merged with the engine-side spans (queue-wait, run, retry
+//!   backoff, checkpoint).
+//! * **Aggregation.** Counters and log2-bucket [`Histogram`]s (task latency,
+//!   bytes in/out, retries, store fsyncs) summarize the span stream into
+//!   [`Telemetry`], which rides on [`crate::RunReport::telemetry`].
+//! * **Critical path.** [`critical_path`] computes the longest dependent
+//!   chain weighted by per-task self-time over the executed DAG, and
+//!   "headroom" = wall-clock − critical-path: the maximum speedup any
+//!   scheduling improvement could still extract without making tasks faster.
+//!
+//! Exports: Chrome trace-event JSON ([`to_chrome_json`], loadable in
+//! Perfetto via `schedflow run --trace-out`), the `schedflow trace <run>`
+//! CLI summary ([`render_summary`]), and the dashboard "Timeline" panel.
+
+use crate::error::splitmix64;
+use crate::fnv::Fnv1a;
+use crate::report::{TaskReport, TaskStatus};
+use serde::{Deserialize, Serialize};
+use std::cell::RefCell;
+use std::time::{Duration, Instant};
+
+/// Span kind tags. Stored as strings in [`SpanEvent::kind`] so persisted
+/// telemetry stays stable across serializer versions.
+pub const KIND_QUEUE: &str = "queue-wait";
+pub const KIND_RUN: &str = "run";
+pub const KIND_RETRY: &str = "retry-backoff";
+pub const KIND_CHECKPOINT: &str = "checkpoint";
+pub const KIND_WRITE: &str = "artifact-write";
+pub const KIND_PAR: &str = "par-kernel";
+pub const KIND_RACE: &str = "race-violation";
+
+/// One span of the run: a named interval with a deterministic identity.
+///
+/// `parent` is the id of the enclosing span (`0` = root). Worker-side child
+/// spans (artifact writes, par kernels, race events) parent to their
+/// attempt's `run` span; engine-side spans are roots.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SpanEvent {
+    /// Deterministic identity: FNV-1a/splitmix64 over
+    /// `(seed, kind, task, attempt, ordinal)`. Never 0.
+    pub id: u64,
+    /// Enclosing span id, or 0 for a root span.
+    pub parent: u64,
+    /// One of the `KIND_*` tags.
+    pub kind: String,
+    /// Task the span belongs to (or that triggered it, for checkpoints).
+    pub task: String,
+    /// Attempt number (1-based; 0 for per-task spans like queue-wait and for
+    /// synthesized cached/resumed spans).
+    pub attempt: u32,
+    /// Milliseconds since run start (fractional).
+    pub start_ms: f64,
+    pub end_ms: f64,
+    /// Worker index + 1; 0 = the engine's event-loop thread.
+    pub worker: u32,
+    /// False marks a failing attempt / failed write / detected violation.
+    pub ok: bool,
+    /// Human context (error class, kernel label, file name). Excluded from
+    /// the structural digest: it may carry sandbox-specific paths.
+    pub detail: String,
+    /// Bytes moved (payload written, task bytes in+out). 0 when not
+    /// applicable.
+    pub bytes: u64,
+}
+
+impl SpanEvent {
+    pub fn duration_ms(&self) -> f64 {
+        (self.end_ms - self.start_ms).max(0.0)
+    }
+}
+
+/// A dependency edge of the executed DAG (`from` must finish before `to`
+/// starts), persisted so the critical path can be recomputed offline.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DepEdge {
+    pub from: String,
+    pub to: String,
+}
+
+/// Monotone counters aggregated over the whole run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceCounters {
+    /// Tasks that executed at least one attempt.
+    pub tasks_executed: u64,
+    /// Total attempts across all tasks.
+    pub attempts: u64,
+    /// Retries (attempts beyond each task's first).
+    pub retries: u64,
+    /// Total spans recorded.
+    pub spans: u64,
+    /// Durable-store atomic writes observed inside task attempts.
+    pub store_writes: u64,
+    /// fsync calls those writes performed (2 per successful atomic write:
+    /// the temp-file `sync_all` plus the parent-directory sync).
+    pub store_fsyncs: u64,
+    /// Data-parallel kernel invocations that actually went parallel.
+    pub par_kernels: u64,
+    /// Happens-before violations the race tracker reported.
+    pub race_events: u64,
+    /// Checkpoint manifest writes.
+    pub checkpoints: u64,
+}
+
+/// A log2-bucket histogram: bucket `i` counts values `v` with
+/// `bit_length(v) == i`, i.e. bucket 0 holds zeros and bucket `i ≥ 1` holds
+/// `[2^(i-1), 2^i)`. Trailing empty buckets are trimmed.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Histogram {
+    pub name: String,
+    pub count: u64,
+    pub sum: u64,
+    pub max: u64,
+    pub buckets: Vec<u64>,
+}
+
+impl Histogram {
+    pub fn new(name: impl Into<String>) -> Self {
+        Histogram {
+            name: name.into(),
+            ..Histogram::default()
+        }
+    }
+
+    /// Log2 bucket index of a value: 0 for 0, else its bit length.
+    pub fn bucket_of(v: u64) -> usize {
+        (u64::BITS - v.leading_zeros()) as usize
+    }
+
+    pub fn record(&mut self, v: u64) {
+        let b = Self::bucket_of(v);
+        if self.buckets.len() <= b {
+            self.buckets.resize(b + 1, 0);
+        }
+        self.buckets[b] += 1;
+        self.count += 1;
+        self.sum += v;
+        self.max = self.max.max(v);
+    }
+
+    /// Mean of the recorded values (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// One summary line: `name: n=…, mean=…, max=…, buckets=[…]`.
+    pub fn render_line(&self) -> String {
+        format!(
+            "{}: n={}, mean={:.1}, max={}, log2 buckets {:?}",
+            self.name,
+            self.count,
+            self.mean(),
+            self.max,
+            self.buckets
+        )
+    }
+}
+
+/// The run's aggregated observability record, carried on
+/// [`crate::RunReport::telemetry`] and persisted as `run-telemetry.json`.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Telemetry {
+    /// False when the run executed with tracing off (everything else empty).
+    pub enabled: bool,
+    /// The seed span identities derive from.
+    pub seed: u64,
+    pub threads: u64,
+    pub makespan_ms: f64,
+    pub spans: Vec<SpanEvent>,
+    pub counters: TraceCounters,
+    pub histograms: Vec<Histogram>,
+    /// Dependency edges of the executed DAG (for offline critical-path
+    /// recomputation and span-tree reconstruction).
+    pub edges: Vec<DepEdge>,
+}
+
+impl Telemetry {
+    /// Spans of one kind, in stored order.
+    pub fn spans_of<'a>(&'a self, kind: &'a str) -> impl Iterator<Item = &'a SpanEvent> + 'a {
+        self.spans.iter().filter(move |s| s.kind == kind)
+    }
+
+    /// Σ per-task total latency (queue wait + attempts + backoffs): for each
+    /// executed task, last `run`-span end minus queue-wait start (falling
+    /// back to first attempt start). The "sum-of-task-times" of the
+    /// `repro_trace` invariant `critical ≤ wall ≤ sum`: at every instant of
+    /// the run at least one task is pending or running, so the per-task
+    /// latencies cover the wall clock up to event-loop latency.
+    pub fn sum_of_task_times_ms(&self) -> f64 {
+        use std::collections::HashMap;
+        let mut first_start: HashMap<&str, f64> = HashMap::new();
+        let mut last_end: HashMap<&str, f64> = HashMap::new();
+        for s in self.spans_of(KIND_RUN).filter(|s| s.attempt >= 1) {
+            let f = first_start.entry(&s.task).or_insert(s.start_ms);
+            *f = f.min(s.start_ms);
+            let l = last_end.entry(&s.task).or_insert(s.end_ms);
+            *l = l.max(s.end_ms);
+        }
+        for s in self.spans_of(KIND_QUEUE) {
+            if let Some(f) = first_start.get_mut(s.task.as_str()) {
+                *f = f.min(s.start_ms);
+            }
+        }
+        first_start
+            .iter()
+            .map(|(task, start)| (last_end.get(task).copied().unwrap_or(*start) - start).max(0.0))
+            .sum()
+    }
+
+    /// Serialize the full record (persisted as `run-telemetry.json`).
+    pub fn to_json(&self) -> String {
+        #[allow(clippy::expect_used)] // plain data types: serialization is infallible
+        serde_json::to_string_pretty(self).expect("telemetry serializes")
+    }
+
+    /// Parse a record persisted by [`Telemetry::to_json`].
+    pub fn from_json(s: &str) -> Option<Telemetry> {
+        serde_json::from_str(s).ok()
+    }
+}
+
+/// Deterministic span identity: FNV-1a over the logical coordinates, mixed
+/// through splitmix64. Independent of timing and thread placement, so the
+/// same workflow at the same seed produces the same ids at any thread count.
+pub fn span_id(seed: u64, kind: &str, task: &str, attempt: u32, ordinal: u32) -> u64 {
+    let mut h = Fnv1a::new();
+    h.update_u64(seed);
+    h.update_str(kind);
+    h.update_str(task);
+    h.update_u64(u64::from(attempt));
+    h.update_u64(u64::from(ordinal));
+    let id = splitmix64(h.finish());
+    if id == 0 {
+        1 // 0 is the root-parent sentinel
+    } else {
+        id
+    }
+}
+
+// ---- Worker-side event collection (lock-free per-thread buffers). ----
+
+/// One worker-side event, recorded inside a task attempt and shipped to the
+/// event loop in the attempt's completion message.
+#[derive(Debug, Clone)]
+pub struct TraceNote {
+    pub kind: &'static str,
+    pub start_ms: f64,
+    pub end_ms: f64,
+    pub ok: bool,
+    pub detail: String,
+    pub bytes: u64,
+}
+
+struct AttemptSink {
+    /// Run anchor, so notes carry run-relative timestamps.
+    anchor: Instant,
+    notes: Vec<TraceNote>,
+}
+
+thread_local! {
+    /// The attempt sink stack of this worker thread (mirrors the durable
+    /// store's ambient stack; attempts never nest in practice, but a stack
+    /// keeps begin/end trivially balanced).
+    static SINK: RefCell<Vec<AttemptSink>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Open a per-thread event buffer for one task attempt. Paired with
+/// [`end_attempt`]; both run on the worker thread executing the attempt.
+pub(crate) fn begin_attempt(anchor: Instant) {
+    SINK.with(|s| {
+        s.borrow_mut().push(AttemptSink {
+            anchor,
+            notes: Vec::new(),
+        });
+    });
+}
+
+/// Close the attempt buffer and harvest its notes.
+pub(crate) fn end_attempt() -> Vec<TraceNote> {
+    SINK.with(|s| s.borrow_mut().pop().map(|a| a.notes).unwrap_or_default())
+}
+
+/// Record one completed sub-operation of the current attempt. A no-op when
+/// no attempt buffer is open on this thread (tracing off, or the caller runs
+/// outside the engine), so instrumented library code costs nothing outside
+/// traced runs.
+fn note(
+    kind: &'static str,
+    elapsed: Duration,
+    ok: bool,
+    bytes: u64,
+    detail: impl FnOnce() -> String,
+) {
+    SINK.with(|s| {
+        let mut stack = s.borrow_mut();
+        if let Some(sink) = stack.last_mut() {
+            let end_ms = sink.anchor.elapsed().as_secs_f64() * 1000.0;
+            let start_ms = (end_ms - elapsed.as_secs_f64() * 1000.0).max(0.0);
+            sink.notes.push(TraceNote {
+                kind,
+                start_ms,
+                end_ms,
+                ok,
+                detail: detail(),
+                bytes,
+            });
+        }
+    });
+}
+
+/// Durable-store hook: one atomic artifact write (called by
+/// [`crate::store::DurableStore::write_atomic`]).
+pub(crate) fn note_write(path: &std::path::Path, bytes: u64, ok: bool, elapsed: Duration) {
+    note(KIND_WRITE, elapsed, ok, bytes, || {
+        path.file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_else(|| path.display().to_string())
+    });
+}
+
+/// Data-parallel kernel hook: one kernel invocation that actually went
+/// parallel (called by [`crate::par`]).
+pub(crate) fn note_par(label: &'static str, items: u64, elapsed: Duration) {
+    note(KIND_PAR, elapsed, true, items, || {
+        format!("{label} n={items}")
+    });
+}
+
+/// Race-tracker hook: a happens-before violation, recorded as an instant
+/// event on the detecting attempt (called by [`crate::race::RaceTracker`]).
+pub(crate) fn note_race(detail: String) {
+    note(KIND_RACE, Duration::ZERO, false, 0, || detail);
+}
+
+// ---- Engine-side builder (owned by the executor's event loop). ----
+
+/// Accumulates spans on the executor's event-loop thread and aggregates them
+/// into [`Telemetry`] at run end. Single-threaded by construction.
+pub(crate) struct TraceBuilder {
+    enabled: bool,
+    seed: u64,
+    spans: Vec<SpanEvent>,
+    counters: TraceCounters,
+    edges: Vec<DepEdge>,
+    /// Per-task: queue-wait span already emitted.
+    queue_done: Vec<bool>,
+}
+
+impl TraceBuilder {
+    pub fn new(enabled: bool, seed: u64, n_tasks: usize, edges: Vec<DepEdge>) -> Self {
+        TraceBuilder {
+            enabled,
+            seed,
+            spans: Vec::new(),
+            counters: TraceCounters::default(),
+            edges: if enabled { edges } else { Vec::new() },
+            queue_done: vec![false; n_tasks],
+        }
+    }
+
+    fn push(&mut self, span: SpanEvent) {
+        self.spans.push(span);
+    }
+
+    /// One attempt resolved (success or failure): emit the queue-wait span
+    /// (first completion only), the attempt's `run` span, and its worker-side
+    /// child spans.
+    #[allow(clippy::too_many_arguments)]
+    pub fn attempt_finished(
+        &mut self,
+        task_index: usize,
+        task: &str,
+        attempt: u32,
+        ready_ms: f64,
+        start_ms: f64,
+        end_ms: f64,
+        worker: Option<usize>,
+        ok: bool,
+        detail: &str,
+        bytes: u64,
+        notes: Vec<TraceNote>,
+    ) {
+        if !self.enabled {
+            return;
+        }
+        let worker = worker.map_or(0, |w| w as u32 + 1);
+        if !self.queue_done[task_index] {
+            self.queue_done[task_index] = true;
+            self.push(SpanEvent {
+                id: span_id(self.seed, KIND_QUEUE, task, 0, 0),
+                parent: 0,
+                kind: KIND_QUEUE.to_owned(),
+                task: task.to_owned(),
+                attempt: 0,
+                start_ms: ready_ms.min(start_ms),
+                end_ms: start_ms,
+                worker: 0,
+                ok: true,
+                detail: String::new(),
+                bytes: 0,
+            });
+        }
+        let run_id = span_id(self.seed, KIND_RUN, task, attempt, 0);
+        self.push(SpanEvent {
+            id: run_id,
+            parent: 0,
+            kind: KIND_RUN.to_owned(),
+            task: task.to_owned(),
+            attempt,
+            start_ms,
+            end_ms,
+            worker,
+            ok,
+            detail: detail.to_owned(),
+            bytes,
+        });
+        // Child ordinals are assigned per kind in note order — the body is
+        // sequential, so the ordering (and hence every child id) is
+        // deterministic.
+        let mut ordinals: std::collections::HashMap<&'static str, u32> =
+            std::collections::HashMap::new();
+        for n in notes {
+            let ord = ordinals.entry(n.kind).or_insert(0);
+            let id = span_id(self.seed, n.kind, task, attempt, *ord);
+            *ord += 1;
+            match n.kind {
+                KIND_WRITE => {
+                    self.counters.store_writes += 1;
+                    if n.ok {
+                        self.counters.store_fsyncs += 2;
+                    }
+                }
+                KIND_PAR => self.counters.par_kernels += 1,
+                KIND_RACE => self.counters.race_events += 1,
+                _ => {}
+            }
+            self.push(SpanEvent {
+                id,
+                parent: run_id,
+                kind: n.kind.to_owned(),
+                task: task.to_owned(),
+                attempt,
+                start_ms: n.start_ms,
+                end_ms: n.end_ms,
+                worker,
+                ok: n.ok,
+                detail: n.detail,
+                bytes: n.bytes,
+            });
+        }
+    }
+
+    /// A retry was scheduled after failed attempt `attempt`: record the
+    /// planned backoff window.
+    pub fn retry_scheduled(&mut self, task: &str, attempt: u32, now_ms: f64, delay_ms: u64) {
+        if !self.enabled {
+            return;
+        }
+        self.push(SpanEvent {
+            id: span_id(self.seed, KIND_RETRY, task, attempt, 0),
+            parent: 0,
+            kind: KIND_RETRY.to_owned(),
+            task: task.to_owned(),
+            attempt,
+            start_ms: now_ms,
+            end_ms: now_ms + delay_ms as f64,
+            worker: 0,
+            ok: true,
+            detail: format!("backoff before attempt {}", attempt + 1),
+            bytes: 0,
+        });
+    }
+
+    /// One checkpoint manifest write, keyed by the completion that triggered
+    /// it (so the span set is thread-count-invariant).
+    pub fn checkpoint(&mut self, trigger: &str, attempt: u32, start_ms: f64, end_ms: f64) {
+        if !self.enabled {
+            return;
+        }
+        self.counters.checkpoints += 1;
+        self.push(SpanEvent {
+            id: span_id(self.seed, KIND_CHECKPOINT, trigger, attempt, 0),
+            parent: 0,
+            kind: KIND_CHECKPOINT.to_owned(),
+            task: trigger.to_owned(),
+            attempt,
+            start_ms,
+            end_ms,
+            worker: 0,
+            ok: true,
+            detail: "manifest".to_owned(),
+            bytes: 0,
+        });
+    }
+
+    /// Aggregate everything into [`Telemetry`]: synthesize spans for tasks
+    /// that resolved without executing (cached/resumed), build the counters
+    /// and log2 histograms, and order spans deterministically.
+    pub fn finish(mut self, reports: &[TaskReport], makespan_ms: f64, threads: usize) -> Telemetry {
+        if !self.enabled {
+            return Telemetry::default();
+        }
+        let mut latency = Histogram::new("task_latency_ms");
+        let mut bytes_in = Histogram::new("bytes_in");
+        let mut bytes_out = Histogram::new("bytes_out");
+        let mut retries = Histogram::new("retries");
+        let mut fsyncs = Histogram::new("store_fsyncs");
+        let mut write_counts: std::collections::HashMap<String, u64> =
+            std::collections::HashMap::new();
+        for s in &self.spans {
+            if s.kind == KIND_WRITE && s.ok {
+                *write_counts.entry(s.task.clone()).or_insert(0) += 2;
+            }
+        }
+        for t in reports {
+            match t.status {
+                TaskStatus::Cached | TaskStatus::Resumed => {
+                    // Resolved synchronously at dispatch — synthesize a
+                    // zero-length marker span so the timeline stays complete.
+                    self.spans.push(SpanEvent {
+                        id: span_id(self.seed, KIND_RUN, &t.name, 0, 0),
+                        parent: 0,
+                        kind: KIND_RUN.to_owned(),
+                        task: t.name.clone(),
+                        attempt: 0,
+                        start_ms: t.start_ms,
+                        end_ms: t.end_ms,
+                        worker: 0,
+                        ok: true,
+                        detail: t.status.manifest_str().to_owned(),
+                        bytes: 0,
+                    });
+                }
+                TaskStatus::TimedOut { .. } | TaskStatus::Stalled { .. } => {
+                    // The attempt never completed, so no worker-side span
+                    // exists; record the terminal interval the watchdog saw.
+                    self.spans.push(SpanEvent {
+                        id: span_id(self.seed, KIND_RUN, &t.name, t.attempts, 0),
+                        parent: 0,
+                        kind: KIND_RUN.to_owned(),
+                        task: t.name.clone(),
+                        attempt: t.attempts,
+                        start_ms: t.start_ms,
+                        end_ms: t.end_ms,
+                        worker: 0,
+                        ok: false,
+                        detail: t.status.manifest_str().to_owned(),
+                        bytes: 0,
+                    });
+                }
+                _ => {}
+            }
+            if t.attempts >= 1 {
+                self.counters.tasks_executed += 1;
+                self.counters.attempts += u64::from(t.attempts);
+                self.counters.retries += u64::from(t.attempts.saturating_sub(1));
+                latency.record(t.duration_ms() as u64);
+                bytes_in.record(t.bytes_in);
+                bytes_out.record(t.bytes_out);
+                retries.record(u64::from(t.attempts.saturating_sub(1)));
+                fsyncs.record(write_counts.get(t.name.as_str()).copied().unwrap_or(0));
+            }
+        }
+        // Deterministic order for rendering: by start time, id-tiebroken.
+        self.spans.sort_by(|a, b| {
+            a.start_ms
+                .partial_cmp(&b.start_ms)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.id.cmp(&b.id))
+        });
+        self.counters.spans = self.spans.len() as u64;
+        let mut edges = std::mem::take(&mut self.edges);
+        edges.sort_by(|a, b| (&a.from, &a.to).cmp(&(&b.from, &b.to)));
+        Telemetry {
+            enabled: true,
+            seed: self.seed,
+            threads: threads as u64,
+            makespan_ms,
+            spans: std::mem::take(&mut self.spans),
+            counters: self.counters,
+            histograms: vec![latency, bytes_in, bytes_out, retries, fsyncs],
+            edges,
+        }
+    }
+}
+
+// ---- Analysis: structural digest and critical path. ----
+
+/// Digest of the trace's *structure*: span identities, parents, kinds,
+/// tasks, attempts, outcomes, and byte counts — everything except
+/// timestamps, worker placement, and free-text detail. Two runs of the same
+/// workflow at the same seed produce the same structural digest regardless
+/// of thread count; that is the determinism contract `repro_trace` gates.
+pub fn structural_digest(t: &Telemetry) -> u64 {
+    let mut spans: Vec<&SpanEvent> = t.spans.iter().collect();
+    spans.sort_by_key(|s| (s.id, s.attempt));
+    let mut h = Fnv1a::new();
+    h.update_u64(t.seed);
+    for s in &spans {
+        h.update_u64(s.id);
+        h.update_u64(s.parent);
+        h.update_str(&s.kind);
+        h.update_str(&s.task);
+        h.update_u64(u64::from(s.attempt));
+        h.update_u64(u64::from(s.ok));
+        h.update_u64(s.bytes);
+    }
+    let mut edges: Vec<&DepEdge> = t.edges.iter().collect();
+    edges.sort_by_key(|e| (&e.from, &e.to));
+    for e in edges {
+        h.update_str(&e.from);
+        h.update_str(&e.to);
+    }
+    h.finish()
+}
+
+/// One step of the critical path, with the task's self-time (the summed
+/// duration of its executed attempts).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PathStep {
+    pub task: String,
+    pub self_ms: f64,
+}
+
+/// The longest dependent chain of the executed DAG, weighted by per-task
+/// self-time. Its length lower-bounds the wall clock of *any* schedule, so
+/// `headroom = makespan − length` is the most a better schedule could save.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct CriticalPath {
+    pub steps: Vec<PathStep>,
+    pub length_ms: f64,
+    pub makespan_ms: f64,
+}
+
+impl CriticalPath {
+    pub fn headroom_ms(&self) -> f64 {
+        (self.makespan_ms - self.length_ms).max(0.0)
+    }
+}
+
+/// Compute the critical path from a telemetry record: per-task self-time
+/// from the `run` spans, longest-chain dynamic programming over the
+/// persisted dependency edges. Deterministic, including tie-breaks.
+pub fn critical_path(t: &Telemetry) -> CriticalPath {
+    use std::collections::HashMap;
+
+    // Intern every task name mentioned by a run span or an edge, in sorted
+    // order so node indices are input-order-independent.
+    let mut name_set: std::collections::BTreeSet<&str> = std::collections::BTreeSet::new();
+    for s in t.spans_of(KIND_RUN) {
+        name_set.insert(&s.task);
+    }
+    for e in &t.edges {
+        name_set.insert(&e.from);
+        name_set.insert(&e.to);
+    }
+    let names: Vec<&str> = name_set.into_iter().collect();
+    let index: HashMap<&str, usize> = names.iter().enumerate().map(|(i, n)| (*n, i)).collect();
+    let n = names.len();
+
+    // Self-time: Σ duration of the task's executed run spans (cached/resumed
+    // markers are zero-length and contribute nothing).
+    let mut self_ms: Vec<f64> = vec![0.0; n];
+    for s in t.spans_of(KIND_RUN) {
+        if let Some(&i) = index.get(s.task.as_str()) {
+            self_ms[i] += s.duration_ms();
+        }
+    }
+    let mut parents: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for e in &t.edges {
+        if let (Some(&from), Some(&to)) = (index.get(e.from.as_str()), index.get(e.to.as_str())) {
+            parents[to].push(from);
+        }
+    }
+
+    // Longest path to each node, memoized over the acyclic edge set.
+    let mut best: Vec<Option<f64>> = vec![None; n];
+    let mut via: Vec<Option<usize>> = vec![None; n];
+    fn solve(
+        i: usize,
+        parents: &[Vec<usize>],
+        self_ms: &[f64],
+        names: &[&str],
+        best: &mut [Option<f64>],
+        via: &mut [Option<usize>],
+    ) -> f64 {
+        if let Some(b) = best[i] {
+            return b;
+        }
+        let mut chosen: Option<(f64, usize)> = None;
+        for &p in &parents[i] {
+            let b = solve(p, parents, self_ms, names, best, via);
+            let better = match chosen {
+                None => true,
+                // Deterministic tie-break: larger length, then smaller name.
+                Some((cb, cp)) => b > cb || (b == cb && names[p] < names[cp]),
+            };
+            if better {
+                chosen = Some((b, p));
+            }
+        }
+        let total = self_ms[i] + chosen.map_or(0.0, |(b, _)| b);
+        best[i] = Some(total);
+        via[i] = chosen.map(|(_, p)| p);
+        total
+    }
+    let mut end: Option<usize> = None;
+    for i in 0..n {
+        let b = solve(i, &parents, &self_ms, &names, &mut best, &mut via);
+        let better = match end {
+            None => true,
+            Some(e) => {
+                let eb = best[e].unwrap_or(0.0);
+                b > eb || (b == eb && names[i] < names[e])
+            }
+        };
+        if better {
+            end = Some(i);
+        }
+    }
+    let mut steps = Vec::new();
+    let mut cur = end;
+    while let Some(i) = cur {
+        steps.push(PathStep {
+            task: names[i].to_owned(),
+            self_ms: self_ms[i],
+        });
+        cur = via[i];
+    }
+    steps.reverse();
+    let length_ms = steps.iter().map(|s| s.self_ms).sum();
+    CriticalPath {
+        steps,
+        length_ms,
+        makespan_ms: t.makespan_ms,
+    }
+}
+
+// ---- Exports. ----
+
+/// One Chrome trace-event ("X" complete event), Perfetto-loadable.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChromeEvent {
+    pub name: String,
+    pub cat: String,
+    pub ph: String,
+    /// Microseconds since run start.
+    pub ts: f64,
+    pub dur: f64,
+    pub pid: u32,
+    pub tid: u32,
+    pub args: ChromeArgs,
+}
+
+/// The `args` payload of one Chrome event: the deterministic span identity
+/// plus outcome context.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChromeArgs {
+    /// Span id in hex (Chrome renders strings more reliably than u64s).
+    pub span: String,
+    pub parent: String,
+    pub task: String,
+    pub attempt: u32,
+    pub ok: bool,
+    pub detail: String,
+    pub bytes: u64,
+}
+
+/// Project the telemetry into Chrome trace events, sorted by timestamp
+/// (monotone `ts`, as trace viewers expect).
+pub fn chrome_events(t: &Telemetry) -> Vec<ChromeEvent> {
+    let mut events: Vec<ChromeEvent> = t
+        .spans
+        .iter()
+        .map(|s| ChromeEvent {
+            name: if s.kind == KIND_RUN {
+                s.task.clone()
+            } else {
+                format!("{} ({})", s.kind, s.task)
+            },
+            cat: s.kind.clone(),
+            ph: "X".to_owned(),
+            ts: s.start_ms * 1000.0,
+            dur: s.duration_ms() * 1000.0,
+            pid: 1,
+            tid: s.worker,
+            args: ChromeArgs {
+                span: format!("{:016x}", s.id),
+                parent: format!("{:016x}", s.parent),
+                task: s.task.clone(),
+                attempt: s.attempt,
+                ok: s.ok,
+                detail: s.detail.clone(),
+                bytes: s.bytes,
+            },
+        })
+        .collect();
+    events.sort_by(|a, b| {
+        a.ts.partial_cmp(&b.ts)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.args.span.cmp(&b.args.span))
+    });
+    events
+}
+
+/// The full Chrome trace-event JSON document (a bare event array, which
+/// Perfetto and `chrome://tracing` both load).
+pub fn to_chrome_json(t: &Telemetry) -> String {
+    #[allow(clippy::expect_used)] // plain data types: serialization is infallible
+    serde_json::to_string_pretty(&chrome_events(t)).expect("chrome trace serializes")
+}
+
+/// The `schedflow trace <run>` CLI summary: counters, histograms, and the
+/// critical path with per-task self-times and headroom.
+pub fn render_summary(t: &Telemetry) -> String {
+    if !t.enabled {
+        return "telemetry: tracing was disabled for this run (--no-trace)\n".to_owned();
+    }
+    let mut out = String::new();
+    let c = &t.counters;
+    out.push_str(&format!(
+        "trace: {} span(s) over {} task(s), {} attempt(s) ({} retried), {} thread(s), seed {}\n",
+        c.spans, c.tasks_executed, c.attempts, c.retries, t.threads, t.seed
+    ));
+    out.push_str(&format!(
+        "engine: {} store write(s), {} fsync(s), {} checkpoint(s), {} par kernel(s), {} race event(s)\n",
+        c.store_writes, c.store_fsyncs, c.checkpoints, c.par_kernels, c.race_events
+    ));
+    out.push_str("histograms:\n");
+    for h in &t.histograms {
+        out.push_str("  ");
+        out.push_str(&h.render_line());
+        out.push('\n');
+    }
+    let cp = critical_path(t);
+    out.push_str(&format!(
+        "critical path: {:.1} ms across {} task(s); wall clock {:.1} ms; headroom {:.1} ms\n",
+        cp.length_ms,
+        cp.steps.len(),
+        t.makespan_ms,
+        cp.headroom_ms()
+    ));
+    for s in &cp.steps {
+        out.push_str(&format!("  {:>10.1} ms  {}\n", s.self_ms, s.task));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(kind: &str, task: &str, attempt: u32, start: f64, end: f64, ok: bool) -> SpanEvent {
+        SpanEvent {
+            id: span_id(7, kind, task, attempt, 0),
+            parent: 0,
+            kind: kind.to_owned(),
+            task: task.to_owned(),
+            attempt,
+            start_ms: start,
+            end_ms: end,
+            worker: 1,
+            ok,
+            detail: String::new(),
+            bytes: 0,
+        }
+    }
+
+    fn chain_telemetry() -> Telemetry {
+        // a(10ms) -> b(20ms); c(5ms) independent. Makespan 40.
+        Telemetry {
+            enabled: true,
+            seed: 7,
+            threads: 2,
+            makespan_ms: 40.0,
+            spans: vec![
+                span(KIND_RUN, "a", 1, 0.0, 10.0, true),
+                span(KIND_RUN, "b", 1, 12.0, 32.0, true),
+                span(KIND_RUN, "c", 1, 1.0, 6.0, true),
+            ],
+            counters: TraceCounters::default(),
+            histograms: Vec::new(),
+            edges: vec![DepEdge {
+                from: "a".to_owned(),
+                to: "b".to_owned(),
+            }],
+        }
+    }
+
+    #[test]
+    fn span_ids_are_deterministic_and_coordinate_sensitive() {
+        let a = span_id(1, KIND_RUN, "t", 1, 0);
+        assert_eq!(a, span_id(1, KIND_RUN, "t", 1, 0));
+        assert_ne!(a, span_id(2, KIND_RUN, "t", 1, 0), "seed-sensitive");
+        assert_ne!(a, span_id(1, KIND_RUN, "t", 2, 0), "attempt-sensitive");
+        assert_ne!(a, span_id(1, KIND_QUEUE, "t", 1, 0), "kind-sensitive");
+        assert_ne!(a, span_id(1, KIND_RUN, "u", 1, 0), "task-sensitive");
+        assert_ne!(a, span_id(1, KIND_RUN, "t", 1, 1), "ordinal-sensitive");
+        assert_ne!(a, 0);
+    }
+
+    #[test]
+    fn histogram_buckets_are_log2() {
+        assert_eq!(Histogram::bucket_of(0), 0);
+        assert_eq!(Histogram::bucket_of(1), 1);
+        assert_eq!(Histogram::bucket_of(2), 2);
+        assert_eq!(Histogram::bucket_of(3), 2);
+        assert_eq!(Histogram::bucket_of(4), 3);
+        assert_eq!(Histogram::bucket_of(1023), 10);
+        assert_eq!(Histogram::bucket_of(1024), 11);
+        let mut h = Histogram::new("x");
+        for v in [0, 1, 2, 3, 900] {
+            h.record(v);
+        }
+        assert_eq!(h.count, 5);
+        assert_eq!(h.sum, 906);
+        assert_eq!(h.max, 900);
+        assert_eq!(h.buckets[0], 1);
+        assert_eq!(h.buckets[1], 1);
+        assert_eq!(h.buckets[2], 2);
+        assert_eq!(h.buckets[10], 1);
+    }
+
+    #[test]
+    fn critical_path_prefers_the_dependent_chain() {
+        let t = chain_telemetry();
+        let cp = critical_path(&t);
+        let names: Vec<&str> = cp.steps.iter().map(|s| s.task.as_str()).collect();
+        assert_eq!(names, ["a", "b"]);
+        assert!((cp.length_ms - 30.0).abs() < 1e-9);
+        assert!((cp.headroom_ms() - 10.0).abs() < 1e-9);
+        assert!(cp.length_ms <= t.makespan_ms);
+    }
+
+    #[test]
+    fn structural_digest_ignores_timing_but_not_structure() {
+        let t = chain_telemetry();
+        let mut shifted = t.clone();
+        for s in &mut shifted.spans {
+            s.start_ms += 100.0;
+            s.end_ms += 100.0;
+            s.worker = 3;
+            s.detail = "different".to_owned();
+        }
+        assert_eq!(structural_digest(&t), structural_digest(&shifted));
+        let mut failed = t.clone();
+        failed.spans[0].ok = false;
+        assert_ne!(structural_digest(&t), structural_digest(&failed));
+        let mut extra = t.clone();
+        extra.spans.push(span(KIND_RUN, "d", 1, 0.0, 1.0, true));
+        assert_ne!(structural_digest(&t), structural_digest(&extra));
+    }
+
+    #[test]
+    fn sum_of_task_times_covers_queue_and_retries() {
+        let mut t = chain_telemetry();
+        // Queue wait for b from 10.0 (parent done) to 12.0 (start).
+        t.spans.push(span(KIND_QUEUE, "b", 0, 10.0, 12.0, true));
+        // a: 10, b: 32-10=22 (queue included), c: 5 → 37.
+        assert!((t.sum_of_task_times_ms() - 37.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn chrome_events_are_monotone_and_complete() {
+        let t = chain_telemetry();
+        let events = chrome_events(&t);
+        assert_eq!(events.len(), t.spans.len());
+        for w in events.windows(2) {
+            assert!(w[0].ts <= w[1].ts);
+        }
+        assert!(events.iter().all(|e| e.ph == "X" && e.dur >= 0.0));
+        let json = to_chrome_json(&t);
+        assert!(json.trim_start().starts_with('['));
+    }
+
+    #[test]
+    fn notes_require_an_open_attempt() {
+        // No attempt open: the note must be dropped, not panic.
+        note_write(std::path::Path::new("/tmp/x"), 4, true, Duration::ZERO);
+        begin_attempt(Instant::now());
+        note_par("par_map", 9000, Duration::from_millis(2));
+        note_race("r".to_owned());
+        let notes = end_attempt();
+        assert_eq!(notes.len(), 2);
+        assert_eq!(notes[0].kind, KIND_PAR);
+        assert_eq!(notes[0].bytes, 9000);
+        assert!(notes[0].start_ms <= notes[0].end_ms);
+        assert_eq!(notes[1].kind, KIND_RACE);
+        assert!(!notes[1].ok);
+        assert!(end_attempt().is_empty(), "stack is balanced");
+    }
+
+    #[test]
+    fn disabled_builder_produces_default_telemetry() {
+        let b = TraceBuilder::new(false, 9, 3, vec![]);
+        let t = b.finish(&[], 5.0, 4);
+        assert_eq!(t, Telemetry::default());
+        assert!(!t.enabled);
+        assert!(render_summary(&t).contains("disabled"));
+    }
+
+    #[test]
+    fn summary_renders_counters_and_critical_path() {
+        let mut t = chain_telemetry();
+        t.counters.spans = 3;
+        t.counters.tasks_executed = 3;
+        t.histograms = vec![Histogram::new("task_latency_ms")];
+        let s = render_summary(&t);
+        assert!(s.contains("critical path: 30.0 ms"), "{s}");
+        assert!(s.contains("headroom 10.0 ms"), "{s}");
+        assert!(s.contains("task_latency_ms"), "{s}");
+    }
+}

@@ -1,0 +1,101 @@
+//! Golden test for the Chrome trace-event export: the JSON document is a
+//! bare event array with the exact key shape trace viewers (Perfetto,
+//! `chrome://tracing`) require — `ph`/`ts`/`dur`/`pid`/`tid`/`name`/`args` —
+//! timestamps are monotone, and the document round-trips through serde
+//! without loss.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use schedflow_dataflow::{
+    chrome_events, to_chrome_json, ChromeEvent, RunOptions, Runner, StageKind, Telemetry, Workflow,
+};
+
+/// A three-task chain (`fetch` → `transform` → `publish`) run traced under a
+/// fixed seed: small enough to eyeball, deep enough that queue-wait, run,
+/// and dependency ordering all appear in the export.
+fn chain_telemetry() -> Telemetry {
+    let mut wf = Workflow::new();
+    let raw = wf.value::<u64>("raw");
+    let cooked = wf.value::<u64>("cooked");
+    let done = wf.value::<u64>("done");
+    wf.task("fetch", StageKind::Static, [], [raw.id()], move |ctx| {
+        ctx.put(raw, 17)
+    });
+    wf.task(
+        "transform",
+        StageKind::Static,
+        [raw.id()],
+        [cooked.id()],
+        move |ctx| {
+            let v = *ctx.get(raw)?;
+            ctx.put(cooked, v * 3)
+        },
+    );
+    wf.task(
+        "publish",
+        StageKind::Static,
+        [cooked.id()],
+        [done.id()],
+        move |ctx| {
+            let v = *ctx.get(cooked)?;
+            ctx.put(done, v + 1)
+        },
+    );
+    wf.retain(done.id());
+    let runner = Runner::new(wf).expect("chain workflow is structurally valid");
+    let report = runner.run(&RunOptions::with_threads(2).tracing(true).with_trace_seed(7));
+    assert!(report.is_success(), "{:?}", report.failed());
+    report.telemetry
+}
+
+#[test]
+fn chrome_json_has_the_trace_event_shape() {
+    let t = chain_telemetry();
+    let json = to_chrome_json(&t);
+    // A bare event array — what Perfetto and chrome://tracing both load.
+    assert!(json.trim_start().starts_with('['), "must be a JSON array");
+    assert!(json.trim_end().ends_with(']'));
+    // Every key of the trace-event format appears literally.
+    for key in [
+        "\"ph\"", "\"ts\"", "\"dur\"", "\"pid\"", "\"tid\"", "\"name\"", "\"args\"",
+    ] {
+        assert!(json.contains(key), "missing trace-event key {key}");
+    }
+    // Span identity rides in args for cross-referencing with the summary.
+    for key in ["\"span\"", "\"parent\"", "\"task\"", "\"attempt\""] {
+        assert!(json.contains(key), "missing args key {key}");
+    }
+    assert!(json.contains("\"fetch\""));
+    assert!(json.contains("\"transform\""));
+    assert!(json.contains("\"publish\""));
+}
+
+#[test]
+fn chrome_events_are_monotone_and_cover_every_span() {
+    let t = chain_telemetry();
+    let events = chrome_events(&t);
+    assert_eq!(events.len(), t.spans.len(), "one event per span");
+    for w in events.windows(2) {
+        assert!(w[0].ts <= w[1].ts, "ts must be monotone non-decreasing");
+    }
+    for e in &events {
+        assert_eq!(e.ph, "X", "complete events only");
+        assert_eq!(e.pid, 1);
+        assert!(e.ts >= 0.0);
+        assert!(e.dur >= 0.0);
+        assert!(!e.name.is_empty());
+    }
+}
+
+#[test]
+fn chrome_json_round_trips_through_serde() {
+    let t = chain_telemetry();
+    let json = to_chrome_json(&t);
+    let parsed: Vec<ChromeEvent> = serde_json::from_str(&json).expect("export parses back");
+    assert_eq!(parsed, chrome_events(&t), "round-trip must be lossless");
+    // Run-span events carry the bare task name; their ids parse as hex.
+    for e in &parsed {
+        assert_eq!(e.args.span.len(), 16);
+        assert!(u64::from_str_radix(&e.args.span, 16).is_ok());
+        assert!(u64::from_str_radix(&e.args.parent, 16).is_ok());
+    }
+}

@@ -70,6 +70,40 @@ cargo run --release -p schedflow-core --bin schedflow -- verify-crash \
     --io-torn-p 0.3 --chaos-seed 9 --crash-after 7 \
     --retries 8 --retry-delay 1
 
+echo "==> trace contract: repro_trace (critical path ≤ wall ≤ Σ tasks, 1-vs-4-thread digests, < 3% overhead)"
+cargo run --release -p schedflow-bench --bin repro_trace
+
+echo "==> trace export smoke: --trace-out must emit Chrome trace-event JSON"
+cargo run --release -p schedflow-core --bin schedflow -- run \
+    --system andes --from 2024-01 --to 2024-02 --scale 0.02 \
+    --cache "$CRASH_TMP/tcache" --data "$CRASH_TMP/tdata" \
+    --trace-out "$CRASH_TMP/trace.json"
+if command -v python3 >/dev/null 2>&1; then
+    python3 - "$CRASH_TMP/trace.json" <<'PYEOF'
+import json, sys
+events = json.load(open(sys.argv[1]))
+assert isinstance(events, list) and events, "trace must be a non-empty array"
+last = -1.0
+for e in events:
+    for key in ("name", "ph", "ts", "dur", "pid", "tid", "args"):
+        assert key in e, "event missing %r" % key
+    assert e["ph"] == "X", e["ph"]
+    assert e["ts"] >= last, "ts must be monotone"
+    last = e["ts"]
+print("trace: valid shape, %d event(s), monotone ts" % len(events))
+PYEOF
+else
+    for needle in '"ph"' '"ts"' '"dur"' '"pid"' '"tid"' '"name"' '"args"'; do
+        grep -qF "$needle" "$CRASH_TMP/trace.json" \
+            || { echo "verify: trace JSON missing $needle"; exit 1; }
+    done
+    echo "trace: valid shape (grep fallback — no python3)"
+fi
+cargo run --release -p schedflow-core --bin schedflow -- trace "$CRASH_TMP/tdata" \
+    | grep -qF "critical path" \
+    || { echo "verify: schedflow trace summary lacks a critical path"; exit 1; }
+echo "trace smoke: export + summary OK"
+
 # Opt-in deep checking of the concurrency layer. Both stages need optional
 # toolchain pieces, so they skip gracefully when those are absent.
 if [ "${SCHEDFLOW_SANITIZE:-0}" = "1" ]; then

@@ -1,0 +1,183 @@
+//! Observability properties: the span set an execution emits mirrors the
+//! executed DAG, span timestamps respect the dependency order, the critical
+//! path is sandwiched by wall clock and the per-task time sum, and the
+//! structural digest is a pure function of (workflow, seed) — never of the
+//! thread count the run happened to use.
+
+use proptest::prelude::*;
+use schedflow_dataflow::obs::{KIND_QUEUE, KIND_RUN};
+use schedflow_dataflow::{
+    critical_path, structural_digest, RunOptions, Runner, StageKind, Telemetry, Workflow,
+};
+use std::collections::BTreeSet;
+
+/// Deterministic layered workflow: `widths[l]` tasks in layer `l`, each
+/// consuming every artifact of the previous layer and producing one `u64`.
+fn layered(widths: &[usize]) -> Workflow {
+    let mut wf = Workflow::new();
+    let mut prev: Vec<schedflow_dataflow::Artifact<u64>> = Vec::new();
+    for (l, &w) in widths.iter().enumerate() {
+        let mut layer = Vec::new();
+        for t in 0..w {
+            let out = wf.value::<u64>(&format!("v-{l}-{t}"));
+            let inputs: Vec<_> = prev.iter().map(|a| a.id()).collect();
+            let prev_arts = prev.clone();
+            wf.task(
+                &format!("t-{l}-{t}"),
+                StageKind::Static,
+                inputs,
+                [out.id()],
+                move |ctx| {
+                    let mut acc = ((l as u64) << 32) | t as u64;
+                    for a in &prev_arts {
+                        acc = acc.wrapping_mul(31).wrapping_add(*ctx.get(*a)?);
+                    }
+                    ctx.put(out, acc)
+                },
+            );
+            layer.push(out);
+        }
+        prev = layer;
+    }
+    for a in &prev {
+        wf.retain(a.id());
+    }
+    wf
+}
+
+/// Every task name `layered(widths)` creates.
+fn task_names(widths: &[usize]) -> BTreeSet<String> {
+    let mut names = BTreeSet::new();
+    for (l, &w) in widths.iter().enumerate() {
+        for t in 0..w {
+            names.insert(format!("t-{l}-{t}"));
+        }
+    }
+    names
+}
+
+/// Run the layered workflow traced and return its telemetry.
+fn run_traced(widths: &[usize], threads: usize, seed: u64) -> Telemetry {
+    let runner = Runner::new(layered(widths)).expect("layered workflow is structurally valid");
+    let report = runner.run(
+        &RunOptions::with_threads(threads)
+            .tracing(true)
+            .with_trace_seed(seed),
+    );
+    assert!(
+        report.is_success(),
+        "workflow failed: {:?}",
+        report.failed()
+    );
+    report.telemetry
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The span tree is the executed DAG: one run span per task, one
+    /// queue-wait per task, every child span parented to a run span of its
+    /// own task, and the recorded edges exactly the layer-to-layer
+    /// dependencies.
+    #[test]
+    fn span_tree_mirrors_the_executed_dag(
+        widths in proptest::collection::vec(1usize..4, 2..5),
+        seed in 0u64..1000,
+    ) {
+        let t = run_traced(&widths, 4, seed);
+        let expected = task_names(&widths);
+        let ran: BTreeSet<String> =
+            t.spans_of(KIND_RUN).map(|s| s.task.clone()).collect();
+        prop_assert_eq!(&ran, &expected);
+        let queued: BTreeSet<String> =
+            t.spans_of(KIND_QUEUE).map(|s| s.task.clone()).collect();
+        prop_assert_eq!(&queued, &expected);
+
+        let mut run_of: std::collections::HashMap<u64, &str> =
+            std::collections::HashMap::new();
+        for s in t.spans_of(KIND_RUN) {
+            run_of.insert(s.id, &s.task);
+        }
+        for s in &t.spans {
+            if s.parent != 0 {
+                prop_assert_eq!(
+                    run_of.get(&s.parent).copied(),
+                    Some(s.task.as_str()),
+                    "child span {} must hang off its task's run span",
+                    s.kind
+                );
+            }
+        }
+
+        let mut expected_edges = BTreeSet::new();
+        for l in 1..widths.len() {
+            for i in 0..widths[l] {
+                for j in 0..widths[l - 1] {
+                    expected_edges.insert((format!("t-{}-{j}", l - 1), format!("t-{l}-{i}")));
+                }
+            }
+        }
+        let edges: BTreeSet<(String, String)> = t
+            .edges
+            .iter()
+            .map(|e| (e.from.clone(), e.to.clone()))
+            .collect();
+        prop_assert_eq!(edges, expected_edges);
+    }
+
+    /// Timestamps respect the dependency order: a consumer's run span never
+    /// starts before every producer's run span has ended.
+    #[test]
+    fn timestamps_respect_dependency_order(
+        widths in proptest::collection::vec(1usize..4, 2..5),
+        seed in 0u64..1000,
+    ) {
+        let t = run_traced(&widths, 4, seed);
+        for e in &t.edges {
+            let from_end = t
+                .spans_of(KIND_RUN)
+                .filter(|s| s.task == e.from)
+                .map(|s| s.end_ms)
+                .fold(0.0_f64, f64::max);
+            let to_start = t
+                .spans_of(KIND_RUN)
+                .filter(|s| s.task == e.to)
+                .map(|s| s.start_ms)
+                .fold(f64::INFINITY, f64::min);
+            prop_assert!(
+                from_end <= to_start + 0.5,
+                "{} ended at {from_end} after {} started at {to_start}",
+                e.from, e.to
+            );
+        }
+    }
+
+    /// The sandwich: critical path ≤ wall clock ≤ Σ per-task times (with
+    /// scheduling slack), and the path visits at least one task per layer.
+    #[test]
+    fn critical_path_is_bounded_by_wall_clock(
+        widths in proptest::collection::vec(1usize..4, 2..5),
+        seed in 0u64..1000,
+    ) {
+        let t = run_traced(&widths, 4, seed);
+        let cp = critical_path(&t);
+        prop_assert!(cp.length_ms <= t.makespan_ms + 5.0);
+        prop_assert!(t.makespan_ms <= t.sum_of_task_times_ms() * 1.10 + 250.0);
+        prop_assert_eq!(cp.steps.len(), widths.len());
+        prop_assert!(cp.headroom_ms() >= 0.0);
+    }
+
+    /// The structural digest depends on (workflow, seed) only: identical at
+    /// 1 and 4 threads, different under a different seed.
+    #[test]
+    fn structural_digest_is_thread_count_invariant(
+        widths in proptest::collection::vec(1usize..4, 2..5),
+        seed in 0u64..1000,
+    ) {
+        let serial = run_traced(&widths, 1, seed);
+        let parallel = run_traced(&widths, 4, seed);
+        prop_assert_eq!(structural_digest(&serial), structural_digest(&parallel));
+        let reseeded = run_traced(&widths, 1, seed ^ 0xDEAD_BEEF);
+        prop_assert_ne!(structural_digest(&serial), structural_digest(&reseeded));
+    }
+}
